@@ -1,0 +1,153 @@
+//! E1: modeled hierarchical ordering vs. client-over-relational baselines.
+//!
+//! §5.2 contrasts the MDM's modeled orderings with the sort-key machinery
+//! relational systems offered. Three implementations of one ordered-store
+//! interface (see `mdm_bench::baseline`) are driven through the
+//! operations the paper's query operators need:
+//!
+//! * `append`        — building a score left to right;
+//! * `insert_middle` — editing: inserting a chord mid-voice;
+//! * `before`        — the §5.6 `before` predicate;
+//! * `nth`           — "the third note in chord x".
+//!
+//! Expected shape: the renumbering baseline degrades linearly on middle
+//! inserts (write amplification through WAL and indexes); the float-key
+//! baseline stays flat until gaps exhaust; the modeled ordering does an
+//! in-memory splice. Scans and positional queries are comparable.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdm_bench::{FloatKeyStore, ModeledOrderingStore, OrderedStore, PositionStore};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [100, 1_000, 5_000];
+
+fn build(store: &mut dyn OrderedStore, n: usize) {
+    for i in 0..n {
+        store.append(i as u64);
+    }
+}
+
+fn with_stores(f: &mut dyn FnMut(&mut dyn OrderedStore)) {
+    let mut modeled = ModeledOrderingStore::new();
+    f(&mut modeled);
+    let mut position = PositionStore::new();
+    f(&mut position);
+    let mut float = FloatKeyStore::new();
+    f(&mut float);
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_append");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &n in &SIZES {
+        with_stores(&mut |proto| {
+            g.bench_with_input(BenchmarkId::new(proto.name(), n), &n, |b, &n| {
+                b.iter_with_large_drop(|| {
+                    let mut store: Box<dyn OrderedStore> = match proto.name() {
+                        "modeled-ordering" => Box::new(ModeledOrderingStore::new()),
+                        "relational-renumber" => Box::new(PositionStore::new()),
+                        _ => Box::new(FloatKeyStore::new()),
+                    };
+                    build(store.as_mut(), n);
+                    store
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert_middle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_insert_middle");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &n in &SIZES {
+        with_stores(&mut |proto| {
+            g.bench_with_input(BenchmarkId::new(proto.name(), n), &n, |b, &n| {
+                // Build once, measure repeated middle inserts.
+                let mut store: Box<dyn OrderedStore> = match proto.name() {
+                    "modeled-ordering" => Box::new(ModeledOrderingStore::new()),
+                    "relational-renumber" => Box::new(PositionStore::new()),
+                    _ => Box::new(FloatKeyStore::new()),
+                };
+                build(store.as_mut(), n);
+                let mut next = n as u64;
+                b.iter(|| {
+                    store.insert_at(n / 2, next);
+                    next += 1;
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_before(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_before");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &n in &SIZES {
+        with_stores(&mut |proto| {
+            let mut store: Box<dyn OrderedStore> = match proto.name() {
+                "modeled-ordering" => Box::new(ModeledOrderingStore::new()),
+                "relational-renumber" => Box::new(PositionStore::new()),
+                _ => Box::new(FloatKeyStore::new()),
+            };
+            build(store.as_mut(), n);
+            g.bench_with_input(BenchmarkId::new(proto.name(), n), &n, |b, &n| {
+                let a = (n / 3) as u64;
+                let z = (2 * n / 3) as u64;
+                b.iter(|| black_box(store.before(a, z)));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_nth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_nth_child");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &n in &SIZES {
+        with_stores(&mut |proto| {
+            let mut store: Box<dyn OrderedStore> = match proto.name() {
+                "modeled-ordering" => Box::new(ModeledOrderingStore::new()),
+                "relational-renumber" => Box::new(PositionStore::new()),
+                _ => Box::new(FloatKeyStore::new()),
+            };
+            build(store.as_mut(), n);
+            g.bench_with_input(BenchmarkId::new(proto.name(), n), &n, |b, &n| {
+                b.iter(|| black_box(store.nth(n / 2)));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_ordered_scan");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &n in &SIZES {
+        with_stores(&mut |proto| {
+            let mut store: Box<dyn OrderedStore> = match proto.name() {
+                "modeled-ordering" => Box::new(ModeledOrderingStore::new()),
+                "relational-renumber" => Box::new(PositionStore::new()),
+                _ => Box::new(FloatKeyStore::new()),
+            };
+            build(store.as_mut(), n);
+            g.bench_with_input(BenchmarkId::new(proto.name(), n), &n, |b, _| {
+                b.iter(|| black_box(store.children().len()));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_append,
+    bench_insert_middle,
+    bench_before,
+    bench_nth,
+    bench_scan
+);
+criterion_main!(benches);

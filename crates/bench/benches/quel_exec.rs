@@ -1,0 +1,99 @@
+//! E3: the four §5.6 QUEL example queries over growing chord databases.
+//!
+//! The `before`/`after` queries join two NOTE range variables (O(N²)
+//! tuple-calculus enumeration — INGRES semantics without an optimizer);
+//! `under` joins NOTE × CHORD. The shape to expect is quadratic growth
+//! for the two-variable queries, which is the honest cost of unoptimized
+//! tuple calculus and the motivation for the ordering operators having
+//! *model-level* support.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdm_bench::workload::chord_database;
+use mdm_lang::Session;
+use std::hint::black_box;
+
+const QUERIES: [(&str, &str); 4] = [
+    (
+        "before",
+        "range of n1, n2 is NOTE\nretrieve (n1.name) where n1 before n2 in note_in_chord and n2.name = 6",
+    ),
+    (
+        "after",
+        "range of n1, n2 is NOTE\nretrieve (n1.name) where n1 after n2 in note_in_chord and n2.name = 6",
+    ),
+    (
+        "under",
+        "range of n1 is NOTE\nrange of c1 is CHORD\nretrieve (n1.name) where n1 under c1 in note_in_chord and c1.name = 2",
+    ),
+    (
+        "parent",
+        "range of n1 is NOTE\nrange of c1 is CHORD\nretrieve (c1.name) where n1 under c1 in note_in_chord and n1.name = 6",
+    ),
+];
+
+fn bench_paper_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_quel_paper_queries");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &chords in &[10usize, 40, 160] {
+        let mut db = chord_database(chords, 4);
+        for (name, text) in QUERIES {
+            g.bench_with_input(
+                BenchmarkId::new(name, chords * 4),
+                &chords,
+                |b, _| {
+                    let mut session = Session::new();
+                    b.iter(|| {
+                        let out = session.execute(&mut db, text).expect("query");
+                        black_box(out.len())
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    // Single-variable selection scales linearly — the contrast case.
+    let mut g = c.benchmark_group("e3_quel_selection");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &chords in &[10usize, 40, 160] {
+        let mut db = chord_database(chords, 4);
+        g.bench_with_input(BenchmarkId::new("point", chords * 4), &chords, |b, _| {
+            let mut session = Session::new();
+            b.iter(|| {
+                let out = session
+                    .execute(&mut db, "range of n is NOTE\nretrieve (n.name) where n.name = 6")
+                    .expect("query");
+                black_box(out.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_index_ablation(c: &mut Criterion) {
+    // Ablation: the executor's one optimization — sargable conjuncts
+    // probing a model attribute index — on vs. off.
+    let mut g = c.benchmark_group("e3_index_ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &chords in &[100usize, 1000] {
+        let q = "range of n is NOTE\nretrieve (n.name) where n.name = 6";
+        let mut db = chord_database(chords, 4);
+        g.bench_with_input(BenchmarkId::new("scan", chords * 4), &chords, |b, _| {
+            let mut session = Session::new();
+            b.iter(|| black_box(session.execute(&mut db, q).expect("query").len()));
+        });
+        db.create_attr_index("NOTE", "name").expect("index");
+        g.bench_with_input(BenchmarkId::new("indexed", chords * 4), &chords, |b, _| {
+            let mut session = Session::new();
+            b.iter(|| black_box(session.execute(&mut db, q).expect("query").len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_paper_queries, bench_selection, bench_index_ablation);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! E2: the storage substrate — transaction throughput, scans, index
+//! lookups, and recovery time (the "concurrency control and recovery"
+//! the paper's §2 requires of the MDM).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdm_bench::baseline::tempdir;
+use mdm_storage::{encode_i64, StorageEngine};
+use std::hint::black_box;
+
+fn bench_insert_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_txn_insert_commit");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &batch in &[1usize, 10, 100] {
+        g.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            let dir = tempdir::fresh("ins");
+            let eng = StorageEngine::open(&dir.0).expect("open");
+            let t = eng.create_table("t").expect("table");
+            b.iter(|| {
+                let mut txn = eng.begin().expect("begin");
+                for i in 0..batch {
+                    eng.insert(&mut txn, t, format!("record {i}").as_bytes()).expect("insert");
+                }
+                eng.commit(txn).expect("commit");
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_scan");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &n in &[1_000usize, 10_000] {
+        let dir = tempdir::fresh("scan");
+        let eng = StorageEngine::open(&dir.0).expect("open");
+        let t = eng.create_table("t").expect("table");
+        let mut txn = eng.begin().expect("begin");
+        for i in 0..n {
+            eng.insert(&mut txn, t, format!("row number {i}").as_bytes()).expect("insert");
+        }
+        eng.commit(txn).expect("commit");
+        g.bench_with_input(BenchmarkId::new("rows", n), &n, |b, _| {
+            b.iter(|| {
+                let mut txn = eng.begin().expect("begin");
+                let rows = eng.scan(&mut txn, t).expect("scan");
+                eng.commit(txn).expect("commit");
+                black_box(rows.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_index_lookup");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &n in &[1_000usize, 10_000] {
+        let dir = tempdir::fresh("idx");
+        let eng = StorageEngine::open(&dir.0).expect("open");
+        let t = eng.create_table("t").expect("table");
+        eng.create_index(t, "by_key").expect("index");
+        let mut txn = eng.begin().expect("begin");
+        for i in 0..n {
+            let rid = eng.insert(&mut txn, t, format!("row {i}").as_bytes()).expect("insert");
+            eng.index_insert(&mut txn, t, "by_key", &encode_i64(i as i64), rid).expect("index");
+        }
+        eng.commit(txn).expect("commit");
+        g.bench_with_input(BenchmarkId::new("point", n), &n, |b, &n| {
+            let mut k = 0i64;
+            b.iter(|| {
+                let mut txn = eng.begin().expect("begin");
+                let hit = eng
+                    .index_lookup(&mut txn, t, "by_key", &encode_i64(k % n as i64))
+                    .expect("lookup");
+                eng.commit(txn).expect("commit");
+                k += 7;
+                black_box(hit.len())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("range_100", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut txn = eng.begin().expect("begin");
+                let lo = (n / 2) as i64;
+                let hits = eng
+                    .index_range(&mut txn, t, "by_key", Some(&encode_i64(lo)), Some(&encode_i64(lo + 99)))
+                    .expect("range");
+                eng.commit(txn).expect("commit");
+                black_box(hits.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_recovery");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &ops in &[100usize, 1_000, 5_000] {
+        g.bench_with_input(BenchmarkId::new("replay_ops", ops), &ops, |b, &ops| {
+            b.iter_batched(
+                || {
+                    // Set up a database with `ops` committed inserts and
+                    // no clean shutdown (crash-simulated by leak).
+                    let dir = tempdir::fresh("rec");
+                    {
+                        // Small pool: the leaked engine (simulated crash)
+                        // must not hold 16 MiB per iteration.
+                        let eng = StorageEngine::open_with_capacity(&dir.0, 64).expect("open");
+                        let t = eng.create_table("t").expect("table");
+                        let mut txn = eng.begin().expect("begin");
+                        for i in 0..ops {
+                            eng.insert(&mut txn, t, format!("op {i}").as_bytes()).expect("insert");
+                        }
+                        eng.commit(txn).expect("commit");
+                        std::mem::forget(eng);
+                    }
+                    dir
+                },
+                |dir| {
+                    let eng = StorageEngine::open(&dir.0).expect("recover");
+                    black_box(eng.last_recovery().replayed);
+                    drop(eng);
+                    drop(dir);
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_pool_ablation(c: &mut Criterion) {
+    // Ablation: buffer-pool capacity vs. scan cost on a table larger
+    // than the small pools (CLOCK eviction effect).
+    let mut g = c.benchmark_group("e2_pool_ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    let rows = 20_000usize;
+    for &pages in &[16usize, 256, 4096] {
+        let dir = tempdir::fresh("abl");
+        let eng = StorageEngine::open_with_capacity(&dir.0, pages).expect("open");
+        let t = eng.create_table("t").expect("table");
+        let mut txn = eng.begin().expect("begin");
+        for i in 0..rows {
+            eng.insert(&mut txn, t, format!("row body number {i}").as_bytes()).expect("insert");
+        }
+        eng.commit(txn).expect("commit");
+        g.bench_with_input(BenchmarkId::new("scan_20k_rows", pages), &pages, |b, _| {
+            b.iter(|| {
+                let mut txn = eng.begin().expect("begin");
+                let n = eng.scan(&mut txn, t).expect("scan").len();
+                eng.commit(txn).expect("commit");
+                black_box(n)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_commit,
+    bench_scan,
+    bench_index,
+    bench_recovery,
+    bench_pool_ablation
+);
+criterion_main!(benches);

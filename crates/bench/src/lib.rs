@@ -1,0 +1,10 @@
+//! # mdm-bench
+//!
+//! The benchmark harness: workload generators, the relational baselines
+//! for the ordering study (EXPERIMENTS.md, E1), and the `repro` binary
+//! that regenerates every figure of the paper.
+
+pub mod baseline;
+pub mod workload;
+
+pub use baseline::{FloatKeyStore, ModeledOrderingStore, OrderedStore, PositionStore};

@@ -1,0 +1,88 @@
+//! Bibliographic fixtures: the fig. 2 BWV 578 entry (transcribed from the
+//! figure) plus companion entries for search tests.
+
+use crate::incipit::Incipit;
+use crate::index::{ThematicEntry, ThematicIndex};
+
+/// The fig. 2 entry: BWV 578, "Fuge g-moll".
+pub fn bwv578_entry() -> ThematicEntry {
+    ThematicEntry {
+        number: 578,
+        title: "Fuge g-moll".into(),
+        setting: "Orgel".into(),
+        composed: "Weimar um 1709 (oder schon in Arnstadt?)".into(),
+        measures: Some(68),
+        // G4 D5 Bb4 A4 G4 Bb4 A4 G4 F#4 A4 D4 — the subject's head.
+        incipit: Incipit::from_keys(vec![67, 74, 70, 69, 67, 70, 69, 67, 66, 69, 62]),
+        manuscripts: vec![
+            "2 Seiten im Andreas Bach Buch (S. 657-677) B Lpz III.8.4".into(),
+            "In Konvolut quer 6° aus Krebs Nachlaß, BB in Mus. ms. Bach P 803 (S. 805-811)".into(),
+            "Weiterhin in zahlreichen Einzelhandschriften u. Sammelbänden von der 2. Hälfte des 18. bis zur 1. Hälfte des 19. Jhs.".into(),
+        ],
+        editions: vec![
+            "In C. F. Beckers Caecilia Bd. II S. 91 (veröffentl. nach e. Hs. vom Jahre 1754)".into(),
+            "Peters Orgelwerke Bd. IV S. 46".into(),
+            "Breitkopf & Härtel EB 3174 S. 72".into(),
+            "Hofmeister (Joh. Schreyer)".into(),
+        ],
+        literature: vec![
+            "Spitta I 399".into(),
+            "Spitta VA 110".into(),
+            "Schweitzer 248".into(),
+            "Frotscher II 877".into(),
+            "Neumann 51".into(),
+            "Keller 73".into(),
+            "BJ 1912 131; 1930 44 125; 1937 62".into(),
+        ],
+    }
+}
+
+/// A small BWV-style index: the fugue plus neighbours.
+pub fn bwv_index() -> ThematicIndex {
+    let mut idx = ThematicIndex::new("BWV");
+    idx.insert(bwv578_entry());
+    idx.insert(ThematicEntry {
+        number: 565,
+        title: "Toccata und Fuge d-moll".into(),
+        setting: "Orgel".into(),
+        composed: "Arnstadt um 1704?".into(),
+        measures: Some(143),
+        // A4 G4 A4 … the famous opening flourish.
+        incipit: Incipit::from_keys(vec![69, 67, 69, 65, 64, 62, 61, 62]),
+        manuscripts: vec!["Abschrift Johannes Ringk (BB Mus. ms. Bach P 595)".into()],
+        editions: vec!["Peters Orgelwerke Bd. IV".into()],
+        literature: vec!["Spitta I 403".into()],
+    });
+    idx.insert(ThematicEntry {
+        number: 1080,
+        title: "Die Kunst der Fuge".into(),
+        setting: "unbestimmt".into(),
+        composed: "Leipzig 1742-1750".into(),
+        measures: None,
+        // D4 A4 F4 D4 C#4 D4 E4 F4 — the Art of Fugue theme.
+        incipit: Incipit::from_keys(vec![62, 69, 65, 62, 61, 62, 64, 65]),
+        manuscripts: vec!["Autograph BB Mus. ms. Bach P 200".into()],
+        editions: vec!["BGA XXV".into()],
+        literature: vec!["Spitta III 197".into()],
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_matches_notation_fixture() {
+        // The biblio incipit and the notation fixture agree on the
+        // subject's opening pitches.
+        let score = mdm_notation::fixtures::bwv578_subject();
+        let from_score = Incipit::from_score(&score, 11);
+        assert_eq!(from_score.keys, bwv578_entry().incipit.keys);
+    }
+
+    #[test]
+    fn index_has_three_entries() {
+        assert_eq!(bwv_index().len(), 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Incipits: "sufficient musical (i.e. thematic) material to identify the
+//! composition" (§4.2) — and the melodic-fragment searches musicologists
+//! run against them.
+
+use mdm_notation::score::VoiceElement;
+use mdm_notation::{Score, Voice};
+
+/// A thematic incipit: the opening pitches of a work's key voice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incipit {
+    /// MIDI keys of the opening notes.
+    pub keys: Vec<i32>,
+}
+
+/// How to match an incipit against a query fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// Exact pitches.
+    Exact,
+    /// Transposition-invariant: equal interval sequences.
+    Transposed,
+    /// Contour only (Parsons code: up / down / repeat).
+    Contour,
+}
+
+impl Incipit {
+    /// An incipit from MIDI keys.
+    pub fn from_keys(keys: Vec<i32>) -> Incipit {
+        Incipit { keys }
+    }
+
+    /// The incipit of a voice: its first `n` sounding pitches (top note
+    /// of each chord).
+    pub fn from_voice(voice: &Voice, n: usize) -> Incipit {
+        let keys = voice
+            .elements
+            .iter()
+            .filter_map(|e| match e {
+                VoiceElement::Chord(c) => c.notes.iter().map(|x| x.pitch.midi()).max(),
+                VoiceElement::Rest(_) => None,
+            })
+            .take(n)
+            .collect();
+        Incipit { keys }
+    }
+
+    /// The incipit of a score's first voice.
+    pub fn from_score(score: &Score, n: usize) -> Incipit {
+        score
+            .movements
+            .first()
+            .and_then(|m| m.voices.first())
+            .map(|v| Incipit::from_voice(v, n))
+            .unwrap_or(Incipit { keys: Vec::new() })
+    }
+
+    /// Successive intervals in semitones.
+    pub fn intervals(&self) -> Vec<i32> {
+        self.keys.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Parsons code: `U`p, `D`own, `R`epeat for each interval.
+    pub fn contour(&self) -> String {
+        self.intervals()
+            .iter()
+            .map(|&i| match i.cmp(&0) {
+                std::cmp::Ordering::Greater => 'U',
+                std::cmp::Ordering::Less => 'D',
+                std::cmp::Ordering::Equal => 'R',
+            })
+            .collect()
+    }
+
+    /// True if `fragment` occurs within this incipit under the given
+    /// match kind.
+    pub fn contains(&self, fragment: &Incipit, kind: MatchKind) -> bool {
+        fn subslice<T: PartialEq>(hay: &[T], needle: &[T]) -> bool {
+            needle.is_empty() || hay.windows(needle.len()).any(|w| w == needle)
+        }
+        match kind {
+            MatchKind::Exact => subslice(&self.keys, &fragment.keys),
+            MatchKind::Transposed => subslice(&self.intervals(), &fragment.intervals()),
+            MatchKind::Contour => {
+                let hay = self.contour();
+                let needle = fragment.contour();
+                needle.is_empty() || hay.contains(&needle)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bwv578_keys() -> Vec<i32> {
+        // G4 D5 Bb4 A4 G4 Bb4 A4 G4 F#4 A4 D4
+        vec![67, 74, 70, 69, 67, 70, 69, 67, 66, 69, 62]
+    }
+
+    #[test]
+    fn intervals_and_contour() {
+        let inc = Incipit::from_keys(vec![67, 74, 70, 70]);
+        assert_eq!(inc.intervals(), vec![7, -4, 0]);
+        assert_eq!(inc.contour(), "UDR");
+    }
+
+    #[test]
+    fn exact_match_finds_subsequence() {
+        let inc = Incipit::from_keys(bwv578_keys());
+        assert!(inc.contains(&Incipit::from_keys(vec![70, 69, 67]), MatchKind::Exact));
+        assert!(!inc.contains(&Incipit::from_keys(vec![70, 69, 68]), MatchKind::Exact));
+    }
+
+    #[test]
+    fn transposed_match_ignores_key() {
+        let inc = Incipit::from_keys(bwv578_keys());
+        // The same subject up a fourth: G→C, D→G, Bb→Eb …
+        let transposed: Vec<i32> = bwv578_keys()[..5].iter().map(|k| k + 5).collect();
+        assert!(inc.contains(&Incipit::from_keys(transposed.clone()), MatchKind::Transposed));
+        assert!(!inc.contains(&Incipit::from_keys(transposed), MatchKind::Exact));
+    }
+
+    #[test]
+    fn contour_match_is_loosest() {
+        let inc = Incipit::from_keys(bwv578_keys());
+        // Any up-then-down-by-different-amounts fragment matches contour.
+        let vague = Incipit::from_keys(vec![60, 72, 65, 64]); // U D D
+        assert!(inc.contains(&vague, MatchKind::Contour));
+        assert!(!inc.contains(&vague, MatchKind::Transposed));
+    }
+
+    #[test]
+    fn incipit_from_fixture_voice() {
+        let score = mdm_notation::fixtures::bwv578_subject();
+        let inc = Incipit::from_score(&score, 5);
+        assert_eq!(inc.keys, vec![67, 74, 70, 69, 67]);
+    }
+
+    #[test]
+    fn empty_fragment_matches_everything() {
+        let inc = Incipit::from_keys(bwv578_keys());
+        let empty = Incipit::from_keys(vec![]);
+        for kind in [MatchKind::Exact, MatchKind::Transposed, MatchKind::Contour] {
+            assert!(inc.contains(&empty, kind));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Thematic indexes (§4.2, fig. 2).
+//!
+//! "Such an index is an organization of the works of a particular
+//! composer or period, including for each work sufficient musical
+//! material to identify the composition" plus bibliographic attributes:
+//! the setting (*Besetzung*), when and where it was composed, how many
+//! measures (*Takte*), where manuscript copies are held (*Abschriften*),
+//! printed editions (*Ausgaben*), and literature about it (*Literatur*).
+//! "The accepted name for the fugue in this example is 'BWV 578': 'BWV'
+//! identifies the index, '578' the composition."
+
+use std::collections::BTreeMap;
+
+use crate::incipit::{Incipit, MatchKind};
+
+/// One thematic-index entry: the bibliographic attributes of fig. 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThematicEntry {
+    /// Number within the index (e.g. 578).
+    pub number: u32,
+    /// Work title (e.g. "Fuge g-moll").
+    pub title: String,
+    /// Setting / orchestration (*Besetzung*).
+    pub setting: String,
+    /// When and where composed (*EZ*, Entstehungszeit).
+    pub composed: String,
+    /// Measure count (*Takte*), when known.
+    pub measures: Option<u32>,
+    /// The identifying incipit.
+    pub incipit: Incipit,
+    /// Manuscript copies (*Abschriften*).
+    pub manuscripts: Vec<String>,
+    /// Printed editions (*Ausgaben*).
+    pub editions: Vec<String>,
+    /// Literature (*Literatur*).
+    pub literature: Vec<String>,
+}
+
+/// A thematic index: a named, numbered catalog of works.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThematicIndex {
+    /// The index's identifying prefix (e.g. "BWV").
+    pub name: String,
+    entries: BTreeMap<u32, ThematicEntry>,
+}
+
+impl ThematicIndex {
+    /// An empty index with the given prefix.
+    pub fn new(name: &str) -> ThematicIndex {
+        ThematicIndex { name: name.to_string(), entries: BTreeMap::new() }
+    }
+
+    /// Adds (or replaces) an entry.
+    pub fn insert(&mut self, entry: ThematicEntry) {
+        self.entries.insert(entry.number, entry);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up by number: `get(578)` is the work named "BWV 578".
+    pub fn get(&self, number: u32) -> Option<&ThematicEntry> {
+        self.entries.get(&number)
+    }
+
+    /// Looks up by the accepted name, e.g. `"BWV 578"`.
+    pub fn get_by_name(&self, name: &str) -> Option<&ThematicEntry> {
+        let rest = name.strip_prefix(&self.name)?.trim();
+        rest.parse().ok().and_then(|n| self.get(n))
+    }
+
+    /// The accepted name of an entry.
+    pub fn accepted_name(&self, entry: &ThematicEntry) -> String {
+        format!("{} {}", self.name, entry.number)
+    }
+
+    /// Entries in catalog (chronological, for the BWV-style ordering
+    /// described in the paper) order.
+    pub fn entries(&self) -> impl Iterator<Item = &ThematicEntry> {
+        self.entries.values()
+    }
+
+    /// Finds entries whose incipit contains the fragment.
+    pub fn search_incipit(&self, fragment: &Incipit, kind: MatchKind) -> Vec<&ThematicEntry> {
+        self.entries
+            .values()
+            .filter(|e| e.incipit.contains(fragment, kind))
+            .collect()
+    }
+
+    /// Finds entries whose title contains the (case-insensitive) needle.
+    pub fn search_title(&self, needle: &str) -> Vec<&ThematicEntry> {
+        let needle = needle.to_lowercase();
+        self.entries
+            .values()
+            .filter(|e| e.title.to_lowercase().contains(&needle))
+            .collect()
+    }
+
+    /// Renders an entry in the layout of fig. 2.
+    pub fn render_entry(&self, number: u32) -> Option<String> {
+        let e = self.get(number)?;
+        let mut out = String::new();
+        out.push_str(&format!("{} {}\n\n", self.name, e.number));
+        out.push_str(&format!("{}\n", e.title));
+        out.push_str(&format!("Besetzung: {}", e.setting));
+        out.push_str(&format!(" — EZ: {}", e.composed));
+        if let Some(m) = e.measures {
+            out.push_str(&format!(" — {m} Takte"));
+        }
+        out.push('\n');
+        let keys: Vec<String> = e
+            .incipit
+            .keys
+            .iter()
+            .map(|&k| mdm_notation::Pitch::from_midi(k).to_string())
+            .collect();
+        out.push_str(&format!("Incipit: {}\n", keys.join(" ")));
+        if !e.manuscripts.is_empty() {
+            out.push_str(&format!("Abschriften: {}\n", e.manuscripts.join(" — ")));
+        }
+        if !e.editions.is_empty() {
+            out.push_str(&format!("Ausgaben: {}\n", e.editions.join(" — ")));
+        }
+        if !e.literature.is_empty() {
+            out.push_str(&format!("Literatur: {}\n", e.literature.join(" — ")));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::bwv_index;
+
+    #[test]
+    fn accepted_name_lookup() {
+        let idx = bwv_index();
+        let e = idx.get_by_name("BWV 578").unwrap();
+        assert_eq!(e.title, "Fuge g-moll");
+        assert_eq!(idx.accepted_name(e), "BWV 578");
+        assert!(idx.get_by_name("BWV 9999").is_none());
+        assert!(idx.get_by_name("KV 578").is_none());
+    }
+
+    #[test]
+    fn entries_are_ordered_by_number() {
+        let idx = bwv_index();
+        let numbers: Vec<u32> = idx.entries().map(|e| e.number).collect();
+        let mut sorted = numbers.clone();
+        sorted.sort_unstable();
+        assert_eq!(numbers, sorted);
+    }
+
+    #[test]
+    fn incipit_search_identifies_the_fugue() {
+        let idx = bwv_index();
+        // The fugue subject's head: G D Bb A (exact).
+        let frag = Incipit::from_keys(vec![67, 74, 70, 69]);
+        let hits = idx.search_incipit(&frag, MatchKind::Exact);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].number, 578);
+        // Transposed a tone up it still matches only transposition-
+        // invariantly.
+        let up = Incipit::from_keys(vec![69, 76, 72, 71]);
+        assert!(idx.search_incipit(&up, MatchKind::Exact).is_empty());
+        assert_eq!(idx.search_incipit(&up, MatchKind::Transposed).len(), 1);
+    }
+
+    #[test]
+    fn title_search() {
+        let idx = bwv_index();
+        assert_eq!(idx.search_title("fuge").len(), 3);
+        assert_eq!(idx.search_title("toccata").len(), 1);
+        assert!(idx.search_title("symphony").is_empty());
+    }
+
+    #[test]
+    fn render_matches_figure_layout() {
+        let idx = bwv_index();
+        let text = idx.render_entry(578).unwrap();
+        assert!(text.starts_with("BWV 578"));
+        assert!(text.contains("Besetzung: Orgel"));
+        assert!(text.contains("Abschriften:"));
+        assert!(text.contains("Ausgaben:"));
+        assert!(text.contains("Literatur:"));
+        assert!(text.contains("Incipit: G4 D5"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # mdm-biblio
+//!
+//! Bibliographic information for the music database (§4.2): thematic
+//! indexes in the style of the *Bach Werke Verzeichnis* — numbered
+//! entries carrying an identifying incipit plus the bibliographic
+//! attributes of fig. 2 (*Besetzung*, composition date and place,
+//! *Takte*, *Abschriften*, *Ausgaben*, *Literatur*) — and the
+//! melodic-fragment searches musicological reference use demands
+//! (exact, transposition-invariant, and contour matching).
+//!
+//! ```
+//! use mdm_biblio::{bwv_index, Incipit, MatchKind};
+//!
+//! let index = bwv_index();
+//! // Hum the subject's first four notes, any key: contour U D D.
+//! let fragment = Incipit::from_keys(vec![60, 67, 63, 62]);
+//! let hits = index.search_incipit(&fragment, MatchKind::Transposed);
+//! assert_eq!(hits[0].number, 578);
+//! assert_eq!(index.accepted_name(hits[0]), "BWV 578");
+//! ```
+
+pub mod fixtures;
+pub mod incipit;
+pub mod index;
+
+pub use fixtures::{bwv578_entry, bwv_index};
+pub use incipit::{Incipit, MatchKind};
+pub use index::{ThematicEntry, ThematicIndex};

@@ -1,0 +1,127 @@
+//! An interactive QUEL shell for the music data manager.
+//!
+//! ```text
+//! cargo run -p mdm-core --bin mdm-shell -- /path/to/database
+//! ```
+//!
+//! Each input line is a DDL/QUEL program; `\` at end of line continues
+//! onto the next. Dot-commands:
+//!
+//! ```text
+//! .help      this text
+//! .schema    entity types, relationships, orderings
+//! .census    the fig. 11 entity census with instance counts
+//! .scores    stored scores
+//! .save      persist the database through the storage engine
+//! .quit      exit (saving)
+//! ```
+
+use std::io::{BufRead, Write};
+
+use mdm_core::MusicDataManager;
+use mdm_lang::StmtResult;
+
+fn main() {
+    let dir = std::env::args().nth(1).map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("mdm-shell-{}", std::process::id()))
+    });
+    let mut mdm = match MusicDataManager::open(&dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot open database at {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    println!("music data manager — database at {}", dir.display());
+    println!("QUEL with is/before/after/under; .help for commands");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("mdm> ");
+        } else {
+            print!("...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim_end();
+        if let Some(prefix) = trimmed.strip_suffix('\\') {
+            buffer.push_str(prefix);
+            buffer.push('\n');
+            continue;
+        }
+        buffer.push_str(trimmed);
+        let program = std::mem::take(&mut buffer);
+        let program = program.trim();
+        if program.is_empty() {
+            continue;
+        }
+        match program {
+            ".quit" | ".exit" => break,
+            ".help" => {
+                println!(".help .schema .census .scores .save .quit");
+                println!("anything else is DDL/QUEL, e.g.:");
+                println!("  define entity C (name = string)");
+                println!("  append to C (name = \"x\")");
+                println!("  range of n is NOTE");
+                println!("  retrieve (n.midi_key) where n before m in note_in_chord");
+            }
+            ".census" => print!("{}", mdm.census()),
+            ".schema" => {
+                let schema = mdm.database().schema();
+                for e in schema.entity_types() {
+                    let attrs: Vec<String> =
+                        e.attributes.iter().map(|a| format!("{} = {}", a.name, a.ty.name())).collect();
+                    println!("entity {} ({})", e.name, attrs.join(", "));
+                }
+                for r in schema.relationships() {
+                    let roles: Vec<&str> = r.roles.iter().map(|x| x.name.as_str()).collect();
+                    println!("relationship {} ({})", r.name, roles.join(", "));
+                }
+                for (i, o) in schema.orderings().iter().enumerate() {
+                    let name = o.name.clone().unwrap_or_else(|| format!("#{i}"));
+                    println!("ordering {name}");
+                }
+            }
+            ".scores" => match mdm.list_scores() {
+                Ok(scores) => {
+                    for (id, title) in scores {
+                        println!("@{id}  {title}");
+                    }
+                }
+                Err(e) => eprintln!("error: {e}"),
+            },
+            ".save" => match mdm.save() {
+                Ok(()) => println!("saved"),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            _ => match mdm.execute(program) {
+                Ok(results) => {
+                    for r in results {
+                        match r {
+                            StmtResult::Rows(t) => print!("{t}"),
+                            StmtResult::Defined(what) => println!("defined {what}"),
+                            StmtResult::RangeDeclared => println!("range declared"),
+                            StmtResult::Appended(n) => println!("appended {n}"),
+                            StmtResult::Replaced(n) => println!("replaced {n}"),
+                            StmtResult::Deleted(n) => println!("deleted {n}"),
+                        }
+                    }
+                }
+                Err(e) => eprintln!("error: {e}"),
+            },
+        }
+    }
+    if let Err(e) = mdm.save() {
+        eprintln!("warning: final save failed: {e}");
+    }
+}

@@ -1,0 +1,656 @@
+//! The MDM's client programs (§2, fig. 1).
+//!
+//! "A music typesetting program would be a client, as would a musical
+//! score editor, a compositional tool, or a program which performs
+//! musicological analyses of compositions." All four candidate client
+//! kinds the paper enumerates are implemented here, each working purely
+//! through the MDM's services — which is the paper's point: "because all
+//! clients maintain their information in the same way, they can more
+//! easily communicate with each other."
+
+use mdm_model::EntityId;
+use mdm_notation::duration::Duration;
+use mdm_notation::pitch::Pitch;
+use mdm_notation::score::{Chord, Note, Voice, VoiceElement};
+use mdm_notation::{events, Score};
+
+use crate::error::{CoreError, Result};
+use crate::mdm::MusicDataManager;
+use crate::score_store;
+
+// ----------------------------------------------------------------------
+// Score editor
+// ----------------------------------------------------------------------
+
+/// A score editor client: checks a stored score out of the MDM, applies
+/// edits, and commits the result back (replacing the stored entity
+/// graph so derived entities — syncs, events, MIDI — stay consistent).
+pub struct ScoreEditor<'a> {
+    mdm: &'a mut MusicDataManager,
+    score_id: EntityId,
+    working: Score,
+}
+
+impl<'a> ScoreEditor<'a> {
+    /// Checks out a stored score.
+    pub fn checkout(mdm: &'a mut MusicDataManager, score_id: EntityId) -> Result<ScoreEditor<'a>> {
+        let working = mdm.load_score(score_id)?;
+        Ok(ScoreEditor { mdm, score_id, working })
+    }
+
+    /// The working copy.
+    pub fn score(&self) -> &Score {
+        &self.working
+    }
+
+    /// Transposes every note of a voice by semitones.
+    pub fn transpose_voice(&mut self, movement: usize, voice: usize, semitones: i32) -> Result<()> {
+        let v = self.voice_mut(movement, voice)?;
+        for el in &mut v.elements {
+            if let VoiceElement::Chord(c) = el {
+                for n in &mut c.notes {
+                    n.pitch = n.pitch.transpose_semitones(semitones);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Transposes a voice by a *named interval*, preserving spelling —
+    /// the musicianly transposition (a minor third up from E♭ is G♭, not
+    /// F♯).
+    pub fn transpose_voice_by_interval(
+        &mut self,
+        movement: usize,
+        voice: usize,
+        interval: mdm_notation::Interval,
+        upward: bool,
+    ) -> Result<()> {
+        let v = self.voice_mut(movement, voice)?;
+        for el in &mut v.elements {
+            if let VoiceElement::Chord(c) = el {
+                for n in &mut c.notes {
+                    n.pitch = interval.apply(&n.pitch, upward);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts a chord at an element position of a voice (the ordering
+    /// middle-insert the paper's model makes first-class).
+    pub fn insert_chord(
+        &mut self,
+        movement: usize,
+        voice: usize,
+        position: usize,
+        pitch: Pitch,
+        duration: Duration,
+    ) -> Result<()> {
+        let v = self.voice_mut(movement, voice)?;
+        if position > v.elements.len() {
+            return Err(CoreError::BadScoreData(format!(
+                "position {position} beyond voice of {}",
+                v.elements.len()
+            )));
+        }
+        v.elements
+            .insert(position, VoiceElement::Chord(Chord::new(vec![Note::new(pitch)], duration)));
+        Ok(())
+    }
+
+    /// Removes an element from a voice.
+    pub fn remove_element(&mut self, movement: usize, voice: usize, position: usize) -> Result<()> {
+        let v = self.voice_mut(movement, voice)?;
+        if position >= v.elements.len() {
+            return Err(CoreError::BadScoreData(format!("no element {position}")));
+        }
+        v.elements.remove(position);
+        Ok(())
+    }
+
+    /// Adds a ritardando over the movement's final `beats` beats.
+    pub fn add_final_ritardando(&mut self, movement: usize, beats: i64, target_bpm: f64) -> Result<()> {
+        let m = self
+            .working
+            .movements
+            .get_mut(movement)
+            .ok_or_else(|| CoreError::BadScoreData(format!("no movement {movement}")))?;
+        let total = m.total_beats();
+        let from = total - mdm_notation::rat(beats, 1);
+        if from.is_positive() {
+            m.tempo.ramp(from, total, target_bpm);
+        }
+        Ok(())
+    }
+
+    fn voice_mut(&mut self, movement: usize, voice: usize) -> Result<&mut Voice> {
+        self.working
+            .movements
+            .get_mut(movement)
+            .and_then(|m| m.voices.get_mut(voice))
+            .ok_or_else(|| CoreError::BadScoreData(format!("no voice {movement}/{voice}")))
+    }
+
+    /// Commits the working copy: the stored entity graph is replaced and
+    /// the new SCORE entity id returned.
+    pub fn commit(self) -> Result<EntityId> {
+        score_store::delete_score(self.mdm.database_mut(), self.score_id)?;
+        self.mdm.store_score(&self.working)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Compositional tool
+// ----------------------------------------------------------------------
+
+/// A compositional client: generates scores into the MDM.
+pub struct Composer;
+
+impl Composer {
+    /// Builds a canon: `voices` copies of `subject`, each entering
+    /// `delay_beats` after the previous and transposed by successive
+    /// `interval` semitones, padded with rests.
+    pub fn canon(
+        subject: &Voice,
+        voices: usize,
+        delay_beats: i64,
+        interval: i32,
+        meter: mdm_notation::TimeSignature,
+        bpm: f64,
+    ) -> Score {
+        let mut movement = mdm_notation::Movement::new(
+            "canon",
+            meter,
+            mdm_notation::TempoMap::constant(bpm),
+        );
+        for vi in 0..voices {
+            let mut voice = Voice::new(
+                &format!("voice {}", vi + 1),
+                &subject.instrument,
+                subject.clef,
+                subject.key,
+            );
+            // Entry delay as whole-beat rests.
+            for _ in 0..(vi as i64 * delay_beats) {
+                voice.push_rest(Duration::new(mdm_notation::BaseDuration::Quarter));
+            }
+            for el in &subject.elements {
+                match el {
+                    VoiceElement::Chord(c) => {
+                        let notes = c
+                            .notes
+                            .iter()
+                            .map(|n| {
+                                let mut t = n.clone();
+                                t.pitch = t.pitch.transpose_semitones(interval * vi as i32);
+                                t
+                            })
+                            .collect();
+                        voice.push_chord(Chord::new(notes, c.duration));
+                    }
+                    VoiceElement::Rest(r) => voice.push_rest(r.duration),
+                }
+            }
+            movement.voices.push(voice);
+        }
+        let mut score = Score::new("canon");
+        score.movements.push(movement);
+        score
+    }
+
+    /// Generates a deterministic random-walk melody (seeded LCG) over a
+    /// scale, useful as workload material.
+    pub fn random_walk(
+        seed: u64,
+        length: usize,
+        key: mdm_notation::KeySignature,
+        bpm: f64,
+    ) -> Score {
+        let mut movement = mdm_notation::Movement::new(
+            "walk",
+            mdm_notation::TimeSignature::common(),
+            mdm_notation::TempoMap::constant(bpm),
+        );
+        let mut voice = Voice::new("walk", "piano", mdm_notation::Clef::Treble, key);
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut degree: i32 = 4; // middle of the staff
+        let durations = [
+            Duration::new(mdm_notation::BaseDuration::Quarter),
+            Duration::new(mdm_notation::BaseDuration::Eighth),
+            Duration::new(mdm_notation::BaseDuration::Half),
+        ];
+        for _ in 0..length {
+            let step = (rng() % 5) as i32 - 2; // -2..=2 staff steps
+            degree = (degree + step).clamp(-3, 12);
+            let natural = mdm_notation::Clef::Treble.pitch_at(degree);
+            let alter = key.alter_for(natural.step);
+            let pitch = Pitch::new(natural.step, alter, natural.octave);
+            let duration = durations[(rng() % 3) as usize];
+            voice.push_chord(Chord::single(pitch, duration));
+        }
+        movement.voices.push(voice);
+        let mut score = Score::new(&format!("random walk {seed}"));
+        score.movements.push(movement);
+        score
+    }
+}
+
+// ----------------------------------------------------------------------
+// Score library
+// ----------------------------------------------------------------------
+
+/// A score-library client: a thematic index over the scores stored in
+/// the MDM (§2's "large collections of musical scores … the starting
+/// point for most musicological research").
+pub struct Library {
+    index: mdm_biblio::ThematicIndex,
+}
+
+impl Library {
+    /// An empty library with the given index prefix (e.g. "BWV").
+    pub fn new(prefix: &str) -> Library {
+        Library { index: mdm_biblio::ThematicIndex::new(prefix) }
+    }
+
+    /// The underlying thematic index.
+    pub fn index(&self) -> &mdm_biblio::ThematicIndex {
+        &self.index
+    }
+
+    /// Catalogs a stored score under a number, deriving the incipit from
+    /// its first voice.
+    pub fn catalog(
+        &mut self,
+        mdm: &MusicDataManager,
+        score_id: EntityId,
+        number: u32,
+    ) -> Result<()> {
+        let score = mdm.load_score(score_id)?;
+        let incipit = mdm_biblio::Incipit::from_score(&score, 12);
+        self.index.insert(mdm_biblio::ThematicEntry {
+            number,
+            title: score.title.clone(),
+            setting: score
+                .movements
+                .first()
+                .and_then(|m| m.voices.first())
+                .map(|v| v.instrument.clone())
+                .unwrap_or_default(),
+            composed: score.composer.clone().unwrap_or_default(),
+            measures: Some(score.measure_count() as u32),
+            incipit,
+            manuscripts: Vec::new(),
+            editions: Vec::new(),
+            literature: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Finds cataloged works containing the melodic fragment.
+    pub fn search(
+        &self,
+        fragment: &mdm_biblio::Incipit,
+        kind: mdm_biblio::MatchKind,
+    ) -> Vec<String> {
+        self.index
+            .search_incipit(fragment, kind)
+            .into_iter()
+            .map(|e| self.index.accepted_name(e))
+            .collect()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Music analysis
+// ----------------------------------------------------------------------
+
+/// A music-analysis client (§2's "systems that perform various sorts of
+/// harmonic analysis, or those that determine melodic structure").
+pub struct Analyst;
+
+/// The ambitus (range) of a voice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ambitus {
+    /// Lowest pitch sounded.
+    pub low: Pitch,
+    /// Highest pitch sounded.
+    pub high: Pitch,
+}
+
+impl Analyst {
+    /// Histogram of melodic intervals (in semitones) within each voice.
+    pub fn interval_histogram(score: &Score) -> std::collections::BTreeMap<i32, usize> {
+        let mut hist = std::collections::BTreeMap::new();
+        for movement in &score.movements {
+            for voice in &movement.voices {
+                let mut prev: Option<i32> = None;
+                for el in &voice.elements {
+                    match el {
+                        VoiceElement::Chord(c) => {
+                            let key = c.notes.iter().map(|n| n.pitch.midi()).max();
+                            if let (Some(p), Some(k)) = (prev, key) {
+                                *hist.entry(k - p).or_insert(0) += 1;
+                            }
+                            prev = key;
+                        }
+                        VoiceElement::Rest(_) => prev = None,
+                    }
+                }
+            }
+        }
+        hist
+    }
+
+    /// The range of a voice, if it sounds at all.
+    pub fn ambitus(voice: &Voice) -> Option<Ambitus> {
+        let mut notes = voice
+            .elements
+            .iter()
+            .filter_map(VoiceElement::as_chord)
+            .flat_map(|c| c.notes.iter().map(|n| n.pitch));
+        let first = notes.next()?;
+        let (mut low, mut high) = (first, first);
+        for p in notes {
+            if p.midi() < low.midi() {
+                low = p;
+            }
+            if p.midi() > high.midi() {
+                high = p;
+            }
+        }
+        Some(Ambitus { low, high })
+    }
+
+    /// Harmonic intervals sounding at each sync of a movement (pairs of
+    /// simultaneous voices), as semitone intervals modulo the octave.
+    pub fn harmonic_intervals(movement: &mdm_notation::Movement) -> Vec<(f64, i32)> {
+        let evs = events(movement);
+        let mut out = Vec::new();
+        let times: std::collections::BTreeSet<_> = evs.iter().map(|e| e.start).collect();
+        for t in times {
+            let sounding: Vec<i32> = evs
+                .iter()
+                .filter(|e| e.start <= t && t < e.end)
+                .map(|e| e.key)
+                .collect();
+            for i in 0..sounding.len() {
+                for j in i + 1..sounding.len() {
+                    let interval = (sounding[i] - sounding[j]).abs() % 12;
+                    out.push((t.to_f64(), interval));
+                }
+            }
+        }
+        out
+    }
+
+    /// Named harmonic intervals at every sync, from the *spelled* pitches
+    /// (so C–E♭ reads as a minor third while C–D♯ reads as an augmented
+    /// second — the §4.3 point that notation carries more than sound).
+    pub fn named_intervals_at_syncs(
+        movement: &mdm_notation::Movement,
+    ) -> Vec<(mdm_notation::Rational, Vec<mdm_notation::Interval>)> {
+        use mdm_notation::rational::ZERO;
+        // Per voice: (onset, end, pitches) spans.
+        let mut spans: Vec<(mdm_notation::Rational, mdm_notation::Rational, Vec<Pitch>)> =
+            Vec::new();
+        let mut onsets_all: std::collections::BTreeSet<mdm_notation::Rational> =
+            std::collections::BTreeSet::new();
+        for voice in &movement.voices {
+            let mut t = ZERO;
+            for el in &voice.elements {
+                let end = t + el.duration().beats();
+                if let Some(chord) = el.as_chord() {
+                    spans.push((t, end, chord.notes.iter().map(|n| n.pitch).collect()));
+                    onsets_all.insert(t);
+                }
+                t = end;
+            }
+        }
+        let mut out = Vec::new();
+        for &t in &onsets_all {
+            let sounding: Vec<Pitch> = spans
+                .iter()
+                .filter(|(start, end, _)| *start <= t && t < *end)
+                .flat_map(|(_, _, ps)| ps.iter().copied())
+                .collect();
+            let mut intervals = Vec::new();
+            for i in 0..sounding.len() {
+                for j in i + 1..sounding.len() {
+                    intervals.push(mdm_notation::Interval::between(&sounding[i], &sounding[j]));
+                }
+            }
+            if !intervals.is_empty() {
+                out.push((t, intervals));
+            }
+        }
+        out
+    }
+
+    /// The fraction of dissonant simultaneities per sync — a coarse
+    /// dissonance profile over score time.
+    pub fn dissonance_profile(movement: &mdm_notation::Movement) -> Vec<(f64, f64)> {
+        Self::named_intervals_at_syncs(movement)
+            .into_iter()
+            .map(|(t, ivs)| {
+                let dissonant = ivs.iter().filter(|iv| !iv.is_consonant()).count();
+                (t.to_f64(), dissonant as f64 / ivs.len() as f64)
+            })
+            .collect()
+    }
+
+    /// Flags consecutive perfect fifths/octaves between two voices — the
+    /// classic counterpoint check.
+    pub fn parallel_perfects(movement: &mdm_notation::Movement, v1: usize, v2: usize) -> usize {
+        let evs = events(movement);
+        let times: std::collections::BTreeSet<_> = evs.iter().map(|e| e.start).collect();
+        let mut prev: Option<i32> = None;
+        let mut count = 0;
+        for t in times {
+            let pick = |v: usize| {
+                evs.iter()
+                    .filter(|e| e.voice == v && e.start <= t && t < e.end)
+                    .map(|e| e.key)
+                    .max()
+            };
+            if let (Some(a), Some(b)) = (pick(v1), pick(v2)) {
+                let interval = (a - b).abs() % 12;
+                if interval == 7 || interval == 0 {
+                    if prev == Some(interval) {
+                        count += 1;
+                    }
+                    prev = Some(interval);
+                } else {
+                    prev = None;
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_notation::fixtures::bwv578_subject;
+    use mdm_notation::{BaseDuration, KeySignature, TimeSignature};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mdm-cli-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn editor_transpose_and_commit() {
+        let dir = tmpdir("editor");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        let id = mdm.store_score(&bwv578_subject()).unwrap();
+        let mut editor = ScoreEditor::checkout(&mut mdm, id).unwrap();
+        editor.transpose_voice(0, 0, 2).unwrap();
+        let new_id = editor.commit().unwrap();
+        let score = mdm.load_score(new_id).unwrap();
+        let first = score.movements[0].voices[0].elements[0]
+            .as_chord()
+            .unwrap()
+            .notes[0]
+            .pitch;
+        assert_eq!(first.midi(), 69, "G4 up a tone is A4");
+        // Old graph gone: only one score (plus its own entities) remains.
+        assert_eq!(mdm.list_scores().unwrap().len(), 1);
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn editor_insert_and_remove() {
+        let dir = tmpdir("edit2");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        let id = mdm.store_score(&bwv578_subject()).unwrap();
+        let mut editor = ScoreEditor::checkout(&mut mdm, id).unwrap();
+        let len = editor.score().movements[0].voices[0].elements.len();
+        editor
+            .insert_chord(
+                0,
+                0,
+                1,
+                Pitch::parse("C5").unwrap(),
+                Duration::new(BaseDuration::Quarter),
+            )
+            .unwrap();
+        assert_eq!(editor.score().movements[0].voices[0].elements.len(), len + 1);
+        editor.remove_element(0, 0, 1).unwrap();
+        assert_eq!(editor.score().movements[0].voices[0].elements.len(), len);
+        assert!(editor.insert_chord(0, 0, 999, Pitch::parse("C5").unwrap(), Duration::new(BaseDuration::Quarter)).is_err());
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn editor_interval_transposition_preserves_spelling() {
+        let dir = tmpdir("edit-iv");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        let id = mdm.store_score(&bwv578_subject()).unwrap();
+        let mut editor = ScoreEditor::checkout(&mut mdm, id).unwrap();
+        // Up a minor third: g minor → b-flat territory; the subject's
+        // opening G4 becomes Bb4 (a semitone transposition would respell
+        // it A#4).
+        let m3 = mdm_notation::Interval::between(
+            &Pitch::parse("C4").unwrap(),
+            &Pitch::parse("Eb4").unwrap(),
+        );
+        editor.transpose_voice_by_interval(0, 0, m3, true).unwrap();
+        let first = editor.score().movements[0].voices[0].elements[0]
+            .as_chord()
+            .unwrap()
+            .notes[0]
+            .pitch;
+        assert_eq!(first.to_string(), "Bb4");
+        // Bb4 in the original becomes Db5.
+        let third = editor.score().movements[0].voices[0].elements[2]
+            .as_chord()
+            .unwrap()
+            .notes[0]
+            .pitch;
+        assert_eq!(third.to_string(), "Db5");
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn composer_canon_shape() {
+        let subject = bwv578_subject().movements[0].voices[0].clone();
+        let canon = Composer::canon(&subject, 3, 4, 12, TimeSignature::common(), 90.0);
+        assert_eq!(canon.movements[0].voices.len(), 3);
+        // Voice 2 enters 4 beats later, an octave higher.
+        let v2 = &canon.movements[0].voices[1];
+        assert_eq!(v2.onsets()[4], mdm_notation::rat(4, 1));
+        let first_pitch = v2.elements[4].as_chord().unwrap().notes[0].pitch;
+        assert_eq!(first_pitch.midi(), 67 + 12);
+    }
+
+    #[test]
+    fn composer_random_walk_is_deterministic_and_in_key() {
+        let a = Composer::random_walk(42, 60, KeySignature::new(-2), 100.0);
+        let b = Composer::random_walk(42, 60, KeySignature::new(-2), 100.0);
+        assert_eq!(a, b);
+        let c = Composer::random_walk(43, 60, KeySignature::new(-2), 100.0);
+        assert_ne!(a, c);
+        // Every B in g minor is flattened.
+        for el in &a.movements[0].voices[0].elements {
+            let p = el.as_chord().unwrap().notes[0].pitch;
+            if p.step == mdm_notation::Step::B {
+                assert_eq!(p.alter, -1);
+            }
+        }
+    }
+
+    #[test]
+    fn library_catalogs_and_finds() {
+        let dir = tmpdir("library");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        let id = mdm.store_score(&bwv578_subject()).unwrap();
+        let walk = Composer::random_walk(7, 40, KeySignature::natural(), 100.0);
+        let id2 = mdm.store_score(&walk).unwrap();
+        let mut lib = Library::new("BWV");
+        lib.catalog(&mdm, id, 578).unwrap();
+        lib.catalog(&mdm, id2, 9001).unwrap();
+        let frag = mdm_biblio::Incipit::from_keys(vec![67, 74, 70, 69]);
+        let hits = lib.search(&frag, mdm_biblio::MatchKind::Exact);
+        assert_eq!(hits, vec!["BWV 578".to_string()]);
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyst_intervals_and_ambitus() {
+        let score = bwv578_subject();
+        let hist = Analyst::interval_histogram(&score);
+        assert_eq!(hist.get(&7), Some(&1), "the opening G→D leap of a fifth");
+        assert!(hist.contains_key(&-4), "D5 down to Bb4");
+        let amb = Analyst::ambitus(&score.movements[0].voices[0]).unwrap();
+        assert_eq!(amb.low.to_string(), "D4");
+        assert_eq!(amb.high.to_string(), "D5");
+    }
+
+    #[test]
+    fn analyst_harmonic_intervals_on_two_voices() {
+        let m = mdm_notation::fixtures::two_voice_alignment();
+        let intervals = Analyst::harmonic_intervals(&m);
+        assert!(!intervals.is_empty());
+        // At beat 0: C5 against C3 → 0 mod 12 (octaves).
+        let at0: Vec<i32> = intervals.iter().filter(|(t, _)| *t == 0.0).map(|(_, i)| *i).collect();
+        assert_eq!(at0, vec![0]);
+    }
+
+    #[test]
+    fn analyst_names_intervals_from_spelling() {
+        let m = mdm_notation::fixtures::two_voice_alignment();
+        let named = Analyst::named_intervals_at_syncs(&m);
+        assert!(!named.is_empty());
+        // Beat 0: C5 over C3 — a perfect 15th (double octave).
+        let (t0, ivs) = &named[0];
+        assert!(t0.is_zero());
+        assert_eq!(ivs[0].name(), "perfect 15th");
+        // The profile covers every sync with sound.
+        let profile = Analyst::dissonance_profile(&m);
+        assert_eq!(profile.len(), named.len());
+        for (_, frac) in profile {
+            assert!((0.0..=1.0).contains(&frac));
+        }
+    }
+
+    #[test]
+    fn analyst_detects_parallel_octaves() {
+        // Two voices moving in exact octaves: every consecutive sync is a
+        // parallel perfect.
+        let subject = bwv578_subject().movements[0].voices[0].clone();
+        let canon = Composer::canon(&subject, 2, 0, 12, TimeSignature::common(), 90.0);
+        let hits = Analyst::parallel_perfects(&canon.movements[0], 0, 1);
+        assert!(hits > 10, "octave doubling is all parallel octaves: {hits}");
+    }
+}

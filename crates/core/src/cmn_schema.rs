@@ -1,0 +1,200 @@
+//! The database schema for common musical notation (§7, figs. 11 and 13).
+//!
+//! The schema is written in the DDL of `mdm-lang` and installed by
+//! executing it — the MDM dogfoods its own data definition language. The
+//! orderings exercise every configuration of §5.5: multiple levels
+//! (score → movement → measure → sync), multiple orderings under one
+//! parent (parts and staves under an instrument), inhomogeneous
+//! orderings (chords and rests under a voice), multiple parents (a chord
+//! under its sync, its voice, and its group; a staff under its
+//! instrument and its system), and recursion (groups under groups).
+
+use mdm_lang::Session;
+use mdm_model::Database;
+
+use crate::error::{CoreError, Result};
+
+/// The CMN schema, in the paper's DDL.
+pub const CMN_DDL: &str = r#"
+-- Conceptual / bibliographic layer (fig. 5, §4.2)
+define entity PERSON (name = string)
+define entity SCORE (title = string, catalog_id = string, composer = string)
+define relationship COMPOSER (person = PERSON, score = SCORE)
+
+-- Temporal aspect (fig. 13)
+define entity MOVEMENT (name = string, meter_num = integer, meter_den = integer, tempo_bpm = float, tempo_map = string)
+define entity MEASURE (number = integer, start_num = integer, start_den = integer)
+define entity SYNC (time_num = integer, time_den = integer, measure_number = integer, beat_num = integer, beat_den = integer)
+define entity VOICE (name = string, instrument = string, clef = string, key_fifths = integer, dynamics = string)
+define entity CHORD (base = string, dots = integer, tup_actual = integer, tup_normal = integer)
+define entity REST (base = string, dots = integer, tup_actual = integer, tup_normal = integer)
+define entity NOTE (step = string, alter = integer, octave = integer, midi_key = integer, tied = boolean, syllable = string, articulations = string)
+define entity EVENT (midi_key = integer, start_num = integer, start_den = integer, end_num = integer, end_den = integer, velocity = integer)
+define entity MIDI (kind = string, time_seconds = float, midi_key = integer, velocity = integer, channel = integer)
+define entity MIDI_CONTROL (controller = integer, value = integer, time_seconds = float, channel = integer, beat_num = integer, beat_den = integer)
+define entity GROUP (kind = string)
+
+-- Timbral aspect (fig. 11)
+define entity ORCHESTRA (name = string)
+define entity SECTION (family = string)
+define entity INSTRUMENT (name = string, definition = string)
+define entity PART (name = string)
+define relationship PERFORMS (orchestra = ORCHESTRA, score = SCORE)
+
+-- Graphical aspect (fig. 11)
+define entity PAGE (number = integer)
+define entity SYSTEM (number = integer)
+define entity STAFF (number = integer)
+define entity DEGREE (position = integer)
+define entity TEXT (content = string)
+define entity SYLLABLE (content = string)
+define relationship LYRIC (syllable = SYLLABLE, note = NOTE)
+
+-- Hierarchical orderings
+define ordering movement_in_score (MOVEMENT) under SCORE
+define ordering measure_in_movement (MEASURE) under MOVEMENT
+define ordering sync_in_measure (SYNC) under MEASURE
+define ordering chord_at_sync (CHORD) under SYNC
+define ordering voice_in_movement (VOICE) under MOVEMENT
+define ordering voice_content (CHORD, REST) under VOICE
+define ordering note_in_chord (NOTE) under CHORD
+define ordering event_in_voice (EVENT) under VOICE
+define ordering note_in_event (NOTE) under EVENT
+define ordering midi_in_event (MIDI) under EVENT
+define ordering control_in_movement (MIDI_CONTROL) under MOVEMENT
+define ordering group_content (GROUP, CHORD, REST) under GROUP
+define ordering group_in_voice (GROUP) under VOICE
+define ordering voice_in_part (VOICE) under PART
+define ordering part_in_instrument (PART) under INSTRUMENT
+define ordering staff_in_instrument (STAFF) under INSTRUMENT
+define ordering instrument_in_section (INSTRUMENT) under SECTION
+define ordering section_in_orchestra (SECTION) under ORCHESTRA
+define ordering page_in_score (PAGE) under SCORE
+define ordering system_on_page (SYSTEM) under PAGE
+define ordering staff_in_system (STAFF) under SYSTEM
+define ordering degree_on_staff (DEGREE) under STAFF
+define ordering syllable_in_text (SYLLABLE) under TEXT
+define ordering text_in_voice (TEXT) under VOICE
+"#;
+
+/// Installs the CMN schema into a database (no-op if already installed).
+pub fn install(db: &mut Database) -> Result<()> {
+    if db.schema().entity_type_id("SCORE").is_ok() {
+        return Ok(());
+    }
+    let mut session = Session::new();
+    session
+        .execute(db, CMN_DDL)
+        .map_err(|e| CoreError::Internal(format!("CMN schema failed to install: {e}")))?;
+    Ok(())
+}
+
+/// Descriptions for the fig. 11 census, keyed by entity name.
+pub fn descriptions() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("SCORE", "The unit of musical composition"),
+        ("MOVEMENT", "A temporal subsection of the score"),
+        ("MEASURE", "A temporal subsection of the movement"),
+        ("SYNC", "Sets of simultaneous events"),
+        ("GROUP", "A group of contiguous chords and rests in a voice"),
+        ("CHORD", "A set of notes in one voice at one sync"),
+        ("EVENT", "An atomic unit of sound, one or more notes"),
+        ("NOTE", "An atomic unit of music, a pitch in a chord"),
+        ("REST", "A \"chord\" containing no notes"),
+        ("MIDI", "A MIDI note event"),
+        ("MIDI_CONTROL", "A MIDI control event at a point in time"),
+        ("ORCHESTRA", "A set of instruments performing a score"),
+        ("SECTION", "A family of instruments"),
+        ("INSTRUMENT", "The unit of timbral definition"),
+        ("PART", "Music assigned to an individual performer"),
+        ("VOICE", "The unit of homophony"),
+        ("TEXT", "In vocal music, a line of text associated with the notes"),
+        ("SYLLABLE", "The piece of text associated with a single note"),
+        ("PAGE", "One graphical page of the score"),
+        ("SYSTEM", "One line of the score on a page"),
+        ("STAFF", "A division of the system, associated with an instrument"),
+        ("DEGREE", "A division of the staff (line and space)"),
+        ("PERSON", "A composer or performer"),
+    ]
+}
+
+/// Renders the fig. 11 entity census: every entity type, its paper
+/// description, and the live instance count in `db`.
+pub fn census(db: &Database) -> String {
+    let desc: std::collections::HashMap<_, _> = descriptions().into_iter().collect();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<56} {:>9}\n",
+        "Entity type", "Description", "instances"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(81)));
+    for e in db.schema().entity_types() {
+        let d = desc.get(e.name.as_str()).copied().unwrap_or("");
+        let count = db
+            .instances_of(&e.name)
+            .map(<[u64]>::len)
+            .unwrap_or(0);
+        out.push_str(&format!("{:<14} {:<56} {:>9}\n", e.name, d, count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_installs_and_is_idempotent() {
+        let mut db = Database::new();
+        install(&mut db).unwrap();
+        install(&mut db).unwrap();
+        assert!(db.schema().entity_type_id("SYNC").is_ok());
+        assert!(db.schema().ordering_id("note_in_chord").is_ok());
+        assert!(db.schema().relationship_id("COMPOSER").is_ok());
+    }
+
+    #[test]
+    fn orderings_cover_every_configuration_of_5_5() {
+        let mut db = Database::new();
+        install(&mut db).unwrap();
+        let s = db.schema();
+        // Multiple levels: SCORE → MOVEMENT → MEASURE → SYNC.
+        for o in ["movement_in_score", "measure_in_movement", "sync_in_measure"] {
+            assert!(s.ordering_id(o).is_ok(), "{o}");
+        }
+        // Multiple orderings under one parent: INSTRUMENT covers both.
+        let inst = s.entity_type_id("INSTRUMENT").unwrap();
+        assert_eq!(s.orderings_with_parent(inst).len(), 2);
+        // Inhomogeneous: chords and rests under a voice.
+        let vc = s.ordering(s.ordering_id("voice_content").unwrap()).unwrap();
+        assert_eq!(vc.children.len(), 2);
+        // Multiple parents: CHORD is a child in three orderings.
+        let chord = s.entity_type_id("CHORD").unwrap();
+        assert!(s.orderings_with_child(chord).len() >= 3);
+        // Recursive: group_content.
+        let gc = s.ordering(s.ordering_id("group_content").unwrap()).unwrap();
+        assert!(gc.is_recursive());
+    }
+
+    #[test]
+    fn census_lists_figure11_entities() {
+        let mut db = Database::new();
+        install(&mut db).unwrap();
+        let c = census(&db);
+        assert!(c.contains("SYNC"));
+        assert!(c.contains("Sets of simultaneous events"));
+        assert!(c.contains("The unit of homophony"));
+    }
+
+    #[test]
+    fn every_figure11_description_has_an_entity() {
+        let mut db = Database::new();
+        install(&mut db).unwrap();
+        for (name, _) in descriptions() {
+            assert!(
+                db.schema().entity_type_id(name).is_ok(),
+                "fig. 11 entity {name} missing from schema"
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the music data manager.
+
+use std::fmt;
+
+/// Errors surfaced by the MDM facade and its clients.
+#[derive(Debug)]
+pub enum CoreError {
+    /// From the storage engine.
+    Storage(mdm_storage::StorageError),
+    /// From the data model.
+    Model(mdm_model::ModelError),
+    /// From the query language.
+    Lang(mdm_lang::LangError),
+    /// From DARMS encoding/decoding.
+    Darms(mdm_darms::DarmsError),
+    /// The requested score does not exist in the database.
+    NoSuchScore(String),
+    /// Stored entities could not be mapped back to notation.
+    BadScoreData(String),
+    /// Internal invariant violated.
+    Internal(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Model(e) => write!(f, "model: {e}"),
+            CoreError::Lang(e) => write!(f, "language: {e}"),
+            CoreError::Darms(e) => write!(f, "darms: {e}"),
+            CoreError::NoSuchScore(t) => write!(f, "no such score: {t}"),
+            CoreError::BadScoreData(m) => write!(f, "bad score data: {m}"),
+            CoreError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+            CoreError::Lang(e) => Some(e),
+            CoreError::Darms(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mdm_storage::StorageError> for CoreError {
+    fn from(e: mdm_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<mdm_model::ModelError> for CoreError {
+    fn from(e: mdm_model::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<mdm_lang::LangError> for CoreError {
+    fn from(e: mdm_lang::LangError) -> Self {
+        CoreError::Lang(e)
+    }
+}
+
+impl From<mdm_darms::DarmsError> for CoreError {
+    fn from(e: mdm_darms::DarmsError) -> Self {
+        CoreError::Darms(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

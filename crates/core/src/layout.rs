@@ -1,0 +1,255 @@
+//! The timbral and graphical hierarchies stored as entities.
+//!
+//! Completes the fig. 11 census: orchestras → sections → instruments →
+//! parts (the timbral aspect) and pages → systems → staves → degrees
+//! (the graphical aspect). Staves get the *multiple parents* the paper
+//! highlights: each staff is ordered both under its system
+//! (`staff_in_system`) and under its instrument (`staff_in_instrument`).
+
+use mdm_model::{Database, EntityId, Value};
+use mdm_notation::Orchestra;
+
+use crate::error::{CoreError, Result};
+
+fn s(v: &str) -> Value {
+    Value::String(v.to_string())
+}
+
+fn i(v: i64) -> Value {
+    Value::Integer(v)
+}
+
+/// Stores an orchestra for a score: ORCHESTRA / SECTION / INSTRUMENT /
+/// PART entities with their orderings, PERFORMS relating the orchestra
+/// to the score, and `voice_in_part` attaching the movement's voices.
+/// Returns the ORCHESTRA entity id.
+pub fn store_orchestra(
+    db: &mut Database,
+    score_id: EntityId,
+    orchestra: &Orchestra,
+) -> Result<EntityId> {
+    let orch_id = db.create_entity("ORCHESTRA", &[("name", s(&orchestra.name))])?;
+    db.relate("PERFORMS", &[("orchestra", orch_id), ("score", score_id)], &[])?;
+    // Voice entities of the score's movements, looked up by name.
+    let mut voice_entities: Vec<(String, EntityId)> = Vec::new();
+    for m_id in db.ord_children("movement_in_score", Some(score_id))? {
+        for v_id in db.ord_children("voice_in_movement", Some(m_id))? {
+            let name = db.get_attr(v_id, "name")?.as_str().unwrap_or_default().to_string();
+            voice_entities.push((name, v_id));
+        }
+    }
+    for section in &orchestra.sections {
+        let sec_id = db.create_entity("SECTION", &[("family", s(&section.family))])?;
+        db.ord_append("section_in_orchestra", Some(orch_id), sec_id)?;
+        for instrument in &section.instruments {
+            let inst_id = db.create_entity(
+                "INSTRUMENT",
+                &[("name", s(&instrument.name)), ("definition", s(&instrument.definition))],
+            )?;
+            db.ord_append("instrument_in_section", Some(sec_id), inst_id)?;
+            for part in &instrument.parts {
+                let part_id = db.create_entity("PART", &[("name", s(&part.name))])?;
+                db.ord_append("part_in_instrument", Some(inst_id), part_id)?;
+                for vname in &part.voices {
+                    for (name, v_id) in &voice_entities {
+                        if name == vname
+                            && db
+                                .store()
+                                .ordering_parent(
+                                    db.schema(),
+                                    db.schema().ordering_id("voice_in_part")?,
+                                    *v_id,
+                                )
+                                .is_err()
+                        {
+                            db.ord_append("voice_in_part", Some(part_id), *v_id)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(orch_id)
+}
+
+/// Page-layout parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutConfig {
+    /// Measures notated per system line.
+    pub measures_per_system: usize,
+    /// System lines per page.
+    pub systems_per_page: usize,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> LayoutConfig {
+        LayoutConfig { measures_per_system: 4, systems_per_page: 6 }
+    }
+}
+
+/// What a layout pass produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutSummary {
+    /// Pages created.
+    pub pages: usize,
+    /// Systems created.
+    pub systems: usize,
+    /// Staves created.
+    pub staves: usize,
+}
+
+/// Derives the graphical hierarchy for a stored score: PAGE entities
+/// under the score, SYSTEM entities under each page, one STAFF per voice
+/// under each system (each staff *also* ordered under its instrument),
+/// and the nine staff DEGREE positions under each staff.
+pub fn layout_score(
+    db: &mut Database,
+    score_id: EntityId,
+    config: LayoutConfig,
+) -> Result<LayoutSummary> {
+    if config.measures_per_system == 0 || config.systems_per_page == 0 {
+        return Err(CoreError::Internal("layout config must be positive".into()));
+    }
+    // Total measures across movements and the voice list (first movement
+    // defines the staff complement).
+    let movements = db.ord_children("movement_in_score", Some(score_id))?;
+    let mut total_measures = 0usize;
+    let mut voices: Vec<EntityId> = Vec::new();
+    for (k, m_id) in movements.iter().enumerate() {
+        total_measures += db.ord_children("measure_in_movement", Some(*m_id))?.len();
+        if k == 0 {
+            voices = db.ord_children("voice_in_movement", Some(*m_id))?;
+        }
+    }
+    let total_systems = total_measures.div_ceil(config.measures_per_system).max(1);
+    let total_pages = total_systems.div_ceil(config.systems_per_page);
+
+    // Instrument entities by name, for the staff's second parent.
+    let mut instruments: Vec<(String, EntityId)> = Vec::new();
+    if db.schema().entity_type_id("INSTRUMENT").is_ok() {
+        for &inst in db.instances_of("INSTRUMENT")? {
+            let name = db.get_attr(inst, "name")?.as_str().unwrap_or_default().to_string();
+            instruments.push((name, inst));
+        }
+    }
+
+    let mut summary = LayoutSummary { pages: 0, systems: 0, staves: 0 };
+    let mut system_no = 0usize;
+    for page_no in 0..total_pages {
+        let page_id = db.create_entity("PAGE", &[("number", i(page_no as i64 + 1))])?;
+        db.ord_append("page_in_score", Some(score_id), page_id)?;
+        summary.pages += 1;
+        for _ in 0..config.systems_per_page {
+            if system_no >= total_systems {
+                break;
+            }
+            system_no += 1;
+            let sys_id = db.create_entity("SYSTEM", &[("number", i(system_no as i64))])?;
+            db.ord_append("system_on_page", Some(page_id), sys_id)?;
+            summary.systems += 1;
+            for (staff_no, &v_id) in voices.iter().enumerate() {
+                let staff_id =
+                    db.create_entity("STAFF", &[("number", i(staff_no as i64 + 1))])?;
+                db.ord_append("staff_in_system", Some(sys_id), staff_id)?;
+                summary.staves += 1;
+                // The staff's second parent: its instrument (§5.5's
+                // multiple-parents configuration, live).
+                let vinst = db.get_attr(v_id, "instrument")?.as_str().unwrap_or_default().to_string();
+                if let Some((_, inst)) = instruments.iter().find(|(n, _)| *n == vinst) {
+                    db.ord_append("staff_in_instrument", Some(*inst), staff_id)?;
+                }
+                for degree in 0..9 {
+                    let d = db.create_entity("DEGREE", &[("position", i(degree))])?;
+                    db.ord_append("degree_on_staff", Some(staff_id), d)?;
+                }
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdm::MusicDataManager;
+    use mdm_notation::fixtures::bwv578_subject;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mdm-layout-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn orchestra_entities_and_relationships() {
+        let dir = tmpdir("orch");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        let score = bwv578_subject();
+        let id = mdm.store_score(&score).unwrap();
+        let orch = Orchestra::from_voices("organ solo", &score.movements[0].voices);
+        let orch_id = store_orchestra(mdm.database_mut(), id, &orch).unwrap();
+        let db = mdm.database();
+        // ORCHESTRA → SECTION → INSTRUMENT → PART chain.
+        let sections = db.ord_children("section_in_orchestra", Some(orch_id)).unwrap();
+        assert_eq!(sections.len(), 1);
+        let instruments = db.ord_children("instrument_in_section", Some(sections[0])).unwrap();
+        assert_eq!(instruments.len(), 1);
+        let parts = db.ord_children("part_in_instrument", Some(instruments[0])).unwrap();
+        assert_eq!(parts.len(), 1);
+        // The movement's voice hangs under the part.
+        let part_voices = db.ord_children("voice_in_part", Some(parts[0])).unwrap();
+        assert_eq!(part_voices.len(), 1);
+        // PERFORMS relates orchestra to score.
+        let performed = db.related("PERFORMS", orch_id, "score").unwrap();
+        assert_eq!(performed, vec![id]);
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn layout_counts_and_multiple_parents() {
+        let dir = tmpdir("pages");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        let score = bwv578_subject(); // 3 measures, 1 voice
+        let id = mdm.store_score(&score).unwrap();
+        let orch = Orchestra::from_voices("organ solo", &score.movements[0].voices);
+        store_orchestra(mdm.database_mut(), id, &orch).unwrap();
+        let summary = layout_score(
+            mdm.database_mut(),
+            id,
+            LayoutConfig { measures_per_system: 2, systems_per_page: 1 },
+        )
+        .unwrap();
+        assert_eq!(summary, LayoutSummary { pages: 2, systems: 2, staves: 2 });
+        let db = mdm.database();
+        let pages = db.ord_children("page_in_score", Some(id)).unwrap();
+        assert_eq!(pages.len(), 2);
+        // Every staff has two parents: its system and its instrument.
+        let staff = db.instances_of("STAFF").unwrap()[0];
+        let sys_parent = db.ord_parent("staff_in_system", staff).unwrap();
+        let inst_parent = db.ord_parent("staff_in_instrument", staff).unwrap();
+        assert!(sys_parent.is_some());
+        assert!(inst_parent.is_some());
+        assert_ne!(sys_parent, inst_parent);
+        // Degrees under each staff.
+        let degrees = db.ord_children("degree_on_staff", Some(staff)).unwrap();
+        assert_eq!(degrees.len(), 9);
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn layout_rejects_zero_config() {
+        let dir = tmpdir("zero");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        let id = mdm.store_score(&bwv578_subject()).unwrap();
+        assert!(layout_score(
+            mdm.database_mut(),
+            id,
+            LayoutConfig { measures_per_system: 0, systems_per_page: 1 }
+        )
+        .is_err());
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

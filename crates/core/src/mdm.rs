@@ -1,0 +1,239 @@
+//! The Music Data Manager: "a service to other programs, known as
+//! clients" (§2, fig. 1).
+//!
+//! One MDM owns a durable entity-relationship database (backed by the
+//! storage engine) with the CMN schema installed, and exposes:
+//!
+//! * the data languages — DDL and QUEL with the ordering operators —
+//!   via [`MusicDataManager::execute`] and [`MusicDataManager::query`];
+//! * score services — [`store_score`], [`load_score`], DARMS import and
+//!   export — so "a music analysis program can easily process the output
+//!   of a composition program, if both use the same MDM";
+//! * persistence — [`MusicDataManager::save`] checkpoints the database
+//!   through the write-ahead-logged storage engine.
+//!
+//! [`store_score`]: MusicDataManager::store_score
+//! [`load_score`]: MusicDataManager::load_score
+
+use std::path::Path;
+
+use mdm_lang::{Session, StmtResult, Table};
+use mdm_model::{persist, Database, EntityId};
+use mdm_notation::{Score, TimeSignature, Voice};
+use mdm_storage::StorageEngine;
+
+use crate::cmn_schema;
+use crate::error::{CoreError, Result};
+use crate::score_store;
+
+/// The music data manager.
+pub struct MusicDataManager {
+    engine: StorageEngine,
+    db: Database,
+    session: Session,
+}
+
+impl MusicDataManager {
+    /// Opens (or creates) a music database in `dir`, running storage
+    /// recovery if needed, loading the persisted database, and installing
+    /// the CMN schema on first use.
+    pub fn open(dir: &Path) -> Result<MusicDataManager> {
+        let engine = StorageEngine::open(dir)?;
+        let mut db = persist::load(&engine)?;
+        cmn_schema::install(&mut db)?;
+        Ok(MusicDataManager { engine, db, session: Session::new() })
+    }
+
+    /// The in-memory database (read access for clients).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access (for clients that build structures
+    /// directly rather than through QUEL).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The underlying storage engine (diagnostics, benchmarks).
+    pub fn engine(&self) -> &StorageEngine {
+        &self.engine
+    }
+
+    /// Executes a program of DDL / QUEL statements.
+    pub fn execute(&mut self, text: &str) -> Result<Vec<StmtResult>> {
+        Ok(self.session.execute(&mut self.db, text)?)
+    }
+
+    /// Executes a program and returns the last statement's rows (errors
+    /// if the last statement produced no table).
+    pub fn query(&mut self, text: &str) -> Result<Table> {
+        let results = self.execute(text)?;
+        match results.into_iter().last() {
+            Some(StmtResult::Rows(t)) => Ok(t),
+            other => Err(CoreError::Internal(format!(
+                "query did not end in a retrieve: {other:?}"
+            ))),
+        }
+    }
+
+    /// Persists the database through the storage engine and checkpoints.
+    pub fn save(&mut self) -> Result<()> {
+        persist::save(&self.db, &self.engine)?;
+        self.engine.checkpoint()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Score services
+    // ------------------------------------------------------------------
+
+    /// Stores a score, returning its SCORE entity id.
+    pub fn store_score(&mut self, score: &Score) -> Result<EntityId> {
+        score_store::store_score(&mut self.db, score)
+    }
+
+    /// Loads a stored score by entity id.
+    pub fn load_score(&self, id: EntityId) -> Result<Score> {
+        score_store::load_score(&self.db, id)
+    }
+
+    /// Finds a stored score by exact title.
+    pub fn find_score(&self, title: &str) -> Result<Option<EntityId>> {
+        score_store::find_score(&self.db, title)
+    }
+
+    /// Lists stored scores as (entity id, title).
+    pub fn list_scores(&self) -> Result<Vec<(EntityId, String)>> {
+        score_store::list_scores(&self.db)
+    }
+
+    /// Imports a DARMS-encoded voice as a one-voice score.
+    pub fn import_darms(&mut self, title: &str, darms: &str, meter: TimeSignature) -> Result<EntityId> {
+        let items = mdm_darms::parse(darms)?;
+        let voice = mdm_darms::to_voice(&items)?;
+        let mut movement = mdm_notation::Movement::new(
+            "imported",
+            meter,
+            mdm_notation::TempoMap::default(),
+        );
+        movement.voices.push(voice);
+        let mut score = Score::new(title);
+        score.movements.push(movement);
+        self.store_score(&score)
+    }
+
+    /// Exports a stored score's given voice as canonical DARMS.
+    pub fn export_darms(&self, score_id: EntityId, movement: usize, voice: usize) -> Result<String> {
+        let score = self.load_score(score_id)?;
+        let m = score
+            .movements
+            .get(movement)
+            .ok_or_else(|| CoreError::BadScoreData(format!("no movement {movement}")))?;
+        let v: &Voice = m
+            .voices
+            .get(voice)
+            .ok_or_else(|| CoreError::BadScoreData(format!("no voice {voice}")))?;
+        let items = mdm_darms::from_voice(v, m.meter)?;
+        Ok(mdm_darms::emit(&mdm_darms::canonize(&items)))
+    }
+
+    /// The fig. 11 census over the live database.
+    pub fn census(&self) -> String {
+        cmn_schema::census(&self.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_notation::fixtures::bwv578_subject;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mdm-core-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn open_execute_query() {
+        let dir = tmpdir("open");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        mdm.execute("append to PERSON (name = \"Bach\")").unwrap();
+        let t = mdm.query("retrieve (PERSON.name)").unwrap();
+        assert_eq!(t.len(), 1);
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_and_reload_across_open() {
+        let dir = tmpdir("persist");
+        let id;
+        {
+            let mut mdm = MusicDataManager::open(&dir).unwrap();
+            id = mdm.store_score(&bwv578_subject()).unwrap();
+            mdm.save().unwrap();
+        }
+        let mdm = MusicDataManager::open(&dir).unwrap();
+        let score = mdm.load_score(id).unwrap();
+        assert_eq!(score, bwv578_subject());
+        assert_eq!(mdm.find_score("Fuge g-moll").unwrap(), Some(id));
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quel_sees_stored_scores() {
+        let dir = tmpdir("quel");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        mdm.store_score(&bwv578_subject()).unwrap();
+        // The paper's §5.6 style query over real score data: notes under
+        // the third chord of the subject voice.
+        let t = mdm
+            .query(
+                "range of n is NOTE\n\
+                 range of c is CHORD\n\
+                 range of s is SYNC\n\
+                 retrieve (n.midi_key) where n under c in note_in_chord \
+                 and c under s in chord_at_sync and s.time_num = 2 and s.time_den = 1",
+            )
+            .unwrap();
+        assert_eq!(t.len(), 1, "one note sounds at beat 2");
+        assert_eq!(t.rows[0][0], mdm_model::Value::Integer(70), "Bb4");
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn darms_import_export() {
+        let dir = tmpdir("darms");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        let id = mdm
+            .import_darms(
+                "test fragment",
+                "'G 'K2# 1Q 2Q 3H / R2W //",
+                TimeSignature::common(),
+            )
+            .unwrap();
+        let score = mdm.load_score(id).unwrap();
+        assert_eq!(score.movements[0].voices[0].elements.len(), 5);
+        let out = mdm.export_darms(id, 0, 0).unwrap();
+        assert!(out.contains("'K2#"), "{out}");
+        assert!(out.contains("21Q"), "{out}");
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn census_counts_instances() {
+        let dir = tmpdir("census");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        mdm.store_score(&bwv578_subject()).unwrap();
+        let census = mdm.census();
+        let note_line = census.lines().find(|l| l.starts_with("NOTE ")).unwrap();
+        assert!(note_line.trim_end().ends_with("21"), "{note_line}");
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

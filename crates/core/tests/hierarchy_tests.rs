@@ -1,0 +1,126 @@
+//! Tests for the newly populated fig. 11 hierarchies: control events,
+//! lyric texts/syllables, and derived beam GROUPs through the recursive
+//! `group_content` ordering.
+
+use mdm_core::MusicDataManager;
+use mdm_model::Value;
+use mdm_notation::fixtures::{bwv578_subject, gloria_fragment};
+use mdm_notation::ControlEvent;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("mdm-hier-{}-{}", std::process::id(), name));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+#[test]
+fn control_events_roundtrip() {
+    let dir = tmpdir("controls");
+    let mut mdm = MusicDataManager::open(&dir).unwrap();
+    let mut score = bwv578_subject();
+    score.movements[0].controls.push(ControlEvent {
+        beat: (4, 1),
+        controller: 66, // sostenuto, the paper's example
+        value: 127,
+        voice: 0,
+    });
+    score.movements[0].controls.push(ControlEvent {
+        beat: (17, 2),
+        controller: 66,
+        value: 0,
+        voice: 0,
+    });
+    let id = mdm.store_score(&score).unwrap();
+    let back = mdm.load_score(id).unwrap();
+    assert_eq!(back, score);
+    // The entities carry performance-time stamps.
+    let t = mdm
+        .query("range of c is MIDI_CONTROL retrieve (c.controller, c.time_seconds)")
+        .unwrap();
+    assert_eq!(t.len(), 2);
+    let Value::Float(secs) = t.rows[0][1] else { panic!() };
+    assert!((secs - 4.0 * 60.0 / 84.0).abs() < 1e-9, "beat 4 at 84 bpm");
+    drop(mdm);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lyrics_become_text_and_syllables() {
+    let dir = tmpdir("lyrics");
+    let mut mdm = MusicDataManager::open(&dir).unwrap();
+    mdm.store_score(&gloria_fragment()).unwrap();
+    let db = mdm.database();
+    let texts = db.instances_of("TEXT").unwrap();
+    assert_eq!(texts.len(), 1);
+    let line = db.get_attr(texts[0], "content").unwrap().as_str().unwrap().to_string();
+    assert!(line.starts_with("Glo-"), "{line}");
+    let syllables = db.ord_children("syllable_in_text", Some(texts[0])).unwrap();
+    assert_eq!(syllables.len(), 9, "nine underlaid syllables");
+    // Every syllable is related to a NOTE through LYRIC.
+    for &syl in &syllables {
+        let notes = db.related("LYRIC", syl, "note").unwrap();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(db.type_of(notes[0]).unwrap(), "NOTE");
+    }
+    drop(mdm);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn beam_groups_stored_recursively() {
+    let dir = tmpdir("groups");
+    let mut mdm = MusicDataManager::open(&dir).unwrap();
+    mdm.store_score(&bwv578_subject()).unwrap();
+    let db = mdm.database();
+    let groups = db.instances_of("GROUP").unwrap();
+    assert!(!groups.is_empty(), "the subject's eighths and sixteenths beam");
+    // group_content is recursive: at least one GROUP has a GROUP child
+    // (the sixteenth-note figuration in m.3 nests).
+    let gc = db.schema().ordering_id("group_content").unwrap();
+    let nested = groups.iter().any(|&g| {
+        db.store()
+            .ordering_children(gc, Some(g))
+            .iter()
+            .any(|&c| db.type_of(c).unwrap() == "GROUP")
+    });
+    assert!(nested, "expected nested beam groups");
+    // Chords in groups are the same entities as in voice_content
+    // (multiple parents, §5.5).
+    let chord_in_group = groups.iter().find_map(|&g| {
+        db.store()
+            .ordering_children(gc, Some(g))
+            .iter()
+            .copied()
+            .find(|&c| db.type_of(c).unwrap() == "CHORD")
+    });
+    let chord = chord_in_group.expect("some chord is beamed");
+    assert!(db.ord_parent("voice_content", chord).unwrap().is_some());
+    drop(mdm);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn editor_commit_cleans_derived_hierarchies() {
+    // delete_score (used by the editor) must not leak GROUP/TEXT/
+    // SYLLABLE/MIDI_CONTROL entities.
+    let dir = tmpdir("clean");
+    let mut mdm = MusicDataManager::open(&dir).unwrap();
+    let mut score = gloria_fragment();
+    score.movements[0].controls.push(ControlEvent { beat: (1, 1), controller: 64, value: 127, voice: 0 });
+    let id = mdm.store_score(&score).unwrap();
+    let before = (
+        mdm.database().instances_of("GROUP").unwrap().len(),
+        mdm.database().instances_of("TEXT").unwrap().len(),
+        mdm.database().instances_of("SYLLABLE").unwrap().len(),
+        mdm.database().instances_of("MIDI_CONTROL").unwrap().len(),
+    );
+    assert!(before.1 > 0 && before.2 > 0 && before.3 > 0);
+    mdm_core::delete_score(mdm.database_mut(), id).unwrap();
+    assert_eq!(mdm.database().instances_of("GROUP").unwrap().len(), 0);
+    assert_eq!(mdm.database().instances_of("TEXT").unwrap().len(), 0);
+    assert_eq!(mdm.database().instances_of("SYLLABLE").unwrap().len(), 0);
+    assert_eq!(mdm.database().instances_of("MIDI_CONTROL").unwrap().len(), 0);
+    assert_eq!(mdm.database().instances_of("NOTE").unwrap().len(), 0);
+    drop(mdm);
+    std::fs::remove_dir_all(&dir).ok();
+}

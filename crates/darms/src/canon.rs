@@ -1,0 +1,112 @@
+//! The canonizer: user DARMS → canonical DARMS.
+//!
+//! "Programs have been written to convert this 'user DARMS' into
+//! 'canonical DARMS' (the programs have been whimsically named
+//! 'canonizers'). A canonical DARMS encoding presents the score
+//! information in a consistent order, and explicitly includes all
+//! repeated information."
+//!
+//! Canonical form here means: every note and rest carries an explicit
+//! duration (user DARMS lets repeats be suppressed), multi-rests like
+//! `R2W` are expanded into single rests, and space codes are always
+//! written in full two-digit form by the emitter.
+
+use crate::item::{DurCode, Item};
+
+/// Canonizes an item stream. Idempotent.
+pub fn canonize(items: &[Item]) -> Vec<Item> {
+    let mut current = DurCode::Quarter; // DARMS default carry-in
+    canonize_run(items, &mut current)
+}
+
+fn canonize_run(items: &[Item], current: &mut DurCode) -> Vec<Item> {
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Item::Note(n) => {
+                let duration = n.duration.unwrap_or(*current);
+                *current = duration;
+                let mut n = n.clone();
+                n.duration = Some(duration);
+                out.push(Item::Note(n));
+            }
+            Item::Rest { count, duration } => {
+                let d = duration.unwrap_or(*current);
+                *current = d;
+                for _ in 0..(*count).max(1) {
+                    out.push(Item::Rest { count: 1, duration: Some(d) });
+                }
+            }
+            Item::Beam(inner) => {
+                out.push(Item::Beam(canonize_run(inner, current)));
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// True if the stream is already canonical.
+pub fn is_canonical(items: &[Item]) -> bool {
+    items.iter().all(|item| match item {
+        Item::Note(n) => n.duration.is_some(),
+        Item::Rest { count, duration } => *count == 1 && duration.is_some(),
+        Item::Beam(inner) => is_canonical(inner),
+        _ => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn durations_made_explicit() {
+        let items = parse("7Q 8 9 8E 7").unwrap();
+        let canon = canonize(&items);
+        let durs: Vec<DurCode> = canon
+            .iter()
+            .map(|i| match i {
+                Item::Note(n) => n.duration.unwrap(),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(
+            durs,
+            vec![DurCode::Quarter, DurCode::Quarter, DurCode::Quarter, DurCode::Eighth, DurCode::Eighth]
+        );
+    }
+
+    #[test]
+    fn multirest_expanded() {
+        let items = parse("R2W 7").unwrap();
+        let canon = canonize(&items);
+        assert_eq!(canon[0], Item::Rest { count: 1, duration: Some(DurCode::Whole) });
+        assert_eq!(canon[1], Item::Rest { count: 1, duration: Some(DurCode::Whole) });
+        // The rest's duration carries into the note.
+        let Item::Note(n) = &canon[2] else { panic!() };
+        assert_eq!(n.duration, Some(DurCode::Whole));
+    }
+
+    #[test]
+    fn carry_crosses_beam_groups() {
+        let items = parse("7E (8 9) 7").unwrap();
+        let canon = canonize(&items);
+        let Item::Beam(inner) = &canon[1] else { panic!() };
+        let Item::Note(first_in_beam) = &inner[0] else { panic!() };
+        assert_eq!(first_in_beam.duration, Some(DurCode::Eighth));
+        let Item::Note(after) = &canon[2] else { panic!() };
+        assert_eq!(after.duration, Some(DurCode::Eighth));
+    }
+
+    #[test]
+    fn canonize_is_idempotent() {
+        let items = parse("I4 'G 'K2# R2W / (7,@x$ 8) 9E 4D //").unwrap();
+        let once = canonize(&items);
+        let twice = canonize(&once);
+        assert_eq!(once, twice);
+        assert!(is_canonical(&once));
+        assert!(!is_canonical(&items));
+    }
+}

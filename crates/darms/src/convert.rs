@@ -1,0 +1,288 @@
+//! Converting between DARMS item streams and `mdm-notation` voices.
+//!
+//! DARMS is a *graphical* encoding: a note is a staff position plus an
+//! optional accidental, and what pitch sounds depends on the clef and key
+//! signature in force (§4.3). Conversion therefore runs the
+//! pitch-resolution rules of `mdm_notation::resolve` in both directions.
+
+use mdm_notation::clef::Clef;
+use mdm_notation::duration::{BaseDuration, Duration};
+use mdm_notation::key::KeySignature;
+use mdm_notation::pitch::Accidental;
+use mdm_notation::resolve::{MeasureAccidentals, StaffContext};
+use mdm_notation::score::{Chord, Note, Voice, VoiceElement};
+
+use crate::item::{AccCode, ClefCode, DurCode, Item, NoteItem};
+use crate::parse::{DarmsError, Result};
+
+fn err(message: impl Into<String>) -> DarmsError {
+    DarmsError { offset: 0, message: message.into() }
+}
+
+fn base_duration(d: DurCode) -> BaseDuration {
+    match d {
+        DurCode::Whole => BaseDuration::Whole,
+        DurCode::Half => BaseDuration::Half,
+        DurCode::Quarter => BaseDuration::Quarter,
+        DurCode::Eighth => BaseDuration::Eighth,
+        DurCode::Sixteenth => BaseDuration::Sixteenth,
+        DurCode::ThirtySecond => BaseDuration::ThirtySecond,
+    }
+}
+
+fn dur_code(b: BaseDuration) -> Result<DurCode> {
+    Ok(match b {
+        BaseDuration::Whole => DurCode::Whole,
+        BaseDuration::Half => DurCode::Half,
+        BaseDuration::Quarter => DurCode::Quarter,
+        BaseDuration::Eighth => DurCode::Eighth,
+        BaseDuration::Sixteenth => DurCode::Sixteenth,
+        BaseDuration::ThirtySecond => DurCode::ThirtySecond,
+        other => return Err(err(format!("{} has no DARMS duration code", other.name()))),
+    })
+}
+
+fn clef_of(code: ClefCode) -> Clef {
+    match code {
+        ClefCode::G => Clef::Treble,
+        ClefCode::F => Clef::Bass,
+        ClefCode::C => Clef::Alto,
+    }
+}
+
+fn accidental_of(a: AccCode) -> Accidental {
+    match a {
+        AccCode::Sharp => Accidental::Sharp,
+        AccCode::Flat => Accidental::Flat,
+        AccCode::Natural => Accidental::Natural,
+    }
+}
+
+/// Converts a (user or canonical) DARMS stream into a notation voice.
+/// Pitches are resolved through the clef, key signature, and
+/// measure-scoped accidentals as the stream is read.
+pub fn to_voice(items: &[Item]) -> Result<Voice> {
+    let items = crate::canon::canonize(items);
+    let mut clef = Clef::Treble;
+    let mut key = KeySignature::natural();
+    let mut name = String::from("voice");
+    let mut instrument = String::from("unknown");
+    // First pass: prelude codes (they may precede any note).
+    for item in &items {
+        match item {
+            Item::Clef(c) => clef = clef_of(*c),
+            Item::KeySig(n) => key = KeySignature::new(*n),
+            Item::Annotation(t) => name = t.clone(),
+            Item::Instrument(n) => instrument = format!("I{n}"),
+            _ => {}
+        }
+    }
+    let mut voice = Voice::new(&name, &instrument, clef, key);
+    let ctx = StaffContext::new(clef, key);
+    let mut measure = MeasureAccidentals::new();
+    fn walk(
+        items: &[Item],
+        voice: &mut Voice,
+        ctx: &StaffContext,
+        measure: &mut MeasureAccidentals,
+    ) -> Result<()> {
+        for item in items {
+            match item {
+                Item::Note(n) => {
+                    let degree = n.space - 21;
+                    let pitch =
+                        ctx.resolve(degree, n.accidental.map(accidental_of), measure);
+                    let d = n
+                        .duration
+                        .ok_or_else(|| err("canonical stream missing duration"))?;
+                    let duration = Duration::dotted(base_duration(d), n.dots);
+                    let mut note = Note::new(pitch);
+                    if let Some(l) = &n.lyric {
+                        note = note.with_syllable(l);
+                    }
+                    voice.push_chord(Chord::new(vec![note], duration));
+                }
+                Item::Rest { duration, .. } => {
+                    let d = duration.ok_or_else(|| err("canonical rest missing duration"))?;
+                    voice.push_rest(Duration::new(base_duration(d)));
+                }
+                Item::Beam(inner) => walk(inner, voice, ctx, measure)?,
+                Item::Barline => measure.barline(),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+    walk(&items, &mut voice, &ctx, &mut measure)?;
+    Ok(voice)
+}
+
+/// Encodes a notation voice as canonical DARMS items, inserting barlines
+/// from the meter and writing accidentals exactly where the resolution
+/// rules require them (explicit alteration differing from what clef +
+/// key + measure state would otherwise produce).
+pub fn from_voice(voice: &Voice, meter: mdm_notation::TimeSignature) -> Result<Vec<Item>> {
+    let mut items: Vec<Item> = vec![
+        Item::Annotation(voice.name.clone()),
+        Item::Clef(match voice.clef {
+            Clef::Treble => ClefCode::G,
+            Clef::Bass => ClefCode::F,
+            _ => ClefCode::C,
+        }),
+        Item::KeySig(voice.key.fifths()),
+    ];
+    let ctx = StaffContext::new(voice.clef, voice.key);
+    let mut measure = MeasureAccidentals::new();
+    let measure_beats = meter.measure_beats();
+    let mut t = mdm_notation::rational::ZERO;
+    for element in &voice.elements {
+        if t.is_positive() && (t / measure_beats).denom() == 1 {
+            items.push(Item::Barline);
+            measure.barline();
+        }
+        match element {
+            VoiceElement::Rest(r) => {
+                if r.duration.dots != 0 {
+                    return Err(err("dotted rests are not encoded in this DARMS subset"));
+                }
+                items.push(Item::Rest { count: 1, duration: Some(dur_code(r.duration.base)?) });
+            }
+            VoiceElement::Chord(chord) => {
+                if chord.notes.len() != 1 {
+                    return Err(err("this DARMS subset encodes single-note chords"));
+                }
+                let note = &chord.notes[0];
+                let degree = voice.clef.degree_of(&note.pitch);
+                // Would the context already produce this pitch?
+                let mut probe = measure.clone();
+                let resolved = ctx.resolve(degree, None, &mut probe);
+                let accidental = if resolved == note.pitch {
+                    measure = probe;
+                    None
+                } else {
+                    let acc = Accidental::from_alter(note.pitch.alter)
+                        .ok_or_else(|| err(format!("unencodable alteration {}", note.pitch.alter)))?;
+                    ctx.resolve(degree, Some(acc), &mut measure);
+                    Some(match acc {
+                        Accidental::Sharp => AccCode::Sharp,
+                        Accidental::Flat => AccCode::Flat,
+                        Accidental::Natural => AccCode::Natural,
+                        _ => return Err(err("double accidentals not in this subset")),
+                    })
+                };
+                items.push(Item::Note(NoteItem {
+                    space: degree + 21,
+                    accidental,
+                    duration: Some(dur_code(chord.duration.base)?),
+                    dots: chord.duration.dots,
+                    stem_down: false,
+                    lyric: note.syllable.clone(),
+                }));
+            }
+        }
+        t += element.duration().beats();
+    }
+    items.push(Item::End);
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use mdm_notation::TimeSignature;
+
+    #[test]
+    fn treble_two_sharps_resolution() {
+        // Space 21 (bottom line) = E4; space 22 = F4 → F#4 under 'K2#.
+        let items = parse("'G 'K2# 1Q 2Q").unwrap();
+        let v = to_voice(&items).unwrap();
+        let pitches: Vec<String> = v
+            .elements
+            .iter()
+            .map(|e| e.as_chord().unwrap().notes[0].pitch.to_string())
+            .collect();
+        assert_eq!(pitches, vec!["E4", "F#4"]);
+    }
+
+    #[test]
+    fn accidental_persists_until_barline() {
+        let items = parse("'G 2#Q 2Q / 2Q").unwrap();
+        let v = to_voice(&items).unwrap();
+        let pitches: Vec<String> = v
+            .elements
+            .iter()
+            .map(|e| e.as_chord().unwrap().notes[0].pitch.to_string())
+            .collect();
+        assert_eq!(pitches, vec!["F#4", "F#4", "F4"]);
+    }
+
+    #[test]
+    fn bass_clef_spaces() {
+        let items = parse("'F 1Q 5Q").unwrap();
+        let v = to_voice(&items).unwrap();
+        let pitches: Vec<String> = v
+            .elements
+            .iter()
+            .map(|e| e.as_chord().unwrap().notes[0].pitch.to_string())
+            .collect();
+        assert_eq!(pitches, vec!["G2", "D3"]);
+    }
+
+    #[test]
+    fn voice_roundtrip_preserves_pitches_and_rhythm() {
+        let score = mdm_notation::fixtures::bwv578_subject();
+        let voice = &score.movements[0].voices[0];
+        let items = from_voice(voice, TimeSignature::common()).unwrap();
+        let back = to_voice(&items).unwrap();
+        assert_eq!(back.elements.len(), voice.elements.len());
+        for (a, b) in voice.elements.iter().zip(&back.elements) {
+            match (a, b) {
+                (VoiceElement::Chord(ca), VoiceElement::Chord(cb)) => {
+                    assert_eq!(ca.notes[0].pitch, cb.notes[0].pitch);
+                    assert_eq!(ca.duration, cb.duration);
+                }
+                (VoiceElement::Rest(ra), VoiceElement::Rest(rb)) => {
+                    assert_eq!(ra.duration, rb.duration);
+                }
+                other => panic!("element kind changed: {other:?}"),
+            }
+        }
+        assert_eq!(back.key, voice.key);
+        assert_eq!(back.clef, voice.clef);
+    }
+
+    #[test]
+    fn gloria_roundtrip_keeps_lyrics() {
+        let score = mdm_notation::fixtures::gloria_fragment();
+        let voice = &score.movements[0].voices[0];
+        let items = from_voice(voice, TimeSignature::common()).unwrap();
+        let back = to_voice(&items).unwrap();
+        let lyr = |v: &Voice| -> Vec<String> {
+            v.elements
+                .iter()
+                .filter_map(|e| e.as_chord())
+                .filter_map(|c| c.notes[0].syllable.clone())
+                .collect()
+        };
+        assert_eq!(lyr(&back), lyr(voice));
+    }
+
+    #[test]
+    fn flat_key_needs_no_accidentals_for_diatonic_notes() {
+        // G minor fixture: Bb comes from the key signature, F# needs a #.
+        let score = mdm_notation::fixtures::bwv578_subject();
+        let voice = &score.movements[0].voices[0];
+        let items = from_voice(voice, TimeSignature::common()).unwrap();
+        let sharps = items
+            .iter()
+            .filter(|i| matches!(i, Item::Note(n) if n.accidental == Some(AccCode::Sharp)))
+            .count();
+        let flats = items
+            .iter()
+            .filter(|i| matches!(i, Item::Note(n) if n.accidental == Some(AccCode::Flat)))
+            .count();
+        assert!(sharps >= 1, "the F# leading tones need sharps");
+        assert_eq!(flats, 0, "Bb is in the key signature");
+    }
+}

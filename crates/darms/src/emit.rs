@@ -1,0 +1,151 @@
+//! Emitting DARMS text from an item stream.
+//!
+//! The emitter writes *canonical* surface form: space codes in full
+//! two-digit form and durations as given (canonize first for fully
+//! explicit output). `emit_user` writes the compact user form with
+//! single-digit space codes where possible and carried durations
+//! suppressed.
+
+use crate::item::{AccCode, ClefCode, DurCode, Item, NoteItem};
+
+fn acc_char(a: AccCode) -> char {
+    match a {
+        AccCode::Sharp => '#',
+        AccCode::Flat => '-',
+        AccCode::Natural => '*',
+    }
+}
+
+fn emit_note(n: &NoteItem, short_spaces: bool, carried: &mut Option<DurCode>) -> String {
+    let mut s = String::new();
+    if short_spaces && (21..=29).contains(&n.space) {
+        s.push_str(&(n.space - 20).to_string());
+    } else {
+        s.push_str(&n.space.to_string());
+    }
+    if let Some(a) = n.accidental {
+        s.push(acc_char(a));
+    }
+    if let Some(d) = n.duration {
+        let suppress = short_spaces && *carried == Some(d) && n.dots == 0;
+        if !suppress {
+            s.push(d.letter());
+        }
+        *carried = Some(d);
+    }
+    for _ in 0..n.dots {
+        s.push('.');
+    }
+    if n.stem_down {
+        s.push('D');
+    }
+    if let Some(l) = &n.lyric {
+        s.push_str(",@");
+        s.push_str(l);
+        s.push('$');
+    }
+    s
+}
+
+/// Emits one item in canonical surface form.
+pub fn emit_item(item: &Item) -> String {
+    emit_item_with(item, false, &mut None)
+}
+
+fn emit_item_with(item: &Item, short: bool, carried: &mut Option<DurCode>) -> String {
+    match item {
+        Item::Instrument(n) => format!("I{n}"),
+        Item::Clef(ClefCode::G) => "'G".into(),
+        Item::Clef(ClefCode::F) => "'F".into(),
+        Item::Clef(ClefCode::C) => "'C".into(),
+        Item::KeySig(n) if *n >= 0 => format!("'K{n}#"),
+        Item::KeySig(n) => format!("'K{}-", -n),
+        Item::Annotation(t) => format!("00@{t}$"),
+        Item::Rest { count, duration } => {
+            let mut s = String::from("R");
+            if *count != 1 {
+                s.push_str(&count.to_string());
+            }
+            if let Some(d) = duration {
+                s.push(d.letter());
+                *carried = Some(*d);
+            }
+            s
+        }
+        Item::Note(n) => emit_note(n, short, carried),
+        Item::Beam(inner) => {
+            let body: Vec<String> =
+                inner.iter().map(|i| emit_item_with(i, short, carried)).collect();
+            format!("({})", body.join(" "))
+        }
+        Item::Barline => "/".into(),
+        Item::End => "//".into(),
+    }
+}
+
+fn emit_with(items: &[Item], short: bool) -> String {
+    let mut carried = None;
+    items
+        .iter()
+        .map(|i| emit_item_with(i, short, &mut carried))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Emits canonical DARMS text (full space codes, explicit durations kept
+/// as they are in the stream).
+pub fn emit(items: &[Item]) -> String {
+    emit_with(items, false)
+}
+
+/// Emits compact user DARMS: single-digit space codes on the staff and
+/// repeated durations suppressed.
+pub fn emit_user(items: &[Item]) -> String {
+    emit_with(items, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonize;
+    use crate::parse::parse;
+
+    #[test]
+    fn canonical_text_roundtrips() {
+        let src = "I4 'G 'K2# 00@TENOR$ R2W / (27,@Glo-$ 28) / 29E 24QD //";
+        let items = canonize(&parse(src).unwrap());
+        let text = emit(&items);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed, items, "canonical emit must reparse identically:\n{text}");
+    }
+
+    #[test]
+    fn user_form_suppresses_repeats() {
+        let items = canonize(&parse("27E 28E 29E").unwrap());
+        assert_eq!(emit_user(&items), "7E 8 9");
+        assert_eq!(emit(&items), "27E 28E 29E");
+    }
+
+    #[test]
+    fn user_text_reparses_to_same_canonical_form() {
+        let src = "'G 'K1- 7Q 8 9E (8 7) / R2H //";
+        let canon = canonize(&parse(src).unwrap());
+        let user = emit_user(&canon);
+        let recanon = canonize(&parse(&user).unwrap());
+        assert_eq!(recanon, canon, "user round trip:\n{user}");
+    }
+
+    #[test]
+    fn keysig_and_rest_forms() {
+        assert_eq!(emit(&parse("'K3-").unwrap()), "'K3-");
+        assert_eq!(emit(&parse("'K0#").unwrap()), "'K0#");
+        assert_eq!(emit(&parse("R2W").unwrap()), "R2W");
+    }
+
+    #[test]
+    fn lyrics_and_accidentals_survive() {
+        let src = "27#Q,@De-$ 28-E,@o$";
+        let items = parse(src).unwrap();
+        assert_eq!(emit(&items), src);
+    }
+}

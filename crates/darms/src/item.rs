@@ -1,0 +1,130 @@
+//! The DARMS item stream.
+//!
+//! Our DARMS subset follows fig. 4(c)'s abbreviation key: `I<n>`
+//! instrument definitions, `'G`/`'F`/`'C` clefs, `'K<n>#|-` key
+//! signatures, `00@…$` staff annotations, `R` rests, `@…$` literal
+//! strings with `¢` capitalization, parenthesized beam groups, duration
+//! letters, `D` stems-down, `/` barlines, and `//` the double bar.
+//! Space codes number staff degrees — 21 is the bottom line, 22 the
+//! bottom space, … — with single digits 1–9 as the short form of 21–29.
+
+use std::fmt;
+
+/// Duration codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurCode {
+    /// `W` whole.
+    Whole,
+    /// `H` half.
+    Half,
+    /// `Q` quarter.
+    Quarter,
+    /// `E` eighth.
+    Eighth,
+    /// `S` sixteenth.
+    Sixteenth,
+    /// `T` thirty-second.
+    ThirtySecond,
+}
+
+impl DurCode {
+    /// The code letter.
+    pub fn letter(self) -> char {
+        match self {
+            DurCode::Whole => 'W',
+            DurCode::Half => 'H',
+            DurCode::Quarter => 'Q',
+            DurCode::Eighth => 'E',
+            DurCode::Sixteenth => 'S',
+            DurCode::ThirtySecond => 'T',
+        }
+    }
+
+    /// Parses a code letter.
+    pub fn from_letter(c: char) -> Option<DurCode> {
+        Some(match c.to_ascii_uppercase() {
+            'W' => DurCode::Whole,
+            'H' => DurCode::Half,
+            'Q' => DurCode::Quarter,
+            'E' => DurCode::Eighth,
+            'S' => DurCode::Sixteenth,
+            'T' => DurCode::ThirtySecond,
+            _ => return None,
+        })
+    }
+}
+
+/// Clef codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClefCode {
+    /// `'G` treble.
+    G,
+    /// `'F` bass.
+    F,
+    /// `'C` alto.
+    C,
+}
+
+/// Accidental codes (`#`, `-`, `*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccCode {
+    /// `#` sharp.
+    Sharp,
+    /// `-` flat.
+    Flat,
+    /// `*` natural.
+    Natural,
+}
+
+/// One note head with its attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoteItem {
+    /// Staff space code (21 = bottom line; canonical form always
+    /// two-digit).
+    pub space: i32,
+    /// Accidental, if written.
+    pub accidental: Option<AccCode>,
+    /// Duration code; `None` in user DARMS means "carry the previous
+    /// duration" (canonical DARMS always writes it).
+    pub duration: Option<DurCode>,
+    /// Augmentation dots.
+    pub dots: u8,
+    /// `D`: stems down.
+    pub stem_down: bool,
+    /// Attached lyric (`,@text$`).
+    pub lyric: Option<String>,
+}
+
+/// One element of a DARMS stream. Beam groups nest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `I<n>` instrument (or voice) definition.
+    Instrument(u32),
+    /// Clef.
+    Clef(ClefCode),
+    /// Key signature: positive = sharps, negative = flats.
+    KeySig(i8),
+    /// `00@…$` annotation above the staff.
+    Annotation(String),
+    /// Rest: `R<dur>` or `R<n><dur>` for a multi-measure rest.
+    Rest {
+        /// Number of rests (R2W = two whole rests).
+        count: u32,
+        /// Duration code; `None` carries the previous duration.
+        duration: Option<DurCode>,
+    },
+    /// A note.
+    Note(NoteItem),
+    /// `( … )` beam group.
+    Beam(Vec<Item>),
+    /// `/` barline.
+    Barline,
+    /// `//` end of excerpt.
+    End,
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::emit::emit_item(self))
+    }
+}

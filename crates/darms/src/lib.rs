@@ -1,0 +1,44 @@
+//! # mdm-darms
+//!
+//! DARMS (Digital Alternate Representation of Musical Scores), the
+//! score-encoding language of the paper's §4.6 and fig. 4: "a general
+//! purpose encoding language whose goal is to objectively represent any
+//! score material notated using CMN", originally designed by Stefan
+//! Bauer-Mengelberg for punch cards.
+//!
+//! This crate implements the subset defined by fig. 4(c)'s abbreviation
+//! key — instrument codes, clefs, key signatures, annotations, rests,
+//! literal strings with `¢` capitalization, beam groupings, duration
+//! letters, stem direction, and barlines — plus the accidental codes
+//! (`#`, `-`, `*`) needed to encode real fragments:
+//!
+//! * [`parse()`](parse::parse) — user or canonical DARMS text → item stream;
+//! * [`canonize`] — the "canonizer": user DARMS → canonical DARMS
+//!   (explicit repeated information, expanded multi-rests);
+//! * [`emit()`](emit::emit) / [`emit_user`] — items → canonical or compact text;
+//! * [`to_voice`] / [`from_voice`] — conversion to and from
+//!   `mdm-notation` voices, running the §4.3 pitch-resolution rules.
+//!
+//! ```
+//! use mdm_darms::{parse, canonize, emit, to_voice};
+//!
+//! // The shape of fig. 4(b): prelude codes, rests, beamed notes, lyrics.
+//! let items = parse("I4 'G 'K2# 00@¢TENOR$ R2W / (7,@¢GLO-$ 8) / 9E 9,@RI-$ //").unwrap();
+//! let canonical = canonize(&items);
+//! let voice = to_voice(&canonical).unwrap();
+//! assert_eq!(voice.name, "TENOR");
+//! println!("{}", emit(&canonical));
+//! ```
+
+pub mod canon;
+pub mod convert;
+pub mod emit;
+pub mod fixtures;
+pub mod item;
+pub mod parse;
+
+pub use canon::{canonize, is_canonical};
+pub use convert::{from_voice, to_voice};
+pub use emit::{emit, emit_user};
+pub use item::{AccCode, ClefCode, DurCode, Item, NoteItem};
+pub use parse::{parse, DarmsError};

@@ -1,0 +1,324 @@
+//! Parsing DARMS text into an item stream.
+
+use crate::item::{AccCode, ClefCode, DurCode, Item, NoteItem};
+
+/// DARMS parse errors with byte offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DarmsError {
+    /// Byte offset in the input.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for DarmsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DARMS error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DarmsError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, DarmsError>;
+
+struct P<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, message: impl Into<String>) -> DarmsError {
+        DarmsError { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        (self.pos > start).then(|| {
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .expect("digits are utf-8")
+                .parse()
+                .expect("digits parse")
+        })
+    }
+
+    /// Parses `@ … $` literal text, handling `¢` capitalize-next.
+    fn literal_text(&mut self) -> Result<String> {
+        if self.bump() != Some(b'@') {
+            return Err(self.err("expected @ to open literal text"));
+        }
+        let mut out = String::new();
+        let mut capitalize = false;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated @…$ literal")),
+                Some(b'$') => return Ok(out),
+                // '¢' is multi-byte in UTF-8 (0xC2 0xA2).
+                Some(0xC2) if self.peek() == Some(0xA2) => {
+                    self.pos += 1;
+                    capitalize = true;
+                }
+                Some(b) => {
+                    let c = b as char;
+                    if capitalize {
+                        out.extend(c.to_uppercase());
+                        capitalize = false;
+                    } else {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn duration(&mut self) -> Option<DurCode> {
+        let c = self.peek()? as char;
+        let d = DurCode::from_letter(c)?;
+        self.pos += 1;
+        Some(d)
+    }
+
+    fn note(&mut self, space: i32) -> Result<NoteItem> {
+        let accidental = match self.peek() {
+            Some(b'#') => {
+                self.pos += 1;
+                Some(AccCode::Sharp)
+            }
+            Some(b'-') => {
+                self.pos += 1;
+                Some(AccCode::Flat)
+            }
+            Some(b'*') => {
+                self.pos += 1;
+                Some(AccCode::Natural)
+            }
+            _ => None,
+        };
+        let duration = self.duration();
+        let mut dots = 0;
+        while self.peek() == Some(b'.') {
+            self.pos += 1;
+            dots += 1;
+        }
+        let stem_down = if self.peek() == Some(b'D') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let lyric = if self.peek() == Some(b',') {
+            self.pos += 1;
+            Some(self.literal_text()?)
+        } else {
+            None
+        };
+        Ok(NoteItem { space, accidental, duration, dots, stem_down, lyric })
+    }
+
+    fn items(&mut self, nested: bool) -> Result<Vec<Item>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            let Some(b) = self.peek() else {
+                if nested {
+                    return Err(self.err("unterminated beam group"));
+                }
+                return Ok(out);
+            };
+            match b {
+                b')' => {
+                    if nested {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    return Err(self.err("unmatched )"));
+                }
+                b'(' => {
+                    self.pos += 1;
+                    let inner = self.items(true)?;
+                    out.push(Item::Beam(inner));
+                }
+                b'/' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'/') {
+                        self.pos += 1;
+                        out.push(Item::End);
+                    } else {
+                        out.push(Item::Barline);
+                    }
+                }
+                b'I' => {
+                    self.pos += 1;
+                    let n = self.number().ok_or_else(|| self.err("I needs a number"))?;
+                    out.push(Item::Instrument(n));
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    match self.bump().map(|b| b as char) {
+                        Some('G') => out.push(Item::Clef(ClefCode::G)),
+                        Some('F') => out.push(Item::Clef(ClefCode::F)),
+                        Some('C') => out.push(Item::Clef(ClefCode::C)),
+                        Some('K') => {
+                            let n = self.number().ok_or_else(|| self.err("'K needs a count"))?;
+                            let sign = match self.bump().map(|b| b as char) {
+                                Some('#') => 1,
+                                Some('-') => -1,
+                                other => {
+                                    return Err(self.err(format!(
+                                        "'K needs # or -, found {other:?}"
+                                    )))
+                                }
+                            };
+                            out.push(Item::KeySig(sign * n as i8));
+                        }
+                        other => return Err(self.err(format!("unknown code '{other:?}"))),
+                    }
+                }
+                b'R' => {
+                    self.pos += 1;
+                    let count = self.number().unwrap_or(1);
+                    let duration = self.duration();
+                    out.push(Item::Rest { count, duration });
+                }
+                b'0'..=b'9' => {
+                    let n = self.number().expect("peeked a digit");
+                    if n == 0 {
+                        // `00@…$` annotation above the staff (position 0
+                        // means "over the staff").
+                        out.push(Item::Annotation(self.literal_text()?));
+                    } else {
+                        // Space code: single digits 1–9 shorthand 21–29.
+                        let space = if n < 10 { 20 + n as i32 } else { n as i32 };
+                        out.push(Item::Note(self.note(space)?));
+                    }
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character {:?}", other as char)))
+                }
+            }
+        }
+    }
+}
+
+/// Parses DARMS text into items.
+pub fn parse(input: &str) -> Result<Vec<Item>> {
+    let mut p = P { bytes: input.as_bytes(), pos: 0 };
+    p.items(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_prelude_codes() {
+        let items = parse("I4 'G 'K2# 00@¢TENOR$").unwrap();
+        assert_eq!(items[0], Item::Instrument(4));
+        assert_eq!(items[1], Item::Clef(ClefCode::G));
+        assert_eq!(items[2], Item::KeySig(2));
+        assert_eq!(items[3], Item::Annotation("TENOR".into()));
+    }
+
+    #[test]
+    fn parse_flat_keysig() {
+        let items = parse("'K2-").unwrap();
+        assert_eq!(items[0], Item::KeySig(-2));
+    }
+
+    #[test]
+    fn parse_notes_shorthand_and_full() {
+        let items = parse("7 27 9E 8Q. 31W").unwrap();
+        let spaces: Vec<i32> = items
+            .iter()
+            .map(|i| match i {
+                Item::Note(n) => n.space,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(spaces, vec![27, 27, 29, 28, 31]);
+        let Item::Note(n) = &items[3] else { panic!() };
+        assert_eq!(n.duration, Some(DurCode::Quarter));
+        assert_eq!(n.dots, 1);
+        let Item::Note(n) = &items[2] else { panic!() };
+        assert_eq!(n.duration, Some(DurCode::Eighth));
+    }
+
+    #[test]
+    fn parse_accidentals() {
+        let items = parse("7#Q 8-E 9*").unwrap();
+        let accs: Vec<Option<AccCode>> = items
+            .iter()
+            .map(|i| match i {
+                Item::Note(n) => n.accidental,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(accs, vec![Some(AccCode::Sharp), Some(AccCode::Flat), Some(AccCode::Natural)]);
+    }
+
+    #[test]
+    fn parse_rests_and_barlines() {
+        let items = parse("R2W / RQ //").unwrap();
+        assert_eq!(items[0], Item::Rest { count: 2, duration: Some(DurCode::Whole) });
+        assert_eq!(items[1], Item::Barline);
+        assert_eq!(items[2], Item::Rest { count: 1, duration: Some(DurCode::Quarter) });
+        assert_eq!(items[3], Item::End);
+    }
+
+    #[test]
+    fn parse_nested_beams() {
+        let items = parse("(8 (9 8 7 8))").unwrap();
+        let Item::Beam(outer) = &items[0] else { panic!() };
+        assert_eq!(outer.len(), 2);
+        let Item::Beam(inner) = &outer[1] else { panic!() };
+        assert_eq!(inner.len(), 4);
+    }
+
+    #[test]
+    fn parse_lyrics_with_capitalization() {
+        let items = parse("7,@¢GLO-$ 9,@RI-$").unwrap();
+        let Item::Note(n) = &items[0] else { panic!() };
+        assert_eq!(n.lyric.as_deref(), Some("GLO-"));
+        let Item::Note(n2) = &items[1] else { panic!() };
+        assert_eq!(n2.lyric.as_deref(), Some("RI-"));
+    }
+
+    #[test]
+    fn parse_stems_down() {
+        let items = parse("4D 4QD").unwrap();
+        let Item::Note(n) = &items[0] else { panic!() };
+        assert!(n.stem_down);
+        assert_eq!(n.duration, None, "duration omitted (user DARMS)");
+        let Item::Note(n2) = &items[1] else { panic!() };
+        assert!(n2.stem_down);
+        assert_eq!(n2.duration, Some(DurCode::Quarter));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("7 )").unwrap_err();
+        assert_eq!(err.offset, 2);
+        assert!(parse("(7").is_err());
+        assert!(parse("7,@unterminated").is_err());
+        assert!(parse("'K2?").is_err());
+    }
+}

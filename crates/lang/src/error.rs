@@ -1,0 +1,52 @@
+//! Error type for the query language layer.
+
+use std::fmt;
+
+use mdm_model::ModelError;
+
+/// Errors from lexing, parsing, analysis, or execution.
+#[derive(Debug)]
+pub enum LangError {
+    /// Lexical error with position.
+    Lex { line: usize, message: String },
+    /// Syntax error with position.
+    Parse { line: usize, message: String },
+    /// Semantic error (unknown names, type errors).
+    Analyze(String),
+    /// Runtime evaluation error.
+    Eval(String),
+    /// Error surfaced from the data model.
+    Model(ModelError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, message } => write!(f, "lex error (line {line}): {message}"),
+            LangError::Parse { line, message } => {
+                write!(f, "syntax error (line {line}): {message}")
+            }
+            LangError::Analyze(m) => write!(f, "semantic error: {m}"),
+            LangError::Eval(m) => write!(f, "evaluation error: {m}"),
+            LangError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LangError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for LangError {
+    fn from(e: ModelError) -> Self {
+        LangError::Model(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, LangError>;

@@ -1,0 +1,892 @@
+//! Statement execution: tuple-calculus evaluation over the instance store.
+//!
+//! QUEL statements are evaluated INGRES-style: every range variable used by
+//! a statement ranges over the instances of its entity (or relationship)
+//! type, the cross product is enumerated with nested loops, the
+//! qualification filters combinations, and targets/assignments are
+//! evaluated per surviving combination. As in GEM and later INGRES
+//! versions, a range variable named exactly like an entity or relationship
+//! type is implicitly declared (paper, footnote 6).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use mdm_model::encode::encode_value;
+use mdm_model::{Database, EntityId, RelTypeId, TypeId, Value};
+
+use crate::ast::{BinOp, Expr, OrdOp, Stmt, Target};
+use crate::error::{LangError, Result};
+
+/// What a range variable ranges over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeTarget {
+    /// Instances of an entity type.
+    Entity(TypeId),
+    /// Instances of a relationship.
+    Relationship(RelTypeId),
+}
+
+/// A result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column labels.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single value of a 1×1 result, if it is one.
+    pub fn scalar(&self) -> Option<&Value> {
+        match (self.rows.len(), self.columns.len()) {
+            (1, 1) => Some(&self.rows[0][0]),
+            _ => None,
+        }
+    }
+
+    /// Values of the named column.
+    pub fn column(&self, name: &str) -> Option<Vec<&Value>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|r| &r[idx]).collect())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.to_string();
+                        widths[i] = widths[i].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let line = |f: &mut fmt::Formatter<'_>| {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        line(f)?;
+        write!(f, "|")?;
+        for (c, w) in self.columns.iter().zip(&widths) {
+            write!(f, " {c:<w$} |")?;
+        }
+        writeln!(f)?;
+        line(f)?;
+        for row in &rendered {
+            write!(f, "|")?;
+            for (c, w) in row.iter().zip(&widths) {
+                write!(f, " {c:<w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        line(f)?;
+        writeln!(f, "({} row{})", self.rows.len(), if self.rows.len() == 1 { "" } else { "s" })
+    }
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtResult {
+    /// A `define …` took effect; the payload names what was defined.
+    Defined(String),
+    /// A `range of` declaration took effect.
+    RangeDeclared,
+    /// Rows from a `retrieve`.
+    Rows(Table),
+    /// Number of entities appended.
+    Appended(usize),
+    /// Number of entities updated.
+    Replaced(usize),
+    /// Number of entities deleted.
+    Deleted(usize),
+}
+
+/// A QUEL session: executes statements against a [`Database`], carrying
+/// `range of` declarations across statements (INGRES semantics).
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    ranges: HashMap<String, String>, // var -> type name (resolved lazily)
+}
+
+impl Session {
+    /// Creates a session with no declared range variables.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Parses and executes a program, returning one result per statement.
+    pub fn execute(&mut self, db: &mut Database, text: &str) -> Result<Vec<StmtResult>> {
+        let stmts = crate::parser::parse(text)?;
+        stmts.iter().map(|s| self.execute_stmt(db, s)).collect()
+    }
+
+    /// Executes one parsed statement.
+    pub fn execute_stmt(&mut self, db: &mut Database, stmt: &Stmt) -> Result<StmtResult> {
+        match stmt {
+            Stmt::DefineEntity { name, attrs } => {
+                let defs = attrs
+                    .iter()
+                    .map(|(n, t)| {
+                        Ok(mdm_model::AttributeDef { name: n.clone(), ty: parse_type(db, t)? })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                db.define_entity(name, defs)?;
+                Ok(StmtResult::Defined(format!("entity {name}")))
+            }
+            Stmt::DefineRelationship { name, members } => {
+                let mut roles = Vec::new();
+                let mut attrs = Vec::new();
+                for (n, t) in members {
+                    match db.schema().entity_type_id(t) {
+                        Ok(ty) => roles.push(mdm_model::RoleDef { name: n.clone(), entity_type: ty }),
+                        Err(_) => attrs.push(mdm_model::AttributeDef {
+                            name: n.clone(),
+                            ty: parse_scalar_type(t)?,
+                        }),
+                    }
+                }
+                db.define_relationship(name, roles, attrs)?;
+                Ok(StmtResult::Defined(format!("relationship {name}")))
+            }
+            Stmt::DefineOrdering { name, children, parent } => {
+                let child_refs: Vec<&str> = children.iter().map(String::as_str).collect();
+                db.define_ordering(name.as_deref(), &child_refs, parent.as_deref())?;
+                Ok(StmtResult::Defined(format!(
+                    "ordering {}",
+                    name.clone().unwrap_or_else(|| "(unnamed)".into())
+                )))
+            }
+            Stmt::RangeOf { vars, target } => {
+                // Validate now so errors surface at declaration.
+                resolve_target(db, target)?;
+                for v in vars {
+                    self.ranges.insert(v.clone(), target.clone());
+                }
+                Ok(StmtResult::RangeDeclared)
+            }
+            Stmt::Retrieve { unique, targets, qual, sort } => {
+                self.retrieve(db, *unique, targets, qual.as_ref(), sort)
+            }
+            Stmt::AppendTo { entity, assignments } => self.append(db, entity, assignments),
+            Stmt::Replace { var, assignments, qual } => {
+                self.replace(db, var, assignments, qual.as_ref())
+            }
+            Stmt::Delete { var, qual } => self.delete(db, var, qual.as_ref()),
+        }
+    }
+
+    /// Declared or implicit range target for a variable.
+    fn var_target(&self, db: &Database, var: &str) -> Result<RangeTarget> {
+        if let Some(tname) = self.ranges.get(var) {
+            return resolve_target(db, tname);
+        }
+        // Footnote 6: implicit range variable named like its type.
+        resolve_target(db, var).map_err(|_| {
+            LangError::Analyze(format!(
+                "range variable {var} was never declared (and names no entity type)"
+            ))
+        })
+    }
+
+    fn bindings_plan(&self, db: &Database, exprs: &[&Expr]) -> Result<Plan> {
+        let mut vars: Vec<String> = Vec::new();
+        let mut seen = HashSet::new();
+        for e in exprs {
+            collect_vars(e, &mut vars, &mut seen);
+        }
+        let targets = vars
+            .iter()
+            .map(|v| self.var_target(db, v))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Plan { vars, targets })
+    }
+
+    fn retrieve(
+        &mut self,
+        db: &mut Database,
+        unique: bool,
+        targets: &[Target],
+        qual: Option<&Expr>,
+        sort: &[(String, bool)],
+    ) -> Result<StmtResult> {
+        let mut exprs: Vec<&Expr> = targets.iter().map(|t| &t.expr).collect();
+        if let Some(q) = qual {
+            exprs.push(q);
+        }
+        let plan = self.bindings_plan(db, &exprs)?;
+        let columns: Vec<String> = targets
+            .iter()
+            .map(|t| t.label.clone().unwrap_or_else(|| expr_label(&t.expr)))
+            .collect();
+        if targets.iter().any(|t| matches!(t.expr, Expr::Agg { .. })) {
+            let StmtResult::Rows(mut table) = retrieve_grouped(db, &plan, columns, targets, qual)?
+            else {
+                unreachable!("retrieve_grouped returns rows");
+            };
+            sort_table(&mut table, sort)?;
+            return Ok(StmtResult::Rows(table));
+        }
+        let mut rows = Vec::new();
+        let mut dedup: HashSet<Vec<u8>> = HashSet::new();
+        let restrictions = plan.restrictions(db, qual);
+        plan.for_each_binding(db, &restrictions, |db, binding| {
+            if let Some(q) = qual {
+                if !eval_bool(db, &plan, binding, q)? {
+                    return Ok(());
+                }
+            }
+            let row = targets
+                .iter()
+                .map(|t| eval(db, &plan, binding, &t.expr))
+                .collect::<Result<Vec<_>>>()?;
+            if unique {
+                let mut key = Vec::new();
+                for v in &row {
+                    encode_value(&mut key, v);
+                }
+                if !dedup.insert(key) {
+                    return Ok(());
+                }
+            }
+            rows.push(row);
+            Ok(())
+        })?;
+        let mut table = Table { columns, rows };
+        sort_table(&mut table, sort)?;
+        Ok(StmtResult::Rows(table))
+    }
+
+    fn append(
+        &mut self,
+        db: &mut Database,
+        entity: &str,
+        assignments: &[(String, Expr)],
+    ) -> Result<StmtResult> {
+        let exprs: Vec<&Expr> = assignments.iter().map(|(_, e)| e).collect();
+        let plan = self.bindings_plan(db, &exprs)?;
+        let mut pending: Vec<Vec<(String, Value)>> = Vec::new();
+        let restrictions = plan.restrictions(db, None);
+        plan.for_each_binding(db, &restrictions, |db, binding| {
+            let row = assignments
+                .iter()
+                .map(|(n, e)| Ok((n.clone(), eval(db, &plan, binding, e)?)))
+                .collect::<Result<Vec<_>>>()?;
+            pending.push(row);
+            Ok(())
+        })?;
+        let n = pending.len();
+        for row in pending {
+            let attrs: Vec<(&str, Value)> =
+                row.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            db.create_entity(entity, &attrs)?;
+        }
+        Ok(StmtResult::Appended(n))
+    }
+
+    fn replace(
+        &mut self,
+        db: &mut Database,
+        var: &str,
+        assignments: &[(String, Expr)],
+        qual: Option<&Expr>,
+    ) -> Result<StmtResult> {
+        let var_expr = Expr::Var(var.to_string());
+        let mut exprs: Vec<&Expr> = assignments.iter().map(|(_, e)| e).collect();
+        exprs.push(&var_expr);
+        if let Some(q) = qual {
+            exprs.push(q);
+        }
+        let plan = self.bindings_plan(db, &exprs)?;
+        let vidx = plan.index_of(var)?;
+        if !matches!(plan.targets[vidx], RangeTarget::Entity(_)) {
+            return Err(LangError::Analyze(format!("replace target {var} must be an entity variable")));
+        }
+        let mut updates: BTreeMap<EntityId, Vec<(String, Value)>> = BTreeMap::new();
+        let restrictions = plan.restrictions(db, qual);
+        plan.for_each_binding(db, &restrictions, |db, binding| {
+            if let Some(q) = qual {
+                if !eval_bool(db, &plan, binding, q)? {
+                    return Ok(());
+                }
+            }
+            let id = binding[vidx];
+            let row = assignments
+                .iter()
+                .map(|(n, e)| Ok((n.clone(), eval(db, &plan, binding, e)?)))
+                .collect::<Result<Vec<_>>>()?;
+            updates.insert(id, row);
+            Ok(())
+        })?;
+        let n = updates.len();
+        for (id, row) in updates {
+            for (attr, v) in row {
+                db.set_attr(id, &attr, v)?;
+            }
+        }
+        Ok(StmtResult::Replaced(n))
+    }
+
+    fn delete(&mut self, db: &mut Database, var: &str, qual: Option<&Expr>) -> Result<StmtResult> {
+        let var_expr = Expr::Var(var.to_string());
+        let mut exprs: Vec<&Expr> = vec![&var_expr];
+        if let Some(q) = qual {
+            exprs.push(q);
+        }
+        let plan = self.bindings_plan(db, &exprs)?;
+        let vidx = plan.index_of(var)?;
+        if !matches!(plan.targets[vidx], RangeTarget::Entity(_)) {
+            return Err(LangError::Analyze(format!("delete target {var} must be an entity variable")));
+        }
+        let mut victims: BTreeSet<EntityId> = BTreeSet::new();
+        let restrictions = plan.restrictions(db, qual);
+        plan.for_each_binding(db, &restrictions, |db, binding| {
+            if let Some(q) = qual {
+                if !eval_bool(db, &plan, binding, q)? {
+                    return Ok(());
+                }
+            }
+            victims.insert(binding[vidx]);
+            Ok(())
+        })?;
+        let n = victims.len();
+        for id in victims {
+            db.delete_entity(id)?;
+        }
+        Ok(StmtResult::Deleted(n))
+    }
+}
+
+/// The variables of one statement and what they range over.
+struct Plan {
+    vars: Vec<String>,
+    targets: Vec<RangeTarget>,
+}
+
+impl Plan {
+    fn index_of(&self, var: &str) -> Result<usize> {
+        self.vars
+            .iter()
+            .position(|v| v == var)
+            .ok_or_else(|| LangError::Analyze(format!("unknown range variable {var}")))
+    }
+
+    /// Per-variable domain restrictions from sargable qualification
+    /// conjuncts (`var.attr = constant` with an attribute index): the
+    /// executor's one optimization.
+    fn restrictions(&self, db: &Database, qual: Option<&Expr>) -> Vec<Option<Vec<u64>>> {
+        let mut out: Vec<Option<Vec<u64>>> = vec![None; self.vars.len()];
+        let Some(qual) = qual else { return out };
+        let mut conjuncts = Vec::new();
+        collect_conjuncts(qual, &mut conjuncts);
+        for c in conjuncts {
+            let Expr::Bin { op: BinOp::Eq, lhs, rhs } = c else { continue };
+            let (var, attr, value) = match (&**lhs, &**rhs) {
+                (Expr::Attr { var, attr }, Expr::Const(v))
+                | (Expr::Const(v), Expr::Attr { var, attr }) => (var, attr, v),
+                _ => continue,
+            };
+            let Some(i) = self.vars.iter().position(|v| v == var) else { continue };
+            let RangeTarget::Entity(ty) = self.targets[i] else { continue };
+            let Ok(def) = db.schema().entity_type(ty) else { continue };
+            let Some(attr_idx) = def.attribute_index(attr) else { continue };
+            if let Some(hits) = db.attr_index_get(ty, attr_idx, value) {
+                // Intersect with any earlier restriction.
+                let hits = hits.to_vec();
+                out[i] = Some(match out[i].take() {
+                    Some(prev) => prev.into_iter().filter(|id| hits.contains(id)).collect(),
+                    None => hits,
+                });
+            }
+        }
+        out
+    }
+
+    /// Enumerates the cross product of all variables' domains (restricted
+    /// where an index applies), invoking `f` with an id per variable
+    /// (entity id or relationship instance id).
+    fn for_each_binding(
+        &self,
+        db: &Database,
+        restrictions: &[Option<Vec<u64>>],
+        mut f: impl FnMut(&Database, &[u64]) -> Result<()>,
+    ) -> Result<()> {
+        let domains: Vec<Vec<u64>> = self
+            .targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match restrictions.get(i).and_then(Option::as_ref) {
+                Some(r) => r.clone(),
+                None => match t {
+                    RangeTarget::Entity(ty) => db.store().instances_of(*ty).to_vec(),
+                    RangeTarget::Relationship(r) => db.store().relationships_of(*r).to_vec(),
+                },
+            })
+            .collect();
+        if domains.is_empty() {
+            return f(db, &[]);
+        }
+        if domains.iter().any(Vec::is_empty) {
+            return Ok(());
+        }
+        let mut odometer = vec![0usize; domains.len()];
+        let mut binding = vec![0u64; domains.len()];
+        loop {
+            for (i, &d) in odometer.iter().enumerate() {
+                binding[i] = domains[i][d];
+            }
+            f(db, &binding)?;
+            // Advance.
+            let mut i = domains.len();
+            loop {
+                if i == 0 {
+                    return Ok(());
+                }
+                i -= 1;
+                odometer[i] += 1;
+                if odometer[i] < domains[i].len() {
+                    break;
+                }
+                odometer[i] = 0;
+            }
+        }
+    }
+}
+
+fn resolve_target(db: &Database, name: &str) -> Result<RangeTarget> {
+    if let Ok(t) = db.schema().entity_type_id(name) {
+        return Ok(RangeTarget::Entity(t));
+    }
+    if let Ok(r) = db.schema().relationship_id(name) {
+        return Ok(RangeTarget::Relationship(r));
+    }
+    Err(LangError::Analyze(format!("{name} names no entity type or relationship")))
+}
+
+fn parse_scalar_type(name: &str) -> Result<mdm_model::DataType> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "integer" | "int" => mdm_model::DataType::Integer,
+        "float" | "real" => mdm_model::DataType::Float,
+        "string" | "text" => mdm_model::DataType::String,
+        "boolean" | "bool" => mdm_model::DataType::Boolean,
+        "bytes" | "blob" => mdm_model::DataType::Bytes,
+        other => return Err(LangError::Analyze(format!("unknown type {other}"))),
+    })
+}
+
+fn parse_type(db: &Database, name: &str) -> Result<mdm_model::DataType> {
+    if let Ok(t) = db.schema().entity_type_id(name) {
+        return Ok(mdm_model::DataType::Entity(t));
+    }
+    parse_scalar_type(name)
+}
+
+/// One aggregate accumulator.
+#[derive(Default)]
+struct Acc {
+    /// Non-null values seen.
+    count: u64,
+    sum: f64,
+    all_integer: bool,
+    started: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Acc {
+    fn add(&mut self, v: &Value) -> Result<()> {
+        if matches!(v, Value::Null) {
+            return Ok(());
+        }
+        self.count += 1;
+        if !self.started {
+            self.all_integer = true;
+            self.started = true;
+        }
+        if let Some(x) = v.as_float() {
+            self.sum += x;
+            if !matches!(v, Value::Integer(_)) {
+                self.all_integer = false;
+            }
+        } else {
+            self.all_integer = false;
+        }
+        let better_min = self.min.as_ref().is_none_or(|m| v.total_cmp(m).is_lt());
+        if better_min {
+            self.min = Some(v.clone());
+        }
+        let better_max = self.max.as_ref().is_none_or(|m| v.total_cmp(m).is_gt());
+        if better_max {
+            self.max = Some(v.clone());
+        }
+        Ok(())
+    }
+
+    fn finish(&self, func: crate::ast::AggFunc) -> Value {
+        use crate::ast::AggFunc::*;
+        match func {
+            Count => Value::Integer(self.count as i64),
+            Sum => {
+                if self.count == 0 {
+                    Value::Integer(0)
+                } else if self.all_integer {
+                    Value::Integer(self.sum as i64)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            Min => self.min.clone().unwrap_or(Value::Null),
+            Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// GROUP-BY retrieve: plain targets are grouping keys, aggregate targets
+/// accumulate per group. Groups emit in first-seen order.
+fn retrieve_grouped(
+    db: &Database,
+    plan: &Plan,
+    columns: Vec<String>,
+    targets: &[Target],
+    qual: Option<&Expr>,
+) -> Result<StmtResult> {
+    for t in targets {
+        if let Expr::Agg { arg, .. } = &t.expr {
+            if contains_agg(arg) {
+                return Err(LangError::Analyze("nested aggregates are not supported".into()));
+            }
+        }
+    }
+    if qual.is_some_and(contains_agg) {
+        return Err(LangError::Analyze(
+            "aggregates are not allowed in qualifications".into(),
+        ));
+    }
+    let mut order: Vec<Vec<u8>> = Vec::new();
+    let mut groups: HashMap<Vec<u8>, (Vec<Value>, Vec<Acc>)> = HashMap::new();
+    let n_aggs = targets.iter().filter(|t| matches!(t.expr, Expr::Agg { .. })).count();
+    let restrictions = plan.restrictions(db, qual);
+    plan.for_each_binding(db, &restrictions, |db, binding| {
+        if let Some(q) = qual {
+            if !eval_bool(db, plan, binding, q)? {
+                return Ok(());
+            }
+        }
+        // Key = the plain targets' values.
+        let mut key_vals = Vec::new();
+        let mut key = Vec::new();
+        for t in targets {
+            if !matches!(t.expr, Expr::Agg { .. }) {
+                let v = eval(db, plan, binding, &t.expr)?;
+                encode_value(&mut key, &v);
+                key_vals.push(v);
+            }
+        }
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            (key_vals, (0..n_aggs).map(|_| Acc::default()).collect())
+        });
+        let mut agg_idx = 0;
+        for t in targets {
+            if let Expr::Agg { arg, .. } = &t.expr {
+                let v = eval(db, plan, binding, arg)?;
+                entry.1[agg_idx].add(&v)?;
+                agg_idx += 1;
+            }
+        }
+        Ok(())
+    })?;
+    // Pure aggregates over an empty input still yield one row.
+    if groups.is_empty() && n_aggs == targets.len() {
+        order.push(Vec::new());
+        groups.insert(Vec::new(), (Vec::new(), (0..n_aggs).map(|_| Acc::default()).collect()));
+    }
+    let mut rows = Vec::with_capacity(order.len());
+    for key in order {
+        let (key_vals, accs) = &groups[&key];
+        let mut row = Vec::with_capacity(targets.len());
+        let mut ki = 0;
+        let mut ai = 0;
+        for t in targets {
+            match &t.expr {
+                Expr::Agg { func, .. } => {
+                    row.push(accs[ai].finish(*func));
+                    ai += 1;
+                }
+                _ => {
+                    row.push(key_vals[ki].clone());
+                    ki += 1;
+                }
+            }
+        }
+        rows.push(row);
+    }
+    Ok(StmtResult::Rows(Table { columns, rows }))
+}
+
+/// Applies a `sort by` clause: keys name output columns, compared with
+/// [`Value::total_cmp`]; a stable sort keeps prior order among ties.
+fn sort_table(table: &mut Table, sort: &[(String, bool)]) -> Result<()> {
+    if sort.is_empty() {
+        return Ok(());
+    }
+    let keys: Vec<(usize, bool)> = sort
+        .iter()
+        .map(|(col, asc)| {
+            table
+                .columns
+                .iter()
+                .position(|c| c == col)
+                .map(|i| (i, *asc))
+                .ok_or_else(|| {
+                    LangError::Analyze(format!("sort by names no output column: {col}"))
+                })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    table.rows.sort_by(|a, b| {
+        for &(i, asc) in &keys {
+            let ord = a[i].total_cmp(&b[i]);
+            if !ord.is_eq() {
+                return if asc { ord } else { ord.reverse() };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(())
+}
+
+/// Splits an AND tree into its conjuncts.
+fn collect_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match e {
+        Expr::Bin { op: BinOp::And, lhs, rhs } => {
+            collect_conjuncts(lhs, out);
+            collect_conjuncts(rhs, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn contains_agg(e: &Expr) -> bool {
+    match e {
+        Expr::Agg { .. } => true,
+        Expr::Const(_) | Expr::Var(_) | Expr::Attr { .. } | Expr::Ord { .. } => false,
+        Expr::Bin { lhs, rhs, .. } | Expr::Is { lhs, rhs } => {
+            contains_agg(lhs) || contains_agg(rhs)
+        }
+        Expr::Not(x) | Expr::Neg(x) => contains_agg(x),
+    }
+}
+
+fn collect_vars(e: &Expr, out: &mut Vec<String>, seen: &mut HashSet<String>) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Var(v) => {
+            if seen.insert(v.clone()) {
+                out.push(v.clone());
+            }
+        }
+        Expr::Attr { var, .. } => {
+            if seen.insert(var.clone()) {
+                out.push(var.clone());
+            }
+        }
+        Expr::Bin { lhs, rhs, .. } | Expr::Is { lhs, rhs } => {
+            collect_vars(lhs, out, seen);
+            collect_vars(rhs, out, seen);
+        }
+        Expr::Not(x) | Expr::Neg(x) | Expr::Agg { arg: x, .. } => collect_vars(x, out, seen),
+        Expr::Ord { lhs, rhs, .. } => {
+            for v in [lhs, rhs] {
+                if seen.insert(v.clone()) {
+                    out.push(v.clone());
+                }
+            }
+        }
+    }
+}
+
+fn expr_label(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => v.to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Attr { var, attr } => format!("{var}.{attr}"),
+        Expr::Agg { func, arg } => format!("{}({})", func.name(), expr_label(arg)),
+        Expr::Bin { .. } | Expr::Not(_) | Expr::Neg(_) | Expr::Is { .. } | Expr::Ord { .. } => {
+            "expr".to_string()
+        }
+    }
+}
+
+fn eval_bool(db: &Database, plan: &Plan, binding: &[u64], e: &Expr) -> Result<bool> {
+    match eval(db, plan, binding, e)? {
+        Value::Boolean(b) => Ok(b),
+        other => Err(LangError::Eval(format!(
+            "qualification evaluated to {other}, expected a boolean"
+        ))),
+    }
+}
+
+fn eval(db: &Database, plan: &Plan, binding: &[u64], e: &Expr) -> Result<Value> {
+    match e {
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Var(v) => {
+            let i = plan.index_of(v)?;
+            match plan.targets[i] {
+                RangeTarget::Entity(_) => Ok(Value::Entity(binding[i])),
+                RangeTarget::Relationship(_) => Err(LangError::Eval(format!(
+                    "relationship variable {v} has no value; project a member instead"
+                ))),
+            }
+        }
+        Expr::Attr { var, attr } => {
+            let i = plan.index_of(var)?;
+            match plan.targets[i] {
+                RangeTarget::Entity(_) => Ok(db.get_attr(binding[i], attr)?.clone()),
+                RangeTarget::Relationship(r) => {
+                    let def = db.schema().relationship(r)?;
+                    let inst = db.store().relationship(binding[i])?;
+                    if let Some(ri) = def.role_index(attr) {
+                        Ok(Value::Entity(inst.entities[ri]))
+                    } else if let Some(ai) = def.attribute_index(attr) {
+                        Ok(inst.attrs[ai].clone())
+                    } else {
+                        Err(LangError::Analyze(format!(
+                            "relationship {} has no member {attr}",
+                            def.name
+                        )))
+                    }
+                }
+            }
+        }
+        Expr::Neg(x) => match eval(db, plan, binding, x)? {
+            Value::Integer(i) => Ok(Value::Integer(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(LangError::Eval(format!("cannot negate {other}"))),
+        },
+        Expr::Not(x) => match eval(db, plan, binding, x)? {
+            Value::Boolean(b) => Ok(Value::Boolean(!b)),
+            other => Err(LangError::Eval(format!("cannot apply not to {other}"))),
+        },
+        Expr::Is { lhs, rhs } => {
+            let l = eval(db, plan, binding, lhs)?;
+            let r = eval(db, plan, binding, rhs)?;
+            match (l, r) {
+                (Value::Entity(a), Value::Entity(b)) => Ok(Value::Boolean(a == b)),
+                (l, r) => Err(LangError::Eval(format!(
+                    "is compares entities, found {l} and {r}"
+                ))),
+            }
+        }
+        Expr::Agg { func, .. } => Err(LangError::Analyze(format!(
+            "{} is only allowed as a retrieve target",
+            func.name()
+        ))),
+        Expr::Ord { op, lhs, rhs, ordering } => {
+            let li = plan.index_of(lhs)?;
+            let ri = plan.index_of(rhs)?;
+            let (RangeTarget::Entity(lty), RangeTarget::Entity(rty)) =
+                (plan.targets[li], plan.targets[ri])
+            else {
+                return Err(LangError::Eval(
+                    "ordering operators take entity variables".into(),
+                ));
+            };
+            let (child_ty, other_ty) = match op {
+                OrdOp::Under => (lty, rty),
+                OrdOp::Before | OrdOp::After => (lty, rty),
+            };
+            let o = db
+                .schema()
+                .resolve_ordering(ordering.as_deref(), child_ty, Some(other_ty))?;
+            let a = binding[li];
+            let b = binding[ri];
+            let result = match op {
+                OrdOp::Before => db.store().before(o, a, b),
+                OrdOp::After => db.store().after(o, a, b),
+                OrdOp::Under => db.store().under(o, a, b),
+            };
+            Ok(Value::Boolean(result))
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            // Short-circuit booleans.
+            if matches!(op, BinOp::And | BinOp::Or) {
+                let l = eval_bool(db, plan, binding, lhs)?;
+                return match (op, l) {
+                    (BinOp::And, false) => Ok(Value::Boolean(false)),
+                    (BinOp::Or, true) => Ok(Value::Boolean(true)),
+                    _ => Ok(Value::Boolean(eval_bool(db, plan, binding, rhs)?)),
+                };
+            }
+            let l = eval(db, plan, binding, lhs)?;
+            let r = eval(db, plan, binding, rhs)?;
+            match op {
+                BinOp::Eq => Ok(Value::Boolean(l.total_cmp(&r).is_eq())),
+                BinOp::Ne => Ok(Value::Boolean(!l.total_cmp(&r).is_eq())),
+                BinOp::Lt => Ok(Value::Boolean(l.total_cmp(&r).is_lt())),
+                BinOp::Le => Ok(Value::Boolean(l.total_cmp(&r).is_le())),
+                BinOp::Gt => Ok(Value::Boolean(l.total_cmp(&r).is_gt())),
+                BinOp::Ge => Ok(Value::Boolean(l.total_cmp(&r).is_ge())),
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, l, r),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+fn arith(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    if let (BinOp::Add, Value::String(a), Value::String(b)) = (op, &l, &r) {
+        return Ok(Value::String(format!("{a}{b}")));
+    }
+    match (l, r) {
+        (Value::Integer(a), Value::Integer(b)) => Ok(match op {
+            BinOp::Add => Value::Integer(a.wrapping_add(b)),
+            BinOp::Sub => Value::Integer(a.wrapping_sub(b)),
+            BinOp::Mul => Value::Integer(a.wrapping_mul(b)),
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(LangError::Eval("division by zero".into()));
+                }
+                Value::Integer(a / b)
+            }
+            _ => unreachable!(),
+        }),
+        (l, r) => {
+            let (Some(a), Some(b)) = (l.as_float(), r.as_float()) else {
+                return Err(LangError::Eval(format!("cannot compute {l} {op:?} {r}")));
+            };
+            Ok(Value::Float(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                _ => unreachable!(),
+            }))
+        }
+    }
+}

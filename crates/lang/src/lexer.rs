@@ -1,0 +1,389 @@
+//! Tokenizer for the DDL and QUEL.
+//!
+//! Keywords are case-insensitive (`RETRIEVE` ≡ `retrieve`); identifiers
+//! are case-sensitive, matching the paper's convention of upper-case
+//! entity names and lower-case keywords.
+
+use crate::error::{LangError, Result};
+
+/// One token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (stored lower-case).
+    Keyword(Keyword),
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, escapes processed).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(Sym),
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Define,
+    Under,
+    Range,
+    Of,
+    Is,
+    Retrieve,
+    Unique,
+    Where,
+    Append,
+    To,
+    Replace,
+    Delete,
+    Before,
+    After,
+    In,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    Null,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "define" => Keyword::Define,
+            "under" => Keyword::Under,
+            "range" => Keyword::Range,
+            "of" => Keyword::Of,
+            "is" => Keyword::Is,
+            "retrieve" => Keyword::Retrieve,
+            "unique" => Keyword::Unique,
+            "where" => Keyword::Where,
+            "append" => Keyword::Append,
+            "to" => Keyword::To,
+            "replace" => Keyword::Replace,
+            "delete" => Keyword::Delete,
+            "before" => Keyword::Before,
+            "after" => Keyword::After,
+            "in" => Keyword::In,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "not" => Keyword::Not,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "null" => Keyword::Null,
+            _ => return None,
+        })
+    }
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+}
+
+/// Tokenizes `input`. Comments run from `--` or `#` to end of line.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::LParen), line });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::RParen), line });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Comma), line });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Dot), line });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Eq), line });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Plus), line });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Minus), line });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Star), line });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Slash), line });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Ne), line });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Sym(Sym::Le), line });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Sym(Sym::Ne), line });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Sym(Sym::Lt), line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Sym(Sym::Ge), line });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Sym(Sym::Gt), line });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LangError::Lex {
+                                line,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes.get(i + 1).copied().ok_or(LangError::Lex {
+                                line,
+                                message: "dangling escape".into(),
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => other as char,
+                            });
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            if b == b'\n' {
+                                line += 1;
+                            }
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LangError::Lex {
+                        line,
+                        message: format!("bad float literal {text}"),
+                    })?)
+                } else {
+                    TokenKind::Integer(text.parse().map_err(|_| LangError::Lex {
+                        line,
+                        message: format!("bad integer literal {text}"),
+                    })?)
+                };
+                tokens.push(Token { kind, line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let kind = match Keyword::from_str(word) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, line });
+            }
+            other => {
+                return Err(LangError::Lex {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("RETRIEVE retrieve Retrieve"),
+            vec![
+                TokenKind::Keyword(Keyword::Retrieve),
+                TokenKind::Keyword(Keyword::Retrieve),
+                TokenKind::Keyword(Keyword::Retrieve),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        assert_eq!(
+            kinds("COMPOSITION title"),
+            vec![
+                TokenKind::Ident("COMPOSITION".into()),
+                TokenKind::Ident("title".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            kinds(r#"42 2.5 "Fuge g-moll" "with \"quote\"""#),
+            vec![
+                TokenKind::Integer(42),
+                TokenKind::Float(2.5),
+                TokenKind::Str("Fuge g-moll".into()),
+                TokenKind::Str("with \"quote\"".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >= + - * / ( ) , ."),
+            vec![
+                TokenKind::Sym(Sym::Eq),
+                TokenKind::Sym(Sym::Ne),
+                TokenKind::Sym(Sym::Ne),
+                TokenKind::Sym(Sym::Lt),
+                TokenKind::Sym(Sym::Le),
+                TokenKind::Sym(Sym::Gt),
+                TokenKind::Sym(Sym::Ge),
+                TokenKind::Sym(Sym::Plus),
+                TokenKind::Sym(Sym::Minus),
+                TokenKind::Sym(Sym::Star),
+                TokenKind::Sym(Sym::Slash),
+                TokenKind::Sym(Sym::LParen),
+                TokenKind::Sym(Sym::RParen),
+                TokenKind::Sym(Sym::Comma),
+                TokenKind::Sym(Sym::Dot),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a -- comment\nb # another\nc"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("\"oops"), Err(LangError::Lex { .. })));
+    }
+}

@@ -1,0 +1,665 @@
+//! Recursive-descent parser for the DDL (§5.4) and QUEL (§5.6).
+
+use crate::ast::{BinOp, Expr, OrdOp, Stmt, Target};
+use crate::error::{LangError, Result};
+use crate::lexer::{lex, Keyword, Sym, Token, TokenKind};
+use mdm_model::Value;
+
+/// Parses a program: a sequence of statements.
+pub fn parse(input: &str) -> Result<Vec<Stmt>> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_eof() {
+        stmts.push(p.statement()?);
+    }
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> LangError {
+        LangError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.peek() == &TokenKind::Keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> bool {
+        if self.peek() == &TokenKind::Sym(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: Sym) -> Result<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Define) => self.define(),
+            TokenKind::Keyword(Keyword::Range) => self.range_of(),
+            TokenKind::Keyword(Keyword::Retrieve) => self.retrieve(),
+            TokenKind::Keyword(Keyword::Append) => self.append(),
+            TokenKind::Keyword(Keyword::Replace) => self.replace(),
+            TokenKind::Keyword(Keyword::Delete) => self.delete(),
+            other => Err(self.err(format!("expected a statement, found {other:?}"))),
+        }
+    }
+
+    // define entity NAME ( attr = type, … )
+    // define relationship NAME ( member = type, … )
+    // define ordering [name] ( CHILD, … ) [under PARENT]
+    fn define(&mut self) -> Result<Stmt> {
+        self.expect_kw(Keyword::Define)?;
+        // `entity`, `relationship`, and `ordering` are contextual
+        // keywords: the meta-schema (§6.1) names entity types ENTITY,
+        // RELATIONSHIP, and ORDERING, so these words stay ordinary
+        // identifiers everywhere except right after `define`.
+        let kind = self.ident()?.to_ascii_lowercase();
+        match kind.as_str() {
+            "entity" => {
+                let name = self.ident()?;
+                let attrs = self.member_list()?;
+                Ok(Stmt::DefineEntity { name, attrs })
+            }
+            "relationship" => {
+                let name = self.ident()?;
+                let members = self.member_list()?;
+                Ok(Stmt::DefineRelationship { name, members })
+            }
+            "ordering" => {
+                let name = match self.peek() {
+                    TokenKind::Ident(_) => Some(self.ident()?),
+                    _ => None,
+                };
+                self.expect_sym(Sym::LParen)?;
+                let mut children = vec![self.ident()?];
+                while self.eat_sym(Sym::Comma) {
+                    children.push(self.ident()?);
+                }
+                self.expect_sym(Sym::RParen)?;
+                let parent = if self.eat_kw(Keyword::Under) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::DefineOrdering { name, children, parent })
+            }
+            other => Err(self.err(format!(
+                "expected entity, relationship, or ordering after define; found {other}"
+            ))),
+        }
+    }
+
+    fn member_list(&mut self) -> Result<Vec<(String, String)>> {
+        self.expect_sym(Sym::LParen)?;
+        let mut members = Vec::new();
+        if !self.eat_sym(Sym::RParen) {
+            loop {
+                let name = self.ident()?;
+                self.expect_sym(Sym::Eq)?;
+                let ty = self.ident()?;
+                members.push((name, ty));
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+        }
+        Ok(members)
+    }
+
+    // range of v1, v2 is TYPE
+    fn range_of(&mut self) -> Result<Stmt> {
+        self.expect_kw(Keyword::Range)?;
+        self.expect_kw(Keyword::Of)?;
+        let mut vars = vec![self.ident()?];
+        while self.eat_sym(Sym::Comma) {
+            vars.push(self.ident()?);
+        }
+        self.expect_kw(Keyword::Is)?;
+        let target = self.ident()?;
+        Ok(Stmt::RangeOf { vars, target })
+    }
+
+    // retrieve [unique] ( target, … ) [where qual]
+    fn retrieve(&mut self) -> Result<Stmt> {
+        self.expect_kw(Keyword::Retrieve)?;
+        let unique = self.eat_kw(Keyword::Unique);
+        self.expect_sym(Sym::LParen)?;
+        let mut targets = vec![self.target()?];
+        while self.eat_sym(Sym::Comma) {
+            targets.push(self.target()?);
+        }
+        self.expect_sym(Sym::RParen)?;
+        let qual = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        // `sort by` is contextual (both words stay valid identifiers).
+        let mut sort = Vec::new();
+        if let (TokenKind::Ident(a), TokenKind::Ident(b)) = (self.peek(), self.peek2()) {
+            if a.eq_ignore_ascii_case("sort") && b.eq_ignore_ascii_case("by") {
+                self.bump();
+                self.bump();
+                loop {
+                    let mut col = self.ident()?;
+                    if self.eat_sym(Sym::Dot) {
+                        let attr = self.ident()?;
+                        col = format!("{col}.{attr}");
+                    }
+                    let ascending = match self.peek() {
+                        TokenKind::Ident(d) if d.eq_ignore_ascii_case("asc") => {
+                            self.bump();
+                            true
+                        }
+                        TokenKind::Ident(d) if d.eq_ignore_ascii_case("desc") => {
+                            self.bump();
+                            false
+                        }
+                        _ => true,
+                    };
+                    sort.push((col, ascending));
+                    if !self.eat_sym(Sym::Comma) {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(Stmt::Retrieve { unique, targets, qual, sort })
+    }
+
+    fn target(&mut self) -> Result<Target> {
+        // `label = expr` when an identifier is directly followed by `=`
+        // and the thing after `=` is not itself the start of a comparison
+        // continuation (labels bind tighter, as in QUEL).
+        if let (TokenKind::Ident(label), TokenKind::Sym(Sym::Eq)) = (self.peek(), self.peek2()) {
+            let label = label.clone();
+            self.bump();
+            self.bump();
+            let expr = self.expr()?;
+            return Ok(Target { label: Some(label), expr });
+        }
+        Ok(Target { label: None, expr: self.expr()? })
+    }
+
+    // append to TYPE ( attr = expr, … )
+    fn append(&mut self) -> Result<Stmt> {
+        self.expect_kw(Keyword::Append)?;
+        self.expect_kw(Keyword::To)?;
+        let entity = self.ident()?;
+        let assignments = self.assignments()?;
+        Ok(Stmt::AppendTo { entity, assignments })
+    }
+
+    // replace VAR ( attr = expr, … ) [where qual]
+    fn replace(&mut self) -> Result<Stmt> {
+        self.expect_kw(Keyword::Replace)?;
+        let var = self.ident()?;
+        let assignments = self.assignments()?;
+        let qual = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Replace { var, assignments, qual })
+    }
+
+    // delete VAR [where qual]
+    fn delete(&mut self) -> Result<Stmt> {
+        self.expect_kw(Keyword::Delete)?;
+        let var = self.ident()?;
+        let qual = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Delete { var, qual })
+    }
+
+    fn assignments(&mut self) -> Result<Vec<(String, Expr)>> {
+        self.expect_sym(Sym::LParen)?;
+        let mut out = Vec::new();
+        if !self.eat_sym(Sym::RParen) {
+            loop {
+                let name = self.ident()?;
+                self.expect_sym(Sym::Eq)?;
+                out.push((name, self.expr()?));
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw(Keyword::Not) {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            TokenKind::Sym(Sym::Eq) => Some(BinOp::Eq),
+            TokenKind::Sym(Sym::Ne) => Some(BinOp::Ne),
+            TokenKind::Sym(Sym::Lt) => Some(BinOp::Lt),
+            TokenKind::Sym(Sym::Le) => Some(BinOp::Le),
+            TokenKind::Sym(Sym::Gt) => Some(BinOp::Gt),
+            TokenKind::Sym(Sym::Ge) => Some(BinOp::Ge),
+            TokenKind::Keyword(Keyword::Is) => {
+                self.bump();
+                let rhs = self.additive()?;
+                return Ok(Expr::Is { lhs: Box::new(lhs), rhs: Box::new(rhs) });
+            }
+            TokenKind::Keyword(k @ (Keyword::Before | Keyword::After | Keyword::Under)) => {
+                let op = match k {
+                    Keyword::Before => OrdOp::Before,
+                    Keyword::After => OrdOp::After,
+                    _ => OrdOp::Under,
+                };
+                self.bump();
+                let rhs = self.additive()?;
+                let ordering = if self.eat_kw(Keyword::In) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                let (Expr::Var(l), Expr::Var(r)) = (&lhs, &rhs) else {
+                    return Err(self.err(
+                        "ordering operators take range variables as operands",
+                    ));
+                };
+                return Ok(Expr::Ord {
+                    op,
+                    lhs: l.clone(),
+                    rhs: r.clone(),
+                    ordering,
+                });
+            }
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let rhs = self.additive()?;
+                Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Sym(Sym::Plus) => BinOp::Add,
+                TokenKind::Sym(Sym::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Sym(Sym::Star) => BinOp::Mul,
+                TokenKind::Sym(Sym::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Integer(i) => {
+                self.bump();
+                Ok(Expr::Const(Value::Integer(i)))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(Expr::Const(Value::Float(x)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Const(Value::String(s)))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::Const(Value::Boolean(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::Const(Value::Boolean(false)))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.bump();
+                Ok(Expr::Const(Value::Null))
+            }
+            TokenKind::Sym(Sym::Minus) => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.factor()?)))
+            }
+            TokenKind::Sym(Sym::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                // Aggregate call? `count(...)` etc. — contextual, so
+                // `count` stays usable as an ordinary identifier.
+                if let Some(func) = crate::ast::AggFunc::from_name(&name) {
+                    if self.peek() == &TokenKind::Sym(Sym::LParen) {
+                        self.bump();
+                        let arg = self.expr()?;
+                        self.expect_sym(Sym::RParen)?;
+                        return Ok(Expr::Agg { func, arg: Box::new(arg) });
+                    }
+                }
+                if self.eat_sym(Sym::Dot) {
+                    let attr = self.ident()?;
+                    Ok(Expr::Attr { var: name, attr })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_define_entity_paper() {
+        // §5.1 examples.
+        let stmts = parse(
+            "define entity DATE (day = integer, month = integer, year = integer)\n\
+             define entity COMPOSITION (title = string, composition_date = DATE)",
+        )
+        .unwrap();
+        assert_eq!(
+            stmts[0],
+            Stmt::DefineEntity {
+                name: "DATE".into(),
+                attrs: vec![
+                    ("day".into(), "integer".into()),
+                    ("month".into(), "integer".into()),
+                    ("year".into(), "integer".into()),
+                ],
+            }
+        );
+        assert_eq!(
+            stmts[1],
+            Stmt::DefineEntity {
+                name: "COMPOSITION".into(),
+                attrs: vec![
+                    ("title".into(), "string".into()),
+                    ("composition_date".into(), "DATE".into()),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn parse_define_relationship() {
+        let stmts = parse(
+            "define relationship COMPOSER (person = PERSON, composition = COMPOSITION)",
+        )
+        .unwrap();
+        assert_eq!(
+            stmts[0],
+            Stmt::DefineRelationship {
+                name: "COMPOSER".into(),
+                members: vec![
+                    ("person".into(), "PERSON".into()),
+                    ("composition".into(), "COMPOSITION".into()),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn parse_define_ordering_variants() {
+        // §5.4 and §5.5 forms.
+        let stmts = parse(
+            "define ordering note_in_chord (NOTE) under CHORD\n\
+             define ordering (CHORD, REST) under VOICE\n\
+             define ordering (BEAM_GROUP, CHORD) under BEAM_GROUP\n\
+             define ordering all_measures (MEASURE)",
+        )
+        .unwrap();
+        assert_eq!(
+            stmts[0],
+            Stmt::DefineOrdering {
+                name: Some("note_in_chord".into()),
+                children: vec!["NOTE".into()],
+                parent: Some("CHORD".into()),
+            }
+        );
+        assert_eq!(
+            stmts[1],
+            Stmt::DefineOrdering {
+                name: None,
+                children: vec!["CHORD".into(), "REST".into()],
+                parent: Some("VOICE".into()),
+            }
+        );
+        assert!(matches!(&stmts[2], Stmt::DefineOrdering { parent: Some(p), .. } if p == "BEAM_GROUP"));
+        assert_eq!(
+            stmts[3],
+            Stmt::DefineOrdering {
+                name: Some("all_measures".into()),
+                children: vec!["MEASURE".into()],
+                parent: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_range_and_retrieve() {
+        let stmts = parse(
+            "range of n1, n2 is NOTE\n\
+             retrieve (n1.name) where n1 before n2 in note_in_chord and n2.name = 5",
+        )
+        .unwrap();
+        assert_eq!(
+            stmts[0],
+            Stmt::RangeOf { vars: vec!["n1".into(), "n2".into()], target: "NOTE".into() }
+        );
+        let Stmt::Retrieve { targets, qual, .. } = &stmts[1] else { panic!() };
+        assert_eq!(targets.len(), 1);
+        let Some(Expr::Bin { op: BinOp::And, lhs, .. }) = qual else { panic!("{qual:?}") };
+        assert_eq!(
+            **lhs,
+            Expr::Ord {
+                op: OrdOp::Before,
+                lhs: "n1".into(),
+                rhs: "n2".into(),
+                ordering: Some("note_in_chord".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_star_spangled_banner() {
+        // The §5.6 `is` query, verbatim (modulo whitespace).
+        let stmts = parse(
+            "retrieve (PERSON.name)\n\
+             where COMPOSITION.title = \"The Star Spangled Banner\"\n\
+             and COMPOSER.composition is COMPOSITION\n\
+             and COMPOSER.composer is PERSON",
+        )
+        .unwrap();
+        let Stmt::Retrieve { qual: Some(q), .. } = &stmts[0] else { panic!() };
+        // Top-level is an AND chain ending in an `is`.
+        let Expr::Bin { op: BinOp::And, rhs, .. } = q else { panic!("{q:?}") };
+        assert!(matches!(**rhs, Expr::Is { .. }));
+    }
+
+    #[test]
+    fn parse_under_query() {
+        let stmts =
+            parse("retrieve (n1.name) where n1 under c1 in note_in_chord and c1.name = 7").unwrap();
+        let Stmt::Retrieve { qual: Some(q), .. } = &stmts[0] else { panic!() };
+        let Expr::Bin { lhs, .. } = q else { panic!() };
+        assert_eq!(
+            **lhs,
+            Expr::Ord {
+                op: OrdOp::Under,
+                lhs: "n1".into(),
+                rhs: "c1".into(),
+                ordering: Some("note_in_chord".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_append_replace_delete() {
+        let stmts = parse(
+            "append to COMPOSITION (title = \"Fuge g-moll\", year = 1703 + 6)\n\
+             replace c (title = \"renamed\") where c.year < 1800\n\
+             delete c where c.title = \"renamed\"",
+        )
+        .unwrap();
+        assert!(matches!(&stmts[0], Stmt::AppendTo { entity, .. } if entity == "COMPOSITION"));
+        assert!(matches!(&stmts[1], Stmt::Replace { var, .. } if var == "c"));
+        assert!(matches!(&stmts[2], Stmt::Delete { var, .. } if var == "c"));
+    }
+
+    #[test]
+    fn parse_labeled_targets_and_unique() {
+        let stmts = parse("retrieve unique (who = PERSON.name, PERSON.name)").unwrap();
+        let Stmt::Retrieve { unique, targets, .. } = &stmts[0] else { panic!() };
+        assert!(unique);
+        assert_eq!(targets[0].label.as_deref(), Some("who"));
+        assert_eq!(targets[1].label, None);
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let stmts = parse("retrieve (x.a + x.b * 2)").unwrap();
+        let Stmt::Retrieve { targets, .. } = &stmts[0] else { panic!() };
+        let Expr::Bin { op: BinOp::Add, rhs, .. } = &targets[0].expr else { panic!() };
+        assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn ordering_op_requires_vars() {
+        assert!(parse("retrieve (n.x) where n.x before n2").is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("range of x is NOTE\nretrieve (").unwrap_err();
+        let LangError::Parse { line, .. } = err else { panic!("{err}") };
+        assert_eq!(line, 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Tests for the aggregate extension (count/sum/avg/min/max with
+//! grouping) — the \[Han84\] user-defined-aggregate work the paper calls
+//! "directly applicable to our music representation problem".
+
+use mdm_lang::{LangError, Session, StmtResult, Table};
+use mdm_model::{Database, Value};
+
+fn rows(r: &StmtResult) -> &Table {
+    match r {
+        StmtResult::Rows(t) => t,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+fn setup() -> (Session, Database) {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity NOTE (voice = string, midi = integer, dur = float)\n\
+         append to NOTE (voice = \"soprano\", midi = 72, dur = 1.0)\n\
+         append to NOTE (voice = \"soprano\", midi = 76, dur = 0.5)\n\
+         append to NOTE (voice = \"soprano\", midi = 79, dur = 0.5)\n\
+         append to NOTE (voice = \"bass\", midi = 48, dur = 2.0)\n\
+         append to NOTE (voice = \"bass\", midi = 43, dur = 2.0)",
+    )
+    .unwrap();
+    (s, db)
+}
+
+#[test]
+fn count_all() {
+    let (mut s, mut db) = setup();
+    let out = s.execute(&mut db, "retrieve (count(NOTE.midi))").unwrap();
+    assert_eq!(rows(&out[0]).rows[0][0], Value::Integer(5));
+}
+
+#[test]
+fn grouped_count_and_extremes() {
+    let (mut s, mut db) = setup();
+    let out = s
+        .execute(
+            &mut db,
+            "range of n is NOTE\n\
+             retrieve (n.voice, count(n.midi), lo = min(n.midi), hi = max(n.midi))",
+        )
+        .unwrap();
+    let t = rows(&out[1]);
+    assert_eq!(t.columns, vec!["n.voice", "count(n.midi)", "lo", "hi"]);
+    assert_eq!(t.len(), 2);
+    // First-seen group order: soprano then bass.
+    assert_eq!(t.rows[0][0], Value::String("soprano".into()));
+    assert_eq!(t.rows[0][1], Value::Integer(3));
+    assert_eq!(t.rows[0][2], Value::Integer(72));
+    assert_eq!(t.rows[0][3], Value::Integer(79));
+    assert_eq!(t.rows[1][0], Value::String("bass".into()));
+    assert_eq!(t.rows[1][1], Value::Integer(2));
+}
+
+#[test]
+fn sum_and_avg() {
+    let (mut s, mut db) = setup();
+    let out = s
+        .execute(&mut db, "range of n is NOTE\nretrieve (n.voice, sum(n.dur), avg(n.midi))")
+        .unwrap();
+    let t = rows(&out[1]);
+    assert_eq!(t.rows[0][1], Value::Float(2.0), "soprano durations sum");
+    assert_eq!(t.rows[1][1], Value::Float(4.0), "bass durations sum");
+    let Value::Float(avg) = t.rows[1][2] else { panic!() };
+    assert!((avg - 45.5).abs() < 1e-12);
+}
+
+#[test]
+fn sum_of_integers_stays_integer() {
+    let (mut s, mut db) = setup();
+    let out = s.execute(&mut db, "retrieve (sum(NOTE.midi))").unwrap();
+    assert_eq!(rows(&out[0]).rows[0][0], Value::Integer(72 + 76 + 79 + 48 + 43));
+}
+
+#[test]
+fn aggregate_with_qualification() {
+    let (mut s, mut db) = setup();
+    let out = s
+        .execute(&mut db, "range of n is NOTE\nretrieve (count(n.midi)) where n.midi > 70")
+        .unwrap();
+    assert_eq!(rows(&out[1]).rows[0][0], Value::Integer(3));
+}
+
+#[test]
+fn empty_input_yields_zero_count() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(&mut db, "define entity E (x = integer)").unwrap();
+    let out = s.execute(&mut db, "retrieve (count(E.x), sum(E.x), avg(E.x))").unwrap();
+    let t = rows(&out[0]);
+    assert_eq!(t.rows[0][0], Value::Integer(0));
+    assert_eq!(t.rows[0][1], Value::Integer(0));
+    assert_eq!(t.rows[0][2], Value::Null);
+}
+
+#[test]
+fn nulls_are_skipped() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity E (x = integer)\nappend to E (x = 1)\nappend to E ()",
+    )
+    .unwrap();
+    let out = s.execute(&mut db, "retrieve (count(E.x), min(E.x))").unwrap();
+    let t = rows(&out[0]);
+    assert_eq!(t.rows[0][0], Value::Integer(1), "null not counted");
+    assert_eq!(t.rows[0][1], Value::Integer(1));
+}
+
+#[test]
+fn aggregate_in_qualification_rejected() {
+    let (mut s, mut db) = setup();
+    let err = s
+        .execute(&mut db, "retrieve (NOTE.voice, count(NOTE.midi)) where count(NOTE.midi) > 1")
+        .unwrap_err();
+    assert!(matches!(err, LangError::Analyze(_)), "{err}");
+}
+
+#[test]
+fn nested_aggregate_rejected() {
+    let (mut s, mut db) = setup();
+    let err = s
+        .execute(&mut db, "retrieve (count(sum(NOTE.midi)))")
+        .unwrap_err();
+    assert!(matches!(err, LangError::Analyze(_)), "{err}");
+}
+
+#[test]
+fn count_remains_a_valid_identifier() {
+    // `count` is contextual: as a plain name it is an ordinary entity
+    // type / variable identifier.
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(&mut db, "define entity count (x = integer)\nappend to count (x = 9)")
+        .unwrap();
+    let out = s.execute(&mut db, "retrieve (count.x)").unwrap();
+    assert_eq!(rows(&out[0]).rows[0][0], Value::Integer(9));
+}
+
+#[test]
+fn aggregate_over_expression() {
+    let (mut s, mut db) = setup();
+    let out = s
+        .execute(&mut db, "range of n is NOTE\nretrieve (sum(n.dur * 2.0))")
+        .unwrap();
+    assert_eq!(rows(&out[1]).rows[0][0], Value::Float(12.0));
+}
+
+#[test]
+fn aggregates_over_music_corpus() {
+    // The musicological use: notes per chord via the ordering + count.
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity CHORD (name = integer)\n\
+         define entity NOTE (name = integer)\n\
+         define ordering note_in_chord (NOTE) under CHORD",
+    )
+    .unwrap();
+    for c in 0..3i64 {
+        let chord = db.create_entity("CHORD", &[("name", Value::Integer(c))]).unwrap();
+        for n in 0..(c + 2) {
+            let note = db
+                .create_entity("NOTE", &[("name", Value::Integer(c * 10 + n))])
+                .unwrap();
+            db.ord_append("note_in_chord", Some(chord), note).unwrap();
+        }
+    }
+    let out = s
+        .execute(
+            &mut db,
+            "range of c is CHORD\nrange of n is NOTE\n\
+             retrieve (c.name, width = count(n.name)) where n under c in note_in_chord",
+        )
+        .unwrap();
+    let t = rows(&out[2]);
+    assert_eq!(t.len(), 3);
+    let widths: Vec<i64> = t.rows.iter().map(|r| r[1].as_integer().unwrap()).collect();
+    assert_eq!(widths, vec![2, 3, 4]);
+}

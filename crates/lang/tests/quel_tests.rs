@@ -1,0 +1,450 @@
+//! End-to-end QUEL tests, centered on the paper's §5.6 example queries.
+
+use mdm_lang::{LangError, Session, StmtResult, Table};
+use mdm_model::{Database, Value};
+
+fn rows(r: &StmtResult) -> &Table {
+    match r {
+        StmtResult::Rows(t) => t,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+fn ints(t: &Table, col: usize) -> Vec<i64> {
+    t.rows.iter().map(|r| r[col].as_integer().unwrap()).collect()
+}
+
+/// Builds the §5.6 NOTE/CHORD database: chord 1 with notes 1..=4 in
+/// order, chord 2 with notes 5..=6.
+fn chord_db(session: &mut Session) -> Database {
+    let mut db = Database::new();
+    session
+        .execute(
+            &mut db,
+            "define entity CHORD (name = integer)\n\
+             define entity NOTE (name = integer)\n\
+             define ordering note_in_chord (NOTE) under CHORD",
+        )
+        .unwrap();
+    let c1 = db.create_entity("CHORD", &[("name", Value::Integer(1))]).unwrap();
+    let c2 = db.create_entity("CHORD", &[("name", Value::Integer(2))]).unwrap();
+    for i in 1..=4 {
+        let n = db.create_entity("NOTE", &[("name", Value::Integer(i))]).unwrap();
+        db.ord_append("note_in_chord", Some(c1), n).unwrap();
+    }
+    for i in 5..=6 {
+        let n = db.create_entity("NOTE", &[("name", Value::Integer(i))]).unwrap();
+        db.ord_append("note_in_chord", Some(c2), n).unwrap();
+    }
+    db
+}
+
+#[test]
+fn paper_query_notes_before() {
+    // "Given a note n, retrieve the notes prior to n in its chord."
+    let mut s = Session::new();
+    let mut db = chord_db(&mut s);
+    let out = s
+        .execute(
+            &mut db,
+            "range of n1, n2 is NOTE\n\
+             retrieve (n1.name) where n1 before n2 in note_in_chord and n2.name = 3",
+        )
+        .unwrap();
+    let mut names = ints(rows(&out[1]), 0);
+    names.sort_unstable();
+    assert_eq!(names, vec![1, 2]);
+}
+
+#[test]
+fn paper_query_notes_after() {
+    // "Retrieve the notes that follow note n."
+    let mut s = Session::new();
+    let mut db = chord_db(&mut s);
+    let out = s
+        .execute(
+            &mut db,
+            "range of n1, n2 is NOTE\n\
+             retrieve (n1.name) where n1 after n2 in note_in_chord and n2.name = 2",
+        )
+        .unwrap();
+    let mut names = ints(rows(&out[1]), 0);
+    names.sort_unstable();
+    assert_eq!(names, vec![3, 4], "notes 5,6 are in another chord: not comparable");
+}
+
+#[test]
+fn paper_query_notes_under_chord() {
+    // "Retrieve the notes under chord c."
+    let mut s = Session::new();
+    let mut db = chord_db(&mut s);
+    let out = s
+        .execute(
+            &mut db,
+            "range of n1 is NOTE\n\
+             range of c1 is CHORD\n\
+             retrieve (n1.name) where n1 under c1 in note_in_chord and c1.name = 2",
+        )
+        .unwrap();
+    let mut names = ints(rows(&out[2]), 0);
+    names.sort_unstable();
+    assert_eq!(names, vec![5, 6]);
+}
+
+#[test]
+fn paper_query_parent_chord_of_note() {
+    // "Retrieve the parent chord of note n."
+    let mut s = Session::new();
+    let mut db = chord_db(&mut s);
+    let out = s
+        .execute(
+            &mut db,
+            "range of n1 is NOTE\n\
+             range of c1 is CHORD\n\
+             retrieve (c1.name) where n1 under c1 in note_in_chord and n1.name = 6",
+        )
+        .unwrap();
+    assert_eq!(ints(rows(&out[2]), 0), vec![2]);
+}
+
+#[test]
+fn paper_query_star_spangled_banner() {
+    // The §5.6 `is` query with implicit range variables.
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity PERSON (name = string)\n\
+         define entity COMPOSITION (title = string)\n\
+         define relationship COMPOSER (composer = PERSON, composition = COMPOSITION)",
+    )
+    .unwrap();
+    let smith = db
+        .create_entity("PERSON", &[("name", Value::String("John Stafford Smith".into()))])
+        .unwrap();
+    let sousa = db
+        .create_entity("PERSON", &[("name", Value::String("John Philip Sousa".into()))])
+        .unwrap();
+    let banner = db
+        .create_entity("COMPOSITION", &[("title", Value::String("The Star Spangled Banner".into()))])
+        .unwrap();
+    let stars = db
+        .create_entity("COMPOSITION", &[("title", Value::String("The Stars and Stripes Forever".into()))])
+        .unwrap();
+    db.relate("COMPOSER", &[("composer", smith), ("composition", banner)], &[]).unwrap();
+    db.relate("COMPOSER", &[("composer", sousa), ("composition", stars)], &[]).unwrap();
+
+    let out = s
+        .execute(
+            &mut db,
+            "retrieve (PERSON.name)\n\
+             where COMPOSITION.title = \"The Star Spangled Banner\"\n\
+             and COMPOSER.composition is COMPOSITION\n\
+             and COMPOSER.composer is PERSON",
+        )
+        .unwrap();
+    let t = rows(&out[0]);
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.rows[0][0], Value::String("John Stafford Smith".into()));
+}
+
+#[test]
+fn before_returns_nothing_across_chords() {
+    let mut s = Session::new();
+    let mut db = chord_db(&mut s);
+    // Note 5 is in chord 2; nothing in chord 1 is before it.
+    let out = s
+        .execute(
+            &mut db,
+            "range of n1, n2 is NOTE\n\
+             retrieve (n1.name) where n1 before n2 in note_in_chord and n2.name = 5",
+        )
+        .unwrap();
+    assert!(rows(&out[1]).is_empty());
+}
+
+#[test]
+fn ordering_name_inferred_when_unambiguous() {
+    let mut s = Session::new();
+    let mut db = chord_db(&mut s);
+    let out = s
+        .execute(
+            &mut db,
+            "range of n1, n2 is NOTE\n\
+             retrieve (n1.name) where n1 before n2 and n2.name = 2",
+        )
+        .unwrap();
+    assert_eq!(ints(rows(&out[1]), 0), vec![1]);
+}
+
+#[test]
+fn ambiguous_inference_is_an_error() {
+    let mut s = Session::new();
+    let mut db = chord_db(&mut s);
+    s.execute(
+        &mut db,
+        "define entity STAFF (num = integer)\n\
+         define ordering note_on_staff (NOTE) under STAFF",
+    )
+    .unwrap();
+    let err = s
+        .execute(
+            &mut db,
+            "range of n1, n2 is NOTE\nretrieve (n1.name) where n1 before n2",
+        )
+        .unwrap_err();
+    assert!(matches!(err, LangError::Model(_)), "{err}");
+}
+
+#[test]
+fn append_replace_delete_lifecycle() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    let out = s
+        .execute(
+            &mut db,
+            "define entity COMPOSITION (title = string, year = integer)\n\
+             append to COMPOSITION (title = \"Fuge g-moll\", year = 1709)\n\
+             append to COMPOSITION (title = \"Toccata\", year = 1704)\n\
+             append to COMPOSITION (title = \"Modern Piece\", year = 1985)",
+        )
+        .unwrap();
+    assert_eq!(out[1], StmtResult::Appended(1));
+
+    // Replace with qualification.
+    let out = s
+        .execute(
+            &mut db,
+            "range of c is COMPOSITION\n\
+             replace c (title = \"Baroque: \" + c.title) where c.year < 1800",
+        )
+        .unwrap();
+    assert_eq!(out[1], StmtResult::Replaced(2));
+    let out = s
+        .execute(&mut db, "retrieve (c.title) where c.year = 1709")
+        .unwrap();
+    assert_eq!(rows(&out[0]).rows[0][0], Value::String("Baroque: Fuge g-moll".into()));
+
+    // Delete.
+    let out = s
+        .execute(&mut db, "delete c where c.year > 1900")
+        .unwrap();
+    assert_eq!(out[0], StmtResult::Deleted(1));
+    let out = s.execute(&mut db, "retrieve (c.title)").unwrap();
+    assert_eq!(rows(&out[0]).len(), 2);
+}
+
+#[test]
+fn retrieve_unique_deduplicates() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity NOTE (pitch = string)\n\
+         append to NOTE (pitch = \"C4\")\n\
+         append to NOTE (pitch = \"C4\")\n\
+         append to NOTE (pitch = \"E4\")",
+    )
+    .unwrap();
+    let out = s.execute(&mut db, "retrieve unique (NOTE.pitch)").unwrap();
+    assert_eq!(rows(&out[0]).len(), 2);
+    let out = s.execute(&mut db, "retrieve (NOTE.pitch)").unwrap();
+    assert_eq!(rows(&out[0]).len(), 3);
+}
+
+#[test]
+fn arithmetic_and_labels() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity M (beats = integer, tempo = float)\n\
+         append to M (beats = 4, tempo = 120.0)",
+    )
+    .unwrap();
+    let out = s
+        .execute(
+            &mut db,
+            "retrieve (seconds = M.beats * 60.0 / M.tempo, M.beats)",
+        )
+        .unwrap();
+    let t = rows(&out[0]);
+    assert_eq!(t.columns, vec!["seconds".to_string(), "M.beats".to_string()]);
+    assert_eq!(t.rows[0][0], Value::Float(2.0));
+}
+
+#[test]
+fn cross_product_semantics() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity A (x = integer)\n\
+         define entity B (y = integer)\n\
+         append to A (x = 1)\n\
+         append to A (x = 2)\n\
+         append to B (y = 10)\n\
+         append to B (y = 20)",
+    )
+    .unwrap();
+    let out = s.execute(&mut db, "retrieve (A.x, B.y)").unwrap();
+    assert_eq!(rows(&out[0]).len(), 4);
+    let out = s.execute(&mut db, "retrieve (A.x, B.y) where A.x * 10 = B.y").unwrap();
+    assert_eq!(rows(&out[0]).len(), 2);
+}
+
+#[test]
+fn undeclared_variable_is_an_error() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(&mut db, "define entity A (x = integer)").unwrap();
+    let err = s.execute(&mut db, "retrieve (zz.x)").unwrap_err();
+    assert!(matches!(err, LangError::Analyze(_)), "{err}");
+}
+
+#[test]
+fn entity_typed_attribute_in_ddl() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity DATE (day = integer, month = integer, year = integer)\n\
+         define entity COMPOSITION (title = string, composition_date = DATE)",
+    )
+    .unwrap();
+    let d = db
+        .create_entity(
+            "DATE",
+            &[("day", Value::Integer(21)), ("month", Value::Integer(3)), ("year", Value::Integer(1685))],
+        )
+        .unwrap();
+    db.create_entity(
+        "COMPOSITION",
+        &[("title", Value::String("x".into())), ("composition_date", Value::Entity(d))],
+    )
+    .unwrap();
+    // Join composition to its date through the entity reference and `is`.
+    let out = s
+        .execute(
+            &mut db,
+            "retrieve (DATE.year) where COMPOSITION.composition_date is DATE",
+        )
+        .unwrap();
+    assert_eq!(ints(rows(&out[0]), 0), vec![1685]);
+}
+
+#[test]
+fn relationship_attributes_are_projectable() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity PERSON (name = string)\n\
+         define entity WORK (title = string)\n\
+         define relationship PERFORMED (player = PERSON, work = WORK, venue = string)",
+    )
+    .unwrap();
+    let p = db.create_entity("PERSON", &[("name", Value::String("Gould".into()))]).unwrap();
+    let w = db.create_entity("WORK", &[("title", Value::String("Goldberg".into()))]).unwrap();
+    db.relate(
+        "PERFORMED",
+        &[("player", p), ("work", w)],
+        &[("venue", Value::String("Toronto".into()))],
+    )
+    .unwrap();
+    let out = s
+        .execute(
+            &mut db,
+            "retrieve (PERFORMED.venue, PERSON.name) where PERFORMED.player is PERSON",
+        )
+        .unwrap();
+    let t = rows(&out[0]);
+    assert_eq!(t.rows[0][0], Value::String("Toronto".into()));
+    assert_eq!(t.rows[0][1], Value::String("Gould".into()));
+}
+
+#[test]
+fn ddl_through_session_defines_orderings() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity VOICE (num = integer)\n\
+         define entity CHORD (num = integer)\n\
+         define entity REST (num = integer)\n\
+         define ordering voice_content (CHORD, REST) under VOICE",
+    )
+    .unwrap();
+    assert!(db.ordering_id("voice_content").is_ok());
+    let def = db.schema().ordering(db.ordering_id("voice_content").unwrap()).unwrap();
+    assert_eq!(def.children.len(), 2);
+}
+
+#[test]
+fn table_display_renders() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity N (name = string)\nappend to N (name = \"hello\")",
+    )
+    .unwrap();
+    let out = s.execute(&mut db, "retrieve (N.name)").unwrap();
+    let text = rows(&out[0]).to_string();
+    assert!(text.contains("N.name"));
+    assert!(text.contains("hello"));
+    assert!(text.contains("(1 row)"));
+}
+
+#[test]
+fn sort_by_orders_results() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity W (title = string, year = integer)\n\
+         append to W (title = \"b\", year = 1720)\n\
+         append to W (title = \"a\", year = 1703)\n\
+         append to W (title = \"c\", year = 1703)",
+    )
+    .unwrap();
+    // Ascending year, then descending title.
+    let out = s
+        .execute(&mut db, "retrieve (W.title, W.year) sort by W.year, W.title desc")
+        .unwrap();
+    let t = rows(&out[0]);
+    let titles: Vec<&str> = t.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+    assert_eq!(titles, vec!["c", "a", "b"]);
+    // Sorting by a label works too.
+    let out = s
+        .execute(&mut db, "retrieve (name = W.title) sort by name desc")
+        .unwrap();
+    let t = rows(&out[0]);
+    assert_eq!(t.rows[0][0], Value::String("c".into()));
+    // Unknown sort column errors.
+    assert!(s.execute(&mut db, "retrieve (W.title) sort by nope").is_err());
+    // `sort` remains usable as an identifier.
+    s.execute(&mut db, "define entity sort (by = integer)\nappend to sort (by = 3)").unwrap();
+    let out = s.execute(&mut db, "retrieve (sort.by)").unwrap();
+    assert_eq!(rows(&out[0]).rows[0][0], Value::Integer(3));
+}
+
+#[test]
+fn sort_by_with_aggregates() {
+    let mut s = Session::new();
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity N (voice = string, midi = integer)\n\
+         append to N (voice = \"a\", midi = 60)\n\
+         append to N (voice = \"b\", midi = 70)\n\
+         append to N (voice = \"b\", midi = 72)",
+    )
+    .unwrap();
+    let out = s
+        .execute(&mut db, "retrieve (N.voice, k = count(N.midi)) sort by k desc")
+        .unwrap();
+    let t = rows(&out[0]);
+    assert_eq!(t.rows[0][0], Value::String("b".into()));
+    assert_eq!(t.rows[0][1], Value::Integer(2));
+}

@@ -1,0 +1,696 @@
+//! [`Database`]: the schema and its instances, with full validation.
+//!
+//! This is the typed, name-based API the query language and the music data
+//! manager build on. Lower layers can reach the raw [`Schema`] and
+//! [`InstanceStore`] for id-based access.
+
+use crate::error::{ModelError, Result};
+use crate::instance::{InstanceStore, RelInstanceId};
+use crate::schema::{AttributeDef, OrderingId, RoleDef, Schema};
+use crate::value::{EntityId, TypeId, Value};
+
+/// An in-memory entity-relationship database with hierarchical ordering.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    schema: Schema,
+    store: InstanceStore,
+    /// Secondary attribute indexes: (type, attribute index) → sorted
+    /// value-key → entity ids. Maintained by the typed mutators; callers
+    /// using [`Database::store_mut`] must call
+    /// [`Database::rebuild_attr_indexes`] afterwards.
+    attr_indexes: std::collections::HashMap<(TypeId, usize), AttrIndex>,
+}
+
+type AttrIndex = std::collections::BTreeMap<Vec<u8>, Vec<EntityId>>;
+
+/// Index state is derived data: two databases are equal when their schema
+/// and instances are.
+impl PartialEq for Database {
+    fn eq(&self, other: &Database) -> bool {
+        self.schema == other.schema && self.store == other.store
+    }
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        let schema = Schema::new();
+        let store = InstanceStore::new(&schema);
+        Database { schema, store, attr_indexes: Default::default() }
+    }
+
+    /// Builds a database from existing parts (used by persistence).
+    pub fn from_parts(schema: Schema, store: InstanceStore) -> Database {
+        Database { schema, store, attr_indexes: Default::default() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The instance store.
+    pub fn store(&self) -> &InstanceStore {
+        &self.store
+    }
+
+    /// Mutable instance store (for bulk loaders; invariants are the
+    /// caller's responsibility at this level).
+    pub fn store_mut(&mut self) -> &mut InstanceStore {
+        &mut self.store
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    /// Defines an entity type.
+    pub fn define_entity(&mut self, name: &str, attributes: Vec<AttributeDef>) -> Result<TypeId> {
+        let id = self.schema.define_entity(name, attributes)?;
+        self.store.sync_with_schema(&self.schema);
+        Ok(id)
+    }
+
+    /// Defines a relationship.
+    pub fn define_relationship(
+        &mut self,
+        name: &str,
+        roles: Vec<RoleDef>,
+        attributes: Vec<AttributeDef>,
+    ) -> Result<u32> {
+        let id = self.schema.define_relationship(name, roles, attributes)?;
+        self.store.sync_with_schema(&self.schema);
+        Ok(id)
+    }
+
+    /// Defines a hierarchical ordering.
+    pub fn define_ordering(
+        &mut self,
+        name: Option<&str>,
+        child_types: &[&str],
+        parent_type: Option<&str>,
+    ) -> Result<OrderingId> {
+        let children = child_types
+            .iter()
+            .map(|n| self.schema.entity_type_id(n))
+            .collect::<Result<Vec<_>>>()?;
+        let parent = parent_type
+            .map(|n| self.schema.entity_type_id(n))
+            .transpose()?;
+        let id = self.schema.define_ordering(name, children, parent)?;
+        self.store.sync_with_schema(&self.schema);
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Entities
+    // ------------------------------------------------------------------
+
+    /// Creates an entity instance, checking attribute names and types.
+    /// Unnamed attributes default to `Null`.
+    pub fn create_entity(&mut self, type_name: &str, attrs: &[(&str, Value)]) -> Result<EntityId> {
+        let ty = self.schema.entity_type_id(type_name)?;
+        let def = self.schema.entity_type(ty)?;
+        let mut values = vec![Value::Null; def.attributes.len()];
+        for (name, v) in attrs {
+            let idx = def.attribute_index(name).ok_or_else(|| ModelError::UnknownAttribute {
+                entity: type_name.to_string(),
+                attribute: name.to_string(),
+            })?;
+            let decl = &def.attributes[idx].ty;
+            if !v.conforms_to(decl) {
+                return Err(ModelError::TypeMismatch {
+                    expected: decl.name(),
+                    found: v.type_name().to_string(),
+                    context: format!("{type_name}.{name}"),
+                });
+            }
+            values[idx] = v.clone();
+        }
+        let id = self.store.create_entity(ty, values);
+        self.index_entity(ty, id);
+        Ok(id)
+    }
+
+    /// Reads an attribute by name.
+    pub fn get_attr(&self, id: EntityId, attr: &str) -> Result<&Value> {
+        let inst = self.store.entity(id)?;
+        let def = self.schema.entity_type(inst.ty)?;
+        let idx = def.attribute_index(attr).ok_or_else(|| ModelError::UnknownAttribute {
+            entity: def.name.clone(),
+            attribute: attr.to_string(),
+        })?;
+        Ok(&inst.attrs[idx])
+    }
+
+    /// Writes an attribute by name, type-checked.
+    pub fn set_attr(&mut self, id: EntityId, attr: &str, value: Value) -> Result<()> {
+        let inst = self.store.entity(id)?;
+        let def = self.schema.entity_type(inst.ty)?;
+        let idx = def.attribute_index(attr).ok_or_else(|| ModelError::UnknownAttribute {
+            entity: def.name.clone(),
+            attribute: attr.to_string(),
+        })?;
+        let decl = &def.attributes[idx].ty;
+        if !value.conforms_to(decl) {
+            return Err(ModelError::TypeMismatch {
+                expected: decl.name(),
+                found: value.type_name().to_string(),
+                context: format!("{}.{attr}", def.name),
+            });
+        }
+        let ty = inst.ty;
+        let old_value = inst.attrs[idx].clone();
+        if let Some(index) = self.attr_indexes.get_mut(&(ty, idx)) {
+            let old_key = crate::encode::value_key(&old_value);
+            if let Some(ids) = index.get_mut(&old_key) {
+                ids.retain(|&e| e != id);
+                if ids.is_empty() {
+                    index.remove(&old_key);
+                }
+            }
+            index.entry(crate::encode::value_key(&value)).or_default().push(id);
+        }
+        self.store.entity_mut(id)?.attrs[idx] = value;
+        Ok(())
+    }
+
+    /// The entity type name of an instance.
+    pub fn type_of(&self, id: EntityId) -> Result<&str> {
+        let inst = self.store.entity(id)?;
+        Ok(&self.schema.entity_type(inst.ty)?.name)
+    }
+
+    /// Ids of every instance of the named type, in creation order.
+    pub fn instances_of(&self, type_name: &str) -> Result<&[EntityId]> {
+        let ty = self.schema.entity_type_id(type_name)?;
+        Ok(self.store.instances_of(ty))
+    }
+
+    /// Deletes an instance (see [`InstanceStore::delete_entity`]).
+    pub fn delete_entity(&mut self, id: EntityId) -> Result<()> {
+        if let Ok(inst) = self.store.entity(id) {
+            let ty = inst.ty;
+            let keys: Vec<(usize, Vec<u8>)> = inst
+                .attrs
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (i, crate::encode::value_key(v)))
+                .collect();
+            for (i, key) in keys {
+                if let Some(index) = self.attr_indexes.get_mut(&(ty, i)) {
+                    if let Some(ids) = index.get_mut(&key) {
+                        ids.retain(|&e| e != id);
+                        if ids.is_empty() {
+                            index.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
+        self.store.delete_entity(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Attribute indexes
+    // ------------------------------------------------------------------
+
+    fn index_entity(&mut self, ty: TypeId, id: EntityId) {
+        // Collect indexed attribute positions for this type first to keep
+        // the borrows disjoint.
+        let positions: Vec<usize> = self
+            .attr_indexes
+            .keys()
+            .filter(|(t, _)| *t == ty)
+            .map(|&(_, i)| i)
+            .collect();
+        for i in positions {
+            let key = {
+                let inst = self.store.entity(id).expect("just created");
+                crate::encode::value_key(&inst.attrs[i])
+            };
+            self.attr_indexes
+                .get_mut(&(ty, i))
+                .expect("position came from the map")
+                .entry(key)
+                .or_default()
+                .push(id);
+        }
+    }
+
+    /// Creates (or rebuilds) a secondary index over one attribute of an
+    /// entity type. Queries with `var.attr = constant` qualifications use
+    /// it automatically.
+    pub fn create_attr_index(&mut self, type_name: &str, attr: &str) -> Result<()> {
+        let ty = self.schema.entity_type_id(type_name)?;
+        let def = self.schema.entity_type(ty)?;
+        let idx = def.attribute_index(attr).ok_or_else(|| ModelError::UnknownAttribute {
+            entity: type_name.to_string(),
+            attribute: attr.to_string(),
+        })?;
+        let mut index = AttrIndex::new();
+        for &id in self.store.instances_of(ty) {
+            let inst = self.store.entity(id)?;
+            index
+                .entry(crate::encode::value_key(&inst.attrs[idx]))
+                .or_default()
+                .push(id);
+        }
+        self.attr_indexes.insert((ty, idx), index);
+        Ok(())
+    }
+
+    /// Drops a secondary attribute index (no-op if absent).
+    pub fn drop_attr_index(&mut self, type_name: &str, attr: &str) -> Result<()> {
+        let ty = self.schema.entity_type_id(type_name)?;
+        let def = self.schema.entity_type(ty)?;
+        if let Some(idx) = def.attribute_index(attr) {
+            self.attr_indexes.remove(&(ty, idx));
+        }
+        Ok(())
+    }
+
+    /// Index probe by type id and attribute position (the executor's fast
+    /// path). `None` means "no index on that attribute"; an empty slice
+    /// means "indexed, no matches".
+    pub fn attr_index_get(&self, ty: TypeId, attr_idx: usize, value: &Value) -> Option<&[EntityId]> {
+        let index = self.attr_indexes.get(&(ty, attr_idx))?;
+        Some(index.get(&crate::encode::value_key(value)).map_or(&[], Vec::as_slice))
+    }
+
+    /// True if an index exists on the attribute position of the type.
+    pub fn has_attr_index(&self, ty: TypeId, attr_idx: usize) -> bool {
+        self.attr_indexes.contains_key(&(ty, attr_idx))
+    }
+
+    /// Rebuilds every attribute index from the instances. Call after bulk
+    /// mutation through [`Database::store_mut`].
+    pub fn rebuild_attr_indexes(&mut self) {
+        let specs: Vec<(TypeId, usize)> = self.attr_indexes.keys().copied().collect();
+        for (ty, idx) in specs {
+            let mut index = AttrIndex::new();
+            for &id in self.store.instances_of(ty) {
+                if let Ok(inst) = self.store.entity(id) {
+                    index
+                        .entry(crate::encode::value_key(&inst.attrs[idx]))
+                        .or_default()
+                        .push(id);
+                }
+            }
+            self.attr_indexes.insert((ty, idx), index);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Relationships
+    // ------------------------------------------------------------------
+
+    /// Creates a relationship instance, checking role names and entity
+    /// types.
+    pub fn relate(
+        &mut self,
+        rel_name: &str,
+        roles: &[(&str, EntityId)],
+        attrs: &[(&str, Value)],
+    ) -> Result<RelInstanceId> {
+        let rel = self.schema.relationship_id(rel_name)?;
+        let def = self.schema.relationship(rel)?.clone();
+        let mut entities = vec![0u64; def.roles.len()];
+        let mut filled = vec![false; def.roles.len()];
+        for (role, id) in roles {
+            let idx = def.role_index(role).ok_or_else(|| ModelError::UnknownAttribute {
+                entity: rel_name.to_string(),
+                attribute: role.to_string(),
+            })?;
+            let inst = self.store.entity(*id)?;
+            if inst.ty != def.roles[idx].entity_type {
+                return Err(ModelError::WrongEntityType {
+                    expected: self.schema.entity_type(def.roles[idx].entity_type)?.name.clone(),
+                    found: self.schema.entity_type(inst.ty)?.name.clone(),
+                    context: format!("{rel_name}.{role}"),
+                });
+            }
+            entities[idx] = *id;
+            filled[idx] = true;
+        }
+        if let Some(missing) = filled.iter().position(|f| !f) {
+            return Err(ModelError::InvalidSchema(format!(
+                "relationship {rel_name} missing role {}",
+                def.roles[missing].name
+            )));
+        }
+        let mut values = vec![Value::Null; def.attributes.len()];
+        for (name, v) in attrs {
+            let idx = def.attribute_index(name).ok_or_else(|| ModelError::UnknownAttribute {
+                entity: rel_name.to_string(),
+                attribute: name.to_string(),
+            })?;
+            if !v.conforms_to(&def.attributes[idx].ty) {
+                return Err(ModelError::TypeMismatch {
+                    expected: def.attributes[idx].ty.name(),
+                    found: v.type_name().to_string(),
+                    context: format!("{rel_name}.{name}"),
+                });
+            }
+            values[idx] = v.clone();
+        }
+        Ok(self.store.relate(rel, entities, values))
+    }
+
+    /// Entity ids related to `id` through `rel_name`: every instance of the
+    /// relationship in which `id` fills some role contributes the ids
+    /// filling `role`.
+    pub fn related(&self, rel_name: &str, id: EntityId, role: &str) -> Result<Vec<EntityId>> {
+        let rel = self.schema.relationship_id(rel_name)?;
+        let def = self.schema.relationship(rel)?;
+        let ridx = def.role_index(role).ok_or_else(|| ModelError::UnknownAttribute {
+            entity: rel_name.to_string(),
+            attribute: role.to_string(),
+        })?;
+        let mut out = Vec::new();
+        for &ri in self.store.relationships_of(rel) {
+            let r = self.store.relationship(ri)?;
+            if r.entities.contains(&id) {
+                out.push(r.entities[ridx]);
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Hierarchical ordering
+    // ------------------------------------------------------------------
+
+    fn check_ordering_types(
+        &self,
+        ordering: OrderingId,
+        parent: Option<EntityId>,
+        child: Option<EntityId>,
+    ) -> Result<()> {
+        let def = self.schema.ordering(ordering)?;
+        if let Some(c) = child {
+            let inst = self.store.entity(c)?;
+            if !def.children.contains(&inst.ty) {
+                return Err(ModelError::WrongEntityType {
+                    expected: def
+                        .children
+                        .iter()
+                        .map(|&t| self.schema.entity_type(t).map(|e| e.name.clone()).unwrap_or_default())
+                        .collect::<Vec<_>>()
+                        .join(" | "),
+                    found: self.schema.entity_type(inst.ty)?.name.clone(),
+                    context: format!("child of {}", self.schema.ordering_display_name(ordering)),
+                });
+            }
+        }
+        match (def.parent, parent) {
+            (Some(pt), Some(p)) => {
+                let inst = self.store.entity(p)?;
+                if inst.ty != pt {
+                    return Err(ModelError::WrongEntityType {
+                        expected: self.schema.entity_type(pt)?.name.clone(),
+                        found: self.schema.entity_type(inst.ty)?.name.clone(),
+                        context: format!("parent of {}", self.schema.ordering_display_name(ordering)),
+                    });
+                }
+            }
+            (Some(_), None) => {
+                return Err(ModelError::InvalidSchema(format!(
+                    "ordering {} requires a parent entity",
+                    self.schema.ordering_display_name(ordering)
+                )))
+            }
+            (None, Some(_)) => {
+                return Err(ModelError::InvalidSchema(format!(
+                    "ordering {} has no parent type; use the global group",
+                    self.schema.ordering_display_name(ordering)
+                )))
+            }
+            (None, None) => {}
+        }
+        Ok(())
+    }
+
+    /// Resolves an ordering by name.
+    pub fn ordering_id(&self, name: &str) -> Result<OrderingId> {
+        self.schema.ordering_id(name)
+    }
+
+    /// Appends `child` under `parent` in the named ordering.
+    pub fn ord_append(&mut self, ordering: &str, parent: Option<EntityId>, child: EntityId) -> Result<()> {
+        let o = self.schema.ordering_id(ordering)?;
+        self.check_ordering_types(o, parent, Some(child))?;
+        self.store.ordering_append(&self.schema, o, parent, child)
+    }
+
+    /// Inserts `child` at `position` under `parent` in the named ordering.
+    pub fn ord_insert(
+        &mut self,
+        ordering: &str,
+        parent: Option<EntityId>,
+        position: usize,
+        child: EntityId,
+    ) -> Result<()> {
+        let o = self.schema.ordering_id(ordering)?;
+        self.check_ordering_types(o, parent, Some(child))?;
+        self.store.ordering_insert(&self.schema, o, parent, position, child)
+    }
+
+    /// Detaches `child` in the named ordering.
+    pub fn ord_remove(&mut self, ordering: &str, child: EntityId) -> Result<()> {
+        let o = self.schema.ordering_id(ordering)?;
+        self.store.ordering_remove(&self.schema, o, child)
+    }
+
+    /// The ordered children of `parent` in the named ordering.
+    pub fn ord_children(&self, ordering: &str, parent: Option<EntityId>) -> Result<Vec<EntityId>> {
+        let o = self.schema.ordering_id(ordering)?;
+        Ok(self.store.ordering_children(o, parent).to_vec())
+    }
+
+    /// The parent of `child` in the named ordering.
+    pub fn ord_parent(&self, ordering: &str, child: EntityId) -> Result<Option<EntityId>> {
+        let o = self.schema.ordering_id(ordering)?;
+        self.store.ordering_parent(&self.schema, o, child)
+    }
+
+    /// The ordinal position of `child` in the named ordering.
+    pub fn ord_position(&self, ordering: &str, child: EntityId) -> Result<usize> {
+        let o = self.schema.ordering_id(ordering)?;
+        self.store.ordering_position(&self.schema, o, child)
+    }
+
+    /// `a before b` in the named ordering.
+    pub fn before(&self, ordering: &str, a: EntityId, b: EntityId) -> Result<bool> {
+        let o = self.schema.ordering_id(ordering)?;
+        Ok(self.store.before(o, a, b))
+    }
+
+    /// `a after b` in the named ordering.
+    pub fn after(&self, ordering: &str, a: EntityId, b: EntityId) -> Result<bool> {
+        let o = self.schema.ordering_id(ordering)?;
+        Ok(self.store.after(o, a, b))
+    }
+
+    /// `a under p` in the named ordering.
+    pub fn under(&self, ordering: &str, a: EntityId, p: EntityId) -> Result<bool> {
+        let o = self.schema.ordering_id(ordering)?;
+        Ok(self.store.under(o, a, p))
+    }
+
+    /// The n-th (0-based) child under `parent` in the named ordering —
+    /// "the third note in chord x" is `nth_child("note_in_chord", x, 2)`.
+    pub fn nth_child(&self, ordering: &str, parent: Option<EntityId>, n: usize) -> Result<Option<EntityId>> {
+        let o = self.schema.ordering_id(ordering)?;
+        Ok(self.store.nth_child(o, parent, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn attr(name: &str, ty: DataType) -> AttributeDef {
+        AttributeDef { name: name.into(), ty }
+    }
+
+    fn music_db() -> Database {
+        let mut db = Database::new();
+        db.define_entity("CHORD", vec![attr("name", DataType::Integer)]).unwrap();
+        db.define_entity(
+            "NOTE",
+            vec![attr("name", DataType::Integer), attr("pitch", DataType::String)],
+        )
+        .unwrap();
+        db.define_ordering(Some("note_in_chord"), &["NOTE"], Some("CHORD")).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_read_entity() {
+        let mut db = music_db();
+        let n = db
+            .create_entity("NOTE", &[("name", Value::Integer(1)), ("pitch", Value::String("C4".into()))])
+            .unwrap();
+        assert_eq!(db.get_attr(n, "pitch").unwrap(), &Value::String("C4".into()));
+        assert_eq!(db.get_attr(n, "name").unwrap(), &Value::Integer(1));
+        assert_eq!(db.type_of(n).unwrap(), "NOTE");
+    }
+
+    #[test]
+    fn missing_attrs_default_null() {
+        let mut db = music_db();
+        let n = db.create_entity("NOTE", &[]).unwrap();
+        assert_eq!(db.get_attr(n, "pitch").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut db = music_db();
+        assert!(matches!(
+            db.create_entity("NOTE", &[("pitch", Value::Integer(60))]),
+            Err(ModelError::TypeMismatch { .. })
+        ));
+        let n = db.create_entity("NOTE", &[]).unwrap();
+        assert!(matches!(
+            db.set_attr(n, "name", Value::String("x".into())),
+            Err(ModelError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let mut db = music_db();
+        assert!(matches!(
+            db.create_entity("NOTE", &[("volume", Value::Integer(3))]),
+            Err(ModelError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_queries_third_note_in_chord() {
+        // §5.4: "the third note in chord x".
+        let mut db = music_db();
+        let x = db.create_entity("CHORD", &[("name", Value::Integer(1))]).unwrap();
+        let notes: Vec<EntityId> = (0..4)
+            .map(|i| db.create_entity("NOTE", &[("name", Value::Integer(i))]).unwrap())
+            .collect();
+        for &n in &notes {
+            db.ord_append("note_in_chord", Some(x), n).unwrap();
+        }
+        assert_eq!(db.nth_child("note_in_chord", Some(x), 2).unwrap(), Some(notes[2]));
+        assert!(db.before("note_in_chord", notes[0], notes[3]).unwrap());
+        assert!(db.under("note_in_chord", notes[1], x).unwrap());
+    }
+
+    #[test]
+    fn ordering_type_enforcement() {
+        let mut db = music_db();
+        let c1 = db.create_entity("CHORD", &[]).unwrap();
+        let c2 = db.create_entity("CHORD", &[]).unwrap();
+        // A chord is not a valid child of note_in_chord.
+        assert!(matches!(
+            db.ord_append("note_in_chord", Some(c1), c2),
+            Err(ModelError::WrongEntityType { .. })
+        ));
+        // A note is not a valid parent.
+        let n = db.create_entity("NOTE", &[]).unwrap();
+        let n2 = db.create_entity("NOTE", &[]).unwrap();
+        assert!(matches!(
+            db.ord_append("note_in_chord", Some(n), n2),
+            Err(ModelError::WrongEntityType { .. })
+        ));
+    }
+
+    #[test]
+    fn star_spangled_banner_query() {
+        // §5.6's example: find the composers of a given composition via
+        // the COMPOSER relationship.
+        let mut db = Database::new();
+        db.define_entity("PERSON", vec![attr("name", DataType::String)]).unwrap();
+        db.define_entity("COMPOSITION", vec![attr("title", DataType::String)]).unwrap();
+        db.define_relationship(
+            "COMPOSER",
+            vec![
+                RoleDef { name: "composer".into(), entity_type: 0 },
+                RoleDef { name: "composition".into(), entity_type: 1 },
+            ],
+            vec![],
+        )
+        .unwrap();
+        let smith = db.create_entity("PERSON", &[("name", Value::String("John Stafford Smith".into()))]).unwrap();
+        let banner = db
+            .create_entity("COMPOSITION", &[("title", Value::String("The Star Spangled Banner".into()))])
+            .unwrap();
+        db.relate("COMPOSER", &[("composer", smith), ("composition", banner)], &[]).unwrap();
+        let composers = db.related("COMPOSER", banner, "composer").unwrap();
+        assert_eq!(composers, vec![smith]);
+        assert_eq!(
+            db.get_attr(composers[0], "name").unwrap(),
+            &Value::String("John Stafford Smith".into())
+        );
+    }
+
+    #[test]
+    fn relate_checks_role_types_and_completeness() {
+        let mut db = Database::new();
+        db.define_entity("PERSON", vec![]).unwrap();
+        db.define_entity("COMPOSITION", vec![]).unwrap();
+        db.define_relationship(
+            "COMPOSER",
+            vec![
+                RoleDef { name: "composer".into(), entity_type: 0 },
+                RoleDef { name: "composition".into(), entity_type: 1 },
+            ],
+            vec![],
+        )
+        .unwrap();
+        let p = db.create_entity("PERSON", &[]).unwrap();
+        let c = db.create_entity("COMPOSITION", &[]).unwrap();
+        // Wrong types for roles.
+        assert!(db.relate("COMPOSER", &[("composer", c), ("composition", p)], &[]).is_err());
+        // Missing role.
+        assert!(db.relate("COMPOSER", &[("composer", p)], &[]).is_err());
+        // Correct.
+        assert!(db.relate("COMPOSER", &[("composer", p), ("composition", c)], &[]).is_ok());
+    }
+
+    #[test]
+    fn entity_ref_attribute_one_to_n() {
+        // §5.1: composition_date = DATE is an implicit 1:n relationship.
+        let mut db = Database::new();
+        db.define_entity(
+            "DATE",
+            vec![
+                attr("day", DataType::Integer),
+                attr("month", DataType::Integer),
+                attr("year", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        db.define_entity(
+            "COMPOSITION",
+            vec![attr("title", DataType::String), attr("composition_date", DataType::Entity(0))],
+        )
+        .unwrap();
+        let date = db
+            .create_entity(
+                "DATE",
+                &[
+                    ("day", Value::Integer(1)),
+                    ("month", Value::Integer(1)),
+                    ("year", Value::Integer(1709)),
+                ],
+            )
+            .unwrap();
+        let comp = db
+            .create_entity(
+                "COMPOSITION",
+                &[("title", Value::String("Fuge g-moll".into())), ("composition_date", Value::Entity(date))],
+            )
+            .unwrap();
+        let d = db.get_attr(comp, "composition_date").unwrap().as_entity().unwrap();
+        assert_eq!(db.get_attr(d, "year").unwrap(), &Value::Integer(1709));
+    }
+}

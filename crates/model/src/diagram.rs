@@ -1,0 +1,285 @@
+//! Rendering schemas and instances as text diagrams.
+//!
+//! Three pictorial forms from the paper are supported:
+//!
+//! * **ER graphs** (fig. 5): entity boxes and relationship diamonds with
+//!   `1`/`n`/`m` edge annotations.
+//! * **HO graphs** (figs. 7–9, 13): orderings drawn as arrows from parent
+//!   type to child types.
+//! * **Instance graphs** (figs. 6, 8(c)): a parent with its ordered
+//!   children (P-edges implied, S-edges drawn as arrows), and recursive
+//!   trees for recursive orderings.
+
+use crate::db::Database;
+use crate::error::Result;
+use crate::schema::{OrderingId, Schema};
+use crate::value::{DataType, EntityId};
+
+/// Renders the entity-relationship graph of a schema (fig. 5 content):
+/// one line per relationship plus one per entity-valued attribute (the
+/// implicit "1 to n" relationships), then any unreferenced entity types.
+pub fn er_diagram(schema: &Schema) -> String {
+    let mut out = String::new();
+    out.push_str("Entity-Relationship Graph\n");
+    out.push_str("=========================\n");
+    let mut mentioned = std::collections::HashSet::new();
+    for rel in schema.relationships() {
+        let ends: Vec<String> = rel
+            .roles
+            .iter()
+            .map(|r| {
+                mentioned.insert(r.entity_type);
+                let name = schema
+                    .entity_type(r.entity_type)
+                    .map(|e| e.name.clone())
+                    .unwrap_or_default();
+                format!("[{name}]")
+            })
+            .collect();
+        // Chen draws m:n on binary relationships; n-ary ones just list ends.
+        if ends.len() == 2 {
+            out.push_str(&format!(
+                "{} --m--< {} >--n-- {}\n",
+                ends[0], rel.name, ends[1]
+            ));
+        } else {
+            out.push_str(&format!("< {} > connects {}\n", rel.name, ends.join(", ")));
+        }
+    }
+    for e in schema.entity_types() {
+        for a in &e.attributes {
+            if let DataType::Entity(t) = a.ty {
+                mentioned.insert(t);
+                let target = schema
+                    .entity_type(t)
+                    .map(|x| x.name.clone())
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "[{}] --n--< {}.{} >--1-- [{}]   (attribute relationship)\n",
+                    e.name, e.name, a.name, target
+                ));
+            }
+        }
+    }
+    let mut isolated = Vec::new();
+    for (i, e) in schema.entity_types().iter().enumerate() {
+        let referenced = mentioned.contains(&(i as u32))
+            || e.attributes.iter().any(|a| matches!(a.ty, DataType::Entity(_)));
+        if !referenced {
+            isolated.push(format!("[{}]", e.name));
+        }
+    }
+    if !isolated.is_empty() {
+        out.push_str(&format!("entities: {}\n", isolated.join(" ")));
+    }
+    out.push_str("\nAttributes\n----------\n");
+    for e in schema.entity_types() {
+        let attrs: Vec<String> = e
+            .attributes
+            .iter()
+            .map(|a| format!("{} = {}", a.name, type_label(schema, &a.ty)))
+            .collect();
+        out.push_str(&format!("{} ({})\n", e.name, attrs.join(", ")));
+    }
+    out
+}
+
+fn type_label(schema: &Schema, ty: &DataType) -> String {
+    match ty {
+        DataType::Entity(t) => schema
+            .entity_type(*t)
+            .map(|e| e.name.clone())
+            .unwrap_or_else(|_| ty.name()),
+        other => other.name(),
+    }
+}
+
+/// Renders the hierarchical-ordering graph of a schema (figs. 7, 9, 13):
+/// each ordering as `PARENT ==name==> (CHILD, …)`, with recursion marked.
+pub fn ho_graph(schema: &Schema) -> String {
+    let mut out = String::new();
+    out.push_str("Hierarchical Ordering Graph\n");
+    out.push_str("===========================\n");
+    for (i, o) in schema.orderings().iter().enumerate() {
+        let name = o
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("ordering#{i}"));
+        let children: Vec<String> = o
+            .children
+            .iter()
+            .map(|&c| {
+                schema
+                    .entity_type(c)
+                    .map(|e| e.name.clone())
+                    .unwrap_or_default()
+            })
+            .collect();
+        let parent = match o.parent {
+            Some(p) => schema
+                .entity_type(p)
+                .map(|e| format!("[{}]", e.name))
+                .unwrap_or_default(),
+            None => "(global)".to_string(),
+        };
+        let recursion = if o.is_recursive() { "   (recursive)" } else { "" };
+        out.push_str(&format!(
+            "{parent} =={name}==> ({}){recursion}\n",
+            children.join(", ")
+        ));
+    }
+    out
+}
+
+/// Renders one instance-graph group (fig. 6): the parent and its ordered
+/// children, S-edges drawn as `->`, ordinal positions shown.
+pub fn instance_graph(
+    db: &Database,
+    ordering: &str,
+    parent: Option<EntityId>,
+) -> Result<String> {
+    let children = db.ord_children(ordering, parent)?;
+    let mut out = String::new();
+    let parent_label = match parent {
+        Some(p) => format!("{} @{p}", db.type_of(p)?),
+        None => "(global)".to_string(),
+    };
+    out.push_str(&format!("parent: {parent_label}\n"));
+    let labels: Vec<String> = children
+        .iter()
+        .map(|&c| Ok(format!("{}@{c}", db.type_of(c)?)))
+        .collect::<Result<_>>()?;
+    out.push_str(&format!("children (S-edges): {}\n", labels.join(" -> ")));
+    for (i, &c) in children.iter().enumerate() {
+        out.push_str(&format!("  child {}: {}@{c}  (P-edge to parent)\n", i + 1, db.type_of(c)?));
+    }
+    Ok(out)
+}
+
+/// Renders the recursive instance tree rooted at `root` (fig. 8(c)).
+pub fn instance_tree(db: &Database, ordering: &str, root: EntityId) -> Result<String> {
+    let oid = db.ordering_id(ordering)?;
+    let mut out = String::new();
+    out.push_str(&format!("{}@{root}\n", db.type_of(root)?));
+    render_subtree(db, oid, root, "", &mut out)?;
+    Ok(out)
+}
+
+fn render_subtree(
+    db: &Database,
+    ordering: OrderingId,
+    node: EntityId,
+    prefix: &str,
+    out: &mut String,
+) -> Result<()> {
+    let children: Vec<EntityId> = db.store().ordering_children(ordering, Some(node)).to_vec();
+    for (i, &c) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        let branch = if last { "└── " } else { "├── " };
+        out.push_str(&format!("{prefix}{branch}{}@{c}\n", db.type_of(c)?));
+        let next_prefix = format!("{prefix}{}", if last { "    " } else { "│   " });
+        render_subtree(db, ordering, c, &next_prefix, out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeDef, RoleDef};
+    use crate::value::Value;
+
+    fn paper_fig5_schema() -> Schema {
+        let mut s = Schema::new();
+        let date = s
+            .define_entity(
+                "DATE",
+                vec![
+                    AttributeDef { name: "day".into(), ty: DataType::Integer },
+                    AttributeDef { name: "month".into(), ty: DataType::Integer },
+                    AttributeDef { name: "year".into(), ty: DataType::Integer },
+                ],
+            )
+            .unwrap();
+        let comp = s
+            .define_entity(
+                "COMPOSITION",
+                vec![
+                    AttributeDef { name: "title".into(), ty: DataType::String },
+                    AttributeDef { name: "composition_date".into(), ty: DataType::Entity(date) },
+                ],
+            )
+            .unwrap();
+        let person = s
+            .define_entity(
+                "PERSON",
+                vec![AttributeDef { name: "name".into(), ty: DataType::String }],
+            )
+            .unwrap();
+        s.define_relationship(
+            "COMPOSER",
+            vec![
+                RoleDef { name: "person".into(), entity_type: person },
+                RoleDef { name: "composition".into(), entity_type: comp },
+            ],
+            vec![],
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn er_diagram_shows_relationship_and_attribute_edge() {
+        let s = paper_fig5_schema();
+        let d = er_diagram(&s);
+        assert!(d.contains("[PERSON] --m--< COMPOSER >--n-- [COMPOSITION]"));
+        assert!(d.contains("COMPOSITION.composition_date"));
+        assert!(d.contains("DATE (day = integer, month = integer, year = integer)"));
+    }
+
+    #[test]
+    fn ho_graph_marks_recursion() {
+        let mut s = Schema::new();
+        let bg = s.define_entity("BEAM_GROUP", vec![]).unwrap();
+        let chord = s.define_entity("CHORD", vec![]).unwrap();
+        s.define_ordering(Some("beams"), vec![bg, chord], Some(bg)).unwrap();
+        let d = ho_graph(&s);
+        assert!(d.contains("[BEAM_GROUP] ==beams==> (BEAM_GROUP, CHORD)   (recursive)"));
+    }
+
+    #[test]
+    fn instance_graph_lists_ordinals() {
+        let mut db = Database::new();
+        db.define_entity("CHORD", vec![]).unwrap();
+        db.define_entity("NOTE", vec![]).unwrap();
+        db.define_ordering(Some("o"), &["NOTE"], Some("CHORD")).unwrap();
+        let y = db.create_entity("CHORD", &[]).unwrap();
+        for _ in 0..4 {
+            let n = db.create_entity("NOTE", &[]).unwrap();
+            db.ord_append("o", Some(y), n).unwrap();
+        }
+        let g = instance_graph(&db, "o", Some(y)).unwrap();
+        assert!(g.contains("child 3: NOTE@"));
+        assert!(g.contains("->"));
+    }
+
+    #[test]
+    fn instance_tree_renders_nesting() {
+        let mut db = Database::new();
+        db.define_entity("BEAM_GROUP", vec![]).unwrap();
+        db.define_entity("CHORD", vec![AttributeDef { name: "n".into(), ty: DataType::Integer }])
+            .unwrap();
+        db.define_ordering(Some("beams"), &["BEAM_GROUP", "CHORD"], Some("BEAM_GROUP")).unwrap();
+        let g1 = db.create_entity("BEAM_GROUP", &[]).unwrap();
+        let g2 = db.create_entity("BEAM_GROUP", &[]).unwrap();
+        let c1 = db.create_entity("CHORD", &[("n", Value::Integer(1))]).unwrap();
+        let c2 = db.create_entity("CHORD", &[("n", Value::Integer(2))]).unwrap();
+        db.ord_append("beams", Some(g1), g2).unwrap();
+        db.ord_append("beams", Some(g2), c1).unwrap();
+        db.ord_append("beams", Some(g1), c2).unwrap();
+        let t = instance_tree(&db, "beams", g1).unwrap();
+        assert!(t.contains("├── BEAM_GROUP"));
+        assert!(t.contains("│   └── CHORD"));
+        assert!(t.contains("└── CHORD"));
+    }
+}

@@ -1,0 +1,554 @@
+//! Graphical definitions stored as data (§6.2, fig. 10).
+//!
+//! The paper inserts a middle layer between the meta-schema and the
+//! instance data: each entity type may be associated (GDefUse) with a
+//! *graphical definition* — executable drawing code stored in the database
+//! — whose parameters are bound (GParmUse) to the entity type's
+//! attributes. Drawing an instance is the paper's four-step procedure:
+//!
+//! 1. find the instance,
+//! 2. find the graphical definition for its entity type via GDefUse,
+//! 3. for each parameter (via GParmUse) read the attribute value and run
+//!    the set-up code,
+//! 4. execute the graphical definition.
+//!
+//! The original used PostScript; we implement **PaintScript**, a small
+//! stack language with the same shape (`/name value def`, `moveto`,
+//! `rlineto`, `stroke`, …), so code really is data in the database and
+//! clients can rewrite it at run time.
+
+use std::collections::HashMap;
+
+use crate::db::Database;
+use crate::error::{ModelError, Result};
+use crate::meta::install_meta_schema;
+use crate::schema::AttributeDef;
+use crate::value::{DataType, EntityId, Value};
+
+// ----------------------------------------------------------------------
+// PaintScript
+// ----------------------------------------------------------------------
+
+/// A drawing element produced by executing PaintScript.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Stroked subpaths (each a polyline of points).
+    Stroke(Vec<Vec<(f64, f64)>>),
+    /// Filled subpaths.
+    Fill(Vec<Vec<(f64, f64)>>),
+}
+
+/// PaintScript execution errors are surfaced as [`ModelError::Corrupt`]
+/// with a message, since the code lives in the database.
+fn ps_err(msg: impl Into<String>) -> ModelError {
+    ModelError::Corrupt(format!("paintscript: {}", msg.into()))
+}
+
+enum Tok {
+    Num(f64),
+    Name(String),
+}
+
+/// Executes a PaintScript program with the given pre-bound variables.
+pub fn execute(program: &str, bindings: &HashMap<String, f64>) -> Result<Vec<Element>> {
+    let mut dict: HashMap<String, f64> = bindings.clone();
+    let mut stack: Vec<Tok> = Vec::new();
+    let mut elements: Vec<Element> = Vec::new();
+    let mut subpaths: Vec<Vec<(f64, f64)>> = Vec::new();
+    let mut current: Vec<(f64, f64)> = Vec::new();
+    let mut cursor: (f64, f64) = (0.0, 0.0);
+    let mut origin: (f64, f64) = (0.0, 0.0);
+
+    fn pop_num(stack: &mut Vec<Tok>) -> Result<f64> {
+        match stack.pop() {
+            Some(Tok::Num(x)) => Ok(x),
+            Some(Tok::Name(n)) => Err(ps_err(format!("expected number, found /{n}"))),
+            None => Err(ps_err("stack underflow")),
+        }
+    }
+
+    fn flush_path(
+        subpaths: &mut Vec<Vec<(f64, f64)>>,
+        current: &mut Vec<(f64, f64)>,
+    ) -> Vec<Vec<(f64, f64)>> {
+        if !current.is_empty() {
+            subpaths.push(std::mem::take(current));
+        }
+        std::mem::take(subpaths)
+    }
+
+    for word in program.split_whitespace() {
+        if let Ok(x) = word.parse::<f64>() {
+            stack.push(Tok::Num(x));
+            continue;
+        }
+        if let Some(name) = word.strip_prefix('/') {
+            stack.push(Tok::Name(name.to_string()));
+            continue;
+        }
+        match word {
+            "def" => {
+                let value = pop_num(&mut stack)?;
+                match stack.pop() {
+                    Some(Tok::Name(n)) => {
+                        dict.insert(n, value);
+                    }
+                    _ => return Err(ps_err("def expects /name value")),
+                }
+            }
+            "add" => {
+                let b = pop_num(&mut stack)?;
+                let a = pop_num(&mut stack)?;
+                stack.push(Tok::Num(a + b));
+            }
+            "sub" => {
+                let b = pop_num(&mut stack)?;
+                let a = pop_num(&mut stack)?;
+                stack.push(Tok::Num(a - b));
+            }
+            "mul" => {
+                let b = pop_num(&mut stack)?;
+                let a = pop_num(&mut stack)?;
+                stack.push(Tok::Num(a * b));
+            }
+            "div" => {
+                let b = pop_num(&mut stack)?;
+                let a = pop_num(&mut stack)?;
+                stack.push(Tok::Num(a / b));
+            }
+            "neg" => {
+                let a = pop_num(&mut stack)?;
+                stack.push(Tok::Num(-a));
+            }
+            "dup" => {
+                let a = pop_num(&mut stack)?;
+                stack.push(Tok::Num(a));
+                stack.push(Tok::Num(a));
+            }
+            "exch" => {
+                let b = pop_num(&mut stack)?;
+                let a = pop_num(&mut stack)?;
+                stack.push(Tok::Num(b));
+                stack.push(Tok::Num(a));
+            }
+            "pop" => {
+                pop_num(&mut stack)?;
+            }
+            "newpath" => {
+                current.clear();
+                subpaths.clear();
+            }
+            "moveto" => {
+                let y = pop_num(&mut stack)?;
+                let x = pop_num(&mut stack)?;
+                if !current.is_empty() {
+                    subpaths.push(std::mem::take(&mut current));
+                }
+                cursor = (origin.0 + x, origin.1 + y);
+                current.push(cursor);
+            }
+            "rmoveto" => {
+                let dy = pop_num(&mut stack)?;
+                let dx = pop_num(&mut stack)?;
+                if !current.is_empty() {
+                    subpaths.push(std::mem::take(&mut current));
+                }
+                cursor = (cursor.0 + dx, cursor.1 + dy);
+                current.push(cursor);
+            }
+            "lineto" => {
+                let y = pop_num(&mut stack)?;
+                let x = pop_num(&mut stack)?;
+                cursor = (origin.0 + x, origin.1 + y);
+                current.push(cursor);
+            }
+            "rlineto" => {
+                let dy = pop_num(&mut stack)?;
+                let dx = pop_num(&mut stack)?;
+                cursor = (cursor.0 + dx, cursor.1 + dy);
+                current.push(cursor);
+            }
+            "closepath" => {
+                if let Some(&first) = current.first() {
+                    current.push(first);
+                    cursor = first;
+                }
+            }
+            "translate" => {
+                let y = pop_num(&mut stack)?;
+                let x = pop_num(&mut stack)?;
+                origin = (origin.0 + x, origin.1 + y);
+            }
+            "stroke" => {
+                let paths = flush_path(&mut subpaths, &mut current);
+                if !paths.is_empty() {
+                    elements.push(Element::Stroke(paths));
+                }
+            }
+            "fill" => {
+                let paths = flush_path(&mut subpaths, &mut current);
+                if !paths.is_empty() {
+                    elements.push(Element::Fill(paths));
+                }
+            }
+            "setlinewidth" => {
+                pop_num(&mut stack)?; // accepted, not modeled
+            }
+            name => match dict.get(name) {
+                Some(&v) => stack.push(Tok::Num(v)),
+                None => return Err(ps_err(format!("unknown word {name}"))),
+            },
+        }
+    }
+    Ok(elements)
+}
+
+/// Rasterizes elements onto a character grid for terminal display.
+/// The y axis points up, PostScript-style.
+pub fn rasterize(elements: &[Element], width: usize, height: usize) -> String {
+    let mut grid = vec![vec![' '; width]; height];
+    let mut plot = |x: f64, y: f64, c: char| {
+        let xi = x.round() as isize;
+        let yi = (height as isize - 1) - y.round() as isize;
+        if xi >= 0 && (xi as usize) < width && yi >= 0 && (yi as usize) < height {
+            grid[yi as usize][xi as usize] = c;
+        }
+    };
+    for el in elements {
+        let (paths, c) = match el {
+            Element::Stroke(p) => (p, '*'),
+            Element::Fill(p) => (p, '#'),
+        };
+        for path in paths {
+            for w in path.windows(2) {
+                let (x0, y0) = w[0];
+                let (x1, y1) = w[1];
+                let steps = ((x1 - x0).abs().max((y1 - y0).abs()).ceil() as usize).max(1);
+                for s in 0..=steps {
+                    let t = s as f64 / steps as f64;
+                    plot(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t, c);
+                }
+            }
+            if path.len() == 1 {
+                plot(path[0].0, path[0].1, c);
+            }
+        }
+    }
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// GraphDef / GDefUse / GParmUse stored in the database
+// ----------------------------------------------------------------------
+
+/// Installs the graphical-definition schema (fig. 10) into `db`:
+/// the `GraphDef` entity plus the `GDefUse` and `GParmUse` relationships
+/// connecting it to the meta-schema's ENTITY and ATTRIBUTE types.
+/// Installs the meta-schema first if needed. Idempotent.
+pub fn install_graphics_schema(db: &mut Database) -> Result<()> {
+    install_meta_schema(db)?;
+    if db.schema().entity_type_id("GraphDef").is_ok() {
+        return Ok(());
+    }
+    let graphdef = db.define_entity(
+        "GraphDef",
+        vec![
+            AttributeDef { name: "name".into(), ty: DataType::String },
+            AttributeDef { name: "function".into(), ty: DataType::String },
+        ],
+    )?;
+    let entity_ty = db.schema().entity_type_id("ENTITY")?;
+    let attribute_ty = db.schema().entity_type_id("ATTRIBUTE")?;
+    db.define_relationship(
+        "GDefUse",
+        vec![
+            crate::schema::RoleDef { name: "entity".into(), entity_type: entity_ty },
+            crate::schema::RoleDef { name: "graphdef".into(), entity_type: graphdef },
+        ],
+        vec![],
+    )?;
+    db.define_relationship(
+        "GParmUse",
+        vec![
+            crate::schema::RoleDef { name: "attribute".into(), entity_type: attribute_ty },
+            crate::schema::RoleDef { name: "graphdef".into(), entity_type: graphdef },
+        ],
+        vec![AttributeDef { name: "setup".into(), ty: DataType::String }],
+    )?;
+    Ok(())
+}
+
+/// Registers a graphical definition, returning its GraphDef row.
+pub fn register_graphdef(db: &mut Database, name: &str, function: &str) -> Result<EntityId> {
+    db.create_entity(
+        "GraphDef",
+        &[
+            ("name", Value::String(name.to_string())),
+            ("function", Value::String(function.to_string())),
+        ],
+    )
+}
+
+/// Associates a graphical definition with an entity type's meta row
+/// (GDefUse).
+pub fn bind_graphdef(db: &mut Database, entity_row: EntityId, graphdef: EntityId) -> Result<()> {
+    db.relate("GDefUse", &[("entity", entity_row), ("graphdef", graphdef)], &[])?;
+    Ok(())
+}
+
+/// Declares that `attribute_row` parameterizes `graphdef`, with the given
+/// set-up code (GParmUse). The placeholder `?` in the set-up code is
+/// replaced with the attribute's value at draw time, e.g. `/xpos ? def`.
+pub fn bind_parameter(
+    db: &mut Database,
+    attribute_row: EntityId,
+    graphdef: EntityId,
+    setup: &str,
+) -> Result<()> {
+    db.relate(
+        "GParmUse",
+        &[("attribute", attribute_row), ("graphdef", graphdef)],
+        &[("setup", Value::String(setup.to_string()))],
+    )?;
+    Ok(())
+}
+
+fn value_as_number(v: &Value) -> Result<f64> {
+    v.as_float()
+        .or_else(|| v.as_boolean().map(|b| if b { 1.0 } else { 0.0 }))
+        .ok_or_else(|| ps_err(format!("attribute value {v} is not numeric")))
+}
+
+/// Draws one instance by the paper's four-step procedure. The database
+/// must contain the instance, the meta rows for its entity type (as
+/// created by [`store_schema`]), and the graphics layer bindings.
+///
+/// [`store_schema`]: crate::meta::store_schema
+pub fn draw_instance(db: &Database, instance: EntityId) -> Result<Vec<Element>> {
+    // Step 1: find the instance (and its type name).
+    let type_name = db.type_of(instance)?.to_string();
+    // Step 2: find the graphical definition via GDefUse.
+    let entity_row = db
+        .instances_of("ENTITY")?
+        .iter()
+        .copied()
+        .find(|&row| {
+            db.get_attr(row, "entity_name")
+                .ok()
+                .and_then(|v| v.as_str().map(|s| s == type_name))
+                .unwrap_or(false)
+        })
+        .ok_or_else(|| ModelError::UnknownEntityType(format!("{type_name} (no meta row)")))?;
+    let graphdefs = db.related("GDefUse", entity_row, "graphdef")?;
+    let &graphdef = graphdefs
+        .first()
+        .ok_or_else(|| ps_err(format!("no graphical definition bound to {type_name}")))?;
+    let function = db
+        .get_attr(graphdef, "function")?
+        .as_str()
+        .ok_or_else(|| ps_err("GraphDef.function is not a string"))?
+        .to_string();
+    // Step 3: for each parameter of this definition, get its value from
+    // the instance and execute the set-up code.
+    let mut program = String::new();
+    let gparm = db.schema().relationship_id("GParmUse")?;
+    let def = db.schema().relationship(gparm)?;
+    let attr_role = def.role_index("attribute").expect("installed schema");
+    let gd_role = def.role_index("graphdef").expect("installed schema");
+    let setup_idx = def.attribute_index("setup").expect("installed schema");
+    for &ri in db.store().relationships_of(gparm) {
+        let r = db.store().relationship(ri)?;
+        if r.entities[gd_role] != graphdef {
+            continue;
+        }
+        let attr_row = r.entities[attr_role];
+        let attr_name = db
+            .get_attr(attr_row, "attribute_name")?
+            .as_str()
+            .ok_or_else(|| ps_err("ATTRIBUTE row without name"))?
+            .to_string();
+        let value = db.get_attr(instance, &attr_name)?;
+        let num = value_as_number(value)?;
+        let setup = r.attrs[setup_idx]
+            .as_str()
+            .ok_or_else(|| ps_err("GParmUse.setup is not a string"))?;
+        program.push_str(&setup.replace('?', &format!("{num}")));
+        program.push(' ');
+    }
+    // Step 4: execute the graphical definition.
+    program.push_str(&function);
+    execute(&program, &HashMap::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::store_schema;
+    use crate::schema::Schema;
+
+    #[test]
+    fn execute_simple_stroke() {
+        let els = execute("newpath 1 2 moveto 3 0 rlineto stroke", &HashMap::new()).unwrap();
+        assert_eq!(els, vec![Element::Stroke(vec![vec![(1.0, 2.0), (4.0, 2.0)]])]);
+    }
+
+    #[test]
+    fn def_and_arithmetic() {
+        let els = execute(
+            "/x 2 def /y 3 def newpath x y moveto x 2 mul y 1 add lineto stroke",
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(els, vec![Element::Stroke(vec![vec![(2.0, 3.0), (4.0, 4.0)]])]);
+    }
+
+    #[test]
+    fn closepath_and_fill() {
+        let els = execute(
+            "newpath 0 0 moveto 4 0 rlineto 0 4 rlineto closepath fill",
+            &HashMap::new(),
+        )
+        .unwrap();
+        let Element::Fill(paths) = &els[0] else { panic!("expected fill") };
+        assert_eq!(paths[0].first(), paths[0].last());
+    }
+
+    #[test]
+    fn unknown_word_errors() {
+        assert!(execute("frobnicate", &HashMap::new()).is_err());
+        assert!(execute("1 moveto", &HashMap::new()).is_err()); // underflow
+    }
+
+    #[test]
+    fn rasterize_vertical_line() {
+        let els = execute("newpath 2 0 moveto 0 4 rlineto stroke", &HashMap::new()).unwrap();
+        let pic = rasterize(&els, 6, 6);
+        let lines: Vec<&str> = pic.lines().collect();
+        for (row, line) in lines.iter().enumerate().take(6).skip(1) {
+            assert_eq!(line.chars().nth(2), Some('*'), "row {row}");
+        }
+    }
+
+    /// Builds the paper's STEM example end-to-end: schema, meta rows,
+    /// graphics bindings, and a drawn instance.
+    fn stem_database() -> (Database, EntityId) {
+        // App schema: the STEM entity of §6.2.
+        let mut app = Schema::new();
+        app.define_entity(
+            "STEM",
+            vec![
+                AttributeDef { name: "xpos".into(), ty: DataType::Integer },
+                AttributeDef { name: "ypos".into(), ty: DataType::Integer },
+                AttributeDef { name: "length".into(), ty: DataType::Integer },
+                AttributeDef { name: "direction".into(), ty: DataType::Integer },
+            ],
+        )
+        .unwrap();
+
+        let mut db = Database::new();
+        // Layer 1+2: meta rows for the app schema, then graphics schema.
+        let rows = store_schema(&mut db, &app).unwrap();
+        install_graphics_schema(&mut db).unwrap();
+        let stem_row = rows.iter().find(|(n, _)| n == "STEM").unwrap().1;
+
+        // Layer 3: the STEM type itself, holding instance data.
+        db.define_entity(
+            "STEM",
+            vec![
+                AttributeDef { name: "xpos".into(), ty: DataType::Integer },
+                AttributeDef { name: "ypos".into(), ty: DataType::Integer },
+                AttributeDef { name: "length".into(), ty: DataType::Integer },
+                AttributeDef { name: "direction".into(), ty: DataType::Integer },
+            ],
+        )
+        .unwrap();
+
+        // A stem is a vertical line from (xpos, ypos), length scaled by
+        // direction (+1 up, -1 down).
+        let gd = register_graphdef(
+            &mut db,
+            "draw-stem",
+            "newpath xpos ypos moveto 0 length direction mul rlineto stroke",
+        )
+        .unwrap();
+        bind_graphdef(&mut db, stem_row, gd).unwrap();
+        for (attr, setup) in [
+            ("xpos", "/xpos ? def"),
+            ("ypos", "/ypos ? def"),
+            ("length", "/length ? def"),
+            ("direction", "/direction ? def"),
+        ] {
+            let attr_row = db
+                .ord_children("entity_attributes", Some(stem_row))
+                .unwrap()
+                .into_iter()
+                .find(|&a| db.get_attr(a, "attribute_name").unwrap().as_str() == Some(attr))
+                .unwrap();
+            bind_parameter(&mut db, attr_row, gd, setup).unwrap();
+        }
+
+        let stem = db
+            .create_entity(
+                "STEM",
+                &[
+                    ("xpos", Value::Integer(3)),
+                    ("ypos", Value::Integer(1)),
+                    ("length", Value::Integer(5)),
+                    ("direction", Value::Integer(1)),
+                ],
+            )
+            .unwrap();
+        (db, stem)
+    }
+
+    #[test]
+    fn four_step_stem_drawing() {
+        let (db, stem) = stem_database();
+        let els = draw_instance(&db, stem).unwrap();
+        assert_eq!(
+            els,
+            vec![Element::Stroke(vec![vec![(3.0, 1.0), (3.0, 6.0)]])]
+        );
+    }
+
+    #[test]
+    fn downward_stem_uses_direction() {
+        let (mut db, _) = stem_database();
+        let down = db
+            .create_entity(
+                "STEM",
+                &[
+                    ("xpos", Value::Integer(2)),
+                    ("ypos", Value::Integer(8)),
+                    ("length", Value::Integer(4)),
+                    ("direction", Value::Integer(-1)),
+                ],
+            )
+            .unwrap();
+        let els = draw_instance(&db, down).unwrap();
+        assert_eq!(els, vec![Element::Stroke(vec![vec![(2.0, 8.0), (2.0, 4.0)]])]);
+    }
+
+    #[test]
+    fn modifying_function_changes_drawing() {
+        // "By making this schema definition accessible as data, the client
+        // may freely modify such attributes as the printing function."
+        let (mut db, stem) = stem_database();
+        let gd = db.instances_of("GraphDef").unwrap()[0];
+        db.set_attr(
+            gd,
+            "function",
+            Value::String("newpath xpos ypos moveto length 0 rlineto stroke".into()),
+        )
+        .unwrap();
+        let els = draw_instance(&db, stem).unwrap();
+        // Now horizontal.
+        assert_eq!(els, vec![Element::Stroke(vec![vec![(3.0, 1.0), (8.0, 1.0)]])]);
+    }
+}

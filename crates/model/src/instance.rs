@@ -1,0 +1,690 @@
+//! Entity instances, relationship instances, and instance graphs.
+//!
+//! An *instance graph* (§5.3) relates a parent entity to an ordered set of
+//! children: P-edges connect each child to its parent, S-edges connect
+//! consecutive siblings, and every child occupies an ordinal position. The
+//! store represents each `(ordering, parent)` group as a vector of child
+//! ids (so S-edge cycles are unrepresentable by construction) and enforces
+//! the §5.5 restriction that P-edges never form a cycle: an instance can
+//! never be "part of itself".
+
+use std::collections::HashMap;
+
+use crate::error::{ModelError, Result};
+use crate::schema::{OrderingId, RelTypeId, Schema};
+use crate::value::{EntityId, TypeId, Value};
+
+/// Identifies a relationship instance.
+pub type RelInstanceId = u64;
+
+/// One entity instance: its type and attribute values (positionally
+/// matching the type's attribute definitions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// The entity type.
+    pub ty: TypeId,
+    /// Attribute values, indexed like the type's `attributes`.
+    pub attrs: Vec<Value>,
+}
+
+/// One relationship instance: entity ids filling each role, plus
+/// relationship attribute values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelInstance {
+    /// The relationship type.
+    pub rel: RelTypeId,
+    /// Entity ids, indexed like the relationship's `roles`.
+    pub entities: Vec<EntityId>,
+    /// Attribute values, indexed like the relationship's `attributes`.
+    pub attrs: Vec<Value>,
+}
+
+/// Per-ordering instance graph state.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct OrderingState {
+    /// Ordered children per parent (`None` = the global parent for
+    /// orderings defined without an `under` clause).
+    children: HashMap<Option<EntityId>, Vec<EntityId>>,
+    /// P-edges: child → parent group it belongs to.
+    parent_of: HashMap<EntityId, Option<EntityId>>,
+}
+
+/// The in-memory instance store for one database.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InstanceStore {
+    next_entity: EntityId,
+    next_rel: RelInstanceId,
+    instances: HashMap<EntityId, Instance>,
+    /// Instances per type, in creation order (deterministic iteration).
+    by_type: Vec<Vec<EntityId>>,
+    rel_instances: HashMap<RelInstanceId, RelInstance>,
+    /// Relationship instances per relationship type, in creation order.
+    rels_by_type: Vec<Vec<RelInstanceId>>,
+    orderings: Vec<OrderingState>,
+}
+
+impl InstanceStore {
+    /// Creates an empty store shaped for `schema`.
+    pub fn new(schema: &Schema) -> InstanceStore {
+        InstanceStore {
+            next_entity: 1,
+            next_rel: 1,
+            instances: HashMap::new(),
+            by_type: vec![Vec::new(); schema.entity_types().len()],
+            rel_instances: HashMap::new(),
+            rels_by_type: vec![Vec::new(); schema.relationships().len()],
+            orderings: vec![OrderingState::default(); schema.orderings().len()],
+        }
+    }
+
+    /// Grows internal tables after new schema definitions (the schema can
+    /// be extended while instances exist).
+    pub fn sync_with_schema(&mut self, schema: &Schema) {
+        self.by_type.resize(schema.entity_types().len(), Vec::new());
+        self.rels_by_type.resize(schema.relationships().len(), Vec::new());
+        self.orderings.resize(schema.orderings().len(), OrderingState::default());
+    }
+
+    // ------------------------------------------------------------------
+    // Entities
+    // ------------------------------------------------------------------
+
+    /// Creates an instance of `ty` with the given attribute values
+    /// (already positionally arranged and type-checked by the caller).
+    pub fn create_entity(&mut self, ty: TypeId, attrs: Vec<Value>) -> EntityId {
+        let id = self.next_entity;
+        self.next_entity += 1;
+        self.instances.insert(id, Instance { ty, attrs });
+        self.by_type[ty as usize].push(id);
+        id
+    }
+
+    /// Creates an entity with a specific id (used when loading from disk).
+    /// The id must not be in use.
+    pub fn create_entity_with_id(&mut self, id: EntityId, ty: TypeId, attrs: Vec<Value>) {
+        debug_assert!(!self.instances.contains_key(&id));
+        self.instances.insert(id, Instance { ty, attrs });
+        self.by_type[ty as usize].push(id);
+        self.next_entity = self.next_entity.max(id + 1);
+    }
+
+    /// The instance for `id`.
+    pub fn entity(&self, id: EntityId) -> Result<&Instance> {
+        self.instances.get(&id).ok_or(ModelError::NoSuchInstance(id))
+    }
+
+    /// Mutable access to the instance for `id`.
+    pub fn entity_mut(&mut self, id: EntityId) -> Result<&mut Instance> {
+        self.instances.get_mut(&id).ok_or(ModelError::NoSuchInstance(id))
+    }
+
+    /// Whether an instance exists.
+    pub fn exists(&self, id: EntityId) -> bool {
+        self.instances.contains_key(&id)
+    }
+
+    /// Ids of all instances of a type, in creation order.
+    pub fn instances_of(&self, ty: TypeId) -> &[EntityId] {
+        self.by_type.get(ty as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of entity instances.
+    pub fn entity_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Deletes an instance: detaches it from every ordering (as child) and
+    /// orphans its children (their P-edges are removed), and removes every
+    /// relationship instance that references it. Entity-valued attributes
+    /// elsewhere that referenced it become dangling; [`Value::Entity`]
+    /// readers must tolerate missing targets.
+    pub fn delete_entity(&mut self, id: EntityId) -> Result<()> {
+        let inst = self.instances.remove(&id).ok_or(ModelError::NoSuchInstance(id))?;
+        if let Some(v) = self.by_type.get_mut(inst.ty as usize) {
+            v.retain(|&e| e != id);
+        }
+        for o in 0..self.orderings.len() {
+            let state = &mut self.orderings[o];
+            if let Some(parent) = state.parent_of.remove(&id) {
+                if let Some(sibs) = state.children.get_mut(&parent) {
+                    sibs.retain(|&e| e != id);
+                }
+            }
+            if let Some(kids) = state.children.remove(&Some(id)) {
+                for k in kids {
+                    state.parent_of.remove(&k);
+                }
+            }
+        }
+        let stale: Vec<RelInstanceId> = self
+            .rel_instances
+            .iter()
+            .filter(|(_, r)| r.entities.contains(&id))
+            .map(|(&rid, _)| rid)
+            .collect();
+        for rid in stale {
+            self.remove_relationship(rid)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Relationships
+    // ------------------------------------------------------------------
+
+    /// Creates a relationship instance (caller has validated types).
+    pub fn relate(&mut self, rel: RelTypeId, entities: Vec<EntityId>, attrs: Vec<Value>) -> RelInstanceId {
+        let id = self.next_rel;
+        self.next_rel += 1;
+        self.rel_instances.insert(id, RelInstance { rel, entities, attrs });
+        self.rels_by_type[rel as usize].push(id);
+        id
+    }
+
+    /// The relationship instance for `id`.
+    pub fn relationship(&self, id: RelInstanceId) -> Result<&RelInstance> {
+        self.rel_instances
+            .get(&id)
+            .ok_or(ModelError::NoSuchRelInstance(id))
+    }
+
+    /// Removes a relationship instance.
+    pub fn remove_relationship(&mut self, id: RelInstanceId) -> Result<()> {
+        let r = self
+            .rel_instances
+            .remove(&id)
+            .ok_or(ModelError::NoSuchRelInstance(id))?;
+        if let Some(v) = self.rels_by_type.get_mut(r.rel as usize) {
+            v.retain(|&e| e != id);
+        }
+        Ok(())
+    }
+
+    /// Ids of all instances of a relationship, in creation order.
+    pub fn relationships_of(&self, rel: RelTypeId) -> &[RelInstanceId] {
+        self.rels_by_type.get(rel as usize).map_or(&[], Vec::as_slice)
+    }
+
+    // ------------------------------------------------------------------
+    // Hierarchical ordering (instance graphs)
+    // ------------------------------------------------------------------
+
+    fn state(&self, ordering: OrderingId) -> &OrderingState {
+        &self.orderings[ordering as usize]
+    }
+
+    fn state_mut(&mut self, ordering: OrderingId) -> &mut OrderingState {
+        &mut self.orderings[ordering as usize]
+    }
+
+    /// Inserts `child` at `position` under `parent` in `ordering`.
+    /// `parent = None` targets the global group of a parentless ordering.
+    /// Enforces: the child has no parent yet in this ordering, the position
+    /// is within bounds, and no P-edge cycle arises (§5.5).
+    pub fn ordering_insert(
+        &mut self,
+        schema: &Schema,
+        ordering: OrderingId,
+        parent: Option<EntityId>,
+        position: usize,
+        child: EntityId,
+    ) -> Result<()> {
+        let oname = schema.ordering_display_name(ordering);
+        if self.state(ordering).parent_of.contains_key(&child) {
+            return Err(ModelError::AlreadyOrdered { ordering: oname, child });
+        }
+        // Cycle restriction: walking up from `parent`, we must never meet
+        // `child` ("an instance cannot be part of itself").
+        let mut cursor = parent;
+        while let Some(p) = cursor {
+            if p == child {
+                return Err(ModelError::CycleDetected { ordering: oname, child });
+            }
+            cursor = self.state(ordering).parent_of.get(&p).copied().flatten();
+        }
+        let state = self.state_mut(ordering);
+        let sibs = state.children.entry(parent).or_default();
+        if position > sibs.len() {
+            return Err(ModelError::PositionOutOfBounds {
+                position,
+                len: sibs.len(),
+            });
+        }
+        sibs.insert(position, child);
+        state.parent_of.insert(child, parent);
+        Ok(())
+    }
+
+    /// Appends `child` as the last child of `parent` in `ordering`.
+    pub fn ordering_append(
+        &mut self,
+        schema: &Schema,
+        ordering: OrderingId,
+        parent: Option<EntityId>,
+        child: EntityId,
+    ) -> Result<()> {
+        let len = self
+            .state(ordering)
+            .children
+            .get(&parent)
+            .map_or(0, Vec::len);
+        self.ordering_insert(schema, ordering, parent, len, child)
+    }
+
+    /// Detaches `child` from its parent in `ordering`.
+    pub fn ordering_remove(
+        &mut self,
+        schema: &Schema,
+        ordering: OrderingId,
+        child: EntityId,
+    ) -> Result<()> {
+        let oname = schema.ordering_display_name(ordering);
+        let state = self.state_mut(ordering);
+        let parent = state
+            .parent_of
+            .remove(&child)
+            .ok_or(ModelError::NotAChild { ordering: oname, child })?;
+        if let Some(sibs) = state.children.get_mut(&parent) {
+            sibs.retain(|&e| e != child);
+        }
+        Ok(())
+    }
+
+    /// The ordered children of `parent` in `ordering`.
+    pub fn ordering_children(
+        &self,
+        ordering: OrderingId,
+        parent: Option<EntityId>,
+    ) -> &[EntityId] {
+        self.state(ordering)
+            .children
+            .get(&parent)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The parent of `child` in `ordering` (`Ok(None)` = child of the
+    /// global group; `Err(NotAChild)` = not in the ordering at all).
+    pub fn ordering_parent(
+        &self,
+        schema: &Schema,
+        ordering: OrderingId,
+        child: EntityId,
+    ) -> Result<Option<EntityId>> {
+        self.state(ordering)
+            .parent_of
+            .get(&child)
+            .copied()
+            .ok_or_else(|| ModelError::NotAChild {
+                ordering: schema.ordering_display_name(ordering),
+                child,
+            })
+    }
+
+    /// The ordinal position (0-based) of `child` under its parent.
+    pub fn ordering_position(
+        &self,
+        schema: &Schema,
+        ordering: OrderingId,
+        child: EntityId,
+    ) -> Result<usize> {
+        let parent = self.ordering_parent(schema, ordering, child)?;
+        let sibs = self.ordering_children(ordering, parent);
+        sibs.iter()
+            .position(|&e| e == child)
+            .ok_or_else(|| ModelError::NotAChild {
+                ordering: schema.ordering_display_name(ordering),
+                child,
+            })
+    }
+
+    /// `a before b in ordering` (§5.6): true iff both share a parent in the
+    /// ordering and `a` precedes `b`. Differing parents → false (the paper:
+    /// "they are not comparable, and the before clause evaluates to false").
+    pub fn before(
+        &self,
+        ordering: OrderingId,
+        a: EntityId,
+        b: EntityId,
+    ) -> bool {
+        let state = self.state(ordering);
+        let (Some(&pa), Some(&pb)) = (state.parent_of.get(&a), state.parent_of.get(&b)) else {
+            return false;
+        };
+        if pa != pb || a == b {
+            return false;
+        }
+        let sibs = match state.children.get(&pa) {
+            Some(s) => s,
+            None => return false,
+        };
+        let mut seen_a = false;
+        for &e in sibs {
+            if e == a {
+                seen_a = true;
+            } else if e == b {
+                return seen_a;
+            }
+        }
+        false
+    }
+
+    /// `a after b in ordering` (§5.6).
+    pub fn after(&self, ordering: OrderingId, a: EntityId, b: EntityId) -> bool {
+        self.before(ordering, b, a)
+    }
+
+    /// `a under p in ordering` (§5.6): true iff `p` is `a`'s parent.
+    pub fn under(&self, ordering: OrderingId, a: EntityId, p: EntityId) -> bool {
+        self.state(ordering).parent_of.get(&a).copied() == Some(Some(p))
+    }
+
+    /// The n-th (0-based) child of `parent`, e.g. "the third note in
+    /// chord x".
+    pub fn nth_child(
+        &self,
+        ordering: OrderingId,
+        parent: Option<EntityId>,
+        n: usize,
+    ) -> Option<EntityId> {
+        self.ordering_children(ordering, parent).get(n).copied()
+    }
+
+    /// All `(parent, children)` groups of an ordering, parents sorted for
+    /// determinism.
+    pub fn ordering_groups(
+        &self,
+        ordering: OrderingId,
+    ) -> Vec<(Option<EntityId>, &[EntityId])> {
+        let mut groups: Vec<_> = self
+            .state(ordering)
+            .children
+            .iter()
+            .map(|(p, v)| (*p, v.as_slice()))
+            .collect();
+        groups.sort_by_key(|(p, _)| *p);
+        groups
+    }
+
+    /// Transitive descendants of `parent` in a (possibly recursive)
+    /// ordering, preorder.
+    pub fn descendants(&self, ordering: OrderingId, parent: EntityId) -> Vec<EntityId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<EntityId> = self
+            .ordering_children(ordering, Some(parent))
+            .iter()
+            .rev()
+            .copied()
+            .collect();
+        while let Some(e) = stack.pop() {
+            out.push(e);
+            stack.extend(self.ordering_children(ordering, Some(e)).iter().rev().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeDef;
+    use crate::value::DataType;
+
+    fn setup() -> (Schema, InstanceStore, TypeId, TypeId, OrderingId) {
+        let mut s = Schema::new();
+        let chord = s
+            .define_entity("CHORD", vec![AttributeDef { name: "name".into(), ty: DataType::Integer }])
+            .unwrap();
+        let note = s
+            .define_entity("NOTE", vec![AttributeDef { name: "name".into(), ty: DataType::Integer }])
+            .unwrap();
+        let o = s.define_ordering(Some("note_in_chord"), vec![note], Some(chord)).unwrap();
+        let store = InstanceStore::new(&s);
+        (s, store, chord, note, o)
+    }
+
+    #[test]
+    fn figure6_instance_graph() {
+        // Fig. 6: parent y with ordered children {u, v, w, x}; "w is the
+        // third child of y".
+        let (s, mut st, chord, note, o) = setup();
+        let y = st.create_entity(chord, vec![Value::Integer(0)]);
+        let kids: Vec<EntityId> = (0..4)
+            .map(|i| st.create_entity(note, vec![Value::Integer(i)]))
+            .collect();
+        let (u, v, w, x) = (kids[0], kids[1], kids[2], kids[3]);
+        for &k in &kids {
+            st.ordering_append(&s, o, Some(y), k).unwrap();
+        }
+        assert_eq!(st.ordering_children(o, Some(y)), &[u, v, w, x]);
+        assert_eq!(st.nth_child(o, Some(y), 2), Some(w), "w is the third child");
+        assert_eq!(st.ordering_parent(&s, o, w).unwrap(), Some(y));
+        assert_eq!(st.ordering_position(&s, o, x).unwrap(), 3);
+        assert!(st.before(o, u, v));
+        assert!(st.before(o, u, x));
+        assert!(!st.before(o, x, u));
+        assert!(st.after(o, x, w));
+        assert!(st.under(o, u, y));
+    }
+
+    #[test]
+    fn before_is_false_across_parents() {
+        // §5.6: "If a and b have different parents, then they are not
+        // comparable, and the before clause evaluates to false."
+        let (s, mut st, chord, note, o) = setup();
+        let c1 = st.create_entity(chord, vec![Value::Null]);
+        let c2 = st.create_entity(chord, vec![Value::Null]);
+        let n1 = st.create_entity(note, vec![Value::Null]);
+        let n2 = st.create_entity(note, vec![Value::Null]);
+        st.ordering_append(&s, o, Some(c1), n1).unwrap();
+        st.ordering_append(&s, o, Some(c2), n2).unwrap();
+        assert!(!st.before(o, n1, n2));
+        assert!(!st.before(o, n2, n1));
+        assert!(!st.after(o, n1, n2));
+    }
+
+    #[test]
+    fn before_irreflexive() {
+        let (s, mut st, chord, note, o) = setup();
+        let c = st.create_entity(chord, vec![Value::Null]);
+        let n = st.create_entity(note, vec![Value::Null]);
+        st.ordering_append(&s, o, Some(c), n).unwrap();
+        assert!(!st.before(o, n, n));
+    }
+
+    #[test]
+    fn insert_at_position_shifts() {
+        let (s, mut st, chord, note, o) = setup();
+        let c = st.create_entity(chord, vec![Value::Null]);
+        let a = st.create_entity(note, vec![Value::Null]);
+        let b = st.create_entity(note, vec![Value::Null]);
+        let m = st.create_entity(note, vec![Value::Null]);
+        st.ordering_append(&s, o, Some(c), a).unwrap();
+        st.ordering_append(&s, o, Some(c), b).unwrap();
+        st.ordering_insert(&s, o, Some(c), 1, m).unwrap();
+        assert_eq!(st.ordering_children(o, Some(c)), &[a, m, b]);
+        assert!(st.before(o, a, m) && st.before(o, m, b));
+    }
+
+    #[test]
+    fn position_out_of_bounds() {
+        let (s, mut st, chord, note, o) = setup();
+        let c = st.create_entity(chord, vec![Value::Null]);
+        let n = st.create_entity(note, vec![Value::Null]);
+        assert!(matches!(
+            st.ordering_insert(&s, o, Some(c), 1, n),
+            Err(ModelError::PositionOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn child_cannot_have_two_parents_in_one_ordering() {
+        let (s, mut st, chord, note, o) = setup();
+        let c1 = st.create_entity(chord, vec![Value::Null]);
+        let c2 = st.create_entity(chord, vec![Value::Null]);
+        let n = st.create_entity(note, vec![Value::Null]);
+        st.ordering_append(&s, o, Some(c1), n).unwrap();
+        assert!(matches!(
+            st.ordering_append(&s, o, Some(c2), n),
+            Err(ModelError::AlreadyOrdered { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_parents_across_orderings() {
+        // §5.5 multiple parents: a note under its chord AND under its staff.
+        let mut s = Schema::new();
+        let chord = s.define_entity("CHORD", vec![]).unwrap();
+        let staff = s.define_entity("STAFF", vec![]).unwrap();
+        let note = s.define_entity("NOTE", vec![]).unwrap();
+        let per_chord = s.define_ordering(Some("per_chord"), vec![note], Some(chord)).unwrap();
+        let per_staff = s.define_ordering(Some("per_staff"), vec![note], Some(staff)).unwrap();
+        let mut st = InstanceStore::new(&s);
+        let c = st.create_entity(chord, vec![]);
+        let f = st.create_entity(staff, vec![]);
+        let n = st.create_entity(note, vec![]);
+        st.ordering_append(&s, per_chord, Some(c), n).unwrap();
+        st.ordering_append(&s, per_staff, Some(f), n).unwrap();
+        assert!(st.under(per_chord, n, c));
+        assert!(st.under(per_staff, n, f));
+    }
+
+    #[test]
+    fn recursive_ordering_cycle_rejected() {
+        // §5.5: P-edge cycles ("part of itself") are disallowed.
+        let mut s = Schema::new();
+        let bg = s.define_entity("BEAM_GROUP", vec![]).unwrap();
+        let o = s.define_ordering(Some("beams"), vec![bg], Some(bg)).unwrap();
+        let mut st = InstanceStore::new(&s);
+        let g1 = st.create_entity(bg, vec![]);
+        let g2 = st.create_entity(bg, vec![]);
+        let g3 = st.create_entity(bg, vec![]);
+        st.ordering_append(&s, o, Some(g1), g2).unwrap();
+        st.ordering_append(&s, o, Some(g2), g3).unwrap();
+        // g3 is a descendant of g1; making g1 a child of g3 would cycle.
+        assert!(matches!(
+            st.ordering_append(&s, o, Some(g3), g1),
+            Err(ModelError::CycleDetected { .. })
+        ));
+        // Self-parent is the degenerate cycle.
+        let g4 = st.create_entity(bg, vec![]);
+        assert!(matches!(
+            st.ordering_append(&s, o, Some(g4), g4),
+            Err(ModelError::CycleDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn inhomogeneous_ordering_positions() {
+        // §5.5: chords and rests intermixed under a voice; "the second
+        // object under voice V" is well-defined.
+        let mut s = Schema::new();
+        let voice = s.define_entity("VOICE", vec![]).unwrap();
+        let chord = s.define_entity("CHORD", vec![]).unwrap();
+        let rest = s.define_entity("REST", vec![]).unwrap();
+        let o = s.define_ordering(Some("voice_content"), vec![chord, rest], Some(voice)).unwrap();
+        let mut st = InstanceStore::new(&s);
+        let v = st.create_entity(voice, vec![]);
+        let c1 = st.create_entity(chord, vec![]);
+        let r1 = st.create_entity(rest, vec![]);
+        let c2 = st.create_entity(chord, vec![]);
+        st.ordering_append(&s, o, Some(v), c1).unwrap();
+        st.ordering_append(&s, o, Some(v), r1).unwrap();
+        st.ordering_append(&s, o, Some(v), c2).unwrap();
+        assert_eq!(st.nth_child(o, Some(v), 1), Some(r1));
+        assert!(st.before(o, c1, r1));
+        assert!(st.before(o, r1, c2));
+    }
+
+    #[test]
+    fn remove_and_reattach() {
+        let (s, mut st, chord, note, o) = setup();
+        let c = st.create_entity(chord, vec![Value::Null]);
+        let a = st.create_entity(note, vec![Value::Null]);
+        let b = st.create_entity(note, vec![Value::Null]);
+        st.ordering_append(&s, o, Some(c), a).unwrap();
+        st.ordering_append(&s, o, Some(c), b).unwrap();
+        st.ordering_remove(&s, o, a).unwrap();
+        assert_eq!(st.ordering_children(o, Some(c)), &[b]);
+        assert!(st.ordering_parent(&s, o, a).is_err());
+        // Reattach at front.
+        st.ordering_insert(&s, o, Some(c), 0, a).unwrap();
+        assert_eq!(st.ordering_children(o, Some(c)), &[a, b]);
+    }
+
+    #[test]
+    fn delete_entity_detaches_everywhere() {
+        let (s, mut st, chord, note, o) = setup();
+        let c = st.create_entity(chord, vec![Value::Null]);
+        let a = st.create_entity(note, vec![Value::Null]);
+        let b = st.create_entity(note, vec![Value::Null]);
+        st.ordering_append(&s, o, Some(c), a).unwrap();
+        st.ordering_append(&s, o, Some(c), b).unwrap();
+        st.delete_entity(a).unwrap();
+        assert_eq!(st.ordering_children(o, Some(c)), &[b]);
+        assert!(!st.exists(a));
+        assert_eq!(st.instances_of(note), &[b]);
+        // Deleting the parent orphans the child.
+        st.delete_entity(c).unwrap();
+        assert!(st.ordering_parent(&s, o, b).is_err());
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let mut s = Schema::new();
+        let bg = s.define_entity("G", vec![]).unwrap();
+        let o = s.define_ordering(Some("o"), vec![bg], Some(bg)).unwrap();
+        let mut st = InstanceStore::new(&s);
+        let root = st.create_entity(bg, vec![]);
+        let a = st.create_entity(bg, vec![]);
+        let b = st.create_entity(bg, vec![]);
+        let a1 = st.create_entity(bg, vec![]);
+        let a2 = st.create_entity(bg, vec![]);
+        st.ordering_append(&s, o, Some(root), a).unwrap();
+        st.ordering_append(&s, o, Some(root), b).unwrap();
+        st.ordering_append(&s, o, Some(a), a1).unwrap();
+        st.ordering_append(&s, o, Some(a), a2).unwrap();
+        assert_eq!(st.descendants(o, root), vec![a, a1, a2, b]);
+    }
+
+    #[test]
+    fn global_ordering_without_parent_entity() {
+        let mut s = Schema::new();
+        let m = s.define_entity("MEASURE", vec![]).unwrap();
+        let o = s.define_ordering(Some("all_measures"), vec![m], None).unwrap();
+        let mut st = InstanceStore::new(&s);
+        let m1 = st.create_entity(m, vec![]);
+        let m2 = st.create_entity(m, vec![]);
+        st.ordering_append(&s, o, None, m1).unwrap();
+        st.ordering_append(&s, o, None, m2).unwrap();
+        assert_eq!(st.ordering_children(o, None), &[m1, m2]);
+        assert!(st.before(o, m1, m2));
+        assert_eq!(st.ordering_parent(&s, o, m1).unwrap(), None);
+    }
+
+    #[test]
+    fn relationship_instances() {
+        let mut s = Schema::new();
+        let person = s.define_entity("PERSON", vec![]).unwrap();
+        let comp = s.define_entity("COMPOSITION", vec![]).unwrap();
+        let rel = s
+            .define_relationship(
+                "COMPOSER",
+                vec![
+                    crate::schema::RoleDef { name: "person".into(), entity_type: person },
+                    crate::schema::RoleDef { name: "composition".into(), entity_type: comp },
+                ],
+                vec![],
+            )
+            .unwrap();
+        let mut st = InstanceStore::new(&s);
+        let p = st.create_entity(person, vec![]);
+        let c = st.create_entity(comp, vec![]);
+        let r = st.relate(rel, vec![p, c], vec![]);
+        assert_eq!(st.relationship(r).unwrap().entities, vec![p, c]);
+        assert_eq!(st.relationships_of(rel), &[r]);
+        // Deleting a participant removes the relationship instance.
+        st.delete_entity(p).unwrap();
+        assert!(st.relationship(r).is_err());
+        assert!(st.relationships_of(rel).is_empty());
+    }
+}

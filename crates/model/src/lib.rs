@@ -1,0 +1,61 @@
+//! # mdm-model
+//!
+//! The data model of the music data manager: Chen's entity-relationship
+//! model extended with *hierarchical ordering*, after Rubenstein,
+//! *A Database Design for Musical Information* (SIGMOD 1987), §5–§6.
+//!
+//! A schema declares entity types (with typed attributes), relationships
+//! (named roles plus relationship attributes), and orderings — ordered
+//! parent/child aggregations declared with
+//! `define ordering [name] (CHILD, …) [under PARENT]`. Instances form
+//! *instance graphs*: each child carries a P-edge to its parent and an
+//! ordinal position among its siblings (S-edges). The §5.5 restrictions —
+//! no P-edge cycles, no S-edge cycles — are enforced at mutation time.
+//!
+//! The crate also implements the paper's §6 ideas: the *meta-schema*
+//! (schemas stored as ordered entities in a database, [`meta`]) and the
+//! application-specific graphical-definition layer
+//! (GraphDef / GParmUse / GDefUse, [`graphdef`]).
+//!
+//! ```
+//! use mdm_model::{Database, Value};
+//! use mdm_model::schema::AttributeDef;
+//! use mdm_model::value::DataType;
+//!
+//! let mut db = Database::new();
+//! db.define_entity("CHORD", vec![]).unwrap();
+//! db.define_entity(
+//!     "NOTE",
+//!     vec![AttributeDef { name: "pitch".into(), ty: DataType::String }],
+//! ).unwrap();
+//! db.define_ordering(Some("note_in_chord"), &["NOTE"], Some("CHORD")).unwrap();
+//!
+//! let chord = db.create_entity("CHORD", &[]).unwrap();
+//! let c4 = db.create_entity("NOTE", &[("pitch", Value::String("C4".into()))]).unwrap();
+//! let e4 = db.create_entity("NOTE", &[("pitch", Value::String("E4".into()))]).unwrap();
+//! db.ord_append("note_in_chord", Some(chord), c4).unwrap();
+//! db.ord_append("note_in_chord", Some(chord), e4).unwrap();
+//!
+//! assert!(db.before("note_in_chord", c4, e4).unwrap());
+//! assert_eq!(db.nth_child("note_in_chord", Some(chord), 1).unwrap(), Some(e4));
+//! ```
+
+pub mod db;
+pub mod diagram;
+pub mod encode;
+pub mod error;
+pub mod graphdef;
+pub mod instance;
+pub mod meta;
+pub mod persist;
+pub mod schema;
+pub mod value;
+
+pub use db::Database;
+pub use error::{ModelError, Result};
+pub use instance::{Instance, InstanceStore, RelInstance, RelInstanceId};
+pub use schema::{
+    AttributeDef, EntityTypeDef, OrderingDef, OrderingId, RelTypeId, RelationshipDef, RoleDef,
+    Schema,
+};
+pub use value::{DataType, EntityId, TypeId, Value};

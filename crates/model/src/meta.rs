@@ -1,0 +1,417 @@
+//! The meta-schema: storing schema definitions as ordered entities (§6.1).
+//!
+//! "We may actually use our data definition language to define a
+//! meta-database: a database that models our definitions of entities,
+//! relationships, attributes and orderings." The meta-schema is, verbatim
+//! from the paper:
+//!
+//! ```text
+//! define entity ENTITY (entity_name = string)
+//! define entity RELATIONSHIP (relationship_name = string)
+//! define entity ATTRIBUTE (attribute_name = string, attribute_type = string)
+//! define entity ORDERING (order_name = string, order_parent = ENTITY)
+//!
+//! define ordering entity_attributes (ATTRIBUTE) under ENTITY
+//! define ordering relationship_attributes (ATTRIBUTE) under RELATIONSHIP
+//! define relationship order_child (child = ENTITY, ordering = ORDERING)
+//! ```
+//!
+//! [`store_schema`] populates a meta-database from any schema (each
+//! `define entity` statement generates one ENTITY instance and one
+//! ATTRIBUTE instance per attribute, and so on); [`read_schema`] inverts
+//! it. Because the meta-schema is itself a schema, it can be stored in
+//! itself — the self-description the paper calls "blurring the
+//! schema/data distinction".
+
+use crate::db::Database;
+use crate::error::{ModelError, Result};
+use crate::schema::{AttributeDef, RoleDef, Schema};
+use crate::value::{DataType, EntityId, Value};
+
+/// Builds the paper's §6.1 meta-schema.
+pub fn meta_schema() -> Schema {
+    let mut s = Schema::new();
+    let entity = s
+        .define_entity(
+            "ENTITY",
+            vec![AttributeDef { name: "entity_name".into(), ty: DataType::String }],
+        )
+        .expect("static definition");
+    let relationship = s
+        .define_entity(
+            "RELATIONSHIP",
+            vec![AttributeDef { name: "relationship_name".into(), ty: DataType::String }],
+        )
+        .expect("static definition");
+    let attribute = s
+        .define_entity(
+            "ATTRIBUTE",
+            vec![
+                AttributeDef { name: "attribute_name".into(), ty: DataType::String },
+                AttributeDef { name: "attribute_type".into(), ty: DataType::String },
+            ],
+        )
+        .expect("static definition");
+    let ordering = s
+        .define_entity(
+            "ORDERING",
+            vec![
+                AttributeDef { name: "order_name".into(), ty: DataType::String },
+                AttributeDef { name: "order_parent".into(), ty: DataType::Entity(entity) },
+            ],
+        )
+        .expect("static definition");
+    s.define_ordering(Some("entity_attributes"), vec![attribute], Some(entity))
+        .expect("static definition");
+    s.define_ordering(Some("relationship_attributes"), vec![attribute], Some(relationship))
+        .expect("static definition");
+    s.define_relationship(
+        "order_child",
+        vec![
+            RoleDef { name: "child".into(), entity_type: entity },
+            RoleDef { name: "ordering".into(), entity_type: ordering },
+        ],
+        vec![],
+    )
+    .expect("static definition");
+    s
+}
+
+/// Installs the meta-schema's entity types into an existing database
+/// (no-op if already present). Returns nothing; definitions are by name.
+pub fn install_meta_schema(db: &mut Database) -> Result<()> {
+    if db.schema().entity_type_id("ENTITY").is_ok() {
+        return Ok(());
+    }
+    let template = meta_schema();
+    // Re-run the template's definitions against `db`, remapping type ids.
+    let base = db.schema().entity_types().len() as u32;
+    for e in template.entity_types() {
+        let attrs = e
+            .attributes
+            .iter()
+            .map(|a| AttributeDef {
+                name: a.name.clone(),
+                ty: match a.ty {
+                    DataType::Entity(t) => DataType::Entity(t + base),
+                    ref other => other.clone(),
+                },
+            })
+            .collect();
+        db.define_entity(&e.name, attrs)?;
+    }
+    for o in template.orderings() {
+        let children: Vec<&str> = o
+            .children
+            .iter()
+            .map(|&c| template.entity_type(c).map(|e| e.name.as_str()))
+            .collect::<Result<_>>()?;
+        let parent = o
+            .parent
+            .map(|p| template.entity_type(p).map(|e| e.name.as_str()))
+            .transpose()?;
+        db.define_ordering(o.name.as_deref(), &children, parent)?;
+    }
+    for r in template.relationships() {
+        let roles = r
+            .roles
+            .iter()
+            .map(|role| {
+                Ok(RoleDef {
+                    name: role.name.clone(),
+                    entity_type: template
+                        .entity_type(role.entity_type)
+                        .map(|_| role.entity_type + base)?,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        db.define_relationship(&r.name, roles, r.attributes.clone())?;
+    }
+    Ok(())
+}
+
+fn type_string(schema: &Schema, ty: &DataType) -> String {
+    match ty {
+        DataType::Entity(t) => schema
+            .entity_type(*t)
+            .map(|e| e.name.clone())
+            .unwrap_or_else(|_| ty.name()),
+        other => other.name(),
+    }
+}
+
+/// Stores `subject`'s definition as data in `db` (which must have the
+/// meta-schema installed). Returns the ENTITY instance ids keyed by name.
+pub fn store_schema(db: &mut Database, subject: &Schema) -> Result<Vec<(String, EntityId)>> {
+    install_meta_schema(db)?;
+    let mut entity_rows = Vec::new();
+    // Each `define entity` generates an ENTITY instance and one ATTRIBUTE
+    // instance per attribute, ordered under it.
+    for e in subject.entity_types() {
+        let row = db.create_entity("ENTITY", &[("entity_name", Value::String(e.name.clone()))])?;
+        for a in &e.attributes {
+            let attr_row = db.create_entity(
+                "ATTRIBUTE",
+                &[
+                    ("attribute_name", Value::String(a.name.clone())),
+                    ("attribute_type", Value::String(type_string(subject, &a.ty))),
+                ],
+            )?;
+            db.ord_append("entity_attributes", Some(row), attr_row)?;
+        }
+        entity_rows.push((e.name.clone(), row));
+    }
+    // Each `define relationship` generates a RELATIONSHIP instance and
+    // ATTRIBUTE instances. Roles are stored as attributes whose type names
+    // an entity type (matching the DDL's uniform member syntax).
+    for r in subject.relationships() {
+        let row = db.create_entity(
+            "RELATIONSHIP",
+            &[("relationship_name", Value::String(r.name.clone()))],
+        )?;
+        for role in &r.roles {
+            let attr_row = db.create_entity(
+                "ATTRIBUTE",
+                &[
+                    ("attribute_name", Value::String(role.name.clone())),
+                    (
+                        "attribute_type",
+                        Value::String(subject.entity_type(role.entity_type)?.name.clone()),
+                    ),
+                ],
+            )?;
+            db.ord_append("relationship_attributes", Some(row), attr_row)?;
+        }
+        for a in &r.attributes {
+            let attr_row = db.create_entity(
+                "ATTRIBUTE",
+                &[
+                    ("attribute_name", Value::String(a.name.clone())),
+                    ("attribute_type", Value::String(type_string(subject, &a.ty))),
+                ],
+            )?;
+            db.ord_append("relationship_attributes", Some(row), attr_row)?;
+        }
+    }
+    // Each `define ordering` generates one ORDERING instance, a single
+    // parent reference, and one child relationship per child type.
+    for (i, o) in subject.orderings().iter().enumerate() {
+        let name = o.name.clone().unwrap_or_else(|| format!("ordering#{i}"));
+        let parent_val = match o.parent {
+            Some(p) => {
+                let pname = &subject.entity_type(p)?.name;
+                let row = entity_rows
+                    .iter()
+                    .find(|(n, _)| n == pname)
+                    .map(|(_, id)| *id)
+                    .ok_or_else(|| ModelError::UnknownEntityType(pname.clone()))?;
+                Value::Entity(row)
+            }
+            None => Value::Null,
+        };
+        let ord_row = db.create_entity(
+            "ORDERING",
+            &[("order_name", Value::String(name)), ("order_parent", parent_val)],
+        )?;
+        for &c in &o.children {
+            let cname = &subject.entity_type(c)?.name;
+            let child_row = entity_rows
+                .iter()
+                .find(|(n, _)| n == cname)
+                .map(|(_, id)| *id)
+                .ok_or_else(|| ModelError::UnknownEntityType(cname.clone()))?;
+            db.relate("order_child", &[("child", child_row), ("ordering", ord_row)], &[])?;
+        }
+    }
+    Ok(entity_rows)
+}
+
+fn parse_type(name: &str, subject: &Schema) -> DataType {
+    match name {
+        "integer" => DataType::Integer,
+        "float" => DataType::Float,
+        "string" => DataType::String,
+        "boolean" => DataType::Boolean,
+        "bytes" => DataType::Bytes,
+        other => match subject.entity_type_id(other) {
+            Ok(t) => DataType::Entity(t),
+            Err(_) => DataType::String, // forward reference resolved later
+        },
+    }
+}
+
+/// Reads a schema back out of a meta-database populated by
+/// [`store_schema`]. Entity-typed attributes are resolved in a second
+/// pass so forward references work.
+pub fn read_schema(db: &Database) -> Result<Schema> {
+    let mut subject = Schema::new();
+    let entity_rows: Vec<EntityId> = db.instances_of("ENTITY")?.to_vec();
+    // Pass 1: entity names only (so refs resolve).
+    let mut names = Vec::new();
+    for &row in &entity_rows {
+        let name = db
+            .get_attr(row, "entity_name")?
+            .as_str()
+            .ok_or_else(|| ModelError::Corrupt("ENTITY row without name".into()))?
+            .to_string();
+        names.push(name);
+    }
+    for name in &names {
+        subject.define_entity(name, vec![])?;
+    }
+    // Pass 2: rebuild with attributes (fresh schema, refs now resolvable).
+    let mut full = Schema::new();
+    for (&row, name) in entity_rows.iter().zip(&names) {
+        let mut attrs = Vec::new();
+        for attr_row in db.ord_children("entity_attributes", Some(row))? {
+            let aname = db.get_attr(attr_row, "attribute_name")?.as_str().unwrap_or_default().to_string();
+            let tname = db.get_attr(attr_row, "attribute_type")?.as_str().unwrap_or_default().to_string();
+            attrs.push(AttributeDef { name: aname, ty: parse_type(&tname, &subject) });
+        }
+        full.define_entity(name, attrs)?;
+    }
+    // Relationships: members whose type names an entity type are roles.
+    for &row in db.instances_of("RELATIONSHIP")? {
+        let rname = db.get_attr(row, "relationship_name")?.as_str().unwrap_or_default().to_string();
+        let mut roles = Vec::new();
+        let mut attrs = Vec::new();
+        for attr_row in db.ord_children("relationship_attributes", Some(row))? {
+            let aname = db.get_attr(attr_row, "attribute_name")?.as_str().unwrap_or_default().to_string();
+            let tname = db.get_attr(attr_row, "attribute_type")?.as_str().unwrap_or_default().to_string();
+            match full.entity_type_id(&tname) {
+                Ok(t) => roles.push(RoleDef { name: aname, entity_type: t }),
+                Err(_) => attrs.push(AttributeDef { name: aname, ty: parse_type(&tname, &full) }),
+            }
+        }
+        full.define_relationship(&rname, roles, attrs)?;
+    }
+    // Orderings.
+    for &row in db.instances_of("ORDERING")? {
+        let oname = db.get_attr(row, "order_name")?.as_str().unwrap_or_default().to_string();
+        let parent = match db.get_attr(row, "order_parent")? {
+            Value::Entity(p) => {
+                let pname = db.get_attr(*p, "entity_name")?.as_str().unwrap_or_default().to_string();
+                Some(full.entity_type_id(&pname)?)
+            }
+            _ => None,
+        };
+        let mut children = Vec::new();
+        for child_row in db.related("order_child", row, "child")? {
+            let cname = db.get_attr(child_row, "entity_name")?.as_str().unwrap_or_default().to_string();
+            children.push(full.entity_type_id(&cname)?);
+        }
+        let name = (!oname.starts_with("ordering#")).then_some(oname);
+        full.define_ordering(name.as_deref(), children, parent)?;
+    }
+    Ok(full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_subject() -> Schema {
+        let mut s = Schema::new();
+        let chord = s
+            .define_entity("CHORD", vec![AttributeDef { name: "name".into(), ty: DataType::Integer }])
+            .unwrap();
+        let note = s
+            .define_entity(
+                "NOTE",
+                vec![
+                    AttributeDef { name: "name".into(), ty: DataType::Integer },
+                    AttributeDef { name: "pitch".into(), ty: DataType::String },
+                ],
+            )
+            .unwrap();
+        let person = s
+            .define_entity("PERSON", vec![AttributeDef { name: "name".into(), ty: DataType::String }])
+            .unwrap();
+        s.define_relationship(
+            "PERFORMS",
+            vec![
+                RoleDef { name: "player".into(), entity_type: person },
+                RoleDef { name: "chord".into(), entity_type: chord },
+            ],
+            vec![AttributeDef { name: "style".into(), ty: DataType::String }],
+        )
+        .unwrap();
+        s.define_ordering(Some("note_in_chord"), vec![note], Some(chord)).unwrap();
+        s
+    }
+
+    #[test]
+    fn meta_schema_matches_paper() {
+        let m = meta_schema();
+        assert!(m.entity_type_id("ENTITY").is_ok());
+        assert!(m.entity_type_id("RELATIONSHIP").is_ok());
+        assert!(m.entity_type_id("ATTRIBUTE").is_ok());
+        assert!(m.entity_type_id("ORDERING").is_ok());
+        assert!(m.ordering_id("entity_attributes").is_ok());
+        assert!(m.ordering_id("relationship_attributes").is_ok());
+        assert!(m.relationship_id("order_child").is_ok());
+        // ORDERING.order_parent is the implicit 1:n to ENTITY (fig. 9).
+        let ord = m.entity_type(m.entity_type_id("ORDERING").unwrap()).unwrap();
+        let parent_attr = &ord.attributes[ord.attribute_index("order_parent").unwrap()];
+        assert_eq!(parent_attr.ty, DataType::Entity(m.entity_type_id("ENTITY").unwrap()));
+    }
+
+    #[test]
+    fn schema_roundtrips_through_meta_database() {
+        let subject = sample_subject();
+        let mut db = Database::new();
+        store_schema(&mut db, &subject).unwrap();
+        let back = read_schema(&db).unwrap();
+        assert_eq!(back, subject);
+    }
+
+    #[test]
+    fn meta_schema_describes_itself() {
+        // The paper's self-reference: store the meta-schema *in* a
+        // database whose schema is the meta-schema.
+        let subject = meta_schema();
+        let mut db = Database::new();
+        store_schema(&mut db, &subject).unwrap();
+        let back = read_schema(&db).unwrap();
+        assert_eq!(back, subject);
+        // The database now contains ENTITY rows for ENTITY itself.
+        let names: Vec<String> = db
+            .instances_of("ENTITY")
+            .unwrap()
+            .iter()
+            .map(|&r| db.get_attr(r, "entity_name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert!(names.contains(&"ENTITY".to_string()));
+        assert!(names.contains(&"ORDERING".to_string()));
+    }
+
+    #[test]
+    fn attribute_ordering_is_preserved() {
+        let subject = sample_subject();
+        let mut db = Database::new();
+        let rows = store_schema(&mut db, &subject).unwrap();
+        let note_row = rows.iter().find(|(n, _)| n == "NOTE").unwrap().1;
+        let attr_names: Vec<String> = db
+            .ord_children("entity_attributes", Some(note_row))
+            .unwrap()
+            .iter()
+            .map(|&a| db.get_attr(a, "attribute_name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(attr_names, vec!["name", "pitch"]);
+    }
+
+    #[test]
+    fn install_into_database_with_existing_types() {
+        let mut db = Database::new();
+        db.define_entity("STEM", vec![]).unwrap();
+        install_meta_schema(&mut db).unwrap();
+        // ORDERING.order_parent must reference the *remapped* ENTITY id.
+        let ord_ty = db.schema().entity_type_id("ORDERING").unwrap();
+        let ent_ty = db.schema().entity_type_id("ENTITY").unwrap();
+        let def = db.schema().entity_type(ord_ty).unwrap();
+        let pa = &def.attributes[def.attribute_index("order_parent").unwrap()];
+        assert_eq!(pa.ty, DataType::Entity(ent_ty));
+        // Idempotent.
+        install_meta_schema(&mut db).unwrap();
+    }
+}

@@ -1,0 +1,499 @@
+//! The database schema: entity types, relationships, and hierarchical
+//! orderings (§5 of the paper).
+//!
+//! A schema is built incrementally — mirroring a stream of `define entity`,
+//! `define relationship`, and `define ordering` statements — and validated
+//! at each step. All the ordering configurations of §5.5 are expressible:
+//! multiple levels of hierarchy, multiple orderings under a parent,
+//! inhomogeneous orderings (several child types in one ordering), multiple
+//! parents (one entity type a child in several orderings), and recursive
+//! orderings (the parent type also a child type).
+
+use std::collections::HashMap;
+
+use crate::error::{ModelError, Result};
+use crate::value::{DataType, TypeId};
+
+/// Identifies a relationship definition within a schema.
+pub type RelTypeId = u32;
+
+/// Identifies an ordering definition within a schema.
+pub type OrderingId = u32;
+
+/// One attribute of an entity type or relationship.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    /// Attribute name, unique within its owner.
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+}
+
+/// One entity type (`define entity NAME (attr = type, …)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityTypeDef {
+    /// Entity type name, unique within the schema.
+    pub name: String,
+    /// Declared attributes, in definition order.
+    pub attributes: Vec<AttributeDef>,
+}
+
+impl EntityTypeDef {
+    /// Index of an attribute by name.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+}
+
+/// One role of a relationship: a named slot filled by an entity of a
+/// particular type (e.g. `composer = PERSON`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleDef {
+    /// Role name.
+    pub name: String,
+    /// Entity type filling the role.
+    pub entity_type: TypeId,
+}
+
+/// One "m to n" relationship (`define relationship NAME (role = TYPE, …)`).
+/// Value-typed members become relationship attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationshipDef {
+    /// Relationship name, unique within the schema.
+    pub name: String,
+    /// Entity-typed roles.
+    pub roles: Vec<RoleDef>,
+    /// Value-typed attributes of the relationship itself.
+    pub attributes: Vec<AttributeDef>,
+}
+
+impl RelationshipDef {
+    /// Index of a role by name.
+    pub fn role_index(&self, name: &str) -> Option<usize> {
+        self.roles.iter().position(|r| r.name == name)
+    }
+
+    /// Index of an attribute by name.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+}
+
+/// One hierarchical ordering
+/// (`define ordering [name] (CHILD, …) [under PARENT]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderingDef {
+    /// Optional ordering name; unnamed orderings are resolved by operand
+    /// types at query time.
+    pub name: Option<String>,
+    /// Child types participating in the ordering. More than one makes the
+    /// ordering *inhomogeneous* (§5.5).
+    pub children: Vec<TypeId>,
+    /// Parent type; `None` defines a single global ordered set.
+    pub parent: Option<TypeId>,
+}
+
+impl OrderingDef {
+    /// True if the ordering is recursive (parent type also a child type).
+    pub fn is_recursive(&self) -> bool {
+        self.parent.is_some_and(|p| self.children.contains(&p))
+    }
+}
+
+/// The complete schema.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Schema {
+    entity_types: Vec<EntityTypeDef>,
+    entity_by_name: HashMap<String, TypeId>,
+    relationships: Vec<RelationshipDef>,
+    rel_by_name: HashMap<String, RelTypeId>,
+    orderings: Vec<OrderingDef>,
+    ordering_by_name: HashMap<String, OrderingId>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Definition
+    // ------------------------------------------------------------------
+
+    /// Defines an entity type; equivalent to `define entity`.
+    pub fn define_entity(
+        &mut self,
+        name: &str,
+        attributes: Vec<AttributeDef>,
+    ) -> Result<TypeId> {
+        if self.entity_by_name.contains_key(name) {
+            return Err(ModelError::DuplicateDefinition(name.to_string()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for a in &attributes {
+            if !seen.insert(a.name.as_str()) {
+                return Err(ModelError::InvalidSchema(format!(
+                    "attribute {} defined twice on {name}",
+                    a.name
+                )));
+            }
+            if let DataType::Entity(t) = a.ty {
+                if self.entity_types.get(t as usize).is_none() && t as usize != self.entity_types.len() {
+                    return Err(ModelError::InvalidSchema(format!(
+                        "attribute {} of {name} references unknown entity type #{t}",
+                        a.name
+                    )));
+                }
+            }
+        }
+        let id = self.entity_types.len() as TypeId;
+        self.entity_types.push(EntityTypeDef {
+            name: name.to_string(),
+            attributes,
+        });
+        self.entity_by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Defines a relationship; equivalent to `define relationship`.
+    pub fn define_relationship(
+        &mut self,
+        name: &str,
+        roles: Vec<RoleDef>,
+        attributes: Vec<AttributeDef>,
+    ) -> Result<RelTypeId> {
+        if self.rel_by_name.contains_key(name) {
+            return Err(ModelError::DuplicateDefinition(name.to_string()));
+        }
+        for r in &roles {
+            self.entity_type(r.entity_type)?;
+        }
+        let mut seen = std::collections::HashSet::new();
+        for n in roles.iter().map(|r| r.name.as_str()).chain(attributes.iter().map(|a| a.name.as_str())) {
+            if !seen.insert(n) {
+                return Err(ModelError::InvalidSchema(format!(
+                    "member {n} defined twice on relationship {name}"
+                )));
+            }
+        }
+        let id = self.relationships.len() as RelTypeId;
+        self.relationships.push(RelationshipDef {
+            name: name.to_string(),
+            roles,
+            attributes,
+        });
+        self.rel_by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Defines a hierarchical ordering; equivalent to `define ordering`.
+    pub fn define_ordering(
+        &mut self,
+        name: Option<&str>,
+        children: Vec<TypeId>,
+        parent: Option<TypeId>,
+    ) -> Result<OrderingId> {
+        if let Some(n) = name {
+            if self.ordering_by_name.contains_key(n) {
+                return Err(ModelError::DuplicateDefinition(n.to_string()));
+            }
+        }
+        if children.is_empty() {
+            return Err(ModelError::InvalidSchema(
+                "ordering must have at least one child type".into(),
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &c in &children {
+            self.entity_type(c)?;
+            if !seen.insert(c) {
+                return Err(ModelError::InvalidSchema(
+                    "ordering lists the same child type twice".into(),
+                ));
+            }
+        }
+        if let Some(p) = parent {
+            self.entity_type(p)?;
+        }
+        let id = self.orderings.len() as OrderingId;
+        self.orderings.push(OrderingDef {
+            name: name.map(str::to_string),
+            children,
+            parent,
+        });
+        if let Some(n) = name {
+            self.ordering_by_name.insert(n.to_string(), id);
+        }
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// The entity type definition for `id`.
+    pub fn entity_type(&self, id: TypeId) -> Result<&EntityTypeDef> {
+        self.entity_types
+            .get(id as usize)
+            .ok_or_else(|| ModelError::UnknownEntityType(format!("#{id}")))
+    }
+
+    /// The entity type id for `name`.
+    pub fn entity_type_id(&self, name: &str) -> Result<TypeId> {
+        self.entity_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownEntityType(name.to_string()))
+    }
+
+    /// The relationship definition for `id`.
+    pub fn relationship(&self, id: RelTypeId) -> Result<&RelationshipDef> {
+        self.relationships
+            .get(id as usize)
+            .ok_or_else(|| ModelError::UnknownRelationship(format!("#{id}")))
+    }
+
+    /// The relationship id for `name`.
+    pub fn relationship_id(&self, name: &str) -> Result<RelTypeId> {
+        self.rel_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownRelationship(name.to_string()))
+    }
+
+    /// The ordering definition for `id`.
+    pub fn ordering(&self, id: OrderingId) -> Result<&OrderingDef> {
+        self.orderings
+            .get(id as usize)
+            .ok_or_else(|| ModelError::UnknownOrdering(format!("#{id}")))
+    }
+
+    /// The ordering id for `name`.
+    pub fn ordering_id(&self, name: &str) -> Result<OrderingId> {
+        self.ordering_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownOrdering(name.to_string()))
+    }
+
+    /// Display name of an ordering (its name, or a synthesized one).
+    pub fn ordering_display_name(&self, id: OrderingId) -> String {
+        match self.orderings.get(id as usize).and_then(|o| o.name.clone()) {
+            Some(n) => n,
+            None => format!("ordering#{id}"),
+        }
+    }
+
+    /// Resolves the ordering for a query: by name if given, otherwise
+    /// inferred as the unique ordering in which `child_ty` participates as
+    /// a child (and, if supplied, `other_ty` participates as child or
+    /// parent). Ambiguity is an error.
+    pub fn resolve_ordering(
+        &self,
+        name: Option<&str>,
+        child_ty: TypeId,
+        other_ty: Option<TypeId>,
+    ) -> Result<OrderingId> {
+        if let Some(n) = name {
+            return self.ordering_id(n);
+        }
+        let matches: Vec<OrderingId> = self
+            .orderings
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| {
+                o.children.contains(&child_ty)
+                    && other_ty.is_none_or(|t| o.children.contains(&t) || o.parent == Some(t))
+            })
+            .map(|(i, _)| i as OrderingId)
+            .collect();
+        match matches.as_slice() {
+            [one] => Ok(*one),
+            [] => Err(ModelError::UnknownOrdering(format!(
+                "no ordering has {} as child",
+                self.entity_type(child_ty).map(|e| e.name.clone()).unwrap_or_default()
+            ))),
+            many => Err(ModelError::AmbiguousOrdering(format!(
+                "{} orderings match; name one explicitly with `in`",
+                many.len()
+            ))),
+        }
+    }
+
+    /// All entity types, in definition order.
+    pub fn entity_types(&self) -> &[EntityTypeDef] {
+        &self.entity_types
+    }
+
+    /// All relationships, in definition order.
+    pub fn relationships(&self) -> &[RelationshipDef] {
+        &self.relationships
+    }
+
+    /// All orderings, in definition order.
+    pub fn orderings(&self) -> &[OrderingDef] {
+        &self.orderings
+    }
+
+    /// Orderings in which `ty` participates as a child.
+    pub fn orderings_with_child(&self, ty: TypeId) -> Vec<OrderingId> {
+        self.orderings
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.children.contains(&ty))
+            .map(|(i, _)| i as OrderingId)
+            .collect()
+    }
+
+    /// Orderings in which `ty` is the parent.
+    pub fn orderings_with_parent(&self, ty: TypeId) -> Vec<OrderingId> {
+        self.orderings
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.parent == Some(ty))
+            .map(|(i, _)| i as OrderingId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chord_note_schema() -> (Schema, TypeId, TypeId) {
+        let mut s = Schema::new();
+        let chord = s
+            .define_entity("CHORD", vec![AttributeDef { name: "name".into(), ty: DataType::Integer }])
+            .unwrap();
+        let note = s
+            .define_entity("NOTE", vec![AttributeDef { name: "name".into(), ty: DataType::Integer }])
+            .unwrap();
+        (s, chord, note)
+    }
+
+    #[test]
+    fn define_and_lookup_entity() {
+        let (s, chord, note) = chord_note_schema();
+        assert_eq!(s.entity_type_id("CHORD").unwrap(), chord);
+        assert_eq!(s.entity_type(note).unwrap().name, "NOTE");
+        assert!(s.entity_type_id("REST").is_err());
+    }
+
+    #[test]
+    fn duplicate_entity_rejected() {
+        let (mut s, _, _) = chord_note_schema();
+        assert!(matches!(
+            s.define_entity("CHORD", vec![]),
+            Err(ModelError::DuplicateDefinition(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut s = Schema::new();
+        let attrs = vec![
+            AttributeDef { name: "x".into(), ty: DataType::Integer },
+            AttributeDef { name: "x".into(), ty: DataType::String },
+        ];
+        assert!(s.define_entity("E", attrs).is_err());
+    }
+
+    #[test]
+    fn named_ordering_paper_example() {
+        // §5.4: define ordering note_in_chord (NOTE) under CHORD
+        let (mut s, chord, note) = chord_note_schema();
+        let o = s
+            .define_ordering(Some("note_in_chord"), vec![note], Some(chord))
+            .unwrap();
+        assert_eq!(s.ordering_id("note_in_chord").unwrap(), o);
+        let def = s.ordering(o).unwrap();
+        assert_eq!(def.children, vec![note]);
+        assert_eq!(def.parent, Some(chord));
+        assert!(!def.is_recursive());
+    }
+
+    #[test]
+    fn recursive_ordering_beam_groups() {
+        // §5.5: define ordering (BEAM_GROUP, CHORD) under BEAM_GROUP
+        let mut s = Schema::new();
+        let bg = s.define_entity("BEAM_GROUP", vec![]).unwrap();
+        let chord = s.define_entity("CHORD", vec![]).unwrap();
+        let o = s.define_ordering(None, vec![bg, chord], Some(bg)).unwrap();
+        assert!(s.ordering(o).unwrap().is_recursive());
+    }
+
+    #[test]
+    fn ordering_inference_unique() {
+        let (mut s, chord, note) = chord_note_schema();
+        let o = s.define_ordering(None, vec![note], Some(chord)).unwrap();
+        assert_eq!(s.resolve_ordering(None, note, Some(chord)).unwrap(), o);
+        assert_eq!(s.resolve_ordering(None, note, None).unwrap(), o);
+    }
+
+    #[test]
+    fn ordering_inference_ambiguous() {
+        // §5.5 multiple parents: NOTE under CHORD and NOTE under STAFF.
+        let (mut s, chord, note) = chord_note_schema();
+        let staff = s.define_entity("STAFF", vec![]).unwrap();
+        s.define_ordering(Some("per_chord"), vec![note], Some(chord)).unwrap();
+        s.define_ordering(Some("per_staff"), vec![note], Some(staff)).unwrap();
+        assert!(matches!(
+            s.resolve_ordering(None, note, None),
+            Err(ModelError::AmbiguousOrdering(_))
+        ));
+        // Supplying the parent type disambiguates.
+        let per_staff = s.resolve_ordering(None, note, Some(staff)).unwrap();
+        assert_eq!(per_staff, s.ordering_id("per_staff").unwrap());
+    }
+
+    #[test]
+    fn relationship_definition() {
+        // §5.1: COMPOSER (person = PERSON, composition = COMPOSITION)
+        let mut s = Schema::new();
+        let person = s
+            .define_entity("PERSON", vec![AttributeDef { name: "name".into(), ty: DataType::String }])
+            .unwrap();
+        let comp = s
+            .define_entity("COMPOSITION", vec![AttributeDef { name: "title".into(), ty: DataType::String }])
+            .unwrap();
+        let rel = s
+            .define_relationship(
+                "COMPOSER",
+                vec![
+                    RoleDef { name: "person".into(), entity_type: person },
+                    RoleDef { name: "composition".into(), entity_type: comp },
+                ],
+                vec![],
+            )
+            .unwrap();
+        let def = s.relationship(rel).unwrap();
+        assert_eq!(def.role_index("person"), Some(0));
+        assert_eq!(def.role_index("composition"), Some(1));
+    }
+
+    #[test]
+    fn empty_ordering_rejected() {
+        let (mut s, chord, _) = chord_note_schema();
+        assert!(s.define_ordering(None, vec![], Some(chord)).is_err());
+    }
+
+    #[test]
+    fn global_ordering_without_parent() {
+        // BNF: the `under` clause is optional.
+        let (mut s, _, note) = chord_note_schema();
+        let o = s.define_ordering(Some("all_notes"), vec![note], None).unwrap();
+        assert_eq!(s.ordering(o).unwrap().parent, None);
+    }
+
+    #[test]
+    fn orderings_with_child_and_parent() {
+        let (mut s, chord, note) = chord_note_schema();
+        let staff = s.define_entity("STAFF", vec![]).unwrap();
+        let o1 = s.define_ordering(Some("a"), vec![note], Some(chord)).unwrap();
+        let o2 = s.define_ordering(Some("b"), vec![note], Some(staff)).unwrap();
+        let o3 = s.define_ordering(Some("c"), vec![chord], Some(staff)).unwrap();
+        assert_eq!(s.orderings_with_child(note), vec![o1, o2]);
+        assert_eq!(s.orderings_with_parent(staff), vec![o2, o3]);
+    }
+}

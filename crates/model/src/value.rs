@@ -1,0 +1,211 @@
+//! Attribute values and their types.
+
+use std::fmt;
+
+/// Identifies an entity type within a schema (dense index).
+pub type TypeId = u32;
+
+/// Identifies an entity instance within a database.
+pub type EntityId = u64;
+
+/// The declared type of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    String,
+    /// Boolean.
+    Boolean,
+    /// Raw bytes (digitized sound, graphical definitions, …).
+    Bytes,
+    /// Reference to an entity of the given type — the paper's implicit
+    /// "1 to n" relationship-as-attribute (e.g. `composition_date = DATE`).
+    Entity(TypeId),
+}
+
+impl DataType {
+    /// Human-readable name used in error messages.
+    pub fn name(&self) -> String {
+        match self {
+            DataType::Integer => "integer".into(),
+            DataType::Float => "float".into(),
+            DataType::String => "string".into(),
+            DataType::Boolean => "boolean".into(),
+            DataType::Bytes => "bytes".into(),
+            DataType::Entity(t) => format!("entity#{t}"),
+        }
+    }
+}
+
+/// A runtime attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing / not yet assigned.
+    Null,
+    /// 64-bit signed integer.
+    Integer(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    String(String),
+    /// Boolean.
+    Boolean(bool),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Reference to an entity instance.
+    Entity(EntityId),
+}
+
+impl Value {
+    /// Whether the value inhabits the given type (`Null` inhabits all).
+    pub fn conforms_to(&self, ty: &DataType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Integer(_), DataType::Integer)
+                | (Value::Float(_), DataType::Float)
+                | (Value::String(_), DataType::String)
+                | (Value::Boolean(_), DataType::Boolean)
+                | (Value::Bytes(_), DataType::Bytes)
+                | (Value::Entity(_), DataType::Entity(_))
+        )
+    }
+
+    /// Human-readable type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Integer(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Boolean(_) => "boolean",
+            Value::Bytes(_) => "bytes",
+            Value::Entity(_) => "entity",
+        }
+    }
+
+    /// The integer inside, if any.
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float inside (integers widen), if any.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Integer(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if any.
+    pub fn as_boolean(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The entity reference inside, if any.
+    pub fn as_entity(&self) -> Option<EntityId> {
+        match self {
+            Value::Entity(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used by query comparisons: `Null` sorts first, then
+    /// by type group (bool, number, string, bytes, entity), numbers compare
+    /// numerically across Integer/Float. Cross-type numeric comparison
+    /// happens in `f64`, so it is exact only within ±2⁵³.
+    pub fn total_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Boolean(_) => 1,
+                Integer(_) | Float(_) => 2,
+                String(_) => 3,
+                Bytes(_) => 4,
+                Entity(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Equal,
+            (Boolean(a), Boolean(b)) => a.cmp(b),
+            (Integer(a), Integer(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Integer(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Integer(b)) => a.total_cmp(&(*b as f64)),
+            (String(a), String(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (Entity(a), Entity(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Integer(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::String(s) => write!(f, "{s:?}"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::Entity(e) => write!(f, "@{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance() {
+        assert!(Value::Integer(3).conforms_to(&DataType::Integer));
+        assert!(!Value::Integer(3).conforms_to(&DataType::String));
+        assert!(Value::Null.conforms_to(&DataType::String));
+        assert!(Value::Entity(1).conforms_to(&DataType::Entity(0)));
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        use std::cmp::Ordering;
+        assert_eq!(Value::Integer(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Integer(3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert_eq!(
+            Value::Null.total_cmp(&Value::Integer(i64::MIN)),
+            std::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Integer(5).to_string(), "5");
+        assert_eq!(Value::String("x".into()).to_string(), "\"x\"");
+        assert_eq!(Value::Entity(9).to_string(), "@9");
+        assert_eq!(Value::Bytes(vec![0; 4]).to_string(), "<4 bytes>");
+    }
+}

@@ -1,0 +1,149 @@
+//! Aspects of musical entities (fig. 12).
+//!
+//! "Musical entities in the CMN score have several aspects and
+//! sub-aspects … different views on the musical schema": the temporal
+//! aspect (when events are performed), the timbral aspect (how — with
+//! pitch, articulation, and dynamic sub-aspects), and the graphical
+//! aspect (how they are notated, with a textual sub-aspect).
+
+/// Sub-aspects of the timbral aspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimbralSub {
+    /// Which instrument performs.
+    Instrument,
+    /// Pitch material (staff degree, accidentals, key relation,
+    /// performance pitch).
+    Pitch,
+    /// How the note is attacked/sustained (staccato, pizzicato, …).
+    Articulation,
+    /// How loudly (inherited dynamics).
+    Dynamic,
+}
+
+/// Sub-aspects of the graphical aspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphicalSub {
+    /// Shapes on the page: note heads, stems, flags, dots, accents.
+    Shape,
+    /// Textual material: annotations and lyrics.
+    Text,
+}
+
+/// The aspects of fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aspect {
+    /// Placement in time.
+    Temporal,
+    /// How events are performed.
+    Timbral(TimbralSub),
+    /// How events are notated.
+    Graphical(GraphicalSub),
+}
+
+impl Aspect {
+    /// Path-style name, e.g. `timbral/pitch`.
+    pub fn name(&self) -> String {
+        match self {
+            Aspect::Temporal => "temporal".into(),
+            Aspect::Timbral(s) => format!(
+                "timbral/{}",
+                match s {
+                    TimbralSub::Instrument => "instrument",
+                    TimbralSub::Pitch => "pitch",
+                    TimbralSub::Articulation => "articulation",
+                    TimbralSub::Dynamic => "dynamic",
+                }
+            ),
+            Aspect::Graphical(s) => format!(
+                "graphical/{}",
+                match s {
+                    GraphicalSub::Shape => "shape",
+                    GraphicalSub::Text => "text",
+                }
+            ),
+        }
+    }
+}
+
+/// The attributes of a note, classified by aspect — the worked example of
+/// §7.1.1 ("a musical note, as it appears on a score page, possesses
+/// attributes associated with each of these aspects").
+pub fn note_attribute_aspects() -> Vec<(&'static str, Aspect)> {
+    use Aspect::*;
+    vec![
+        ("start_time", Temporal),
+        ("duration", Temporal),
+        ("parent_sync", Temporal),
+        ("instrument", Timbral(TimbralSub::Instrument)),
+        ("staff_degree", Timbral(TimbralSub::Pitch)),
+        ("accidental", Timbral(TimbralSub::Pitch)),
+        ("key_signature", Timbral(TimbralSub::Pitch)),
+        ("clef", Timbral(TimbralSub::Pitch)),
+        ("performance_pitch", Timbral(TimbralSub::Pitch)),
+        ("staccato", Timbral(TimbralSub::Articulation)),
+        ("marcato", Timbral(TimbralSub::Articulation)),
+        ("pizzicato", Timbral(TimbralSub::Articulation)),
+        ("arco", Timbral(TimbralSub::Articulation)),
+        ("dynamic", Timbral(TimbralSub::Dynamic)),
+        ("note_head", Graphical(GraphicalSub::Shape)),
+        ("stem", Graphical(GraphicalSub::Shape)),
+        ("flags", Graphical(GraphicalSub::Shape)),
+        ("dots", Graphical(GraphicalSub::Shape)),
+        ("accent_marks", Graphical(GraphicalSub::Shape)),
+        ("page_position", Graphical(GraphicalSub::Shape)),
+        ("syllable", Graphical(GraphicalSub::Text)),
+    ]
+}
+
+/// Renders the fig. 12 aspect tree.
+pub fn aspect_tree() -> String {
+    let mut out = String::new();
+    out.push_str("Aspects of Musical Entities (fig. 12)\n");
+    out.push_str("  temporal\n");
+    out.push_str("  timbral\n");
+    out.push_str("    instrument\n");
+    out.push_str("    pitch\n");
+    out.push_str("    articulation\n");
+    out.push_str("    dynamic\n");
+    out.push_str("  graphical\n");
+    out.push_str("    shape\n");
+    out.push_str("    text\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_aspect_is_represented_on_a_note() {
+        let attrs = note_attribute_aspects();
+        let aspects: std::collections::HashSet<String> =
+            attrs.iter().map(|(_, a)| a.name()).collect();
+        for expected in [
+            "temporal",
+            "timbral/instrument",
+            "timbral/pitch",
+            "timbral/articulation",
+            "timbral/dynamic",
+            "graphical/shape",
+            "graphical/text",
+        ] {
+            assert!(aspects.contains(expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn attribute_names_unique() {
+        let attrs = note_attribute_aspects();
+        let names: std::collections::HashSet<_> = attrs.iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), attrs.len());
+    }
+
+    #[test]
+    fn tree_renders() {
+        let t = aspect_tree();
+        assert!(t.contains("timbral"));
+        assert!(t.contains("    dynamic"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Beam groups: the recursive ordering of fig. 8.
+//!
+//! "A beam group consists of an ordered set of smaller beam groups
+//! intermixed with chords" — `define ordering (BEAM_GROUP, CHORD) under
+//! BEAM_GROUP`. [`beam_measure`] derives the nested structure from note
+//! values: level-1 beams group consecutive eighth-or-shorter chords
+//! within one felt pulse; each additional flag adds a nested level.
+
+use crate::duration::Duration;
+use crate::rational::{Rational, ZERO};
+
+/// One item of a beam group: a nested group or a chord (identified by its
+/// element index in the voice).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BeamItem {
+    /// A nested beam group.
+    Group(BeamGroup),
+    /// A beamed chord.
+    Chord(usize),
+}
+
+/// A beam group (possibly nested).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeamGroup {
+    /// Beam level (1 = eighth beam, 2 = sixteenth beam, …).
+    pub level: u8,
+    /// The ordered members.
+    pub items: Vec<BeamItem>,
+}
+
+impl BeamGroup {
+    /// Every chord index in the group, in order (preorder).
+    pub fn chords(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_chords(&mut out);
+        out
+    }
+
+    fn collect_chords(&self, out: &mut Vec<usize>) {
+        for item in &self.items {
+            match item {
+                BeamItem::Group(g) => g.collect_chords(out),
+                BeamItem::Chord(i) => out.push(*i),
+            }
+        }
+    }
+
+    /// Maximum nesting depth.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .items
+            .iter()
+            .map(|i| match i {
+                BeamItem::Group(g) => g.depth(),
+                BeamItem::Chord(_) => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A chord to be beamed: its element index, onset (beats), and duration.
+#[derive(Debug, Clone, Copy)]
+pub struct Beamable {
+    /// Element index in the voice.
+    pub index: usize,
+    /// Onset in beats from the start of the measure.
+    pub onset: Rational,
+    /// Notated duration.
+    pub duration: Duration,
+}
+
+/// Derives the beam groups of one measure. `pulse` is the felt pulse
+/// length in beats (1 for simple meters, 3/2 for compound 8th meters).
+/// Returns the top-level (level-1) groups; single unbeamable chords are
+/// not grouped.
+pub fn beam_measure(chords: &[Beamable], pulse: Rational) -> Vec<BeamGroup> {
+    assert!(pulse.is_positive(), "pulse must be positive");
+    let mut groups = Vec::new();
+    let mut run: Vec<Beamable> = Vec::new();
+    let mut run_pulse: Option<i64> = None;
+    let pulse_of = |b: &Beamable| (b.onset / pulse).to_f64().floor() as i64;
+    for b in chords {
+        let beamable = b.duration.base.beam_levels() >= 1;
+        let p = pulse_of(b);
+        let continues = beamable && run_pulse == Some(p) && !run.is_empty();
+        if !continues {
+            if run.len() >= 2 {
+                groups.push(build_group(&run, 1));
+            }
+            run.clear();
+            run_pulse = None;
+        }
+        if beamable {
+            run.push(*b);
+            run_pulse = Some(p);
+        }
+    }
+    if run.len() >= 2 {
+        groups.push(build_group(&run, 1));
+    }
+    groups
+}
+
+/// Builds the (possibly nested) group for a run of beamable chords at
+/// `level`: chords with more beams than `level` are grouped recursively.
+fn build_group(run: &[Beamable], level: u8) -> BeamGroup {
+    let mut items = Vec::new();
+    let mut sub: Vec<Beamable> = Vec::new();
+    let flush = |sub: &mut Vec<Beamable>, items: &mut Vec<BeamItem>| {
+        match sub.len() {
+            0 => {}
+            // A lone deeper chord keeps its flags but forms no subgroup.
+            1 => items.push(BeamItem::Chord(sub[0].index)),
+            _ => items.push(BeamItem::Group(build_group(sub, level + 1))),
+        }
+        sub.clear();
+    };
+    for b in run {
+        if b.duration.base.beam_levels() > level {
+            sub.push(*b);
+        } else {
+            flush(&mut sub, &mut items);
+            items.push(BeamItem::Chord(b.index));
+        }
+    }
+    flush(&mut sub, &mut items);
+    BeamGroup { level, items }
+}
+
+/// Convenience: beam a full measure of `(index, duration)` pairs laid out
+/// contiguously from the barline.
+pub fn beam_contiguous(durations: &[(usize, Duration)], pulse: Rational) -> Vec<BeamGroup> {
+    let mut onset = ZERO;
+    let beamables: Vec<Beamable> = durations
+        .iter()
+        .map(|&(index, duration)| {
+            let b = Beamable { index, onset, duration };
+            onset += duration.beats();
+            b
+        })
+        .collect();
+    beam_measure(&beamables, pulse)
+}
+
+/// Renders a beam tree in the nested-parenthesis style of fig. 8(c):
+/// groups as `(…)`, chords as `c<i>`.
+pub fn beam_to_string(groups: &[BeamGroup]) -> String {
+    fn item(out: &mut String, it: &BeamItem) {
+        match it {
+            BeamItem::Group(g) => group(out, g),
+            BeamItem::Chord(i) => out.push_str(&format!("c{}", i + 1)),
+        }
+    }
+    fn group(out: &mut String, g: &BeamGroup) {
+        out.push('(');
+        for (i, it) in g.items.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            item(out, it);
+        }
+        out.push(')');
+    }
+    let mut out = String::new();
+    for (i, g) in groups.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        group(&mut out, g);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duration::BaseDuration;
+    use crate::rational::rat;
+
+    fn e() -> Duration {
+        Duration::new(BaseDuration::Eighth)
+    }
+    fn s() -> Duration {
+        Duration::new(BaseDuration::Sixteenth)
+    }
+    fn q() -> Duration {
+        Duration::new(BaseDuration::Quarter)
+    }
+
+    #[test]
+    fn quarters_are_not_beamed() {
+        let groups = beam_contiguous(&[(0, q()), (1, q()), (2, q()), (3, q())], rat(1, 1));
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn two_eighths_beam_within_a_beat() {
+        let groups = beam_contiguous(&[(0, e()), (1, e()), (2, q())], rat(1, 1));
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].chords(), vec![0, 1]);
+        assert_eq!(beam_to_string(&groups), "(c1 c2)");
+    }
+
+    #[test]
+    fn beat_boundary_splits_beams() {
+        // Four eighths in 2/4: two groups of two.
+        let groups =
+            beam_contiguous(&[(0, e()), (1, e()), (2, e()), (3, e())], rat(1, 1));
+        assert_eq!(groups.len(), 2);
+        assert_eq!(beam_to_string(&groups), "(c1 c2) (c3 c4)");
+    }
+
+    #[test]
+    fn figure8_nested_sixteenths() {
+        // An eighth followed by two sixteenths, then a mirrored beat:
+        // (c1 (c2 c3)) ((c4 c5) c6) — six chords, nested like fig. 8(c).
+        let groups = beam_contiguous(
+            &[(0, e()), (1, s()), (2, s()), (3, s()), (4, s()), (5, e())],
+            rat(1, 1),
+        );
+        assert_eq!(beam_to_string(&groups), "(c1 (c2 c3)) ((c4 c5) c6)");
+        assert_eq!(groups[0].depth(), 2);
+        assert_eq!(groups[0].chords(), vec![0, 1, 2]);
+        // The instance graph property: every object is a group or chord,
+        // and chords appear exactly once.
+        let all: Vec<usize> = groups.iter().flat_map(|g| g.chords()).collect();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn lone_sixteenth_between_eighths_does_not_nest() {
+        let groups = beam_contiguous(&[(0, e()), (1, s()), (2, e())], rat(1, 1));
+        // One level-1 group; the lone sixteenth needs no subgroup.
+        assert_eq!(beam_to_string(&groups), "(c1 c2 c3)");
+    }
+
+    #[test]
+    fn rest_gap_breaks_runs() {
+        // Non-contiguous onsets (a rest occupied beat 0.5).
+        let items = [
+            Beamable { index: 0, onset: rat(0, 1), duration: e() },
+            Beamable { index: 1, onset: rat(1, 1), duration: e() },
+            Beamable { index: 2, onset: rat(3, 2), duration: e() },
+        ];
+        let groups = beam_measure(&items, rat(1, 1));
+        // Chord 0 alone in beat 0 (no group); chords 1, 2 share beat 1.
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].chords(), vec![1, 2]);
+    }
+
+    #[test]
+    fn compound_pulse_groups_three_eighths() {
+        // 6/8: pulse = 3/2 beats → two groups of three eighths.
+        let groups = beam_contiguous(
+            &[(0, e()), (1, e()), (2, e()), (3, e()), (4, e()), (5, e())],
+            rat(3, 2),
+        );
+        assert_eq!(beam_to_string(&groups), "(c1 c2 c3) (c4 c5 c6)");
+    }
+
+    #[test]
+    fn thirty_seconds_nest_two_deep() {
+        let t = Duration::new(BaseDuration::ThirtySecond);
+        let groups = beam_contiguous(
+            &[(0, s()), (1, t), (2, t), (3, s()), (4, e())],
+            rat(1, 1),
+        );
+        // ((c1 (c2 c3) c4) c5): the sixteenth-level subgroup contains a
+        // thirty-second-level subgroup.
+        assert_eq!(beam_to_string(&groups), "((c1 (c2 c3) c4) c5)");
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].depth(), 3);
+    }
+}

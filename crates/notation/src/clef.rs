@@ -1,0 +1,104 @@
+//! Clefs: the mapping from staff degree to pitch.
+//!
+//! §4.3's canonical example of meta-musical information: "all subsequent
+//! notes on the same staff as the treble clef have a mapping from staff
+//! degree to scale pitch which is 'Every Good Boy Does Fine'".
+
+use crate::pitch::{Pitch, Step};
+
+/// The common clefs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Clef {
+    /// G clef on line 2 (treble).
+    Treble,
+    /// F clef on line 4 (bass).
+    Bass,
+    /// C clef on line 3 (alto / viola).
+    Alto,
+    /// C clef on line 4 (tenor).
+    Tenor,
+    /// C clef on line 1 (soprano).
+    Soprano,
+}
+
+impl Clef {
+    /// The natural pitch on the *bottom line* of the staff (degree 0).
+    /// Degrees count lines and spaces upward: 0 = bottom line, 1 = first
+    /// space, 2 = second line, … (DARMS numbers the same positions 21,
+    /// 22, 23, …).
+    pub fn bottom_line(self) -> Pitch {
+        match self {
+            Clef::Treble => Pitch::natural(Step::E, 4),
+            Clef::Bass => Pitch::natural(Step::G, 2),
+            Clef::Alto => Pitch::natural(Step::F, 3),
+            Clef::Tenor => Pitch::natural(Step::D, 3),
+            Clef::Soprano => Pitch::natural(Step::C, 4),
+        }
+    }
+
+    /// The natural pitch at a staff degree (0 = bottom line; negative
+    /// degrees are ledger positions below the staff).
+    pub fn pitch_at(self, degree: i32) -> Pitch {
+        let idx = self.bottom_line().diatonic_index() + degree;
+        Pitch::natural(Step::from_index(idx.rem_euclid(7)), idx.div_euclid(7))
+    }
+
+    /// The staff degree of a pitch (ignoring its alteration).
+    pub fn degree_of(self, pitch: &Pitch) -> i32 {
+        pitch.diatonic_index() - self.bottom_line().diatonic_index()
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Clef::Treble => "treble",
+            Clef::Bass => "bass",
+            Clef::Alto => "alto",
+            Clef::Tenor => "tenor",
+            Clef::Soprano => "soprano",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_good_boy_does_fine() {
+        // Treble staff lines (degrees 0, 2, 4, 6, 8) are E G B D F.
+        let lines: Vec<String> = (0..5).map(|l| Clef::Treble.pitch_at(2 * l).to_string()).collect();
+        assert_eq!(lines, vec!["E4", "G4", "B4", "D5", "F5"]);
+        // Spaces spell FACE.
+        let spaces: Vec<String> =
+            (0..4).map(|s| Clef::Treble.pitch_at(2 * s + 1).to_string()).collect();
+        assert_eq!(spaces, vec!["F4", "A4", "C5", "E5"]);
+    }
+
+    #[test]
+    fn bass_clef_lines() {
+        // Good Boys Do Fine Always.
+        let lines: Vec<String> = (0..5).map(|l| Clef::Bass.pitch_at(2 * l).to_string()).collect();
+        assert_eq!(lines, vec!["G2", "B2", "D3", "F3", "A3"]);
+    }
+
+    #[test]
+    fn middle_c_positions() {
+        // Middle C sits on the first ledger line below the treble staff
+        // and the first ledger line above the bass staff.
+        let c4 = Pitch::natural(Step::C, 4);
+        assert_eq!(Clef::Treble.degree_of(&c4), -2);
+        assert_eq!(Clef::Bass.degree_of(&c4), 10);
+        assert_eq!(Clef::Alto.degree_of(&c4), 4, "middle C is the alto middle line");
+    }
+
+    #[test]
+    fn degree_roundtrip() {
+        for clef in [Clef::Treble, Clef::Bass, Clef::Alto, Clef::Tenor, Clef::Soprano] {
+            for degree in -10..20 {
+                let p = clef.pitch_at(degree);
+                assert_eq!(clef.degree_of(&p), degree, "{clef:?} degree {degree}");
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Notated durations: base values, augmentation dots, and tuplets.
+
+use std::fmt;
+
+use crate::rational::{rat, Rational};
+
+/// The base (undotted) note values of CMN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BaseDuration {
+    /// 𝅜 (breve / double whole)
+    Breve,
+    /// 𝅝
+    Whole,
+    /// 𝅗𝅥
+    Half,
+    /// ♩
+    Quarter,
+    /// ♪
+    Eighth,
+    /// 𝅘𝅥𝅯
+    Sixteenth,
+    /// 𝅘𝅥𝅰
+    ThirtySecond,
+    /// 𝅘𝅥𝅱
+    SixtyFourth,
+}
+
+impl BaseDuration {
+    /// Length in whole notes.
+    pub fn whole_notes(self) -> Rational {
+        match self {
+            BaseDuration::Breve => rat(2, 1),
+            BaseDuration::Whole => rat(1, 1),
+            BaseDuration::Half => rat(1, 2),
+            BaseDuration::Quarter => rat(1, 4),
+            BaseDuration::Eighth => rat(1, 8),
+            BaseDuration::Sixteenth => rat(1, 16),
+            BaseDuration::ThirtySecond => rat(1, 32),
+            BaseDuration::SixtyFourth => rat(1, 64),
+        }
+    }
+
+    /// Number of beam levels this value carries (eighth = 1, sixteenth = 2
+    /// …); zero for quarter and longer.
+    pub fn beam_levels(self) -> u8 {
+        match self {
+            BaseDuration::Eighth => 1,
+            BaseDuration::Sixteenth => 2,
+            BaseDuration::ThirtySecond => 3,
+            BaseDuration::SixtyFourth => 4,
+            _ => 0,
+        }
+    }
+
+    /// Conventional English name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaseDuration::Breve => "breve",
+            BaseDuration::Whole => "whole",
+            BaseDuration::Half => "half",
+            BaseDuration::Quarter => "quarter",
+            BaseDuration::Eighth => "eighth",
+            BaseDuration::Sixteenth => "sixteenth",
+            BaseDuration::ThirtySecond => "thirty-second",
+            BaseDuration::SixtyFourth => "sixty-fourth",
+        }
+    }
+}
+
+/// A notated duration: base value, dots, and an optional tuplet ratio
+/// (`actual` notes in the time of `normal`, e.g. 3:2 for a triplet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Duration {
+    /// The base note value.
+    pub base: BaseDuration,
+    /// Augmentation dots (each adds half the previous increment).
+    pub dots: u8,
+    /// Tuplet: `actual` notes in the time of `normal` (1, 1 = none).
+    pub tuplet: (u8, u8),
+}
+
+impl Duration {
+    /// An undotted, untuplet duration.
+    pub fn new(base: BaseDuration) -> Duration {
+        Duration { base, dots: 0, tuplet: (1, 1) }
+    }
+
+    /// With augmentation dots.
+    pub fn dotted(base: BaseDuration, dots: u8) -> Duration {
+        Duration { base, dots, tuplet: (1, 1) }
+    }
+
+    /// With a tuplet ratio (e.g. `(3, 2)` = triplet).
+    pub fn tuplet(base: BaseDuration, actual: u8, normal: u8) -> Duration {
+        assert!(actual > 0 && normal > 0, "tuplet ratio must be positive");
+        Duration { base, dots: 0, tuplet: (actual, normal) }
+    }
+
+    /// Length in whole notes: dots multiply by `2 - 2^-dots`, tuplets by
+    /// `normal / actual`.
+    pub fn whole_notes(&self) -> Rational {
+        let mut v = self.base.whole_notes();
+        let mut increment = v;
+        for _ in 0..self.dots {
+            increment = increment * rat(1, 2);
+            v += increment;
+        }
+        v * rat(self.tuplet.1 as i64, self.tuplet.0 as i64)
+    }
+
+    /// Length in quarter-note beats (the usual rhythmic unit).
+    pub fn beats(&self) -> Rational {
+        self.whole_notes() * rat(4, 1)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base.name())?;
+        for _ in 0..self.dots {
+            write!(f, ".")?;
+        }
+        if self.tuplet != (1, 1) {
+            write!(f, " ({}:{})", self.tuplet.0, self.tuplet.1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_values() {
+        assert_eq!(Duration::new(BaseDuration::Quarter).whole_notes(), rat(1, 4));
+        assert_eq!(Duration::new(BaseDuration::Quarter).beats(), rat(1, 1));
+        assert_eq!(Duration::new(BaseDuration::Breve).beats(), rat(8, 1));
+    }
+
+    #[test]
+    fn dots() {
+        assert_eq!(Duration::dotted(BaseDuration::Quarter, 1).whole_notes(), rat(3, 8));
+        assert_eq!(Duration::dotted(BaseDuration::Quarter, 2).whole_notes(), rat(7, 16));
+        assert_eq!(Duration::dotted(BaseDuration::Half, 1).beats(), rat(3, 1));
+    }
+
+    #[test]
+    fn triplets_sum_to_parent() {
+        let te = Duration::tuplet(BaseDuration::Eighth, 3, 2);
+        assert_eq!(te.whole_notes() + te.whole_notes() + te.whole_notes(), rat(1, 4));
+        let quintuplet = Duration::tuplet(BaseDuration::Sixteenth, 5, 4);
+        let five: Rational = (0..5).map(|_| quintuplet.whole_notes()).fold(rat(0, 1), |a, b| a + b);
+        assert_eq!(five, rat(1, 4));
+    }
+
+    #[test]
+    fn beam_levels() {
+        assert_eq!(BaseDuration::Quarter.beam_levels(), 0);
+        assert_eq!(BaseDuration::Eighth.beam_levels(), 1);
+        assert_eq!(BaseDuration::SixtyFourth.beam_levels(), 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Duration::new(BaseDuration::Quarter).to_string(), "quarter");
+        assert_eq!(Duration::dotted(BaseDuration::Half, 1).to_string(), "half.");
+        assert_eq!(Duration::tuplet(BaseDuration::Eighth, 3, 2).to_string(), "eighth (3:2)");
+    }
+}

@@ -1,0 +1,258 @@
+//! Events: performed units of sound, distinct from notated notes (§7.2).
+//!
+//! "An event … has a unique start and end time, and is performed by a
+//! specific voice. An event is thus a unit of performance. A note, on the
+//! other hand, is the notated unit of music. These two are not
+//! necessarily the same, as, for example, when two notes are tied
+//! together. The Tie is a musical construct that binds multiple note
+//! entities under a single event entity."
+
+use crate::rational::Rational;
+use crate::score::{Movement, VoiceElement};
+
+/// One performed event: a single pitch sounding over an interval of
+/// score time, possibly spanning several tied notated notes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The voice performing the event.
+    pub voice: usize,
+    /// MIDI key of the pitch.
+    pub key: i32,
+    /// Start in score time (beats).
+    pub start: Rational,
+    /// End in score time (beats).
+    pub end: Rational,
+    /// Indices of the notated chords contributing (length > 1 ⟺ ties).
+    pub chords: Vec<usize>,
+    /// MIDI velocity from the inherited dynamic (default mezzo-forte).
+    pub velocity: u8,
+}
+
+impl Event {
+    /// Duration in beats.
+    pub fn beats(&self) -> Rational {
+        self.end - self.start
+    }
+}
+
+/// A performed note in wall-clock time, ready for synthesis or MIDI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformedNote {
+    /// The voice performing it.
+    pub voice: usize,
+    /// MIDI key.
+    pub key: i32,
+    /// Start in performance time (seconds).
+    pub start_seconds: f64,
+    /// End in performance time (seconds).
+    pub end_seconds: f64,
+    /// MIDI velocity.
+    pub velocity: u8,
+}
+
+/// Extracts the events of a movement, merging tied notes: a note marked
+/// `tied` extends into the next chord of the same voice when that chord
+/// contains the same pitch.
+pub fn events(movement: &Movement) -> Vec<Event> {
+    let mut out = Vec::new();
+    for (vi, voice) in movement.voices.iter().enumerate() {
+        let onsets = voice.onsets();
+        // Open events per MIDI key awaiting a tie continuation.
+        let mut open: std::collections::HashMap<i32, Event> = std::collections::HashMap::new();
+        for (ei, element) in voice.elements.iter().enumerate() {
+            let onset = onsets[ei];
+            let end = onset + element.duration().beats();
+            let default_vel = voice
+                .dynamic_at(ei)
+                .map_or(crate::score::Dynamic::MezzoForte.velocity(), |d| d.velocity());
+            match element {
+                VoiceElement::Chord(chord) => {
+                    let mut still_open = std::collections::HashMap::new();
+                    for note in &chord.notes {
+                        let key = note.pitch.midi();
+                        let mut ev = match open.remove(&key) {
+                            // Continuation of a tie: extend.
+                            Some(mut ev) if ev.end == onset => {
+                                ev.end = end;
+                                ev.chords.push(ei);
+                                ev
+                            }
+                            _ => Event {
+                                voice: vi,
+                                key,
+                                start: onset,
+                                end,
+                                chords: vec![ei],
+                                velocity: default_vel,
+                            },
+                        };
+                        if note.tied {
+                            ev.end = end;
+                            still_open.insert(key, ev);
+                        } else {
+                            out.push(ev);
+                        }
+                    }
+                    // Ties that found no continuation in this chord end here.
+                    out.extend(open.drain().map(|(_, ev)| ev));
+                    open = still_open;
+                }
+                VoiceElement::Rest(_) => {
+                    // A rest breaks any pending ties.
+                    out.extend(open.drain().map(|(_, ev)| ev));
+                }
+            }
+        }
+        out.extend(open.drain().map(|(_, ev)| ev));
+    }
+    out.sort_by(|a, b| a.start.cmp(&b.start).then(a.voice.cmp(&b.voice)).then(a.key.cmp(&b.key)));
+    out
+}
+
+/// Renders the movement into performed notes, mapping score time to
+/// performance time through the tempo map (§7.2's conductor role).
+pub fn perform(movement: &Movement) -> Vec<PerformedNote> {
+    events(movement)
+        .into_iter()
+        .map(|e| PerformedNote {
+            voice: e.voice,
+            key: e.key,
+            start_seconds: movement.tempo.performance_time(e.start),
+            end_seconds: movement.tempo.performance_time(e.end),
+            velocity: e.velocity,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clef::Clef;
+    use crate::duration::{BaseDuration, Duration};
+    use crate::key::KeySignature;
+    use crate::meter::TimeSignature;
+    use crate::pitch::{Pitch, Step};
+    use crate::rational::rat;
+    use crate::score::{Chord, Dynamic, Note, Voice};
+    use crate::temporal::TempoMap;
+
+    fn movement_with(voice: Voice) -> Movement {
+        let mut m = Movement::new("I", TimeSignature::common(), TempoMap::constant(120.0));
+        m.voices.push(voice);
+        m
+    }
+
+    #[test]
+    fn untied_notes_are_separate_events() {
+        let q = Duration::new(BaseDuration::Quarter);
+        let mut v = Voice::new("v", "piano", Clef::Treble, KeySignature::natural());
+        v.push_chord(Chord::single(Pitch::natural(Step::C, 4), q));
+        v.push_chord(Chord::single(Pitch::natural(Step::C, 4), q));
+        let evs = events(&movement_with(v));
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].beats(), rat(1, 1));
+    }
+
+    #[test]
+    fn tie_merges_two_notes_into_one_event() {
+        // The paper's example: two tied notes are one event.
+        let q = Duration::new(BaseDuration::Quarter);
+        let mut v = Voice::new("v", "piano", Clef::Treble, KeySignature::natural());
+        v.push_chord(Chord::new(vec![Note::new(Pitch::natural(Step::C, 4)).tied()], q));
+        v.push_chord(Chord::single(Pitch::natural(Step::C, 4), q));
+        let evs = events(&movement_with(v));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].beats(), rat(2, 1));
+        assert_eq!(evs[0].chords, vec![0, 1]);
+    }
+
+    #[test]
+    fn tie_chain_spans_three_notes() {
+        let q = Duration::new(BaseDuration::Quarter);
+        let mut v = Voice::new("v", "piano", Clef::Treble, KeySignature::natural());
+        for _ in 0..2 {
+            v.push_chord(Chord::new(vec![Note::new(Pitch::natural(Step::G, 4)).tied()], q));
+        }
+        v.push_chord(Chord::single(Pitch::natural(Step::G, 4), q));
+        let evs = events(&movement_with(v));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].beats(), rat(3, 1));
+        assert_eq!(evs[0].chords, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tie_to_different_pitch_does_not_merge() {
+        let q = Duration::new(BaseDuration::Quarter);
+        let mut v = Voice::new("v", "piano", Clef::Treble, KeySignature::natural());
+        v.push_chord(Chord::new(vec![Note::new(Pitch::natural(Step::C, 4)).tied()], q));
+        v.push_chord(Chord::single(Pitch::natural(Step::D, 4), q));
+        let evs = events(&movement_with(v));
+        assert_eq!(evs.len(), 2, "a tie needs the same pitch to continue");
+    }
+
+    #[test]
+    fn chord_ties_merge_only_shared_pitches() {
+        let q = Duration::new(BaseDuration::Quarter);
+        let mut v = Voice::new("v", "piano", Clef::Treble, KeySignature::natural());
+        v.push_chord(Chord::new(
+            vec![
+                Note::new(Pitch::natural(Step::C, 4)).tied(),
+                Note::new(Pitch::natural(Step::E, 4)),
+            ],
+            q,
+        ));
+        v.push_chord(Chord::new(
+            vec![
+                Note::new(Pitch::natural(Step::C, 4)),
+                Note::new(Pitch::natural(Step::G, 4)),
+            ],
+            q,
+        ));
+        let evs = events(&movement_with(v));
+        // C4 merged (2 beats), E4 (1 beat), G4 (1 beat).
+        assert_eq!(evs.len(), 3);
+        let c4 = evs.iter().find(|e| e.key == 60).unwrap();
+        assert_eq!(c4.beats(), rat(2, 1));
+    }
+
+    #[test]
+    fn rest_breaks_tie() {
+        let q = Duration::new(BaseDuration::Quarter);
+        let mut v = Voice::new("v", "piano", Clef::Treble, KeySignature::natural());
+        v.push_chord(Chord::new(vec![Note::new(Pitch::natural(Step::C, 4)).tied()], q));
+        v.push_rest(q);
+        v.push_chord(Chord::single(Pitch::natural(Step::C, 4), q));
+        let evs = events(&movement_with(v));
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].beats(), rat(1, 1), "tie truncated at the rest");
+    }
+
+    #[test]
+    fn performance_uses_tempo_map() {
+        let q = Duration::new(BaseDuration::Quarter);
+        let mut v = Voice::new("v", "piano", Clef::Treble, KeySignature::natural());
+        for _ in 0..4 {
+            v.push_chord(Chord::single(Pitch::natural(Step::A, 4), q));
+        }
+        let mut m = movement_with(v);
+        m.tempo = TempoMap::constant(60.0); // 1 beat = 1 s
+        let notes = perform(&m);
+        assert_eq!(notes.len(), 4);
+        assert!((notes[3].start_seconds - 3.0).abs() < 1e-12);
+        assert!((notes[3].end_seconds - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn velocity_from_inherited_dynamic() {
+        let q = Duration::new(BaseDuration::Quarter);
+        let mut v = Voice::new("v", "piano", Clef::Treble, KeySignature::natural());
+        for _ in 0..3 {
+            v.push_chord(Chord::single(Pitch::natural(Step::A, 4), q));
+        }
+        v.mark_dynamic(1, Dynamic::Fortissimo);
+        let evs = events(&movement_with(v));
+        assert_eq!(evs[0].velocity, Dynamic::MezzoForte.velocity(), "default");
+        assert_eq!(evs[1].velocity, Dynamic::Fortissimo.velocity());
+        assert_eq!(evs[2].velocity, Dynamic::Fortissimo.velocity(), "inherited");
+    }
+}

@@ -1,0 +1,186 @@
+//! Musical fixtures used across the workspace: the music behind the
+//! paper's figures.
+//!
+//! * [`bwv578_subject`] — the opening of the subject of Bach's "little"
+//!   fugue in G minor, BWV 578 (figs. 2 and 3). Simplified to its first
+//!   three measures, enough to exercise incipit search, the piano roll,
+//!   and synthesis.
+//! * [`gloria_fragment`] — the "Gloria in excelsis Deo" tenor fragment of
+//!   fig. 4 (the DARMS example).
+//! * [`two_voice_alignment`] — a quarters-against-halves fragment shaped
+//!   like fig. 14's sync division.
+
+use crate::clef::Clef;
+use crate::duration::{BaseDuration, Duration};
+use crate::key::KeySignature;
+use crate::meter::TimeSignature;
+use crate::pitch::Pitch;
+use crate::score::{Chord, Movement, Note, Score, Voice};
+use crate::temporal::TempoMap;
+
+fn ch(voice: &mut Voice, pitch: &str, d: Duration) {
+    voice.push_chord(Chord::single(
+        Pitch::parse(pitch).unwrap_or_else(|| panic!("bad pitch {pitch}")),
+        d,
+    ));
+}
+
+/// The opening measures of the BWV 578 fugue subject, one voice in
+/// G minor, 4/4 (simplified).
+pub fn bwv578_subject() -> Score {
+    let q = Duration::new(BaseDuration::Quarter);
+    let dq = Duration::dotted(BaseDuration::Quarter, 1);
+    let e = Duration::new(BaseDuration::Eighth);
+    let s = Duration::new(BaseDuration::Sixteenth);
+
+    let mut v = Voice::new("subject", "organ", Clef::Treble, KeySignature::new(-2));
+    // m. 1: G4 D5 Bb4. A4(8th)
+    ch(&mut v, "G4", q);
+    ch(&mut v, "D5", q);
+    ch(&mut v, "Bb4", dq);
+    ch(&mut v, "A4", e);
+    // m. 2: G4 Bb4 A4 G4 F#4 A4 D4
+    for p in ["G4", "Bb4", "A4", "G4"] {
+        ch(&mut v, p, e);
+    }
+    ch(&mut v, "F#4", e);
+    ch(&mut v, "A4", e);
+    ch(&mut v, "D4", q);
+    // m. 3: sixteenth figuration rising from D4.
+    for p in ["D4", "E4", "F#4", "G4", "A4", "Bb4", "C5", "A4"] {
+        ch(&mut v, p, s);
+    }
+    for p in ["Bb4", "G4"] {
+        ch(&mut v, p, q);
+    }
+
+    let mut movement = Movement::new("Fuge", TimeSignature::common(), TempoMap::constant(84.0));
+    movement.voices.push(v);
+
+    let mut score = Score::new("Fuge g-moll");
+    score.catalog_id = Some("BWV 578".to_string());
+    score.composer = Some("Johann Sebastian Bach".to_string());
+    score.movements.push(movement);
+    score
+}
+
+/// The fig. 4 "Gloria in excelsis Deo" tenor fragment: treble clef, two
+/// sharps, whole-note chant values with the lyric underlay of the figure.
+pub fn gloria_fragment() -> Score {
+    let w = Duration::new(BaseDuration::Whole);
+    let h = Duration::new(BaseDuration::Half);
+    let q = Duration::new(BaseDuration::Quarter);
+    let e = Duration::new(BaseDuration::Eighth);
+
+    let mut v = Voice::new("Tenor", "tenor", Clef::Treble, KeySignature::new(2));
+    // Two whole rests, per the fragment's R2W.
+    v.push_rest(w);
+    v.push_rest(w);
+    let sylls: [(&str, &str, Duration); 10] = [
+        ("B4", "Glo-", h),
+        ("A4", "", h),
+        ("B4", "", h),
+        ("C5", "ri-", q),
+        ("B4", "a", q),
+        ("A4", "in", h),
+        ("A4", "ex-", h),
+        ("G4", "cel-", h),
+        ("G4", "sis", h),
+        ("F#4", "De-", q),
+    ];
+    for (p, s, d) in sylls {
+        let mut note = Note::new(Pitch::parse(p).unwrap());
+        if !s.is_empty() {
+            note = note.with_syllable(s);
+        }
+        v.push_chord(Chord::new(vec![note], d));
+    }
+    let mut last = Note::new(Pitch::parse("G4").unwrap()).with_syllable("o");
+    last.articulations.clear();
+    v.push_chord(Chord::new(vec![last], e));
+
+    let mut movement = Movement::new("Gloria", TimeSignature::common(), TempoMap::constant(96.0));
+    movement.voices.push(v);
+    let mut score = Score::new("Gloria in excelsis Deo");
+    score.movements.push(movement);
+    score
+}
+
+/// A two-voice fragment shaped like fig. 14: an upper voice moving in
+/// quarters and eighths against a lower voice in halves, one measure of
+/// 4/4 — its syncs divide the measure exactly as the figure shows.
+pub fn two_voice_alignment() -> Movement {
+    let q = Duration::new(BaseDuration::Quarter);
+    let e = Duration::new(BaseDuration::Eighth);
+    let h = Duration::new(BaseDuration::Half);
+
+    let mut upper = Voice::new("upper", "organ", Clef::Treble, KeySignature::natural());
+    for p in ["C5", "D5"] {
+        ch(&mut upper, p, q);
+    }
+    for p in ["E5", "F5", "G5", "E5"] {
+        ch(&mut upper, p, e);
+    }
+    let mut lower = Voice::new("lower", "organ", Clef::Bass, KeySignature::natural());
+    ch(&mut lower, "C3", h);
+    ch(&mut lower, "G2", h);
+
+    let mut movement = Movement::new("alignment", TimeSignature::common(), TempoMap::constant(120.0));
+    movement.voices.push(upper);
+    movement.voices.push(lower);
+    movement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::events;
+    use crate::rational::rat;
+    use crate::sync::syncs;
+
+    #[test]
+    fn bwv578_fills_three_measures() {
+        let s = bwv578_subject();
+        let m = &s.movements[0];
+        assert_eq!(m.voices[0].total_beats(), rat(12, 1), "three 4/4 measures");
+        assert_eq!(m.measures().len(), 3);
+        assert_eq!(s.catalog_id.as_deref(), Some("BWV 578"));
+    }
+
+    #[test]
+    fn bwv578_starts_on_g_and_leaps_to_d() {
+        let s = bwv578_subject();
+        let evs = events(&s.movements[0]);
+        assert_eq!(evs[0].key, 67, "G4");
+        assert_eq!(evs[1].key, 74, "D5");
+    }
+
+    #[test]
+    fn gloria_has_lyrics_and_rests() {
+        let s = gloria_fragment();
+        let v = &s.movements[0].voices[0];
+        let syllables: Vec<String> = v
+            .elements
+            .iter()
+            .filter_map(|e| e.as_chord())
+            .filter_map(|c| c.notes[0].syllable.clone())
+            .collect();
+        assert_eq!(syllables.join(""), "Glo-ri-ainex-cel-sisDe-o");
+        assert_eq!(
+            v.elements.iter().filter(|e| e.as_chord().is_none()).count(),
+            2,
+            "two whole rests open the fragment"
+        );
+        assert_eq!(v.key, KeySignature::new(2), "'K2# — two sharps");
+    }
+
+    #[test]
+    fn alignment_fragment_has_expected_syncs() {
+        let m = two_voice_alignment();
+        let ss = syncs(&m);
+        // Upper onsets: 0, 1, 2, 2.5, 3, 3.5; lower: 0, 2.
+        assert_eq!(ss.len(), 6);
+        assert_eq!(ss[3].time, rat(5, 2));
+        assert_eq!(ss[2].entries.len(), 2, "both voices align at beat 2");
+    }
+}

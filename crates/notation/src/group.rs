@@ -1,0 +1,133 @@
+//! Melodic groups (fig. 15): phrasing and timing structures over a voice.
+//!
+//! "Particular musical voices may be independently organized into melodic
+//! groups. … these include phrasing (e.g. notes covered by a slur) and
+//! timing (e.g. beams and tuplets). A group has the temporal attribute
+//! 'duration', which is a function of the duration of its constituent
+//! chords and rests."
+
+use crate::rational::{Rational, ZERO};
+use crate::score::Voice;
+
+/// The semantic function of a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKind {
+    /// A slur (phrasing).
+    Slur,
+    /// A phrase mark (larger phrasing unit).
+    Phrase,
+    /// A beam (timing; see also [`crate::beam`] for derivation).
+    Beam,
+    /// A tuplet bracket with its ratio, e.g. (3, 2).
+    Tuplet(u8, u8),
+}
+
+/// A melodic group over a contiguous range of a voice's elements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// What the group means.
+    pub kind: GroupKind,
+    /// Voice index in the movement.
+    pub voice: usize,
+    /// First element index (inclusive).
+    pub start: usize,
+    /// Last element index (inclusive).
+    pub end: usize,
+}
+
+impl Group {
+    /// Creates a group; `start ≤ end` required.
+    pub fn new(kind: GroupKind, voice: usize, start: usize, end: usize) -> Group {
+        assert!(start <= end, "group range reversed");
+        Group { kind, voice, start, end }
+    }
+
+    /// The group's duration in beats: the sum of its constituent chords
+    /// and rests (fig. 15's temporal attribute).
+    pub fn duration(&self, voice: &Voice) -> Rational {
+        voice.elements[self.start..=self.end.min(voice.elements.len().saturating_sub(1))]
+            .iter()
+            .map(|e| e.duration().beats())
+            .fold(ZERO, |a, b| a + b)
+    }
+
+    /// True if this group strictly contains another (proper nesting).
+    pub fn contains(&self, other: &Group) -> bool {
+        self.voice == other.voice
+            && self.start <= other.start
+            && other.end <= self.end
+            && (self.start, self.end) != (other.start, other.end)
+    }
+
+    /// True if the two groups partially overlap (neither nested nor
+    /// disjoint) — legal for slurs vs. beams, but worth detecting.
+    pub fn crosses(&self, other: &Group) -> bool {
+        self.voice == other.voice
+            && self.start.max(other.start) <= self.end.min(other.end)
+            && !self.contains(other)
+            && !other.contains(self)
+            && (self.start, self.end) != (other.start, other.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clef::Clef;
+    use crate::duration::{BaseDuration, Duration};
+    use crate::key::KeySignature;
+    use crate::pitch::{Pitch, Step};
+    use crate::rational::rat;
+    use crate::score::Chord;
+
+    fn voice() -> Voice {
+        let mut v = Voice::new("v", "violin", Clef::Treble, KeySignature::natural());
+        let q = Duration::new(BaseDuration::Quarter);
+        let e = Duration::new(BaseDuration::Eighth);
+        for d in [q, e, e, q, q] {
+            v.push_chord(Chord::single(Pitch::natural(Step::A, 4), d));
+        }
+        v
+    }
+
+    #[test]
+    fn duration_sums_constituents() {
+        let v = voice();
+        let slur = Group::new(GroupKind::Slur, 0, 0, 2);
+        assert_eq!(slur.duration(&v), rat(2, 1), "quarter + eighth + eighth");
+        let all = Group::new(GroupKind::Phrase, 0, 0, 4);
+        assert_eq!(all.duration(&v), rat(4, 1));
+    }
+
+    #[test]
+    fn tuplet_duration() {
+        let mut v = Voice::new("v", "violin", Clef::Treble, KeySignature::natural());
+        let te = Duration::tuplet(BaseDuration::Eighth, 3, 2);
+        for _ in 0..3 {
+            v.push_chord(Chord::single(Pitch::natural(Step::C, 5), te));
+        }
+        let g = Group::new(GroupKind::Tuplet(3, 2), 0, 0, 2);
+        assert_eq!(g.duration(&v), rat(1, 1), "a triplet of eighths fills one beat");
+    }
+
+    #[test]
+    fn nesting_and_crossing() {
+        let phrase = Group::new(GroupKind::Phrase, 0, 0, 4);
+        let slur = Group::new(GroupKind::Slur, 0, 1, 2);
+        let beam = Group::new(GroupKind::Beam, 0, 2, 3);
+        assert!(phrase.contains(&slur));
+        assert!(!slur.contains(&phrase));
+        assert!(slur.crosses(&beam), "slur 1..=2 and beam 2..=3 overlap at 2");
+        assert!(!phrase.crosses(&slur));
+        // Different voices never interact.
+        let other = Group::new(GroupKind::Slur, 1, 0, 4);
+        assert!(!phrase.contains(&other));
+        assert!(!phrase.crosses(&other));
+    }
+
+    #[test]
+    #[should_panic(expected = "range reversed")]
+    fn reversed_range_panics() {
+        let _ = Group::new(GroupKind::Slur, 0, 3, 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Named musical intervals: the vocabulary of harmonic analysis.
+//!
+//! An interval between two pitches has a diatonic *number* (third, fifth,
+//! tenth, …) determined by staff distance and a *quality* (perfect,
+//! major, minor, augmented, diminished) determined by the semitone count
+//! — so C–E♭ is a minor third while C–D♯ is an augmented second, even
+//! though both span three semitones.
+
+use crate::pitch::Pitch;
+
+/// Interval qualities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quality {
+    /// Doubly diminished (rare but spellable).
+    DoublyDiminished,
+    /// Diminished.
+    Diminished,
+    /// Minor.
+    Minor,
+    /// Perfect.
+    Perfect,
+    /// Major.
+    Major,
+    /// Augmented.
+    Augmented,
+    /// Doubly augmented.
+    DoublyAugmented,
+}
+
+impl Quality {
+    fn name(self) -> &'static str {
+        match self {
+            Quality::DoublyDiminished => "doubly diminished",
+            Quality::Diminished => "diminished",
+            Quality::Minor => "minor",
+            Quality::Perfect => "perfect",
+            Quality::Major => "major",
+            Quality::Augmented => "augmented",
+            Quality::DoublyAugmented => "doubly augmented",
+        }
+    }
+}
+
+/// A named interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Diatonic number (1 = unison, 2 = second, …, 8 = octave, 10 =
+    /// tenth, …). Always positive; direction is not part of the name.
+    pub number: i32,
+    /// The quality.
+    pub quality: Quality,
+}
+
+/// Reference semitone counts for the simple intervals 1..=7 in the major
+/// scale (perfect/major qualities).
+const REFERENCE: [i32; 7] = [0, 2, 4, 5, 7, 9, 11];
+
+fn is_perfect_class(simple: i32) -> bool {
+    matches!(simple, 1 | 4 | 5)
+}
+
+impl Interval {
+    /// The interval between two pitches (order-insensitive).
+    pub fn between(a: &Pitch, b: &Pitch) -> Interval {
+        let (lo, hi) = if a.midi() <= b.midi() { (a, b) } else { (b, a) };
+        let diatonic = (hi.diatonic_index() - lo.diatonic_index()).abs();
+        let number = diatonic + 1;
+        let semitones = hi.midi() - lo.midi();
+        let simple = (number - 1) % 7 + 1;
+        let octaves = (number - 1) / 7;
+        let reference = REFERENCE[(simple - 1) as usize] + 12 * octaves;
+        let diff = semitones - reference;
+        let quality = if is_perfect_class(simple) {
+            match diff {
+                -2 => Quality::DoublyDiminished,
+                -1 => Quality::Diminished,
+                0 => Quality::Perfect,
+                1 => Quality::Augmented,
+                _ if diff >= 2 => Quality::DoublyAugmented,
+                _ => Quality::DoublyDiminished,
+            }
+        } else {
+            match diff {
+                -3 => Quality::DoublyDiminished,
+                -2 => Quality::Diminished,
+                -1 => Quality::Minor,
+                0 => Quality::Major,
+                1 => Quality::Augmented,
+                _ if diff >= 2 => Quality::DoublyAugmented,
+                _ => Quality::DoublyDiminished,
+            }
+        };
+        Interval { number, quality }
+    }
+
+    /// Width in semitones.
+    pub fn semitones(&self) -> i32 {
+        let simple = (self.number - 1) % 7 + 1;
+        let octaves = (self.number - 1) / 7;
+        let reference = REFERENCE[(simple - 1) as usize] + 12 * octaves;
+        let adjust = if is_perfect_class(simple) {
+            match self.quality {
+                Quality::DoublyDiminished => -2,
+                Quality::Diminished => -1,
+                Quality::Perfect => 0,
+                Quality::Augmented => 1,
+                Quality::DoublyAugmented => 2,
+                Quality::Minor | Quality::Major => 0, // not spellable; treated as perfect
+            }
+        } else {
+            match self.quality {
+                Quality::DoublyDiminished => -3,
+                Quality::Diminished => -2,
+                Quality::Minor => -1,
+                Quality::Major => 0,
+                Quality::Augmented => 1,
+                Quality::DoublyAugmented => 2,
+                Quality::Perfect => 0, // not spellable; treated as major
+            }
+        };
+        reference + adjust
+    }
+
+    /// Conventional name ("perfect fifth", "minor tenth").
+    pub fn name(&self) -> String {
+        let ordinal = match self.number {
+            1 => "unison".to_string(),
+            2 => "second".to_string(),
+            3 => "third".to_string(),
+            4 => "fourth".to_string(),
+            5 => "fifth".to_string(),
+            6 => "sixth".to_string(),
+            7 => "seventh".to_string(),
+            8 => "octave".to_string(),
+            9 => "ninth".to_string(),
+            10 => "tenth".to_string(),
+            11 => "eleventh".to_string(),
+            12 => "twelfth".to_string(),
+            n => format!("{n}th"),
+        };
+        format!("{} {ordinal}", self.quality.name())
+    }
+
+    /// Consonance per common-practice counterpoint: perfect unisons,
+    /// fifths, octaves; major/minor thirds and sixths (and compounds).
+    /// Fourths count as dissonant, per strict two-voice practice.
+    pub fn is_consonant(&self) -> bool {
+        let simple = (self.number - 1) % 7 + 1;
+        matches!(
+            (simple, self.quality),
+            (1 | 5, Quality::Perfect) | (3 | 6, Quality::Major | Quality::Minor)
+        )
+    }
+}
+
+impl Interval {
+    /// Transposes a pitch by this interval, keeping correct spelling: a
+    /// major third above C♭ is E♭ (not D♯, which `transpose_semitones`
+    /// would give via its sharp-preferring respelling).
+    pub fn apply(&self, from: &Pitch, upward: bool) -> Pitch {
+        let dia_steps = if upward { self.number - 1 } else { -(self.number - 1) };
+        let idx = from.diatonic_index() + dia_steps;
+        let step = crate::pitch::Step::from_index(idx.rem_euclid(7));
+        let octave = idx.div_euclid(7);
+        let target_midi = from.midi() + if upward { self.semitones() } else { -self.semitones() };
+        let natural = Pitch::natural(step, octave);
+        Pitch::new(step, target_midi - natural.midi(), octave)
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Pitch {
+        Pitch::parse(s).unwrap()
+    }
+
+    #[test]
+    fn common_intervals() {
+        let cases = [
+            ("C4", "C4", "perfect unison"),
+            ("C4", "E4", "major third"),
+            ("C4", "Eb4", "minor third"),
+            ("C4", "F4", "perfect fourth"),
+            ("C4", "G4", "perfect fifth"),
+            ("G4", "D5", "perfect fifth"),
+            ("C4", "A4", "major sixth"),
+            ("C4", "B4", "major seventh"),
+            ("C4", "C5", "perfect octave"),
+        ];
+        for (a, b, name) in cases {
+            assert_eq!(Interval::between(&p(a), &p(b)).name(), name, "{a}–{b}");
+        }
+    }
+
+    #[test]
+    fn enharmonic_spelling_matters() {
+        // Three semitones: minor third vs augmented second.
+        assert_eq!(Interval::between(&p("C4"), &p("Eb4")).name(), "minor third");
+        assert_eq!(Interval::between(&p("C4"), &p("D#4")).name(), "augmented second");
+        // Six semitones: tritone two ways.
+        assert_eq!(Interval::between(&p("F4"), &p("B4")).name(), "augmented fourth");
+        assert_eq!(Interval::between(&p("B3"), &p("F4")).name(), "diminished fifth");
+    }
+
+    #[test]
+    fn compound_intervals() {
+        assert_eq!(Interval::between(&p("C4"), &p("E5")).name(), "major tenth");
+        assert_eq!(Interval::between(&p("C4"), &p("G5")).name(), "perfect twelfth");
+        assert_eq!(Interval::between(&p("C4"), &p("D6")).name(), "major 16th");
+    }
+
+    #[test]
+    fn order_insensitive() {
+        assert_eq!(
+            Interval::between(&p("G4"), &p("C4")),
+            Interval::between(&p("C4"), &p("G4"))
+        );
+    }
+
+    #[test]
+    fn semitones_roundtrip() {
+        for (a, b) in [("C4", "Eb4"), ("C4", "G4"), ("F4", "B4"), ("C4", "E5"), ("B3", "F4")] {
+            let (pa, pb) = (p(a), p(b));
+            let iv = Interval::between(&pa, &pb);
+            assert_eq!(iv.semitones(), (pb.midi() - pa.midi()).abs(), "{a}–{b}");
+        }
+    }
+
+    #[test]
+    fn consonance_classification() {
+        assert!(Interval::between(&p("C4"), &p("G4")).is_consonant());
+        assert!(Interval::between(&p("C4"), &p("E4")).is_consonant());
+        assert!(Interval::between(&p("C4"), &p("A4")).is_consonant());
+        assert!(Interval::between(&p("C4"), &p("E5")).is_consonant(), "compound third");
+        assert!(!Interval::between(&p("C4"), &p("F4")).is_consonant(), "the fourth");
+        assert!(!Interval::between(&p("C4"), &p("D4")).is_consonant());
+        assert!(!Interval::between(&p("F4"), &p("B4")).is_consonant(), "tritone");
+    }
+}
+
+#[cfg(test)]
+mod apply_tests {
+    use super::*;
+
+    fn p(s: &str) -> Pitch {
+        Pitch::parse(s).unwrap()
+    }
+
+    fn iv(a: &str, b: &str) -> Interval {
+        Interval::between(&p(a), &p(b))
+    }
+
+    #[test]
+    fn apply_keeps_spelling() {
+        // Major third above Cb4 is Eb4 — not D#4.
+        let m3 = iv("C4", "E4");
+        assert_eq!(m3.apply(&p("Cb4"), true), p("Eb4"));
+        // Perfect fifth above F#3 is C#4.
+        let p5 = iv("C4", "G4");
+        assert_eq!(p5.apply(&p("F#3"), true), p("C#4"));
+        // Minor third below D5 is B4.
+        let min3 = iv("C4", "Eb4");
+        assert_eq!(min3.apply(&p("D5"), false), p("B4"));
+    }
+
+    #[test]
+    fn apply_octaves_and_compounds() {
+        let octave = iv("C4", "C5");
+        assert_eq!(octave.apply(&p("G3"), true), p("G4"));
+        let tenth = iv("C4", "E5");
+        assert_eq!(tenth.apply(&p("D4"), true), p("F#5"));
+    }
+
+    #[test]
+    fn apply_then_between_roundtrips() {
+        for (a, b) in [("C4", "E4"), ("C4", "G4"), ("B3", "F4"), ("C4", "Eb5")] {
+            let interval = iv(a, b);
+            let up = interval.apply(&p(a), true);
+            assert_eq!(Interval::between(&p(a), &up), interval, "{a}-{b}");
+            let down = interval.apply(&up, false);
+            assert_eq!(down, p(a), "{a}-{b} down");
+        }
+    }
+}

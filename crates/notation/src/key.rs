@@ -1,0 +1,161 @@
+//! Key signatures: declarative and procedural meanings (§4.3).
+//!
+//! The paper's example: three sharps *declaratively* means "the piece is
+//! in A major (or F♯ minor)" and *procedurally* means "perform all notes
+//! notated as F, C, or G one semitone higher than written". Both readings
+//! are provided here.
+
+use crate::pitch::Step;
+
+/// A key signature, encoded as a count of fifths: positive = sharps,
+/// negative = flats (−7 ..= +7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeySignature {
+    fifths: i8,
+}
+
+/// Sharps are added in the order F C G D A E B.
+const SHARP_ORDER: [Step; 7] = [Step::F, Step::C, Step::G, Step::D, Step::A, Step::E, Step::B];
+/// Flats are added in the order B E A D G C F.
+const FLAT_ORDER: [Step; 7] = [Step::B, Step::E, Step::A, Step::D, Step::G, Step::C, Step::F];
+
+/// Major key names by fifths (index 7 = C major).
+const MAJOR_NAMES: [&str; 15] = [
+    "Cb", "Gb", "Db", "Ab", "Eb", "Bb", "F", "C", "G", "D", "A", "E", "B", "F#", "C#",
+];
+/// Relative minor key names by fifths (index 7 = A minor).
+const MINOR_NAMES: [&str; 15] = [
+    "Ab", "Eb", "Bb", "F", "C", "G", "D", "A", "E", "B", "F#", "C#", "G#", "D#", "A#",
+];
+
+impl KeySignature {
+    /// Creates a key signature from a fifths count (clamped to ±7).
+    pub fn new(fifths: i8) -> KeySignature {
+        KeySignature { fifths: fifths.clamp(-7, 7) }
+    }
+
+    /// No sharps or flats (C major / A minor).
+    pub fn natural() -> KeySignature {
+        KeySignature { fifths: 0 }
+    }
+
+    /// The fifths count: positive = sharps, negative = flats.
+    pub fn fifths(&self) -> i8 {
+        self.fifths
+    }
+
+    /// The steps carrying sharps, in signature order.
+    pub fn sharps(&self) -> &[Step] {
+        if self.fifths > 0 {
+            &SHARP_ORDER[..self.fifths as usize]
+        } else {
+            &[]
+        }
+    }
+
+    /// The steps carrying flats, in signature order.
+    pub fn flats(&self) -> &[Step] {
+        if self.fifths < 0 {
+            &FLAT_ORDER[..(-self.fifths) as usize]
+        } else {
+            &[]
+        }
+    }
+
+    /// **Procedural meaning**: the alteration (in semitones) this
+    /// signature applies to a notated step — "perform all notes notated
+    /// as F, C, or G one semitone higher than written" for three sharps.
+    pub fn alter_for(&self, step: Step) -> i32 {
+        if self.sharps().contains(&step) {
+            1
+        } else if self.flats().contains(&step) {
+            -1
+        } else {
+            0
+        }
+    }
+
+    /// **Declarative meaning**: the major key this signature names.
+    pub fn major_name(&self) -> String {
+        format!("{} major", MAJOR_NAMES[(self.fifths + 7) as usize])
+    }
+
+    /// **Declarative meaning**: the relative minor.
+    pub fn minor_name(&self) -> String {
+        format!("{} minor", MINOR_NAMES[(self.fifths + 7) as usize].to_lowercase())
+    }
+
+    /// The key signature of the given major key name (e.g. "Eb"), if any.
+    pub fn from_major(name: &str) -> Option<KeySignature> {
+        MAJOR_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| KeySignature { fifths: i as i8 - 7 })
+    }
+}
+
+impl std::fmt::Display for KeySignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.fifths {
+            0 => write!(f, "no sharps or flats"),
+            n if n > 0 => write!(f, "{n} sharp{}", if n == 1 { "" } else { "s" }),
+            n => write!(f, "{} flat{}", -n, if n == -1 { "" } else { "s" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_three_sharps() {
+        let k = KeySignature::new(3);
+        // Declarative: "The piece is in the key of A major (or f# minor)".
+        assert_eq!(k.major_name(), "A major");
+        assert_eq!(k.minor_name(), "f# minor");
+        // Procedural: "Perform all notes notated as F, C, or G one
+        // semitone higher than written".
+        assert_eq!(k.sharps(), &[Step::F, Step::C, Step::G]);
+        assert_eq!(k.alter_for(Step::F), 1);
+        assert_eq!(k.alter_for(Step::C), 1);
+        assert_eq!(k.alter_for(Step::G), 1);
+        assert_eq!(k.alter_for(Step::D), 0);
+    }
+
+    #[test]
+    fn flat_keys() {
+        let k = KeySignature::new(-3);
+        assert_eq!(k.major_name(), "Eb major");
+        assert_eq!(k.minor_name(), "c minor");
+        assert_eq!(k.flats(), &[Step::B, Step::E, Step::A]);
+        assert_eq!(k.alter_for(Step::B), -1);
+        assert_eq!(k.alter_for(Step::F), 0);
+    }
+
+    #[test]
+    fn g_minor_is_two_flats() {
+        // BWV 578 is in G minor: two flats (Bb, Eb).
+        let k = KeySignature::new(-2);
+        assert_eq!(k.minor_name(), "g minor");
+        assert_eq!(k.flats(), &[Step::B, Step::E]);
+    }
+
+    #[test]
+    fn from_major_roundtrip() {
+        for fifths in -7..=7 {
+            let k = KeySignature::new(fifths);
+            let name = k.major_name();
+            let short = name.strip_suffix(" major").unwrap();
+            assert_eq!(KeySignature::from_major(short), Some(k));
+        }
+        assert_eq!(KeySignature::from_major("H"), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(KeySignature::new(0).to_string(), "no sharps or flats");
+        assert_eq!(KeySignature::new(1).to_string(), "1 sharp");
+        assert_eq!(KeySignature::new(-2).to_string(), "2 flats");
+    }
+}

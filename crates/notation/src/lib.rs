@@ -1,0 +1,58 @@
+//! # mdm-notation
+//!
+//! Common musical notation (CMN): the domain model behind the paper's §7
+//! database schema — "a reasonably well defined language of music
+//! notation … codified for Western tonal music used from about the 17th
+//! century to the present" (§4.4).
+//!
+//! * [`pitch`], [`duration`], [`clef`], [`key`], [`meter`] — the atomic
+//!   vocabulary: pitches, note values (with dots and tuplets), clefs as
+//!   staff-degree maps, key signatures with their declarative and
+//!   procedural meanings (§4.3), and meters.
+//! * [`resolve`] — performance-pitch resolution: how clef, key signature,
+//!   and measure-scoped accidentals procedurally determine what you hear.
+//! * [`score`] — the structural entities of fig. 11: scores, movements,
+//!   voices, chords, rests, notes, with contextual dynamics.
+//! * [`temporal`] — score time vs. performance time (§7.2): tempo maps
+//!   with *accelerando* / *ritardando* ramps.
+//! * [`sync`] — points of alignment across voices (fig. 14).
+//! * [`event`] — performed events; ties bind several notated notes into
+//!   one event (§7.2).
+//! * [`beam`] — recursive beam groups (fig. 8).
+//! * [`group`] — melodic groups: slurs, phrases, tuplets (fig. 15).
+//! * [`aspect`] — the aspect decomposition of fig. 12.
+//! * [`render`] — an ASCII staff renderer (the graphical aspect).
+//! * [`fixtures`] — the music behind the paper's figures (BWV 578,
+//!   the fig. 4 Gloria, the fig. 14 alignment).
+
+pub mod aspect;
+pub mod beam;
+pub mod clef;
+pub mod duration;
+pub mod event;
+pub mod fixtures;
+pub mod group;
+pub mod interval;
+pub mod key;
+pub mod meter;
+pub mod orchestra;
+pub mod pitch;
+pub mod rational;
+pub mod render;
+pub mod resolve;
+pub mod score;
+pub mod sync;
+pub mod temporal;
+
+pub use clef::Clef;
+pub use duration::{BaseDuration, Duration};
+pub use event::{events, perform, Event, PerformedNote};
+pub use interval::{Interval, Quality};
+pub use key::KeySignature;
+pub use meter::TimeSignature;
+pub use orchestra::{family_of, Instrument, Orchestra, Part, Section};
+pub use pitch::{Accidental, Pitch, Step};
+pub use rational::{rat, Rational};
+pub use score::{Articulation, Chord, ControlEvent, Dynamic, Measure, Movement, Note, Rest, Score, Voice, VoiceElement};
+pub use sync::{sync_diagram, syncs, Sync, SyncEntry};
+pub use temporal::{TempoMap, TempoMark};

@@ -1,0 +1,89 @@
+//! Meter signatures and measure lengths.
+
+use crate::rational::{rat, Rational};
+
+/// A time signature (`4/4`, `6/8`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeSignature {
+    /// Beats per measure as notated (the upper number).
+    pub numerator: u8,
+    /// The note value carrying one notated beat (the lower number).
+    pub denominator: u8,
+}
+
+impl TimeSignature {
+    /// Creates a time signature. The denominator must be a power of two.
+    pub fn new(numerator: u8, denominator: u8) -> TimeSignature {
+        assert!(numerator > 0, "meter numerator must be positive");
+        assert!(
+            denominator.is_power_of_two(),
+            "meter denominator must be a power of two"
+        );
+        TimeSignature { numerator, denominator }
+    }
+
+    /// Common time (4/4).
+    pub fn common() -> TimeSignature {
+        TimeSignature::new(4, 4)
+    }
+
+    /// Length of one measure in whole notes.
+    pub fn measure_whole_notes(&self) -> Rational {
+        rat(self.numerator as i64, self.denominator as i64)
+    }
+
+    /// Length of one measure in quarter-note beats (the score-time unit).
+    pub fn measure_beats(&self) -> Rational {
+        self.measure_whole_notes() * rat(4, 1)
+    }
+
+    /// True for compound meters (6/8, 9/8, 12/8 …), where the felt pulse
+    /// groups three notated beats.
+    pub fn is_compound(&self) -> bool {
+        self.numerator > 3 && self.numerator.is_multiple_of(3) && self.denominator >= 8
+    }
+
+    /// Number of felt pulses per measure (compound meters group in 3s).
+    pub fn pulses(&self) -> u8 {
+        if self.is_compound() {
+            self.numerator / 3
+        } else {
+            self.numerator
+        }
+    }
+}
+
+impl std::fmt::Display for TimeSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.numerator, self.denominator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_lengths() {
+        assert_eq!(TimeSignature::new(4, 4).measure_beats(), rat(4, 1));
+        assert_eq!(TimeSignature::new(3, 4).measure_beats(), rat(3, 1));
+        assert_eq!(TimeSignature::new(6, 8).measure_beats(), rat(3, 1));
+        assert_eq!(TimeSignature::new(2, 2).measure_beats(), rat(4, 1));
+    }
+
+    #[test]
+    fn compound_detection() {
+        assert!(TimeSignature::new(6, 8).is_compound());
+        assert!(TimeSignature::new(9, 8).is_compound());
+        assert!(!TimeSignature::new(3, 4).is_compound());
+        assert!(!TimeSignature::new(4, 4).is_compound());
+        assert_eq!(TimeSignature::new(6, 8).pulses(), 2);
+        assert_eq!(TimeSignature::new(4, 4).pulses(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_denominator_panics() {
+        let _ = TimeSignature::new(4, 5);
+    }
+}

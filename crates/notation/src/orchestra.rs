@@ -1,0 +1,157 @@
+//! The timbral hierarchy (fig. 11): orchestras, sections, instruments,
+//! and parts — "a set of instruments performing a score", grouped by
+//! instrument family, with parts assigned to individual performers.
+
+/// An instrument: "the unit of timbral definition".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instrument {
+    /// Instrument name ("violin", "organ").
+    pub name: String,
+    /// Patch / specification string (fig. 11's "instrument definitions").
+    pub definition: String,
+    /// Parts assigned to individual performers, by name; each part names
+    /// the voices it carries.
+    pub parts: Vec<Part>,
+}
+
+/// A part: "music assigned to an individual performer".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Part {
+    /// Part name ("Violin I").
+    pub name: String,
+    /// Names of the voices notated in this part.
+    pub voices: Vec<String>,
+}
+
+/// A section: "a family of instruments".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Family name ("strings", "woodwinds", "keyboard", …).
+    pub family: String,
+    /// Instruments in score order.
+    pub instruments: Vec<Instrument>,
+}
+
+/// An orchestra: "a set of instruments performing a score".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Orchestra {
+    /// Ensemble name.
+    pub name: String,
+    /// Sections in score order.
+    pub sections: Vec<Section>,
+}
+
+/// The conventional family of an instrument name (lowercased lookup;
+/// unknown instruments fall into "other").
+pub fn family_of(instrument: &str) -> &'static str {
+    match instrument.to_ascii_lowercase().as_str() {
+        "violin" | "viola" | "cello" | "violoncello" | "contrabass" | "double bass" | "harp" => {
+            "strings"
+        }
+        "flute" | "piccolo" | "oboe" | "clarinet" | "bassoon" | "recorder" => "woodwinds",
+        "horn" | "trumpet" | "trombone" | "tuba" => "brass",
+        "timpani" | "percussion" | "drums" => "percussion",
+        "organ" | "piano" | "harpsichord" | "celesta" | "keyboard" => "keyboard",
+        "soprano" | "alto" | "tenor" | "bass" | "voice" | "choir" => "voices",
+        _ => "other",
+    }
+}
+
+impl Orchestra {
+    /// Builds an orchestra from a movement's voices: instruments are the
+    /// distinct voice instruments, grouped into family sections, each
+    /// with one part per voice.
+    pub fn from_voices(name: &str, voices: &[crate::score::Voice]) -> Orchestra {
+        let mut sections: Vec<Section> = Vec::new();
+        for voice in voices {
+            let family = family_of(&voice.instrument);
+            let section = match sections.iter_mut().find(|s| s.family == family) {
+                Some(s) => s,
+                None => {
+                    sections.push(Section { family: family.to_string(), instruments: Vec::new() });
+                    sections.last_mut().expect("just pushed")
+                }
+            };
+            let instrument = match section
+                .instruments
+                .iter_mut()
+                .find(|i| i.name == voice.instrument)
+            {
+                Some(i) => i,
+                None => {
+                    section.instruments.push(Instrument {
+                        name: voice.instrument.clone(),
+                        definition: format!("{} (standard patch)", voice.instrument),
+                        parts: Vec::new(),
+                    });
+                    section.instruments.last_mut().expect("just pushed")
+                }
+            };
+            instrument.parts.push(Part {
+                name: format!("{} — {}", voice.instrument, voice.name),
+                voices: vec![voice.name.clone()],
+            });
+        }
+        Orchestra { name: name.to_string(), sections }
+    }
+
+    /// Total number of instruments.
+    pub fn instrument_count(&self) -> usize {
+        self.sections.iter().map(|s| s.instruments.len()).sum()
+    }
+
+    /// Total number of parts.
+    pub fn part_count(&self) -> usize {
+        self.sections
+            .iter()
+            .flat_map(|s| &s.instruments)
+            .map(|i| i.parts.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clef::Clef;
+    use crate::key::KeySignature;
+    use crate::score::Voice;
+
+    fn voice(name: &str, instrument: &str) -> Voice {
+        Voice::new(name, instrument, Clef::Treble, KeySignature::natural())
+    }
+
+    #[test]
+    fn families() {
+        assert_eq!(family_of("violin"), "strings");
+        assert_eq!(family_of("Organ"), "keyboard");
+        assert_eq!(family_of("tenor"), "voices");
+        assert_eq!(family_of("theremin"), "other");
+    }
+
+    #[test]
+    fn grouping_by_family_and_instrument() {
+        let voices = vec![
+            voice("Violin I", "violin"),
+            voice("Violin II", "violin"),
+            voice("Viola", "viola"),
+            voice("Continuo", "organ"),
+        ];
+        let orch = Orchestra::from_voices("chamber", &voices);
+        assert_eq!(orch.sections.len(), 2, "strings + keyboard");
+        let strings = &orch.sections[0];
+        assert_eq!(strings.family, "strings");
+        assert_eq!(strings.instruments.len(), 2, "violin + viola");
+        assert_eq!(strings.instruments[0].parts.len(), 2, "two violin parts");
+        assert_eq!(orch.instrument_count(), 3);
+        assert_eq!(orch.part_count(), 4);
+    }
+
+    #[test]
+    fn part_names_carry_voices() {
+        let voices = vec![voice("subject", "organ")];
+        let orch = Orchestra::from_voices("solo", &voices);
+        let part = &orch.sections[0].instruments[0].parts[0];
+        assert_eq!(part.voices, vec!["subject".to_string()]);
+    }
+}

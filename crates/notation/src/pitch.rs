@@ -1,0 +1,283 @@
+//! Pitch: steps, accidentals, octaves, MIDI keys, and frequencies.
+
+use std::fmt;
+
+/// The seven diatonic steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Step {
+    /// C
+    C,
+    /// D
+    D,
+    /// E
+    E,
+    /// F
+    F,
+    /// G
+    G,
+    /// A
+    A,
+    /// B
+    B,
+}
+
+impl Step {
+    /// All steps in ascending order.
+    pub const ALL: [Step; 7] = [Step::C, Step::D, Step::E, Step::F, Step::G, Step::A, Step::B];
+
+    /// Semitones above C within one octave.
+    pub fn semitones(self) -> i32 {
+        match self {
+            Step::C => 0,
+            Step::D => 2,
+            Step::E => 4,
+            Step::F => 5,
+            Step::G => 7,
+            Step::A => 9,
+            Step::B => 11,
+        }
+    }
+
+    /// Diatonic index (C = 0 … B = 6).
+    pub fn index(self) -> i32 {
+        match self {
+            Step::C => 0,
+            Step::D => 1,
+            Step::E => 2,
+            Step::F => 3,
+            Step::G => 4,
+            Step::A => 5,
+            Step::B => 6,
+        }
+    }
+
+    /// Step from a diatonic index (wraps modulo 7).
+    pub fn from_index(i: i32) -> Step {
+        Step::ALL[i.rem_euclid(7) as usize]
+    }
+
+    /// Letter name.
+    pub fn letter(self) -> char {
+        match self {
+            Step::C => 'C',
+            Step::D => 'D',
+            Step::E => 'E',
+            Step::F => 'F',
+            Step::G => 'G',
+            Step::A => 'A',
+            Step::B => 'B',
+        }
+    }
+
+    /// Parses a letter name.
+    pub fn from_letter(c: char) -> Option<Step> {
+        Some(match c.to_ascii_uppercase() {
+            'C' => Step::C,
+            'D' => Step::D,
+            'E' => Step::E,
+            'F' => Step::F,
+            'G' => Step::G,
+            'A' => Step::A,
+            'B' => Step::B,
+            _ => return None,
+        })
+    }
+}
+
+/// Accidentals, as chromatic alteration in semitones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Accidental {
+    /// ♭♭
+    DoubleFlat,
+    /// ♭
+    Flat,
+    /// ♮
+    Natural,
+    /// ♯
+    Sharp,
+    /// ♯♯ (𝄪)
+    DoubleSharp,
+}
+
+impl Accidental {
+    /// Chromatic alteration in semitones.
+    pub fn alter(self) -> i32 {
+        match self {
+            Accidental::DoubleFlat => -2,
+            Accidental::Flat => -1,
+            Accidental::Natural => 0,
+            Accidental::Sharp => 1,
+            Accidental::DoubleSharp => 2,
+        }
+    }
+
+    /// From an alteration in semitones.
+    pub fn from_alter(a: i32) -> Option<Accidental> {
+        Some(match a {
+            -2 => Accidental::DoubleFlat,
+            -1 => Accidental::Flat,
+            0 => Accidental::Natural,
+            1 => Accidental::Sharp,
+            2 => Accidental::DoubleSharp,
+            _ => return None,
+        })
+    }
+
+    /// Conventional ASCII spelling (`bb`, `b`, empty, `#`, `##`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Accidental::DoubleFlat => "bb",
+            Accidental::Flat => "b",
+            Accidental::Natural => "",
+            Accidental::Sharp => "#",
+            Accidental::DoubleSharp => "##",
+        }
+    }
+}
+
+/// A notated pitch: step, chromatic alteration, and octave (scientific
+/// pitch notation — C4 is middle C, A4 = 440 Hz).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pitch {
+    /// Diatonic step.
+    pub step: Step,
+    /// Chromatic alteration in semitones (−2 ..= +2 in CMN).
+    pub alter: i32,
+    /// Octave in scientific pitch notation.
+    pub octave: i32,
+}
+
+impl Pitch {
+    /// Creates a pitch.
+    pub fn new(step: Step, alter: i32, octave: i32) -> Pitch {
+        Pitch { step, alter, octave }
+    }
+
+    /// A natural pitch.
+    pub fn natural(step: Step, octave: i32) -> Pitch {
+        Pitch { step, alter: 0, octave }
+    }
+
+    /// The MIDI key number (middle C = 60, A4 = 69).
+    pub fn midi(&self) -> i32 {
+        (self.octave + 1) * 12 + self.step.semitones() + self.alter
+    }
+
+    /// Equal-tempered frequency in Hz (A4 = 440).
+    pub fn frequency(&self) -> f64 {
+        440.0 * 2f64.powf((self.midi() - 69) as f64 / 12.0)
+    }
+
+    /// A pitch spelled from a MIDI key, preferring naturals then sharps.
+    pub fn from_midi(key: i32) -> Pitch {
+        let octave = key.div_euclid(12) - 1;
+        let pc = key.rem_euclid(12);
+        for step in Step::ALL {
+            if step.semitones() == pc {
+                return Pitch::natural(step, octave);
+            }
+        }
+        for step in Step::ALL {
+            if step.semitones() + 1 == pc {
+                return Pitch::new(step, 1, octave);
+            }
+        }
+        unreachable!("every pitch class is a natural or a sharp");
+    }
+
+    /// The diatonic degree counted in staff steps from C0 (used for staff
+    /// placement).
+    pub fn diatonic_index(&self) -> i32 {
+        self.octave * 7 + self.step.index()
+    }
+
+    /// Transposes by whole semitones, respelling via [`Pitch::from_midi`].
+    pub fn transpose_semitones(&self, semis: i32) -> Pitch {
+        Pitch::from_midi(self.midi() + semis)
+    }
+
+    /// Parses scientific pitch notation like `C4`, `F#3`, `Bb5`, `Ab-1`.
+    pub fn parse(s: &str) -> Option<Pitch> {
+        let mut chars = s.chars();
+        let step = Step::from_letter(chars.next()?)?;
+        let rest: String = chars.collect();
+        let (alter, oct_str) = if let Some(r) = rest.strip_prefix("##") {
+            (2, r)
+        } else if let Some(r) = rest.strip_prefix('#') {
+            (1, r)
+        } else if let Some(r) = rest.strip_prefix("bb") {
+            (-2, r)
+        } else if let Some(r) = rest.strip_prefix('b') {
+            (-1, r)
+        } else {
+            (0, rest.as_str())
+        };
+        let octave: i32 = oct_str.parse().ok()?;
+        Some(Pitch { step, alter, octave })
+    }
+}
+
+impl fmt::Display for Pitch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let acc = Accidental::from_alter(self.alter)
+            .map(|a| a.symbol().to_string())
+            .unwrap_or_else(|| format!("({:+})", self.alter));
+        write!(f, "{}{}{}", self.step.letter(), acc, self.octave)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn midi_reference_points() {
+        assert_eq!(Pitch::natural(Step::C, 4).midi(), 60, "middle C");
+        assert_eq!(Pitch::natural(Step::A, 4).midi(), 69, "A440");
+        assert_eq!(Pitch::new(Step::B, 1, 3).midi(), 60, "B#3 is enharmonic middle C");
+        assert_eq!(Pitch::natural(Step::C, -1).midi(), 0);
+    }
+
+    #[test]
+    fn frequency_a440() {
+        assert!((Pitch::natural(Step::A, 4).frequency() - 440.0).abs() < 1e-9);
+        assert!((Pitch::natural(Step::A, 5).frequency() - 880.0).abs() < 1e-9);
+        // Equal-tempered middle C.
+        assert!((Pitch::natural(Step::C, 4).frequency() - 261.6256).abs() < 1e-3);
+    }
+
+    #[test]
+    fn from_midi_roundtrip() {
+        for key in 0..=127 {
+            assert_eq!(Pitch::from_midi(key).midi(), key);
+        }
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["C4", "F#3", "Bb5", "A0", "G##2", "Dbb6", "C-1"] {
+            let p = Pitch::parse(s).unwrap();
+            assert_eq!(p.to_string(), s.replace("n", ""), "{s}");
+            assert_eq!(Pitch::parse(&p.to_string()), Some(p));
+        }
+        assert!(Pitch::parse("H4").is_none());
+        assert!(Pitch::parse("C").is_none());
+    }
+
+    #[test]
+    fn transposition() {
+        let c4 = Pitch::natural(Step::C, 4);
+        assert_eq!(c4.transpose_semitones(12).midi(), 72);
+        assert_eq!(c4.transpose_semitones(-1).midi(), 59);
+        assert_eq!(c4.transpose_semitones(7), Pitch::natural(Step::G, 4));
+    }
+
+    #[test]
+    fn diatonic_index_orders_staff_degrees() {
+        let e4 = Pitch::natural(Step::E, 4);
+        let f4 = Pitch::natural(Step::F, 4);
+        let c5 = Pitch::natural(Step::C, 5);
+        assert_eq!(f4.diatonic_index() - e4.diatonic_index(), 1);
+        assert_eq!(c5.diatonic_index() - e4.diatonic_index(), 5);
+    }
+}

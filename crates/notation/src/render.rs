@@ -1,0 +1,239 @@
+//! A modest ASCII score renderer (the graphical aspect, in terminal form).
+//!
+//! One voice renders onto a five-line staff: note heads are placed by
+//! staff degree (via the voice's clef), with ledger lines, accidentals,
+//! bar lines from the meter, and a lyric line beneath.
+
+use crate::meter::TimeSignature;
+use crate::pitch::Accidental;
+use crate::rational::ZERO;
+use crate::score::{Voice, VoiceElement};
+
+/// Width in characters allotted to one voice element.
+const CELL: usize = 4;
+
+/// Renders a voice on an ASCII staff.
+pub fn render_voice(voice: &Voice, meter: TimeSignature) -> String {
+    // Degrees 0..=8 are the staff (lines at even degrees); we render a
+    // window wide enough for the content.
+    let degrees: Vec<i32> = voice
+        .elements
+        .iter()
+        .filter_map(|e| e.as_chord())
+        .flat_map(|c| c.notes.iter().map(|n| voice.clef.degree_of(&n.pitch)))
+        .collect();
+    let lo = degrees.iter().copied().min().unwrap_or(0).min(0) - 1;
+    let hi = degrees.iter().copied().max().unwrap_or(8).max(8) + 1;
+
+    // Column layout: prefix (clef+key), then elements with barlines.
+    let measure_beats = meter.measure_beats();
+    let mut columns: Vec<ColumnKind> = Vec::new();
+    let mut t = ZERO;
+    for (i, e) in voice.elements.iter().enumerate() {
+        if t > ZERO && (t / measure_beats).denom() == 1 {
+            columns.push(ColumnKind::Barline);
+        }
+        columns.push(ColumnKind::Element(i));
+        t += e.duration().beats();
+    }
+    columns.push(ColumnKind::Barline);
+
+    let width = 6 + columns.len() * CELL;
+    let mut rows: Vec<String> = Vec::new();
+    for degree in (lo..=hi).rev() {
+        let on_staff_line = (0..=8).contains(&degree) && degree % 2 == 0;
+        let mut row = String::with_capacity(width);
+        // Prefix: clef label on the middle line.
+        if degree == 4 {
+            row.push_str(&format!("{:<6}", clef_label(voice)));
+        } else {
+            row.push_str(&" ".repeat(6));
+        }
+        for col in &columns {
+            match col {
+                ColumnKind::Barline => {
+                    let c = if (0..=8).contains(&degree) { '|' } else { ' ' };
+                    row.push(c);
+                    row.push_str(&bg(on_staff_line).to_string().repeat(CELL - 1));
+                }
+                ColumnKind::Element(i) => {
+                    row.push_str(&render_cell(voice, *i, degree, on_staff_line));
+                }
+            }
+        }
+        rows.push(row.trim_end().to_string());
+    }
+
+    // Lyric line.
+    let mut lyric = " ".repeat(6);
+    for col in &columns {
+        match col {
+            ColumnKind::Barline => lyric.push_str(&" ".repeat(CELL)),
+            ColumnKind::Element(i) => {
+                let syl = voice.elements[*i]
+                    .as_chord()
+                    .and_then(|c| c.notes.iter().find_map(|n| n.syllable.clone()))
+                    .unwrap_or_default();
+                lyric.push_str(&format!("{:<CELL$}", syl.chars().take(CELL).collect::<String>()));
+            }
+        }
+    }
+    let mut out = rows.join("\n");
+    out.push('\n');
+    let lyric = lyric.trim_end();
+    if !lyric.is_empty() {
+        out.push_str(lyric);
+        out.push('\n');
+    }
+    out
+}
+
+enum ColumnKind {
+    Element(usize),
+    Barline,
+}
+
+fn bg(on_line: bool) -> char {
+    if on_line {
+        '-'
+    } else {
+        ' '
+    }
+}
+
+fn clef_label(voice: &Voice) -> String {
+    let key = voice.key;
+    let ks = if key.fifths() == 0 {
+        String::new()
+    } else if key.fifths() > 0 {
+        format!("{}#", key.fifths())
+    } else {
+        format!("{}b", -key.fifths())
+    };
+    format!("{}{ks}", &voice.clef.name()[..1].to_uppercase())
+}
+
+fn render_cell(voice: &Voice, index: usize, degree: i32, on_line: bool) -> String {
+    let filler = bg(on_line);
+    let element = &voice.elements[index];
+    match element {
+        VoiceElement::Rest(_) => {
+            if degree == 4 {
+                let mut cell = String::from("z");
+                while cell.len() < CELL {
+                    cell.push(filler);
+                }
+                cell
+            } else {
+                filler.to_string().repeat(CELL)
+            }
+        }
+        VoiceElement::Chord(chord) => {
+            let here: Vec<_> = chord
+                .notes
+                .iter()
+                .filter(|n| voice.clef.degree_of(&n.pitch) == degree)
+                .collect();
+            let Some(note) = here.first() else {
+                // Ledger line through the cell if a note sits beyond the
+                // staff on this degree's column? Only on the note's own
+                // row; elsewhere just filler.
+                return filler.to_string().repeat(CELL);
+            };
+            let head = if chord.duration.whole_notes() >= crate::rational::rat(1, 2) {
+                'o'
+            } else {
+                '*'
+            };
+            let acc = Accidental::from_alter(note.pitch.alter)
+                .map(|a| a.symbol())
+                .unwrap_or("");
+            let ledger = !(0..=8).contains(&degree) && degree % 2 == 0;
+            let pad = if ledger { '-' } else { filler };
+            let mut cell = String::new();
+            cell.push(pad);
+            cell.push_str(acc);
+            cell.push(head);
+            while cell.chars().count() < CELL {
+                cell.push(pad);
+            }
+            cell.chars().take(CELL).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clef::Clef;
+    use crate::duration::{BaseDuration, Duration};
+    use crate::key::KeySignature;
+    use crate::pitch::{Pitch, Step};
+    use crate::score::{Chord, Note};
+
+    #[test]
+    fn renders_staff_and_notes() {
+        let mut v = Voice::new("v", "organ", Clef::Treble, KeySignature::natural());
+        let q = Duration::new(BaseDuration::Quarter);
+        v.push_chord(Chord::single(Pitch::natural(Step::E, 4), q)); // bottom line
+        v.push_chord(Chord::single(Pitch::natural(Step::F, 5), q)); // top line
+        let s = render_voice(&v, TimeSignature::common());
+        assert!(s.contains('*'), "note heads rendered");
+        assert!(s.contains("T"), "clef label rendered");
+        assert!(s.lines().count() >= 9, "staff spans at least 9 degree rows");
+    }
+
+    #[test]
+    fn accidentals_and_lyrics_appear() {
+        let mut v = Voice::new("v", "organ", Clef::Treble, KeySignature::new(2));
+        let q = Duration::new(BaseDuration::Quarter);
+        v.push_chord(Chord::new(
+            vec![Note::new(Pitch::new(Step::F, 1, 4)).with_syllable("Glo-")],
+            q,
+        ));
+        let s = render_voice(&v, TimeSignature::common());
+        assert!(s.contains("#*") || s.contains("#o"), "sharp precedes the head:\n{s}");
+        assert!(s.contains("Glo-"));
+    }
+
+    #[test]
+    fn barlines_fall_on_measures() {
+        let mut v = Voice::new("v", "organ", Clef::Treble, KeySignature::natural());
+        let h = Duration::new(BaseDuration::Half);
+        for _ in 0..4 {
+            v.push_chord(Chord::single(Pitch::natural(Step::B, 4), h));
+        }
+        let s = render_voice(&v, TimeSignature::new(2, 2));
+        // 4 half notes in 2/2 span two measures: a mid barline + final.
+        let middle_line = s.lines().find(|l| l.contains('o')).unwrap();
+        assert_eq!(middle_line.matches('|').count(), 2, "{s}");
+    }
+
+    #[test]
+    fn whole_and_half_use_open_heads() {
+        let mut v = Voice::new("v", "organ", Clef::Treble, KeySignature::natural());
+        v.push_chord(Chord::single(
+            Pitch::natural(Step::B, 4),
+            Duration::new(BaseDuration::Whole),
+        ));
+        v.push_chord(Chord::single(
+            Pitch::natural(Step::B, 4),
+            Duration::new(BaseDuration::Sixteenth),
+        ));
+        let s = render_voice(&v, TimeSignature::common());
+        assert!(s.contains('o'));
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn ledger_note_draws_ledger_dashes() {
+        let mut v = Voice::new("v", "organ", Clef::Treble, KeySignature::natural());
+        // Middle C: degree −2, first ledger line below the treble staff.
+        v.push_chord(Chord::single(
+            Pitch::natural(Step::C, 4),
+            Duration::new(BaseDuration::Quarter),
+        ));
+        let s = render_voice(&v, TimeSignature::common());
+        assert!(s.contains("-*-"), "ledger line through the head:\n{s}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Performance-pitch resolution: the procedural interpretation of clefs,
+//! key signatures, and accidentals (§4.3).
+//!
+//! "The performance pitch of a note depends procedurally on other elements
+//! on the same staff line, such as clefs and key signatures." Resolution
+//! order follows CMN practice:
+//!
+//! 1. the clef maps the staff degree to a natural pitch;
+//! 2. an explicit accidental on the note sets the alteration *and*
+//!    persists for that step and octave until the end of the measure;
+//! 3. otherwise a surviving accidental from earlier in the measure
+//!    applies;
+//! 4. otherwise the key signature's alteration applies.
+
+use std::collections::HashMap;
+
+use crate::clef::Clef;
+use crate::key::KeySignature;
+use crate::pitch::{Accidental, Pitch, Step};
+
+/// Accidental state within one measure: alterations keyed by (step,
+/// octave), as CMN accidentals apply to a specific staff position.
+#[derive(Debug, Clone, Default)]
+pub struct MeasureAccidentals {
+    altered: HashMap<(Step, i32), i32>,
+}
+
+impl MeasureAccidentals {
+    /// Fresh state (start of a measure).
+    pub fn new() -> MeasureAccidentals {
+        MeasureAccidentals::default()
+    }
+
+    /// Clears state at a barline.
+    pub fn barline(&mut self) {
+        self.altered.clear();
+    }
+}
+
+/// The notational context of a staff at some point in score time.
+#[derive(Debug, Clone, Copy)]
+pub struct StaffContext {
+    /// The governing clef.
+    pub clef: Clef,
+    /// The governing key signature.
+    pub key: KeySignature,
+}
+
+impl StaffContext {
+    /// Creates a context.
+    pub fn new(clef: Clef, key: KeySignature) -> StaffContext {
+        StaffContext { clef, key }
+    }
+
+    /// Resolves the performance pitch of a note written at `degree` with
+    /// an optional explicit accidental, updating the measure state.
+    pub fn resolve(
+        &self,
+        degree: i32,
+        accidental: Option<Accidental>,
+        measure: &mut MeasureAccidentals,
+    ) -> Pitch {
+        let natural = self.clef.pitch_at(degree);
+        let slot = (natural.step, natural.octave);
+        let alter = match accidental {
+            Some(acc) => {
+                let a = acc.alter();
+                measure.altered.insert(slot, a);
+                a
+            }
+            None => match measure.altered.get(&slot) {
+                Some(&a) => a,
+                None => self.key.alter_for(natural.step),
+            },
+        };
+        Pitch::new(natural.step, alter, natural.octave)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_signature_applies_procedurally() {
+        // A major (3 sharps), treble clef: the bottom space (degree 1)
+        // is written F but performed F#.
+        let ctx = StaffContext::new(Clef::Treble, KeySignature::new(3));
+        let mut m = MeasureAccidentals::new();
+        let p = ctx.resolve(1, None, &mut m);
+        assert_eq!(p.to_string(), "F#4");
+        assert_eq!(p.midi(), 66);
+    }
+
+    #[test]
+    fn explicit_accidental_overrides_key() {
+        let ctx = StaffContext::new(Clef::Treble, KeySignature::new(3));
+        let mut m = MeasureAccidentals::new();
+        let p = ctx.resolve(1, Some(Accidental::Natural), &mut m);
+        assert_eq!(p.to_string(), "F4");
+    }
+
+    #[test]
+    fn accidental_persists_through_measure() {
+        let ctx = StaffContext::new(Clef::Treble, KeySignature::natural());
+        let mut m = MeasureAccidentals::new();
+        // A sharp on F4…
+        let first = ctx.resolve(1, Some(Accidental::Sharp), &mut m);
+        assert_eq!(first.to_string(), "F#4");
+        // …applies to later F4s in the measure without restating it…
+        let later = ctx.resolve(1, None, &mut m);
+        assert_eq!(later.to_string(), "F#4");
+        // …but not to F5 (different octave slot).
+        let f5 = ctx.resolve(8, None, &mut m);
+        assert_eq!(f5.to_string(), "F5");
+    }
+
+    #[test]
+    fn barline_clears_accidentals() {
+        let ctx = StaffContext::new(Clef::Treble, KeySignature::natural());
+        let mut m = MeasureAccidentals::new();
+        ctx.resolve(1, Some(Accidental::Sharp), &mut m);
+        m.barline();
+        let next_measure = ctx.resolve(1, None, &mut m);
+        assert_eq!(next_measure.to_string(), "F4");
+    }
+
+    #[test]
+    fn natural_cancels_key_for_rest_of_measure() {
+        let ctx = StaffContext::new(Clef::Treble, KeySignature::new(1)); // F#
+        let mut m = MeasureAccidentals::new();
+        assert_eq!(ctx.resolve(1, None, &mut m).to_string(), "F#4");
+        assert_eq!(ctx.resolve(1, Some(Accidental::Natural), &mut m).to_string(), "F4");
+        // The natural persists.
+        assert_eq!(ctx.resolve(1, None, &mut m).to_string(), "F4");
+        // Next measure reverts to the key.
+        m.barline();
+        assert_eq!(ctx.resolve(1, None, &mut m).to_string(), "F#4");
+    }
+
+    #[test]
+    fn bass_clef_with_flats() {
+        // G minor (2 flats), bass clef: degree 2 is B, performed Bb.
+        let ctx = StaffContext::new(Clef::Bass, KeySignature::new(-2));
+        let mut m = MeasureAccidentals::new();
+        assert_eq!(ctx.resolve(2, None, &mut m).to_string(), "Bb2");
+    }
+}

@@ -1,0 +1,169 @@
+//! Syncs: sets of simultaneous events (fig. 11, fig. 14).
+//!
+//! "The various musical events within a passage are typically aligned on
+//! these pulses. Each such point of alignment constitutes a *sync*" —
+//! a term taken from the Mockingbird system. A sync's temporal attribute
+//! is its position in score time, expressed as beats from the start of
+//! its measure.
+
+use crate::rational::Rational;
+use crate::score::{Movement, VoiceElement};
+
+/// One entry of a sync: which element of which voice starts here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncEntry {
+    /// Voice index within the movement.
+    pub voice: usize,
+    /// Element index within the voice.
+    pub element: usize,
+    /// Whether the element is a sounding chord (false = rest).
+    pub sounding: bool,
+}
+
+/// A sync: one point of alignment with everything that starts there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sync {
+    /// Score time in beats from the start of the movement.
+    pub time: Rational,
+    /// 1-based measure number containing the sync.
+    pub measure: usize,
+    /// Beats from the start of that measure (the paper's representation).
+    pub beat_in_measure: Rational,
+    /// The elements beginning at this sync, in voice order.
+    pub entries: Vec<SyncEntry>,
+}
+
+/// Extracts the syncs of a movement: the distinct onset times across all
+/// voices, each with the elements that begin there.
+pub fn syncs(movement: &Movement) -> Vec<Sync> {
+    let mut by_time: std::collections::BTreeMap<Rational, Vec<SyncEntry>> =
+        std::collections::BTreeMap::new();
+    for (vi, voice) in movement.voices.iter().enumerate() {
+        for (ei, onset) in voice.onsets().into_iter().enumerate() {
+            let sounding = matches!(voice.elements[ei], VoiceElement::Chord(_));
+            by_time.entry(onset).or_default().push(SyncEntry {
+                voice: vi,
+                element: ei,
+                sounding,
+            });
+        }
+    }
+    by_time
+        .into_iter()
+        .map(|(time, entries)| Sync {
+            time,
+            measure: movement.measure_of(time),
+            beat_in_measure: movement.beat_in_measure(time),
+            entries,
+        })
+        .collect()
+}
+
+/// Renders a fig. 14-style diagram: one row per voice, one column per
+/// sync, `●` where the voice sounds a new chord, `·` where it rests, and
+/// blank where it is merely sustaining.
+pub fn sync_diagram(movement: &Movement) -> String {
+    let ss = syncs(movement);
+    let mut out = String::new();
+    out.push_str("sync:     ");
+    for (i, _) in ss.iter().enumerate() {
+        out.push_str(&format!("{:>3}", i + 1));
+    }
+    out.push('\n');
+    out.push_str("beat:     ");
+    for s in &ss {
+        out.push_str(&format!("{:>3}", s.beat_in_measure.to_string()));
+    }
+    out.push('\n');
+    for (vi, voice) in movement.voices.iter().enumerate() {
+        out.push_str(&format!("{:<10}", voice.name.chars().take(9).collect::<String>()));
+        for s in &ss {
+            let mark = s
+                .entries
+                .iter()
+                .find(|e| e.voice == vi)
+                .map(|e| if e.sounding { " ●" } else { " ·" })
+                .unwrap_or("  ");
+            out.push_str(&format!("{mark:>3}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clef::Clef;
+    use crate::duration::{BaseDuration, Duration};
+    use crate::key::KeySignature;
+    use crate::meter::TimeSignature;
+    use crate::pitch::{Pitch, Step};
+    use crate::rational::rat;
+    use crate::score::{Chord, Voice};
+    use crate::temporal::TempoMap;
+
+    /// Two voices: quarters against halves (like fig. 14's alignment).
+    fn two_voice_movement() -> Movement {
+        let mut m = Movement::new("I", TimeSignature::common(), TempoMap::constant(120.0));
+        let q = Duration::new(BaseDuration::Quarter);
+        let h = Duration::new(BaseDuration::Half);
+        let mut top = Voice::new("top", "organ", Clef::Treble, KeySignature::natural());
+        for step in [Step::C, Step::D, Step::E, Step::F] {
+            top.push_chord(Chord::single(Pitch::natural(step, 5), q));
+        }
+        let mut bottom = Voice::new("bottom", "organ", Clef::Bass, KeySignature::natural());
+        bottom.push_chord(Chord::single(Pitch::natural(Step::C, 3), h));
+        bottom.push_chord(Chord::single(Pitch::natural(Step::G, 2), h));
+        m.voices.push(top);
+        m.voices.push(bottom);
+        m
+    }
+
+    #[test]
+    fn syncs_align_voices() {
+        let m = two_voice_movement();
+        let ss = syncs(&m);
+        // Onsets: 0, 1, 2, 3 (top) and 0, 2 (bottom) → syncs at 0, 1, 2, 3.
+        assert_eq!(ss.len(), 4);
+        assert_eq!(ss[0].time, rat(0, 1));
+        assert_eq!(ss[0].entries.len(), 2, "both voices start at beat 0");
+        assert_eq!(ss[1].entries.len(), 1, "only the top voice moves at beat 1");
+        assert_eq!(ss[2].entries.len(), 2);
+        assert_eq!(ss[3].entries.len(), 1);
+    }
+
+    #[test]
+    fn sync_times_are_measure_relative() {
+        let mut m = two_voice_movement();
+        // Extend the top voice into measure 2.
+        let q = Duration::new(BaseDuration::Quarter);
+        m.voices[0].push_chord(Chord::single(Pitch::natural(Step::G, 5), q));
+        let ss = syncs(&m);
+        let last = ss.last().unwrap();
+        assert_eq!(last.measure, 2);
+        assert_eq!(last.beat_in_measure, rat(0, 1));
+    }
+
+    #[test]
+    fn rests_are_non_sounding_entries() {
+        let mut m = two_voice_movement();
+        let q = Duration::new(BaseDuration::Quarter);
+        m.voices[1].push_rest(q);
+        let ss = syncs(&m);
+        let at_beat_4 = ss.iter().find(|s| s.time == rat(4, 1)).unwrap();
+        assert!(at_beat_4.entries.iter().any(|e| !e.sounding));
+    }
+
+    #[test]
+    fn diagram_renders_marks() {
+        let m = two_voice_movement();
+        let d = sync_diagram(&m);
+        assert!(d.contains("●"));
+        assert!(d.contains("top"));
+        assert!(d.contains("bottom"));
+        // The bottom voice sustains at sync 2 (beat 1): blank column.
+        let bottom_line = d.lines().last().unwrap();
+        assert_eq!(bottom_line.matches('●').count(), 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Score time versus performance time (§7.2).
+//!
+//! Score time is measured in rhythmic units (quarter-note beats);
+//! performance time in seconds. "The duration of a beat, however, is
+//! consistently distorted in performance" — by tempo directives such as
+//! *accelerando* and *ritardando*. A [`TempoMap`] is the conductor: it
+//! carries tempo marks (with optional linear ramps to the next mark) and
+//! converts between the two time lines in both directions.
+
+use crate::rational::{Rational, ZERO};
+
+/// One tempo mark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TempoMark {
+    /// Score-time position in quarter-note beats.
+    pub beat: Rational,
+    /// Tempo at this mark, in quarter-note beats per minute.
+    pub bpm: f64,
+    /// If true, tempo ramps linearly (in beats) to the next mark —
+    /// an accelerando or ritardando; otherwise it holds steady.
+    pub ramp_to_next: bool,
+}
+
+/// A piecewise tempo function over score time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TempoMap {
+    marks: Vec<TempoMark>,
+}
+
+impl TempoMap {
+    /// A constant tempo.
+    pub fn constant(bpm: f64) -> TempoMap {
+        assert!(bpm > 0.0, "tempo must be positive");
+        TempoMap {
+            marks: vec![TempoMark { beat: ZERO, bpm, ramp_to_next: false }],
+        }
+    }
+
+    /// Inserts a tempo mark (replacing any existing mark at that beat).
+    pub fn set_tempo(&mut self, beat: Rational, bpm: f64) {
+        self.insert(TempoMark { beat, bpm, ramp_to_next: false });
+    }
+
+    /// Adds an *accelerando* (or *ritardando*, if slower): tempo ramps
+    /// linearly from its current value at `from` to `bpm_target` at `to`.
+    pub fn ramp(&mut self, from: Rational, to: Rational, bpm_target: f64) {
+        assert!(from < to, "ramp must span a positive interval");
+        let start_bpm = self.bpm_at(from);
+        self.insert(TempoMark { beat: from, bpm: start_bpm, ramp_to_next: true });
+        self.insert(TempoMark { beat: to, bpm: bpm_target, ramp_to_next: false });
+    }
+
+    fn insert(&mut self, mark: TempoMark) {
+        assert!(mark.bpm > 0.0, "tempo must be positive");
+        match self.marks.binary_search_by(|m| m.beat.cmp(&mark.beat)) {
+            Ok(i) => self.marks[i] = mark,
+            Err(i) => self.marks.insert(i, mark),
+        }
+    }
+
+    /// The tempo marks in score-time order.
+    pub fn marks(&self) -> &[TempoMark] {
+        &self.marks
+    }
+
+    /// Tempo in effect at a score-time position.
+    pub fn bpm_at(&self, beat: Rational) -> f64 {
+        let idx = match self.marks.binary_search_by(|m| m.beat.cmp(&beat)) {
+            Ok(i) => i,
+            Err(0) => return self.marks[0].bpm,
+            Err(i) => i - 1,
+        };
+        let mark = &self.marks[idx];
+        if mark.ramp_to_next {
+            if let Some(next) = self.marks.get(idx + 1) {
+                let span = (next.beat - mark.beat).to_f64();
+                let t = (beat - mark.beat).to_f64() / span;
+                return mark.bpm + (next.bpm - mark.bpm) * t;
+            }
+        }
+        mark.bpm
+    }
+
+    /// Seconds taken to traverse score time `[b0, b1]` where the tempo
+    /// interpolates linearly (in beats) from `bpm0` to `bpm1`.
+    fn segment_seconds(beats: f64, bpm0: f64, bpm1: f64) -> f64 {
+        if beats <= 0.0 {
+            return 0.0;
+        }
+        if (bpm1 - bpm0).abs() < 1e-12 {
+            60.0 * beats / bpm0
+        } else {
+            // ∫ 60 / bpm(b) db with bpm linear in b.
+            60.0 * beats / (bpm1 - bpm0) * (bpm1 / bpm0).ln()
+        }
+    }
+
+    /// Beats traversed in `seconds` starting a segment at `bpm0`, ramping
+    /// to `bpm1` over `span` beats (inverse of [`segment_seconds`]).
+    fn segment_beats(seconds: f64, span: f64, bpm0: f64, bpm1: f64) -> f64 {
+        if (bpm1 - bpm0).abs() < 1e-12 {
+            seconds * bpm0 / 60.0
+        } else {
+            let k = (bpm1 - bpm0) / span;
+            // bpm(b) = bpm0 e^{k t / 60} after t seconds.
+            (bpm0 * ((k * seconds / 60.0).exp() - 1.0)) / k
+        }
+    }
+
+    /// Maps score time (beats from the start) to performance time
+    /// (seconds from the start).
+    pub fn performance_time(&self, beat: Rational) -> f64 {
+        let target = beat.to_f64();
+        let mut seconds = 0.0;
+        for (i, mark) in self.marks.iter().enumerate() {
+            let seg_start = mark.beat.to_f64();
+            if target <= seg_start {
+                break;
+            }
+            let seg_end = self.marks.get(i + 1).map_or(f64::INFINITY, |m| m.beat.to_f64());
+            let end = target.min(seg_end);
+            let span = seg_end - seg_start;
+            let (bpm0, bpm1) = if mark.ramp_to_next && span.is_finite() {
+                let next_bpm = self.marks[i + 1].bpm;
+                let frac = (end - seg_start) / span;
+                (mark.bpm, mark.bpm + (next_bpm - mark.bpm) * frac)
+            } else {
+                (mark.bpm, mark.bpm)
+            };
+            seconds += Self::segment_seconds(end - seg_start, bpm0, bpm1);
+        }
+        seconds
+    }
+
+    /// Maps performance time (seconds) back to score time (beats,
+    /// approximate — the inverse is transcendental under ramps).
+    pub fn score_time(&self, seconds: f64) -> f64 {
+        let mut t = 0.0;
+        for (i, mark) in self.marks.iter().enumerate() {
+            let seg_start = mark.beat.to_f64();
+            let seg_end = self.marks.get(i + 1).map_or(f64::INFINITY, |m| m.beat.to_f64());
+            let span = seg_end - seg_start;
+            let (bpm0, bpm1) = if mark.ramp_to_next && span.is_finite() {
+                (mark.bpm, self.marks[i + 1].bpm)
+            } else {
+                (mark.bpm, mark.bpm)
+            };
+            let seg_seconds = if span.is_finite() {
+                Self::segment_seconds(span, bpm0, bpm1)
+            } else {
+                f64::INFINITY
+            };
+            if seconds - t <= seg_seconds {
+                return seg_start + Self::segment_beats(seconds - t, span, bpm0, bpm1);
+            }
+            t += seg_seconds;
+        }
+        unreachable!("last segment is unbounded");
+    }
+}
+
+impl Default for TempoMap {
+    fn default() -> TempoMap {
+        TempoMap::constant(120.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::rat;
+
+    #[test]
+    fn constant_tempo() {
+        let t = TempoMap::constant(120.0);
+        assert_eq!(t.performance_time(rat(4, 1)), 2.0, "4 beats at 120 bpm = 2 s");
+        assert_eq!(t.performance_time(ZERO), 0.0);
+        assert!((t.score_time(2.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tempo_change() {
+        let mut t = TempoMap::constant(120.0);
+        t.set_tempo(rat(4, 1), 60.0);
+        // 4 beats at 120 (2 s) + 4 beats at 60 (4 s).
+        assert!((t.performance_time(rat(8, 1)) - 6.0).abs() < 1e-12);
+        assert!((t.score_time(6.0) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accelerando_shortens_ritardando_lengthens() {
+        let steady = TempoMap::constant(120.0);
+        let mut accel = TempoMap::constant(120.0);
+        accel.ramp(rat(0, 1), rat(8, 1), 240.0); // accelerando
+        let mut rit = TempoMap::constant(120.0);
+        rit.ramp(rat(0, 1), rat(8, 1), 60.0); // ritardando
+        let b = rat(8, 1);
+        assert!(accel.performance_time(b) < steady.performance_time(b));
+        assert!(rit.performance_time(b) > steady.performance_time(b));
+    }
+
+    #[test]
+    fn ramp_integral_matches_analytic() {
+        // 120 → 240 bpm over 8 beats: t = 60·8/120 · ln2 = 4·ln2 ≈ 2.7726.
+        let mut t = TempoMap::constant(120.0);
+        t.ramp(rat(0, 1), rat(8, 1), 240.0);
+        let expected = 60.0 * 8.0 / 120.0 * 2f64.ln();
+        assert!((t.performance_time(rat(8, 1)) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bpm_at_interpolates() {
+        let mut t = TempoMap::constant(100.0);
+        t.ramp(rat(0, 1), rat(10, 1), 200.0);
+        assert!((t.bpm_at(rat(0, 1)) - 100.0).abs() < 1e-12);
+        assert!((t.bpm_at(rat(5, 1)) - 150.0).abs() < 1e-12);
+        assert!((t.bpm_at(rat(10, 1)) - 200.0).abs() < 1e-12);
+        assert!((t.bpm_at(rat(20, 1)) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_through_ramps() {
+        let mut t = TempoMap::constant(90.0);
+        t.ramp(rat(4, 1), rat(12, 1), 180.0);
+        t.set_tempo(rat(20, 1), 60.0);
+        for i in 0..80 {
+            let beat = rat(i, 3);
+            let secs = t.performance_time(beat);
+            assert!(
+                (t.score_time(secs) - beat.to_f64()).abs() < 1e-6,
+                "beat {beat} → {secs}s → {}",
+                t.score_time(secs)
+            );
+        }
+    }
+
+    #[test]
+    fn monotonicity() {
+        let mut t = TempoMap::constant(100.0);
+        t.ramp(rat(2, 1), rat(6, 1), 40.0);
+        t.set_tempo(rat(10, 1), 160.0);
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let s = t.performance_time(rat(i, 4));
+            assert!(s > prev || i == 0, "not monotone at beat {}/4", i);
+            prev = s;
+        }
+    }
+}

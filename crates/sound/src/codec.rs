@@ -1,0 +1,314 @@
+//! Audio codecs: the two compaction routes of §4.1.
+//!
+//! "From an information theoretic point of view, the digitized sound
+//! stream can be compacted in two ways: by eliminating redundant
+//! information from the sound stream \[Wil85\], and by eliminating aurally
+//! imperceptible information from the sound stream \[Kra79\]."
+//!
+//! * [`redundancy`] — lossless: second-order delta prediction followed by
+//!   zig-zag varint coding with zero-run compression. Musical signal is
+//!   smooth, so residuals are small.
+//! * [`perceptual`] — lossy: μ-law companding plus optional bit-depth
+//!   reduction, discarding level detail the ear resolves poorly.
+
+use crate::pcm::PcmBuffer;
+
+/// Lossless redundancy-elimination codec.
+pub mod redundancy {
+    use super::*;
+
+    fn zigzag(v: i32) -> u32 {
+        ((v << 1) ^ (v >> 31)) as u32
+    }
+
+    fn unzigzag(v: u32) -> i32 {
+        ((v >> 1) as i32) ^ -((v & 1) as i32)
+    }
+
+    fn put_varint(out: &mut Vec<u8>, mut v: u32) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                return;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+
+    fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u32> {
+        let mut v: u32 = 0;
+        let mut shift = 0;
+        loop {
+            let byte = *buf.get(*pos)?;
+            *pos += 1;
+            v |= ((byte & 0x7F) as u32) << shift;
+            if byte & 0x80 == 0 {
+                return Some(v);
+            }
+            shift += 7;
+            if shift > 28 {
+                return None;
+            }
+        }
+    }
+
+    /// Encodes a buffer losslessly. Format: `[rate: u32][len: u64]` then a
+    /// stream of tokens: `0x00 <count>` for runs of ≥4 zero residuals,
+    /// otherwise zig-zag varints of second-order deltas (offset by 1 so a
+    /// literal zero token never collides with the run marker).
+    pub fn encode(pcm: &PcmBuffer) -> Vec<u8> {
+        let mut out = Vec::with_capacity(pcm.samples.len());
+        out.extend_from_slice(&pcm.sample_rate.to_le_bytes());
+        out.extend_from_slice(&(pcm.samples.len() as u64).to_le_bytes());
+        // Second-order prediction: residual = x[i] − 2x[i−1] + x[i−2].
+        let residual = |i: usize| -> i32 {
+            let x = |j: isize| -> i32 {
+                if j < 0 {
+                    0
+                } else {
+                    pcm.samples[j as usize] as i32
+                }
+            };
+            x(i as isize) - 2 * x(i as isize - 1) + x(i as isize - 2)
+        };
+        let mut i = 0;
+        while i < pcm.samples.len() {
+            // Count a run of zero residuals.
+            let mut run = 0;
+            while i + run < pcm.samples.len() && residual(i + run) == 0 {
+                run += 1;
+            }
+            if run >= 4 {
+                out.push(0x00);
+                put_varint(&mut out, run as u32);
+                i += run;
+                continue;
+            }
+            let r = residual(i);
+            put_varint(&mut out, zigzag(r) + 1);
+            i += 1;
+        }
+        out
+    }
+
+    /// Decodes a buffer produced by [`encode`].
+    pub fn decode(buf: &[u8]) -> Option<PcmBuffer> {
+        if buf.len() < 12 {
+            return None;
+        }
+        let sample_rate = u32::from_le_bytes(buf[0..4].try_into().ok()?);
+        let len = u64::from_le_bytes(buf[4..12].try_into().ok()?) as usize;
+        let mut pos = 12;
+        let mut samples: Vec<i16> = Vec::with_capacity(len);
+        let x = |samples: &[i16], back: usize| -> i32 {
+            if samples.len() < back {
+                0
+            } else {
+                samples[samples.len() - back] as i32
+            }
+        };
+        while samples.len() < len {
+            let token = get_varint(buf, &mut pos)?;
+            if token == 0 {
+                let run = get_varint(buf, &mut pos)? as usize;
+                for _ in 0..run {
+                    if samples.len() >= len {
+                        return None;
+                    }
+                    let v = 2 * x(&samples, 1) - x(&samples, 2);
+                    samples.push(v.clamp(i16::MIN as i32, i16::MAX as i32) as i16);
+                }
+            } else {
+                let r = unzigzag(token - 1);
+                let v = r + 2 * x(&samples, 1) - x(&samples, 2);
+                samples.push(v.clamp(i16::MIN as i32, i16::MAX as i32) as i16);
+            }
+        }
+        Some(PcmBuffer { sample_rate, samples })
+    }
+}
+
+/// Lossy perceptual codec.
+pub mod perceptual {
+    use super::*;
+
+    const MU: f64 = 255.0;
+
+    fn compress(x: f64) -> f64 {
+        // μ-law: sign(x) · ln(1 + μ|x|) / ln(1 + μ), x ∈ [−1, 1].
+        x.signum() * (1.0 + MU * x.abs()).ln() / (1.0 + MU).ln()
+    }
+
+    fn expand(y: f64) -> f64 {
+        y.signum() * ((1.0 + MU).powf(y.abs()) - 1.0) / MU
+    }
+
+    /// Encodes with μ-law companding to `bits` bits per sample
+    /// (1 ..= 16). Format: `[rate: u32][len: u64][bits: u8]` then
+    /// bit-packed codes.
+    pub fn encode(pcm: &PcmBuffer, bits: u8) -> Vec<u8> {
+        let bits = bits.clamp(2, 16);
+        let mut out = Vec::new();
+        out.extend_from_slice(&pcm.sample_rate.to_le_bytes());
+        out.extend_from_slice(&(pcm.samples.len() as u64).to_le_bytes());
+        out.push(bits);
+        let levels = (1u32 << bits) - 1;
+        let mut acc: u64 = 0;
+        let mut nbits = 0u32;
+        for &s in &pcm.samples {
+            let x = s as f64 / 32768.0;
+            let y = compress(x); // in [−1, 1]
+            let code = (((y + 1.0) / 2.0) * levels as f64).round() as u64;
+            acc |= code << nbits;
+            nbits += bits as u32;
+            while nbits >= 8 {
+                out.push((acc & 0xFF) as u8);
+                acc >>= 8;
+                nbits -= 8;
+            }
+        }
+        if nbits > 0 {
+            out.push((acc & 0xFF) as u8);
+        }
+        out
+    }
+
+    /// Decodes a buffer produced by [`encode`].
+    pub fn decode(buf: &[u8]) -> Option<PcmBuffer> {
+        if buf.len() < 13 {
+            return None;
+        }
+        let sample_rate = u32::from_le_bytes(buf[0..4].try_into().ok()?);
+        let len = u64::from_le_bytes(buf[4..12].try_into().ok()?) as usize;
+        let bits = buf[12] as u32;
+        let levels = (1u32 << bits) - 1;
+        let mut samples = Vec::with_capacity(len);
+        let mut acc: u64 = 0;
+        let mut nbits = 0u32;
+        let mut pos = 13;
+        for _ in 0..len {
+            while nbits < bits {
+                acc |= (*buf.get(pos)? as u64) << nbits;
+                pos += 1;
+                nbits += 8;
+            }
+            let code = acc & ((1u64 << bits) - 1);
+            acc >>= bits;
+            nbits -= bits;
+            let y = (code as f64 / levels as f64) * 2.0 - 1.0;
+            let x = expand(y);
+            samples.push((x * 32767.0).clamp(-32768.0, 32767.0) as i16);
+        }
+        Some(PcmBuffer { sample_rate, samples })
+    }
+
+    /// Signal-to-noise ratio in dB between an original and its decode.
+    pub fn snr_db(original: &PcmBuffer, decoded: &PcmBuffer) -> f64 {
+        let n = original.samples.len().min(decoded.samples.len());
+        let mut signal = 0.0;
+        let mut noise = 0.0;
+        for i in 0..n {
+            let s = original.samples[i] as f64;
+            let e = s - decoded.samples[i] as f64;
+            signal += s * s;
+            noise += e * e;
+        }
+        if noise == 0.0 {
+            return f64::INFINITY;
+        }
+        10.0 * (signal / noise).log10()
+    }
+}
+
+/// Compression ratio (original bytes / encoded bytes).
+pub fn ratio(pcm: &PcmBuffer, encoded_len: usize) -> f64 {
+    pcm.byte_size() as f64 / encoded_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{render_performance, Timbre};
+    use mdm_notation::PerformedNote;
+
+    fn musical_signal() -> PcmBuffer {
+        // The paper's professional rate: prediction residuals shrink as
+        // the oversampling factor grows, which is what makes redundancy
+        // elimination effective on music.
+        let notes = vec![
+            PerformedNote { voice: 0, key: 60, start_seconds: 0.0, end_seconds: 0.4, velocity: 90 },
+            PerformedNote { voice: 0, key: 67, start_seconds: 0.2, end_seconds: 0.6, velocity: 70 },
+        ];
+        render_performance(&notes, &Timbre::organ(), crate::pcm::PRO_SAMPLE_RATE)
+    }
+
+    #[test]
+    fn redundancy_roundtrip_lossless() {
+        let pcm = musical_signal();
+        let enc = redundancy::encode(&pcm);
+        let dec = redundancy::decode(&enc).unwrap();
+        assert_eq!(dec, pcm);
+    }
+
+    #[test]
+    fn redundancy_compresses_musical_signal() {
+        let pcm = musical_signal();
+        let enc = redundancy::encode(&pcm);
+        let r = ratio(&pcm, enc.len());
+        assert!(r > 1.2, "smooth signal should compress, got ratio {r:.2}");
+    }
+
+    #[test]
+    fn redundancy_compresses_silence_heavily() {
+        let pcm = PcmBuffer::silence(48_000, 1.0);
+        let enc = redundancy::encode(&pcm);
+        assert!(ratio(&pcm, enc.len()) > 1000.0);
+    }
+
+    #[test]
+    fn redundancy_handles_extremes() {
+        let mut pcm = PcmBuffer::new(100);
+        pcm.samples = vec![i16::MAX, i16::MIN, 0, -1, 1, i16::MAX, i16::MAX];
+        let dec = redundancy::decode(&redundancy::encode(&pcm)).unwrap();
+        assert_eq!(dec, pcm);
+    }
+
+    #[test]
+    fn redundancy_rejects_truncation() {
+        let pcm = musical_signal();
+        let enc = redundancy::encode(&pcm);
+        assert!(redundancy::decode(&enc[..enc.len() / 2]).is_none());
+        assert!(redundancy::decode(&enc[..4]).is_none());
+    }
+
+    #[test]
+    fn perceptual_roundtrip_is_close() {
+        let pcm = musical_signal();
+        let enc = perceptual::encode(&pcm, 8);
+        let dec = perceptual::decode(&enc).unwrap();
+        assert_eq!(dec.samples.len(), pcm.samples.len());
+        let snr = perceptual::snr_db(&pcm, &dec);
+        assert!(snr > 20.0, "8-bit μ-law should exceed 20 dB SNR, got {snr:.1}");
+    }
+
+    #[test]
+    fn perceptual_halves_storage_at_8_bits() {
+        let pcm = musical_signal();
+        let enc = perceptual::encode(&pcm, 8);
+        let r = ratio(&pcm, enc.len());
+        assert!(r > 1.9 && r < 2.1, "16→8 bits ≈ 2×, got {r:.2}");
+    }
+
+    #[test]
+    fn fewer_bits_lower_snr() {
+        let pcm = musical_signal();
+        let snr_at = |bits| {
+            let dec = perceptual::decode(&perceptual::encode(&pcm, bits)).unwrap();
+            perceptual::snr_db(&pcm, &dec)
+        };
+        assert!(snr_at(12) > snr_at(8));
+        assert!(snr_at(8) > snr_at(4));
+    }
+}

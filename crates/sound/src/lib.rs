@@ -1,0 +1,37 @@
+//! # mdm-sound
+//!
+//! Sound representations for the music data manager (§4.1, §4.5, §4.6):
+//!
+//! * [`pcm`] — digitized sound as arrays of 16-bit samples, including the
+//!   paper's storage arithmetic (48 kHz × 16 bits × 10 min = 57.6 MB);
+//! * [`midi`] — MIDI event lists: note on/off and control events with
+//!   performance-time stamps (fig. 13's bottom layer);
+//! * [`synth`] — an additive synthesizer turning performances into PCM;
+//! * [`codec`] — the two compaction routes of §4.1: lossless redundancy
+//!   elimination and lossy perceptual coding;
+//! * [`pianoroll`] — piano-roll rasterization with highlighted entrances
+//!   (fig. 3).
+//!
+//! ```
+//! use mdm_notation::fixtures::bwv578_subject;
+//! use mdm_sound::{midi::MidiEventList, pianoroll::PianoRoll};
+//!
+//! let score = bwv578_subject();
+//! let notes = mdm_notation::perform(&score.movements[0]);
+//! let midi = MidiEventList::from_performance(&notes);
+//! assert!(midi.events.len() >= 2 * notes.len());
+//! let roll = PianoRoll::render(&notes, 0.125, &|_, _| false);
+//! println!("{}", roll.to_text());
+//! ```
+
+pub mod codec;
+pub mod midi;
+pub mod pcm;
+pub mod pianoroll;
+pub mod synth;
+
+pub use codec::ratio;
+pub use midi::{MidiEvent, MidiEventList, MidiKind};
+pub use pcm::{storage_bytes, PcmBuffer, PRO_BITS_PER_SAMPLE, PRO_SAMPLE_RATE};
+pub use pianoroll::{PianoRoll, HIGHLIGHT_FILL, NOTE_FILL};
+pub use synth::{render_midi, render_performance, Timbre};

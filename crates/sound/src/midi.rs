@@ -1,0 +1,209 @@
+//! MIDI event lists (§4.6, fig. 13): "individual musical 'events' have
+//! particular starting and ending times … their temporal parameters are
+//! given in performance time (i.e. seconds)".
+
+use mdm_notation::PerformedNote;
+
+/// A MIDI event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MidiKind {
+    /// Note on: key and velocity.
+    NoteOn {
+        /// MIDI key number.
+        key: u8,
+        /// Velocity 1–127.
+        velocity: u8,
+    },
+    /// Note off.
+    NoteOff {
+        /// MIDI key number.
+        key: u8,
+    },
+    /// A control event at a point in time, e.g. the sostenuto pedal
+    /// (controller 66) — fig. 11's "MIDI control" entity.
+    Control {
+        /// Controller number.
+        controller: u8,
+        /// Controller value.
+        value: u8,
+    },
+}
+
+/// One timestamped MIDI event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MidiEvent {
+    /// Performance time in seconds.
+    pub time: f64,
+    /// Channel (0–15), one per voice by convention here.
+    pub channel: u8,
+    /// What happened.
+    pub kind: MidiKind,
+}
+
+/// An ordered MIDI event list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MidiEventList {
+    /// Events in time order (offs before ons at equal times).
+    pub events: Vec<MidiEvent>,
+}
+
+impl MidiEventList {
+    /// Builds an event list from performed notes (voice index becomes the
+    /// channel, modulo 16).
+    pub fn from_performance(notes: &[PerformedNote]) -> MidiEventList {
+        let mut events = Vec::with_capacity(notes.len() * 2);
+        for n in notes {
+            let channel = (n.voice % 16) as u8;
+            events.push(MidiEvent {
+                time: n.start_seconds,
+                channel,
+                kind: MidiKind::NoteOn {
+                    key: n.key.clamp(0, 127) as u8,
+                    velocity: n.velocity.clamp(1, 127),
+                },
+            });
+            events.push(MidiEvent {
+                time: n.end_seconds,
+                channel,
+                kind: MidiKind::NoteOff { key: n.key.clamp(0, 127) as u8 },
+            });
+        }
+        let mut list = MidiEventList { events };
+        list.sort();
+        list
+    }
+
+    /// Sorts by time, note-offs before note-ons at the same instant (so
+    /// repeated notes retrigger cleanly).
+    pub fn sort(&mut self) {
+        self.events.sort_by(|a, b| {
+            a.time
+                .total_cmp(&b.time)
+                .then_with(|| rank(&a.kind).cmp(&rank(&b.kind)))
+                .then_with(|| a.channel.cmp(&b.channel))
+        });
+        fn rank(k: &MidiKind) -> u8 {
+            match k {
+                MidiKind::NoteOff { .. } => 0,
+                MidiKind::Control { .. } => 1,
+                MidiKind::NoteOn { .. } => 2,
+            }
+        }
+    }
+
+    /// Adds a control event, keeping order.
+    pub fn push_control(&mut self, time: f64, channel: u8, controller: u8, value: u8) {
+        self.events.push(MidiEvent {
+            time,
+            channel,
+            kind: MidiKind::Control { controller, value },
+        });
+        self.sort();
+    }
+
+    /// The notes currently sounding at time `t`, as (channel, key) pairs.
+    pub fn sounding_at(&self, t: f64) -> Vec<(u8, u8)> {
+        let mut on: Vec<(u8, u8)> = Vec::new();
+        for e in &self.events {
+            if e.time > t {
+                break;
+            }
+            match e.kind {
+                MidiKind::NoteOn { key, .. } => on.push((e.channel, key)),
+                MidiKind::NoteOff { key } => {
+                    if let Some(i) = on.iter().position(|&(c, k)| c == e.channel && k == key) {
+                        on.remove(i);
+                    }
+                }
+                MidiKind::Control { .. } => {}
+            }
+        }
+        on
+    }
+
+    /// Total duration (time of the last event).
+    pub fn seconds(&self) -> f64 {
+        self.events.last().map_or(0.0, |e| e.time)
+    }
+
+    /// Reconstructs (start, end, key, channel, velocity) note spans.
+    pub fn note_spans(&self) -> Vec<(f64, f64, u8, u8, u8)> {
+        let mut open: Vec<(f64, u8, u8, u8)> = Vec::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            match e.kind {
+                MidiKind::NoteOn { key, velocity } => {
+                    open.push((e.time, key, e.channel, velocity));
+                }
+                MidiKind::NoteOff { key } => {
+                    if let Some(i) =
+                        open.iter().position(|&(_, k, c, _)| k == key && c == e.channel)
+                    {
+                        let (start, k, c, v) = open.remove(i);
+                        out.push((start, e.time, k, c, v));
+                    }
+                }
+                MidiKind::Control { .. } => {}
+            }
+        }
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(voice: usize, key: i32, start: f64, end: f64) -> PerformedNote {
+        PerformedNote { voice, key, start_seconds: start, end_seconds: end, velocity: 80 }
+    }
+
+    #[test]
+    fn event_list_from_notes() {
+        let notes = vec![note(0, 60, 0.0, 1.0), note(1, 67, 0.5, 2.0)];
+        let list = MidiEventList::from_performance(&notes);
+        assert_eq!(list.events.len(), 4);
+        assert_eq!(list.seconds(), 2.0);
+        assert_eq!(list.sounding_at(0.75).len(), 2);
+        assert_eq!(list.sounding_at(1.5), vec![(1, 67)]);
+    }
+
+    #[test]
+    fn off_before_on_at_same_instant() {
+        // Repeated middle C: off at 1.0 must precede on at 1.0.
+        let notes = vec![note(0, 60, 0.0, 1.0), note(0, 60, 1.0, 2.0)];
+        let list = MidiEventList::from_performance(&notes);
+        let kinds: Vec<bool> = list
+            .events
+            .iter()
+            .map(|e| matches!(e.kind, MidiKind::NoteOn { .. }))
+            .collect();
+        assert_eq!(kinds, vec![true, false, true, false]);
+        assert_eq!(list.sounding_at(2.5), vec![]);
+    }
+
+    #[test]
+    fn spans_roundtrip() {
+        let notes = vec![note(0, 60, 0.0, 1.0), note(0, 64, 0.25, 0.75), note(2, 72, 1.0, 3.0)];
+        let list = MidiEventList::from_performance(&notes);
+        let spans = list.note_spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0], (0.0, 1.0, 60, 0, 80));
+        assert_eq!(spans[1], (0.25, 0.75, 64, 0, 80));
+        assert_eq!(spans[2], (1.0, 3.0, 72, 2, 80));
+    }
+
+    #[test]
+    fn control_events_order() {
+        let mut list = MidiEventList::from_performance(&[note(0, 60, 0.0, 1.0)]);
+        list.push_control(0.5, 0, 66, 127); // sostenuto down
+        let idx = list
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, MidiKind::Control { .. }))
+            .unwrap();
+        assert_eq!(list.events[idx].time, 0.5);
+        assert!(idx > 0 && idx < list.events.len() - 1);
+    }
+}

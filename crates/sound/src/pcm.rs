@@ -1,0 +1,110 @@
+//! Digitized sound: "the simplest representation of sound in a digital
+//! computer is merely an array of numbers" (§4.1).
+
+/// Professional sample rate cited by the paper (48 000 samples/second).
+pub const PRO_SAMPLE_RATE: u32 = 48_000;
+
+/// Professional sample width cited by the paper (16-bit integers).
+pub const PRO_BITS_PER_SAMPLE: u32 = 16;
+
+/// A mono PCM buffer of 16-bit samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcmBuffer {
+    /// Samples per second.
+    pub sample_rate: u32,
+    /// The samples.
+    pub samples: Vec<i16>,
+}
+
+impl PcmBuffer {
+    /// An empty buffer at the given rate.
+    pub fn new(sample_rate: u32) -> PcmBuffer {
+        assert!(sample_rate > 0, "sample rate must be positive");
+        PcmBuffer { sample_rate, samples: Vec::new() }
+    }
+
+    /// A silent buffer of the given duration.
+    pub fn silence(sample_rate: u32, seconds: f64) -> PcmBuffer {
+        let n = (seconds * sample_rate as f64).ceil() as usize;
+        PcmBuffer { sample_rate, samples: vec![0; n] }
+    }
+
+    /// Duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate as f64
+    }
+
+    /// Raw storage size in bytes (two bytes per sample).
+    pub fn byte_size(&self) -> usize {
+        self.samples.len() * 2
+    }
+
+    /// Peak absolute amplitude.
+    pub fn peak(&self) -> i16 {
+        self.samples.iter().map(|s| s.unsigned_abs()).max().unwrap_or(0) as i16
+    }
+
+    /// Root-mean-square amplitude.
+    pub fn rms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.samples.iter().map(|&s| (s as f64) * (s as f64)).sum();
+        (sum / self.samples.len() as f64).sqrt()
+    }
+
+    /// Mixes another buffer into this one starting at `at_seconds`,
+    /// extending as needed, with saturating addition.
+    pub fn mix(&mut self, other: &PcmBuffer, at_seconds: f64) {
+        assert_eq!(self.sample_rate, other.sample_rate, "rate mismatch in mix");
+        let offset = (at_seconds * self.sample_rate as f64).round() as usize;
+        let needed = offset + other.samples.len();
+        if self.samples.len() < needed {
+            self.samples.resize(needed, 0);
+        }
+        for (i, &s) in other.samples.iter().enumerate() {
+            let mixed = self.samples[offset + i] as i32 + s as i32;
+            self.samples[offset + i] = mixed.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        }
+    }
+}
+
+/// The paper's storage arithmetic: bytes needed for `seconds` of sound at
+/// the given rate and sample width. "Ten minutes of musical sound can be
+/// recorded with acceptable accuracy by storing 57.6 megabytes of data."
+pub fn storage_bytes(sample_rate: u32, bits_per_sample: u32, seconds: f64) -> u64 {
+    (sample_rate as u64) * (bits_per_sample as u64 / 8) * seconds.round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_storage_claim_57_6_megabytes() {
+        // §4.1: 48 kHz × 16-bit × 10 minutes = 57.6 MB.
+        let bytes = storage_bytes(PRO_SAMPLE_RATE, PRO_BITS_PER_SAMPLE, 600.0);
+        assert_eq!(bytes, 57_600_000);
+    }
+
+    #[test]
+    fn silence_duration() {
+        let b = PcmBuffer::silence(1000, 2.5);
+        assert_eq!(b.samples.len(), 2500);
+        assert!((b.seconds() - 2.5).abs() < 1e-9);
+        assert_eq!(b.byte_size(), 5000);
+        assert_eq!(b.peak(), 0);
+        assert_eq!(b.rms(), 0.0);
+    }
+
+    #[test]
+    fn mix_extends_and_saturates() {
+        let mut a = PcmBuffer::silence(100, 1.0);
+        let mut loud = PcmBuffer::new(100);
+        loud.samples = vec![i16::MAX; 50];
+        a.mix(&loud, 0.75);
+        assert_eq!(a.samples.len(), 125, "extended past the original second");
+        a.mix(&loud, 0.75); // saturate, not wrap
+        assert_eq!(a.samples[80], i16::MAX);
+    }
+}

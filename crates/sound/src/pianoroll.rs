@@ -1,0 +1,142 @@
+//! Piano-roll notation (§4.5, fig. 3).
+//!
+//! "The piano roll is essentially a map of the state of a musical
+//! keyboard against time … time progressing to the left along the x-axis,
+//! and pitch (usually quantized by semitones) increasing upward along the
+//! y-axis. Each note is represented by a black rectangle." Fig. 3 shades
+//! the fugue entrances grey; here highlighted notes render with a
+//! different fill character.
+
+use mdm_notation::PerformedNote;
+
+/// A rasterized piano roll.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PianoRoll {
+    /// Lowest MIDI key shown (bottom row).
+    pub low_key: i32,
+    /// Highest MIDI key shown (top row).
+    pub high_key: i32,
+    /// Seconds per column.
+    pub seconds_per_column: f64,
+    /// Rows, top (high pitch) first; each cell is a fill char or space.
+    pub grid: Vec<Vec<char>>,
+}
+
+/// Fill used for ordinary notes ("black rectangles").
+pub const NOTE_FILL: char = '█';
+/// Fill used for highlighted notes (fig. 3's grey-shaded entrances).
+pub const HIGHLIGHT_FILL: char = '▒';
+
+impl PianoRoll {
+    /// Rasters a performance. `highlight` selects notes drawn with the
+    /// highlight fill (by index into `notes`).
+    pub fn render(
+        notes: &[PerformedNote],
+        seconds_per_column: f64,
+        highlight: &dyn Fn(usize, &PerformedNote) -> bool,
+    ) -> PianoRoll {
+        assert!(seconds_per_column > 0.0, "column width must be positive");
+        let low_key = notes.iter().map(|n| n.key).min().unwrap_or(60) - 1;
+        let high_key = notes.iter().map(|n| n.key).max().unwrap_or(72) + 1;
+        let total = notes.iter().map(|n| n.end_seconds).fold(0.0, f64::max);
+        let cols = ((total / seconds_per_column).ceil() as usize).max(1);
+        let rows = (high_key - low_key + 1) as usize;
+        let mut grid = vec![vec![' '; cols]; rows];
+        for (i, n) in notes.iter().enumerate() {
+            let row = (high_key - n.key) as usize;
+            let c0 = (n.start_seconds / seconds_per_column).floor() as usize;
+            let mut c1 = (n.end_seconds / seconds_per_column).ceil() as usize;
+            c1 = c1.min(cols).max(c0 + 1);
+            let fill = if highlight(i, n) { HIGHLIGHT_FILL } else { NOTE_FILL };
+            for cell in &mut grid[row][c0..c1] {
+                // Plain fill wins over highlight when notes overlap,
+                // keeping entrances visually distinct, as in fig. 3.
+                if *cell == ' ' || fill == NOTE_FILL {
+                    *cell = fill;
+                }
+            }
+        }
+        PianoRoll { low_key, high_key, seconds_per_column, grid }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.grid.first().map_or(0, Vec::len)
+    }
+
+    /// Renders with a key-name gutter and a time axis.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (r, row) in self.grid.iter().enumerate() {
+            let key = self.high_key - r as i32;
+            let name = mdm_notation::Pitch::from_midi(key).to_string();
+            let line: String = row.iter().collect();
+            out.push_str(&format!("{name:>5} |{}\n", line.trim_end()));
+        }
+        out.push_str(&format!("      +{}\n", "-".repeat(self.width())));
+        out.push_str(&format!(
+            "       0s{:>width$}\n",
+            format!("{:.1}s", self.width() as f64 * self.seconds_per_column),
+            width = self.width().saturating_sub(2)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(key: i32, start: f64, end: f64, voice: usize) -> PerformedNote {
+        PerformedNote { voice, key, start_seconds: start, end_seconds: end, velocity: 80 }
+    }
+
+    #[test]
+    fn notes_are_rectangles() {
+        let notes = vec![n(60, 0.0, 1.0, 0), n(64, 1.0, 2.0, 0)];
+        let roll = PianoRoll::render(&notes, 0.25, &|_, _| false);
+        // C4 occupies columns 0..4 on its row; E4 columns 4..8.
+        let c4_row = (roll.high_key - 60) as usize;
+        let e4_row = (roll.high_key - 64) as usize;
+        assert_eq!(roll.grid[c4_row][0], NOTE_FILL);
+        assert_eq!(roll.grid[c4_row][3], NOTE_FILL);
+        assert_eq!(roll.grid[c4_row][4], ' ');
+        assert_eq!(roll.grid[e4_row][4], NOTE_FILL);
+    }
+
+    #[test]
+    fn pitch_increases_upward() {
+        let notes = vec![n(60, 0.0, 1.0, 0), n(72, 0.0, 1.0, 0)];
+        let roll = PianoRoll::render(&notes, 0.5, &|_, n| n.key == 72);
+        let top_fill_row = roll.grid.iter().position(|r| r.contains(&HIGHLIGHT_FILL)).unwrap();
+        let bottom_fill_row = roll.grid.iter().position(|r| r.contains(&NOTE_FILL)).unwrap();
+        assert!(top_fill_row < bottom_fill_row, "higher pitch renders higher");
+    }
+
+    #[test]
+    fn highlight_marks_selected_notes() {
+        let notes = vec![n(60, 0.0, 1.0, 0), n(60, 1.0, 2.0, 1)];
+        let roll = PianoRoll::render(&notes, 0.5, &|_, note| note.voice == 1);
+        let row = (roll.high_key - 60) as usize;
+        assert_eq!(roll.grid[row][0], NOTE_FILL);
+        assert_eq!(roll.grid[row][2], HIGHLIGHT_FILL);
+    }
+
+    #[test]
+    fn short_notes_still_visible() {
+        let notes = vec![n(60, 0.0, 0.01, 0)];
+        let roll = PianoRoll::render(&notes, 0.5, &|_, _| false);
+        let row = (roll.high_key - 60) as usize;
+        assert_eq!(roll.grid[row][0], NOTE_FILL, "at least one column wide");
+    }
+
+    #[test]
+    fn text_output_has_gutter_and_axis() {
+        let notes = vec![n(69, 0.0, 1.0, 0)];
+        let roll = PianoRoll::render(&notes, 0.25, &|_, _| false);
+        let text = roll.to_text();
+        assert!(text.contains("A4 |"), "{text}");
+        assert!(text.contains("0s"));
+        assert!(text.lines().count() >= 3);
+    }
+}

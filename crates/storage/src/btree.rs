@@ -1,0 +1,514 @@
+//! A page-based B+tree index.
+//!
+//! Keys are arbitrary byte strings ordered lexicographically; values are
+//! `u64` (packed [`Rid`]s in practice). Internally the tree orders entries
+//! by the *composite* `(key, value)` pair, which makes every stored entry
+//! unique and lets duplicate user keys coexist without special-casing
+//! splits. Lookups by key alone are range scans over `(key, 0)..=(key, MAX)`.
+//!
+//! The root page id never changes: when the root splits, its content moves
+//! to a fresh page and the root is rewritten as an internal node, so the
+//! catalog entry for the index stays valid.
+//!
+//! Deletion removes entries without rebalancing (lazy deletion). Pages can
+//! therefore become underfull but never incorrect; indexes are rebuilt from
+//! their base table on recovery, which also reclaims the space.
+//!
+//! [`Rid`]: crate::page::Rid
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PageType, NO_PAGE, PAGE_SIZE};
+
+/// Order-preserving key encoding for signed integers.
+pub fn encode_i64(v: i64) -> [u8; 8] {
+    ((v as u64) ^ (1 << 63)).to_be_bytes()
+}
+
+/// Inverse of [`encode_i64`].
+pub fn decode_i64(b: &[u8]) -> i64 {
+    (u64::from_be_bytes(b.try_into().expect("8-byte key")) ^ (1 << 63)) as i64
+}
+
+const NODE_HEADER: usize = 11; // type(1) + next/leftmost(8) + count(2)
+/// Maximum key length so that at least 4 cells fit per page.
+pub const MAX_KEY_SIZE: usize = (PAGE_SIZE - NODE_HEADER) / 4 - 18;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        next: PageId,
+        /// Sorted by (key, val).
+        cells: Vec<(Vec<u8>, u64)>,
+    },
+    Internal {
+        leftmost: PageId,
+        /// Sorted separators; child holds entries >= (key, val).
+        cells: Vec<(Vec<u8>, u64, PageId)>,
+    },
+}
+
+impl Node {
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Leaf { cells, .. } => {
+                NODE_HEADER + cells.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
+            }
+            Node::Internal { cells, .. } => {
+                NODE_HEADER + cells.iter().map(|(k, _, _)| 2 + k.len() + 16).sum::<usize>()
+            }
+        }
+    }
+
+    fn write(&self, data: &mut [u8]) {
+        data.fill(0);
+        match self {
+            Node::Leaf { next, cells } => {
+                data[0] = PageType::BTreeLeaf as u8;
+                data[1..9].copy_from_slice(&next.to_le_bytes());
+                data[9..11].copy_from_slice(&(cells.len() as u16).to_le_bytes());
+                let mut p = NODE_HEADER;
+                for (k, v) in cells {
+                    data[p..p + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    p += 2;
+                    data[p..p + k.len()].copy_from_slice(k);
+                    p += k.len();
+                    data[p..p + 8].copy_from_slice(&v.to_le_bytes());
+                    p += 8;
+                }
+            }
+            Node::Internal { leftmost, cells } => {
+                data[0] = PageType::BTreeInternal as u8;
+                data[1..9].copy_from_slice(&leftmost.to_le_bytes());
+                data[9..11].copy_from_slice(&(cells.len() as u16).to_le_bytes());
+                let mut p = NODE_HEADER;
+                for (k, v, c) in cells {
+                    data[p..p + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    p += 2;
+                    data[p..p + k.len()].copy_from_slice(k);
+                    p += k.len();
+                    data[p..p + 8].copy_from_slice(&v.to_le_bytes());
+                    p += 8;
+                    data[p..p + 8].copy_from_slice(&c.to_le_bytes());
+                    p += 8;
+                }
+            }
+        }
+    }
+
+    fn read(data: &[u8]) -> Result<Node> {
+        let ty = PageType::from_u8(data[0]);
+        let link = u64::from_le_bytes(data[1..9].try_into().unwrap());
+        let count = u16::from_le_bytes(data[9..11].try_into().unwrap()) as usize;
+        let mut p = NODE_HEADER;
+        match ty {
+            PageType::BTreeLeaf => {
+                let mut cells = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let klen = u16::from_le_bytes(data[p..p + 2].try_into().unwrap()) as usize;
+                    p += 2;
+                    let k = data[p..p + klen].to_vec();
+                    p += klen;
+                    let v = u64::from_le_bytes(data[p..p + 8].try_into().unwrap());
+                    p += 8;
+                    cells.push((k, v));
+                }
+                Ok(Node::Leaf { next: link, cells })
+            }
+            PageType::BTreeInternal => {
+                let mut cells = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let klen = u16::from_le_bytes(data[p..p + 2].try_into().unwrap()) as usize;
+                    p += 2;
+                    let k = data[p..p + klen].to_vec();
+                    p += klen;
+                    let v = u64::from_le_bytes(data[p..p + 8].try_into().unwrap());
+                    p += 8;
+                    let c = u64::from_le_bytes(data[p..p + 8].try_into().unwrap());
+                    p += 8;
+                    cells.push((k, v, c));
+                }
+                Ok(Node::Internal { leftmost: link, cells })
+            }
+            other => Err(StorageError::Corrupt(format!(
+                "expected a B+tree page, found {other:?}"
+            ))),
+        }
+    }
+}
+
+fn read_node(pool: &mut BufferPool, pid: PageId) -> Result<Node> {
+    pool.with_page(pid, Node::read)?
+}
+
+fn write_node(pool: &mut BufferPool, pid: PageId, node: &Node) -> Result<()> {
+    pool.with_page_mut(pid, |d| node.write(d))
+}
+
+fn composite_cmp(a_key: &[u8], a_val: u64, b_key: &[u8], b_val: u64) -> std::cmp::Ordering {
+    a_key.cmp(b_key).then(a_val.cmp(&b_val))
+}
+
+/// A B+tree rooted at a fixed page.
+#[derive(Debug, Clone, Copy)]
+pub struct BTree {
+    root: PageId,
+}
+
+impl BTree {
+    /// Creates an empty tree, allocating its root leaf.
+    pub fn create(pool: &mut BufferPool) -> Result<BTree> {
+        let root = pool.allocate_page()?;
+        write_node(
+            pool,
+            root,
+            &Node::Leaf {
+                next: NO_PAGE,
+                cells: Vec::new(),
+            },
+        )?;
+        Ok(BTree { root })
+    }
+
+    /// Opens an existing tree rooted at `root`.
+    pub fn open(root: PageId) -> BTree {
+        BTree { root }
+    }
+
+    /// The root page id (stable; recorded in the catalog).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Inserts an entry. Duplicate `(key, value)` pairs are stored once.
+    pub fn insert(&self, pool: &mut BufferPool, key: &[u8], value: u64) -> Result<()> {
+        if key.len() > MAX_KEY_SIZE {
+            return Err(StorageError::RecordTooLarge(key.len()));
+        }
+        if let Some((sep_key, sep_val, new_pid)) = self.insert_rec(pool, self.root, key, value)? {
+            // Root split: move the (already-halved) root content to a fresh
+            // page and make the root an internal node over both halves.
+            let moved = pool.allocate_page()?;
+            let old_root = read_node(pool, self.root)?;
+            write_node(pool, moved, &old_root)?;
+            write_node(
+                pool,
+                self.root,
+                &Node::Internal {
+                    leftmost: moved,
+                    cells: vec![(sep_key, sep_val, new_pid)],
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    fn insert_rec(
+        &self,
+        pool: &mut BufferPool,
+        pid: PageId,
+        key: &[u8],
+        value: u64,
+    ) -> Result<Option<(Vec<u8>, u64, PageId)>> {
+        match read_node(pool, pid)? {
+            Node::Leaf { next, mut cells } => {
+                let pos = cells
+                    .partition_point(|(k, v)| composite_cmp(k, *v, key, value).is_lt());
+                if cells.get(pos).is_some_and(|(k, v)| k == key && *v == value) {
+                    return Ok(None); // already present
+                }
+                cells.insert(pos, (key.to_vec(), value));
+                let node = Node::Leaf { next, cells };
+                if node.serialized_size() <= PAGE_SIZE {
+                    write_node(pool, pid, &node)?;
+                    return Ok(None);
+                }
+                // Split.
+                let Node::Leaf { next, mut cells } = node else { unreachable!() };
+                let mid = cells.len() / 2;
+                let right_cells = cells.split_off(mid);
+                let right_pid = pool.allocate_page()?;
+                let sep = (right_cells[0].0.clone(), right_cells[0].1);
+                write_node(
+                    pool,
+                    right_pid,
+                    &Node::Leaf {
+                        next,
+                        cells: right_cells,
+                    },
+                )?;
+                write_node(
+                    pool,
+                    pid,
+                    &Node::Leaf {
+                        next: right_pid,
+                        cells,
+                    },
+                )?;
+                Ok(Some((sep.0, sep.1, right_pid)))
+            }
+            Node::Internal { leftmost, mut cells } => {
+                let idx = cells
+                    .partition_point(|(k, v, _)| composite_cmp(k, *v, key, value).is_le());
+                let child = if idx == 0 { leftmost } else { cells[idx - 1].2 };
+                let Some((sk, sv, new_pid)) = self.insert_rec(pool, child, key, value)? else {
+                    return Ok(None);
+                };
+                let pos = cells
+                    .partition_point(|(k, v, _)| composite_cmp(k, *v, &sk, sv).is_lt());
+                cells.insert(pos, (sk, sv, new_pid));
+                let node = Node::Internal { leftmost, cells };
+                if node.serialized_size() <= PAGE_SIZE {
+                    write_node(pool, pid, &node)?;
+                    return Ok(None);
+                }
+                let Node::Internal { leftmost, mut cells } = node else { unreachable!() };
+                let mid = cells.len() / 2;
+                let mut right_cells = cells.split_off(mid);
+                let (pk, pv, pc) = right_cells.remove(0);
+                let right_pid = pool.allocate_page()?;
+                write_node(
+                    pool,
+                    right_pid,
+                    &Node::Internal {
+                        leftmost: pc,
+                        cells: right_cells,
+                    },
+                )?;
+                write_node(pool, pid, &Node::Internal { leftmost, cells })?;
+                Ok(Some((pk, pv, right_pid)))
+            }
+        }
+    }
+
+    /// Finds the leaf that may contain `(key, value)`.
+    fn find_leaf(&self, pool: &mut BufferPool, key: &[u8], value: u64) -> Result<PageId> {
+        let mut pid = self.root;
+        loop {
+            match read_node(pool, pid)? {
+                Node::Leaf { .. } => return Ok(pid),
+                Node::Internal { leftmost, cells } => {
+                    let idx = cells
+                        .partition_point(|(k, v, _)| composite_cmp(k, *v, key, value).is_le());
+                    pid = if idx == 0 { leftmost } else { cells[idx - 1].2 };
+                }
+            }
+        }
+    }
+
+    /// Returns every value stored under exactly `key`.
+    pub fn lookup(&self, pool: &mut BufferPool, key: &[u8]) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        self.range(pool, Some(key), Some(key), |_, v| out.push(v))?;
+        Ok(out)
+    }
+
+    /// Visits entries with `lo <= key <= hi` (either bound may be `None`
+    /// for unbounded) in composite order. The callback receives key and
+    /// value.
+    pub fn range(
+        &self,
+        pool: &mut BufferPool,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], u64),
+    ) -> Result<()> {
+        let mut pid = match lo {
+            Some(lo) => self.find_leaf(pool, lo, 0)?,
+            None => {
+                // Descend leftmost.
+                let mut pid = self.root;
+                loop {
+                    match read_node(pool, pid)? {
+                        Node::Leaf { .. } => break pid,
+                        Node::Internal { leftmost, .. } => pid = leftmost,
+                    }
+                }
+            }
+        };
+        loop {
+            let Node::Leaf { next, cells } = read_node(pool, pid)? else {
+                return Err(StorageError::Corrupt("leaf chain hit internal node".into()));
+            };
+            for (k, v) in &cells {
+                if lo.is_some_and(|lo| k.as_slice() < lo) {
+                    continue;
+                }
+                if hi.is_some_and(|hi| k.as_slice() > hi) {
+                    return Ok(());
+                }
+                f(k, *v);
+            }
+            if next == NO_PAGE {
+                return Ok(());
+            }
+            pid = next;
+        }
+    }
+
+    /// Removes the exact `(key, value)` entry. Returns whether it existed.
+    pub fn delete(&self, pool: &mut BufferPool, key: &[u8], value: u64) -> Result<bool> {
+        let pid = self.find_leaf(pool, key, value)?;
+        let Node::Leaf { next, mut cells } = read_node(pool, pid)? else {
+            return Err(StorageError::Corrupt("find_leaf returned internal".into()));
+        };
+        let pos = cells.partition_point(|(k, v)| composite_cmp(k, *v, key, value).is_lt());
+        if cells.get(pos).is_some_and(|(k, v)| k == key && *v == value) {
+            cells.remove(pos);
+            write_node(pool, pid, &Node::Leaf { next, cells })?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Total number of entries (full scan; diagnostics).
+    pub fn len(&self, pool: &mut BufferPool) -> Result<usize> {
+        let mut n = 0;
+        self.range(pool, None, None, |_, _| n += 1)?;
+        Ok(n)
+    }
+
+    /// True if the tree holds no entries.
+    pub fn is_empty(&self, pool: &mut BufferPool) -> Result<bool> {
+        Ok(self.len(pool)? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(name: &str) -> (std::path::PathBuf, BufferPool, BTree) {
+        let dir = std::env::temp_dir().join(format!("mdm-bt-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut bp = BufferPool::open(&dir, 64).unwrap();
+        let bt = BTree::create(&mut bp).unwrap();
+        (dir, bp, bt)
+    }
+
+    #[test]
+    fn insert_lookup_small() {
+        let (dir, mut bp, bt) = setup("small");
+        bt.insert(&mut bp, b"beta", 2).unwrap();
+        bt.insert(&mut bp, b"alpha", 1).unwrap();
+        bt.insert(&mut bp, b"gamma", 3).unwrap();
+        assert_eq!(bt.lookup(&mut bp, b"alpha").unwrap(), vec![1]);
+        assert_eq!(bt.lookup(&mut bp, b"beta").unwrap(), vec![2]);
+        assert_eq!(bt.lookup(&mut bp, b"delta").unwrap(), Vec::<u64>::new());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn many_inserts_with_splits() {
+        let (dir, mut bp, bt) = setup("splits");
+        let n: i64 = 5000;
+        // Insert in a scrambled order.
+        for i in 0..n {
+            let k = i * 2654435761 % n;
+            bt.insert(&mut bp, &encode_i64(k), k as u64).unwrap();
+        }
+        assert_eq!(bt.len(&mut bp).unwrap(), n as usize);
+        for k in [0i64, 1, n / 2, n - 1] {
+            assert_eq!(bt.lookup(&mut bp, &encode_i64(k)).unwrap(), vec![k as u64]);
+        }
+        // Full scan is sorted.
+        let mut prev: Option<Vec<u8>> = None;
+        bt.range(&mut bp, None, None, |k, _| {
+            if let Some(p) = &prev {
+                assert!(p.as_slice() <= k);
+            }
+            prev = Some(k.to_vec());
+        })
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_keys() {
+        let (dir, mut bp, bt) = setup("dups");
+        for v in 0..200u64 {
+            bt.insert(&mut bp, b"same", v).unwrap();
+        }
+        let mut vals = bt.lookup(&mut bp, b"same").unwrap();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..200).collect::<Vec<_>>());
+        // Re-inserting an existing pair is a no-op.
+        bt.insert(&mut bp, b"same", 5).unwrap();
+        assert_eq!(bt.lookup(&mut bp, b"same").unwrap().len(), 200);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let (dir, mut bp, bt) = setup("range");
+        for i in 0..100i64 {
+            bt.insert(&mut bp, &encode_i64(i), i as u64).unwrap();
+        }
+        let mut got = Vec::new();
+        bt.range(
+            &mut bp,
+            Some(&encode_i64(10)),
+            Some(&encode_i64(20)),
+            |k, _| got.push(decode_i64(k)),
+        )
+        .unwrap();
+        assert_eq!(got, (10..=20).collect::<Vec<_>>());
+        // Unbounded low.
+        let mut got = Vec::new();
+        bt.range(&mut bp, None, Some(&encode_i64(3)), |k, _| got.push(decode_i64(k)))
+            .unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn negative_integer_key_order() {
+        let (dir, mut bp, bt) = setup("neg");
+        for i in [-5i64, -1, 0, 1, 5, i64::MIN, i64::MAX] {
+            bt.insert(&mut bp, &encode_i64(i), 0).unwrap();
+        }
+        let mut got = Vec::new();
+        bt.range(&mut bp, None, None, |k, _| got.push(decode_i64(k))).unwrap();
+        assert_eq!(got, vec![i64::MIN, -5, -1, 0, 1, 5, i64::MAX]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_exact_entries() {
+        let (dir, mut bp, bt) = setup("del");
+        for i in 0..1000i64 {
+            bt.insert(&mut bp, &encode_i64(i), i as u64).unwrap();
+        }
+        for i in (0..1000i64).step_by(2) {
+            assert!(bt.delete(&mut bp, &encode_i64(i), i as u64).unwrap());
+        }
+        assert!(!bt.delete(&mut bp, &encode_i64(0), 0).unwrap(), "already gone");
+        assert_eq!(bt.len(&mut bp).unwrap(), 500);
+        for i in 0..1000i64 {
+            let hits = bt.lookup(&mut bp, &encode_i64(i)).unwrap();
+            assert_eq!(hits.is_empty(), i % 2 == 0, "key {i}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn long_keys_split_correctly() {
+        let (dir, mut bp, bt) = setup("long");
+        for i in 0..300 {
+            let key = format!("{:0>600}", i); // 600-byte keys force splits fast
+            bt.insert(&mut bp, key.as_bytes(), i).unwrap();
+        }
+        assert_eq!(bt.len(&mut bp).unwrap(), 300);
+        assert_eq!(bt.lookup(&mut bp, format!("{:0>600}", 123).as_bytes()).unwrap(), vec![123]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_key_rejected() {
+        let (dir, mut bp, bt) = setup("big");
+        let key = vec![0u8; MAX_KEY_SIZE + 1];
+        assert!(bt.insert(&mut bp, &key, 0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

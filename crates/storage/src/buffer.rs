@@ -1,0 +1,224 @@
+//! The buffer pool: an in-memory page cache with CLOCK eviction.
+//!
+//! Access is closure-based (`with_page` / `with_page_mut`) rather than
+//! guard-based, which keeps lifetimes simple; the engine serializes access
+//! behind a mutex (coarse-grained latching — transaction-level concurrency
+//! is provided by the lock manager, not by page latches).
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::disk::DiskManager;
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PAGE_SIZE};
+
+struct Frame {
+    page: PageId,
+    data: Box<[u8]>,
+    dirty: bool,
+    referenced: bool,
+}
+
+/// Fixed-capacity page cache over a [`DiskManager`].
+pub struct BufferPool {
+    disk: DiskManager,
+    frames: Vec<Option<Frame>>,
+    map: HashMap<PageId, usize>,
+    clock_hand: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl BufferPool {
+    /// Opens the database file in `dir` with a cache of `capacity` pages.
+    pub fn open(dir: &Path, capacity: usize) -> Result<BufferPool> {
+        assert!(capacity >= 2, "buffer pool needs at least two frames");
+        Ok(BufferPool {
+            disk: DiskManager::open(dir)?,
+            frames: (0..capacity).map(|_| None).collect(),
+            map: HashMap::with_capacity(capacity),
+            clock_hand: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        })
+    }
+
+    /// Number of pages in the underlying file.
+    pub fn num_pages(&self) -> u64 {
+        self.disk.num_pages()
+    }
+
+    /// Cache statistics: (hits, misses, evictions).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Allocates a fresh page (zeroed on disk) and returns its id.
+    pub fn allocate_page(&mut self) -> Result<PageId> {
+        self.disk.allocate_page()
+    }
+
+    /// Ensures pages up to `page` exist (recovery support).
+    pub fn ensure_page(&mut self, page: PageId) -> Result<()> {
+        self.disk.ensure_page(page)
+    }
+
+    /// Runs `f` with read access to the page's bytes.
+    pub fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let idx = self.load(page)?;
+        let frame = self.frames[idx].as_ref().expect("frame just loaded");
+        Ok(f(&frame.data))
+    }
+
+    /// Runs `f` with write access to the page's bytes; the page is marked
+    /// dirty.
+    pub fn with_page_mut<R>(&mut self, page: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let idx = self.load(page)?;
+        let frame = self.frames[idx].as_mut().expect("frame just loaded");
+        frame.dirty = true;
+        Ok(f(&mut frame.data))
+    }
+
+    fn load(&mut self, page: PageId) -> Result<usize> {
+        if let Some(&idx) = self.map.get(&page) {
+            self.hits += 1;
+            self.frames[idx].as_mut().expect("mapped frame").referenced = true;
+            return Ok(idx);
+        }
+        self.misses += 1;
+        if page >= self.disk.num_pages() {
+            return Err(StorageError::PageNotFound(page));
+        }
+        let idx = self.victim()?;
+        let mut data = match self.frames[idx].take() {
+            Some(f) => f.data,
+            None => vec![0u8; PAGE_SIZE].into_boxed_slice(),
+        };
+        self.disk.read_page(page, &mut data)?;
+        self.frames[idx] = Some(Frame {
+            page,
+            data,
+            dirty: false,
+            referenced: true,
+        });
+        self.map.insert(page, idx);
+        Ok(idx)
+    }
+
+    /// CLOCK: sweep for an unreferenced frame, clearing reference bits;
+    /// an empty frame is taken immediately.
+    fn victim(&mut self) -> Result<usize> {
+        let n = self.frames.len();
+        if let Some(idx) = self.frames.iter().position(Option::is_none) {
+            return Ok(idx);
+        }
+        for _ in 0..2 * n + 1 {
+            let idx = self.clock_hand;
+            self.clock_hand = (self.clock_hand + 1) % n;
+            let frame = self.frames[idx].as_mut().expect("no empty frames");
+            if frame.referenced {
+                frame.referenced = false;
+            } else {
+                let frame = self.frames[idx].take().expect("checked above");
+                self.map.remove(&frame.page);
+                if frame.dirty {
+                    self.disk.write_page(frame.page, &frame.data)?;
+                }
+                self.evictions += 1;
+                self.frames[idx] = None;
+                return Ok(idx);
+            }
+        }
+        unreachable!("CLOCK sweep of 2n+1 steps must find a victim");
+    }
+
+    /// Writes all dirty frames back and syncs the file.
+    pub fn flush_all(&mut self) -> Result<()> {
+        for frame in self.frames.iter_mut().flatten() {
+            if frame.dirty {
+                self.disk.write_page(frame.page, &frame.data)?;
+                frame.dirty = false;
+            }
+        }
+        self.disk.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mdm-buf-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn cached_read_after_write() {
+        let dir = tmpdir("cache");
+        let mut bp = BufferPool::open(&dir, 4).unwrap();
+        let pid = bp.allocate_page().unwrap();
+        bp.with_page_mut(pid, |d| d[100] = 42).unwrap();
+        let v = bp.with_page(pid, |d| d[100]).unwrap();
+        assert_eq!(v, 42);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eviction_persists_dirty_pages() {
+        let dir = tmpdir("evict");
+        let mut bp = BufferPool::open(&dir, 2).unwrap();
+        let pids: Vec<_> = (0..10).map(|_| bp.allocate_page().unwrap()).collect();
+        for (i, &pid) in pids.iter().enumerate() {
+            bp.with_page_mut(pid, |d| d[0] = i as u8 + 1).unwrap();
+        }
+        // All pages written; cache only holds 2, so most were evicted.
+        for (i, &pid) in pids.iter().enumerate() {
+            let v = bp.with_page(pid, |d| d[0]).unwrap();
+            assert_eq!(v, i as u8 + 1);
+        }
+        let (_, _, evictions) = bp.stats();
+        assert!(evictions >= 8, "expected evictions, saw {evictions}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_all_then_reopen() {
+        let dir = tmpdir("flush");
+        let pid;
+        {
+            let mut bp = BufferPool::open(&dir, 4).unwrap();
+            pid = bp.allocate_page().unwrap();
+            bp.with_page_mut(pid, |d| {
+                page::format_page(d, page::PageType::Heap);
+                page::insert_record(d, b"persisted").unwrap();
+            })
+            .unwrap();
+            bp.flush_all().unwrap();
+        }
+        let mut bp = BufferPool::open(&dir, 4).unwrap();
+        let body = bp
+            .with_page(pid, |d| page::get_record(d, 0).map(<[u8]>::to_vec))
+            .unwrap();
+        assert_eq!(body.as_deref(), Some(&b"persisted"[..]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hit_ratio_counts() {
+        let dir = tmpdir("stats");
+        let mut bp = BufferPool::open(&dir, 4).unwrap();
+        let pid = bp.allocate_page().unwrap();
+        for _ in 0..10 {
+            bp.with_page(pid, |_| ()).unwrap();
+        }
+        let (hits, misses, _) = bp.stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

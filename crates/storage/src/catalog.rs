@@ -1,0 +1,270 @@
+//! The system catalog: names and roots of tables and indexes.
+//!
+//! The catalog is serialized into a chain of dedicated pages rooted at
+//! page 0, rewritten wholesale on every DDL change (DDL is rare). A full
+//! snapshot is also written to the WAL so recovery can restore the latest
+//! catalog even if page 0 was not flushed.
+
+use std::collections::BTreeMap;
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PageType, NO_PAGE, PAGE_SIZE};
+use crate::wal::TableId;
+
+/// Metadata for one secondary index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexMeta {
+    /// Root page of the index B+tree (stable).
+    pub root: PageId,
+}
+
+/// Metadata for one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Numeric id used in WAL records and lock requests.
+    pub id: TableId,
+    /// First page of the table's heap file (stable).
+    pub first_page: PageId,
+    /// Secondary indexes by name.
+    pub indexes: BTreeMap<String, IndexMeta>,
+}
+
+/// The whole catalog.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    /// Tables by name.
+    pub tables: BTreeMap<String, TableMeta>,
+    /// Next table id to assign.
+    pub next_table_id: TableId,
+}
+
+impl Catalog {
+    /// Finds a table by its numeric id.
+    pub fn table_by_id(&self, id: TableId) -> Option<(&String, &TableMeta)> {
+        self.tables.iter().find(|(_, m)| m.id == id)
+    }
+
+    /// Serializes the catalog to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for (name, t) in &self.tables {
+            put_str(&mut out, name);
+            out.extend_from_slice(&t.id.to_le_bytes());
+            out.extend_from_slice(&t.first_page.to_le_bytes());
+            out.extend_from_slice(&(t.indexes.len() as u32).to_le_bytes());
+            for (iname, idx) in &t.indexes {
+                put_str(&mut out, iname);
+                out.extend_from_slice(&idx.root.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.next_table_id.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a catalog from bytes.
+    pub fn from_bytes(buf: &[u8]) -> Result<Catalog> {
+        struct C<'a> {
+            buf: &'a [u8],
+            pos: usize,
+        }
+        impl<'a> C<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+                let b = self
+                    .buf
+                    .get(self.pos..self.pos + n)
+                    .ok_or_else(|| StorageError::Corrupt("catalog truncated".into()))?;
+                self.pos += n;
+                Ok(b)
+            }
+            fn u32(&mut self) -> Result<u32> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+            fn u64(&mut self) -> Result<u64> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+            fn string(&mut self) -> Result<String> {
+                let n = self.u32()? as usize;
+                String::from_utf8(self.take(n)?.to_vec())
+                    .map_err(|_| StorageError::Corrupt("catalog name not utf-8".into()))
+            }
+        }
+        let mut c = C { buf, pos: 0 };
+        let ntables = c.u32()?;
+        let mut tables = BTreeMap::new();
+        for _ in 0..ntables {
+            let name = c.string()?;
+            let id = c.u32()?;
+            let first_page = c.u64()?;
+            let nindexes = c.u32()?;
+            let mut indexes = BTreeMap::new();
+            for _ in 0..nindexes {
+                let iname = c.string()?;
+                let root = c.u64()?;
+                indexes.insert(iname, IndexMeta { root });
+            }
+            tables.insert(
+                name,
+                TableMeta {
+                    id,
+                    first_page,
+                    indexes,
+                },
+            );
+        }
+        let next_table_id = c.u32()?;
+        Ok(Catalog {
+            tables,
+            next_table_id,
+        })
+    }
+}
+
+const CHUNK_CAPACITY: usize = PAGE_SIZE - 11; // type(1) + next(8) + len(2)
+
+/// Writes the catalog across the page-0 chain, allocating extra chain pages
+/// as needed (existing chain pages are reused; a shrinking catalog leaves a
+/// zero-length tail which `load` ignores).
+pub fn save(pool: &mut BufferPool, catalog: &Catalog) -> Result<()> {
+    let bytes = catalog.to_bytes();
+    let mut chunks: Vec<&[u8]> = bytes.chunks(CHUNK_CAPACITY).collect();
+    if chunks.is_empty() {
+        chunks.push(&[]);
+    }
+    let mut pid: PageId = 0;
+    for (i, chunk) in chunks.iter().enumerate() {
+        let is_last = i + 1 == chunks.len();
+        let existing_next = pool.with_page(pid, |d| {
+            u64::from_le_bytes(d[1..9].try_into().unwrap())
+        })?;
+        let next = if is_last {
+            NO_PAGE
+        } else if existing_next != NO_PAGE {
+            existing_next
+        } else {
+            let p = pool.allocate_page()?;
+            pool.with_page_mut(p, |d| d[0] = PageType::Catalog as u8)?;
+            p
+        };
+        pool.with_page_mut(pid, |d| {
+            d[0] = PageType::Catalog as u8;
+            d[1..9].copy_from_slice(&next.to_le_bytes());
+            d[9..11].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+            d[11..11 + chunk.len()].copy_from_slice(chunk);
+        })?;
+        pid = next;
+        if is_last {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Reads the catalog from the page-0 chain. A brand-new database (all-zero
+/// page 0) yields the default empty catalog.
+pub fn load(pool: &mut BufferPool) -> Result<Catalog> {
+    let mut bytes = Vec::new();
+    let mut pid: PageId = 0;
+    loop {
+        let (next, chunk) = pool.with_page(pid, |d| {
+            let next = u64::from_le_bytes(d[1..9].try_into().unwrap());
+            let len = u16::from_le_bytes(d[9..11].try_into().unwrap()) as usize;
+            (next, d[11..11 + len.min(CHUNK_CAPACITY)].to_vec())
+        })?;
+        bytes.extend_from_slice(&chunk);
+        if next == NO_PAGE {
+            break;
+        }
+        pid = next;
+    }
+    if bytes.is_empty() {
+        return Ok(Catalog::default());
+    }
+    Catalog::from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        let mut c = Catalog::default();
+        for i in 0..5u32 {
+            let mut indexes = BTreeMap::new();
+            indexes.insert(format!("idx_{i}"), IndexMeta { root: 100 + i as u64 });
+            c.tables.insert(
+                format!("table_{i}"),
+                TableMeta {
+                    id: i,
+                    first_page: 10 + i as u64,
+                    indexes,
+                },
+            );
+        }
+        c.next_table_id = 5;
+        c
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let c = sample();
+        assert_eq!(Catalog::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let c = Catalog::default();
+        assert_eq!(Catalog::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+
+    #[test]
+    fn save_load_via_pages() {
+        let dir = std::env::temp_dir().join(format!("mdm-cat-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut bp = BufferPool::open(&dir, 8).unwrap();
+        let c = sample();
+        save(&mut bp, &c).unwrap();
+        assert_eq!(load(&mut bp).unwrap(), c);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fresh_database_loads_empty() {
+        let dir = std::env::temp_dir().join(format!("mdm-cat-fresh-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut bp = BufferPool::open(&dir, 8).unwrap();
+        assert_eq!(load(&mut bp).unwrap(), Catalog::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn large_catalog_spans_pages() {
+        let dir = std::env::temp_dir().join(format!("mdm-cat-big-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut bp = BufferPool::open(&dir, 8).unwrap();
+        let mut c = Catalog::default();
+        for i in 0..800u32 {
+            c.tables.insert(
+                format!("a_table_with_a_rather_long_name_{i:05}"),
+                TableMeta {
+                    id: i,
+                    first_page: i as u64,
+                    indexes: BTreeMap::new(),
+                },
+            );
+        }
+        c.next_table_id = 800;
+        save(&mut bp, &c).unwrap();
+        assert_eq!(load(&mut bp).unwrap(), c);
+        // Shrink back down; the tail chunk must not corrupt the reload.
+        let small = sample();
+        save(&mut bp, &small).unwrap();
+        assert_eq!(load(&mut bp).unwrap(), small);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,156 @@
+//! The disk manager: page-granular I/O against the single database file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PAGE_SIZE};
+
+/// Performs page reads and writes against `data.db`. Page ids are file
+/// offsets divided by [`PAGE_SIZE`]; allocation extends the file.
+pub struct DiskManager {
+    file: File,
+    num_pages: u64,
+}
+
+impl DiskManager {
+    /// Opens (or creates) the database file in `dir`. If the file is new,
+    /// page 0 is allocated zeroed so it can serve as the catalog root.
+    pub fn open(dir: &Path) -> Result<DiskManager> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("data.db");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "data file length {len} is not a multiple of the page size"
+            )));
+        }
+        let mut dm = DiskManager {
+            file,
+            num_pages: len / PAGE_SIZE as u64,
+        };
+        if dm.num_pages == 0 {
+            dm.allocate_page()?; // page 0: catalog root
+        }
+        Ok(dm)
+    }
+
+    /// Number of pages currently in the file.
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    /// Reads a page into `buf` (which must be `PAGE_SIZE` bytes).
+    pub fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        if page >= self.num_pages {
+            return Err(StorageError::PageNotFound(page));
+        }
+        self.file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    /// Writes a page from `buf` (which must be `PAGE_SIZE` bytes).
+    pub fn write_page(&mut self, page: PageId, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        if page >= self.num_pages {
+            return Err(StorageError::PageNotFound(page));
+        }
+        self.file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+
+    /// Appends a zeroed page and returns its id.
+    pub fn allocate_page(&mut self) -> Result<PageId> {
+        let id = self.num_pages;
+        self.file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        self.file.write_all(&[0u8; PAGE_SIZE])?;
+        self.num_pages += 1;
+        Ok(id)
+    }
+
+    /// Ensures pages up to and including `page` exist, allocating zeroed
+    /// pages as needed. Used by recovery redo.
+    pub fn ensure_page(&mut self, page: PageId) -> Result<()> {
+        while self.num_pages <= page {
+            self.allocate_page()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes file contents to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mdm-disk-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn new_file_has_page_zero() {
+        let dir = tmpdir("new");
+        let dm = DiskManager::open(&dir).unwrap();
+        assert_eq!(dm.num_pages(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_reopen() {
+        let dir = tmpdir("rw");
+        let pid;
+        {
+            let mut dm = DiskManager::open(&dir).unwrap();
+            pid = dm.allocate_page().unwrap();
+            let mut buf = vec![0u8; PAGE_SIZE];
+            buf[0] = 0xAB;
+            buf[PAGE_SIZE - 1] = 0xCD;
+            dm.write_page(pid, &buf).unwrap();
+            dm.sync().unwrap();
+        }
+        let mut dm = DiskManager::open(&dir).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        dm.read_page(pid, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xAB);
+        assert_eq!(buf[PAGE_SIZE - 1], 0xCD);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_past_end_fails() {
+        let dir = tmpdir("oob");
+        let mut dm = DiskManager::open(&dir).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            dm.read_page(99, &mut buf),
+            Err(StorageError::PageNotFound(99))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ensure_page_extends() {
+        let dir = tmpdir("ensure");
+        let mut dm = DiskManager::open(&dir).unwrap();
+        dm.ensure_page(7).unwrap();
+        assert_eq!(dm.num_pages(), 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,641 @@
+//! The storage engine facade: transactions over tables and indexes.
+//!
+//! [`StorageEngine`] combines the buffer pool, heap files, B+tree indexes,
+//! the write-ahead log, the lock manager, and the catalog into a single
+//! transactional record store. Concurrency control is table-level strict
+//! two-phase locking with wait-die deadlock avoidance; durability is
+//! undo/redo logical logging with checkpoint truncation.
+//!
+//! The engine's internal state sits behind one mutex (coarse latching);
+//! transaction-level parallelism is still real because locks are held
+//! *across* engine calls while the latch is held only *within* one.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::btree::BTree;
+use crate::buffer::BufferPool;
+use crate::catalog::{self, Catalog, IndexMeta, TableMeta};
+use crate::error::{Result, StorageError};
+use crate::heap::HeapFile;
+use crate::lock::{LockManager, LockMode};
+use crate::page::Rid;
+use crate::recovery::{self, RecoveryOutcome};
+use crate::wal::{TableId, TxnId, Wal, WalRecord};
+
+/// Default buffer pool capacity in pages (16 MiB).
+pub const DEFAULT_POOL_PAGES: usize = 2048;
+
+/// A transaction handle. Obtain via [`StorageEngine::begin`]; finish with
+/// [`StorageEngine::commit`] or [`StorageEngine::abort`]. Dropping an
+/// unfinished transaction aborts it.
+pub struct Txn {
+    id: TxnId,
+    undo: Vec<UndoOp>,
+    finished: bool,
+}
+
+impl Txn {
+    /// The transaction's id (its wait-die timestamp).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+}
+
+enum UndoOp {
+    Insert { rid: Rid },
+    Update { rid: Rid, old: Vec<u8> },
+    Delete { rid: Rid, old: Vec<u8> },
+    IndexInsert { table: TableId, index: String, key: Vec<u8>, rid: Rid },
+    IndexDelete { table: TableId, index: String, key: Vec<u8>, rid: Rid },
+}
+
+struct State {
+    pool: BufferPool,
+    wal: Wal,
+    catalog: Catalog,
+    heaps: HashMap<TableId, HeapFile>,
+    active: HashSet<TxnId>,
+    indexes_need_rebuild: bool,
+    recovery: RecoveryOutcome,
+}
+
+impl State {
+    fn heap(&mut self, table: TableId) -> Result<&mut HeapFile> {
+        if !self.heaps.contains_key(&table) {
+            let (_, meta) = self
+                .catalog
+                .table_by_id(table)
+                .ok_or_else(|| StorageError::NoSuchTable(format!("#{table}")))?;
+            let hf = HeapFile::open(&mut self.pool, meta.first_page)?;
+            self.heaps.insert(table, hf);
+        }
+        Ok(self.heaps.get_mut(&table).expect("just inserted"))
+    }
+
+    fn index_tree(&self, table: TableId, index: &str) -> Result<BTree> {
+        let (_, meta) = self
+            .catalog
+            .table_by_id(table)
+            .ok_or_else(|| StorageError::NoSuchTable(format!("#{table}")))?;
+        let idx = meta
+            .indexes
+            .get(index)
+            .ok_or_else(|| StorageError::NoSuchIndex(index.to_string()))?;
+        Ok(BTree::open(idx.root))
+    }
+
+    fn snapshot_catalog(&mut self) -> Result<()> {
+        catalog::save(&mut self.pool, &self.catalog)?;
+        self.wal.append(&WalRecord::CatalogSnapshot {
+            bytes: self.catalog.to_bytes(),
+        })?;
+        self.wal.sync()?;
+        Ok(())
+    }
+}
+
+struct Inner {
+    state: Mutex<State>,
+    locks: LockManager,
+    next_txn: AtomicU64,
+    dir: PathBuf,
+}
+
+/// The transactional storage engine. Cloneable handle; clones share state.
+#[derive(Clone)]
+pub struct StorageEngine {
+    inner: Arc<Inner>,
+}
+
+impl StorageEngine {
+    /// Opens (or creates) a database in `dir`, running crash recovery if
+    /// the write-ahead log is non-empty.
+    pub fn open(dir: &Path) -> Result<StorageEngine> {
+        Self::open_with_capacity(dir, DEFAULT_POOL_PAGES)
+    }
+
+    /// As [`StorageEngine::open`] with an explicit buffer-pool capacity.
+    pub fn open_with_capacity(dir: &Path, pool_pages: usize) -> Result<StorageEngine> {
+        let mut pool = BufferPool::open(dir, pool_pages)?;
+        let (records, _) = Wal::replay(dir)?;
+        let disk_catalog = catalog::load(&mut pool)?;
+        let (outcome, recovered) = recovery::recover(&mut pool, &records, disk_catalog)?;
+        let mut wal = Wal::open(dir)?;
+        let needs_rebuild = outcome.indexes_reset;
+        if !records.is_empty() {
+            // Make the recovered state the new base and empty the log.
+            catalog::save(&mut pool, &recovered)?;
+            pool.flush_all()?;
+            wal.truncate()?;
+        }
+        Ok(StorageEngine {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    pool,
+                    wal,
+                    catalog: recovered,
+                    heaps: HashMap::new(),
+                    active: HashSet::new(),
+                    indexes_need_rebuild: needs_rebuild,
+                    recovery: outcome,
+                }),
+                locks: LockManager::new(),
+                next_txn: AtomicU64::new(1),
+                dir: dir.to_path_buf(),
+            }),
+        })
+    }
+
+    /// The outcome of the recovery pass run at [`StorageEngine::open`].
+    pub fn last_recovery(&self) -> RecoveryOutcome {
+        self.inner.state.lock().recovery.clone()
+    }
+
+    /// Directory holding the database files.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// True if secondary indexes were reset by recovery and must be
+    /// rebuilt by the layer that owns key extraction.
+    pub fn indexes_need_rebuild(&self) -> bool {
+        self.inner.state.lock().indexes_need_rebuild
+    }
+
+    /// Marks indexes as rebuilt (call after repopulating them).
+    pub fn mark_indexes_rebuilt(&self) {
+        self.inner.state.lock().indexes_need_rebuild = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Starts a transaction.
+    pub fn begin(&self) -> Result<Txn> {
+        let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.inner.state.lock();
+        st.active.insert(id);
+        st.wal.append(&WalRecord::Begin { txn: id })?;
+        Ok(Txn {
+            id,
+            undo: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// Commits: syncs the log, releases locks.
+    pub fn commit(&self, mut txn: Txn) -> Result<()> {
+        {
+            let mut st = self.inner.state.lock();
+            if !st.active.remove(&txn.id) {
+                return Err(StorageError::TxnNotActive(txn.id));
+            }
+            st.wal.append(&WalRecord::Commit { txn: txn.id })?;
+            st.wal.sync()?;
+        }
+        txn.finished = true;
+        self.inner.locks.release_all(txn.id);
+        Ok(())
+    }
+
+    /// Aborts: rolls back the transaction's effects, releases locks.
+    pub fn abort(&self, mut txn: Txn) -> Result<()> {
+        self.rollback(&mut txn)?;
+        txn.finished = true;
+        self.inner.locks.release_all(txn.id);
+        Ok(())
+    }
+
+    fn rollback(&self, txn: &mut Txn) -> Result<()> {
+        let mut st = self.inner.state.lock();
+        if !st.active.remove(&txn.id) {
+            return Err(StorageError::TxnNotActive(txn.id));
+        }
+        for op in txn.undo.drain(..).rev() {
+            match op {
+                UndoOp::Insert { rid, .. } => {
+                    HeapFile::apply_at(&mut st.pool, rid, None)?;
+                }
+                UndoOp::Update { rid, ref old, .. } => {
+                    HeapFile::apply_at(&mut st.pool, rid, Some(old))?;
+                }
+                UndoOp::Delete { rid, ref old, .. } => {
+                    HeapFile::apply_at(&mut st.pool, rid, Some(old))?;
+                }
+                UndoOp::IndexInsert { table, ref index, ref key, rid } => {
+                    let bt = st.index_tree(table, index)?;
+                    bt.delete(&mut st.pool, key, rid.to_u64())?;
+                }
+                UndoOp::IndexDelete { table, ref index, ref key, rid } => {
+                    let bt = st.index_tree(table, index)?;
+                    bt.insert(&mut st.pool, key, rid.to_u64())?;
+                }
+            }
+        }
+        st.wal.append(&WalRecord::Abort { txn: txn.id })?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    /// Creates a table, returning its id. Auto-committed structurally.
+    pub fn create_table(&self, name: &str) -> Result<TableId> {
+        let mut st = self.inner.state.lock();
+        if st.catalog.tables.contains_key(name) {
+            return Err(StorageError::TableExists(name.to_string()));
+        }
+        let hf = HeapFile::create(&mut st.pool)?;
+        let id = st.catalog.next_table_id.max(1); // id 0 is reserved
+        st.catalog.next_table_id = id + 1;
+        st.catalog.tables.insert(
+            name.to_string(),
+            TableMeta {
+                id,
+                first_page: hf.first_page(),
+                indexes: BTreeMap::new(),
+            },
+        );
+        st.heaps.insert(id, hf);
+        st.snapshot_catalog()?;
+        Ok(id)
+    }
+
+    /// Drops a table and its indexes. Pages are leaked (no free list);
+    /// reclaim by checkpoint-copying into a fresh database.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let mut st = self.inner.state.lock();
+        let meta = st
+            .catalog
+            .tables
+            .remove(name)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))?;
+        st.heaps.remove(&meta.id);
+        st.snapshot_catalog()?;
+        Ok(())
+    }
+
+    /// Looks up a table id by name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        let st = self.inner.state.lock();
+        st.catalog
+            .tables
+            .get(name)
+            .map(|m| m.id)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// All table names in the catalog.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.state.lock().catalog.tables.keys().cloned().collect()
+    }
+
+    /// Creates a secondary index on a table. Auto-committed structurally.
+    pub fn create_index(&self, table: TableId, index: &str) -> Result<()> {
+        let mut st = self.inner.state.lock();
+        let bt = BTree::create(&mut st.pool)?;
+        let (_, meta) = st
+            .catalog
+            .table_by_id(table)
+            .ok_or_else(|| StorageError::NoSuchTable(format!("#{table}")))?;
+        if meta.indexes.contains_key(index) {
+            return Err(StorageError::IndexExists(index.to_string()));
+        }
+        let name = st
+            .catalog
+            .table_by_id(table)
+            .map(|(n, _)| n.clone())
+            .expect("checked above");
+        st.catalog
+            .tables
+            .get_mut(&name)
+            .expect("just found")
+            .indexes
+            .insert(index.to_string(), IndexMeta { root: bt.root() });
+        st.snapshot_catalog()?;
+        Ok(())
+    }
+
+    /// Names of the indexes on a table.
+    pub fn index_names(&self, table: TableId) -> Result<Vec<String>> {
+        let st = self.inner.state.lock();
+        let (_, meta) = st
+            .catalog
+            .table_by_id(table)
+            .ok_or_else(|| StorageError::NoSuchTable(format!("#{table}")))?;
+        Ok(meta.indexes.keys().cloned().collect())
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    /// Inserts a record, returning its rid.
+    pub fn insert(&self, txn: &mut Txn, table: TableId, body: &[u8]) -> Result<Rid> {
+        self.check_active(txn)?;
+        self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
+        let mut st = self.inner.state.lock();
+        let mut heap = st.heap(table)?.clone();
+        let (rid, link) = heap.insert(&mut st.pool, body)?;
+        st.heaps.insert(table, heap);
+        if let Some((from_page, new_page)) = link {
+            st.wal.append(&WalRecord::LinkPage {
+                table,
+                from_page,
+                new_page,
+            })?;
+        }
+        st.wal.append(&WalRecord::Insert {
+            txn: txn.id,
+            table,
+            rid,
+            body: body.to_vec(),
+        })?;
+        txn.undo.push(UndoOp::Insert { rid });
+        Ok(rid)
+    }
+
+    /// Reads a record (shared lock).
+    pub fn get(&self, txn: &mut Txn, table: TableId, rid: Rid) -> Result<Option<Vec<u8>>> {
+        self.check_active(txn)?;
+        self.inner.locks.lock(txn.id, table, LockMode::Shared)?;
+        let mut st = self.inner.state.lock();
+        HeapFile::get(&mut st.pool, rid)
+    }
+
+    /// Updates a record in place. If the new body no longer fits in the
+    /// record's page, the update is performed as delete+reinsert and the
+    /// *new* rid is returned; otherwise the original rid is returned.
+    pub fn update(&self, txn: &mut Txn, table: TableId, rid: Rid, body: &[u8]) -> Result<Rid> {
+        self.check_active(txn)?;
+        self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
+        let mut st = self.inner.state.lock();
+        let old = HeapFile::get(&mut st.pool, rid)?.ok_or(StorageError::RecordNotFound {
+            page: rid.page,
+            slot: rid.slot,
+        })?;
+        if HeapFile::update(&mut st.pool, rid, body)? {
+            st.wal.append(&WalRecord::Update {
+                txn: txn.id,
+                table,
+                rid,
+                old: old.clone(),
+                new: body.to_vec(),
+            })?;
+            txn.undo.push(UndoOp::Update { rid, old });
+            return Ok(rid);
+        }
+        // Did not fit: move the record.
+        HeapFile::delete(&mut st.pool, rid)?;
+        st.wal.append(&WalRecord::Delete {
+            txn: txn.id,
+            table,
+            rid,
+            old: old.clone(),
+        })?;
+        txn.undo.push(UndoOp::Delete {
+            rid,
+            old: old.clone(),
+        });
+        let mut heap = st.heap(table)?.clone();
+        let (new_rid, link) = heap.insert(&mut st.pool, body)?;
+        st.heaps.insert(table, heap);
+        if let Some((from_page, new_page)) = link {
+            st.wal.append(&WalRecord::LinkPage {
+                table,
+                from_page,
+                new_page,
+            })?;
+        }
+        st.wal.append(&WalRecord::Insert {
+            txn: txn.id,
+            table,
+            rid: new_rid,
+            body: body.to_vec(),
+        })?;
+        txn.undo.push(UndoOp::Insert { rid: new_rid });
+        Ok(new_rid)
+    }
+
+    /// Deletes a record, returning its old body.
+    pub fn delete(&self, txn: &mut Txn, table: TableId, rid: Rid) -> Result<Vec<u8>> {
+        self.check_active(txn)?;
+        self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
+        let mut st = self.inner.state.lock();
+        let old = HeapFile::delete(&mut st.pool, rid)?;
+        st.wal.append(&WalRecord::Delete {
+            txn: txn.id,
+            table,
+            rid,
+            old: old.clone(),
+        })?;
+        txn.undo.push(UndoOp::Delete {
+            rid,
+            old: old.clone(),
+        });
+        Ok(old)
+    }
+
+    /// Scans every record of a table (shared lock).
+    pub fn scan(&self, txn: &mut Txn, table: TableId) -> Result<Vec<(Rid, Vec<u8>)>> {
+        self.check_active(txn)?;
+        self.inner.locks.lock(txn.id, table, LockMode::Shared)?;
+        let mut st = self.inner.state.lock();
+        let heap = st.heap(table)?.clone();
+        heap.scan_all(&mut st.pool)
+    }
+
+    // ------------------------------------------------------------------
+    // Index DML
+    // ------------------------------------------------------------------
+
+    /// Adds an index entry.
+    pub fn index_insert(
+        &self,
+        txn: &mut Txn,
+        table: TableId,
+        index: &str,
+        key: &[u8],
+        rid: Rid,
+    ) -> Result<()> {
+        self.check_active(txn)?;
+        self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
+        let mut st = self.inner.state.lock();
+        let bt = st.index_tree(table, index)?;
+        bt.insert(&mut st.pool, key, rid.to_u64())?;
+        txn.undo.push(UndoOp::IndexInsert {
+            table,
+            index: index.to_string(),
+            key: key.to_vec(),
+            rid,
+        });
+        Ok(())
+    }
+
+    /// Removes an index entry.
+    pub fn index_delete(
+        &self,
+        txn: &mut Txn,
+        table: TableId,
+        index: &str,
+        key: &[u8],
+        rid: Rid,
+    ) -> Result<()> {
+        self.check_active(txn)?;
+        self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
+        let mut st = self.inner.state.lock();
+        let bt = st.index_tree(table, index)?;
+        bt.delete(&mut st.pool, key, rid.to_u64())?;
+        txn.undo.push(UndoOp::IndexDelete {
+            table,
+            index: index.to_string(),
+            key: key.to_vec(),
+            rid,
+        });
+        Ok(())
+    }
+
+    /// Looks up the rids stored under exactly `key`.
+    pub fn index_lookup(
+        &self,
+        txn: &mut Txn,
+        table: TableId,
+        index: &str,
+        key: &[u8],
+    ) -> Result<Vec<Rid>> {
+        self.check_active(txn)?;
+        self.inner.locks.lock(txn.id, table, LockMode::Shared)?;
+        let mut st = self.inner.state.lock();
+        let bt = st.index_tree(table, index)?;
+        Ok(bt
+            .lookup(&mut st.pool, key)?
+            .into_iter()
+            .map(Rid::from_u64)
+            .collect())
+    }
+
+    /// Range scan over an index; bounds are inclusive, `None` = unbounded.
+    pub fn index_range(
+        &self,
+        txn: &mut Txn,
+        table: TableId,
+        index: &str,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Rid)>> {
+        self.check_active(txn)?;
+        self.inner.locks.lock(txn.id, table, LockMode::Shared)?;
+        let mut st = self.inner.state.lock();
+        let bt = st.index_tree(table, index)?;
+        let mut out = Vec::new();
+        bt.range(&mut st.pool, lo, hi, |k, v| {
+            out.push((k.to_vec(), Rid::from_u64(v)));
+        })?;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Copies the live contents of this database into a fresh database at
+    /// `dir`, reclaiming the space of dropped tables and dead records
+    /// (heap pages and index trees are never shrunk in place). Record ids
+    /// change; index entries are remapped through the copy. Requires no
+    /// active transactions. Returns the new engine.
+    pub fn vacuum_into(&self, dir: &Path) -> Result<StorageEngine> {
+        if !self.inner.state.lock().active.is_empty() {
+            return Err(StorageError::Corrupt(
+                "vacuum requires no active transactions".into(),
+            ));
+        }
+        let new = StorageEngine::open(dir)?;
+        for name in self.table_names() {
+            let old_table = self.table_id(&name)?;
+            let new_table = new.create_table(&name)?;
+            let mut rid_map: HashMap<Rid, Rid> = HashMap::new();
+            let mut old_txn = self.begin()?;
+            let mut new_txn = new.begin()?;
+            for (old_rid, body) in self.scan(&mut old_txn, old_table)? {
+                let new_rid = new.insert(&mut new_txn, new_table, &body)?;
+                rid_map.insert(old_rid, new_rid);
+            }
+            for index in self.index_names(old_table)? {
+                new.create_index(new_table, &index)?;
+                for (key, old_rid) in
+                    self.index_range(&mut old_txn, old_table, &index, None, None)?
+                {
+                    // Entries pointing at dead rids are dropped — vacuum
+                    // also repairs index/table drift.
+                    if let Some(&new_rid) = rid_map.get(&old_rid) {
+                        new.index_insert(&mut new_txn, new_table, &index, &key, new_rid)?;
+                    }
+                }
+            }
+            new.commit(new_txn)?;
+            self.commit(old_txn)?;
+        }
+        new.checkpoint()?;
+        Ok(new)
+    }
+
+    /// Flushes all state and truncates the write-ahead log. Fails if any
+    /// transaction is active (their undo information lives in the log).
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut st = self.inner.state.lock();
+        if !st.active.is_empty() {
+            return Err(StorageError::Corrupt(
+                "checkpoint requires no active transactions".into(),
+            ));
+        }
+        st.wal.sync()?;
+        let catalog = st.catalog.clone();
+        catalog::save(&mut st.pool, &catalog)?;
+        st.pool.flush_all()?;
+        st.wal.truncate()?;
+        Ok(())
+    }
+
+    /// Buffer-pool statistics: (hits, misses, evictions).
+    pub fn pool_stats(&self) -> (u64, u64, u64) {
+        self.inner.state.lock().pool.stats()
+    }
+
+    /// Number of pages in the database file.
+    pub fn num_pages(&self) -> u64 {
+        self.inner.state.lock().pool.num_pages()
+    }
+
+    fn check_active(&self, txn: &Txn) -> Result<()> {
+        if txn.finished || !self.inner.state.lock().active.contains(&txn.id) {
+            return Err(StorageError::TxnNotActive(txn.id));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Best-effort clean shutdown: if no transaction is in flight,
+        // checkpoint so the next open skips recovery and keeps indexes.
+        let st = self.state.get_mut();
+        if st.active.is_empty() {
+            let _ = st.wal.sync();
+            let catalog = st.catalog.clone();
+            let _ = catalog::save(&mut st.pool, &catalog);
+            if st.pool.flush_all().is_ok() {
+                let _ = st.wal.truncate();
+            }
+        } else {
+            // Leave the log for recovery to roll the stragglers back.
+            let _ = st.wal.sync();
+        }
+    }
+}

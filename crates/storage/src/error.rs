@@ -1,0 +1,74 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A page id referred to a page that does not exist.
+    PageNotFound(u64),
+    /// A record id referred to a record that does not exist.
+    RecordNotFound { page: u64, slot: u16 },
+    /// A record was too large to fit in a single page.
+    RecordTooLarge(usize),
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// The named index does not exist.
+    NoSuchIndex(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// An index with this name already exists.
+    IndexExists(String),
+    /// The transaction was aborted to avoid deadlock (wait-die policy).
+    Deadlock,
+    /// An operation was attempted on a transaction that is not active.
+    TxnNotActive(u64),
+    /// The write-ahead log was corrupt beyond the given offset.
+    WalCorrupt(u64),
+    /// The database files were corrupt.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::PageNotFound(p) => write!(f, "page {p} not found"),
+            StorageError::RecordNotFound { page, slot } => {
+                write!(f, "record not found at page {page} slot {slot}")
+            }
+            StorageError::RecordTooLarge(n) => {
+                write!(f, "record of {n} bytes exceeds maximum record size")
+            }
+            StorageError::NoSuchTable(n) => write!(f, "no such table: {n}"),
+            StorageError::NoSuchIndex(n) => write!(f, "no such index: {n}"),
+            StorageError::TableExists(n) => write!(f, "table already exists: {n}"),
+            StorageError::IndexExists(n) => write!(f, "index already exists: {n}"),
+            StorageError::Deadlock => write!(f, "transaction aborted by wait-die deadlock policy"),
+            StorageError::TxnNotActive(t) => write!(f, "transaction {t} is not active"),
+            StorageError::WalCorrupt(off) => write!(f, "write-ahead log corrupt at offset {off}"),
+            StorageError::Corrupt(m) => write!(f, "database corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

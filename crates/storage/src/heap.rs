@@ -1,0 +1,308 @@
+//! Heap files: unordered collections of variable-length records.
+//!
+//! A heap file is a singly linked chain of slotted pages. Records are
+//! addressed by [`Rid`] (page, slot). Inserts go to the last page when it
+//! fits, otherwise an earlier page with room is used, otherwise a new page
+//! is linked onto the chain.
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::{self, PageId, PageType, Rid, NO_PAGE};
+
+/// A handle to one heap file. The first page id is the stable identity
+/// (recorded in the catalog); the last page id is a cached optimization.
+#[derive(Debug, Clone)]
+pub struct HeapFile {
+    first_page: PageId,
+    last_page: PageId,
+}
+
+impl HeapFile {
+    /// Creates a new heap file with one empty page.
+    pub fn create(pool: &mut BufferPool) -> Result<HeapFile> {
+        let first = pool.allocate_page()?;
+        pool.with_page_mut(first, |d| page::format_page(d, PageType::Heap))?;
+        Ok(HeapFile {
+            first_page: first,
+            last_page: first,
+        })
+    }
+
+    /// Opens an existing heap file rooted at `first_page`, walking the chain
+    /// to locate the last page.
+    pub fn open(pool: &mut BufferPool, first_page: PageId) -> Result<HeapFile> {
+        let mut last = first_page;
+        loop {
+            let next = pool.with_page(last, page::next_page)?;
+            if next == NO_PAGE {
+                break;
+            }
+            last = next;
+        }
+        Ok(HeapFile {
+            first_page,
+            last_page: last,
+        })
+    }
+
+    /// The stable identity of this heap file.
+    pub fn first_page(&self) -> PageId {
+        self.first_page
+    }
+
+    /// Inserts a record, returning its rid. If a new page had to be linked
+    /// onto the chain, the second element reports `(from_page, new_page)` so
+    /// the caller can log the structural change.
+    pub fn insert(
+        &mut self,
+        pool: &mut BufferPool,
+        body: &[u8],
+    ) -> Result<(Rid, Option<(PageId, PageId)>)> {
+        if body.len() > page::MAX_RECORD_SIZE {
+            return Err(StorageError::RecordTooLarge(body.len()));
+        }
+        // Fast path: last page.
+        if let Some(slot) = pool.with_page_mut(self.last_page, |d| page::insert_record(d, body))? {
+            return Ok((Rid::new(self.last_page, slot), None));
+        }
+        // Slow path: first fit along the chain.
+        let mut pid = self.first_page;
+        while pid != NO_PAGE {
+            if pid != self.last_page {
+                if let Some(slot) = pool.with_page_mut(pid, |d| page::insert_record(d, body))? {
+                    return Ok((Rid::new(pid, slot), None));
+                }
+            }
+            pid = pool.with_page(pid, page::next_page)?;
+        }
+        // Extend the chain.
+        let new_page = pool.allocate_page()?;
+        pool.with_page_mut(new_page, |d| page::format_page(d, PageType::Heap))?;
+        let from = self.last_page;
+        pool.with_page_mut(from, |d| page::set_next_page(d, new_page))?;
+        self.last_page = new_page;
+        let slot = pool
+            .with_page_mut(new_page, |d| page::insert_record(d, body))?
+            .expect("fresh page must fit a record of legal size");
+        Ok((Rid::new(new_page, slot), Some((from, new_page))))
+    }
+
+    /// Re-links `new_page` after `from_page` (recovery redo of a structural
+    /// extension). Formats the new page if it is not already a heap page.
+    pub fn redo_link(pool: &mut BufferPool, from_page: PageId, new_page: PageId) -> Result<()> {
+        pool.ensure_page(new_page)?;
+        pool.ensure_page(from_page)?;
+        pool.with_page_mut(new_page, |d| {
+            if page::page_type(d) != PageType::Heap {
+                page::format_page(d, PageType::Heap);
+            }
+        })?;
+        pool.with_page_mut(from_page, |d| page::set_next_page(d, new_page))?;
+        Ok(())
+    }
+
+    /// Reads the record at `rid`.
+    pub fn get(pool: &mut BufferPool, rid: Rid) -> Result<Option<Vec<u8>>> {
+        pool.with_page(rid.page, |d| page::get_record(d, rid.slot).map(<[u8]>::to_vec))
+    }
+
+    /// Replaces the record at `rid`. Fails if absent; if the new body does
+    /// not fit in the page the record *moves* are not supported — the engine
+    /// layer handles oversize updates as delete+insert, so this returns an
+    /// error the engine translates.
+    pub fn update(pool: &mut BufferPool, rid: Rid, body: &[u8]) -> Result<bool> {
+        if body.len() > page::MAX_RECORD_SIZE {
+            return Err(StorageError::RecordTooLarge(body.len()));
+        }
+        let present = pool.with_page(rid.page, |d| page::get_record(d, rid.slot).is_some())?;
+        if !present {
+            return Err(StorageError::RecordNotFound {
+                page: rid.page,
+                slot: rid.slot,
+            });
+        }
+        pool.with_page_mut(rid.page, |d| page::update_record(d, rid.slot, body))
+    }
+
+    /// Deletes the record at `rid`. Returns the old body.
+    pub fn delete(pool: &mut BufferPool, rid: Rid) -> Result<Vec<u8>> {
+        let old = Self::get(pool, rid)?.ok_or(StorageError::RecordNotFound {
+            page: rid.page,
+            slot: rid.slot,
+        })?;
+        pool.with_page_mut(rid.page, |d| page::delete_record(d, rid.slot))?;
+        Ok(old)
+    }
+
+    /// Idempotently forces the record state at `rid`: `Some(body)` places the
+    /// record (overwriting any occupant), `None` removes it. Used by
+    /// recovery redo/undo, which must be re-runnable.
+    pub fn apply_at(pool: &mut BufferPool, rid: Rid, body: Option<&[u8]>) -> Result<()> {
+        pool.ensure_page(rid.page)?;
+        pool.with_page_mut(rid.page, |d| {
+            if page::page_type(d) != PageType::Heap {
+                page::format_page(d, PageType::Heap);
+            }
+            match body {
+                Some(b) => {
+                    page::insert_record_at(d, rid.slot, b);
+                }
+                None => {
+                    page::delete_record(d, rid.slot);
+                }
+            }
+        })
+    }
+
+    /// Visits every record in the file in (page, slot) order.
+    pub fn scan(
+        &self,
+        pool: &mut BufferPool,
+        mut f: impl FnMut(Rid, &[u8]),
+    ) -> Result<()> {
+        let mut pid = self.first_page;
+        while pid != NO_PAGE {
+            let next = pool.with_page(pid, |d| {
+                for slot in page::occupied_slots(d) {
+                    let body = page::get_record(d, slot).expect("occupied slot has record");
+                    f(Rid::new(pid, slot), body);
+                }
+                page::next_page(d)
+            })?;
+            pid = next;
+        }
+        Ok(())
+    }
+
+    /// Collects every record into a vector (convenience over [`scan`]).
+    ///
+    /// [`scan`]: HeapFile::scan
+    pub fn scan_all(&self, pool: &mut BufferPool) -> Result<Vec<(Rid, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.scan(pool, |rid, body| out.push((rid, body.to_vec())))?;
+        Ok(out)
+    }
+
+    /// Number of pages in the chain.
+    pub fn page_count(&self, pool: &mut BufferPool) -> Result<usize> {
+        let mut n = 0;
+        let mut pid = self.first_page;
+        while pid != NO_PAGE {
+            n += 1;
+            pid = pool.with_page(pid, page::next_page)?;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(name: &str) -> (std::path::PathBuf, BufferPool) {
+        let dir = std::env::temp_dir().join(format!("mdm-heap-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&dir).ok();
+        let bp = BufferPool::open(&dir, 16).unwrap();
+        (dir, bp)
+    }
+
+    #[test]
+    fn insert_get_many() {
+        let (dir, mut bp) = setup("many");
+        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let rids: Vec<Rid> = (0..500)
+            .map(|i| hf.insert(&mut bp, format!("record number {i}").as_bytes()).unwrap().0)
+            .collect();
+        for (i, rid) in rids.iter().enumerate() {
+            let body = HeapFile::get(&mut bp, *rid).unwrap().unwrap();
+            assert_eq!(body, format!("record number {i}").as_bytes());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chain_grows_and_scan_visits_all() {
+        let (dir, mut bp) = setup("chain");
+        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let body = vec![3u8; 2000];
+        let mut links = 0;
+        for _ in 0..50 {
+            let (_, link) = hf.insert(&mut bp, &body).unwrap();
+            if link.is_some() {
+                links += 1;
+            }
+        }
+        assert!(links >= 10, "2 kB records, ~4/page: expected many new pages");
+        let mut n = 0;
+        hf.scan(&mut bp, |_, b| {
+            assert_eq!(b.len(), 2000);
+            n += 1;
+        })
+        .unwrap();
+        assert_eq!(n, 50);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let (dir, mut bp) = setup("ud");
+        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let (rid, _) = hf.insert(&mut bp, b"original").unwrap();
+        assert!(HeapFile::update(&mut bp, rid, b"changed!").unwrap());
+        assert_eq!(HeapFile::get(&mut bp, rid).unwrap().unwrap(), b"changed!");
+        let old = HeapFile::delete(&mut bp, rid).unwrap();
+        assert_eq!(old, b"changed!");
+        assert_eq!(HeapFile::get(&mut bp, rid).unwrap(), None);
+        assert!(matches!(
+            HeapFile::delete(&mut bp, rid),
+            Err(StorageError::RecordNotFound { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deleted_space_is_reused() {
+        let (dir, mut bp) = setup("reuse");
+        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let body = vec![1u8; 1000];
+        let rids: Vec<Rid> = (0..40).map(|_| hf.insert(&mut bp, &body).unwrap().0).collect();
+        let pages_before = hf.page_count(&mut bp).unwrap();
+        for rid in &rids {
+            HeapFile::delete(&mut bp, *rid).unwrap();
+        }
+        for _ in 0..40 {
+            hf.insert(&mut bp, &body).unwrap();
+        }
+        let pages_after = hf.page_count(&mut bp).unwrap();
+        assert_eq!(pages_before, pages_after, "space should be reused");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_finds_last_page() {
+        let (dir, mut bp) = setup("open");
+        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let body = vec![9u8; 3000];
+        for _ in 0..10 {
+            hf.insert(&mut bp, &body).unwrap();
+        }
+        let first = hf.first_page();
+        let reopened = HeapFile::open(&mut bp, first).unwrap();
+        assert_eq!(reopened.last_page, hf.last_page);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn apply_at_is_idempotent() {
+        let (dir, mut bp) = setup("apply");
+        let _hf = HeapFile::create(&mut bp).unwrap();
+        let rid = Rid::new(5, 3);
+        HeapFile::apply_at(&mut bp, rid, Some(b"redo me")).unwrap();
+        HeapFile::apply_at(&mut bp, rid, Some(b"redo me")).unwrap();
+        assert_eq!(HeapFile::get(&mut bp, rid).unwrap().unwrap(), b"redo me");
+        HeapFile::apply_at(&mut bp, rid, None).unwrap();
+        HeapFile::apply_at(&mut bp, rid, None).unwrap();
+        assert_eq!(HeapFile::get(&mut bp, rid).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

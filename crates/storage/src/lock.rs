@@ -1,0 +1,232 @@
+//! Table-level strict two-phase locking with wait-die deadlock avoidance.
+//!
+//! Transactions acquire shared (S) or exclusive (X) locks on tables; all
+//! locks are held to commit/abort (strict 2PL). Deadlock is avoided by the
+//! *wait-die* policy: transaction ids are timestamps, and a requester may
+//! wait only for *younger* (higher-id) holders — an older holder forces the
+//! requester to die (abort with [`StorageError::Deadlock`]) so that waits
+//! can never cycle.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{Result, StorageError};
+use crate::wal::{TableId, TxnId};
+
+/// Lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared: concurrent readers.
+    Shared,
+    /// Exclusive: single writer.
+    Exclusive,
+}
+
+#[derive(Default)]
+struct LockState {
+    /// Holders and their modes. Either many Shared or one Exclusive
+    /// (or one holder with Exclusive after upgrade).
+    holders: HashMap<TxnId, LockMode>,
+}
+
+impl LockState {
+    fn compatible(&self, txn: TxnId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => self
+                .holders
+                .iter()
+                .all(|(&t, &m)| t == txn || m == LockMode::Shared),
+            LockMode::Exclusive => self.holders.keys().all(|&t| t == txn),
+        }
+    }
+
+    /// Would the requester wait on an *older* holder? (wait-die check)
+    fn must_die(&self, txn: TxnId, mode: LockMode) -> bool {
+        let blockers = self.holders.iter().filter(|&(&t, &m)| {
+            t != txn
+                && match mode {
+                    LockMode::Shared => m == LockMode::Exclusive,
+                    LockMode::Exclusive => true,
+                }
+        });
+        // Wait-die: the requester may only wait for younger (larger id)
+        // transactions; any older blocker forces the requester to die.
+        let mut any = false;
+        for (&t, _) in blockers {
+            any = true;
+            if t < txn {
+                return true;
+            }
+        }
+        // No blockers at all means no death and no wait.
+        let _ = any;
+        false
+    }
+}
+
+struct Shared {
+    tables: Mutex<HashMap<TableId, LockState>>,
+    wakeup: Condvar,
+}
+
+/// The lock manager. Cloneable handle; all clones share state.
+#[derive(Clone)]
+pub struct LockManager {
+    shared: Arc<Shared>,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockManager {
+    /// Creates an empty lock manager.
+    pub fn new() -> LockManager {
+        LockManager {
+            shared: Arc::new(Shared {
+                tables: Mutex::new(HashMap::new()),
+                wakeup: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Acquires (or upgrades to) the given lock, blocking if permitted by
+    /// wait-die, or returning [`StorageError::Deadlock`] if the transaction
+    /// must die.
+    pub fn lock(&self, txn: TxnId, table: TableId, mode: LockMode) -> Result<()> {
+        let mut tables = self.shared.tables.lock();
+        loop {
+            let state = tables.entry(table).or_default();
+            let held = state.holders.get(&txn).copied();
+            // Already held at sufficient strength?
+            if matches!(
+                (held, mode),
+                (Some(LockMode::Exclusive), _) | (Some(LockMode::Shared), LockMode::Shared)
+            ) {
+                return Ok(());
+            }
+            if state.compatible(txn, mode) {
+                state.holders.insert(txn, mode);
+                return Ok(());
+            }
+            if state.must_die(txn, mode) {
+                return Err(StorageError::Deadlock);
+            }
+            self.shared.wakeup.wait(&mut tables);
+        }
+    }
+
+    /// Releases every lock held by the transaction (commit/abort).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut tables = self.shared.tables.lock();
+        tables.retain(|_, state| {
+            state.holders.remove(&txn);
+            !state.holders.is_empty()
+        });
+        drop(tables);
+        self.shared.wakeup.notify_all();
+    }
+
+    /// Locks currently held by a transaction (diagnostics/tests).
+    pub fn held_by(&self, txn: TxnId) -> Vec<(TableId, LockMode)> {
+        let tables = self.shared.tables.lock();
+        let mut v: Vec<_> = tables
+            .iter()
+            .filter_map(|(&tid, st)| st.holders.get(&txn).map(|&m| (tid, m)))
+            .collect();
+        v.sort_by_key(|&(t, _)| t);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new();
+        lm.lock(1, 10, LockMode::Shared).unwrap();
+        lm.lock(2, 10, LockMode::Shared).unwrap();
+        assert_eq!(lm.held_by(1).len(), 1);
+        assert_eq!(lm.held_by(2).len(), 1);
+    }
+
+    #[test]
+    fn exclusive_blocks_younger_to_death() {
+        let lm = LockManager::new();
+        lm.lock(1, 10, LockMode::Exclusive).unwrap();
+        // Txn 2 is younger than holder 1: wait-die says it dies.
+        assert!(matches!(
+            lm.lock(2, 10, LockMode::Exclusive),
+            Err(StorageError::Deadlock)
+        ));
+        assert!(matches!(
+            lm.lock(2, 10, LockMode::Shared),
+            Err(StorageError::Deadlock)
+        ));
+    }
+
+    #[test]
+    fn older_waits_for_younger_release() {
+        let lm = LockManager::new();
+        lm.lock(5, 10, LockMode::Exclusive).unwrap();
+        let lm2 = lm.clone();
+        // Txn 3 is older than holder 5: it is allowed to wait.
+        let waiter = std::thread::spawn(move || lm2.lock(3, 10, LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!waiter.is_finished(), "older txn should be waiting");
+        lm.release_all(5);
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let lm = LockManager::new();
+        lm.lock(1, 10, LockMode::Shared).unwrap();
+        lm.lock(1, 10, LockMode::Shared).unwrap();
+        lm.lock(1, 10, LockMode::Exclusive).unwrap(); // sole holder: upgrade ok
+        assert_eq!(lm.held_by(1), vec![(10, LockMode::Exclusive)]);
+        // Exclusive satisfies later shared requests.
+        lm.lock(1, 10, LockMode::Shared).unwrap();
+        assert_eq!(lm.held_by(1), vec![(10, LockMode::Exclusive)]);
+    }
+
+    #[test]
+    fn upgrade_with_other_reader_dies_if_younger() {
+        let lm = LockManager::new();
+        lm.lock(1, 10, LockMode::Shared).unwrap();
+        lm.lock(2, 10, LockMode::Shared).unwrap();
+        // Txn 2 wants X but older txn 1 holds S: die.
+        assert!(matches!(
+            lm.lock(2, 10, LockMode::Exclusive),
+            Err(StorageError::Deadlock)
+        ));
+    }
+
+    #[test]
+    fn release_unblocks_waiters() {
+        let lm = LockManager::new();
+        lm.lock(9, 10, LockMode::Shared).unwrap();
+        let lm2 = lm.clone();
+        let waiter = std::thread::spawn(move || lm2.lock(1, 10, LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(50));
+        lm.release_all(9);
+        waiter.join().unwrap().unwrap();
+        assert_eq!(lm.held_by(1), vec![(10, LockMode::Exclusive)]);
+    }
+
+    #[test]
+    fn locks_on_different_tables_do_not_conflict() {
+        let lm = LockManager::new();
+        lm.lock(1, 10, LockMode::Exclusive).unwrap();
+        lm.lock(2, 11, LockMode::Exclusive).unwrap();
+        assert_eq!(lm.held_by(1), vec![(10, LockMode::Exclusive)]);
+        assert_eq!(lm.held_by(2), vec![(11, LockMode::Exclusive)]);
+    }
+}

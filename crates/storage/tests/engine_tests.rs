@@ -1,0 +1,516 @@
+//! Integration tests for the storage engine: transactions, persistence,
+//! crash recovery with failure injection, and concurrent clients.
+
+use std::path::PathBuf;
+
+use mdm_storage::{encode_i64, Rid, StorageEngine, StorageError};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mdm-eng-{}-{}", std::process::id(), name));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+#[test]
+fn basic_crud_within_txn() {
+    let dir = tmpdir("crud");
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.create_table("works").unwrap();
+    let mut txn = eng.begin().unwrap();
+    let rid = eng.insert(&mut txn, t, b"BWV 578").unwrap();
+    assert_eq!(eng.get(&mut txn, t, rid).unwrap().unwrap(), b"BWV 578");
+    let rid = eng.update(&mut txn, t, rid, b"BWV 578 Fuge g-moll").unwrap();
+    assert_eq!(eng.get(&mut txn, t, rid).unwrap().unwrap(), b"BWV 578 Fuge g-moll");
+    let old = eng.delete(&mut txn, t, rid).unwrap();
+    assert_eq!(old, b"BWV 578 Fuge g-moll");
+    assert_eq!(eng.get(&mut txn, t, rid).unwrap(), None);
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn abort_rolls_back_everything() {
+    let dir = tmpdir("abort");
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.create_table("t").unwrap();
+    // Committed baseline record.
+    let mut txn = eng.begin().unwrap();
+    let keep = eng.insert(&mut txn, t, b"keep").unwrap();
+    eng.commit(txn).unwrap();
+
+    let mut txn = eng.begin().unwrap();
+    let gone = eng.insert(&mut txn, t, b"gone").unwrap();
+    eng.update(&mut txn, t, keep, b"mutated").unwrap();
+    eng.abort(txn).unwrap();
+
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(eng.get(&mut txn, t, keep).unwrap().unwrap(), b"keep");
+    assert_eq!(eng.get(&mut txn, t, gone).unwrap(), None);
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_shutdown_persists_without_recovery() {
+    let dir = tmpdir("clean");
+    let t_id;
+    let rid;
+    {
+        let eng = StorageEngine::open(&dir).unwrap();
+        t_id = eng.create_table("t").unwrap();
+        let mut txn = eng.begin().unwrap();
+        rid = eng.insert(&mut txn, t_id, b"durable").unwrap();
+        eng.commit(txn).unwrap();
+    } // Drop runs the clean-shutdown checkpoint.
+    let eng = StorageEngine::open(&dir).unwrap();
+    assert_eq!(eng.last_recovery().replayed, 0, "no recovery after clean close");
+    assert!(!eng.indexes_need_rebuild());
+    assert_eq!(eng.table_id("t").unwrap(), t_id);
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(eng.get(&mut txn, t_id, rid).unwrap().unwrap(), b"durable");
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Simulates a crash by leaking the engine so no Drop checkpoint runs.
+fn crash(eng: StorageEngine) {
+    std::mem::forget(eng);
+}
+
+#[test]
+fn crash_recovers_committed_discards_uncommitted() {
+    let dir = tmpdir("crash");
+    let t;
+    let other;
+    let committed_rid;
+    let uncommitted_rid;
+    {
+        let eng = StorageEngine::open(&dir).unwrap();
+        t = eng.create_table("t").unwrap();
+        other = eng.create_table("other").unwrap();
+        let mut txn = eng.begin().unwrap();
+        committed_rid = eng.insert(&mut txn, t, b"committed before crash").unwrap();
+        eng.commit(txn).unwrap();
+        let mut txn = eng.begin().unwrap();
+        uncommitted_rid = eng.insert(&mut txn, t, b"in flight at crash").unwrap();
+        // A later commit syncs the log, which also makes the in-flight
+        // transaction's records durable — recovery must then undo them.
+        let mut txn2 = eng.begin().unwrap();
+        eng.insert(&mut txn2, other, b"bystander").unwrap();
+        eng.commit(txn2).unwrap();
+        // Neither commit nor abort for txn: crash with it open.
+        std::mem::forget(txn);
+        crash(eng);
+    }
+    let eng = StorageEngine::open(&dir).unwrap();
+    let outcome = eng.last_recovery();
+    assert!(outcome.replayed > 0, "recovery should replay the log");
+    assert_eq!(outcome.committed, 2);
+    assert_eq!(outcome.undone, 1);
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(
+        eng.get(&mut txn, t, committed_rid).unwrap().unwrap(),
+        b"committed before crash"
+    );
+    assert_eq!(eng.get(&mut txn, t, uncommitted_rid).unwrap(), None);
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_recovers_updates_and_deletes() {
+    let dir = tmpdir("crash-ud");
+    let t;
+    let updated;
+    let deleted;
+    let reverted;
+    {
+        let eng = StorageEngine::open(&dir).unwrap();
+        t = eng.create_table("t").unwrap();
+        let mut txn = eng.begin().unwrap();
+        updated = eng.insert(&mut txn, t, b"v1").unwrap();
+        deleted = eng.insert(&mut txn, t, b"to delete").unwrap();
+        reverted = eng.insert(&mut txn, t, b"original").unwrap();
+        eng.commit(txn).unwrap();
+
+        let mut txn = eng.begin().unwrap();
+        eng.update(&mut txn, t, updated, b"v2").unwrap();
+        eng.delete(&mut txn, t, deleted).unwrap();
+        eng.commit(txn).unwrap();
+
+        // Uncommitted mutation of `reverted`.
+        let mut txn = eng.begin().unwrap();
+        eng.update(&mut txn, t, reverted, b"scribbled").unwrap();
+        std::mem::forget(txn);
+        crash(eng);
+    }
+    let eng = StorageEngine::open(&dir).unwrap();
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(eng.get(&mut txn, t, updated).unwrap().unwrap(), b"v2");
+    assert_eq!(eng.get(&mut txn, t, deleted).unwrap(), None);
+    assert_eq!(eng.get(&mut txn, t, reverted).unwrap().unwrap(), b"original");
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_recovery_is_idempotent_across_double_crash() {
+    let dir = tmpdir("crash2");
+    let t;
+    let rid;
+    {
+        let eng = StorageEngine::open(&dir).unwrap();
+        t = eng.create_table("t").unwrap();
+        let mut txn = eng.begin().unwrap();
+        rid = eng.insert(&mut txn, t, b"survivor").unwrap();
+        eng.commit(txn).unwrap();
+        crash(eng);
+    }
+    {
+        // Recover, write more, crash again before clean close.
+        let eng = StorageEngine::open(&dir).unwrap();
+        let mut txn = eng.begin().unwrap();
+        eng.insert(&mut txn, t, b"second").unwrap();
+        eng.commit(txn).unwrap();
+        crash(eng);
+    }
+    let eng = StorageEngine::open(&dir).unwrap();
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(eng.get(&mut txn, t, rid).unwrap().unwrap(), b"survivor");
+    let all = eng.scan(&mut txn, t).unwrap();
+    assert_eq!(all.len(), 2);
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_wal_tail_recovers_prefix() {
+    let dir = tmpdir("torn");
+    let t;
+    {
+        let eng = StorageEngine::open(&dir).unwrap();
+        t = eng.create_table("t").unwrap();
+        let mut txn = eng.begin().unwrap();
+        eng.insert(&mut txn, t, b"alpha").unwrap();
+        eng.commit(txn).unwrap();
+        crash(eng);
+    }
+    // Inject a torn frame at the log tail.
+    let wal_path = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    bytes.extend_from_slice(&[0x55, 0x00, 0x00, 0x01]); // truncated frame header
+    std::fs::write(&wal_path, &bytes).unwrap();
+
+    let eng = StorageEngine::open(&dir).unwrap();
+    let mut txn = eng.begin().unwrap();
+    let all = eng.scan(&mut txn, t).unwrap();
+    assert_eq!(all.len(), 1);
+    assert_eq!(all[0].1, b"alpha");
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn indexes_flagged_for_rebuild_after_crash() {
+    let dir = tmpdir("idx-rebuild");
+    let t;
+    {
+        let eng = StorageEngine::open(&dir).unwrap();
+        t = eng.create_table("t").unwrap();
+        eng.create_index(t, "by_key").unwrap();
+        let mut txn = eng.begin().unwrap();
+        let rid = eng.insert(&mut txn, t, b"indexed").unwrap();
+        eng.index_insert(&mut txn, t, "by_key", &encode_i64(42), rid).unwrap();
+        eng.commit(txn).unwrap();
+        crash(eng);
+    }
+    let eng = StorageEngine::open(&dir).unwrap();
+    assert!(eng.indexes_need_rebuild());
+    // The reset index is empty; the base table still has the record.
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(eng.index_lookup(&mut txn, t, "by_key", &encode_i64(42)).unwrap(), vec![]);
+    let all = eng.scan(&mut txn, t).unwrap();
+    assert_eq!(all.len(), 1);
+    // Rebuild as the owning layer would.
+    let rid = all[0].0;
+    eng.index_insert(&mut txn, t, "by_key", &encode_i64(42), rid).unwrap();
+    eng.commit(txn).unwrap();
+    eng.mark_indexes_rebuilt();
+    assert!(!eng.indexes_need_rebuild());
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_survives_clean_shutdown() {
+    let dir = tmpdir("idx-clean");
+    let t;
+    let rid;
+    {
+        let eng = StorageEngine::open(&dir).unwrap();
+        t = eng.create_table("t").unwrap();
+        eng.create_index(t, "by_key").unwrap();
+        let mut txn = eng.begin().unwrap();
+        rid = eng.insert(&mut txn, t, b"indexed").unwrap();
+        eng.index_insert(&mut txn, t, "by_key", &encode_i64(7), rid).unwrap();
+        eng.commit(txn).unwrap();
+    }
+    let eng = StorageEngine::open(&dir).unwrap();
+    assert!(!eng.indexes_need_rebuild());
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(
+        eng.index_lookup(&mut txn, t, "by_key", &encode_i64(7)).unwrap(),
+        vec![rid]
+    );
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_abort_rolls_back_entries() {
+    let dir = tmpdir("idx-abort");
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.create_table("t").unwrap();
+    eng.create_index(t, "i").unwrap();
+    let mut txn = eng.begin().unwrap();
+    let rid = eng.insert(&mut txn, t, b"r").unwrap();
+    eng.index_insert(&mut txn, t, "i", b"key", rid).unwrap();
+    eng.commit(txn).unwrap();
+
+    let mut txn = eng.begin().unwrap();
+    eng.index_delete(&mut txn, t, "i", b"key", rid).unwrap();
+    eng.index_insert(&mut txn, t, "i", b"other", rid).unwrap();
+    eng.abort(txn).unwrap();
+
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(eng.index_lookup(&mut txn, t, "i", b"key").unwrap(), vec![rid]);
+    assert_eq!(eng.index_lookup(&mut txn, t, "i", b"other").unwrap(), vec![]);
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ddl_survives_crash_via_catalog_snapshot() {
+    let dir = tmpdir("ddl-crash");
+    {
+        let eng = StorageEngine::open(&dir).unwrap();
+        eng.create_table("alpha").unwrap();
+        eng.create_table("beta").unwrap();
+        eng.drop_table("alpha").unwrap();
+        crash(eng);
+    }
+    let eng = StorageEngine::open(&dir).unwrap();
+    assert_eq!(eng.table_names(), vec!["beta".to_string()]);
+    assert!(matches!(
+        eng.table_id("alpha"),
+        Err(StorageError::NoSuchTable(_))
+    ));
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scan_returns_everything_in_order() {
+    let dir = tmpdir("scan");
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.create_table("t").unwrap();
+    let mut txn = eng.begin().unwrap();
+    let mut rids = Vec::new();
+    for i in 0..200 {
+        rids.push(eng.insert(&mut txn, t, format!("row {i}").as_bytes()).unwrap());
+    }
+    let all = eng.scan(&mut txn, t).unwrap();
+    assert_eq!(all.len(), 200);
+    let scanned: Vec<Rid> = all.iter().map(|(r, _)| *r).collect();
+    let mut sorted = rids.clone();
+    sorted.sort();
+    assert_eq!(scanned, sorted);
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_truncates_log_and_preserves_state() {
+    let dir = tmpdir("ckpt");
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.create_table("t").unwrap();
+    let mut txn = eng.begin().unwrap();
+    let rid = eng.insert(&mut txn, t, b"pre-checkpoint").unwrap();
+    eng.commit(txn).unwrap();
+    eng.checkpoint().unwrap();
+    let wal_len = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+    assert_eq!(wal_len, 0);
+    // Crash after checkpoint: state must still be there.
+    crash(eng);
+    let eng = StorageEngine::open(&dir).unwrap();
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(eng.get(&mut txn, t, rid).unwrap().unwrap(), b"pre-checkpoint");
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_refused_with_active_txn() {
+    let dir = tmpdir("ckpt-active");
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.create_table("t").unwrap();
+    let mut txn = eng.begin().unwrap();
+    eng.insert(&mut txn, t, b"x").unwrap();
+    assert!(eng.checkpoint().is_err());
+    eng.commit(txn).unwrap();
+    eng.checkpoint().unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_clients_serialize_on_conflicting_tables() {
+    let dir = tmpdir("conc");
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.create_table("shared").unwrap();
+    let threads: Vec<_> = (0..4)
+        .map(|tid| {
+            let eng = eng.clone();
+            std::thread::spawn(move || {
+                let mut inserted = 0;
+                for i in 0..50 {
+                    // Retry on wait-die aborts.
+                    loop {
+                        let mut txn = eng.begin().unwrap();
+                        let body = format!("thread {tid} row {i}");
+                        match eng.insert(&mut txn, t, body.as_bytes()) {
+                            Ok(_) => {
+                                eng.commit(txn).unwrap();
+                                inserted += 1;
+                                break;
+                            }
+                            Err(StorageError::Deadlock) => {
+                                eng.abort(txn).unwrap();
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }
+                inserted
+            })
+        })
+        .collect();
+    let total: usize = threads.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, 200);
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(eng.scan(&mut txn, t).unwrap().len(), 200);
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn large_records_and_oversize_rejection() {
+    let dir = tmpdir("large");
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.create_table("t").unwrap();
+    let mut txn = eng.begin().unwrap();
+    let big = vec![0xAAu8; 8000];
+    let rid = eng.insert(&mut txn, t, &big).unwrap();
+    assert_eq!(eng.get(&mut txn, t, rid).unwrap().unwrap(), big);
+    let too_big = vec![0u8; 9000];
+    assert!(matches!(
+        eng.insert(&mut txn, t, &too_big),
+        Err(StorageError::RecordTooLarge(_))
+    ));
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn update_that_moves_record_returns_new_rid() {
+    let dir = tmpdir("move");
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.create_table("t").unwrap();
+    let mut txn = eng.begin().unwrap();
+    // Fill a page almost completely so the update cannot grow in place.
+    let mut rids = Vec::new();
+    for _ in 0..8 {
+        rids.push(eng.insert(&mut txn, t, &vec![1u8; 1000]).unwrap());
+    }
+    let target = rids[0];
+    let grown = vec![2u8; 4000];
+    let new_rid = eng.update(&mut txn, t, target, &grown).unwrap();
+    assert_ne!(new_rid, target, "record should have moved");
+    assert_eq!(eng.get(&mut txn, t, new_rid).unwrap().unwrap(), grown);
+    assert_eq!(eng.get(&mut txn, t, target).unwrap(), None);
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn vacuum_reclaims_dropped_space() {
+    let dir = tmpdir("vacuum-src");
+    let dir2 = tmpdir("vacuum-dst");
+    let eng = StorageEngine::open(&dir).unwrap();
+    // A big table we will drop, and a keeper with an index.
+    let doomed = eng.create_table("doomed").unwrap();
+    let keeper = eng.create_table("keeper").unwrap();
+    eng.create_index(keeper, "by_key").unwrap();
+    let mut txn = eng.begin().unwrap();
+    for i in 0..2000 {
+        eng.insert(&mut txn, doomed, &vec![0xAB; 500]).unwrap();
+        if i % 10 == 0 {
+            let rid = eng.insert(&mut txn, keeper, format!("keep {i}").as_bytes()).unwrap();
+            eng.index_insert(&mut txn, keeper, "by_key", &encode_i64(i), rid).unwrap();
+        }
+    }
+    eng.commit(txn).unwrap();
+    eng.drop_table("doomed").unwrap();
+    let pages_before = eng.num_pages();
+
+    let new = eng.vacuum_into(&dir2).unwrap();
+    assert!(
+        new.num_pages() * 4 < pages_before,
+        "vacuum should shrink: {} -> {}",
+        pages_before,
+        new.num_pages()
+    );
+    // Contents and index survive, remapped.
+    let kt = new.table_id("keeper").unwrap();
+    let mut txn = new.begin().unwrap();
+    assert_eq!(new.scan(&mut txn, kt).unwrap().len(), 200);
+    let hits = new.index_lookup(&mut txn, kt, "by_key", &encode_i64(1990)).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(new.get(&mut txn, kt, hits[0]).unwrap().unwrap(), b"keep 1990");
+    new.commit(txn).unwrap();
+    drop(new);
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
+fn vacuum_refused_mid_transaction() {
+    let dir = tmpdir("vacuum-act");
+    let dir2 = tmpdir("vacuum-act2");
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.create_table("t").unwrap();
+    let mut txn = eng.begin().unwrap();
+    eng.insert(&mut txn, t, b"x").unwrap();
+    assert!(eng.vacuum_into(&dir2).is_err());
+    eng.commit(txn).unwrap();
+    assert!(eng.vacuum_into(&dir2).is_ok());
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}

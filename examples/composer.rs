@@ -1,0 +1,84 @@
+//! A compositional tool client (§2): generates music into the MDM — "in
+//! both sound and graphic representations" — with tempo shaping and a
+//! synthesized, compressed audio rendition.
+//!
+//! ```text
+//! cargo run --example composer
+//! ```
+
+use musicdb::mdm::{Composer, MusicDataManager, ScoreEditor};
+use musicdb::notation::fixtures::bwv578_subject;
+use musicdb::notation::{perform, rat, KeySignature, TimeSignature};
+use musicdb::sound::{codec, render_performance, MidiEventList, Timbre};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("musicdb-composer-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut mdm = MusicDataManager::open(&dir)?;
+
+    // Generate: a three-voice canon on the fugue subject, plus an
+    // algorithmic random-walk countermelody.
+    let subject = bwv578_subject().movements[0].voices[0].clone();
+    let mut canon = Composer::canon(&subject, 3, 4, 12, TimeSignature::common(), 96.0);
+    let walk = Composer::random_walk(2026, 24, KeySignature::new(-2), 96.0);
+    canon.movements[0].voices.extend(walk.movements.into_iter().flat_map(|m| m.voices));
+    println!(
+        "composed \"{}\": {} voices, {} beats of score time",
+        canon.title,
+        canon.movements[0].voices.len(),
+        canon.movements[0].total_beats()
+    );
+
+    // Store it, then shape the performance through the editor client:
+    // an accelerando into the middle and a final ritardando (§7.2 —
+    // "the duration of a beat is consistently distorted in performance").
+    let id = mdm.store_score(&canon)?;
+    let mut editor = ScoreEditor::checkout(&mut mdm, id)?;
+    editor.add_final_ritardando(0, 4, 40.0)?;
+    let id = editor.commit()?;
+    let shaped = mdm.load_score(id)?;
+    let m = &shaped.movements[0];
+    println!(
+        "tempo map: {} marks; straight time {:.1}s, shaped {:.1}s",
+        m.tempo.marks().len(),
+        m.total_beats().to_f64() * 60.0 / 96.0,
+        m.performance_seconds(),
+    );
+    println!(
+        "score time 4 beats → performance {:.2}s; last beat stretches to {:.2}s/beat",
+        m.tempo.performance_time(rat(4, 1)),
+        m.tempo.performance_time(m.total_beats())
+            - m.tempo.performance_time(m.total_beats() - rat(1, 1)),
+    );
+
+    // Sound representation: events → MIDI → PCM (§4.1, §4.6).
+    let notes = perform(m);
+    let midi = MidiEventList::from_performance(&notes);
+    println!("\nMIDI event list: {} events over {:.1}s", midi.events.len(), midi.seconds());
+
+    let pcm = render_performance(&notes, &Timbre::organ(), 16_000);
+    println!(
+        "synthesized {:.1}s at 16 kHz: {} bytes raw PCM",
+        pcm.seconds(),
+        pcm.byte_size()
+    );
+    let lossless = codec::redundancy::encode(&pcm);
+    println!(
+        "  redundancy-eliminated (lossless): {} bytes ({:.2}x)",
+        lossless.len(),
+        musicdb::sound::ratio(&pcm, lossless.len())
+    );
+    let lossy = codec::perceptual::encode(&pcm, 8);
+    let decoded = codec::perceptual::decode(&lossy).expect("decode");
+    println!(
+        "  perceptual 8-bit μ-law: {} bytes ({:.2}x), SNR {:.1} dB",
+        lossy.len(),
+        musicdb::sound::ratio(&pcm, lossy.len()),
+        codec::perceptual::snr_db(&pcm, &decoded)
+    );
+
+    mdm.save()?;
+    drop(mdm);
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! A music-analysis client (§2): melodic and harmonic analysis over
+//! scores served by the MDM — the kind of system that "performs various
+//! sorts of harmonic analysis, or determines melodic structure".
+//!
+//! ```text
+//! cargo run --example music_analysis
+//! ```
+
+use musicdb::mdm::{Analyst, Composer, MusicDataManager};
+use musicdb::notation::fixtures::bwv578_subject;
+use musicdb::notation::TimeSignature;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("musicdb-analysis-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut mdm = MusicDataManager::open(&dir)?;
+
+    // The composition client wrote a two-voice canon at the fifth into
+    // the shared database; the analysis client picks it up from there.
+    let subject = bwv578_subject().movements[0].voices[0].clone();
+    let canon = Composer::canon(&subject, 2, 8, 7, TimeSignature::common(), 84.0);
+    let id = mdm.store_score(&canon)?;
+    let score = mdm.load_score(id)?;
+    println!("analyzing \"{}\" ({} voices)\n", score.title, score.movements[0].voices.len());
+
+    // Melodic structure: the interval histogram of the subject.
+    println!("melodic interval histogram (semitones → count):");
+    let hist = Analyst::interval_histogram(&score);
+    for (interval, count) in &hist {
+        let bar = "#".repeat(*count);
+        println!("  {interval:>3}  {bar}");
+    }
+
+    // Ranges.
+    for (i, voice) in score.movements[0].voices.iter().enumerate() {
+        if let Some(a) = Analyst::ambitus(voice) {
+            println!("voice {} ambitus: {} – {}", i + 1, a.low, a.high);
+        }
+    }
+
+    // Harmonic analysis: interval classes sounding between the voices.
+    let intervals = Analyst::harmonic_intervals(&score.movements[0]);
+    let mut by_class = std::collections::BTreeMap::new();
+    for (_, ic) in &intervals {
+        *by_class.entry(*ic).or_insert(0usize) += 1;
+    }
+    println!("\nharmonic interval classes (mod 12 → count):");
+    let names = [
+        "unison/octave", "minor 2nd", "major 2nd", "minor 3rd", "major 3rd", "fourth",
+        "tritone", "fifth", "minor 6th", "major 6th", "minor 7th", "major 7th",
+    ];
+    for (ic, count) in &by_class {
+        println!("  {:>13} ({ic:>2}): {count}", names[*ic as usize % 12]);
+    }
+
+    // Counterpoint check: parallel perfects between the voices.
+    let parallels = Analyst::parallel_perfects(&score.movements[0], 0, 1);
+    println!("\nparallel perfect intervals between voices 1–2: {parallels}");
+
+    // The same analysis is reachable through QUEL, because the events
+    // live in the database: count the distinct MIDI keys per voice.
+    let table = mdm.query(
+        r#"
+        range of v is VOICE
+        range of e is EVENT
+        retrieve unique (v.name, e.midi_key) where e under v in event_in_voice
+        "#,
+    )?;
+    let mut per_voice = std::collections::BTreeMap::new();
+    for row in &table.rows {
+        *per_voice.entry(row[0].to_string()).or_insert(0usize) += 1;
+    }
+    println!("\ndistinct pitches per voice (via QUEL):");
+    for (voice, n) in per_voice {
+        println!("  {voice}: {n}");
+    }
+
+    drop(mdm);
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Quickstart: open a music database, define a schema in the paper's DDL,
+//! and query it with QUEL's ordering operators.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use musicdb::lang::StmtResult;
+use musicdb::mdm::MusicDataManager;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("musicdb-quickstart-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Open a music data manager. It comes with the full CMN schema of §7
+    // installed, but you can define your own entity types too.
+    let mut mdm = MusicDataManager::open(&dir)?;
+
+    // The paper's §5.1 example schema, verbatim DDL.
+    mdm.execute(
+        r#"
+        define entity DATE (day = integer, month = integer, year = integer)
+        define entity COMPOSITION (title = string, composition_date = DATE)
+        define relationship WROTE (person = PERSON, composition = COMPOSITION)
+        "#,
+    )?;
+
+    // Populate with QUEL `append`.
+    mdm.execute(
+        r#"
+        append to PERSON (name = "Johann Sebastian Bach")
+        append to COMPOSITION (title = "Fuge g-moll")
+        append to COMPOSITION (title = "Toccata und Fuge d-moll")
+        "#,
+    )?;
+
+    // A retrieve with a qualification.
+    let table = mdm.query(r#"retrieve (COMPOSITION.title) where COMPOSITION.title != "x""#)?;
+    println!("All compositions:\n{table}");
+
+    // Hierarchical ordering: a chord with notes, queried with the §5.6
+    // operators. CHORD/NOTE and note_in_chord come from the CMN schema.
+    use musicdb::model::Value;
+    let db = mdm.database_mut();
+    let chord = db.create_entity("CHORD", &[("base", Value::String("quarter".into()))])?;
+    for (i, midi) in [60i64, 64, 67, 72].iter().enumerate() {
+        let note = db.create_entity(
+            "NOTE",
+            &[("midi_key", Value::Integer(*midi)), ("step", Value::String(format!("n{i}")))],
+        )?;
+        db.ord_append("note_in_chord", Some(chord), note)?;
+    }
+
+    // "Retrieve the notes prior to the G (midi 67) in its chord."
+    let table = mdm.query(
+        r#"
+        range of n1, n2 is NOTE
+        retrieve (n1.midi_key)
+        where n1 before n2 in note_in_chord and n2.midi_key = 67
+        "#,
+    )?;
+    println!("Notes before the G in its chord:\n{table}");
+
+    // "The third note in chord x" — the ordinal access of §5.4.
+    let third = mdm.database().nth_child("note_in_chord", Some(chord), 2)?;
+    println!("The third note in the chord is entity {third:?}");
+
+    // DML: replace and delete.
+    let results = mdm.execute(
+        r#"
+        range of c is COMPOSITION
+        replace c (title = "BWV 578: " + c.title) where c.title = "Fuge g-moll"
+        delete c where c.title = "Toccata und Fuge d-moll"
+        "#,
+    )?;
+    for r in &results {
+        if let StmtResult::Replaced(n) | StmtResult::Deleted(n) = r {
+            println!("changed {n} entity(ies)");
+        }
+    }
+    let table = mdm.query("retrieve (COMPOSITION.title)")?;
+    println!("After edits:\n{table}");
+
+    // Persist everything through the write-ahead-logged engine.
+    mdm.save()?;
+    println!("saved to {}", dir.display());
+
+    drop(mdm);
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

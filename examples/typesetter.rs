@@ -1,0 +1,98 @@
+//! A music typesetter client (§2): DARMS in, notation out — the staff
+//! rendering, the piano roll, and database-driven graphical definitions
+//! (§6.2) for the low-level marks.
+//!
+//! ```text
+//! cargo run --example typesetter
+//! ```
+
+use musicdb::darms;
+use musicdb::model::{graphdef, meta, AttributeDef, Database, DataType, Value};
+use musicdb::notation::{perform, render, TimeSignature};
+use musicdb::sound::PianoRoll;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A score arrives as DARMS text (fig. 4's pipeline).
+    let source = darms::fixtures::FIG4_USER_SHORT;
+    println!("DARMS source (user form):\n  {source}\n");
+    let items = darms::canonize(&darms::parse(source)?);
+    println!("canonical DARMS (output of the canonizer):\n  {}\n", darms::emit(&items));
+
+    // 2. Resolve it into notation: clef + key signature give pitches.
+    let voice = darms::to_voice(&items)?;
+    println!(
+        "voice {:?}: {} elements, key {} ({})",
+        voice.name,
+        voice.elements.len(),
+        voice.key,
+        voice.key.major_name(),
+    );
+
+    // 3. Typeset onto an ASCII staff.
+    println!("\n{}", render::render_voice(&voice, TimeSignature::common()));
+
+    // 4. The same music as a piano roll (fig. 3's other view).
+    let mut movement =
+        musicdb::notation::Movement::new("gloria", TimeSignature::common(), Default::default());
+    movement.voices.push(voice);
+    let notes = perform(&movement);
+    let roll = PianoRoll::render(&notes, 0.25, &|_, _| false);
+    println!("{}", roll.to_text());
+
+    // 5. Low-level marks through the §6.2 graphical-definition machinery:
+    //    stems drawn by code stored in the database.
+    let mut app = musicdb::model::Schema::new();
+    app.define_entity(
+        "STEM",
+        ["xpos", "ypos", "length", "direction"]
+            .into_iter()
+            .map(|n| AttributeDef { name: n.into(), ty: DataType::Integer })
+            .collect(),
+    )?;
+    let mut db = Database::new();
+    let rows = meta::store_schema(&mut db, &app)?;
+    graphdef::install_graphics_schema(&mut db)?;
+    db.define_entity(
+        "STEM",
+        ["xpos", "ypos", "length", "direction"]
+            .into_iter()
+            .map(|n| AttributeDef { name: n.into(), ty: DataType::Integer })
+            .collect(),
+    )?;
+    let gd = graphdef::register_graphdef(
+        &mut db,
+        "draw-stem",
+        "newpath xpos ypos moveto 0 length direction mul rlineto stroke",
+    )?;
+    graphdef::bind_graphdef(&mut db, rows[0].1, gd)?;
+    for (attr, setup) in [
+        ("xpos", "/xpos ? def"),
+        ("ypos", "/ypos ? def"),
+        ("length", "/length ? def"),
+        ("direction", "/direction ? def"),
+    ] {
+        let attr_row = db
+            .ord_children("entity_attributes", Some(rows[0].1))?
+            .into_iter()
+            .find(|&a| db.get_attr(a, "attribute_name").unwrap().as_str() == Some(attr))
+            .expect("attribute row");
+        graphdef::bind_parameter(&mut db, attr_row, gd, setup)?;
+    }
+    let mut elements = Vec::new();
+    for (x, dir) in [(2i64, 1i64), (8, -1), (14, 1), (20, -1)] {
+        let y = if dir > 0 { 2 } else { 12 };
+        let stem = db.create_entity(
+            "STEM",
+            &[
+                ("xpos", Value::Integer(x)),
+                ("ypos", Value::Integer(y)),
+                ("length", Value::Integer(8)),
+                ("direction", Value::Integer(dir)),
+            ],
+        )?;
+        elements.extend(graphdef::draw_instance(&db, stem)?);
+    }
+    println!("stems drawn via GraphDef/GParmUse/GDefUse:\n");
+    println!("{}", graphdef::rasterize(&elements, 26, 15));
+    Ok(())
+}
