@@ -16,9 +16,13 @@ fn bench_pianoroll(c: &mut Criterion) {
         let score = generated_score(9, 3, len);
         let notes = perform(&score.movements[0]);
         g.throughput(Throughput::Elements(notes.len() as u64));
-        g.bench_with_input(BenchmarkId::new("render", notes.len()), &notes, |b, notes| {
-            b.iter(|| black_box(PianoRoll::render(notes, 0.25, &|_, _| false)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("render", notes.len()),
+            &notes,
+            |b, notes| {
+                b.iter(|| black_box(PianoRoll::render(notes, 0.25, &|_, _| false)));
+            },
+        );
     }
     g.finish();
 }

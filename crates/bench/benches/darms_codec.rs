@@ -16,16 +16,24 @@ fn bench_darms(c: &mut Criterion) {
             b.iter(|| black_box(mdm_darms::parse(text).expect("parse")));
         });
         let items = mdm_darms::parse(&text).expect("parse");
-        g.bench_with_input(BenchmarkId::new("canonize", measures), &items, |b, items| {
-            b.iter(|| black_box(mdm_darms::canonize(items)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("canonize", measures),
+            &items,
+            |b, items| {
+                b.iter(|| black_box(mdm_darms::canonize(items)));
+            },
+        );
         let canon = mdm_darms::canonize(&items);
         g.bench_with_input(BenchmarkId::new("emit", measures), &canon, |b, canon| {
             b.iter(|| black_box(mdm_darms::emit(canon)));
         });
-        g.bench_with_input(BenchmarkId::new("to_voice", measures), &canon, |b, canon| {
-            b.iter(|| black_box(mdm_darms::to_voice(canon).expect("voice")));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("to_voice", measures),
+            &canon,
+            |b, canon| {
+                b.iter(|| black_box(mdm_darms::to_voice(canon).expect("voice")));
+            },
+        );
         // Full round trip including pitch resolution both ways.
         g.bench_with_input(BenchmarkId::new("roundtrip", measures), &text, |b, text| {
             b.iter(|| {

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mdm_lang::Session;
-use mdm_model::{graphdef, meta, AttributeDef, Database, DataType, Value};
+use mdm_model::{graphdef, meta, AttributeDef, DataType, Database, Value};
 use std::hint::black_box;
 
 fn cmn_schema() -> mdm_model::Schema {
@@ -48,14 +48,19 @@ fn stem_db() -> (Database, u64) {
     let mut app = mdm_model::Schema::new();
     let attrs = |v: Vec<&str>| {
         v.into_iter()
-            .map(|n| AttributeDef { name: n.into(), ty: DataType::Integer })
+            .map(|n| AttributeDef {
+                name: n.into(),
+                ty: DataType::Integer,
+            })
             .collect::<Vec<_>>()
     };
-    app.define_entity("STEM", attrs(vec!["xpos", "ypos", "length", "direction"])).expect("app");
+    app.define_entity("STEM", attrs(vec!["xpos", "ypos", "length", "direction"]))
+        .expect("app");
     let mut db = Database::new();
     let rows = meta::store_schema(&mut db, &app).expect("meta");
     graphdef::install_graphics_schema(&mut db).expect("graphics");
-    db.define_entity("STEM", attrs(vec!["xpos", "ypos", "length", "direction"])).expect("data");
+    db.define_entity("STEM", attrs(vec!["xpos", "ypos", "length", "direction"]))
+        .expect("data");
     let gd = graphdef::register_graphdef(
         &mut db,
         "draw-stem",

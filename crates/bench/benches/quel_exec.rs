@@ -39,17 +39,13 @@ fn bench_paper_queries(c: &mut Criterion) {
     for &chords in &[10usize, 40, 160] {
         let mut db = chord_database(chords, 4);
         for (name, text) in QUERIES {
-            g.bench_with_input(
-                BenchmarkId::new(name, chords * 4),
-                &chords,
-                |b, _| {
-                    let mut session = Session::new();
-                    b.iter(|| {
-                        let out = session.execute(&mut db, text).expect("query");
-                        black_box(out.len())
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, chords * 4), &chords, |b, _| {
+                let mut session = Session::new();
+                b.iter(|| {
+                    let out = session.execute(&mut db, text).expect("query");
+                    black_box(out.len())
+                });
+            });
         }
     }
     g.finish();
@@ -65,7 +61,10 @@ fn bench_selection(c: &mut Criterion) {
             let mut session = Session::new();
             b.iter(|| {
                 let out = session
-                    .execute(&mut db, "range of n is NOTE\nretrieve (n.name) where n.name = 6")
+                    .execute(
+                        &mut db,
+                        "range of n is NOTE\nretrieve (n.name) where n.name = 6",
+                    )
                     .expect("query");
                 black_box(out.len())
             });
@@ -95,5 +94,10 @@ fn bench_index_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_paper_queries, bench_selection, bench_index_ablation);
+criterion_group!(
+    benches,
+    bench_paper_queries,
+    bench_selection,
+    bench_index_ablation
+);
 criterion_main!(benches);

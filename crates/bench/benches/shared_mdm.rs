@@ -20,74 +20,79 @@ use mdm_core::{Analyst, MusicDataManager};
 use mdm_storage::StorageEngine;
 use std::hint::black_box;
 
-const CLIENTS: usize = 4;
+/// Client-count axis: 1 isolates the no-contention baseline, 8 shows how
+/// sharded latching + group commit scale past the core count (on one
+/// core the win comes almost entirely from batched fsyncs).
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const OPS_PER_CLIENT: usize = 50;
 
 fn bench_shared_vs_private(c: &mut Criterion) {
     let mut g = c.benchmark_group("f1_shared_vs_private");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
-    g.bench_function(BenchmarkId::new("shared_store", CLIENTS), |b| {
-        b.iter_batched(
-            || {
-                let dir = tempdir::fresh("shared");
-                let eng = StorageEngine::open_with_capacity(&dir.0, 256).expect("open");
-                let tables: Vec<_> = (0..CLIENTS)
-                    .map(|i| eng.create_table(&format!("client_{i}")).expect("table"))
-                    .collect();
-                (dir, eng, tables)
-            },
-            |(dir, eng, tables)| {
-                std::thread::scope(|scope| {
-                    for &t in &tables {
-                        let eng = eng.clone();
-                        scope.spawn(move || {
-                            for i in 0..OPS_PER_CLIENT {
-                                let mut txn = eng.begin().expect("begin");
-                                eng.insert(&mut txn, t, format!("row {i}").as_bytes())
-                                    .expect("insert");
-                                eng.commit(txn).expect("commit");
-                            }
-                        });
-                    }
-                });
-                drop(eng);
-                drop(dir);
-            },
-            criterion::BatchSize::PerIteration,
-        );
-    });
-    g.bench_function(BenchmarkId::new("private_stores", CLIENTS), |b| {
-        b.iter_batched(
-            || {
-                (0..CLIENTS)
-                    .map(|_| {
-                        let dir = tempdir::fresh("private");
-                        let eng = StorageEngine::open_with_capacity(&dir.0, 256).expect("open");
-                        let t = eng.create_table("client").expect("table");
-                        (dir, eng, t)
-                    })
-                    .collect::<Vec<_>>()
-            },
-            |stores| {
-                std::thread::scope(|scope| {
-                    for (_, eng, t) in &stores {
-                        let eng = eng.clone();
-                        let t = *t;
-                        scope.spawn(move || {
-                            for i in 0..OPS_PER_CLIENT {
-                                let mut txn = eng.begin().expect("begin");
-                                eng.insert(&mut txn, t, format!("row {i}").as_bytes())
-                                    .expect("insert");
-                                eng.commit(txn).expect("commit");
-                            }
-                        });
-                    }
-                });
-                drop(stores);
-            },
-            criterion::BatchSize::PerIteration,
-        );
-    });
+    for &clients in &CLIENT_COUNTS {
+        g.bench_function(BenchmarkId::new("shared_store", clients), |b| {
+            b.iter_batched(
+                || {
+                    let dir = tempdir::fresh("shared");
+                    let eng = StorageEngine::open_with_capacity(&dir.0, 256).expect("open");
+                    let tables: Vec<_> = (0..clients)
+                        .map(|i| eng.create_table(&format!("client_{i}")).expect("table"))
+                        .collect();
+                    (dir, eng, tables)
+                },
+                |(dir, eng, tables)| {
+                    std::thread::scope(|scope| {
+                        for &t in &tables {
+                            let eng = eng.clone();
+                            scope.spawn(move || {
+                                for i in 0..OPS_PER_CLIENT {
+                                    let mut txn = eng.begin().expect("begin");
+                                    eng.insert(&mut txn, t, format!("row {i}").as_bytes())
+                                        .expect("insert");
+                                    eng.commit(txn).expect("commit");
+                                }
+                            });
+                        }
+                    });
+                    drop(eng);
+                    drop(dir);
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+        g.bench_function(BenchmarkId::new("private_stores", clients), |b| {
+            b.iter_batched(
+                || {
+                    (0..clients)
+                        .map(|_| {
+                            let dir = tempdir::fresh("private");
+                            let eng = StorageEngine::open_with_capacity(&dir.0, 256).expect("open");
+                            let t = eng.create_table("client").expect("table");
+                            (dir, eng, t)
+                        })
+                        .collect::<Vec<_>>()
+                },
+                |stores| {
+                    std::thread::scope(|scope| {
+                        for (_, eng, t) in &stores {
+                            let eng = eng.clone();
+                            let t = *t;
+                            scope.spawn(move || {
+                                for i in 0..OPS_PER_CLIENT {
+                                    let mut txn = eng.begin().expect("begin");
+                                    eng.insert(&mut txn, t, format!("row {i}").as_bytes())
+                                        .expect("insert");
+                                    eng.commit(txn).expect("commit");
+                                }
+                            });
+                        }
+                    });
+                    drop(stores);
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
     g.finish();
 }
 
@@ -114,8 +119,7 @@ fn bench_client_pipeline(c: &mut Criterion) {
     g.bench_function("pipeline_darms_convert", |b| {
         b.iter(|| {
             let voice = &score.movements[0].voices[0];
-            let items =
-                mdm_darms::from_voice(voice, score.movements[0].meter).expect("encode");
+            let items = mdm_darms::from_voice(voice, score.movements[0].meter).expect("encode");
             let text = mdm_darms::emit(&mdm_darms::canonize(&items));
             let parsed = mdm_darms::parse(&text).expect("parse");
             let back = mdm_darms::to_voice(&parsed).expect("voice");

@@ -20,11 +20,51 @@ fn bench_insert_commit(c: &mut Criterion) {
             b.iter(|| {
                 let mut txn = eng.begin().expect("begin");
                 for i in 0..batch {
-                    eng.insert(&mut txn, t, format!("record {i}").as_bytes()).expect("insert");
+                    eng.insert(&mut txn, t, format!("record {i}").as_bytes())
+                        .expect("insert");
                 }
                 eng.commit(txn).expect("commit");
             });
         });
+    }
+    g.finish();
+}
+
+fn bench_concurrent_commit(c: &mut Criterion) {
+    // Thread axis for the latching work: N clients each commit small
+    // transactions against their own table of one shared engine. With
+    // group commit, concurrent committers share fsyncs, so total time
+    // should grow far slower than linearly in N.
+    let mut g = c.benchmark_group("e2_concurrent_commit");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    const OPS_PER_THREAD: usize = 25;
+    for &threads in &[1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let dir = tempdir::fresh("conc");
+                let eng = StorageEngine::open_with_capacity(&dir.0, 256).expect("open");
+                let tables: Vec<_> = (0..threads)
+                    .map(|i| eng.create_table(&format!("t{i}")).expect("table"))
+                    .collect();
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for &t in &tables {
+                            let eng = eng.clone();
+                            scope.spawn(move || {
+                                for i in 0..OPS_PER_THREAD {
+                                    let mut txn = eng.begin().expect("begin");
+                                    eng.insert(&mut txn, t, format!("row {i}").as_bytes())
+                                        .expect("insert");
+                                    eng.commit(txn).expect("commit");
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -38,7 +78,8 @@ fn bench_scan(c: &mut Criterion) {
         let t = eng.create_table("t").expect("table");
         let mut txn = eng.begin().expect("begin");
         for i in 0..n {
-            eng.insert(&mut txn, t, format!("row number {i}").as_bytes()).expect("insert");
+            eng.insert(&mut txn, t, format!("row number {i}").as_bytes())
+                .expect("insert");
         }
         eng.commit(txn).expect("commit");
         g.bench_with_input(BenchmarkId::new("rows", n), &n, |b, _| {
@@ -63,8 +104,11 @@ fn bench_index(c: &mut Criterion) {
         eng.create_index(t, "by_key").expect("index");
         let mut txn = eng.begin().expect("begin");
         for i in 0..n {
-            let rid = eng.insert(&mut txn, t, format!("row {i}").as_bytes()).expect("insert");
-            eng.index_insert(&mut txn, t, "by_key", &encode_i64(i as i64), rid).expect("index");
+            let rid = eng
+                .insert(&mut txn, t, format!("row {i}").as_bytes())
+                .expect("insert");
+            eng.index_insert(&mut txn, t, "by_key", &encode_i64(i as i64), rid)
+                .expect("index");
         }
         eng.commit(txn).expect("commit");
         g.bench_with_input(BenchmarkId::new("point", n), &n, |b, &n| {
@@ -84,7 +128,13 @@ fn bench_index(c: &mut Criterion) {
                 let mut txn = eng.begin().expect("begin");
                 let lo = (n / 2) as i64;
                 let hits = eng
-                    .index_range(&mut txn, t, "by_key", Some(&encode_i64(lo)), Some(&encode_i64(lo + 99)))
+                    .index_range(
+                        &mut txn,
+                        t,
+                        "by_key",
+                        Some(&encode_i64(lo)),
+                        Some(&encode_i64(lo + 99)),
+                    )
                     .expect("range");
                 eng.commit(txn).expect("commit");
                 black_box(hits.len())
@@ -111,7 +161,8 @@ fn bench_recovery(c: &mut Criterion) {
                         let t = eng.create_table("t").expect("table");
                         let mut txn = eng.begin().expect("begin");
                         for i in 0..ops {
-                            eng.insert(&mut txn, t, format!("op {i}").as_bytes()).expect("insert");
+                            eng.insert(&mut txn, t, format!("op {i}").as_bytes())
+                                .expect("insert");
                         }
                         eng.commit(txn).expect("commit");
                         std::mem::forget(eng);
@@ -143,7 +194,8 @@ fn bench_pool_ablation(c: &mut Criterion) {
         let t = eng.create_table("t").expect("table");
         let mut txn = eng.begin().expect("begin");
         for i in 0..rows {
-            eng.insert(&mut txn, t, format!("row body number {i}").as_bytes()).expect("insert");
+            eng.insert(&mut txn, t, format!("row body number {i}").as_bytes())
+                .expect("insert");
         }
         eng.commit(txn).expect("commit");
         g.bench_with_input(BenchmarkId::new("scan_20k_rows", pages), &pages, |b, _| {
@@ -161,6 +213,7 @@ fn bench_pool_ablation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_insert_commit,
+    bench_concurrent_commit,
     bench_scan,
     bench_index,
     bench_recovery,

@@ -68,12 +68,21 @@ impl ModeledOrderingStore {
         db.define_entity("CHORD", vec![]).expect("schema");
         db.define_entity(
             "NOTE",
-            vec![mdm_model::AttributeDef { name: "name".into(), ty: mdm_model::DataType::Integer }],
+            vec![mdm_model::AttributeDef {
+                name: "name".into(),
+                ty: mdm_model::DataType::Integer,
+            }],
         )
         .expect("schema");
-        db.define_ordering(Some("o"), &["NOTE"], Some("CHORD")).expect("schema");
+        db.define_ordering(Some("o"), &["NOTE"], Some("CHORD"))
+            .expect("schema");
         let parent = db.create_entity("CHORD", &[]).expect("parent");
-        ModeledOrderingStore { db, parent, ids: HashMap::new(), rev: HashMap::new() }
+        ModeledOrderingStore {
+            db,
+            parent,
+            ids: HashMap::new(),
+            rev: HashMap::new(),
+        }
     }
 }
 
@@ -95,11 +104,15 @@ impl OrderedStore for ModeledOrderingStore {
             .expect("create");
         self.ids.insert(child, e);
         self.rev.insert(e, child);
-        self.db.ord_insert("o", Some(self.parent), pos, e).expect("insert");
+        self.db
+            .ord_insert("o", Some(self.parent), pos, e)
+            .expect("insert");
     }
 
     fn len(&self) -> usize {
-        self.db.ord_children("o", Some(self.parent)).map_or(0, |v| v.len())
+        self.db
+            .ord_children("o", Some(self.parent))
+            .map_or(0, |v| v.len())
     }
 
     fn children(&mut self) -> Vec<u64> {
@@ -112,7 +125,9 @@ impl OrderedStore for ModeledOrderingStore {
     }
 
     fn before(&mut self, a: u64, b: u64) -> bool {
-        self.db.before("o", self.ids[&a], self.ids[&b]).expect("before")
+        self.db
+            .before("o", self.ids[&a], self.ids[&b])
+            .expect("before")
     }
 
     fn nth(&mut self, n: usize) -> Option<u64> {
@@ -181,7 +196,12 @@ impl PositionStore {
         let table = engine.create_table("items").expect("table");
         engine.create_index(table, "by_pos").expect("index");
         engine.create_index(table, "by_child").expect("index");
-        PositionStore { engine, table, count: 0, _dir: dir }
+        PositionStore {
+            engine,
+            table,
+            count: 0,
+            _dir: dir,
+        }
     }
 
     fn rid_of_child(&self, txn: &mut mdm_storage::Txn, child: u64) -> Option<Rid> {
@@ -226,7 +246,11 @@ impl OrderedStore for PositionStore {
             .expect("range");
         for (key, rid) in hits.into_iter().rev() {
             let old_pos = mdm_storage::decode_i64(&key);
-            let rec = self.engine.get(&mut txn, self.table, rid).expect("get").expect("rec");
+            let rec = self
+                .engine
+                .get(&mut txn, self.table, rid)
+                .expect("get")
+                .expect("rec");
             let (c, _) = decode_record(&rec);
             let new_rid = self
                 .engine
@@ -236,7 +260,13 @@ impl OrderedStore for PositionStore {
                 .index_delete(&mut txn, self.table, "by_pos", &key, rid)
                 .expect("idx del");
             self.engine
-                .index_insert(&mut txn, self.table, "by_pos", &encode_i64(old_pos + 1), new_rid)
+                .index_insert(
+                    &mut txn,
+                    self.table,
+                    "by_pos",
+                    &encode_i64(old_pos + 1),
+                    new_rid,
+                )
                 .expect("idx ins");
             if new_rid != rid {
                 self.engine
@@ -273,7 +303,11 @@ impl OrderedStore for PositionStore {
             .expect("range");
         let mut out = Vec::with_capacity(hits.len());
         for (_, rid) in hits {
-            let rec = self.engine.get(&mut txn, self.table, rid).expect("get").expect("rec");
+            let rec = self
+                .engine
+                .get(&mut txn, self.table, rid)
+                .expect("get")
+                .expect("rec");
             out.push(decode_record(&rec).0);
         }
         self.engine.commit(txn).expect("commit");
@@ -297,7 +331,11 @@ impl OrderedStore for PositionStore {
             .into_iter()
             .next();
         let out = hit.map(|rid| {
-            let rec = self.engine.get(&mut txn, self.table, rid).expect("get").expect("rec");
+            let rec = self
+                .engine
+                .get(&mut txn, self.table, rid)
+                .expect("get")
+                .expect("rec");
             decode_record(&rec).0
         });
         self.engine.commit(txn).expect("commit");
@@ -311,7 +349,11 @@ impl OrderedStore for PositionStore {
 
 fn f64_key(x: f64) -> [u8; 8] {
     let bits = x.to_bits();
-    let mapped = if bits >> 63 == 1 { !bits } else { bits ^ (1 << 63) };
+    let mapped = if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits ^ (1 << 63)
+    };
     mapped.to_be_bytes()
 }
 
@@ -334,7 +376,13 @@ impl FloatKeyStore {
         let engine = StorageEngine::open(&dir.0).expect("open engine");
         let table = engine.create_table("items").expect("table");
         engine.create_index(table, "by_key").expect("index");
-        FloatKeyStore { engine, table, order: Vec::new(), renumbers: 0, _dir: dir }
+        FloatKeyStore {
+            engine,
+            table,
+            order: Vec::new(),
+            renumbers: 0,
+            _dir: dir,
+        }
     }
 
     fn write(&self, txn: &mut mdm_storage::Txn, key: f64, child: u64) {
@@ -352,7 +400,9 @@ impl FloatKeyStore {
         self.renumbers += 1;
         self.engine.drop_table("items").expect("drop");
         self.table = self.engine.create_table("items").expect("table");
-        self.engine.create_index(self.table, "by_key").expect("index");
+        self.engine
+            .create_index(self.table, "by_key")
+            .expect("index");
         let mut txn = self.engine.begin().expect("begin");
         for (i, entry) in self.order.iter_mut().enumerate() {
             entry.0 = i as f64;
@@ -376,7 +426,10 @@ impl OrderedStore for FloatKeyStore {
     }
 
     fn insert_at(&mut self, pos: usize, child: u64) {
-        let key = match (pos.checked_sub(1).and_then(|p| self.order.get(p)), self.order.get(pos)) {
+        let key = match (
+            pos.checked_sub(1).and_then(|p| self.order.get(p)),
+            self.order.get(pos),
+        ) {
             (None, None) => 0.0,
             (Some(&(left, _)), None) => left + 1.0,
             (None, Some(&(right, _))) => right - 1.0,
@@ -410,7 +463,11 @@ impl OrderedStore for FloatKeyStore {
             .expect("range");
         let mut out = Vec::with_capacity(hits.len());
         for (_, rid) in hits {
-            let rec = self.engine.get(&mut txn, self.table, rid).expect("get").expect("rec");
+            let rec = self
+                .engine
+                .get(&mut txn, self.table, rid)
+                .expect("get")
+                .expect("rec");
             out.push(u64::from_le_bytes(rec[0..8].try_into().expect("rec")));
         }
         self.engine.commit(txn).expect("commit");

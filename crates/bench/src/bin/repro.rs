@@ -41,7 +41,10 @@ fn main() {
     let selected: Vec<_> = if which == "all" {
         all
     } else {
-        let found = all.into_iter().filter(|(n, _)| *n == which).collect::<Vec<_>>();
+        let found = all
+            .into_iter()
+            .filter(|(n, _)| *n == which)
+            .collect::<Vec<_>>();
         if found.is_empty() {
             eprintln!("unknown artifact {which}; use fig1..fig15, t1, quel, or all");
             std::process::exit(2);
@@ -78,26 +81,38 @@ fn fig1() -> String {
     let subject = bwv578_subject().movements[0].voices[0].clone();
     let canon = Composer::canon(&subject, 2, 4, 12, TimeSignature::common(), 84.0);
     let id = mdm.store_score(&canon).expect("store");
-    out.push_str(&format!("composition client stored \"{}\" (entity @{id})\n", canon.title));
+    out.push_str(&format!(
+        "composition client stored \"{}\" (entity @{id})\n",
+        canon.title
+    ));
 
     // …the analysis client reads the same data…
     let score = mdm.load_score(id).expect("load");
     let hist = Analyst::interval_histogram(&score);
-    let leaps = hist.iter().filter(|&(&i, _)| i.abs() > 4).map(|(_, n)| n).sum::<usize>();
-    out.push_str(&format!("analysis client found {leaps} melodic leaps in it\n"));
+    let leaps = hist
+        .iter()
+        .filter(|&(&i, _)| i.abs() > 4)
+        .map(|(_, n)| n)
+        .sum::<usize>();
+    out.push_str(&format!(
+        "analysis client found {leaps} melodic leaps in it\n"
+    ));
 
     // …the editor transposes it…
     let mut editor = mdm_core::ScoreEditor::checkout(&mut mdm, id).expect("checkout");
     editor.transpose_voice(0, 0, -2).expect("transpose");
     let new_id = editor.commit().expect("commit");
-    out.push_str(&format!("editor client transposed voice 1 down a tone (now @{new_id})\n"));
+    out.push_str(&format!(
+        "editor client transposed voice 1 down a tone (now @{new_id})\n"
+    ));
 
     // …and the library client catalogs it.
     let mut lib = Library::new("GEN");
     lib.catalog(&mdm, new_id, 1).expect("catalog");
     out.push_str(&format!(
         "library client cataloged it as {}\n",
-        lib.index().accepted_name(lib.index().get(1).expect("entry"))
+        lib.index()
+            .accepted_name(lib.index().get(1).expect("entry"))
     ));
     out.push_str("\nAll four clients operated on the same entities — no converters.\n");
     drop(mdm);
@@ -146,7 +161,9 @@ fn fig4() -> String {
     out.push_str("\n(b) its DARMS encoding (user form)\n\n");
     out.push_str(mdm_darms::fixtures::FIG4_USER_SHORT);
     out.push_str("\n\n    canonical form (output of the canonizer)\n\n");
-    let items = mdm_darms::canonize(&mdm_darms::parse(mdm_darms::fixtures::FIG4_USER_SHORT).expect("parse"));
+    let items = mdm_darms::canonize(
+        &mdm_darms::parse(mdm_darms::fixtures::FIG4_USER_SHORT).expect("parse"),
+    );
     out.push_str(&mdm_darms::emit(&items));
     out.push_str("\n\n(c) abbreviation key\n\n");
     for (abbr, meaning) in [
@@ -158,7 +175,10 @@ fn fig4() -> String {
         ("@text$", "Literal string"),
         ("¢", "Capitalize next letter"),
         ("(notes)", "Beam grouping"),
-        ("W H Q E S T", "Whole/half/quarter/eighth/16th/32nd duration"),
+        (
+            "W H Q E S T",
+            "Whole/half/quarter/eighth/16th/32nd duration",
+        ),
         ("D", "Stems down"),
         ("/", "Bar line"),
         ("//", "End of excerpt"),
@@ -196,13 +216,20 @@ fn fig6() -> String {
              define ordering note_in_chord (NOTE) under CHORD",
         )
         .expect("schema");
-    let y = db.create_entity("CHORD", &[("name", Value::Integer(1))]).expect("chord");
+    let y = db
+        .create_entity("CHORD", &[("name", Value::Integer(1))])
+        .expect("chord");
     for i in 0..4 {
-        let n = db.create_entity("NOTE", &[("name", Value::Integer(i))]).expect("note");
+        let n = db
+            .create_entity("NOTE", &[("name", Value::Integer(i))])
+            .expect("note");
         db.ord_append("note_in_chord", Some(y), n).expect("append");
     }
     let mut out = diagram::instance_graph(&db, "note_in_chord", Some(y)).expect("graph");
-    let w = db.nth_child("note_in_chord", Some(y), 2).expect("nth").expect("w");
+    let w = db
+        .nth_child("note_in_chord", Some(y), 2)
+        .expect("nth")
+        .expect("w");
     out.push_str(&format!(
         "\n\"the third child of the parent labeled y\" is NOTE@{w}\n"
     ));
@@ -243,11 +270,12 @@ fn fig8() -> String {
     out.push_str("\n(b) the fragment: eighth, two sixteenths | two sixteenths, eighth\n");
     let e = Duration::new(BaseDuration::Eighth);
     let s = Duration::new(BaseDuration::Sixteenth);
-    let groups = beam::beam_contiguous(
-        &[(0, e), (1, s), (2, s), (3, s), (4, s), (5, e)],
-        rat(1, 1),
-    );
-    out.push_str(&format!("\n    derived beam structure: {}\n", beam::beam_to_string(&groups)));
+    let groups =
+        beam::beam_contiguous(&[(0, e), (1, s), (2, s), (3, s), (4, s), (5, e)], rat(1, 1));
+    out.push_str(&format!(
+        "\n    derived beam structure: {}\n",
+        beam::beam_to_string(&groups)
+    ));
 
     out.push_str("\n(c) the instance graph, stored in the database\n\n");
     // Mirror the derived structure into BEAM_GROUP/CHORD entities.
@@ -270,7 +298,9 @@ fn fig8() -> String {
         }
     }
     let mut next_group = 1;
-    let root = db.create_entity("BEAM_GROUP", &[("name", Value::Integer(0))]).expect("root");
+    let root = db
+        .create_entity("BEAM_GROUP", &[("name", Value::Integer(0))])
+        .expect("root");
     for g in &groups {
         store_group(&mut db, root, g, &mut next_group);
     }
@@ -305,10 +335,22 @@ fn fig10() -> String {
     app.define_entity(
         "STEM",
         vec![
-            mdm_model::AttributeDef { name: "xpos".into(), ty: mdm_model::DataType::Integer },
-            mdm_model::AttributeDef { name: "ypos".into(), ty: mdm_model::DataType::Integer },
-            mdm_model::AttributeDef { name: "length".into(), ty: mdm_model::DataType::Integer },
-            mdm_model::AttributeDef { name: "direction".into(), ty: mdm_model::DataType::Integer },
+            mdm_model::AttributeDef {
+                name: "xpos".into(),
+                ty: mdm_model::DataType::Integer,
+            },
+            mdm_model::AttributeDef {
+                name: "ypos".into(),
+                ty: mdm_model::DataType::Integer,
+            },
+            mdm_model::AttributeDef {
+                name: "length".into(),
+                ty: mdm_model::DataType::Integer,
+            },
+            mdm_model::AttributeDef {
+                name: "direction".into(),
+                ty: mdm_model::DataType::Integer,
+            },
         ],
     )
     .expect("schema");
@@ -319,10 +361,22 @@ fn fig10() -> String {
     db.define_entity(
         "STEM",
         vec![
-            mdm_model::AttributeDef { name: "xpos".into(), ty: mdm_model::DataType::Integer },
-            mdm_model::AttributeDef { name: "ypos".into(), ty: mdm_model::DataType::Integer },
-            mdm_model::AttributeDef { name: "length".into(), ty: mdm_model::DataType::Integer },
-            mdm_model::AttributeDef { name: "direction".into(), ty: mdm_model::DataType::Integer },
+            mdm_model::AttributeDef {
+                name: "xpos".into(),
+                ty: mdm_model::DataType::Integer,
+            },
+            mdm_model::AttributeDef {
+                name: "ypos".into(),
+                ty: mdm_model::DataType::Integer,
+            },
+            mdm_model::AttributeDef {
+                name: "length".into(),
+                ty: mdm_model::DataType::Integer,
+            },
+            mdm_model::AttributeDef {
+                name: "direction".into(),
+                ty: mdm_model::DataType::Integer,
+            },
         ],
     )
     .expect("schema");
@@ -348,7 +402,9 @@ fn fig10() -> String {
         graphdef::bind_parameter(&mut db, attr_row, gd, setup).expect("param");
     }
     out.push_str("schema: STEM(xpos, ypos, length, direction)\n");
-    out.push_str("GraphDef \"draw-stem\": newpath xpos ypos moveto 0 length direction mul rlineto stroke\n");
+    out.push_str(
+        "GraphDef \"draw-stem\": newpath xpos ypos moveto 0 length direction mul rlineto stroke\n",
+    );
     out.push_str("GParmUse: /xpos ? def — /ypos ? def — /length ? def — /direction ? def\n\n");
     // Draw a few stems, up and down.
     let mut elements = Vec::new();
@@ -379,12 +435,14 @@ fn fig11() -> String {
     let subject = bwv578_subject().movements[0].voices[0].clone();
     let mut fugue = bwv578_subject();
     // A sostenuto-pedal actuation — the paper's own MIDI-control example.
-    fugue.movements[0].controls.push(mdm_notation::ControlEvent {
-        beat: (8, 1),
-        controller: 66,
-        value: 127,
-        voice: 0,
-    });
+    fugue.movements[0]
+        .controls
+        .push(mdm_notation::ControlEvent {
+            beat: (8, 1),
+            controller: 66,
+            value: 127,
+            voice: 0,
+        });
     let corpus = [
         fugue,
         gloria_fragment(),
@@ -432,7 +490,9 @@ fn fig13() -> String {
     out.push_str("VOICE ==event_in_voice==> EVENT\n");
     out.push_str("EVENT ==midi_in_event==> MIDI\n\n");
     out.push_str("instance counts for BWV 578 (opening):\n");
-    for ty in ["SCORE", "MOVEMENT", "MEASURE", "SYNC", "VOICE", "CHORD", "NOTE", "EVENT", "MIDI"] {
+    for ty in [
+        "SCORE", "MOVEMENT", "MEASURE", "SYNC", "VOICE", "CHORD", "NOTE", "EVENT", "MIDI",
+    ] {
         out.push_str(&format!(
             "  {ty:<10} {}\n",
             db.instances_of(ty).expect("instances").len()
@@ -468,7 +528,11 @@ fn fig15() -> String {
     let slur = group::Group::new(group::GroupKind::Slur, 0, 0, 3);
     let beam1 = group::Group::new(group::GroupKind::Beam, 0, 4, 7);
     let phrase = group::Group::new(group::GroupKind::Phrase, 0, 0, 10);
-    for (name, g) in [("slur over m.1", &slur), ("beam in m.2", &beam1), ("phrase m.1–2", &phrase)] {
+    for (name, g) in [
+        ("slur over m.1", &slur),
+        ("beam in m.2", &beam1),
+        ("phrase m.1–2", &phrase),
+    ] {
         out.push_str(&format!(
             "{name:<14} elements {}..={}  duration {} beats\n",
             g.start,
@@ -487,7 +551,11 @@ fn fig15() -> String {
 /// T1: the §4.1 storage arithmetic and measured codec behaviour.
 fn t1() -> String {
     let mut out = String::new();
-    let bytes = mdm_sound::storage_bytes(mdm_sound::PRO_SAMPLE_RATE, mdm_sound::PRO_BITS_PER_SAMPLE, 600.0);
+    let bytes = mdm_sound::storage_bytes(
+        mdm_sound::PRO_SAMPLE_RATE,
+        mdm_sound::PRO_BITS_PER_SAMPLE,
+        600.0,
+    );
     out.push_str(&format!(
         "paper claim: 10 min at 48 kHz × 16 bit = 57.6 MB; computed: {:.1} MB\n\n",
         bytes as f64 / 1e6

@@ -17,8 +17,15 @@ pub fn generated_score(seed: u64, voices: usize, length: usize) -> Score {
         mdm_notation::TempoMap::constant(112.0),
     );
     for v in 0..voices {
-        let walk = Composer::random_walk(seed.wrapping_add(v as u64), length, KeySignature::new(-2), 112.0);
-        movement.voices.extend(walk.movements.into_iter().flat_map(|m| m.voices));
+        let walk = Composer::random_walk(
+            seed.wrapping_add(v as u64),
+            length,
+            KeySignature::new(-2),
+            112.0,
+        );
+        movement
+            .voices
+            .extend(walk.movements.into_iter().flat_map(|m| m.voices));
     }
     score.movements.push(movement);
     score
@@ -46,7 +53,8 @@ pub fn chord_database(chords: usize, notes_per_chord: usize) -> Database {
             let note = db
                 .create_entity("NOTE", &[("name", Value::Integer(note_name))])
                 .expect("create note");
-            db.ord_append("note_in_chord", Some(chord), note).expect("append");
+            db.ord_append("note_in_chord", Some(chord), note)
+                .expect("append");
             note_name += 1;
         }
     }
@@ -127,7 +135,10 @@ mod tests {
         assert_eq!(db.instances_of("CHORD").unwrap().len(), 10);
         assert_eq!(db.instances_of("NOTE").unwrap().len(), 40);
         let first = db.instances_of("CHORD").unwrap()[0];
-        assert_eq!(db.ord_children("note_in_chord", Some(first)).unwrap().len(), 4);
+        assert_eq!(
+            db.ord_children("note_in_chord", Some(first)).unwrap().len(),
+            4
+        );
     }
 
     #[test]

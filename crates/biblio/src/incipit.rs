@@ -117,7 +117,10 @@ mod tests {
         let inc = Incipit::from_keys(bwv578_keys());
         // The same subject up a fourth: G→C, D→G, Bb→Eb …
         let transposed: Vec<i32> = bwv578_keys()[..5].iter().map(|k| k + 5).collect();
-        assert!(inc.contains(&Incipit::from_keys(transposed.clone()), MatchKind::Transposed));
+        assert!(inc.contains(
+            &Incipit::from_keys(transposed.clone()),
+            MatchKind::Transposed
+        ));
         assert!(!inc.contains(&Incipit::from_keys(transposed), MatchKind::Exact));
     }
 

@@ -47,7 +47,10 @@ pub struct ThematicIndex {
 impl ThematicIndex {
     /// An empty index with the given prefix.
     pub fn new(name: &str) -> ThematicIndex {
-        ThematicIndex { name: name.to_string(), entries: BTreeMap::new() }
+        ThematicIndex {
+            name: name.to_string(),
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Adds (or replaces) an entry.

@@ -22,9 +22,10 @@ use mdm_core::MusicDataManager;
 use mdm_lang::StmtResult;
 
 fn main() {
-    let dir = std::env::args().nth(1).map(std::path::PathBuf::from).unwrap_or_else(|| {
-        std::env::temp_dir().join(format!("mdm-shell-{}", std::process::id()))
-    });
+    let dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("mdm-shell-{}", std::process::id())));
     let mut mdm = match MusicDataManager::open(&dir) {
         Ok(m) => m,
         Err(e) => {
@@ -79,8 +80,11 @@ fn main() {
             ".schema" => {
                 let schema = mdm.database().schema();
                 for e in schema.entity_types() {
-                    let attrs: Vec<String> =
-                        e.attributes.iter().map(|a| format!("{} = {}", a.name, a.ty.name())).collect();
+                    let attrs: Vec<String> = e
+                        .attributes
+                        .iter()
+                        .map(|a| format!("{} = {}", a.name, a.ty.name()))
+                        .collect();
                     println!("entity {} ({})", e.name, attrs.join(", "));
                 }
                 for r in schema.relationships() {

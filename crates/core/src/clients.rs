@@ -35,7 +35,11 @@ impl<'a> ScoreEditor<'a> {
     /// Checks out a stored score.
     pub fn checkout(mdm: &'a mut MusicDataManager, score_id: EntityId) -> Result<ScoreEditor<'a>> {
         let working = mdm.load_score(score_id)?;
-        Ok(ScoreEditor { mdm, score_id, working })
+        Ok(ScoreEditor {
+            mdm,
+            score_id,
+            working,
+        })
     }
 
     /// The working copy.
@@ -94,8 +98,10 @@ impl<'a> ScoreEditor<'a> {
                 v.elements.len()
             )));
         }
-        v.elements
-            .insert(position, VoiceElement::Chord(Chord::new(vec![Note::new(pitch)], duration)));
+        v.elements.insert(
+            position,
+            VoiceElement::Chord(Chord::new(vec![Note::new(pitch)], duration)),
+        );
         Ok(())
     }
 
@@ -110,7 +116,12 @@ impl<'a> ScoreEditor<'a> {
     }
 
     /// Adds a ritardando over the movement's final `beats` beats.
-    pub fn add_final_ritardando(&mut self, movement: usize, beats: i64, target_bpm: f64) -> Result<()> {
+    pub fn add_final_ritardando(
+        &mut self,
+        movement: usize,
+        beats: i64,
+        target_bpm: f64,
+    ) -> Result<()> {
         let m = self
             .working
             .movements
@@ -159,11 +170,8 @@ impl Composer {
         meter: mdm_notation::TimeSignature,
         bpm: f64,
     ) -> Score {
-        let mut movement = mdm_notation::Movement::new(
-            "canon",
-            meter,
-            mdm_notation::TempoMap::constant(bpm),
-        );
+        let mut movement =
+            mdm_notation::Movement::new("canon", meter, mdm_notation::TempoMap::constant(bpm));
         for vi in 0..voices {
             let mut voice = Voice::new(
                 &format!("voice {}", vi + 1),
@@ -213,9 +221,13 @@ impl Composer {
             mdm_notation::TempoMap::constant(bpm),
         );
         let mut voice = Voice::new("walk", "piano", mdm_notation::Clef::Treble, key);
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let mut degree: i32 = 4; // middle of the staff
@@ -254,7 +266,9 @@ pub struct Library {
 impl Library {
     /// An empty library with the given index prefix (e.g. "BWV").
     pub fn new(prefix: &str) -> Library {
-        Library { index: mdm_biblio::ThematicIndex::new(prefix) }
+        Library {
+            index: mdm_biblio::ThematicIndex::new(prefix),
+        }
     }
 
     /// The underlying thematic index.
@@ -522,10 +536,21 @@ mod tests {
                 Duration::new(BaseDuration::Quarter),
             )
             .unwrap();
-        assert_eq!(editor.score().movements[0].voices[0].elements.len(), len + 1);
+        assert_eq!(
+            editor.score().movements[0].voices[0].elements.len(),
+            len + 1
+        );
         editor.remove_element(0, 0, 1).unwrap();
         assert_eq!(editor.score().movements[0].voices[0].elements.len(), len);
-        assert!(editor.insert_chord(0, 0, 999, Pitch::parse("C5").unwrap(), Duration::new(BaseDuration::Quarter)).is_err());
+        assert!(editor
+            .insert_chord(
+                0,
+                0,
+                999,
+                Pitch::parse("C5").unwrap(),
+                Duration::new(BaseDuration::Quarter)
+            )
+            .is_err());
         drop(mdm);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -623,7 +648,11 @@ mod tests {
         let intervals = Analyst::harmonic_intervals(&m);
         assert!(!intervals.is_empty());
         // At beat 0: C5 against C3 → 0 mod 12 (octaves).
-        let at0: Vec<i32> = intervals.iter().filter(|(t, _)| *t == 0.0).map(|(_, i)| *i).collect();
+        let at0: Vec<i32> = intervals
+            .iter()
+            .filter(|(t, _)| *t == 0.0)
+            .map(|(_, i)| *i)
+            .collect();
         assert_eq!(at0, vec![0]);
     }
 

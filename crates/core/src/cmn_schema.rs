@@ -108,11 +108,20 @@ pub fn descriptions() -> Vec<(&'static str, &'static str)> {
         ("INSTRUMENT", "The unit of timbral definition"),
         ("PART", "Music assigned to an individual performer"),
         ("VOICE", "The unit of homophony"),
-        ("TEXT", "In vocal music, a line of text associated with the notes"),
-        ("SYLLABLE", "The piece of text associated with a single note"),
+        (
+            "TEXT",
+            "In vocal music, a line of text associated with the notes",
+        ),
+        (
+            "SYLLABLE",
+            "The piece of text associated with a single note",
+        ),
         ("PAGE", "One graphical page of the score"),
         ("SYSTEM", "One line of the score on a page"),
-        ("STAFF", "A division of the system, associated with an instrument"),
+        (
+            "STAFF",
+            "A division of the system, associated with an instrument",
+        ),
         ("DEGREE", "A division of the staff (line and space)"),
         ("PERSON", "A composer or performer"),
     ]
@@ -130,10 +139,7 @@ pub fn census(db: &Database) -> String {
     out.push_str(&format!("{}\n", "-".repeat(81)));
     for e in db.schema().entity_types() {
         let d = desc.get(e.name.as_str()).copied().unwrap_or("");
-        let count = db
-            .instances_of(&e.name)
-            .map(<[u64]>::len)
-            .unwrap_or(0);
+        let count = db.instances_of(&e.name).map(<[u64]>::len).unwrap_or(0);
         out.push_str(&format!("{:<14} {:<56} {:>9}\n", e.name, d, count));
     }
     out
@@ -159,7 +165,11 @@ mod tests {
         install(&mut db).unwrap();
         let s = db.schema();
         // Multiple levels: SCORE → MOVEMENT → MEASURE → SYNC.
-        for o in ["movement_in_score", "measure_in_movement", "sync_in_measure"] {
+        for o in [
+            "movement_in_score",
+            "measure_in_movement",
+            "sync_in_measure",
+        ] {
             assert!(s.ordering_id(o).is_ok(), "{o}");
         }
         // Multiple orderings under one parent: INSTRUMENT covers both.

@@ -29,12 +29,20 @@ pub fn store_orchestra(
     orchestra: &Orchestra,
 ) -> Result<EntityId> {
     let orch_id = db.create_entity("ORCHESTRA", &[("name", s(&orchestra.name))])?;
-    db.relate("PERFORMS", &[("orchestra", orch_id), ("score", score_id)], &[])?;
+    db.relate(
+        "PERFORMS",
+        &[("orchestra", orch_id), ("score", score_id)],
+        &[],
+    )?;
     // Voice entities of the score's movements, looked up by name.
     let mut voice_entities: Vec<(String, EntityId)> = Vec::new();
     for m_id in db.ord_children("movement_in_score", Some(score_id))? {
         for v_id in db.ord_children("voice_in_movement", Some(m_id))? {
-            let name = db.get_attr(v_id, "name")?.as_str().unwrap_or_default().to_string();
+            let name = db
+                .get_attr(v_id, "name")?
+                .as_str()
+                .unwrap_or_default()
+                .to_string();
             voice_entities.push((name, v_id));
         }
     }
@@ -44,7 +52,10 @@ pub fn store_orchestra(
         for instrument in &section.instruments {
             let inst_id = db.create_entity(
                 "INSTRUMENT",
-                &[("name", s(&instrument.name)), ("definition", s(&instrument.definition))],
+                &[
+                    ("name", s(&instrument.name)),
+                    ("definition", s(&instrument.definition)),
+                ],
             )?;
             db.ord_append("instrument_in_section", Some(sec_id), inst_id)?;
             for part in &instrument.parts {
@@ -83,7 +94,10 @@ pub struct LayoutConfig {
 
 impl Default for LayoutConfig {
     fn default() -> LayoutConfig {
-        LayoutConfig { measures_per_system: 4, systems_per_page: 6 }
+        LayoutConfig {
+            measures_per_system: 4,
+            systems_per_page: 6,
+        }
     }
 }
 
@@ -128,12 +142,20 @@ pub fn layout_score(
     let mut instruments: Vec<(String, EntityId)> = Vec::new();
     if db.schema().entity_type_id("INSTRUMENT").is_ok() {
         for &inst in db.instances_of("INSTRUMENT")? {
-            let name = db.get_attr(inst, "name")?.as_str().unwrap_or_default().to_string();
+            let name = db
+                .get_attr(inst, "name")?
+                .as_str()
+                .unwrap_or_default()
+                .to_string();
             instruments.push((name, inst));
         }
     }
 
-    let mut summary = LayoutSummary { pages: 0, systems: 0, staves: 0 };
+    let mut summary = LayoutSummary {
+        pages: 0,
+        systems: 0,
+        staves: 0,
+    };
     let mut system_no = 0usize;
     for page_no in 0..total_pages {
         let page_id = db.create_entity("PAGE", &[("number", i(page_no as i64 + 1))])?;
@@ -148,13 +170,16 @@ pub fn layout_score(
             db.ord_append("system_on_page", Some(page_id), sys_id)?;
             summary.systems += 1;
             for (staff_no, &v_id) in voices.iter().enumerate() {
-                let staff_id =
-                    db.create_entity("STAFF", &[("number", i(staff_no as i64 + 1))])?;
+                let staff_id = db.create_entity("STAFF", &[("number", i(staff_no as i64 + 1))])?;
                 db.ord_append("staff_in_system", Some(sys_id), staff_id)?;
                 summary.staves += 1;
                 // The staff's second parent: its instrument (§5.5's
                 // multiple-parents configuration, live).
-                let vinst = db.get_attr(v_id, "instrument")?.as_str().unwrap_or_default().to_string();
+                let vinst = db
+                    .get_attr(v_id, "instrument")?
+                    .as_str()
+                    .unwrap_or_default()
+                    .to_string();
                 if let Some((_, inst)) = instruments.iter().find(|(n, _)| *n == vinst) {
                     db.ord_append("staff_in_instrument", Some(*inst), staff_id)?;
                 }
@@ -190,11 +215,17 @@ mod tests {
         let orch_id = store_orchestra(mdm.database_mut(), id, &orch).unwrap();
         let db = mdm.database();
         // ORCHESTRA → SECTION → INSTRUMENT → PART chain.
-        let sections = db.ord_children("section_in_orchestra", Some(orch_id)).unwrap();
+        let sections = db
+            .ord_children("section_in_orchestra", Some(orch_id))
+            .unwrap();
         assert_eq!(sections.len(), 1);
-        let instruments = db.ord_children("instrument_in_section", Some(sections[0])).unwrap();
+        let instruments = db
+            .ord_children("instrument_in_section", Some(sections[0]))
+            .unwrap();
         assert_eq!(instruments.len(), 1);
-        let parts = db.ord_children("part_in_instrument", Some(instruments[0])).unwrap();
+        let parts = db
+            .ord_children("part_in_instrument", Some(instruments[0]))
+            .unwrap();
         assert_eq!(parts.len(), 1);
         // The movement's voice hangs under the part.
         let part_voices = db.ord_children("voice_in_part", Some(parts[0])).unwrap();
@@ -217,10 +248,20 @@ mod tests {
         let summary = layout_score(
             mdm.database_mut(),
             id,
-            LayoutConfig { measures_per_system: 2, systems_per_page: 1 },
+            LayoutConfig {
+                measures_per_system: 2,
+                systems_per_page: 1,
+            },
         )
         .unwrap();
-        assert_eq!(summary, LayoutSummary { pages: 2, systems: 2, staves: 2 });
+        assert_eq!(
+            summary,
+            LayoutSummary {
+                pages: 2,
+                systems: 2,
+                staves: 2
+            }
+        );
         let db = mdm.database();
         let pages = db.ord_children("page_in_score", Some(id)).unwrap();
         assert_eq!(pages.len(), 2);
@@ -246,7 +287,10 @@ mod tests {
         assert!(layout_score(
             mdm.database_mut(),
             id,
-            LayoutConfig { measures_per_system: 0, systems_per_page: 1 }
+            LayoutConfig {
+                measures_per_system: 0,
+                systems_per_page: 1
+            }
         )
         .is_err());
         drop(mdm);

@@ -41,7 +41,11 @@ impl MusicDataManager {
         let engine = StorageEngine::open(dir)?;
         let mut db = persist::load(&engine)?;
         cmn_schema::install(&mut db)?;
-        Ok(MusicDataManager { engine, db, session: Session::new() })
+        Ok(MusicDataManager {
+            engine,
+            db,
+            session: Session::new(),
+        })
     }
 
     /// The in-memory database (read access for clients).
@@ -69,6 +73,23 @@ impl MusicDataManager {
     /// if the last statement produced no table).
     pub fn query(&mut self, text: &str) -> Result<Table> {
         let results = self.execute(text)?;
+        match results.into_iter().last() {
+            Some(StmtResult::Rows(t)) => Ok(t),
+            other => Err(CoreError::Internal(format!(
+                "query did not end in a retrieve: {other:?}"
+            ))),
+        }
+    }
+
+    /// Executes a *read-only* program (`range of` declarations and
+    /// `retrieve` statements) and returns the last statement's rows.
+    /// Takes `&self`: any number of reader clients can query one shared
+    /// MDM concurrently, with no exclusive access required. Mutating
+    /// statements are rejected; range declarations are local to the call
+    /// rather than carried in the session.
+    pub fn query_shared(&self, text: &str) -> Result<Table> {
+        let mut session = Session::new();
+        let results = session.execute_readonly(&self.db, text)?;
         match results.into_iter().last() {
             Some(StmtResult::Rows(t)) => Ok(t),
             other => Err(CoreError::Internal(format!(
@@ -109,14 +130,16 @@ impl MusicDataManager {
     }
 
     /// Imports a DARMS-encoded voice as a one-voice score.
-    pub fn import_darms(&mut self, title: &str, darms: &str, meter: TimeSignature) -> Result<EntityId> {
+    pub fn import_darms(
+        &mut self,
+        title: &str,
+        darms: &str,
+        meter: TimeSignature,
+    ) -> Result<EntityId> {
         let items = mdm_darms::parse(darms)?;
         let voice = mdm_darms::to_voice(&items)?;
-        let mut movement = mdm_notation::Movement::new(
-            "imported",
-            meter,
-            mdm_notation::TempoMap::default(),
-        );
+        let mut movement =
+            mdm_notation::Movement::new("imported", meter, mdm_notation::TempoMap::default());
         movement.voices.push(voice);
         let mut score = Score::new(title);
         score.movements.push(movement);
@@ -124,7 +147,12 @@ impl MusicDataManager {
     }
 
     /// Exports a stored score's given voice as canonical DARMS.
-    pub fn export_darms(&self, score_id: EntityId, movement: usize, voice: usize) -> Result<String> {
+    pub fn export_darms(
+        &self,
+        score_id: EntityId,
+        movement: usize,
+        voice: usize,
+    ) -> Result<String> {
         let score = self.load_score(score_id)?;
         let m = score
             .movements
@@ -179,6 +207,33 @@ mod tests {
         let score = mdm.load_score(id).unwrap();
         assert_eq!(score, bwv578_subject());
         assert_eq!(mdm.find_score("Fuge g-moll").unwrap(), Some(id));
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_query_needs_no_exclusive_access() {
+        let dir = tmpdir("shared-query");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        mdm.execute("append to PERSON (name = \"Bach\")").unwrap();
+        mdm.execute("append to PERSON (name = \"Telemann\")")
+            .unwrap();
+        // Concurrent readers over one &MusicDataManager.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let mdm = &mdm;
+                s.spawn(move || {
+                    let t = mdm
+                        .query_shared("range of p is PERSON\nretrieve (p.name)")
+                        .unwrap();
+                    assert_eq!(t.len(), 2);
+                });
+            }
+        });
+        // Mutating statements are rejected on the shared path.
+        assert!(mdm
+            .query_shared("append to PERSON (name = \"nope\")")
+            .is_err());
         drop(mdm);
         std::fs::remove_dir_all(&dir).ok();
     }

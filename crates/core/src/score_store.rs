@@ -47,7 +47,11 @@ fn base_from_name(name: &str) -> Result<BaseDuration> {
         "sixteenth" => BaseDuration::Sixteenth,
         "thirty-second" => BaseDuration::ThirtySecond,
         "sixty-fourth" => BaseDuration::SixtyFourth,
-        other => return Err(CoreError::BadScoreData(format!("bad duration base {other}"))),
+        other => {
+            return Err(CoreError::BadScoreData(format!(
+                "bad duration base {other}"
+            )))
+        }
     })
 }
 
@@ -299,8 +303,11 @@ fn store_movement(db: &mut Database, score_id: EntityId, movement: &Movement) ->
                     }
                     let mut ids = Vec::with_capacity(chord.notes.len());
                     for note in &chord.notes {
-                        let arts: Vec<&str> =
-                            note.articulations.iter().map(|a| articulation_name(*a)).collect();
+                        let arts: Vec<&str> = note
+                            .articulations
+                            .iter()
+                            .map(|a| articulation_name(*a))
+                            .collect();
                         let n_id = db.create_entity(
                             "NOTE",
                             &[
@@ -359,11 +366,14 @@ fn store_movement(db: &mut Database, score_id: EntityId, movement: &Movement) ->
             for &n_id in &note_ids[event.voice][chord_elem] {
                 let key = db.get_attr(n_id, "midi_key")?.as_integer().unwrap_or(-1);
                 if key == event.key as i64
-                    && db.store().ordering_parent(
-                        db.schema(),
-                        db.schema().ordering_id("note_in_event")?,
-                        n_id,
-                    ).is_err()
+                    && db
+                        .store()
+                        .ordering_parent(
+                            db.schema(),
+                            db.schema().ordering_id("note_in_event")?,
+                            n_id,
+                        )
+                        .is_err()
                 {
                     db.ord_append("note_in_event", Some(e_id), n_id)?;
                 }
@@ -374,7 +384,10 @@ fn store_movement(db: &mut Database, score_id: EntityId, movement: &Movement) ->
             "MIDI",
             &[
                 ("kind", s("note_on")),
-                ("time_seconds", Value::Float(movement.tempo.performance_time(event.start))),
+                (
+                    "time_seconds",
+                    Value::Float(movement.tempo.performance_time(event.start)),
+                ),
                 ("midi_key", i(event.key as i64)),
                 ("velocity", i(event.velocity as i64)),
                 ("channel", i(event.voice as i64)),
@@ -384,7 +397,10 @@ fn store_movement(db: &mut Database, score_id: EntityId, movement: &Movement) ->
             "MIDI",
             &[
                 ("kind", s("note_off")),
-                ("time_seconds", Value::Float(movement.tempo.performance_time(event.end))),
+                (
+                    "time_seconds",
+                    Value::Float(movement.tempo.performance_time(event.end)),
+                ),
                 ("midi_key", i(event.key as i64)),
                 ("velocity", i(0)),
                 ("channel", i(event.voice as i64)),
@@ -403,7 +419,10 @@ fn store_movement(db: &mut Database, score_id: EntityId, movement: &Movement) ->
             &[
                 ("controller", i(c.controller as i64)),
                 ("value", i(c.value as i64)),
-                ("time_seconds", Value::Float(movement.tempo.performance_time(beat))),
+                (
+                    "time_seconds",
+                    Value::Float(movement.tempo.performance_time(beat)),
+                ),
                 ("channel", i(c.voice as i64)),
                 ("beat_num", i(c.beat.0)),
                 ("beat_den", i(c.beat.1)),
@@ -428,7 +447,9 @@ fn store_movement(db: &mut Database, score_id: EntityId, movement: &Movement) ->
         let text_id = db.create_entity("TEXT", &[("content", s(&line))])?;
         db.ord_append("text_in_voice", Some(voice_entities[vi]), text_id)?;
         for (ei, element) in voice.elements.iter().enumerate() {
-            let Some(chord) = element.as_chord() else { continue };
+            let Some(chord) = element.as_chord() else {
+                continue;
+            };
             for (ni, note) in chord.notes.iter().enumerate() {
                 if let Some(syl) = &note.syllable {
                     let syl_id = db.create_entity("SYLLABLE", &[("content", s(syl))])?;
@@ -507,7 +528,11 @@ fn store_beam_group(
 // ----------------------------------------------------------------------
 
 fn get_str(db: &Database, id: EntityId, attr: &str) -> Result<String> {
-    Ok(db.get_attr(id, attr)?.as_str().unwrap_or_default().to_string())
+    Ok(db
+        .get_attr(id, attr)?
+        .as_str()
+        .unwrap_or_default()
+        .to_string())
 }
 
 fn get_int(db: &Database, id: EntityId, attr: &str) -> Result<i64> {
@@ -543,8 +568,14 @@ pub fn list_scores(db: &Database) -> Result<Vec<(EntityId, String)>> {
 /// Loads a score entity back into notation structures.
 pub fn load_score(db: &Database, score_id: EntityId) -> Result<Score> {
     let mut score = Score::new(&get_str(db, score_id, "title")?);
-    score.catalog_id = db.get_attr(score_id, "catalog_id")?.as_str().map(str::to_string);
-    score.composer = db.get_attr(score_id, "composer")?.as_str().map(str::to_string);
+    score.catalog_id = db
+        .get_attr(score_id, "catalog_id")?
+        .as_str()
+        .map(str::to_string);
+    score.composer = db
+        .get_attr(score_id, "composer")?
+        .as_str()
+        .map(str::to_string);
     for m_id in db.ord_children("movement_in_score", Some(score_id))? {
         score.movements.push(load_movement(db, m_id)?);
     }
@@ -563,7 +594,10 @@ fn load_movement(db: &Database, m_id: EntityId) -> Result<Movement> {
     }
     for c_id in db.ord_children("control_in_movement", Some(m_id))? {
         movement.controls.push(mdm_notation::ControlEvent {
-            beat: (get_int(db, c_id, "beat_num")?, get_int(db, c_id, "beat_den")?),
+            beat: (
+                get_int(db, c_id, "beat_num")?,
+                get_int(db, c_id, "beat_den")?,
+            ),
             controller: get_int(db, c_id, "controller")? as u8,
             value: get_int(db, c_id, "value")? as u8,
             voice: get_int(db, c_id, "channel")? as usize,
@@ -756,12 +790,18 @@ mod tests {
         // SCORE → MOVEMENT → MEASURE → SYNC.
         let movements = db.ord_children("movement_in_score", Some(id)).unwrap();
         assert_eq!(movements.len(), 1);
-        let measures = db.ord_children("measure_in_movement", Some(movements[0])).unwrap();
+        let measures = db
+            .ord_children("measure_in_movement", Some(movements[0]))
+            .unwrap();
         assert_eq!(measures.len(), 3);
-        let syncs0 = db.ord_children("sync_in_measure", Some(measures[0])).unwrap();
+        let syncs0 = db
+            .ord_children("sync_in_measure", Some(measures[0]))
+            .unwrap();
         assert!(!syncs0.is_empty());
         // Chords hang from syncs AND from their voice (multiple parents).
-        let voices = db.ord_children("voice_in_movement", Some(movements[0])).unwrap();
+        let voices = db
+            .ord_children("voice_in_movement", Some(movements[0]))
+            .unwrap();
         let voice_content = db.ord_children("voice_content", Some(voices[0])).unwrap();
         let first_chord = voice_content[0];
         assert!(db.under("chord_at_sync", first_chord, syncs0[0]).unwrap());

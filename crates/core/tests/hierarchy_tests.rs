@@ -38,7 +38,9 @@ fn control_events_roundtrip() {
         .query("range of c is MIDI_CONTROL retrieve (c.controller, c.time_seconds)")
         .unwrap();
     assert_eq!(t.len(), 2);
-    let Value::Float(secs) = t.rows[0][1] else { panic!() };
+    let Value::Float(secs) = t.rows[0][1] else {
+        panic!()
+    };
     assert!((secs - 4.0 * 60.0 / 84.0).abs() < 1e-9, "beat 4 at 84 bpm");
     drop(mdm);
     std::fs::remove_dir_all(&dir).ok();
@@ -52,7 +54,12 @@ fn lyrics_become_text_and_syllables() {
     let db = mdm.database();
     let texts = db.instances_of("TEXT").unwrap();
     assert_eq!(texts.len(), 1);
-    let line = db.get_attr(texts[0], "content").unwrap().as_str().unwrap().to_string();
+    let line = db
+        .get_attr(texts[0], "content")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
     assert!(line.starts_with("Glo-"), "{line}");
     let syllables = db.ord_children("syllable_in_text", Some(texts[0])).unwrap();
     assert_eq!(syllables.len(), 9, "nine underlaid syllables");
@@ -73,7 +80,10 @@ fn beam_groups_stored_recursively() {
     mdm.store_score(&bwv578_subject()).unwrap();
     let db = mdm.database();
     let groups = db.instances_of("GROUP").unwrap();
-    assert!(!groups.is_empty(), "the subject's eighths and sixteenths beam");
+    assert!(
+        !groups.is_empty(),
+        "the subject's eighths and sixteenths beam"
+    );
     // group_content is recursive: at least one GROUP has a GROUP child
     // (the sixteenth-note figuration in m.3 nests).
     let gc = db.schema().ordering_id("group_content").unwrap();
@@ -106,7 +116,12 @@ fn editor_commit_cleans_derived_hierarchies() {
     let dir = tmpdir("clean");
     let mut mdm = MusicDataManager::open(&dir).unwrap();
     let mut score = gloria_fragment();
-    score.movements[0].controls.push(ControlEvent { beat: (1, 1), controller: 64, value: 127, voice: 0 });
+    score.movements[0].controls.push(ControlEvent {
+        beat: (1, 1),
+        controller: 64,
+        value: 127,
+        voice: 0,
+    });
     let id = mdm.store_score(&score).unwrap();
     let before = (
         mdm.database().instances_of("GROUP").unwrap().len(),
@@ -119,7 +134,10 @@ fn editor_commit_cleans_derived_hierarchies() {
     assert_eq!(mdm.database().instances_of("GROUP").unwrap().len(), 0);
     assert_eq!(mdm.database().instances_of("TEXT").unwrap().len(), 0);
     assert_eq!(mdm.database().instances_of("SYLLABLE").unwrap().len(), 0);
-    assert_eq!(mdm.database().instances_of("MIDI_CONTROL").unwrap().len(), 0);
+    assert_eq!(
+        mdm.database().instances_of("MIDI_CONTROL").unwrap().len(),
+        0
+    );
     assert_eq!(mdm.database().instances_of("NOTE").unwrap().len(), 0);
     drop(mdm);
     std::fs::remove_dir_all(&dir).ok();

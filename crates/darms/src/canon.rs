@@ -34,7 +34,10 @@ fn canonize_run(items: &[Item], current: &mut DurCode) -> Vec<Item> {
                 let d = duration.unwrap_or(*current);
                 *current = d;
                 for _ in 0..(*count).max(1) {
-                    out.push(Item::Rest { count: 1, duration: Some(d) });
+                    out.push(Item::Rest {
+                        count: 1,
+                        duration: Some(d),
+                    });
                 }
             }
             Item::Beam(inner) => {
@@ -74,7 +77,13 @@ mod tests {
             .collect();
         assert_eq!(
             durs,
-            vec![DurCode::Quarter, DurCode::Quarter, DurCode::Quarter, DurCode::Eighth, DurCode::Eighth]
+            vec![
+                DurCode::Quarter,
+                DurCode::Quarter,
+                DurCode::Quarter,
+                DurCode::Eighth,
+                DurCode::Eighth
+            ]
         );
     }
 
@@ -82,8 +91,20 @@ mod tests {
     fn multirest_expanded() {
         let items = parse("R2W 7").unwrap();
         let canon = canonize(&items);
-        assert_eq!(canon[0], Item::Rest { count: 1, duration: Some(DurCode::Whole) });
-        assert_eq!(canon[1], Item::Rest { count: 1, duration: Some(DurCode::Whole) });
+        assert_eq!(
+            canon[0],
+            Item::Rest {
+                count: 1,
+                duration: Some(DurCode::Whole)
+            }
+        );
+        assert_eq!(
+            canon[1],
+            Item::Rest {
+                count: 1,
+                duration: Some(DurCode::Whole)
+            }
+        );
         // The rest's duration carries into the note.
         let Item::Note(n) = &canon[2] else { panic!() };
         assert_eq!(n.duration, Some(DurCode::Whole));
@@ -93,10 +114,16 @@ mod tests {
     fn carry_crosses_beam_groups() {
         let items = parse("7E (8 9) 7").unwrap();
         let canon = canonize(&items);
-        let Item::Beam(inner) = &canon[1] else { panic!() };
-        let Item::Note(first_in_beam) = &inner[0] else { panic!() };
+        let Item::Beam(inner) = &canon[1] else {
+            panic!()
+        };
+        let Item::Note(first_in_beam) = &inner[0] else {
+            panic!()
+        };
         assert_eq!(first_in_beam.duration, Some(DurCode::Eighth));
-        let Item::Note(after) = &canon[2] else { panic!() };
+        let Item::Note(after) = &canon[2] else {
+            panic!()
+        };
         assert_eq!(after.duration, Some(DurCode::Eighth));
     }
 

@@ -16,7 +16,10 @@ use crate::item::{AccCode, ClefCode, DurCode, Item, NoteItem};
 use crate::parse::{DarmsError, Result};
 
 fn err(message: impl Into<String>) -> DarmsError {
-    DarmsError { offset: 0, message: message.into() }
+    DarmsError {
+        offset: 0,
+        message: message.into(),
+    }
 }
 
 fn base_duration(d: DurCode) -> BaseDuration {
@@ -90,8 +93,7 @@ pub fn to_voice(items: &[Item]) -> Result<Voice> {
             match item {
                 Item::Note(n) => {
                     let degree = n.space - 21;
-                    let pitch =
-                        ctx.resolve(degree, n.accidental.map(accidental_of), measure);
+                    let pitch = ctx.resolve(degree, n.accidental.map(accidental_of), measure);
                     let d = n
                         .duration
                         .ok_or_else(|| err("canonical stream missing duration"))?;
@@ -145,7 +147,10 @@ pub fn from_voice(voice: &Voice, meter: mdm_notation::TimeSignature) -> Result<V
                 if r.duration.dots != 0 {
                     return Err(err("dotted rests are not encoded in this DARMS subset"));
                 }
-                items.push(Item::Rest { count: 1, duration: Some(dur_code(r.duration.base)?) });
+                items.push(Item::Rest {
+                    count: 1,
+                    duration: Some(dur_code(r.duration.base)?),
+                });
             }
             VoiceElement::Chord(chord) => {
                 if chord.notes.len() != 1 {
@@ -160,8 +165,9 @@ pub fn from_voice(voice: &Voice, meter: mdm_notation::TimeSignature) -> Result<V
                     measure = probe;
                     None
                 } else {
-                    let acc = Accidental::from_alter(note.pitch.alter)
-                        .ok_or_else(|| err(format!("unencodable alteration {}", note.pitch.alter)))?;
+                    let acc = Accidental::from_alter(note.pitch.alter).ok_or_else(|| {
+                        err(format!("unencodable alteration {}", note.pitch.alter))
+                    })?;
                     ctx.resolve(degree, Some(acc), &mut measure);
                     Some(match acc {
                         Accidental::Sharp => AccCode::Sharp,

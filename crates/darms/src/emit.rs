@@ -74,8 +74,10 @@ fn emit_item_with(item: &Item, short: bool, carried: &mut Option<DurCode>) -> St
         }
         Item::Note(n) => emit_note(n, short, carried),
         Item::Beam(inner) => {
-            let body: Vec<String> =
-                inner.iter().map(|i| emit_item_with(i, short, carried)).collect();
+            let body: Vec<String> = inner
+                .iter()
+                .map(|i| emit_item_with(i, short, carried))
+                .collect();
             format!("({})", body.join(" "))
         }
         Item::Barline => "/".into(),
@@ -116,7 +118,10 @@ mod tests {
         let items = canonize(&parse(src).unwrap());
         let text = emit(&items);
         let reparsed = parse(&text).unwrap();
-        assert_eq!(reparsed, items, "canonical emit must reparse identically:\n{text}");
+        assert_eq!(
+            reparsed, items,
+            "canonical emit must reparse identically:\n{text}"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ struct P<'a> {
 
 impl<'a> P<'a> {
     fn err(&self, message: impl Into<String>) -> DarmsError {
-        DarmsError { offset: self.pos, message: message.into() }
+        DarmsError {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -131,7 +134,14 @@ impl<'a> P<'a> {
         } else {
             None
         };
-        Ok(NoteItem { space, accidental, duration, dots, stem_down, lyric })
+        Ok(NoteItem {
+            space,
+            accidental,
+            duration,
+            dots,
+            stem_down,
+            lyric,
+        })
     }
 
     fn items(&mut self, nested: bool) -> Result<Vec<Item>> {
@@ -183,9 +193,9 @@ impl<'a> P<'a> {
                                 Some('#') => 1,
                                 Some('-') => -1,
                                 other => {
-                                    return Err(self.err(format!(
-                                        "'K needs # or -, found {other:?}"
-                                    )))
+                                    return Err(
+                                        self.err(format!("'K needs # or -, found {other:?}"))
+                                    )
                                 }
                             };
                             out.push(Item::KeySig(sign * n as i8));
@@ -211,9 +221,7 @@ impl<'a> P<'a> {
                         out.push(Item::Note(self.note(space)?));
                     }
                 }
-                other => {
-                    return Err(self.err(format!("unexpected character {:?}", other as char)))
-                }
+                other => return Err(self.err(format!("unexpected character {:?}", other as char))),
             }
         }
     }
@@ -221,7 +229,10 @@ impl<'a> P<'a> {
 
 /// Parses DARMS text into items.
 pub fn parse(input: &str) -> Result<Vec<Item>> {
-    let mut p = P { bytes: input.as_bytes(), pos: 0 };
+    let mut p = P {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.items(false)
 }
 
@@ -272,24 +283,47 @@ mod tests {
                 _ => panic!(),
             })
             .collect();
-        assert_eq!(accs, vec![Some(AccCode::Sharp), Some(AccCode::Flat), Some(AccCode::Natural)]);
+        assert_eq!(
+            accs,
+            vec![
+                Some(AccCode::Sharp),
+                Some(AccCode::Flat),
+                Some(AccCode::Natural)
+            ]
+        );
     }
 
     #[test]
     fn parse_rests_and_barlines() {
         let items = parse("R2W / RQ //").unwrap();
-        assert_eq!(items[0], Item::Rest { count: 2, duration: Some(DurCode::Whole) });
+        assert_eq!(
+            items[0],
+            Item::Rest {
+                count: 2,
+                duration: Some(DurCode::Whole)
+            }
+        );
         assert_eq!(items[1], Item::Barline);
-        assert_eq!(items[2], Item::Rest { count: 1, duration: Some(DurCode::Quarter) });
+        assert_eq!(
+            items[2],
+            Item::Rest {
+                count: 1,
+                duration: Some(DurCode::Quarter)
+            }
+        );
         assert_eq!(items[3], Item::End);
     }
 
     #[test]
     fn parse_nested_beams() {
         let items = parse("(8 (9 8 7 8))").unwrap();
-        let Item::Beam(outer) = &items[0] else { panic!() };
+        let Item::Beam(outer) = &items[0] else {
+            panic!()
+        };
         assert_eq!(outer.len(), 2);
-        let Item::Beam(inner) = &outer[1] else { panic!() };
+        let Item::Beam(inner) = &outer[1] else {
+            panic!()
+        };
         assert_eq!(inner.len(), 4);
     }
 

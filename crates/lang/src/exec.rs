@@ -100,7 +100,12 @@ impl fmt::Display for Table {
             writeln!(f)?;
         }
         line(f)?;
-        writeln!(f, "({} row{})", self.rows.len(), if self.rows.len() == 1 { "" } else { "s" })
+        writeln!(
+            f,
+            "({} row{})",
+            self.rows.len(),
+            if self.rows.len() == 1 { "" } else { "s" }
+        )
     }
 }
 
@@ -140,6 +145,30 @@ impl Session {
         stmts.iter().map(|s| self.execute_stmt(db, s)).collect()
     }
 
+    /// Parses and executes a *read-only* program — `range of` declarations
+    /// and `retrieve` statements — against a shared database reference.
+    /// Any mutating statement (define / append / replace / delete) is
+    /// rejected, which is what lets concurrent reader clients share one
+    /// `&Database` without exclusive access.
+    pub fn execute_readonly(&mut self, db: &Database, text: &str) -> Result<Vec<StmtResult>> {
+        let stmts = crate::parser::parse(text)?;
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::RangeOf { vars, target } => self.declare_range(db, vars, target),
+                Stmt::Retrieve {
+                    unique,
+                    targets,
+                    qual,
+                    sort,
+                } => self.retrieve(db, *unique, targets, qual.as_ref(), sort),
+                _ => Err(LangError::Analyze(
+                    "only `range of` and `retrieve` are allowed in read-only execution".into(),
+                )),
+            })
+            .collect()
+    }
+
     /// Executes one parsed statement.
     pub fn execute_stmt(&mut self, db: &mut Database, stmt: &Stmt) -> Result<StmtResult> {
         match stmt {
@@ -147,7 +176,10 @@ impl Session {
                 let defs = attrs
                     .iter()
                     .map(|(n, t)| {
-                        Ok(mdm_model::AttributeDef { name: n.clone(), ty: parse_type(db, t)? })
+                        Ok(mdm_model::AttributeDef {
+                            name: n.clone(),
+                            ty: parse_type(db, t)?,
+                        })
                     })
                     .collect::<Result<Vec<_>>>()?;
                 db.define_entity(name, defs)?;
@@ -158,7 +190,10 @@ impl Session {
                 let mut attrs = Vec::new();
                 for (n, t) in members {
                     match db.schema().entity_type_id(t) {
-                        Ok(ty) => roles.push(mdm_model::RoleDef { name: n.clone(), entity_type: ty }),
+                        Ok(ty) => roles.push(mdm_model::RoleDef {
+                            name: n.clone(),
+                            entity_type: ty,
+                        }),
                         Err(_) => attrs.push(mdm_model::AttributeDef {
                             name: n.clone(),
                             ty: parse_scalar_type(t)?,
@@ -168,7 +203,11 @@ impl Session {
                 db.define_relationship(name, roles, attrs)?;
                 Ok(StmtResult::Defined(format!("relationship {name}")))
             }
-            Stmt::DefineOrdering { name, children, parent } => {
+            Stmt::DefineOrdering {
+                name,
+                children,
+                parent,
+            } => {
                 let child_refs: Vec<&str> = children.iter().map(String::as_str).collect();
                 db.define_ordering(name.as_deref(), &child_refs, parent.as_deref())?;
                 Ok(StmtResult::Defined(format!(
@@ -176,23 +215,38 @@ impl Session {
                     name.clone().unwrap_or_else(|| "(unnamed)".into())
                 )))
             }
-            Stmt::RangeOf { vars, target } => {
-                // Validate now so errors surface at declaration.
-                resolve_target(db, target)?;
-                for v in vars {
-                    self.ranges.insert(v.clone(), target.clone());
-                }
-                Ok(StmtResult::RangeDeclared)
-            }
-            Stmt::Retrieve { unique, targets, qual, sort } => {
-                self.retrieve(db, *unique, targets, qual.as_ref(), sort)
-            }
-            Stmt::AppendTo { entity, assignments } => self.append(db, entity, assignments),
-            Stmt::Replace { var, assignments, qual } => {
-                self.replace(db, var, assignments, qual.as_ref())
-            }
+            Stmt::RangeOf { vars, target } => self.declare_range(db, vars, target),
+            Stmt::Retrieve {
+                unique,
+                targets,
+                qual,
+                sort,
+            } => self.retrieve(db, *unique, targets, qual.as_ref(), sort),
+            Stmt::AppendTo {
+                entity,
+                assignments,
+            } => self.append(db, entity, assignments),
+            Stmt::Replace {
+                var,
+                assignments,
+                qual,
+            } => self.replace(db, var, assignments, qual.as_ref()),
             Stmt::Delete { var, qual } => self.delete(db, var, qual.as_ref()),
         }
+    }
+
+    fn declare_range(
+        &mut self,
+        db: &Database,
+        vars: &[String],
+        target: &str,
+    ) -> Result<StmtResult> {
+        // Validate now so errors surface at declaration.
+        resolve_target(db, target)?;
+        for v in vars {
+            self.ranges.insert(v.clone(), target.to_string());
+        }
+        Ok(StmtResult::RangeDeclared)
     }
 
     /// Declared or implicit range target for a variable.
@@ -222,8 +276,8 @@ impl Session {
     }
 
     fn retrieve(
-        &mut self,
-        db: &mut Database,
+        &self,
+        db: &Database,
         unique: bool,
         targets: &[Target],
         qual: Option<&Expr>,
@@ -319,7 +373,9 @@ impl Session {
         let plan = self.bindings_plan(db, &exprs)?;
         let vidx = plan.index_of(var)?;
         if !matches!(plan.targets[vidx], RangeTarget::Entity(_)) {
-            return Err(LangError::Analyze(format!("replace target {var} must be an entity variable")));
+            return Err(LangError::Analyze(format!(
+                "replace target {var} must be an entity variable"
+            )));
         }
         let mut updates: BTreeMap<EntityId, Vec<(String, Value)>> = BTreeMap::new();
         let restrictions = plan.restrictions(db, qual);
@@ -355,7 +411,9 @@ impl Session {
         let plan = self.bindings_plan(db, &exprs)?;
         let vidx = plan.index_of(var)?;
         if !matches!(plan.targets[vidx], RangeTarget::Entity(_)) {
-            return Err(LangError::Analyze(format!("delete target {var} must be an entity variable")));
+            return Err(LangError::Analyze(format!(
+                "delete target {var} must be an entity variable"
+            )));
         }
         let mut victims: BTreeSet<EntityId> = BTreeSet::new();
         let restrictions = plan.restrictions(db, qual);
@@ -399,16 +457,31 @@ impl Plan {
         let mut conjuncts = Vec::new();
         collect_conjuncts(qual, &mut conjuncts);
         for c in conjuncts {
-            let Expr::Bin { op: BinOp::Eq, lhs, rhs } = c else { continue };
+            let Expr::Bin {
+                op: BinOp::Eq,
+                lhs,
+                rhs,
+            } = c
+            else {
+                continue;
+            };
             let (var, attr, value) = match (&**lhs, &**rhs) {
                 (Expr::Attr { var, attr }, Expr::Const(v))
                 | (Expr::Const(v), Expr::Attr { var, attr }) => (var, attr, v),
                 _ => continue,
             };
-            let Some(i) = self.vars.iter().position(|v| v == var) else { continue };
-            let RangeTarget::Entity(ty) = self.targets[i] else { continue };
-            let Ok(def) = db.schema().entity_type(ty) else { continue };
-            let Some(attr_idx) = def.attribute_index(attr) else { continue };
+            let Some(i) = self.vars.iter().position(|v| v == var) else {
+                continue;
+            };
+            let RangeTarget::Entity(ty) = self.targets[i] else {
+                continue;
+            };
+            let Ok(def) = db.schema().entity_type(ty) else {
+                continue;
+            };
+            let Some(attr_idx) = def.attribute_index(attr) else {
+                continue;
+            };
             if let Some(hits) = db.attr_index_get(ty, attr_idx, value) {
                 // Intersect with any earlier restriction.
                 let hits = hits.to_vec();
@@ -434,13 +507,15 @@ impl Plan {
             .targets
             .iter()
             .enumerate()
-            .map(|(i, t)| match restrictions.get(i).and_then(Option::as_ref) {
-                Some(r) => r.clone(),
-                None => match t {
-                    RangeTarget::Entity(ty) => db.store().instances_of(*ty).to_vec(),
-                    RangeTarget::Relationship(r) => db.store().relationships_of(*r).to_vec(),
+            .map(
+                |(i, t)| match restrictions.get(i).and_then(Option::as_ref) {
+                    Some(r) => r.clone(),
+                    None => match t {
+                        RangeTarget::Entity(ty) => db.store().instances_of(*ty).to_vec(),
+                        RangeTarget::Relationship(r) => db.store().relationships_of(*r).to_vec(),
+                    },
                 },
-            })
+            )
             .collect();
         if domains.is_empty() {
             return f(db, &[]);
@@ -479,7 +554,9 @@ fn resolve_target(db: &Database, name: &str) -> Result<RangeTarget> {
     if let Ok(r) = db.schema().relationship_id(name) {
         return Ok(RangeTarget::Relationship(r));
     }
-    Err(LangError::Analyze(format!("{name} names no entity type or relationship")))
+    Err(LangError::Analyze(format!(
+        "{name} names no entity type or relationship"
+    )))
 }
 
 fn parse_scalar_type(name: &str) -> Result<mdm_model::DataType> {
@@ -579,7 +656,9 @@ fn retrieve_grouped(
     for t in targets {
         if let Expr::Agg { arg, .. } = &t.expr {
             if contains_agg(arg) {
-                return Err(LangError::Analyze("nested aggregates are not supported".into()));
+                return Err(LangError::Analyze(
+                    "nested aggregates are not supported".into(),
+                ));
             }
         }
     }
@@ -590,7 +669,10 @@ fn retrieve_grouped(
     }
     let mut order: Vec<Vec<u8>> = Vec::new();
     let mut groups: HashMap<Vec<u8>, (Vec<Value>, Vec<Acc>)> = HashMap::new();
-    let n_aggs = targets.iter().filter(|t| matches!(t.expr, Expr::Agg { .. })).count();
+    let n_aggs = targets
+        .iter()
+        .filter(|t| matches!(t.expr, Expr::Agg { .. }))
+        .count();
     let restrictions = plan.restrictions(db, qual);
     plan.for_each_binding(db, &restrictions, |db, binding| {
         if let Some(q) = qual {
@@ -625,7 +707,10 @@ fn retrieve_grouped(
     // Pure aggregates over an empty input still yield one row.
     if groups.is_empty() && n_aggs == targets.len() {
         order.push(Vec::new());
-        groups.insert(Vec::new(), (Vec::new(), (0..n_aggs).map(|_| Acc::default()).collect()));
+        groups.insert(
+            Vec::new(),
+            (Vec::new(), (0..n_aggs).map(|_| Acc::default()).collect()),
+        );
     }
     let mut rows = Vec::with_capacity(order.len());
     for key in order {
@@ -664,9 +749,7 @@ fn sort_table(table: &mut Table, sort: &[(String, bool)]) -> Result<()> {
                 .iter()
                 .position(|c| c == col)
                 .map(|i| (i, *asc))
-                .ok_or_else(|| {
-                    LangError::Analyze(format!("sort by names no output column: {col}"))
-                })
+                .ok_or_else(|| LangError::Analyze(format!("sort by names no output column: {col}")))
         })
         .collect::<Result<Vec<_>>>()?;
     table.rows.sort_by(|a, b| {
@@ -684,7 +767,11 @@ fn sort_table(table: &mut Table, sort: &[(String, bool)]) -> Result<()> {
 /// Splits an AND tree into its conjuncts.
 fn collect_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
     match e {
-        Expr::Bin { op: BinOp::And, lhs, rhs } => {
+        Expr::Bin {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => {
             collect_conjuncts(lhs, out);
             collect_conjuncts(rhs, out);
         }
@@ -807,7 +894,12 @@ fn eval(db: &Database, plan: &Plan, binding: &[u64], e: &Expr) -> Result<Value> 
             "{} is only allowed as a retrieve target",
             func.name()
         ))),
-        Expr::Ord { op, lhs, rhs, ordering } => {
+        Expr::Ord {
+            op,
+            lhs,
+            rhs,
+            ordering,
+        } => {
             let li = plan.index_of(lhs)?;
             let ri = plan.index_of(rhs)?;
             let (RangeTarget::Entity(lty), RangeTarget::Entity(rty)) =

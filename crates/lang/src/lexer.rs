@@ -133,63 +133,108 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 }
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::LParen), line });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::LParen),
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::RParen), line });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::RParen),
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Comma), line });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Comma),
+                    line,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Dot), line });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Dot),
+                    line,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Eq), line });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Eq),
+                    line,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Plus), line });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Plus),
+                    line,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Minus), line });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Minus),
+                    line,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Star), line });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Star),
+                    line,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Slash), line });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Slash),
+                    line,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Ne), line });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Ne),
+                    line,
+                });
                 i += 2;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Sym(Sym::Le), line });
+                    tokens.push(Token {
+                        kind: TokenKind::Sym(Sym::Le),
+                        line,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Sym(Sym::Ne), line });
+                    tokens.push(Token {
+                        kind: TokenKind::Sym(Sym::Ne),
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Sym(Sym::Lt), line });
+                    tokens.push(Token {
+                        kind: TokenKind::Sym(Sym::Lt),
+                        line,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Sym(Sym::Ge), line });
+                    tokens.push(Token {
+                        kind: TokenKind::Sym(Sym::Ge),
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Sym(Sym::Gt), line });
+                    tokens.push(Token {
+                        kind: TokenKind::Sym(Sym::Gt),
+                        line,
+                    });
                     i += 1;
                 }
             }
@@ -231,7 +276,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -285,7 +333,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, line });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(tokens)
 }
 

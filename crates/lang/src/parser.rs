@@ -146,7 +146,11 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Stmt::DefineOrdering { name, children, parent })
+                Ok(Stmt::DefineOrdering {
+                    name,
+                    children,
+                    parent,
+                })
             }
             other => Err(self.err(format!(
                 "expected entity, relationship, or ordering after define; found {other}"
@@ -230,7 +234,12 @@ impl Parser {
                 }
             }
         }
-        Ok(Stmt::Retrieve { unique, targets, qual, sort })
+        Ok(Stmt::Retrieve {
+            unique,
+            targets,
+            qual,
+            sort,
+        })
     }
 
     fn target(&mut self) -> Result<Target> {
@@ -242,9 +251,15 @@ impl Parser {
             self.bump();
             self.bump();
             let expr = self.expr()?;
-            return Ok(Target { label: Some(label), expr });
+            return Ok(Target {
+                label: Some(label),
+                expr,
+            });
         }
-        Ok(Target { label: None, expr: self.expr()? })
+        Ok(Target {
+            label: None,
+            expr: self.expr()?,
+        })
     }
 
     // append to TYPE ( attr = expr, … )
@@ -253,7 +268,10 @@ impl Parser {
         self.expect_kw(Keyword::To)?;
         let entity = self.ident()?;
         let assignments = self.assignments()?;
-        Ok(Stmt::AppendTo { entity, assignments })
+        Ok(Stmt::AppendTo {
+            entity,
+            assignments,
+        })
     }
 
     // replace VAR ( attr = expr, … ) [where qual]
@@ -266,7 +284,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::Replace { var, assignments, qual })
+        Ok(Stmt::Replace {
+            var,
+            assignments,
+            qual,
+        })
     }
 
     // delete VAR [where qual]
@@ -310,7 +332,11 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat_kw(Keyword::Or) {
             let rhs = self.and_expr()?;
-            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -319,7 +345,11 @@ impl Parser {
         let mut lhs = self.not_expr()?;
         while self.eat_kw(Keyword::And) {
             let rhs = self.not_expr()?;
-            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -344,7 +374,10 @@ impl Parser {
             TokenKind::Keyword(Keyword::Is) => {
                 self.bump();
                 let rhs = self.additive()?;
-                return Ok(Expr::Is { lhs: Box::new(lhs), rhs: Box::new(rhs) });
+                return Ok(Expr::Is {
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                });
             }
             TokenKind::Keyword(k @ (Keyword::Before | Keyword::After | Keyword::Under)) => {
                 let op = match k {
@@ -360,9 +393,7 @@ impl Parser {
                     None
                 };
                 let (Expr::Var(l), Expr::Var(r)) = (&lhs, &rhs) else {
-                    return Err(self.err(
-                        "ordering operators take range variables as operands",
-                    ));
+                    return Err(self.err("ordering operators take range variables as operands"));
                 };
                 return Ok(Expr::Ord {
                     op,
@@ -377,7 +408,11 @@ impl Parser {
             Some(op) => {
                 self.bump();
                 let rhs = self.additive()?;
-                Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+                Ok(Expr::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                })
             }
             None => Ok(lhs),
         }
@@ -393,7 +428,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.term()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -408,7 +447,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.factor()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -458,7 +501,10 @@ impl Parser {
                         self.bump();
                         let arg = self.expr()?;
                         self.expect_sym(Sym::RParen)?;
-                        return Ok(Expr::Agg { func, arg: Box::new(arg) });
+                        return Ok(Expr::Agg {
+                            func,
+                            arg: Box::new(arg),
+                        });
                     }
                 }
                 if self.eat_sym(Sym::Dot) {
@@ -510,10 +556,9 @@ mod tests {
 
     #[test]
     fn parse_define_relationship() {
-        let stmts = parse(
-            "define relationship COMPOSER (person = PERSON, composition = COMPOSITION)",
-        )
-        .unwrap();
+        let stmts =
+            parse("define relationship COMPOSER (person = PERSON, composition = COMPOSITION)")
+                .unwrap();
         assert_eq!(
             stmts[0],
             Stmt::DefineRelationship {
@@ -552,7 +597,9 @@ mod tests {
                 parent: Some("VOICE".into()),
             }
         );
-        assert!(matches!(&stmts[2], Stmt::DefineOrdering { parent: Some(p), .. } if p == "BEAM_GROUP"));
+        assert!(
+            matches!(&stmts[2], Stmt::DefineOrdering { parent: Some(p), .. } if p == "BEAM_GROUP")
+        );
         assert_eq!(
             stmts[3],
             Stmt::DefineOrdering {
@@ -572,11 +619,23 @@ mod tests {
         .unwrap();
         assert_eq!(
             stmts[0],
-            Stmt::RangeOf { vars: vec!["n1".into(), "n2".into()], target: "NOTE".into() }
+            Stmt::RangeOf {
+                vars: vec!["n1".into(), "n2".into()],
+                target: "NOTE".into()
+            }
         );
-        let Stmt::Retrieve { targets, qual, .. } = &stmts[1] else { panic!() };
+        let Stmt::Retrieve { targets, qual, .. } = &stmts[1] else {
+            panic!()
+        };
         assert_eq!(targets.len(), 1);
-        let Some(Expr::Bin { op: BinOp::And, lhs, .. }) = qual else { panic!("{qual:?}") };
+        let Some(Expr::Bin {
+            op: BinOp::And,
+            lhs,
+            ..
+        }) = qual
+        else {
+            panic!("{qual:?}")
+        };
         assert_eq!(
             **lhs,
             Expr::Ord {
@@ -598,9 +657,18 @@ mod tests {
              and COMPOSER.composer is PERSON",
         )
         .unwrap();
-        let Stmt::Retrieve { qual: Some(q), .. } = &stmts[0] else { panic!() };
+        let Stmt::Retrieve { qual: Some(q), .. } = &stmts[0] else {
+            panic!()
+        };
         // Top-level is an AND chain ending in an `is`.
-        let Expr::Bin { op: BinOp::And, rhs, .. } = q else { panic!("{q:?}") };
+        let Expr::Bin {
+            op: BinOp::And,
+            rhs,
+            ..
+        } = q
+        else {
+            panic!("{q:?}")
+        };
         assert!(matches!(**rhs, Expr::Is { .. }));
     }
 
@@ -608,7 +676,9 @@ mod tests {
     fn parse_under_query() {
         let stmts =
             parse("retrieve (n1.name) where n1 under c1 in note_in_chord and c1.name = 7").unwrap();
-        let Stmt::Retrieve { qual: Some(q), .. } = &stmts[0] else { panic!() };
+        let Stmt::Retrieve { qual: Some(q), .. } = &stmts[0] else {
+            panic!()
+        };
         let Expr::Bin { lhs, .. } = q else { panic!() };
         assert_eq!(
             **lhs,
@@ -637,7 +707,12 @@ mod tests {
     #[test]
     fn parse_labeled_targets_and_unique() {
         let stmts = parse("retrieve unique (who = PERSON.name, PERSON.name)").unwrap();
-        let Stmt::Retrieve { unique, targets, .. } = &stmts[0] else { panic!() };
+        let Stmt::Retrieve {
+            unique, targets, ..
+        } = &stmts[0]
+        else {
+            panic!()
+        };
         assert!(unique);
         assert_eq!(targets[0].label.as_deref(), Some("who"));
         assert_eq!(targets[1].label, None);
@@ -646,8 +721,17 @@ mod tests {
     #[test]
     fn arithmetic_precedence() {
         let stmts = parse("retrieve (x.a + x.b * 2)").unwrap();
-        let Stmt::Retrieve { targets, .. } = &stmts[0] else { panic!() };
-        let Expr::Bin { op: BinOp::Add, rhs, .. } = &targets[0].expr else { panic!() };
+        let Stmt::Retrieve { targets, .. } = &stmts[0] else {
+            panic!()
+        };
+        let Expr::Bin {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &targets[0].expr
+        else {
+            panic!()
+        };
         assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
     }
 
@@ -659,7 +743,9 @@ mod tests {
     #[test]
     fn error_reports_line() {
         let err = parse("range of x is NOTE\nretrieve (").unwrap_err();
-        let LangError::Parse { line, .. } = err else { panic!("{err}") };
+        let LangError::Parse { line, .. } = err else {
+            panic!("{err}")
+        };
         assert_eq!(line, 2);
     }
 }

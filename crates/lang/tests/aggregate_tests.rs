@@ -61,12 +61,17 @@ fn grouped_count_and_extremes() {
 fn sum_and_avg() {
     let (mut s, mut db) = setup();
     let out = s
-        .execute(&mut db, "range of n is NOTE\nretrieve (n.voice, sum(n.dur), avg(n.midi))")
+        .execute(
+            &mut db,
+            "range of n is NOTE\nretrieve (n.voice, sum(n.dur), avg(n.midi))",
+        )
         .unwrap();
     let t = rows(&out[1]);
     assert_eq!(t.rows[0][1], Value::Float(2.0), "soprano durations sum");
     assert_eq!(t.rows[1][1], Value::Float(4.0), "bass durations sum");
-    let Value::Float(avg) = t.rows[1][2] else { panic!() };
+    let Value::Float(avg) = t.rows[1][2] else {
+        panic!()
+    };
     assert!((avg - 45.5).abs() < 1e-12);
 }
 
@@ -74,14 +79,20 @@ fn sum_and_avg() {
 fn sum_of_integers_stays_integer() {
     let (mut s, mut db) = setup();
     let out = s.execute(&mut db, "retrieve (sum(NOTE.midi))").unwrap();
-    assert_eq!(rows(&out[0]).rows[0][0], Value::Integer(72 + 76 + 79 + 48 + 43));
+    assert_eq!(
+        rows(&out[0]).rows[0][0],
+        Value::Integer(72 + 76 + 79 + 48 + 43)
+    );
 }
 
 #[test]
 fn aggregate_with_qualification() {
     let (mut s, mut db) = setup();
     let out = s
-        .execute(&mut db, "range of n is NOTE\nretrieve (count(n.midi)) where n.midi > 70")
+        .execute(
+            &mut db,
+            "range of n is NOTE\nretrieve (count(n.midi)) where n.midi > 70",
+        )
         .unwrap();
     assert_eq!(rows(&out[1]).rows[0][0], Value::Integer(3));
 }
@@ -91,7 +102,9 @@ fn empty_input_yields_zero_count() {
     let mut s = Session::new();
     let mut db = Database::new();
     s.execute(&mut db, "define entity E (x = integer)").unwrap();
-    let out = s.execute(&mut db, "retrieve (count(E.x), sum(E.x), avg(E.x))").unwrap();
+    let out = s
+        .execute(&mut db, "retrieve (count(E.x), sum(E.x), avg(E.x))")
+        .unwrap();
     let t = rows(&out[0]);
     assert_eq!(t.rows[0][0], Value::Integer(0));
     assert_eq!(t.rows[0][1], Value::Integer(0));
@@ -107,7 +120,9 @@ fn nulls_are_skipped() {
         "define entity E (x = integer)\nappend to E (x = 1)\nappend to E ()",
     )
     .unwrap();
-    let out = s.execute(&mut db, "retrieve (count(E.x), min(E.x))").unwrap();
+    let out = s
+        .execute(&mut db, "retrieve (count(E.x), min(E.x))")
+        .unwrap();
     let t = rows(&out[0]);
     assert_eq!(t.rows[0][0], Value::Integer(1), "null not counted");
     assert_eq!(t.rows[0][1], Value::Integer(1));
@@ -117,7 +132,10 @@ fn nulls_are_skipped() {
 fn aggregate_in_qualification_rejected() {
     let (mut s, mut db) = setup();
     let err = s
-        .execute(&mut db, "retrieve (NOTE.voice, count(NOTE.midi)) where count(NOTE.midi) > 1")
+        .execute(
+            &mut db,
+            "retrieve (NOTE.voice, count(NOTE.midi)) where count(NOTE.midi) > 1",
+        )
         .unwrap_err();
     assert!(matches!(err, LangError::Analyze(_)), "{err}");
 }
@@ -137,8 +155,11 @@ fn count_remains_a_valid_identifier() {
     // type / variable identifier.
     let mut s = Session::new();
     let mut db = Database::new();
-    s.execute(&mut db, "define entity count (x = integer)\nappend to count (x = 9)")
-        .unwrap();
+    s.execute(
+        &mut db,
+        "define entity count (x = integer)\nappend to count (x = 9)",
+    )
+    .unwrap();
     let out = s.execute(&mut db, "retrieve (count.x)").unwrap();
     assert_eq!(rows(&out[0]).rows[0][0], Value::Integer(9));
 }
@@ -165,7 +186,9 @@ fn aggregates_over_music_corpus() {
     )
     .unwrap();
     for c in 0..3i64 {
-        let chord = db.create_entity("CHORD", &[("name", Value::Integer(c))]).unwrap();
+        let chord = db
+            .create_entity("CHORD", &[("name", Value::Integer(c))])
+            .unwrap();
         for n in 0..(c + 2) {
             let note = db
                 .create_entity("NOTE", &[("name", Value::Integer(c * 10 + n))])

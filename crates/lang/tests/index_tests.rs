@@ -15,7 +15,11 @@ fn rows(mut results: Vec<StmtResult>) -> Table {
 fn populated(n: i64) -> (Session, Database) {
     let mut s = Session::new();
     let mut db = Database::new();
-    s.execute(&mut db, "define entity NOTE (name = integer, pitch = string)").unwrap();
+    s.execute(
+        &mut db,
+        "define entity NOTE (name = integer, pitch = string)",
+    )
+    .unwrap();
     for i in 0..n {
         db.create_entity(
             "NOTE",
@@ -45,17 +49,34 @@ fn index_stays_correct_under_mutation() {
     let (mut s, mut db) = populated(50);
     db.create_attr_index("NOTE", "name").unwrap();
     // Mutate through QUEL: replace then delete.
-    s.execute(&mut db, "range of n is NOTE\nreplace n (name = 999) where n.name = 7").unwrap();
-    let t = rows(s.execute(&mut db, "retrieve (n.pitch) where n.name = 999").unwrap());
+    s.execute(
+        &mut db,
+        "range of n is NOTE\nreplace n (name = 999) where n.name = 7",
+    )
+    .unwrap();
+    let t = rows(
+        s.execute(&mut db, "retrieve (n.pitch) where n.name = 999")
+            .unwrap(),
+    );
     assert_eq!(t.len(), 1);
-    let t = rows(s.execute(&mut db, "retrieve (n.pitch) where n.name = 7").unwrap());
+    let t = rows(
+        s.execute(&mut db, "retrieve (n.pitch) where n.name = 7")
+            .unwrap(),
+    );
     assert!(t.is_empty(), "old key must be unindexed after replace");
     s.execute(&mut db, "delete n where n.name = 999").unwrap();
-    let t = rows(s.execute(&mut db, "retrieve (n.pitch) where n.name = 999").unwrap());
+    let t = rows(
+        s.execute(&mut db, "retrieve (n.pitch) where n.name = 999")
+            .unwrap(),
+    );
     assert!(t.is_empty());
     // Append re-populates the index.
-    s.execute(&mut db, "append to NOTE (name = 999, pitch = \"new\")").unwrap();
-    let t = rows(s.execute(&mut db, "retrieve (n.pitch) where n.name = 999").unwrap());
+    s.execute(&mut db, "append to NOTE (name = 999, pitch = \"new\")")
+        .unwrap();
+    let t = rows(
+        s.execute(&mut db, "retrieve (n.pitch) where n.name = 999")
+            .unwrap(),
+    );
     assert_eq!(t.rows[0][0], Value::String("new".into()));
 }
 
@@ -64,15 +85,21 @@ fn two_indexed_conjuncts_intersect() {
     let (mut s, mut db) = populated(200);
     db.create_attr_index("NOTE", "name").unwrap();
     db.create_attr_index("NOTE", "pitch").unwrap();
-    let t = rows(s.execute(
+    let t = rows(
+        s.execute(
             &mut db,
             "range of n is NOTE\nretrieve (n.name) where n.name = 19 and n.pitch = \"p7\"",
-        ).unwrap());
+        )
+        .unwrap(),
+    );
     assert_eq!(t.len(), 1, "19 % 12 == 7 so both conjuncts hold");
-    let t = rows(s.execute(
+    let t = rows(
+        s.execute(
             &mut db,
             "retrieve (n.name) where n.name = 19 and n.pitch = \"p3\"",
-        ).unwrap());
+        )
+        .unwrap(),
+    );
     assert!(t.is_empty(), "empty intersection");
 }
 
@@ -81,10 +108,13 @@ fn or_disjuncts_do_not_restrict() {
     // `a = 1 or b = 2` must NOT use the index to restrict to a = 1 only.
     let (mut s, mut db) = populated(60);
     db.create_attr_index("NOTE", "name").unwrap();
-    let t = rows(s.execute(
+    let t = rows(
+        s.execute(
             &mut db,
             "range of n is NOTE\nretrieve (n.name) where n.name = 1 or n.name = 2",
-        ).unwrap());
+        )
+        .unwrap(),
+    );
     assert_eq!(t.len(), 2);
 }
 
@@ -100,7 +130,9 @@ fn join_query_uses_index_on_one_side() {
     )
     .unwrap();
     for c in 0..40i64 {
-        let chord = db.create_entity("CHORD", &[("name", Value::Integer(c))]).unwrap();
+        let chord = db
+            .create_entity("CHORD", &[("name", Value::Integer(c))])
+            .unwrap();
         for k in 0..4 {
             let note = db
                 .create_entity("NOTE", &[("name", Value::Integer(c * 4 + k))])
@@ -109,11 +141,14 @@ fn join_query_uses_index_on_one_side() {
         }
     }
     db.create_attr_index("CHORD", "name").unwrap();
-    let t = rows(s.execute(
+    let t = rows(
+        s.execute(
             &mut db,
             "range of n is NOTE\nrange of c is CHORD\n\
              retrieve (n.name) where n under c in note_in_chord and c.name = 13",
-        ).unwrap());
+        )
+        .unwrap(),
+    );
     let mut names: Vec<i64> = t.rows.iter().map(|r| r[0].as_integer().unwrap()).collect();
     names.sort_unstable();
     assert_eq!(names, vec![52, 53, 54, 55]);
@@ -132,6 +167,9 @@ fn rebuild_after_bulk_store_mutation() {
     );
     db.rebuild_attr_indexes();
     let mut s = Session::new();
-    let t = rows(s.execute(&mut db, "retrieve (NOTE.pitch) where NOTE.name = 777").unwrap());
+    let t = rows(
+        s.execute(&mut db, "retrieve (NOTE.pitch) where NOTE.name = 777")
+            .unwrap(),
+    );
     assert_eq!(t.rows[0][0], Value::String("bulk".into()));
 }

@@ -11,7 +11,10 @@ fn rows(r: &StmtResult) -> &Table {
 }
 
 fn ints(t: &Table, col: usize) -> Vec<i64> {
-    t.rows.iter().map(|r| r[col].as_integer().unwrap()).collect()
+    t.rows
+        .iter()
+        .map(|r| r[col].as_integer().unwrap())
+        .collect()
 }
 
 /// Builds the §5.6 NOTE/CHORD database: chord 1 with notes 1..=4 in
@@ -26,14 +29,22 @@ fn chord_db(session: &mut Session) -> Database {
              define ordering note_in_chord (NOTE) under CHORD",
         )
         .unwrap();
-    let c1 = db.create_entity("CHORD", &[("name", Value::Integer(1))]).unwrap();
-    let c2 = db.create_entity("CHORD", &[("name", Value::Integer(2))]).unwrap();
+    let c1 = db
+        .create_entity("CHORD", &[("name", Value::Integer(1))])
+        .unwrap();
+    let c2 = db
+        .create_entity("CHORD", &[("name", Value::Integer(2))])
+        .unwrap();
     for i in 1..=4 {
-        let n = db.create_entity("NOTE", &[("name", Value::Integer(i))]).unwrap();
+        let n = db
+            .create_entity("NOTE", &[("name", Value::Integer(i))])
+            .unwrap();
         db.ord_append("note_in_chord", Some(c1), n).unwrap();
     }
     for i in 5..=6 {
-        let n = db.create_entity("NOTE", &[("name", Value::Integer(i))]).unwrap();
+        let n = db
+            .create_entity("NOTE", &[("name", Value::Integer(i))])
+            .unwrap();
         db.ord_append("note_in_chord", Some(c2), n).unwrap();
     }
     db
@@ -70,7 +81,11 @@ fn paper_query_notes_after() {
         .unwrap();
     let mut names = ints(rows(&out[1]), 0);
     names.sort_unstable();
-    assert_eq!(names, vec![3, 4], "notes 5,6 are in another chord: not comparable");
+    assert_eq!(
+        names,
+        vec![3, 4],
+        "notes 5,6 are in another chord: not comparable"
+    );
 }
 
 #[test]
@@ -120,19 +135,44 @@ fn paper_query_star_spangled_banner() {
     )
     .unwrap();
     let smith = db
-        .create_entity("PERSON", &[("name", Value::String("John Stafford Smith".into()))])
+        .create_entity(
+            "PERSON",
+            &[("name", Value::String("John Stafford Smith".into()))],
+        )
         .unwrap();
     let sousa = db
-        .create_entity("PERSON", &[("name", Value::String("John Philip Sousa".into()))])
+        .create_entity(
+            "PERSON",
+            &[("name", Value::String("John Philip Sousa".into()))],
+        )
         .unwrap();
     let banner = db
-        .create_entity("COMPOSITION", &[("title", Value::String("The Star Spangled Banner".into()))])
+        .create_entity(
+            "COMPOSITION",
+            &[("title", Value::String("The Star Spangled Banner".into()))],
+        )
         .unwrap();
     let stars = db
-        .create_entity("COMPOSITION", &[("title", Value::String("The Stars and Stripes Forever".into()))])
+        .create_entity(
+            "COMPOSITION",
+            &[(
+                "title",
+                Value::String("The Stars and Stripes Forever".into()),
+            )],
+        )
         .unwrap();
-    db.relate("COMPOSER", &[("composer", smith), ("composition", banner)], &[]).unwrap();
-    db.relate("COMPOSER", &[("composer", sousa), ("composition", stars)], &[]).unwrap();
+    db.relate(
+        "COMPOSER",
+        &[("composer", smith), ("composition", banner)],
+        &[],
+    )
+    .unwrap();
+    db.relate(
+        "COMPOSER",
+        &[("composer", sousa), ("composition", stars)],
+        &[],
+    )
+    .unwrap();
 
     let out = s
         .execute(
@@ -223,12 +263,13 @@ fn append_replace_delete_lifecycle() {
     let out = s
         .execute(&mut db, "retrieve (c.title) where c.year = 1709")
         .unwrap();
-    assert_eq!(rows(&out[0]).rows[0][0], Value::String("Baroque: Fuge g-moll".into()));
+    assert_eq!(
+        rows(&out[0]).rows[0][0],
+        Value::String("Baroque: Fuge g-moll".into())
+    );
 
     // Delete.
-    let out = s
-        .execute(&mut db, "delete c where c.year > 1900")
-        .unwrap();
+    let out = s.execute(&mut db, "delete c where c.year > 1900").unwrap();
     assert_eq!(out[0], StmtResult::Deleted(1));
     let out = s.execute(&mut db, "retrieve (c.title)").unwrap();
     assert_eq!(rows(&out[0]).len(), 2);
@@ -269,7 +310,10 @@ fn arithmetic_and_labels() {
         )
         .unwrap();
     let t = rows(&out[0]);
-    assert_eq!(t.columns, vec!["seconds".to_string(), "M.beats".to_string()]);
+    assert_eq!(
+        t.columns,
+        vec!["seconds".to_string(), "M.beats".to_string()]
+    );
     assert_eq!(t.rows[0][0], Value::Float(2.0));
 }
 
@@ -289,7 +333,9 @@ fn cross_product_semantics() {
     .unwrap();
     let out = s.execute(&mut db, "retrieve (A.x, B.y)").unwrap();
     assert_eq!(rows(&out[0]).len(), 4);
-    let out = s.execute(&mut db, "retrieve (A.x, B.y) where A.x * 10 = B.y").unwrap();
+    let out = s
+        .execute(&mut db, "retrieve (A.x, B.y) where A.x * 10 = B.y")
+        .unwrap();
     assert_eq!(rows(&out[0]).len(), 2);
 }
 
@@ -315,12 +361,19 @@ fn entity_typed_attribute_in_ddl() {
     let d = db
         .create_entity(
             "DATE",
-            &[("day", Value::Integer(21)), ("month", Value::Integer(3)), ("year", Value::Integer(1685))],
+            &[
+                ("day", Value::Integer(21)),
+                ("month", Value::Integer(3)),
+                ("year", Value::Integer(1685)),
+            ],
         )
         .unwrap();
     db.create_entity(
         "COMPOSITION",
-        &[("title", Value::String("x".into())), ("composition_date", Value::Entity(d))],
+        &[
+            ("title", Value::String("x".into())),
+            ("composition_date", Value::Entity(d)),
+        ],
     )
     .unwrap();
     // Join composition to its date through the entity reference and `is`.
@@ -344,8 +397,12 @@ fn relationship_attributes_are_projectable() {
          define relationship PERFORMED (player = PERSON, work = WORK, venue = string)",
     )
     .unwrap();
-    let p = db.create_entity("PERSON", &[("name", Value::String("Gould".into()))]).unwrap();
-    let w = db.create_entity("WORK", &[("title", Value::String("Goldberg".into()))]).unwrap();
+    let p = db
+        .create_entity("PERSON", &[("name", Value::String("Gould".into()))])
+        .unwrap();
+    let w = db
+        .create_entity("WORK", &[("title", Value::String("Goldberg".into()))])
+        .unwrap();
     db.relate(
         "PERFORMED",
         &[("player", p), ("work", w)],
@@ -376,7 +433,10 @@ fn ddl_through_session_defines_orderings() {
     )
     .unwrap();
     assert!(db.ordering_id("voice_content").is_ok());
-    let def = db.schema().ordering(db.ordering_id("voice_content").unwrap()).unwrap();
+    let def = db
+        .schema()
+        .ordering(db.ordering_id("voice_content").unwrap())
+        .unwrap();
     assert_eq!(def.children.len(), 2);
 }
 
@@ -410,7 +470,10 @@ fn sort_by_orders_results() {
     .unwrap();
     // Ascending year, then descending title.
     let out = s
-        .execute(&mut db, "retrieve (W.title, W.year) sort by W.year, W.title desc")
+        .execute(
+            &mut db,
+            "retrieve (W.title, W.year) sort by W.year, W.title desc",
+        )
         .unwrap();
     let t = rows(&out[0]);
     let titles: Vec<&str> = t.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
@@ -422,9 +485,15 @@ fn sort_by_orders_results() {
     let t = rows(&out[0]);
     assert_eq!(t.rows[0][0], Value::String("c".into()));
     // Unknown sort column errors.
-    assert!(s.execute(&mut db, "retrieve (W.title) sort by nope").is_err());
+    assert!(s
+        .execute(&mut db, "retrieve (W.title) sort by nope")
+        .is_err());
     // `sort` remains usable as an identifier.
-    s.execute(&mut db, "define entity sort (by = integer)\nappend to sort (by = 3)").unwrap();
+    s.execute(
+        &mut db,
+        "define entity sort (by = integer)\nappend to sort (by = 3)",
+    )
+    .unwrap();
     let out = s.execute(&mut db, "retrieve (sort.by)").unwrap();
     assert_eq!(rows(&out[0]).rows[0][0], Value::Integer(3));
 }
@@ -442,9 +511,41 @@ fn sort_by_with_aggregates() {
     )
     .unwrap();
     let out = s
-        .execute(&mut db, "retrieve (N.voice, k = count(N.midi)) sort by k desc")
+        .execute(
+            &mut db,
+            "retrieve (N.voice, k = count(N.midi)) sort by k desc",
+        )
         .unwrap();
     let t = rows(&out[0]);
     assert_eq!(t.rows[0][0], Value::String("b".into()));
     assert_eq!(t.rows[0][1], Value::Integer(2));
+}
+
+#[test]
+fn readonly_execution_retrieves_but_rejects_mutation() {
+    let mut s = Session::new();
+    let db = chord_db(&mut s);
+    // Fresh session, shared database reference.
+    let mut reader = Session::new();
+    let out = reader
+        .execute_readonly(&db, "range of n is NOTE\nretrieve (n.name)")
+        .unwrap();
+    let mut names = ints(rows(&out[1]), 0);
+    names.sort_unstable();
+    assert_eq!(names, vec![1, 2, 3, 4, 5, 6]);
+    // Every mutating statement class is refused.
+    for stmt in [
+        "define entity X (name = integer)",
+        "append to NOTE (name = 7)",
+        "range of n is NOTE\nreplace n (name = 9)",
+        "range of n is NOTE\ndelete n",
+    ] {
+        assert!(
+            matches!(
+                reader.execute_readonly(&db, stmt),
+                Err(LangError::Analyze(_))
+            ),
+            "{stmt} should be rejected"
+        );
+    }
 }

@@ -36,12 +36,20 @@ impl Database {
     pub fn new() -> Database {
         let schema = Schema::new();
         let store = InstanceStore::new(&schema);
-        Database { schema, store, attr_indexes: Default::default() }
+        Database {
+            schema,
+            store,
+            attr_indexes: Default::default(),
+        }
     }
 
     /// Builds a database from existing parts (used by persistence).
     pub fn from_parts(schema: Schema, store: InstanceStore) -> Database {
-        Database { schema, store, attr_indexes: Default::default() }
+        Database {
+            schema,
+            store,
+            attr_indexes: Default::default(),
+        }
     }
 
     /// The schema.
@@ -113,10 +121,12 @@ impl Database {
         let def = self.schema.entity_type(ty)?;
         let mut values = vec![Value::Null; def.attributes.len()];
         for (name, v) in attrs {
-            let idx = def.attribute_index(name).ok_or_else(|| ModelError::UnknownAttribute {
-                entity: type_name.to_string(),
-                attribute: name.to_string(),
-            })?;
+            let idx = def
+                .attribute_index(name)
+                .ok_or_else(|| ModelError::UnknownAttribute {
+                    entity: type_name.to_string(),
+                    attribute: name.to_string(),
+                })?;
             let decl = &def.attributes[idx].ty;
             if !v.conforms_to(decl) {
                 return Err(ModelError::TypeMismatch {
@@ -136,10 +146,12 @@ impl Database {
     pub fn get_attr(&self, id: EntityId, attr: &str) -> Result<&Value> {
         let inst = self.store.entity(id)?;
         let def = self.schema.entity_type(inst.ty)?;
-        let idx = def.attribute_index(attr).ok_or_else(|| ModelError::UnknownAttribute {
-            entity: def.name.clone(),
-            attribute: attr.to_string(),
-        })?;
+        let idx = def
+            .attribute_index(attr)
+            .ok_or_else(|| ModelError::UnknownAttribute {
+                entity: def.name.clone(),
+                attribute: attr.to_string(),
+            })?;
         Ok(&inst.attrs[idx])
     }
 
@@ -147,10 +159,12 @@ impl Database {
     pub fn set_attr(&mut self, id: EntityId, attr: &str, value: Value) -> Result<()> {
         let inst = self.store.entity(id)?;
         let def = self.schema.entity_type(inst.ty)?;
-        let idx = def.attribute_index(attr).ok_or_else(|| ModelError::UnknownAttribute {
-            entity: def.name.clone(),
-            attribute: attr.to_string(),
-        })?;
+        let idx = def
+            .attribute_index(attr)
+            .ok_or_else(|| ModelError::UnknownAttribute {
+                entity: def.name.clone(),
+                attribute: attr.to_string(),
+            })?;
         let decl = &def.attributes[idx].ty;
         if !value.conforms_to(decl) {
             return Err(ModelError::TypeMismatch {
@@ -169,7 +183,10 @@ impl Database {
                     index.remove(&old_key);
                 }
             }
-            index.entry(crate::encode::value_key(&value)).or_default().push(id);
+            index
+                .entry(crate::encode::value_key(&value))
+                .or_default()
+                .push(id);
         }
         self.store.entity_mut(id)?.attrs[idx] = value;
         Ok(())
@@ -244,10 +261,12 @@ impl Database {
     pub fn create_attr_index(&mut self, type_name: &str, attr: &str) -> Result<()> {
         let ty = self.schema.entity_type_id(type_name)?;
         let def = self.schema.entity_type(ty)?;
-        let idx = def.attribute_index(attr).ok_or_else(|| ModelError::UnknownAttribute {
-            entity: type_name.to_string(),
-            attribute: attr.to_string(),
-        })?;
+        let idx = def
+            .attribute_index(attr)
+            .ok_or_else(|| ModelError::UnknownAttribute {
+                entity: type_name.to_string(),
+                attribute: attr.to_string(),
+            })?;
         let mut index = AttrIndex::new();
         for &id in self.store.instances_of(ty) {
             let inst = self.store.entity(id)?;
@@ -273,9 +292,18 @@ impl Database {
     /// Index probe by type id and attribute position (the executor's fast
     /// path). `None` means "no index on that attribute"; an empty slice
     /// means "indexed, no matches".
-    pub fn attr_index_get(&self, ty: TypeId, attr_idx: usize, value: &Value) -> Option<&[EntityId]> {
+    pub fn attr_index_get(
+        &self,
+        ty: TypeId,
+        attr_idx: usize,
+        value: &Value,
+    ) -> Option<&[EntityId]> {
         let index = self.attr_indexes.get(&(ty, attr_idx))?;
-        Some(index.get(&crate::encode::value_key(value)).map_or(&[], Vec::as_slice))
+        Some(
+            index
+                .get(&crate::encode::value_key(value))
+                .map_or(&[], Vec::as_slice),
+        )
     }
 
     /// True if an index exists on the attribute position of the type.
@@ -318,14 +346,20 @@ impl Database {
         let mut entities = vec![0u64; def.roles.len()];
         let mut filled = vec![false; def.roles.len()];
         for (role, id) in roles {
-            let idx = def.role_index(role).ok_or_else(|| ModelError::UnknownAttribute {
-                entity: rel_name.to_string(),
-                attribute: role.to_string(),
-            })?;
+            let idx = def
+                .role_index(role)
+                .ok_or_else(|| ModelError::UnknownAttribute {
+                    entity: rel_name.to_string(),
+                    attribute: role.to_string(),
+                })?;
             let inst = self.store.entity(*id)?;
             if inst.ty != def.roles[idx].entity_type {
                 return Err(ModelError::WrongEntityType {
-                    expected: self.schema.entity_type(def.roles[idx].entity_type)?.name.clone(),
+                    expected: self
+                        .schema
+                        .entity_type(def.roles[idx].entity_type)?
+                        .name
+                        .clone(),
                     found: self.schema.entity_type(inst.ty)?.name.clone(),
                     context: format!("{rel_name}.{role}"),
                 });
@@ -341,10 +375,12 @@ impl Database {
         }
         let mut values = vec![Value::Null; def.attributes.len()];
         for (name, v) in attrs {
-            let idx = def.attribute_index(name).ok_or_else(|| ModelError::UnknownAttribute {
-                entity: rel_name.to_string(),
-                attribute: name.to_string(),
-            })?;
+            let idx = def
+                .attribute_index(name)
+                .ok_or_else(|| ModelError::UnknownAttribute {
+                    entity: rel_name.to_string(),
+                    attribute: name.to_string(),
+                })?;
             if !v.conforms_to(&def.attributes[idx].ty) {
                 return Err(ModelError::TypeMismatch {
                     expected: def.attributes[idx].ty.name(),
@@ -363,10 +399,12 @@ impl Database {
     pub fn related(&self, rel_name: &str, id: EntityId, role: &str) -> Result<Vec<EntityId>> {
         let rel = self.schema.relationship_id(rel_name)?;
         let def = self.schema.relationship(rel)?;
-        let ridx = def.role_index(role).ok_or_else(|| ModelError::UnknownAttribute {
-            entity: rel_name.to_string(),
-            attribute: role.to_string(),
-        })?;
+        let ridx = def
+            .role_index(role)
+            .ok_or_else(|| ModelError::UnknownAttribute {
+                entity: rel_name.to_string(),
+                attribute: role.to_string(),
+            })?;
         let mut out = Vec::new();
         for &ri in self.store.relationships_of(rel) {
             let r = self.store.relationship(ri)?;
@@ -395,7 +433,12 @@ impl Database {
                     expected: def
                         .children
                         .iter()
-                        .map(|&t| self.schema.entity_type(t).map(|e| e.name.clone()).unwrap_or_default())
+                        .map(|&t| {
+                            self.schema
+                                .entity_type(t)
+                                .map(|e| e.name.clone())
+                                .unwrap_or_default()
+                        })
                         .collect::<Vec<_>>()
                         .join(" | "),
                     found: self.schema.entity_type(inst.ty)?.name.clone(),
@@ -410,7 +453,10 @@ impl Database {
                     return Err(ModelError::WrongEntityType {
                         expected: self.schema.entity_type(pt)?.name.clone(),
                         found: self.schema.entity_type(inst.ty)?.name.clone(),
-                        context: format!("parent of {}", self.schema.ordering_display_name(ordering)),
+                        context: format!(
+                            "parent of {}",
+                            self.schema.ordering_display_name(ordering)
+                        ),
                     });
                 }
             }
@@ -437,7 +483,12 @@ impl Database {
     }
 
     /// Appends `child` under `parent` in the named ordering.
-    pub fn ord_append(&mut self, ordering: &str, parent: Option<EntityId>, child: EntityId) -> Result<()> {
+    pub fn ord_append(
+        &mut self,
+        ordering: &str,
+        parent: Option<EntityId>,
+        child: EntityId,
+    ) -> Result<()> {
         let o = self.schema.ordering_id(ordering)?;
         self.check_ordering_types(o, parent, Some(child))?;
         self.store.ordering_append(&self.schema, o, parent, child)
@@ -453,7 +504,8 @@ impl Database {
     ) -> Result<()> {
         let o = self.schema.ordering_id(ordering)?;
         self.check_ordering_types(o, parent, Some(child))?;
-        self.store.ordering_insert(&self.schema, o, parent, position, child)
+        self.store
+            .ordering_insert(&self.schema, o, parent, position, child)
     }
 
     /// Detaches `child` in the named ordering.
@@ -500,7 +552,12 @@ impl Database {
 
     /// The n-th (0-based) child under `parent` in the named ordering —
     /// "the third note in chord x" is `nth_child("note_in_chord", x, 2)`.
-    pub fn nth_child(&self, ordering: &str, parent: Option<EntityId>, n: usize) -> Result<Option<EntityId>> {
+    pub fn nth_child(
+        &self,
+        ordering: &str,
+        parent: Option<EntityId>,
+        n: usize,
+    ) -> Result<Option<EntityId>> {
         let o = self.schema.ordering_id(ordering)?;
         Ok(self.store.nth_child(o, parent, n))
     }
@@ -512,18 +569,26 @@ mod tests {
     use crate::value::DataType;
 
     fn attr(name: &str, ty: DataType) -> AttributeDef {
-        AttributeDef { name: name.into(), ty }
+        AttributeDef {
+            name: name.into(),
+            ty,
+        }
     }
 
     fn music_db() -> Database {
         let mut db = Database::new();
-        db.define_entity("CHORD", vec![attr("name", DataType::Integer)]).unwrap();
+        db.define_entity("CHORD", vec![attr("name", DataType::Integer)])
+            .unwrap();
         db.define_entity(
             "NOTE",
-            vec![attr("name", DataType::Integer), attr("pitch", DataType::String)],
+            vec![
+                attr("name", DataType::Integer),
+                attr("pitch", DataType::String),
+            ],
         )
         .unwrap();
-        db.define_ordering(Some("note_in_chord"), &["NOTE"], Some("CHORD")).unwrap();
+        db.define_ordering(Some("note_in_chord"), &["NOTE"], Some("CHORD"))
+            .unwrap();
         db
     }
 
@@ -531,9 +596,18 @@ mod tests {
     fn create_and_read_entity() {
         let mut db = music_db();
         let n = db
-            .create_entity("NOTE", &[("name", Value::Integer(1)), ("pitch", Value::String("C4".into()))])
+            .create_entity(
+                "NOTE",
+                &[
+                    ("name", Value::Integer(1)),
+                    ("pitch", Value::String("C4".into())),
+                ],
+            )
             .unwrap();
-        assert_eq!(db.get_attr(n, "pitch").unwrap(), &Value::String("C4".into()));
+        assert_eq!(
+            db.get_attr(n, "pitch").unwrap(),
+            &Value::String("C4".into())
+        );
         assert_eq!(db.get_attr(n, "name").unwrap(), &Value::Integer(1));
         assert_eq!(db.type_of(n).unwrap(), "NOTE");
     }
@@ -572,14 +646,22 @@ mod tests {
     fn paper_queries_third_note_in_chord() {
         // §5.4: "the third note in chord x".
         let mut db = music_db();
-        let x = db.create_entity("CHORD", &[("name", Value::Integer(1))]).unwrap();
+        let x = db
+            .create_entity("CHORD", &[("name", Value::Integer(1))])
+            .unwrap();
         let notes: Vec<EntityId> = (0..4)
-            .map(|i| db.create_entity("NOTE", &[("name", Value::Integer(i))]).unwrap())
+            .map(|i| {
+                db.create_entity("NOTE", &[("name", Value::Integer(i))])
+                    .unwrap()
+            })
             .collect();
         for &n in &notes {
             db.ord_append("note_in_chord", Some(x), n).unwrap();
         }
-        assert_eq!(db.nth_child("note_in_chord", Some(x), 2).unwrap(), Some(notes[2]));
+        assert_eq!(
+            db.nth_child("note_in_chord", Some(x), 2).unwrap(),
+            Some(notes[2])
+        );
         assert!(db.before("note_in_chord", notes[0], notes[3]).unwrap());
         assert!(db.under("note_in_chord", notes[1], x).unwrap());
     }
@@ -608,22 +690,43 @@ mod tests {
         // §5.6's example: find the composers of a given composition via
         // the COMPOSER relationship.
         let mut db = Database::new();
-        db.define_entity("PERSON", vec![attr("name", DataType::String)]).unwrap();
-        db.define_entity("COMPOSITION", vec![attr("title", DataType::String)]).unwrap();
+        db.define_entity("PERSON", vec![attr("name", DataType::String)])
+            .unwrap();
+        db.define_entity("COMPOSITION", vec![attr("title", DataType::String)])
+            .unwrap();
         db.define_relationship(
             "COMPOSER",
             vec![
-                RoleDef { name: "composer".into(), entity_type: 0 },
-                RoleDef { name: "composition".into(), entity_type: 1 },
+                RoleDef {
+                    name: "composer".into(),
+                    entity_type: 0,
+                },
+                RoleDef {
+                    name: "composition".into(),
+                    entity_type: 1,
+                },
             ],
             vec![],
         )
         .unwrap();
-        let smith = db.create_entity("PERSON", &[("name", Value::String("John Stafford Smith".into()))]).unwrap();
-        let banner = db
-            .create_entity("COMPOSITION", &[("title", Value::String("The Star Spangled Banner".into()))])
+        let smith = db
+            .create_entity(
+                "PERSON",
+                &[("name", Value::String("John Stafford Smith".into()))],
+            )
             .unwrap();
-        db.relate("COMPOSER", &[("composer", smith), ("composition", banner)], &[]).unwrap();
+        let banner = db
+            .create_entity(
+                "COMPOSITION",
+                &[("title", Value::String("The Star Spangled Banner".into()))],
+            )
+            .unwrap();
+        db.relate(
+            "COMPOSER",
+            &[("composer", smith), ("composition", banner)],
+            &[],
+        )
+        .unwrap();
         let composers = db.related("COMPOSER", banner, "composer").unwrap();
         assert_eq!(composers, vec![smith]);
         assert_eq!(
@@ -640,8 +743,14 @@ mod tests {
         db.define_relationship(
             "COMPOSER",
             vec![
-                RoleDef { name: "composer".into(), entity_type: 0 },
-                RoleDef { name: "composition".into(), entity_type: 1 },
+                RoleDef {
+                    name: "composer".into(),
+                    entity_type: 0,
+                },
+                RoleDef {
+                    name: "composition".into(),
+                    entity_type: 1,
+                },
             ],
             vec![],
         )
@@ -649,11 +758,15 @@ mod tests {
         let p = db.create_entity("PERSON", &[]).unwrap();
         let c = db.create_entity("COMPOSITION", &[]).unwrap();
         // Wrong types for roles.
-        assert!(db.relate("COMPOSER", &[("composer", c), ("composition", p)], &[]).is_err());
+        assert!(db
+            .relate("COMPOSER", &[("composer", c), ("composition", p)], &[])
+            .is_err());
         // Missing role.
         assert!(db.relate("COMPOSER", &[("composer", p)], &[]).is_err());
         // Correct.
-        assert!(db.relate("COMPOSER", &[("composer", p), ("composition", c)], &[]).is_ok());
+        assert!(db
+            .relate("COMPOSER", &[("composer", p), ("composition", c)], &[])
+            .is_ok());
     }
 
     #[test]
@@ -671,7 +784,10 @@ mod tests {
         .unwrap();
         db.define_entity(
             "COMPOSITION",
-            vec![attr("title", DataType::String), attr("composition_date", DataType::Entity(0))],
+            vec![
+                attr("title", DataType::String),
+                attr("composition_date", DataType::Entity(0)),
+            ],
         )
         .unwrap();
         let date = db
@@ -687,10 +803,17 @@ mod tests {
         let comp = db
             .create_entity(
                 "COMPOSITION",
-                &[("title", Value::String("Fuge g-moll".into())), ("composition_date", Value::Entity(date))],
+                &[
+                    ("title", Value::String("Fuge g-moll".into())),
+                    ("composition_date", Value::Entity(date)),
+                ],
             )
             .unwrap();
-        let d = db.get_attr(comp, "composition_date").unwrap().as_entity().unwrap();
+        let d = db
+            .get_attr(comp, "composition_date")
+            .unwrap()
+            .as_entity()
+            .unwrap();
         assert_eq!(db.get_attr(d, "year").unwrap(), &Value::Integer(1709));
     }
 }

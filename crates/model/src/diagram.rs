@@ -64,7 +64,9 @@ pub fn er_diagram(schema: &Schema) -> String {
     let mut isolated = Vec::new();
     for (i, e) in schema.entity_types().iter().enumerate() {
         let referenced = mentioned.contains(&(i as u32))
-            || e.attributes.iter().any(|a| matches!(a.ty, DataType::Entity(_)));
+            || e.attributes
+                .iter()
+                .any(|a| matches!(a.ty, DataType::Entity(_)));
         if !referenced {
             isolated.push(format!("[{}]", e.name));
         }
@@ -101,10 +103,7 @@ pub fn ho_graph(schema: &Schema) -> String {
     out.push_str("Hierarchical Ordering Graph\n");
     out.push_str("===========================\n");
     for (i, o) in schema.orderings().iter().enumerate() {
-        let name = o
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("ordering#{i}"));
+        let name = o.name.clone().unwrap_or_else(|| format!("ordering#{i}"));
         let children: Vec<String> = o
             .children
             .iter()
@@ -122,7 +121,11 @@ pub fn ho_graph(schema: &Schema) -> String {
                 .unwrap_or_default(),
             None => "(global)".to_string(),
         };
-        let recursion = if o.is_recursive() { "   (recursive)" } else { "" };
+        let recursion = if o.is_recursive() {
+            "   (recursive)"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "{parent} =={name}==> ({}){recursion}\n",
             children.join(", ")
@@ -133,11 +136,7 @@ pub fn ho_graph(schema: &Schema) -> String {
 
 /// Renders one instance-graph group (fig. 6): the parent and its ordered
 /// children, S-edges drawn as `->`, ordinal positions shown.
-pub fn instance_graph(
-    db: &Database,
-    ordering: &str,
-    parent: Option<EntityId>,
-) -> Result<String> {
+pub fn instance_graph(db: &Database, ordering: &str, parent: Option<EntityId>) -> Result<String> {
     let children = db.ord_children(ordering, parent)?;
     let mut out = String::new();
     let parent_label = match parent {
@@ -151,7 +150,11 @@ pub fn instance_graph(
         .collect::<Result<_>>()?;
     out.push_str(&format!("children (S-edges): {}\n", labels.join(" -> ")));
     for (i, &c) in children.iter().enumerate() {
-        out.push_str(&format!("  child {}: {}@{c}  (P-edge to parent)\n", i + 1, db.type_of(c)?));
+        out.push_str(&format!(
+            "  child {}: {}@{c}  (P-edge to parent)\n",
+            i + 1,
+            db.type_of(c)?
+        ));
     }
     Ok(out)
 }
@@ -195,9 +198,18 @@ mod tests {
             .define_entity(
                 "DATE",
                 vec![
-                    AttributeDef { name: "day".into(), ty: DataType::Integer },
-                    AttributeDef { name: "month".into(), ty: DataType::Integer },
-                    AttributeDef { name: "year".into(), ty: DataType::Integer },
+                    AttributeDef {
+                        name: "day".into(),
+                        ty: DataType::Integer,
+                    },
+                    AttributeDef {
+                        name: "month".into(),
+                        ty: DataType::Integer,
+                    },
+                    AttributeDef {
+                        name: "year".into(),
+                        ty: DataType::Integer,
+                    },
                 ],
             )
             .unwrap();
@@ -205,22 +217,37 @@ mod tests {
             .define_entity(
                 "COMPOSITION",
                 vec![
-                    AttributeDef { name: "title".into(), ty: DataType::String },
-                    AttributeDef { name: "composition_date".into(), ty: DataType::Entity(date) },
+                    AttributeDef {
+                        name: "title".into(),
+                        ty: DataType::String,
+                    },
+                    AttributeDef {
+                        name: "composition_date".into(),
+                        ty: DataType::Entity(date),
+                    },
                 ],
             )
             .unwrap();
         let person = s
             .define_entity(
                 "PERSON",
-                vec![AttributeDef { name: "name".into(), ty: DataType::String }],
+                vec![AttributeDef {
+                    name: "name".into(),
+                    ty: DataType::String,
+                }],
             )
             .unwrap();
         s.define_relationship(
             "COMPOSER",
             vec![
-                RoleDef { name: "person".into(), entity_type: person },
-                RoleDef { name: "composition".into(), entity_type: comp },
+                RoleDef {
+                    name: "person".into(),
+                    entity_type: person,
+                },
+                RoleDef {
+                    name: "composition".into(),
+                    entity_type: comp,
+                },
             ],
             vec![],
         )
@@ -242,7 +269,8 @@ mod tests {
         let mut s = Schema::new();
         let bg = s.define_entity("BEAM_GROUP", vec![]).unwrap();
         let chord = s.define_entity("CHORD", vec![]).unwrap();
-        s.define_ordering(Some("beams"), vec![bg, chord], Some(bg)).unwrap();
+        s.define_ordering(Some("beams"), vec![bg, chord], Some(bg))
+            .unwrap();
         let d = ho_graph(&s);
         assert!(d.contains("[BEAM_GROUP] ==beams==> (BEAM_GROUP, CHORD)   (recursive)"));
     }
@@ -252,7 +280,8 @@ mod tests {
         let mut db = Database::new();
         db.define_entity("CHORD", vec![]).unwrap();
         db.define_entity("NOTE", vec![]).unwrap();
-        db.define_ordering(Some("o"), &["NOTE"], Some("CHORD")).unwrap();
+        db.define_ordering(Some("o"), &["NOTE"], Some("CHORD"))
+            .unwrap();
         let y = db.create_entity("CHORD", &[]).unwrap();
         for _ in 0..4 {
             let n = db.create_entity("NOTE", &[]).unwrap();
@@ -267,13 +296,24 @@ mod tests {
     fn instance_tree_renders_nesting() {
         let mut db = Database::new();
         db.define_entity("BEAM_GROUP", vec![]).unwrap();
-        db.define_entity("CHORD", vec![AttributeDef { name: "n".into(), ty: DataType::Integer }])
+        db.define_entity(
+            "CHORD",
+            vec![AttributeDef {
+                name: "n".into(),
+                ty: DataType::Integer,
+            }],
+        )
+        .unwrap();
+        db.define_ordering(Some("beams"), &["BEAM_GROUP", "CHORD"], Some("BEAM_GROUP"))
             .unwrap();
-        db.define_ordering(Some("beams"), &["BEAM_GROUP", "CHORD"], Some("BEAM_GROUP")).unwrap();
         let g1 = db.create_entity("BEAM_GROUP", &[]).unwrap();
         let g2 = db.create_entity("BEAM_GROUP", &[]).unwrap();
-        let c1 = db.create_entity("CHORD", &[("n", Value::Integer(1))]).unwrap();
-        let c2 = db.create_entity("CHORD", &[("n", Value::Integer(2))]).unwrap();
+        let c1 = db
+            .create_entity("CHORD", &[("n", Value::Integer(1))])
+            .unwrap();
+        let c2 = db
+            .create_entity("CHORD", &[("n", Value::Integer(2))])
+            .unwrap();
         db.ord_append("beams", Some(g1), g2).unwrap();
         db.ord_append("beams", Some(g2), c1).unwrap();
         db.ord_append("beams", Some(g1), c2).unwrap();

@@ -140,7 +140,11 @@ pub fn value_key(v: &Value) -> Vec<u8> {
         let bits = x.to_bits();
         // Standard total-order trick: flip all bits for negatives, flip
         // just the sign for positives.
-        let mapped = if bits >> 63 == 1 { !bits } else { bits ^ (1 << 63) };
+        let mapped = if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits ^ (1 << 63)
+        };
         mapped.to_be_bytes()
     }
     let mut out = Vec::with_capacity(10);
@@ -297,7 +301,11 @@ pub fn decode_schema(buf: &[u8]) -> Result<Schema> {
     }
     let nords = r.u32()?;
     for _ in 0..nords {
-        let name = if r.u8()? == 1 { Some(r.string()?) } else { None };
+        let name = if r.u8()? == 1 {
+            Some(r.string()?)
+        } else {
+            None
+        };
         let nch = r.u32()?;
         let children = (0..nch).map(|_| r.u32()).collect::<Result<Vec<_>>>()?;
         let parent = if r.u8()? == 1 { Some(r.u32()?) } else { None };
@@ -364,27 +372,49 @@ mod tests {
     fn schema_roundtrip() {
         let mut s = Schema::new();
         let chord = s
-            .define_entity("CHORD", vec![AttributeDef { name: "n".into(), ty: DataType::Integer }])
+            .define_entity(
+                "CHORD",
+                vec![AttributeDef {
+                    name: "n".into(),
+                    ty: DataType::Integer,
+                }],
+            )
             .unwrap();
         let note = s
             .define_entity(
                 "NOTE",
                 vec![
-                    AttributeDef { name: "n".into(), ty: DataType::Integer },
-                    AttributeDef { name: "chord".into(), ty: DataType::Entity(chord) },
+                    AttributeDef {
+                        name: "n".into(),
+                        ty: DataType::Integer,
+                    },
+                    AttributeDef {
+                        name: "chord".into(),
+                        ty: DataType::Entity(chord),
+                    },
                 ],
             )
             .unwrap();
         s.define_relationship(
             "PART_OF",
             vec![
-                RoleDef { name: "note".into(), entity_type: note },
-                RoleDef { name: "chord".into(), entity_type: chord },
+                RoleDef {
+                    name: "note".into(),
+                    entity_type: note,
+                },
+                RoleDef {
+                    name: "chord".into(),
+                    entity_type: chord,
+                },
             ],
-            vec![AttributeDef { name: "weight".into(), ty: DataType::Float }],
+            vec![AttributeDef {
+                name: "weight".into(),
+                ty: DataType::Float,
+            }],
         )
         .unwrap();
-        s.define_ordering(Some("note_in_chord"), vec![note], Some(chord)).unwrap();
+        s.define_ordering(Some("note_in_chord"), vec![note], Some(chord))
+            .unwrap();
         s.define_ordering(None, vec![chord], None).unwrap();
         let bytes = encode_schema(&s);
         let back = decode_schema(&bytes).unwrap();

@@ -70,7 +70,10 @@ impl fmt::Display for ModelError {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             ModelError::NoSuchInstance(id) => write!(f, "no entity instance with id {id}"),
             ModelError::NoSuchRelInstance(id) => {
                 write!(f, "no relationship instance with id {id}")
@@ -79,7 +82,10 @@ impl fmt::Display for ModelError {
                 expected,
                 found,
                 context,
-            } => write!(f, "wrong entity type in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "wrong entity type in {context}: expected {expected}, found {found}"
+            ),
             ModelError::CycleDetected { ordering, child } => write!(
                 f,
                 "inserting {child} into ordering {ordering} would make it part of itself"
@@ -92,7 +98,10 @@ impl fmt::Display for ModelError {
                 write!(f, "entity {child} is not a child in ordering {ordering}")
             }
             ModelError::PositionOutOfBounds { position, len } => {
-                write!(f, "position {position} out of bounds for ordering of length {len}")
+                write!(
+                    f,
+                    "position {position} out of bounds for ordering of length {len}"
+                )
             }
             ModelError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
             ModelError::Storage(e) => write!(f, "storage error: {e}"),

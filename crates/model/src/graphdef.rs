@@ -259,8 +259,14 @@ pub fn install_graphics_schema(db: &mut Database) -> Result<()> {
     let graphdef = db.define_entity(
         "GraphDef",
         vec![
-            AttributeDef { name: "name".into(), ty: DataType::String },
-            AttributeDef { name: "function".into(), ty: DataType::String },
+            AttributeDef {
+                name: "name".into(),
+                ty: DataType::String,
+            },
+            AttributeDef {
+                name: "function".into(),
+                ty: DataType::String,
+            },
         ],
     )?;
     let entity_ty = db.schema().entity_type_id("ENTITY")?;
@@ -268,18 +274,33 @@ pub fn install_graphics_schema(db: &mut Database) -> Result<()> {
     db.define_relationship(
         "GDefUse",
         vec![
-            crate::schema::RoleDef { name: "entity".into(), entity_type: entity_ty },
-            crate::schema::RoleDef { name: "graphdef".into(), entity_type: graphdef },
+            crate::schema::RoleDef {
+                name: "entity".into(),
+                entity_type: entity_ty,
+            },
+            crate::schema::RoleDef {
+                name: "graphdef".into(),
+                entity_type: graphdef,
+            },
         ],
         vec![],
     )?;
     db.define_relationship(
         "GParmUse",
         vec![
-            crate::schema::RoleDef { name: "attribute".into(), entity_type: attribute_ty },
-            crate::schema::RoleDef { name: "graphdef".into(), entity_type: graphdef },
+            crate::schema::RoleDef {
+                name: "attribute".into(),
+                entity_type: attribute_ty,
+            },
+            crate::schema::RoleDef {
+                name: "graphdef".into(),
+                entity_type: graphdef,
+            },
         ],
-        vec![AttributeDef { name: "setup".into(), ty: DataType::String }],
+        vec![AttributeDef {
+            name: "setup".into(),
+            ty: DataType::String,
+        }],
     )?;
     Ok(())
 }
@@ -298,7 +319,11 @@ pub fn register_graphdef(db: &mut Database, name: &str, function: &str) -> Resul
 /// Associates a graphical definition with an entity type's meta row
 /// (GDefUse).
 pub fn bind_graphdef(db: &mut Database, entity_row: EntityId, graphdef: EntityId) -> Result<()> {
-    db.relate("GDefUse", &[("entity", entity_row), ("graphdef", graphdef)], &[])?;
+    db.relate(
+        "GDefUse",
+        &[("entity", entity_row), ("graphdef", graphdef)],
+        &[],
+    )?;
     Ok(())
 }
 
@@ -395,7 +420,10 @@ mod tests {
     #[test]
     fn execute_simple_stroke() {
         let els = execute("newpath 1 2 moveto 3 0 rlineto stroke", &HashMap::new()).unwrap();
-        assert_eq!(els, vec![Element::Stroke(vec![vec![(1.0, 2.0), (4.0, 2.0)]])]);
+        assert_eq!(
+            els,
+            vec![Element::Stroke(vec![vec![(1.0, 2.0), (4.0, 2.0)]])]
+        );
     }
 
     #[test]
@@ -405,7 +433,10 @@ mod tests {
             &HashMap::new(),
         )
         .unwrap();
-        assert_eq!(els, vec![Element::Stroke(vec![vec![(2.0, 3.0), (4.0, 4.0)]])]);
+        assert_eq!(
+            els,
+            vec![Element::Stroke(vec![vec![(2.0, 3.0), (4.0, 4.0)]])]
+        );
     }
 
     #[test]
@@ -415,7 +446,9 @@ mod tests {
             &HashMap::new(),
         )
         .unwrap();
-        let Element::Fill(paths) = &els[0] else { panic!("expected fill") };
+        let Element::Fill(paths) = &els[0] else {
+            panic!("expected fill")
+        };
         assert_eq!(paths[0].first(), paths[0].last());
     }
 
@@ -443,10 +476,22 @@ mod tests {
         app.define_entity(
             "STEM",
             vec![
-                AttributeDef { name: "xpos".into(), ty: DataType::Integer },
-                AttributeDef { name: "ypos".into(), ty: DataType::Integer },
-                AttributeDef { name: "length".into(), ty: DataType::Integer },
-                AttributeDef { name: "direction".into(), ty: DataType::Integer },
+                AttributeDef {
+                    name: "xpos".into(),
+                    ty: DataType::Integer,
+                },
+                AttributeDef {
+                    name: "ypos".into(),
+                    ty: DataType::Integer,
+                },
+                AttributeDef {
+                    name: "length".into(),
+                    ty: DataType::Integer,
+                },
+                AttributeDef {
+                    name: "direction".into(),
+                    ty: DataType::Integer,
+                },
             ],
         )
         .unwrap();
@@ -461,10 +506,22 @@ mod tests {
         db.define_entity(
             "STEM",
             vec![
-                AttributeDef { name: "xpos".into(), ty: DataType::Integer },
-                AttributeDef { name: "ypos".into(), ty: DataType::Integer },
-                AttributeDef { name: "length".into(), ty: DataType::Integer },
-                AttributeDef { name: "direction".into(), ty: DataType::Integer },
+                AttributeDef {
+                    name: "xpos".into(),
+                    ty: DataType::Integer,
+                },
+                AttributeDef {
+                    name: "ypos".into(),
+                    ty: DataType::Integer,
+                },
+                AttributeDef {
+                    name: "length".into(),
+                    ty: DataType::Integer,
+                },
+                AttributeDef {
+                    name: "direction".into(),
+                    ty: DataType::Integer,
+                },
             ],
         )
         .unwrap();
@@ -532,7 +589,10 @@ mod tests {
             )
             .unwrap();
         let els = draw_instance(&db, down).unwrap();
-        assert_eq!(els, vec![Element::Stroke(vec![vec![(2.0, 8.0), (2.0, 4.0)]])]);
+        assert_eq!(
+            els,
+            vec![Element::Stroke(vec![vec![(2.0, 8.0), (2.0, 4.0)]])]
+        );
     }
 
     #[test]
@@ -549,6 +609,9 @@ mod tests {
         .unwrap();
         let els = draw_instance(&db, stem).unwrap();
         // Now horizontal.
-        assert_eq!(els, vec![Element::Stroke(vec![vec![(3.0, 1.0), (8.0, 1.0)]])]);
+        assert_eq!(
+            els,
+            vec![Element::Stroke(vec![vec![(3.0, 1.0), (8.0, 1.0)]])]
+        );
     }
 }

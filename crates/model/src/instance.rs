@@ -81,8 +81,10 @@ impl InstanceStore {
     /// be extended while instances exist).
     pub fn sync_with_schema(&mut self, schema: &Schema) {
         self.by_type.resize(schema.entity_types().len(), Vec::new());
-        self.rels_by_type.resize(schema.relationships().len(), Vec::new());
-        self.orderings.resize(schema.orderings().len(), OrderingState::default());
+        self.rels_by_type
+            .resize(schema.relationships().len(), Vec::new());
+        self.orderings
+            .resize(schema.orderings().len(), OrderingState::default());
     }
 
     // ------------------------------------------------------------------
@@ -110,12 +112,16 @@ impl InstanceStore {
 
     /// The instance for `id`.
     pub fn entity(&self, id: EntityId) -> Result<&Instance> {
-        self.instances.get(&id).ok_or(ModelError::NoSuchInstance(id))
+        self.instances
+            .get(&id)
+            .ok_or(ModelError::NoSuchInstance(id))
     }
 
     /// Mutable access to the instance for `id`.
     pub fn entity_mut(&mut self, id: EntityId) -> Result<&mut Instance> {
-        self.instances.get_mut(&id).ok_or(ModelError::NoSuchInstance(id))
+        self.instances
+            .get_mut(&id)
+            .ok_or(ModelError::NoSuchInstance(id))
     }
 
     /// Whether an instance exists.
@@ -139,7 +145,10 @@ impl InstanceStore {
     /// elsewhere that referenced it become dangling; [`Value::Entity`]
     /// readers must tolerate missing targets.
     pub fn delete_entity(&mut self, id: EntityId) -> Result<()> {
-        let inst = self.instances.remove(&id).ok_or(ModelError::NoSuchInstance(id))?;
+        let inst = self
+            .instances
+            .remove(&id)
+            .ok_or(ModelError::NoSuchInstance(id))?;
         if let Some(v) = self.by_type.get_mut(inst.ty as usize) {
             v.retain(|&e| e != id);
         }
@@ -173,10 +182,22 @@ impl InstanceStore {
     // ------------------------------------------------------------------
 
     /// Creates a relationship instance (caller has validated types).
-    pub fn relate(&mut self, rel: RelTypeId, entities: Vec<EntityId>, attrs: Vec<Value>) -> RelInstanceId {
+    pub fn relate(
+        &mut self,
+        rel: RelTypeId,
+        entities: Vec<EntityId>,
+        attrs: Vec<Value>,
+    ) -> RelInstanceId {
         let id = self.next_rel;
         self.next_rel += 1;
-        self.rel_instances.insert(id, RelInstance { rel, entities, attrs });
+        self.rel_instances.insert(
+            id,
+            RelInstance {
+                rel,
+                entities,
+                attrs,
+            },
+        );
         self.rels_by_type[rel as usize].push(id);
         id
     }
@@ -202,7 +223,9 @@ impl InstanceStore {
 
     /// Ids of all instances of a relationship, in creation order.
     pub fn relationships_of(&self, rel: RelTypeId) -> &[RelInstanceId] {
-        self.rels_by_type.get(rel as usize).map_or(&[], Vec::as_slice)
+        self.rels_by_type
+            .get(rel as usize)
+            .map_or(&[], Vec::as_slice)
     }
 
     // ------------------------------------------------------------------
@@ -231,14 +254,20 @@ impl InstanceStore {
     ) -> Result<()> {
         let oname = schema.ordering_display_name(ordering);
         if self.state(ordering).parent_of.contains_key(&child) {
-            return Err(ModelError::AlreadyOrdered { ordering: oname, child });
+            return Err(ModelError::AlreadyOrdered {
+                ordering: oname,
+                child,
+            });
         }
         // Cycle restriction: walking up from `parent`, we must never meet
         // `child` ("an instance cannot be part of itself").
         let mut cursor = parent;
         while let Some(p) = cursor {
             if p == child {
-                return Err(ModelError::CycleDetected { ordering: oname, child });
+                return Err(ModelError::CycleDetected {
+                    ordering: oname,
+                    child,
+                });
             }
             cursor = self.state(ordering).parent_of.get(&p).copied().flatten();
         }
@@ -283,7 +312,10 @@ impl InstanceStore {
         let parent = state
             .parent_of
             .remove(&child)
-            .ok_or(ModelError::NotAChild { ordering: oname, child })?;
+            .ok_or(ModelError::NotAChild {
+                ordering: oname,
+                child,
+            })?;
         if let Some(sibs) = state.children.get_mut(&parent) {
             sibs.retain(|&e| e != child);
         }
@@ -291,11 +323,7 @@ impl InstanceStore {
     }
 
     /// The ordered children of `parent` in `ordering`.
-    pub fn ordering_children(
-        &self,
-        ordering: OrderingId,
-        parent: Option<EntityId>,
-    ) -> &[EntityId] {
+    pub fn ordering_children(&self, ordering: OrderingId, parent: Option<EntityId>) -> &[EntityId] {
         self.state(ordering)
             .children
             .get(&parent)
@@ -340,12 +368,7 @@ impl InstanceStore {
     /// `a before b in ordering` (§5.6): true iff both share a parent in the
     /// ordering and `a` precedes `b`. Differing parents → false (the paper:
     /// "they are not comparable, and the before clause evaluates to false").
-    pub fn before(
-        &self,
-        ordering: OrderingId,
-        a: EntityId,
-        b: EntityId,
-    ) -> bool {
+    pub fn before(&self, ordering: OrderingId, a: EntityId, b: EntityId) -> bool {
         let state = self.state(ordering);
         let (Some(&pa), Some(&pb)) = (state.parent_of.get(&a), state.parent_of.get(&b)) else {
             return false;
@@ -391,10 +414,7 @@ impl InstanceStore {
 
     /// All `(parent, children)` groups of an ordering, parents sorted for
     /// determinism.
-    pub fn ordering_groups(
-        &self,
-        ordering: OrderingId,
-    ) -> Vec<(Option<EntityId>, &[EntityId])> {
+    pub fn ordering_groups(&self, ordering: OrderingId) -> Vec<(Option<EntityId>, &[EntityId])> {
         let mut groups: Vec<_> = self
             .state(ordering)
             .children
@@ -417,7 +437,12 @@ impl InstanceStore {
             .collect();
         while let Some(e) = stack.pop() {
             out.push(e);
-            stack.extend(self.ordering_children(ordering, Some(e)).iter().rev().copied());
+            stack.extend(
+                self.ordering_children(ordering, Some(e))
+                    .iter()
+                    .rev()
+                    .copied(),
+            );
         }
         out
     }
@@ -432,12 +457,26 @@ mod tests {
     fn setup() -> (Schema, InstanceStore, TypeId, TypeId, OrderingId) {
         let mut s = Schema::new();
         let chord = s
-            .define_entity("CHORD", vec![AttributeDef { name: "name".into(), ty: DataType::Integer }])
+            .define_entity(
+                "CHORD",
+                vec![AttributeDef {
+                    name: "name".into(),
+                    ty: DataType::Integer,
+                }],
+            )
             .unwrap();
         let note = s
-            .define_entity("NOTE", vec![AttributeDef { name: "name".into(), ty: DataType::Integer }])
+            .define_entity(
+                "NOTE",
+                vec![AttributeDef {
+                    name: "name".into(),
+                    ty: DataType::Integer,
+                }],
+            )
             .unwrap();
-        let o = s.define_ordering(Some("note_in_chord"), vec![note], Some(chord)).unwrap();
+        let o = s
+            .define_ordering(Some("note_in_chord"), vec![note], Some(chord))
+            .unwrap();
         let store = InstanceStore::new(&s);
         (s, store, chord, note, o)
     }
@@ -536,8 +575,12 @@ mod tests {
         let chord = s.define_entity("CHORD", vec![]).unwrap();
         let staff = s.define_entity("STAFF", vec![]).unwrap();
         let note = s.define_entity("NOTE", vec![]).unwrap();
-        let per_chord = s.define_ordering(Some("per_chord"), vec![note], Some(chord)).unwrap();
-        let per_staff = s.define_ordering(Some("per_staff"), vec![note], Some(staff)).unwrap();
+        let per_chord = s
+            .define_ordering(Some("per_chord"), vec![note], Some(chord))
+            .unwrap();
+        let per_staff = s
+            .define_ordering(Some("per_staff"), vec![note], Some(staff))
+            .unwrap();
         let mut st = InstanceStore::new(&s);
         let c = st.create_entity(chord, vec![]);
         let f = st.create_entity(staff, vec![]);
@@ -553,7 +596,9 @@ mod tests {
         // §5.5: P-edge cycles ("part of itself") are disallowed.
         let mut s = Schema::new();
         let bg = s.define_entity("BEAM_GROUP", vec![]).unwrap();
-        let o = s.define_ordering(Some("beams"), vec![bg], Some(bg)).unwrap();
+        let o = s
+            .define_ordering(Some("beams"), vec![bg], Some(bg))
+            .unwrap();
         let mut st = InstanceStore::new(&s);
         let g1 = st.create_entity(bg, vec![]);
         let g2 = st.create_entity(bg, vec![]);
@@ -581,7 +626,9 @@ mod tests {
         let voice = s.define_entity("VOICE", vec![]).unwrap();
         let chord = s.define_entity("CHORD", vec![]).unwrap();
         let rest = s.define_entity("REST", vec![]).unwrap();
-        let o = s.define_ordering(Some("voice_content"), vec![chord, rest], Some(voice)).unwrap();
+        let o = s
+            .define_ordering(Some("voice_content"), vec![chord, rest], Some(voice))
+            .unwrap();
         let mut st = InstanceStore::new(&s);
         let v = st.create_entity(voice, vec![]);
         let c1 = st.create_entity(chord, vec![]);
@@ -650,7 +697,9 @@ mod tests {
     fn global_ordering_without_parent_entity() {
         let mut s = Schema::new();
         let m = s.define_entity("MEASURE", vec![]).unwrap();
-        let o = s.define_ordering(Some("all_measures"), vec![m], None).unwrap();
+        let o = s
+            .define_ordering(Some("all_measures"), vec![m], None)
+            .unwrap();
         let mut st = InstanceStore::new(&s);
         let m1 = st.create_entity(m, vec![]);
         let m2 = st.create_entity(m, vec![]);
@@ -670,8 +719,14 @@ mod tests {
             .define_relationship(
                 "COMPOSER",
                 vec![
-                    crate::schema::RoleDef { name: "person".into(), entity_type: person },
-                    crate::schema::RoleDef { name: "composition".into(), entity_type: comp },
+                    crate::schema::RoleDef {
+                        name: "person".into(),
+                        entity_type: person,
+                    },
+                    crate::schema::RoleDef {
+                        name: "composition".into(),
+                        entity_type: comp,
+                    },
                 ],
                 vec![],
             )

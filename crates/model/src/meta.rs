@@ -34,21 +34,33 @@ pub fn meta_schema() -> Schema {
     let entity = s
         .define_entity(
             "ENTITY",
-            vec![AttributeDef { name: "entity_name".into(), ty: DataType::String }],
+            vec![AttributeDef {
+                name: "entity_name".into(),
+                ty: DataType::String,
+            }],
         )
         .expect("static definition");
     let relationship = s
         .define_entity(
             "RELATIONSHIP",
-            vec![AttributeDef { name: "relationship_name".into(), ty: DataType::String }],
+            vec![AttributeDef {
+                name: "relationship_name".into(),
+                ty: DataType::String,
+            }],
         )
         .expect("static definition");
     let attribute = s
         .define_entity(
             "ATTRIBUTE",
             vec![
-                AttributeDef { name: "attribute_name".into(), ty: DataType::String },
-                AttributeDef { name: "attribute_type".into(), ty: DataType::String },
+                AttributeDef {
+                    name: "attribute_name".into(),
+                    ty: DataType::String,
+                },
+                AttributeDef {
+                    name: "attribute_type".into(),
+                    ty: DataType::String,
+                },
             ],
         )
         .expect("static definition");
@@ -56,20 +68,36 @@ pub fn meta_schema() -> Schema {
         .define_entity(
             "ORDERING",
             vec![
-                AttributeDef { name: "order_name".into(), ty: DataType::String },
-                AttributeDef { name: "order_parent".into(), ty: DataType::Entity(entity) },
+                AttributeDef {
+                    name: "order_name".into(),
+                    ty: DataType::String,
+                },
+                AttributeDef {
+                    name: "order_parent".into(),
+                    ty: DataType::Entity(entity),
+                },
             ],
         )
         .expect("static definition");
     s.define_ordering(Some("entity_attributes"), vec![attribute], Some(entity))
         .expect("static definition");
-    s.define_ordering(Some("relationship_attributes"), vec![attribute], Some(relationship))
-        .expect("static definition");
+    s.define_ordering(
+        Some("relationship_attributes"),
+        vec![attribute],
+        Some(relationship),
+    )
+    .expect("static definition");
     s.define_relationship(
         "order_child",
         vec![
-            RoleDef { name: "child".into(), entity_type: entity },
-            RoleDef { name: "ordering".into(), entity_type: ordering },
+            RoleDef {
+                name: "child".into(),
+                entity_type: entity,
+            },
+            RoleDef {
+                name: "ordering".into(),
+                entity_type: ordering,
+            },
         ],
         vec![],
     )
@@ -211,7 +239,10 @@ pub fn store_schema(db: &mut Database, subject: &Schema) -> Result<Vec<(String, 
         };
         let ord_row = db.create_entity(
             "ORDERING",
-            &[("order_name", Value::String(name)), ("order_parent", parent_val)],
+            &[
+                ("order_name", Value::String(name)),
+                ("order_parent", parent_val),
+            ],
         )?;
         for &c in &o.children {
             let cname = &subject.entity_type(c)?.name;
@@ -220,7 +251,11 @@ pub fn store_schema(db: &mut Database, subject: &Schema) -> Result<Vec<(String, 
                 .find(|(n, _)| n == cname)
                 .map(|(_, id)| *id)
                 .ok_or_else(|| ModelError::UnknownEntityType(cname.clone()))?;
-            db.relate("order_child", &[("child", child_row), ("ordering", ord_row)], &[])?;
+            db.relate(
+                "order_child",
+                &[("child", child_row), ("ordering", ord_row)],
+                &[],
+            )?;
         }
     }
     Ok(entity_rows)
@@ -264,40 +299,81 @@ pub fn read_schema(db: &Database) -> Result<Schema> {
     for (&row, name) in entity_rows.iter().zip(&names) {
         let mut attrs = Vec::new();
         for attr_row in db.ord_children("entity_attributes", Some(row))? {
-            let aname = db.get_attr(attr_row, "attribute_name")?.as_str().unwrap_or_default().to_string();
-            let tname = db.get_attr(attr_row, "attribute_type")?.as_str().unwrap_or_default().to_string();
-            attrs.push(AttributeDef { name: aname, ty: parse_type(&tname, &subject) });
+            let aname = db
+                .get_attr(attr_row, "attribute_name")?
+                .as_str()
+                .unwrap_or_default()
+                .to_string();
+            let tname = db
+                .get_attr(attr_row, "attribute_type")?
+                .as_str()
+                .unwrap_or_default()
+                .to_string();
+            attrs.push(AttributeDef {
+                name: aname,
+                ty: parse_type(&tname, &subject),
+            });
         }
         full.define_entity(name, attrs)?;
     }
     // Relationships: members whose type names an entity type are roles.
     for &row in db.instances_of("RELATIONSHIP")? {
-        let rname = db.get_attr(row, "relationship_name")?.as_str().unwrap_or_default().to_string();
+        let rname = db
+            .get_attr(row, "relationship_name")?
+            .as_str()
+            .unwrap_or_default()
+            .to_string();
         let mut roles = Vec::new();
         let mut attrs = Vec::new();
         for attr_row in db.ord_children("relationship_attributes", Some(row))? {
-            let aname = db.get_attr(attr_row, "attribute_name")?.as_str().unwrap_or_default().to_string();
-            let tname = db.get_attr(attr_row, "attribute_type")?.as_str().unwrap_or_default().to_string();
+            let aname = db
+                .get_attr(attr_row, "attribute_name")?
+                .as_str()
+                .unwrap_or_default()
+                .to_string();
+            let tname = db
+                .get_attr(attr_row, "attribute_type")?
+                .as_str()
+                .unwrap_or_default()
+                .to_string();
             match full.entity_type_id(&tname) {
-                Ok(t) => roles.push(RoleDef { name: aname, entity_type: t }),
-                Err(_) => attrs.push(AttributeDef { name: aname, ty: parse_type(&tname, &full) }),
+                Ok(t) => roles.push(RoleDef {
+                    name: aname,
+                    entity_type: t,
+                }),
+                Err(_) => attrs.push(AttributeDef {
+                    name: aname,
+                    ty: parse_type(&tname, &full),
+                }),
             }
         }
         full.define_relationship(&rname, roles, attrs)?;
     }
     // Orderings.
     for &row in db.instances_of("ORDERING")? {
-        let oname = db.get_attr(row, "order_name")?.as_str().unwrap_or_default().to_string();
+        let oname = db
+            .get_attr(row, "order_name")?
+            .as_str()
+            .unwrap_or_default()
+            .to_string();
         let parent = match db.get_attr(row, "order_parent")? {
             Value::Entity(p) => {
-                let pname = db.get_attr(*p, "entity_name")?.as_str().unwrap_or_default().to_string();
+                let pname = db
+                    .get_attr(*p, "entity_name")?
+                    .as_str()
+                    .unwrap_or_default()
+                    .to_string();
                 Some(full.entity_type_id(&pname)?)
             }
             _ => None,
         };
         let mut children = Vec::new();
         for child_row in db.related("order_child", row, "child")? {
-            let cname = db.get_attr(child_row, "entity_name")?.as_str().unwrap_or_default().to_string();
+            let cname = db
+                .get_attr(child_row, "entity_name")?
+                .as_str()
+                .unwrap_or_default()
+                .to_string();
             children.push(full.entity_type_id(&cname)?);
         }
         let name = (!oname.starts_with("ordering#")).then_some(oname);
@@ -313,30 +389,58 @@ mod tests {
     fn sample_subject() -> Schema {
         let mut s = Schema::new();
         let chord = s
-            .define_entity("CHORD", vec![AttributeDef { name: "name".into(), ty: DataType::Integer }])
+            .define_entity(
+                "CHORD",
+                vec![AttributeDef {
+                    name: "name".into(),
+                    ty: DataType::Integer,
+                }],
+            )
             .unwrap();
         let note = s
             .define_entity(
                 "NOTE",
                 vec![
-                    AttributeDef { name: "name".into(), ty: DataType::Integer },
-                    AttributeDef { name: "pitch".into(), ty: DataType::String },
+                    AttributeDef {
+                        name: "name".into(),
+                        ty: DataType::Integer,
+                    },
+                    AttributeDef {
+                        name: "pitch".into(),
+                        ty: DataType::String,
+                    },
                 ],
             )
             .unwrap();
         let person = s
-            .define_entity("PERSON", vec![AttributeDef { name: "name".into(), ty: DataType::String }])
+            .define_entity(
+                "PERSON",
+                vec![AttributeDef {
+                    name: "name".into(),
+                    ty: DataType::String,
+                }],
+            )
             .unwrap();
         s.define_relationship(
             "PERFORMS",
             vec![
-                RoleDef { name: "player".into(), entity_type: person },
-                RoleDef { name: "chord".into(), entity_type: chord },
+                RoleDef {
+                    name: "player".into(),
+                    entity_type: person,
+                },
+                RoleDef {
+                    name: "chord".into(),
+                    entity_type: chord,
+                },
             ],
-            vec![AttributeDef { name: "style".into(), ty: DataType::String }],
+            vec![AttributeDef {
+                name: "style".into(),
+                ty: DataType::String,
+            }],
         )
         .unwrap();
-        s.define_ordering(Some("note_in_chord"), vec![note], Some(chord)).unwrap();
+        s.define_ordering(Some("note_in_chord"), vec![note], Some(chord))
+            .unwrap();
         s
     }
 
@@ -351,9 +455,14 @@ mod tests {
         assert!(m.ordering_id("relationship_attributes").is_ok());
         assert!(m.relationship_id("order_child").is_ok());
         // ORDERING.order_parent is the implicit 1:n to ENTITY (fig. 9).
-        let ord = m.entity_type(m.entity_type_id("ORDERING").unwrap()).unwrap();
+        let ord = m
+            .entity_type(m.entity_type_id("ORDERING").unwrap())
+            .unwrap();
         let parent_attr = &ord.attributes[ord.attribute_index("order_parent").unwrap()];
-        assert_eq!(parent_attr.ty, DataType::Entity(m.entity_type_id("ENTITY").unwrap()));
+        assert_eq!(
+            parent_attr.ty,
+            DataType::Entity(m.entity_type_id("ENTITY").unwrap())
+        );
     }
 
     #[test]
@@ -379,7 +488,13 @@ mod tests {
             .instances_of("ENTITY")
             .unwrap()
             .iter()
-            .map(|&r| db.get_attr(r, "entity_name").unwrap().as_str().unwrap().to_string())
+            .map(|&r| {
+                db.get_attr(r, "entity_name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
             .collect();
         assert!(names.contains(&"ENTITY".to_string()));
         assert!(names.contains(&"ORDERING".to_string()));
@@ -395,7 +510,13 @@ mod tests {
             .ord_children("entity_attributes", Some(note_row))
             .unwrap()
             .iter()
-            .map(|&a| db.get_attr(a, "attribute_name").unwrap().as_str().unwrap().to_string())
+            .map(|&a| {
+                db.get_attr(a, "attribute_name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
             .collect();
         assert_eq!(attr_names, vec!["name", "pitch"]);
     }

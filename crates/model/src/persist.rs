@@ -50,7 +50,10 @@ pub fn save(db: &Database, engine: &StorageEngine) -> Result<()> {
     let rel_t = ensure_table(engine, RELS_TABLE)?;
     let mut ent_tables = HashMap::new();
     for e in db.schema().entity_types() {
-        ent_tables.insert(e.name.clone(), ensure_table(engine, &entity_table(&e.name))?);
+        ent_tables.insert(
+            e.name.clone(),
+            ensure_table(engine, &entity_table(&e.name))?,
+        );
     }
 
     let mut txn = engine.begin()?;
@@ -187,46 +190,75 @@ mod tests {
     }
 
     fn attr(name: &str, ty: DataType) -> AttributeDef {
-        AttributeDef { name: name.into(), ty }
+        AttributeDef {
+            name: name.into(),
+            ty,
+        }
     }
 
     fn build_db() -> Database {
         let mut db = Database::new();
-        db.define_entity("CHORD", vec![attr("name", DataType::Integer)]).unwrap();
+        db.define_entity("CHORD", vec![attr("name", DataType::Integer)])
+            .unwrap();
         db.define_entity(
             "NOTE",
-            vec![attr("name", DataType::Integer), attr("pitch", DataType::String)],
+            vec![
+                attr("name", DataType::Integer),
+                attr("pitch", DataType::String),
+            ],
         )
         .unwrap();
-        db.define_entity("PERSON", vec![attr("name", DataType::String)]).unwrap();
+        db.define_entity("PERSON", vec![attr("name", DataType::String)])
+            .unwrap();
         db.define_relationship(
             "PLAYS",
             vec![
-                RoleDef { name: "player".into(), entity_type: 2 },
-                RoleDef { name: "chord".into(), entity_type: 0 },
+                RoleDef {
+                    name: "player".into(),
+                    entity_type: 2,
+                },
+                RoleDef {
+                    name: "chord".into(),
+                    entity_type: 0,
+                },
             ],
             vec![attr("confidence", DataType::Float)],
         )
         .unwrap();
-        db.define_ordering(Some("note_in_chord"), &["NOTE"], Some("CHORD")).unwrap();
-        db.define_ordering(Some("all_chords"), &["CHORD"], None).unwrap();
+        db.define_ordering(Some("note_in_chord"), &["NOTE"], Some("CHORD"))
+            .unwrap();
+        db.define_ordering(Some("all_chords"), &["CHORD"], None)
+            .unwrap();
 
-        let c1 = db.create_entity("CHORD", &[("name", Value::Integer(1))]).unwrap();
-        let c2 = db.create_entity("CHORD", &[("name", Value::Integer(2))]).unwrap();
+        let c1 = db
+            .create_entity("CHORD", &[("name", Value::Integer(1))])
+            .unwrap();
+        let c2 = db
+            .create_entity("CHORD", &[("name", Value::Integer(2))])
+            .unwrap();
         for (i, pitch) in ["C4", "E4", "G4"].iter().enumerate() {
             let n = db
                 .create_entity(
                     "NOTE",
-                    &[("name", Value::Integer(i as i64)), ("pitch", Value::String((*pitch).into()))],
+                    &[
+                        ("name", Value::Integer(i as i64)),
+                        ("pitch", Value::String((*pitch).into())),
+                    ],
                 )
                 .unwrap();
             db.ord_append("note_in_chord", Some(c1), n).unwrap();
         }
         db.ord_append("all_chords", None, c1).unwrap();
         db.ord_append("all_chords", None, c2).unwrap();
-        let p = db.create_entity("PERSON", &[("name", Value::String("Bach".into()))]).unwrap();
-        db.relate("PLAYS", &[("player", p), ("chord", c1)], &[("confidence", Value::Float(0.9))])
+        let p = db
+            .create_entity("PERSON", &[("name", Value::String("Bach".into()))])
             .unwrap();
+        db.relate(
+            "PLAYS",
+            &[("player", p), ("chord", c1)],
+            &[("confidence", Value::Float(0.9))],
+        )
+        .unwrap();
         db
     }
 
@@ -264,7 +296,9 @@ mod tests {
         let mut db = build_db();
         save(&db, &engine).unwrap();
         // Mutate and re-save.
-        let extra = db.create_entity("CHORD", &[("name", Value::Integer(3))]).unwrap();
+        let extra = db
+            .create_entity("CHORD", &[("name", Value::Integer(3))])
+            .unwrap();
         db.ord_append("all_chords", None, extra).unwrap();
         save(&db, &engine).unwrap();
         let back = load(&engine).unwrap();

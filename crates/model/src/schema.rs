@@ -122,11 +122,7 @@ impl Schema {
     // ------------------------------------------------------------------
 
     /// Defines an entity type; equivalent to `define entity`.
-    pub fn define_entity(
-        &mut self,
-        name: &str,
-        attributes: Vec<AttributeDef>,
-    ) -> Result<TypeId> {
+    pub fn define_entity(&mut self, name: &str, attributes: Vec<AttributeDef>) -> Result<TypeId> {
         if self.entity_by_name.contains_key(name) {
             return Err(ModelError::DuplicateDefinition(name.to_string()));
         }
@@ -139,7 +135,9 @@ impl Schema {
                 )));
             }
             if let DataType::Entity(t) = a.ty {
-                if self.entity_types.get(t as usize).is_none() && t as usize != self.entity_types.len() {
+                if self.entity_types.get(t as usize).is_none()
+                    && t as usize != self.entity_types.len()
+                {
                     return Err(ModelError::InvalidSchema(format!(
                         "attribute {} of {name} references unknown entity type #{t}",
                         a.name
@@ -170,7 +168,11 @@ impl Schema {
             self.entity_type(r.entity_type)?;
         }
         let mut seen = std::collections::HashSet::new();
-        for n in roles.iter().map(|r| r.name.as_str()).chain(attributes.iter().map(|a| a.name.as_str())) {
+        for n in roles
+            .iter()
+            .map(|r| r.name.as_str())
+            .chain(attributes.iter().map(|a| a.name.as_str()))
+        {
             if !seen.insert(n) {
                 return Err(ModelError::InvalidSchema(format!(
                     "member {n} defined twice on relationship {name}"
@@ -312,7 +314,9 @@ impl Schema {
             [one] => Ok(*one),
             [] => Err(ModelError::UnknownOrdering(format!(
                 "no ordering has {} as child",
-                self.entity_type(child_ty).map(|e| e.name.clone()).unwrap_or_default()
+                self.entity_type(child_ty)
+                    .map(|e| e.name.clone())
+                    .unwrap_or_default()
             ))),
             many => Err(ModelError::AmbiguousOrdering(format!(
                 "{} orderings match; name one explicitly with `in`",
@@ -364,10 +368,22 @@ mod tests {
     fn chord_note_schema() -> (Schema, TypeId, TypeId) {
         let mut s = Schema::new();
         let chord = s
-            .define_entity("CHORD", vec![AttributeDef { name: "name".into(), ty: DataType::Integer }])
+            .define_entity(
+                "CHORD",
+                vec![AttributeDef {
+                    name: "name".into(),
+                    ty: DataType::Integer,
+                }],
+            )
             .unwrap();
         let note = s
-            .define_entity("NOTE", vec![AttributeDef { name: "name".into(), ty: DataType::Integer }])
+            .define_entity(
+                "NOTE",
+                vec![AttributeDef {
+                    name: "name".into(),
+                    ty: DataType::Integer,
+                }],
+            )
             .unwrap();
         (s, chord, note)
     }
@@ -393,8 +409,14 @@ mod tests {
     fn duplicate_attribute_rejected() {
         let mut s = Schema::new();
         let attrs = vec![
-            AttributeDef { name: "x".into(), ty: DataType::Integer },
-            AttributeDef { name: "x".into(), ty: DataType::String },
+            AttributeDef {
+                name: "x".into(),
+                ty: DataType::Integer,
+            },
+            AttributeDef {
+                name: "x".into(),
+                ty: DataType::String,
+            },
         ];
         assert!(s.define_entity("E", attrs).is_err());
     }
@@ -436,8 +458,10 @@ mod tests {
         // §5.5 multiple parents: NOTE under CHORD and NOTE under STAFF.
         let (mut s, chord, note) = chord_note_schema();
         let staff = s.define_entity("STAFF", vec![]).unwrap();
-        s.define_ordering(Some("per_chord"), vec![note], Some(chord)).unwrap();
-        s.define_ordering(Some("per_staff"), vec![note], Some(staff)).unwrap();
+        s.define_ordering(Some("per_chord"), vec![note], Some(chord))
+            .unwrap();
+        s.define_ordering(Some("per_staff"), vec![note], Some(staff))
+            .unwrap();
         assert!(matches!(
             s.resolve_ordering(None, note, None),
             Err(ModelError::AmbiguousOrdering(_))
@@ -452,17 +476,35 @@ mod tests {
         // §5.1: COMPOSER (person = PERSON, composition = COMPOSITION)
         let mut s = Schema::new();
         let person = s
-            .define_entity("PERSON", vec![AttributeDef { name: "name".into(), ty: DataType::String }])
+            .define_entity(
+                "PERSON",
+                vec![AttributeDef {
+                    name: "name".into(),
+                    ty: DataType::String,
+                }],
+            )
             .unwrap();
         let comp = s
-            .define_entity("COMPOSITION", vec![AttributeDef { name: "title".into(), ty: DataType::String }])
+            .define_entity(
+                "COMPOSITION",
+                vec![AttributeDef {
+                    name: "title".into(),
+                    ty: DataType::String,
+                }],
+            )
             .unwrap();
         let rel = s
             .define_relationship(
                 "COMPOSER",
                 vec![
-                    RoleDef { name: "person".into(), entity_type: person },
-                    RoleDef { name: "composition".into(), entity_type: comp },
+                    RoleDef {
+                        name: "person".into(),
+                        entity_type: person,
+                    },
+                    RoleDef {
+                        name: "composition".into(),
+                        entity_type: comp,
+                    },
                 ],
                 vec![],
             )
@@ -482,7 +524,9 @@ mod tests {
     fn global_ordering_without_parent() {
         // BNF: the `under` clause is optional.
         let (mut s, _, note) = chord_note_schema();
-        let o = s.define_ordering(Some("all_notes"), vec![note], None).unwrap();
+        let o = s
+            .define_ordering(Some("all_notes"), vec![note], None)
+            .unwrap();
         assert_eq!(s.ordering(o).unwrap().parent, None);
     }
 
@@ -490,9 +534,15 @@ mod tests {
     fn orderings_with_child_and_parent() {
         let (mut s, chord, note) = chord_note_schema();
         let staff = s.define_entity("STAFF", vec![]).unwrap();
-        let o1 = s.define_ordering(Some("a"), vec![note], Some(chord)).unwrap();
-        let o2 = s.define_ordering(Some("b"), vec![note], Some(staff)).unwrap();
-        let o3 = s.define_ordering(Some("c"), vec![chord], Some(staff)).unwrap();
+        let o1 = s
+            .define_ordering(Some("a"), vec![note], Some(chord))
+            .unwrap();
+        let o2 = s
+            .define_ordering(Some("b"), vec![note], Some(staff))
+            .unwrap();
+        let o3 = s
+            .define_ordering(Some("c"), vec![chord], Some(staff))
+            .unwrap();
         assert_eq!(s.orderings_with_child(note), vec![o1, o2]);
         assert_eq!(s.orderings_with_parent(staff), vec![o2, o3]);
     }

@@ -189,8 +189,14 @@ mod tests {
     #[test]
     fn numeric_cross_type_comparison() {
         use std::cmp::Ordering;
-        assert_eq!(Value::Integer(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.0).total_cmp(&Value::Integer(3)), Ordering::Equal);
+        assert_eq!(
+            Value::Integer(2).total_cmp(&Value::Float(2.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Integer(3)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ fn setup() -> (Schema, InstanceStore, EntityId, u32) {
     let mut s = Schema::new();
     let chord = s.define_entity("CHORD", vec![]).unwrap();
     let note = s.define_entity("NOTE", vec![]).unwrap();
-    let o = s.define_ordering(Some("o"), vec![note], Some(chord)).unwrap();
+    let o = s
+        .define_ordering(Some("o"), vec![note], Some(chord))
+        .unwrap();
     let mut st = InstanceStore::new(&s);
     let parent = st.create_entity(chord, vec![]);
     (s, st, parent, o)
@@ -141,7 +143,9 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
         Just(Value::Null),
         (-EXACT..=EXACT).prop_map(Value::Integer),
-        any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Value::Float),
         "[a-zA-Z0-9 ]{0,20}".prop_map(Value::String),
         any::<bool>().prop_map(Value::Boolean),
         proptest::collection::vec(any::<u8>(), 0..20).prop_map(Value::Bytes),

@@ -135,7 +135,11 @@ pub fn beam_contiguous(durations: &[(usize, Duration)], pulse: Rational) -> Vec<
     let beamables: Vec<Beamable> = durations
         .iter()
         .map(|&(index, duration)| {
-            let b = Beamable { index, onset, duration };
+            let b = Beamable {
+                index,
+                onset,
+                duration,
+            };
             onset += duration.beats();
             b
         })
@@ -205,8 +209,7 @@ mod tests {
     #[test]
     fn beat_boundary_splits_beams() {
         // Four eighths in 2/4: two groups of two.
-        let groups =
-            beam_contiguous(&[(0, e()), (1, e()), (2, e()), (3, e())], rat(1, 1));
+        let groups = beam_contiguous(&[(0, e()), (1, e()), (2, e()), (3, e())], rat(1, 1));
         assert_eq!(groups.len(), 2);
         assert_eq!(beam_to_string(&groups), "(c1 c2) (c3 c4)");
     }
@@ -239,9 +242,21 @@ mod tests {
     fn rest_gap_breaks_runs() {
         // Non-contiguous onsets (a rest occupied beat 0.5).
         let items = [
-            Beamable { index: 0, onset: rat(0, 1), duration: e() },
-            Beamable { index: 1, onset: rat(1, 1), duration: e() },
-            Beamable { index: 2, onset: rat(3, 2), duration: e() },
+            Beamable {
+                index: 0,
+                onset: rat(0, 1),
+                duration: e(),
+            },
+            Beamable {
+                index: 1,
+                onset: rat(1, 1),
+                duration: e(),
+            },
+            Beamable {
+                index: 2,
+                onset: rat(3, 2),
+                duration: e(),
+            },
         ];
         let groups = beam_measure(&items, rat(1, 1));
         // Chord 0 alone in beat 0 (no group); chords 1, 2 share beat 1.
@@ -262,10 +277,7 @@ mod tests {
     #[test]
     fn thirty_seconds_nest_two_deep() {
         let t = Duration::new(BaseDuration::ThirtySecond);
-        let groups = beam_contiguous(
-            &[(0, s()), (1, t), (2, t), (3, s()), (4, e())],
-            rat(1, 1),
-        );
+        let groups = beam_contiguous(&[(0, s()), (1, t), (2, t), (3, s()), (4, e())], rat(1, 1));
         // ((c1 (c2 c3) c4) c5): the sixteenth-level subgroup contains a
         // thirty-second-level subgroup.
         assert_eq!(beam_to_string(&groups), "((c1 (c2 c3) c4) c5)");

@@ -67,18 +67,23 @@ mod tests {
     #[test]
     fn every_good_boy_does_fine() {
         // Treble staff lines (degrees 0, 2, 4, 6, 8) are E G B D F.
-        let lines: Vec<String> = (0..5).map(|l| Clef::Treble.pitch_at(2 * l).to_string()).collect();
+        let lines: Vec<String> = (0..5)
+            .map(|l| Clef::Treble.pitch_at(2 * l).to_string())
+            .collect();
         assert_eq!(lines, vec!["E4", "G4", "B4", "D5", "F5"]);
         // Spaces spell FACE.
-        let spaces: Vec<String> =
-            (0..4).map(|s| Clef::Treble.pitch_at(2 * s + 1).to_string()).collect();
+        let spaces: Vec<String> = (0..4)
+            .map(|s| Clef::Treble.pitch_at(2 * s + 1).to_string())
+            .collect();
         assert_eq!(spaces, vec!["F4", "A4", "C5", "E5"]);
     }
 
     #[test]
     fn bass_clef_lines() {
         // Good Boys Do Fine Always.
-        let lines: Vec<String> = (0..5).map(|l| Clef::Bass.pitch_at(2 * l).to_string()).collect();
+        let lines: Vec<String> = (0..5)
+            .map(|l| Clef::Bass.pitch_at(2 * l).to_string())
+            .collect();
         assert_eq!(lines, vec!["G2", "B2", "D3", "F3", "A3"]);
     }
 
@@ -89,12 +94,22 @@ mod tests {
         let c4 = Pitch::natural(Step::C, 4);
         assert_eq!(Clef::Treble.degree_of(&c4), -2);
         assert_eq!(Clef::Bass.degree_of(&c4), 10);
-        assert_eq!(Clef::Alto.degree_of(&c4), 4, "middle C is the alto middle line");
+        assert_eq!(
+            Clef::Alto.degree_of(&c4),
+            4,
+            "middle C is the alto middle line"
+        );
     }
 
     #[test]
     fn degree_roundtrip() {
-        for clef in [Clef::Treble, Clef::Bass, Clef::Alto, Clef::Tenor, Clef::Soprano] {
+        for clef in [
+            Clef::Treble,
+            Clef::Bass,
+            Clef::Alto,
+            Clef::Tenor,
+            Clef::Soprano,
+        ] {
             for degree in -10..20 {
                 let p = clef.pitch_at(degree);
                 assert_eq!(clef.degree_of(&p), degree, "{clef:?} degree {degree}");

@@ -82,18 +82,30 @@ pub struct Duration {
 impl Duration {
     /// An undotted, untuplet duration.
     pub fn new(base: BaseDuration) -> Duration {
-        Duration { base, dots: 0, tuplet: (1, 1) }
+        Duration {
+            base,
+            dots: 0,
+            tuplet: (1, 1),
+        }
     }
 
     /// With augmentation dots.
     pub fn dotted(base: BaseDuration, dots: u8) -> Duration {
-        Duration { base, dots, tuplet: (1, 1) }
+        Duration {
+            base,
+            dots,
+            tuplet: (1, 1),
+        }
     }
 
     /// With a tuplet ratio (e.g. `(3, 2)` = triplet).
     pub fn tuplet(base: BaseDuration, actual: u8, normal: u8) -> Duration {
         assert!(actual > 0 && normal > 0, "tuplet ratio must be positive");
-        Duration { base, dots: 0, tuplet: (actual, normal) }
+        Duration {
+            base,
+            dots: 0,
+            tuplet: (actual, normal),
+        }
     }
 
     /// Length in whole notes: dots multiply by `2 - 2^-dots`, tuplets by
@@ -133,24 +145,38 @@ mod tests {
 
     #[test]
     fn base_values() {
-        assert_eq!(Duration::new(BaseDuration::Quarter).whole_notes(), rat(1, 4));
+        assert_eq!(
+            Duration::new(BaseDuration::Quarter).whole_notes(),
+            rat(1, 4)
+        );
         assert_eq!(Duration::new(BaseDuration::Quarter).beats(), rat(1, 1));
         assert_eq!(Duration::new(BaseDuration::Breve).beats(), rat(8, 1));
     }
 
     #[test]
     fn dots() {
-        assert_eq!(Duration::dotted(BaseDuration::Quarter, 1).whole_notes(), rat(3, 8));
-        assert_eq!(Duration::dotted(BaseDuration::Quarter, 2).whole_notes(), rat(7, 16));
+        assert_eq!(
+            Duration::dotted(BaseDuration::Quarter, 1).whole_notes(),
+            rat(3, 8)
+        );
+        assert_eq!(
+            Duration::dotted(BaseDuration::Quarter, 2).whole_notes(),
+            rat(7, 16)
+        );
         assert_eq!(Duration::dotted(BaseDuration::Half, 1).beats(), rat(3, 1));
     }
 
     #[test]
     fn triplets_sum_to_parent() {
         let te = Duration::tuplet(BaseDuration::Eighth, 3, 2);
-        assert_eq!(te.whole_notes() + te.whole_notes() + te.whole_notes(), rat(1, 4));
+        assert_eq!(
+            te.whole_notes() + te.whole_notes() + te.whole_notes(),
+            rat(1, 4)
+        );
         let quintuplet = Duration::tuplet(BaseDuration::Sixteenth, 5, 4);
-        let five: Rational = (0..5).map(|_| quintuplet.whole_notes()).fold(rat(0, 1), |a, b| a + b);
+        let five: Rational = (0..5)
+            .map(|_| quintuplet.whole_notes())
+            .fold(rat(0, 1), |a, b| a + b);
         assert_eq!(five, rat(1, 4));
     }
 
@@ -165,6 +191,9 @@ mod tests {
     fn display_forms() {
         assert_eq!(Duration::new(BaseDuration::Quarter).to_string(), "quarter");
         assert_eq!(Duration::dotted(BaseDuration::Half, 1).to_string(), "half.");
-        assert_eq!(Duration::tuplet(BaseDuration::Eighth, 3, 2).to_string(), "eighth (3:2)");
+        assert_eq!(
+            Duration::tuplet(BaseDuration::Eighth, 3, 2).to_string(),
+            "eighth (3:2)"
+        );
     }
 }

@@ -64,7 +64,9 @@ pub fn events(movement: &Movement) -> Vec<Event> {
             let end = onset + element.duration().beats();
             let default_vel = voice
                 .dynamic_at(ei)
-                .map_or(crate::score::Dynamic::MezzoForte.velocity(), |d| d.velocity());
+                .map_or(crate::score::Dynamic::MezzoForte.velocity(), |d| {
+                    d.velocity()
+                });
             match element {
                 VoiceElement::Chord(chord) => {
                     let mut still_open = std::collections::HashMap::new();
@@ -105,7 +107,12 @@ pub fn events(movement: &Movement) -> Vec<Event> {
         }
         out.extend(open.drain().map(|(_, ev)| ev));
     }
-    out.sort_by(|a, b| a.start.cmp(&b.start).then(a.voice.cmp(&b.voice)).then(a.key.cmp(&b.key)));
+    out.sort_by(|a, b| {
+        a.start
+            .cmp(&b.start)
+            .then(a.voice.cmp(&b.voice))
+            .then(a.key.cmp(&b.key))
+    });
     out
 }
 
@@ -158,7 +165,10 @@ mod tests {
         // The paper's example: two tied notes are one event.
         let q = Duration::new(BaseDuration::Quarter);
         let mut v = Voice::new("v", "piano", Clef::Treble, KeySignature::natural());
-        v.push_chord(Chord::new(vec![Note::new(Pitch::natural(Step::C, 4)).tied()], q));
+        v.push_chord(Chord::new(
+            vec![Note::new(Pitch::natural(Step::C, 4)).tied()],
+            q,
+        ));
         v.push_chord(Chord::single(Pitch::natural(Step::C, 4), q));
         let evs = events(&movement_with(v));
         assert_eq!(evs.len(), 1);
@@ -171,7 +181,10 @@ mod tests {
         let q = Duration::new(BaseDuration::Quarter);
         let mut v = Voice::new("v", "piano", Clef::Treble, KeySignature::natural());
         for _ in 0..2 {
-            v.push_chord(Chord::new(vec![Note::new(Pitch::natural(Step::G, 4)).tied()], q));
+            v.push_chord(Chord::new(
+                vec![Note::new(Pitch::natural(Step::G, 4)).tied()],
+                q,
+            ));
         }
         v.push_chord(Chord::single(Pitch::natural(Step::G, 4), q));
         let evs = events(&movement_with(v));
@@ -184,7 +197,10 @@ mod tests {
     fn tie_to_different_pitch_does_not_merge() {
         let q = Duration::new(BaseDuration::Quarter);
         let mut v = Voice::new("v", "piano", Clef::Treble, KeySignature::natural());
-        v.push_chord(Chord::new(vec![Note::new(Pitch::natural(Step::C, 4)).tied()], q));
+        v.push_chord(Chord::new(
+            vec![Note::new(Pitch::natural(Step::C, 4)).tied()],
+            q,
+        ));
         v.push_chord(Chord::single(Pitch::natural(Step::D, 4), q));
         let evs = events(&movement_with(v));
         assert_eq!(evs.len(), 2, "a tie needs the same pitch to continue");
@@ -219,7 +235,10 @@ mod tests {
     fn rest_breaks_tie() {
         let q = Duration::new(BaseDuration::Quarter);
         let mut v = Voice::new("v", "piano", Clef::Treble, KeySignature::natural());
-        v.push_chord(Chord::new(vec![Note::new(Pitch::natural(Step::C, 4)).tied()], q));
+        v.push_chord(Chord::new(
+            vec![Note::new(Pitch::natural(Step::C, 4)).tied()],
+            q,
+        ));
         v.push_rest(q);
         v.push_chord(Chord::single(Pitch::natural(Step::C, 4), q));
         let evs = events(&movement_with(v));

@@ -125,7 +125,11 @@ pub fn two_voice_alignment() -> Movement {
     ch(&mut lower, "C3", h);
     ch(&mut lower, "G2", h);
 
-    let mut movement = Movement::new("alignment", TimeSignature::common(), TempoMap::constant(120.0));
+    let mut movement = Movement::new(
+        "alignment",
+        TimeSignature::common(),
+        TempoMap::constant(120.0),
+    );
     movement.voices.push(upper);
     movement.voices.push(lower);
     movement

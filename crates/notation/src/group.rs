@@ -39,7 +39,12 @@ impl Group {
     /// Creates a group; `start ≤ end` required.
     pub fn new(kind: GroupKind, voice: usize, start: usize, end: usize) -> Group {
         assert!(start <= end, "group range reversed");
-        Group { kind, voice, start, end }
+        Group {
+            kind,
+            voice,
+            start,
+            end,
+        }
     }
 
     /// The group's duration in beats: the sum of its constituent chords
@@ -107,7 +112,11 @@ mod tests {
             v.push_chord(Chord::single(Pitch::natural(Step::C, 5), te));
         }
         let g = Group::new(GroupKind::Tuplet(3, 2), 0, 0, 2);
-        assert_eq!(g.duration(&v), rat(1, 1), "a triplet of eighths fills one beat");
+        assert_eq!(
+            g.duration(&v),
+            rat(1, 1),
+            "a triplet of eighths fills one beat"
+        );
     }
 
     #[test]
@@ -117,7 +126,10 @@ mod tests {
         let beam = Group::new(GroupKind::Beam, 0, 2, 3);
         assert!(phrase.contains(&slur));
         assert!(!slur.contains(&phrase));
-        assert!(slur.crosses(&beam), "slur 1..=2 and beam 2..=3 overlap at 2");
+        assert!(
+            slur.crosses(&beam),
+            "slur 1..=2 and beam 2..=3 overlap at 2"
+        );
         assert!(!phrase.crosses(&slur));
         // Different voices never interact.
         let other = Group::new(GroupKind::Slur, 1, 0, 4);

@@ -158,11 +158,20 @@ impl Interval {
     /// major third above C♭ is E♭ (not D♯, which `transpose_semitones`
     /// would give via its sharp-preferring respelling).
     pub fn apply(&self, from: &Pitch, upward: bool) -> Pitch {
-        let dia_steps = if upward { self.number - 1 } else { -(self.number - 1) };
+        let dia_steps = if upward {
+            self.number - 1
+        } else {
+            -(self.number - 1)
+        };
         let idx = from.diatonic_index() + dia_steps;
         let step = crate::pitch::Step::from_index(idx.rem_euclid(7));
         let octave = idx.div_euclid(7);
-        let target_midi = from.midi() + if upward { self.semitones() } else { -self.semitones() };
+        let target_midi = from.midi()
+            + if upward {
+                self.semitones()
+            } else {
+                -self.semitones()
+            };
         let natural = Pitch::natural(step, octave);
         Pitch::new(step, target_midi - natural.midi(), octave)
     }
@@ -204,16 +213,28 @@ mod tests {
     fn enharmonic_spelling_matters() {
         // Three semitones: minor third vs augmented second.
         assert_eq!(Interval::between(&p("C4"), &p("Eb4")).name(), "minor third");
-        assert_eq!(Interval::between(&p("C4"), &p("D#4")).name(), "augmented second");
+        assert_eq!(
+            Interval::between(&p("C4"), &p("D#4")).name(),
+            "augmented second"
+        );
         // Six semitones: tritone two ways.
-        assert_eq!(Interval::between(&p("F4"), &p("B4")).name(), "augmented fourth");
-        assert_eq!(Interval::between(&p("B3"), &p("F4")).name(), "diminished fifth");
+        assert_eq!(
+            Interval::between(&p("F4"), &p("B4")).name(),
+            "augmented fourth"
+        );
+        assert_eq!(
+            Interval::between(&p("B3"), &p("F4")).name(),
+            "diminished fifth"
+        );
     }
 
     #[test]
     fn compound_intervals() {
         assert_eq!(Interval::between(&p("C4"), &p("E5")).name(), "major tenth");
-        assert_eq!(Interval::between(&p("C4"), &p("G5")).name(), "perfect twelfth");
+        assert_eq!(
+            Interval::between(&p("C4"), &p("G5")).name(),
+            "perfect twelfth"
+        );
         assert_eq!(Interval::between(&p("C4"), &p("D6")).name(), "major 16th");
     }
 
@@ -227,7 +248,13 @@ mod tests {
 
     #[test]
     fn semitones_roundtrip() {
-        for (a, b) in [("C4", "Eb4"), ("C4", "G4"), ("F4", "B4"), ("C4", "E5"), ("B3", "F4")] {
+        for (a, b) in [
+            ("C4", "Eb4"),
+            ("C4", "G4"),
+            ("F4", "B4"),
+            ("C4", "E5"),
+            ("B3", "F4"),
+        ] {
             let (pa, pb) = (p(a), p(b));
             let iv = Interval::between(&pa, &pb);
             assert_eq!(iv.semitones(), (pb.midi() - pa.midi()).abs(), "{a}–{b}");
@@ -239,10 +266,19 @@ mod tests {
         assert!(Interval::between(&p("C4"), &p("G4")).is_consonant());
         assert!(Interval::between(&p("C4"), &p("E4")).is_consonant());
         assert!(Interval::between(&p("C4"), &p("A4")).is_consonant());
-        assert!(Interval::between(&p("C4"), &p("E5")).is_consonant(), "compound third");
-        assert!(!Interval::between(&p("C4"), &p("F4")).is_consonant(), "the fourth");
+        assert!(
+            Interval::between(&p("C4"), &p("E5")).is_consonant(),
+            "compound third"
+        );
+        assert!(
+            !Interval::between(&p("C4"), &p("F4")).is_consonant(),
+            "the fourth"
+        );
         assert!(!Interval::between(&p("C4"), &p("D4")).is_consonant());
-        assert!(!Interval::between(&p("F4"), &p("B4")).is_consonant(), "tritone");
+        assert!(
+            !Interval::between(&p("F4"), &p("B4")).is_consonant(),
+            "tritone"
+        );
     }
 }
 

@@ -15,9 +15,25 @@ pub struct KeySignature {
 }
 
 /// Sharps are added in the order F C G D A E B.
-const SHARP_ORDER: [Step; 7] = [Step::F, Step::C, Step::G, Step::D, Step::A, Step::E, Step::B];
+const SHARP_ORDER: [Step; 7] = [
+    Step::F,
+    Step::C,
+    Step::G,
+    Step::D,
+    Step::A,
+    Step::E,
+    Step::B,
+];
 /// Flats are added in the order B E A D G C F.
-const FLAT_ORDER: [Step; 7] = [Step::B, Step::E, Step::A, Step::D, Step::G, Step::C, Step::F];
+const FLAT_ORDER: [Step; 7] = [
+    Step::B,
+    Step::E,
+    Step::A,
+    Step::D,
+    Step::G,
+    Step::C,
+    Step::F,
+];
 
 /// Major key names by fifths (index 7 = C major).
 const MAJOR_NAMES: [&str; 15] = [
@@ -31,7 +47,9 @@ const MINOR_NAMES: [&str; 15] = [
 impl KeySignature {
     /// Creates a key signature from a fifths count (clamped to ±7).
     pub fn new(fifths: i8) -> KeySignature {
-        KeySignature { fifths: fifths.clamp(-7, 7) }
+        KeySignature {
+            fifths: fifths.clamp(-7, 7),
+        }
     }
 
     /// No sharps or flats (C major / A minor).
@@ -82,7 +100,10 @@ impl KeySignature {
 
     /// **Declarative meaning**: the relative minor.
     pub fn minor_name(&self) -> String {
-        format!("{} minor", MINOR_NAMES[(self.fifths + 7) as usize].to_lowercase())
+        format!(
+            "{} minor",
+            MINOR_NAMES[(self.fifths + 7) as usize].to_lowercase()
+        )
     }
 
     /// The key signature of the given major key name (e.g. "Eb"), if any.
@@ -90,7 +111,9 @@ impl KeySignature {
         MAJOR_NAMES
             .iter()
             .position(|&n| n == name)
-            .map(|i| KeySignature { fifths: i as i8 - 7 })
+            .map(|i| KeySignature {
+                fifths: i as i8 - 7,
+            })
     }
 }
 

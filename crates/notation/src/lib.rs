@@ -53,6 +53,9 @@ pub use meter::TimeSignature;
 pub use orchestra::{family_of, Instrument, Orchestra, Part, Section};
 pub use pitch::{Accidental, Pitch, Step};
 pub use rational::{rat, Rational};
-pub use score::{Articulation, Chord, ControlEvent, Dynamic, Measure, Movement, Note, Rest, Score, Voice, VoiceElement};
+pub use score::{
+    Articulation, Chord, ControlEvent, Dynamic, Measure, Movement, Note, Rest, Score, Voice,
+    VoiceElement,
+};
 pub use sync::{sync_diagram, syncs, Sync, SyncEntry};
 pub use temporal::{TempoMap, TempoMark};

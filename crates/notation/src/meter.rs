@@ -19,7 +19,10 @@ impl TimeSignature {
             denominator.is_power_of_two(),
             "meter denominator must be a power of two"
         );
-        TimeSignature { numerator, denominator }
+        TimeSignature {
+            numerator,
+            denominator,
+        }
     }
 
     /// Common time (4/4).

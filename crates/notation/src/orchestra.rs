@@ -68,7 +68,10 @@ impl Orchestra {
             let section = match sections.iter_mut().find(|s| s.family == family) {
                 Some(s) => s,
                 None => {
-                    sections.push(Section { family: family.to_string(), instruments: Vec::new() });
+                    sections.push(Section {
+                        family: family.to_string(),
+                        instruments: Vec::new(),
+                    });
                     sections.last_mut().expect("just pushed")
                 }
             };
@@ -92,7 +95,10 @@ impl Orchestra {
                 voices: vec![voice.name.clone()],
             });
         }
-        Orchestra { name: name.to_string(), sections }
+        Orchestra {
+            name: name.to_string(),
+            sections,
+        }
     }
 
     /// Total number of instruments.

@@ -23,7 +23,15 @@ pub enum Step {
 
 impl Step {
     /// All steps in ascending order.
-    pub const ALL: [Step; 7] = [Step::C, Step::D, Step::E, Step::F, Step::G, Step::A, Step::B];
+    pub const ALL: [Step; 7] = [
+        Step::C,
+        Step::D,
+        Step::E,
+        Step::F,
+        Step::G,
+        Step::A,
+        Step::B,
+    ];
 
     /// Semitones above C within one octave.
     pub fn semitones(self) -> i32 {
@@ -150,12 +158,20 @@ pub struct Pitch {
 impl Pitch {
     /// Creates a pitch.
     pub fn new(step: Step, alter: i32, octave: i32) -> Pitch {
-        Pitch { step, alter, octave }
+        Pitch {
+            step,
+            alter,
+            octave,
+        }
     }
 
     /// A natural pitch.
     pub fn natural(step: Step, octave: i32) -> Pitch {
-        Pitch { step, alter: 0, octave }
+        Pitch {
+            step,
+            alter: 0,
+            octave,
+        }
     }
 
     /// The MIDI key number (middle C = 60, A4 = 69).
@@ -213,7 +229,11 @@ impl Pitch {
             (0, rest.as_str())
         };
         let octave: i32 = oct_str.parse().ok()?;
-        Some(Pitch { step, alter, octave })
+        Some(Pitch {
+            step,
+            alter,
+            octave,
+        })
     }
 }
 
@@ -234,7 +254,11 @@ mod tests {
     fn midi_reference_points() {
         assert_eq!(Pitch::natural(Step::C, 4).midi(), 60, "middle C");
         assert_eq!(Pitch::natural(Step::A, 4).midi(), 69, "A440");
-        assert_eq!(Pitch::new(Step::B, 1, 3).midi(), 60, "B#3 is enharmonic middle C");
+        assert_eq!(
+            Pitch::new(Step::B, 1, 3).midi(),
+            60,
+            "B#3 is enharmonic middle C"
+        );
         assert_eq!(Pitch::natural(Step::C, -1).midi(), 0);
     }
 

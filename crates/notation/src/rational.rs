@@ -80,12 +80,20 @@ impl Rational {
 
     /// Minimum of two rationals.
     pub fn min(self, other: Rational) -> Rational {
-        if self <= other { self } else { other }
+        if self <= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Maximum of two rationals.
     pub fn max(self, other: Rational) -> Rational {
-        if self >= other { self } else { other }
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 }
 
@@ -127,7 +135,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

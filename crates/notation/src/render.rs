@@ -74,7 +74,10 @@ pub fn render_voice(voice: &Voice, meter: TimeSignature) -> String {
                     .as_chord()
                     .and_then(|c| c.notes.iter().find_map(|n| n.syllable.clone()))
                     .unwrap_or_default();
-                lyric.push_str(&format!("{:<CELL$}", syl.chars().take(CELL).collect::<String>()));
+                lyric.push_str(&format!(
+                    "{:<CELL$}",
+                    syl.chars().take(CELL).collect::<String>()
+                ));
             }
         }
     }
@@ -192,7 +195,10 @@ mod tests {
             q,
         ));
         let s = render_voice(&v, TimeSignature::common());
-        assert!(s.contains("#*") || s.contains("#o"), "sharp precedes the head:\n{s}");
+        assert!(
+            s.contains("#*") || s.contains("#o"),
+            "sharp precedes the head:\n{s}"
+        );
         assert!(s.contains("Glo-"));
     }
 

@@ -130,7 +130,11 @@ mod tests {
         let ctx = StaffContext::new(Clef::Treble, KeySignature::new(1)); // F#
         let mut m = MeasureAccidentals::new();
         assert_eq!(ctx.resolve(1, None, &mut m).to_string(), "F#4");
-        assert_eq!(ctx.resolve(1, Some(Accidental::Natural), &mut m).to_string(), "F4");
+        assert_eq!(
+            ctx.resolve(1, Some(Accidental::Natural), &mut m)
+                .to_string(),
+            "F4"
+        );
         // The natural persists.
         assert_eq!(ctx.resolve(1, None, &mut m).to_string(), "F4");
         // Next measure reverts to the key.

@@ -97,7 +97,12 @@ pub struct Note {
 impl Note {
     /// A plain note.
     pub fn new(pitch: Pitch) -> Note {
-        Note { pitch, tied: false, articulations: Vec::new(), syllable: None }
+        Note {
+            pitch,
+            tied: false,
+            articulations: Vec::new(),
+            syllable: None,
+        }
     }
 
     /// Marks the note tied to its successor.
@@ -136,7 +141,10 @@ impl Chord {
 
     /// A single-note chord.
     pub fn single(pitch: Pitch, duration: Duration) -> Chord {
-        Chord { notes: vec![Note::new(pitch)], duration }
+        Chord {
+            notes: vec![Note::new(pitch)],
+            duration,
+        }
     }
 }
 
@@ -333,7 +341,11 @@ impl Movement {
         let mut start = ZERO;
         let mut number = 1;
         while start < total {
-            out.push(Measure { number, start, end: start + len });
+            out.push(Measure {
+                number,
+                start,
+                end: start + len,
+            });
             start += len;
             number += 1;
         }
@@ -379,12 +391,20 @@ pub struct Score {
 impl Score {
     /// An empty score.
     pub fn new(title: &str) -> Score {
-        Score { title: title.to_string(), catalog_id: None, composer: None, movements: Vec::new() }
+        Score {
+            title: title.to_string(),
+            catalog_id: None,
+            composer: None,
+            movements: Vec::new(),
+        }
     }
 
     /// Total performance duration in seconds (sum over movements).
     pub fn performance_seconds(&self) -> f64 {
-        self.movements.iter().map(Movement::performance_seconds).sum()
+        self.movements
+            .iter()
+            .map(Movement::performance_seconds)
+            .sum()
     }
 
     /// Total number of notated measures.
@@ -456,7 +476,11 @@ mod tests {
         }
         // Each movement: 6 beats at 120 bpm = 3 s.
         assert!((s.performance_seconds() - 6.0).abs() < 1e-12);
-        assert_eq!(s.measure_count(), 4, "6 beats of 4/4 span 2 notated measures each");
+        assert_eq!(
+            s.measure_count(),
+            4,
+            "6 beats of 4/4 span 2 notated measures each"
+        );
     }
 
     #[test]

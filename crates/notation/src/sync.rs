@@ -76,7 +76,10 @@ pub fn sync_diagram(movement: &Movement) -> String {
     }
     out.push('\n');
     for (vi, voice) in movement.voices.iter().enumerate() {
-        out.push_str(&format!("{:<10}", voice.name.chars().take(9).collect::<String>()));
+        out.push_str(&format!(
+            "{:<10}",
+            voice.name.chars().take(9).collect::<String>()
+        ));
         for s in &ss {
             let mark = s
                 .entries

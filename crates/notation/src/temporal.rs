@@ -32,13 +32,21 @@ impl TempoMap {
     pub fn constant(bpm: f64) -> TempoMap {
         assert!(bpm > 0.0, "tempo must be positive");
         TempoMap {
-            marks: vec![TempoMark { beat: ZERO, bpm, ramp_to_next: false }],
+            marks: vec![TempoMark {
+                beat: ZERO,
+                bpm,
+                ramp_to_next: false,
+            }],
         }
     }
 
     /// Inserts a tempo mark (replacing any existing mark at that beat).
     pub fn set_tempo(&mut self, beat: Rational, bpm: f64) {
-        self.insert(TempoMark { beat, bpm, ramp_to_next: false });
+        self.insert(TempoMark {
+            beat,
+            bpm,
+            ramp_to_next: false,
+        });
     }
 
     /// Adds an *accelerando* (or *ritardando*, if slower): tempo ramps
@@ -46,8 +54,16 @@ impl TempoMap {
     pub fn ramp(&mut self, from: Rational, to: Rational, bpm_target: f64) {
         assert!(from < to, "ramp must span a positive interval");
         let start_bpm = self.bpm_at(from);
-        self.insert(TempoMark { beat: from, bpm: start_bpm, ramp_to_next: true });
-        self.insert(TempoMark { beat: to, bpm: bpm_target, ramp_to_next: false });
+        self.insert(TempoMark {
+            beat: from,
+            bpm: start_bpm,
+            ramp_to_next: true,
+        });
+        self.insert(TempoMark {
+            beat: to,
+            bpm: bpm_target,
+            ramp_to_next: false,
+        });
     }
 
     fn insert(&mut self, mark: TempoMark) {
@@ -117,7 +133,10 @@ impl TempoMap {
             if target <= seg_start {
                 break;
             }
-            let seg_end = self.marks.get(i + 1).map_or(f64::INFINITY, |m| m.beat.to_f64());
+            let seg_end = self
+                .marks
+                .get(i + 1)
+                .map_or(f64::INFINITY, |m| m.beat.to_f64());
             let end = target.min(seg_end);
             let span = seg_end - seg_start;
             let (bpm0, bpm1) = if mark.ramp_to_next && span.is_finite() {
@@ -138,7 +157,10 @@ impl TempoMap {
         let mut t = 0.0;
         for (i, mark) in self.marks.iter().enumerate() {
             let seg_start = mark.beat.to_f64();
-            let seg_end = self.marks.get(i + 1).map_or(f64::INFINITY, |m| m.beat.to_f64());
+            let seg_end = self
+                .marks
+                .get(i + 1)
+                .map_or(f64::INFINITY, |m| m.beat.to_f64());
             let span = seg_end - seg_start;
             let (bpm0, bpm1) = if mark.ramp_to_next && span.is_finite() {
                 (mark.bpm, self.marks[i + 1].bpm)
@@ -173,7 +195,11 @@ mod tests {
     #[test]
     fn constant_tempo() {
         let t = TempoMap::constant(120.0);
-        assert_eq!(t.performance_time(rat(4, 1)), 2.0, "4 beats at 120 bpm = 2 s");
+        assert_eq!(
+            t.performance_time(rat(4, 1)),
+            2.0,
+            "4 beats at 120 bpm = 2 s"
+        );
         assert_eq!(t.performance_time(ZERO), 0.0);
         assert!((t.score_time(2.0) - 4.0).abs() < 1e-12);
     }

@@ -126,7 +126,10 @@ pub mod redundancy {
                 samples.push(v.clamp(i16::MIN as i32, i16::MAX as i32) as i16);
             }
         }
-        Some(PcmBuffer { sample_rate, samples })
+        Some(PcmBuffer {
+            sample_rate,
+            samples,
+        })
     }
 }
 
@@ -201,7 +204,10 @@ pub mod perceptual {
             let x = expand(y);
             samples.push((x * 32767.0).clamp(-32768.0, 32767.0) as i16);
         }
-        Some(PcmBuffer { sample_rate, samples })
+        Some(PcmBuffer {
+            sample_rate,
+            samples,
+        })
     }
 
     /// Signal-to-noise ratio in dB between an original and its decode.
@@ -238,8 +244,20 @@ mod tests {
         // the oversampling factor grows, which is what makes redundancy
         // elimination effective on music.
         let notes = vec![
-            PerformedNote { voice: 0, key: 60, start_seconds: 0.0, end_seconds: 0.4, velocity: 90 },
-            PerformedNote { voice: 0, key: 67, start_seconds: 0.2, end_seconds: 0.6, velocity: 70 },
+            PerformedNote {
+                voice: 0,
+                key: 60,
+                start_seconds: 0.0,
+                end_seconds: 0.4,
+                velocity: 90,
+            },
+            PerformedNote {
+                voice: 0,
+                key: 67,
+                start_seconds: 0.2,
+                end_seconds: 0.6,
+                velocity: 70,
+            },
         ];
         render_performance(&notes, &Timbre::organ(), crate::pcm::PRO_SAMPLE_RATE)
     }
@@ -290,7 +308,10 @@ mod tests {
         let dec = perceptual::decode(&enc).unwrap();
         assert_eq!(dec.samples.len(), pcm.samples.len());
         let snr = perceptual::snr_db(&pcm, &dec);
-        assert!(snr > 20.0, "8-bit μ-law should exceed 20 dB SNR, got {snr:.1}");
+        assert!(
+            snr > 20.0,
+            "8-bit μ-law should exceed 20 dB SNR, got {snr:.1}"
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl MidiEventList {
             events.push(MidiEvent {
                 time: n.end_seconds,
                 channel,
-                kind: MidiKind::NoteOff { key: n.key.clamp(0, 127) as u8 },
+                kind: MidiKind::NoteOff {
+                    key: n.key.clamp(0, 127) as u8,
+                },
             });
         }
         let mut list = MidiEventList { events };
@@ -136,8 +138,9 @@ impl MidiEventList {
                     open.push((e.time, key, e.channel, velocity));
                 }
                 MidiKind::NoteOff { key } => {
-                    if let Some(i) =
-                        open.iter().position(|&(_, k, c, _)| k == key && c == e.channel)
+                    if let Some(i) = open
+                        .iter()
+                        .position(|&(_, k, c, _)| k == key && c == e.channel)
                     {
                         let (start, k, c, v) = open.remove(i);
                         out.push((start, e.time, k, c, v));
@@ -156,7 +159,13 @@ mod tests {
     use super::*;
 
     fn note(voice: usize, key: i32, start: f64, end: f64) -> PerformedNote {
-        PerformedNote { voice, key, start_seconds: start, end_seconds: end, velocity: 80 }
+        PerformedNote {
+            voice,
+            key,
+            start_seconds: start,
+            end_seconds: end,
+            velocity: 80,
+        }
     }
 
     #[test]
@@ -185,7 +194,11 @@ mod tests {
 
     #[test]
     fn spans_roundtrip() {
-        let notes = vec![note(0, 60, 0.0, 1.0), note(0, 64, 0.25, 0.75), note(2, 72, 1.0, 3.0)];
+        let notes = vec![
+            note(0, 60, 0.0, 1.0),
+            note(0, 64, 0.25, 0.75),
+            note(2, 72, 1.0, 3.0),
+        ];
         let list = MidiEventList::from_performance(&notes);
         let spans = list.note_spans();
         assert_eq!(spans.len(), 3);

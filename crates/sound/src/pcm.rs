@@ -20,13 +20,19 @@ impl PcmBuffer {
     /// An empty buffer at the given rate.
     pub fn new(sample_rate: u32) -> PcmBuffer {
         assert!(sample_rate > 0, "sample rate must be positive");
-        PcmBuffer { sample_rate, samples: Vec::new() }
+        PcmBuffer {
+            sample_rate,
+            samples: Vec::new(),
+        }
     }
 
     /// A silent buffer of the given duration.
     pub fn silence(sample_rate: u32, seconds: f64) -> PcmBuffer {
         let n = (seconds * sample_rate as f64).ceil() as usize;
-        PcmBuffer { sample_rate, samples: vec![0; n] }
+        PcmBuffer {
+            sample_rate,
+            samples: vec![0; n],
+        }
     }
 
     /// Duration in seconds.
@@ -41,7 +47,11 @@ impl PcmBuffer {
 
     /// Peak absolute amplitude.
     pub fn peak(&self) -> i16 {
-        self.samples.iter().map(|s| s.unsigned_abs()).max().unwrap_or(0) as i16
+        self.samples
+            .iter()
+            .map(|s| s.unsigned_abs())
+            .max()
+            .unwrap_or(0) as i16
     }
 
     /// Root-mean-square amplitude.

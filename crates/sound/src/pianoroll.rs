@@ -47,7 +47,11 @@ impl PianoRoll {
             let c0 = (n.start_seconds / seconds_per_column).floor() as usize;
             let mut c1 = (n.end_seconds / seconds_per_column).ceil() as usize;
             c1 = c1.min(cols).max(c0 + 1);
-            let fill = if highlight(i, n) { HIGHLIGHT_FILL } else { NOTE_FILL };
+            let fill = if highlight(i, n) {
+                HIGHLIGHT_FILL
+            } else {
+                NOTE_FILL
+            };
             for cell in &mut grid[row][c0..c1] {
                 // Plain fill wins over highlight when notes overlap,
                 // keeping entrances visually distinct, as in fig. 3.
@@ -56,7 +60,12 @@ impl PianoRoll {
                 }
             }
         }
-        PianoRoll { low_key, high_key, seconds_per_column, grid }
+        PianoRoll {
+            low_key,
+            high_key,
+            seconds_per_column,
+            grid,
+        }
     }
 
     /// Number of columns.
@@ -88,7 +97,13 @@ mod tests {
     use super::*;
 
     fn n(key: i32, start: f64, end: f64, voice: usize) -> PerformedNote {
-        PerformedNote { voice, key, start_seconds: start, end_seconds: end, velocity: 80 }
+        PerformedNote {
+            voice,
+            key,
+            start_seconds: start,
+            end_seconds: end,
+            velocity: 80,
+        }
     }
 
     #[test]
@@ -108,9 +123,20 @@ mod tests {
     fn pitch_increases_upward() {
         let notes = vec![n(60, 0.0, 1.0, 0), n(72, 0.0, 1.0, 0)];
         let roll = PianoRoll::render(&notes, 0.5, &|_, n| n.key == 72);
-        let top_fill_row = roll.grid.iter().position(|r| r.contains(&HIGHLIGHT_FILL)).unwrap();
-        let bottom_fill_row = roll.grid.iter().position(|r| r.contains(&NOTE_FILL)).unwrap();
-        assert!(top_fill_row < bottom_fill_row, "higher pitch renders higher");
+        let top_fill_row = roll
+            .grid
+            .iter()
+            .position(|r| r.contains(&HIGHLIGHT_FILL))
+            .unwrap();
+        let bottom_fill_row = roll
+            .grid
+            .iter()
+            .position(|r| r.contains(&NOTE_FILL))
+            .unwrap();
+        assert!(
+            top_fill_row < bottom_fill_row,
+            "higher pitch renders higher"
+        );
     }
 
     #[test]

@@ -27,18 +27,30 @@ pub struct Timbre {
 impl Timbre {
     /// An organ-like timbre (strong odd harmonics, soft envelope).
     pub fn organ() -> Timbre {
-        Timbre { harmonics: vec![1.0, 0.4, 0.5, 0.15, 0.25], attack: 0.01, release: 0.05 }
+        Timbre {
+            harmonics: vec![1.0, 0.4, 0.5, 0.15, 0.25],
+            attack: 0.01,
+            release: 0.05,
+        }
     }
 
     /// A plucked-string-like timbre (bright, fast decay shaped by
     /// release).
     pub fn pluck() -> Timbre {
-        Timbre { harmonics: vec![1.0, 0.6, 0.35, 0.2, 0.1, 0.05], attack: 0.002, release: 0.2 }
+        Timbre {
+            harmonics: vec![1.0, 0.6, 0.35, 0.2, 0.1, 0.05],
+            attack: 0.002,
+            release: 0.2,
+        }
     }
 
     /// A pure sine.
     pub fn sine() -> Timbre {
-        Timbre { harmonics: vec![1.0], attack: 0.01, release: 0.01 }
+        Timbre {
+            harmonics: vec![1.0],
+            attack: 0.01,
+            release: 0.01,
+        }
     }
 }
 
@@ -84,11 +96,7 @@ fn render_note(
 }
 
 /// Renders a set of performed notes into a single mixed buffer.
-pub fn render_performance(
-    notes: &[PerformedNote],
-    timbre: &Timbre,
-    sample_rate: u32,
-) -> PcmBuffer {
+pub fn render_performance(notes: &[PerformedNote], timbre: &Timbre, sample_rate: u32) -> PcmBuffer {
     let total = notes.iter().map(|n| n.end_seconds).fold(0.0, f64::max);
     let mut out = PcmBuffer::silence(sample_rate, total + timbre.release);
     for n in notes {
@@ -126,7 +134,13 @@ mod tests {
     use super::*;
 
     fn a440(seconds: f64) -> PerformedNote {
-        PerformedNote { voice: 0, key: 69, start_seconds: 0.0, end_seconds: seconds, velocity: 100 }
+        PerformedNote {
+            voice: 0,
+            key: 69,
+            start_seconds: 0.0,
+            end_seconds: seconds,
+            velocity: 100,
+        }
     }
 
     #[test]
@@ -153,12 +167,18 @@ mod tests {
     #[test]
     fn velocity_scales_amplitude() {
         let quiet = render_performance(
-            &[PerformedNote { velocity: 20, ..a440(0.25) }],
+            &[PerformedNote {
+                velocity: 20,
+                ..a440(0.25)
+            }],
             &Timbre::organ(),
             8000,
         );
         let loud = render_performance(
-            &[PerformedNote { velocity: 120, ..a440(0.25) }],
+            &[PerformedNote {
+                velocity: 120,
+                ..a440(0.25)
+            }],
             &Timbre::organ(),
             8000,
         );
@@ -169,8 +189,14 @@ mod tests {
     fn simultaneous_notes_mix() {
         let notes = vec![
             a440(0.5),
-            PerformedNote { key: 64, ..a440(0.5) },
-            PerformedNote { key: 60, ..a440(0.5) },
+            PerformedNote {
+                key: 64,
+                ..a440(0.5)
+            },
+            PerformedNote {
+                key: 60,
+                ..a440(0.5)
+            },
         ];
         let chord = render_performance(&notes, &Timbre::organ(), 8000);
         let single = render_performance(&[a440(0.5)], &Timbre::organ(), 8000);
@@ -182,7 +208,10 @@ mod tests {
         // Key 127 ≈ 12.5 kHz. At 44.1 kHz the fundamental renders; at
         // 8 kHz even the fundamental exceeds Nyquist and is dropped
         // rather than aliased.
-        let n = PerformedNote { key: 127, ..a440(0.1) };
+        let n = PerformedNote {
+            key: 127,
+            ..a440(0.1)
+        };
         let hi = render_performance(std::slice::from_ref(&n), &Timbre::organ(), 44_100);
         assert!(hi.peak() > 0);
         let lo = render_performance(&[n], &Timbre::organ(), 8000);

@@ -55,7 +55,11 @@ impl Node {
                 NODE_HEADER + cells.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
             }
             Node::Internal { cells, .. } => {
-                NODE_HEADER + cells.iter().map(|(k, _, _)| 2 + k.len() + 16).sum::<usize>()
+                NODE_HEADER
+                    + cells
+                        .iter()
+                        .map(|(k, _, _)| 2 + k.len() + 16)
+                        .sum::<usize>()
             }
         }
     }
@@ -128,7 +132,10 @@ impl Node {
                     p += 8;
                     cells.push((k, v, c));
                 }
-                Ok(Node::Internal { leftmost: link, cells })
+                Ok(Node::Internal {
+                    leftmost: link,
+                    cells,
+                })
             }
             other => Err(StorageError::Corrupt(format!(
                 "expected a B+tree page, found {other:?}"
@@ -137,11 +144,11 @@ impl Node {
     }
 }
 
-fn read_node(pool: &mut BufferPool, pid: PageId) -> Result<Node> {
+fn read_node(pool: &BufferPool, pid: PageId) -> Result<Node> {
     pool.with_page(pid, Node::read)?
 }
 
-fn write_node(pool: &mut BufferPool, pid: PageId, node: &Node) -> Result<()> {
+fn write_node(pool: &BufferPool, pid: PageId, node: &Node) -> Result<()> {
     pool.with_page_mut(pid, |d| node.write(d))
 }
 
@@ -157,7 +164,7 @@ pub struct BTree {
 
 impl BTree {
     /// Creates an empty tree, allocating its root leaf.
-    pub fn create(pool: &mut BufferPool) -> Result<BTree> {
+    pub fn create(pool: &BufferPool) -> Result<BTree> {
         let root = pool.allocate_page()?;
         write_node(
             pool,
@@ -181,7 +188,7 @@ impl BTree {
     }
 
     /// Inserts an entry. Duplicate `(key, value)` pairs are stored once.
-    pub fn insert(&self, pool: &mut BufferPool, key: &[u8], value: u64) -> Result<()> {
+    pub fn insert(&self, pool: &BufferPool, key: &[u8], value: u64) -> Result<()> {
         if key.len() > MAX_KEY_SIZE {
             return Err(StorageError::RecordTooLarge(key.len()));
         }
@@ -205,15 +212,14 @@ impl BTree {
 
     fn insert_rec(
         &self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         pid: PageId,
         key: &[u8],
         value: u64,
     ) -> Result<Option<(Vec<u8>, u64, PageId)>> {
         match read_node(pool, pid)? {
             Node::Leaf { next, mut cells } => {
-                let pos = cells
-                    .partition_point(|(k, v)| composite_cmp(k, *v, key, value).is_lt());
+                let pos = cells.partition_point(|(k, v)| composite_cmp(k, *v, key, value).is_lt());
                 if cells.get(pos).is_some_and(|(k, v)| k == key && *v == value) {
                     return Ok(None); // already present
                 }
@@ -224,7 +230,9 @@ impl BTree {
                     return Ok(None);
                 }
                 // Split.
-                let Node::Leaf { next, mut cells } = node else { unreachable!() };
+                let Node::Leaf { next, mut cells } = node else {
+                    unreachable!()
+                };
                 let mid = cells.len() / 2;
                 let right_cells = cells.split_off(mid);
                 let right_pid = pool.allocate_page()?;
@@ -247,22 +255,30 @@ impl BTree {
                 )?;
                 Ok(Some((sep.0, sep.1, right_pid)))
             }
-            Node::Internal { leftmost, mut cells } => {
-                let idx = cells
-                    .partition_point(|(k, v, _)| composite_cmp(k, *v, key, value).is_le());
+            Node::Internal {
+                leftmost,
+                mut cells,
+            } => {
+                let idx =
+                    cells.partition_point(|(k, v, _)| composite_cmp(k, *v, key, value).is_le());
                 let child = if idx == 0 { leftmost } else { cells[idx - 1].2 };
                 let Some((sk, sv, new_pid)) = self.insert_rec(pool, child, key, value)? else {
                     return Ok(None);
                 };
-                let pos = cells
-                    .partition_point(|(k, v, _)| composite_cmp(k, *v, &sk, sv).is_lt());
+                let pos = cells.partition_point(|(k, v, _)| composite_cmp(k, *v, &sk, sv).is_lt());
                 cells.insert(pos, (sk, sv, new_pid));
                 let node = Node::Internal { leftmost, cells };
                 if node.serialized_size() <= PAGE_SIZE {
                     write_node(pool, pid, &node)?;
                     return Ok(None);
                 }
-                let Node::Internal { leftmost, mut cells } = node else { unreachable!() };
+                let Node::Internal {
+                    leftmost,
+                    mut cells,
+                } = node
+                else {
+                    unreachable!()
+                };
                 let mid = cells.len() / 2;
                 let mut right_cells = cells.split_off(mid);
                 let (pk, pv, pc) = right_cells.remove(0);
@@ -282,14 +298,14 @@ impl BTree {
     }
 
     /// Finds the leaf that may contain `(key, value)`.
-    fn find_leaf(&self, pool: &mut BufferPool, key: &[u8], value: u64) -> Result<PageId> {
+    fn find_leaf(&self, pool: &BufferPool, key: &[u8], value: u64) -> Result<PageId> {
         let mut pid = self.root;
         loop {
             match read_node(pool, pid)? {
                 Node::Leaf { .. } => return Ok(pid),
                 Node::Internal { leftmost, cells } => {
-                    let idx = cells
-                        .partition_point(|(k, v, _)| composite_cmp(k, *v, key, value).is_le());
+                    let idx =
+                        cells.partition_point(|(k, v, _)| composite_cmp(k, *v, key, value).is_le());
                     pid = if idx == 0 { leftmost } else { cells[idx - 1].2 };
                 }
             }
@@ -297,7 +313,7 @@ impl BTree {
     }
 
     /// Returns every value stored under exactly `key`.
-    pub fn lookup(&self, pool: &mut BufferPool, key: &[u8]) -> Result<Vec<u64>> {
+    pub fn lookup(&self, pool: &BufferPool, key: &[u8]) -> Result<Vec<u64>> {
         let mut out = Vec::new();
         self.range(pool, Some(key), Some(key), |_, v| out.push(v))?;
         Ok(out)
@@ -308,7 +324,7 @@ impl BTree {
     /// value.
     pub fn range(
         &self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         lo: Option<&[u8]>,
         hi: Option<&[u8]>,
         mut f: impl FnMut(&[u8], u64),
@@ -347,7 +363,7 @@ impl BTree {
     }
 
     /// Removes the exact `(key, value)` entry. Returns whether it existed.
-    pub fn delete(&self, pool: &mut BufferPool, key: &[u8], value: u64) -> Result<bool> {
+    pub fn delete(&self, pool: &BufferPool, key: &[u8], value: u64) -> Result<bool> {
         let pid = self.find_leaf(pool, key, value)?;
         let Node::Leaf { next, mut cells } = read_node(pool, pid)? else {
             return Err(StorageError::Corrupt("find_leaf returned internal".into()));
@@ -363,14 +379,14 @@ impl BTree {
     }
 
     /// Total number of entries (full scan; diagnostics).
-    pub fn len(&self, pool: &mut BufferPool) -> Result<usize> {
+    pub fn len(&self, pool: &BufferPool) -> Result<usize> {
         let mut n = 0;
         self.range(pool, None, None, |_, _| n += 1)?;
         Ok(n)
     }
 
     /// True if the tree holds no entries.
-    pub fn is_empty(&self, pool: &mut BufferPool) -> Result<bool> {
+    pub fn is_empty(&self, pool: &BufferPool) -> Result<bool> {
         Ok(self.len(pool)? == 0)
     }
 }
@@ -382,39 +398,39 @@ mod tests {
     fn setup(name: &str) -> (std::path::PathBuf, BufferPool, BTree) {
         let dir = std::env::temp_dir().join(format!("mdm-bt-{}-{}", std::process::id(), name));
         std::fs::remove_dir_all(&dir).ok();
-        let mut bp = BufferPool::open(&dir, 64).unwrap();
-        let bt = BTree::create(&mut bp).unwrap();
+        let bp = BufferPool::open(&dir, 64).unwrap();
+        let bt = BTree::create(&bp).unwrap();
         (dir, bp, bt)
     }
 
     #[test]
     fn insert_lookup_small() {
-        let (dir, mut bp, bt) = setup("small");
-        bt.insert(&mut bp, b"beta", 2).unwrap();
-        bt.insert(&mut bp, b"alpha", 1).unwrap();
-        bt.insert(&mut bp, b"gamma", 3).unwrap();
-        assert_eq!(bt.lookup(&mut bp, b"alpha").unwrap(), vec![1]);
-        assert_eq!(bt.lookup(&mut bp, b"beta").unwrap(), vec![2]);
-        assert_eq!(bt.lookup(&mut bp, b"delta").unwrap(), Vec::<u64>::new());
+        let (dir, bp, bt) = setup("small");
+        bt.insert(&bp, b"beta", 2).unwrap();
+        bt.insert(&bp, b"alpha", 1).unwrap();
+        bt.insert(&bp, b"gamma", 3).unwrap();
+        assert_eq!(bt.lookup(&bp, b"alpha").unwrap(), vec![1]);
+        assert_eq!(bt.lookup(&bp, b"beta").unwrap(), vec![2]);
+        assert_eq!(bt.lookup(&bp, b"delta").unwrap(), Vec::<u64>::new());
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn many_inserts_with_splits() {
-        let (dir, mut bp, bt) = setup("splits");
+        let (dir, bp, bt) = setup("splits");
         let n: i64 = 5000;
         // Insert in a scrambled order.
         for i in 0..n {
             let k = i * 2654435761 % n;
-            bt.insert(&mut bp, &encode_i64(k), k as u64).unwrap();
+            bt.insert(&bp, &encode_i64(k), k as u64).unwrap();
         }
-        assert_eq!(bt.len(&mut bp).unwrap(), n as usize);
+        assert_eq!(bt.len(&bp).unwrap(), n as usize);
         for k in [0i64, 1, n / 2, n - 1] {
-            assert_eq!(bt.lookup(&mut bp, &encode_i64(k)).unwrap(), vec![k as u64]);
+            assert_eq!(bt.lookup(&bp, &encode_i64(k)).unwrap(), vec![k as u64]);
         }
         // Full scan is sorted.
         let mut prev: Option<Vec<u8>> = None;
-        bt.range(&mut bp, None, None, |k, _| {
+        bt.range(&bp, None, None, |k, _| {
             if let Some(p) = &prev {
                 assert!(p.as_slice() <= k);
             }
@@ -426,67 +442,67 @@ mod tests {
 
     #[test]
     fn duplicate_keys() {
-        let (dir, mut bp, bt) = setup("dups");
+        let (dir, bp, bt) = setup("dups");
         for v in 0..200u64 {
-            bt.insert(&mut bp, b"same", v).unwrap();
+            bt.insert(&bp, b"same", v).unwrap();
         }
-        let mut vals = bt.lookup(&mut bp, b"same").unwrap();
+        let mut vals = bt.lookup(&bp, b"same").unwrap();
         vals.sort_unstable();
         assert_eq!(vals, (0..200).collect::<Vec<_>>());
         // Re-inserting an existing pair is a no-op.
-        bt.insert(&mut bp, b"same", 5).unwrap();
-        assert_eq!(bt.lookup(&mut bp, b"same").unwrap().len(), 200);
+        bt.insert(&bp, b"same", 5).unwrap();
+        assert_eq!(bt.lookup(&bp, b"same").unwrap().len(), 200);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn range_scan_bounds() {
-        let (dir, mut bp, bt) = setup("range");
+        let (dir, bp, bt) = setup("range");
         for i in 0..100i64 {
-            bt.insert(&mut bp, &encode_i64(i), i as u64).unwrap();
+            bt.insert(&bp, &encode_i64(i), i as u64).unwrap();
         }
         let mut got = Vec::new();
-        bt.range(
-            &mut bp,
-            Some(&encode_i64(10)),
-            Some(&encode_i64(20)),
-            |k, _| got.push(decode_i64(k)),
-        )
+        bt.range(&bp, Some(&encode_i64(10)), Some(&encode_i64(20)), |k, _| {
+            got.push(decode_i64(k))
+        })
         .unwrap();
         assert_eq!(got, (10..=20).collect::<Vec<_>>());
         // Unbounded low.
         let mut got = Vec::new();
-        bt.range(&mut bp, None, Some(&encode_i64(3)), |k, _| got.push(decode_i64(k)))
-            .unwrap();
+        bt.range(&bp, None, Some(&encode_i64(3)), |k, _| {
+            got.push(decode_i64(k))
+        })
+        .unwrap();
         assert_eq!(got, vec![0, 1, 2, 3]);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn negative_integer_key_order() {
-        let (dir, mut bp, bt) = setup("neg");
+        let (dir, bp, bt) = setup("neg");
         for i in [-5i64, -1, 0, 1, 5, i64::MIN, i64::MAX] {
-            bt.insert(&mut bp, &encode_i64(i), 0).unwrap();
+            bt.insert(&bp, &encode_i64(i), 0).unwrap();
         }
         let mut got = Vec::new();
-        bt.range(&mut bp, None, None, |k, _| got.push(decode_i64(k))).unwrap();
+        bt.range(&bp, None, None, |k, _| got.push(decode_i64(k)))
+            .unwrap();
         assert_eq!(got, vec![i64::MIN, -5, -1, 0, 1, 5, i64::MAX]);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn delete_exact_entries() {
-        let (dir, mut bp, bt) = setup("del");
+        let (dir, bp, bt) = setup("del");
         for i in 0..1000i64 {
-            bt.insert(&mut bp, &encode_i64(i), i as u64).unwrap();
+            bt.insert(&bp, &encode_i64(i), i as u64).unwrap();
         }
         for i in (0..1000i64).step_by(2) {
-            assert!(bt.delete(&mut bp, &encode_i64(i), i as u64).unwrap());
+            assert!(bt.delete(&bp, &encode_i64(i), i as u64).unwrap());
         }
-        assert!(!bt.delete(&mut bp, &encode_i64(0), 0).unwrap(), "already gone");
-        assert_eq!(bt.len(&mut bp).unwrap(), 500);
+        assert!(!bt.delete(&bp, &encode_i64(0), 0).unwrap(), "already gone");
+        assert_eq!(bt.len(&bp).unwrap(), 500);
         for i in 0..1000i64 {
-            let hits = bt.lookup(&mut bp, &encode_i64(i)).unwrap();
+            let hits = bt.lookup(&bp, &encode_i64(i)).unwrap();
             assert_eq!(hits.is_empty(), i % 2 == 0, "key {i}");
         }
         std::fs::remove_dir_all(&dir).ok();
@@ -494,21 +510,24 @@ mod tests {
 
     #[test]
     fn long_keys_split_correctly() {
-        let (dir, mut bp, bt) = setup("long");
+        let (dir, bp, bt) = setup("long");
         for i in 0..300 {
             let key = format!("{:0>600}", i); // 600-byte keys force splits fast
-            bt.insert(&mut bp, key.as_bytes(), i).unwrap();
+            bt.insert(&bp, key.as_bytes(), i).unwrap();
         }
-        assert_eq!(bt.len(&mut bp).unwrap(), 300);
-        assert_eq!(bt.lookup(&mut bp, format!("{:0>600}", 123).as_bytes()).unwrap(), vec![123]);
+        assert_eq!(bt.len(&bp).unwrap(), 300);
+        assert_eq!(
+            bt.lookup(&bp, format!("{:0>600}", 123).as_bytes()).unwrap(),
+            vec![123]
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn oversized_key_rejected() {
-        let (dir, mut bp, bt) = setup("big");
+        let (dir, bp, bt) = setup("big");
         let key = vec![0u8; MAX_KEY_SIZE + 1];
-        assert!(bt.insert(&mut bp, &key, 0).is_err());
+        assert!(bt.insert(&bp, &key, 0).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,16 +1,29 @@
-//! The buffer pool: an in-memory page cache with CLOCK eviction.
+//! The buffer pool: a sharded in-memory page cache with CLOCK eviction.
 //!
 //! Access is closure-based (`with_page` / `with_page_mut`) rather than
-//! guard-based, which keeps lifetimes simple; the engine serializes access
-//! behind a mutex (coarse-grained latching — transaction-level concurrency
-//! is provided by the lock manager, not by page latches).
+//! guard-based, which keeps lifetimes simple. The pool is internally
+//! sharded: each page id maps to one of up to 16 shards (`page_id %
+//! num_shards`), and each shard owns its frames, its page map, and its
+//! own CLOCK hand behind a private mutex. Threads touching different
+//! pages therefore fault, hit, and evict independently; the engine no
+//! longer needs any external latch around page access.
+//!
+//! A closure runs while its shard latch is held, so closures must never
+//! re-enter the pool (no nested `with_page*` calls) — the storage
+//! layer's access patterns are all flat single-page operations.
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
 use crate::page::{PageId, PAGE_SIZE};
+
+/// Upper bound on shard count; small pools get fewer shards so each
+/// shard still has at least two frames to run CLOCK over.
+const MAX_SHARDS: usize = 16;
 
 struct Frame {
     page: PageId,
@@ -19,29 +32,45 @@ struct Frame {
     referenced: bool,
 }
 
-/// Fixed-capacity page cache over a [`DiskManager`].
-pub struct BufferPool {
-    disk: DiskManager,
+/// One shard: a fixed set of frames plus the CLOCK state over them.
+struct Shard {
     frames: Vec<Option<Frame>>,
     map: HashMap<PageId, usize>,
     clock_hand: usize,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+}
+
+/// Fixed-capacity sharded page cache over a [`DiskManager`].
+pub struct BufferPool {
+    disk: DiskManager,
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl BufferPool {
     /// Opens the database file in `dir` with a cache of `capacity` pages.
     pub fn open(dir: &Path, capacity: usize) -> Result<BufferPool> {
         assert!(capacity >= 2, "buffer pool needs at least two frames");
+        // Every shard needs ≥2 frames for CLOCK to have a choice, so the
+        // shard count is bounded by capacity/2 as well as MAX_SHARDS.
+        let num_shards = (capacity / 2).clamp(1, MAX_SHARDS);
+        let per_shard = capacity.div_ceil(num_shards);
+        let shards = (0..num_shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    frames: (0..per_shard).map(|_| None).collect(),
+                    map: HashMap::with_capacity(per_shard),
+                    clock_hand: 0,
+                })
+            })
+            .collect();
         Ok(BufferPool {
             disk: DiskManager::open(dir)?,
-            frames: (0..capacity).map(|_| None).collect(),
-            map: HashMap::with_capacity(capacity),
-            clock_hand: 0,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         })
     }
 
@@ -50,84 +79,102 @@ impl BufferPool {
         self.disk.num_pages()
     }
 
+    /// Number of shards the cache is split into (diagnostics/tests).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Cache statistics: (hits, misses, evictions).
     pub fn stats(&self) -> (u64, u64, u64) {
-        (self.hits, self.misses, self.evictions)
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
     }
 
     /// Allocates a fresh page (zeroed on disk) and returns its id.
-    pub fn allocate_page(&mut self) -> Result<PageId> {
+    pub fn allocate_page(&self) -> Result<PageId> {
         self.disk.allocate_page()
     }
 
     /// Ensures pages up to `page` exist (recovery support).
-    pub fn ensure_page(&mut self, page: PageId) -> Result<()> {
+    pub fn ensure_page(&self, page: PageId) -> Result<()> {
         self.disk.ensure_page(page)
     }
 
-    /// Runs `f` with read access to the page's bytes.
-    pub fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let idx = self.load(page)?;
-        let frame = self.frames[idx].as_ref().expect("frame just loaded");
+    fn shard(&self, page: PageId) -> &Mutex<Shard> {
+        &self.shards[page as usize % self.shards.len()]
+    }
+
+    /// Runs `f` with read access to the page's bytes. The page's shard
+    /// latch is held for the duration of `f`; `f` must not re-enter the
+    /// pool.
+    pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let mut shard = self.shard(page).lock().unwrap();
+        let idx = self.load(&mut shard, page)?;
+        let frame = shard.frames[idx].as_ref().expect("frame just loaded");
         Ok(f(&frame.data))
     }
 
     /// Runs `f` with write access to the page's bytes; the page is marked
-    /// dirty.
-    pub fn with_page_mut<R>(&mut self, page: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let idx = self.load(page)?;
-        let frame = self.frames[idx].as_mut().expect("frame just loaded");
+    /// dirty. The page's shard latch is held for the duration of `f`;
+    /// `f` must not re-enter the pool.
+    pub fn with_page_mut<R>(&self, page: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut shard = self.shard(page).lock().unwrap();
+        let idx = self.load(&mut shard, page)?;
+        let frame = shard.frames[idx].as_mut().expect("frame just loaded");
         frame.dirty = true;
         Ok(f(&mut frame.data))
     }
 
-    fn load(&mut self, page: PageId) -> Result<usize> {
-        if let Some(&idx) = self.map.get(&page) {
-            self.hits += 1;
-            self.frames[idx].as_mut().expect("mapped frame").referenced = true;
+    fn load(&self, shard: &mut Shard, page: PageId) -> Result<usize> {
+        if let Some(&idx) = shard.map.get(&page) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            shard.frames[idx].as_mut().expect("mapped frame").referenced = true;
             return Ok(idx);
         }
-        self.misses += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
         if page >= self.disk.num_pages() {
             return Err(StorageError::PageNotFound(page));
         }
-        let idx = self.victim()?;
-        let mut data = match self.frames[idx].take() {
+        let idx = self.victim(shard)?;
+        let mut data = match shard.frames[idx].take() {
             Some(f) => f.data,
             None => vec![0u8; PAGE_SIZE].into_boxed_slice(),
         };
         self.disk.read_page(page, &mut data)?;
-        self.frames[idx] = Some(Frame {
+        shard.frames[idx] = Some(Frame {
             page,
             data,
             dirty: false,
             referenced: true,
         });
-        self.map.insert(page, idx);
+        shard.map.insert(page, idx);
         Ok(idx)
     }
 
-    /// CLOCK: sweep for an unreferenced frame, clearing reference bits;
-    /// an empty frame is taken immediately.
-    fn victim(&mut self) -> Result<usize> {
-        let n = self.frames.len();
-        if let Some(idx) = self.frames.iter().position(Option::is_none) {
+    /// CLOCK within one shard: sweep for an unreferenced frame, clearing
+    /// reference bits; an empty frame is taken immediately.
+    fn victim(&self, shard: &mut Shard) -> Result<usize> {
+        let n = shard.frames.len();
+        if let Some(idx) = shard.frames.iter().position(Option::is_none) {
             return Ok(idx);
         }
         for _ in 0..2 * n + 1 {
-            let idx = self.clock_hand;
-            self.clock_hand = (self.clock_hand + 1) % n;
-            let frame = self.frames[idx].as_mut().expect("no empty frames");
+            let idx = shard.clock_hand;
+            shard.clock_hand = (shard.clock_hand + 1) % n;
+            let frame = shard.frames[idx].as_mut().expect("no empty frames");
             if frame.referenced {
                 frame.referenced = false;
             } else {
-                let frame = self.frames[idx].take().expect("checked above");
-                self.map.remove(&frame.page);
+                let frame = shard.frames[idx].take().expect("checked above");
+                shard.map.remove(&frame.page);
                 if frame.dirty {
                     self.disk.write_page(frame.page, &frame.data)?;
                 }
-                self.evictions += 1;
-                self.frames[idx] = None;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.frames[idx] = None;
                 return Ok(idx);
             }
         }
@@ -135,11 +182,14 @@ impl BufferPool {
     }
 
     /// Writes all dirty frames back and syncs the file.
-    pub fn flush_all(&mut self) -> Result<()> {
-        for frame in self.frames.iter_mut().flatten() {
-            if frame.dirty {
-                self.disk.write_page(frame.page, &frame.data)?;
-                frame.dirty = false;
+    pub fn flush_all(&self) -> Result<()> {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            for frame in shard.frames.iter_mut().flatten() {
+                if frame.dirty {
+                    self.disk.write_page(frame.page, &frame.data)?;
+                    frame.dirty = false;
+                }
             }
         }
         self.disk.sync()
@@ -160,7 +210,7 @@ mod tests {
     #[test]
     fn cached_read_after_write() {
         let dir = tmpdir("cache");
-        let mut bp = BufferPool::open(&dir, 4).unwrap();
+        let bp = BufferPool::open(&dir, 4).unwrap();
         let pid = bp.allocate_page().unwrap();
         bp.with_page_mut(pid, |d| d[100] = 42).unwrap();
         let v = bp.with_page(pid, |d| d[100]).unwrap();
@@ -171,7 +221,8 @@ mod tests {
     #[test]
     fn eviction_persists_dirty_pages() {
         let dir = tmpdir("evict");
-        let mut bp = BufferPool::open(&dir, 2).unwrap();
+        let bp = BufferPool::open(&dir, 2).unwrap();
+        assert_eq!(bp.num_shards(), 1);
         let pids: Vec<_> = (0..10).map(|_| bp.allocate_page().unwrap()).collect();
         for (i, &pid) in pids.iter().enumerate() {
             bp.with_page_mut(pid, |d| d[0] = i as u8 + 1).unwrap();
@@ -191,7 +242,7 @@ mod tests {
         let dir = tmpdir("flush");
         let pid;
         {
-            let mut bp = BufferPool::open(&dir, 4).unwrap();
+            let bp = BufferPool::open(&dir, 4).unwrap();
             pid = bp.allocate_page().unwrap();
             bp.with_page_mut(pid, |d| {
                 page::format_page(d, page::PageType::Heap);
@@ -200,7 +251,7 @@ mod tests {
             .unwrap();
             bp.flush_all().unwrap();
         }
-        let mut bp = BufferPool::open(&dir, 4).unwrap();
+        let bp = BufferPool::open(&dir, 4).unwrap();
         let body = bp
             .with_page(pid, |d| page::get_record(d, 0).map(<[u8]>::to_vec))
             .unwrap();
@@ -211,7 +262,7 @@ mod tests {
     #[test]
     fn hit_ratio_counts() {
         let dir = tmpdir("stats");
-        let mut bp = BufferPool::open(&dir, 4).unwrap();
+        let bp = BufferPool::open(&dir, 4).unwrap();
         let pid = bp.allocate_page().unwrap();
         for _ in 0..10 {
             bp.with_page(pid, |_| ()).unwrap();
@@ -219,6 +270,33 @@ mod tests {
         let (hits, misses, _) = bp.stats();
         assert_eq!(misses, 1);
         assert_eq!(hits, 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shards_scale_with_capacity() {
+        let dir = tmpdir("shards");
+        let bp = BufferPool::open(&dir, 64).unwrap();
+        assert_eq!(bp.num_shards(), 16);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_land_on_distinct_shards() {
+        let dir = tmpdir("conc");
+        let bp = BufferPool::open(&dir, 32).unwrap();
+        let pids: Vec<_> = (0..24).map(|_| bp.allocate_page().unwrap()).collect();
+        std::thread::scope(|s| {
+            for (i, &pid) in pids.iter().enumerate() {
+                let bp = &bp;
+                s.spawn(move || {
+                    bp.with_page_mut(pid, |d| d[7] = i as u8 + 1).unwrap();
+                });
+            }
+        });
+        for (i, &pid) in pids.iter().enumerate() {
+            assert_eq!(bp.with_page(pid, |d| d[7]).unwrap(), i as u8 + 1);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

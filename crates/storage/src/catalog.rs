@@ -130,7 +130,7 @@ const CHUNK_CAPACITY: usize = PAGE_SIZE - 11; // type(1) + next(8) + len(2)
 /// Writes the catalog across the page-0 chain, allocating extra chain pages
 /// as needed (existing chain pages are reused; a shrinking catalog leaves a
 /// zero-length tail which `load` ignores).
-pub fn save(pool: &mut BufferPool, catalog: &Catalog) -> Result<()> {
+pub fn save(pool: &BufferPool, catalog: &Catalog) -> Result<()> {
     let bytes = catalog.to_bytes();
     let mut chunks: Vec<&[u8]> = bytes.chunks(CHUNK_CAPACITY).collect();
     if chunks.is_empty() {
@@ -139,9 +139,8 @@ pub fn save(pool: &mut BufferPool, catalog: &Catalog) -> Result<()> {
     let mut pid: PageId = 0;
     for (i, chunk) in chunks.iter().enumerate() {
         let is_last = i + 1 == chunks.len();
-        let existing_next = pool.with_page(pid, |d| {
-            u64::from_le_bytes(d[1..9].try_into().unwrap())
-        })?;
+        let existing_next =
+            pool.with_page(pid, |d| u64::from_le_bytes(d[1..9].try_into().unwrap()))?;
         let next = if is_last {
             NO_PAGE
         } else if existing_next != NO_PAGE {
@@ -167,7 +166,7 @@ pub fn save(pool: &mut BufferPool, catalog: &Catalog) -> Result<()> {
 
 /// Reads the catalog from the page-0 chain. A brand-new database (all-zero
 /// page 0) yields the default empty catalog.
-pub fn load(pool: &mut BufferPool) -> Result<Catalog> {
+pub fn load(pool: &BufferPool) -> Result<Catalog> {
     let mut bytes = Vec::new();
     let mut pid: PageId = 0;
     loop {
@@ -196,7 +195,12 @@ mod tests {
         let mut c = Catalog::default();
         for i in 0..5u32 {
             let mut indexes = BTreeMap::new();
-            indexes.insert(format!("idx_{i}"), IndexMeta { root: 100 + i as u64 });
+            indexes.insert(
+                format!("idx_{i}"),
+                IndexMeta {
+                    root: 100 + i as u64,
+                },
+            );
             c.tables.insert(
                 format!("table_{i}"),
                 TableMeta {
@@ -226,10 +230,10 @@ mod tests {
     fn save_load_via_pages() {
         let dir = std::env::temp_dir().join(format!("mdm-cat-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let mut bp = BufferPool::open(&dir, 8).unwrap();
+        let bp = BufferPool::open(&dir, 8).unwrap();
         let c = sample();
-        save(&mut bp, &c).unwrap();
-        assert_eq!(load(&mut bp).unwrap(), c);
+        save(&bp, &c).unwrap();
+        assert_eq!(load(&bp).unwrap(), c);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -237,8 +241,8 @@ mod tests {
     fn fresh_database_loads_empty() {
         let dir = std::env::temp_dir().join(format!("mdm-cat-fresh-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let mut bp = BufferPool::open(&dir, 8).unwrap();
-        assert_eq!(load(&mut bp).unwrap(), Catalog::default());
+        let bp = BufferPool::open(&dir, 8).unwrap();
+        assert_eq!(load(&bp).unwrap(), Catalog::default());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -246,7 +250,7 @@ mod tests {
     fn large_catalog_spans_pages() {
         let dir = std::env::temp_dir().join(format!("mdm-cat-big-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let mut bp = BufferPool::open(&dir, 8).unwrap();
+        let bp = BufferPool::open(&dir, 8).unwrap();
         let mut c = Catalog::default();
         for i in 0..800u32 {
             c.tables.insert(
@@ -259,12 +263,12 @@ mod tests {
             );
         }
         c.next_table_id = 800;
-        save(&mut bp, &c).unwrap();
-        assert_eq!(load(&mut bp).unwrap(), c);
+        save(&bp, &c).unwrap();
+        assert_eq!(load(&bp).unwrap(), c);
         // Shrink back down; the tail chunk must not corrupt the reload.
         let small = sample();
-        save(&mut bp, &small).unwrap();
-        assert_eq!(load(&mut bp).unwrap(), small);
+        save(&bp, &small).unwrap();
+        assert_eq!(load(&bp).unwrap(), small);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

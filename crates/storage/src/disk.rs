@@ -1,8 +1,17 @@
 //! The disk manager: page-granular I/O against the single database file.
+//!
+//! All I/O goes through positioned reads/writes (`pread`/`pwrite` via
+//! [`std::os::unix::fs::FileExt`]), so the manager is usable through a
+//! shared reference from many threads at once: concurrent page reads
+//! and writes need no latch at all. Only file *extension* is serialized,
+//! by a small allocation mutex, so `num_pages` and the file length move
+//! together.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::error::{Result, StorageError};
 use crate::page::{PageId, PAGE_SIZE};
@@ -11,7 +20,9 @@ use crate::page::{PageId, PAGE_SIZE};
 /// offsets divided by [`PAGE_SIZE`]; allocation extends the file.
 pub struct DiskManager {
     file: File,
-    num_pages: u64,
+    /// Serializes file extension (`allocate_page` / `ensure_page`).
+    alloc: Mutex<()>,
+    num_pages: AtomicU64,
 }
 
 impl DiskManager {
@@ -32,11 +43,12 @@ impl DiskManager {
                 "data file length {len} is not a multiple of the page size"
             )));
         }
-        let mut dm = DiskManager {
+        let dm = DiskManager {
             file,
-            num_pages: len / PAGE_SIZE as u64,
+            alloc: Mutex::new(()),
+            num_pages: AtomicU64::new(len / PAGE_SIZE as u64),
         };
-        if dm.num_pages == 0 {
+        if dm.num_pages() == 0 {
             dm.allocate_page()?; // page 0: catalog root
         }
         Ok(dm)
@@ -44,51 +56,55 @@ impl DiskManager {
 
     /// Number of pages currently in the file.
     pub fn num_pages(&self) -> u64 {
-        self.num_pages
+        self.num_pages.load(Ordering::Acquire)
     }
 
     /// Reads a page into `buf` (which must be `PAGE_SIZE` bytes).
-    pub fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> Result<()> {
+    pub fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
-        if page >= self.num_pages {
+        if page >= self.num_pages() {
             return Err(StorageError::PageNotFound(page));
         }
-        self.file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
-        self.file.read_exact(buf)?;
+        self.file.read_exact_at(buf, page * PAGE_SIZE as u64)?;
         Ok(())
     }
 
     /// Writes a page from `buf` (which must be `PAGE_SIZE` bytes).
-    pub fn write_page(&mut self, page: PageId, buf: &[u8]) -> Result<()> {
+    pub fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
-        if page >= self.num_pages {
+        if page >= self.num_pages() {
             return Err(StorageError::PageNotFound(page));
         }
-        self.file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
-        self.file.write_all(buf)?;
+        self.file.write_all_at(buf, page * PAGE_SIZE as u64)?;
         Ok(())
     }
 
     /// Appends a zeroed page and returns its id.
-    pub fn allocate_page(&mut self) -> Result<PageId> {
-        let id = self.num_pages;
-        self.file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
-        self.file.write_all(&[0u8; PAGE_SIZE])?;
-        self.num_pages += 1;
+    pub fn allocate_page(&self) -> Result<PageId> {
+        let _guard = self.alloc.lock().unwrap();
+        let id = self.num_pages.load(Ordering::Relaxed);
+        self.file
+            .write_all_at(&[0u8; PAGE_SIZE], id * PAGE_SIZE as u64)?;
+        self.num_pages.store(id + 1, Ordering::Release);
         Ok(id)
     }
 
     /// Ensures pages up to and including `page` exist, allocating zeroed
     /// pages as needed. Used by recovery redo.
-    pub fn ensure_page(&mut self, page: PageId) -> Result<()> {
-        while self.num_pages <= page {
-            self.allocate_page()?;
+    pub fn ensure_page(&self, page: PageId) -> Result<()> {
+        let _guard = self.alloc.lock().unwrap();
+        let mut next = self.num_pages.load(Ordering::Relaxed);
+        while next <= page {
+            self.file
+                .write_all_at(&[0u8; PAGE_SIZE], next * PAGE_SIZE as u64)?;
+            next += 1;
+            self.num_pages.store(next, Ordering::Release);
         }
         Ok(())
     }
 
     /// Flushes file contents to stable storage.
-    pub fn sync(&mut self) -> Result<()> {
+    pub fn sync(&self) -> Result<()> {
         self.file.sync_data()?;
         Ok(())
     }
@@ -117,7 +133,7 @@ mod tests {
         let dir = tmpdir("rw");
         let pid;
         {
-            let mut dm = DiskManager::open(&dir).unwrap();
+            let dm = DiskManager::open(&dir).unwrap();
             pid = dm.allocate_page().unwrap();
             let mut buf = vec![0u8; PAGE_SIZE];
             buf[0] = 0xAB;
@@ -125,7 +141,7 @@ mod tests {
             dm.write_page(pid, &buf).unwrap();
             dm.sync().unwrap();
         }
-        let mut dm = DiskManager::open(&dir).unwrap();
+        let dm = DiskManager::open(&dir).unwrap();
         let mut buf = vec![0u8; PAGE_SIZE];
         dm.read_page(pid, &mut buf).unwrap();
         assert_eq!(buf[0], 0xAB);
@@ -136,7 +152,7 @@ mod tests {
     #[test]
     fn read_past_end_fails() {
         let dir = tmpdir("oob");
-        let mut dm = DiskManager::open(&dir).unwrap();
+        let dm = DiskManager::open(&dir).unwrap();
         let mut buf = vec![0u8; PAGE_SIZE];
         assert!(matches!(
             dm.read_page(99, &mut buf),
@@ -148,9 +164,32 @@ mod tests {
     #[test]
     fn ensure_page_extends() {
         let dir = tmpdir("ensure");
-        let mut dm = DiskManager::open(&dir).unwrap();
+        let dm = DiskManager::open(&dir).unwrap();
         dm.ensure_page(7).unwrap();
         assert_eq!(dm.num_pages(), 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_reference_io_from_threads() {
+        let dir = tmpdir("shared");
+        let dm = DiskManager::open(&dir).unwrap();
+        let pids: Vec<_> = (0..8).map(|_| dm.allocate_page().unwrap()).collect();
+        std::thread::scope(|s| {
+            for (i, &pid) in pids.iter().enumerate() {
+                let dm = &dm;
+                s.spawn(move || {
+                    let mut buf = vec![0u8; PAGE_SIZE];
+                    buf[0] = i as u8 + 1;
+                    dm.write_page(pid, &buf).unwrap();
+                });
+            }
+        });
+        for (i, &pid) in pids.iter().enumerate() {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            dm.read_page(pid, &mut buf).unwrap();
+            assert_eq!(buf[0], i as u8 + 1);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

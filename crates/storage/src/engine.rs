@@ -6,16 +6,58 @@
 //! two-phase locking with wait-die deadlock avoidance; durability is
 //! undo/redo logical logging with checkpoint truncation.
 //!
-//! The engine's internal state sits behind one mutex (coarse latching);
-//! transaction-level parallelism is still real because locks are held
-//! *across* engine calls while the latch is held only *within* one.
+//! # Latching
+//!
+//! The engine used to serialize every call through one `Mutex<State>`.
+//! It now latches each component separately so independent clients
+//! proceed in parallel:
+//!
+//! - **catalog** — an `RwLock`: lookups share, DDL excludes.
+//! - **heap directory** — an `RwLock<HashMap>` of per-table handles;
+//!   each [`HeapFile`] (its first/last-page cache) sits behind its own
+//!   `Mutex`, so writers to *different* tables never contend.
+//! - **buffer pool** — internally sharded by page id (see
+//!   [`crate::buffer`]); the engine takes no latch at all around page
+//!   access.
+//! - **WAL** — one `Mutex` guards appends; commit durability uses
+//!   *group commit* (below) so the mutex is never held across an fsync.
+//! - **active-transaction set** — its own `Mutex`.
+//!
+//! The latch acquisition order is fixed to keep the engine deadlock-free:
+//!
+//! > `active` → `catalog` → heap directory → per-table heap → `WAL` →
+//! > commit state → pool shard
+//!
+//! A latch may only be taken while holding latches that appear *earlier*
+//! in this order. Pool-shard latches are leaves: page closures never
+//! re-enter the pool or take any other engine latch. Transaction-level
+//! (lock-manager) waits are *not* part of this order — they happen
+//! before any latch is held and resolve via wait-die, never by blocking
+//! a latch holder.
+//!
+//! # Group commit
+//!
+//! A committing transaction appends its `Commit` record (getting back a
+//! log sequence number) and then waits until the log is durable up to
+//! that number. The first committer to arrive becomes the *leader*: it
+//! flushes the log buffer under the WAL latch (cheap), releases the
+//! latch, and fsyncs a cloned file handle while followers — and new
+//! appenders — proceed. One fsync thus covers every record appended
+//! before it, batching the dominant cost of small transactions.
+//!
+//! # Known limitation
+//!
+//! As in the original single-latch design, a dirty page evicted between
+//! a data mutation and the append/sync of its log record can reach disk
+//! before the log knows about the change (there is no per-page LSN
+//! flush discipline). The window requires eviction pressure concurrent
+//! with a crash; closing it ARIES-style is future work tracked in
+//! `ROADMAP.md`.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use crate::btree::BTree;
 use crate::buffer::BufferPool;
@@ -32,11 +74,14 @@ pub const DEFAULT_POOL_PAGES: usize = 2048;
 
 /// A transaction handle. Obtain via [`StorageEngine::begin`]; finish with
 /// [`StorageEngine::commit`] or [`StorageEngine::abort`]. Dropping an
-/// unfinished transaction aborts it.
+/// unfinished transaction aborts it: the drop rolls back its effects and
+/// releases its locks (leaking the handle with `std::mem::forget`
+/// simulates a crash instead, leaving rollback to recovery).
 pub struct Txn {
     id: TxnId,
     undo: Vec<UndoOp>,
     finished: bool,
+    inner: Arc<Inner>,
 }
 
 impl Txn {
@@ -46,40 +91,183 @@ impl Txn {
     }
 }
 
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Abort-on-drop. Errors are swallowed: drop has nowhere to
+            // report them, and recovery re-establishes consistency from
+            // the log on the next open if rollback could not complete.
+            let _ = self.inner.rollback(self.id, &mut self.undo);
+            self.inner.locks.release_all(self.id);
+        }
+    }
+}
+
 enum UndoOp {
-    Insert { rid: Rid },
-    Update { rid: Rid, old: Vec<u8> },
-    Delete { rid: Rid, old: Vec<u8> },
-    IndexInsert { table: TableId, index: String, key: Vec<u8>, rid: Rid },
-    IndexDelete { table: TableId, index: String, key: Vec<u8>, rid: Rid },
+    Insert {
+        rid: Rid,
+    },
+    Update {
+        rid: Rid,
+        old: Vec<u8>,
+    },
+    Delete {
+        rid: Rid,
+        old: Vec<u8>,
+    },
+    IndexInsert {
+        table: TableId,
+        index: String,
+        key: Vec<u8>,
+        rid: Rid,
+    },
+    IndexDelete {
+        table: TableId,
+        index: String,
+        key: Vec<u8>,
+        rid: Rid,
+    },
 }
 
-struct State {
-    pool: BufferPool,
+/// The WAL behind its append latch, plus a monotonic sequence number
+/// (one per appended record, never reset — unlike `Wal::appended`,
+/// which a truncate restarts).
+struct WalInner {
     wal: Wal,
-    catalog: Catalog,
-    heaps: HashMap<TableId, HeapFile>,
-    active: HashSet<TxnId>,
-    indexes_need_rebuild: bool,
-    recovery: RecoveryOutcome,
+    seq: u64,
 }
 
-impl State {
-    fn heap(&mut self, table: TableId) -> Result<&mut HeapFile> {
-        if !self.heaps.contains_key(&table) {
-            let (_, meta) = self
-                .catalog
+impl WalInner {
+    fn append(&mut self, rec: &WalRecord) -> Result<u64> {
+        self.wal.append(rec)?;
+        self.seq += 1;
+        Ok(self.seq)
+    }
+}
+
+/// Group-commit state: whether a leader is currently fsyncing, and the
+/// highest sequence number known durable.
+struct CommitState {
+    syncing: bool,
+    synced: u64,
+}
+
+struct Inner {
+    pool: BufferPool,
+    wal: Mutex<WalInner>,
+    commit: Mutex<CommitState>,
+    commit_cv: Condvar,
+    catalog: RwLock<Catalog>,
+    heaps: RwLock<HashMap<TableId, Arc<Mutex<HeapFile>>>>,
+    active: Mutex<HashSet<TxnId>>,
+    indexes_need_rebuild: AtomicBool,
+    recovery: RecoveryOutcome,
+    locks: LockManager,
+    next_txn: AtomicU64,
+    dir: PathBuf,
+}
+
+impl Inner {
+    /// Appends one record, returning its sequence number.
+    fn log(&self, rec: &WalRecord) -> Result<u64> {
+        self.wal.lock().unwrap().append(rec)
+    }
+
+    /// Appends several records under one latch acquisition (keeps, e.g.,
+    /// a `LinkPage` ordered directly before the `Insert` that needs it).
+    fn log_all(&self, recs: &[WalRecord]) -> Result<u64> {
+        let mut w = self.wal.lock().unwrap();
+        let mut seq = w.seq;
+        for rec in recs {
+            seq = w.append(rec)?;
+        }
+        Ok(seq)
+    }
+
+    /// Group commit: waits until the log is durable through `seq`,
+    /// becoming the fsync leader if no other committer already is.
+    fn sync_to(&self, seq: u64) -> Result<()> {
+        let mut st = self.commit.lock().unwrap();
+        loop {
+            if st.synced >= seq {
+                return Ok(());
+            }
+            if st.syncing {
+                st = self.commit_cv.wait(st).unwrap();
+                continue;
+            }
+            st.syncing = true;
+            drop(st);
+            // Leader: flush the buffer under the WAL latch (cheap), then
+            // fsync a cloned handle with no latch held, so appenders and
+            // later committers are never stalled behind the disk.
+            let flushed = {
+                let mut w = self.wal.lock().unwrap();
+                w.wal.flush_to_os().map(|file| (w.seq, file))
+            };
+            let res = flushed.and_then(|(upto, file)| {
+                file.sync_data()?;
+                Ok(upto)
+            });
+            st = self.commit.lock().unwrap();
+            st.syncing = false;
+            let upto = match res {
+                Ok(upto) => upto,
+                Err(e) => {
+                    self.commit_cv.notify_all();
+                    return Err(e);
+                }
+            };
+            st.synced = st.synced.max(upto);
+            self.commit_cv.notify_all();
+        }
+    }
+
+    /// Syncs everything appended so far.
+    fn sync_all(&self) -> Result<()> {
+        let seq = self.wal.lock().unwrap().seq;
+        self.sync_to(seq)
+    }
+
+    /// Truncates the log (checkpoint). Everything previously appended is
+    /// now moot, so it is marked synced.
+    fn truncate_wal(&self) -> Result<()> {
+        let seq = {
+            let mut w = self.wal.lock().unwrap();
+            w.wal.truncate()?;
+            w.seq
+        };
+        let mut st = self.commit.lock().unwrap();
+        st.synced = st.synced.max(seq);
+        Ok(())
+    }
+
+    /// The per-table heap handle, opening it from the catalog on first
+    /// touch.
+    fn heap_handle(&self, table: TableId) -> Result<Arc<Mutex<HeapFile>>> {
+        if let Some(h) = self.heaps.read().unwrap().get(&table) {
+            return Ok(Arc::clone(h));
+        }
+        let first_page = {
+            let cat = self.catalog.read().unwrap();
+            let (_, meta) = cat
                 .table_by_id(table)
                 .ok_or_else(|| StorageError::NoSuchTable(format!("#{table}")))?;
-            let hf = HeapFile::open(&mut self.pool, meta.first_page)?;
-            self.heaps.insert(table, hf);
+            meta.first_page
+        };
+        let mut heaps = self.heaps.write().unwrap();
+        if let Some(h) = heaps.get(&table) {
+            return Ok(Arc::clone(h));
         }
-        Ok(self.heaps.get_mut(&table).expect("just inserted"))
+        let hf = HeapFile::open(&self.pool, first_page)?;
+        let h = Arc::new(Mutex::new(hf));
+        heaps.insert(table, Arc::clone(&h));
+        Ok(h)
     }
 
     fn index_tree(&self, table: TableId, index: &str) -> Result<BTree> {
-        let (_, meta) = self
-            .catalog
+        let cat = self.catalog.read().unwrap();
+        let (_, meta) = cat
             .table_by_id(table)
             .ok_or_else(|| StorageError::NoSuchTable(format!("#{table}")))?;
         let idx = meta
@@ -89,21 +277,53 @@ impl State {
         Ok(BTree::open(idx.root))
     }
 
-    fn snapshot_catalog(&mut self) -> Result<()> {
-        catalog::save(&mut self.pool, &self.catalog)?;
-        self.wal.append(&WalRecord::CatalogSnapshot {
-            bytes: self.catalog.to_bytes(),
+    /// Persists and logs the catalog after DDL. Callers hold the catalog
+    /// write latch, which serializes catalog page writes.
+    fn snapshot_catalog(&self, catalog: &Catalog) -> Result<()> {
+        catalog::save(&self.pool, catalog)?;
+        let seq = self.log(&WalRecord::CatalogSnapshot {
+            bytes: catalog.to_bytes(),
         })?;
-        self.wal.sync()?;
+        self.sync_to(seq)
+    }
+
+    /// Rolls a transaction's effects back in place and logs the abort.
+    /// Shared by [`StorageEngine::abort`] and [`Txn`]'s drop.
+    fn rollback(&self, id: TxnId, undo: &mut Vec<UndoOp>) -> Result<()> {
+        if !self.active.lock().unwrap().remove(&id) {
+            return Err(StorageError::TxnNotActive(id));
+        }
+        for op in undo.drain(..).rev() {
+            match op {
+                UndoOp::Insert { rid } => {
+                    HeapFile::apply_at(&self.pool, rid, None)?;
+                }
+                UndoOp::Update { rid, ref old } | UndoOp::Delete { rid, ref old } => {
+                    HeapFile::apply_at(&self.pool, rid, Some(old))?;
+                }
+                UndoOp::IndexInsert {
+                    table,
+                    ref index,
+                    ref key,
+                    rid,
+                } => {
+                    let bt = self.index_tree(table, index)?;
+                    bt.delete(&self.pool, key, rid.to_u64())?;
+                }
+                UndoOp::IndexDelete {
+                    table,
+                    ref index,
+                    ref key,
+                    rid,
+                } => {
+                    let bt = self.index_tree(table, index)?;
+                    bt.insert(&self.pool, key, rid.to_u64())?;
+                }
+            }
+        }
+        self.log(&WalRecord::Abort { txn: id })?;
         Ok(())
     }
-}
-
-struct Inner {
-    state: Mutex<State>,
-    locks: LockManager,
-    next_txn: AtomicU64,
-    dir: PathBuf,
 }
 
 /// The transactional storage engine. Cloneable handle; clones share state.
@@ -121,29 +341,32 @@ impl StorageEngine {
 
     /// As [`StorageEngine::open`] with an explicit buffer-pool capacity.
     pub fn open_with_capacity(dir: &Path, pool_pages: usize) -> Result<StorageEngine> {
-        let mut pool = BufferPool::open(dir, pool_pages)?;
+        let pool = BufferPool::open(dir, pool_pages)?;
         let (records, _) = Wal::replay(dir)?;
-        let disk_catalog = catalog::load(&mut pool)?;
-        let (outcome, recovered) = recovery::recover(&mut pool, &records, disk_catalog)?;
+        let disk_catalog = catalog::load(&pool)?;
+        let (outcome, recovered) = recovery::recover(&pool, &records, disk_catalog)?;
         let mut wal = Wal::open(dir)?;
         let needs_rebuild = outcome.indexes_reset;
         if !records.is_empty() {
             // Make the recovered state the new base and empty the log.
-            catalog::save(&mut pool, &recovered)?;
+            catalog::save(&pool, &recovered)?;
             pool.flush_all()?;
             wal.truncate()?;
         }
         Ok(StorageEngine {
             inner: Arc::new(Inner {
-                state: Mutex::new(State {
-                    pool,
-                    wal,
-                    catalog: recovered,
-                    heaps: HashMap::new(),
-                    active: HashSet::new(),
-                    indexes_need_rebuild: needs_rebuild,
-                    recovery: outcome,
+                pool,
+                wal: Mutex::new(WalInner { wal, seq: 0 }),
+                commit: Mutex::new(CommitState {
+                    syncing: false,
+                    synced: 0,
                 }),
+                commit_cv: Condvar::new(),
+                catalog: RwLock::new(recovered),
+                heaps: RwLock::new(HashMap::new()),
+                active: Mutex::new(HashSet::new()),
+                indexes_need_rebuild: AtomicBool::new(needs_rebuild),
+                recovery: outcome,
                 locks: LockManager::new(),
                 next_txn: AtomicU64::new(1),
                 dir: dir.to_path_buf(),
@@ -153,7 +376,7 @@ impl StorageEngine {
 
     /// The outcome of the recovery pass run at [`StorageEngine::open`].
     pub fn last_recovery(&self) -> RecoveryOutcome {
-        self.inner.state.lock().recovery.clone()
+        self.inner.recovery.clone()
     }
 
     /// Directory holding the database files.
@@ -164,12 +387,14 @@ impl StorageEngine {
     /// True if secondary indexes were reset by recovery and must be
     /// rebuilt by the layer that owns key extraction.
     pub fn indexes_need_rebuild(&self) -> bool {
-        self.inner.state.lock().indexes_need_rebuild
+        self.inner.indexes_need_rebuild.load(Ordering::Acquire)
     }
 
     /// Marks indexes as rebuilt (call after repopulating them).
     pub fn mark_indexes_rebuilt(&self) {
-        self.inner.state.lock().indexes_need_rebuild = false;
+        self.inner
+            .indexes_need_rebuild
+            .store(false, Ordering::Release);
     }
 
     // ------------------------------------------------------------------
@@ -179,26 +404,24 @@ impl StorageEngine {
     /// Starts a transaction.
     pub fn begin(&self) -> Result<Txn> {
         let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
-        let mut st = self.inner.state.lock();
-        st.active.insert(id);
-        st.wal.append(&WalRecord::Begin { txn: id })?;
+        self.inner.active.lock().unwrap().insert(id);
+        self.inner.log(&WalRecord::Begin { txn: id })?;
         Ok(Txn {
             id,
             undo: Vec::new(),
             finished: false,
+            inner: Arc::clone(&self.inner),
         })
     }
 
-    /// Commits: syncs the log, releases locks.
+    /// Commits: makes the log durable (group commit), releases locks.
     pub fn commit(&self, mut txn: Txn) -> Result<()> {
-        {
-            let mut st = self.inner.state.lock();
-            if !st.active.remove(&txn.id) {
-                return Err(StorageError::TxnNotActive(txn.id));
-            }
-            st.wal.append(&WalRecord::Commit { txn: txn.id })?;
-            st.wal.sync()?;
+        if !self.inner.active.lock().unwrap().remove(&txn.id) {
+            txn.finished = true; // nothing left for drop to roll back
+            return Err(StorageError::TxnNotActive(txn.id));
         }
+        let seq = self.inner.log(&WalRecord::Commit { txn: txn.id })?;
+        self.inner.sync_to(seq)?;
         txn.finished = true;
         self.inner.locks.release_all(txn.id);
         Ok(())
@@ -206,40 +429,10 @@ impl StorageEngine {
 
     /// Aborts: rolls back the transaction's effects, releases locks.
     pub fn abort(&self, mut txn: Txn) -> Result<()> {
-        self.rollback(&mut txn)?;
+        let res = self.inner.rollback(txn.id, &mut txn.undo);
         txn.finished = true;
         self.inner.locks.release_all(txn.id);
-        Ok(())
-    }
-
-    fn rollback(&self, txn: &mut Txn) -> Result<()> {
-        let mut st = self.inner.state.lock();
-        if !st.active.remove(&txn.id) {
-            return Err(StorageError::TxnNotActive(txn.id));
-        }
-        for op in txn.undo.drain(..).rev() {
-            match op {
-                UndoOp::Insert { rid, .. } => {
-                    HeapFile::apply_at(&mut st.pool, rid, None)?;
-                }
-                UndoOp::Update { rid, ref old, .. } => {
-                    HeapFile::apply_at(&mut st.pool, rid, Some(old))?;
-                }
-                UndoOp::Delete { rid, ref old, .. } => {
-                    HeapFile::apply_at(&mut st.pool, rid, Some(old))?;
-                }
-                UndoOp::IndexInsert { table, ref index, ref key, rid } => {
-                    let bt = st.index_tree(table, index)?;
-                    bt.delete(&mut st.pool, key, rid.to_u64())?;
-                }
-                UndoOp::IndexDelete { table, ref index, ref key, rid } => {
-                    let bt = st.index_tree(table, index)?;
-                    bt.insert(&mut st.pool, key, rid.to_u64())?;
-                }
-            }
-        }
-        st.wal.append(&WalRecord::Abort { txn: txn.id })?;
-        Ok(())
+        res
     }
 
     // ------------------------------------------------------------------
@@ -248,14 +441,14 @@ impl StorageEngine {
 
     /// Creates a table, returning its id. Auto-committed structurally.
     pub fn create_table(&self, name: &str) -> Result<TableId> {
-        let mut st = self.inner.state.lock();
-        if st.catalog.tables.contains_key(name) {
+        let mut cat = self.inner.catalog.write().unwrap();
+        if cat.tables.contains_key(name) {
             return Err(StorageError::TableExists(name.to_string()));
         }
-        let hf = HeapFile::create(&mut st.pool)?;
-        let id = st.catalog.next_table_id.max(1); // id 0 is reserved
-        st.catalog.next_table_id = id + 1;
-        st.catalog.tables.insert(
+        let hf = HeapFile::create(&self.inner.pool)?;
+        let id = cat.next_table_id.max(1); // id 0 is reserved
+        cat.next_table_id = id + 1;
+        cat.tables.insert(
             name.to_string(),
             TableMeta {
                 id,
@@ -263,30 +456,32 @@ impl StorageEngine {
                 indexes: BTreeMap::new(),
             },
         );
-        st.heaps.insert(id, hf);
-        st.snapshot_catalog()?;
+        self.inner
+            .heaps
+            .write()
+            .unwrap()
+            .insert(id, Arc::new(Mutex::new(hf)));
+        self.inner.snapshot_catalog(&cat)?;
         Ok(id)
     }
 
     /// Drops a table and its indexes. Pages are leaked (no free list);
     /// reclaim by checkpoint-copying into a fresh database.
     pub fn drop_table(&self, name: &str) -> Result<()> {
-        let mut st = self.inner.state.lock();
-        let meta = st
-            .catalog
+        let mut cat = self.inner.catalog.write().unwrap();
+        let meta = cat
             .tables
             .remove(name)
             .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))?;
-        st.heaps.remove(&meta.id);
-        st.snapshot_catalog()?;
+        self.inner.heaps.write().unwrap().remove(&meta.id);
+        self.inner.snapshot_catalog(&cat)?;
         Ok(())
     }
 
     /// Looks up a table id by name.
     pub fn table_id(&self, name: &str) -> Result<TableId> {
-        let st = self.inner.state.lock();
-        st.catalog
-            .tables
+        let cat = self.inner.catalog.read().unwrap();
+        cat.tables
             .get(name)
             .map(|m| m.id)
             .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
@@ -294,40 +489,34 @@ impl StorageEngine {
 
     /// All table names in the catalog.
     pub fn table_names(&self) -> Vec<String> {
-        self.inner.state.lock().catalog.tables.keys().cloned().collect()
+        let cat = self.inner.catalog.read().unwrap();
+        cat.tables.keys().cloned().collect()
     }
 
     /// Creates a secondary index on a table. Auto-committed structurally.
     pub fn create_index(&self, table: TableId, index: &str) -> Result<()> {
-        let mut st = self.inner.state.lock();
-        let bt = BTree::create(&mut st.pool)?;
-        let (_, meta) = st
-            .catalog
+        let mut cat = self.inner.catalog.write().unwrap();
+        let bt = BTree::create(&self.inner.pool)?;
+        let (name, meta) = cat
             .table_by_id(table)
             .ok_or_else(|| StorageError::NoSuchTable(format!("#{table}")))?;
         if meta.indexes.contains_key(index) {
             return Err(StorageError::IndexExists(index.to_string()));
         }
-        let name = st
-            .catalog
-            .table_by_id(table)
-            .map(|(n, _)| n.clone())
-            .expect("checked above");
-        st.catalog
-            .tables
+        let name = name.clone();
+        cat.tables
             .get_mut(&name)
             .expect("just found")
             .indexes
             .insert(index.to_string(), IndexMeta { root: bt.root() });
-        st.snapshot_catalog()?;
+        self.inner.snapshot_catalog(&cat)?;
         Ok(())
     }
 
     /// Names of the indexes on a table.
     pub fn index_names(&self, table: TableId) -> Result<Vec<String>> {
-        let st = self.inner.state.lock();
-        let (_, meta) = st
-            .catalog
+        let cat = self.inner.catalog.read().unwrap();
+        let (_, meta) = cat
             .table_by_id(table)
             .ok_or_else(|| StorageError::NoSuchTable(format!("#{table}")))?;
         Ok(meta.indexes.keys().cloned().collect())
@@ -341,23 +530,25 @@ impl StorageEngine {
     pub fn insert(&self, txn: &mut Txn, table: TableId, body: &[u8]) -> Result<Rid> {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
-        let mut st = self.inner.state.lock();
-        let mut heap = st.heap(table)?.clone();
-        let (rid, link) = heap.insert(&mut st.pool, body)?;
-        st.heaps.insert(table, heap);
+        let heap = self.inner.heap_handle(table)?;
+        let mut h = heap.lock().unwrap();
+        let (rid, link) = h.insert(&self.inner.pool, body)?;
+        let mut recs = Vec::with_capacity(2);
         if let Some((from_page, new_page)) = link {
-            st.wal.append(&WalRecord::LinkPage {
+            recs.push(WalRecord::LinkPage {
                 table,
                 from_page,
                 new_page,
-            })?;
+            });
         }
-        st.wal.append(&WalRecord::Insert {
+        recs.push(WalRecord::Insert {
             txn: txn.id,
             table,
             rid,
             body: body.to_vec(),
-        })?;
+        });
+        self.inner.log_all(&recs)?;
+        drop(h);
         txn.undo.push(UndoOp::Insert { rid });
         Ok(rid)
     }
@@ -366,8 +557,7 @@ impl StorageEngine {
     pub fn get(&self, txn: &mut Txn, table: TableId, rid: Rid) -> Result<Option<Vec<u8>>> {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Shared)?;
-        let mut st = self.inner.state.lock();
-        HeapFile::get(&mut st.pool, rid)
+        HeapFile::get(&self.inner.pool, rid)
     }
 
     /// Updates a record in place. If the new body no longer fits in the
@@ -376,13 +566,14 @@ impl StorageEngine {
     pub fn update(&self, txn: &mut Txn, table: TableId, rid: Rid, body: &[u8]) -> Result<Rid> {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
-        let mut st = self.inner.state.lock();
-        let old = HeapFile::get(&mut st.pool, rid)?.ok_or(StorageError::RecordNotFound {
+        let heap = self.inner.heap_handle(table)?;
+        let mut h = heap.lock().unwrap();
+        let old = HeapFile::get(&self.inner.pool, rid)?.ok_or(StorageError::RecordNotFound {
             page: rid.page,
             slot: rid.slot,
         })?;
-        if HeapFile::update(&mut st.pool, rid, body)? {
-            st.wal.append(&WalRecord::Update {
+        if HeapFile::update(&self.inner.pool, rid, body)? {
+            self.inner.log(&WalRecord::Update {
                 txn: txn.id,
                 table,
                 rid,
@@ -393,8 +584,8 @@ impl StorageEngine {
             return Ok(rid);
         }
         // Did not fit: move the record.
-        HeapFile::delete(&mut st.pool, rid)?;
-        st.wal.append(&WalRecord::Delete {
+        HeapFile::delete(&self.inner.pool, rid)?;
+        self.inner.log(&WalRecord::Delete {
             txn: txn.id,
             table,
             rid,
@@ -404,22 +595,23 @@ impl StorageEngine {
             rid,
             old: old.clone(),
         });
-        let mut heap = st.heap(table)?.clone();
-        let (new_rid, link) = heap.insert(&mut st.pool, body)?;
-        st.heaps.insert(table, heap);
+        let (new_rid, link) = h.insert(&self.inner.pool, body)?;
+        let mut recs = Vec::with_capacity(2);
         if let Some((from_page, new_page)) = link {
-            st.wal.append(&WalRecord::LinkPage {
+            recs.push(WalRecord::LinkPage {
                 table,
                 from_page,
                 new_page,
-            })?;
+            });
         }
-        st.wal.append(&WalRecord::Insert {
+        recs.push(WalRecord::Insert {
             txn: txn.id,
             table,
             rid: new_rid,
             body: body.to_vec(),
-        })?;
+        });
+        self.inner.log_all(&recs)?;
+        drop(h);
         txn.undo.push(UndoOp::Insert { rid: new_rid });
         Ok(new_rid)
     }
@@ -428,9 +620,8 @@ impl StorageEngine {
     pub fn delete(&self, txn: &mut Txn, table: TableId, rid: Rid) -> Result<Vec<u8>> {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
-        let mut st = self.inner.state.lock();
-        let old = HeapFile::delete(&mut st.pool, rid)?;
-        st.wal.append(&WalRecord::Delete {
+        let old = HeapFile::delete(&self.inner.pool, rid)?;
+        self.inner.log(&WalRecord::Delete {
             txn: txn.id,
             table,
             rid,
@@ -447,9 +638,9 @@ impl StorageEngine {
     pub fn scan(&self, txn: &mut Txn, table: TableId) -> Result<Vec<(Rid, Vec<u8>)>> {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Shared)?;
-        let mut st = self.inner.state.lock();
-        let heap = st.heap(table)?.clone();
-        heap.scan_all(&mut st.pool)
+        let heap = self.inner.heap_handle(table)?;
+        let h = heap.lock().unwrap().clone();
+        h.scan_all(&self.inner.pool)
     }
 
     // ------------------------------------------------------------------
@@ -467,9 +658,8 @@ impl StorageEngine {
     ) -> Result<()> {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
-        let mut st = self.inner.state.lock();
-        let bt = st.index_tree(table, index)?;
-        bt.insert(&mut st.pool, key, rid.to_u64())?;
+        let bt = self.inner.index_tree(table, index)?;
+        bt.insert(&self.inner.pool, key, rid.to_u64())?;
         txn.undo.push(UndoOp::IndexInsert {
             table,
             index: index.to_string(),
@@ -490,9 +680,8 @@ impl StorageEngine {
     ) -> Result<()> {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
-        let mut st = self.inner.state.lock();
-        let bt = st.index_tree(table, index)?;
-        bt.delete(&mut st.pool, key, rid.to_u64())?;
+        let bt = self.inner.index_tree(table, index)?;
+        bt.delete(&self.inner.pool, key, rid.to_u64())?;
         txn.undo.push(UndoOp::IndexDelete {
             table,
             index: index.to_string(),
@@ -512,10 +701,9 @@ impl StorageEngine {
     ) -> Result<Vec<Rid>> {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Shared)?;
-        let mut st = self.inner.state.lock();
-        let bt = st.index_tree(table, index)?;
+        let bt = self.inner.index_tree(table, index)?;
         Ok(bt
-            .lookup(&mut st.pool, key)?
+            .lookup(&self.inner.pool, key)?
             .into_iter()
             .map(Rid::from_u64)
             .collect())
@@ -532,10 +720,9 @@ impl StorageEngine {
     ) -> Result<Vec<(Vec<u8>, Rid)>> {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Shared)?;
-        let mut st = self.inner.state.lock();
-        let bt = st.index_tree(table, index)?;
+        let bt = self.inner.index_tree(table, index)?;
         let mut out = Vec::new();
-        bt.range(&mut st.pool, lo, hi, |k, v| {
+        bt.range(&self.inner.pool, lo, hi, |k, v| {
             out.push((k.to_vec(), Rid::from_u64(v)));
         })?;
         Ok(out)
@@ -551,7 +738,7 @@ impl StorageEngine {
     /// change; index entries are remapped through the copy. Requires no
     /// active transactions. Returns the new engine.
     pub fn vacuum_into(&self, dir: &Path) -> Result<StorageEngine> {
-        if !self.inner.state.lock().active.is_empty() {
+        if !self.inner.active.lock().unwrap().is_empty() {
             return Err(StorageError::Corrupt(
                 "vacuum requires no active transactions".into(),
             ));
@@ -588,33 +775,38 @@ impl StorageEngine {
 
     /// Flushes all state and truncates the write-ahead log. Fails if any
     /// transaction is active (their undo information lives in the log).
+    /// New transactions are held off (on the active-set latch) for the
+    /// duration.
     pub fn checkpoint(&self) -> Result<()> {
-        let mut st = self.inner.state.lock();
-        if !st.active.is_empty() {
+        let active = self.inner.active.lock().unwrap();
+        if !active.is_empty() {
             return Err(StorageError::Corrupt(
                 "checkpoint requires no active transactions".into(),
             ));
         }
-        st.wal.sync()?;
-        let catalog = st.catalog.clone();
-        catalog::save(&mut st.pool, &catalog)?;
-        st.pool.flush_all()?;
-        st.wal.truncate()?;
+        self.inner.sync_all()?;
+        {
+            let cat = self.inner.catalog.read().unwrap();
+            catalog::save(&self.inner.pool, &cat)?;
+        }
+        self.inner.pool.flush_all()?;
+        self.inner.truncate_wal()?;
+        drop(active);
         Ok(())
     }
 
     /// Buffer-pool statistics: (hits, misses, evictions).
     pub fn pool_stats(&self) -> (u64, u64, u64) {
-        self.inner.state.lock().pool.stats()
+        self.inner.pool.stats()
     }
 
     /// Number of pages in the database file.
     pub fn num_pages(&self) -> u64 {
-        self.inner.state.lock().pool.num_pages()
+        self.inner.pool.num_pages()
     }
 
     fn check_active(&self, txn: &Txn) -> Result<()> {
-        if txn.finished || !self.inner.state.lock().active.contains(&txn.id) {
+        if txn.finished || !self.inner.active.lock().unwrap().contains(&txn.id) {
             return Err(StorageError::TxnNotActive(txn.id));
         }
         Ok(())
@@ -625,17 +817,23 @@ impl Drop for Inner {
     fn drop(&mut self) {
         // Best-effort clean shutdown: if no transaction is in flight,
         // checkpoint so the next open skips recovery and keeps indexes.
-        let st = self.state.get_mut();
-        if st.active.is_empty() {
-            let _ = st.wal.sync();
-            let catalog = st.catalog.clone();
-            let _ = catalog::save(&mut st.pool, &catalog);
-            if st.pool.flush_all().is_ok() {
-                let _ = st.wal.truncate();
+        // `Inner` is dropping, so these latches have no other holders;
+        // `into_inner` on a poisoned latch still yields the data.
+        fn unpoison<T>(r: std::sync::LockResult<T>) -> T {
+            r.unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+        let active_empty = unpoison(self.active.get_mut()).is_empty();
+        let w = unpoison(self.wal.get_mut());
+        if active_empty {
+            let _ = w.wal.sync();
+            let cat = unpoison(self.catalog.get_mut());
+            let _ = catalog::save(&self.pool, cat);
+            if self.pool.flush_all().is_ok() {
+                let _ = w.wal.truncate();
             }
         } else {
             // Leave the log for recovery to roll the stragglers back.
-            let _ = st.wal.sync();
+            let _ = w.wal.sync();
         }
     }
 }

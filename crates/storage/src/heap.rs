@@ -19,7 +19,7 @@ pub struct HeapFile {
 
 impl HeapFile {
     /// Creates a new heap file with one empty page.
-    pub fn create(pool: &mut BufferPool) -> Result<HeapFile> {
+    pub fn create(pool: &BufferPool) -> Result<HeapFile> {
         let first = pool.allocate_page()?;
         pool.with_page_mut(first, |d| page::format_page(d, PageType::Heap))?;
         Ok(HeapFile {
@@ -30,7 +30,7 @@ impl HeapFile {
 
     /// Opens an existing heap file rooted at `first_page`, walking the chain
     /// to locate the last page.
-    pub fn open(pool: &mut BufferPool, first_page: PageId) -> Result<HeapFile> {
+    pub fn open(pool: &BufferPool, first_page: PageId) -> Result<HeapFile> {
         let mut last = first_page;
         loop {
             let next = pool.with_page(last, page::next_page)?;
@@ -55,7 +55,7 @@ impl HeapFile {
     /// the caller can log the structural change.
     pub fn insert(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         body: &[u8],
     ) -> Result<(Rid, Option<(PageId, PageId)>)> {
         if body.len() > page::MAX_RECORD_SIZE {
@@ -89,7 +89,7 @@ impl HeapFile {
 
     /// Re-links `new_page` after `from_page` (recovery redo of a structural
     /// extension). Formats the new page if it is not already a heap page.
-    pub fn redo_link(pool: &mut BufferPool, from_page: PageId, new_page: PageId) -> Result<()> {
+    pub fn redo_link(pool: &BufferPool, from_page: PageId, new_page: PageId) -> Result<()> {
         pool.ensure_page(new_page)?;
         pool.ensure_page(from_page)?;
         pool.with_page_mut(new_page, |d| {
@@ -102,15 +102,17 @@ impl HeapFile {
     }
 
     /// Reads the record at `rid`.
-    pub fn get(pool: &mut BufferPool, rid: Rid) -> Result<Option<Vec<u8>>> {
-        pool.with_page(rid.page, |d| page::get_record(d, rid.slot).map(<[u8]>::to_vec))
+    pub fn get(pool: &BufferPool, rid: Rid) -> Result<Option<Vec<u8>>> {
+        pool.with_page(rid.page, |d| {
+            page::get_record(d, rid.slot).map(<[u8]>::to_vec)
+        })
     }
 
     /// Replaces the record at `rid`. Fails if absent; if the new body does
     /// not fit in the page the record *moves* are not supported — the engine
     /// layer handles oversize updates as delete+insert, so this returns an
     /// error the engine translates.
-    pub fn update(pool: &mut BufferPool, rid: Rid, body: &[u8]) -> Result<bool> {
+    pub fn update(pool: &BufferPool, rid: Rid, body: &[u8]) -> Result<bool> {
         if body.len() > page::MAX_RECORD_SIZE {
             return Err(StorageError::RecordTooLarge(body.len()));
         }
@@ -125,7 +127,7 @@ impl HeapFile {
     }
 
     /// Deletes the record at `rid`. Returns the old body.
-    pub fn delete(pool: &mut BufferPool, rid: Rid) -> Result<Vec<u8>> {
+    pub fn delete(pool: &BufferPool, rid: Rid) -> Result<Vec<u8>> {
         let old = Self::get(pool, rid)?.ok_or(StorageError::RecordNotFound {
             page: rid.page,
             slot: rid.slot,
@@ -137,7 +139,7 @@ impl HeapFile {
     /// Idempotently forces the record state at `rid`: `Some(body)` places the
     /// record (overwriting any occupant), `None` removes it. Used by
     /// recovery redo/undo, which must be re-runnable.
-    pub fn apply_at(pool: &mut BufferPool, rid: Rid, body: Option<&[u8]>) -> Result<()> {
+    pub fn apply_at(pool: &BufferPool, rid: Rid, body: Option<&[u8]>) -> Result<()> {
         pool.ensure_page(rid.page)?;
         pool.with_page_mut(rid.page, |d| {
             if page::page_type(d) != PageType::Heap {
@@ -155,11 +157,7 @@ impl HeapFile {
     }
 
     /// Visits every record in the file in (page, slot) order.
-    pub fn scan(
-        &self,
-        pool: &mut BufferPool,
-        mut f: impl FnMut(Rid, &[u8]),
-    ) -> Result<()> {
+    pub fn scan(&self, pool: &BufferPool, mut f: impl FnMut(Rid, &[u8])) -> Result<()> {
         let mut pid = self.first_page;
         while pid != NO_PAGE {
             let next = pool.with_page(pid, |d| {
@@ -177,14 +175,14 @@ impl HeapFile {
     /// Collects every record into a vector (convenience over [`scan`]).
     ///
     /// [`scan`]: HeapFile::scan
-    pub fn scan_all(&self, pool: &mut BufferPool) -> Result<Vec<(Rid, Vec<u8>)>> {
+    pub fn scan_all(&self, pool: &BufferPool) -> Result<Vec<(Rid, Vec<u8>)>> {
         let mut out = Vec::new();
         self.scan(pool, |rid, body| out.push((rid, body.to_vec())))?;
         Ok(out)
     }
 
     /// Number of pages in the chain.
-    pub fn page_count(&self, pool: &mut BufferPool) -> Result<usize> {
+    pub fn page_count(&self, pool: &BufferPool) -> Result<usize> {
         let mut n = 0;
         let mut pid = self.first_page;
         while pid != NO_PAGE {
@@ -208,13 +206,17 @@ mod tests {
 
     #[test]
     fn insert_get_many() {
-        let (dir, mut bp) = setup("many");
-        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let (dir, bp) = setup("many");
+        let mut hf = HeapFile::create(&bp).unwrap();
         let rids: Vec<Rid> = (0..500)
-            .map(|i| hf.insert(&mut bp, format!("record number {i}").as_bytes()).unwrap().0)
+            .map(|i| {
+                hf.insert(&bp, format!("record number {i}").as_bytes())
+                    .unwrap()
+                    .0
+            })
             .collect();
         for (i, rid) in rids.iter().enumerate() {
-            let body = HeapFile::get(&mut bp, *rid).unwrap().unwrap();
+            let body = HeapFile::get(&bp, *rid).unwrap().unwrap();
             assert_eq!(body, format!("record number {i}").as_bytes());
         }
         std::fs::remove_dir_all(&dir).ok();
@@ -222,19 +224,22 @@ mod tests {
 
     #[test]
     fn chain_grows_and_scan_visits_all() {
-        let (dir, mut bp) = setup("chain");
-        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let (dir, bp) = setup("chain");
+        let mut hf = HeapFile::create(&bp).unwrap();
         let body = vec![3u8; 2000];
         let mut links = 0;
         for _ in 0..50 {
-            let (_, link) = hf.insert(&mut bp, &body).unwrap();
+            let (_, link) = hf.insert(&bp, &body).unwrap();
             if link.is_some() {
                 links += 1;
             }
         }
-        assert!(links >= 10, "2 kB records, ~4/page: expected many new pages");
+        assert!(
+            links >= 10,
+            "2 kB records, ~4/page: expected many new pages"
+        );
         let mut n = 0;
-        hf.scan(&mut bp, |_, b| {
+        hf.scan(&bp, |_, b| {
             assert_eq!(b.len(), 2000);
             n += 1;
         })
@@ -245,16 +250,16 @@ mod tests {
 
     #[test]
     fn update_and_delete() {
-        let (dir, mut bp) = setup("ud");
-        let mut hf = HeapFile::create(&mut bp).unwrap();
-        let (rid, _) = hf.insert(&mut bp, b"original").unwrap();
-        assert!(HeapFile::update(&mut bp, rid, b"changed!").unwrap());
-        assert_eq!(HeapFile::get(&mut bp, rid).unwrap().unwrap(), b"changed!");
-        let old = HeapFile::delete(&mut bp, rid).unwrap();
+        let (dir, bp) = setup("ud");
+        let mut hf = HeapFile::create(&bp).unwrap();
+        let (rid, _) = hf.insert(&bp, b"original").unwrap();
+        assert!(HeapFile::update(&bp, rid, b"changed!").unwrap());
+        assert_eq!(HeapFile::get(&bp, rid).unwrap().unwrap(), b"changed!");
+        let old = HeapFile::delete(&bp, rid).unwrap();
         assert_eq!(old, b"changed!");
-        assert_eq!(HeapFile::get(&mut bp, rid).unwrap(), None);
+        assert_eq!(HeapFile::get(&bp, rid).unwrap(), None);
         assert!(matches!(
-            HeapFile::delete(&mut bp, rid),
+            HeapFile::delete(&bp, rid),
             Err(StorageError::RecordNotFound { .. })
         ));
         std::fs::remove_dir_all(&dir).ok();
@@ -262,47 +267,47 @@ mod tests {
 
     #[test]
     fn deleted_space_is_reused() {
-        let (dir, mut bp) = setup("reuse");
-        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let (dir, bp) = setup("reuse");
+        let mut hf = HeapFile::create(&bp).unwrap();
         let body = vec![1u8; 1000];
-        let rids: Vec<Rid> = (0..40).map(|_| hf.insert(&mut bp, &body).unwrap().0).collect();
-        let pages_before = hf.page_count(&mut bp).unwrap();
+        let rids: Vec<Rid> = (0..40).map(|_| hf.insert(&bp, &body).unwrap().0).collect();
+        let pages_before = hf.page_count(&bp).unwrap();
         for rid in &rids {
-            HeapFile::delete(&mut bp, *rid).unwrap();
+            HeapFile::delete(&bp, *rid).unwrap();
         }
         for _ in 0..40 {
-            hf.insert(&mut bp, &body).unwrap();
+            hf.insert(&bp, &body).unwrap();
         }
-        let pages_after = hf.page_count(&mut bp).unwrap();
+        let pages_after = hf.page_count(&bp).unwrap();
         assert_eq!(pages_before, pages_after, "space should be reused");
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn open_finds_last_page() {
-        let (dir, mut bp) = setup("open");
-        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let (dir, bp) = setup("open");
+        let mut hf = HeapFile::create(&bp).unwrap();
         let body = vec![9u8; 3000];
         for _ in 0..10 {
-            hf.insert(&mut bp, &body).unwrap();
+            hf.insert(&bp, &body).unwrap();
         }
         let first = hf.first_page();
-        let reopened = HeapFile::open(&mut bp, first).unwrap();
+        let reopened = HeapFile::open(&bp, first).unwrap();
         assert_eq!(reopened.last_page, hf.last_page);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn apply_at_is_idempotent() {
-        let (dir, mut bp) = setup("apply");
-        let _hf = HeapFile::create(&mut bp).unwrap();
+        let (dir, bp) = setup("apply");
+        let _hf = HeapFile::create(&bp).unwrap();
         let rid = Rid::new(5, 3);
-        HeapFile::apply_at(&mut bp, rid, Some(b"redo me")).unwrap();
-        HeapFile::apply_at(&mut bp, rid, Some(b"redo me")).unwrap();
-        assert_eq!(HeapFile::get(&mut bp, rid).unwrap().unwrap(), b"redo me");
-        HeapFile::apply_at(&mut bp, rid, None).unwrap();
-        HeapFile::apply_at(&mut bp, rid, None).unwrap();
-        assert_eq!(HeapFile::get(&mut bp, rid).unwrap(), None);
+        HeapFile::apply_at(&bp, rid, Some(b"redo me")).unwrap();
+        HeapFile::apply_at(&bp, rid, Some(b"redo me")).unwrap();
+        assert_eq!(HeapFile::get(&bp, rid).unwrap().unwrap(), b"redo me");
+        HeapFile::apply_at(&bp, rid, None).unwrap();
+        HeapFile::apply_at(&bp, rid, None).unwrap();
+        assert_eq!(HeapFile::get(&bp, rid).unwrap(), None);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -8,9 +8,7 @@
 //! can never cycle.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::error::{Result, StorageError};
 use crate::wal::{TableId, TxnId};
@@ -98,7 +96,7 @@ impl LockManager {
     /// wait-die, or returning [`StorageError::Deadlock`] if the transaction
     /// must die.
     pub fn lock(&self, txn: TxnId, table: TableId, mode: LockMode) -> Result<()> {
-        let mut tables = self.shared.tables.lock();
+        let mut tables = self.shared.tables.lock().unwrap();
         loop {
             let state = tables.entry(table).or_default();
             let held = state.holders.get(&txn).copied();
@@ -116,13 +114,13 @@ impl LockManager {
             if state.must_die(txn, mode) {
                 return Err(StorageError::Deadlock);
             }
-            self.shared.wakeup.wait(&mut tables);
+            tables = self.shared.wakeup.wait(tables).unwrap();
         }
     }
 
     /// Releases every lock held by the transaction (commit/abort).
     pub fn release_all(&self, txn: TxnId) {
-        let mut tables = self.shared.tables.lock();
+        let mut tables = self.shared.tables.lock().unwrap();
         tables.retain(|_, state| {
             state.holders.remove(&txn);
             !state.holders.is_empty()
@@ -133,7 +131,7 @@ impl LockManager {
 
     /// Locks currently held by a transaction (diagnostics/tests).
     pub fn held_by(&self, txn: TxnId) -> Vec<(TableId, LockMode)> {
-        let tables = self.shared.tables.lock();
+        let tables = self.shared.tables.lock().unwrap();
         let mut v: Vec<_> = tables
             .iter()
             .filter_map(|(&tid, st)| st.holders.get(&txn).map(|&m| (tid, m)))
@@ -218,6 +216,46 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         lm.release_all(9);
         waiter.join().unwrap().unwrap();
+        assert_eq!(lm.held_by(1), vec![(10, LockMode::Exclusive)]);
+    }
+
+    /// Wait-die upgrade audit: an *older* holder upgrading S→X while a
+    /// *younger* sharer exists must wait for the sharer to release — it
+    /// must neither die (it only waits on younger txns) nor deadlock
+    /// (the younger sharer attempting its own upgrade dies instead).
+    #[test]
+    fn upgrade_waits_for_younger_sharers() {
+        let lm = LockManager::new();
+        lm.lock(1, 10, LockMode::Shared).unwrap();
+        lm.lock(2, 10, LockMode::Shared).unwrap();
+        let lm2 = lm.clone();
+        let upgrader = std::thread::spawn(move || lm2.lock(1, 10, LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            !upgrader.is_finished(),
+            "older upgrader must wait, not die, while younger sharer holds S"
+        );
+        lm.release_all(2);
+        upgrader.join().unwrap().unwrap();
+        assert_eq!(lm.held_by(1), vec![(10, LockMode::Exclusive)]);
+    }
+
+    /// Symmetric upgrade conflict resolves without deadlock: the younger
+    /// of two S-holders dies when both request X, letting the older
+    /// upgrade once the younger aborts.
+    #[test]
+    fn symmetric_upgrade_conflict_kills_exactly_the_younger() {
+        let lm = LockManager::new();
+        lm.lock(1, 10, LockMode::Shared).unwrap();
+        lm.lock(2, 10, LockMode::Shared).unwrap();
+        // Younger txn 2 asks first and must die (older sharer 1 blocks it).
+        assert!(matches!(
+            lm.lock(2, 10, LockMode::Exclusive),
+            Err(StorageError::Deadlock)
+        ));
+        // Txn 2 aborts, releasing its S; older txn 1 then upgrades.
+        lm.release_all(2);
+        lm.lock(1, 10, LockMode::Exclusive).unwrap();
         assert_eq!(lm.held_by(1), vec![(10, LockMode::Exclusive)]);
     }
 

@@ -373,7 +373,10 @@ mod tests {
             .map(|i| insert_record(&mut d, format!("record-{i}").as_bytes()).unwrap())
             .collect();
         for (i, s) in slots.iter().enumerate() {
-            assert_eq!(get_record(&d, *s).unwrap(), format!("record-{i}").as_bytes());
+            assert_eq!(
+                get_record(&d, *s).unwrap(),
+                format!("record-{i}").as_bytes()
+            );
         }
     }
 
@@ -406,7 +409,10 @@ mod tests {
         assert!(update_record(&mut d, s, b"tiny"));
         assert_eq!(get_record(&d, s), Some(&b"tiny"[..]));
         assert!(update_record(&mut d, s, b"now much longer than before!"));
-        assert_eq!(get_record(&d, s), Some(&b"now much longer than before!"[..]));
+        assert_eq!(
+            get_record(&d, s),
+            Some(&b"now much longer than before!"[..])
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub struct RecoveryOutcome {
 /// the outcome and the recovered catalog (with fresh index roots if any
 /// indexes existed).
 pub fn recover(
-    pool: &mut BufferPool,
+    pool: &BufferPool,
     records: &[WalRecord],
     disk_catalog: Catalog,
 ) -> Result<(RecoveryOutcome, Catalog)> {

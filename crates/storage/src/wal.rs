@@ -103,14 +103,25 @@ impl WalRecord {
                 out.push(3);
                 out.extend_from_slice(&txn.to_le_bytes());
             }
-            WalRecord::Insert { txn, table, rid, body } => {
+            WalRecord::Insert {
+                txn,
+                table,
+                rid,
+                body,
+            } => {
                 out.push(4);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&table.to_le_bytes());
                 put_rid(out, *rid);
                 put_bytes(out, body);
             }
-            WalRecord::Update { txn, table, rid, old, new } => {
+            WalRecord::Update {
+                txn,
+                table,
+                rid,
+                old,
+                new,
+            } => {
                 out.push(5);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&table.to_le_bytes());
@@ -118,14 +129,23 @@ impl WalRecord {
                 put_bytes(out, old);
                 put_bytes(out, new);
             }
-            WalRecord::Delete { txn, table, rid, old } => {
+            WalRecord::Delete {
+                txn,
+                table,
+                rid,
+                old,
+            } => {
                 out.push(6);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&table.to_le_bytes());
                 put_rid(out, *rid);
                 put_bytes(out, old);
             }
-            WalRecord::LinkPage { table, from_page, new_page } => {
+            WalRecord::LinkPage {
+                table,
+                from_page,
+                new_page,
+            } => {
                 out.push(7);
                 out.extend_from_slice(&table.to_le_bytes());
                 out.extend_from_slice(&from_page.to_le_bytes());
@@ -250,7 +270,8 @@ impl Wal {
     pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
         let mut payload = Vec::with_capacity(64);
         rec.encode(&mut payload);
-        self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
         self.writer.write_all(&checksum(&payload).to_le_bytes())?;
         self.writer.write_all(&payload)?;
         self.appended += 1;
@@ -262,6 +283,16 @@ impl Wal {
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
         Ok(())
+    }
+
+    /// Flushes buffered frames to the OS and returns an independent file
+    /// handle for the caller to `sync_data` on. Group commit uses this so
+    /// the slow fsync can run *outside* the log latch: the leader flushes
+    /// under the latch (cheap), then fsyncs the cloned handle while other
+    /// transactions keep appending.
+    pub fn flush_to_os(&mut self) -> Result<File> {
+        self.writer.flush()?;
+        Ok(self.writer.get_ref().try_clone()?)
     }
 
     /// Truncates the log to empty (after a checkpoint has flushed all data

@@ -19,8 +19,13 @@ fn basic_crud_within_txn() {
     let mut txn = eng.begin().unwrap();
     let rid = eng.insert(&mut txn, t, b"BWV 578").unwrap();
     assert_eq!(eng.get(&mut txn, t, rid).unwrap().unwrap(), b"BWV 578");
-    let rid = eng.update(&mut txn, t, rid, b"BWV 578 Fuge g-moll").unwrap();
-    assert_eq!(eng.get(&mut txn, t, rid).unwrap().unwrap(), b"BWV 578 Fuge g-moll");
+    let rid = eng
+        .update(&mut txn, t, rid, b"BWV 578 Fuge g-moll")
+        .unwrap();
+    assert_eq!(
+        eng.get(&mut txn, t, rid).unwrap().unwrap(),
+        b"BWV 578 Fuge g-moll"
+    );
     let old = eng.delete(&mut txn, t, rid).unwrap();
     assert_eq!(old, b"BWV 578 Fuge g-moll");
     assert_eq!(eng.get(&mut txn, t, rid).unwrap(), None);
@@ -65,7 +70,11 @@ fn clean_shutdown_persists_without_recovery() {
         eng.commit(txn).unwrap();
     } // Drop runs the clean-shutdown checkpoint.
     let eng = StorageEngine::open(&dir).unwrap();
-    assert_eq!(eng.last_recovery().replayed, 0, "no recovery after clean close");
+    assert_eq!(
+        eng.last_recovery().replayed,
+        0,
+        "no recovery after clean close"
+    );
     assert!(!eng.indexes_need_rebuild());
     assert_eq!(eng.table_id("t").unwrap(), t_id);
     let mut txn = eng.begin().unwrap();
@@ -152,7 +161,10 @@ fn crash_recovers_updates_and_deletes() {
     let mut txn = eng.begin().unwrap();
     assert_eq!(eng.get(&mut txn, t, updated).unwrap().unwrap(), b"v2");
     assert_eq!(eng.get(&mut txn, t, deleted).unwrap(), None);
-    assert_eq!(eng.get(&mut txn, t, reverted).unwrap().unwrap(), b"original");
+    assert_eq!(
+        eng.get(&mut txn, t, reverted).unwrap().unwrap(),
+        b"original"
+    );
     eng.commit(txn).unwrap();
     drop(eng);
     std::fs::remove_dir_all(&dir).ok();
@@ -227,7 +239,8 @@ fn indexes_flagged_for_rebuild_after_crash() {
         eng.create_index(t, "by_key").unwrap();
         let mut txn = eng.begin().unwrap();
         let rid = eng.insert(&mut txn, t, b"indexed").unwrap();
-        eng.index_insert(&mut txn, t, "by_key", &encode_i64(42), rid).unwrap();
+        eng.index_insert(&mut txn, t, "by_key", &encode_i64(42), rid)
+            .unwrap();
         eng.commit(txn).unwrap();
         crash(eng);
     }
@@ -235,12 +248,17 @@ fn indexes_flagged_for_rebuild_after_crash() {
     assert!(eng.indexes_need_rebuild());
     // The reset index is empty; the base table still has the record.
     let mut txn = eng.begin().unwrap();
-    assert_eq!(eng.index_lookup(&mut txn, t, "by_key", &encode_i64(42)).unwrap(), vec![]);
+    assert_eq!(
+        eng.index_lookup(&mut txn, t, "by_key", &encode_i64(42))
+            .unwrap(),
+        vec![]
+    );
     let all = eng.scan(&mut txn, t).unwrap();
     assert_eq!(all.len(), 1);
     // Rebuild as the owning layer would.
     let rid = all[0].0;
-    eng.index_insert(&mut txn, t, "by_key", &encode_i64(42), rid).unwrap();
+    eng.index_insert(&mut txn, t, "by_key", &encode_i64(42), rid)
+        .unwrap();
     eng.commit(txn).unwrap();
     eng.mark_indexes_rebuilt();
     assert!(!eng.indexes_need_rebuild());
@@ -259,14 +277,16 @@ fn index_survives_clean_shutdown() {
         eng.create_index(t, "by_key").unwrap();
         let mut txn = eng.begin().unwrap();
         rid = eng.insert(&mut txn, t, b"indexed").unwrap();
-        eng.index_insert(&mut txn, t, "by_key", &encode_i64(7), rid).unwrap();
+        eng.index_insert(&mut txn, t, "by_key", &encode_i64(7), rid)
+            .unwrap();
         eng.commit(txn).unwrap();
     }
     let eng = StorageEngine::open(&dir).unwrap();
     assert!(!eng.indexes_need_rebuild());
     let mut txn = eng.begin().unwrap();
     assert_eq!(
-        eng.index_lookup(&mut txn, t, "by_key", &encode_i64(7)).unwrap(),
+        eng.index_lookup(&mut txn, t, "by_key", &encode_i64(7))
+            .unwrap(),
         vec![rid]
     );
     eng.commit(txn).unwrap();
@@ -291,8 +311,14 @@ fn index_abort_rolls_back_entries() {
     eng.abort(txn).unwrap();
 
     let mut txn = eng.begin().unwrap();
-    assert_eq!(eng.index_lookup(&mut txn, t, "i", b"key").unwrap(), vec![rid]);
-    assert_eq!(eng.index_lookup(&mut txn, t, "i", b"other").unwrap(), vec![]);
+    assert_eq!(
+        eng.index_lookup(&mut txn, t, "i", b"key").unwrap(),
+        vec![rid]
+    );
+    assert_eq!(
+        eng.index_lookup(&mut txn, t, "i", b"other").unwrap(),
+        vec![]
+    );
     eng.commit(txn).unwrap();
     drop(eng);
     std::fs::remove_dir_all(&dir).ok();
@@ -326,7 +352,10 @@ fn scan_returns_everything_in_order() {
     let mut txn = eng.begin().unwrap();
     let mut rids = Vec::new();
     for i in 0..200 {
-        rids.push(eng.insert(&mut txn, t, format!("row {i}").as_bytes()).unwrap());
+        rids.push(
+            eng.insert(&mut txn, t, format!("row {i}").as_bytes())
+                .unwrap(),
+        );
     }
     let all = eng.scan(&mut txn, t).unwrap();
     assert_eq!(all.len(), 200);
@@ -354,7 +383,10 @@ fn checkpoint_truncates_log_and_preserves_state() {
     crash(eng);
     let eng = StorageEngine::open(&dir).unwrap();
     let mut txn = eng.begin().unwrap();
-    assert_eq!(eng.get(&mut txn, t, rid).unwrap().unwrap(), b"pre-checkpoint");
+    assert_eq!(
+        eng.get(&mut txn, t, rid).unwrap().unwrap(),
+        b"pre-checkpoint"
+    );
     eng.commit(txn).unwrap();
     drop(eng);
     std::fs::remove_dir_all(&dir).ok();
@@ -470,8 +502,11 @@ fn vacuum_reclaims_dropped_space() {
     for i in 0..2000 {
         eng.insert(&mut txn, doomed, &vec![0xAB; 500]).unwrap();
         if i % 10 == 0 {
-            let rid = eng.insert(&mut txn, keeper, format!("keep {i}").as_bytes()).unwrap();
-            eng.index_insert(&mut txn, keeper, "by_key", &encode_i64(i), rid).unwrap();
+            let rid = eng
+                .insert(&mut txn, keeper, format!("keep {i}").as_bytes())
+                .unwrap();
+            eng.index_insert(&mut txn, keeper, "by_key", &encode_i64(i), rid)
+                .unwrap();
         }
     }
     eng.commit(txn).unwrap();
@@ -489,9 +524,14 @@ fn vacuum_reclaims_dropped_space() {
     let kt = new.table_id("keeper").unwrap();
     let mut txn = new.begin().unwrap();
     assert_eq!(new.scan(&mut txn, kt).unwrap().len(), 200);
-    let hits = new.index_lookup(&mut txn, kt, "by_key", &encode_i64(1990)).unwrap();
+    let hits = new
+        .index_lookup(&mut txn, kt, "by_key", &encode_i64(1990))
+        .unwrap();
     assert_eq!(hits.len(), 1);
-    assert_eq!(new.get(&mut txn, kt, hits[0]).unwrap().unwrap(), b"keep 1990");
+    assert_eq!(
+        new.get(&mut txn, kt, hits[0]).unwrap().unwrap(),
+        b"keep 1990"
+    );
     new.commit(txn).unwrap();
     drop(new);
     drop(eng);
@@ -513,4 +553,32 @@ fn vacuum_refused_mid_transaction() {
     drop(eng);
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
+fn dropped_txn_aborts_and_its_writes_are_invisible() {
+    let dir = tmpdir("drop-abort");
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.create_table("t").unwrap();
+    let mut txn = eng.begin().unwrap();
+    let keep = eng.insert(&mut txn, t, b"keep").unwrap();
+    eng.commit(txn).unwrap();
+
+    let gone;
+    {
+        let mut txn = eng.begin().unwrap();
+        gone = eng.insert(&mut txn, t, b"gone").unwrap();
+        eng.update(&mut txn, t, keep, b"mutated").unwrap();
+        // Dropped without commit/abort: the handle's Drop must roll the
+        // transaction back and release its table lock.
+    }
+
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(eng.get(&mut txn, t, keep).unwrap().unwrap(), b"keep");
+    assert_eq!(eng.get(&mut txn, t, gone).unwrap(), None);
+    // The exclusive lock was released, so a writer gets through too.
+    eng.insert(&mut txn, t, b"after").unwrap();
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -45,22 +45,22 @@ proptest! {
     #[test]
     fn btree_matches_reference(ops in proptest::collection::vec(tree_op(), 1..300)) {
         let dir = tmpdir("bt");
-        let mut pool = BufferPool::open(&dir, 64).unwrap();
-        let tree = mdm_storage::BTree::create(&mut pool).unwrap();
+        let pool = BufferPool::open(&dir, 64).unwrap();
+        let tree = mdm_storage::BTree::create(&pool).unwrap();
         let mut model: BTreeSet<(Vec<u8>, u64)> = BTreeSet::new();
         let key_bytes = |k: u16| k.to_be_bytes().to_vec();
         for op in ops {
             match op {
                 TreeOp::Insert(k, v) => {
-                    tree.insert(&mut pool, &key_bytes(k), v).unwrap();
+                    tree.insert(&pool, &key_bytes(k), v).unwrap();
                     model.insert((key_bytes(k), v));
                 }
                 TreeOp::Delete(k, v) => {
-                    let existed = tree.delete(&mut pool, &key_bytes(k), v).unwrap();
+                    let existed = tree.delete(&pool, &key_bytes(k), v).unwrap();
                     prop_assert_eq!(existed, model.remove(&(key_bytes(k), v)));
                 }
                 TreeOp::Lookup(k) => {
-                    let mut got = tree.lookup(&mut pool, &key_bytes(k)).unwrap();
+                    let mut got = tree.lookup(&pool, &key_bytes(k)).unwrap();
                     got.sort_unstable();
                     let want: Vec<u64> = model
                         .iter()
@@ -71,7 +71,7 @@ proptest! {
                 }
                 TreeOp::Range(a, b) => {
                     let mut got = Vec::new();
-                    tree.range(&mut pool, Some(&key_bytes(a)), Some(&key_bytes(b)), |k, v| {
+                    tree.range(&pool, Some(&key_bytes(a)), Some(&key_bytes(b)), |k, v| {
                         got.push((k.to_vec(), v));
                     })
                     .unwrap();
@@ -84,7 +84,7 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(tree.len(&mut pool).unwrap(), model.len());
+        prop_assert_eq!(tree.len(&pool).unwrap(), model.len());
         std::fs::remove_dir_all(&dir).ok();
     }
 }
@@ -113,27 +113,27 @@ proptest! {
     #[test]
     fn heap_matches_reference(ops in proptest::collection::vec(heap_op(), 1..150)) {
         let dir = tmpdir("heap");
-        let mut pool = BufferPool::open(&dir, 16).unwrap();
-        let mut heap = HeapFile::create(&mut pool).unwrap();
+        let pool = BufferPool::open(&dir, 16).unwrap();
+        let mut heap = HeapFile::create(&pool).unwrap();
         let mut model: HashMap<Rid, Vec<u8>> = HashMap::new();
         let mut live: Vec<Rid> = Vec::new();
         for op in ops {
             match op {
                 HeapOp::Insert(body) => {
-                    let (rid, _) = heap.insert(&mut pool, &body).unwrap();
+                    let (rid, _) = heap.insert(&pool, &body).unwrap();
                     prop_assert!(model.insert(rid, body).is_none(), "rid reused while live");
                     live.push(rid);
                 }
                 HeapOp::Update(i, body) => {
                     if !live.is_empty() {
                         let rid = live[i % live.len()];
-                        let in_place = HeapFile::update(&mut pool, rid, &body).unwrap();
+                        let in_place = HeapFile::update(&pool, rid, &body).unwrap();
                         if in_place {
                             model.insert(rid, body);
                         } else {
                             // Page-full: engine-level code would relocate;
                             // here the record is unchanged.
-                            let current = HeapFile::get(&mut pool, rid).unwrap();
+                            let current = HeapFile::get(&pool, rid).unwrap();
                             prop_assert_eq!(
                                 current.as_deref(),
                                 model.get(&rid).map(Vec::as_slice)
@@ -145,17 +145,17 @@ proptest! {
                     if !live.is_empty() {
                         let idx = i % live.len();
                         let rid = live.swap_remove(idx);
-                        let old = HeapFile::delete(&mut pool, rid).unwrap();
+                        let old = HeapFile::delete(&pool, rid).unwrap();
                         prop_assert_eq!(Some(old), model.remove(&rid));
                     }
                 }
             }
         }
         for (rid, body) in &model {
-            let current = HeapFile::get(&mut pool, *rid).unwrap();
+            let current = HeapFile::get(&pool, *rid).unwrap();
             prop_assert_eq!(current.as_deref(), Some(body.as_slice()));
         }
-        let mut scanned: Vec<(Rid, Vec<u8>)> = heap.scan_all(&mut pool).unwrap();
+        let mut scanned: Vec<(Rid, Vec<u8>)> = heap.scan_all(&pool).unwrap();
         scanned.sort_by_key(|&(r, _)| r);
         let mut expected: Vec<(Rid, Vec<u8>)> = model.into_iter().collect();
         expected.sort_by_key(|&(r, _)| r);

@@ -21,7 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let subject = bwv578_subject().movements[0].voices[0].clone();
     let mut canon = Composer::canon(&subject, 3, 4, 12, TimeSignature::common(), 96.0);
     let walk = Composer::random_walk(2026, 24, KeySignature::new(-2), 96.0);
-    canon.movements[0].voices.extend(walk.movements.into_iter().flat_map(|m| m.voices));
+    canon.movements[0]
+        .voices
+        .extend(walk.movements.into_iter().flat_map(|m| m.voices));
     println!(
         "composed \"{}\": {} voices, {} beats of score time",
         canon.title,
@@ -54,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sound representation: events → MIDI → PCM (§4.1, §4.6).
     let notes = perform(m);
     let midi = MidiEventList::from_performance(&notes);
-    println!("\nMIDI event list: {} events over {:.1}s", midi.events.len(), midi.seconds());
+    println!(
+        "\nMIDI event list: {} events over {:.1}s",
+        midi.events.len(),
+        midi.seconds()
+    );
 
     let pcm = render_performance(&notes, &Timbre::organ(), 16_000);
     println!(

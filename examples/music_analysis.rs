@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let canon = Composer::canon(&subject, 2, 8, 7, TimeSignature::common(), 84.0);
     let id = mdm.store_score(&canon)?;
     let score = mdm.load_score(id)?;
-    println!("analyzing \"{}\" ({} voices)\n", score.title, score.movements[0].voices.len());
+    println!(
+        "analyzing \"{}\" ({} voices)\n",
+        score.title,
+        score.movements[0].voices.len()
+    );
 
     // Melodic structure: the interval histogram of the subject.
     println!("melodic interval histogram (semitones → count):");
@@ -46,8 +50,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nharmonic interval classes (mod 12 → count):");
     let names = [
-        "unison/octave", "minor 2nd", "major 2nd", "minor 3rd", "major 3rd", "fourth",
-        "tritone", "fifth", "minor 6th", "major 6th", "minor 7th", "major 7th",
+        "unison/octave",
+        "minor 2nd",
+        "major 2nd",
+        "minor 3rd",
+        "major 3rd",
+        "fourth",
+        "tritone",
+        "fifth",
+        "minor 6th",
+        "major 6th",
+        "minor 7th",
+        "major 7th",
     ];
     for (ic, count) in &by_class {
         println!("  {:>13} ({ic:>2}): {count}", names[*ic as usize % 12]);

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, midi) in [60i64, 64, 67, 72].iter().enumerate() {
         let note = db.create_entity(
             "NOTE",
-            &[("midi_key", Value::Integer(*midi)), ("step", Value::String(format!("n{i}")))],
+            &[
+                ("midi_key", Value::Integer(*midi)),
+                ("step", Value::String(format!("n{i}"))),
+            ],
         )?;
         db.ord_append("note_in_chord", Some(chord), note)?;
     }

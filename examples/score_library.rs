@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(hits, vec!["BWV 578".to_string()]);
 
     // The printed reference entry, fig. 2 style (from the full BWV data).
-    println!("\n{}", musicdb::biblio::bwv_index().render_entry(578).unwrap());
+    println!(
+        "\n{}",
+        musicdb::biblio::bwv_index().render_entry(578).unwrap()
+    );
 
     // Reference queries also run through QUEL over the stored entities:
     // how many measures does each stored score have?

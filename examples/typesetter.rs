@@ -7,7 +7,7 @@
 //! ```
 
 use musicdb::darms;
-use musicdb::model::{graphdef, meta, AttributeDef, Database, DataType, Value};
+use musicdb::model::{graphdef, meta, AttributeDef, DataType, Database, Value};
 use musicdb::notation::{perform, render, TimeSignature};
 use musicdb::sound::PianoRoll;
 
@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = darms::fixtures::FIG4_USER_SHORT;
     println!("DARMS source (user form):\n  {source}\n");
     let items = darms::canonize(&darms::parse(source)?);
-    println!("canonical DARMS (output of the canonizer):\n  {}\n", darms::emit(&items));
+    println!(
+        "canonical DARMS (output of the canonizer):\n  {}\n",
+        darms::emit(&items)
+    );
 
     // 2. Resolve it into notation: clef + key signature give pitches.
     let voice = darms::to_voice(&items)?;
@@ -29,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Typeset onto an ASCII staff.
-    println!("\n{}", render::render_voice(&voice, TimeSignature::common()));
+    println!(
+        "\n{}",
+        render::render_voice(&voice, TimeSignature::common())
+    );
 
     // 4. The same music as a piano roll (fig. 3's other view).
     let mut movement =
@@ -46,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "STEM",
         ["xpos", "ypos", "length", "direction"]
             .into_iter()
-            .map(|n| AttributeDef { name: n.into(), ty: DataType::Integer })
+            .map(|n| AttributeDef {
+                name: n.into(),
+                ty: DataType::Integer,
+            })
             .collect(),
     )?;
     let mut db = Database::new();
@@ -56,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "STEM",
         ["xpos", "ypos", "length", "direction"]
             .into_iter()
-            .map(|n| AttributeDef { name: n.into(), ty: DataType::Integer })
+            .map(|n| AttributeDef {
+                name: n.into(),
+                ty: DataType::Integer,
+            })
             .collect(),
     )?;
     let gd = graphdef::register_graphdef(

@@ -76,7 +76,11 @@ fn library_survives_crash() {
     let mdm = MusicDataManager::open(&dir).unwrap();
     assert_eq!(mdm.load_score(fugue_id).unwrap(), fugue);
     assert_eq!(mdm.load_score(walk_id).unwrap(), walk);
-    assert_eq!(mdm.list_scores().unwrap().len(), 2, "unsaved third score gone");
+    assert_eq!(
+        mdm.list_scores().unwrap().len(),
+        2,
+        "unsaved third score gone"
+    );
     drop(mdm);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -96,7 +100,10 @@ fn four_clients_share_one_database() {
     // Analysis (reads what composition wrote).
     let loaded = mdm.load_score(id).unwrap();
     let hist = Analyst::interval_histogram(&loaded);
-    assert!(hist.contains_key(&7), "the subject's opening fifth is there");
+    assert!(
+        hist.contains_key(&7),
+        "the subject's opening fifth is there"
+    );
 
     // Editing (rewrites the shared entities).
     let mut editor = ScoreEditor::checkout(&mut mdm, id).unwrap();
@@ -107,7 +114,10 @@ fn four_clients_share_one_database() {
     let mut lib = Library::new("GEN");
     lib.catalog(&mdm, id2, 1).unwrap();
     let frag = Incipit::from_keys(vec![67, 74, 70, 69]);
-    assert_eq!(lib.search(&frag, MatchKind::Exact), vec!["GEN 1".to_string()]);
+    assert_eq!(
+        lib.search(&frag, MatchKind::Exact),
+        vec!["GEN 1".to_string()]
+    );
 
     // Analysis again, post-edit: voice 2 now starts an octave lower.
     let edited = mdm.load_score(id2).unwrap();
@@ -143,7 +153,9 @@ fn metaschema_describes_the_cmn_schema() {
              retrieve (a.attribute_name) where a under e in entity_attributes and e.entity_name = \"NOTE\"",
         )
         .unwrap();
-    let mdm_lang::StmtResult::Rows(t) = &out[2] else { panic!() };
+    let mdm_lang::StmtResult::Rows(t) = &out[2] else {
+        panic!()
+    };
     assert_eq!(t.len(), 7, "NOTE has seven attributes in the CMN schema");
     drop(mdm);
     std::fs::remove_dir_all(&dir).ok();
@@ -186,7 +198,9 @@ fn darms_export_reimports_identically() {
     let mut mdm = MusicDataManager::open(&dir).unwrap();
     let id = mdm.store_score(&bwv578_subject()).unwrap();
     let text = mdm.export_darms(id, 0, 0).unwrap();
-    let id2 = mdm.import_darms("reimported", &text, TimeSignature::common()).unwrap();
+    let id2 = mdm
+        .import_darms("reimported", &text, TimeSignature::common())
+        .unwrap();
     let a = mdm.load_score(id).unwrap();
     let b = mdm.load_score(id2).unwrap();
     let pitches = |s: &musicdb::notation::Score| -> Vec<i32> {

@@ -1,0 +1,348 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot fetch crates.io, so this crate vendors
+//! the subset of the criterion API the workspace's benches use:
+//! benchmark groups, `bench_function` / `bench_with_input`,
+//! `iter` / `iter_batched` / `iter_with_large_drop`, `BenchmarkId`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each routine is warmed once and
+//! then timed in a wall-clock loop until the group's `measurement_time`
+//! budget is used (setup closures in `iter_batched` are excluded from
+//! the timed portion). Results are printed as `group/id  mean ± n iters`
+//! with an optional throughput line. There is no statistical analysis,
+//! HTML report, or regression store — this harness exists to keep the
+//! benches compiling, running, and producing comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement = self.default_measurement;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            measurement,
+            throughput: None,
+        }
+    }
+
+    /// Benches a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical elements handled per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup (advisory only in this harness).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs; many per batch.
+    SmallInput,
+    /// Large inputs; few per batch.
+    LargeInput,
+    /// One fresh input per timed iteration.
+    PerIteration,
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; this harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Wall-clock budget for each benchmark's timed loop.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            budget: self.measurement,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id, b.result);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            budget: self.measurement,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id, b.result);
+        self
+    }
+
+    /// Ends the group (reports are printed as benches run).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, result: Option<Sample>) {
+        let Some(s) = result else {
+            eprintln!("{}/{}: no measurement", self.name, id.label);
+            return;
+        };
+        let mean = s.total.as_secs_f64() / s.iters as f64;
+        let mut line = format!(
+            "{}/{}: {} / iter ({} iters)",
+            self.name,
+            id.label,
+            fmt_time(mean),
+            s.iters
+        );
+        match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                line.push_str(&format!(
+                    "  {:.1} MiB/s",
+                    b as f64 / mean / (1 << 20) as f64
+                ));
+            }
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!("  {:.0} elem/s", n as f64 / mean));
+            }
+            None => {}
+        }
+        eprintln!("{line}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+struct Sample {
+    total: Duration,
+    iters: u64,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    result: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times `f` in a loop until the measurement budget is spent.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f()); // warm-up
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let mut total;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            total = start.elapsed();
+            if total >= self.budget {
+                break;
+            }
+        }
+        self.result = Some(Sample { total, iters });
+    }
+
+    /// Like [`Bencher::iter`], but return values are dropped after the
+    /// timed loop so expensive drops don't pollute the measurement.
+    pub fn iter_with_large_drop<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let mut kept = Vec::new();
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let mut total;
+        loop {
+            kept.push(f());
+            iters += 1;
+            total = start.elapsed();
+            if total >= self.budget {
+                break;
+            }
+        }
+        self.result = Some(Sample { total, iters });
+        drop(kept);
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement. The wall-clock cap (4× budget)
+    /// bounds benches whose setup dwarfs their routine.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += t0.elapsed();
+            iters += 1;
+            if timed >= self.budget || wall.elapsed() >= self.budget * 4 {
+                break;
+            }
+        }
+        self.result = Some(Sample {
+            total: timed,
+            iters,
+        });
+    }
+}
+
+/// Declares a runnable group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.measurement_time(Duration::from_millis(10));
+        g.throughput(Throughput::Elements(3));
+        let mut ran = 0u64;
+        g.bench_function(BenchmarkId::new("count", 3), |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran > 1, "timed loop should iterate");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.measurement_time(Duration::from_millis(5));
+        g.bench_with_input(BenchmarkId::new("b", 1), &1, |b, &_| {
+            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::PerIteration)
+        });
+        g.finish();
+    }
+}

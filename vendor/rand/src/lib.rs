@@ -1,0 +1,173 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *subset* of the `rand` 0.10 API it actually
+//! uses: [`rngs::StdRng`] seeded with [`SeedableRng::seed_from_u64`],
+//! and the [`RngExt`] sampling helpers `random_bool` / `random_range`.
+//!
+//! The generator is SplitMix64 — deterministic, seedable, and of
+//! entirely adequate quality for workload generation and tests. It is
+//! **not** cryptographically secure, which matches how the workspace
+//! uses it (benchmark data synthesis only).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// A deterministic 64-bit PRNG (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+/// Seeding interface (API-compatible subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed }
+    }
+}
+
+/// Sampling helpers (API-compatible subset of `rand::RngExt`).
+pub trait RngExt {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 high-quality bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        let mut next = || self.next_u64();
+        range.sample_from(&mut next)
+    }
+}
+
+impl RngExt for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Ranges a uniform sample can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one sample using `next` as the bit source.
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+/// Integer types [`random_range`] can produce. The blanket impls below
+/// are generic over this trait (rather than one impl per concrete range
+/// type) so that a literal range like `55..75` keeps its `{integer}`
+/// inference variable and falls back to `i32` exactly as with the real
+/// `rand` crate.
+///
+/// [`random_range`]: RngExt::random_range
+pub trait SampleUniform: Copy {
+    /// Converts from the i128 arithmetic domain.
+    fn from_i128(v: i128) -> Self;
+    /// Converts into the i128 arithmetic domain.
+    fn to_i128(self) -> i128;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "empty range");
+        let span = (hi - lo) as u128;
+        let offset = (next() as u128) % span;
+        T::from_i128(lo + offset as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as u128 + 1;
+        let offset = (next() as u128) % span;
+        T::from_i128(lo + offset as i128)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        let unit = (next() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_samples_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i32 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&v));
+            let w: usize = rng.random_range(1..9);
+            assert!((1..9).contains(&w));
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.4)).count();
+        assert!((3_500..4_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn all_values_reachable_in_small_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 9];
+        for _ in 0..500 {
+            seen[rng.random_range(1..=9usize) - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
