@@ -3,11 +3,20 @@
 //! ```text
 //! cargo run -p mdm-bench --bin repro -- all
 //! cargo run -p mdm-bench --bin repro -- fig4
+//! cargo run --release -p mdm-bench --bin repro -- bench   # writes BENCH_2.json
+//! cargo run --release -p mdm-bench --bin repro -- smoke   # CI: validate metrics JSON
 //! ```
 //!
 //! Artifacts: fig1–fig15 (the paper's figures), t1 (the §4.1 storage
 //! arithmetic), and quel (the four §5.6 example queries). See
 //! EXPERIMENTS.md for the paper-vs-produced notes.
+//!
+//! `bench` runs the multi-client commit sweep and writes `BENCH_2.json` —
+//! throughput per client count plus the engine's full metrics snapshot —
+//! to the repository root (or the path given as a second argument).
+//! `smoke` runs a scaled-down sweep and validates the emitted JSON with
+//! the observability crate's own parser, exiting non-zero if the document
+//! is malformed or a required metric is missing.
 
 use mdm_bench::workload;
 use mdm_core::{Analyst, Composer, Library, MusicDataManager};
@@ -18,6 +27,33 @@ use mdm_notation::{beam, group, perform, rat, sync, BaseDuration, Duration, Time
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match which.as_str() {
+        "bench" => {
+            let doc = bench_json(&[1, 2, 4, 8], 200);
+            if let Err(e) = validate_bench_json(&doc) {
+                eprintln!("bench JSON failed self-validation: {e}");
+                std::process::exit(1);
+            }
+            let path = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| format!("{}/../../BENCH_2.json", env!("CARGO_MANIFEST_DIR")));
+            std::fs::write(&path, &doc).expect("write BENCH_2.json");
+            println!("wrote {path}");
+            return;
+        }
+        "smoke" => {
+            let doc = bench_json(&[1, 2], 25);
+            match validate_bench_json(&doc) {
+                Ok(()) => println!("metrics JSON smoke: ok ({} bytes)", doc.len()),
+                Err(e) => {
+                    eprintln!("metrics JSON smoke FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
+        _ => {}
+    }
     type Artifact = (&'static str, fn() -> String);
     let all: Vec<Artifact> = vec![
         ("fig1", fig1),
@@ -46,7 +82,7 @@ fn main() {
             .filter(|(n, _)| *n == which)
             .collect::<Vec<_>>();
         if found.is_empty() {
-            eprintln!("unknown artifact {which}; use fig1..fig15, t1, quel, or all");
+            eprintln!("unknown artifact {which}; use fig1..fig15, t1, quel, bench, smoke, or all");
             std::process::exit(2);
         }
         found
@@ -586,6 +622,112 @@ fn t1() -> String {
         ));
     }
     out
+}
+
+/// The E2 multi-client commit sweep as a JSON document: per-client-count
+/// throughput in `runs`, plus the final engine's full metrics snapshot
+/// under `engine_metrics` so the bench trajectory records pool hit
+/// rates, fsync latency, and group-commit batch sizes alongside the
+/// numbers they explain.
+fn bench_json(client_counts: &[usize], ops_per_client: usize) -> String {
+    let mut runs = String::new();
+    let mut last_snapshot = None;
+    for (i, &clients) in client_counts.iter().enumerate() {
+        let dir =
+            std::env::temp_dir().join(format!("mdm-repro-bench-{clients}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let eng = mdm_storage::StorageEngine::open_with_capacity(&dir, 256).expect("open");
+        let tables: Vec<_> = (0..clients)
+            .map(|t| eng.create_table(&format!("t{t}")).expect("table"))
+            .collect();
+        let started = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for &t in &tables {
+                let eng = eng.clone();
+                scope.spawn(move || {
+                    for op in 0..ops_per_client {
+                        let mut txn = eng.begin().expect("begin");
+                        eng.insert(&mut txn, t, format!("row {op}").as_bytes())
+                            .expect("insert");
+                        eng.commit(txn).expect("commit");
+                    }
+                });
+            }
+        });
+        let elapsed = started.elapsed();
+        let txns = clients * ops_per_client;
+        let per_sec = txns as f64 / elapsed.as_secs_f64();
+        if i > 0 {
+            runs.push(',');
+        }
+        runs.push_str(&format!(
+            "{{\"clients\":{clients},\"txns\":{txns},\"micros\":{},\"txns_per_sec\":{per_sec:.1}}}",
+            elapsed.as_micros()
+        ));
+        last_snapshot = Some(eng.metrics_snapshot());
+        drop(eng);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    format!(
+        "{{\"bench\":\"e2_concurrent_commit\",\"ops_per_client\":{ops_per_client},\
+         \"runs\":[{runs}],\"engine_metrics\":{}}}\n",
+        last_snapshot.expect("at least one client count").to_json()
+    )
+}
+
+/// Validates a `bench_json` document with the observability crate's own
+/// parser: well-formed JSON, a non-empty run list with the expected
+/// fields, and every engine metric the ROADMAP cares about present in
+/// the embedded snapshot.
+fn validate_bench_json(doc: &str) -> Result<(), String> {
+    use mdm_obs::json::{parse, Value};
+    let v = parse(doc).map_err(|e| e.to_string())?;
+    let runs = v
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("missing runs array")?;
+    if runs.is_empty() {
+        return Err("runs array is empty".into());
+    }
+    for run in runs {
+        for key in ["clients", "txns", "micros"] {
+            run.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("run is missing integer field {key}"))?;
+        }
+        if !matches!(run.get("txns_per_sec"), Some(Value::Number(_))) {
+            return Err("run is missing txns_per_sec".into());
+        }
+    }
+    let metrics = v
+        .get("engine_metrics")
+        .and_then(|m| m.get("metrics"))
+        .and_then(Value::as_array)
+        .ok_or("missing engine_metrics.metrics array")?;
+    for required in [
+        "mdm_pool_hits_total",
+        "mdm_pool_misses_total",
+        "mdm_pool_evictions_total",
+        "mdm_wal_appends_total",
+        "mdm_wal_fsyncs_total",
+        "mdm_wal_fsync_micros",
+        "mdm_wal_group_commit_batch",
+        "mdm_wal_eviction_syncs_total",
+        "mdm_txn_begins_total",
+        "mdm_txn_commits_total",
+        "mdm_txn_aborts_total",
+        "mdm_txn_active",
+        "mdm_lock_waits_total",
+        "mdm_lock_wait_die_aborts_total",
+    ] {
+        if !metrics
+            .iter()
+            .any(|m| m.get("name").and_then(Value::as_str) == Some(required))
+        {
+            return Err(format!("metric {required} missing from snapshot"));
+        }
+    }
+    Ok(())
 }
 
 /// The four §5.6 example queries, executed verbatim.

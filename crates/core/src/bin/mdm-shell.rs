@@ -8,18 +8,53 @@
 //! onto the next. Dot-commands:
 //!
 //! ```text
-//! .help      this text
-//! .schema    entity types, relationships, orderings
-//! .census    the fig. 11 entity census with instance counts
-//! .scores    stored scores
-//! .save      persist the database through the storage engine
-//! .quit      exit (saving)
+//! .help         this text
+//! .schema       entity types, relationships, orderings
+//! .census       the fig. 11 entity census with instance counts
+//! .scores       stored scores
+//! .save         persist the database through the storage engine
+//! .quit         exit (saving)
+//! \stats        live metrics: storage engine, QUEL pipeline, requests
+//! \stats json   the same snapshot as JSON
+//! \stats prom   the same snapshot in Prometheus text format
 //! ```
 
 use std::io::{BufRead, Write};
 
 use mdm_core::MusicDataManager;
 use mdm_lang::StmtResult;
+use mdm_obs::{MetricValue, Snapshot};
+
+/// Renders a metrics snapshot for terminal reading: one line per series,
+/// histograms summarized as count/sum/mean.
+fn print_stats(snap: &Snapshot) {
+    for e in &snap.entries {
+        let labels = if e.labels.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = e
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            format!("{{{}}}", pairs.join(","))
+        };
+        match &e.value {
+            MetricValue::Counter(v) => println!("{}{labels} = {v}", e.name),
+            MetricValue::Gauge(v) => println!("{}{labels} = {v}", e.name),
+            MetricValue::Histogram(h) => {
+                let mean = h
+                    .mean()
+                    .map(|m| format!("{m:.1}"))
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "{}{labels} = count {} sum {} mean {mean}",
+                    e.name, h.count, h.sum
+                );
+            }
+        }
+    }
+}
 
 fn main() {
     let dir = std::env::args()
@@ -70,6 +105,7 @@ fn main() {
             ".quit" | ".exit" => break,
             ".help" => {
                 println!(".help .schema .census .scores .save .quit");
+                println!("\\stats [json|prom]   live metrics snapshot");
                 println!("anything else is DDL/QUEL, e.g.:");
                 println!("  define entity C (name = string)");
                 println!("  append to C (name = \"x\")");
@@ -108,6 +144,9 @@ fn main() {
                 Ok(()) => println!("saved"),
                 Err(e) => eprintln!("error: {e}"),
             },
+            "\\stats" => print_stats(&mdm.metrics_snapshot()),
+            "\\stats json" => println!("{}", mdm.metrics_snapshot().to_json()),
+            "\\stats prom" => print!("{}", mdm.metrics_snapshot().to_prometheus()),
             _ => match mdm.execute(program) {
                 Ok(results) => {
                     for r in results {

@@ -16,36 +16,108 @@
 //! [`load_score`]: MusicDataManager::load_score
 
 use std::path::Path;
+use std::sync::Arc;
 
-use mdm_lang::{Session, StmtResult, Table};
+use mdm_lang::{QuelMetrics, Session, StmtResult, Table};
 use mdm_model::{persist, Database, EntityId};
 use mdm_notation::{Score, TimeSignature, Voice};
+use mdm_obs::{Counter, Registry, Snapshot};
 use mdm_storage::StorageEngine;
 
 use crate::cmn_schema;
 use crate::error::{CoreError, Result};
 use crate::score_store;
 
+/// One `mdm_requests_total{client=…,api=…}` counter per public MDM entry
+/// point, grouped by the kind of client the paper's fig. 1 anticipates:
+/// language clients (QUEL), score/notation clients, DARMS translators,
+/// persistence, and diagnostics.
+struct RequestCounters {
+    execute: Arc<Counter>,
+    query: Arc<Counter>,
+    query_shared: Arc<Counter>,
+    store_score: Arc<Counter>,
+    load_score: Arc<Counter>,
+    find_score: Arc<Counter>,
+    list_scores: Arc<Counter>,
+    import_darms: Arc<Counter>,
+    export_darms: Arc<Counter>,
+    save: Arc<Counter>,
+    census: Arc<Counter>,
+}
+
+impl RequestCounters {
+    fn register(registry: &Registry) -> RequestCounters {
+        let c = |client, api| {
+            registry.counter_labeled(
+                "mdm_requests_total",
+                "client requests served by the music data manager",
+                &[("client", client), ("api", api)],
+            )
+        };
+        RequestCounters {
+            execute: c("quel", "execute"),
+            query: c("quel", "query"),
+            query_shared: c("quel", "query_shared"),
+            store_score: c("score", "store_score"),
+            load_score: c("score", "load_score"),
+            find_score: c("score", "find_score"),
+            list_scores: c("score", "list_scores"),
+            import_darms: c("darms", "import"),
+            export_darms: c("darms", "export"),
+            save: c("persist", "save"),
+            census: c("diagnostics", "census"),
+        }
+    }
+}
+
 /// The music data manager.
 pub struct MusicDataManager {
     engine: StorageEngine,
     db: Database,
     session: Session,
+    registry: Registry,
+    quel: Arc<QuelMetrics>,
+    requests: RequestCounters,
 }
 
 impl MusicDataManager {
     /// Opens (or creates) a music database in `dir`, running storage
     /// recovery if needed, loading the persisted database, and installing
     /// the CMN schema on first use.
+    ///
+    /// One [`Registry`] spans every layer: the storage engine, the QUEL
+    /// pipeline, and the MDM's own request counters all register into it,
+    /// so [`metrics_snapshot`](Self::metrics_snapshot) captures the whole
+    /// stack at once.
     pub fn open(dir: &Path) -> Result<MusicDataManager> {
-        let engine = StorageEngine::open(dir)?;
+        let registry = Registry::new();
+        let engine =
+            StorageEngine::open_with_registry(dir, mdm_storage::DEFAULT_POOL_PAGES, &registry)?;
+        let quel = QuelMetrics::register(&registry);
+        let requests = RequestCounters::register(&registry);
         let mut db = persist::load(&engine)?;
         cmn_schema::install(&mut db)?;
         Ok(MusicDataManager {
             engine,
             db,
-            session: Session::new(),
+            session: Session::with_metrics(Arc::clone(&quel)),
+            registry,
+            quel,
+            requests,
         })
+    }
+
+    /// A point-in-time snapshot of every metric in the MDM's registry —
+    /// storage engine, QUEL pipeline, and request counters together.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// The registry all MDM layers report into (shares state with the
+    /// engine's [`StorageEngine::metrics_registry`]).
+    pub fn metrics_registry(&self) -> Registry {
+        self.registry.clone()
     }
 
     /// The in-memory database (read access for clients).
@@ -66,13 +138,19 @@ impl MusicDataManager {
 
     /// Executes a program of DDL / QUEL statements.
     pub fn execute(&mut self, text: &str) -> Result<Vec<StmtResult>> {
+        self.requests.execute.inc();
+        self.run(text)
+    }
+
+    fn run(&mut self, text: &str) -> Result<Vec<StmtResult>> {
         Ok(self.session.execute(&mut self.db, text)?)
     }
 
     /// Executes a program and returns the last statement's rows (errors
     /// if the last statement produced no table).
     pub fn query(&mut self, text: &str) -> Result<Table> {
-        let results = self.execute(text)?;
+        self.requests.query.inc();
+        let results = self.run(text)?;
         match results.into_iter().last() {
             Some(StmtResult::Rows(t)) => Ok(t),
             other => Err(CoreError::Internal(format!(
@@ -88,7 +166,8 @@ impl MusicDataManager {
     /// statements are rejected; range declarations are local to the call
     /// rather than carried in the session.
     pub fn query_shared(&self, text: &str) -> Result<Table> {
-        let mut session = Session::new();
+        self.requests.query_shared.inc();
+        let mut session = Session::with_metrics(Arc::clone(&self.quel));
         let results = session.execute_readonly(&self.db, text)?;
         match results.into_iter().last() {
             Some(StmtResult::Rows(t)) => Ok(t),
@@ -100,6 +179,7 @@ impl MusicDataManager {
 
     /// Persists the database through the storage engine and checkpoints.
     pub fn save(&mut self) -> Result<()> {
+        self.requests.save.inc();
         persist::save(&self.db, &self.engine)?;
         self.engine.checkpoint()?;
         Ok(())
@@ -111,21 +191,25 @@ impl MusicDataManager {
 
     /// Stores a score, returning its SCORE entity id.
     pub fn store_score(&mut self, score: &Score) -> Result<EntityId> {
+        self.requests.store_score.inc();
         score_store::store_score(&mut self.db, score)
     }
 
     /// Loads a stored score by entity id.
     pub fn load_score(&self, id: EntityId) -> Result<Score> {
+        self.requests.load_score.inc();
         score_store::load_score(&self.db, id)
     }
 
     /// Finds a stored score by exact title.
     pub fn find_score(&self, title: &str) -> Result<Option<EntityId>> {
+        self.requests.find_score.inc();
         score_store::find_score(&self.db, title)
     }
 
     /// Lists stored scores as (entity id, title).
     pub fn list_scores(&self) -> Result<Vec<(EntityId, String)>> {
+        self.requests.list_scores.inc();
         score_store::list_scores(&self.db)
     }
 
@@ -136,6 +220,7 @@ impl MusicDataManager {
         darms: &str,
         meter: TimeSignature,
     ) -> Result<EntityId> {
+        self.requests.import_darms.inc();
         let items = mdm_darms::parse(darms)?;
         let voice = mdm_darms::to_voice(&items)?;
         let mut movement =
@@ -143,7 +228,7 @@ impl MusicDataManager {
         movement.voices.push(voice);
         let mut score = Score::new(title);
         score.movements.push(movement);
-        self.store_score(&score)
+        score_store::store_score(&mut self.db, &score)
     }
 
     /// Exports a stored score's given voice as canonical DARMS.
@@ -153,7 +238,8 @@ impl MusicDataManager {
         movement: usize,
         voice: usize,
     ) -> Result<String> {
-        let score = self.load_score(score_id)?;
+        self.requests.export_darms.inc();
+        let score = score_store::load_score(&self.db, score_id)?;
         let m = score
             .movements
             .get(movement)
@@ -168,6 +254,7 @@ impl MusicDataManager {
 
     /// The fig. 11 census over the live database.
     pub fn census(&self) -> String {
+        self.requests.census.inc();
         cmn_schema::census(&self.db)
     }
 }
@@ -276,6 +363,59 @@ mod tests {
         let out = mdm.export_darms(id, 0, 0).unwrap();
         assert!(out.contains("'K2#"), "{out}");
         assert!(out.contains("21Q"), "{out}");
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_surface_reports_requests_and_engine_activity() {
+        let dir = tmpdir("metrics");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        mdm.execute("append to PERSON (name = \"Bach\")").unwrap();
+        assert_eq!(mdm.query("retrieve (PERSON.name)").unwrap().len(), 1);
+        mdm.query_shared("retrieve (PERSON.name)").unwrap();
+        let id = mdm.store_score(&bwv578_subject()).unwrap();
+        mdm.load_score(id).unwrap();
+        mdm.find_score("Fuge g-moll").unwrap();
+        mdm.list_scores().unwrap();
+        mdm.import_darms("frag", "'G 1Q 2Q //", TimeSignature::common())
+            .unwrap();
+        mdm.export_darms(id, 0, 0).unwrap();
+        mdm.census();
+        mdm.save().unwrap();
+
+        let snap = mdm.metrics_snapshot();
+        let req = |client, api| {
+            snap.counter_with("mdm_requests_total", &[("client", client), ("api", api)])
+                .unwrap_or(0)
+        };
+        // Every public entry point counts exactly its own invocations —
+        // internal reuse (query→run, export→score_store) must not
+        // double-count.
+        assert_eq!(req("quel", "execute"), 1);
+        assert_eq!(req("quel", "query"), 1);
+        assert_eq!(req("quel", "query_shared"), 1);
+        assert_eq!(req("score", "store_score"), 1);
+        assert_eq!(req("score", "load_score"), 1);
+        assert_eq!(req("score", "find_score"), 1);
+        assert_eq!(req("score", "list_scores"), 1);
+        assert_eq!(req("darms", "import"), 1);
+        assert_eq!(req("darms", "export"), 1);
+        assert_eq!(req("persist", "save"), 1);
+        assert_eq!(req("diagnostics", "census"), 1);
+
+        // The engine and QUEL pipeline report into the same registry.
+        assert!(snap.counter("mdm_txn_begins_total").unwrap() > 0);
+        assert!(snap.counter("mdm_wal_appends_total").unwrap() > 0);
+        assert!(snap.counter("mdm_quel_rows_returned_total").unwrap() >= 2);
+        assert!(snap.histogram("mdm_quel_exec_micros").unwrap().count > 0);
+        assert_eq!(
+            mdm.engine()
+                .metrics_snapshot()
+                .counter("mdm_txn_begins_total"),
+            snap.counter("mdm_txn_begins_total"),
+            "engine and MDM share one registry"
+        );
         drop(mdm);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -10,12 +10,72 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 use mdm_model::encode::encode_value;
 use mdm_model::{Database, EntityId, RelTypeId, TypeId, Value};
+use mdm_obs::{Counter, Histogram, Registry, LATENCY_MICROS_BOUNDS};
 
 use crate::ast::{BinOp, Expr, OrdOp, Stmt, Target};
 use crate::error::{LangError, Result};
+
+/// Observability handles for the QUEL pipeline: phase latencies
+/// (lex / parse / per-statement execution), executor row traffic, and
+/// ordering-operator evaluation counts. Created against a registry with
+/// [`QuelMetrics::register`] and attached to a session via
+/// [`Session::with_metrics`]; sessions without metrics pay nothing.
+#[derive(Debug)]
+pub struct QuelMetrics {
+    lex_micros: Arc<Histogram>,
+    parse_micros: Arc<Histogram>,
+    exec_micros: Arc<Histogram>,
+    rows_scanned: Arc<Counter>,
+    rows_returned: Arc<Counter>,
+    ord_before: Arc<Counter>,
+    ord_after: Arc<Counter>,
+    ord_under: Arc<Counter>,
+}
+
+impl QuelMetrics {
+    /// Registers (or retrieves) the QUEL pipeline metrics in `registry`.
+    pub fn register(registry: &Registry) -> Arc<QuelMetrics> {
+        let ord = |op| {
+            registry.counter_labeled(
+                "mdm_quel_ord_ops_total",
+                "hierarchical-ordering operator evaluations",
+                &[("op", op)],
+            )
+        };
+        Arc::new(QuelMetrics {
+            lex_micros: registry.histogram(
+                "mdm_quel_lex_micros",
+                "QUEL program lexing latency",
+                LATENCY_MICROS_BOUNDS,
+            ),
+            parse_micros: registry.histogram(
+                "mdm_quel_parse_micros",
+                "QUEL program parsing latency",
+                LATENCY_MICROS_BOUNDS,
+            ),
+            exec_micros: registry.histogram(
+                "mdm_quel_exec_micros",
+                "QUEL statement execution latency",
+                LATENCY_MICROS_BOUNDS,
+            ),
+            rows_scanned: registry.counter(
+                "mdm_quel_rows_scanned_total",
+                "candidate variable bindings enumerated by the executor",
+            ),
+            rows_returned: registry.counter(
+                "mdm_quel_rows_returned_total",
+                "rows returned by retrieve statements",
+            ),
+            ord_before: ord("before"),
+            ord_after: ord("after"),
+            ord_under: ord("under"),
+        })
+    }
+}
 
 /// What a range variable ranges over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +191,7 @@ pub enum StmtResult {
 #[derive(Debug, Clone, Default)]
 pub struct Session {
     ranges: HashMap<String, String>, // var -> type name (resolved lazily)
+    metrics: Option<Arc<QuelMetrics>>,
 }
 
 impl Session {
@@ -139,10 +200,37 @@ impl Session {
         Session::default()
     }
 
+    /// Creates a session whose pipeline phases record into `metrics`.
+    pub fn with_metrics(metrics: Arc<QuelMetrics>) -> Session {
+        Session {
+            ranges: HashMap::new(),
+            metrics: Some(metrics),
+        }
+    }
+
+    /// Lexes and parses a program, timing each phase when instrumented.
+    fn parse_timed(&self, text: &str) -> Result<Vec<Stmt>> {
+        let Some(m) = &self.metrics else {
+            return crate::parser::parse(text);
+        };
+        let tokens = {
+            let _t = m.lex_micros.time();
+            crate::lexer::lex(text)?
+        };
+        let _t = m.parse_micros.time();
+        crate::parser::parse_tokens(tokens)
+    }
+
     /// Parses and executes a program, returning one result per statement.
     pub fn execute(&mut self, db: &mut Database, text: &str) -> Result<Vec<StmtResult>> {
-        let stmts = crate::parser::parse(text)?;
-        stmts.iter().map(|s| self.execute_stmt(db, s)).collect()
+        let stmts = self.parse_timed(text)?;
+        stmts
+            .iter()
+            .map(|s| {
+                let _t = self.metrics.as_ref().map(|m| m.exec_micros.time());
+                self.execute_stmt(db, s)
+            })
+            .collect()
     }
 
     /// Parses and executes a *read-only* program — `range of` declarations
@@ -151,20 +239,23 @@ impl Session {
     /// rejected, which is what lets concurrent reader clients share one
     /// `&Database` without exclusive access.
     pub fn execute_readonly(&mut self, db: &Database, text: &str) -> Result<Vec<StmtResult>> {
-        let stmts = crate::parser::parse(text)?;
+        let stmts = self.parse_timed(text)?;
         stmts
             .iter()
-            .map(|s| match s {
-                Stmt::RangeOf { vars, target } => self.declare_range(db, vars, target),
-                Stmt::Retrieve {
-                    unique,
-                    targets,
-                    qual,
-                    sort,
-                } => self.retrieve(db, *unique, targets, qual.as_ref(), sort),
-                _ => Err(LangError::Analyze(
-                    "only `range of` and `retrieve` are allowed in read-only execution".into(),
-                )),
+            .map(|s| {
+                let _t = self.metrics.as_ref().map(|m| m.exec_micros.time());
+                match s {
+                    Stmt::RangeOf { vars, target } => self.declare_range(db, vars, target),
+                    Stmt::Retrieve {
+                        unique,
+                        targets,
+                        qual,
+                        sort,
+                    } => self.retrieve(db, *unique, targets, qual.as_ref(), sort),
+                    _ => Err(LangError::Analyze(
+                        "only `range of` and `retrieve` are allowed in read-only execution".into(),
+                    )),
+                }
             })
             .collect()
     }
@@ -272,7 +363,18 @@ impl Session {
             .iter()
             .map(|v| self.var_target(db, v))
             .collect::<Result<Vec<_>>>()?;
-        Ok(Plan { vars, targets })
+        Ok(Plan {
+            vars,
+            targets,
+            metrics: self.metrics.clone(),
+        })
+    }
+
+    /// Credits `n` rows to the returned-rows counter, if instrumented.
+    fn note_rows_returned(&self, n: usize) {
+        if let Some(m) = &self.metrics {
+            m.rows_returned.add(n as u64);
+        }
     }
 
     fn retrieve(
@@ -298,6 +400,7 @@ impl Session {
                 unreachable!("retrieve_grouped returns rows");
             };
             sort_table(&mut table, sort)?;
+            self.note_rows_returned(table.rows.len());
             return Ok(StmtResult::Rows(table));
         }
         let mut rows = Vec::new();
@@ -327,6 +430,7 @@ impl Session {
         })?;
         let mut table = Table { columns, rows };
         sort_table(&mut table, sort)?;
+        self.note_rows_returned(table.rows.len());
         Ok(StmtResult::Rows(table))
     }
 
@@ -438,6 +542,7 @@ impl Session {
 struct Plan {
     vars: Vec<String>,
     targets: Vec<RangeTarget>,
+    metrics: Option<Arc<QuelMetrics>>,
 }
 
 impl Plan {
@@ -501,6 +606,21 @@ impl Plan {
         &self,
         db: &Database,
         restrictions: &[Option<Vec<u64>>],
+        f: impl FnMut(&Database, &[u64]) -> Result<()>,
+    ) -> Result<()> {
+        let mut scanned: u64 = 0;
+        let result = self.enumerate_bindings(db, restrictions, &mut scanned, f);
+        if let Some(m) = &self.metrics {
+            m.rows_scanned.add(scanned);
+        }
+        result
+    }
+
+    fn enumerate_bindings(
+        &self,
+        db: &Database,
+        restrictions: &[Option<Vec<u64>>],
+        scanned: &mut u64,
         mut f: impl FnMut(&Database, &[u64]) -> Result<()>,
     ) -> Result<()> {
         let domains: Vec<Vec<u64>> = self
@@ -518,6 +638,7 @@ impl Plan {
             )
             .collect();
         if domains.is_empty() {
+            *scanned += 1;
             return f(db, &[]);
         }
         if domains.iter().any(Vec::is_empty) {
@@ -529,6 +650,7 @@ impl Plan {
             for (i, &d) in odometer.iter().enumerate() {
                 binding[i] = domains[i][d];
             }
+            *scanned += 1;
             f(db, &binding)?;
             // Advance.
             let mut i = domains.len();
@@ -900,6 +1022,13 @@ fn eval(db: &Database, plan: &Plan, binding: &[u64], e: &Expr) -> Result<Value> 
             rhs,
             ordering,
         } => {
+            if let Some(m) = &plan.metrics {
+                match op {
+                    OrdOp::Before => m.ord_before.inc(),
+                    OrdOp::After => m.ord_after.inc(),
+                    OrdOp::Under => m.ord_under.inc(),
+                }
+            }
             let li = plan.index_of(lhs)?;
             let ri = plan.index_of(rhs)?;
             let (RangeTarget::Entity(lty), RangeTarget::Entity(rty)) =

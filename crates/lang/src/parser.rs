@@ -7,7 +7,12 @@ use mdm_model::Value;
 
 /// Parses a program: a sequence of statements.
 pub fn parse(input: &str) -> Result<Vec<Stmt>> {
-    let tokens = lex(input)?;
+    parse_tokens(lex(input)?)
+}
+
+/// Parses an already-lexed token stream. Splitting the phases lets an
+/// instrumented caller time lexing and parsing separately.
+pub fn parse_tokens(tokens: Vec<Token>) -> Result<Vec<Stmt>> {
     let mut p = Parser { tokens, pos: 0 };
     let mut stmts = Vec::new();
     while !p.at_eof() {

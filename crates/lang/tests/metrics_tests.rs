@@ -1,0 +1,116 @@
+//! QUEL pipeline observability: phase timers, executor row traffic, and
+//! ordering-operator counters must reflect the work actually performed.
+
+use std::sync::Arc;
+
+use mdm_lang::{QuelMetrics, Session};
+use mdm_model::{Database, Value};
+use mdm_obs::Registry;
+
+/// The §5.6 NOTE/CHORD database: chord 1 with notes 1..=4 in order,
+/// chord 2 with notes 5..=6.
+fn chord_db(session: &mut Session) -> Database {
+    let mut db = Database::new();
+    session
+        .execute(
+            &mut db,
+            "define entity CHORD (name = integer)\n\
+             define entity NOTE (name = integer)\n\
+             define ordering note_in_chord (NOTE) under CHORD",
+        )
+        .unwrap();
+    let c1 = db
+        .create_entity("CHORD", &[("name", Value::Integer(1))])
+        .unwrap();
+    let c2 = db
+        .create_entity("CHORD", &[("name", Value::Integer(2))])
+        .unwrap();
+    for i in 1..=4 {
+        let n = db
+            .create_entity("NOTE", &[("name", Value::Integer(i))])
+            .unwrap();
+        db.ord_append("note_in_chord", Some(c1), n).unwrap();
+    }
+    for i in 5..=6 {
+        let n = db
+            .create_entity("NOTE", &[("name", Value::Integer(i))])
+            .unwrap();
+        db.ord_append("note_in_chord", Some(c2), n).unwrap();
+    }
+    db
+}
+
+#[test]
+fn pipeline_metrics_count_exact_work() {
+    let registry = Registry::new();
+    let metrics = QuelMetrics::register(&registry);
+    let mut s = Session::with_metrics(Arc::clone(&metrics));
+    let mut db = chord_db(&mut s); // program 1: three define statements
+
+    // Program 2: 6×6 NOTE bindings, `before` on every one, 2 rows out.
+    s.execute(
+        &mut db,
+        "range of n1, n2 is NOTE\n\
+         retrieve (n1.name) where n1 before n2 in note_in_chord and n2.name = 3",
+    )
+    .unwrap();
+    // Program 3: same shape with `after`; notes 3 and 4 follow note 2.
+    s.execute(
+        &mut db,
+        "range of n1, n2 is NOTE\n\
+         retrieve (n1.name) where n1 after n2 in note_in_chord and n2.name = 2",
+    )
+    .unwrap();
+    // Program 4: 6×2 NOTE×CHORD bindings, `under` on every one.
+    s.execute(
+        &mut db,
+        "range of n is NOTE\n\
+         range of c is CHORD\n\
+         retrieve (n.name) where n under c in note_in_chord and c.name = 2",
+    )
+    .unwrap();
+
+    let snap = registry.snapshot();
+    // Four programs were lexed and parsed; 3+2+2+3 statements executed.
+    assert_eq!(snap.histogram("mdm_quel_lex_micros").unwrap().count, 4);
+    assert_eq!(snap.histogram("mdm_quel_parse_micros").unwrap().count, 4);
+    assert_eq!(snap.histogram("mdm_quel_exec_micros").unwrap().count, 10);
+    // Cross products: 36 + 36 + 12 bindings enumerated.
+    assert_eq!(snap.counter("mdm_quel_rows_scanned_total"), Some(84));
+    // Each retrieve returned two rows.
+    assert_eq!(snap.counter("mdm_quel_rows_returned_total"), Some(6));
+    // The ordering operator leads each qualification, so it is evaluated
+    // for every binding of its statement.
+    let ord = |op| snap.counter_with("mdm_quel_ord_ops_total", &[("op", op)]);
+    assert_eq!(ord("before"), Some(36));
+    assert_eq!(ord("after"), Some(36));
+    assert_eq!(ord("under"), Some(12));
+}
+
+#[test]
+fn readonly_execution_is_instrumented() {
+    let registry = Registry::new();
+    let mut plain = Session::new();
+    let db = chord_db(&mut plain); // built without metrics
+
+    let mut s = Session::with_metrics(QuelMetrics::register(&registry));
+    s.execute_readonly(&db, "range of n is NOTE\nretrieve (n.name)")
+        .unwrap();
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.histogram("mdm_quel_exec_micros").unwrap().count, 2);
+    assert_eq!(snap.counter("mdm_quel_rows_scanned_total"), Some(6));
+    assert_eq!(snap.counter("mdm_quel_rows_returned_total"), Some(6));
+}
+
+#[test]
+fn uninstrumented_session_records_nothing() {
+    let registry = Registry::new();
+    let _handles = QuelMetrics::register(&registry);
+    let mut s = Session::new();
+    let mut db = chord_db(&mut s);
+    s.execute(&mut db, "retrieve (NOTE.name)").unwrap();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("mdm_quel_rows_scanned_total"), Some(0));
+    assert_eq!(snap.histogram("mdm_quel_exec_micros").unwrap().count, 0);
+}

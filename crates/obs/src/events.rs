@@ -1,0 +1,102 @@
+//! A bounded ring buffer of timestamped diagnostic events.
+//!
+//! Metrics answer "how much"; the event log answers "what happened
+//! lately" — recoveries, checkpoints, DDL, aborted transactions. The
+//! buffer holds the most recent `capacity` events; older events are
+//! dropped and counted so readers can tell the log wrapped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Microseconds since the log was created.
+    pub at_micros: u64,
+    /// Originating subsystem (e.g. `"engine"`, `"quel"`).
+    pub subsystem: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A fixed-capacity, thread-safe event ring buffer.
+#[derive(Debug)]
+pub struct EventLog {
+    epoch: Instant,
+    capacity: usize,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl EventLog {
+    /// A new log holding up to `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> EventLog {
+        let capacity = capacity.max(1);
+        EventLog {
+            epoch: Instant::now(),
+            capacity,
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn record(&self, subsystem: &'static str, message: impl Into<String>) {
+        let event = Event {
+            at_micros: self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            subsystem,
+            message: message.into(),
+        };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// How many events have been evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let log = EventLog::new(3);
+        for i in 0..5 {
+            log.record("test", format!("event {i}"));
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].message, "event 2");
+        assert_eq!(recent[2].message, "event 4");
+        assert_eq!(log.dropped(), 2);
+        assert!(recent.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let log = EventLog::new(0);
+        log.record("test", "a");
+        log.record("test", "b");
+        assert_eq!(log.recent().len(), 1);
+        assert_eq!(log.recent()[0].message, "b");
+    }
+}

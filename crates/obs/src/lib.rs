@@ -1,0 +1,42 @@
+//! # mdm-obs
+//!
+//! Zero-dependency observability for the music data manager. The build
+//! environment is offline, so this crate hand-rolls the pieces that
+//! `metrics`/`tracing` would otherwise provide:
+//!
+//! * [`metrics`] — [`Counter`], [`Gauge`], and fixed-bucket [`Histogram`]
+//!   on relaxed atomics, plus the [`SpanTimer`] scope guard that records
+//!   elapsed wall time into a histogram on drop.
+//! * [`registry`] — a [`Registry`] of named, labelled metric handles with
+//!   consistent [`Snapshot`] export as JSON and Prometheus text format.
+//! * [`events`] — [`EventLog`], a bounded ring buffer of timestamped
+//!   diagnostic events (recoveries, checkpoints, DDL).
+//! * [`json`] — a minimal JSON parser used by tests and by the bench
+//!   smoke-mode validator; the exporters in [`registry`] emit JSON this
+//!   parser round-trips.
+//!
+//! Everything is `Send + Sync` and cheap enough for hot paths: counters
+//! are one relaxed `fetch_add`, histograms one short linear bucket scan
+//! plus three relaxed adds. Nothing here allocates after registration.
+//!
+//! ```
+//! use mdm_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let hits = registry.counter("mdm_pool_hits_total", "cache hits");
+//! hits.inc();
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("mdm_pool_hits_total"), Some(1));
+//! assert!(snap.to_prometheus().contains("mdm_pool_hits_total 1"));
+//! ```
+
+pub mod events;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+
+pub use events::{Event, EventLog};
+pub use metrics::{
+    Counter, Gauge, Histogram, SpanTimer, LATENCY_MICROS_BOUNDS, SMALL_COUNT_BOUNDS,
+};
+pub use registry::{HistogramSnap, MetricSnap, MetricValue, Registry, Snapshot};

@@ -1,0 +1,224 @@
+//! Metric primitives: counters, gauges, fixed-bucket histograms, and the
+//! scoped span timer.
+//!
+//! All primitives use relaxed atomics: the registry's snapshot is a
+//! statistical read, not a synchronization point, so no ordering stronger
+//! than `Relaxed` is needed and updates cost one uncontended atomic RMW.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default bucket bounds (inclusive upper edges, in microseconds) for
+/// latency histograms: 10 µs .. 1 s, roughly logarithmic.
+pub const LATENCY_MICROS_BOUNDS: &[u64] = &[
+    10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+    1_000_000,
+];
+
+/// Default bucket bounds for small-count histograms (e.g. group-commit
+/// batch sizes): powers of two up to 256.
+pub const SMALL_COUNT_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero (unregistered; see
+    /// [`Registry::counter`](crate::Registry::counter) for the registered
+    /// path).
+    pub fn new() -> Arc<Counter> {
+        Arc::new(Counter(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Arc<Gauge> {
+        Arc::new(Gauge(AtomicI64::new(0)))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram. Bucket bounds are inclusive upper edges in
+/// ascending order; observations above the last bound land in an implicit
+/// overflow (`+Inf`) bucket. `sum` and `count` track totals so exporters
+/// can derive a mean.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>, // len = bounds.len() + 1 (overflow last)
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A fresh histogram over `bounds` (must be non-empty and ascending).
+    pub fn new(bounds: &[u64]) -> Arc<Histogram> {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must ascend"
+        );
+        Arc::new(Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        })
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Starts a scope timer that records into this histogram when dropped.
+    pub fn time(self: &Arc<Histogram>) -> SpanTimer {
+        SpanTimer {
+            histogram: Arc::clone(self),
+            started: Instant::now(),
+        }
+    }
+
+    /// The bucket bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (overflow bucket last). A concurrent reader may
+    /// see a count mid-update; totals reconcile once writers quiesce.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// A scope guard that measures wall time from its creation and records
+/// the elapsed microseconds into a [`Histogram`] on drop.
+pub struct SpanTimer {
+    histogram: Arc<Histogram>,
+    started: Instant,
+}
+
+impl SpanTimer {
+    /// Stops the timer early, recording now instead of at scope end.
+    pub fn stop(self) {}
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.histogram.observe_duration(self.started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [1, 10, 11, 100, 101, 5_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 10 + 11 + 100 + 101 + 5_000);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let h = Histogram::new(LATENCY_MICROS_BOUNDS);
+        {
+            let _t = h.time();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 1_000, "slept ≥1 ms, recorded {} µs", h.sum());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[10, 5]);
+    }
+}

@@ -1,0 +1,494 @@
+//! The metrics registry: named, labelled handles plus snapshot export.
+//!
+//! A [`Registry`] hands out `Arc` handles to [`Counter`]s, [`Gauge`]s,
+//! and [`Histogram`]s keyed by `(name, labels)`. Registering the same
+//! key twice returns the existing handle, so independent components can
+//! share a metric without coordination. [`Registry::snapshot`] reads
+//! every handle into a [`Snapshot`] that serializes as JSON (for the
+//! bench trajectory) or Prometheus text format (for scrapers).
+//!
+//! Naming convention (enforced by review, not code): `mdm_<subsystem>_
+//! <metric>` with a `_total` suffix for counters and a `_micros` suffix
+//! for duration histograms — e.g. `mdm_wal_fsyncs_total`,
+//! `mdm_quel_exec_micros`.
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+#[derive(Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// A shared registry of metrics. Cloning is cheap; clones share state.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(&self, name: &str, help: &str, labels: &[(&str, &str)], make: Handle) -> Handle {
+        let mut entries = self.inner.lock().unwrap();
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && labels_eq(&e.labels, labels))
+        {
+            return e.handle.clone();
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            handle: make.clone(),
+        });
+        make
+    }
+
+    /// Registers (or retrieves) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_labeled(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a labelled counter.
+    pub fn counter_labeled(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, help, labels, Handle::Counter(Counter::new())) {
+            Handle::Counter(c) => c,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.register(name, help, &[], Handle::Gauge(Gauge::new())) {
+            Handle::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled histogram over `bounds`.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Arc<Histogram> {
+        self.histogram_labeled(name, help, bounds, &[])
+    }
+
+    /// Registers (or retrieves) a labelled histogram over `bounds`.
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.register(
+            name,
+            help,
+            labels,
+            Handle::Histogram(Histogram::new(bounds)),
+        ) {
+            Handle::Histogram(h) => h,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Registers an externally-created counter handle (e.g. one a
+    /// component constructed before it had a registry), or returns the
+    /// already-registered handle for the same `(name, labels)`.
+    pub fn register_counter_handle(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        handle: Arc<Counter>,
+    ) -> Arc<Counter> {
+        match self.register(name, help, labels, Handle::Counter(handle)) {
+            Handle::Counter(c) => c,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// As [`Registry::register_counter_handle`], for a histogram.
+    pub fn register_histogram_handle(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        handle: Arc<Histogram>,
+    ) -> Arc<Histogram> {
+        match self.register(name, help, labels, Handle::Histogram(handle)) {
+            Handle::Histogram(h) => h,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// As [`Registry::register_counter_handle`], for a gauge.
+    pub fn register_gauge_handle(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        handle: Arc<Gauge>,
+    ) -> Arc<Gauge> {
+        match self.register(name, help, labels, Handle::Gauge(handle)) {
+            Handle::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Reads every registered metric into a point-in-time snapshot.
+    /// Values are read with relaxed ordering: a snapshot taken under load
+    /// is internally consistent per metric but not across metrics.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.inner.lock().unwrap();
+        let mut out: Vec<MetricSnap> = entries
+            .iter()
+            .map(|e| MetricSnap {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                labels: e.labels.clone(),
+                value: match &e.handle {
+                    Handle::Counter(c) => MetricValue::Counter(c.get()),
+                    Handle::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Handle::Histogram(h) => MetricValue::Histogram(HistogramSnap {
+                        bounds: h.bounds().to_vec(),
+                        counts: h.bucket_counts(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    }),
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Snapshot { entries: out }
+    }
+}
+
+fn labels_eq(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want)
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+/// One metric at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnap {
+    /// Metric name (`mdm_*`).
+    pub name: String,
+    /// Help text (Prometheus `# HELP`).
+    pub help: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// A snapshot value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram reading.
+    Histogram(HistogramSnap),
+}
+
+/// Histogram state at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnap {
+    /// Inclusive upper bucket edges.
+    pub bounds: Vec<u64>,
+    /// Per-bucket (non-cumulative) counts; the overflow bucket is last.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnap {
+    /// Mean observed value, if any observations were made.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// A point-in-time export of a [`Registry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// All metrics, sorted by (name, labels).
+    pub entries: Vec<MetricSnap>,
+}
+
+impl Snapshot {
+    /// The value of an unlabelled counter, or the sum across all label
+    /// sets of `name` when it is labelled.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let mut found = false;
+        let mut total = 0;
+        for e in self.entries.iter().filter(|e| e.name == name) {
+            if let MetricValue::Counter(v) = e.value {
+                found = true;
+                total += v;
+            }
+        }
+        found.then_some(total)
+    }
+
+    /// The value of a counter with exactly the given labels.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name && labels_eq(&e.labels, labels))
+            .and_then(|e| match e.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+    }
+
+    /// The value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| match e.value {
+                MetricValue::Gauge(v) => Some(v),
+                _ => None,
+            })
+    }
+
+    /// The first histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnap> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| match &e.value {
+                MetricValue::Histogram(h) => Some(h),
+                _ => None,
+            })
+    }
+
+    /// Serializes the snapshot as a JSON object:
+    /// `{"metrics": [{"name": …, "labels": {…}, "type": …, …}, …]}`.
+    /// The output round-trips through [`crate::json::parse`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &e.name);
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in e.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, k);
+                out.push(':');
+                push_json_string(&mut out, v);
+            }
+            out.push('}');
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, ",\"type\":\"counter\",\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, ",\"type\":\"gauge\",\"value\":{v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count, h.sum
+                    );
+                    let mut cumulative = 0;
+                    for (j, (&bound, &n)) in h.bounds.iter().zip(&h.counts).enumerate() {
+                        cumulative += n;
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{{\"le\":{bound},\"count\":{cumulative}}}");
+                    }
+                    let _ = write!(
+                        out,
+                        ",{{\"le\":\"+Inf\",\"count\":{}}}]",
+                        cumulative + h.counts.last().copied().unwrap_or(0)
+                    );
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Serializes the snapshot in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = "";
+        for e in &self.entries {
+            if e.name != last_family {
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let kind = match e.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {}", e.name, kind);
+                last_family = &e.name;
+            }
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", e.name, prom_labels(&e.labels, &[]), v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", e.name, prom_labels(&e.labels, &[]), v);
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0;
+                    for (&bound, &n) in h.bounds.iter().zip(&h.counts) {
+                        cumulative += n;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            e.name,
+                            prom_labels(&e.labels, &[("le", &bound.to_string())]),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        e.name,
+                        prom_labels(&e.labels, &[("le", "+Inf")]),
+                        h.count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        e.name,
+                        prom_labels(&e.labels, &[]),
+                        h.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        e.name,
+                        prom_labels(&e.labels, &[]),
+                        h.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn prom_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Appends `s` as a JSON string literal (with escaping) to `out`.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_dedups_by_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("mdm_x_total", "x");
+        let b = r.counter("mdm_x_total", "x");
+        let c = r.counter_labeled("mdm_x_total", "x", &[("shard", "0")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same key shares the handle");
+        assert_eq!(c.get(), 0, "different labels are a different series");
+        assert_eq!(r.snapshot().entries.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let r = Registry::new();
+        r.counter_labeled("mdm_pool_hits_total", "hits", &[("shard", "0")])
+            .add(3);
+        r.counter_labeled("mdm_pool_hits_total", "hits", &[("shard", "1")])
+            .add(4);
+        r.gauge("mdm_active_txns", "active").set(-2);
+        r.histogram("mdm_lat_micros", "latency", &[10, 100])
+            .observe(7);
+        let s = r.snapshot();
+        assert_eq!(s.counter("mdm_pool_hits_total"), Some(7));
+        assert_eq!(
+            s.counter_with("mdm_pool_hits_total", &[("shard", "1")]),
+            Some(4)
+        );
+        assert_eq!(s.gauge("mdm_active_txns"), Some(-2));
+        assert_eq!(s.histogram("mdm_lat_micros").unwrap().count, 1);
+        assert_eq!(s.counter("absent"), None);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

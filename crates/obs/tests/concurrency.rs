@@ -1,0 +1,215 @@
+//! Multi-threaded exactness and export-format tests for `mdm-obs`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use mdm_obs::{json, Registry, SMALL_COUNT_BOUNDS};
+
+const THREADS: usize = 8;
+const INCREMENTS: u64 = 10_000;
+
+/// N threads × M increments must sum exactly — counters lose nothing
+/// under contention even with relaxed ordering (fetch_add is atomic).
+#[test]
+fn counter_exact_under_contention() {
+    let registry = Registry::new();
+    let counter = registry.counter("mdm_test_total", "contended counter");
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let counter = Arc::clone(&counter);
+            s.spawn(move || {
+                for _ in 0..INCREMENTS {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * INCREMENTS);
+    assert_eq!(
+        registry.snapshot().counter("mdm_test_total"),
+        Some(THREADS as u64 * INCREMENTS)
+    );
+}
+
+/// Histogram bucket counts, total count, and sum are all exact once
+/// writers quiesce: every observation lands in exactly one bucket.
+#[test]
+fn histogram_exact_under_contention() {
+    let registry = Registry::new();
+    let hist = registry.histogram("mdm_test_micros", "contended histogram", SMALL_COUNT_BOUNDS);
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let hist = Arc::clone(&hist);
+            s.spawn(move || {
+                for i in 0..INCREMENTS {
+                    // Deterministic spread across buckets, including overflow.
+                    hist.observe((t as u64 + i) % 300);
+                }
+            });
+        }
+    });
+    let total = THREADS as u64 * INCREMENTS;
+    assert_eq!(hist.count(), total);
+    assert_eq!(hist.bucket_counts().iter().sum::<u64>(), total);
+    let expected_sum: u64 = (0..THREADS as u64)
+        .map(|t| (0..INCREMENTS).map(|i| (t + i) % 300).sum::<u64>())
+        .sum();
+    assert_eq!(hist.sum(), expected_sum);
+}
+
+/// Snapshots taken while writers are running must always be sane:
+/// monotone non-decreasing counters and histogram invariants that never
+/// go backwards from the reader's point of view.
+#[test]
+fn snapshot_under_load_is_consistent() {
+    let registry = Registry::new();
+    let counter = registry.counter("mdm_load_total", "writer progress");
+    let hist = registry.histogram("mdm_load_micros", "writer latencies", &[1, 10, 100]);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    thread::scope(|s| {
+        for _ in 0..4 {
+            let counter = Arc::clone(&counter);
+            let hist = Arc::clone(&hist);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut v = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    counter.inc();
+                    hist.observe(v % 200);
+                    v += 1;
+                }
+            });
+        }
+        let mut last_counter = 0;
+        for _ in 0..200 {
+            let snap = registry.snapshot();
+            let c = snap.counter("mdm_load_total").unwrap();
+            assert!(
+                c >= last_counter,
+                "counter went backwards: {c} < {last_counter}"
+            );
+            last_counter = c;
+            let h = snap.histogram("mdm_load_micros").unwrap();
+            // Bucket updates may race count updates, but no bucket can
+            // ever exceed the number of observations started so far,
+            // which a later counter read bounds from above.
+            let bucket_total: u64 = h.counts.iter().sum();
+            let upper = registry
+                .snapshot()
+                .histogram("mdm_load_micros")
+                .unwrap()
+                .count;
+            assert!(
+                bucket_total <= upper + 4,
+                "bucket total {bucket_total} exceeds observation upper bound {upper} + writers"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Quiesced: everything reconciles exactly.
+    let snap = registry.snapshot();
+    let c = snap.counter("mdm_load_total").unwrap();
+    let h = snap.histogram("mdm_load_micros").unwrap();
+    assert_eq!(h.count, c, "one observation per increment");
+    assert_eq!(h.counts.iter().sum::<u64>(), h.count);
+}
+
+/// Golden test: the Prometheus text output parses line-by-line against
+/// the exposition-format grammar we emit (# HELP / # TYPE / samples with
+/// cumulative le buckets, _sum, _count).
+#[test]
+fn prometheus_text_parses_line_by_line() {
+    let registry = Registry::new();
+    registry
+        .counter_labeled("mdm_pool_hits_total", "buffer pool hits", &[("shard", "0")])
+        .add(5);
+    registry
+        .counter_labeled("mdm_pool_hits_total", "buffer pool hits", &[("shard", "1")])
+        .add(7);
+    registry.gauge("mdm_txn_active", "live transactions").set(2);
+    let h = registry.histogram("mdm_fsync_micros", "fsync latency", &[100, 1_000]);
+    h.observe(50);
+    h.observe(500);
+    h.observe(5_000);
+
+    let text = registry.snapshot().to_prometheus();
+    let mut help_seen = 0;
+    let mut type_seen = 0;
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "no blank lines in exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            assert!(rest.starts_with("mdm_"), "HELP names our metric: {line}");
+            help_seen += 1;
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap();
+            let kind = parts.next().unwrap();
+            assert!(name.starts_with("mdm_"));
+            assert!(matches!(kind, "counter" | "gauge" | "histogram"), "{line}");
+            type_seen += 1;
+        } else {
+            // Sample line: name[{labels}] value
+            let (name_labels, value) = line.rsplit_once(' ').expect("sample has a value");
+            value.parse::<f64>().expect("sample value is numeric");
+            let name = name_labels.split('{').next().unwrap();
+            assert!(name.starts_with("mdm_"), "sample names our metric: {line}");
+            if let Some(open) = name_labels.find('{') {
+                let labels = &name_labels[open..];
+                assert!(labels.ends_with('}'), "label set closes: {line}");
+                for pair in labels[1..labels.len() - 1].split(',') {
+                    let (k, v) = pair.split_once('=').expect("label is k=\"v\"");
+                    assert!(!k.is_empty());
+                    assert!(v.starts_with('"') && v.ends_with('"'), "quoted: {line}");
+                }
+            }
+            samples.push((name_labels.to_string(), value.to_string()));
+        }
+    }
+    assert_eq!(help_seen, 3, "one HELP per family");
+    assert_eq!(type_seen, 3, "one TYPE per family");
+
+    let sample = |key: &str| -> &str {
+        &samples
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("missing sample {key}"))
+            .1
+    };
+    assert_eq!(sample("mdm_pool_hits_total{shard=\"0\"}"), "5");
+    assert_eq!(sample("mdm_pool_hits_total{shard=\"1\"}"), "7");
+    assert_eq!(sample("mdm_txn_active"), "2");
+    // Histogram buckets are cumulative and capped by _count.
+    assert_eq!(sample("mdm_fsync_micros_bucket{le=\"100\"}"), "1");
+    assert_eq!(sample("mdm_fsync_micros_bucket{le=\"1000\"}"), "2");
+    assert_eq!(sample("mdm_fsync_micros_bucket{le=\"+Inf\"}"), "3");
+    assert_eq!(sample("mdm_fsync_micros_sum"), "5550");
+    assert_eq!(sample("mdm_fsync_micros_count"), "3");
+}
+
+/// The JSON export round-trips through the bundled parser and exposes
+/// the cumulative bucket structure smoke mode validates in CI.
+#[test]
+fn json_export_round_trips() {
+    let registry = Registry::new();
+    registry.counter("mdm_a_total", "a").add(9);
+    let h = registry.histogram("mdm_b_micros", "b", &[10, 100]);
+    h.observe(5);
+    h.observe(50);
+    h.observe(500);
+
+    let doc = json::parse(&registry.snapshot().to_json()).expect("export is valid JSON");
+    let metrics = doc.get("metrics").unwrap().as_array().unwrap();
+    assert_eq!(metrics.len(), 2);
+    let hist = &metrics[1];
+    assert_eq!(hist.get("type").unwrap().as_str(), Some("histogram"));
+    let buckets = hist.get("buckets").unwrap().as_array().unwrap();
+    // Cumulative: le=10 → 1, le=100 → 2, +Inf → 3.
+    assert_eq!(buckets[0].get("count").unwrap().as_u64(), Some(1));
+    assert_eq!(buckets[1].get("count").unwrap().as_u64(), Some(2));
+    assert_eq!(buckets[2].get("le").unwrap().as_str(), Some("+Inf"));
+    assert_eq!(buckets[2].get("count").unwrap().as_u64(), Some(3));
+}

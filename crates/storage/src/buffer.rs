@@ -3,19 +3,37 @@
 //! Access is closure-based (`with_page` / `with_page_mut`) rather than
 //! guard-based, which keeps lifetimes simple. The pool is internally
 //! sharded: each page id maps to one of up to 16 shards (`page_id %
-//! num_shards`), and each shard owns its frames, its page map, and its
-//! own CLOCK hand behind a private mutex. Threads touching different
-//! pages therefore fault, hit, and evict independently; the engine no
-//! longer needs any external latch around page access.
+//! num_shards`), and each shard owns its frames, its page map, its own
+//! CLOCK hand, and its own hit/miss/eviction counters behind a private
+//! mutex. Threads touching different pages therefore fault, hit, and
+//! evict independently; the engine no longer needs any external latch
+//! around page access.
 //!
 //! A closure runs while its shard latch is held, so closures must never
 //! re-enter the pool (no nested `with_page*` calls) — the storage
 //! layer's access patterns are all flat single-page operations.
+//!
+//! # Page-LSN flush discipline
+//!
+//! The engine mutates pages first and appends the covering WAL record
+//! after, so the record's sequence number is unknown at mutation time.
+//! [`BufferPool::with_page_mut_logged`] therefore marks the frame
+//! *pending*: it is pinned against eviction until the engine calls
+//! [`BufferPool::publish_lsn`] with the appended record's sequence
+//! number, which stamps the frame's LSN. When CLOCK later evicts a
+//! dirty frame, it first runs the engine-installed *flush barrier*
+//! ([`BufferPool::set_flush_barrier`]) to sync the WAL through the
+//! frame's LSN — the ARIES write-ahead rule: no page reaches disk
+//! before the log records describing its changes. Without a barrier
+//! installed (standalone pool use, recovery, unlogged B+tree and
+//! catalog writes) the logged variants degrade to plain mutable access
+//! and eviction writes pages directly.
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mdm_obs::Counter;
 
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
@@ -25,11 +43,28 @@ use crate::page::{PageId, PAGE_SIZE};
 /// shard still has at least two frames to run CLOCK over.
 const MAX_SHARDS: usize = 16;
 
+/// How many lock-release/yield cycles a loader tolerates when every
+/// frame of a shard is pending a log publish, before giving up. The
+/// pending window is the few microseconds between a page mutation and
+/// its WAL append, so exhausting this bound means something is wrong.
+const PIN_RETRY_LIMIT: u32 = 100_000;
+
+/// Syncs the WAL through the given sequence number before a dirty page
+/// with that page-LSN is written out by eviction.
+pub type FlushBarrier = Box<dyn Fn(u64) -> Result<()> + Send + Sync>;
+
 struct Frame {
     page: PageId,
     data: Box<[u8]>,
     dirty: bool,
     referenced: bool,
+    /// Sequence number of the WAL record covering the last logged
+    /// mutation (0 = never logged). Eviction syncs the log through this
+    /// before writing the frame.
+    lsn: u64,
+    /// Logged mutations whose WAL record has not been appended yet; the
+    /// frame is pinned against eviction while nonzero.
+    pending: u32,
 }
 
 /// One shard: a fixed set of frames plus the CLOCK state over them.
@@ -37,15 +72,16 @@ struct Shard {
     frames: Vec<Option<Frame>>,
     map: HashMap<PageId, usize>,
     clock_hand: usize,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
 }
 
 /// Fixed-capacity sharded page cache over a [`DiskManager`].
 pub struct BufferPool {
     disk: DiskManager,
     shards: Vec<Mutex<Shard>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    barrier: OnceLock<FlushBarrier>,
 }
 
 impl BufferPool {
@@ -62,16 +98,55 @@ impl BufferPool {
                     frames: (0..per_shard).map(|_| None).collect(),
                     map: HashMap::with_capacity(per_shard),
                     clock_hand: 0,
+                    hits: Counter::new(),
+                    misses: Counter::new(),
+                    evictions: Counter::new(),
                 })
             })
             .collect();
         Ok(BufferPool {
             disk: DiskManager::open(dir)?,
             shards,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            barrier: OnceLock::new(),
         })
+    }
+
+    /// Installs the eviction flush barrier (at most once, by the engine).
+    /// From this point on, logged mutations pin their frames until
+    /// [`BufferPool::publish_lsn`], and dirty evictions call the barrier
+    /// with the frame's LSN before writing the page.
+    pub fn set_flush_barrier(&self, barrier: FlushBarrier) {
+        if self.barrier.set(barrier).is_err() {
+            panic!("flush barrier installed twice");
+        }
+    }
+
+    /// Registers this pool's per-shard hit/miss/eviction counters with a
+    /// metrics registry.
+    pub fn register_metrics(&self, registry: &mdm_obs::Registry) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock().unwrap();
+            let idx = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &idx)];
+            registry.register_counter_handle(
+                "mdm_pool_hits_total",
+                "buffer-pool page requests served from cache",
+                labels,
+                Arc::clone(&shard.hits),
+            );
+            registry.register_counter_handle(
+                "mdm_pool_misses_total",
+                "buffer-pool page requests that faulted from disk",
+                labels,
+                Arc::clone(&shard.misses),
+            );
+            registry.register_counter_handle(
+                "mdm_pool_evictions_total",
+                "buffer-pool frames evicted to make room",
+                labels,
+                Arc::clone(&shard.evictions),
+            );
+        }
     }
 
     /// Number of pages in the underlying file.
@@ -84,13 +159,16 @@ impl BufferPool {
         self.shards.len()
     }
 
-    /// Cache statistics: (hits, misses, evictions).
+    /// Cache statistics summed over shards: (hits, misses, evictions).
     pub fn stats(&self) -> (u64, u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-            self.evictions.load(Ordering::Relaxed),
-        )
+        let mut totals = (0, 0, 0);
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            totals.0 += shard.hits.get();
+            totals.1 += shard.misses.get();
+            totals.2 += shard.evictions.get();
+        }
+        totals
     }
 
     /// Allocates a fresh page (zeroed on disk) and returns its id.
@@ -107,38 +185,102 @@ impl BufferPool {
         &self.shards[page as usize % self.shards.len()]
     }
 
+    /// Locks the page's shard, loads the page, and runs `f` on its frame.
+    /// Retries (releasing the latch) while the shard is wholly pinned by
+    /// frames awaiting log publishes — that window is microseconds long.
+    fn with_frame<R>(&self, page: PageId, f: impl FnOnce(&mut Frame) -> R) -> Result<R> {
+        let mut spins = 0;
+        loop {
+            let mut shard = self.shard(page).lock().unwrap();
+            if let Some(idx) = self.load(&mut shard, page)? {
+                let frame = shard.frames[idx].as_mut().expect("frame just loaded");
+                return Ok(f(frame));
+            }
+            drop(shard);
+            spins += 1;
+            if spins > PIN_RETRY_LIMIT {
+                return Err(StorageError::Corrupt(
+                    "buffer pool shard exhausted: every frame awaits a log publish".into(),
+                ));
+            }
+            std::thread::yield_now();
+        }
+    }
+
     /// Runs `f` with read access to the page's bytes. The page's shard
     /// latch is held for the duration of `f`; `f` must not re-enter the
     /// pool.
     pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let mut shard = self.shard(page).lock().unwrap();
-        let idx = self.load(&mut shard, page)?;
-        let frame = shard.frames[idx].as_ref().expect("frame just loaded");
-        Ok(f(&frame.data))
+        self.with_frame(page, |frame| f(&frame.data))
     }
 
     /// Runs `f` with write access to the page's bytes; the page is marked
-    /// dirty. The page's shard latch is held for the duration of `f`;
+    /// dirty. For *unlogged* mutations (B+tree nodes, catalog pages,
+    /// recovery/rollback writes) whose durability does not depend on WAL
+    /// ordering. The page's shard latch is held for the duration of `f`;
     /// `f` must not re-enter the pool.
     pub fn with_page_mut<R>(&self, page: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let mut shard = self.shard(page).lock().unwrap();
-        let idx = self.load(&mut shard, page)?;
-        let frame = shard.frames[idx].as_mut().expect("frame just loaded");
-        frame.dirty = true;
-        Ok(f(&mut frame.data))
+        self.with_frame(page, |frame| {
+            frame.dirty = true;
+            f(&mut frame.data)
+        })
     }
 
-    fn load(&self, shard: &mut Shard, page: PageId) -> Result<usize> {
+    /// As [`BufferPool::with_page_mut`] for mutations that a WAL record
+    /// will cover. `f` returns `(result, mutated)`; when `mutated` is
+    /// true (and a flush barrier is installed) the frame is pinned until
+    /// the caller appends the record and calls
+    /// [`BufferPool::publish_lsn`]. A `false` report must mean the bytes
+    /// are unchanged.
+    pub fn with_page_mut_logged<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&mut [u8]) -> (R, bool),
+    ) -> Result<R> {
+        let wal_mode = self.barrier.get().is_some();
+        self.with_frame(page, |frame| {
+            let (r, mutated) = f(&mut frame.data);
+            if mutated {
+                frame.dirty = true;
+                if wal_mode {
+                    frame.pending += 1;
+                }
+            }
+            r
+        })
+    }
+
+    /// Reports that the WAL record covering a logged mutation of `page`
+    /// has been appended at sequence number `lsn`: unpins one pending
+    /// mutation and raises the frame's page-LSN. Callers must publish
+    /// exactly once per mutated `true` report from
+    /// [`BufferPool::with_page_mut_logged`] (even if the append failed —
+    /// publish the latest appended sequence to conservatively cover the
+    /// orphaned change).
+    pub fn publish_lsn(&self, page: PageId, lsn: u64) {
+        let mut shard = self.shard(page).lock().unwrap();
         if let Some(&idx) = shard.map.get(&page) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            shard.frames[idx].as_mut().expect("mapped frame").referenced = true;
-            return Ok(idx);
+            let frame = shard.frames[idx].as_mut().expect("mapped frame");
+            frame.pending = frame.pending.saturating_sub(1);
+            frame.lsn = frame.lsn.max(lsn);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Loads `page` into a frame, returning its index — or `None` when
+    /// every frame of the shard is pinned pending a log publish.
+    fn load(&self, shard: &mut Shard, page: PageId) -> Result<Option<usize>> {
+        if let Some(&idx) = shard.map.get(&page) {
+            shard.hits.inc();
+            shard.frames[idx].as_mut().expect("mapped frame").referenced = true;
+            return Ok(Some(idx));
+        }
+        shard.misses.inc();
         if page >= self.disk.num_pages() {
             return Err(StorageError::PageNotFound(page));
         }
-        let idx = self.victim(shard)?;
+        let Some(idx) = self.victim(shard)? else {
+            return Ok(None);
+        };
         let mut data = match shard.frames[idx].take() {
             Some(f) => f.data,
             None => vec![0u8; PAGE_SIZE].into_boxed_slice(),
@@ -149,39 +291,58 @@ impl BufferPool {
             data,
             dirty: false,
             referenced: true,
+            lsn: 0,
+            pending: 0,
         });
         shard.map.insert(page, idx);
-        Ok(idx)
+        Ok(Some(idx))
     }
 
-    /// CLOCK within one shard: sweep for an unreferenced frame, clearing
-    /// reference bits; an empty frame is taken immediately.
-    fn victim(&self, shard: &mut Shard) -> Result<usize> {
+    /// CLOCK within one shard: sweep for an unreferenced, unpinned frame,
+    /// clearing reference bits; an empty frame is taken immediately.
+    /// Returns `None` if every frame is pinned pending a log publish.
+    fn victim(&self, shard: &mut Shard) -> Result<Option<usize>> {
         let n = shard.frames.len();
         if let Some(idx) = shard.frames.iter().position(Option::is_none) {
-            return Ok(idx);
+            return Ok(Some(idx));
         }
         for _ in 0..2 * n + 1 {
             let idx = shard.clock_hand;
             shard.clock_hand = (shard.clock_hand + 1) % n;
             let frame = shard.frames[idx].as_mut().expect("no empty frames");
+            if frame.pending > 0 {
+                // Awaiting its WAL append; unevictable, skip without
+                // touching the reference bit.
+                continue;
+            }
             if frame.referenced {
                 frame.referenced = false;
             } else {
                 let frame = shard.frames[idx].take().expect("checked above");
                 shard.map.remove(&frame.page);
                 if frame.dirty {
+                    // Write-ahead rule: the log must cover the page's
+                    // last logged mutation before the page hits disk.
+                    if frame.lsn > 0 {
+                        if let Some(barrier) = self.barrier.get() {
+                            barrier(frame.lsn)?;
+                        }
+                    }
                     self.disk.write_page(frame.page, &frame.data)?;
                 }
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.evictions.inc();
                 shard.frames[idx] = None;
-                return Ok(idx);
+                return Ok(Some(idx));
             }
         }
-        unreachable!("CLOCK sweep of 2n+1 steps must find a victim");
+        // 2n+1 steps clear every reference bit and revisit each frame, so
+        // the only way out without a victim is every frame pinned.
+        Ok(None)
     }
 
-    /// Writes all dirty frames back and syncs the file.
+    /// Writes all dirty frames back and syncs the file. Callers must
+    /// sync the WAL first (checkpoint and clean shutdown both do), since
+    /// this path writes pages without consulting the flush barrier.
     pub fn flush_all(&self) -> Result<()> {
         for shard in &self.shards {
             let mut shard = shard.lock().unwrap();
@@ -200,6 +361,7 @@ impl BufferPool {
 mod tests {
     use super::*;
     use crate::page;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
         let d = std::env::temp_dir().join(format!("mdm-buf-{}-{}", std::process::id(), name));
@@ -297,6 +459,82 @@ mod tests {
         for (i, &pid) in pids.iter().enumerate() {
             assert_eq!(bp.with_page(pid, |d| d[7]).unwrap(), i as u8 + 1);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn logged_mutation_without_barrier_is_plain() {
+        let dir = tmpdir("nolog");
+        let bp = BufferPool::open(&dir, 2).unwrap();
+        let pids: Vec<_> = (0..8).map(|_| bp.allocate_page().unwrap()).collect();
+        // No barrier installed: logged mutations never pin, so heavy
+        // eviction traffic with no publish calls must still succeed.
+        for (i, &pid) in pids.iter().enumerate() {
+            bp.with_page_mut_logged(pid, |d| {
+                d[0] = i as u8 + 1;
+                ((), true)
+            })
+            .unwrap();
+        }
+        for (i, &pid) in pids.iter().enumerate() {
+            assert_eq!(bp.with_page(pid, |d| d[0]).unwrap(), i as u8 + 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eviction_runs_barrier_with_page_lsn() {
+        let dir = tmpdir("barrier");
+        let bp = BufferPool::open(&dir, 2).unwrap();
+        static SYNCED_THROUGH: AtomicU64 = AtomicU64::new(0);
+        SYNCED_THROUGH.store(0, Ordering::SeqCst);
+        bp.set_flush_barrier(Box::new(|lsn| {
+            SYNCED_THROUGH.fetch_max(lsn, Ordering::SeqCst);
+            Ok(())
+        }));
+        let pids: Vec<_> = (0..6).map(|_| bp.allocate_page().unwrap()).collect();
+        for (i, &pid) in pids.iter().enumerate() {
+            bp.with_page_mut_logged(pid, |d| {
+                d[0] = 1;
+                ((), true)
+            })
+            .unwrap();
+            // Publish an increasing LSN, as the engine does post-append.
+            bp.publish_lsn(pid, i as u64 + 1);
+        }
+        // Touch fresh pages to force the dirty, published frames out.
+        for _ in 0..4 {
+            let pid = bp.allocate_page().unwrap();
+            bp.with_page(pid, |_| ()).unwrap();
+        }
+        assert!(
+            SYNCED_THROUGH.load(Ordering::SeqCst) >= 1,
+            "evicting a dirty page with a page-LSN must call the barrier"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pending_frames_are_not_evicted() {
+        let dir = tmpdir("pending");
+        let bp = BufferPool::open(&dir, 2).unwrap();
+        bp.set_flush_barrier(Box::new(|_| Ok(())));
+        let pinned = bp.allocate_page().unwrap();
+        bp.with_page_mut_logged(pinned, |d| {
+            d[0] = 99;
+            ((), true)
+        })
+        .unwrap();
+        // One frame pinned, one free: traffic cycles through the free
+        // frame while the pinned page stays resident and unwritten.
+        for _ in 0..6 {
+            let pid = bp.allocate_page().unwrap();
+            bp.with_page_mut(pid, |d| d[1] = 1).unwrap();
+        }
+        let (_, _, evictions) = bp.stats();
+        assert!(evictions >= 4, "unpinned frame must keep cycling");
+        assert_eq!(bp.with_page(pinned, |d| d[0]).unwrap(), 99);
+        bp.publish_lsn(pinned, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

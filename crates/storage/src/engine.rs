@@ -25,15 +25,17 @@
 //!
 //! The latch acquisition order is fixed to keep the engine deadlock-free:
 //!
-//! > `active` → `catalog` → heap directory → per-table heap → `WAL` →
-//! > commit state → pool shard
+//! > `active` → `catalog` → heap directory → per-table heap →
+//! > pool shard → `WAL` → commit state
 //!
 //! A latch may only be taken while holding latches that appear *earlier*
-//! in this order. Pool-shard latches are leaves: page closures never
-//! re-enter the pool or take any other engine latch. Transaction-level
-//! (lock-manager) waits are *not* part of this order — they happen
-//! before any latch is held and resolve via wait-die, never by blocking
-//! a latch holder.
+//! in this order. Pool-shard latches sit before the WAL because dirty
+//! eviction (which runs under a shard latch) may need to sync the log
+//! (the flush barrier, below); no code path holds the WAL or commit
+//! latch while touching a page. Page closures never re-enter the pool.
+//! Transaction-level (lock-manager) waits are *not* part of this order —
+//! they happen before any latch is held and resolve via wait-die, never
+//! by blocking a latch holder.
 //!
 //! # Group commit
 //!
@@ -45,19 +47,36 @@
 //! appenders — proceed. One fsync thus covers every record appended
 //! before it, batching the dominant cost of small transactions.
 //!
-//! # Known limitation
+//! # Page-LSN flush discipline
 //!
-//! As in the original single-latch design, a dirty page evicted between
-//! a data mutation and the append/sync of its log record can reach disk
-//! before the log knows about the change (there is no per-page LSN
-//! flush discipline). The window requires eviction pressure concurrent
-//! with a crash; closing it ARIES-style is future work tracked in
-//! `ROADMAP.md`.
+//! The engine mutates pages before appending the covering WAL record,
+//! so a naive pool could write a dirty page to disk ahead of its log
+//! record. Logged heap mutations therefore run through
+//! [`BufferPool::with_page_mut_logged`], which pins the frame until the
+//! engine appends the record and publishes its sequence number as the
+//! frame's page-LSN; eviction of a dirty frame first runs a *flush
+//! barrier* that syncs the WAL through that LSN (counted by
+//! `mdm_wal_eviction_syncs_total`). This is the ARIES write-ahead rule
+//! specialized to logical logging: no page reaches disk before the log
+//! covers its last logged change.
+//!
+//! # Observability
+//!
+//! Every engine opens against an `mdm_obs::Registry` (its own, or one
+//! shared by the caller via [`StorageEngine::open_with_registry`]) and
+//! exports counters and histograms for the buffer pool, WAL, lock
+//! manager, and transaction lifecycle; read them via
+//! [`StorageEngine::metrics_snapshot`]. All instrumentation is relaxed
+//! atomics — cheap enough for the hot paths it sits on.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+use mdm_obs::{
+    Counter, Gauge, Histogram, Registry, Snapshot, LATENCY_MICROS_BOUNDS, SMALL_COUNT_BOUNDS,
+};
 
 use crate::btree::BTree;
 use crate::buffer::BufferPool;
@@ -65,7 +84,7 @@ use crate::catalog::{self, Catalog, IndexMeta, TableMeta};
 use crate::error::{Result, StorageError};
 use crate::heap::HeapFile;
 use crate::lock::{LockManager, LockMode};
-use crate::page::Rid;
+use crate::page::{PageId, Rid};
 use crate::recovery::{self, RecoveryOutcome};
 use crate::wal::{TableId, TxnId, Wal, WalRecord};
 
@@ -135,13 +154,63 @@ enum UndoOp {
 struct WalInner {
     wal: Wal,
     seq: u64,
+    appends: Arc<Counter>,
 }
 
 impl WalInner {
     fn append(&mut self, rec: &WalRecord) -> Result<u64> {
         self.wal.append(rec)?;
         self.seq += 1;
+        self.appends.inc();
         Ok(self.seq)
+    }
+}
+
+/// The engine's registered metric handles. Counter/histogram updates are
+/// relaxed atomics; the registry is only consulted for snapshots.
+struct EngineMetrics {
+    registry: Registry,
+    wal_appends: Arc<Counter>,
+    wal_fsyncs: Arc<Counter>,
+    wal_fsync_micros: Arc<Histogram>,
+    wal_group_batch: Arc<Histogram>,
+    wal_eviction_syncs: Arc<Counter>,
+    txn_begins: Arc<Counter>,
+    txn_commits: Arc<Counter>,
+    txn_aborts: Arc<Counter>,
+    txn_active: Arc<Gauge>,
+}
+
+impl EngineMetrics {
+    fn register(registry: &Registry, pool: &BufferPool, locks: &LockManager) -> EngineMetrics {
+        pool.register_metrics(registry);
+        locks.register_metrics(registry);
+        EngineMetrics {
+            registry: registry.clone(),
+            wal_appends: registry.counter("mdm_wal_appends_total", "WAL records appended"),
+            wal_fsyncs: registry.counter("mdm_wal_fsyncs_total", "WAL fsyncs issued"),
+            wal_fsync_micros: registry.histogram(
+                "mdm_wal_fsync_micros",
+                "WAL fsync latency in microseconds",
+                LATENCY_MICROS_BOUNDS,
+            ),
+            wal_group_batch: registry.histogram(
+                "mdm_wal_group_commit_batch",
+                "records made durable per group-commit fsync",
+                SMALL_COUNT_BOUNDS,
+            ),
+            wal_eviction_syncs: registry.counter(
+                "mdm_wal_eviction_syncs_total",
+                "WAL syncs forced by dirty-page eviction (page-LSN flush discipline)",
+            ),
+            txn_begins: registry.counter("mdm_txn_begins_total", "transactions started"),
+            txn_commits: registry.counter("mdm_txn_commits_total", "transactions committed"),
+            txn_aborts: registry.counter(
+                "mdm_txn_aborts_total",
+                "transactions rolled back (explicit abort, drop, or wait-die)",
+            ),
+            txn_active: registry.gauge("mdm_txn_active", "transactions currently in flight"),
+        }
     }
 }
 
@@ -165,6 +234,7 @@ struct Inner {
     locks: LockManager,
     next_txn: AtomicU64,
     dir: PathBuf,
+    metrics: EngineMetrics,
 }
 
 impl Inner {
@@ -182,6 +252,35 @@ impl Inner {
             seq = w.append(rec)?;
         }
         Ok(seq)
+    }
+
+    /// Appends records covering logged page mutations, then publishes the
+    /// resulting sequence number as the page-LSN of every touched page —
+    /// exactly once per pin the heap layer took. If the append fails, the
+    /// latest appended sequence is published instead, so the frames are
+    /// unpinned and eviction still syncs past any record that *did* make
+    /// it in.
+    fn log_published(&self, recs: &[WalRecord], pages: &[PageId]) -> Result<u64> {
+        let res = self.log_all(recs);
+        let seq = match &res {
+            Ok(seq) => *seq,
+            Err(_) => self.wal.lock().unwrap().seq,
+        };
+        for &page in pages {
+            self.pool.publish_lsn(page, seq);
+        }
+        res
+    }
+
+    /// The eviction flush barrier: syncs the WAL through `lsn` before a
+    /// dirty page stamped with that LSN is written out. Counts only the
+    /// evictions that actually had to wait for a sync.
+    fn eviction_sync(&self, lsn: u64) -> Result<()> {
+        if self.commit.lock().unwrap().synced >= lsn {
+            return Ok(());
+        }
+        self.metrics.wal_eviction_syncs.inc();
+        self.sync_to(lsn)
     }
 
     /// Group commit: waits until the log is durable through `seq`,
@@ -206,7 +305,10 @@ impl Inner {
                 w.wal.flush_to_os().map(|file| (w.seq, file))
             };
             let res = flushed.and_then(|(upto, file)| {
+                let timer = self.metrics.wal_fsync_micros.time();
                 file.sync_data()?;
+                timer.stop();
+                self.metrics.wal_fsyncs.inc();
                 Ok(upto)
             });
             st = self.commit.lock().unwrap();
@@ -218,6 +320,10 @@ impl Inner {
                     return Err(e);
                 }
             };
+            if upto > st.synced {
+                // Group-commit effectiveness: records covered per fsync.
+                self.metrics.wal_group_batch.observe(upto - st.synced);
+            }
             st.synced = st.synced.max(upto);
             self.commit_cv.notify_all();
         }
@@ -322,6 +428,8 @@ impl Inner {
             }
         }
         self.log(&WalRecord::Abort { txn: id })?;
+        self.metrics.txn_aborts.inc();
+        self.metrics.txn_active.add(-1);
         Ok(())
     }
 }
@@ -341,6 +449,17 @@ impl StorageEngine {
 
     /// As [`StorageEngine::open`] with an explicit buffer-pool capacity.
     pub fn open_with_capacity(dir: &Path, pool_pages: usize) -> Result<StorageEngine> {
+        Self::open_with_registry(dir, pool_pages, &Registry::new())
+    }
+
+    /// As [`StorageEngine::open_with_capacity`], registering the engine's
+    /// metrics into a caller-supplied registry so the embedding layer can
+    /// snapshot storage, query, and application metrics together.
+    pub fn open_with_registry(
+        dir: &Path,
+        pool_pages: usize,
+        registry: &Registry,
+    ) -> Result<StorageEngine> {
         let pool = BufferPool::open(dir, pool_pages)?;
         let (records, _) = Wal::replay(dir)?;
         let disk_catalog = catalog::load(&pool)?;
@@ -353,25 +472,42 @@ impl StorageEngine {
             pool.flush_all()?;
             wal.truncate()?;
         }
-        Ok(StorageEngine {
-            inner: Arc::new(Inner {
-                pool,
-                wal: Mutex::new(WalInner { wal, seq: 0 }),
-                commit: Mutex::new(CommitState {
-                    syncing: false,
-                    synced: 0,
-                }),
-                commit_cv: Condvar::new(),
-                catalog: RwLock::new(recovered),
-                heaps: RwLock::new(HashMap::new()),
-                active: Mutex::new(HashSet::new()),
-                indexes_need_rebuild: AtomicBool::new(needs_rebuild),
-                recovery: outcome,
-                locks: LockManager::new(),
-                next_txn: AtomicU64::new(1),
-                dir: dir.to_path_buf(),
+        let locks = LockManager::new();
+        let metrics = EngineMetrics::register(registry, &pool, &locks);
+        let inner = Arc::new(Inner {
+            pool,
+            wal: Mutex::new(WalInner {
+                wal,
+                seq: 0,
+                appends: Arc::clone(&metrics.wal_appends),
             }),
-        })
+            commit: Mutex::new(CommitState {
+                syncing: false,
+                synced: 0,
+            }),
+            commit_cv: Condvar::new(),
+            catalog: RwLock::new(recovered),
+            heaps: RwLock::new(HashMap::new()),
+            active: Mutex::new(HashSet::new()),
+            indexes_need_rebuild: AtomicBool::new(needs_rebuild),
+            recovery: outcome,
+            locks,
+            next_txn: AtomicU64::new(1),
+            dir: dir.to_path_buf(),
+            metrics,
+        });
+        // Eviction flush barrier: a `Weak` breaks the cycle (`Inner` owns
+        // the pool, the pool's barrier reaches back into `Inner`). An
+        // upgrade failure means the engine is mid-drop, where `flush_all`
+        // runs only after the WAL is synced.
+        let weak = Arc::downgrade(&inner);
+        inner
+            .pool
+            .set_flush_barrier(Box::new(move |lsn| match weak.upgrade() {
+                Some(inner) => inner.eviction_sync(lsn),
+                None => Ok(()),
+            }));
+        Ok(StorageEngine { inner })
     }
 
     /// The outcome of the recovery pass run at [`StorageEngine::open`].
@@ -406,6 +542,8 @@ impl StorageEngine {
         let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
         self.inner.active.lock().unwrap().insert(id);
         self.inner.log(&WalRecord::Begin { txn: id })?;
+        self.inner.metrics.txn_begins.inc();
+        self.inner.metrics.txn_active.add(1);
         Ok(Txn {
             id,
             undo: Vec::new(),
@@ -424,6 +562,8 @@ impl StorageEngine {
         self.inner.sync_to(seq)?;
         txn.finished = true;
         self.inner.locks.release_all(txn.id);
+        self.inner.metrics.txn_commits.inc();
+        self.inner.metrics.txn_active.add(-1);
         Ok(())
     }
 
@@ -534,12 +674,14 @@ impl StorageEngine {
         let mut h = heap.lock().unwrap();
         let (rid, link) = h.insert(&self.inner.pool, body)?;
         let mut recs = Vec::with_capacity(2);
+        let mut pages = Vec::with_capacity(2);
         if let Some((from_page, new_page)) = link {
             recs.push(WalRecord::LinkPage {
                 table,
                 from_page,
                 new_page,
             });
+            pages.push(from_page);
         }
         recs.push(WalRecord::Insert {
             txn: txn.id,
@@ -547,7 +689,8 @@ impl StorageEngine {
             rid,
             body: body.to_vec(),
         });
-        self.inner.log_all(&recs)?;
+        pages.push(rid.page);
+        self.inner.log_published(&recs, &pages)?;
         drop(h);
         txn.undo.push(UndoOp::Insert { rid });
         Ok(rid)
@@ -573,36 +716,44 @@ impl StorageEngine {
             slot: rid.slot,
         })?;
         if HeapFile::update(&self.inner.pool, rid, body)? {
-            self.inner.log(&WalRecord::Update {
-                txn: txn.id,
-                table,
-                rid,
-                old: old.clone(),
-                new: body.to_vec(),
-            })?;
+            self.inner.log_published(
+                &[WalRecord::Update {
+                    txn: txn.id,
+                    table,
+                    rid,
+                    old: old.clone(),
+                    new: body.to_vec(),
+                }],
+                &[rid.page],
+            )?;
             txn.undo.push(UndoOp::Update { rid, old });
             return Ok(rid);
         }
         // Did not fit: move the record.
         HeapFile::delete(&self.inner.pool, rid)?;
-        self.inner.log(&WalRecord::Delete {
-            txn: txn.id,
-            table,
-            rid,
-            old: old.clone(),
-        })?;
+        self.inner.log_published(
+            &[WalRecord::Delete {
+                txn: txn.id,
+                table,
+                rid,
+                old: old.clone(),
+            }],
+            &[rid.page],
+        )?;
         txn.undo.push(UndoOp::Delete {
             rid,
             old: old.clone(),
         });
         let (new_rid, link) = h.insert(&self.inner.pool, body)?;
         let mut recs = Vec::with_capacity(2);
+        let mut pages = Vec::with_capacity(2);
         if let Some((from_page, new_page)) = link {
             recs.push(WalRecord::LinkPage {
                 table,
                 from_page,
                 new_page,
             });
+            pages.push(from_page);
         }
         recs.push(WalRecord::Insert {
             txn: txn.id,
@@ -610,7 +761,8 @@ impl StorageEngine {
             rid: new_rid,
             body: body.to_vec(),
         });
-        self.inner.log_all(&recs)?;
+        pages.push(new_rid.page);
+        self.inner.log_published(&recs, &pages)?;
         drop(h);
         txn.undo.push(UndoOp::Insert { rid: new_rid });
         Ok(new_rid)
@@ -621,12 +773,15 @@ impl StorageEngine {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
         let old = HeapFile::delete(&self.inner.pool, rid)?;
-        self.inner.log(&WalRecord::Delete {
-            txn: txn.id,
-            table,
-            rid,
-            old: old.clone(),
-        })?;
+        self.inner.log_published(
+            &[WalRecord::Delete {
+                txn: txn.id,
+                table,
+                rid,
+                old: old.clone(),
+            }],
+            &[rid.page],
+        )?;
         txn.undo.push(UndoOp::Delete {
             rid,
             old: old.clone(),
@@ -798,6 +953,18 @@ impl StorageEngine {
     /// Buffer-pool statistics: (hits, misses, evictions).
     pub fn pool_stats(&self) -> (u64, u64, u64) {
         self.inner.pool.stats()
+    }
+
+    /// A point-in-time snapshot of every metric registered with this
+    /// engine's registry (pool, WAL, locks, transactions — plus whatever
+    /// the embedding layer registered when it shared the registry).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.inner.metrics.registry.snapshot()
+    }
+
+    /// The metrics registry this engine reports into.
+    pub fn metrics_registry(&self) -> Registry {
+        self.inner.metrics.registry.clone()
     }
 
     /// Number of pages in the database file.

@@ -53,6 +53,12 @@ impl HeapFile {
     /// Inserts a record, returning its rid. If a new page had to be linked
     /// onto the chain, the second element reports `(from_page, new_page)` so
     /// the caller can log the structural change.
+    ///
+    /// Mutations run through the pool's *logged* path: under an engine
+    /// flush barrier, each page this call reports as touched (the rid's
+    /// page, plus `from_page` on a link) stays pinned until the caller
+    /// appends the covering WAL record and publishes its sequence number
+    /// (see [`BufferPool::publish_lsn`]).
     pub fn insert(
         &mut self,
         pool: &BufferPool,
@@ -61,28 +67,37 @@ impl HeapFile {
         if body.len() > page::MAX_RECORD_SIZE {
             return Err(StorageError::RecordTooLarge(body.len()));
         }
+        let try_insert = |d: &mut [u8]| {
+            let slot = page::insert_record(d, body);
+            (slot, slot.is_some())
+        };
         // Fast path: last page.
-        if let Some(slot) = pool.with_page_mut(self.last_page, |d| page::insert_record(d, body))? {
+        if let Some(slot) = pool.with_page_mut_logged(self.last_page, try_insert)? {
             return Ok((Rid::new(self.last_page, slot), None));
         }
         // Slow path: first fit along the chain.
         let mut pid = self.first_page;
         while pid != NO_PAGE {
             if pid != self.last_page {
-                if let Some(slot) = pool.with_page_mut(pid, |d| page::insert_record(d, body))? {
+                if let Some(slot) = pool.with_page_mut_logged(pid, try_insert)? {
                     return Ok((Rid::new(pid, slot), None));
                 }
             }
             pid = pool.with_page(pid, page::next_page)?;
         }
-        // Extend the chain.
+        // Extend the chain. Formatting the fresh page is unlogged (it is
+        // unreachable until the link below is durable); the link and the
+        // record are covered by the caller's LinkPage + Insert records.
         let new_page = pool.allocate_page()?;
         pool.with_page_mut(new_page, |d| page::format_page(d, PageType::Heap))?;
         let from = self.last_page;
-        pool.with_page_mut(from, |d| page::set_next_page(d, new_page))?;
+        pool.with_page_mut_logged(from, |d| {
+            page::set_next_page(d, new_page);
+            ((), true)
+        })?;
         self.last_page = new_page;
         let slot = pool
-            .with_page_mut(new_page, |d| page::insert_record(d, body))?
+            .with_page_mut_logged(new_page, try_insert)?
             .expect("fresh page must fit a record of legal size");
         Ok((Rid::new(new_page, slot), Some((from, new_page))))
     }
@@ -123,7 +138,12 @@ impl HeapFile {
                 slot: rid.slot,
             });
         }
-        pool.with_page_mut(rid.page, |d| page::update_record(d, rid.slot, body))
+        pool.with_page_mut_logged(rid.page, |d| {
+            let updated = page::update_record(d, rid.slot, body);
+            // On `false` the page bytes are restored untouched, so no
+            // WAL record covers it and no pin is taken.
+            (updated, updated)
+        })
     }
 
     /// Deletes the record at `rid`. Returns the old body.
@@ -132,7 +152,10 @@ impl HeapFile {
             page: rid.page,
             slot: rid.slot,
         })?;
-        pool.with_page_mut(rid.page, |d| page::delete_record(d, rid.slot))?;
+        pool.with_page_mut_logged(rid.page, |d| {
+            page::delete_record(d, rid.slot);
+            ((), true)
+        })?;
         Ok(old)
     }
 

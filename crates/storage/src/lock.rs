@@ -10,6 +10,8 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
+use mdm_obs::Counter;
+
 use crate::error::{Result, StorageError};
 use crate::wal::{TableId, TxnId};
 
@@ -67,6 +69,8 @@ impl LockState {
 struct Shared {
     tables: Mutex<HashMap<TableId, LockState>>,
     wakeup: Condvar,
+    waits: Arc<Counter>,
+    deadlocks: Arc<Counter>,
 }
 
 /// The lock manager. Cloneable handle; all clones share state.
@@ -88,8 +92,31 @@ impl LockManager {
             shared: Arc::new(Shared {
                 tables: Mutex::new(HashMap::new()),
                 wakeup: Condvar::new(),
+                waits: Counter::new(),
+                deadlocks: Counter::new(),
             }),
         }
+    }
+
+    /// Registers this manager's wait/abort counters with a registry.
+    pub fn register_metrics(&self, registry: &mdm_obs::Registry) {
+        registry.register_counter_handle(
+            "mdm_lock_waits_total",
+            "lock acquisitions that blocked on a conflicting holder",
+            &[],
+            Arc::clone(&self.shared.waits),
+        );
+        registry.register_counter_handle(
+            "mdm_lock_wait_die_aborts_total",
+            "lock requests aborted by the wait-die deadlock policy",
+            &[],
+            Arc::clone(&self.shared.deadlocks),
+        );
+    }
+
+    /// Wait/abort counts so far: (waits, wait-die aborts).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.shared.waits.get(), self.shared.deadlocks.get())
     }
 
     /// Acquires (or upgrades to) the given lock, blocking if permitted by
@@ -97,6 +124,7 @@ impl LockManager {
     /// must die.
     pub fn lock(&self, txn: TxnId, table: TableId, mode: LockMode) -> Result<()> {
         let mut tables = self.shared.tables.lock().unwrap();
+        let mut waited = false;
         loop {
             let state = tables.entry(table).or_default();
             let held = state.holders.get(&txn).copied();
@@ -112,7 +140,12 @@ impl LockManager {
                 return Ok(());
             }
             if state.must_die(txn, mode) {
+                self.shared.deadlocks.inc();
                 return Err(StorageError::Deadlock);
+            }
+            if !waited {
+                waited = true;
+                self.shared.waits.inc();
             }
             tables = self.shared.wakeup.wait(tables).unwrap();
         }

@@ -582,3 +582,120 @@ fn dropped_txn_aborts_and_its_writes_are_invisible() {
     drop(eng);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Page-LSN flush discipline regression: eviction pressure *before*
+/// commit forces dirty pages out mid-transaction; each eviction must
+/// sync the WAL through the page's LSN so recovery can still undo the
+/// uncommitted changes after a crash. Before the discipline existed, an
+/// evicted page could reach disk ahead of its log record, leaving an
+/// un-undoable phantom record.
+#[test]
+fn eviction_pressure_before_commit_is_undone_after_crash() {
+    let dir = tmpdir("lsn-evict");
+    {
+        // Two frames total: nearly every insert evicts a dirty page.
+        let eng = StorageEngine::open_with_capacity(&dir, 2).unwrap();
+        let t = eng.create_table("t").unwrap();
+        let mut txn = eng.begin().unwrap();
+        let body = vec![7u8; 2000];
+        for _ in 0..40 {
+            eng.insert(&mut txn, t, &body).unwrap();
+        }
+        let (_, _, evictions) = eng.pool_stats();
+        assert!(evictions > 0, "tiny pool must evict under insert pressure");
+        let snap = eng.metrics_snapshot();
+        assert!(
+            snap.counter("mdm_wal_eviction_syncs_total").unwrap() > 0,
+            "dirty-page eviction before commit must sync the WAL"
+        );
+        // Crash with the transaction open: no commit, no Drop checkpoint,
+        // no final WAL flush.
+        std::mem::forget(txn);
+        crash(eng);
+    }
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.table_id("t").unwrap();
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(
+        eng.scan(&mut txn, t).unwrap(),
+        vec![],
+        "uncommitted inserts must be rolled back despite eviction traffic"
+    );
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The engine's metrics surface reports live values for the WAL, the
+/// transaction lifecycle, the buffer pool, and the lock manager.
+#[test]
+fn metrics_snapshot_reports_live_engine_values() {
+    let dir = tmpdir("metrics");
+    let eng = StorageEngine::open(&dir).unwrap();
+    let t = eng.create_table("t").unwrap();
+
+    let mut txn = eng.begin().unwrap();
+    for i in 0..10u32 {
+        eng.insert(&mut txn, t, format!("record {i}").as_bytes())
+            .unwrap();
+    }
+    let mid = eng.metrics_snapshot();
+    assert_eq!(mid.gauge("mdm_txn_active"), Some(1));
+    eng.commit(txn).unwrap();
+
+    // An aborted transaction.
+    let mut txn = eng.begin().unwrap();
+    eng.insert(&mut txn, t, b"rolled back").unwrap();
+    eng.abort(txn).unwrap();
+
+    // A wait-die abort: the younger of two conflicting writers dies.
+    let mut older = eng.begin().unwrap();
+    let mut younger = eng.begin().unwrap();
+    eng.insert(&mut older, t, b"older holds X").unwrap();
+    assert!(matches!(
+        eng.insert(&mut younger, t, b"younger dies"),
+        Err(StorageError::Deadlock)
+    ));
+    eng.abort(younger).unwrap();
+
+    // A lock wait: `older` (still open, and older than any new txn)
+    // blocks behind a younger holder on a second table.
+    let t2 = eng.create_table("t2").unwrap();
+    let mut holder = eng.begin().unwrap();
+    eng.insert(&mut holder, t2, b"young holder").unwrap();
+    std::thread::scope(|s| {
+        let eng2 = eng.clone();
+        let waiter = s.spawn(move || {
+            let mut w = older; // older than `holder`: allowed to wait
+            eng2.insert(&mut w, t2, b"older waits").unwrap();
+            eng2.commit(w).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        eng.commit(holder).unwrap();
+        waiter.join().unwrap();
+    });
+
+    let snap = eng.metrics_snapshot();
+    assert!(snap.counter("mdm_wal_appends_total").unwrap() >= 15);
+    assert!(snap.counter("mdm_wal_fsyncs_total").unwrap() >= 2);
+    let fsync = snap.histogram("mdm_wal_fsync_micros").unwrap();
+    assert!(fsync.count >= 2, "commits must time their fsyncs");
+    assert!(fsync.mean().is_some());
+    let batch = snap.histogram("mdm_wal_group_commit_batch").unwrap();
+    assert!(batch.count >= 1);
+    assert!(batch.sum >= batch.count, "each fsync covers >= 1 record");
+    assert_eq!(snap.counter("mdm_txn_begins_total"), Some(5));
+    assert_eq!(snap.counter("mdm_txn_commits_total"), Some(3));
+    assert_eq!(snap.counter("mdm_txn_aborts_total"), Some(2));
+    assert_eq!(snap.gauge("mdm_txn_active"), Some(0));
+    assert!(snap.counter("mdm_lock_wait_die_aborts_total").unwrap() >= 1);
+    assert!(snap.counter("mdm_lock_waits_total").unwrap() >= 1);
+    // Per-shard pool counters sum to the legacy stats() totals.
+    let (hits, misses, evictions) = eng.pool_stats();
+    assert_eq!(snap.counter("mdm_pool_hits_total"), Some(hits));
+    assert_eq!(snap.counter("mdm_pool_misses_total"), Some(misses));
+    assert_eq!(snap.counter("mdm_pool_evictions_total"), Some(evictions));
+    assert!(hits > 0 && misses > 0);
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
