@@ -17,6 +17,14 @@
 //! `smoke` runs a scaled-down sweep and validates the emitted JSON with
 //! the observability crate's own parser, exiting non-zero if the document
 //! is malformed or a required metric is missing.
+//!
+//! `net-bench` runs the network axis — 1/2/4/8 loopback TCP clients
+//! committing scores and running QUEL reads against one `MdmServer` —
+//! and writes `BENCH_3.json`: throughput plus request-latency p50/p99
+//! from the server's own `mdm_net_request_micros` histogram, with the
+//! full server metrics snapshot embedded. `net-smoke` is the CI check:
+//! server start, client connect, one QUEL query, one score round-trip,
+//! and a clean drained shutdown, all within a deadline.
 
 use mdm_bench::workload;
 use mdm_core::{Analyst, Composer, Library, MusicDataManager};
@@ -52,6 +60,29 @@ fn main() {
             }
             return;
         }
+        "net-bench" => {
+            let doc = net_bench_json(&[1, 2, 4, 8], 50);
+            if let Err(e) = validate_net_bench_json(&doc) {
+                eprintln!("net bench JSON failed self-validation: {e}");
+                std::process::exit(1);
+            }
+            let path = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| format!("{}/../../BENCH_3.json", env!("CARGO_MANIFEST_DIR")));
+            std::fs::write(&path, &doc).expect("write BENCH_3.json");
+            println!("wrote {path}");
+            return;
+        }
+        "net-smoke" => {
+            match net_smoke() {
+                Ok(report) => println!("{report}"),
+                Err(e) => {
+                    eprintln!("net smoke FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
         _ => {}
     }
     type Artifact = (&'static str, fn() -> String);
@@ -82,7 +113,10 @@ fn main() {
             .filter(|(n, _)| *n == which)
             .collect::<Vec<_>>();
         if found.is_empty() {
-            eprintln!("unknown artifact {which}; use fig1..fig15, t1, quel, bench, smoke, or all");
+            eprintln!(
+                "unknown artifact {which}; use fig1..fig15, t1, quel, bench, smoke, \
+                 net-bench, net-smoke, or all"
+            );
             std::process::exit(2);
         }
         found
@@ -728,6 +762,185 @@ fn validate_bench_json(doc: &str) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The network axis: `clients` loopback TCP connections against one
+/// `MdmServer`, each alternating score commits with QUEL reads. Reads go
+/// down the server's shared read path, commits serialize on the write
+/// half — the sweep measures what concurrent music clients actually get
+/// end-to-end (framing, checksums, dispatch, storage) rather than the
+/// engine alone. Latency quantiles come from the server's own
+/// `mdm_net_request_micros` histogram.
+fn net_bench_json(client_counts: &[usize], ops_per_client: usize) -> String {
+    use mdm_net::{ClientConfig, MdmClient, MdmServer, ServerConfig};
+    let mut runs = String::new();
+    let mut last_snapshot = None;
+    for (i, &clients) in client_counts.iter().enumerate() {
+        let dir =
+            std::env::temp_dir().join(format!("mdm-repro-net-{clients}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mdm = MusicDataManager::open(&dir).expect("open MDM");
+        let server =
+            MdmServer::start(mdm, "127.0.0.1:0", ServerConfig::default()).expect("start server");
+        let addr = server.local_addr().to_string();
+        let score = bwv578_subject();
+
+        let started = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for worker in 0..clients {
+                let addr = addr.clone();
+                let score = score.clone();
+                scope.spawn(move || {
+                    let mut c = MdmClient::connect(
+                        &addr,
+                        ClientConfig {
+                            client_name: format!("bench-{worker}"),
+                            ..ClientConfig::default()
+                        },
+                    )
+                    .expect("connect");
+                    for op in 0..ops_per_client {
+                        if op % 2 == 0 {
+                            c.store_score(&score).expect("store");
+                        } else {
+                            c.query("range of s is SCORE\nretrieve (s.title)")
+                                .expect("query");
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = started.elapsed();
+        let requests = clients * ops_per_client;
+        let per_sec = requests as f64 / elapsed.as_secs_f64();
+
+        let mdm = server.shutdown().expect("shutdown");
+        let snap = mdm.metrics_snapshot();
+        let lat = snap
+            .histogram("mdm_net_request_micros")
+            .expect("latency histogram");
+        let p50 = lat.quantile(0.50).unwrap_or(0.0);
+        let p99 = lat.quantile(0.99).unwrap_or(0.0);
+        if i > 0 {
+            runs.push(',');
+        }
+        runs.push_str(&format!(
+            "{{\"clients\":{clients},\"requests\":{requests},\"micros\":{},\
+             \"requests_per_sec\":{per_sec:.1},\"p50_micros\":{p50:.1},\"p99_micros\":{p99:.1}}}",
+            elapsed.as_micros()
+        ));
+        last_snapshot = Some(snap);
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    format!(
+        "{{\"bench\":\"e3_net_loopback\",\"ops_per_client\":{ops_per_client},\
+         \"runs\":[{runs}],\"server_metrics\":{}}}\n",
+        last_snapshot.expect("at least one client count").to_json()
+    )
+}
+
+/// Validates a `net_bench_json` document: well-formed JSON, runs with
+/// throughput and latency-quantile fields, and the `mdm_net_*` families
+/// present in the embedded server snapshot.
+fn validate_net_bench_json(doc: &str) -> Result<(), String> {
+    use mdm_obs::json::{parse, Value};
+    let v = parse(doc).map_err(|e| e.to_string())?;
+    let runs = v
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("missing runs array")?;
+    if runs.is_empty() {
+        return Err("runs array is empty".into());
+    }
+    for run in runs {
+        for key in ["clients", "requests", "micros"] {
+            run.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("run is missing integer field {key}"))?;
+        }
+        for key in ["requests_per_sec", "p50_micros", "p99_micros"] {
+            if !matches!(run.get(key), Some(Value::Number(_))) {
+                return Err(format!("run is missing {key}"));
+            }
+        }
+    }
+    let metrics = v
+        .get("server_metrics")
+        .and_then(|m| m.get("metrics"))
+        .and_then(Value::as_array)
+        .ok_or("missing server_metrics.metrics array")?;
+    for required in [
+        "mdm_net_connections_accepted_total",
+        "mdm_net_connections_refused_total",
+        "mdm_net_connections_active",
+        "mdm_net_decode_errors_total",
+        "mdm_net_bytes_in_total",
+        "mdm_net_bytes_out_total",
+        "mdm_net_request_micros",
+        "mdm_net_frame_bytes",
+        "mdm_net_requests_total",
+        // The net sweep still exercises the storage stack underneath.
+        "mdm_wal_appends_total",
+        "mdm_txn_commits_total",
+    ] {
+        if !metrics
+            .iter()
+            .any(|m| m.get("name").and_then(Value::as_str) == Some(required))
+        {
+            return Err(format!("metric {required} missing from snapshot"));
+        }
+    }
+    Ok(())
+}
+
+/// The CI network smoke: server start, client connect, one QUEL query,
+/// one score round-trip, clean drained shutdown — all within a deadline.
+fn net_smoke() -> Result<String, String> {
+    use mdm_net::{ClientConfig, MdmClient, MdmServer, ServerConfig};
+    let deadline = std::time::Duration::from_secs(30);
+    let started = std::time::Instant::now();
+
+    let dir = std::env::temp_dir().join(format!("mdm-repro-net-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mdm = MusicDataManager::open(&dir).map_err(|e| format!("open: {e}"))?;
+    let server = MdmServer::start(mdm, "127.0.0.1:0", ServerConfig::default())
+        .map_err(|e| format!("start: {e}"))?;
+    let mut c = MdmClient::connect(&server.local_addr().to_string(), ClientConfig::default())
+        .map_err(|e| format!("connect: {e}"))?;
+
+    let score = bwv578_subject();
+    let id = c.store_score(&score).map_err(|e| format!("store: {e}"))?;
+    let loaded = c.load_score(id).map_err(|e| format!("load: {e}"))?;
+    if loaded != score {
+        return Err("score round-trip mismatch".into());
+    }
+    let table = c
+        .query("range of s is SCORE\nretrieve (s.title)")
+        .map_err(|e| format!("query: {e}"))?;
+    if table.rows.len() != 1 {
+        return Err(format!("expected 1 score row, got {}", table.rows.len()));
+    }
+    drop(c);
+    let mdm = server.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    let doc = net_bench_json(&[1, 2], 10);
+    validate_net_bench_json(&doc)?;
+    drop(mdm);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let elapsed = started.elapsed();
+    if elapsed > deadline {
+        return Err(format!(
+            "smoke exceeded its {}s deadline ({:.1}s)",
+            deadline.as_secs(),
+            elapsed.as_secs_f64()
+        ));
+    }
+    Ok(format!(
+        "net smoke: ok — store/load/query round-trip and a validated \
+         2-point sweep in {:.2}s",
+        elapsed.as_secs_f64()
+    ))
 }
 
 /// The four §5.6 example queries, executed verbatim.

@@ -38,21 +38,8 @@ fn base_name(b: BaseDuration) -> &'static str {
 }
 
 fn base_from_name(name: &str) -> Result<BaseDuration> {
-    Ok(match name {
-        "breve" => BaseDuration::Breve,
-        "whole" => BaseDuration::Whole,
-        "half" => BaseDuration::Half,
-        "quarter" => BaseDuration::Quarter,
-        "eighth" => BaseDuration::Eighth,
-        "sixteenth" => BaseDuration::Sixteenth,
-        "thirty-second" => BaseDuration::ThirtySecond,
-        "sixty-fourth" => BaseDuration::SixtyFourth,
-        other => {
-            return Err(CoreError::BadScoreData(format!(
-                "bad duration base {other}"
-            )))
-        }
-    })
+    BaseDuration::from_name(name)
+        .ok_or_else(|| CoreError::BadScoreData(format!("bad duration base {name}")))
 }
 
 fn clef_name(c: Clef) -> &'static str {
@@ -60,37 +47,16 @@ fn clef_name(c: Clef) -> &'static str {
 }
 
 fn clef_from_name(name: &str) -> Result<Clef> {
-    Ok(match name {
-        "treble" => Clef::Treble,
-        "bass" => Clef::Bass,
-        "alto" => Clef::Alto,
-        "tenor" => Clef::Tenor,
-        "soprano" => Clef::Soprano,
-        other => return Err(CoreError::BadScoreData(format!("bad clef {other}"))),
-    })
+    Clef::from_name(name).ok_or_else(|| CoreError::BadScoreData(format!("bad clef {name}")))
 }
 
 fn articulation_name(a: Articulation) -> &'static str {
-    match a {
-        Articulation::Staccato => "staccato",
-        Articulation::Marcato => "marcato",
-        Articulation::Accent => "accent",
-        Articulation::Tenuto => "tenuto",
-        Articulation::Pizzicato => "pizzicato",
-        Articulation::Arco => "arco",
-    }
+    a.name()
 }
 
 fn articulation_from_name(n: &str) -> Result<Articulation> {
-    Ok(match n {
-        "staccato" => Articulation::Staccato,
-        "marcato" => Articulation::Marcato,
-        "accent" => Articulation::Accent,
-        "tenuto" => Articulation::Tenuto,
-        "pizzicato" => Articulation::Pizzicato,
-        "arco" => Articulation::Arco,
-        other => return Err(CoreError::BadScoreData(format!("bad articulation {other}"))),
-    })
+    Articulation::from_name(n)
+        .ok_or_else(|| CoreError::BadScoreData(format!("bad articulation {n}")))
 }
 
 fn dynamic_abbrev(d: Dynamic) -> &'static str {
@@ -98,17 +64,7 @@ fn dynamic_abbrev(d: Dynamic) -> &'static str {
 }
 
 fn dynamic_from_abbrev(a: &str) -> Result<Dynamic> {
-    Ok(match a {
-        "ppp" => Dynamic::Pianississimo,
-        "pp" => Dynamic::Pianissimo,
-        "p" => Dynamic::Piano,
-        "mp" => Dynamic::MezzoPiano,
-        "mf" => Dynamic::MezzoForte,
-        "f" => Dynamic::Forte,
-        "ff" => Dynamic::Fortissimo,
-        "fff" => Dynamic::Fortississimo,
-        other => return Err(CoreError::BadScoreData(format!("bad dynamic {other}"))),
-    })
+    Dynamic::from_abbreviation(a).ok_or_else(|| CoreError::BadScoreData(format!("bad dynamic {a}")))
 }
 
 /// Serializes a tempo map as `num/den:bpm:ramp;…` (Rust's shortest-f64
@@ -143,31 +99,29 @@ fn tempo_map_from_string(text: &str) -> Result<TempoMap> {
             x.parse::<i64>()
                 .map_err(|_| CoreError::BadScoreData(format!("bad number {x}")))
         };
+        let den = parse_i(den)?;
+        if den == 0 {
+            return Err(CoreError::BadScoreData(format!("bad tempo beat {beat}")));
+        }
+        let bpm: f64 = bpm
+            .parse()
+            .map_err(|_| CoreError::BadScoreData(format!("bad bpm {bpm}")))?;
+        if !bpm.is_finite() || bpm <= 0.0 {
+            return Err(CoreError::BadScoreData(format!("bad bpm {bpm}")));
+        }
+        let beat = Rational::new(parse_i(num)?, den);
+        if marks.last().is_some_and(|m: &TempoMark| m.beat >= beat) {
+            return Err(CoreError::BadScoreData(
+                "tempo marks out of order".to_string(),
+            ));
+        }
         marks.push(TempoMark {
-            beat: Rational::new(parse_i(num)?, parse_i(den)?),
-            bpm: bpm
-                .parse()
-                .map_err(|_| CoreError::BadScoreData(format!("bad bpm {bpm}")))?,
+            beat,
+            bpm,
             ramp_to_next: *ramp == "1",
         });
     }
-    if marks.is_empty() {
-        return Ok(TempoMap::default());
-    }
-    // Rebuild through the public API to preserve invariants: place every
-    // mark, then restore the ramp flags (set_tempo writes plain marks).
-    let mut t = TempoMap::constant(marks[0].bpm);
-    for m in &marks {
-        t.set_tempo(m.beat, m.bpm);
-    }
-    for (idx, m) in marks.iter().enumerate() {
-        if m.ramp_to_next {
-            if let Some(next) = marks.get(idx + 1) {
-                t.ramp(m.beat, next.beat, next.bpm);
-            }
-        }
-    }
-    Ok(t)
+    Ok(TempoMap::from_marks(&marks))
 }
 
 fn dynamics_to_string(dynamics: &[(usize, Dynamic)]) -> String {
@@ -566,7 +520,16 @@ pub fn list_scores(db: &Database) -> Result<Vec<(EntityId, String)>> {
 }
 
 /// Loads a score entity back into notation structures.
+///
+/// A `score_id` that does not exist — or names an entity that is not a
+/// SCORE — fails with [`CoreError::NoSuchScore`], distinct from the
+/// storage/decode errors a damaged database produces, so callers (the
+/// network server in particular) can map "not found" to its own error
+/// class.
 pub fn load_score(db: &Database, score_id: EntityId) -> Result<Score> {
+    if !db.store().exists(score_id) || db.type_of(score_id)? != "SCORE" {
+        return Err(CoreError::NoSuchScore(format!("@{score_id}")));
+    }
     let mut score = Score::new(&get_str(db, score_id, "title")?);
     score.catalog_id = db
         .get_attr(score_id, "catalog_id")?
@@ -823,6 +786,25 @@ mod tests {
             db.get_attr(composers[0], "name").unwrap().as_str(),
             Some("Johann Sebastian Bach")
         );
+    }
+
+    #[test]
+    fn missing_score_is_a_typed_not_found_error() {
+        let mut db = Database::new();
+        let id = store_score(&mut db, &bwv578_subject()).unwrap();
+        // A fabricated id fails with NoSuchScore, not a storage/model error.
+        assert!(matches!(
+            load_score(&db, id + 10_000),
+            Err(CoreError::NoSuchScore(_))
+        ));
+        // An id of the wrong entity type is likewise "no such score".
+        let person = db.create_entity("PERSON", &[("name", s("Bach"))]).unwrap();
+        assert!(matches!(
+            load_score(&db, person),
+            Err(CoreError::NoSuchScore(_))
+        ));
+        // The real id still loads.
+        assert!(load_score(&db, id).is_ok());
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! An interactive QUEL shell for the music data manager — embedded,
+//! client, or server.
+//!
+//! ```text
+//! cargo run -p mdm-net --bin mdm-shell -- /path/to/database
+//! cargo run -p mdm-net --bin mdm-shell -- --serve 127.0.0.1:7777 /path/to/database
+//! ```
+//!
+//! Each input line is a DDL/QUEL program; `\` at end of line continues
+//! onto the next. Dot-commands:
+//!
+//! ```text
+//! .help               this text
+//! .schema             entity types, relationships, orderings
+//! .census             the fig. 11 entity census with instance counts
+//! .scores             stored scores
+//! .save               persist the database through the storage engine
+//! .quit               exit (saving)
+//! \connect host:port  route programs to a remote MDM server
+//! \disconnect         back to the local embedded database
+//! \stats              live metrics (remote server's when connected)
+//! \stats json         the same snapshot as JSON
+//! \stats prom         the same snapshot in Prometheus text format
+//! ```
+//!
+//! With `--serve <addr> <dir>` the shell becomes the server: it serves
+//! the database at `<dir>` on `<addr>` until EOF or a `quit` line on
+//! stdin, then drains connections and saves.
+
+use std::io::{BufRead, Write};
+
+use mdm_core::MusicDataManager;
+use mdm_lang::StmtResult;
+use mdm_net::{ClientConfig, MdmClient, MdmServer, ServerConfig};
+use mdm_obs::{MetricValue, Snapshot};
+
+/// Renders a metrics snapshot for terminal reading: one line per series,
+/// histograms summarized as count/sum/mean.
+fn print_stats(snap: &Snapshot) {
+    for e in &snap.entries {
+        let labels = if e.labels.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = e
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            format!("{{{}}}", pairs.join(","))
+        };
+        match &e.value {
+            MetricValue::Counter(v) => println!("{}{labels} = {v}", e.name),
+            MetricValue::Gauge(v) => println!("{}{labels} = {v}", e.name),
+            MetricValue::Histogram(h) => {
+                let mean = h
+                    .mean()
+                    .map(|m| format!("{m:.1}"))
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "{}{labels} = count {} sum {} mean {mean}",
+                    e.name, h.count, h.sum
+                );
+            }
+        }
+    }
+}
+
+fn print_results(results: Vec<StmtResult>) {
+    for r in results {
+        match r {
+            StmtResult::Rows(t) => print!("{t}"),
+            StmtResult::Defined(what) => println!("defined {what}"),
+            StmtResult::RangeDeclared => println!("range declared"),
+            StmtResult::Appended(n) => println!("appended {n}"),
+            StmtResult::Replaced(n) => println!("replaced {n}"),
+            StmtResult::Deleted(n) => println!("deleted {n}"),
+        }
+    }
+}
+
+/// `--serve <addr> <dir>`: serve until EOF or a `quit` line.
+fn serve(addr: &str, dir: &std::path::Path) -> i32 {
+    let mdm = match MusicDataManager::open(dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot open database at {}: {e}", dir.display());
+            return 1;
+        }
+    };
+    let server = match MdmServer::start(mdm, addr, ServerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot serve on {addr}: {e}");
+            return 1;
+        }
+    };
+    println!("serving {} on {}", dir.display(), server.local_addr());
+    println!("type 'quit' (or close stdin) to shut down");
+    std::io::stdout().flush().ok();
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+    }
+    match server.shutdown() {
+        Ok(_) => {
+            println!("server drained and database saved");
+            0
+        }
+        Err(e) => {
+            eprintln!("shutdown error: {e}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--serve") {
+        let (Some(addr), Some(dir)) = (args.get(1), args.get(2)) else {
+            eprintln!("usage: mdm-shell --serve <addr> <dir>");
+            std::process::exit(2);
+        };
+        std::process::exit(serve(addr, std::path::Path::new(dir)));
+    }
+
+    let dir = args
+        .first()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("mdm-shell-{}", std::process::id())));
+    let mut mdm = match MusicDataManager::open(&dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot open database at {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    println!("music data manager — database at {}", dir.display());
+    println!("QUEL with is/before/after/under; .help for commands");
+
+    // When connected, programs and score/metrics commands route here.
+    let mut remote: Option<MdmClient> = None;
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        let prompt = match (&remote, buffer.is_empty()) {
+            (_, false) => "...> ",
+            (Some(_), true) => "mdm@remote> ",
+            (None, true) => "mdm> ",
+        };
+        print!("{prompt}");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim_end();
+        if let Some(prefix) = trimmed.strip_suffix('\\') {
+            buffer.push_str(prefix);
+            buffer.push('\n');
+            continue;
+        }
+        buffer.push_str(trimmed);
+        let program = std::mem::take(&mut buffer);
+        let program = program.trim();
+        if program.is_empty() {
+            continue;
+        }
+        match program {
+            ".quit" | ".exit" => break,
+            ".help" => {
+                println!(".help .schema .census .scores .save .quit");
+                println!("\\connect host:port   route programs to a remote server");
+                println!("\\disconnect          back to the local database");
+                println!("\\stats [json|prom]   live metrics snapshot");
+                println!("anything else is DDL/QUEL, e.g.:");
+                println!("  define entity C (name = string)");
+                println!("  append to C (name = \"x\")");
+                println!("  range of n is NOTE");
+                println!("  retrieve (n.midi_key) where n before m in note_in_chord");
+            }
+            cmd if cmd.starts_with("\\connect") => {
+                let Some(addr) = cmd
+                    .strip_prefix("\\connect")
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                else {
+                    eprintln!("usage: \\connect host:port");
+                    continue;
+                };
+                match MdmClient::connect(addr, ClientConfig::default()) {
+                    Ok(c) => {
+                        println!("connected to {} ({})", addr, c.server_name());
+                        remote = Some(c);
+                    }
+                    Err(e) => eprintln!("connect failed: {e}"),
+                }
+            }
+            "\\disconnect" => {
+                if let Some(mut c) = remote.take() {
+                    c.disconnect();
+                    println!("back to the local database");
+                } else {
+                    eprintln!("not connected");
+                }
+            }
+            ".census" => print!("{}", mdm.census()),
+            ".schema" => {
+                let schema = mdm.database().schema();
+                for e in schema.entity_types() {
+                    let attrs: Vec<String> = e
+                        .attributes
+                        .iter()
+                        .map(|a| format!("{} = {}", a.name, a.ty.name()))
+                        .collect();
+                    println!("entity {} ({})", e.name, attrs.join(", "));
+                }
+                for r in schema.relationships() {
+                    let roles: Vec<&str> = r.roles.iter().map(|x| x.name.as_str()).collect();
+                    println!("relationship {} ({})", r.name, roles.join(", "));
+                }
+                for (i, o) in schema.orderings().iter().enumerate() {
+                    let name = o.name.clone().unwrap_or_else(|| format!("#{i}"));
+                    println!("ordering {name}");
+                }
+            }
+            ".scores" => {
+                let listed = match &mut remote {
+                    Some(c) => c.list_scores().map_err(|e| e.to_string()),
+                    None => mdm.list_scores().map_err(|e| e.to_string()),
+                };
+                match listed {
+                    Ok(scores) => {
+                        for (id, title) in scores {
+                            println!("@{id}  {title}");
+                        }
+                    }
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+            ".save" => match mdm.save() {
+                Ok(()) => println!("saved"),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            "\\stats" | "\\stats json" | "\\stats prom" => match &mut remote {
+                // The wire carries the snapshot as JSON; remote \stats
+                // prints it in that form regardless of the variant.
+                Some(c) => match c.metrics_json() {
+                    Ok(json) => println!("{json}"),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                None => match program {
+                    "\\stats" => print_stats(&mdm.metrics_snapshot()),
+                    "\\stats json" => println!("{}", mdm.metrics_snapshot().to_json()),
+                    _ => print!("{}", mdm.metrics_snapshot().to_prometheus()),
+                },
+            },
+            _ => {
+                let executed = match &mut remote {
+                    Some(c) => c.execute(program).map_err(|e| e.to_string()),
+                    None => mdm.execute(program).map_err(|e| e.to_string()),
+                };
+                match executed {
+                    Ok(results) => print_results(results),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        }
+    }
+    if let Some(mut c) = remote.take() {
+        c.disconnect();
+    }
+    if let Err(e) = mdm.save() {
+        eprintln!("warning: final save failed: {e}");
+    }
+}

@@ -1,0 +1,520 @@
+//! Typed protocol messages and their payload encodings.
+//!
+//! Requests occupy tags 1–15, responses 128–143, and the error response
+//! is 255, so a stray request tag can never be confused with a response.
+//! Every message decodes with [`Message::decode`]; unknown tags and
+//! malformed payloads yield typed [`DecodeError`]s, never panics.
+
+use mdm_lang::{StmtResult, Table};
+use mdm_model::Value;
+use mdm_notation::Score;
+
+use crate::error::{DecodeError, ErrorCode};
+use crate::scorecodec;
+use crate::wire::{put_len, put_str, Cursor};
+
+/// A protocol message: every request a client can make and every
+/// response a server can return.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    // ---- requests (1–15) ----
+    /// Opens a session; the server answers with [`Message::HelloAck`].
+    Hello {
+        /// Client identification, free-form (shown in diagnostics).
+        client: String,
+    },
+    /// Liveness probe; the server answers with [`Message::Pong`].
+    Ping,
+    /// A read-only QUEL program (`range of` + `retrieve`), served on the
+    /// shared read path — concurrent readers never serialize behind
+    /// writers.
+    Query {
+        /// The program text.
+        text: String,
+    },
+    /// A DDL/DML/QUEL program with write access.
+    Execute {
+        /// The program text.
+        text: String,
+    },
+    /// Stores a score; the server answers with [`Message::ScoreStored`].
+    StoreScore {
+        /// The score.
+        score: Score,
+    },
+    /// Loads a score by entity id.
+    LoadScore {
+        /// SCORE entity id.
+        id: u64,
+    },
+    /// Finds a score by exact title.
+    FindScore {
+        /// The title.
+        title: String,
+    },
+    /// Lists stored scores.
+    ListScores,
+    /// Requests the server's full metrics snapshot as JSON.
+    MetricsSnapshot,
+
+    // ---- responses (128–143, 255) ----
+    /// Session accepted.
+    HelloAck {
+        /// Server identification.
+        server: String,
+    },
+    /// Liveness answer.
+    Pong,
+    /// Rows from a query.
+    Rows {
+        /// The result table.
+        table: Table,
+    },
+    /// Per-statement results of an `Execute`.
+    Results {
+        /// One entry per statement.
+        results: Vec<StmtResult>,
+    },
+    /// A stored score's entity id.
+    ScoreStored {
+        /// SCORE entity id.
+        id: u64,
+    },
+    /// A loaded score.
+    ScoreData {
+        /// The score.
+        score: Score,
+    },
+    /// Result of a title search.
+    ScoreFound {
+        /// The id, if the title matched.
+        id: Option<u64>,
+    },
+    /// The score catalog.
+    ScoreList {
+        /// `(entity id, title)` pairs.
+        scores: Vec<(u64, String)>,
+    },
+    /// The server's metrics snapshot.
+    Metrics {
+        /// Snapshot JSON (the `mdm-obs` export format).
+        json: String,
+    },
+    /// A typed error.
+    Error {
+        /// Error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// Wire tags. Part of the protocol — append, never renumber.
+const T_HELLO: u16 = 1;
+const T_PING: u16 = 2;
+const T_QUERY: u16 = 3;
+const T_EXECUTE: u16 = 4;
+const T_STORE_SCORE: u16 = 5;
+const T_LOAD_SCORE: u16 = 6;
+const T_FIND_SCORE: u16 = 7;
+const T_LIST_SCORES: u16 = 8;
+const T_METRICS: u16 = 9;
+const T_HELLO_ACK: u16 = 128;
+const T_PONG: u16 = 129;
+const T_ROWS: u16 = 130;
+const T_RESULTS: u16 = 131;
+const T_SCORE_STORED: u16 = 132;
+const T_SCORE_DATA: u16 = 133;
+const T_SCORE_FOUND: u16 = 134;
+const T_SCORE_LIST: u16 = 135;
+const T_METRICS_SNAP: u16 = 136;
+const T_ERROR: u16 = 255;
+
+impl Message {
+    /// The message's wire tag.
+    pub fn msg_type(&self) -> u16 {
+        match self {
+            Message::Hello { .. } => T_HELLO,
+            Message::Ping => T_PING,
+            Message::Query { .. } => T_QUERY,
+            Message::Execute { .. } => T_EXECUTE,
+            Message::StoreScore { .. } => T_STORE_SCORE,
+            Message::LoadScore { .. } => T_LOAD_SCORE,
+            Message::FindScore { .. } => T_FIND_SCORE,
+            Message::ListScores => T_LIST_SCORES,
+            Message::MetricsSnapshot => T_METRICS,
+            Message::HelloAck { .. } => T_HELLO_ACK,
+            Message::Pong => T_PONG,
+            Message::Rows { .. } => T_ROWS,
+            Message::Results { .. } => T_RESULTS,
+            Message::ScoreStored { .. } => T_SCORE_STORED,
+            Message::ScoreData { .. } => T_SCORE_DATA,
+            Message::ScoreFound { .. } => T_SCORE_FOUND,
+            Message::ScoreList { .. } => T_SCORE_LIST,
+            Message::Metrics { .. } => T_METRICS_SNAP,
+            Message::Error { .. } => T_ERROR,
+        }
+    }
+
+    /// Stable request-type label for metrics (`mdm_net_requests_total`).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "hello",
+            Message::Ping => "ping",
+            Message::Query { .. } => "query",
+            Message::Execute { .. } => "execute",
+            Message::StoreScore { .. } => "store_score",
+            Message::LoadScore { .. } => "load_score",
+            Message::FindScore { .. } => "find_score",
+            Message::ListScores => "list_scores",
+            Message::MetricsSnapshot => "metrics",
+            Message::HelloAck { .. } => "hello_ack",
+            Message::Pong => "pong",
+            Message::Rows { .. } => "rows",
+            Message::Results { .. } => "results",
+            Message::ScoreStored { .. } => "score_stored",
+            Message::ScoreData { .. } => "score_data",
+            Message::ScoreFound { .. } => "score_found",
+            Message::ScoreList { .. } => "score_list",
+            Message::Metrics { .. } => "metrics_snapshot",
+            Message::Error { .. } => "error",
+        }
+    }
+
+    /// Encodes the payload (everything after the frame header).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello { client } => put_str(&mut out, client),
+            Message::Ping | Message::Pong | Message::ListScores | Message::MetricsSnapshot => {}
+            Message::Query { text } | Message::Execute { text } => put_str(&mut out, text),
+            Message::StoreScore { score } | Message::ScoreData { score } => {
+                scorecodec::encode_score(&mut out, score)
+            }
+            Message::LoadScore { id } | Message::ScoreStored { id } => {
+                out.extend_from_slice(&id.to_le_bytes())
+            }
+            Message::FindScore { title } => put_str(&mut out, title),
+            Message::HelloAck { server } => put_str(&mut out, server),
+            Message::Rows { table } => encode_table(&mut out, table),
+            Message::Results { results } => {
+                put_len(&mut out, results.len());
+                for r in results {
+                    encode_stmt_result(&mut out, r);
+                }
+            }
+            Message::ScoreFound { id } => match id {
+                Some(id) => {
+                    out.push(1);
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                None => out.push(0),
+            },
+            Message::ScoreList { scores } => {
+                put_len(&mut out, scores.len());
+                for (id, title) in scores {
+                    out.extend_from_slice(&id.to_le_bytes());
+                    put_str(&mut out, title);
+                }
+            }
+            Message::Metrics { json } => put_str(&mut out, json),
+            Message::Error { code, message } => {
+                out.extend_from_slice(&(*code as u16).to_le_bytes());
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decodes a payload for `msg_type`. Total: unknown tags and every
+    /// malformed payload produce a typed error.
+    pub fn decode(msg_type: u16, payload: &[u8]) -> Result<Message, DecodeError> {
+        let mut c = Cursor::new(payload);
+        let msg = match msg_type {
+            T_HELLO => Message::Hello {
+                client: c.string()?,
+            },
+            T_PING => Message::Ping,
+            T_QUERY => Message::Query { text: c.string()? },
+            T_EXECUTE => Message::Execute { text: c.string()? },
+            T_STORE_SCORE => Message::StoreScore {
+                score: scorecodec::decode_score(&mut c)?,
+            },
+            T_LOAD_SCORE => Message::LoadScore { id: c.u64()? },
+            T_FIND_SCORE => Message::FindScore { title: c.string()? },
+            T_LIST_SCORES => Message::ListScores,
+            T_METRICS => Message::MetricsSnapshot,
+            T_HELLO_ACK => Message::HelloAck {
+                server: c.string()?,
+            },
+            T_PONG => Message::Pong,
+            T_ROWS => Message::Rows {
+                table: decode_table(&mut c)?,
+            },
+            T_RESULTS => {
+                let n = c.len(1)?;
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push(decode_stmt_result(&mut c)?);
+                }
+                Message::Results { results }
+            }
+            T_SCORE_STORED => Message::ScoreStored { id: c.u64()? },
+            T_SCORE_DATA => Message::ScoreData {
+                score: scorecodec::decode_score(&mut c)?,
+            },
+            T_SCORE_FOUND => Message::ScoreFound {
+                id: if c.bool()? { Some(c.u64()?) } else { None },
+            },
+            T_SCORE_LIST => {
+                let n = c.len(12)?;
+                let mut scores = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = c.u64()?;
+                    scores.push((id, c.string()?));
+                }
+                Message::ScoreList { scores }
+            }
+            T_METRICS_SNAP => Message::Metrics { json: c.string()? },
+            T_ERROR => {
+                let raw = c.u16()?;
+                let code = ErrorCode::from_u16(raw)
+                    .ok_or_else(|| DecodeError::BadPayload(format!("bad error code {raw}")))?;
+                Message::Error {
+                    code,
+                    message: c.string()?,
+                }
+            }
+            t => return Err(DecodeError::BadMessageType(t)),
+        };
+        c.finish()?;
+        Ok(msg)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Values, tables, statement results
+// ----------------------------------------------------------------------
+
+/// Appends one tagged [`Value`].
+pub fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Integer(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(2);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+        Value::Boolean(b) => {
+            out.push(4);
+            out.push(*b as u8);
+        }
+        Value::Bytes(b) => {
+            out.push(5);
+            crate::wire::put_bytes(out, b);
+        }
+        Value::Entity(e) => {
+            out.push(6);
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+    }
+}
+
+/// Reads one tagged [`Value`].
+pub fn decode_value(c: &mut Cursor<'_>) -> Result<Value, DecodeError> {
+    Ok(match c.u8()? {
+        0 => Value::Null,
+        1 => Value::Integer(c.i64()?),
+        2 => Value::Float(c.f64()?),
+        3 => Value::String(c.string()?),
+        4 => Value::Boolean(c.bool()?),
+        5 => Value::Bytes(c.bytes()?),
+        6 => Value::Entity(c.u64()?),
+        t => return Err(DecodeError::BadPayload(format!("bad value tag {t}"))),
+    })
+}
+
+fn encode_table(out: &mut Vec<u8>, t: &Table) {
+    put_len(out, t.columns.len());
+    for col in &t.columns {
+        put_str(out, col);
+    }
+    put_len(out, t.rows.len());
+    for row in &t.rows {
+        for v in row {
+            encode_value(out, v);
+        }
+    }
+}
+
+fn decode_table(c: &mut Cursor<'_>) -> Result<Table, DecodeError> {
+    let ncols = c.len(4)?;
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        columns.push(c.string()?);
+    }
+    let nrows = c.len(ncols.max(1))?;
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            row.push(decode_value(c)?);
+        }
+        rows.push(row);
+    }
+    Ok(Table { columns, rows })
+}
+
+fn encode_stmt_result(out: &mut Vec<u8>, r: &StmtResult) {
+    match r {
+        StmtResult::Defined(what) => {
+            out.push(0);
+            put_str(out, what);
+        }
+        StmtResult::RangeDeclared => out.push(1),
+        StmtResult::Rows(t) => {
+            out.push(2);
+            encode_table(out, t);
+        }
+        StmtResult::Appended(n) => {
+            out.push(3);
+            out.extend_from_slice(&(*n as u64).to_le_bytes());
+        }
+        StmtResult::Replaced(n) => {
+            out.push(4);
+            out.extend_from_slice(&(*n as u64).to_le_bytes());
+        }
+        StmtResult::Deleted(n) => {
+            out.push(5);
+            out.extend_from_slice(&(*n as u64).to_le_bytes());
+        }
+    }
+}
+
+fn decode_stmt_result(c: &mut Cursor<'_>) -> Result<StmtResult, DecodeError> {
+    Ok(match c.u8()? {
+        0 => StmtResult::Defined(c.string()?),
+        1 => StmtResult::RangeDeclared,
+        2 => StmtResult::Rows(decode_table(c)?),
+        3 => StmtResult::Appended(c.u64()? as usize),
+        4 => StmtResult::Replaced(c.u64()? as usize),
+        5 => StmtResult::Deleted(c.u64()? as usize),
+        t => return Err(DecodeError::BadPayload(format!("bad result tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_notation::fixtures::bwv578_subject;
+
+    fn roundtrip(m: &Message) -> Message {
+        let payload = m.encode_payload();
+        Message::decode(m.msg_type(), &payload).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        let table = Table {
+            columns: vec!["name".into(), "midi_key".into()],
+            rows: vec![
+                vec![Value::String("Bach".into()), Value::Integer(70)],
+                vec![Value::Null, Value::Float(1.5)],
+            ],
+        };
+        let messages = vec![
+            Message::Hello {
+                client: "shell".into(),
+            },
+            Message::Ping,
+            Message::Query {
+                text: "retrieve (n.midi_key)".into(),
+            },
+            Message::Execute {
+                text: "append to PERSON (name = \"Bach\")".into(),
+            },
+            Message::StoreScore {
+                score: bwv578_subject(),
+            },
+            Message::LoadScore { id: 17 },
+            Message::FindScore {
+                title: "Fuge g-moll".into(),
+            },
+            Message::ListScores,
+            Message::MetricsSnapshot,
+            Message::HelloAck {
+                server: "mdm 0.1".into(),
+            },
+            Message::Pong,
+            Message::Rows { table },
+            Message::Results {
+                results: vec![
+                    StmtResult::Defined("entity X".into()),
+                    StmtResult::RangeDeclared,
+                    StmtResult::Appended(3),
+                    StmtResult::Replaced(1),
+                    StmtResult::Deleted(2),
+                    StmtResult::Rows(Table {
+                        columns: vec!["a".into()],
+                        rows: vec![vec![Value::Boolean(true)]],
+                    }),
+                ],
+            },
+            Message::ScoreStored { id: 5 },
+            Message::ScoreData {
+                score: bwv578_subject(),
+            },
+            Message::ScoreFound { id: Some(9) },
+            Message::ScoreFound { id: None },
+            Message::ScoreList {
+                scores: vec![(1, "a".into()), (2, "b".into())],
+            },
+            Message::Metrics {
+                json: "{\"metrics\":[]}".into(),
+            },
+            Message::Error {
+                code: ErrorCode::NotFound,
+                message: "no such score: @9".into(),
+            },
+        ];
+        for m in &messages {
+            assert_eq!(&roundtrip(m), m);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(
+            Message::decode(77, &[]),
+            Err(DecodeError::BadMessageType(77))
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut payload = Message::Ping.encode_payload();
+        payload.push(0);
+        assert!(matches!(
+            Message::decode(T_PING, &payload),
+            Err(DecodeError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn bad_error_code_rejected() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&9999u16.to_le_bytes());
+        put_str(&mut payload, "x");
+        assert!(matches!(
+            Message::decode(T_ERROR, &payload),
+            Err(DecodeError::BadPayload(_))
+        ));
+    }
+}

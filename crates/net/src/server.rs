@@ -1,0 +1,440 @@
+//! The MDM server: a thread-per-connection TCP front end over one shared
+//! [`MusicDataManager`].
+//!
+//! Concurrency model: the manager sits behind an [`RwLock`]. Read-only
+//! QUEL programs go through [`MusicDataManager::query_shared`] under the
+//! read half, so any number of reader clients proceed in parallel;
+//! writes (`Execute`, `StoreScore`) take the write half. Each accepted
+//! connection gets its own thread; the listener refuses connections
+//! beyond [`ServerConfig::max_connections`] with a typed `Busy` error
+//! frame rather than letting them queue unanswered.
+//!
+//! Robustness: per-connection read timeouts double as idle reaping,
+//! handler panics are caught per request and reported as `Internal`
+//! errors (the session, and every other session, lives on), and
+//! [`MdmServer::shutdown`] drains in-flight requests up to a deadline
+//! before force-closing stragglers.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mdm_core::{CoreError, MusicDataManager};
+
+use crate::error::{ErrorCode, NetError, Result};
+use crate::message::Message;
+use crate::metrics::NetMetrics;
+use crate::wire::{self, HEADER_LEN};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum simultaneously served connections; further clients are
+    /// refused with a typed `Busy` error.
+    pub max_connections: usize,
+    /// Per-connection socket read timeout. A connection idle past this
+    /// deadline is reaped.
+    pub idle_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// How long [`MdmServer::shutdown`] waits for in-flight requests to
+    /// finish before force-closing their connections.
+    pub drain_timeout: Duration,
+    /// Name sent in `HelloAck`.
+    pub server_name: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(5),
+            server_name: format!("mdm-net/{}", wire::PROTOCOL_VERSION),
+        }
+    }
+}
+
+struct SessionHandle {
+    /// A clone of the session's stream, used to force-close it.
+    stream: TcpStream,
+    /// Whether the session is mid-request (drain waits for these).
+    busy: Arc<AtomicBool>,
+}
+
+struct Shared {
+    mdm: RwLock<MusicDataManager>,
+    metrics: NetMetrics,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    sessions: Mutex<HashMap<u64, SessionHandle>>,
+}
+
+/// A running MDM server. Dropping it without calling
+/// [`MdmServer::shutdown`] aborts connections ungracefully.
+pub struct MdmServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    session_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl MdmServer {
+    /// Binds `addr` and starts serving `mdm`. Pass port 0 to let the OS
+    /// pick (see [`MdmServer::local_addr`]).
+    pub fn start<A: ToSocketAddrs>(
+        mdm: MusicDataManager,
+        addr: A,
+        config: ServerConfig,
+    ) -> Result<MdmServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = NetMetrics::register(&mdm.metrics_registry());
+        let shared = Arc::new(Shared {
+            mdm: RwLock::new(mdm),
+            metrics,
+            config,
+            shutting_down: AtomicBool::new(false),
+            sessions: Mutex::new(HashMap::new()),
+        });
+        let session_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_threads = Arc::clone(&session_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("mdm-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_threads))
+            .map_err(NetError::Io)?;
+        Ok(MdmServer {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            session_threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of currently open sessions.
+    pub fn active_connections(&self) -> usize {
+        self.shared.sessions.lock().expect("sessions lock").len()
+    }
+
+    /// Gracefully shuts down: stops accepting, lets in-flight requests
+    /// finish (up to the drain timeout), force-closes stragglers, joins
+    /// every thread, saves the database, and returns the manager.
+    pub fn shutdown(mut self) -> Result<MusicDataManager> {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the (otherwise indefinitely blocking) accept call.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+
+        // Idle sessions are parked in a socket read: close them now. Busy
+        // ones get until the drain deadline to write their response.
+        {
+            let sessions = self.shared.sessions.lock().expect("sessions lock");
+            for s in sessions.values() {
+                if !s.busy.load(Ordering::SeqCst) {
+                    let _ = s.stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        loop {
+            let busy = {
+                let sessions = self.shared.sessions.lock().expect("sessions lock");
+                sessions
+                    .values()
+                    .filter(|s| s.busy.load(Ordering::SeqCst))
+                    .count()
+            };
+            if busy == 0 || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let sessions = self.shared.sessions.lock().expect("sessions lock");
+            for s in sessions.values() {
+                let _ = s.stream.shutdown(Shutdown::Both);
+            }
+        }
+        let threads = std::mem::take(&mut *self.session_threads.lock().expect("threads lock"));
+        for t in threads {
+            let _ = t.join();
+        }
+
+        let shared = Arc::try_unwrap(self.shared)
+            .map_err(|_| NetError::UnexpectedResponse("server threads still hold state"))?;
+        let mut mdm = shared.mdm.into_inner().expect("mdm lock");
+        mdm.save()
+            .map_err(|e| NetError::Io(std::io::Error::other(e.to_string())))?;
+        Ok(mdm)
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    session_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_session_id: u64 = 0;
+    for conn in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.metrics.connections_accepted.inc();
+
+        let at_capacity = {
+            let sessions = shared.sessions.lock().expect("sessions lock");
+            sessions.len() >= shared.config.max_connections
+        };
+        if at_capacity {
+            refuse_busy(&shared, stream);
+            continue;
+        }
+
+        let id = next_session_id;
+        next_session_id += 1;
+        let busy = Arc::new(AtomicBool::new(false));
+        let handle = SessionHandle {
+            stream: match stream.try_clone() {
+                Ok(c) => c,
+                Err(_) => continue,
+            },
+            busy: Arc::clone(&busy),
+        };
+        shared
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .insert(id, handle);
+        shared.metrics.connections_active.add(1);
+
+        let session_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("mdm-session-{id}"))
+            .spawn(move || {
+                serve_session(&session_shared, stream, busy);
+                session_shared
+                    .sessions
+                    .lock()
+                    .expect("sessions lock")
+                    .remove(&id);
+                session_shared.metrics.connections_active.add(-1);
+            });
+        match spawned {
+            Ok(t) => session_threads.lock().expect("threads lock").push(t),
+            Err(_) => {
+                shared.sessions.lock().expect("sessions lock").remove(&id);
+                shared.metrics.connections_active.add(-1);
+            }
+        }
+    }
+}
+
+/// Sends a typed `Busy` error and closes: over-limit clients get a
+/// definite answer instead of a hang.
+fn refuse_busy(shared: &Shared, mut stream: TcpStream) {
+    shared.metrics.connections_refused.inc();
+    shared.metrics.count_error_response(ErrorCode::Busy.name());
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let msg = Message::Error {
+        code: ErrorCode::Busy,
+        message: format!(
+            "server at its {}-connection limit",
+            shared.config.max_connections
+        ),
+    };
+    let _ = write_response(shared, &mut stream, 0, &msg);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn write_response(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    request_id: u64,
+    msg: &Message,
+) -> Result<()> {
+    let payload = msg.encode_payload();
+    let n = wire::write_frame(stream, msg.msg_type(), request_id, &payload)?;
+    shared.metrics.bytes_out.add(n as u64);
+    shared.metrics.frame_bytes.observe(n as u64);
+    Ok(())
+}
+
+fn serve_session(shared: &Shared, mut stream: TcpStream, busy: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        let (header, payload) = match wire::read_frame(&mut stream) {
+            Ok(f) => f,
+            // Idle past the deadline, peer gone, or the socket was
+            // force-closed by shutdown: reap the session.
+            Err(NetError::Timeout) | Err(NetError::ConnectionClosed) | Err(NetError::Io(_)) => {
+                break
+            }
+            Err(NetError::Decode(e)) => {
+                // A frame that fails to decode leaves the stream position
+                // unknowable; answer with a typed error and close.
+                shared.metrics.decode_errors.inc();
+                shared
+                    .metrics
+                    .count_error_response(ErrorCode::BadRequest.name());
+                let _ = write_response(
+                    shared,
+                    &mut stream,
+                    0,
+                    &Message::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+            Err(_) => break,
+        };
+        busy.store(true, Ordering::SeqCst);
+        let started = Instant::now();
+        let frame_len = (HEADER_LEN + payload.len()) as u64;
+        shared.metrics.bytes_in.add(frame_len);
+        shared.metrics.frame_bytes.observe(frame_len);
+
+        let response = match Message::decode(header.msg_type, &payload) {
+            Ok(request) => {
+                shared.metrics.count_request(request.type_name());
+                // A panicking handler must not take down the session (or
+                // poison the whole server): isolate it per request.
+                match catch_unwind(AssertUnwindSafe(|| handle_request(shared, request))) {
+                    Ok(resp) => resp,
+                    Err(_) => Message::Error {
+                        code: ErrorCode::Internal,
+                        message: "request handler panicked".into(),
+                    },
+                }
+            }
+            Err(e) => {
+                shared.metrics.decode_errors.inc();
+                Message::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                }
+            }
+        };
+        if let Message::Error { code, .. } = &response {
+            shared.metrics.count_error_response(code.name());
+        }
+        let micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        shared.metrics.request_micros.observe(micros);
+        let write_result = write_response(shared, &mut stream, header.request_id, &response);
+        busy.store(false, Ordering::SeqCst);
+        if write_result.is_err() {
+            break;
+        }
+    }
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn handle_request(shared: &Shared, request: Message) -> Message {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Message::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is shutting down".into(),
+        };
+    }
+    match request {
+        Message::Hello { client: _ } => Message::HelloAck {
+            server: shared.config.server_name.clone(),
+        },
+        Message::Ping => Message::Pong,
+        // Read path: `query_shared(&self)` under the read half of the
+        // lock — reader clients run concurrently.
+        Message::Query { text } => {
+            let mdm = shared.mdm.read().expect("mdm lock");
+            match mdm.query_shared(&text) {
+                Ok(table) => Message::Rows { table },
+                Err(e) => core_error_response(&e),
+            }
+        }
+        Message::Execute { text } => {
+            let mut mdm = shared.mdm.write().expect("mdm lock");
+            match mdm.execute(&text) {
+                Ok(results) => Message::Results { results },
+                Err(e) => core_error_response(&e),
+            }
+        }
+        Message::StoreScore { score } => {
+            let mut mdm = shared.mdm.write().expect("mdm lock");
+            match mdm.store_score(&score) {
+                Ok(id) => Message::ScoreStored { id },
+                Err(e) => core_error_response(&e),
+            }
+        }
+        Message::LoadScore { id } => {
+            let mdm = shared.mdm.read().expect("mdm lock");
+            match mdm.load_score(id) {
+                Ok(score) => Message::ScoreData { score },
+                Err(e) => core_error_response(&e),
+            }
+        }
+        Message::FindScore { title } => {
+            let mdm = shared.mdm.read().expect("mdm lock");
+            match mdm.find_score(&title) {
+                Ok(id) => Message::ScoreFound { id },
+                Err(e) => core_error_response(&e),
+            }
+        }
+        Message::ListScores => {
+            let mdm = shared.mdm.read().expect("mdm lock");
+            match mdm.list_scores() {
+                Ok(scores) => Message::ScoreList { scores },
+                Err(e) => core_error_response(&e),
+            }
+        }
+        Message::MetricsSnapshot => {
+            let mdm = shared.mdm.read().expect("mdm lock");
+            Message::Metrics {
+                json: mdm.metrics_snapshot().to_json(),
+            }
+        }
+        // A response message arriving as a request is a protocol abuse.
+        other => Message::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("'{}' is not a request", other.type_name()),
+        },
+    }
+}
+
+/// Maps a core failure to its wire error class; "score not found" is
+/// distinguishable from I/O and decode failures.
+fn core_error_response(e: &CoreError) -> Message {
+    let code = match e {
+        CoreError::NoSuchScore(_) => ErrorCode::NotFound,
+        CoreError::BadScoreData(_) => ErrorCode::BadScoreData,
+        CoreError::Lang(_) | CoreError::Model(_) => ErrorCode::Query,
+        CoreError::Storage(_) => ErrorCode::Storage,
+        CoreError::Darms(_) => ErrorCode::BadRequest,
+        CoreError::Internal(_) => ErrorCode::Internal,
+    };
+    Message::Error {
+        code,
+        message: e.to_string(),
+    }
+}

@@ -1,0 +1,399 @@
+//! The binary framing layer: length-prefixed frames with a magic/version
+//! header, a request id, and a CRC32 payload checksum.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        b"MDMN"
+//!      4     2  version      u16 LE, currently 1
+//!      6     2  message type u16 LE (see message.rs)
+//!      8     8  request id   u64 LE, echoed verbatim in the response
+//!                            (0 is reserved for connection-level server
+//!                            errors; clients allocate ids from 1)
+//!     16     4  payload len  u32 LE, at most MAX_PAYLOAD
+//!     20     4  payload CRC  u32 LE, CRC-32 (IEEE) of the payload bytes
+//!     24     …  payload      message-type-specific encoding
+//! ```
+//!
+//! The decoder is *total*: every malformed input maps to a typed
+//! [`DecodeError`] — wrong magic, foreign version, oversized frame,
+//! truncation, checksum mismatch — and never panics. The magic is
+//! checked before the version so a connection from an entirely different
+//! protocol is distinguishable from an old MDM peer.
+
+use std::io::{Read, Write};
+
+use crate::error::{DecodeError, NetError, Result};
+
+/// Frame magic: "MDMN" (music data manager / network).
+pub const MAGIC: [u8; 4] = *b"MDMN";
+
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard cap on payload size (16 MiB): larger declared lengths are
+/// rejected *before* any allocation, so a hostile header cannot balloon
+/// server memory.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 24;
+
+// ----------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, computed at first use
+// ----------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of `bytes` — the frame payload checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ----------------------------------------------------------------------
+// Frame header
+// ----------------------------------------------------------------------
+
+/// A decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Message type tag.
+    pub msg_type: u16,
+    /// Request id (echoed in the response).
+    pub request_id: u64,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// CRC-32 of the payload.
+    pub payload_crc: u32,
+}
+
+/// Encodes a complete frame (header + payload) into a fresh buffer.
+pub fn encode_frame(msg_type: u16, request_id: u64, payload: &[u8]) -> Result<Vec<u8>> {
+    if payload.len() as u64 > MAX_PAYLOAD as u64 {
+        return Err(DecodeError::FrameTooLarge(payload.len() as u64).into());
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.extend_from_slice(&msg_type.to_le_bytes());
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Parses a frame header from exactly [`HEADER_LEN`] bytes.
+pub fn decode_header(buf: &[u8; HEADER_LEN]) -> std::result::Result<FrameHeader, DecodeError> {
+    if buf[0..4] != MAGIC {
+        return Err(DecodeError::BadMagic([buf[0], buf[1], buf[2], buf[3]]));
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != PROTOCOL_VERSION {
+        return Err(DecodeError::VersionMismatch { got: version });
+    }
+    let msg_type = u16::from_le_bytes([buf[6], buf[7]]);
+    let request_id = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes"));
+    let payload_crc = u32::from_le_bytes(buf[20..24].try_into().expect("4 bytes"));
+    if payload_len > MAX_PAYLOAD {
+        return Err(DecodeError::FrameTooLarge(payload_len as u64));
+    }
+    Ok(FrameHeader {
+        msg_type,
+        request_id,
+        payload_len,
+        payload_crc,
+    })
+}
+
+/// Reads one frame (header, then checksum-verified payload) from a
+/// stream. Returns the header and the raw payload bytes; the caller
+/// decodes the payload per `msg_type`.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameHeader, Vec<u8>)> {
+    let mut head = [0u8; HEADER_LEN];
+    r.read_exact(&mut head)?;
+    let header = decode_header(&head).map_err(NetError::Decode)?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    r.read_exact(&mut payload)?;
+    let actual = crc32(&payload);
+    if actual != header.payload_crc {
+        return Err(DecodeError::ChecksumMismatch {
+            expected: header.payload_crc,
+            actual,
+        }
+        .into());
+    }
+    Ok((header, payload))
+}
+
+/// Writes a complete frame to a stream.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    msg_type: u16,
+    request_id: u64,
+    payload: &[u8],
+) -> Result<usize> {
+    let frame = encode_frame(msg_type, request_id, payload)?;
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+// ----------------------------------------------------------------------
+// Payload cursor
+// ----------------------------------------------------------------------
+
+/// A bounds-checked cursor over a payload, yielding typed decode errors
+/// (never panicking) on truncated or malformed input.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wraps a payload.
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Unread byte count.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the payload was fully consumed — trailing garbage is
+    /// a decode error, not silently ignored.
+    pub fn finish(&self) -> std::result::Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::BadPayload(format!(
+                "{} trailing bytes after message",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> std::result::Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        let b = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(b)
+    }
+
+    /// Reads a u8.
+    pub fn u8(&mut self) -> std::result::Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool encoded as 0/1 (other values are malformed).
+    pub fn bool(&mut self) -> std::result::Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(DecodeError::BadPayload(format!("bad bool byte {v}"))),
+        }
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> std::result::Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> std::result::Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> std::result::Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian i64.
+    pub fn i64(&mut self) -> std::result::Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian f64.
+    pub fn f64(&mut self) -> std::result::Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> std::result::Result<Vec<u8>, DecodeError> {
+        let n = self.u32()? as usize;
+        // Never allocate more than the bytes actually present: a hostile
+        // length prefix larger than the remaining payload is truncation.
+        if n > self.remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> std::result::Result<String, DecodeError> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| DecodeError::BadPayload("non-UTF-8 string".into()))
+    }
+
+    /// Reads a collection length prefix, bounded by the bytes that could
+    /// possibly back it (`min_item_bytes` per element) so hostile counts
+    /// cannot preallocate unbounded memory.
+    pub fn len(&mut self, min_item_bytes: usize) -> std::result::Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_item_bytes.max(1)) > self.remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+/// Appends a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Appends a collection length prefix.
+pub fn put_len(out: &mut Vec<u8>, n: usize) {
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = encode_frame(7, 42, b"hello").unwrap();
+        let (header, payload) = read_frame(&mut frame.as_slice()).unwrap();
+        assert_eq!(header.msg_type, 7);
+        assert_eq!(header.request_id, 42);
+        assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = encode_frame(1, 1, b"x").unwrap();
+        frame[0] = b'X';
+        let err = read_frame(&mut frame.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, NetError::Decode(DecodeError::BadMagic(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut frame = encode_frame(1, 1, b"x").unwrap();
+        frame[4] = 99;
+        let err = read_frame(&mut frame.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetError::Decode(DecodeError::VersionMismatch { got: 99 })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_payload_caught_by_checksum() {
+        let mut frame = encode_frame(1, 1, b"payload bytes").unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40; // single bit flip
+        let err = read_frame(&mut frame.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, NetError::Decode(DecodeError::ChecksumMismatch { .. })),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_allocation() {
+        let mut frame = encode_frame(1, 1, b"x").unwrap();
+        frame[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut frame.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetError::Decode(DecodeError::FrameTooLarge(n)) if n == u32::MAX as u64
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_stream_is_connection_closed() {
+        let frame = encode_frame(1, 1, b"hello world").unwrap();
+        let err = read_frame(&mut frame[..frame.len() - 3].as_ref()).unwrap_err();
+        assert!(matches!(err, NetError::ConnectionClosed), "{err:?}");
+    }
+
+    #[test]
+    fn cursor_rejects_hostile_length_prefixes() {
+        // A 4 GiB string length inside a 8-byte payload must not allocate.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0; 4]);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.string(), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn cursor_finish_rejects_trailing_garbage() {
+        let buf = [1u8, 2, 3];
+        let mut c = Cursor::new(&buf);
+        c.u8().unwrap();
+        assert!(matches!(c.finish(), Err(DecodeError::BadPayload(_))));
+    }
+}

@@ -58,6 +58,18 @@ impl Clef {
             Clef::Soprano => "soprano",
         }
     }
+
+    /// Parses a [`Clef::name`] back to the clef.
+    pub fn from_name(name: &str) -> Option<Clef> {
+        Some(match name {
+            "treble" => Clef::Treble,
+            "bass" => Clef::Bass,
+            "alto" => Clef::Alto,
+            "tenor" => Clef::Tenor,
+            "soprano" => Clef::Soprano,
+            _ => return None,
+        })
+    }
 }
 
 #[cfg(test)]

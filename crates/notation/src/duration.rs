@@ -65,6 +65,21 @@ impl BaseDuration {
             BaseDuration::SixtyFourth => "sixty-fourth",
         }
     }
+
+    /// Parses a [`BaseDuration::name`] back to the value.
+    pub fn from_name(name: &str) -> Option<BaseDuration> {
+        Some(match name {
+            "breve" => BaseDuration::Breve,
+            "whole" => BaseDuration::Whole,
+            "half" => BaseDuration::Half,
+            "quarter" => BaseDuration::Quarter,
+            "eighth" => BaseDuration::Eighth,
+            "sixteenth" => BaseDuration::Sixteenth,
+            "thirty-second" => BaseDuration::ThirtySecond,
+            "sixty-fourth" => BaseDuration::SixtyFourth,
+            _ => return None,
+        })
+    }
 }
 
 /// A notated duration: base value, dots, and an optional tuplet ratio

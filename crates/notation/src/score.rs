@@ -28,6 +28,33 @@ pub enum Articulation {
     Arco,
 }
 
+impl Articulation {
+    /// Conventional English name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Articulation::Staccato => "staccato",
+            Articulation::Marcato => "marcato",
+            Articulation::Accent => "accent",
+            Articulation::Tenuto => "tenuto",
+            Articulation::Pizzicato => "pizzicato",
+            Articulation::Arco => "arco",
+        }
+    }
+
+    /// Parses an [`Articulation::name`] back to the articulation.
+    pub fn from_name(name: &str) -> Option<Articulation> {
+        Some(match name {
+            "staccato" => Articulation::Staccato,
+            "marcato" => Articulation::Marcato,
+            "accent" => Articulation::Accent,
+            "tenuto" => Articulation::Tenuto,
+            "pizzicato" => Articulation::Pizzicato,
+            "arco" => Articulation::Arco,
+            _ => return None,
+        })
+    }
+}
+
 /// Dynamic levels (fig. 12's dynamic sub-aspect), with conventional MIDI
 /// velocities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -77,6 +104,21 @@ impl Dynamic {
             Dynamic::Fortissimo => "ff",
             Dynamic::Fortississimo => "fff",
         }
+    }
+
+    /// Parses a [`Dynamic::abbreviation`] back to the dynamic.
+    pub fn from_abbreviation(a: &str) -> Option<Dynamic> {
+        Some(match a {
+            "ppp" => Dynamic::Pianississimo,
+            "pp" => Dynamic::Pianissimo,
+            "p" => Dynamic::Piano,
+            "mp" => Dynamic::MezzoPiano,
+            "mf" => Dynamic::MezzoForte,
+            "f" => Dynamic::Forte,
+            "ff" => Dynamic::Fortissimo,
+            "fff" => Dynamic::Fortississimo,
+            _ => return None,
+        })
     }
 }
 

@@ -79,6 +79,30 @@ impl TempoMap {
         &self.marks
     }
 
+    /// Rebuilds a tempo map from a mark list (e.g. one read back from
+    /// storage or decoded off the wire), going through the public
+    /// constructors so every invariant is re-validated. Marks must be in
+    /// score-time order with positive tempos (the constructors assert
+    /// this — callers deserializing untrusted input must validate first).
+    /// An empty list yields the default map.
+    pub fn from_marks(marks: &[TempoMark]) -> TempoMap {
+        let Some(first) = marks.first() else {
+            return TempoMap::default();
+        };
+        let mut t = TempoMap::constant(first.bpm);
+        for m in marks {
+            t.set_tempo(m.beat, m.bpm);
+        }
+        for (idx, m) in marks.iter().enumerate() {
+            if m.ramp_to_next {
+                if let Some(next) = marks.get(idx + 1) {
+                    t.ramp(m.beat, next.beat, next.bpm);
+                }
+            }
+        }
+        t
+    }
+
     /// Tempo in effect at a score-time position.
     pub fn bpm_at(&self, beat: Rational) -> f64 {
         let idx = match self.marks.binary_search_by(|m| m.beat.cmp(&beat)) {

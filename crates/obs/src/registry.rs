@@ -230,6 +230,39 @@ impl HistogramSnap {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket containing the target rank — the standard
+    /// Prometheus `histogram_quantile` estimate. Observations in the
+    /// overflow bucket are attributed to the last finite bound. Returns
+    /// `None` for an empty histogram or a `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            let next = cumulative + n;
+            if next as f64 >= rank && n > 0 {
+                let upper = match self.bounds.get(i) {
+                    Some(&b) => b as f64,
+                    // Overflow bucket: no upper edge to interpolate
+                    // toward, so report the last finite bound.
+                    None => return Some(*self.bounds.last()? as f64),
+                };
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    self.bounds[i - 1] as f64
+                };
+                let frac = (rank - cumulative as f64) / n as f64;
+                return Some(lower + (upper - lower) * frac.clamp(0.0, 1.0));
+            }
+            cumulative = next;
+        }
+        self.bounds.last().map(|&b| b as f64)
+    }
 }
 
 /// A point-in-time export of a [`Registry`].
@@ -483,6 +516,45 @@ mod tests {
         assert_eq!(s.gauge("mdm_active_txns"), Some(-2));
         assert_eq!(s.histogram("mdm_lat_micros").unwrap().count, 1);
         assert_eq!(s.counter("absent"), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("mdm_q_micros", "latency", &[10, 100, 1000]);
+        // 50 observations in (10, 100], 50 in (100, 1000].
+        for _ in 0..50 {
+            h.observe(60);
+        }
+        for _ in 0..50 {
+            h.observe(600);
+        }
+        let s = r.snapshot();
+        let snap = s.histogram("mdm_q_micros").unwrap();
+        // p50 sits exactly at the edge of the second bucket.
+        assert_eq!(snap.quantile(0.5), Some(100.0));
+        // p99 interpolates 99/50 of the way… within (100, 1000].
+        let p99 = snap.quantile(0.99).unwrap();
+        assert!((100.0..=1000.0).contains(&p99), "{p99}");
+        assert!(p99 > 800.0, "p99 near the top of the bucket: {p99}");
+        // q=0 lands at the lower edge of the first non-empty bucket.
+        assert_eq!(snap.quantile(0.0), Some(10.0));
+        assert_eq!(snap.quantile(1.5), None);
+        // Overflow observations clamp to the last finite bound.
+        h.observe(1_000_000);
+        let s = r.snapshot();
+        assert_eq!(
+            s.histogram("mdm_q_micros").unwrap().quantile(1.0),
+            Some(1000.0)
+        );
+        // Empty histogram has no quantiles.
+        let empty = HistogramSnap {
+            bounds: vec![10],
+            counts: vec![0, 0],
+            count: 0,
+            sum: 0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]
