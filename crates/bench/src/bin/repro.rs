@@ -25,6 +25,13 @@
 //! full server metrics snapshot embedded. `net-smoke` is the CI check:
 //! server start, client connect, one QUEL query, one score round-trip,
 //! and a clean drained shutdown, all within a deadline.
+//!
+//! `trace-bench` measures request-tracing overhead — each client count
+//! runs once untraced and once with the server tracer at its default
+//! 1-in-16 sampling — and writes `BENCH_4.json`. `trace-smoke` is the
+//! CI check: one traced QUEL execute over loopback must produce a span
+//! tree crossing net → quel → storage with a parseable Chrome
+//! trace-event export.
 
 use mdm_bench::workload;
 use mdm_core::{Analyst, Composer, Library, MusicDataManager};
@@ -83,6 +90,29 @@ fn main() {
             }
             return;
         }
+        "trace-bench" => {
+            let doc = trace_bench_json(&[1, 2, 4, 8], 200);
+            if let Err(e) = validate_trace_bench_json(&doc) {
+                eprintln!("trace bench JSON failed self-validation: {e}");
+                std::process::exit(1);
+            }
+            let path = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| format!("{}/../../BENCH_4.json", env!("CARGO_MANIFEST_DIR")));
+            std::fs::write(&path, &doc).expect("write BENCH_4.json");
+            println!("wrote {path}");
+            return;
+        }
+        "trace-smoke" => {
+            match trace_smoke() {
+                Ok(report) => println!("{report}"),
+                Err(e) => {
+                    eprintln!("trace smoke FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
         _ => {}
     }
     type Artifact = (&'static str, fn() -> String);
@@ -115,7 +145,7 @@ fn main() {
         if found.is_empty() {
             eprintln!(
                 "unknown artifact {which}; use fig1..fig15, t1, quel, bench, smoke, \
-                 net-bench, net-smoke, or all"
+                 net-bench, net-smoke, trace-bench, trace-smoke, or all"
             );
             std::process::exit(2);
         }
@@ -940,6 +970,270 @@ fn net_smoke() -> Result<String, String> {
         "net smoke: ok — store/load/query round-trip and a validated \
          2-point sweep in {:.2}s",
         elapsed.as_secs_f64()
+    ))
+}
+
+/// One loopback sweep at `clients` workers alternating score commits
+/// with QUEL reads. With `sample_every = Some(n)` the server tracer
+/// records 1-in-`n` requests; `None` leaves tracing off. Returns
+/// `(requests_per_sec, p50_micros, p99_micros, server snapshot)`.
+fn trace_sweep(
+    clients: usize,
+    ops_per_client: usize,
+    sample_every: Option<u64>,
+) -> (f64, f64, f64, mdm_obs::Snapshot) {
+    use mdm_net::{ClientConfig, MdmClient, MdmServer, ServerConfig, TraceOp};
+    let dir = std::env::temp_dir().join(format!(
+        "mdm-repro-trace-{clients}-{}-{}",
+        sample_every.is_some(),
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let mdm = MusicDataManager::open(&dir).expect("open MDM");
+    let server =
+        MdmServer::start(mdm, "127.0.0.1:0", ServerConfig::default()).expect("start server");
+    let addr = server.local_addr().to_string();
+    if let Some(n) = sample_every {
+        let mut control = MdmClient::connect(&addr, ClientConfig::default()).expect("control");
+        control
+            .trace_control(TraceOp::Enable { sample_every: n })
+            .expect("enable tracing");
+        control.disconnect();
+    }
+    let score = bwv578_subject();
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..clients {
+            let addr = addr.clone();
+            let score = score.clone();
+            scope.spawn(move || {
+                let mut c = MdmClient::connect(
+                    &addr,
+                    ClientConfig {
+                        client_name: format!("trace-bench-{worker}"),
+                        ..ClientConfig::default()
+                    },
+                )
+                .expect("connect");
+                for op in 0..ops_per_client {
+                    if op % 2 == 0 {
+                        c.store_score(&score).expect("store");
+                    } else {
+                        c.query("range of s is SCORE\nretrieve (s.title)")
+                            .expect("query");
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let per_sec = (clients * ops_per_client) as f64 / elapsed.as_secs_f64();
+    let mdm = server.shutdown().expect("shutdown");
+    let snap = mdm.metrics_snapshot();
+    let lat = snap
+        .histogram("mdm_net_request_micros")
+        .expect("latency histogram");
+    let p50 = lat.quantile(0.50).unwrap_or(0.0);
+    let p99 = lat.quantile(0.99).unwrap_or(0.0);
+    drop(mdm);
+    std::fs::remove_dir_all(&dir).ok();
+    (per_sec, p50, p99, snap)
+}
+
+/// The tracing-overhead axis: for each client count, sweeps untraced
+/// and with the server tracer on at the default 1-in-16 sampling. The
+/// conditions alternate and each reports its best of two rounds, which
+/// suppresses scheduler noise on small machines — on one core the
+/// run-to-run spread otherwise dwarfs the effect being measured. The
+/// acceptance bar is traced throughput within 10% of untraced.
+fn trace_bench_json(client_counts: &[usize], ops_per_client: usize) -> String {
+    let mut runs = String::new();
+    let mut last_traced_snapshot = None;
+    for (i, &clients) in client_counts.iter().enumerate() {
+        let mut best_base: Option<(f64, f64, f64, mdm_obs::Snapshot)> = None;
+        let mut best_traced: Option<(f64, f64, f64, mdm_obs::Snapshot)> = None;
+        for _ in 0..2 {
+            let b = trace_sweep(clients, ops_per_client, None);
+            if best_base.as_ref().is_none_or(|x| b.0 > x.0) {
+                best_base = Some(b);
+            }
+            let t = trace_sweep(clients, ops_per_client, Some(mdm_obs::DEFAULT_SAMPLE_EVERY));
+            if best_traced.as_ref().is_none_or(|x| t.0 > x.0) {
+                best_traced = Some(t);
+            }
+        }
+        let (base_ps, base_p50, base_p99, _) = best_base.expect("two rounds ran");
+        let (traced_ps, traced_p50, traced_p99, snap) = best_traced.expect("two rounds ran");
+        let overhead_pct = if base_ps > 0.0 {
+            (base_ps - traced_ps) / base_ps * 100.0
+        } else {
+            0.0
+        };
+        if i > 0 {
+            runs.push(',');
+        }
+        runs.push_str(&format!(
+            "{{\"clients\":{clients},\
+             \"untraced_requests_per_sec\":{base_ps:.1},\
+             \"traced_requests_per_sec\":{traced_ps:.1},\
+             \"overhead_pct\":{overhead_pct:.2},\
+             \"untraced_p50_micros\":{base_p50:.1},\"untraced_p99_micros\":{base_p99:.1},\
+             \"traced_p50_micros\":{traced_p50:.1},\"traced_p99_micros\":{traced_p99:.1}}}"
+        ));
+        last_traced_snapshot = Some(snap);
+    }
+    format!(
+        "{{\"bench\":\"e4_trace_overhead\",\"ops_per_client\":{ops_per_client},\
+         \"sample_every\":{},\"runs\":[{runs}],\"server_metrics\":{}}}\n",
+        mdm_obs::DEFAULT_SAMPLE_EVERY,
+        last_traced_snapshot
+            .expect("at least one client count")
+            .to_json()
+    )
+}
+
+/// Validates a `trace_bench_json` document: well-formed JSON, paired
+/// traced/untraced throughput per run, and evidence in the embedded
+/// snapshot that the traced sweep actually recorded traces.
+fn validate_trace_bench_json(doc: &str) -> Result<(), String> {
+    use mdm_obs::json::{parse, Value};
+    let v = parse(doc).map_err(|e| e.to_string())?;
+    let runs = v
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("missing runs array")?;
+    if runs.is_empty() {
+        return Err("runs array is empty".into());
+    }
+    for run in runs {
+        run.get("clients")
+            .and_then(Value::as_u64)
+            .ok_or("run is missing clients")?;
+        for key in [
+            "untraced_requests_per_sec",
+            "traced_requests_per_sec",
+            "overhead_pct",
+            "untraced_p50_micros",
+            "untraced_p99_micros",
+            "traced_p50_micros",
+            "traced_p99_micros",
+        ] {
+            if !matches!(run.get(key), Some(Value::Number(_))) {
+                return Err(format!("run is missing {key}"));
+            }
+        }
+    }
+    let metrics = v
+        .get("server_metrics")
+        .and_then(|m| m.get("metrics"))
+        .and_then(Value::as_array)
+        .ok_or("missing server_metrics.metrics array")?;
+    let recorded = metrics
+        .iter()
+        .find(|m| m.get("name").and_then(Value::as_str) == Some("mdm_trace_recorded_total"))
+        .ok_or("mdm_trace_recorded_total missing from snapshot")?;
+    if recorded.get("value").and_then(Value::as_u64) == Some(0) {
+        return Err("traced sweep recorded zero traces".into());
+    }
+    Ok(())
+}
+
+/// The CI tracing smoke: one traced QUEL `execute` end-to-end over
+/// loopback must yield a trace whose root (`net.request`) has at least
+/// three child spans and whose tree spans net → quel → storage, with a
+/// Chrome trace-event export our own JSON parser accepts.
+fn trace_smoke() -> Result<String, String> {
+    use mdm_net::{ClientConfig, MdmClient, MdmServer, ServerConfig, TraceOp};
+    use mdm_obs::json::{parse, Value};
+    let started = std::time::Instant::now();
+
+    let dir = std::env::temp_dir().join(format!("mdm-repro-trace-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mdm = MusicDataManager::open(&dir).map_err(|e| format!("open: {e}"))?;
+    let server = MdmServer::start(mdm, "127.0.0.1:0", ServerConfig::default())
+        .map_err(|e| format!("start: {e}"))?;
+    let mut c = MdmClient::connect(&server.local_addr().to_string(), ClientConfig::default())
+        .map_err(|e| format!("connect: {e}"))?;
+    if c.negotiated_version() < 2 {
+        return Err(format!(
+            "expected a v2 session, negotiated v{}",
+            c.negotiated_version()
+        ));
+    }
+
+    c.trace_control(TraceOp::Enable { sample_every: 1 })
+        .map_err(|e| format!("trace on: {e}"))?;
+    // An execute runs the full path: net framing, the QUEL pipeline, and
+    // a real storage transaction for the statement journal.
+    c.execute("append to PERSON (name = \"Smoke\")")
+        .map_err(|e| format!("execute: {e}"))?;
+    let (text, chrome) = c
+        .trace_fetch(false, 16)
+        .map_err(|e| format!("trace fetch: {e}"))?;
+    if !text.contains("net.request") {
+        return Err(format!("span-tree text has no net.request root:\n{text}"));
+    }
+
+    let v = parse(&chrome).map_err(|e| format!("chrome JSON unparseable: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("chrome JSON missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("chrome JSON has no events".into());
+    }
+    let arg = |e: &Value, k: &str| {
+        e.get("args")
+            .and_then(|a| a.get(k))
+            .and_then(Value::as_str)
+            .map(str::to_string)
+    };
+    let name = |e: &Value| {
+        e.get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    // The execute's trace: the one containing a quel.exec span.
+    let quel_exec = events
+        .iter()
+        .find(|e| name(e) == "quel.exec")
+        .ok_or("no quel.exec span in any trace")?;
+    let trace_id = arg(quel_exec, "trace_id").ok_or("quel.exec has no trace_id")?;
+    let in_trace: Vec<&Value> = events
+        .iter()
+        .filter(|e| arg(e, "trace_id").as_deref() == Some(trace_id.as_str()))
+        .collect();
+    let root = in_trace
+        .iter()
+        .find(|e| name(e) == "net.request")
+        .ok_or("execute trace has no net.request root")?;
+    let root_id = arg(root, "span_id").ok_or("root has no span_id")?;
+    let direct_children = in_trace
+        .iter()
+        .filter(|e| arg(e, "parent_id").as_deref() == Some(root_id.as_str()))
+        .count();
+    if direct_children < 3 {
+        return Err(format!(
+            "root has {direct_children} direct children, expected >= 3 \
+             (decode/dispatch/encode)"
+        ));
+    }
+    for required in ["net.dispatch", "quel.exec", "storage.wal_append"] {
+        if !in_trace.iter().any(|e| name(e) == required) {
+            return Err(format!("execute trace is missing a {required} span"));
+        }
+    }
+
+    drop(c);
+    let mdm = server.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    drop(mdm);
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(format!(
+        "trace smoke: ok — traced execute produced a {}-span tree \
+         (net → quel → storage) with a parseable Chrome export in {:.2}s",
+        in_trace.len(),
+        started.elapsed().as_secs_f64()
     ))
 }
 

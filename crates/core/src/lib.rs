@@ -43,5 +43,5 @@ pub mod score_store;
 pub use clients::{Ambitus, Analyst, Composer, Library, ScoreEditor};
 pub use error::{CoreError, Result};
 pub use layout::{layout_score, store_orchestra, LayoutConfig, LayoutSummary};
-pub use mdm::MusicDataManager;
+pub use mdm::{MusicDataManager, WIRE_PROTOCOL_VERSION};
 pub use score_store::{delete_score, find_score, list_scores, load_score, store_score};

@@ -17,16 +17,32 @@
 
 use std::path::Path;
 use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use mdm_lang::{QuelMetrics, Session, StmtResult, Table};
 use mdm_model::{persist, Database, EntityId};
 use mdm_notation::{Score, TimeSignature, Voice};
-use mdm_obs::{Counter, Registry, Snapshot};
+use mdm_obs::{Counter, Registry, Snapshot, Tracer};
 use mdm_storage::StorageEngine;
 
 use crate::cmn_schema;
 use crate::error::{CoreError, Result};
 use crate::score_store;
+
+/// The wire protocol version the MDM stack speaks, surfaced as the
+/// `protocol` label on `mdm_build_info`. `mdm-net` owns the wire
+/// constant; a test over there asserts the two stay equal.
+pub const WIRE_PROTOCOL_VERSION: u16 = 2;
+
+/// Engine table holding the statement journal: the QUEL text of every
+/// successful `execute` since the last [`MusicDataManager::save`], each
+/// row `seq:u64 LE ++ utf8 text`. Replayed (in sequence order) at open
+/// so mutations are durable *between* whole-database checkpoints, and
+/// dropped at save once the checkpoint carries their effects. Writing
+/// it runs a real engine transaction — locks, buffer pool, WAL append,
+/// group-commit fsync — which is also what threads genuine storage
+/// spans into every traced `execute` request.
+const JOURNAL_TABLE: &str = "__stmt_journal";
 
 /// One `mdm_requests_total{client=…,api=…}` counter per public MDM entry
 /// point, grouped by the kind of client the paper's fig. 1 anticipates:
@@ -79,6 +95,9 @@ pub struct MusicDataManager {
     registry: Registry,
     quel: Arc<QuelMetrics>,
     requests: RequestCounters,
+    tracer: Tracer,
+    /// Next statement-journal sequence number (max persisted + 1).
+    journal_seq: u64,
 }
 
 impl MusicDataManager {
@@ -96,16 +115,50 @@ impl MusicDataManager {
             StorageEngine::open_with_registry(dir, mdm_storage::DEFAULT_POOL_PAGES, &registry)?;
         let quel = QuelMetrics::register(&registry);
         let requests = RequestCounters::register(&registry);
+        let tracer = Tracer::new();
+        tracer.register_metrics(&registry);
+        registry
+            .gauge_labeled(
+                "mdm_build_info",
+                "build metadata carried as labels; the value is always 1",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("protocol", "2"), // = WIRE_PROTOCOL_VERSION (labels are &str)
+                ],
+            )
+            .set(1);
+        registry
+            .gauge(
+                "mdm_process_start_seconds",
+                "unix time at which this MDM opened its store",
+            )
+            .set(
+                SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_secs() as i64)
+                    .unwrap_or(0),
+            );
         let mut db = persist::load(&engine)?;
         cmn_schema::install(&mut db)?;
+        let mut session = Session::with_metrics(Arc::clone(&quel));
+        let journal_seq = replay_journal(&engine, &mut session, &mut db)?;
         Ok(MusicDataManager {
             engine,
             db,
-            session: Session::with_metrics(Arc::clone(&quel)),
+            session,
             registry,
             quel,
             requests,
+            tracer,
+            journal_seq,
         })
+    }
+
+    /// The tracer every layer under this MDM records spans through. The
+    /// network server adopts it for its per-request root spans; the
+    /// shell and tests tune sampling and slow thresholds on it.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// A point-in-time snapshot of every metric in the MDM's registry —
@@ -136,10 +189,31 @@ impl MusicDataManager {
         &self.engine
     }
 
-    /// Executes a program of DDL / QUEL statements.
+    /// Executes a program of DDL / QUEL statements. On success the
+    /// program text is appended to the engine's statement journal in a
+    /// real (WAL-logged, group-committed) transaction, so the mutation
+    /// survives a crash even before the next [`save`](Self::save).
     pub fn execute(&mut self, text: &str) -> Result<Vec<StmtResult>> {
         self.requests.execute.inc();
-        self.run(text)
+        let results = self.run(text)?;
+        self.journal_append(text)?;
+        Ok(results)
+    }
+
+    /// Appends one executed program to the statement journal.
+    fn journal_append(&mut self, text: &str) -> Result<()> {
+        let table = match self.engine.table_id(JOURNAL_TABLE) {
+            Ok(t) => t,
+            Err(_) => self.engine.create_table(JOURNAL_TABLE)?,
+        };
+        let mut body = Vec::with_capacity(8 + text.len());
+        body.extend_from_slice(&self.journal_seq.to_le_bytes());
+        body.extend_from_slice(text.as_bytes());
+        let mut txn = self.engine.begin()?;
+        self.engine.insert(&mut txn, table, &body)?;
+        self.engine.commit(txn)?;
+        self.journal_seq += 1;
+        Ok(())
     }
 
     fn run(&mut self, text: &str) -> Result<Vec<StmtResult>> {
@@ -178,9 +252,16 @@ impl MusicDataManager {
     }
 
     /// Persists the database through the storage engine and checkpoints.
+    /// The statement journal is dropped afterwards: the checkpointed
+    /// image now carries every journaled statement's effect, so a
+    /// reopen must not replay them a second time.
     pub fn save(&mut self) -> Result<()> {
         self.requests.save.inc();
         persist::save(&self.db, &self.engine)?;
+        if self.engine.table_id(JOURNAL_TABLE).is_ok() {
+            self.engine.drop_table(JOURNAL_TABLE)?;
+        }
+        self.journal_seq = 0;
         self.engine.checkpoint()?;
         Ok(())
     }
@@ -257,6 +338,37 @@ impl MusicDataManager {
         self.requests.census.inc();
         cmn_schema::census(&self.db)
     }
+}
+
+/// Replays the statement journal (if any) into `db` in sequence order,
+/// returning the next free sequence number. A statement that no longer
+/// executes cleanly (e.g. its table was since dropped by DDL that was
+/// itself lost) is skipped rather than failing the open: the journal is
+/// best-effort crash durability, not a second source of truth.
+fn replay_journal(engine: &StorageEngine, session: &mut Session, db: &mut Database) -> Result<u64> {
+    let Ok(table) = engine.table_id(JOURNAL_TABLE) else {
+        return Ok(0);
+    };
+    let mut txn = engine.begin()?;
+    let rows = engine.scan(&mut txn, table)?;
+    engine.commit(txn)?;
+    let mut entries: Vec<(u64, String)> = Vec::with_capacity(rows.len());
+    for (_, body) in rows {
+        if body.len() < 8 {
+            continue;
+        }
+        let seq = u64::from_le_bytes(body[..8].try_into().unwrap());
+        if let Ok(text) = String::from_utf8(body[8..].to_vec()) {
+            entries.push((seq, text));
+        }
+    }
+    entries.sort_by_key(|(seq, _)| *seq);
+    let mut next = 0;
+    for (seq, text) in entries {
+        next = next.max(seq + 1);
+        let _ = session.execute(db, &text);
+    }
+    Ok(next)
 }
 
 #[cfg(test)]
@@ -416,6 +528,55 @@ mod tests {
             snap.counter("mdm_txn_begins_total"),
             "engine and MDM share one registry"
         );
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn statement_journal_survives_reopen_without_save() {
+        let dir = tmpdir("journal");
+        {
+            let mut mdm = MusicDataManager::open(&dir).unwrap();
+            mdm.execute("append to PERSON (name = \"Bach\")").unwrap();
+            mdm.execute("range of p is PERSON\nappend to PERSON (name = \"Telemann\")")
+                .unwrap();
+            // No save: the rows exist only as journaled statements.
+        }
+        {
+            let mut mdm = MusicDataManager::open(&dir).unwrap();
+            let t = mdm.query("retrieve (PERSON.name)").unwrap();
+            assert_eq!(t.len(), 2, "journal replayed both appends");
+            // Save folds the journal into the checkpoint and drops it.
+            mdm.save().unwrap();
+            assert!(mdm.engine().table_id("__stmt_journal").is_err());
+        }
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        let t = mdm.query("retrieve (PERSON.name)").unwrap();
+        assert_eq!(t.len(), 2, "no double replay after save");
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_info_and_start_time_registered_at_open() {
+        let dir = tmpdir("buildinfo");
+        let mdm = MusicDataManager::open(&dir).unwrap();
+        let snap = mdm.metrics_snapshot();
+        let info = snap
+            .entries
+            .iter()
+            .find(|e| e.name == "mdm_build_info")
+            .expect("mdm_build_info registered");
+        assert!(info
+            .labels
+            .iter()
+            .any(|(k, v)| k == "version" && v == env!("CARGO_PKG_VERSION")));
+        assert!(info
+            .labels
+            .iter()
+            .any(|(k, v)| k == "protocol" && *v == WIRE_PROTOCOL_VERSION.to_string()));
+        let start = snap.gauge("mdm_process_start_seconds").unwrap();
+        assert!(start > 1_500_000_000, "plausible unix time, got {start}");
         drop(mdm);
         std::fs::remove_dir_all(&dir).ok();
     }

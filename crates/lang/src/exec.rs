@@ -11,10 +11,11 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use mdm_model::encode::encode_value;
 use mdm_model::{Database, EntityId, RelTypeId, TypeId, Value};
-use mdm_obs::{Counter, Histogram, Registry, LATENCY_MICROS_BOUNDS};
+use mdm_obs::{trace, Counter, Histogram, Registry, LATENCY_MICROS_BOUNDS};
 
 use crate::ast::{BinOp, Expr, OrdOp, Stmt, Target};
 use crate::error::{LangError, Result};
@@ -208,16 +209,17 @@ impl Session {
         }
     }
 
-    /// Lexes and parses a program, timing each phase when instrumented.
+    /// Lexes and parses a program, timing each phase when instrumented
+    /// and recording `quel.lex` / `quel.parse` spans into any active
+    /// request trace.
     fn parse_timed(&self, text: &str) -> Result<Vec<Stmt>> {
-        let Some(m) = &self.metrics else {
-            return crate::parser::parse(text);
-        };
         let tokens = {
-            let _t = m.lex_micros.time();
+            let _s = trace::span("quel.lex");
+            let _t = self.metrics.as_ref().map(|m| m.lex_micros.time());
             crate::lexer::lex(text)?
         };
-        let _t = m.parse_micros.time();
+        let _s = trace::span("quel.parse");
+        let _t = self.metrics.as_ref().map(|m| m.parse_micros.time());
         crate::parser::parse_tokens(tokens)
     }
 
@@ -227,8 +229,14 @@ impl Session {
         stmts
             .iter()
             .map(|s| {
+                let _sp = trace::span("quel.exec");
+                trace::annotate("stmt", stmt_kind(s));
                 let _t = self.metrics.as_ref().map(|m| m.exec_micros.time());
-                self.execute_stmt(db, s)
+                let result = self.execute_stmt(db, s);
+                if let Ok(StmtResult::Rows(t)) = &result {
+                    trace::annotate("rows_returned", t.rows.len());
+                }
+                result
             })
             .collect()
     }
@@ -243,8 +251,10 @@ impl Session {
         stmts
             .iter()
             .map(|s| {
+                let _sp = trace::span("quel.exec");
+                trace::annotate("stmt", stmt_kind(s));
                 let _t = self.metrics.as_ref().map(|m| m.exec_micros.time());
-                match s {
+                let result = match s {
                     Stmt::RangeOf { vars, target } => self.declare_range(db, vars, target),
                     Stmt::Retrieve {
                         unique,
@@ -255,7 +265,11 @@ impl Session {
                     _ => Err(LangError::Analyze(
                         "only `range of` and `retrieve` are allowed in read-only execution".into(),
                     )),
+                };
+                if let Ok(StmtResult::Rows(t)) = &result {
+                    trace::annotate("rows_returned", t.rows.len());
                 }
+                result
             })
             .collect()
     }
@@ -390,6 +404,10 @@ impl Session {
             exprs.push(q);
         }
         let plan = self.bindings_plan(db, &exprs)?;
+        // Each ordering-operator clause in the qualification gets its own
+        // retroactive span covering the scan it filtered.
+        let ord_clauses = ord_clause_spans(qual);
+        let scan_started = (!ord_clauses.is_empty()).then(Instant::now);
         let columns: Vec<String> = targets
             .iter()
             .map(|t| t.label.clone().unwrap_or_else(|| expr_label(&t.expr)))
@@ -399,6 +417,7 @@ impl Session {
             else {
                 unreachable!("retrieve_grouped returns rows");
             };
+            emit_ord_spans(&ord_clauses, scan_started);
             sort_table(&mut table, sort)?;
             self.note_rows_returned(table.rows.len());
             return Ok(StmtResult::Rows(table));
@@ -428,6 +447,7 @@ impl Session {
             rows.push(row);
             Ok(())
         })?;
+        emit_ord_spans(&ord_clauses, scan_started);
         let mut table = Table { columns, rows };
         sort_table(&mut table, sort)?;
         self.note_rows_returned(table.rows.len());
@@ -613,6 +633,7 @@ impl Plan {
         if let Some(m) = &self.metrics {
             m.rows_scanned.add(scanned);
         }
+        trace::annotate("rows_scanned", scanned);
         result
     }
 
@@ -666,6 +687,69 @@ impl Plan {
                 odometer[i] = 0;
             }
         }
+    }
+}
+
+/// One ordering clause worth a span: `(span name, lhs, rhs, ordering)`.
+type OrdClause = (&'static str, String, String, String);
+
+/// Collects the qualification's ordering-operator conjuncts for span
+/// emission. Empty when no trace is being recorded on this thread, so
+/// untraced queries pay nothing.
+fn ord_clause_spans(qual: Option<&Expr>) -> Vec<OrdClause> {
+    let Some(q) = qual else { return Vec::new() };
+    if !trace::is_active() {
+        return Vec::new();
+    }
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(q, &mut conjuncts);
+    conjuncts
+        .iter()
+        .filter_map(|c| match c {
+            Expr::Ord {
+                op,
+                lhs,
+                rhs,
+                ordering,
+            } => Some((
+                match op {
+                    OrdOp::Before => "quel.ord.before",
+                    OrdOp::After => "quel.ord.after",
+                    OrdOp::Under => "quel.ord.under",
+                },
+                lhs.clone(),
+                rhs.clone(),
+                ordering.clone().unwrap_or_else(|| "(inferred)".into()),
+            )),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Emits one retroactive child span per ordering clause, all covering
+/// the scan interval that evaluated them.
+fn emit_ord_spans(clauses: &[OrdClause], started: Option<Instant>) {
+    let Some(started) = started else { return };
+    for (name, lhs, rhs, ordering) in clauses {
+        trace::child_since(
+            name,
+            started,
+            &[("lhs", lhs), ("rhs", rhs), ("ordering", ordering)],
+        );
+    }
+}
+
+/// Statement kind label for span annotations.
+fn stmt_kind(s: &Stmt) -> &'static str {
+    match s {
+        Stmt::DefineEntity { .. } => "define entity",
+        Stmt::DefineRelationship { .. } => "define relationship",
+        Stmt::DefineOrdering { .. } => "define ordering",
+        Stmt::RangeOf { .. } => "range of",
+        Stmt::Retrieve { .. } => "retrieve",
+        Stmt::AppendTo { .. } => "append",
+        Stmt::Replace { .. } => "replace",
+        Stmt::Delete { .. } => "delete",
     }
 }
 

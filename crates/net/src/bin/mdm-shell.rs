@@ -18,9 +18,13 @@
 //! .quit               exit (saving)
 //! \connect host:port  route programs to a remote MDM server
 //! \disconnect         back to the local embedded database
-//! \stats              live metrics (remote server's when connected)
-//! \stats json         the same snapshot as JSON
-//! \stats prom         the same snapshot in Prometheus text format
+//! \stats [json|prom] [prefix]
+//!                     live metrics (remote server's when connected),
+//!                     optionally filtered to names starting with prefix
+//! \trace on|off       enable/disable request tracing
+//! \trace last [n]     print the n most recent span trees
+//! \trace slow [t_us]  print the slow ring, or set its threshold
+//! \trace export FILE  write Chrome trace-event JSON (chrome://tracing)
 //! ```
 //!
 //! With `--serve <addr> <dir>` the shell becomes the server: it serves
@@ -31,8 +35,8 @@ use std::io::{BufRead, Write};
 
 use mdm_core::MusicDataManager;
 use mdm_lang::StmtResult;
-use mdm_net::{ClientConfig, MdmClient, MdmServer, ServerConfig};
-use mdm_obs::{MetricValue, Snapshot};
+use mdm_net::{ClientConfig, MdmClient, MdmServer, ServerConfig, StatsFormat, TraceOp};
+use mdm_obs::{chrome_trace_json, MetricValue, Snapshot};
 
 /// Renders a metrics snapshot for terminal reading: one line per series,
 /// histograms summarized as count/sum/mean.
@@ -63,6 +67,89 @@ fn print_stats(snap: &Snapshot) {
             }
         }
     }
+}
+
+/// `\trace on|off|last [n]|slow [threshold_us]|export <file>` against
+/// either the remote server's tracer (when connected) or the local one.
+fn run_trace_command(
+    args: &[&str],
+    remote: &mut Option<MdmClient>,
+    mdm: &MusicDataManager,
+) -> Result<(), String> {
+    const USAGE: &str = "usage: \\trace on|off|last [n]|slow [threshold_us]|export <file>";
+    let fetch = |remote: &mut Option<MdmClient>, slow: bool, n: u32| match remote {
+        Some(c) => c.trace_fetch(slow, n).map_err(|e| e.to_string()),
+        None => {
+            let traces = if slow {
+                mdm.tracer().slow(n as usize)
+            } else {
+                mdm.tracer().recent(n as usize)
+            };
+            let text: String = traces.iter().map(|t| t.to_text()).collect();
+            Ok((text, chrome_trace_json(&traces)))
+        }
+    };
+    match args {
+        ["on"] => {
+            // Interactive tracing wants every request, not 1-in-N.
+            match remote {
+                Some(c) => c
+                    .trace_control(TraceOp::Enable { sample_every: 1 })
+                    .map_err(|e| e.to_string())?,
+                None => {
+                    mdm.tracer().set_sample_every(1);
+                    mdm.tracer().set_enabled(true);
+                }
+            }
+            println!("tracing on (sampling every request)");
+        }
+        ["off"] => {
+            match remote {
+                Some(c) => c
+                    .trace_control(TraceOp::Disable)
+                    .map_err(|e| e.to_string())?,
+                None => mdm.tracer().set_enabled(false),
+            }
+            println!("tracing off");
+        }
+        ["last"] | ["last", _] => {
+            let n = match args.get(1) {
+                Some(s) => s.parse::<u32>().map_err(|_| USAGE.to_string())?,
+                None => 1,
+            };
+            let (text, _) = fetch(remote, false, n)?;
+            if text.is_empty() {
+                println!("no completed traces");
+            } else {
+                print!("{text}");
+            }
+        }
+        ["slow"] => {
+            let (text, _) = fetch(remote, true, 16)?;
+            if text.is_empty() {
+                println!("no slow traces captured");
+            } else {
+                print!("{text}");
+            }
+        }
+        ["slow", threshold] => {
+            let micros = threshold.parse::<u64>().map_err(|_| USAGE.to_string())?;
+            match remote {
+                Some(c) => c
+                    .trace_control(TraceOp::SlowThreshold { micros })
+                    .map_err(|e| e.to_string())?,
+                None => mdm.tracer().set_slow_threshold_us(micros),
+            }
+            println!("slow-trace threshold set to {micros}µs");
+        }
+        ["export", file] => {
+            let (_, chrome) = fetch(remote, false, u32::MAX)?;
+            std::fs::write(file, &chrome).map_err(|e| format!("cannot write {file}: {e}"))?;
+            println!("wrote Chrome trace-event JSON to {file} (load via chrome://tracing)");
+        }
+        _ => return Err(USAGE.into()),
+    }
+    Ok(())
 }
 
 fn print_results(results: Vec<StmtResult>) {
@@ -188,7 +275,8 @@ fn main() {
                 println!(".help .schema .census .scores .save .quit");
                 println!("\\connect host:port   route programs to a remote server");
                 println!("\\disconnect          back to the local database");
-                println!("\\stats [json|prom]   live metrics snapshot");
+                println!("\\stats [json|prom] [prefix]   live metrics snapshot");
+                println!("\\trace on|off|last [n]|slow [t_us]|export <file>   request tracing");
                 println!("anything else is DDL/QUEL, e.g.:");
                 println!("  define entity C (name = string)");
                 println!("  append to C (name = \"x\")");
@@ -258,23 +346,59 @@ fn main() {
                 Ok(()) => println!("saved"),
                 Err(e) => eprintln!("error: {e}"),
             },
-            "\\stats" | "\\stats json" | "\\stats prom" => match &mut remote {
-                // The wire carries the snapshot as JSON; remote \stats
-                // prints it in that form regardless of the variant.
-                Some(c) => match c.metrics_json() {
-                    Ok(json) => println!("{json}"),
-                    Err(e) => eprintln!("error: {e}"),
-                },
-                None => match program {
-                    "\\stats" => print_stats(&mdm.metrics_snapshot()),
-                    "\\stats json" => println!("{}", mdm.metrics_snapshot().to_json()),
-                    _ => print!("{}", mdm.metrics_snapshot().to_prometheus()),
-                },
-            },
+            cmd if cmd == "\\stats" || cmd.starts_with("\\stats ") => {
+                // \stats [json|prom] [prefix] — the prefix filter applies
+                // on whichever side holds the registry.
+                let mut args = cmd["\\stats".len()..].split_whitespace();
+                let (format, prefix) = match args.next() {
+                    Some("json") => (Some(StatsFormat::Json), args.next().unwrap_or("")),
+                    Some("prom") => (Some(StatsFormat::Prom), args.next().unwrap_or("")),
+                    Some(prefix) => (None, prefix),
+                    None => (None, ""),
+                };
+                if args.next().is_some() {
+                    eprintln!("usage: \\stats [json|prom] [prefix]");
+                    continue;
+                }
+                match &mut remote {
+                    Some(c) => {
+                        // No pretty renderer over the wire: plain \stats
+                        // fetches JSON.
+                        let fetched =
+                            c.metrics_snapshot(format.unwrap_or(StatsFormat::Json), prefix);
+                        match fetched {
+                            Ok(body) => println!("{body}"),
+                            Err(e) => eprintln!("error: {e}"),
+                        }
+                    }
+                    None => {
+                        let snap = mdm.metrics_snapshot().filtered(prefix);
+                        match format {
+                            None => print_stats(&snap),
+                            Some(StatsFormat::Json) => println!("{}", snap.to_json()),
+                            Some(StatsFormat::Prom) => print!("{}", snap.to_prometheus()),
+                        }
+                    }
+                }
+            }
+            cmd if cmd == "\\trace" || cmd.starts_with("\\trace ") => {
+                let args: Vec<&str> = cmd["\\trace".len()..].split_whitespace().collect();
+                if let Err(e) = run_trace_command(&args, &mut remote, &mdm) {
+                    eprintln!("{e}");
+                }
+            }
             _ => {
                 let executed = match &mut remote {
                     Some(c) => c.execute(program).map_err(|e| e.to_string()),
-                    None => mdm.execute(program).map_err(|e| e.to_string()),
+                    None => {
+                        // A local program records into the MDM's tracer
+                        // when tracing is on (same spans a server would
+                        // capture, minus the net.* layer).
+                        let root = mdm.tracer().root_span("shell.execute", None);
+                        let r = mdm.execute(program).map_err(|e| e.to_string());
+                        drop(root);
+                        r
+                    }
                 };
                 match executed {
                     Ok(results) => print_results(results),

@@ -8,9 +8,10 @@ use std::time::Duration;
 
 use mdm_lang::{StmtResult, Table};
 use mdm_notation::Score;
+use mdm_obs::{trace, Tracer};
 
 use crate::error::{NetError, Result};
-use crate::message::Message;
+use crate::message::{Message, StatsFormat, TraceOp};
 use crate::wire;
 
 /// Client tuning knobs.
@@ -44,6 +45,10 @@ pub struct MdmClient {
     stream: Option<TcpStream>,
     /// Name the server announced in `HelloAck`.
     server_name: String,
+    /// Protocol version negotiated at the handshake (1 until dialed).
+    negotiated_version: u16,
+    /// Client-side tracer; requests originate trace context when set.
+    tracer: Option<Tracer>,
     next_request_id: u64,
 }
 
@@ -56,6 +61,8 @@ impl MdmClient {
             config,
             stream: None,
             server_name: String::new(),
+            negotiated_version: 1,
+            tracer: None,
             next_request_id: 1,
         };
         client.reconnect()?;
@@ -65,6 +72,25 @@ impl MdmClient {
     /// The server name from the handshake.
     pub fn server_name(&self) -> &str {
         &self.server_name
+    }
+
+    /// The protocol version negotiated with the server (1 for a pre-v2
+    /// server, 2 when both sides speak the trace extension).
+    pub fn negotiated_version(&self) -> u16 {
+        self.negotiated_version
+    }
+
+    /// Installs a client-side tracer: subsequent requests open a
+    /// `client.request` root span (subject to the tracer's sampling)
+    /// and, when the session negotiated v2, propagate trace context to
+    /// the server in the frame's trace extension.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed client-side tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// Whether the connection is currently established (a failed request
@@ -101,11 +127,16 @@ impl MdmClient {
         stream.set_read_timeout(Some(self.config.request_timeout))?;
         stream.set_write_timeout(Some(self.config.request_timeout))?;
         self.stream = Some(stream);
+        self.negotiated_version = 1;
         match self.exchange(Message::Hello {
             client: self.config.client_name.clone(),
+            max_version: wire::PROTOCOL_VERSION,
         }) {
-            Ok(Message::HelloAck { server }) => {
+            Ok(Message::HelloAck { server, version }) => {
                 self.server_name = server;
+                // Clamp: a confused server cannot talk us into a
+                // version neither side supports.
+                self.negotiated_version = version.clamp(1, wire::PROTOCOL_VERSION);
                 Ok(())
             }
             Ok(Message::Error { code, message }) => {
@@ -129,7 +160,14 @@ impl MdmClient {
         self.next_request_id += 1;
         let stream = self.stream.as_mut().ok_or(NetError::ConnectionClosed)?;
         let payload = request.encode_payload();
-        wire::write_frame(stream, request.msg_type(), id, &payload)?;
+        // Propagate trace context only on a v2 session; a v1 server
+        // would reject the extended frame.
+        let trace_ctx = if self.negotiated_version >= 2 {
+            trace::current_context()
+        } else {
+            None
+        };
+        wire::write_frame_traced(stream, request.msg_type(), id, &payload, trace_ctx)?;
         let (header, payload) = wire::read_frame(stream)?;
         // The server echoes the request id. Id 0 is reserved for
         // connection-level errors (busy refusal, undecodable frame) sent
@@ -154,6 +192,16 @@ impl MdmClient {
     /// Sends a request and returns the (non-error) response, redialing
     /// once if the previous connection turned out to be dead.
     pub fn request(&mut self, request: Message) -> Result<Message> {
+        // Originate a trace (subject to sampling) covering the whole
+        // exchange, redial included. While this root span is open,
+        // `exchange` finds the context and stamps it onto the frame.
+        let _root = self
+            .tracer
+            .as_ref()
+            .and_then(|t| t.root_span("client.request", None));
+        if _root.is_some() {
+            trace::annotate("type", request.type_name());
+        }
         if self.stream.is_none() {
             self.reconnect()?;
         }
@@ -246,8 +294,34 @@ impl MdmClient {
 
     /// Fetches the server's full metrics snapshot as JSON.
     pub fn metrics_json(&mut self) -> Result<String> {
-        match self.request(Message::MetricsSnapshot)? {
-            Message::Metrics { json } => Ok(json),
+        self.metrics_snapshot(StatsFormat::Json, "")
+    }
+
+    /// Fetches the server's metrics snapshot in `format`, filtered to
+    /// metric names starting with `prefix` (empty keeps everything).
+    pub fn metrics_snapshot(&mut self, format: StatsFormat, prefix: &str) -> Result<String> {
+        match self.request(Message::MetricsSnapshot {
+            format,
+            prefix: prefix.into(),
+        })? {
+            Message::Metrics { body } => Ok(body),
+            other => Err(NetError::UnexpectedResponse(other.type_name())),
+        }
+    }
+
+    /// Adjusts the server's tracer (enable/disable/slow threshold).
+    pub fn trace_control(&mut self, op: TraceOp) -> Result<()> {
+        match self.request(Message::TraceControl { op })? {
+            Message::Pong => Ok(()),
+            other => Err(NetError::UnexpectedResponse(other.type_name())),
+        }
+    }
+
+    /// Fetches the server's completed (or slow, with `slow`) traces,
+    /// newest first: `(plain text trees, Chrome trace-event JSON)`.
+    pub fn trace_fetch(&mut self, slow: bool, n: u32) -> Result<(String, String)> {
+        match self.request(Message::TraceFetch { slow, n })? {
+            Message::TraceDump { text, chrome_json } => Ok((text, chrome_json)),
             other => Err(NetError::UnexpectedResponse(other.type_name())),
         }
     }

@@ -37,6 +37,9 @@ pub enum DecodeError {
     BadMessageType(u16),
     /// The payload parsed but violated a message invariant.
     BadPayload(String),
+    /// A v2 frame carried a malformed trace-context extension (the
+    /// all-zero trace id is reserved as invalid).
+    BadTraceContext,
 }
 
 impl fmt::Display for DecodeError {
@@ -46,7 +49,7 @@ impl fmt::Display for DecodeError {
             DecodeError::VersionMismatch { got } => {
                 write!(
                     f,
-                    "protocol version {got} (this side speaks {PROTOCOL_VERSION})",
+                    "protocol version {got} (this side speaks up to {PROTOCOL_VERSION})",
                 )
             }
             DecodeError::FrameTooLarge(n) => {
@@ -62,6 +65,9 @@ impl fmt::Display for DecodeError {
             ),
             DecodeError::BadMessageType(t) => write!(f, "unknown message type {t}"),
             DecodeError::BadPayload(m) => write!(f, "bad payload: {m}"),
+            DecodeError::BadTraceContext => {
+                write!(f, "malformed trace-context extension (all-zero trace id)")
+            }
         }
     }
 }

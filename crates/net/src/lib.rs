@@ -34,7 +34,7 @@ pub mod wire;
 
 pub use client::{ClientConfig, MdmClient};
 pub use error::{DecodeError, ErrorCode, NetError, Result};
-pub use message::Message;
+pub use message::{Message, StatsFormat, TraceOp};
 pub use metrics::NetMetrics;
 pub use server::{MdmServer, ServerConfig};
-pub use wire::{MAX_PAYLOAD, PROTOCOL_VERSION};
+pub use wire::{MAX_PAYLOAD, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, TRACE_EXT_LEN};

@@ -13,6 +13,35 @@ use crate::error::{DecodeError, ErrorCode};
 use crate::scorecodec;
 use crate::wire::{put_len, put_str, Cursor};
 
+/// Tracing control operation carried by [`Message::TraceControl`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Turn recording on, with an origination sampling period
+    /// (`0` keeps the server's current period).
+    Enable {
+        /// Trace one uncontexted request in this many; `0` = keep.
+        sample_every: u64,
+    },
+    /// Turn recording off.
+    Disable,
+    /// Set the slow-query threshold: a trace whose root span lasts at
+    /// least this many microseconds is retained in the slow ring.
+    SlowThreshold {
+        /// Threshold in microseconds (`0` = all, `u64::MAX` = none).
+        micros: u64,
+    },
+}
+
+/// Export format for a [`Message::MetricsSnapshot`] request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsFormat {
+    /// The `mdm-obs` JSON export.
+    #[default]
+    Json,
+    /// Prometheus text exposition format.
+    Prom,
+}
+
 /// A protocol message: every request a client can make and every
 /// response a server can return.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +51,10 @@ pub enum Message {
     Hello {
         /// Client identification, free-form (shown in diagnostics).
         client: String,
+        /// Highest protocol version the client speaks. Encoded only
+        /// when ≥ 2, so a v1 peer's Hello (which omits the field)
+        /// decodes as `max_version: 1`.
+        max_version: u16,
     },
     /// Liveness probe; the server answers with [`Message::Pong`].
     Ping,
@@ -54,14 +87,40 @@ pub enum Message {
     },
     /// Lists stored scores.
     ListScores,
-    /// Requests the server's full metrics snapshot as JSON.
-    MetricsSnapshot,
+    /// Requests the server's metrics snapshot, optionally filtered to
+    /// names starting with `prefix` and rendered as JSON or Prometheus
+    /// text. The default (`Json`, empty prefix) encodes as an empty
+    /// payload, identical to the v1 message.
+    MetricsSnapshot {
+        /// Export format.
+        format: StatsFormat,
+        /// Metric-name prefix filter; empty keeps everything.
+        prefix: String,
+    },
+    /// Adjusts the server's tracer (enable/disable/slow threshold); the
+    /// server answers with [`Message::Pong`].
+    TraceControl {
+        /// The operation.
+        op: TraceOp,
+    },
+    /// Fetches completed traces; the server answers with
+    /// [`Message::TraceDump`].
+    TraceFetch {
+        /// `false` = the recent ring, `true` = the slow-query ring.
+        slow: bool,
+        /// At most this many traces, newest first.
+        n: u32,
+    },
 
     // ---- responses (128–143, 255) ----
     /// Session accepted.
     HelloAck {
         /// Server identification.
         server: String,
+        /// Negotiated protocol version,
+        /// `min(client max, server max)`. Encoded only when ≥ 2 so a
+        /// v1 client can still decode the ack.
+        version: u16,
     },
     /// Liveness answer.
     Pong,
@@ -97,8 +156,16 @@ pub enum Message {
     },
     /// The server's metrics snapshot.
     Metrics {
-        /// Snapshot JSON (the `mdm-obs` export format).
-        json: String,
+        /// Snapshot body: JSON or Prometheus text, per the request's
+        /// [`StatsFormat`].
+        body: String,
+    },
+    /// Traces fetched by [`Message::TraceFetch`].
+    TraceDump {
+        /// Plain-text span trees, newest first.
+        text: String,
+        /// The same traces as Chrome trace-event JSON.
+        chrome_json: String,
     },
     /// A typed error.
     Error {
@@ -119,6 +186,8 @@ const T_LOAD_SCORE: u16 = 6;
 const T_FIND_SCORE: u16 = 7;
 const T_LIST_SCORES: u16 = 8;
 const T_METRICS: u16 = 9;
+const T_TRACE_CONTROL: u16 = 10;
+const T_TRACE_FETCH: u16 = 11;
 const T_HELLO_ACK: u16 = 128;
 const T_PONG: u16 = 129;
 const T_ROWS: u16 = 130;
@@ -128,6 +197,7 @@ const T_SCORE_DATA: u16 = 133;
 const T_SCORE_FOUND: u16 = 134;
 const T_SCORE_LIST: u16 = 135;
 const T_METRICS_SNAP: u16 = 136;
+const T_TRACE_DUMP: u16 = 137;
 const T_ERROR: u16 = 255;
 
 impl Message {
@@ -142,7 +212,9 @@ impl Message {
             Message::LoadScore { .. } => T_LOAD_SCORE,
             Message::FindScore { .. } => T_FIND_SCORE,
             Message::ListScores => T_LIST_SCORES,
-            Message::MetricsSnapshot => T_METRICS,
+            Message::MetricsSnapshot { .. } => T_METRICS,
+            Message::TraceControl { .. } => T_TRACE_CONTROL,
+            Message::TraceFetch { .. } => T_TRACE_FETCH,
             Message::HelloAck { .. } => T_HELLO_ACK,
             Message::Pong => T_PONG,
             Message::Rows { .. } => T_ROWS,
@@ -152,6 +224,7 @@ impl Message {
             Message::ScoreFound { .. } => T_SCORE_FOUND,
             Message::ScoreList { .. } => T_SCORE_LIST,
             Message::Metrics { .. } => T_METRICS_SNAP,
+            Message::TraceDump { .. } => T_TRACE_DUMP,
             Message::Error { .. } => T_ERROR,
         }
     }
@@ -167,7 +240,9 @@ impl Message {
             Message::LoadScore { .. } => "load_score",
             Message::FindScore { .. } => "find_score",
             Message::ListScores => "list_scores",
-            Message::MetricsSnapshot => "metrics",
+            Message::MetricsSnapshot { .. } => "metrics",
+            Message::TraceControl { .. } => "trace_control",
+            Message::TraceFetch { .. } => "trace_fetch",
             Message::HelloAck { .. } => "hello_ack",
             Message::Pong => "pong",
             Message::Rows { .. } => "rows",
@@ -177,6 +252,7 @@ impl Message {
             Message::ScoreFound { .. } => "score_found",
             Message::ScoreList { .. } => "score_list",
             Message::Metrics { .. } => "metrics_snapshot",
+            Message::TraceDump { .. } => "trace_dump",
             Message::Error { .. } => "error",
         }
     }
@@ -185,8 +261,40 @@ impl Message {
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Message::Hello { client } => put_str(&mut out, client),
-            Message::Ping | Message::Pong | Message::ListScores | Message::MetricsSnapshot => {}
+            Message::Hello {
+                client,
+                max_version,
+            } => {
+                put_str(&mut out, client);
+                if *max_version >= 2 {
+                    out.extend_from_slice(&max_version.to_le_bytes());
+                }
+            }
+            Message::Ping | Message::Pong | Message::ListScores => {}
+            Message::MetricsSnapshot { format, prefix } => {
+                // The default request is byte-identical to the v1
+                // (empty-payload) message, so old servers still answer.
+                if *format != StatsFormat::Json || !prefix.is_empty() {
+                    out.push(match format {
+                        StatsFormat::Json => 0,
+                        StatsFormat::Prom => 1,
+                    });
+                    put_str(&mut out, prefix);
+                }
+            }
+            Message::TraceControl { op } => {
+                let (tag, value): (u8, u64) = match op {
+                    TraceOp::Disable => (0, 0),
+                    TraceOp::Enable { sample_every } => (1, *sample_every),
+                    TraceOp::SlowThreshold { micros } => (2, *micros),
+                };
+                out.push(tag);
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            Message::TraceFetch { slow, n } => {
+                out.push(*slow as u8);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
             Message::Query { text } | Message::Execute { text } => put_str(&mut out, text),
             Message::StoreScore { score } | Message::ScoreData { score } => {
                 scorecodec::encode_score(&mut out, score)
@@ -195,7 +303,12 @@ impl Message {
                 out.extend_from_slice(&id.to_le_bytes())
             }
             Message::FindScore { title } => put_str(&mut out, title),
-            Message::HelloAck { server } => put_str(&mut out, server),
+            Message::HelloAck { server, version } => {
+                put_str(&mut out, server);
+                if *version >= 2 {
+                    out.extend_from_slice(&version.to_le_bytes());
+                }
+            }
             Message::Rows { table } => encode_table(&mut out, table),
             Message::Results { results } => {
                 put_len(&mut out, results.len());
@@ -217,7 +330,11 @@ impl Message {
                     put_str(&mut out, title);
                 }
             }
-            Message::Metrics { json } => put_str(&mut out, json),
+            Message::Metrics { body } => put_str(&mut out, body),
+            Message::TraceDump { text, chrome_json } => {
+                put_str(&mut out, text);
+                put_str(&mut out, chrome_json);
+            }
             Message::Error { code, message } => {
                 out.extend_from_slice(&(*code as u16).to_le_bytes());
                 put_str(&mut out, message);
@@ -231,9 +348,14 @@ impl Message {
     pub fn decode(msg_type: u16, payload: &[u8]) -> Result<Message, DecodeError> {
         let mut c = Cursor::new(payload);
         let msg = match msg_type {
-            T_HELLO => Message::Hello {
-                client: c.string()?,
-            },
+            T_HELLO => {
+                let client = c.string()?;
+                let max_version = if c.remaining() > 0 { c.u16()? } else { 1 };
+                Message::Hello {
+                    client,
+                    max_version,
+                }
+            }
             T_PING => Message::Ping,
             T_QUERY => Message::Query { text: c.string()? },
             T_EXECUTE => Message::Execute { text: c.string()? },
@@ -243,10 +365,47 @@ impl Message {
             T_LOAD_SCORE => Message::LoadScore { id: c.u64()? },
             T_FIND_SCORE => Message::FindScore { title: c.string()? },
             T_LIST_SCORES => Message::ListScores,
-            T_METRICS => Message::MetricsSnapshot,
-            T_HELLO_ACK => Message::HelloAck {
-                server: c.string()?,
+            T_METRICS => {
+                if c.remaining() == 0 {
+                    Message::MetricsSnapshot {
+                        format: StatsFormat::Json,
+                        prefix: String::new(),
+                    }
+                } else {
+                    let format = match c.u8()? {
+                        0 => StatsFormat::Json,
+                        1 => StatsFormat::Prom,
+                        t => return Err(DecodeError::BadPayload(format!("bad stats format {t}"))),
+                    };
+                    Message::MetricsSnapshot {
+                        format,
+                        prefix: c.string()?,
+                    }
+                }
+            }
+            T_TRACE_CONTROL => {
+                let tag = c.u8()?;
+                let value = c.u64()?;
+                Message::TraceControl {
+                    op: match tag {
+                        0 => TraceOp::Disable,
+                        1 => TraceOp::Enable {
+                            sample_every: value,
+                        },
+                        2 => TraceOp::SlowThreshold { micros: value },
+                        t => return Err(DecodeError::BadPayload(format!("bad trace op {t}"))),
+                    },
+                }
+            }
+            T_TRACE_FETCH => Message::TraceFetch {
+                slow: c.bool()?,
+                n: c.u32()?,
             },
+            T_HELLO_ACK => {
+                let server = c.string()?;
+                let version = if c.remaining() > 0 { c.u16()? } else { 1 };
+                Message::HelloAck { server, version }
+            }
             T_PONG => Message::Pong,
             T_ROWS => Message::Rows {
                 table: decode_table(&mut c)?,
@@ -275,7 +434,11 @@ impl Message {
                 }
                 Message::ScoreList { scores }
             }
-            T_METRICS_SNAP => Message::Metrics { json: c.string()? },
+            T_METRICS_SNAP => Message::Metrics { body: c.string()? },
+            T_TRACE_DUMP => Message::TraceDump {
+                text: c.string()?,
+                chrome_json: c.string()?,
+            },
             T_ERROR => {
                 let raw = c.u16()?;
                 let code = ErrorCode::from_u16(raw)
@@ -432,6 +595,11 @@ mod tests {
         let messages = vec![
             Message::Hello {
                 client: "shell".into(),
+                max_version: 1,
+            },
+            Message::Hello {
+                client: "shell".into(),
+                max_version: 2,
             },
             Message::Ping,
             Message::Query {
@@ -448,9 +616,31 @@ mod tests {
                 title: "Fuge g-moll".into(),
             },
             Message::ListScores,
-            Message::MetricsSnapshot,
+            Message::MetricsSnapshot {
+                format: StatsFormat::Json,
+                prefix: String::new(),
+            },
+            Message::MetricsSnapshot {
+                format: StatsFormat::Prom,
+                prefix: "mdm_net_".into(),
+            },
+            Message::TraceControl {
+                op: TraceOp::Enable { sample_every: 4 },
+            },
+            Message::TraceControl {
+                op: TraceOp::Disable,
+            },
+            Message::TraceControl {
+                op: TraceOp::SlowThreshold { micros: 12_000 },
+            },
+            Message::TraceFetch { slow: true, n: 5 },
             Message::HelloAck {
                 server: "mdm 0.1".into(),
+                version: 1,
+            },
+            Message::HelloAck {
+                server: "mdm 0.1".into(),
+                version: 2,
             },
             Message::Pong,
             Message::Rows { table },
@@ -477,7 +667,11 @@ mod tests {
                 scores: vec![(1, "a".into()), (2, "b".into())],
             },
             Message::Metrics {
-                json: "{\"metrics\":[]}".into(),
+                body: "{\"metrics\":[]}".into(),
+            },
+            Message::TraceDump {
+                text: "trace ab (1 us, 1 spans)\n".into(),
+                chrome_json: "{\"traceEvents\":[]}".into(),
             },
             Message::Error {
                 code: ErrorCode::NotFound,
@@ -487,6 +681,43 @@ mod tests {
         for m in &messages {
             assert_eq!(&roundtrip(m), m);
         }
+    }
+
+    #[test]
+    fn v1_hello_without_version_field_decodes_as_v1() {
+        // A v1 peer's Hello payload is just the client string.
+        let mut payload = Vec::new();
+        put_str(&mut payload, "old-client");
+        assert_eq!(
+            Message::decode(T_HELLO, &payload).unwrap(),
+            Message::Hello {
+                client: "old-client".into(),
+                max_version: 1,
+            }
+        );
+        // And a v1-negotiated ack is byte-identical to the v1 encoding,
+        // so a v1 client's strict decoder still accepts it.
+        let ack = Message::HelloAck {
+            server: "s".into(),
+            version: 1,
+        };
+        let mut expect = Vec::new();
+        put_str(&mut expect, "s");
+        assert_eq!(ack.encode_payload(), expect);
+    }
+
+    #[test]
+    fn default_metrics_request_is_v1_compatible() {
+        let m = Message::MetricsSnapshot {
+            format: StatsFormat::Json,
+            prefix: String::new(),
+        };
+        assert!(m.encode_payload().is_empty(), "default stays empty-payload");
+        let filtered = Message::MetricsSnapshot {
+            format: StatsFormat::Prom,
+            prefix: "mdm_".into(),
+        };
+        assert!(!filtered.encode_payload().is_empty());
     }
 
     #[test]

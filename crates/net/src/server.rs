@@ -25,9 +25,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mdm_core::{CoreError, MusicDataManager};
+use mdm_obs::{chrome_trace_json, trace, Tracer};
 
 use crate::error::{ErrorCode, NetError, Result};
-use crate::message::Message;
+use crate::message::{Message, StatsFormat, TraceOp};
 use crate::metrics::NetMetrics;
 use crate::wire::{self, HEADER_LEN};
 
@@ -71,6 +72,9 @@ struct SessionHandle {
 struct Shared {
     mdm: RwLock<MusicDataManager>,
     metrics: NetMetrics,
+    /// The manager's tracer, reachable without the `mdm` lock so trace
+    /// control and span recording never serialize behind writers.
+    tracer: Tracer,
     config: ServerConfig,
     shutting_down: AtomicBool,
     sessions: Mutex<HashMap<u64, SessionHandle>>,
@@ -96,9 +100,11 @@ impl MdmServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let metrics = NetMetrics::register(&mdm.metrics_registry());
+        let tracer = mdm.tracer().clone();
         let shared = Arc::new(Shared {
             mdm: RwLock::new(mdm),
             metrics,
+            tracer,
             config,
             shutting_down: AtomicBool::new(false),
             sessions: Mutex::new(HashMap::new()),
@@ -126,6 +132,12 @@ impl MdmServer {
     /// Number of currently open sessions.
     pub fn active_connections(&self) -> usize {
         self.shared.sessions.lock().expect("sessions lock").len()
+    }
+
+    /// The server's tracer (shared with the manager), for local control
+    /// and trace inspection without a wire round-trip.
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
     }
 
     /// Gracefully shuts down: stops accepting, lets in-flight requests
@@ -316,24 +328,41 @@ fn serve_session(shared: &Shared, mut stream: TcpStream, busy: Arc<AtomicBool>) 
         shared.metrics.bytes_in.add(frame_len);
         shared.metrics.frame_bytes.observe(frame_len);
 
-        let response = match Message::decode(header.msg_type, &payload) {
-            Ok(request) => {
-                shared.metrics.count_request(request.type_name());
-                // A panicking handler must not take down the session (or
-                // poison the whole server): isolate it per request.
-                match catch_unwind(AssertUnwindSafe(|| handle_request(shared, request))) {
-                    Ok(resp) => resp,
-                    Err(_) => Message::Error {
-                        code: ErrorCode::Internal,
-                        message: "request handler panicked".into(),
-                    },
+        // Root span for the whole frame. A v2 frame's trace extension
+        // adopts the client's trace (bypassing sampling); an untraced
+        // frame originates locally, subject to the tracer's sampling.
+        let root_span = shared.tracer.root_span("net.request", header.trace);
+        if root_span.is_some() {
+            trace::annotate("request_id", header.request_id);
+        }
+
+        let response = {
+            let decoded = {
+                let _s = trace::span("net.decode");
+                Message::decode(header.msg_type, &payload)
+            };
+            match decoded {
+                Ok(request) => {
+                    shared.metrics.count_request(request.type_name());
+                    let _s = trace::span("net.dispatch");
+                    trace::annotate("type", request.type_name());
+                    // A panicking handler must not take down the session
+                    // (or poison the whole server): isolate it per
+                    // request.
+                    match catch_unwind(AssertUnwindSafe(|| handle_request(shared, request))) {
+                        Ok(resp) => resp,
+                        Err(_) => Message::Error {
+                            code: ErrorCode::Internal,
+                            message: "request handler panicked".into(),
+                        },
+                    }
                 }
-            }
-            Err(e) => {
-                shared.metrics.decode_errors.inc();
-                Message::Error {
-                    code: ErrorCode::BadRequest,
-                    message: e.to_string(),
+                Err(e) => {
+                    shared.metrics.decode_errors.inc();
+                    Message::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    }
                 }
             }
         };
@@ -342,7 +371,11 @@ fn serve_session(shared: &Shared, mut stream: TcpStream, busy: Arc<AtomicBool>) 
         }
         let micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
         shared.metrics.request_micros.observe(micros);
-        let write_result = write_response(shared, &mut stream, header.request_id, &response);
+        let write_result = {
+            let _s = trace::span("net.encode");
+            write_response(shared, &mut stream, header.request_id, &response)
+        };
+        drop(root_span);
         busy.store(false, Ordering::SeqCst);
         if write_result.is_err() {
             break;
@@ -360,8 +393,15 @@ fn handle_request(shared: &Shared, request: Message) -> Message {
         };
     }
     match request {
-        Message::Hello { client: _ } => Message::HelloAck {
+        Message::Hello {
+            client: _,
+            max_version,
+        } => Message::HelloAck {
             server: shared.config.server_name.clone(),
+            // A v1 client omitted the field (decoded as 1) and gets the
+            // byte-identical v1 ack back; a v2 client negotiates down
+            // to the newest version both sides speak.
+            version: max_version.clamp(1, wire::PROTOCOL_VERSION),
         },
         Message::Ping => Message::Pong,
         // Read path: `query_shared(&self)` under the read half of the
@@ -408,10 +448,42 @@ fn handle_request(shared: &Shared, request: Message) -> Message {
                 Err(e) => core_error_response(&e),
             }
         }
-        Message::MetricsSnapshot => {
+        Message::MetricsSnapshot { format, prefix } => {
             let mdm = shared.mdm.read().expect("mdm lock");
+            let snap = mdm.metrics_snapshot().filtered(&prefix);
             Message::Metrics {
-                json: mdm.metrics_snapshot().to_json(),
+                body: match format {
+                    StatsFormat::Json => snap.to_json(),
+                    StatsFormat::Prom => snap.to_prometheus(),
+                },
+            }
+        }
+        Message::TraceControl { op } => {
+            match op {
+                TraceOp::Enable { sample_every } => {
+                    if sample_every > 0 {
+                        shared.tracer.set_sample_every(sample_every);
+                    }
+                    shared.tracer.set_enabled(true);
+                }
+                TraceOp::Disable => shared.tracer.set_enabled(false),
+                TraceOp::SlowThreshold { micros } => shared.tracer.set_slow_threshold_us(micros),
+            }
+            Message::Pong
+        }
+        Message::TraceFetch { slow, n } => {
+            let traces = if slow {
+                shared.tracer.slow(n as usize)
+            } else {
+                shared.tracer.recent(n as usize)
+            };
+            let mut text = String::new();
+            for t in &traces {
+                text.push_str(&t.to_text());
+            }
+            Message::TraceDump {
+                text,
+                chrome_json: chrome_trace_json(&traces),
             }
         }
         // A response message arriving as a request is a protocol abuse.

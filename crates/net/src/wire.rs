@@ -4,31 +4,48 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic        b"MDMN"
-//!      4     2  version      u16 LE, currently 1
+//!      4     2  version      u16 LE, 1 or 2
 //!      6     2  message type u16 LE (see message.rs)
 //!      8     8  request id   u64 LE, echoed verbatim in the response
 //!                            (0 is reserved for connection-level server
 //!                            errors; clients allocate ids from 1)
 //!     16     4  payload len  u32 LE, at most MAX_PAYLOAD
 //!     20     4  payload CRC  u32 LE, CRC-32 (IEEE) of the payload bytes
-//!     24     …  payload      message-type-specific encoding
+//!     24    24  trace ext    ONLY in version-2 frames: 16-byte trace id
+//!                            (all-zero is invalid) + 8-byte parent span
+//!                            id, u64 LE
+//!      …     …  payload      message-type-specific encoding
 //! ```
+//!
+//! Version 1 and version 2 differ only in the trace-context extension: a
+//! v2 frame carries one, a v1 frame does not. A peer that negotiated v2
+//! at Hello still sends untraced requests as v1 frames, so the untraced
+//! hot path never pays for the extension; responses are always v1.
 //!
 //! The decoder is *total*: every malformed input maps to a typed
 //! [`DecodeError`] — wrong magic, foreign version, oversized frame,
-//! truncation, checksum mismatch — and never panics. The magic is
-//! checked before the version so a connection from an entirely different
-//! protocol is distinguishable from an old MDM peer.
+//! truncation, checksum mismatch, zeroed trace id — and never panics.
+//! The magic is checked before the version so a connection from an
+//! entirely different protocol is distinguishable from an old MDM peer.
 
 use std::io::{Read, Write};
+
+use mdm_obs::TraceContext;
 
 use crate::error::{DecodeError, NetError, Result};
 
 /// Frame magic: "MDMN" (music data manager / network).
 pub const MAGIC: [u8; 4] = *b"MDMN";
 
-/// Protocol version spoken by this build.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Highest protocol version spoken by this build: v2 adds the
+/// trace-context frame extension, negotiated at Hello.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest protocol version this build still accepts.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
+
+/// Size of the v2 trace-context extension (trace id + parent span id).
+pub const TRACE_EXT_LEN: usize = 24;
 
 /// Hard cap on payload size (16 MiB): larger declared lengths are
 /// rejected *before* any allocation, so a hostile header cannot balloon
@@ -76,9 +93,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 // Frame header
 // ----------------------------------------------------------------------
 
-/// A decoded frame header.
+/// A decoded frame header (plus the v2 trace extension, when present).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
+    /// Frame version (1, or 2 when a trace extension follows).
+    pub version: u16,
     /// Message type tag.
     pub msg_type: u16,
     /// Request id (echoed in the response).
@@ -87,31 +106,55 @@ pub struct FrameHeader {
     pub payload_len: u32,
     /// CRC-32 of the payload.
     pub payload_crc: u32,
+    /// Trace context from the v2 extension; `None` on v1 frames.
+    pub trace: Option<TraceContext>,
 }
 
-/// Encodes a complete frame (header + payload) into a fresh buffer.
+/// Encodes a complete v1 frame (header + payload) into a fresh buffer.
 pub fn encode_frame(msg_type: u16, request_id: u64, payload: &[u8]) -> Result<Vec<u8>> {
+    encode_frame_traced(msg_type, request_id, payload, None)
+}
+
+/// Encodes a complete frame; with `trace` set, emits a version-2 frame
+/// carrying the trace-context extension between header and payload.
+pub fn encode_frame_traced(
+    msg_type: u16,
+    request_id: u64,
+    payload: &[u8],
+    trace: Option<TraceContext>,
+) -> Result<Vec<u8>> {
     if payload.len() as u64 > MAX_PAYLOAD as u64 {
         return Err(DecodeError::FrameTooLarge(payload.len() as u64).into());
     }
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    if matches!(trace, Some(ctx) if !ctx.is_valid()) {
+        return Err(DecodeError::BadTraceContext.into());
+    }
+    let version: u16 = if trace.is_some() { 2 } else { 1 };
+    let ext = if trace.is_some() { TRACE_EXT_LEN } else { 0 };
+    let mut out = Vec::with_capacity(HEADER_LEN + ext + payload.len());
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&msg_type.to_le_bytes());
     out.extend_from_slice(&request_id.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
+    if let Some(ctx) = trace {
+        out.extend_from_slice(&ctx.trace_id);
+        out.extend_from_slice(&ctx.parent_span.to_le_bytes());
+    }
     out.extend_from_slice(payload);
     Ok(out)
 }
 
-/// Parses a frame header from exactly [`HEADER_LEN`] bytes.
+/// Parses a frame header from exactly [`HEADER_LEN`] bytes. On a v2
+/// header the trace extension still follows on the stream; `trace` is
+/// `None` until [`decode_trace_ext`] fills it in.
 pub fn decode_header(buf: &[u8; HEADER_LEN]) -> std::result::Result<FrameHeader, DecodeError> {
     if buf[0..4] != MAGIC {
         return Err(DecodeError::BadMagic([buf[0], buf[1], buf[2], buf[3]]));
     }
     let version = u16::from_le_bytes([buf[4], buf[5]]);
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(DecodeError::VersionMismatch { got: version });
     }
     let msg_type = u16::from_le_bytes([buf[6], buf[7]]);
@@ -122,20 +165,47 @@ pub fn decode_header(buf: &[u8; HEADER_LEN]) -> std::result::Result<FrameHeader,
         return Err(DecodeError::FrameTooLarge(payload_len as u64));
     }
     Ok(FrameHeader {
+        version,
         msg_type,
         request_id,
         payload_len,
         payload_crc,
+        trace: None,
     })
 }
 
-/// Reads one frame (header, then checksum-verified payload) from a
-/// stream. Returns the header and the raw payload bytes; the caller
-/// decodes the payload per `msg_type`.
+/// Parses the v2 trace-context extension. The all-zero trace id is the
+/// invalid sentinel — a peer that sends it gets a typed error rather
+/// than silently originating a bogus trace.
+pub fn decode_trace_ext(
+    buf: &[u8; TRACE_EXT_LEN],
+) -> std::result::Result<TraceContext, DecodeError> {
+    let mut trace_id = [0u8; 16];
+    trace_id.copy_from_slice(&buf[..16]);
+    let parent_span = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+    let ctx = TraceContext {
+        trace_id,
+        parent_span,
+    };
+    if !ctx.is_valid() {
+        return Err(DecodeError::BadTraceContext);
+    }
+    Ok(ctx)
+}
+
+/// Reads one frame (header, optional v2 trace extension, then a
+/// checksum-verified payload) from a stream. Returns the header (with
+/// `trace` populated for v2 frames) and the raw payload bytes; the
+/// caller decodes the payload per `msg_type`.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameHeader, Vec<u8>)> {
     let mut head = [0u8; HEADER_LEN];
     r.read_exact(&mut head)?;
-    let header = decode_header(&head).map_err(NetError::Decode)?;
+    let mut header = decode_header(&head).map_err(NetError::Decode)?;
+    if header.version >= 2 {
+        let mut ext = [0u8; TRACE_EXT_LEN];
+        r.read_exact(&mut ext)?;
+        header.trace = Some(decode_trace_ext(&ext).map_err(NetError::Decode)?);
+    }
     let mut payload = vec![0u8; header.payload_len as usize];
     r.read_exact(&mut payload)?;
     let actual = crc32(&payload);
@@ -149,14 +219,26 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameHeader, Vec<u8>)> {
     Ok((header, payload))
 }
 
-/// Writes a complete frame to a stream.
+/// Writes a complete v1 frame to a stream.
 pub fn write_frame<W: Write>(
     w: &mut W,
     msg_type: u16,
     request_id: u64,
     payload: &[u8],
 ) -> Result<usize> {
-    let frame = encode_frame(msg_type, request_id, payload)?;
+    write_frame_traced(w, msg_type, request_id, payload, None)
+}
+
+/// Writes a complete frame, v2 with the trace extension if `trace` is
+/// set.
+pub fn write_frame_traced<W: Write>(
+    w: &mut W,
+    msg_type: u16,
+    request_id: u64,
+    payload: &[u8],
+    trace: Option<TraceContext>,
+) -> Result<usize> {
+    let frame = encode_frame_traced(msg_type, request_id, payload, trace)?;
     w.write_all(&frame)?;
     w.flush()?;
     Ok(frame.len())
@@ -319,6 +401,53 @@ mod tests {
         assert_eq!(header.msg_type, 7);
         assert_eq!(header.request_id, 42);
         assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn traced_frame_roundtrip() {
+        let ctx = TraceContext {
+            trace_id: [0xAB; 16],
+            parent_span: 777,
+        };
+        let frame = encode_frame_traced(3, 9, b"payload", Some(ctx)).unwrap();
+        assert_eq!(u16::from_le_bytes([frame[4], frame[5]]), 2);
+        assert_eq!(frame.len(), HEADER_LEN + TRACE_EXT_LEN + 7);
+        let (header, payload) = read_frame(&mut frame.as_slice()).unwrap();
+        assert_eq!(header.version, 2);
+        assert_eq!(header.trace, Some(ctx));
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn zeroed_trace_id_is_typed_error() {
+        let ctx = TraceContext {
+            trace_id: [0xAB; 16],
+            parent_span: 1,
+        };
+        let mut frame = encode_frame_traced(3, 9, b"x", Some(ctx)).unwrap();
+        frame[HEADER_LEN..HEADER_LEN + 16].fill(0);
+        let err = read_frame(&mut frame.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, NetError::Decode(DecodeError::BadTraceContext)),
+            "{err}"
+        );
+        // And the encoder refuses to originate one.
+        let zero = TraceContext {
+            trace_id: [0u8; 16],
+            parent_span: 1,
+        };
+        assert!(encode_frame_traced(3, 9, b"x", Some(zero)).is_err());
+    }
+
+    #[test]
+    fn truncated_trace_ext_is_connection_closed_not_hang() {
+        let ctx = TraceContext {
+            trace_id: [1; 16],
+            parent_span: 2,
+        };
+        let frame = encode_frame_traced(3, 9, b"x", Some(ctx)).unwrap();
+        let err = read_frame(&mut frame[..HEADER_LEN + 10].as_ref()).unwrap_err();
+        assert!(matches!(err, NetError::ConnectionClosed), "{err:?}");
     }
 
     #[test]

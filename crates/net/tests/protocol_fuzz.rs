@@ -28,7 +28,12 @@ fn sample_frames() -> Vec<Vec<u8>> {
     let messages = [
         Message::Hello {
             client: "fuzz".into(),
+            max_version: wire::PROTOCOL_VERSION,
         },
+        Message::TraceControl {
+            op: mdm_net::TraceOp::Enable { sample_every: 1 },
+        },
+        Message::TraceFetch { slow: false, n: 4 },
         Message::Ping,
         Message::Query {
             text: "range of n is NOTE\nretrieve (n.midi_key)".into(),
@@ -47,13 +52,31 @@ fn sample_frames() -> Vec<Vec<u8>> {
             message: "disk on fire".into(),
         },
     ];
-    messages
+    let mut frames: Vec<Vec<u8>> = messages
         .iter()
         .enumerate()
         .map(|(i, m)| {
             wire::encode_frame(m.msg_type(), i as u64, &m.encode_payload()).expect("encode")
         })
-        .collect()
+        .collect();
+    // A v2 frame carrying the trace-context extension, so truncation and
+    // bit flips also exercise the extension decoding path.
+    let traced = Message::Query {
+        text: "retrieve (NOTE.midi_key)".into(),
+    };
+    frames.push(
+        wire::encode_frame_traced(
+            traced.msg_type(),
+            99,
+            &traced.encode_payload(),
+            Some(mdm_obs::TraceContext {
+                trace_id: [7; 16],
+                parent_span: 42,
+            }),
+        )
+        .expect("encode traced"),
+    );
+    frames
 }
 
 /// Feeds a mangled frame through the full decode path the server uses:
@@ -134,7 +157,7 @@ fn payload_swaps_between_message_types_never_panic() {
     // versa: type confusion must not panic the decoder.
     let frames = sample_frames();
     let tags = [
-        1u16, 2, 3, 4, 5, 6, 7, 8, 9, 128, 130, 131, 133, 134, 135, 136, 255,
+        1u16, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 128, 130, 131, 133, 134, 135, 136, 137, 255,
     ];
     for frame in &frames {
         let payload = &frame[wire::HEADER_LEN..];

@@ -14,6 +14,9 @@
 //! * [`json`] — a minimal JSON parser used by tests and by the bench
 //!   smoke-mode validator; the exporters in [`registry`] emit JSON this
 //!   parser round-trips.
+//! * [`trace`] — per-request span trees: a [`Tracer`] with sampling, a
+//!   bounded ring of completed traces, a slow-query log, and export as
+//!   Chrome trace-event JSON or a plain-text tree.
 //!
 //! Everything is `Send + Sync` and cheap enough for hot paths: counters
 //! are one relaxed `fetch_add`, histograms one short linear bucket scan
@@ -34,9 +37,11 @@ pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod trace;
 
 pub use events::{Event, EventLog};
 pub use metrics::{
     Counter, Gauge, Histogram, SpanTimer, LATENCY_MICROS_BOUNDS, SMALL_COUNT_BOUNDS,
 };
 pub use registry::{HistogramSnap, MetricSnap, MetricValue, Registry, Snapshot};
+pub use trace::{chrome_trace_json, SpanRecord, Trace, TraceContext, Tracer, DEFAULT_SAMPLE_EVERY};

@@ -78,7 +78,13 @@ impl Registry {
 
     /// Registers (or retrieves) an unlabelled gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
-        match self.register(name, help, &[], Handle::Gauge(Gauge::new())) {
+        self.gauge_labeled(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a labelled gauge (e.g. `mdm_build_info`
+    /// carrying its version strings as labels).
+    pub fn gauge_labeled(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, labels, Handle::Gauge(Gauge::new())) {
             Handle::Gauge(g) => g,
             _ => panic!("metric {name} already registered with a different type"),
         }
@@ -273,6 +279,20 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// The subset of metrics whose name starts with `prefix` (an empty
+    /// prefix keeps everything) — backs the shell's
+    /// `\stats [json|prom] [prefix]` filter.
+    pub fn filtered(&self, prefix: &str) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| e.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// The value of an unlabelled counter, or the sum across all label
     /// sets of `name` when it is labelled.
     pub fn counter(&self, name: &str) -> Option<u64> {
@@ -381,7 +401,7 @@ impl Snapshot {
         let mut last_family = "";
         for e in &self.entries {
             if e.name != last_family {
-                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(out, "# HELP {} {}", e.name, prom_escape_help(&e.help));
                 let kind = match e.value {
                     MetricValue::Counter(_) => "counter",
                     MetricValue::Gauge(_) => "gauge",
@@ -452,14 +472,25 @@ fn prom_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
             out.push(',');
         }
         first = false;
-        let _ = write!(
-            out,
-            "{k}=\"{}\"",
-            v.replace('\\', "\\\\").replace('"', "\\\"")
-        );
+        let _ = write!(out, "{k}=\"{}\"", prom_escape_label_value(v));
     }
     out.push('}');
     out
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and line feed (in that order, so escapes
+/// are not themselves re-escaped).
+fn prom_escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes `# HELP` text: the exposition format requires `\\` and `\n`
+/// (quotes are legal in help text and left alone).
+fn prom_escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 /// Appends `s` as a JSON string literal (with escaping) to `out`.
@@ -555,6 +586,43 @@ mod tests {
             sum: 0,
         };
         assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        let r = Registry::new();
+        r.counter_labeled(
+            "mdm_hostile_total",
+            "help with \\ backslash\nand newline",
+            &[("client", "evil\\name\"quoted\"\nnext_metric 999")],
+        )
+        .add(1);
+        let text = r.snapshot().to_prometheus();
+        // Golden output: every hostile byte escaped, one sample line.
+        let expected = concat!(
+            "# HELP mdm_hostile_total help with \\\\ backslash\\nand newline\n",
+            "# TYPE mdm_hostile_total counter\n",
+            "mdm_hostile_total{client=\"evil\\\\name\\\"quoted\\\"\\nnext_metric 999\"} 1\n",
+        );
+        assert_eq!(text, expected);
+        // A raw newline inside a label value would have split the
+        // exposition into a bogus extra sample line.
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn snapshot_prefix_filter() {
+        let r = Registry::new();
+        r.counter("mdm_net_requests_total", "net").add(1);
+        r.counter("mdm_wal_appends_total", "wal").add(2);
+        r.gauge("mdm_net_active", "net gauge").set(3);
+        let s = r.snapshot();
+        let net = s.filtered("mdm_net_");
+        assert_eq!(net.entries.len(), 2);
+        assert!(net.counter("mdm_wal_appends_total").is_none());
+        assert!(net.to_prometheus().contains("mdm_net_requests_total 1"));
+        assert_eq!(s.filtered("").entries.len(), 3, "empty prefix keeps all");
+        assert_eq!(s.filtered("nope").entries.len(), 0);
     }
 
     #[test]

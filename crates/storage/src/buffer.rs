@@ -33,7 +33,7 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use mdm_obs::Counter;
+use mdm_obs::{trace, Counter};
 
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
@@ -278,6 +278,9 @@ impl BufferPool {
         if page >= self.disk.num_pages() {
             return Err(StorageError::PageNotFound(page));
         }
+        // A miss does real I/O (possibly a dirty eviction first): span it.
+        let _sp = trace::span("storage.page_read");
+        trace::annotate("page", page);
         let Some(idx) = self.victim(shard)? else {
             return Ok(None);
         };

@@ -75,7 +75,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use mdm_obs::{
-    Counter, Gauge, Histogram, Registry, Snapshot, LATENCY_MICROS_BOUNDS, SMALL_COUNT_BOUNDS,
+    trace, Counter, Gauge, Histogram, Registry, Snapshot, LATENCY_MICROS_BOUNDS, SMALL_COUNT_BOUNDS,
 };
 
 use crate::btree::BTree;
@@ -240,12 +240,15 @@ struct Inner {
 impl Inner {
     /// Appends one record, returning its sequence number.
     fn log(&self, rec: &WalRecord) -> Result<u64> {
+        let _sp = trace::span("storage.wal_append");
         self.wal.lock().unwrap().append(rec)
     }
 
     /// Appends several records under one latch acquisition (keeps, e.g.,
     /// a `LinkPage` ordered directly before the `Insert` that needs it).
     fn log_all(&self, recs: &[WalRecord]) -> Result<u64> {
+        let _sp = trace::span("storage.wal_append");
+        trace::annotate("records", recs.len());
         let mut w = self.wal.lock().unwrap();
         let mut seq = w.seq;
         for rec in recs {
@@ -280,12 +283,15 @@ impl Inner {
             return Ok(());
         }
         self.metrics.wal_eviction_syncs.inc();
+        let _sp = trace::span("storage.flush_barrier");
+        trace::annotate("lsn", lsn);
         self.sync_to(lsn)
     }
 
     /// Group commit: waits until the log is durable through `seq`,
     /// becoming the fsync leader if no other committer already is.
     fn sync_to(&self, seq: u64) -> Result<()> {
+        let _sp = trace::span("storage.group_commit");
         let mut st = self.commit.lock().unwrap();
         loop {
             if st.synced >= seq {
@@ -305,6 +311,7 @@ impl Inner {
                 w.wal.flush_to_os().map(|file| (w.seq, file))
             };
             let res = flushed.and_then(|(upto, file)| {
+                let _fsync_sp = trace::span("storage.fsync");
                 let timer = self.metrics.wal_fsync_micros.time();
                 file.sync_data()?;
                 timer.stop();

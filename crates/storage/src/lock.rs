@@ -9,8 +9,9 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
-use mdm_obs::Counter;
+use mdm_obs::{trace, Counter};
 
 use crate::error::{Result, StorageError};
 use crate::wal::{TableId, TxnId};
@@ -121,11 +122,13 @@ impl LockManager {
 
     /// Acquires (or upgrades to) the given lock, blocking if permitted by
     /// wait-die, or returning [`StorageError::Deadlock`] if the transaction
-    /// must die.
+    /// must die. A contended acquisition (or a wait-die death) leaves a
+    /// retroactive `storage.lock_wait` span in any active request trace;
+    /// the uncontended fast path records nothing.
     pub fn lock(&self, txn: TxnId, table: TableId, mode: LockMode) -> Result<()> {
         let mut tables = self.shared.tables.lock().unwrap();
-        let mut waited = false;
-        loop {
+        let mut wait_started: Option<Instant> = None;
+        let result = loop {
             let state = tables.entry(table).or_default();
             let held = state.holders.get(&txn).copied();
             // Already held at sufficient strength?
@@ -133,22 +136,36 @@ impl LockManager {
                 (held, mode),
                 (Some(LockMode::Exclusive), _) | (Some(LockMode::Shared), LockMode::Shared)
             ) {
-                return Ok(());
+                break Ok(());
             }
             if state.compatible(txn, mode) {
                 state.holders.insert(txn, mode);
-                return Ok(());
+                break Ok(());
             }
             if state.must_die(txn, mode) {
                 self.shared.deadlocks.inc();
-                return Err(StorageError::Deadlock);
+                // A death with no preceding wait still leaves a
+                // (zero-length) span so the abort shows up in traces.
+                wait_started.get_or_insert_with(Instant::now);
+                break Err(StorageError::Deadlock);
             }
-            if !waited {
-                waited = true;
+            if wait_started.is_none() {
+                wait_started = Some(Instant::now());
                 self.shared.waits.inc();
             }
             tables = self.shared.wakeup.wait(tables).unwrap();
+        };
+        drop(tables);
+        if let Some(started) = wait_started {
+            let table_label = table.to_string();
+            let aborted = if result.is_err() { "true" } else { "false" };
+            trace::child_since(
+                "storage.lock_wait",
+                started,
+                &[("table", &table_label), ("wait_die_abort", aborted)],
+            );
         }
+        result
     }
 
     /// Releases every lock held by the transaction (commit/abort).
