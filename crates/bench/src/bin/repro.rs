@@ -32,6 +32,15 @@
 //! CI check: one traced QUEL execute over loopback must produce a span
 //! tree crossing net → quel → storage with a parseable Chrome
 //! trace-event export.
+//!
+//! `torture` runs the full crash-point exploration sweep — a hard crash
+//! at every I/O boundary plus a torn write at every write boundary —
+//! and writes `BENCH_5.json`: the boundary census, explored crash
+//! points, reopen-latency quantiles, any invariant violations, and the
+//! `mdm_fault_*` metric snapshot. It exits non-zero if any violation
+//! was found. `torture-smoke` is the CI check: a strided sweep that
+//! must still explore a healthy number of distinct crash states with
+//! zero violations.
 
 use mdm_bench::workload;
 use mdm_core::{Analyst, Composer, Library, MusicDataManager};
@@ -113,6 +122,40 @@ fn main() {
             }
             return;
         }
+        "torture" => {
+            let (doc, report) = torture_json(&mdm_storage::TortureConfig::full());
+            if let Err(e) = validate_torture_json(&doc) {
+                eprintln!("torture JSON failed self-validation: {e}");
+                std::process::exit(1);
+            }
+            let path = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| format!("{}/../../BENCH_5.json", env!("CARGO_MANIFEST_DIR")));
+            std::fs::write(&path, &doc).expect("write BENCH_5.json");
+            println!(
+                "wrote {path} ({} crash points over {} boundaries, {} violations)",
+                report.crash_points,
+                report.boundaries,
+                report.violations.len()
+            );
+            if !report.violations.is_empty() {
+                for v in report.violations.iter().take(8) {
+                    eprintln!("violation: {v}");
+                }
+                std::process::exit(1);
+            }
+            return;
+        }
+        "torture-smoke" => {
+            match torture_smoke() {
+                Ok(report) => println!("{report}"),
+                Err(e) => {
+                    eprintln!("torture smoke FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
         _ => {}
     }
     type Artifact = (&'static str, fn() -> String);
@@ -145,7 +188,8 @@ fn main() {
         if found.is_empty() {
             eprintln!(
                 "unknown artifact {which}; use fig1..fig15, t1, quel, bench, smoke, \
-                 net-bench, net-smoke, trace-bench, trace-smoke, or all"
+                 net-bench, net-smoke, trace-bench, trace-smoke, torture, \
+                 torture-smoke, or all"
             );
             std::process::exit(2);
         }
@@ -1233,6 +1277,141 @@ fn trace_smoke() -> Result<String, String> {
         "trace smoke: ok — traced execute produced a {}-span tree \
          (net → quel → storage) with a parseable Chrome export in {:.2}s",
         in_trace.len(),
+        started.elapsed().as_secs_f64()
+    ))
+}
+
+/// Escapes a string for embedding in a JSON document — violation
+/// messages quote row bodies via `Debug`, so they contain `"`.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The E5 crash-point torture sweep as a JSON document: the boundary
+/// census from the clean run, the number of distinct crash states
+/// explored, reopen (recovery) latency quantiles, every invariant
+/// violation verbatim, and the `mdm_fault_*` metric snapshot. Returns
+/// the report too so the caller can gate its exit code on violations.
+fn torture_json(cfg: &mdm_storage::TortureConfig) -> (String, mdm_storage::TortureReport) {
+    let scratch = std::env::temp_dir().join(format!("mdm-repro-torture-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let registry = mdm_obs::Registry::new();
+    let report = mdm_storage::crash_point_sweep(&scratch, cfg, &registry);
+    std::fs::remove_dir_all(&scratch).ok();
+    let violations = report
+        .violations
+        .iter()
+        .map(|v| format!("\"{}\"", json_escape(v)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let doc = format!(
+        "{{\"bench\":\"e5_crash_torture\",\
+         \"config\":{{\"rounds\":{},\"pool_pages\":{},\"stride\":{},\"torn_writes\":{}}},\
+         \"boundaries\":{},\"writes\":{},\"syncs\":{},\"crash_points\":{},\
+         \"reopen_p50_micros\":{},\"reopen_p99_micros\":{},\"reopen_mean_micros\":{},\
+         \"violations\":[{violations}],\"fault_metrics\":{}}}\n",
+        cfg.rounds,
+        cfg.pool_pages,
+        cfg.stride,
+        cfg.torn_writes,
+        report.boundaries,
+        report.writes,
+        report.syncs,
+        report.crash_points,
+        report.reopen_percentile(0.50),
+        report.reopen_percentile(0.99),
+        report.reopen_mean(),
+        registry.snapshot().to_json()
+    );
+    (doc, report)
+}
+
+/// Validates a `torture_json` document: well-formed JSON, the census and
+/// latency fields present, a violations array (empty or not), and every
+/// `mdm_fault_*` family in the embedded snapshot.
+fn validate_torture_json(doc: &str) -> Result<(), String> {
+    use mdm_obs::json::{parse, Value};
+    let v = parse(doc).map_err(|e| e.to_string())?;
+    for key in [
+        "boundaries",
+        "writes",
+        "syncs",
+        "crash_points",
+        "reopen_p50_micros",
+        "reopen_p99_micros",
+        "reopen_mean_micros",
+    ] {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("missing integer field {key}"))?;
+    }
+    v.get("violations")
+        .and_then(Value::as_array)
+        .ok_or("missing violations array")?;
+    let metrics = v
+        .get("fault_metrics")
+        .and_then(|m| m.get("metrics"))
+        .and_then(Value::as_array)
+        .ok_or("missing fault_metrics.metrics array")?;
+    for required in [
+        "mdm_fault_ops_total",
+        "mdm_fault_injected_total",
+        "mdm_fault_crashes_total",
+        "mdm_fault_crash_points_total",
+        "mdm_fault_violations_total",
+        "mdm_fault_reopen_micros",
+    ] {
+        if !metrics
+            .iter()
+            .any(|m| m.get("name").and_then(Value::as_str) == Some(required))
+        {
+            return Err(format!("metric {required} missing from snapshot"));
+        }
+    }
+    Ok(())
+}
+
+/// The CI torture smoke: a strided crash-point sweep that must explore a
+/// healthy number of distinct crash states, find zero invariant
+/// violations, and emit a JSON document our own parser accepts.
+fn torture_smoke() -> Result<String, String> {
+    let started = std::time::Instant::now();
+    let (doc, report) = torture_json(&mdm_storage::TortureConfig::smoke());
+    validate_torture_json(&doc)?;
+    if report.crash_points < 10 {
+        return Err(format!(
+            "only {} crash points explored — the boundary census collapsed",
+            report.crash_points
+        ));
+    }
+    if !report.violations.is_empty() {
+        let sample: Vec<&String> = report.violations.iter().take(5).collect();
+        return Err(format!(
+            "{} invariant violation(s), e.g. {sample:?}",
+            report.violations.len()
+        ));
+    }
+    Ok(format!(
+        "torture smoke: ok — {} crash points over {} boundaries \
+         ({} writes, {} syncs), 0 violations, reopen p99 {}µs, in {:.1}s",
+        report.crash_points,
+        report.boundaries,
+        report.writes,
+        report.syncs,
+        report.reopen_percentile(0.99),
         started.elapsed().as_secs_f64()
     ))
 }

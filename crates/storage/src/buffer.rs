@@ -49,9 +49,16 @@ const MAX_SHARDS: usize = 16;
 /// its WAL append, so exhausting this bound means something is wrong.
 const PIN_RETRY_LIMIT: u32 = 100_000;
 
-/// Syncs the WAL through the given sequence number before a dirty page
-/// with that page-LSN is written out by eviction.
-pub type FlushBarrier = Box<dyn Fn(u64) -> Result<()> + Send + Sync>;
+/// Runs before eviction writes a dirty page in place, with the page id,
+/// the bytes about to be written, and the frame's page-LSN. The engine
+/// uses it to (a) sync the WAL through the page-LSN (the ARIES
+/// write-ahead rule) and (b) log a durable full-page image first, so a
+/// write torn by a crash can be recovered wholesale from the log.
+pub type FlushBarrier = Box<dyn Fn(PageId, &[u8], u64) -> Result<()> + Send + Sync>;
+
+/// Pre-flush hook for [`BufferPool::flush_all_with`]: receives every
+/// dirty frame's `(page, bytes)` in one batch before any in-place write.
+pub type PreFlush<'a> = dyn Fn(&[(PageId, Vec<u8>)]) -> Result<()> + 'a;
 
 struct Frame {
     page: PageId,
@@ -87,6 +94,15 @@ pub struct BufferPool {
 impl BufferPool {
     /// Opens the database file in `dir` with a cache of `capacity` pages.
     pub fn open(dir: &Path, capacity: usize) -> Result<BufferPool> {
+        Self::open_with(dir, capacity, &crate::backend::FileVfs)
+    }
+
+    /// As [`BufferPool::open`], sourcing the disk backend from `vfs`.
+    pub fn open_with(
+        dir: &Path,
+        capacity: usize,
+        vfs: &dyn crate::backend::Vfs,
+    ) -> Result<BufferPool> {
         assert!(capacity >= 2, "buffer pool needs at least two frames");
         // Every shard needs ≥2 frames for CLOCK to have a choice, so the
         // shard count is bounded by capacity/2 as well as MAX_SHARDS.
@@ -105,7 +121,7 @@ impl BufferPool {
             })
             .collect();
         Ok(BufferPool {
-            disk: DiskManager::open(dir)?,
+            disk: DiskManager::open_with(dir, vfs)?,
             shards,
             barrier: OnceLock::new(),
         })
@@ -325,13 +341,26 @@ impl BufferPool {
                 shard.map.remove(&frame.page);
                 if frame.dirty {
                     // Write-ahead rule: the log must cover the page's
-                    // last logged mutation before the page hits disk.
-                    if frame.lsn > 0 {
+                    // last logged mutation before the page hits disk —
+                    // and must hold a full image of what is about to be
+                    // written, so a torn write is recoverable. Unlogged
+                    // dirty pages (lsn 0: B+tree nodes, catalog chains)
+                    // need the image for the same reason.
+                    let flushed = (|| {
                         if let Some(barrier) = self.barrier.get() {
-                            barrier(frame.lsn)?;
+                            barrier(frame.page, &frame.data, frame.lsn)?;
                         }
+                        self.disk.write_page(frame.page, &frame.data)
+                    })();
+                    if let Err(e) = flushed {
+                        // A failed barrier or page write must not lose
+                        // the dirty frame: restore it and surface the
+                        // error — the page stays resident and unpublished
+                        // until a later eviction (or flush) succeeds.
+                        shard.map.insert(frame.page, idx);
+                        shard.frames[idx] = Some(frame);
+                        return Err(e);
                     }
-                    self.disk.write_page(frame.page, &frame.data)?;
                 }
                 shard.evictions.inc();
                 shard.frames[idx] = None;
@@ -350,6 +379,37 @@ impl BufferPool {
         for shard in &self.shards {
             let mut shard = shard.lock().unwrap();
             for frame in shard.frames.iter_mut().flatten() {
+                if frame.dirty {
+                    self.disk.write_page(frame.page, &frame.data)?;
+                    frame.dirty = false;
+                }
+            }
+        }
+        self.disk.sync()
+    }
+
+    /// As [`BufferPool::flush_all`], but hands every dirty frame's
+    /// `(page, bytes)` to `pre` in one batch *before* any in-place write
+    /// happens — the engine logs (and syncs) full-page images there, so
+    /// a crash that tears one of the writes is recoverable from the log.
+    /// Callers must have quiesced writers (checkpoint holds the
+    /// active-transaction latch; shutdown is exclusive): a page dirtied
+    /// between the batch and its write would go out unimaged.
+    pub fn flush_all_with(&self, pre: &PreFlush) -> Result<()> {
+        let mut batch: Vec<(PageId, Vec<u8>)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            for frame in shard.frames.iter().flatten() {
+                if frame.dirty {
+                    batch.push((frame.page, frame.data.to_vec()));
+                }
+            }
+        }
+        pre(&batch)?;
+        for (page, _) in &batch {
+            let mut shard = self.shard(*page).lock().unwrap();
+            if let Some(&idx) = shard.map.get(page) {
+                let frame = shard.frames[idx].as_mut().expect("mapped frame");
                 if frame.dirty {
                     self.disk.write_page(frame.page, &frame.data)?;
                     frame.dirty = false;
@@ -491,7 +551,7 @@ mod tests {
         let bp = BufferPool::open(&dir, 2).unwrap();
         static SYNCED_THROUGH: AtomicU64 = AtomicU64::new(0);
         SYNCED_THROUGH.store(0, Ordering::SeqCst);
-        bp.set_flush_barrier(Box::new(|lsn| {
+        bp.set_flush_barrier(Box::new(|_page, _bytes, lsn| {
             SYNCED_THROUGH.fetch_max(lsn, Ordering::SeqCst);
             Ok(())
         }));
@@ -521,7 +581,7 @@ mod tests {
     fn pending_frames_are_not_evicted() {
         let dir = tmpdir("pending");
         let bp = BufferPool::open(&dir, 2).unwrap();
-        bp.set_flush_barrier(Box::new(|_| Ok(())));
+        bp.set_flush_barrier(Box::new(|_, _, _| Ok(())));
         let pinned = bp.allocate_page().unwrap();
         bp.with_page_mut_logged(pinned, |d| {
             d[0] = 99;

@@ -169,7 +169,16 @@ pub fn save(pool: &BufferPool, catalog: &Catalog) -> Result<()> {
 pub fn load(pool: &BufferPool) -> Result<Catalog> {
     let mut bytes = Vec::new();
     let mut pid: PageId = 0;
+    let mut hops: u64 = 0;
     loop {
+        // A torn chain page can hold a stale `next` that cycles; the
+        // chain can never be longer than the file.
+        hops += 1;
+        if hops > pool.num_pages() {
+            return Err(crate::error::StorageError::Corrupt(
+                "catalog page chain cycles".into(),
+            ));
+        }
         let (next, chunk) = pool.with_page(pid, |d| {
             let next = u64::from_le_bytes(d[1..9].try_into().unwrap());
             let len = u16::from_le_bytes(d[9..11].try_into().unwrap()) as usize;

@@ -1,25 +1,24 @@
 //! The disk manager: page-granular I/O against the single database file.
 //!
-//! All I/O goes through positioned reads/writes (`pread`/`pwrite` via
-//! [`std::os::unix::fs::FileExt`]), so the manager is usable through a
-//! shared reference from many threads at once: concurrent page reads
-//! and writes need no latch at all. Only file *extension* is serialized,
-//! by a small allocation mutex, so `num_pages` and the file length move
-//! together.
+//! All I/O goes through positioned reads/writes against a
+//! [`StorageBackend`] (plain `pread`/`pwrite` in production), so the
+//! manager is usable through a shared reference from many threads at
+//! once: concurrent page reads and writes need no latch at all. Only
+//! file *extension* is serialized, by a small allocation mutex, so
+//! `num_pages` and the file length move together.
 
-use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use crate::error::{Result, StorageError};
+use crate::backend::{FileVfs, StorageBackend, Vfs};
+use crate::error::Result;
 use crate::page::{PageId, PAGE_SIZE};
 
 /// Performs page reads and writes against `data.db`. Page ids are file
 /// offsets divided by [`PAGE_SIZE`]; allocation extends the file.
 pub struct DiskManager {
-    file: File,
+    backend: Arc<dyn StorageBackend>,
     /// Serializes file extension (`allocate_page` / `ensure_page`).
     alloc: Mutex<()>,
     num_pages: AtomicU64,
@@ -29,24 +28,26 @@ impl DiskManager {
     /// Opens (or creates) the database file in `dir`. If the file is new,
     /// page 0 is allocated zeroed so it can serve as the catalog root.
     pub fn open(dir: &Path) -> Result<DiskManager> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join("data.db");
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
-        let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
-            return Err(StorageError::Corrupt(format!(
-                "data file length {len} is not a multiple of the page size"
-            )));
+        Self::open_with(dir, &FileVfs)
+    }
+
+    /// As [`DiskManager::open`], sourcing the backend from `vfs`.
+    ///
+    /// A file length that is not a multiple of the page size means the
+    /// last page-extension write was torn mid-crash; the partial tail is
+    /// dropped (the page was never linked durably — recovery redo
+    /// re-extends and rewrites it from the log).
+    pub fn open_with(dir: &Path, vfs: &dyn Vfs) -> Result<DiskManager> {
+        let backend = vfs.open(&dir.join("data.db"))?;
+        let len = backend.len()?;
+        let torn = len % PAGE_SIZE as u64;
+        if torn != 0 {
+            backend.truncate(len - torn)?;
         }
         let dm = DiskManager {
-            file,
+            backend,
             alloc: Mutex::new(()),
-            num_pages: AtomicU64::new(len / PAGE_SIZE as u64),
+            num_pages: AtomicU64::new((len - torn) / PAGE_SIZE as u64),
         };
         if dm.num_pages() == 0 {
             dm.allocate_page()?; // page 0: catalog root
@@ -63,9 +64,9 @@ impl DiskManager {
     pub fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
         if page >= self.num_pages() {
-            return Err(StorageError::PageNotFound(page));
+            return Err(crate::error::StorageError::PageNotFound(page));
         }
-        self.file.read_exact_at(buf, page * PAGE_SIZE as u64)?;
+        self.backend.read_at(buf, page * PAGE_SIZE as u64)?;
         Ok(())
     }
 
@@ -73,9 +74,9 @@ impl DiskManager {
     pub fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
         if page >= self.num_pages() {
-            return Err(StorageError::PageNotFound(page));
+            return Err(crate::error::StorageError::PageNotFound(page));
         }
-        self.file.write_all_at(buf, page * PAGE_SIZE as u64)?;
+        self.backend.write_at(buf, page * PAGE_SIZE as u64)?;
         Ok(())
     }
 
@@ -83,8 +84,8 @@ impl DiskManager {
     pub fn allocate_page(&self) -> Result<PageId> {
         let _guard = self.alloc.lock().unwrap();
         let id = self.num_pages.load(Ordering::Relaxed);
-        self.file
-            .write_all_at(&[0u8; PAGE_SIZE], id * PAGE_SIZE as u64)?;
+        self.backend
+            .write_at(&[0u8; PAGE_SIZE], id * PAGE_SIZE as u64)?;
         self.num_pages.store(id + 1, Ordering::Release);
         Ok(id)
     }
@@ -95,8 +96,8 @@ impl DiskManager {
         let _guard = self.alloc.lock().unwrap();
         let mut next = self.num_pages.load(Ordering::Relaxed);
         while next <= page {
-            self.file
-                .write_all_at(&[0u8; PAGE_SIZE], next * PAGE_SIZE as u64)?;
+            self.backend
+                .write_at(&[0u8; PAGE_SIZE], next * PAGE_SIZE as u64)?;
             next += 1;
             self.num_pages.store(next, Ordering::Release);
         }
@@ -105,7 +106,7 @@ impl DiskManager {
 
     /// Flushes file contents to stable storage.
     pub fn sync(&self) -> Result<()> {
-        self.file.sync_data()?;
+        self.backend.sync()?;
         Ok(())
     }
 }
@@ -113,6 +114,7 @@ impl DiskManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::StorageError;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
         let d = std::env::temp_dir().join(format!("mdm-disk-{}-{}", std::process::id(), name));
@@ -167,6 +169,30 @@ mod tests {
         let dm = DiskManager::open(&dir).unwrap();
         dm.ensure_page(7).unwrap();
         assert_eq!(dm.num_pages(), 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_on_open() {
+        let dir = tmpdir("torntail");
+        {
+            let dm = DiskManager::open(&dir).unwrap();
+            dm.allocate_page().unwrap();
+            dm.sync().unwrap();
+        }
+        // Simulate a page-extension write torn mid-crash: a partial page
+        // dangles past the last full one.
+        let path = dir.join("data.db");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xEE; 100]);
+        std::fs::write(&path, &bytes).unwrap();
+        let dm = DiskManager::open(&dir).unwrap();
+        assert_eq!(dm.num_pages(), 2, "partial tail page is not counted");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            2 * PAGE_SIZE as u64,
+            "partial tail is truncated away"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -78,6 +78,7 @@ use mdm_obs::{
     trace, Counter, Gauge, Histogram, Registry, Snapshot, LATENCY_MICROS_BOUNDS, SMALL_COUNT_BOUNDS,
 };
 
+use crate::backend::{FileVfs, Vfs};
 use crate::btree::BTree;
 use crate::buffer::BufferPool;
 use crate::catalog::{self, Catalog, IndexMeta, TableMeta};
@@ -175,6 +176,8 @@ struct EngineMetrics {
     wal_fsync_micros: Arc<Histogram>,
     wal_group_batch: Arc<Histogram>,
     wal_eviction_syncs: Arc<Counter>,
+    wal_fsync_failures: Arc<Counter>,
+    wal_poisoned: Arc<Gauge>,
     txn_begins: Arc<Counter>,
     txn_commits: Arc<Counter>,
     txn_aborts: Arc<Counter>,
@@ -203,6 +206,14 @@ impl EngineMetrics {
                 "mdm_wal_eviction_syncs_total",
                 "WAL syncs forced by dirty-page eviction (page-LSN flush discipline)",
             ),
+            wal_fsync_failures: registry.counter(
+                "mdm_wal_fsync_failures_total",
+                "WAL fsyncs that failed, each poisoning the commit path",
+            ),
+            wal_poisoned: registry.gauge(
+                "mdm_wal_poisoned",
+                "1 if a failed WAL fsync has poisoned the commit path (reopen to recover)",
+            ),
             txn_begins: registry.counter("mdm_txn_begins_total", "transactions started"),
             txn_commits: registry.counter("mdm_txn_commits_total", "transactions committed"),
             txn_aborts: registry.counter(
@@ -219,6 +230,14 @@ impl EngineMetrics {
 struct CommitState {
     syncing: bool,
     synced: u64,
+    /// Set when a WAL fsync fails. Once the kernel reports an fsync
+    /// error it may drop the dirty pages it could not write *and mark
+    /// them clean* (fsyncgate), so a later "successful" fsync proves
+    /// nothing about the bytes the failed one covered. `synced` must
+    /// never advance past that point; every commit (and eviction sync)
+    /// fails with [`StorageError::WalPoisoned`] until the engine is
+    /// reopened and recovery re-reads what actually persisted.
+    poisoned: bool,
 }
 
 struct Inner {
@@ -275,17 +294,36 @@ impl Inner {
         res
     }
 
-    /// The eviction flush barrier: syncs the WAL through `lsn` before a
-    /// dirty page stamped with that LSN is written out. Counts only the
-    /// evictions that actually had to wait for a sync.
-    fn eviction_sync(&self, lsn: u64) -> Result<()> {
-        if self.commit.lock().unwrap().synced >= lsn {
-            return Ok(());
-        }
+    /// The eviction flush barrier: logs a durable full-page image of the
+    /// bytes eviction is about to write in place. Appending the image
+    /// gives it a sequence past the frame's page-LSN, so the one sync
+    /// covers both the write-ahead rule and torn-write protection.
+    fn eviction_barrier(&self, page: PageId, bytes: &[u8]) -> Result<()> {
         self.metrics.wal_eviction_syncs.inc();
         let _sp = trace::span("storage.flush_barrier");
-        trace::annotate("lsn", lsn);
-        self.sync_to(lsn)
+        trace::annotate("page", page);
+        self.log_page_images(&[(page, bytes.to_vec())])
+    }
+
+    /// Appends one [`WalRecord::PageImage`] per entry and syncs the log
+    /// through the last of them. Checkpoint and eviction call this before
+    /// rewriting the imaged pages in place.
+    fn log_page_images(&self, batch: &[(PageId, Vec<u8>)]) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let seq = {
+            let mut w = self.wal.lock().unwrap();
+            let mut seq = w.seq;
+            for (page, bytes) in batch {
+                seq = w.append(&WalRecord::PageImage {
+                    page: *page,
+                    bytes: bytes.clone(),
+                })?;
+            }
+            seq
+        };
+        self.sync_to(seq)
     }
 
     /// Group commit: waits until the log is durable through `seq`,
@@ -294,6 +332,9 @@ impl Inner {
         let _sp = trace::span("storage.group_commit");
         let mut st = self.commit.lock().unwrap();
         loop {
+            if st.poisoned {
+                return Err(StorageError::WalPoisoned);
+            }
             if st.synced >= seq {
                 return Ok(());
             }
@@ -304,16 +345,16 @@ impl Inner {
             st.syncing = true;
             drop(st);
             // Leader: flush the buffer under the WAL latch (cheap), then
-            // fsync a cloned handle with no latch held, so appenders and
-            // later committers are never stalled behind the disk.
+            // fsync the shared backend with no latch held, so appenders
+            // and later committers are never stalled behind the disk.
             let flushed = {
                 let mut w = self.wal.lock().unwrap();
-                w.wal.flush_to_os().map(|file| (w.seq, file))
+                w.wal.flush_to_os().map(|backend| (w.seq, backend))
             };
-            let res = flushed.and_then(|(upto, file)| {
+            let res = flushed.and_then(|(upto, backend)| {
                 let _fsync_sp = trace::span("storage.fsync");
                 let timer = self.metrics.wal_fsync_micros.time();
-                file.sync_data()?;
+                backend.sync()?;
                 timer.stop();
                 self.metrics.wal_fsyncs.inc();
                 Ok(upto)
@@ -323,6 +364,15 @@ impl Inner {
             let upto = match res {
                 Ok(upto) => upto,
                 Err(e) => {
+                    // fsyncgate: a failed fsync may have dropped the
+                    // dirty log bytes while marking them clean, so no
+                    // retry can be trusted. Poison the commit path: the
+                    // durable seq never advances again, and followers
+                    // (and all later commits) fail typed rather than
+                    // reporting durability the log cannot back.
+                    st.poisoned = true;
+                    self.metrics.wal_fsync_failures.inc();
+                    self.metrics.wal_poisoned.set(1);
                     self.commit_cv.notify_all();
                     return Err(e);
                 }
@@ -467,11 +517,33 @@ impl StorageEngine {
         pool_pages: usize,
         registry: &Registry,
     ) -> Result<StorageEngine> {
-        let pool = BufferPool::open(dir, pool_pages)?;
+        Self::open_with_vfs(dir, pool_pages, registry, &FileVfs)
+    }
+
+    /// As [`StorageEngine::open_with_registry`], sourcing every file
+    /// backend from `vfs`. Fault-injection harnesses use this to
+    /// interpose on each I/O the engine performs; production callers use
+    /// the plain-file default.
+    pub fn open_with_vfs(
+        dir: &Path,
+        pool_pages: usize,
+        registry: &Registry,
+        vfs: &dyn Vfs,
+    ) -> Result<StorageEngine> {
+        let pool = BufferPool::open_with(dir, pool_pages, vfs)?;
         let (records, _) = Wal::replay(dir)?;
-        let disk_catalog = catalog::load(&pool)?;
+        // A crash can tear an in-place catalog rewrite, leaving the
+        // page-0 chain unreadable — but every such rewrite is preceded
+        // by a synced page image (and DDL by a snapshot) in the log, so
+        // a non-empty log rebuilds it. An empty log cannot: surface the
+        // corruption instead of silently starting empty.
+        let disk_catalog = match catalog::load(&pool) {
+            Ok(c) => Some(c),
+            Err(_) if !records.is_empty() => None,
+            Err(e) => return Err(e),
+        };
         let (outcome, recovered) = recovery::recover(&pool, &records, disk_catalog)?;
-        let mut wal = Wal::open(dir)?;
+        let mut wal = Wal::open_with(dir, vfs)?;
         let needs_rebuild = outcome.indexes_reset;
         if !records.is_empty() {
             // Make the recovered state the new base and empty the log.
@@ -491,6 +563,7 @@ impl StorageEngine {
             commit: Mutex::new(CommitState {
                 syncing: false,
                 synced: 0,
+                poisoned: false,
             }),
             commit_cv: Condvar::new(),
             catalog: RwLock::new(recovered),
@@ -505,14 +578,18 @@ impl StorageEngine {
         });
         // Eviction flush barrier: a `Weak` breaks the cycle (`Inner` owns
         // the pool, the pool's barrier reaches back into `Inner`). An
-        // upgrade failure means the engine is mid-drop, where `flush_all`
-        // runs only after the WAL is synced.
+        // upgrade failure means the engine is mid-drop, where nothing can
+        // log the protective page image any more — refuse the eviction
+        // (the frame stays resident); the shutdown path flushes dirty
+        // pages itself, with images.
         let weak = Arc::downgrade(&inner);
         inner
             .pool
-            .set_flush_barrier(Box::new(move |lsn| match weak.upgrade() {
-                Some(inner) => inner.eviction_sync(lsn),
-                None => Ok(()),
+            .set_flush_barrier(Box::new(move |page, bytes, _lsn| match weak.upgrade() {
+                Some(inner) => inner.eviction_barrier(page, bytes),
+                None => Err(StorageError::Corrupt(
+                    "dirty eviction during engine shutdown".into(),
+                )),
             }));
         Ok(StorageEngine { inner })
     }
@@ -951,7 +1028,12 @@ impl StorageEngine {
             let cat = self.inner.catalog.read().unwrap();
             catalog::save(&self.inner.pool, &cat)?;
         }
-        self.inner.pool.flush_all()?;
+        // Image every dirty page into the log (one batch, one sync)
+        // before the in-place writes: a crash that tears one of them is
+        // then recoverable from the images.
+        self.inner
+            .pool
+            .flush_all_with(&|batch| self.inner.log_page_images(batch))?;
         self.inner.truncate_wal()?;
         drop(active);
         Ok(())
@@ -996,18 +1078,43 @@ impl Drop for Inner {
         fn unpoison<T>(r: std::sync::LockResult<T>) -> T {
             r.unwrap_or_else(std::sync::PoisonError::into_inner)
         }
+        if unpoison(self.commit.get_mut()).poisoned {
+            // A failed WAL fsync poisoned the engine: nothing since is
+            // known durable, so a shutdown checkpoint (flush pages,
+            // truncate the log) would *discard* the very log records
+            // recovery needs. Leave every file exactly as it is.
+            return;
+        }
         let active_empty = unpoison(self.active.get_mut()).is_empty();
-        let w = unpoison(self.wal.get_mut());
-        if active_empty {
-            let _ = w.wal.sync();
-            let cat = unpoison(self.catalog.get_mut());
-            let _ = catalog::save(&self.pool, cat);
-            if self.pool.flush_all().is_ok() {
-                let _ = w.wal.truncate();
-            }
-        } else {
+        let _ = unpoison(self.wal.lock()).wal.sync();
+        if !active_empty {
             // Leave the log for recovery to roll the stragglers back.
-            let _ = w.wal.sync();
+            return;
+        }
+        // The barrier's `Weak` is dead by now, so saving the catalog may
+        // fail if it needs to evict a dirty page; that just downgrades
+        // the clean shutdown to a recovery on next open. The flush logs
+        // full-page images itself (through the latch, which still works
+        // mid-drop) so a crash tearing one of its writes stays
+        // recoverable.
+        let saved = {
+            let cat = unpoison(self.catalog.read());
+            catalog::save(&self.pool, &cat)
+        };
+        let flushed = saved.and_then(|_| {
+            self.pool.flush_all_with(&|batch| {
+                let mut w = unpoison(self.wal.lock());
+                for (page, bytes) in batch {
+                    w.append(&WalRecord::PageImage {
+                        page: *page,
+                        bytes: bytes.clone(),
+                    })?;
+                }
+                w.wal.sync()
+            })
+        });
+        if flushed.is_ok() {
+            let _ = unpoison(self.wal.lock()).wal.truncate();
         }
     }
 }

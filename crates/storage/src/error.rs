@@ -28,6 +28,12 @@ pub enum StorageError {
     TxnNotActive(u64),
     /// The write-ahead log was corrupt beyond the given offset.
     WalCorrupt(u64),
+    /// A WAL fsync failed earlier in this engine's lifetime. The OS may
+    /// have dropped the dirty log bytes the failed fsync covered
+    /// (fsyncgate), so no later commit can honestly claim durability;
+    /// the engine refuses all further commits until reopened, when
+    /// recovery re-establishes a consistent durable prefix.
+    WalPoisoned,
     /// The database files were corrupt.
     Corrupt(String),
 }
@@ -50,6 +56,10 @@ impl fmt::Display for StorageError {
             StorageError::Deadlock => write!(f, "transaction aborted by wait-die deadlock policy"),
             StorageError::TxnNotActive(t) => write!(f, "transaction {t} is not active"),
             StorageError::WalCorrupt(off) => write!(f, "write-ahead log corrupt at offset {off}"),
+            StorageError::WalPoisoned => write!(
+                f,
+                "write-ahead log poisoned by an earlier failed fsync; reopen to recover"
+            ),
             StorageError::Corrupt(m) => write!(f, "database corrupt: {m}"),
         }
     }

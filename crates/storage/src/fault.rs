@@ -1,0 +1,719 @@
+//! Deterministic fault injection over [`StorageBackend`].
+//!
+//! [`FaultVfs`] wraps the production file backend so that every write,
+//! fsync, and truncate the engine issues — across *all* of its files —
+//! passes through one totally-ordered operation counter. A scripted
+//! [`FaultPlan`] names operations by index and attaches a [`FaultKind`]
+//! to each; the same workload against the same plan always injects at
+//! the same I/O, which is what makes crash-point *enumeration* possible:
+//! run once cleanly to count the boundaries, then replay once per
+//! boundary with a crash planted there (see [`crate::torture`]).
+//!
+//! # The crash model
+//!
+//! Writes pass straight through to the real file, but before each one
+//! the layer records an undo entry (the bytes being overwritten, clipped
+//! to the old file length). A successful fsync clears the file's undo
+//! log and notes the synced length. A simulated crash rolls every
+//! file's undo log back in reverse and truncates to the synced length —
+//! the real file then holds exactly the bytes an OS crash would have
+//! preserved: everything fsynced, nothing after. Reads are not counted
+//! as boundaries (they cannot lose data) but fail once crashed, as does
+//! every other operation, so a crashed engine cannot quietly heal
+//! itself; reopening with a plain [`FileVfs`](crate::backend::FileVfs)
+//! is the only way forward, exactly like a real reboot.
+//!
+//! Injected errors are ordinary [`io::Error`]s whose message carries the
+//! [`FAULT_MSG`] prefix, so they surface through the engine as typed
+//! [`StorageError::Io`](crate::error::StorageError::Io) values — never
+//! panics — and tests can tell injected failures from real ones.
+
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use mdm_obs::{Counter, Registry};
+
+use crate::backend::{FileBackend, StorageBackend, Vfs};
+
+/// Message prefix of every injected [`io::Error`].
+pub const FAULT_MSG: &str = "mdm-fault";
+
+/// True if an I/O error was manufactured by this module.
+pub fn is_injected(e: &io::Error) -> bool {
+    e.to_string().contains(FAULT_MSG)
+}
+
+/// What to inject when a planned operation index is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// This one operation fails with an injected error; the bytes are
+    /// untouched and later operations proceed normally.
+    FailIo,
+    /// Simulated machine crash at this operation: un-synced bytes of
+    /// every file are dropped and all further I/O fails.
+    Crash,
+    /// Torn write: the first `keep` bytes of this write persist, then
+    /// the machine crashes. At a sync or truncate, degrades to `Crash`.
+    TornWrite {
+        /// Bytes of the write that reach the platter before the crash.
+        keep: usize,
+    },
+    /// Short write: only `keep` bytes land and the operation errors,
+    /// but the machine stays up (the caller may retry). At a sync or
+    /// truncate, degrades to `FailIo`.
+    ShortWrite {
+        /// Bytes of the write that land before the error.
+        keep: usize,
+    },
+    /// The fsync reports success without making anything durable; a
+    /// later crash still drops the "synced" bytes. At a write or
+    /// truncate, degrades to `FailIo`.
+    LyingFsync,
+    /// The fsync fails — and, as on Linux, the dirty bytes it covered
+    /// are dropped and marked clean, so retrying proves nothing
+    /// (fsyncgate). At a write or truncate, degrades to `FailIo`.
+    FailFsync,
+}
+
+/// Names one I/O operation for a fault to land on. Operations are
+/// counted per [`FaultController`], across every file it opened, in
+/// execution order; reads are not counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum At {
+    /// The `n`th counted operation (writes, truncates, and syncs).
+    Op(u64),
+    /// The `n`th write or truncate.
+    Write(u64),
+    /// The `n`th sync.
+    Sync(u64),
+}
+
+/// A scripted list of faults, each armed at one operation index. Every
+/// fault fires at most once.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<(At, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (count boundaries without injecting anything).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault to the plan.
+    pub fn with(mut self, at: At, kind: FaultKind) -> FaultPlan {
+        self.faults.push((at, kind));
+        self
+    }
+}
+
+/// Which class of operation is asking for a fault decision.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Write,
+    Sync,
+}
+
+/// One undo entry: the bytes that sat at `offset` before an un-synced
+/// write or truncate (clipped to the file length of the time).
+struct UndoEntry {
+    offset: u64,
+    old: Vec<u8>,
+}
+
+/// Per-file state: the real backend plus the undo log of un-synced
+/// mutations. The undo lock is only taken while the controller's plan
+/// lock is held, so the lock order is fixed.
+struct FaultFile {
+    backend: Arc<dyn StorageBackend>,
+    undo: Mutex<UndoLog>,
+}
+
+struct UndoLog {
+    entries: Vec<UndoEntry>,
+    synced_len: u64,
+}
+
+impl FaultFile {
+    /// Records the pre-image of a write of `len` bytes at `offset`.
+    fn record_write_undo(&self, len: usize, offset: u64) -> io::Result<()> {
+        let file_len = self.backend.len()?;
+        let end = (offset + len as u64).min(file_len);
+        let old = if offset < end {
+            let mut b = vec![0u8; (end - offset) as usize];
+            self.backend.read_at(&mut b, offset)?;
+            b
+        } else {
+            Vec::new()
+        };
+        self.undo
+            .lock()
+            .unwrap()
+            .entries
+            .push(UndoEntry { offset, old });
+        Ok(())
+    }
+
+    /// Records the tail a truncate to `new_len` is about to cut off.
+    fn record_truncate_undo(&self, new_len: u64) -> io::Result<()> {
+        let file_len = self.backend.len()?;
+        if new_len < file_len {
+            let mut b = vec![0u8; (file_len - new_len) as usize];
+            self.backend.read_at(&mut b, new_len)?;
+            self.undo.lock().unwrap().entries.push(UndoEntry {
+                offset: new_len,
+                old: b,
+            });
+        }
+        Ok(())
+    }
+
+    /// Drops every un-synced mutation: restores pre-images in reverse
+    /// and truncates back to the synced length, leaving the real file
+    /// holding exactly what an OS crash would have preserved.
+    fn drop_unsynced(&self) -> io::Result<()> {
+        let mut undo = self.undo.lock().unwrap();
+        for entry in undo.entries.drain(..).rev() {
+            if !entry.old.is_empty() {
+                self.backend.write_at(&entry.old, entry.offset)?;
+            }
+        }
+        self.backend.truncate(undo.synced_len)?;
+        Ok(())
+    }
+
+    /// A successful fsync: the file's current bytes are now the durable
+    /// baseline.
+    fn mark_synced(&self) -> io::Result<()> {
+        let mut undo = self.undo.lock().unwrap();
+        undo.entries.clear();
+        undo.synced_len = self.backend.len()?;
+        Ok(())
+    }
+}
+
+struct FaultInner {
+    plan: Vec<(At, FaultKind)>,
+    next_op: u64,
+    next_write: u64,
+    next_sync: u64,
+    crashed: bool,
+    files: Vec<Arc<FaultFile>>,
+    /// One human-readable line per counted operation, kept only when
+    /// tracing is on: lets the torture harness name a boundary ("op 27:
+    /// sync wal.log") when reporting a violation there.
+    trace: Option<Vec<String>>,
+}
+
+impl FaultInner {
+    fn trace_op(&mut self, file: &str, what: std::fmt::Arguments<'_>) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(format!("op {}: {} {file}", self.next_op, what));
+        }
+    }
+}
+
+impl FaultInner {
+    /// Counts this operation and pulls the fault (if any) armed for it.
+    fn take_fault(&mut self, class: OpClass) -> Option<FaultKind> {
+        let op = self.next_op;
+        self.next_op += 1;
+        let class_idx = match class {
+            OpClass::Write => {
+                let i = self.next_write;
+                self.next_write += 1;
+                i
+            }
+            OpClass::Sync => {
+                let i = self.next_sync;
+                self.next_sync += 1;
+                i
+            }
+        };
+        let hit = self.plan.iter().position(|&(at, _)| match at {
+            At::Op(n) => n == op,
+            At::Write(n) => class == OpClass::Write && n == class_idx,
+            At::Sync(n) => class == OpClass::Sync && n == class_idx,
+        })?;
+        Some(self.plan.swap_remove(hit).1)
+    }
+
+    /// Simulated machine crash: every file loses its un-synced bytes
+    /// and all further I/O fails.
+    fn crash(&mut self) -> io::Result<()> {
+        self.crashed = true;
+        for file in &self.files {
+            file.drop_unsynced()?;
+        }
+        Ok(())
+    }
+}
+
+struct FaultShared {
+    inner: Mutex<FaultInner>,
+    ops: Arc<Counter>,
+    injected: Arc<Counter>,
+    crashes: Arc<Counter>,
+}
+
+fn injected_err(what: &str) -> io::Error {
+    io::Error::other(format!("{FAULT_MSG}: injected {what}"))
+}
+
+fn crashed_err() -> io::Error {
+    io::Error::other(format!("{FAULT_MSG}: simulated crash"))
+}
+
+/// Handle for scripting and observing a fault-injected engine run.
+/// Clone-cheap; all clones share the plan, the operation counter, and
+/// the crash flag.
+#[derive(Clone)]
+pub struct FaultController {
+    shared: Arc<FaultShared>,
+}
+
+impl FaultController {
+    /// Creates a controller armed with `plan`.
+    pub fn new(plan: FaultPlan) -> FaultController {
+        FaultController {
+            shared: Arc::new(FaultShared {
+                inner: Mutex::new(FaultInner {
+                    plan: plan.faults,
+                    next_op: 0,
+                    next_write: 0,
+                    next_sync: 0,
+                    crashed: false,
+                    files: Vec::new(),
+                    trace: None,
+                }),
+                ops: Counter::new(),
+                injected: Counter::new(),
+                crashes: Counter::new(),
+            }),
+        }
+    }
+
+    /// A [`Vfs`] whose every opened file is fault-wrapped under this
+    /// controller. Hand it to
+    /// [`StorageEngine::open_with_vfs`](crate::StorageEngine::open_with_vfs).
+    pub fn vfs(&self) -> FaultVfs {
+        FaultVfs {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Total counted operations (writes + truncates + syncs) so far.
+    /// After a clean run this is the number of crash boundaries the
+    /// workload exposes.
+    pub fn ops(&self) -> u64 {
+        self.shared.ops.get()
+    }
+
+    /// Writes and truncates counted so far.
+    pub fn writes(&self) -> u64 {
+        self.shared.inner.lock().unwrap().next_write
+    }
+
+    /// Syncs counted so far.
+    pub fn syncs(&self) -> u64 {
+        self.shared.inner.lock().unwrap().next_sync
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.shared.injected.get()
+    }
+
+    /// True once a simulated crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.shared.inner.lock().unwrap().crashed
+    }
+
+    /// Turns on per-operation tracing: each counted operation records a
+    /// line like `op 27: sync wal.log`. Enable before any I/O happens.
+    pub fn enable_trace(&self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.trace.is_none() {
+            inner.trace = Some(Vec::new());
+        }
+    }
+
+    /// The recorded operation trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> Vec<String> {
+        self.shared
+            .inner
+            .lock()
+            .unwrap()
+            .trace
+            .clone()
+            .unwrap_or_default()
+    }
+
+    /// Registers the controller's counters as `mdm_fault_*` metrics.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter_handle(
+            "mdm_fault_ops_total",
+            "I/O operations counted by the fault layer (crash boundaries)",
+            &[],
+            Arc::clone(&self.shared.ops),
+        );
+        registry.register_counter_handle(
+            "mdm_fault_injected_total",
+            "faults injected by the scripted plan",
+            &[],
+            Arc::clone(&self.shared.injected),
+        );
+        registry.register_counter_handle(
+            "mdm_fault_crashes_total",
+            "simulated machine crashes fired",
+            &[],
+            Arc::clone(&self.shared.crashes),
+        );
+    }
+}
+
+/// The [`Vfs`] half of fault injection; obtained from
+/// [`FaultController::vfs`].
+pub struct FaultVfs {
+    shared: Arc<FaultShared>,
+}
+
+impl Vfs for FaultVfs {
+    fn open(&self, path: &Path) -> io::Result<Arc<dyn StorageBackend>> {
+        let backend: Arc<dyn StorageBackend> = Arc::new(FileBackend::open(path)?);
+        let synced_len = backend.len()?;
+        let file = Arc::new(FaultFile {
+            backend,
+            undo: Mutex::new(UndoLog {
+                entries: Vec::new(),
+                synced_len,
+            }),
+        });
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.crashed {
+            return Err(crashed_err());
+        }
+        inner.files.push(Arc::clone(&file));
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        Ok(Arc::new(FaultDisk {
+            shared: Arc::clone(&self.shared),
+            file,
+            name,
+        }))
+    }
+}
+
+/// A fault-wrapped [`StorageBackend`] over one file.
+pub struct FaultDisk {
+    shared: Arc<FaultShared>,
+    file: Arc<FaultFile>,
+    name: String,
+}
+
+impl StorageBackend for FaultDisk {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        // Reads are not crash boundaries, but a crashed machine serves
+        // none.
+        if self.shared.inner.lock().unwrap().crashed {
+            return Err(crashed_err());
+        }
+        self.file.backend.read_at(buf, offset)
+    }
+
+    fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<()> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.crashed {
+            return Err(crashed_err());
+        }
+        inner.trace_op(
+            &self.name,
+            format_args!("write {} bytes at {offset} in", buf.len()),
+        );
+        self.shared.ops.inc();
+        match inner.take_fault(OpClass::Write) {
+            None => {
+                self.file.record_write_undo(buf.len(), offset)?;
+                self.file.backend.write_at(buf, offset)
+            }
+            Some(FaultKind::TornWrite { keep }) => {
+                self.shared.injected.inc();
+                self.shared.crashes.inc();
+                inner.crash()?;
+                // The torn prefix persists *after* the rollback: it is
+                // part of what the dying machine managed to push out.
+                let keep = keep.min(buf.len());
+                if keep > 0 {
+                    self.file.backend.write_at(&buf[..keep], offset)?;
+                }
+                Err(crashed_err())
+            }
+            Some(FaultKind::ShortWrite { keep }) => {
+                self.shared.injected.inc();
+                let keep = keep.min(buf.len());
+                if keep > 0 {
+                    self.file.record_write_undo(keep, offset)?;
+                    self.file.backend.write_at(&buf[..keep], offset)?;
+                }
+                Err(injected_err("short write"))
+            }
+            Some(FaultKind::Crash) => {
+                self.shared.injected.inc();
+                self.shared.crashes.inc();
+                inner.crash()?;
+                Err(crashed_err())
+            }
+            // Sync-only kinds degrade to a plain one-shot error here.
+            Some(FaultKind::FailIo | FaultKind::LyingFsync | FaultKind::FailFsync) => {
+                self.shared.injected.inc();
+                Err(injected_err("write error"))
+            }
+        }
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.crashed {
+            return Err(crashed_err());
+        }
+        inner.trace_op(&self.name, format_args!("sync"));
+        self.shared.ops.inc();
+        match inner.take_fault(OpClass::Sync) {
+            None => {
+                self.file.backend.sync()?;
+                self.file.mark_synced()
+            }
+            Some(FaultKind::LyingFsync) => {
+                // Reports success; the undo log stays armed, so a later
+                // crash drops the bytes this sync claimed to persist.
+                self.shared.injected.inc();
+                Ok(())
+            }
+            Some(FaultKind::FailFsync) => {
+                // fsyncgate: the error *and* the data loss — the dirty
+                // bytes are dropped and marked clean, so a later sync
+                // succeeding proves nothing about them.
+                self.shared.injected.inc();
+                self.file.drop_unsynced()?;
+                Err(injected_err("fsync failure (unsynced bytes dropped)"))
+            }
+            Some(FaultKind::Crash | FaultKind::TornWrite { .. }) => {
+                self.shared.injected.inc();
+                self.shared.crashes.inc();
+                inner.crash()?;
+                Err(crashed_err())
+            }
+            Some(FaultKind::FailIo | FaultKind::ShortWrite { .. }) => {
+                // Error without data loss: the kernel kept the pages
+                // dirty (the benign fsync failure).
+                self.shared.injected.inc();
+                Err(injected_err("fsync error"))
+            }
+        }
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        if self.shared.inner.lock().unwrap().crashed {
+            return Err(crashed_err());
+        }
+        self.file.backend.len()
+    }
+
+    fn truncate(&self, len: u64) -> io::Result<()> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.crashed {
+            return Err(crashed_err());
+        }
+        inner.trace_op(&self.name, format_args!("truncate to {len}"));
+        self.shared.ops.inc();
+        match inner.take_fault(OpClass::Write) {
+            None => {
+                self.file.record_truncate_undo(len)?;
+                self.file.backend.truncate(len)
+            }
+            Some(FaultKind::Crash | FaultKind::TornWrite { .. }) => {
+                self.shared.injected.inc();
+                self.shared.crashes.inc();
+                inner.crash()?;
+                Err(crashed_err())
+            }
+            Some(_) => {
+                self.shared.injected.inc();
+                Err(injected_err("truncate error"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mdm-fault-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn raw(path: &Path) -> Vec<u8> {
+        std::fs::read(path).unwrap_or_default()
+    }
+
+    #[test]
+    fn crash_rolls_back_to_synced_state() {
+        let dir = tmpdir("crash");
+        let path = dir.join("f.bin");
+        let ctl = FaultController::new(FaultPlan::none().with(At::Op(3), FaultKind::Crash));
+        let b = ctl.vfs().open(&path).unwrap();
+        b.write_at(b"durable!", 0).unwrap(); // op 0
+        b.sync().unwrap(); // op 1
+        b.write_at(b"VOLATILE", 0).unwrap(); // op 2: unsynced overwrite
+        let err = b.write_at(b"x", 100).unwrap_err(); // op 3: crash
+        assert!(is_injected(&err));
+        assert!(ctl.crashed());
+        assert!(b.write_at(b"y", 0).is_err(), "all I/O fails post-crash");
+        assert_eq!(raw(&path), b"durable!", "unsynced write rolled back");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_drops_unsynced_extension() {
+        let dir = tmpdir("ext");
+        let path = dir.join("f.bin");
+        let ctl = FaultController::new(FaultPlan::none().with(At::Op(2), FaultKind::Crash));
+        let b = ctl.vfs().open(&path).unwrap();
+        b.write_at(b"base", 0).unwrap();
+        b.sync().unwrap();
+        b.write_at(b"tail", 4).unwrap_err(); // op 2: crash before the append lands
+        assert_eq!(
+            raw(&path),
+            b"base",
+            "extension dropped back to synced length"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix() {
+        let dir = tmpdir("torn");
+        let path = dir.join("f.bin");
+        let ctl = FaultController::new(
+            FaultPlan::none().with(At::Write(1), FaultKind::TornWrite { keep: 3 }),
+        );
+        let b = ctl.vfs().open(&path).unwrap();
+        b.write_at(b"old-data", 0).unwrap();
+        b.sync().unwrap();
+        b.write_at(b"new-data", 0).unwrap_err();
+        assert_eq!(
+            raw(&path),
+            b"new-data"[..3]
+                .iter()
+                .chain(&b"-data"[..])
+                .copied()
+                .collect::<Vec<u8>>(),
+            "first 3 bytes of the torn write persist over the synced image"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lying_fsync_leaves_bytes_vulnerable() {
+        let dir = tmpdir("lying");
+        let path = dir.join("f.bin");
+        let ctl = FaultController::new(
+            FaultPlan::none()
+                .with(At::Sync(1), FaultKind::LyingFsync)
+                .with(At::Op(4), FaultKind::Crash),
+        );
+        let b = ctl.vfs().open(&path).unwrap();
+        b.write_at(b"safe", 0).unwrap(); // op 0
+        b.sync().unwrap(); // op 1 (sync 0): real
+        b.write_at(b"gone", 4).unwrap(); // op 2
+        b.sync().unwrap(); // op 3 (sync 1): LIES
+        b.write_at(b"x", 0).unwrap_err(); // op 4: crash
+        assert_eq!(raw(&path), b"safe", "bytes behind the lying fsync are lost");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_fsync_drops_dirty_bytes() {
+        let dir = tmpdir("fsyncgate");
+        let path = dir.join("f.bin");
+        let ctl = FaultController::new(FaultPlan::none().with(At::Sync(1), FaultKind::FailFsync));
+        let b = ctl.vfs().open(&path).unwrap();
+        b.write_at(b"stable", 0).unwrap();
+        b.sync().unwrap();
+        b.write_at(b"DOOMED", 6).unwrap();
+        let err = b.sync().unwrap_err();
+        assert!(is_injected(&err));
+        // The machine is still up; a retry "succeeds" — but the dropped
+        // bytes are gone for good, exactly the fsyncgate trap.
+        b.sync().unwrap();
+        assert_eq!(raw(&path), b"stable");
+        assert!(!ctl.crashed());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_write_persists_prefix_and_errors() {
+        let dir = tmpdir("short");
+        let path = dir.join("f.bin");
+        let ctl = FaultController::new(
+            FaultPlan::none().with(At::Write(0), FaultKind::ShortWrite { keep: 2 }),
+        );
+        let b = ctl.vfs().open(&path).unwrap();
+        let err = b.write_at(b"abcdef", 0).unwrap_err();
+        assert!(is_injected(&err));
+        assert_eq!(raw(&path), b"ab", "only the short prefix landed");
+        // Machine still up: the caller's retry overwrites the partial.
+        b.write_at(b"abcdef", 0).unwrap();
+        b.sync().unwrap();
+        assert_eq!(raw(&path), b"abcdef");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fail_io_is_one_shot() {
+        let dir = tmpdir("oneshot");
+        let path = dir.join("f.bin");
+        let ctl = FaultController::new(FaultPlan::none().with(At::Op(0), FaultKind::FailIo));
+        let b = ctl.vfs().open(&path).unwrap();
+        assert!(b.write_at(b"no", 0).is_err());
+        b.write_at(b"yes", 0).unwrap();
+        assert_eq!(ctl.injected(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ops_counter_spans_files() {
+        let dir = tmpdir("twofiles");
+        let ctl = FaultController::new(FaultPlan::none());
+        let a = ctl.vfs().open(&dir.join("a.bin")).unwrap();
+        let b = ctl.vfs().open(&dir.join("b.bin")).unwrap();
+        a.write_at(b"1", 0).unwrap();
+        b.write_at(b"2", 0).unwrap();
+        a.sync().unwrap();
+        assert_eq!(ctl.ops(), 3);
+        assert_eq!(ctl.writes(), 2);
+        assert_eq!(ctl.syncs(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_rolls_back_truncate() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("f.bin");
+        let ctl = FaultController::new(FaultPlan::none().with(At::Op(3), FaultKind::Crash));
+        let b = ctl.vfs().open(&path).unwrap();
+        b.write_at(b"keep-me-around", 0).unwrap(); // op 0
+        b.sync().unwrap(); // op 1
+        b.truncate(0).unwrap(); // op 2: unsynced truncate
+        b.write_at(b"z", 0).unwrap_err(); // op 3: crash
+        assert_eq!(raw(&path), b"keep-me-around", "unsynced truncate undone");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`btree`] — B+tree secondary indexes with duplicate-key support.
 //! * [`wal`] — the write-ahead log with torn-write-tolerant replay.
 //! * [`recovery`] — repeat-history redo plus loser undo.
+//! * [`backend`] / [`fault`] — pluggable file I/O and deterministic
+//!   fault injection (scripted failpoints, simulated crashes).
+//! * [`torture`] — the crash-point exploration harness built on them.
 //! * [`lock`] — table-level strict 2PL with wait-die deadlock avoidance.
 //! * [`catalog`] — the persistent system catalog.
 //! * [`engine`] — [`StorageEngine`], the transactional facade.
@@ -34,24 +37,30 @@
 //! # drop(engine); std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod backend;
 pub mod btree;
 pub mod buffer;
 pub mod catalog;
 pub mod disk;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod lock;
 pub mod page;
 pub mod recovery;
+pub mod torture;
 pub mod wal;
 
+pub use backend::{FileBackend, FileVfs, StorageBackend, Vfs};
 pub use btree::{decode_i64, encode_i64, BTree};
 pub use buffer::BufferPool;
 pub use engine::{StorageEngine, Txn, DEFAULT_POOL_PAGES};
 pub use error::{Result, StorageError};
+pub use fault::{At, FaultController, FaultKind, FaultPlan, FaultVfs};
 pub use heap::HeapFile;
 pub use lock::{LockManager, LockMode};
 pub use page::{PageId, Rid, PAGE_SIZE};
 pub use recovery::RecoveryOutcome;
+pub use torture::{crash_point_sweep, TortureConfig, TortureReport};
 pub use wal::{TableId, TxnId, Wal, WalRecord};

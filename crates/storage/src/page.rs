@@ -137,7 +137,9 @@ fn set_slot_count(data: &mut [u8], n: u16) {
 }
 
 fn free_ptr(data: &[u8]) -> u16 {
-    u16::from_le_bytes(data[11..13].try_into().unwrap())
+    // Clamped: a torn or garbage page can hold anything here, and every
+    // consumer treats the value as an offset into the page.
+    u16::from_le_bytes(data[11..13].try_into().unwrap()).min(PAGE_SIZE as u16)
 }
 
 fn set_free_ptr(data: &mut [u8], p: u16) {
@@ -146,15 +148,36 @@ fn set_free_ptr(data: &mut [u8], p: u16) {
 
 fn slot_at(data: &[u8], slot: u16) -> (u16, u16) {
     let base = HEADER_SIZE + slot as usize * SLOT_SIZE;
-    let off = u16::from_le_bytes(data[base..base + 2].try_into().unwrap());
-    let len = u16::from_le_bytes(data[base + 2..base + 4].try_into().unwrap());
-    (off, len)
+    match data.get(base..base + 4) {
+        Some(b) => (
+            u16::from_le_bytes(b[0..2].try_into().unwrap()),
+            u16::from_le_bytes(b[2..4].try_into().unwrap()),
+        ),
+        // A garbage slot count can claim more entries than fit in the
+        // page; out-of-page entries read as tombstones.
+        None => (0, 0),
+    }
 }
 
 fn set_slot_at(data: &mut [u8], slot: u16, off: u16, len: u16) {
     let base = HEADER_SIZE + slot as usize * SLOT_SIZE;
-    data[base..base + 2].copy_from_slice(&off.to_le_bytes());
-    data[base + 2..base + 4].copy_from_slice(&len.to_le_bytes());
+    if let Some(b) = data.get_mut(base..base + 4) {
+        b[0..2].copy_from_slice(&off.to_le_bytes());
+        b[2..4].copy_from_slice(&len.to_le_bytes());
+    }
+}
+
+/// The byte range of an occupied slot's body, or `None` for tombstones
+/// and slots whose recorded range does not lie within the page (torn or
+/// garbage data — never trusted).
+fn slot_range(data: &[u8], slot: u16) -> Option<std::ops::Range<usize>> {
+    let (off, len) = slot_at(data, slot);
+    if off == 0 {
+        return None;
+    }
+    let start = off as usize;
+    let end = start.checked_add(len as usize)?;
+    (start >= HEADER_SIZE && end <= data.len()).then_some(start..end)
 }
 
 /// Bytes of free space available for a new record (including its slot entry,
@@ -175,33 +198,44 @@ pub fn can_fit(data: &[u8], len: usize) -> bool {
 }
 
 /// Total reclaimable free space: the gap plus fragmented dead space.
+/// Saturating throughout — a garbage page reports zero free space
+/// rather than wrapping.
 fn total_free(data: &[u8]) -> usize {
     let live: usize = (0..slot_count(data))
-        .filter_map(|s| {
-            let (off, len) = slot_at(data, s);
-            (off != 0).then_some(len as usize)
-        })
+        .filter_map(|s| slot_range(data, s).map(|r| r.len()))
         .sum();
     let dir_end = HEADER_SIZE + slot_count(data) as usize * SLOT_SIZE;
-    PAGE_SIZE - dir_end - live
+    PAGE_SIZE.saturating_sub(dir_end).saturating_sub(live)
 }
 
 /// Rewrites the record bodies contiguously at the end of the page,
-/// reclaiming fragmentation. Slot ids are preserved.
+/// reclaiming fragmentation. Slot ids are preserved. Slots whose
+/// recorded ranges are invalid (torn/garbage pages) are tombstoned; if
+/// overlapping garbage claims more bytes than a page holds, the excess
+/// records are dropped rather than clobbering the header.
 pub fn compact(data: &mut [u8]) {
     let n = slot_count(data);
     let mut records: Vec<(u16, Vec<u8>)> = Vec::with_capacity(n as usize);
     for s in 0..n {
-        let (off, len) = slot_at(data, s);
-        if off != 0 {
-            records.push((s, data[off as usize..(off + len) as usize].to_vec()));
+        match slot_range(data, s) {
+            Some(r) => records.push((s, data[r].to_vec())),
+            None => {
+                if slot_at(data, s).0 != 0 {
+                    set_slot_at(data, s, 0, 0);
+                }
+            }
         }
     }
     let mut fp = PAGE_SIZE;
     for (s, body) in records {
-        fp -= body.len();
-        data[fp..fp + body.len()].copy_from_slice(&body);
-        set_slot_at(data, s, fp as u16, body.len() as u16);
+        match fp.checked_sub(body.len()) {
+            Some(nfp) if nfp >= HEADER_SIZE => {
+                fp = nfp;
+                data[fp..fp + body.len()].copy_from_slice(&body);
+                set_slot_at(data, s, fp as u16, body.len() as u16);
+            }
+            _ => set_slot_at(data, s, 0, 0),
+        }
     }
     set_free_ptr(data, fp as u16);
 }
@@ -216,6 +250,9 @@ pub fn insert_record(data: &mut [u8], body: &[u8]) -> Option<u16> {
         Some(s) => s,
         None => {
             let n = slot_count(data);
+            if HEADER_SIZE + (n as usize + 1) * SLOT_SIZE > PAGE_SIZE {
+                return None; // garbage slot count: no room for a new entry
+            }
             // Growing the directory must not clobber a record body that
             // sits just past it: compact first if the new entry would
             // cross the free pointer (can_fit guarantees room exists).
@@ -227,8 +264,7 @@ pub fn insert_record(data: &mut [u8], body: &[u8]) -> Option<u16> {
             n
         }
     };
-    place_record(data, slot, body);
-    Some(slot)
+    place_record(data, slot, body).then_some(slot)
 }
 
 /// Inserts a record body at a *specific* slot index, extending the slot
@@ -241,6 +277,9 @@ pub fn insert_record_at(data: &mut [u8], slot: u16, body: &[u8]) -> bool {
     }
     while slot_count(data) <= slot {
         let n = slot_count(data);
+        if HEADER_SIZE + (n as usize + 1) * SLOT_SIZE > PAGE_SIZE {
+            return false;
+        }
         if HEADER_SIZE + (n as usize + 1) * SLOT_SIZE > free_ptr(data) as usize {
             compact(data);
             if HEADER_SIZE + (n as usize + 1) * SLOT_SIZE > free_ptr(data) as usize {
@@ -258,13 +297,14 @@ pub fn insert_record_at(data: &mut [u8], slot: u16, body: &[u8]) -> bool {
     if total_free(data) < body.len() {
         return false;
     }
-    place_record(data, slot, body);
-    true
+    place_record(data, slot, body)
 }
 
 /// Writes `body` into `slot`, compacting first if the contiguous gap is too
-/// small. The slot must currently be a tombstone.
-fn place_record(data: &mut [u8], slot: u16, body: &[u8]) {
+/// small. The slot must currently be a tombstone. Returns `false` when even
+/// compaction cannot make room — possible only on garbage pages, since
+/// callers verify `total_free` first.
+fn place_record(data: &mut [u8], slot: u16, body: &[u8]) -> bool {
     let dir_end = HEADER_SIZE + slot_count(data) as usize * SLOT_SIZE;
     // The directory may have just grown past the free pointer when the
     // contiguous gap was smaller than one slot entry; saturate, and let
@@ -274,19 +314,24 @@ fn place_record(data: &mut [u8], slot: u16, body: &[u8]) {
     if gap < body.len() || (free_ptr(data) as usize) < dir_end {
         compact(data);
     }
-    let fp = free_ptr(data) as usize - body.len();
+    let dir_end = HEADER_SIZE + slot_count(data) as usize * SLOT_SIZE;
+    let fp = match (free_ptr(data) as usize).checked_sub(body.len()) {
+        Some(fp) if fp >= dir_end => fp,
+        _ => return false,
+    };
     data[fp..fp + body.len()].copy_from_slice(body);
     set_free_ptr(data, fp as u16);
     set_slot_at(data, slot, fp as u16, body.len() as u16);
+    true
 }
 
-/// Reads the record at `slot`, if present.
+/// Reads the record at `slot`, if present. Slots whose recorded range
+/// falls outside the page (torn/garbage data) read as absent.
 pub fn get_record(data: &[u8], slot: u16) -> Option<&[u8]> {
     if slot >= slot_count(data) {
         return None;
     }
-    let (off, len) = slot_at(data, slot);
-    (off != 0).then(|| &data[off as usize..(off + len) as usize])
+    slot_range(data, slot).map(|r| &data[r])
 }
 
 /// Removes the record at `slot`. Returns `true` if a record was present.
@@ -314,15 +359,14 @@ pub fn update_record(data: &mut [u8], slot: u16, body: &[u8]) -> bool {
     if slot >= slot_count(data) || body.len() > MAX_RECORD_SIZE {
         return false;
     }
+    let Some(range) = slot_range(data, slot) else {
+        return false; // tombstone, or a garbage range we must not touch
+    };
     let (off, len) = slot_at(data, slot);
-    if off == 0 {
-        return false;
-    }
-    if body.len() <= len as usize {
+    if body.len() <= range.len() {
         // Shrink in place; the tail of the old body becomes dead space.
-        let off = off as usize;
-        data[off..off + body.len()].copy_from_slice(body);
-        set_slot_at(data, slot, off as u16, body.len() as u16);
+        data[range.start..range.start + body.len()].copy_from_slice(body);
+        set_slot_at(data, slot, range.start as u16, body.len() as u16);
         return true;
     }
     // Grow: tombstone then re-place, checking reclaimable space.
@@ -331,8 +375,7 @@ pub fn update_record(data: &mut [u8], slot: u16, body: &[u8]) -> bool {
         set_slot_at(data, slot, off, len); // restore
         return false;
     }
-    place_record(data, slot, body);
-    true
+    place_record(data, slot, body)
 }
 
 /// Iterates over the occupied slots of a page.
@@ -475,5 +518,63 @@ mod tests {
     fn rid_packing_roundtrip() {
         let r = Rid::new(0x1234_5678_9ABC, 0xDEF0);
         assert_eq!(Rid::from_u64(r.to_u64()), r);
+    }
+
+    #[test]
+    fn garbage_pages_never_panic() {
+        // Torn writes can hand recovery a page of arbitrary bytes. Every
+        // page operation must stay total over them: garbage reads as
+        // absent records, garbage mutations are rejected — never a panic.
+        let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for round in 0..64 {
+            let mut d = vec![0u8; PAGE_SIZE];
+            match round % 4 {
+                0 => d.chunks_mut(8).for_each(|c| {
+                    let b = next().to_le_bytes();
+                    c.copy_from_slice(&b[..c.len()]);
+                }),
+                1 => d.fill(0xFF),
+                2 => {
+                    // Valid page with its header bytes then scrambled.
+                    format_page(&mut d, PageType::Heap);
+                    insert_record(&mut d, b"victim record").unwrap();
+                    let k = (next() % 13) as usize;
+                    d[k] = next() as u8;
+                }
+                _ => {
+                    // Valid page with a torn tail of zeroes.
+                    format_page(&mut d, PageType::Heap);
+                    for i in 0..20 {
+                        insert_record(&mut d, format!("rec-{i}-{round}").as_bytes());
+                    }
+                    let cut = (next() % PAGE_SIZE as u64) as usize;
+                    d[cut..].fill(0);
+                }
+            }
+            let _ = page_type(&d);
+            let _ = next_page(&d);
+            let _ = free_space(&d);
+            let _ = can_fit(&d, 100);
+            for s in 0..slot_count(&d).min(512) {
+                let _ = get_record(&d, s);
+            }
+            let _: Vec<u16> = occupied_slots(&d).take(512).collect();
+            let mut m = d.clone();
+            compact(&mut m);
+            let mut m = d.clone();
+            let _ = insert_record(&mut m, b"probe");
+            let mut m = d.clone();
+            let _ = insert_record_at(&mut m, 9, b"probe");
+            let mut m = d.clone();
+            let _ = update_record(&mut m, 0, b"probe");
+            let mut m = d.clone();
+            let _ = delete_record(&mut m, 0);
+        }
     }
 }

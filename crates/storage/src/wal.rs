@@ -11,10 +11,12 @@
 //! recovery replays from the last checkpoint, so process crashes are always
 //! recovered exactly and OS crashes are recovered up to the last log sync.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::fs::File;
+use std::io::Read;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use crate::backend::{FileVfs, StorageBackend, Vfs};
 use crate::error::Result;
 use crate::page::{PageId, Rid};
 
@@ -65,6 +67,13 @@ pub enum WalRecord {
     },
     /// Structural: full serialized catalog after a DDL change. Latest wins.
     CatalogSnapshot { bytes: Vec<u8> },
+    /// Structural: a full image of a page, logged (and synced) before the
+    /// page is rewritten in place. A torn in-place write can interleave
+    /// two generations of a page whose older rows predate the log's last
+    /// checkpoint; replaying the image restores the page wholesale, the
+    /// way Postgres full-page writes and the InnoDB doublewrite buffer
+    /// do. Redo-only; never undone.
+    PageImage { page: PageId, bytes: Vec<u8> },
 }
 
 impl WalRecord {
@@ -77,7 +86,9 @@ impl WalRecord {
             | WalRecord::Insert { txn, .. }
             | WalRecord::Update { txn, .. }
             | WalRecord::Delete { txn, .. } => Some(*txn),
-            WalRecord::LinkPage { .. } | WalRecord::CatalogSnapshot { .. } => None,
+            WalRecord::LinkPage { .. }
+            | WalRecord::CatalogSnapshot { .. }
+            | WalRecord::PageImage { .. } => None,
         }
     }
 
@@ -155,6 +166,11 @@ impl WalRecord {
                 out.push(8);
                 put_bytes(out, bytes);
             }
+            WalRecord::PageImage { page, bytes } => {
+                out.push(9);
+                out.extend_from_slice(&page.to_le_bytes());
+                put_bytes(out, bytes);
+            }
         }
     }
 
@@ -224,6 +240,10 @@ impl WalRecord {
                 new_page: c.u64()?,
             },
             8 => WalRecord::CatalogSnapshot { bytes: c.bytes()? },
+            9 => WalRecord::PageImage {
+                page: c.u64()?,
+                bytes: c.bytes()?,
+            },
             _ => return None,
         };
         (c.pos == buf.len()).then_some(rec)
@@ -241,8 +261,18 @@ fn checksum(bytes: &[u8]) -> u32 {
 }
 
 /// Append-only log writer over `wal.log`.
+///
+/// Frames are buffered in memory and written to the backend at the
+/// current append offset on flush. A failed flush leaves the buffer (and
+/// the append offset) untouched, so a retry rewrites the whole buffer at
+/// the same position — positioned writes make the retry overwrite any
+/// partial data the failed attempt left behind.
 pub struct Wal {
-    writer: BufWriter<File>,
+    backend: Arc<dyn StorageBackend>,
+    /// Encoded frames not yet handed to the OS.
+    buf: Vec<u8>,
+    /// Append offset: length of the file as of the last successful flush.
+    file_len: u64,
     path: PathBuf,
     appended: u64,
 }
@@ -250,17 +280,18 @@ pub struct Wal {
 impl Wal {
     /// Opens (creating if absent) the log in `dir`, positioned for append.
     pub fn open(dir: &Path) -> Result<Wal> {
-        std::fs::create_dir_all(dir)?;
+        Self::open_with(dir, &FileVfs)
+    }
+
+    /// As [`Wal::open`], sourcing the backend from `vfs`.
+    pub fn open_with(dir: &Path, vfs: &dyn Vfs) -> Result<Wal> {
         let path = dir.join("wal.log");
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
-        file.seek(SeekFrom::End(0))?;
+        let backend = vfs.open(&path)?;
+        let file_len = backend.len()?;
         Ok(Wal {
-            writer: BufWriter::new(file),
+            backend,
+            buf: Vec::new(),
+            file_len,
             path,
             appended: 0,
         })
@@ -270,39 +301,50 @@ impl Wal {
     pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
         let mut payload = Vec::with_capacity(64);
         rec.encode(&mut payload);
-        self.writer
-            .write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.writer.write_all(&checksum(&payload).to_le_bytes())?;
-        self.writer.write_all(&payload)?;
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&checksum(&payload).to_le_bytes());
+        self.buf.extend_from_slice(&payload);
         self.appended += 1;
+        Ok(())
+    }
+
+    /// Writes buffered frames to the OS at the append offset.
+    fn flush(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.backend.write_at(&self.buf, self.file_len)?;
+        self.file_len += self.buf.len() as u64;
+        self.buf.clear();
         Ok(())
     }
 
     /// Flushes buffered frames and syncs to stable storage.
     pub fn sync(&mut self) -> Result<()> {
-        self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        self.flush()?;
+        self.backend.sync()?;
         Ok(())
     }
 
-    /// Flushes buffered frames to the OS and returns an independent file
-    /// handle for the caller to `sync_data` on. Group commit uses this so
+    /// Flushes buffered frames to the OS and returns the backend for the
+    /// caller to [`StorageBackend::sync`] on. Group commit uses this so
     /// the slow fsync can run *outside* the log latch: the leader flushes
-    /// under the latch (cheap), then fsyncs the cloned handle while other
-    /// transactions keep appending.
-    pub fn flush_to_os(&mut self) -> Result<File> {
-        self.writer.flush()?;
-        Ok(self.writer.get_ref().try_clone()?)
+    /// under the latch (cheap), then fsyncs the shared backend handle
+    /// while other transactions keep appending.
+    pub fn flush_to_os(&mut self) -> Result<Arc<dyn StorageBackend>> {
+        self.flush()?;
+        Ok(Arc::clone(&self.backend))
     }
 
     /// Truncates the log to empty (after a checkpoint has flushed all data
     /// pages and the catalog).
     pub fn truncate(&mut self) -> Result<()> {
-        self.writer.flush()?;
-        let file = self.writer.get_mut();
-        file.set_len(0)?;
-        file.seek(SeekFrom::Start(0))?;
-        file.sync_data()?;
+        self.buf.clear();
+        self.backend.truncate(0)?;
+        self.file_len = 0;
+        self.backend.sync()?;
         Ok(())
     }
 
@@ -391,6 +433,10 @@ mod tests {
             },
             WalRecord::CatalogSnapshot {
                 bytes: vec![1, 2, 3],
+            },
+            WalRecord::PageImage {
+                page: 3,
+                bytes: vec![0xAB; 64],
             },
             WalRecord::Commit { txn: 7 },
             WalRecord::Abort { txn: 8 },
