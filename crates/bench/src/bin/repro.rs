@@ -33,6 +33,16 @@
 //! tree crossing net → quel → storage with a parseable Chrome
 //! trace-event export.
 //!
+//! `index-bench` runs the secondary-index axis — the same retrieve
+//! executed with and without `define index`, over a 10⁵-entity
+//! chord/note fixture — and writes `BENCH_6.json`: per-query access
+//! paths, tuples fetched, and wall time for the scan and indexed
+//! plans. Every indexed plan must fetch ≥50× fewer tuples than its
+//! scan twin or the bench exits non-zero. `index-smoke` is the CI
+//! check: on a small fixture, the planner must pick a non-scan path
+//! for each probe query, return scan-identical rows, and beat the
+//! scan's tuple traffic.
+//!
 //! `torture` runs the full crash-point exploration sweep — a hard crash
 //! at every I/O boundary plus a torn write at every write boundary —
 //! and writes `BENCH_5.json`: the boundary census, explored crash
@@ -122,6 +132,29 @@ fn main() {
             }
             return;
         }
+        "index-bench" => {
+            let doc = index_bench_json(500, 200);
+            if let Err(e) = validate_index_bench_json(&doc, 50.0) {
+                eprintln!("index bench JSON failed self-validation: {e}");
+                std::process::exit(1);
+            }
+            let path = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| format!("{}/../../BENCH_6.json", env!("CARGO_MANIFEST_DIR")));
+            std::fs::write(&path, &doc).expect("write BENCH_6.json");
+            println!("wrote {path}");
+            return;
+        }
+        "index-smoke" => {
+            match index_smoke() {
+                Ok(report) => println!("{report}"),
+                Err(e) => {
+                    eprintln!("index smoke FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
         "torture" => {
             let (doc, report) = torture_json(&mdm_storage::TortureConfig::full());
             if let Err(e) = validate_torture_json(&doc) {
@@ -188,8 +221,8 @@ fn main() {
         if found.is_empty() {
             eprintln!(
                 "unknown artifact {which}; use fig1..fig15, t1, quel, bench, smoke, \
-                 net-bench, net-smoke, trace-bench, trace-smoke, torture, \
-                 torture-smoke, or all"
+                 net-bench, net-smoke, trace-bench, trace-smoke, index-bench, \
+                 index-smoke, torture, torture-smoke, or all"
             );
             std::process::exit(2);
         }
@@ -1277,6 +1310,195 @@ fn trace_smoke() -> Result<String, String> {
         "trace smoke: ok — traced execute produced a {}-span tree \
          (net → quel → storage) with a parseable Chrome export in {:.2}s",
         in_trace.len(),
+        started.elapsed().as_secs_f64()
+    ))
+}
+
+/// The E6 secondary-index sweep: one chord/note fixture
+/// (`chords × notes_per_chord` notes, §5.6 shape), three probe
+/// queries — an equality probe, a range probe, and an
+/// ordering-derived `under` — each EXPLAINed before and after
+/// `define index`. Per query the document records the access paths
+/// the planner chose, the tuples fetched, and the wall time for both
+/// plans; the QUEL pipeline's metric snapshot is embedded so the
+/// `mdm_quel_rows_scanned_total` trajectory backs the per-run deltas.
+/// Indexed and scan plans must return identical tables — the sweep
+/// panics otherwise, because a fast wrong plan is not a result.
+fn index_bench_json(chords: usize, notes_per_chord: usize) -> String {
+    let registry = mdm_obs::Registry::new();
+    let mut session = Session::with_metrics(mdm_lang::QuelMetrics::register(&registry));
+    let mut db = workload::chord_database(chords, notes_per_chord);
+    let notes = chords * notes_per_chord;
+    let entities = notes + chords;
+    let mid_note = (notes / 2) as i64;
+    let mid_chord = (chords / 2) as i64;
+    let queries = [
+        (
+            "eq-probe",
+            format!("range of n is NOTE\nretrieve (n.name) where n.name = {mid_note}"),
+        ),
+        (
+            "range-probe",
+            format!(
+                "range of n is NOTE\nretrieve (n.name) where n.name >= {mid_note} and n.name < {}",
+                mid_note + 64
+            ),
+        ),
+        (
+            "ord-under",
+            format!(
+                "range of n is NOTE\nrange of c is CHORD\n\
+                 retrieve (n.name) where n under c in note_in_chord and c.name = {mid_chord}"
+            ),
+        ),
+    ];
+
+    // Scan phase: no indexes defined yet, every variable full-scans.
+    let mut scans = Vec::new();
+    for (name, q) in &queries {
+        let started = std::time::Instant::now();
+        let (ex, table) = session.explain(&db, q).expect(name);
+        scans.push((ex, table, started.elapsed()));
+    }
+    session
+        .execute(
+            &mut db,
+            "define index note_by_name on NOTE (name)\n\
+             define index chord_by_name on CHORD (name)",
+        )
+        .expect("define indexes");
+
+    let mut runs = String::new();
+    for (i, (name, q)) in queries.iter().enumerate() {
+        let started = std::time::Instant::now();
+        let (ex, table) = session.explain(&db, q).expect(name);
+        let indexed_elapsed = started.elapsed();
+        let (scan_ex, scan_table, scan_elapsed) = &scans[i];
+        assert_eq!(
+            &table, scan_table,
+            "indexed and scan plans must agree for {name}"
+        );
+        let paths = ex
+            .vars
+            .iter()
+            .map(|v| format!("\"{}\"", json_escape(&v.path)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let reduction = scan_ex.rows_scanned as f64 / ex.rows_scanned.max(1) as f64;
+        let speedup = scan_elapsed.as_secs_f64() / indexed_elapsed.as_secs_f64().max(1e-9);
+        if i > 0 {
+            runs.push(',');
+        }
+        runs.push_str(&format!(
+            "{{\"query\":\"{name}\",\"rows\":{},\
+             \"scan_rows_scanned\":{},\"scan_micros\":{},\
+             \"indexed_rows_scanned\":{},\"indexed_micros\":{},\
+             \"indexed_paths\":[{paths}],\
+             \"scanned_reduction\":{reduction:.1},\"speedup\":{speedup:.2}}}",
+            table.rows.len(),
+            scan_ex.rows_scanned,
+            scan_elapsed.as_micros(),
+            ex.rows_scanned,
+            indexed_elapsed.as_micros(),
+        ));
+    }
+    format!(
+        "{{\"bench\":\"e6_index_planner\",\"entities\":{entities},\
+         \"chords\":{chords},\"notes_per_chord\":{notes_per_chord},\
+         \"runs\":[{runs}],\"quel_metrics\":{}}}\n",
+        registry.snapshot().to_json()
+    )
+}
+
+/// Validates an `index_bench_json` document: well-formed JSON, a run
+/// per probe query, at least one non-scan access path per run, the
+/// scanned-tuple reduction at or above `min_reduction`, and the QUEL
+/// pipeline counters present in the embedded snapshot.
+fn validate_index_bench_json(doc: &str, min_reduction: f64) -> Result<(), String> {
+    use mdm_obs::json::{parse, Value};
+    let v = parse(doc).map_err(|e| e.to_string())?;
+    v.get("entities")
+        .and_then(Value::as_u64)
+        .ok_or("missing entities count")?;
+    let runs = v
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("missing runs array")?;
+    if runs.len() < 3 {
+        return Err(format!("expected 3 probe runs, found {}", runs.len()));
+    }
+    for run in runs {
+        let name = run
+            .get("query")
+            .and_then(Value::as_str)
+            .ok_or("run is missing query name")?;
+        for key in [
+            "rows",
+            "scan_rows_scanned",
+            "scan_micros",
+            "indexed_rows_scanned",
+            "indexed_micros",
+        ] {
+            run.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("run {name} is missing integer field {key}"))?;
+        }
+        let paths = run
+            .get("indexed_paths")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("run {name} is missing indexed_paths"))?;
+        if !paths
+            .iter()
+            .any(|p| p.as_str().is_some_and(|p| p != "scan"))
+        {
+            return Err(format!("run {name} chose no non-scan access path"));
+        }
+        match run.get("scanned_reduction") {
+            Some(Value::Number(r)) if *r >= min_reduction => {}
+            Some(Value::Number(r)) => {
+                return Err(format!(
+                    "run {name} reduced tuple traffic only {r:.1}×, need ≥{min_reduction:.0}×"
+                ))
+            }
+            _ => return Err(format!("run {name} is missing scanned_reduction")),
+        }
+        if !matches!(run.get("speedup"), Some(Value::Number(_))) {
+            return Err(format!("run {name} is missing speedup"));
+        }
+    }
+    let metrics = v
+        .get("quel_metrics")
+        .and_then(|m| m.get("metrics"))
+        .and_then(Value::as_array)
+        .ok_or("missing quel_metrics.metrics array")?;
+    for required in [
+        "mdm_quel_rows_scanned_total",
+        "mdm_quel_rows_returned_total",
+        "mdm_quel_exec_micros",
+    ] {
+        if !metrics
+            .iter()
+            .any(|m| m.get("name").and_then(Value::as_str) == Some(required))
+        {
+            return Err(format!("metric {required} missing from snapshot"));
+        }
+    }
+    Ok(())
+}
+
+/// The CI index smoke: on a small fixture, every probe query's indexed
+/// plan must pick a non-scan path, return rows identical to the scan
+/// plan (checked inside `index_bench_json`), and fetch strictly fewer
+/// tuples than the scan did — `min_reduction` just above 1 rather than
+/// the full bench's 50×, which a 2 460-entity fixture cannot reach on
+/// the ordering probe.
+fn index_smoke() -> Result<String, String> {
+    let started = std::time::Instant::now();
+    let doc = index_bench_json(60, 40);
+    validate_index_bench_json(&doc, 1.5)?;
+    Ok(format!(
+        "index smoke: ok — 3 probe queries planned onto index/ord paths, \
+         scan-identical rows, validated JSON in {:.2}s",
         started.elapsed().as_secs_f64()
     ))
 }

@@ -19,7 +19,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use mdm_lang::{QuelMetrics, Session, StmtResult, Table};
+use mdm_lang::{PlanExplain, QuelMetrics, Session, StmtResult, Table};
 use mdm_model::{persist, Database, EntityId};
 use mdm_notation::{Score, TimeSignature, Voice};
 use mdm_obs::{Counter, Registry, Snapshot, Tracer};
@@ -52,6 +52,7 @@ struct RequestCounters {
     execute: Arc<Counter>,
     query: Arc<Counter>,
     query_shared: Arc<Counter>,
+    explain: Arc<Counter>,
     store_score: Arc<Counter>,
     load_score: Arc<Counter>,
     find_score: Arc<Counter>,
@@ -75,6 +76,7 @@ impl RequestCounters {
             execute: c("quel", "execute"),
             query: c("quel", "query"),
             query_shared: c("quel", "query_shared"),
+            explain: c("quel", "explain"),
             store_score: c("score", "store_score"),
             load_score: c("score", "load_score"),
             find_score: c("score", "find_score"),
@@ -268,6 +270,28 @@ impl MusicDataManager {
                 "query did not end in a retrieve: {other:?}"
             ))),
         }
+    }
+
+    /// Explains (and executes) a read-only program: `range of`
+    /// declarations plus `retrieve` statements. Returns the access paths
+    /// the QUEL planner chose — per-variable scan / index-eq /
+    /// index-range / ord decisions with estimated row counts — alongside
+    /// the rows, which is what the shell's `\plan` renders. Mutating
+    /// statements are rejected, so nothing is journaled.
+    pub fn explain(&mut self, text: &str) -> Result<(PlanExplain, Table)> {
+        self.requests.explain.inc();
+        Ok(self.session.explain(&self.db, text)?)
+    }
+
+    /// [`explain`] on the shared read path: takes `&self` so the server
+    /// can answer EXPLAIN requests under its read lock, concurrently
+    /// with queries. Range declarations are local to the call.
+    ///
+    /// [`explain`]: MusicDataManager::explain
+    pub fn explain_shared(&self, text: &str) -> Result<(PlanExplain, Table)> {
+        self.requests.explain.inc();
+        let mut session = Session::with_metrics(Arc::clone(&self.quel));
+        Ok(session.explain(&self.db, text)?)
     }
 
     /// Persists the database through the storage engine and checkpoints.
@@ -649,6 +673,54 @@ mod tests {
             .any(|(k, v)| k == "protocol" && *v == WIRE_PROTOCOL_VERSION.to_string()));
         let start = snap.gauge("mdm_process_start_seconds").unwrap();
         assert!(start > 1_500_000_000, "plausible unix time, got {start}");
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `define index` through the full MDM stack: the DDL is journaled
+    /// (survives reopen without save), folded into the checkpoint by
+    /// save (survives reopen after the journal is dropped), and the
+    /// planner uses it — `explain` reports an index probe, not a scan.
+    #[test]
+    fn index_ddl_survives_journal_replay_and_save() {
+        let dir = tmpdir("index-ddl");
+        {
+            let mut mdm = MusicDataManager::open(&dir).unwrap();
+            for i in 0..20 {
+                mdm.execute(&format!("append to PERSON (name = \"p{i}\")"))
+                    .unwrap();
+            }
+            mdm.execute("define index person_by_name on PERSON (name)")
+                .unwrap();
+            // No save: the index definition exists only in the journal.
+        }
+        {
+            let mut mdm = MusicDataManager::open(&dir).unwrap();
+            assert!(mdm.database().index_defs().contains_key("person_by_name"));
+            let (ex, t) = mdm
+                .explain("range of p is PERSON\nretrieve (p.name) where p.name = \"p7\"")
+                .unwrap();
+            assert_eq!(t.len(), 1);
+            assert_eq!(ex.vars[0].path, "index-eq(name)");
+            assert_eq!(ex.rows_scanned, 1, "one probe, not a 20-row scan");
+            mdm.save().unwrap();
+        }
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        assert!(mdm.database().index_defs().contains_key("person_by_name"));
+        let (ex, _) = mdm
+            .explain("range of p is PERSON\nretrieve (p.name) where p.name = \"p7\"")
+            .unwrap();
+        assert_eq!(ex.vars[0].path, "index-eq(name)");
+        // Mutations are rejected on the explain path.
+        assert!(mdm.explain("append to PERSON (name = \"x\")").is_err());
+        let snap = mdm.metrics_snapshot();
+        assert_eq!(
+            snap.counter_with(
+                "mdm_requests_total",
+                &[("client", "quel"), ("api", "explain")]
+            ),
+            Some(2)
+        );
         drop(mdm);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -30,6 +30,20 @@ pub enum Stmt {
         /// Optional parent entity type name.
         parent: Option<String>,
     },
+    /// `define index NAME on ENTITY (attr)`
+    DefineIndex {
+        /// Index name.
+        name: String,
+        /// Entity type name the index covers.
+        entity: String,
+        /// Indexed attribute name.
+        attr: String,
+    },
+    /// `destroy index NAME`
+    DestroyIndex {
+        /// Index name.
+        name: String,
+    },
     /// `range of v1, v2 is TYPE`
     RangeOf {
         /// Variable names.

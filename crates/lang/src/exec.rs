@@ -7,9 +7,19 @@
 //! evaluated per surviving combination. As in GEM and later INGRES
 //! versions, a range variable named exactly like an entity or relationship
 //! type is implicitly declared (paper, footnote 6).
+//!
+//! A small cost-aware planner shrinks each variable's domain before the
+//! cross product is enumerated (see [`Plan::restrictions`]): equality and
+//! inequality conjuncts over indexed attributes become index probes and
+//! index range scans, and `before` / `after` / `under` clauses against a
+//! pinned peer variable become sibling-slice or child-list lookups in the
+//! ordering structures. The resulting access paths are reported through
+//! [`PlanExplain`] (the `\plan` EXPLAIN output).
 
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::ops::Bound;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -65,7 +75,8 @@ impl QuelMetrics {
             ),
             rows_scanned: registry.counter(
                 "mdm_quel_rows_scanned_total",
-                "candidate variable bindings enumerated by the executor",
+                "tuples fetched from the instance store by the executor \
+                 (each variable counts at most once per candidate binding)",
             ),
             rows_returned: registry.counter(
                 "mdm_quel_rows_returned_total",
@@ -274,6 +285,41 @@ impl Session {
             .collect()
     }
 
+    /// Explains (and executes) a read-only program: `range of`
+    /// declarations followed by one or more `retrieve` statements. The
+    /// returned [`PlanExplain`] describes the last retrieve's access
+    /// paths — per-variable scan / index-eq / index-range / ord choices
+    /// with estimated domain sizes — plus the estimated binding count
+    /// against the rows actually returned and tuples actually fetched.
+    /// Any other statement kind is rejected.
+    pub fn explain(&mut self, db: &Database, text: &str) -> Result<(PlanExplain, Table)> {
+        let stmts = self.parse_timed(text)?;
+        let mut last = None;
+        for s in &stmts {
+            match s {
+                Stmt::RangeOf { vars, target } => {
+                    self.declare_range(db, vars, target)?;
+                }
+                Stmt::Retrieve {
+                    unique,
+                    targets,
+                    qual,
+                    sort,
+                } => {
+                    let (table, ex) =
+                        self.retrieve_explained(db, *unique, targets, qual.as_ref(), sort)?;
+                    last = Some((ex, table));
+                }
+                _ => {
+                    return Err(LangError::Analyze(
+                        "only `range of` and `retrieve` can be explained".into(),
+                    ))
+                }
+            }
+        }
+        last.ok_or_else(|| LangError::Analyze("no retrieve statement to explain".into()))
+    }
+
     /// Executes one parsed statement.
     pub fn execute_stmt(&mut self, db: &mut Database, stmt: &Stmt) -> Result<StmtResult> {
         match stmt {
@@ -319,6 +365,14 @@ impl Session {
                     "ordering {}",
                     name.clone().unwrap_or_else(|| "(unnamed)".into())
                 )))
+            }
+            Stmt::DefineIndex { name, entity, attr } => {
+                db.define_index(name, entity, attr)?;
+                Ok(StmtResult::Defined(format!("index {name}")))
+            }
+            Stmt::DestroyIndex { name } => {
+                db.destroy_index(name)?;
+                Ok(StmtResult::Defined(format!("destroyed index {name}")))
             }
             Stmt::RangeOf { vars, target } => self.declare_range(db, vars, target),
             Stmt::Retrieve {
@@ -378,6 +432,8 @@ impl Session {
             .map(|v| self.var_target(db, v))
             .collect::<Result<Vec<_>>>()?;
         Ok(Plan {
+            fetched: RefCell::new(vec![false; vars.len()]),
+            scanned: Cell::new(0),
             vars,
             targets,
             metrics: self.metrics.clone(),
@@ -399,11 +455,24 @@ impl Session {
         qual: Option<&Expr>,
         sort: &[(String, bool)],
     ) -> Result<StmtResult> {
+        let (table, _) = self.retrieve_explained(db, unique, targets, qual, sort)?;
+        Ok(StmtResult::Rows(table))
+    }
+
+    fn retrieve_explained(
+        &self,
+        db: &Database,
+        unique: bool,
+        targets: &[Target],
+        qual: Option<&Expr>,
+        sort: &[(String, bool)],
+    ) -> Result<(Table, PlanExplain)> {
         let mut exprs: Vec<&Expr> = targets.iter().map(|t| &t.expr).collect();
         if let Some(q) = qual {
             exprs.push(q);
         }
         let plan = self.bindings_plan(db, &exprs)?;
+        let restrictions = plan.restrictions(db, qual);
         // Each ordering-operator clause in the qualification gets its own
         // retroactive span covering the scan it filtered.
         let ord_clauses = ord_clause_spans(qual);
@@ -412,46 +481,40 @@ impl Session {
             .iter()
             .map(|t| t.label.clone().unwrap_or_else(|| expr_label(&t.expr)))
             .collect();
-        if targets.iter().any(|t| matches!(t.expr, Expr::Agg { .. })) {
-            let StmtResult::Rows(mut table) = retrieve_grouped(db, &plan, columns, targets, qual)?
-            else {
-                unreachable!("retrieve_grouped returns rows");
-            };
-            emit_ord_spans(&ord_clauses, scan_started);
-            sort_table(&mut table, sort)?;
-            self.note_rows_returned(table.rows.len());
-            return Ok(StmtResult::Rows(table));
-        }
-        let mut rows = Vec::new();
-        let mut dedup: HashSet<Vec<u8>> = HashSet::new();
-        let restrictions = plan.restrictions(db, qual);
-        plan.for_each_binding(db, &restrictions, |db, binding| {
-            if let Some(q) = qual {
-                if !eval_bool(db, &plan, binding, q)? {
-                    return Ok(());
+        let mut table = if targets.iter().any(|t| matches!(t.expr, Expr::Agg { .. })) {
+            retrieve_grouped(db, &plan, &restrictions, columns, targets, qual)?
+        } else {
+            let mut rows = Vec::new();
+            let mut dedup: HashSet<Vec<u8>> = HashSet::new();
+            plan.for_each_binding(db, &restrictions, |db, binding| {
+                if let Some(q) = qual {
+                    if !eval_bool(db, &plan, binding, q)? {
+                        return Ok(());
+                    }
                 }
-            }
-            let row = targets
-                .iter()
-                .map(|t| eval(db, &plan, binding, &t.expr))
-                .collect::<Result<Vec<_>>>()?;
-            if unique {
-                let mut key = Vec::new();
-                for v in &row {
-                    encode_value(&mut key, v);
+                let row = targets
+                    .iter()
+                    .map(|t| eval(db, &plan, binding, &t.expr))
+                    .collect::<Result<Vec<_>>>()?;
+                if unique {
+                    let mut key = Vec::new();
+                    for v in &row {
+                        encode_value(&mut key, v);
+                    }
+                    if !dedup.insert(key) {
+                        return Ok(());
+                    }
                 }
-                if !dedup.insert(key) {
-                    return Ok(());
-                }
-            }
-            rows.push(row);
-            Ok(())
-        })?;
+                rows.push(row);
+                Ok(())
+            })?;
+            Table { columns, rows }
+        };
         emit_ord_spans(&ord_clauses, scan_started);
-        let mut table = Table { columns, rows };
         sort_table(&mut table, sort)?;
         self.note_rows_returned(table.rows.len());
-        Ok(StmtResult::Rows(table))
+        let explain = plan.explain(db, &restrictions, table.rows.len());
+        Ok((table, explain))
     }
 
     fn append(
@@ -558,11 +621,132 @@ impl Session {
     }
 }
 
+/// How the planner produces one range variable's domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum AccessPath {
+    /// Full scan of the type's instances.
+    Scan,
+    /// Equality probe of the named attribute's index.
+    IndexEq(String),
+    /// Range probe of the named attribute's index.
+    IndexRange(String),
+    /// Child-list or sibling-slice lookup derived from an ordering
+    /// operator against a pinned peer variable.
+    OrdDerived(&'static str),
+}
+
+impl AccessPath {
+    fn label(&self) -> String {
+        match self {
+            AccessPath::Scan => "scan".into(),
+            AccessPath::IndexEq(a) => format!("index-eq({a})"),
+            AccessPath::IndexRange(a) => format!("index-range({a})"),
+            AccessPath::OrdDerived(op) => format!("ord({op})"),
+        }
+    }
+}
+
+/// One variable's planned domain. `ids: None` means the full instance
+/// list; `Some` domains are always re-emitted in `instances_of` order
+/// (see [`Plan::restrictions`]) so restricted and unrestricted plans
+/// produce identical result rows.
+struct Restriction {
+    ids: Option<Vec<u64>>,
+    path: AccessPath,
+}
+
+impl Restriction {
+    /// Intersects `hits` into the domain, recording the access path that
+    /// produced them (first non-scan path wins the label). Returns true
+    /// if the domain changed.
+    fn restrict(&mut self, hits: Vec<u64>, path: AccessPath) -> bool {
+        if self.path == AccessPath::Scan {
+            self.path = path;
+        }
+        match self.ids.take() {
+            Some(prev) => {
+                let keep: HashSet<u64> = hits.into_iter().collect();
+                let next: Vec<u64> = prev
+                    .iter()
+                    .copied()
+                    .filter(|id| keep.contains(id))
+                    .collect();
+                let changed = next.len() != prev.len();
+                self.ids = Some(next);
+                changed
+            }
+            None => {
+                self.ids = Some(hits);
+                true
+            }
+        }
+    }
+}
+
+/// One variable's row in the EXPLAIN output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarPlan {
+    /// Range variable name.
+    pub var: String,
+    /// Entity or relationship type it ranges over.
+    pub target: String,
+    /// Access path label: `scan`, `index-eq(attr)`, `index-range(attr)`,
+    /// or `ord(op)`.
+    pub path: String,
+    /// Planned domain size (estimated rows this variable contributes).
+    pub estimated: usize,
+}
+
+/// EXPLAIN output for one retrieve: the access path chosen per range
+/// variable plus estimated vs actual row counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanExplain {
+    /// Per-variable access paths, in enumeration order.
+    pub vars: Vec<VarPlan>,
+    /// Product of planned domain sizes: candidate bindings enumerated.
+    pub estimated_rows: u64,
+    /// Rows the retrieve actually returned.
+    pub actual_rows: u64,
+    /// Tuples actually fetched from the instance store.
+    pub rows_scanned: u64,
+}
+
+impl fmt::Display for PlanExplain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "retrieve plan:")?;
+        for v in &self.vars {
+            writeln!(
+                f,
+                "  {}: {} via {}, ~{} row{}",
+                v.var,
+                v.target,
+                v.path,
+                v.estimated,
+                if v.estimated == 1 { "" } else { "s" }
+            )?;
+        }
+        write!(
+            f,
+            "estimated {} binding{}; returned {} row{}; scanned {} tuple{}",
+            self.estimated_rows,
+            if self.estimated_rows == 1 { "" } else { "s" },
+            self.actual_rows,
+            if self.actual_rows == 1 { "" } else { "s" },
+            self.rows_scanned,
+            if self.rows_scanned == 1 { "" } else { "s" },
+        )
+    }
+}
+
 /// The variables of one statement and what they range over.
 struct Plan {
     vars: Vec<String>,
     targets: Vec<RangeTarget>,
     metrics: Option<Arc<QuelMetrics>>,
+    /// Tuples fetched from the instance store so far (the work metric).
+    scanned: Cell<u64>,
+    /// Per-variable "already fetched for the current binding" flags.
+    fetched: RefCell<Vec<bool>>,
 }
 
 impl Plan {
@@ -573,15 +757,55 @@ impl Plan {
             .ok_or_else(|| LangError::Analyze(format!("unknown range variable {var}")))
     }
 
-    /// Per-variable domain restrictions from sargable qualification
-    /// conjuncts (`var.attr = constant` with an attribute index): the
-    /// executor's one optimization.
-    fn restrictions(&self, db: &Database, qual: Option<&Expr>) -> Vec<Option<Vec<u64>>> {
-        let mut out: Vec<Option<Vec<u64>>> = vec![None; self.vars.len()];
+    /// The indexed attribute position for `var.attr`, when `var` is an
+    /// entity variable in this plan.
+    fn sargable(&self, db: &Database, var: &str, attr: &str) -> Option<(usize, TypeId, usize)> {
+        let i = self.vars.iter().position(|v| v == var)?;
+        let RangeTarget::Entity(ty) = self.targets[i] else {
+            return None;
+        };
+        let def = db.schema().entity_type(ty).ok()?;
+        let attr_idx = def.attribute_index(attr)?;
+        Some((i, ty, attr_idx))
+    }
+
+    /// The cost-aware planner: per-variable domain restrictions from
+    /// sargable qualification conjuncts.
+    ///
+    /// Three passes over the top-level AND conjuncts:
+    ///
+    /// 1. `var.attr = constant` over an indexed attribute → index
+    ///    equality probe;
+    /// 2. `var.attr < | <= | > | >= constant` (either orientation) over
+    ///    an indexed attribute → one-sided index range scan;
+    /// 3. `a before|after|under b` where one side is *pinned* (domain of
+    ///    exactly one instance, by restriction or by population) → the
+    ///    other side's domain is read straight out of the ordering: the
+    ///    child list under a pinned parent, or the sibling slice before
+    ///    / after a pinned peer. Pass 3 runs to a fixpoint so one pinned
+    ///    variable can pin the next through a chain of clauses.
+    ///
+    /// Every restriction only ever *shrinks* a domain and the original
+    /// qualification is still evaluated per binding, so a restriction
+    /// that is merely a superset of the true set stays correct. Finally
+    /// every restricted domain is re-emitted in `instances_of` order,
+    /// which (a) filters ordering-derived ids down to the variable's own
+    /// entity type and (b) makes restricted plans produce rows in
+    /// exactly the order a full scan would.
+    fn restrictions(&self, db: &Database, qual: Option<&Expr>) -> Vec<Restriction> {
+        let mut out: Vec<Restriction> = self
+            .vars
+            .iter()
+            .map(|_| Restriction {
+                ids: None,
+                path: AccessPath::Scan,
+            })
+            .collect();
         let Some(qual) = qual else { return out };
         let mut conjuncts = Vec::new();
         collect_conjuncts(qual, &mut conjuncts);
-        for c in conjuncts {
+        // Pass 1: equality probes.
+        for c in &conjuncts {
             let Expr::Bin {
                 op: BinOp::Eq,
                 lhs,
@@ -595,41 +819,257 @@ impl Plan {
                 | (Expr::Const(v), Expr::Attr { var, attr }) => (var, attr, v),
                 _ => continue,
             };
-            let Some(i) = self.vars.iter().position(|v| v == var) else {
-                continue;
-            };
-            let RangeTarget::Entity(ty) = self.targets[i] else {
-                continue;
-            };
-            let Ok(def) = db.schema().entity_type(ty) else {
-                continue;
-            };
-            let Some(attr_idx) = def.attribute_index(attr) else {
+            let Some((i, ty, attr_idx)) = self.sargable(db, var, attr) else {
                 continue;
             };
             if let Some(hits) = db.attr_index_get(ty, attr_idx, value) {
-                // Intersect with any earlier restriction.
-                let hits = hits.to_vec();
-                out[i] = Some(match out[i].take() {
-                    Some(prev) => prev.into_iter().filter(|id| hits.contains(id)).collect(),
-                    None => hits,
-                });
+                out[i].restrict(hits.to_vec(), AccessPath::IndexEq(attr.clone()));
             }
+        }
+        // Pass 2: range probes.
+        for c in &conjuncts {
+            let Expr::Bin { op, lhs, rhs } = c else {
+                continue;
+            };
+            // Normalize to `attr OP const`; flipping the operands flips
+            // the comparison.
+            let (var, attr, value, op) = match (&**lhs, &**rhs) {
+                (Expr::Attr { var, attr }, Expr::Const(v)) => (var, attr, v, *op),
+                (Expr::Const(v), Expr::Attr { var, attr }) => (
+                    var,
+                    attr,
+                    v,
+                    match op {
+                        BinOp::Lt => BinOp::Gt,
+                        BinOp::Le => BinOp::Ge,
+                        BinOp::Gt => BinOp::Lt,
+                        BinOp::Ge => BinOp::Le,
+                        other => *other,
+                    },
+                ),
+                _ => continue,
+            };
+            let (lo, hi) = match op {
+                BinOp::Lt => (Bound::Unbounded, Bound::Excluded(value)),
+                BinOp::Le => (Bound::Unbounded, Bound::Included(value)),
+                BinOp::Gt => (Bound::Excluded(value), Bound::Unbounded),
+                BinOp::Ge => (Bound::Included(value), Bound::Unbounded),
+                _ => continue,
+            };
+            let Some((i, ty, attr_idx)) = self.sargable(db, var, attr) else {
+                continue;
+            };
+            if let Some(hits) = db.attr_index_range(ty, attr_idx, lo, hi) {
+                out[i].restrict(hits, AccessPath::IndexRange(attr.clone()));
+            }
+        }
+        // Pass 3: ordering-derived domains, to a fixpoint.
+        let mut passes = 0;
+        loop {
+            passes += 1;
+            let mut changed = false;
+            for c in &conjuncts {
+                let Expr::Ord {
+                    op,
+                    lhs,
+                    rhs,
+                    ordering,
+                } = c
+                else {
+                    continue;
+                };
+                let (Ok(li), Ok(ri)) = (self.index_of(lhs), self.index_of(rhs)) else {
+                    continue;
+                };
+                let (RangeTarget::Entity(lty), RangeTarget::Entity(rty)) =
+                    (self.targets[li], self.targets[ri])
+                else {
+                    continue;
+                };
+                // Mirror eval's resolution; on error the clause stays a
+                // per-binding evaluation (which will surface the error).
+                let Ok(o) = db
+                    .schema()
+                    .resolve_ordering(ordering.as_deref(), lty, Some(rty))
+                else {
+                    continue;
+                };
+                let store = db.store();
+                let schema = db.schema();
+                // A variable is pinned when its planned domain holds
+                // exactly one instance.
+                let pin = |i: usize, out: &[Restriction]| -> Option<u64> {
+                    match &out[i].ids {
+                        Some(ids) if ids.len() == 1 => Some(ids[0]),
+                        Some(_) => None,
+                        None => {
+                            let RangeTarget::Entity(ty) = self.targets[i] else {
+                                return None;
+                            };
+                            let inst = store.instances_of(ty);
+                            (inst.len() == 1).then(|| inst[0])
+                        }
+                    }
+                };
+                // Siblings strictly before / after `e` under its parent.
+                let sibs_split = |e: u64| -> Option<(Vec<u64>, Vec<u64>)> {
+                    let parent = store.ordering_parent(schema, o, e).ok()?;
+                    let sibs = store.ordering_children(o, parent);
+                    let pos = sibs.iter().position(|&x| x == e)?;
+                    Some((sibs[..pos].to_vec(), sibs[pos + 1..].to_vec()))
+                };
+                match op {
+                    OrdOp::Under => {
+                        // `a under p`: p pinned → a ranges over p's
+                        // children; a pinned → p is a's parent (or no
+                        // parent → empty domain, the clause is false).
+                        if let Some(p) = pin(ri, &out) {
+                            let kids = store.ordering_children(o, Some(p)).to_vec();
+                            changed |= out[li].restrict(kids, AccessPath::OrdDerived("under"));
+                        }
+                        if let Some(a) = pin(li, &out) {
+                            let parent = match store.ordering_parent(schema, o, a) {
+                                Ok(Some(p)) => vec![p],
+                                _ => Vec::new(),
+                            };
+                            changed |= out[ri].restrict(parent, AccessPath::OrdDerived("under"));
+                        }
+                    }
+                    OrdOp::Before | OrdOp::After => {
+                        let lab = if matches!(op, OrdOp::Before) {
+                            "before"
+                        } else {
+                            "after"
+                        };
+                        if let Some(b) = pin(ri, &out) {
+                            let dom = match sibs_split(b) {
+                                Some((pre, post)) => {
+                                    if matches!(op, OrdOp::Before) {
+                                        pre
+                                    } else {
+                                        post
+                                    }
+                                }
+                                None => Vec::new(),
+                            };
+                            changed |= out[li].restrict(dom, AccessPath::OrdDerived(lab));
+                        }
+                        if let Some(a) = pin(li, &out) {
+                            let dom = match sibs_split(a) {
+                                Some((pre, post)) => {
+                                    if matches!(op, OrdOp::Before) {
+                                        post
+                                    } else {
+                                        pre
+                                    }
+                                }
+                                None => Vec::new(),
+                            };
+                            changed |= out[ri].restrict(dom, AccessPath::OrdDerived(lab));
+                        }
+                    }
+                }
+            }
+            if !changed || passes > self.vars.len() {
+                break;
+            }
+        }
+        // Canonicalize: every restricted domain in `instances_of` order.
+        for (i, r) in out.iter_mut().enumerate() {
+            let Some(ids) = &r.ids else { continue };
+            let RangeTarget::Entity(ty) = self.targets[i] else {
+                continue;
+            };
+            let keep: HashSet<u64> = ids.iter().copied().collect();
+            r.ids = Some(
+                db.store()
+                    .instances_of(ty)
+                    .iter()
+                    .copied()
+                    .filter(|id| keep.contains(id))
+                    .collect(),
+            );
         }
         out
     }
 
+    /// Builds the EXPLAIN record for an executed plan.
+    fn explain(
+        &self,
+        db: &Database,
+        restrictions: &[Restriction],
+        actual_rows: usize,
+    ) -> PlanExplain {
+        let mut estimated_rows: u64 = 1;
+        let vars = self
+            .vars
+            .iter()
+            .zip(&self.targets)
+            .zip(restrictions)
+            .map(|((var, target), r)| {
+                let (tname, population) = match target {
+                    RangeTarget::Entity(ty) => (
+                        db.schema()
+                            .entity_type(*ty)
+                            .map_or_else(|_| format!("#{ty}"), |d| d.name.clone()),
+                        db.store().instances_of(*ty).len(),
+                    ),
+                    RangeTarget::Relationship(rid) => (
+                        db.schema()
+                            .relationship(*rid)
+                            .map_or_else(|_| format!("#{rid}"), |d| d.name.clone()),
+                        db.store().relationships_of(*rid).len(),
+                    ),
+                };
+                let estimated = r.ids.as_ref().map_or(population, Vec::len);
+                estimated_rows = estimated_rows.saturating_mul(estimated as u64);
+                VarPlan {
+                    var: var.clone(),
+                    target: tname,
+                    path: r.path.label(),
+                    estimated,
+                }
+            })
+            .collect();
+        PlanExplain {
+            vars,
+            estimated_rows,
+            actual_rows: actual_rows as u64,
+            rows_scanned: self.scanned.get(),
+        }
+    }
+
+    /// Marks variable `i`'s tuple as fetched for the current binding;
+    /// the first fetch per binding counts toward `rows_scanned`.
+    fn note_fetch(&self, i: usize) {
+        let mut fetched = self.fetched.borrow_mut();
+        if let Some(flag) = fetched.get_mut(i) {
+            if !*flag {
+                *flag = true;
+                self.scanned.set(self.scanned.get() + 1);
+            }
+        }
+    }
+
+    fn reset_fetched(&self) {
+        for flag in self.fetched.borrow_mut().iter_mut() {
+            *flag = false;
+        }
+    }
+
     /// Enumerates the cross product of all variables' domains (restricted
-    /// where an index applies), invoking `f` with an id per variable
-    /// (entity id or relationship instance id).
+    /// where the planner found an access path), invoking `f` with an id
+    /// per variable (entity id or relationship instance id). Flushes the
+    /// tuples fetched during the enumeration to the metrics and trace.
     fn for_each_binding(
         &self,
         db: &Database,
-        restrictions: &[Option<Vec<u64>>],
+        restrictions: &[Restriction],
         f: impl FnMut(&Database, &[u64]) -> Result<()>,
     ) -> Result<()> {
-        let mut scanned: u64 = 0;
-        let result = self.enumerate_bindings(db, restrictions, &mut scanned, f);
+        let before = self.scanned.get();
+        let result = self.enumerate_bindings(db, restrictions, f);
+        let scanned = self.scanned.get() - before;
         if let Some(m) = &self.metrics {
             m.rows_scanned.add(scanned);
         }
@@ -640,8 +1080,7 @@ impl Plan {
     fn enumerate_bindings(
         &self,
         db: &Database,
-        restrictions: &[Option<Vec<u64>>],
-        scanned: &mut u64,
+        restrictions: &[Restriction],
         mut f: impl FnMut(&Database, &[u64]) -> Result<()>,
     ) -> Result<()> {
         let domains: Vec<Vec<u64>> = self
@@ -649,7 +1088,7 @@ impl Plan {
             .iter()
             .enumerate()
             .map(
-                |(i, t)| match restrictions.get(i).and_then(Option::as_ref) {
+                |(i, t)| match restrictions.get(i).and_then(|r| r.ids.as_ref()) {
                     Some(r) => r.clone(),
                     None => match t {
                         RangeTarget::Entity(ty) => db.store().instances_of(*ty).to_vec(),
@@ -659,7 +1098,7 @@ impl Plan {
             )
             .collect();
         if domains.is_empty() {
-            *scanned += 1;
+            self.reset_fetched();
             return f(db, &[]);
         }
         if domains.iter().any(Vec::is_empty) {
@@ -671,7 +1110,7 @@ impl Plan {
             for (i, &d) in odometer.iter().enumerate() {
                 binding[i] = domains[i][d];
             }
-            *scanned += 1;
+            self.reset_fetched();
             f(db, &binding)?;
             // Advance.
             let mut i = domains.len();
@@ -745,6 +1184,8 @@ fn stmt_kind(s: &Stmt) -> &'static str {
         Stmt::DefineEntity { .. } => "define entity",
         Stmt::DefineRelationship { .. } => "define relationship",
         Stmt::DefineOrdering { .. } => "define ordering",
+        Stmt::DefineIndex { .. } => "define index",
+        Stmt::DestroyIndex { .. } => "destroy index",
         Stmt::RangeOf { .. } => "range of",
         Stmt::Retrieve { .. } => "retrieve",
         Stmt::AppendTo { .. } => "append",
@@ -855,10 +1296,11 @@ impl Acc {
 fn retrieve_grouped(
     db: &Database,
     plan: &Plan,
+    restrictions: &[Restriction],
     columns: Vec<String>,
     targets: &[Target],
     qual: Option<&Expr>,
-) -> Result<StmtResult> {
+) -> Result<Table> {
     for t in targets {
         if let Expr::Agg { arg, .. } = &t.expr {
             if contains_agg(arg) {
@@ -879,8 +1321,7 @@ fn retrieve_grouped(
         .iter()
         .filter(|t| matches!(t.expr, Expr::Agg { .. }))
         .count();
-    let restrictions = plan.restrictions(db, qual);
-    plan.for_each_binding(db, &restrictions, |db, binding| {
+    plan.for_each_binding(db, restrictions, |db, binding| {
         if let Some(q) = qual {
             if !eval_bool(db, plan, binding, q)? {
                 return Ok(());
@@ -938,7 +1379,7 @@ fn retrieve_grouped(
         }
         rows.push(row);
     }
-    Ok(StmtResult::Rows(Table { columns, rows }))
+    Ok(Table { columns, rows })
 }
 
 /// Applies a `sort by` clause: keys name output columns, compared with
@@ -1059,6 +1500,7 @@ fn eval(db: &Database, plan: &Plan, binding: &[u64], e: &Expr) -> Result<Value> 
         }
         Expr::Attr { var, attr } => {
             let i = plan.index_of(var)?;
+            plan.note_fetch(i);
             match plan.targets[i] {
                 RangeTarget::Entity(_) => Ok(db.get_attr(binding[i], attr)?.clone()),
                 RangeTarget::Relationship(r) => {

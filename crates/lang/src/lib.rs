@@ -41,5 +41,5 @@ pub mod parser;
 
 pub use ast::{BinOp, Expr, OrdOp, Stmt, Target};
 pub use error::{LangError, Result};
-pub use exec::{QuelMetrics, RangeTarget, Session, StmtResult, Table};
+pub use exec::{PlanExplain, QuelMetrics, RangeTarget, Session, StmtResult, Table, VarPlan};
 pub use parser::{parse, parse_tokens};

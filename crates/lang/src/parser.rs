@@ -110,6 +110,9 @@ impl Parser {
             TokenKind::Keyword(Keyword::Append) => self.append(),
             TokenKind::Keyword(Keyword::Replace) => self.replace(),
             TokenKind::Keyword(Keyword::Delete) => self.delete(),
+            // `destroy` is contextual: only `destroy index NAME` uses it,
+            // so the word stays an ordinary identifier elsewhere.
+            TokenKind::Ident(w) if w.eq_ignore_ascii_case("destroy") => self.destroy(),
             other => Err(self.err(format!("expected a statement, found {other:?}"))),
         }
     }
@@ -157,10 +160,36 @@ impl Parser {
                     parent,
                 })
             }
+            "index" => {
+                let name = self.ident()?;
+                // `on` is contextual, like the definition kinds above.
+                match self.peek().clone() {
+                    TokenKind::Ident(w) if w.eq_ignore_ascii_case("on") => {
+                        self.bump();
+                    }
+                    other => return Err(self.err(format!("expected on, found {other:?}"))),
+                }
+                let entity = self.ident()?;
+                self.expect_sym(Sym::LParen)?;
+                let attr = self.ident()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(Stmt::DefineIndex { name, entity, attr })
+            }
             other => Err(self.err(format!(
-                "expected entity, relationship, or ordering after define; found {other}"
+                "expected entity, relationship, ordering, or index after define; found {other}"
             ))),
         }
+    }
+
+    // destroy index NAME
+    fn destroy(&mut self) -> Result<Stmt> {
+        self.bump(); // `destroy`
+        let kind = self.ident()?.to_ascii_lowercase();
+        if kind != "index" {
+            return Err(self.err(format!("expected index after destroy; found {kind}")));
+        }
+        let name = self.ident()?;
+        Ok(Stmt::DestroyIndex { name })
     }
 
     fn member_list(&mut self) -> Result<Vec<(String, String)>> {
@@ -613,6 +642,33 @@ mod tests {
                 parent: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_define_and_destroy_index() {
+        let stmts = parse(
+            "define index note_by_name on NOTE (name)\n\
+             destroy index note_by_name",
+        )
+        .unwrap();
+        assert_eq!(
+            stmts[0],
+            Stmt::DefineIndex {
+                name: "note_by_name".into(),
+                entity: "NOTE".into(),
+                attr: "name".into(),
+            }
+        );
+        assert_eq!(
+            stmts[1],
+            Stmt::DestroyIndex {
+                name: "note_by_name".into(),
+            }
+        );
+        // `destroy`, `index`, and `on` stay ordinary identifiers.
+        assert!(parse("retrieve (destroy.index) where on.index = 1").is_ok());
+        assert!(parse("destroy table x").is_err());
+        assert!(parse("define index i over NOTE (name)").is_err());
     }
 
     #[test]

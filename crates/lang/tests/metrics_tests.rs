@@ -48,6 +48,8 @@ fn pipeline_metrics_count_exact_work() {
     let mut db = chord_db(&mut s); // program 1: three define statements
 
     // Program 2: 6×6 NOTE bindings, `before` on every one, 2 rows out.
+    // Tuple fetches: n2 for the 7 bindings where `before` held (the
+    // `and` short-circuits the rest), n1 for the 2 surviving rows.
     s.execute(
         &mut db,
         "range of n1, n2 is NOTE\n\
@@ -75,8 +77,11 @@ fn pipeline_metrics_count_exact_work() {
     assert_eq!(snap.histogram("mdm_quel_lex_micros").unwrap().count, 4);
     assert_eq!(snap.histogram("mdm_quel_parse_micros").unwrap().count, 4);
     assert_eq!(snap.histogram("mdm_quel_exec_micros").unwrap().count, 10);
-    // Cross products: 36 + 36 + 12 bindings enumerated.
-    assert_eq!(snap.counter("mdm_quel_rows_scanned_total"), Some(84));
+    // Tuples fetched, not bindings enumerated: the ordering operators
+    // touch no attributes and `and` short-circuits, so program 2 fetches
+    // 7 n2 + 2 n1 = 9, program 3 mirrors it with 9, and program 4
+    // fetches c for the 6 bindings where `under` held + 2 n = 8.
+    assert_eq!(snap.counter("mdm_quel_rows_scanned_total"), Some(26));
     // Each retrieve returned two rows.
     assert_eq!(snap.counter("mdm_quel_rows_returned_total"), Some(6));
     // The ordering operator leads each qualification, so it is evaluated
@@ -85,6 +90,37 @@ fn pipeline_metrics_count_exact_work() {
     assert_eq!(ord("before"), Some(36));
     assert_eq!(ord("after"), Some(36));
     assert_eq!(ord("under"), Some(12));
+}
+
+#[test]
+fn rows_scanned_counts_tuple_fetches_not_bindings() {
+    let registry = Registry::new();
+    let metrics = QuelMetrics::register(&registry);
+    let mut s = Session::with_metrics(Arc::clone(&metrics));
+    let mut db = chord_db(&mut s);
+    // 36 candidate bindings, but `before` fetches no tuples and the
+    // `and` short-circuits: only the 7 bindings where it held fetch n2,
+    // plus n1 for the 2 rows that survive the qualification.
+    s.execute(
+        &mut db,
+        "range of n1, n2 is NOTE\n\
+         retrieve (n1.name) where n1 before n2 in note_in_chord and n2.name = 3",
+    )
+    .unwrap();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("mdm_quel_rows_scanned_total"), Some(9));
+
+    // An index probe shrinks the domain itself: one binding enumerated,
+    // and its single tuple is fetched once even though the qualification
+    // and the target both read `n.name`.
+    db.define_index("note_by_name", "NOTE", "name").unwrap();
+    s.execute(
+        &mut db,
+        "range of n is NOTE\nretrieve (n.name) where n.name = 3",
+    )
+    .unwrap();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("mdm_quel_rows_scanned_total"), Some(10));
 }
 
 #[test]

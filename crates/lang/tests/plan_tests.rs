@@ -1,0 +1,226 @@
+//! The cost-aware planner: index DDL through QUEL, access-path choice,
+//! ordering-derived domains, and the EXPLAIN surface.
+
+use mdm_lang::{Session, StmtResult, Table};
+use mdm_model::{Database, Value};
+
+fn rows(mut results: Vec<StmtResult>) -> Table {
+    match results.pop() {
+        Some(StmtResult::Rows(t)) => t,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+/// 40 chords of 4 notes each, orderings populated.
+fn score_db(s: &mut Session) -> Database {
+    let mut db = Database::new();
+    s.execute(
+        &mut db,
+        "define entity CHORD (name = integer)\n\
+         define entity NOTE (name = integer, pitch = string)\n\
+         define ordering note_in_chord (NOTE) under CHORD",
+    )
+    .unwrap();
+    for c in 0..40i64 {
+        let chord = db
+            .create_entity("CHORD", &[("name", Value::Integer(c))])
+            .unwrap();
+        for k in 0..4 {
+            let note = db
+                .create_entity(
+                    "NOTE",
+                    &[
+                        ("name", Value::Integer(c * 4 + k)),
+                        ("pitch", Value::String(format!("p{}", (c * 4 + k) % 12))),
+                    ],
+                )
+                .unwrap();
+            db.ord_append("note_in_chord", Some(chord), note).unwrap();
+        }
+    }
+    db
+}
+
+#[test]
+fn define_and_destroy_index_through_quel() {
+    let mut s = Session::new();
+    let mut db = score_db(&mut s);
+    let r = s
+        .execute(&mut db, "define index chord_by_name on CHORD (name)")
+        .unwrap();
+    assert_eq!(r, vec![StmtResult::Defined("index chord_by_name".into())]);
+    assert!(db.index_defs().contains_key("chord_by_name"));
+
+    // Duplicate name is rejected; unknown destroy target is rejected.
+    assert!(s
+        .execute(&mut db, "define index chord_by_name on CHORD (name)")
+        .is_err());
+    assert!(s.execute(&mut db, "destroy index nonesuch").is_err());
+
+    let r = s.execute(&mut db, "destroy index chord_by_name").unwrap();
+    assert_eq!(
+        r,
+        vec![StmtResult::Defined("destroyed index chord_by_name".into())]
+    );
+    assert!(db.index_defs().is_empty());
+}
+
+#[test]
+fn explain_reports_index_eq_and_ord_derived_paths() {
+    let mut s = Session::new();
+    let mut db = score_db(&mut s);
+    s.execute(&mut db, "define index chord_by_name on CHORD (name)")
+        .unwrap();
+    let q = "range of n is NOTE\nrange of c is CHORD\n\
+             retrieve (n.name) where n under c in note_in_chord and c.name = 13";
+    let (ex, table) = s.explain(&db, q).unwrap();
+    let mut names: Vec<i64> = table
+        .rows
+        .iter()
+        .map(|r| r[0].as_integer().unwrap())
+        .collect();
+    names.sort_unstable();
+    assert_eq!(names, vec![52, 53, 54, 55]);
+
+    let n = ex.vars.iter().find(|v| v.var == "n").unwrap();
+    let c = ex.vars.iter().find(|v| v.var == "c").unwrap();
+    assert_eq!(c.path, "index-eq(name)");
+    assert_eq!(c.estimated, 1);
+    assert_eq!(n.path, "ord(under)", "pinned chord derives n's domain");
+    assert_eq!(n.estimated, 4);
+    assert_eq!(ex.estimated_rows, 4);
+    assert_eq!(ex.actual_rows, 4);
+    // 4 bindings × (fetch c for the under check + fetch n for the
+    // target) — not 160 × 40.
+    assert_eq!(ex.rows_scanned, 8);
+
+    let text = ex.to_string();
+    assert!(text.contains("index-eq(name)"), "{text}");
+    assert!(text.contains("ord(under)"), "{text}");
+}
+
+#[test]
+fn explain_reports_index_range_path() {
+    let mut s = Session::new();
+    let mut db = score_db(&mut s);
+    s.execute(&mut db, "define index note_by_name on NOTE (name)")
+        .unwrap();
+    let q = "range of n is NOTE\nretrieve (n.pitch) where n.name >= 20 and n.name < 28";
+    let (ex, table) = s.explain(&db, q).unwrap();
+    assert_eq!(table.len(), 8);
+    assert_eq!(ex.vars[0].path, "index-range(name)");
+    assert_eq!(ex.vars[0].estimated, 8);
+    assert_eq!(ex.rows_scanned, 8);
+    assert!(ex.to_string().contains("index-range(name)"));
+}
+
+#[test]
+fn explain_without_index_reports_scan() {
+    let mut s = Session::new();
+    let db = score_db(&mut s);
+    let (ex, table) = s
+        .explain(
+            &db,
+            "range of n is NOTE\nretrieve (n.name) where n.name = 5",
+        )
+        .unwrap();
+    assert_eq!(table.len(), 1);
+    assert_eq!(ex.vars[0].path, "scan");
+    assert_eq!(ex.vars[0].estimated, 160);
+    assert_eq!(ex.rows_scanned, 160, "every note fetched once");
+}
+
+#[test]
+fn explain_rejects_mutations() {
+    let mut s = Session::new();
+    let db = score_db(&mut s);
+    assert!(s.explain(&db, "delete n where n.name = 1").is_err());
+    assert!(s.explain(&db, "range of n is NOTE").is_err(), "no retrieve");
+}
+
+#[test]
+fn range_probe_agrees_with_scan_in_rows_and_order() {
+    let mut s = Session::new();
+    let mut db = score_db(&mut s);
+    let q = "range of n is NOTE\n\
+             retrieve (n.name, n.pitch) where n.name > 30 and n.name <= 90 and n.pitch != \"p3\"";
+    let without = rows(s.execute(&mut db, q).unwrap());
+    s.execute(&mut db, "define index note_by_name on NOTE (name)")
+        .unwrap();
+    let with = rows(s.execute(&mut db, q).unwrap());
+    assert_eq!(with, without);
+    assert!(!with.is_empty());
+}
+
+#[test]
+fn before_and_after_derive_sibling_slices() {
+    let mut s = Session::new();
+    let mut db = score_db(&mut s);
+    s.execute(&mut db, "define index note_by_name on NOTE (name)")
+        .unwrap();
+    // Note 53 is the second of chord 13's four notes [52, 53, 54, 55].
+    let q = "range of a, b is NOTE\n\
+             retrieve (a.name) where a before b in note_in_chord and b.name = 53";
+    let (ex, table) = s.explain(&db, q).unwrap();
+    assert_eq!(table.len(), 1);
+    assert_eq!(table.rows[0][0], Value::Integer(52));
+    let a = ex.vars.iter().find(|v| v.var == "a").unwrap();
+    assert_eq!(a.path, "ord(before)");
+    assert_eq!(a.estimated, 1);
+
+    let q = "range of a, b is NOTE\n\
+             retrieve (a.name) where a after b in note_in_chord and b.name = 53";
+    let (ex, table) = s.explain(&db, q).unwrap();
+    let mut names: Vec<i64> = table
+        .rows
+        .iter()
+        .map(|r| r[0].as_integer().unwrap())
+        .collect();
+    names.sort_unstable();
+    assert_eq!(names, vec![54, 55]);
+    let a = ex.vars.iter().find(|v| v.var == "a").unwrap();
+    assert_eq!(a.path, "ord(after)");
+    assert_eq!(a.estimated, 2);
+}
+
+#[test]
+fn ord_derivation_agrees_with_scan() {
+    let mut s = Session::new();
+    let mut db = score_db(&mut s);
+    // All three operators, with and without the index that pins the peer.
+    for q in [
+        "range of n is NOTE\nrange of c is CHORD\n\
+         retrieve (n.name) where n under c in note_in_chord and c.name = 7",
+        "range of a, b is NOTE\n\
+         retrieve (a.name) where a before b in note_in_chord and b.name = 30",
+        "range of a, b is NOTE\n\
+         retrieve (a.name) where a after b in note_in_chord and b.name = 30",
+    ] {
+        let without = rows(s.execute(&mut db, q).unwrap());
+        s.execute(
+            &mut db,
+            "define index c_idx on CHORD (name)\ndefine index n_idx on NOTE (name)",
+        )
+        .unwrap();
+        let with = rows(s.execute(&mut db, q).unwrap());
+        s.execute(&mut db, "destroy index c_idx\ndestroy index n_idx")
+            .unwrap();
+        assert_eq!(with, without, "query: {q}");
+        assert!(!with.is_empty(), "query: {q}");
+    }
+}
+
+#[test]
+fn destroyed_index_falls_back_to_scan() {
+    let mut s = Session::new();
+    let mut db = score_db(&mut s);
+    s.execute(&mut db, "define index note_by_name on NOTE (name)")
+        .unwrap();
+    let q = "range of n is NOTE\nretrieve (n.pitch) where n.name = 77";
+    let (ex, _) = s.explain(&db, q).unwrap();
+    assert_eq!(ex.vars[0].path, "index-eq(name)");
+    s.execute(&mut db, "destroy index note_by_name").unwrap();
+    let (ex, table) = s.explain(&db, q).unwrap();
+    assert_eq!(ex.vars[0].path, "scan");
+    assert_eq!(table.len(), 1);
+}

@@ -19,15 +19,21 @@ pub struct Database {
     /// using [`Database::store_mut`] must call
     /// [`Database::rebuild_attr_indexes`] afterwards.
     attr_indexes: std::collections::HashMap<(TypeId, usize), AttrIndex>,
+    /// Named indexes from `define index` DDL: name → (entity type name,
+    /// attribute name). Each definition is backed by an attribute index
+    /// in `attr_indexes`; several names may share one backing index.
+    index_defs: std::collections::BTreeMap<String, (String, String)>,
 }
 
 type AttrIndex = std::collections::BTreeMap<Vec<u8>, Vec<EntityId>>;
 
-/// Index state is derived data: two databases are equal when their schema
-/// and instances are.
+/// Index *contents* are derived data: two databases are equal when their
+/// schema, instances, and index definitions are.
 impl PartialEq for Database {
     fn eq(&self, other: &Database) -> bool {
-        self.schema == other.schema && self.store == other.store
+        self.schema == other.schema
+            && self.store == other.store
+            && self.index_defs == other.index_defs
     }
 }
 
@@ -40,15 +46,19 @@ impl Database {
             schema,
             store,
             attr_indexes: Default::default(),
+            index_defs: Default::default(),
         }
     }
 
     /// Builds a database from existing parts (used by persistence).
+    /// Index definitions are re-registered afterwards via
+    /// [`Database::define_index`].
     pub fn from_parts(schema: Schema, store: InstanceStore) -> Database {
         Database {
             schema,
             store,
             attr_indexes: Default::default(),
+            index_defs: Default::default(),
         }
     }
 
@@ -309,6 +319,76 @@ impl Database {
     /// True if an index exists on the attribute position of the type.
     pub fn has_attr_index(&self, ty: TypeId, attr_idx: usize) -> bool {
         self.attr_indexes.contains_key(&(ty, attr_idx))
+    }
+
+    /// Range probe by type id and attribute position: entity ids whose
+    /// attribute value falls within the bounds, in value order. `None`
+    /// means "no index on that attribute". Bounds use the same
+    /// order-preserving key encoding as [`Value::total_cmp`].
+    pub fn attr_index_range(
+        &self,
+        ty: TypeId,
+        attr_idx: usize,
+        lo: std::ops::Bound<&Value>,
+        hi: std::ops::Bound<&Value>,
+    ) -> Option<Vec<EntityId>> {
+        use std::ops::Bound;
+        let index = self.attr_indexes.get(&(ty, attr_idx))?;
+        let key = |b: Bound<&Value>| match b {
+            Bound::Included(v) => Bound::Included(crate::encode::value_key(v)),
+            Bound::Excluded(v) => Bound::Excluded(crate::encode::value_key(v)),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        Some(
+            index
+                .range((key(lo), key(hi)))
+                .flat_map(|(_, ids)| ids.iter().copied())
+                .collect(),
+        )
+    }
+
+    /// Number of entities covered by the index on the attribute position,
+    /// for planner cost estimates. `None` means "no index".
+    pub fn attr_index_len(&self, ty: TypeId, attr_idx: usize) -> Option<usize> {
+        let index = self.attr_indexes.get(&(ty, attr_idx))?;
+        Some(index.values().map(Vec::len).sum())
+    }
+
+    // ------------------------------------------------------------------
+    // Named indexes (the `define index` DDL)
+    // ------------------------------------------------------------------
+
+    /// Defines a named index over one attribute of an entity type,
+    /// building the backing attribute index immediately.
+    pub fn define_index(&mut self, name: &str, type_name: &str, attr: &str) -> Result<()> {
+        if self.index_defs.contains_key(name) {
+            return Err(ModelError::DuplicateDefinition(name.to_string()));
+        }
+        self.create_attr_index(type_name, attr)?;
+        self.index_defs
+            .insert(name.to_string(), (type_name.to_string(), attr.to_string()));
+        Ok(())
+    }
+
+    /// Destroys a named index. The backing attribute index is dropped
+    /// only when no other name still refers to it.
+    pub fn destroy_index(&mut self, name: &str) -> Result<()> {
+        let Some((ty, attr)) = self.index_defs.remove(name) else {
+            return Err(ModelError::UnknownIndex(name.to_string()));
+        };
+        if !self
+            .index_defs
+            .values()
+            .any(|(t, a)| *t == ty && *a == attr)
+        {
+            self.drop_attr_index(&ty, &attr)?;
+        }
+        Ok(())
+    }
+
+    /// Named index definitions: name → (entity type name, attribute name).
+    pub fn index_defs(&self) -> &std::collections::BTreeMap<String, (String, String)> {
+        &self.index_defs
     }
 
     /// Rebuilds every attribute index from the instances. Call after bulk
@@ -639,6 +719,62 @@ mod tests {
         assert!(matches!(
             db.create_entity("NOTE", &[("volume", Value::Integer(3))]),
             Err(ModelError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn named_index_define_destroy_and_range() {
+        use std::ops::Bound;
+        let mut db = music_db();
+        let ids: Vec<EntityId> = (0..10)
+            .map(|i| {
+                db.create_entity("NOTE", &[("name", Value::Integer(i))])
+                    .unwrap()
+            })
+            .collect();
+        db.define_index("note_by_name", "NOTE", "name").unwrap();
+        let ty = db.schema().entity_type_id("NOTE").unwrap();
+        // Eq probe through the backing attribute index.
+        assert_eq!(
+            db.attr_index_get(ty, 0, &Value::Integer(3)).unwrap(),
+            &[ids[3]]
+        );
+        // Range probe, inclusive and exclusive bounds.
+        assert_eq!(
+            db.attr_index_range(
+                ty,
+                0,
+                Bound::Included(&Value::Integer(2)),
+                Bound::Included(&Value::Integer(5))
+            )
+            .unwrap(),
+            &ids[2..=5]
+        );
+        assert_eq!(
+            db.attr_index_range(
+                ty,
+                0,
+                Bound::Excluded(&Value::Integer(2)),
+                Bound::Excluded(&Value::Integer(5))
+            )
+            .unwrap(),
+            &ids[3..5]
+        );
+        assert_eq!(db.attr_index_len(ty, 0), Some(10));
+        // A second name over the same attribute shares the backing index.
+        db.define_index("note_by_name_2", "NOTE", "name").unwrap();
+        db.destroy_index("note_by_name").unwrap();
+        assert!(db.has_attr_index(ty, 0));
+        db.destroy_index("note_by_name_2").unwrap();
+        assert!(!db.has_attr_index(ty, 0));
+        assert!(matches!(
+            db.destroy_index("note_by_name"),
+            Err(ModelError::UnknownIndex(_))
+        ));
+        assert!(matches!(
+            db.define_index("dup", "NOTE", "name")
+                .and_then(|()| db.define_index("dup", "NOTE", "pitch")),
+            Err(ModelError::DuplicateDefinition(_))
         ));
     }
 

@@ -16,6 +16,8 @@ pub enum ModelError {
     UnknownRelationship(String),
     /// No ordering with this name is defined.
     UnknownOrdering(String),
+    /// No secondary index with this name is defined.
+    UnknownIndex(String),
     /// An ordering could not be inferred from operand types, or several
     /// orderings matched.
     AmbiguousOrdering(String),
@@ -64,6 +66,7 @@ impl fmt::Display for ModelError {
             }
             ModelError::UnknownRelationship(n) => write!(f, "unknown relationship: {n}"),
             ModelError::UnknownOrdering(n) => write!(f, "unknown ordering: {n}"),
+            ModelError::UnknownIndex(n) => write!(f, "unknown index: {n}"),
             ModelError::AmbiguousOrdering(m) => write!(f, "ambiguous ordering: {m}"),
             ModelError::DuplicateDefinition(n) => write!(f, "duplicate definition: {n}"),
             ModelError::TypeMismatch {

@@ -21,6 +21,7 @@ use crate::value::{EntityId, Value};
 const SCHEMA_TABLE: &str = "__schema";
 const ORDERINGS_TABLE: &str = "__orderings";
 const RELS_TABLE: &str = "__relationships";
+const INDEXES_TABLE: &str = "__indexes";
 
 fn entity_table(type_name: &str) -> String {
     format!("__entities_{type_name}")
@@ -40,6 +41,7 @@ pub fn save(db: &Database, engine: &StorageEngine) -> Result<()> {
         if t == SCHEMA_TABLE
             || t == ORDERINGS_TABLE
             || t == RELS_TABLE
+            || t == INDEXES_TABLE
             || t.starts_with("__entities_")
         {
             engine.drop_table(&t)?;
@@ -48,6 +50,7 @@ pub fn save(db: &Database, engine: &StorageEngine) -> Result<()> {
     let schema_t = ensure_table(engine, SCHEMA_TABLE)?;
     let ord_t = ensure_table(engine, ORDERINGS_TABLE)?;
     let rel_t = ensure_table(engine, RELS_TABLE)?;
+    let idx_t = ensure_table(engine, INDEXES_TABLE)?;
     let mut ent_tables = HashMap::new();
     for e in db.schema().entity_types() {
         ent_tables.insert(
@@ -55,13 +58,28 @@ pub fn save(db: &Database, engine: &StorageEngine) -> Result<()> {
             ensure_table(engine, &entity_table(&e.name))?,
         );
     }
+    // Each named index gets an engine-level B-tree over its entity
+    // table, so index entries ride the same WAL records as the rows and
+    // survive crashes with them (auto-committed DDL, like the tables).
+    for (name, (ty_name, _)) in db.index_defs() {
+        engine.create_index(ent_tables[ty_name], name)?;
+    }
 
     let mut txn = engine.begin()?;
     engine.insert(&mut txn, schema_t, &encode::encode_schema(db.schema()))?;
 
-    // Entities.
+    // Entities, with engine-side index maintenance in the same
+    // transaction. Keys use the order-preserving value encoding; a key
+    // too large for a tree page falls back to unindexed (the in-memory
+    // index still covers it after load).
     for (ty_idx, ty) in db.schema().entity_types().iter().enumerate() {
         let table = ent_tables[&ty.name];
+        let defs: Vec<(&str, usize)> = db
+            .index_defs()
+            .iter()
+            .filter(|(_, (t, _))| *t == ty.name)
+            .filter_map(|(n, (_, a))| ty.attribute_index(a).map(|i| (n.as_str(), i)))
+            .collect();
         for &id in db.store().instances_of(ty_idx as u32) {
             let inst = db.store().entity(id)?;
             let mut rec = Vec::new();
@@ -70,8 +88,23 @@ pub fn save(db: &Database, engine: &StorageEngine) -> Result<()> {
             for v in &inst.attrs {
                 encode::encode_value(&mut rec, v);
             }
-            engine.insert(&mut txn, table, &rec)?;
+            let rid = engine.insert(&mut txn, table, &rec)?;
+            for &(name, ai) in &defs {
+                let key = encode::value_key(&inst.attrs[ai]);
+                if key.len() <= mdm_storage::btree::MAX_KEY_SIZE {
+                    engine.index_insert(&mut txn, table, name, &key, rid)?;
+                }
+            }
         }
+    }
+
+    // Named index definitions: (name, entity type, attribute).
+    for (name, (ty_name, attr)) in db.index_defs() {
+        let mut rec = Vec::new();
+        encode::encode_value(&mut rec, &Value::String(name.clone()));
+        encode::encode_value(&mut rec, &Value::String(ty_name.clone()));
+        encode::encode_value(&mut rec, &Value::String(attr.clone()));
+        engine.insert(&mut txn, idx_t, &rec)?;
     }
 
     // Orderings: one row per (ordering, parent, seq, child).
@@ -173,8 +206,30 @@ pub fn load(engine: &StorageEngine) -> Result<Database> {
         store.relate(rid, entities, attrs);
     }
 
+    // Named index definitions (absent in databases saved before they
+    // existed). Re-defining rebuilds the in-memory attribute indexes.
+    let mut index_defs: Vec<(String, String, String)> = Vec::new();
+    if let Ok(idx_t) = engine.table_id(INDEXES_TABLE) {
+        for (_, rec) in engine.scan(&mut txn, idx_t)? {
+            let mut r = Reader::new(&rec);
+            let mut field = || match encode::decode_value(&mut r) {
+                Ok(Value::String(s)) => Ok(s),
+                Ok(v) => Err(ModelError::Corrupt(format!(
+                    "index definition field is {}, not a string",
+                    v.type_name()
+                ))),
+                Err(e) => Err(e),
+            };
+            index_defs.push((field()?, field()?, field()?));
+        }
+    }
+
     engine.commit(txn)?;
-    Ok(Database::from_parts(schema, store))
+    let mut db = Database::from_parts(schema, store);
+    for (name, ty_name, attr) in index_defs {
+        db.define_index(&name, &ty_name, &attr)?;
+    }
+    Ok(db)
 }
 
 #[cfg(test)]
@@ -229,6 +284,7 @@ mod tests {
             .unwrap();
         db.define_ordering(Some("all_chords"), &["CHORD"], None)
             .unwrap();
+        db.define_index("note_by_pitch", "NOTE", "pitch").unwrap();
 
         let c1 = db
             .create_entity("CHORD", &[("name", Value::Integer(1))])

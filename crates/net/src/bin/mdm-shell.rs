@@ -21,6 +21,8 @@
 //! \stats [json|prom] [prefix]
 //!                     live metrics (remote server's when connected),
 //!                     optionally filtered to names starting with prefix
+//! \plan QUERY         EXPLAIN a read-only query: access paths chosen
+//!                     by the planner plus the rows
 //! \trace on|off       enable/disable request tracing
 //! \trace last [n]     print the n most recent span trees
 //! \trace slow [t_us]  print the slow ring, or set its threshold
@@ -276,12 +278,15 @@ fn main() {
                 println!("\\connect host:port   route programs to a remote server");
                 println!("\\disconnect          back to the local database");
                 println!("\\stats [json|prom] [prefix]   live metrics snapshot");
+                println!("\\plan QUERY          EXPLAIN a read-only query (access paths + rows)");
                 println!("\\trace on|off|last [n]|slow [t_us]|export <file>   request tracing");
                 println!("anything else is DDL/QUEL, e.g.:");
                 println!("  define entity C (name = string)");
                 println!("  append to C (name = \"x\")");
+                println!("  define index c_by_name on C (name)");
                 println!("  range of n is NOTE");
                 println!("  retrieve (n.midi_key) where n before m in note_in_chord");
+                println!("  \\plan retrieve (n.midi_key) where n.midi_key = 70");
             }
             cmd if cmd.starts_with("\\connect") => {
                 let Some(addr) = cmd
@@ -379,6 +384,27 @@ fn main() {
                             Some(StatsFormat::Prom) => print!("{}", snap.to_prometheus()),
                         }
                     }
+                }
+            }
+            cmd if cmd == "\\plan" || cmd.starts_with("\\plan ") || cmd.starts_with("\\plan\n") => {
+                let query = cmd["\\plan".len()..].trim();
+                if query.is_empty() {
+                    eprintln!("usage: \\plan <range of ...> <retrieve ...>");
+                    continue;
+                }
+                // Remote explain runs in a fresh session, so the program
+                // must carry its own range declarations; locally the
+                // carried session's declarations apply too.
+                let explained = match &mut remote {
+                    Some(c) => c.explain(query).map_err(|e| e.to_string()),
+                    None => mdm.explain(query).map_err(|e| e.to_string()),
+                };
+                match explained {
+                    Ok((explain, table)) => {
+                        println!("{explain}");
+                        print!("{table}");
+                    }
+                    Err(e) => eprintln!("error: {e}"),
                 }
             }
             cmd if cmd == "\\trace" || cmd.starts_with("\\trace ") => {

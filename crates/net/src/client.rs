@@ -6,7 +6,7 @@
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use mdm_lang::{StmtResult, Table};
+use mdm_lang::{PlanExplain, StmtResult, Table};
 use mdm_notation::Score;
 use mdm_obs::{trace, Tracer};
 
@@ -244,6 +244,15 @@ impl MdmClient {
     pub fn query(&mut self, text: &str) -> Result<Table> {
         match self.request(Message::Query { text: text.into() })? {
             Message::Rows { table } => Ok(table),
+            other => Err(NetError::UnexpectedResponse(other.type_name())),
+        }
+    }
+
+    /// EXPLAINs (and executes) a read-only QUEL program on the server's
+    /// shared read path: the planner's access paths plus the rows.
+    pub fn explain(&mut self, text: &str) -> Result<(PlanExplain, Table)> {
+        match self.request(Message::Explain { text: text.into() })? {
+            Message::Plan { explain, table } => Ok((explain, table)),
             other => Err(NetError::UnexpectedResponse(other.type_name())),
         }
     }

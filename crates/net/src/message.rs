@@ -5,7 +5,7 @@
 //! Every message decodes with [`Message::decode`]; unknown tags and
 //! malformed payloads yield typed [`DecodeError`]s, never panics.
 
-use mdm_lang::{StmtResult, Table};
+use mdm_lang::{PlanExplain, StmtResult, Table, VarPlan};
 use mdm_model::Value;
 use mdm_notation::Score;
 
@@ -111,6 +111,12 @@ pub enum Message {
         /// At most this many traces, newest first.
         n: u32,
     },
+    /// EXPLAINs (and executes) a read-only QUEL program on the shared
+    /// read path; the server answers with [`Message::Plan`].
+    Explain {
+        /// The program text.
+        text: String,
+    },
 
     // ---- responses (128–143, 255) ----
     /// Session accepted.
@@ -167,6 +173,14 @@ pub enum Message {
         /// The same traces as Chrome trace-event JSON.
         chrome_json: String,
     },
+    /// The planner's EXPLAIN output plus the rows, answering
+    /// [`Message::Explain`].
+    Plan {
+        /// Access paths and row estimates chosen by the planner.
+        explain: PlanExplain,
+        /// The result table.
+        table: Table,
+    },
     /// A typed error.
     Error {
         /// Error class.
@@ -188,6 +202,7 @@ const T_LIST_SCORES: u16 = 8;
 const T_METRICS: u16 = 9;
 const T_TRACE_CONTROL: u16 = 10;
 const T_TRACE_FETCH: u16 = 11;
+const T_EXPLAIN: u16 = 12;
 const T_HELLO_ACK: u16 = 128;
 const T_PONG: u16 = 129;
 const T_ROWS: u16 = 130;
@@ -198,6 +213,7 @@ const T_SCORE_FOUND: u16 = 134;
 const T_SCORE_LIST: u16 = 135;
 const T_METRICS_SNAP: u16 = 136;
 const T_TRACE_DUMP: u16 = 137;
+const T_PLAN: u16 = 138;
 const T_ERROR: u16 = 255;
 
 impl Message {
@@ -215,6 +231,7 @@ impl Message {
             Message::MetricsSnapshot { .. } => T_METRICS,
             Message::TraceControl { .. } => T_TRACE_CONTROL,
             Message::TraceFetch { .. } => T_TRACE_FETCH,
+            Message::Explain { .. } => T_EXPLAIN,
             Message::HelloAck { .. } => T_HELLO_ACK,
             Message::Pong => T_PONG,
             Message::Rows { .. } => T_ROWS,
@@ -225,6 +242,7 @@ impl Message {
             Message::ScoreList { .. } => T_SCORE_LIST,
             Message::Metrics { .. } => T_METRICS_SNAP,
             Message::TraceDump { .. } => T_TRACE_DUMP,
+            Message::Plan { .. } => T_PLAN,
             Message::Error { .. } => T_ERROR,
         }
     }
@@ -243,6 +261,7 @@ impl Message {
             Message::MetricsSnapshot { .. } => "metrics",
             Message::TraceControl { .. } => "trace_control",
             Message::TraceFetch { .. } => "trace_fetch",
+            Message::Explain { .. } => "explain",
             Message::HelloAck { .. } => "hello_ack",
             Message::Pong => "pong",
             Message::Rows { .. } => "rows",
@@ -253,6 +272,7 @@ impl Message {
             Message::ScoreList { .. } => "score_list",
             Message::Metrics { .. } => "metrics_snapshot",
             Message::TraceDump { .. } => "trace_dump",
+            Message::Plan { .. } => "plan",
             Message::Error { .. } => "error",
         }
     }
@@ -295,7 +315,9 @@ impl Message {
                 out.push(*slow as u8);
                 out.extend_from_slice(&n.to_le_bytes());
             }
-            Message::Query { text } | Message::Execute { text } => put_str(&mut out, text),
+            Message::Query { text } | Message::Execute { text } | Message::Explain { text } => {
+                put_str(&mut out, text)
+            }
             Message::StoreScore { score } | Message::ScoreData { score } => {
                 scorecodec::encode_score(&mut out, score)
             }
@@ -334,6 +356,19 @@ impl Message {
             Message::TraceDump { text, chrome_json } => {
                 put_str(&mut out, text);
                 put_str(&mut out, chrome_json);
+            }
+            Message::Plan { explain, table } => {
+                put_len(&mut out, explain.vars.len());
+                for v in &explain.vars {
+                    put_str(&mut out, &v.var);
+                    put_str(&mut out, &v.target);
+                    put_str(&mut out, &v.path);
+                    out.extend_from_slice(&(v.estimated as u64).to_le_bytes());
+                }
+                out.extend_from_slice(&explain.estimated_rows.to_le_bytes());
+                out.extend_from_slice(&explain.actual_rows.to_le_bytes());
+                out.extend_from_slice(&explain.rows_scanned.to_le_bytes());
+                encode_table(&mut out, table);
             }
             Message::Error { code, message } => {
                 out.extend_from_slice(&(*code as u16).to_le_bytes());
@@ -401,6 +436,7 @@ impl Message {
                 slow: c.bool()?,
                 n: c.u32()?,
             },
+            T_EXPLAIN => Message::Explain { text: c.string()? },
             T_HELLO_ACK => {
                 let server = c.string()?;
                 let version = if c.remaining() > 0 { c.u16()? } else { 1 };
@@ -439,6 +475,28 @@ impl Message {
                 text: c.string()?,
                 chrome_json: c.string()?,
             },
+            T_PLAN => {
+                let n = c.len(4)?;
+                let mut vars = Vec::with_capacity(n);
+                for _ in 0..n {
+                    vars.push(VarPlan {
+                        var: c.string()?,
+                        target: c.string()?,
+                        path: c.string()?,
+                        estimated: c.u64()? as usize,
+                    });
+                }
+                let explain = PlanExplain {
+                    vars,
+                    estimated_rows: c.u64()?,
+                    actual_rows: c.u64()?,
+                    rows_scanned: c.u64()?,
+                };
+                Message::Plan {
+                    explain,
+                    table: decode_table(&mut c)?,
+                }
+            }
             T_ERROR => {
                 let raw = c.u16()?;
                 let code = ErrorCode::from_u16(raw)
@@ -634,6 +692,9 @@ mod tests {
                 op: TraceOp::SlowThreshold { micros: 12_000 },
             },
             Message::TraceFetch { slow: true, n: 5 },
+            Message::Explain {
+                text: "range of n is NOTE\nretrieve (n.name)".into(),
+            },
             Message::HelloAck {
                 server: "mdm 0.1".into(),
                 version: 1,
@@ -672,6 +733,31 @@ mod tests {
             Message::TraceDump {
                 text: "trace ab (1 us, 1 spans)\n".into(),
                 chrome_json: "{\"traceEvents\":[]}".into(),
+            },
+            Message::Plan {
+                explain: PlanExplain {
+                    vars: vec![
+                        VarPlan {
+                            var: "n".into(),
+                            target: "NOTE".into(),
+                            path: "index-eq(name)".into(),
+                            estimated: 1,
+                        },
+                        VarPlan {
+                            var: "c".into(),
+                            target: "CHORD".into(),
+                            path: "scan".into(),
+                            estimated: 40,
+                        },
+                    ],
+                    estimated_rows: 40,
+                    actual_rows: 4,
+                    rows_scanned: 44,
+                },
+                table: Table {
+                    columns: vec!["name".into()],
+                    rows: vec![vec![Value::Integer(52)]],
+                },
             },
             Message::Error {
                 code: ErrorCode::NotFound,

@@ -413,6 +413,14 @@ fn handle_request(shared: &Shared, request: Message) -> Message {
                 Err(e) => core_error_response(&e),
             }
         }
+        // EXPLAIN is read-only, so it shares the read half too.
+        Message::Explain { text } => {
+            let mdm = shared.mdm.read().expect("mdm lock");
+            match mdm.explain_shared(&text) {
+                Ok((explain, table)) => Message::Plan { explain, table },
+                Err(e) => core_error_response(&e),
+            }
+        }
         Message::Execute { text } => {
             let mut mdm = shared.mdm.write().expect("mdm lock");
             match mdm.execute(&text) {

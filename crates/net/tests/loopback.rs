@@ -49,6 +49,36 @@ fn handshake_ping_and_query() {
 }
 
 #[test]
+fn explain_over_the_wire_reports_access_paths() {
+    let server = start_server("explain", ServerConfig::default());
+    let mut c = client(&server);
+
+    c.execute(
+        "define entity GADGET (name = string)\n\
+         append to GADGET (name = \"theremin\")\n\
+         append to GADGET (name = \"ondes\")\n\
+         define index gadget_by_name on GADGET (name)",
+    )
+    .expect("execute");
+
+    let (explain, table) = c
+        .explain("range of g is GADGET\nretrieve (g.name) where g.name = \"ondes\"")
+        .expect("explain");
+    assert_eq!(table.rows.len(), 1);
+    assert_eq!(explain.vars.len(), 1);
+    assert_eq!(explain.vars[0].path, "index-eq(name)");
+    assert_eq!(explain.rows_scanned, 1, "index probe, not a scan");
+
+    // Mutations are rejected on the explain path with a typed error.
+    match c.explain("append to GADGET (name = \"nope\")") {
+        Err(NetError::Remote { .. }) => {}
+        other => panic!("expected a typed remote error, got {other:?}"),
+    }
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
 fn score_round_trips_over_the_wire() {
     let server = start_server("score", ServerConfig::default());
     let mut c = client(&server);

@@ -11,8 +11,21 @@
 //! catalog entry for the index stays valid.
 //!
 //! Deletion removes entries without rebalancing (lazy deletion). Pages can
-//! therefore become underfull but never incorrect; indexes are rebuilt from
-//! their base table on recovery, which also reclaims the space.
+//! therefore become underfull but never incorrect; vacuuming rebuilds
+//! indexes from their base table, which also reclaims the space.
+//!
+//! # Concurrency
+//!
+//! The tree takes no latches of its own beyond the buffer pool's per-page
+//! latches (each read or write sees one consistent page). Writers must be
+//! serialized externally — the engine holds the table's exclusive lock
+//! across every `insert`/`delete` — but readers may run concurrently with
+//! one writer: splits publish the right half (and its leaf link) before
+//! shrinking the left, so a reader that descends through a stale parent
+//! lands at or left of its target and the forward leaf chain still covers
+//! it. The one page whose *node type* can change is the root (leaf →
+//! internal on the first split); read paths detect that flip and restart
+//! from the top instead of misreading the chain.
 //!
 //! [`Rid`]: crate::page::Rid
 
@@ -33,6 +46,10 @@ pub fn decode_i64(b: &[u8]) -> i64 {
 const NODE_HEADER: usize = 11; // type(1) + next/leftmost(8) + count(2)
 /// Maximum key length so that at least 4 cells fit per page.
 pub const MAX_KEY_SIZE: usize = (PAGE_SIZE - NODE_HEADER) / 4 - 18;
+
+/// A separator pushed up out of a split: the first `(key, value)` of
+/// the new right sibling, plus that sibling's page.
+type SplitEntry = (Vec<u8>, u64, PageId);
 
 #[derive(Debug, Clone)]
 enum Node {
@@ -187,12 +204,15 @@ impl BTree {
         self.root
     }
 
-    /// Inserts an entry. Duplicate `(key, value)` pairs are stored once.
-    pub fn insert(&self, pool: &BufferPool, key: &[u8], value: u64) -> Result<()> {
+    /// Inserts an entry, returning whether the tree changed. Duplicate
+    /// `(key, value)` pairs are stored once; re-inserting one returns
+    /// `false`.
+    pub fn insert(&self, pool: &BufferPool, key: &[u8], value: u64) -> Result<bool> {
         if key.len() > MAX_KEY_SIZE {
             return Err(StorageError::RecordTooLarge(key.len()));
         }
-        if let Some((sep_key, sep_val, new_pid)) = self.insert_rec(pool, self.root, key, value)? {
+        let (inserted, split) = self.insert_rec(pool, self.root, key, value)?;
+        if let Some((sep_key, sep_val, new_pid)) = split {
             // Root split: move the (already-halved) root content to a fresh
             // page and make the root an internal node over both halves.
             let moved = pool.allocate_page()?;
@@ -207,7 +227,7 @@ impl BTree {
                 },
             )?;
         }
-        Ok(())
+        Ok(inserted)
     }
 
     fn insert_rec(
@@ -216,18 +236,18 @@ impl BTree {
         pid: PageId,
         key: &[u8],
         value: u64,
-    ) -> Result<Option<(Vec<u8>, u64, PageId)>> {
+    ) -> Result<(bool, Option<SplitEntry>)> {
         match read_node(pool, pid)? {
             Node::Leaf { next, mut cells } => {
                 let pos = cells.partition_point(|(k, v)| composite_cmp(k, *v, key, value).is_lt());
                 if cells.get(pos).is_some_and(|(k, v)| k == key && *v == value) {
-                    return Ok(None); // already present
+                    return Ok((false, None)); // already present
                 }
                 cells.insert(pos, (key.to_vec(), value));
                 let node = Node::Leaf { next, cells };
                 if node.serialized_size() <= PAGE_SIZE {
                     write_node(pool, pid, &node)?;
-                    return Ok(None);
+                    return Ok((true, None));
                 }
                 // Split.
                 let Node::Leaf { next, mut cells } = node else {
@@ -253,7 +273,7 @@ impl BTree {
                         cells,
                     },
                 )?;
-                Ok(Some((sep.0, sep.1, right_pid)))
+                Ok((true, Some((sep.0, sep.1, right_pid))))
             }
             Node::Internal {
                 leftmost,
@@ -262,15 +282,16 @@ impl BTree {
                 let idx =
                     cells.partition_point(|(k, v, _)| composite_cmp(k, *v, key, value).is_le());
                 let child = if idx == 0 { leftmost } else { cells[idx - 1].2 };
-                let Some((sk, sv, new_pid)) = self.insert_rec(pool, child, key, value)? else {
-                    return Ok(None);
+                let (inserted, split) = self.insert_rec(pool, child, key, value)?;
+                let Some((sk, sv, new_pid)) = split else {
+                    return Ok((inserted, None));
                 };
                 let pos = cells.partition_point(|(k, v, _)| composite_cmp(k, *v, &sk, sv).is_lt());
                 cells.insert(pos, (sk, sv, new_pid));
                 let node = Node::Internal { leftmost, cells };
                 if node.serialized_size() <= PAGE_SIZE {
                     write_node(pool, pid, &node)?;
-                    return Ok(None);
+                    return Ok((inserted, None));
                 }
                 let Node::Internal {
                     leftmost,
@@ -292,7 +313,7 @@ impl BTree {
                     },
                 )?;
                 write_node(pool, pid, &Node::Internal { leftmost, cells })?;
-                Ok(Some((pk, pv, right_pid)))
+                Ok((true, Some((pk, pv, right_pid))))
             }
         }
     }
@@ -321,7 +342,8 @@ impl BTree {
 
     /// Visits entries with `lo <= key <= hi` (either bound may be `None`
     /// for unbounded) in composite order. The callback receives key and
-    /// value.
+    /// value. Safe to run concurrently with one writer (see the module
+    /// docs); a root that splits underfoot restarts the descent.
     pub fn range(
         &self,
         pool: &BufferPool,
@@ -329,52 +351,69 @@ impl BTree {
         hi: Option<&[u8]>,
         mut f: impl FnMut(&[u8], u64),
     ) -> Result<()> {
-        let mut pid = match lo {
-            Some(lo) => self.find_leaf(pool, lo, 0)?,
-            None => {
-                // Descend leftmost.
-                let mut pid = self.root;
-                loop {
-                    match read_node(pool, pid)? {
-                        Node::Leaf { .. } => break pid,
-                        Node::Internal { leftmost, .. } => pid = leftmost,
+        loop {
+            let mut pid = match lo {
+                Some(lo) => self.find_leaf(pool, lo, 0)?,
+                None => {
+                    // Descend leftmost.
+                    let mut pid = self.root;
+                    loop {
+                        match read_node(pool, pid)? {
+                            Node::Leaf { .. } => break pid,
+                            Node::Internal { leftmost, .. } => pid = leftmost,
+                        }
                     }
                 }
-            }
-        };
-        loop {
-            let Node::Leaf { next, cells } = read_node(pool, pid)? else {
-                return Err(StorageError::Corrupt("leaf chain hit internal node".into()));
             };
-            for (k, v) in &cells {
-                if lo.is_some_and(|lo| k.as_slice() < lo) {
-                    continue;
+            let mut first = true;
+            'chain: loop {
+                let node = read_node(pool, pid)?;
+                let Node::Leaf { next, cells } = node else {
+                    if first && pid == self.root {
+                        // The root was a leaf when the descent resolved it
+                        // and an interleaved first split rewrote it as an
+                        // internal node. Its content moved one level down;
+                        // descend again.
+                        break 'chain;
+                    }
+                    return Err(StorageError::Corrupt("leaf chain hit internal node".into()));
+                };
+                first = false;
+                for (k, v) in &cells {
+                    if lo.is_some_and(|lo| k.as_slice() < lo) {
+                        continue;
+                    }
+                    if hi.is_some_and(|hi| k.as_slice() > hi) {
+                        return Ok(());
+                    }
+                    f(k, *v);
                 }
-                if hi.is_some_and(|hi| k.as_slice() > hi) {
+                if next == NO_PAGE {
                     return Ok(());
                 }
-                f(k, *v);
+                pid = next;
             }
-            if next == NO_PAGE {
-                return Ok(());
-            }
-            pid = next;
         }
     }
 
     /// Removes the exact `(key, value)` entry. Returns whether it existed.
     pub fn delete(&self, pool: &BufferPool, key: &[u8], value: u64) -> Result<bool> {
-        let pid = self.find_leaf(pool, key, value)?;
-        let Node::Leaf { next, mut cells } = read_node(pool, pid)? else {
-            return Err(StorageError::Corrupt("find_leaf returned internal".into()));
-        };
-        let pos = cells.partition_point(|(k, v)| composite_cmp(k, *v, key, value).is_lt());
-        if cells.get(pos).is_some_and(|(k, v)| k == key && *v == value) {
-            cells.remove(pos);
-            write_node(pool, pid, &Node::Leaf { next, cells })?;
-            Ok(true)
-        } else {
-            Ok(false)
+        loop {
+            let pid = self.find_leaf(pool, key, value)?;
+            let Node::Leaf { next, mut cells } = read_node(pool, pid)? else {
+                if pid == self.root {
+                    continue; // root flipped leaf -> internal; re-descend
+                }
+                return Err(StorageError::Corrupt("find_leaf returned internal".into()));
+            };
+            let pos = cells.partition_point(|(k, v)| composite_cmp(k, *v, key, value).is_lt());
+            return if cells.get(pos).is_some_and(|(k, v)| k == key && *v == value) {
+                cells.remove(pos);
+                write_node(pool, pid, &Node::Leaf { next, cells })?;
+                Ok(true)
+            } else {
+                Ok(false)
+            };
         }
     }
 
@@ -528,6 +567,230 @@ mod tests {
         let (dir, bp, bt) = setup("big");
         let key = vec![0u8; MAX_KEY_SIZE + 1];
         assert!(bt.insert(&bp, &key, 0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn insert_reports_whether_tree_changed() {
+        let (dir, bp, bt) = setup("chg");
+        assert!(bt.insert(&bp, b"k", 1).unwrap());
+        assert!(!bt.insert(&bp, b"k", 1).unwrap(), "duplicate pair");
+        assert!(bt.insert(&bp, b"k", 2).unwrap(), "same key, new value");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Deterministic xorshift64* generator — the property tests must
+    /// replay byte-identically across runs.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Keys drawn from a small space (forcing duplicates) with sizes that
+    /// force splits at several fanouts.
+    fn prop_key(rng: &mut Rng) -> Vec<u8> {
+        let k = rng.below(60);
+        let pad = match rng.below(4) {
+            0 => 0,
+            1 => 20,
+            2 => 90,
+            _ => 400, // low fanout: splits and multi-level trees come fast
+        };
+        format!("{k:03}{}", "p".repeat(pad as usize)).into_bytes()
+    }
+
+    fn oracle_scan(bt: &BTree, bp: &BufferPool) -> Vec<(Vec<u8>, u64)> {
+        let mut got = Vec::new();
+        bt.range(bp, None, None, |k, v| got.push((k.to_vec(), v)))
+            .unwrap();
+        got
+    }
+
+    /// Random interleavings of insert/delete/range/lookup checked against
+    /// a `std::collections` oracle holding the same composite entries.
+    #[test]
+    fn property_matches_btreeset_oracle() {
+        use std::collections::BTreeSet;
+        for seed in [3u64, 0x9E37_79B9_7F4A_7C15, 0xDEAD_BEEF_CAFE_F00D] {
+            let (dir, bp, bt) = setup(&format!("prop{seed:x}"));
+            let mut rng = Rng(seed);
+            let mut oracle: BTreeSet<(Vec<u8>, u64)> = BTreeSet::new();
+            for step in 0..4000 {
+                match rng.below(10) {
+                    // Inserts dominate so the tree actually grows.
+                    0..=5 => {
+                        let k = prop_key(&mut rng);
+                        let v = rng.below(8); // collide values too
+                        let fresh = oracle.insert((k.clone(), v));
+                        assert_eq!(bt.insert(&bp, &k, v).unwrap(), fresh, "step {step}");
+                    }
+                    6..=7 => {
+                        // Delete something that exists (when possible) so
+                        // leaves drain and empty out over the run.
+                        let target = if !oracle.is_empty() && rng.below(4) != 0 {
+                            let i = rng.below(oracle.len() as u64) as usize;
+                            oracle.iter().nth(i).cloned().unwrap()
+                        } else {
+                            (prop_key(&mut rng), rng.below(8))
+                        };
+                        let existed = oracle.remove(&target);
+                        assert_eq!(
+                            bt.delete(&bp, &target.0, target.1).unwrap(),
+                            existed,
+                            "step {step}"
+                        );
+                    }
+                    8 => {
+                        let k = prop_key(&mut rng);
+                        let mut want: Vec<u64> = oracle
+                            .iter()
+                            .filter(|(ok, _)| *ok == k)
+                            .map(|(_, v)| *v)
+                            .collect();
+                        want.sort_unstable();
+                        let mut got = bt.lookup(&bp, &k).unwrap();
+                        got.sort_unstable();
+                        assert_eq!(got, want, "step {step}");
+                    }
+                    _ => {
+                        // Range probe with bounds at, between, and past the
+                        // extremes (empty keys and oversized sentinels).
+                        let mk_bound = |rng: &mut Rng| -> Option<Vec<u8>> {
+                            match rng.below(5) {
+                                0 => None,
+                                1 => Some(Vec::new()),    // before everything
+                                2 => Some(vec![0xFF; 8]), // after everything
+                                _ => Some(prop_key(rng)),
+                            }
+                        };
+                        let lo = mk_bound(&mut rng);
+                        let hi = mk_bound(&mut rng);
+                        let want: Vec<(Vec<u8>, u64)> = oracle
+                            .iter()
+                            .filter(|(k, _)| {
+                                lo.as_ref().is_none_or(|lo| k >= lo)
+                                    && hi.as_ref().is_none_or(|hi| k <= hi)
+                            })
+                            .cloned()
+                            .collect();
+                        let mut got = Vec::new();
+                        bt.range(&bp, lo.as_deref(), hi.as_deref(), |k, v| {
+                            got.push((k.to_vec(), v))
+                        })
+                        .unwrap();
+                        assert_eq!(got, want, "step {step}");
+                    }
+                }
+            }
+            // Full-scan equivalence at the end of the run.
+            let want: Vec<(Vec<u8>, u64)> = oracle.iter().cloned().collect();
+            assert_eq!(oracle_scan(&bt, &bp), want);
+            assert_eq!(bt.len(&bp).unwrap(), oracle.len());
+            // Drain to empty through already-deleted leaves.
+            for (k, v) in want {
+                assert!(bt.delete(&bp, &k, v).unwrap());
+            }
+            assert!(bt.is_empty(&bp).unwrap());
+            assert_eq!(oracle_scan(&bt, &bp), Vec::new());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// One writer (writers are serialized by contract — the engine holds
+    /// the table's exclusive lock) racing seven readers doing lookups,
+    /// ranges, and full `len` scans. Readers must never error (the root
+    /// leaf -> internal flip restarts instead of corrupting) and must see
+    /// every key at or below the writer's published high-water mark.
+    #[test]
+    fn concurrent_insert_lookup_stress_8_threads() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!("mdm-bt-{}-conc", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let bp = Arc::new(BufferPool::open(&dir, 256).unwrap());
+        let bt = BTree::create(&bp).unwrap();
+        const N: u64 = 4000;
+        let hwm = Arc::new(AtomicU64::new(0));
+
+        std::thread::scope(|s| {
+            {
+                let bp = Arc::clone(&bp);
+                let hwm = Arc::clone(&hwm);
+                s.spawn(move || {
+                    for i in 0..N {
+                        // Scrambled order keeps splits coming at every level.
+                        let k = (i * 2654435761) % N;
+                        bt.insert(&bp, &encode_i64(k as i64), k).unwrap();
+                        // Publish only the contiguous prefix 0..=i of the
+                        // scramble as "must be visible".
+                        hwm.store(i + 1, Ordering::Release);
+                    }
+                });
+            }
+            for t in 0..7u64 {
+                let bp = Arc::clone(&bp);
+                let hwm = Arc::clone(&hwm);
+                s.spawn(move || {
+                    let mut rng = Rng(0xC0FFEE ^ (t + 1));
+                    loop {
+                        let seen = hwm.load(Ordering::Acquire);
+                        match rng.below(3) {
+                            0 if seen > 0 => {
+                                // A key inserted before the fence must be found.
+                                let i = rng.below(seen);
+                                let k = (i * 2654435761) % N;
+                                let hits = bt.lookup(&bp, &encode_i64(k as i64)).unwrap();
+                                assert!(
+                                    hits.contains(&k),
+                                    "key {k} (inserted at step {i}) invisible at hwm {seen}"
+                                );
+                            }
+                            1 => {
+                                // Bounded range: sorted, within bounds.
+                                let lo = rng.below(N) as i64;
+                                let hi = (lo + rng.below(200) as i64).min(N as i64);
+                                let mut prev: Option<Vec<u8>> = None;
+                                bt.range(
+                                    &bp,
+                                    Some(&encode_i64(lo)),
+                                    Some(&encode_i64(hi)),
+                                    |k, _| {
+                                        let d = decode_i64(k);
+                                        assert!(d >= lo && d <= hi);
+                                        if let Some(p) = &prev {
+                                            assert!(p.as_slice() <= k);
+                                        }
+                                        prev = Some(k.to_vec());
+                                    },
+                                )
+                                .unwrap();
+                            }
+                            _ => {
+                                // Full scan: at least the fenced prefix exists.
+                                let n = bt.len(&bp).unwrap();
+                                assert!(
+                                    n as u64 >= seen,
+                                    "len {n} < published high-water mark {seen}"
+                                );
+                            }
+                        }
+                        if seen == N {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(bt.len(&bp).unwrap(), N as usize);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -737,6 +737,23 @@ impl StorageEngine {
         Ok(())
     }
 
+    /// Drops a secondary index. Auto-committed structurally; like
+    /// [`StorageEngine::drop_table`], the tree's pages are leaked (no
+    /// free list) until a vacuum copies the database.
+    pub fn drop_index(&self, table: TableId, index: &str) -> Result<()> {
+        let mut cat = self.inner.catalog.write().unwrap();
+        let (name, _) = cat
+            .table_by_id(table)
+            .ok_or_else(|| StorageError::NoSuchTable(format!("#{table}")))?;
+        let name = name.clone();
+        let meta = cat.tables.get_mut(&name).expect("just found");
+        if meta.indexes.remove(index).is_none() {
+            return Err(StorageError::NoSuchIndex(index.to_string()));
+        }
+        self.inner.snapshot_catalog(&cat)?;
+        Ok(())
+    }
+
     /// Names of the indexes on a table.
     pub fn index_names(&self, table: TableId) -> Result<Vec<String>> {
         let cat = self.inner.catalog.read().unwrap();
@@ -886,7 +903,9 @@ impl StorageEngine {
     // Index DML
     // ------------------------------------------------------------------
 
-    /// Adds an index entry.
+    /// Adds an index entry. Logged and undoable only if the tree actually
+    /// changed: re-adding a present pair must not leave an undo op behind,
+    /// or an abort would delete an entry this transaction never inserted.
     pub fn index_insert(
         &self,
         txn: &mut Txn,
@@ -898,7 +917,16 @@ impl StorageEngine {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
         let bt = self.inner.index_tree(table, index)?;
-        bt.insert(&self.inner.pool, key, rid.to_u64())?;
+        if !bt.insert(&self.inner.pool, key, rid.to_u64())? {
+            return Ok(());
+        }
+        self.inner.log(&WalRecord::IndexInsert {
+            txn: txn.id,
+            table,
+            index: index.to_string(),
+            key: key.to_vec(),
+            rid,
+        })?;
         txn.undo.push(UndoOp::IndexInsert {
             table,
             index: index.to_string(),
@@ -908,7 +936,9 @@ impl StorageEngine {
         Ok(())
     }
 
-    /// Removes an index entry.
+    /// Removes an index entry. Logged and undoable only if the entry
+    /// existed: deleting an absent pair must not leave an undo op behind,
+    /// or an abort would resurrect an entry that was never there.
     pub fn index_delete(
         &self,
         txn: &mut Txn,
@@ -920,7 +950,16 @@ impl StorageEngine {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
         let bt = self.inner.index_tree(table, index)?;
-        bt.delete(&self.inner.pool, key, rid.to_u64())?;
+        if !bt.delete(&self.inner.pool, key, rid.to_u64())? {
+            return Ok(());
+        }
+        self.inner.log(&WalRecord::IndexDelete {
+            txn: txn.id,
+            table,
+            index: index.to_string(),
+            key: key.to_vec(),
+            rid,
+        })?;
         txn.undo.push(UndoOp::IndexDelete {
             table,
             index: index.to_string(),

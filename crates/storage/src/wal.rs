@@ -58,6 +58,26 @@ pub enum WalRecord {
         rid: Rid,
         old: Vec<u8>,
     },
+    /// An index-entry insert. Logical: recovery replays index records
+    /// into freshly reset trees rather than trusting tree pages on disk
+    /// (a crash can tear a multi-page split), so no page association or
+    /// page-LSN is needed — durability rides the transaction's commit
+    /// fsync like every other record of the transaction.
+    IndexInsert {
+        txn: TxnId,
+        table: TableId,
+        index: String,
+        key: Vec<u8>,
+        rid: Rid,
+    },
+    /// An index-entry delete (logical; see [`WalRecord::IndexInsert`]).
+    IndexDelete {
+        txn: TxnId,
+        table: TableId,
+        index: String,
+        key: Vec<u8>,
+        rid: Rid,
+    },
     /// Structural: a heap file grew by linking `new_page` after `from_page`.
     /// Redo-only; never undone (an extra empty page is harmless).
     LinkPage {
@@ -85,7 +105,9 @@ impl WalRecord {
             | WalRecord::Abort { txn }
             | WalRecord::Insert { txn, .. }
             | WalRecord::Update { txn, .. }
-            | WalRecord::Delete { txn, .. } => Some(*txn),
+            | WalRecord::Delete { txn, .. }
+            | WalRecord::IndexInsert { txn, .. }
+            | WalRecord::IndexDelete { txn, .. } => Some(*txn),
             WalRecord::LinkPage { .. }
             | WalRecord::CatalogSnapshot { .. }
             | WalRecord::PageImage { .. } => None,
@@ -171,6 +193,34 @@ impl WalRecord {
                 out.extend_from_slice(&page.to_le_bytes());
                 put_bytes(out, bytes);
             }
+            WalRecord::IndexInsert {
+                txn,
+                table,
+                index,
+                key,
+                rid,
+            } => {
+                out.push(10);
+                out.extend_from_slice(&txn.to_le_bytes());
+                out.extend_from_slice(&table.to_le_bytes());
+                put_bytes(out, index.as_bytes());
+                put_bytes(out, key);
+                put_rid(out, *rid);
+            }
+            WalRecord::IndexDelete {
+                txn,
+                table,
+                index,
+                key,
+                rid,
+            } => {
+                out.push(11);
+                out.extend_from_slice(&txn.to_le_bytes());
+                out.extend_from_slice(&table.to_le_bytes());
+                put_bytes(out, index.as_bytes());
+                put_bytes(out, key);
+                put_rid(out, *rid);
+            }
         }
     }
 
@@ -243,6 +293,20 @@ impl WalRecord {
             9 => WalRecord::PageImage {
                 page: c.u64()?,
                 bytes: c.bytes()?,
+            },
+            10 => WalRecord::IndexInsert {
+                txn: c.u64()?,
+                table: c.u32()?,
+                index: String::from_utf8(c.bytes()?).ok()?,
+                key: c.bytes()?,
+                rid: c.rid()?,
+            },
+            11 => WalRecord::IndexDelete {
+                txn: c.u64()?,
+                table: c.u32()?,
+                index: String::from_utf8(c.bytes()?).ok()?,
+                key: c.bytes()?,
+                rid: c.rid()?,
             },
             _ => return None,
         };
@@ -437,6 +501,20 @@ mod tests {
             WalRecord::PageImage {
                 page: 3,
                 bytes: vec![0xAB; 64],
+            },
+            WalRecord::IndexInsert {
+                txn: 7,
+                table: 2,
+                index: "by_key".to_string(),
+                key: b"hello".to_vec(),
+                rid: Rid::new(3, 1),
+            },
+            WalRecord::IndexDelete {
+                txn: 7,
+                table: 2,
+                index: "by_key".to_string(),
+                key: b"hello".to_vec(),
+                rid: Rid::new(3, 1),
             },
             WalRecord::Commit { txn: 7 },
             WalRecord::Abort { txn: 8 },

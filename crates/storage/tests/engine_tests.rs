@@ -230,7 +230,61 @@ fn torn_wal_tail_recovers_prefix() {
 }
 
 #[test]
-fn indexes_flagged_for_rebuild_after_crash() {
+fn index_created_in_log_replays_exactly_after_crash() {
+    let dir = tmpdir("idx-replay");
+    let t;
+    let rid;
+    {
+        let eng = StorageEngine::open(&dir).unwrap();
+        t = eng.create_table("t").unwrap();
+        eng.create_index(t, "by_key").unwrap();
+        let mut txn = eng.begin().unwrap();
+        rid = eng.insert(&mut txn, t, b"indexed").unwrap();
+        eng.index_insert(&mut txn, t, "by_key", &encode_i64(42), rid)
+            .unwrap();
+        let dead = eng.insert(&mut txn, t, b"dead").unwrap();
+        eng.index_insert(&mut txn, t, "by_key", &encode_i64(13), dead)
+            .unwrap();
+        eng.index_delete(&mut txn, t, "by_key", &encode_i64(13), dead)
+            .unwrap();
+        eng.delete(&mut txn, t, dead).unwrap();
+        eng.commit(txn).unwrap();
+        // An aborted transaction's index ops must stay invisible too.
+        let mut txn = eng.begin().unwrap();
+        let r2 = eng.insert(&mut txn, t, b"rolled back").unwrap();
+        eng.index_insert(&mut txn, t, "by_key", &encode_i64(99), r2)
+            .unwrap();
+        eng.abort(txn).unwrap();
+        crash(eng);
+    }
+    // The log covers the index's whole lifetime (its create_table
+    // snapshot lacks it), so recovery replays it exactly — no rebuild.
+    let eng = StorageEngine::open(&dir).unwrap();
+    assert!(!eng.indexes_need_rebuild());
+    assert_eq!(eng.last_recovery().indexes_replayed, 1);
+    let mut txn = eng.begin().unwrap();
+    assert_eq!(
+        eng.index_lookup(&mut txn, t, "by_key", &encode_i64(42))
+            .unwrap(),
+        vec![rid]
+    );
+    assert_eq!(
+        eng.index_lookup(&mut txn, t, "by_key", &encode_i64(13))
+            .unwrap(),
+        vec![]
+    );
+    assert_eq!(
+        eng.index_lookup(&mut txn, t, "by_key", &encode_i64(99))
+            .unwrap(),
+        vec![]
+    );
+    eng.commit(txn).unwrap();
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_older_than_log_is_flagged_for_rebuild_after_crash() {
     let dir = tmpdir("idx-rebuild");
     let t;
     {
@@ -242,11 +296,21 @@ fn indexes_flagged_for_rebuild_after_crash() {
         eng.index_insert(&mut txn, t, "by_key", &encode_i64(42), rid)
             .unwrap();
         eng.commit(txn).unwrap();
+        // The checkpoint truncates the log: the index's creation (and
+        // its first entry) are no longer in the log's horizon, so a
+        // later crash cannot replay it and must flag a rebuild.
+        eng.checkpoint().unwrap();
+        let mut txn = eng.begin().unwrap();
+        let r2 = eng.insert(&mut txn, t, b"post-checkpoint").unwrap();
+        eng.index_insert(&mut txn, t, "by_key", &encode_i64(43), r2)
+            .unwrap();
+        eng.commit(txn).unwrap();
         crash(eng);
     }
     let eng = StorageEngine::open(&dir).unwrap();
     assert!(eng.indexes_need_rebuild());
-    // The reset index is empty; the base table still has the record.
+    assert_eq!(eng.last_recovery().indexes_replayed, 0);
+    // The reset index is empty; the base table still has both records.
     let mut txn = eng.begin().unwrap();
     assert_eq!(
         eng.index_lookup(&mut txn, t, "by_key", &encode_i64(42))
@@ -254,11 +318,12 @@ fn indexes_flagged_for_rebuild_after_crash() {
         vec![]
     );
     let all = eng.scan(&mut txn, t).unwrap();
-    assert_eq!(all.len(), 1);
+    assert_eq!(all.len(), 2);
     // Rebuild as the owning layer would.
-    let rid = all[0].0;
-    eng.index_insert(&mut txn, t, "by_key", &encode_i64(42), rid)
-        .unwrap();
+    for (i, (rid, _)) in all.iter().enumerate() {
+        eng.index_insert(&mut txn, t, "by_key", &encode_i64(42 + i as i64), *rid)
+            .unwrap();
+    }
     eng.commit(txn).unwrap();
     eng.mark_indexes_rebuilt();
     assert!(!eng.indexes_need_rebuild());
