@@ -20,9 +20,9 @@ use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use mdm_lang::{PlanExplain, QuelMetrics, Session, StmtResult, Table};
-use mdm_model::{persist, Database, EntityId};
+use mdm_model::{persist, Database, EntityId, Value};
 use mdm_notation::{Score, TimeSignature, Voice};
-use mdm_obs::{Counter, Registry, Snapshot, Tracer};
+use mdm_obs::{Counter, Registry, Snapshot, StatementStore, Tracer};
 use mdm_storage::StorageEngine;
 
 use crate::cmn_schema;
@@ -44,6 +44,13 @@ pub const WIRE_PROTOCOL_VERSION: u16 = 2;
 /// spans into every traced `execute` request.
 const JOURNAL_TABLE: &str = "__stmt_journal";
 
+/// Engine table carrying the statistics images across restarts: one row
+/// per kind, a tag byte (1 = statement store, 2 = access statistics)
+/// followed by the kind's own binary encoding. Rewritten on every
+/// [`MusicDataManager::save`] just before the checkpoint, restored (best
+/// effort — a malformed image is ignored, never fatal) at open.
+const STATS_TABLE: &str = "__stats";
+
 /// One `mdm_requests_total{client=…,api=…}` counter per public MDM entry
 /// point, grouped by the kind of client the paper's fig. 1 anticipates:
 /// language clients (QUEL), score/notation clients, DARMS translators,
@@ -61,6 +68,7 @@ struct RequestCounters {
     export_darms: Arc<Counter>,
     save: Arc<Counter>,
     census: Arc<Counter>,
+    top: Arc<Counter>,
 }
 
 impl RequestCounters {
@@ -85,6 +93,7 @@ impl RequestCounters {
             export_darms: c("darms", "export"),
             save: c("persist", "save"),
             census: c("diagnostics", "census"),
+            top: c("diagnostics", "top"),
         }
     }
 }
@@ -98,6 +107,9 @@ pub struct MusicDataManager {
     quel: Arc<QuelMetrics>,
     requests: RequestCounters,
     tracer: Tracer,
+    /// Per-fingerprint statement statistics, shared with every session
+    /// this MDM hands out and persisted through [`save`](Self::save).
+    stmt_store: Arc<StatementStore>,
     /// Next statement-journal sequence number (max persisted + 1).
     journal_seq: u64,
 }
@@ -161,8 +173,15 @@ impl MusicDataManager {
             );
         let mut db = persist::load(&engine)?;
         cmn_schema::install(&mut db)?;
+        let stmt_store = Arc::new(StatementStore::new());
+        load_stats(&engine, &stmt_store, &db)?;
         let mut session = Session::with_metrics(Arc::clone(&quel));
+        // Journal replay runs before the store is attached: replayed
+        // statements recreate their access-statistics side effects but
+        // are not re-recorded as fresh executions.
         let journal_seq = replay_journal(&engine, &mut session, &mut db)?;
+        session.set_statement_store(Arc::clone(&stmt_store));
+        session.set_lock_registry(registry.clone());
         Ok(MusicDataManager {
             engine,
             db,
@@ -171,6 +190,7 @@ impl MusicDataManager {
             quel,
             requests,
             tracer,
+            stmt_store,
             journal_seq,
         })
     }
@@ -262,7 +282,7 @@ impl MusicDataManager {
     /// rather than carried in the session.
     pub fn query_shared(&self, text: &str) -> Result<Table> {
         self.requests.query_shared.inc();
-        let mut session = Session::with_metrics(Arc::clone(&self.quel));
+        let mut session = self.fresh_session();
         let results = session.execute_readonly(&self.db, text)?;
         match results.into_iter().last() {
             Some(StmtResult::Rows(t)) => Ok(t),
@@ -290,8 +310,60 @@ impl MusicDataManager {
     /// [`explain`]: MusicDataManager::explain
     pub fn explain_shared(&self, text: &str) -> Result<(PlanExplain, Table)> {
         self.requests.explain.inc();
-        let mut session = Session::with_metrics(Arc::clone(&self.quel));
+        let mut session = self.fresh_session();
         Ok(session.explain(&self.db, text)?)
+    }
+
+    /// A throwaway session wired like the persistent one: same metrics,
+    /// same statement store (so shared-path queries are recorded and
+    /// `$statements` sees the full history), same lock registry.
+    fn fresh_session(&self) -> Session {
+        let mut session = Session::with_metrics(Arc::clone(&self.quel));
+        session.set_statement_store(Arc::clone(&self.stmt_store));
+        session.set_lock_registry(self.registry.clone());
+        session
+    }
+
+    /// The statement store every session of this MDM records into.
+    pub fn statement_store(&self) -> Arc<StatementStore> {
+        Arc::clone(&self.stmt_store)
+    }
+
+    /// The `limit` most expensive statement fingerprints, by total
+    /// execution time, as a result table (what the shell's `\top`
+    /// renders, locally or over the wire).
+    pub fn statement_top(&self, limit: usize) -> Table {
+        self.requests.top.inc();
+        let int = |u: u64| Value::Integer(u as i64);
+        let columns = [
+            "fingerprint",
+            "calls",
+            "total_micros",
+            "p50_micros",
+            "p99_micros",
+            "rows_returned",
+            "rows_scanned",
+        ];
+        let rows = self
+            .stmt_store
+            .top(limit)
+            .into_iter()
+            .map(|s| {
+                vec![
+                    Value::String(s.fingerprint.clone()),
+                    int(s.calls),
+                    int(s.total_micros),
+                    int(s.p50_micros()),
+                    int(s.p99_micros()),
+                    int(s.rows_returned),
+                    int(s.rows_scanned),
+                ]
+            })
+            .collect();
+        Table {
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows,
+        }
     }
 
     /// Persists the database through the storage engine and checkpoints.
@@ -301,11 +373,33 @@ impl MusicDataManager {
     pub fn save(&mut self) -> Result<()> {
         self.requests.save.inc();
         persist::save(&self.db, &self.engine)?;
+        self.write_stats_image()?;
         if self.engine.table_id(JOURNAL_TABLE).is_ok() {
             self.engine.drop_table(JOURNAL_TABLE)?;
         }
         self.journal_seq = 0;
         self.engine.checkpoint()?;
+        Ok(())
+    }
+
+    /// Rewrites the [`STATS_TABLE`] image: the statement store and the
+    /// access statistics, each tagged, so the checkpoint carries them.
+    fn write_stats_image(&mut self) -> Result<()> {
+        if self.engine.table_id(STATS_TABLE).is_ok() {
+            self.engine.drop_table(STATS_TABLE)?;
+        }
+        let table = self.engine.create_table(STATS_TABLE)?;
+        let mut txn = self.engine.begin()?;
+        for (tag, payload) in [
+            (1u8, self.stmt_store.encode()),
+            (2u8, self.db.stats().encode()),
+        ] {
+            let mut body = Vec::with_capacity(1 + payload.len());
+            body.push(tag);
+            body.extend_from_slice(&payload);
+            self.engine.insert(&mut txn, table, &body)?;
+        }
+        self.engine.commit(txn)?;
         Ok(())
     }
 
@@ -381,6 +475,30 @@ impl MusicDataManager {
         self.requests.census.inc();
         cmn_schema::census(&self.db)
     }
+}
+
+/// Restores the persisted statistics images, if present. Best effort:
+/// rows with unknown tags or malformed payloads are skipped — statistics
+/// must never fail an open.
+fn load_stats(engine: &StorageEngine, store: &StatementStore, db: &Database) -> Result<()> {
+    let Ok(table) = engine.table_id(STATS_TABLE) else {
+        return Ok(());
+    };
+    let mut txn = engine.begin()?;
+    let rows = engine.scan(&mut txn, table)?;
+    engine.commit(txn)?;
+    for (_, body) in rows {
+        match body.split_first() {
+            Some((1, rest)) => {
+                store.restore(rest);
+            }
+            Some((2, rest)) => {
+                db.stats().restore(rest);
+            }
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 /// Replays the statement journal (if any) into `db` in sequence order,
@@ -721,6 +839,56 @@ mod tests {
             ),
             Some(2)
         );
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The statistics subsystem end to end through the engine: recorded
+    /// on both the exclusive and shared query paths, surfaced by
+    /// `statement_top` and `$statements`, persisted by save, restored at
+    /// open (journal replay must not re-record the replayed statements).
+    #[test]
+    fn statement_statistics_survive_save_and_reopen() {
+        let q = "range of p is PERSON\nretrieve (p.name)";
+        let fp = mdm_lang::fingerprint(q);
+        let dir = tmpdir("stats-persist");
+        {
+            let mut mdm = MusicDataManager::open(&dir).unwrap();
+            mdm.execute("append to PERSON (name = \"Bach\")").unwrap();
+            mdm.query(q).unwrap();
+            mdm.query_shared(q).unwrap();
+            let top = mdm.statement_top(10);
+            let calls = top
+                .rows
+                .iter()
+                .find_map(|r| (r[0] == Value::String(fp.clone())).then(|| r[1].clone()));
+            assert_eq!(
+                calls,
+                Some(Value::Integer(2)),
+                "exclusive and shared paths share one store: {top}"
+            );
+            mdm.save().unwrap();
+        }
+        let mdm = MusicDataManager::open(&dir).unwrap();
+        // The restored history is queryable through ordinary QUEL.
+        let t = mdm
+            .query_shared("range of st is $statements\nretrieve (st.fingerprint, st.calls)")
+            .unwrap();
+        let restored = t
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::String(fp.clone()))
+            .unwrap_or_else(|| panic!("restored fingerprint missing: {t}"));
+        assert_eq!(restored[1], Value::Integer(2));
+        // Access statistics are restored too (appends is cumulative and
+        // must not be re-counted by journal replay after a save).
+        let t = mdm
+            .query_shared(
+                "range of t is $tables\n\
+                 retrieve (t.appends) where t.name = \"PERSON\"",
+            )
+            .unwrap();
+        assert_eq!(t.rows, vec![vec![Value::Integer(1)]]);
         drop(mdm);
         std::fs::remove_dir_all(&dir).ok();
     }

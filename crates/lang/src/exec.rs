@@ -20,12 +20,16 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use mdm_model::encode::encode_value;
 use mdm_model::{Database, EntityId, RelTypeId, TypeId, Value};
-use mdm_obs::{trace, Counter, Histogram, Registry, LATENCY_MICROS_BOUNDS};
+use mdm_obs::{
+    trace, Counter, Histogram, MetricValue, PathMix, Registry, StatementStore,
+    LATENCY_MICROS_BOUNDS,
+};
 
 use crate::ast::{BinOp, Expr, OrdOp, Stmt, Target};
 use crate::error::{LangError, Result};
@@ -45,6 +49,10 @@ pub struct QuelMetrics {
     ord_before: Arc<Counter>,
     ord_after: Arc<Counter>,
     ord_under: Arc<Counter>,
+    plan_scan: Arc<Counter>,
+    plan_index_eq: Arc<Counter>,
+    plan_index_range: Arc<Counter>,
+    plan_ord: Arc<Counter>,
 }
 
 impl QuelMetrics {
@@ -55,6 +63,13 @@ impl QuelMetrics {
                 "mdm_quel_ord_ops_total",
                 "hierarchical-ordering operator evaluations",
                 &[("op", op)],
+            )
+        };
+        let plan = |path| {
+            registry.counter_labeled(
+                "mdm_quel_plan_total",
+                "access paths chosen by the QUEL planner, per range variable",
+                &[("path", path)],
             )
         };
         Arc::new(QuelMetrics {
@@ -85,7 +100,99 @@ impl QuelMetrics {
             ord_before: ord("before"),
             ord_after: ord("after"),
             ord_under: ord("under"),
+            plan_scan: plan("scan"),
+            plan_index_eq: plan("index_eq"),
+            plan_index_range: plan("index_range"),
+            plan_ord: plan("ord"),
         })
+    }
+}
+
+/// A system entity: a virtual table over the engine's own statistics,
+/// addressable from QUEL by its `$`-prefixed name (`range of s is
+/// $statements`, or implicitly via a variable named like the entity).
+/// Rows are materialized per statement, so a retrieve sees a consistent
+/// point-in-time picture; mutating statements reject virtual targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VirtualEntity {
+    /// Per-fingerprint statement statistics (the statement store).
+    Statements,
+    /// Per-entity-type access statistics.
+    Tables,
+    /// Per-named-index access statistics.
+    Indexes,
+    /// Lock and transaction counters from the attached registry.
+    Locks,
+}
+
+impl VirtualEntity {
+    /// The `$`-prefixed QUEL name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VirtualEntity::Statements => "$statements",
+            VirtualEntity::Tables => "$tables",
+            VirtualEntity::Indexes => "$indexes",
+            VirtualEntity::Locks => "$locks",
+        }
+    }
+
+    /// Parses a `$`-prefixed name.
+    pub fn from_name(name: &str) -> Option<VirtualEntity> {
+        Some(match name {
+            "$statements" => VirtualEntity::Statements,
+            "$tables" => VirtualEntity::Tables,
+            "$indexes" => VirtualEntity::Indexes,
+            "$locks" => VirtualEntity::Locks,
+            _ => return None,
+        })
+    }
+}
+
+/// A materialized virtual table: one system entity's rows at the moment
+/// the statement's plan was built.
+#[derive(Debug, Clone)]
+struct VirtTable {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Per-statement accumulator for what the store records: tuples fetched
+/// and the planner's access-path mix, flushed into the statement store
+/// when the program finishes. Shared between the session and its plans
+/// through an `Arc` because plans only hold `&self`.
+#[derive(Debug, Default)]
+struct StmtAccum {
+    scanned: AtomicU64,
+    scan: AtomicU64,
+    index_eq: AtomicU64,
+    index_range: AtomicU64,
+    ord: AtomicU64,
+}
+
+impl StmtAccum {
+    fn note_scanned(&self, n: u64) {
+        self.scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn note_paths(&self, mix: &PathMix) {
+        self.scan.fetch_add(mix.scan, Ordering::Relaxed);
+        self.index_eq.fetch_add(mix.index_eq, Ordering::Relaxed);
+        self.index_range
+            .fetch_add(mix.index_range, Ordering::Relaxed);
+        self.ord.fetch_add(mix.ord, Ordering::Relaxed);
+    }
+
+    /// Drains the accumulator, returning (rows scanned, path mix).
+    fn take(&self) -> (u64, PathMix) {
+        (
+            self.scanned.swap(0, Ordering::Relaxed),
+            PathMix {
+                scan: self.scan.swap(0, Ordering::Relaxed),
+                index_eq: self.index_eq.swap(0, Ordering::Relaxed),
+                index_range: self.index_range.swap(0, Ordering::Relaxed),
+                ord: self.ord.swap(0, Ordering::Relaxed),
+            },
+        )
     }
 }
 
@@ -96,6 +203,8 @@ pub enum RangeTarget {
     Entity(TypeId),
     /// Instances of a relationship.
     Relationship(RelTypeId),
+    /// Rows of a system entity (`$statements`, `$tables`, …).
+    Virtual(VirtualEntity),
 }
 
 /// A result table.
@@ -204,6 +313,9 @@ pub enum StmtResult {
 pub struct Session {
     ranges: HashMap<String, String>, // var -> type name (resolved lazily)
     metrics: Option<Arc<QuelMetrics>>,
+    stmt_store: Option<Arc<StatementStore>>,
+    lock_registry: Option<Registry>,
+    accum: Arc<StmtAccum>,
 }
 
 impl Session {
@@ -215,9 +327,30 @@ impl Session {
     /// Creates a session whose pipeline phases record into `metrics`.
     pub fn with_metrics(metrics: Arc<QuelMetrics>) -> Session {
         Session {
-            ranges: HashMap::new(),
             metrics: Some(metrics),
+            ..Session::default()
         }
+    }
+
+    /// Attaches a statement store: every program executed from here on
+    /// is fingerprinted and recorded (latency, rows, access-path mix),
+    /// and `$statements` retrieves read the store's contents.
+    pub fn set_statement_store(&mut self, store: Arc<StatementStore>) {
+        // Drop anything accumulated while unattached so the first
+        // recorded program does not inherit stale counts.
+        let _ = self.accum.take();
+        self.stmt_store = Some(store);
+    }
+
+    /// The attached statement store, if any.
+    pub fn statement_store(&self) -> Option<Arc<StatementStore>> {
+        self.stmt_store.clone()
+    }
+
+    /// Attaches the metrics registry that `$locks` retrieves read their
+    /// lock and transaction counters from.
+    pub fn set_lock_registry(&mut self, registry: Registry) {
+        self.lock_registry = Some(registry);
     }
 
     /// Lexes and parses a program, timing each phase when instrumented
@@ -234,8 +367,41 @@ impl Session {
         crate::parser::parse_tokens(tokens)
     }
 
+    /// Records a finished program into the attached statement store:
+    /// fingerprint, wall time, rows returned, and whatever the plans
+    /// accumulated (tuples scanned, access-path mix). Failed programs
+    /// are recorded too — a repeatedly-failing statement is exactly what
+    /// `$statements` should surface.
+    /// Whether executions are being recorded: a store is attached and
+    /// enabled. Checked before timing starts, so a disabled store is a
+    /// true bypass — no clock reads, no fingerprinting.
+    fn recording(&self) -> bool {
+        self.stmt_store.as_ref().is_some_and(|s| s.enabled())
+    }
+
+    fn record_program(&self, text: &str, started: Option<Instant>, rows_returned: u64) {
+        let (Some(store), Some(started)) = (&self.stmt_store, started) else {
+            return;
+        };
+        let (scanned, paths) = self.accum.take();
+        store.record(
+            &crate::fingerprint::fingerprint(text),
+            started.elapsed().as_micros() as u64,
+            rows_returned,
+            scanned,
+            &paths,
+        );
+    }
+
     /// Parses and executes a program, returning one result per statement.
     pub fn execute(&mut self, db: &mut Database, text: &str) -> Result<Vec<StmtResult>> {
+        let started = self.recording().then(Instant::now);
+        let result = self.execute_inner(db, text);
+        self.record_program(text, started, rows_returned_of(&result));
+        result
+    }
+
+    fn execute_inner(&mut self, db: &mut Database, text: &str) -> Result<Vec<StmtResult>> {
         let stmts = self.parse_timed(text)?;
         stmts
             .iter()
@@ -258,6 +424,13 @@ impl Session {
     /// rejected, which is what lets concurrent reader clients share one
     /// `&Database` without exclusive access.
     pub fn execute_readonly(&mut self, db: &Database, text: &str) -> Result<Vec<StmtResult>> {
+        let started = self.recording().then(Instant::now);
+        let result = self.execute_readonly_inner(db, text);
+        self.record_program(text, started, rows_returned_of(&result));
+        result
+    }
+
+    fn execute_readonly_inner(&mut self, db: &Database, text: &str) -> Result<Vec<StmtResult>> {
         let stmts = self.parse_timed(text)?;
         stmts
             .iter()
@@ -293,6 +466,14 @@ impl Session {
     /// against the rows actually returned and tuples actually fetched.
     /// Any other statement kind is rejected.
     pub fn explain(&mut self, db: &Database, text: &str) -> Result<(PlanExplain, Table)> {
+        let started = self.recording().then(Instant::now);
+        let result = self.explain_inner(db, text);
+        let rows = result.as_ref().map_or(0, |(_, t)| t.rows.len() as u64);
+        self.record_program(text, started, rows);
+        result
+    }
+
+    fn explain_inner(&mut self, db: &Database, text: &str) -> Result<(PlanExplain, Table)> {
         let stmts = self.parse_timed(text)?;
         let mut last = None;
         for s in &stmts {
@@ -431,13 +612,165 @@ impl Session {
             .iter()
             .map(|v| self.var_target(db, v))
             .collect::<Result<Vec<_>>>()?;
+        let virt = targets
+            .iter()
+            .map(|t| match t {
+                RangeTarget::Virtual(ve) => Some(self.materialize_virtual(db, *ve)),
+                _ => None,
+            })
+            .collect();
         Ok(Plan {
             fetched: RefCell::new(vec![false; vars.len()]),
             scanned: Cell::new(0),
             vars,
             targets,
+            virt,
             metrics: self.metrics.clone(),
+            accum: Arc::clone(&self.accum),
         })
+    }
+
+    /// Builds the point-in-time rows of one system entity.
+    fn materialize_virtual(&self, db: &Database, ve: VirtualEntity) -> VirtTable {
+        let int = |u: u64| Value::Integer(u as i64);
+        match ve {
+            VirtualEntity::Statements => {
+                let columns = [
+                    "fingerprint",
+                    "calls",
+                    "total_micros",
+                    "p50_micros",
+                    "p99_micros",
+                    "rows_returned",
+                    "rows_scanned",
+                    "scan",
+                    "index_eq",
+                    "index_range",
+                    "ord",
+                ];
+                let mut rows = Vec::new();
+                if let Some(store) = &self.stmt_store {
+                    for s in store.top(usize::MAX) {
+                        rows.push(vec![
+                            Value::String(s.fingerprint.clone()),
+                            int(s.calls),
+                            int(s.total_micros),
+                            int(s.p50_micros()),
+                            int(s.p99_micros()),
+                            int(s.rows_returned),
+                            int(s.rows_scanned),
+                            int(s.paths.scan),
+                            int(s.paths.index_eq),
+                            int(s.paths.index_range),
+                            int(s.paths.ord),
+                        ]);
+                    }
+                }
+                VirtTable {
+                    columns: columns.iter().map(|c| c.to_string()).collect(),
+                    rows,
+                }
+            }
+            VirtualEntity::Tables => {
+                let columns = [
+                    "name",
+                    "live",
+                    "appends",
+                    "replaces",
+                    "deletes",
+                    "heap_fetches",
+                ];
+                let rows = db
+                    .schema()
+                    .entity_types()
+                    .iter()
+                    .enumerate()
+                    .map(|(ty, def)| {
+                        let t = db.stats().table(ty as TypeId);
+                        vec![
+                            Value::String(def.name.clone()),
+                            int(t.live),
+                            int(t.appends),
+                            int(t.replaces),
+                            int(t.deletes),
+                            int(t.heap_fetches),
+                        ]
+                    })
+                    .collect();
+                VirtTable {
+                    columns: columns.iter().map(|c| c.to_string()).collect(),
+                    rows,
+                }
+            }
+            VirtualEntity::Indexes => {
+                let columns = [
+                    "name",
+                    "entity",
+                    "attribute",
+                    "distinct",
+                    "entries",
+                    "eq_probes",
+                    "range_probes",
+                    "maintenance_writes",
+                ];
+                let mut rows = Vec::new();
+                for (name, (ty_name, attr)) in db.index_defs() {
+                    let Ok(ty) = db.schema().entity_type_id(ty_name) else {
+                        continue;
+                    };
+                    let Some(attr_idx) = db
+                        .schema()
+                        .entity_type(ty)
+                        .ok()
+                        .and_then(|d| d.attribute_index(attr))
+                    else {
+                        continue;
+                    };
+                    let ia = db.stats().index(ty, attr_idx);
+                    rows.push(vec![
+                        Value::String(name.clone()),
+                        Value::String(ty_name.clone()),
+                        Value::String(attr.clone()),
+                        int(db.attr_index_distinct(ty, attr_idx).unwrap_or(0) as u64),
+                        int(db.attr_index_len(ty, attr_idx).unwrap_or(0) as u64),
+                        int(ia.eq_probes),
+                        int(ia.range_probes),
+                        int(ia.maintenance_writes),
+                    ]);
+                }
+                VirtTable {
+                    columns: columns.iter().map(|c| c.to_string()).collect(),
+                    rows,
+                }
+            }
+            VirtualEntity::Locks => {
+                let mut rows = Vec::new();
+                if let Some(reg) = &self.lock_registry {
+                    for m in reg.snapshot().entries {
+                        if !(m.name.starts_with("mdm_lock_") || m.name.starts_with("mdm_txn_")) {
+                            continue;
+                        }
+                        let value = match m.value {
+                            MetricValue::Counter(c) => c as i64,
+                            MetricValue::Gauge(g) => g,
+                            _ => continue,
+                        };
+                        let name = if m.labels.is_empty() {
+                            m.name
+                        } else {
+                            let labels: Vec<String> =
+                                m.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                            format!("{}{{{}}}", m.name, labels.join(","))
+                        };
+                        rows.push(vec![Value::String(name), Value::Integer(value)]);
+                    }
+                }
+                VirtTable {
+                    columns: vec!["name".into(), "value".into()],
+                    rows,
+                }
+            }
+        }
     }
 
     /// Credits `n` rows to the returned-rows counter, if instrumented.
@@ -621,6 +954,21 @@ impl Session {
     }
 }
 
+/// Rows returned by the retrieve statements of a finished program, for
+/// statement-store accounting (errors count as zero rows).
+fn rows_returned_of(result: &Result<Vec<StmtResult>>) -> u64 {
+    match result {
+        Ok(results) => results
+            .iter()
+            .map(|r| match r {
+                StmtResult::Rows(t) => t.rows.len() as u64,
+                _ => 0,
+            })
+            .sum(),
+        Err(_) => 0,
+    }
+}
+
 /// How the planner produces one range variable's domain.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum AccessPath {
@@ -653,6 +1001,9 @@ impl AccessPath {
 struct Restriction {
     ids: Option<Vec<u64>>,
     path: AccessPath,
+    /// Which stored statistics informed this variable's cost estimate
+    /// (EXPLAIN annotation); empty when no statistics were consulted.
+    stats: String,
 }
 
 impl Restriction {
@@ -695,6 +1046,9 @@ pub struct VarPlan {
     pub path: String,
     /// Planned domain size (estimated rows this variable contributes).
     pub estimated: usize,
+    /// Stored statistics that informed the choice, e.g.
+    /// `live=500 distinct=200 est=2`; empty when none were consulted.
+    pub stats: String,
 }
 
 /// EXPLAIN output for one retrieve: the access path chosen per range
@@ -717,12 +1071,17 @@ impl fmt::Display for PlanExplain {
         for v in &self.vars {
             writeln!(
                 f,
-                "  {}: {} via {}, ~{} row{}",
+                "  {}: {} via {}, ~{} row{}{}",
                 v.var,
                 v.target,
                 v.path,
                 v.estimated,
-                if v.estimated == 1 { "" } else { "s" }
+                if v.estimated == 1 { "" } else { "s" },
+                if v.stats.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", v.stats)
+                }
             )?;
         }
         write!(
@@ -742,7 +1101,12 @@ impl fmt::Display for PlanExplain {
 struct Plan {
     vars: Vec<String>,
     targets: Vec<RangeTarget>,
+    /// Materialized system-entity rows, aligned with `vars` (`None` for
+    /// ordinary entity / relationship variables).
+    virt: Vec<Option<VirtTable>>,
     metrics: Option<Arc<QuelMetrics>>,
+    /// The owning session's per-statement accumulator.
+    accum: Arc<StmtAccum>,
     /// Tuples fetched from the instance store so far (the work metric).
     scanned: Cell<u64>,
     /// Per-variable "already fetched for the current binding" flags.
@@ -799,12 +1163,30 @@ impl Plan {
             .map(|_| Restriction {
                 ids: None,
                 path: AccessPath::Scan,
+                stats: String::new(),
             })
             .collect();
         let Some(qual) = qual else { return out };
         let mut conjuncts = Vec::new();
         collect_conjuncts(qual, &mut conjuncts);
-        // Pass 1: equality probes.
+        // Pass 1: equality probes, cost-ordered by the stored statistics.
+        // `live / distinct` (live tuple count over attribute cardinality,
+        // both maintained incrementally in [`AccessStats`]) estimates how
+        // many rows an equality probe returns; probing the most selective
+        // index first means the winning EXPLAIN label and the first
+        // domain restriction are the statistics-informed choice. The
+        // estimate is annotated so EXPLAIN shows what informed it.
+        struct EqProbe<'e> {
+            var: usize,
+            ty: TypeId,
+            attr_idx: usize,
+            attr: &'e String,
+            value: &'e Value,
+            live: u64,
+            distinct: u64,
+            est: u64,
+        }
+        let mut eqs: Vec<EqProbe> = Vec::new();
         for c in &conjuncts {
             let Expr::Bin {
                 op: BinOp::Eq,
@@ -822,8 +1204,30 @@ impl Plan {
             let Some((i, ty, attr_idx)) = self.sargable(db, var, attr) else {
                 continue;
             };
-            if let Some(hits) = db.attr_index_get(ty, attr_idx, value) {
-                out[i].restrict(hits.to_vec(), AccessPath::IndexEq(attr.clone()));
+            let live = db.stats().table(ty).live;
+            let distinct = db.attr_index_distinct(ty, attr_idx).unwrap_or(0) as u64;
+            // An unindexed or empty attribute estimates as the whole
+            // table; otherwise expected hits per key, floored at 1.
+            let est = live.checked_div(distinct).map_or(live, |q| q.max(1));
+            eqs.push(EqProbe {
+                var: i,
+                ty,
+                attr_idx,
+                attr,
+                value,
+                live,
+                distinct,
+                est,
+            });
+        }
+        eqs.sort_by_key(|p| p.est);
+        for p in eqs {
+            if let Some(hits) = db.attr_index_get(p.ty, p.attr_idx, p.value) {
+                out[p.var].restrict(hits.to_vec(), AccessPath::IndexEq(p.attr.clone()));
+                if out[p.var].stats.is_empty() {
+                    out[p.var].stats =
+                        format!("live={} distinct={} est={}", p.live, p.distinct, p.est);
+                }
             }
         }
         // Pass 2: range probes.
@@ -860,7 +1264,12 @@ impl Plan {
                 continue;
             };
             if let Some(hits) = db.attr_index_range(ty, attr_idx, lo, hi) {
+                let matched = hits.len();
                 out[i].restrict(hits, AccessPath::IndexRange(attr.clone()));
+                if out[i].stats.is_empty() {
+                    let live = db.stats().table(ty).live;
+                    out[i].stats = format!("live={live} matched={matched}");
+                }
             }
         }
         // Pass 3: ordering-derived domains, to a fixpoint.
@@ -1006,7 +1415,8 @@ impl Plan {
             .iter()
             .zip(&self.targets)
             .zip(restrictions)
-            .map(|((var, target), r)| {
+            .zip(&self.virt)
+            .map(|(((var, target), r), virt)| {
                 let (tname, population) = match target {
                     RangeTarget::Entity(ty) => (
                         db.schema()
@@ -1020,6 +1430,10 @@ impl Plan {
                             .map_or_else(|_| format!("#{rid}"), |d| d.name.clone()),
                         db.store().relationships_of(*rid).len(),
                     ),
+                    RangeTarget::Virtual(ve) => (
+                        ve.name().to_string(),
+                        virt.as_ref().map_or(0, |v| v.rows.len()),
+                    ),
                 };
                 let estimated = r.ids.as_ref().map_or(population, Vec::len);
                 estimated_rows = estimated_rows.saturating_mul(estimated as u64);
@@ -1028,6 +1442,7 @@ impl Plan {
                     target: tname,
                     path: r.path.label(),
                     estimated,
+                    stats: r.stats.clone(),
                 }
             })
             .collect();
@@ -1067,14 +1482,37 @@ impl Plan {
         restrictions: &[Restriction],
         f: impl FnMut(&Database, &[u64]) -> Result<()>,
     ) -> Result<()> {
+        self.note_paths(restrictions);
         let before = self.scanned.get();
         let result = self.enumerate_bindings(db, restrictions, f);
         let scanned = self.scanned.get() - before;
         if let Some(m) = &self.metrics {
             m.rows_scanned.add(scanned);
         }
+        self.accum.note_scanned(scanned);
         trace::annotate("rows_scanned", scanned);
         result
+    }
+
+    /// Credits each variable's chosen access path to the per-statement
+    /// accumulator and the `mdm_quel_plan_total{path}` counters.
+    fn note_paths(&self, restrictions: &[Restriction]) {
+        let mut mix = PathMix::default();
+        for r in restrictions {
+            match &r.path {
+                AccessPath::Scan => mix.scan += 1,
+                AccessPath::IndexEq(_) => mix.index_eq += 1,
+                AccessPath::IndexRange(_) => mix.index_range += 1,
+                AccessPath::OrdDerived(_) => mix.ord += 1,
+            }
+        }
+        self.accum.note_paths(&mix);
+        if let Some(m) = &self.metrics {
+            m.plan_scan.add(mix.scan);
+            m.plan_index_eq.add(mix.index_eq);
+            m.plan_index_range.add(mix.index_range);
+            m.plan_ord.add(mix.ord);
+        }
     }
 
     fn enumerate_bindings(
@@ -1093,6 +1531,12 @@ impl Plan {
                     None => match t {
                         RangeTarget::Entity(ty) => db.store().instances_of(*ty).to_vec(),
                         RangeTarget::Relationship(r) => db.store().relationships_of(*r).to_vec(),
+                        // Virtual bindings are row indexes into the
+                        // materialized table.
+                        RangeTarget::Virtual(_) => {
+                            let n = self.virt[i].as_ref().map_or(0, |v| v.rows.len());
+                            (0..n as u64).collect()
+                        }
                     },
                 },
             )
@@ -1195,6 +1639,15 @@ fn stmt_kind(s: &Stmt) -> &'static str {
 }
 
 fn resolve_target(db: &Database, name: &str) -> Result<RangeTarget> {
+    if let Some(ve) = VirtualEntity::from_name(name) {
+        return Ok(RangeTarget::Virtual(ve));
+    }
+    if name.starts_with('$') {
+        return Err(LangError::Analyze(format!(
+            "unknown system entity {name} \
+             (expected $statements, $tables, $indexes, or $locks)"
+        )));
+    }
     if let Ok(t) = db.schema().entity_type_id(name) {
         return Ok(RangeTarget::Entity(t));
     }
@@ -1496,6 +1949,9 @@ fn eval(db: &Database, plan: &Plan, binding: &[u64], e: &Expr) -> Result<Value> 
                 RangeTarget::Relationship(_) => Err(LangError::Eval(format!(
                     "relationship variable {v} has no value; project a member instead"
                 ))),
+                RangeTarget::Virtual(_) => Err(LangError::Eval(format!(
+                    "system entity variable {v} has no value; project an attribute instead"
+                ))),
             }
         }
         Expr::Attr { var, attr } => {
@@ -1516,6 +1972,22 @@ fn eval(db: &Database, plan: &Plan, binding: &[u64], e: &Expr) -> Result<Value> 
                             def.name
                         )))
                     }
+                }
+                RangeTarget::Virtual(ve) => {
+                    let vt = plan.virt[i].as_ref().ok_or_else(|| {
+                        LangError::Eval(format!("{} was not materialized", ve.name()))
+                    })?;
+                    let col = vt.columns.iter().position(|c| c == attr).ok_or_else(|| {
+                        LangError::Analyze(format!(
+                            "{} has no attribute {attr} (has: {})",
+                            ve.name(),
+                            vt.columns.join(", ")
+                        ))
+                    })?;
+                    vt.rows
+                        .get(binding[i] as usize)
+                        .map(|r| r[col].clone())
+                        .ok_or_else(|| LangError::Eval(format!("{} row out of range", ve.name())))
                 }
             }
         }

@@ -311,6 +311,22 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 };
                 tokens.push(Token { kind, line });
             }
+            '$' => {
+                // System entity names ($statements, $tables, …): a `$`
+                // followed by an ordinary identifier, kept as one Ident
+                // so the executor can recognize the prefix.
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    line,
+                });
+            }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 while i < bytes.len()
@@ -407,6 +423,21 @@ mod tests {
                 TokenKind::Sym(Sym::RParen),
                 TokenKind::Sym(Sym::Comma),
                 TokenKind::Sym(Sym::Dot),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn system_entity_names_lex_as_idents() {
+        assert_eq!(
+            kinds("$statements $tables s.$x"),
+            vec![
+                TokenKind::Ident("$statements".into()),
+                TokenKind::Ident("$tables".into()),
+                TokenKind::Ident("s".into()),
+                TokenKind::Sym(Sym::Dot),
+                TokenKind::Ident("$x".into()),
                 TokenKind::Eof
             ]
         );

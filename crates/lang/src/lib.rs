@@ -36,10 +36,14 @@
 pub mod ast;
 pub mod error;
 pub mod exec;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 
 pub use ast::{BinOp, Expr, OrdOp, Stmt, Target};
 pub use error::{LangError, Result};
-pub use exec::{PlanExplain, QuelMetrics, RangeTarget, Session, StmtResult, Table, VarPlan};
+pub use exec::{
+    PlanExplain, QuelMetrics, RangeTarget, Session, StmtResult, Table, VarPlan, VirtualEntity,
+};
+pub use fingerprint::fingerprint;
 pub use parser::{parse, parse_tokens};

@@ -7,6 +7,7 @@
 use crate::error::{ModelError, Result};
 use crate::instance::{InstanceStore, RelInstanceId};
 use crate::schema::{AttributeDef, OrderingId, RoleDef, Schema};
+use crate::stats::AccessStats;
 use crate::value::{EntityId, TypeId, Value};
 
 /// An in-memory entity-relationship database with hierarchical ordering.
@@ -23,6 +24,10 @@ pub struct Database {
     /// attribute name). Each definition is backed by an attribute index
     /// in `attr_indexes`; several names may share one backing index.
     index_defs: std::collections::BTreeMap<String, (String, String)>,
+    /// Access statistics, maintained incrementally by the typed
+    /// mutators and the index probe paths. Derived data like the
+    /// indexes: excluded from equality.
+    stats: AccessStats,
 }
 
 type AttrIndex = std::collections::BTreeMap<Vec<u8>, Vec<EntityId>>;
@@ -47,18 +52,38 @@ impl Database {
             store,
             attr_indexes: Default::default(),
             index_defs: Default::default(),
+            stats: Default::default(),
         }
     }
 
     /// Builds a database from existing parts (used by persistence).
     /// Index definitions are re-registered afterwards via
-    /// [`Database::define_index`].
+    /// [`Database::define_index`]. Live tuple counts are recomputed
+    /// from the store.
     pub fn from_parts(schema: Schema, store: InstanceStore) -> Database {
-        Database {
+        let db = Database {
             schema,
             store,
             attr_indexes: Default::default(),
             index_defs: Default::default(),
+            stats: Default::default(),
+        };
+        db.refresh_live_counts();
+        db
+    }
+
+    /// The access statistics (per-type and per-index counters).
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Recomputes every entity type's live tuple count from the store.
+    /// Called after bulk mutation through [`Database::store_mut`] and by
+    /// persistence at load.
+    pub fn refresh_live_counts(&self) {
+        for ty in 0..self.schema.entity_types().len() as TypeId {
+            self.stats
+                .set_live(ty, self.store.instances_of(ty).len() as u64);
         }
     }
 
@@ -149,6 +174,7 @@ impl Database {
         }
         let id = self.store.create_entity(ty, values);
         self.index_entity(ty, id);
+        self.stats.note_append(ty);
         Ok(id)
     }
 
@@ -162,6 +188,7 @@ impl Database {
                 entity: def.name.clone(),
                 attribute: attr.to_string(),
             })?;
+        self.stats.note_heap_fetch(inst.ty);
         Ok(&inst.attrs[idx])
     }
 
@@ -197,8 +224,10 @@ impl Database {
                 .entry(crate::encode::value_key(&value))
                 .or_default()
                 .push(id);
+            self.stats.note_index_writes(ty, idx, 2); // delete + insert
         }
         self.store.entity_mut(id)?.attrs[idx] = value;
+        self.stats.note_replace(ty);
         Ok(())
     }
 
@@ -216,8 +245,10 @@ impl Database {
 
     /// Deletes an instance (see [`InstanceStore::delete_entity`]).
     pub fn delete_entity(&mut self, id: EntityId) -> Result<()> {
+        let mut deleted_ty = None;
         if let Ok(inst) = self.store.entity(id) {
             let ty = inst.ty;
+            deleted_ty = Some(ty);
             let keys: Vec<(usize, Vec<u8>)> = inst
                 .attrs
                 .iter()
@@ -232,10 +263,15 @@ impl Database {
                             index.remove(&key);
                         }
                     }
+                    self.stats.note_index_writes(ty, i, 1);
                 }
             }
         }
-        self.store.delete_entity(id)
+        self.store.delete_entity(id)?;
+        if let Some(ty) = deleted_ty {
+            self.stats.note_delete(ty);
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -262,6 +298,7 @@ impl Database {
                 .entry(key)
                 .or_default()
                 .push(id);
+            self.stats.note_index_writes(ty, i, 1);
         }
     }
 
@@ -285,6 +322,8 @@ impl Database {
                 .or_default()
                 .push(id);
         }
+        self.stats
+            .note_index_writes(ty, idx, self.store.instances_of(ty).len() as u64);
         self.attr_indexes.insert((ty, idx), index);
         Ok(())
     }
@@ -309,6 +348,7 @@ impl Database {
         value: &Value,
     ) -> Option<&[EntityId]> {
         let index = self.attr_indexes.get(&(ty, attr_idx))?;
+        self.stats.note_eq_probe(ty, attr_idx);
         Some(
             index
                 .get(&crate::encode::value_key(value))
@@ -334,6 +374,7 @@ impl Database {
     ) -> Option<Vec<EntityId>> {
         use std::ops::Bound;
         let index = self.attr_indexes.get(&(ty, attr_idx))?;
+        self.stats.note_range_probe(ty, attr_idx);
         let key = |b: Bound<&Value>| match b {
             Bound::Included(v) => Bound::Included(crate::encode::value_key(v)),
             Bound::Excluded(v) => Bound::Excluded(crate::encode::value_key(v)),
@@ -352,6 +393,13 @@ impl Database {
     pub fn attr_index_len(&self, ty: TypeId, attr_idx: usize) -> Option<usize> {
         let index = self.attr_indexes.get(&(ty, attr_idx))?;
         Some(index.values().map(Vec::len).sum())
+    }
+
+    /// Number of *distinct* attribute values in the index on the
+    /// attribute position — the attribute's cardinality, exact because
+    /// the index keys every live value. `None` means "no index".
+    pub fn attr_index_distinct(&self, ty: TypeId, attr_idx: usize) -> Option<usize> {
+        Some(self.attr_indexes.get(&(ty, attr_idx))?.len())
     }
 
     // ------------------------------------------------------------------
@@ -407,6 +455,7 @@ impl Database {
             }
             self.attr_indexes.insert((ty, idx), index);
         }
+        self.refresh_live_counts();
     }
 
     // ------------------------------------------------------------------
@@ -776,6 +825,52 @@ mod tests {
                 .and_then(|()| db.define_index("dup", "NOTE", "pitch")),
             Err(ModelError::DuplicateDefinition(_))
         ));
+    }
+
+    #[test]
+    fn access_stats_track_mutations_fetches_and_probes() {
+        let mut db = music_db();
+        let note_ty = db.schema().entity_type_id("NOTE").unwrap();
+        let ids: Vec<EntityId> = (0..5)
+            .map(|i| {
+                db.create_entity("NOTE", &[("name", Value::Integer(i % 3))])
+                    .unwrap()
+            })
+            .collect();
+        db.define_index("note_by_name", "NOTE", "name").unwrap();
+        db.set_attr(ids[0], "name", Value::Integer(9)).unwrap();
+        db.get_attr(ids[1], "name").unwrap();
+        db.get_attr(ids[1], "pitch").unwrap();
+        db.attr_index_get(note_ty, 0, &Value::Integer(1)).unwrap();
+        db.attr_index_range(
+            note_ty,
+            0,
+            std::ops::Bound::Unbounded,
+            std::ops::Bound::Unbounded,
+        )
+        .unwrap();
+        db.delete_entity(ids[4]).unwrap();
+
+        let t = db.stats().table(note_ty);
+        assert_eq!(t.appends, 5);
+        assert_eq!(t.live, 4);
+        assert_eq!(t.replaces, 1);
+        assert_eq!(t.deletes, 1);
+        assert_eq!(t.heap_fetches, 2);
+        let i = db.stats().index(note_ty, 0);
+        assert_eq!(i.eq_probes, 1);
+        assert_eq!(i.range_probes, 1);
+        // 5 from the initial build, 2 from the re-key, 1 from the delete.
+        assert_eq!(i.maintenance_writes, 8);
+        // Cardinality: values now {9, 1, 2, 0} across four live notes.
+        assert_eq!(db.attr_index_distinct(note_ty, 0), Some(4));
+        assert_eq!(db.attr_index_distinct(note_ty, 1), None, "no index");
+        // Cloning snapshots the stats; from_parts recomputes live.
+        let cloned = db.clone();
+        assert_eq!(cloned.stats().table(note_ty).appends, 5);
+        let rebuilt = Database::from_parts(db.schema().clone(), db.store().clone());
+        assert_eq!(rebuilt.stats().table(note_ty).live, 4);
+        assert_eq!(rebuilt.stats().table(note_ty).appends, 0, "not carried");
     }
 
     #[test]

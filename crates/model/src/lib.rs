@@ -49,6 +49,7 @@ pub mod instance;
 pub mod meta;
 pub mod persist;
 pub mod schema;
+pub mod stats;
 pub mod value;
 
 pub use db::Database;
@@ -58,4 +59,5 @@ pub use schema::{
     AttributeDef, EntityTypeDef, OrderingDef, OrderingId, RelTypeId, RelationshipDef, RoleDef,
     Schema,
 };
+pub use stats::{AccessStats, IndexAccess, TableAccess};
 pub use value::{DataType, EntityId, TypeId, Value};

@@ -1,0 +1,409 @@
+//! Access statistics: per-entity-type and per-index counters the
+//! database maintains incrementally as it is read and mutated.
+//!
+//! [`AccessStats`] lives inside [`Database`](crate::Database) and is
+//! updated from both `&mut self` mutators (appends, replaces, deletes,
+//! index maintenance) and `&self` read paths (heap fetches, index
+//! probes), so the counters sit behind a `RwLock` of atomic cells: read
+//! paths take the shared lock and bump an atomic. Live tuple counts are
+//! maintained incrementally and can be recomputed from the instance
+//! store after bulk loads (persistence does this at open).
+//!
+//! The cumulative counters serialize to a small binary image so the
+//! checkpoint can carry them across restarts; live counts are *not*
+//! persisted — they are derived data, recomputed from the store.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::value::TypeId;
+
+/// A point-in-time copy of one entity type's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableAccess {
+    /// Instances currently alive (incremental, recomputable).
+    pub live: u64,
+    /// Instances ever created.
+    pub appends: u64,
+    /// Attribute writes to existing instances.
+    pub replaces: u64,
+    /// Instances deleted.
+    pub deletes: u64,
+    /// Attribute reads served from the instance heap.
+    pub heap_fetches: u64,
+}
+
+/// A point-in-time copy of one attribute index's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexAccess {
+    /// Equality probes answered.
+    pub eq_probes: u64,
+    /// Range probes answered.
+    pub range_probes: u64,
+    /// Index entries written (inserts, deletes, and replace re-keys).
+    pub maintenance_writes: u64,
+}
+
+#[derive(Debug, Default)]
+struct TableCell {
+    live: AtomicU64,
+    appends: AtomicU64,
+    replaces: AtomicU64,
+    deletes: AtomicU64,
+    heap_fetches: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct IndexCell {
+    eq_probes: AtomicU64,
+    range_probes: AtomicU64,
+    maintenance_writes: AtomicU64,
+}
+
+/// Incrementally-maintained access statistics for one database.
+#[derive(Debug, Default)]
+pub struct AccessStats {
+    tables: RwLock<HashMap<TypeId, Arc<TableCell>>>,
+    indexes: RwLock<HashMap<(TypeId, usize), Arc<IndexCell>>>,
+}
+
+/// Cloning a database snapshots the counter *values*; the clone gets
+/// independent cells.
+impl Clone for AccessStats {
+    fn clone(&self) -> AccessStats {
+        let fresh = AccessStats::default();
+        for (ty, t) in self.tables() {
+            let cell = fresh.table_cell(ty);
+            cell.live.store(t.live, Ordering::Relaxed);
+            cell.appends.store(t.appends, Ordering::Relaxed);
+            cell.replaces.store(t.replaces, Ordering::Relaxed);
+            cell.deletes.store(t.deletes, Ordering::Relaxed);
+            cell.heap_fetches.store(t.heap_fetches, Ordering::Relaxed);
+        }
+        for ((ty, attr), i) in self.indexes() {
+            let cell = fresh.index_cell(ty, attr);
+            cell.eq_probes.store(i.eq_probes, Ordering::Relaxed);
+            cell.range_probes.store(i.range_probes, Ordering::Relaxed);
+            cell.maintenance_writes
+                .store(i.maintenance_writes, Ordering::Relaxed);
+        }
+        fresh
+    }
+}
+
+impl AccessStats {
+    fn table_cell(&self, ty: TypeId) -> Arc<TableCell> {
+        if let Some(cell) = self.tables.read().unwrap().get(&ty) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(self.tables.write().unwrap().entry(ty).or_default())
+    }
+
+    fn index_cell(&self, ty: TypeId, attr_idx: usize) -> Arc<IndexCell> {
+        if let Some(cell) = self.indexes.read().unwrap().get(&(ty, attr_idx)) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(
+            self.indexes
+                .write()
+                .unwrap()
+                .entry((ty, attr_idx))
+                .or_default(),
+        )
+    }
+
+    pub(crate) fn note_append(&self, ty: TypeId) {
+        let c = self.table_cell(ty);
+        c.live.fetch_add(1, Ordering::Relaxed);
+        c.appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_replace(&self, ty: TypeId) {
+        self.table_cell(ty).replaces.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_delete(&self, ty: TypeId) {
+        let c = self.table_cell(ty);
+        c.live
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            })
+            .ok();
+        c.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_heap_fetch(&self, ty: TypeId) {
+        self.table_cell(ty)
+            .heap_fetches
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_eq_probe(&self, ty: TypeId, attr_idx: usize) {
+        self.index_cell(ty, attr_idx)
+            .eq_probes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_range_probe(&self, ty: TypeId, attr_idx: usize) {
+        self.index_cell(ty, attr_idx)
+            .range_probes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_index_writes(&self, ty: TypeId, attr_idx: usize, n: u64) {
+        self.index_cell(ty, attr_idx)
+            .maintenance_writes
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites one type's live count (recomputation after bulk load).
+    pub(crate) fn set_live(&self, ty: TypeId, live: u64) {
+        self.table_cell(ty).live.store(live, Ordering::Relaxed);
+    }
+
+    /// One entity type's counters (zeros if never touched).
+    pub fn table(&self, ty: TypeId) -> TableAccess {
+        self.tables
+            .read()
+            .unwrap()
+            .get(&ty)
+            .map(|c| TableAccess {
+                live: c.live.load(Ordering::Relaxed),
+                appends: c.appends.load(Ordering::Relaxed),
+                replaces: c.replaces.load(Ordering::Relaxed),
+                deletes: c.deletes.load(Ordering::Relaxed),
+                heap_fetches: c.heap_fetches.load(Ordering::Relaxed),
+            })
+            .unwrap_or_default()
+    }
+
+    /// One attribute index's counters (zeros if never touched).
+    pub fn index(&self, ty: TypeId, attr_idx: usize) -> IndexAccess {
+        self.indexes
+            .read()
+            .unwrap()
+            .get(&(ty, attr_idx))
+            .map(|c| IndexAccess {
+                eq_probes: c.eq_probes.load(Ordering::Relaxed),
+                range_probes: c.range_probes.load(Ordering::Relaxed),
+                maintenance_writes: c.maintenance_writes.load(Ordering::Relaxed),
+            })
+            .unwrap_or_default()
+    }
+
+    /// Every tracked entity type's counters, sorted by type id.
+    pub fn tables(&self) -> Vec<(TypeId, TableAccess)> {
+        let mut out: Vec<(TypeId, TableAccess)> = self
+            .tables
+            .read()
+            .unwrap()
+            .keys()
+            .copied()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|ty| (ty, self.table(ty)))
+            .collect();
+        out.sort_by_key(|(ty, _)| *ty);
+        out
+    }
+
+    /// Every tracked index's counters, sorted by (type id, attribute).
+    pub fn indexes(&self) -> Vec<((TypeId, usize), IndexAccess)> {
+        let mut out: Vec<((TypeId, usize), IndexAccess)> = self
+            .indexes
+            .read()
+            .unwrap()
+            .keys()
+            .copied()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|k| (k, self.index(k.0, k.1)))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Serializes the cumulative counters (live counts excluded — they
+    /// are recomputed from the store at load).
+    pub fn encode(&self) -> Vec<u8> {
+        let tables = self.tables();
+        let indexes = self.indexes();
+        let mut out = Vec::new();
+        out.push(1u8); // format version
+        out.extend_from_slice(&(tables.len() as u32).to_le_bytes());
+        for (ty, t) in tables {
+            out.extend_from_slice(&ty.to_le_bytes());
+            for v in [t.appends, t.replaces, t.deletes, t.heap_fetches] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(indexes.len() as u32).to_le_bytes());
+        for ((ty, attr), i) in indexes {
+            out.extend_from_slice(&ty.to_le_bytes());
+            out.extend_from_slice(&(attr as u32).to_le_bytes());
+            for v in [i.eq_probes, i.range_probes, i.maintenance_writes] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Restores cumulative counters from an [`encode`](Self::encode)d
+    /// image, adding to whatever is already tracked. Returns `false` on
+    /// malformed input (the stats are best-effort; a bad image must
+    /// never fail an open).
+    pub fn restore(&self, bytes: &[u8]) -> bool {
+        let pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let u32_at = |pos: &mut usize| -> Option<u32> {
+            Some(u32::from_le_bytes(take(pos, 4)?.try_into().ok()?))
+        };
+        let u64_at = |pos: &mut usize| -> Option<u64> {
+            Some(u64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
+        };
+        // Decoded image rows: per-table counters and per-(type, attr)
+        // index counters, in encode order.
+        type TableRow = (TypeId, [u64; 4]);
+        type IndexRow = ((TypeId, usize), [u64; 3]);
+        let parse = || -> Option<(Vec<TableRow>, Vec<IndexRow>)> {
+            let mut pos = pos;
+            if *take(&mut pos, 1)?.first()? != 1 {
+                return None;
+            }
+            let nt = u32_at(&mut pos)? as usize;
+            if nt > bytes.len() / 36 + 1 {
+                return None;
+            }
+            let mut tables = Vec::with_capacity(nt);
+            for _ in 0..nt {
+                let ty = u32_at(&mut pos)?;
+                let mut vals = [0u64; 4];
+                for v in &mut vals {
+                    *v = u64_at(&mut pos)?;
+                }
+                tables.push((ty, vals));
+            }
+            let ni = u32_at(&mut pos)? as usize;
+            if ni > bytes.len() / 32 + 1 {
+                return None;
+            }
+            let mut indexes = Vec::with_capacity(ni);
+            for _ in 0..ni {
+                let ty = u32_at(&mut pos)?;
+                let attr = u32_at(&mut pos)? as usize;
+                let mut vals = [0u64; 3];
+                for v in &mut vals {
+                    *v = u64_at(&mut pos)?;
+                }
+                indexes.push(((ty, attr), vals));
+            }
+            (pos == bytes.len()).then_some((tables, indexes))
+        };
+        let Some((tables, indexes)) = parse() else {
+            return false;
+        };
+        for (ty, [appends, replaces, deletes, heap_fetches]) in tables {
+            let c = self.table_cell(ty);
+            c.appends.fetch_add(appends, Ordering::Relaxed);
+            c.replaces.fetch_add(replaces, Ordering::Relaxed);
+            c.deletes.fetch_add(deletes, Ordering::Relaxed);
+            c.heap_fetches.fetch_add(heap_fetches, Ordering::Relaxed);
+        }
+        for ((ty, attr), [eq, range, writes]) in indexes {
+            let c = self.index_cell(ty, attr);
+            c.eq_probes.fetch_add(eq, Ordering::Relaxed);
+            c.range_probes.fetch_add(range, Ordering::Relaxed);
+            c.maintenance_writes.fetch_add(writes, Ordering::Relaxed);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = AccessStats::default();
+        s.note_append(0);
+        s.note_append(0);
+        s.note_replace(0);
+        s.note_delete(0);
+        s.note_heap_fetch(0);
+        s.note_eq_probe(0, 1);
+        s.note_range_probe(0, 1);
+        s.note_index_writes(0, 1, 3);
+        let t = s.table(0);
+        assert_eq!(
+            t,
+            TableAccess {
+                live: 1,
+                appends: 2,
+                replaces: 1,
+                deletes: 1,
+                heap_fetches: 1
+            }
+        );
+        let i = s.index(0, 1);
+        assert_eq!(
+            i,
+            IndexAccess {
+                eq_probes: 1,
+                range_probes: 1,
+                maintenance_writes: 3
+            }
+        );
+        assert_eq!(
+            s.table(9),
+            TableAccess::default(),
+            "untouched type is zeros"
+        );
+        assert_eq!(s.tables().len(), 1);
+        assert_eq!(s.indexes().len(), 1);
+    }
+
+    #[test]
+    fn delete_saturates_at_zero_live() {
+        let s = AccessStats::default();
+        s.note_delete(0);
+        assert_eq!(s.table(0).live, 0);
+        assert_eq!(s.table(0).deletes, 1);
+    }
+
+    #[test]
+    fn clone_snapshots_values_independently() {
+        let s = AccessStats::default();
+        s.note_append(2);
+        let c = s.clone();
+        s.note_append(2);
+        assert_eq!(s.table(2).appends, 2);
+        assert_eq!(c.table(2).appends, 1, "clone is independent");
+    }
+
+    #[test]
+    fn encode_restore_roundtrip_excludes_live() {
+        let s = AccessStats::default();
+        s.note_append(0);
+        s.note_heap_fetch(0);
+        s.note_eq_probe(0, 2);
+        let image = s.encode();
+        let back = AccessStats::default();
+        assert!(back.restore(&image));
+        assert_eq!(back.table(0).appends, 1);
+        assert_eq!(back.table(0).heap_fetches, 1);
+        assert_eq!(back.table(0).live, 0, "live is derived, not persisted");
+        assert_eq!(back.index(0, 2).eq_probes, 1);
+        for garbage in [&b""[..], &b"\x07"[..], &b"\x01\xff\xff\xff\xff"[..]] {
+            assert!(!AccessStats::default().restore(garbage));
+        }
+        let mut trailing = image.clone();
+        trailing.push(0);
+        assert!(!AccessStats::default().restore(&trailing));
+    }
+}

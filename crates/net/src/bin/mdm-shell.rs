@@ -21,6 +21,11 @@
 //! \stats [json|prom] [prefix]
 //!                     live metrics (remote server's when connected),
 //!                     optionally filtered to names starting with prefix
+//! \stats delta [prefix]
+//!                     counters since the previous \stats delta — the
+//!                     first call captures the baseline
+//! \top [n]            hottest statements by total time, from the
+//!                     statement store (remote server's when connected)
 //! \plan QUERY         EXPLAIN a read-only query: access paths chosen
 //!                     by the planner plus the rows
 //! \trace on|off       enable/disable request tracing
@@ -239,6 +244,9 @@ fn main() {
 
     // When connected, programs and score/metrics commands route here.
     let mut remote: Option<MdmClient> = None;
+    // The previous `\stats delta` snapshot; the next call diffs against
+    // it, so counters read as per-interval rates.
+    let mut stats_baseline: Option<Snapshot> = None;
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();
@@ -278,6 +286,10 @@ fn main() {
                 println!("\\connect host:port   route programs to a remote server");
                 println!("\\disconnect          back to the local database");
                 println!("\\stats [json|prom] [prefix]   live metrics snapshot");
+                println!(
+                    "\\stats delta [prefix]         counters since the previous \\stats delta"
+                );
+                println!("\\top [n]             hottest statements by total time");
                 println!("\\plan QUERY          EXPLAIN a read-only query (access paths + rows)");
                 println!("\\trace on|off|last [n]|slow [t_us]|export <file>   request tracing");
                 println!("anything else is DDL/QUEL, e.g.:");
@@ -355,7 +367,40 @@ fn main() {
                 // \stats [json|prom] [prefix] — the prefix filter applies
                 // on whichever side holds the registry.
                 let mut args = cmd["\\stats".len()..].split_whitespace();
-                let (format, prefix) = match args.next() {
+                let first = args.next();
+                if first == Some("delta") {
+                    let prefix = args.next().unwrap_or("");
+                    if args.next().is_some() {
+                        eprintln!("usage: \\stats delta [prefix]");
+                        continue;
+                    }
+                    // Remote: diff two JSON fetches client-side; local:
+                    // diff two registry snapshots. Same Snapshot::delta.
+                    let current = match &mut remote {
+                        Some(c) => match c.metrics_json() {
+                            Ok(body) => match Snapshot::from_json(&body) {
+                                Some(snap) => snap,
+                                None => {
+                                    eprintln!("error: server sent an unparsable snapshot");
+                                    continue;
+                                }
+                            },
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                continue;
+                            }
+                        },
+                        None => mdm.metrics_snapshot(),
+                    };
+                    match stats_baseline.replace(current.clone()) {
+                        Some(base) => print_stats(&current.delta(&base).filtered(prefix)),
+                        None => {
+                            println!("baseline captured; \\stats delta again for changes since now")
+                        }
+                    }
+                    continue;
+                }
+                let (format, prefix) = match first {
                     Some("json") => (Some(StatsFormat::Json), args.next().unwrap_or("")),
                     Some("prom") => (Some(StatsFormat::Prom), args.next().unwrap_or("")),
                     Some(prefix) => (None, prefix),
@@ -384,6 +429,30 @@ fn main() {
                             Some(StatsFormat::Prom) => print!("{}", snap.to_prometheus()),
                         }
                     }
+                }
+            }
+            cmd if cmd == "\\top" || cmd.starts_with("\\top ") => {
+                let mut args = cmd["\\top".len()..].split_whitespace();
+                let limit = match args.next().map(str::parse::<u32>) {
+                    None => 10,
+                    Some(Ok(n)) => n,
+                    Some(Err(_)) => {
+                        eprintln!("usage: \\top [n]");
+                        continue;
+                    }
+                };
+                if args.next().is_some() {
+                    eprintln!("usage: \\top [n]");
+                    continue;
+                }
+                let fetched = match &mut remote {
+                    Some(c) => c.top(limit).map_err(|e| e.to_string()),
+                    None => Ok(mdm.statement_top(limit as usize)),
+                };
+                match fetched {
+                    Ok(t) if t.is_empty() => println!("no statements recorded"),
+                    Ok(t) => print!("{t}"),
+                    Err(e) => eprintln!("error: {e}"),
                 }
             }
             cmd if cmd == "\\plan" || cmd.starts_with("\\plan ") || cmd.starts_with("\\plan\n") => {

@@ -318,6 +318,15 @@ impl MdmClient {
         }
     }
 
+    /// Fetches the server's hottest statements by total time, at most
+    /// `limit` rows.
+    pub fn top(&mut self, limit: u32) -> Result<Table> {
+        match self.request(Message::Top { limit })? {
+            Message::TopStats { table } => Ok(table),
+            other => Err(NetError::UnexpectedResponse(other.type_name())),
+        }
+    }
+
     /// Adjusts the server's tracer (enable/disable/slow threshold).
     pub fn trace_control(&mut self, op: TraceOp) -> Result<()> {
         match self.request(Message::TraceControl { op })? {

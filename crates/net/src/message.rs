@@ -117,6 +117,12 @@ pub enum Message {
         /// The program text.
         text: String,
     },
+    /// Requests the server's hottest statements by total time; the
+    /// server answers with [`Message::TopStats`].
+    Top {
+        /// At most this many statements, hottest first.
+        limit: u32,
+    },
 
     // ---- responses (128–143, 255) ----
     /// Session accepted.
@@ -181,6 +187,11 @@ pub enum Message {
         /// The result table.
         table: Table,
     },
+    /// The statement-statistics table answering [`Message::Top`].
+    TopStats {
+        /// One row per fingerprint, hottest first.
+        table: Table,
+    },
     /// A typed error.
     Error {
         /// Error class.
@@ -203,6 +214,7 @@ const T_METRICS: u16 = 9;
 const T_TRACE_CONTROL: u16 = 10;
 const T_TRACE_FETCH: u16 = 11;
 const T_EXPLAIN: u16 = 12;
+const T_TOP: u16 = 13;
 const T_HELLO_ACK: u16 = 128;
 const T_PONG: u16 = 129;
 const T_ROWS: u16 = 130;
@@ -214,6 +226,7 @@ const T_SCORE_LIST: u16 = 135;
 const T_METRICS_SNAP: u16 = 136;
 const T_TRACE_DUMP: u16 = 137;
 const T_PLAN: u16 = 138;
+const T_TOP_STATS: u16 = 139;
 const T_ERROR: u16 = 255;
 
 impl Message {
@@ -232,6 +245,7 @@ impl Message {
             Message::TraceControl { .. } => T_TRACE_CONTROL,
             Message::TraceFetch { .. } => T_TRACE_FETCH,
             Message::Explain { .. } => T_EXPLAIN,
+            Message::Top { .. } => T_TOP,
             Message::HelloAck { .. } => T_HELLO_ACK,
             Message::Pong => T_PONG,
             Message::Rows { .. } => T_ROWS,
@@ -243,6 +257,7 @@ impl Message {
             Message::Metrics { .. } => T_METRICS_SNAP,
             Message::TraceDump { .. } => T_TRACE_DUMP,
             Message::Plan { .. } => T_PLAN,
+            Message::TopStats { .. } => T_TOP_STATS,
             Message::Error { .. } => T_ERROR,
         }
     }
@@ -262,6 +277,7 @@ impl Message {
             Message::TraceControl { .. } => "trace_control",
             Message::TraceFetch { .. } => "trace_fetch",
             Message::Explain { .. } => "explain",
+            Message::Top { .. } => "top",
             Message::HelloAck { .. } => "hello_ack",
             Message::Pong => "pong",
             Message::Rows { .. } => "rows",
@@ -273,6 +289,7 @@ impl Message {
             Message::Metrics { .. } => "metrics_snapshot",
             Message::TraceDump { .. } => "trace_dump",
             Message::Plan { .. } => "plan",
+            Message::TopStats { .. } => "top_stats",
             Message::Error { .. } => "error",
         }
     }
@@ -315,6 +332,7 @@ impl Message {
                 out.push(*slow as u8);
                 out.extend_from_slice(&n.to_le_bytes());
             }
+            Message::Top { limit } => out.extend_from_slice(&limit.to_le_bytes()),
             Message::Query { text } | Message::Execute { text } | Message::Explain { text } => {
                 put_str(&mut out, text)
             }
@@ -331,7 +349,7 @@ impl Message {
                     out.extend_from_slice(&version.to_le_bytes());
                 }
             }
-            Message::Rows { table } => encode_table(&mut out, table),
+            Message::Rows { table } | Message::TopStats { table } => encode_table(&mut out, table),
             Message::Results { results } => {
                 put_len(&mut out, results.len());
                 for r in results {
@@ -364,6 +382,7 @@ impl Message {
                     put_str(&mut out, &v.target);
                     put_str(&mut out, &v.path);
                     out.extend_from_slice(&(v.estimated as u64).to_le_bytes());
+                    put_str(&mut out, &v.stats);
                 }
                 out.extend_from_slice(&explain.estimated_rows.to_le_bytes());
                 out.extend_from_slice(&explain.actual_rows.to_le_bytes());
@@ -437,6 +456,7 @@ impl Message {
                 n: c.u32()?,
             },
             T_EXPLAIN => Message::Explain { text: c.string()? },
+            T_TOP => Message::Top { limit: c.u32()? },
             T_HELLO_ACK => {
                 let server = c.string()?;
                 let version = if c.remaining() > 0 { c.u16()? } else { 1 };
@@ -471,6 +491,9 @@ impl Message {
                 Message::ScoreList { scores }
             }
             T_METRICS_SNAP => Message::Metrics { body: c.string()? },
+            T_TOP_STATS => Message::TopStats {
+                table: decode_table(&mut c)?,
+            },
             T_TRACE_DUMP => Message::TraceDump {
                 text: c.string()?,
                 chrome_json: c.string()?,
@@ -484,6 +507,7 @@ impl Message {
                         target: c.string()?,
                         path: c.string()?,
                         estimated: c.u64()? as usize,
+                        stats: c.string()?,
                     });
                 }
                 let explain = PlanExplain {
@@ -695,6 +719,7 @@ mod tests {
             Message::Explain {
                 text: "range of n is NOTE\nretrieve (n.name)".into(),
             },
+            Message::Top { limit: 10 },
             Message::HelloAck {
                 server: "mdm 0.1".into(),
                 version: 1,
@@ -742,12 +767,14 @@ mod tests {
                             target: "NOTE".into(),
                             path: "index-eq(name)".into(),
                             estimated: 1,
+                            stats: "live=44 distinct=40 est=1".into(),
                         },
                         VarPlan {
                             var: "c".into(),
                             target: "CHORD".into(),
                             path: "scan".into(),
                             estimated: 40,
+                            stats: String::new(),
                         },
                     ],
                     estimated_rows: 40,
@@ -757,6 +784,15 @@ mod tests {
                 table: Table {
                     columns: vec!["name".into()],
                     rows: vec![vec![Value::Integer(52)]],
+                },
+            },
+            Message::TopStats {
+                table: Table {
+                    columns: vec!["fingerprint".into(), "calls".into()],
+                    rows: vec![vec![
+                        Value::String("retrieve (p.name)".into()),
+                        Value::Integer(3),
+                    ]],
                 },
             },
             Message::Error {

@@ -456,6 +456,14 @@ fn handle_request(shared: &Shared, request: Message) -> Message {
                 Err(e) => core_error_response(&e),
             }
         }
+        // Statement statistics are read under the shared half too: the
+        // store's own interior mutability handles concurrent recording.
+        Message::Top { limit } => {
+            let mdm = shared.mdm.read().expect("mdm lock");
+            Message::TopStats {
+                table: mdm.statement_top(limit as usize),
+            }
+        }
         Message::MetricsSnapshot { format, prefix } => {
             let mdm = shared.mdm.read().expect("mdm lock");
             let snap = mdm.metrics_snapshot().filtered(&prefix);

@@ -78,6 +78,66 @@ fn explain_over_the_wire_reports_access_paths() {
     server.shutdown().expect("shutdown");
 }
 
+/// The introspection acceptance bar: a `$statements` retrieve over the
+/// wire returns the session's own prior queries, `\top`'s underlying
+/// request works remotely, and EXPLAIN carries the statistics
+/// annotation across the codec.
+#[test]
+fn statement_statistics_visible_over_the_wire() {
+    let server = start_server("introspect", ServerConfig::default());
+    let mut c = client(&server);
+
+    c.execute(
+        "define entity GADGET (name = string)\n\
+         append to GADGET (name = \"theremin\")\n\
+         append to GADGET (name = \"ondes\")\n\
+         define index gadget_by_name on GADGET (name)",
+    )
+    .expect("execute");
+    // Two literal variants: one fingerprint, two calls, on the shared
+    // read path.
+    for name in ["theremin", "ondes"] {
+        c.query(&format!(
+            "range of g is GADGET\nretrieve (g.name) where g.name = \"{name}\""
+        ))
+        .expect("query");
+    }
+
+    let t = c
+        .query(
+            "range of st is $statements\n\
+             retrieve (st.fingerprint, st.calls, st.index_eq) where st.calls = 2",
+        )
+        .expect("query $statements");
+    assert_eq!(t.rows.len(), 1, "literal variants collapse:\n{t}");
+    let mdm_lang::Table { rows, .. } = &t;
+    assert_eq!(
+        rows[0][2],
+        mdm_model::Value::Integer(2),
+        "both probes took the index path"
+    );
+
+    // The same store answers the Top request (what \top uses remotely).
+    let top = c.top(10).expect("top");
+    assert_eq!(top.columns[0], "fingerprint");
+    assert!(
+        top.rows.len() >= 2,
+        "execute + query fingerprints recorded:\n{top}"
+    );
+
+    // EXPLAIN's statistics annotation survives the wire codec.
+    let (explain, _) = c
+        .explain("range of g is GADGET\nretrieve (g.name) where g.name = \"ondes\"")
+        .expect("explain");
+    assert!(
+        explain.vars[0].stats.contains("live=2"),
+        "stats annotation over the wire: {:?}",
+        explain.vars[0].stats
+    );
+
+    server.shutdown().expect("shutdown");
+}
+
 #[test]
 fn score_round_trips_over_the_wire() {
     let server = start_server("score", ServerConfig::default());

@@ -14,6 +14,9 @@
 //! * [`json`] — a minimal JSON parser used by tests and by the bench
 //!   smoke-mode validator; the exporters in [`registry`] emit JSON this
 //!   parser round-trips.
+//! * [`stats`] — the [`StatementStore`], a bounded LRU of
+//!   per-fingerprint statement statistics (pg_stat_statements for QUEL)
+//!   with a binary image for checkpoint persistence.
 //! * [`trace`] — per-request span trees: a [`Tracer`] with sampling, a
 //!   bounded ring of completed traces, a slow-query log, and export as
 //!   Chrome trace-event JSON or a plain-text tree.
@@ -37,6 +40,7 @@ pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod stats;
 pub mod trace;
 
 pub use events::{Event, EventLog};
@@ -44,4 +48,5 @@ pub use metrics::{
     Counter, Gauge, Histogram, SpanTimer, LATENCY_MICROS_BOUNDS, SMALL_COUNT_BOUNDS,
 };
 pub use registry::{HistogramSnap, MetricSnap, MetricValue, Registry, Snapshot};
+pub use stats::{PathMix, StatementStats, StatementStore, DEFAULT_STATEMENT_CAPACITY};
 pub use trace::{chrome_trace_json, SpanRecord, Trace, TraceContext, Tracer, DEFAULT_SAMPLE_EVERY};

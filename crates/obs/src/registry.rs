@@ -37,6 +37,13 @@ pub struct Registry {
     inner: Arc<Mutex<Vec<Entry>>>,
 }
 
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.inner.lock().map(|e| e.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("metrics", &n).finish()
+    }
+}
+
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
@@ -340,6 +347,115 @@ impl Snapshot {
             })
     }
 
+    /// The change between `earlier` and this snapshot, so counters can
+    /// be read as rates during a run (`\stats delta` in the shell).
+    /// Entries are matched by `(name, labels)`: counters subtract
+    /// (saturating, so a restart between reads shows zero rather than
+    /// wrapping), histograms subtract per bucket, and gauges keep their
+    /// current reading — a gauge is a level, not an accumulation.
+    /// Entries absent from `earlier` keep their current values.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let before = earlier
+                    .entries
+                    .iter()
+                    .find(|b| b.name == e.name && b.labels == e.labels);
+                let value = match (&e.value, before.map(|b| &b.value)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(then)))
+                        if now.bounds == then.bounds && now.counts.len() == then.counts.len() =>
+                    {
+                        MetricValue::Histogram(HistogramSnap {
+                            bounds: now.bounds.clone(),
+                            counts: now
+                                .counts
+                                .iter()
+                                .zip(&then.counts)
+                                .map(|(n, t)| n.saturating_sub(*t))
+                                .collect(),
+                            count: now.count.saturating_sub(then.count),
+                            sum: now.sum.saturating_sub(then.sum),
+                        })
+                    }
+                    _ => e.value.clone(),
+                };
+                MetricSnap {
+                    name: e.name.clone(),
+                    help: e.help.clone(),
+                    labels: e.labels.clone(),
+                    value,
+                }
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// Parses a snapshot back out of [`Snapshot::to_json`] output, so a
+    /// shell connected to a remote server can diff two fetches. Help
+    /// text is not carried in the JSON and comes back empty. Returns
+    /// `None` on anything that is not a well-formed snapshot document.
+    pub fn from_json(text: &str) -> Option<Snapshot> {
+        use crate::json::{parse, Value};
+        let doc = parse(text).ok()?;
+        let mut entries = Vec::new();
+        for m in doc.get("metrics")?.as_array()? {
+            let name = m.get("name")?.as_str()?.to_string();
+            let labels: Vec<(String, String)> = match m.get("labels") {
+                Some(Value::Object(map)) => map
+                    .iter()
+                    .map(|(k, v)| Some((k.clone(), v.as_str()?.to_string())))
+                    .collect::<Option<_>>()?,
+                _ => Vec::new(),
+            };
+            let value = match m.get("type")?.as_str()? {
+                "counter" => MetricValue::Counter(m.get("value")?.as_u64()?),
+                "gauge" => match m.get("value")? {
+                    Value::Number(n) if n.fract() == 0.0 => MetricValue::Gauge(*n as i64),
+                    _ => return None,
+                },
+                "histogram" => {
+                    // Buckets are exported cumulative with a trailing
+                    // +Inf; undo both to recover per-bucket counts.
+                    let mut bounds = Vec::new();
+                    let mut counts = Vec::new();
+                    let mut prev = 0u64;
+                    for b in m.get("buckets")?.as_array()? {
+                        let cumulative = b.get("count")?.as_u64()?;
+                        let n = cumulative.checked_sub(prev)?;
+                        prev = cumulative;
+                        match b.get("le")? {
+                            Value::Number(edge) => {
+                                bounds.push(*edge as u64);
+                                counts.push(n);
+                            }
+                            Value::String(s) if s == "+Inf" => counts.push(n),
+                            _ => return None,
+                        }
+                    }
+                    MetricValue::Histogram(HistogramSnap {
+                        bounds,
+                        counts,
+                        count: m.get("count")?.as_u64()?,
+                        sum: m.get("sum")?.as_u64()?,
+                    })
+                }
+                _ => return None,
+            };
+            entries.push(MetricSnap {
+                name,
+                help: String::new(),
+                labels,
+                value,
+            });
+        }
+        Some(Snapshot { entries })
+    }
+
     /// Serializes the snapshot as a JSON object:
     /// `{"metrics": [{"name": …, "labels": {…}, "type": …, …}, …]}`.
     /// The output round-trips through [`crate::json::parse`].
@@ -623,6 +739,68 @@ mod tests {
         assert!(net.to_prometheus().contains("mdm_net_requests_total 1"));
         assert_eq!(s.filtered("").entries.len(), 3, "empty prefix keeps all");
         assert_eq!(s.filtered("nope").entries.len(), 0);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms_keeps_gauges() {
+        let r = Registry::new();
+        let c = r.counter_labeled("mdm_ops_total", "ops", &[("kind", "a")]);
+        let g = r.gauge("mdm_active", "active");
+        let h = r.histogram("mdm_lat_micros", "latency", &[10, 100]);
+        c.add(5);
+        g.set(2);
+        h.observe(7);
+        let before = r.snapshot();
+        c.add(3);
+        g.set(9);
+        h.observe(50);
+        h.observe(5000);
+        let d = r.snapshot().delta(&before);
+        assert_eq!(d.counter_with("mdm_ops_total", &[("kind", "a")]), Some(3));
+        assert_eq!(d.gauge("mdm_active"), Some(9), "gauges keep the level");
+        let hs = d.histogram("mdm_lat_micros").unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.counts, vec![0, 1, 1]);
+        assert_eq!(hs.sum, 5050);
+        // A counter that went backwards (restart) clamps to zero.
+        let empty = Registry::new().snapshot();
+        let clamped = empty.delta(&r.snapshot());
+        assert!(clamped.entries.is_empty());
+        let d2 = before.delta(&r.snapshot());
+        assert_eq!(d2.counter_with("mdm_ops_total", &[("kind", "a")]), Some(0));
+    }
+
+    #[test]
+    fn delta_keeps_entries_new_since_baseline() {
+        let r = Registry::new();
+        let before = r.snapshot();
+        r.counter("mdm_new_total", "new").add(4);
+        let d = r.snapshot().delta(&before);
+        assert_eq!(d.counter("mdm_new_total"), Some(4));
+    }
+
+    #[test]
+    fn from_json_round_trips_snapshot() {
+        let r = Registry::new();
+        r.counter_labeled("mdm_x_total", "x", &[("k", "v")]).add(3);
+        r.gauge("mdm_g", "g").set(-7);
+        let h = r.histogram("mdm_y_micros", "y", &[10, 100]);
+        h.observe(42);
+        h.observe(5000); // overflow bucket
+        let snap = r.snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.counter_with("mdm_x_total", &[("k", "v")]), Some(3));
+        assert_eq!(back.gauge("mdm_g"), Some(-7));
+        let hs = back.histogram("mdm_y_micros").unwrap();
+        assert_eq!(hs.bounds, vec![10, 100]);
+        assert_eq!(hs.counts, vec![0, 1, 1]);
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.sum, 5042);
+        // Parsed snapshots diff cleanly — the remote `\stats delta` path.
+        let d = back.delta(&back);
+        assert_eq!(d.counter_with("mdm_x_total", &[("k", "v")]), Some(0));
+        assert!(Snapshot::from_json("{}").is_none());
+        assert!(Snapshot::from_json("not json").is_none());
     }
 
     #[test]
