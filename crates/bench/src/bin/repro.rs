@@ -59,6 +59,21 @@
 //! was found. `torture-smoke` is the CI check: a strided sweep that
 //! must still explore a healthy number of distinct crash states with
 //! zero violations.
+//!
+//! `repl-bench` runs the replication read fan-out axis — the same QUEL
+//! read mix against 0 (primary only), 1, 2, and 4 streaming replicas
+//! while a writer keeps appending on the primary — and writes
+//! `BENCH_8.json`: read throughput per topology plus replication-lag
+//! p50/p99 (in records behind the primary's durable watermark) sampled
+//! during the run. `repl-smoke` is the CI check: a primary and one
+//! replica over loopback; rows written on the primary must become
+//! readable on the replica within a lag bound, the replica must refuse
+//! writes with the typed code, and a validated 1-replica sweep runs.
+//!
+//! `replay-to <src> <dest> --lsn N` is point-in-time recovery from a
+//! WAL-archived database directory: it rebuilds a fresh directory at
+//! `dest` holding exactly the records of `src` below LSN `N`
+//! (`--lsn max` for the full history) and reports the restore point.
 
 use mdm_bench::workload;
 use mdm_core::{Analyst, Composer, Library, MusicDataManager};
@@ -220,6 +235,39 @@ fn main() {
             }
             return;
         }
+        "repl-bench" => {
+            let doc = repl_bench_json(&[0, 1, 2, 4], 4, 300);
+            if let Err(e) = validate_repl_bench_json(&doc) {
+                eprintln!("repl bench JSON failed self-validation: {e}");
+                std::process::exit(1);
+            }
+            let path = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| format!("{}/../../BENCH_8.json", env!("CARGO_MANIFEST_DIR")));
+            std::fs::write(&path, &doc).expect("write BENCH_8.json");
+            println!("wrote {path}");
+            return;
+        }
+        "repl-smoke" => {
+            match repl_smoke() {
+                Ok(report) => println!("{report}"),
+                Err(e) => {
+                    eprintln!("repl smoke FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
+        "replay-to" => {
+            match replay_to(&std::env::args().skip(2).collect::<Vec<_>>()) {
+                Ok(report) => println!("{report}"),
+                Err(e) => {
+                    eprintln!("replay-to FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
         _ => {}
     }
     type Artifact = (&'static str, fn() -> String);
@@ -253,7 +301,8 @@ fn main() {
             eprintln!(
                 "unknown artifact {which}; use fig1..fig15, t1, quel, bench, smoke, \
                  net-bench, net-smoke, trace-bench, trace-smoke, index-bench, \
-                 index-smoke, stats-bench, stats-smoke, torture, torture-smoke, or all"
+                 index-smoke, stats-bench, stats-smoke, torture, torture-smoke, \
+                 repl-bench, repl-smoke, replay-to <src> <dest> --lsn <N>, or all"
             );
             std::process::exit(2);
         }
@@ -1912,6 +1961,357 @@ fn torture_smoke() -> Result<String, String> {
         report.syncs,
         report.reopen_percentile(0.99),
         started.elapsed().as_secs_f64()
+    ))
+}
+
+/// One replication fan-out sweep: a primary under constant write load,
+/// `replicas` streaming replicas (0 = readers hit the primary), and
+/// `readers` concurrent QUEL readers spread round-robin over the read
+/// endpoints. Returns `(reads_per_sec, lag samples in records, writes
+/// completed, snapshot of the last replica — or the primary when 0)`.
+fn repl_sweep(
+    replicas: usize,
+    readers: usize,
+    reads_per_reader: usize,
+) -> (f64, Vec<u64>, u64, mdm_obs::Snapshot) {
+    use mdm_net::{ClientConfig, MdmClient, MdmServer, ServerConfig};
+    use mdm_repl::{ReplicaConfig, ReplicaNode};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let base =
+        std::env::temp_dir().join(format!("mdm-repro-repl-{replicas}-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let mdm = MusicDataManager::open(&base.join("primary")).expect("open primary");
+    let server =
+        MdmServer::start(mdm, "127.0.0.1:0", ServerConfig::default()).expect("start server");
+    let addr = server.local_addr().to_string();
+
+    // Fixture: one entity, a page of rows, so reads do real work.
+    let mut seed = MdmClient::connect(&addr, ClientConfig::default()).expect("seed connect");
+    let mut stmt = String::from("define entity TUNE (title = string)\n");
+    for i in 0..64 {
+        stmt.push_str(&format!("append to TUNE (title = \"air no. {i}\")\n"));
+    }
+    seed.execute(&stmt).expect("seed fixture");
+
+    let nodes: Vec<ReplicaNode> = (0..replicas)
+        .map(|i| {
+            let mut cfg = ReplicaConfig::new(&addr);
+            cfg.replica_id = i as u64 + 1;
+            ReplicaNode::start(&base.join(format!("replica-{i}")), "127.0.0.1:0", cfg)
+                .expect("start replica")
+        })
+        .collect();
+    let target = server.with_manager(|m| m.engine().wal_durable_lsn());
+    for node in &nodes {
+        assert!(
+            node.wait_for_lsn(target, std::time::Duration::from_secs(30)),
+            "replica never caught up: {:?}",
+            node.last_error()
+        );
+    }
+    let read_addrs: Vec<String> = if nodes.is_empty() {
+        vec![addr.clone()]
+    } else {
+        nodes.iter().map(|n| n.addr().to_string()).collect()
+    };
+
+    let stop = AtomicBool::new(false);
+    let writes = AtomicU64::new(0);
+    let mut lag_samples: Vec<u64> = Vec::new();
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        // Writer: keeps the primary's durable watermark moving so the
+        // lag samples measure replication under load, not at rest.
+        scope.spawn(|| {
+            let mut c = MdmClient::connect(&addr, ClientConfig::default()).expect("writer");
+            let mut i = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                c.execute(&format!("append to TUNE (title = \"load {i}\")"))
+                    .expect("write");
+                writes.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        });
+        // Lag sampler: max records behind the primary's durable
+        // watermark across the fleet, sampled while readers run.
+        let sampler = scope.spawn(|| {
+            let mut samples = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                let lag = nodes
+                    .iter()
+                    .map(|n| n.primary_durable_lsn().saturating_sub(n.applied_lsn()))
+                    .max()
+                    .unwrap_or(0);
+                samples.push(lag);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            samples
+        });
+        let mut handles = Vec::new();
+        for r in 0..readers {
+            let target = read_addrs[r % read_addrs.len()].clone();
+            handles.push(scope.spawn(move || {
+                let mut c = MdmClient::connect(&target, ClientConfig::default()).expect("reader");
+                for _ in 0..reads_per_reader {
+                    let t = c
+                        .query("range of t is TUNE\nretrieve (t.title)")
+                        .expect("read");
+                    assert!(t.rows.len() >= 64, "reader saw a truncated fixture");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("reader thread");
+        }
+        stop.store(true, Ordering::Release);
+        lag_samples = sampler.join().expect("sampler thread");
+    });
+    let elapsed = started.elapsed();
+    let reads = readers * reads_per_reader;
+    let per_sec = reads as f64 / elapsed.as_secs_f64();
+    let writes = writes.load(Ordering::Acquire);
+
+    let snap = match nodes.is_empty() {
+        true => server.with_manager(|m| m.metrics_snapshot()),
+        false => nodes[0].server().with_manager(|m| m.metrics_snapshot()),
+    };
+    for node in nodes {
+        node.shutdown().expect("replica shutdown");
+    }
+    server.shutdown().expect("primary shutdown");
+    std::fs::remove_dir_all(&base).ok();
+    (per_sec, lag_samples, writes, snap)
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The E8 replication fan-out sweep as a JSON document: read throughput
+/// per replica count (0 = all reads on the primary) under a constant
+/// primary write load, with replication-lag quantiles per topology and
+/// the last replica's metrics snapshot (`mdm_repl_*`) embedded.
+fn repl_bench_json(replica_counts: &[usize], readers: usize, reads_per_reader: usize) -> String {
+    let mut runs = String::new();
+    let mut last_snapshot = None;
+    for (i, &replicas) in replica_counts.iter().enumerate() {
+        let (per_sec, mut lags, writes, snap) = repl_sweep(replicas, readers, reads_per_reader);
+        lags.sort_unstable();
+        if i > 0 {
+            runs.push(',');
+        }
+        runs.push_str(&format!(
+            "{{\"replicas\":{replicas},\"readers\":{readers},\
+             \"reads\":{},\"reads_per_sec\":{per_sec:.1},\
+             \"writes_during\":{writes},\
+             \"lag_p50_records\":{},\"lag_p99_records\":{}}}",
+            readers * reads_per_reader,
+            percentile(&lags, 0.50),
+            percentile(&lags, 0.99),
+        ));
+        if replicas > 0 {
+            last_snapshot = Some(snap);
+        }
+    }
+    format!(
+        "{{\"bench\":\"e8_repl_fanout\",\"reads_per_reader\":{reads_per_reader},\
+         \"runs\":[{runs}],\"replica_metrics\":{}}}\n",
+        last_snapshot
+            .expect("at least one replicated run")
+            .to_json()
+    )
+}
+
+/// Validates a `repl_bench_json` document: well-formed JSON, runs with
+/// throughput and lag-quantile fields, and the `mdm_repl_*` families
+/// present — with real traffic — in the embedded replica snapshot.
+fn validate_repl_bench_json(doc: &str) -> Result<(), String> {
+    use mdm_obs::json::{parse, Value};
+    let v = parse(doc).map_err(|e| e.to_string())?;
+    let runs = v
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("missing runs array")?;
+    if runs.is_empty() {
+        return Err("runs array is empty".into());
+    }
+    for run in runs {
+        for key in [
+            "replicas",
+            "readers",
+            "reads",
+            "writes_during",
+            "lag_p50_records",
+            "lag_p99_records",
+        ] {
+            run.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("run is missing integer field {key}"))?;
+        }
+        if !matches!(run.get("reads_per_sec"), Some(Value::Number(_))) {
+            return Err("run is missing reads_per_sec".into());
+        }
+    }
+    let metrics = v
+        .get("replica_metrics")
+        .and_then(|m| m.get("metrics"))
+        .and_then(Value::as_array)
+        .ok_or("missing replica_metrics.metrics array")?;
+    for required in [
+        "mdm_repl_applied_lsn",
+        "mdm_repl_lag_bytes",
+        "mdm_repl_batches_total",
+        "mdm_repl_records_total",
+        "mdm_repl_statements_total",
+    ] {
+        if !metrics
+            .iter()
+            .any(|m| m.get("name").and_then(Value::as_str) == Some(required))
+        {
+            return Err(format!("metric {required} missing from snapshot"));
+        }
+    }
+    let applied = metrics
+        .iter()
+        .find(|m| m.get("name").and_then(Value::as_str) == Some("mdm_repl_records_total"))
+        .and_then(|m| m.get("value"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    if applied == 0 {
+        return Err("replica snapshot shows zero replicated records".into());
+    }
+    Ok(())
+}
+
+/// The CI replication smoke: a primary and one replica over loopback.
+/// Rows written on the primary must become readable on the replica
+/// within the lag bound, the replica must refuse writes with the typed
+/// `ReadOnly` code, and a validated 1-replica mini-sweep must pass.
+fn repl_smoke() -> Result<String, String> {
+    use mdm_net::{ClientConfig, ErrorCode, MdmClient, MdmServer, NetError, ServerConfig};
+    use mdm_repl::{ReplicaConfig, ReplicaNode};
+    let deadline = std::time::Duration::from_secs(60);
+    let started = std::time::Instant::now();
+
+    let base = std::env::temp_dir().join(format!("mdm-repro-repl-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let mdm = MusicDataManager::open(&base.join("primary")).map_err(|e| format!("open: {e}"))?;
+    let server = MdmServer::start(mdm, "127.0.0.1:0", ServerConfig::default())
+        .map_err(|e| format!("start: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let node = ReplicaNode::start(
+        &base.join("replica"),
+        "127.0.0.1:0",
+        ReplicaConfig::new(&addr),
+    )
+    .map_err(|e| format!("replica start: {e}"))?;
+
+    let mut pc =
+        MdmClient::connect(&addr, ClientConfig::default()).map_err(|e| format!("connect: {e}"))?;
+    pc.execute(
+        "define entity TUNE (title = string)\n\
+         append to TUNE (title = \"the old triangle\")\n\
+         append to TUNE (title = \"the parting glass\")",
+    )
+    .map_err(|e| format!("primary execute: {e}"))?;
+    let target = server.with_manager(|m| m.engine().wal_durable_lsn());
+    if !node.wait_for_lsn(target, std::time::Duration::from_secs(15)) {
+        return Err(format!(
+            "replica stuck at lsn {} of {target}: {:?}",
+            node.applied_lsn(),
+            node.last_error()
+        ));
+    }
+    let mut rc = MdmClient::connect(&node.addr().to_string(), ClientConfig::default())
+        .map_err(|e| format!("replica connect: {e}"))?;
+    let t = rc
+        .query("range of t is TUNE\nretrieve (t.title)")
+        .map_err(|e| format!("replica query: {e}"))?;
+    if t.rows.len() != 2 {
+        return Err(format!("expected 2 replicated rows, got {}", t.rows.len()));
+    }
+    match rc.execute("append to TUNE (title = \"nope\")") {
+        Err(NetError::Remote {
+            code: ErrorCode::ReadOnly,
+            ..
+        }) => {}
+        other => return Err(format!("expected typed ReadOnly refusal, got {other:?}")),
+    }
+    let rs = rc
+        .repl_status()
+        .map_err(|e| format!("replica status: {e}"))?;
+    if !rs.replica || rs.applied_lsn < target {
+        return Err(format!(
+            "replica status wrong: replica={} applied={}",
+            rs.replica, rs.applied_lsn
+        ));
+    }
+    drop(rc);
+    node.shutdown()
+        .map_err(|e| format!("replica shutdown: {e}"))?;
+    let mdm = server.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    drop(mdm);
+    std::fs::remove_dir_all(&base).ok();
+
+    let doc = repl_bench_json(&[1], 2, 25);
+    validate_repl_bench_json(&doc)?;
+
+    let elapsed = started.elapsed();
+    if elapsed > deadline {
+        return Err(format!(
+            "smoke exceeded its {}s deadline ({:.1}s)",
+            deadline.as_secs(),
+            elapsed.as_secs_f64()
+        ));
+    }
+    Ok(format!(
+        "repl smoke: ok — primary→replica stream, typed read-only \
+         refusal, status, and a validated 1-replica sweep in {:.2}s",
+        elapsed.as_secs_f64()
+    ))
+}
+
+/// Point-in-time recovery: `replay-to <src> <dest> --lsn <N>` rebuilds
+/// `dest` from `src`'s archived WAL history cut strictly below `N`
+/// (`--lsn max` keeps everything), then opens it once to prove the
+/// restored directory recovers.
+fn replay_to(args: &[String]) -> Result<String, String> {
+    let mut src = None;
+    let mut dest = None;
+    let mut lsn = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--lsn" {
+            let v = it.next().ok_or("--lsn needs a value")?;
+            lsn = Some(if v == "max" {
+                u64::MAX
+            } else {
+                v.parse::<u64>().map_err(|_| format!("bad lsn {v:?}"))?
+            });
+        } else if src.is_none() {
+            src = Some(std::path::PathBuf::from(a));
+        } else if dest.is_none() {
+            dest = Some(std::path::PathBuf::from(a));
+        } else {
+            return Err(format!("unexpected argument {a:?}"));
+        }
+    }
+    let (Some(src), Some(dest), Some(lsn)) = (src, dest, lsn) else {
+        return Err("usage: repro replay-to <src-dir> <dest-dir> --lsn <N|max>".into());
+    };
+    let (engine, point) =
+        mdm_repl::restore_and_open(&src, &dest, lsn).map_err(|e| e.to_string())?;
+    let tables = engine.table_names().len();
+    drop(engine);
+    Ok(format!(
+        "restored {} to {} at lsn {point} ({tables} tables recovered)",
+        src.display(),
+        dest.display()
     ))
 }
 

@@ -32,7 +32,7 @@ use crate::score_store;
 /// The wire protocol version the MDM stack speaks, surfaced as the
 /// `protocol` label on `mdm_build_info`. `mdm-net` owns the wire
 /// constant; a test over there asserts the two stay equal.
-pub const WIRE_PROTOCOL_VERSION: u16 = 2;
+pub const WIRE_PROTOCOL_VERSION: u16 = 3;
 
 /// Engine table holding the statement journal: the QUEL text of every
 /// successful `execute` since the last [`MusicDataManager::save`], each
@@ -41,8 +41,11 @@ pub const WIRE_PROTOCOL_VERSION: u16 = 2;
 /// dropped at save once the checkpoint carries their effects. Writing
 /// it runs a real engine transaction — locks, buffer pool, WAL append,
 /// group-commit fsync — which is also what threads genuine storage
-/// spans into every traced `execute` request.
-const JOURNAL_TABLE: &str = "__stmt_journal";
+/// spans into every traced `execute` request. Public because a replica
+/// watches the replicated WAL stream for inserts into this table and
+/// applies the journaled statement text to its own in-memory database,
+/// keeping reads fresh between checkpoints.
+pub const JOURNAL_TABLE: &str = "__stmt_journal";
 
 /// Engine table carrying the statistics images across restarts: one row
 /// per kind, a tag byte (1 = statement store, 2 = access statistics)
@@ -112,6 +115,9 @@ pub struct MusicDataManager {
     stmt_store: Arc<StatementStore>,
     /// Next statement-journal sequence number (max persisted + 1).
     journal_seq: u64,
+    /// Replica mode: the durable state is owned by a replication
+    /// stream, so every local write path (execute, save) is refused.
+    replica: bool,
 }
 
 impl MusicDataManager {
@@ -156,7 +162,7 @@ impl MusicDataManager {
                 "build metadata carried as labels; the value is always 1",
                 &[
                     ("version", env!("CARGO_PKG_VERSION")),
-                    ("protocol", "2"), // = WIRE_PROTOCOL_VERSION (labels are &str)
+                    ("protocol", "3"), // = WIRE_PROTOCOL_VERSION (labels are &str)
                 ],
             )
             .set(1);
@@ -182,6 +188,9 @@ impl MusicDataManager {
         let journal_seq = replay_journal(&engine, &mut session, &mut db)?;
         session.set_statement_store(Arc::clone(&stmt_store));
         session.set_lock_registry(registry.clone());
+        // A replica marker in the data dir survives restarts: the
+        // engine opened in replica mode, and the MDM must match.
+        let replica = engine.is_replica();
         Ok(MusicDataManager {
             engine,
             db,
@@ -192,7 +201,26 @@ impl MusicDataManager {
             tracer,
             stmt_store,
             journal_seq,
+            replica,
         })
+    }
+
+    /// Flips replica mode, on the MDM and its engine together. A
+    /// replica refuses [`execute`](Self::execute) and
+    /// [`save`](Self::save) — its WAL is fed by
+    /// [`StorageEngine::replica_apply`] and a local append would
+    /// collide with the primary's LSN space. Promoting a caught-up
+    /// replica is `set_replica(false)`: the LSN space simply continues.
+    /// The role sticks across restarts (a marker file in the data dir).
+    pub fn set_replica(&mut self, on: bool) -> Result<()> {
+        self.engine.set_replica(on)?;
+        self.replica = on;
+        Ok(())
+    }
+
+    /// Whether this MDM is currently a replica.
+    pub fn is_replica(&self) -> bool {
+        self.replica
     }
 
     /// The tracer every layer under this MDM records spans through. The
@@ -235,10 +263,41 @@ impl MusicDataManager {
     /// real (WAL-logged, group-committed) transaction, so the mutation
     /// survives a crash even before the next [`save`](Self::save).
     pub fn execute(&mut self, text: &str) -> Result<Vec<StmtResult>> {
+        self.refuse_if_replica()?;
         self.requests.execute.inc();
         let results = self.run(text)?;
         self.journal_append(text)?;
         Ok(results)
+    }
+
+    /// Applies a statement that arrived through the replication stream
+    /// to the in-memory database only — no journal append (the journal
+    /// row itself arrives in the replicated WAL) and no replica-mode
+    /// refusal. Best effort, like journal replay at open: a statement
+    /// the replica's current image cannot execute is skipped; the next
+    /// checkpoint reload resynchronizes from storage.
+    pub fn apply_replicated_statement(&mut self, text: &str) -> bool {
+        self.session.execute(&mut self.db, text).is_ok()
+    }
+
+    /// Rebuilds the in-memory database from the engine's current pages:
+    /// persisted image, CMN schema, statistics, journal replay — the
+    /// same sequence `open` runs. A replica calls this after folding a
+    /// replicated checkpoint so its reads reflect exactly the storage
+    /// state, discarding any drift the best-effort live statement
+    /// application accumulated.
+    pub fn reload_from_storage(&mut self) -> Result<()> {
+        let mut db = persist::load(&self.engine)?;
+        cmn_schema::install(&mut db)?;
+        load_stats(&self.engine, &self.stmt_store, &db)?;
+        let mut session = Session::with_metrics(Arc::clone(&self.quel));
+        let journal_seq = replay_journal(&self.engine, &mut session, &mut db)?;
+        session.set_statement_store(Arc::clone(&self.stmt_store));
+        session.set_lock_registry(self.registry.clone());
+        self.db = db;
+        self.session = session;
+        self.journal_seq = journal_seq;
+        Ok(())
     }
 
     /// Appends one executed program to the statement journal.
@@ -371,6 +430,11 @@ impl MusicDataManager {
     /// image now carries every journaled statement's effect, so a
     /// reopen must not replay them a second time.
     pub fn save(&mut self) -> Result<()> {
+        if self.replica {
+            return Err(CoreError::Storage(mdm_storage::StorageError::Replication(
+                "a replica's durable state is owned by the replication stream".into(),
+            )));
+        }
         self.requests.save.inc();
         persist::save(&self.db, &self.engine)?;
         self.write_stats_image()?;
@@ -409,8 +473,19 @@ impl MusicDataManager {
 
     /// Stores a score, returning its SCORE entity id.
     pub fn store_score(&mut self, score: &Score) -> Result<EntityId> {
+        self.refuse_if_replica()?;
         self.requests.store_score.inc();
         score_store::store_score(&mut self.db, score)
+    }
+
+    /// Typed refusal shared by the write-path entry points.
+    fn refuse_if_replica(&self) -> Result<()> {
+        if self.replica {
+            return Err(CoreError::Storage(mdm_storage::StorageError::Replication(
+                "this node is a replica; writes must go to the primary".into(),
+            )));
+        }
+        Ok(())
     }
 
     /// Loads a stored score by entity id.
@@ -438,6 +513,7 @@ impl MusicDataManager {
         darms: &str,
         meter: TimeSignature,
     ) -> Result<EntityId> {
+        self.refuse_if_replica()?;
         self.requests.import_darms.inc();
         let items = mdm_darms::parse(darms)?;
         let voice = mdm_darms::to_voice(&items)?;

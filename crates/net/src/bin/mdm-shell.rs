@@ -18,6 +18,8 @@
 //! .quit               exit (saving)
 //! \connect host:port  route programs to a remote MDM server
 //! \disconnect         back to the local embedded database
+//! \replica status     replication role, LSN watermarks, lag/replicas
+//!                     (remote server's when connected)
 //! \stats [json|prom] [prefix]
 //!                     live metrics (remote server's when connected),
 //!                     optionally filtered to names starting with prefix
@@ -42,8 +44,23 @@ use std::io::{BufRead, Write};
 
 use mdm_core::MusicDataManager;
 use mdm_lang::StmtResult;
-use mdm_net::{ClientConfig, MdmClient, MdmServer, ServerConfig, StatsFormat, TraceOp};
+use mdm_net::{ClientConfig, MdmClient, MdmServer, ReplStatus, ServerConfig, StatsFormat, TraceOp};
 use mdm_obs::{chrome_trace_json, MetricValue, Snapshot};
+
+/// Renders a node's replication role and watermarks, local or remote.
+fn print_repl_status(s: &ReplStatus) {
+    println!(
+        "role         {}",
+        if s.replica { "replica" } else { "primary" }
+    );
+    println!("applied_lsn  {}", s.applied_lsn);
+    println!("durable_lsn  {}", s.durable_lsn);
+    if s.replica {
+        println!("lag_bytes    {}", s.lag_bytes);
+    } else {
+        println!("replicas     {}", s.replicas);
+    }
+}
 
 /// Renders a metrics snapshot for terminal reading: one line per series,
 /// histograms summarized as count/sum/mean.
@@ -285,6 +302,7 @@ fn main() {
                 println!(".help .schema .census .scores .save .quit");
                 println!("\\connect host:port   route programs to a remote server");
                 println!("\\disconnect          back to the local database");
+                println!("\\replica status      replication role, watermarks, lag");
                 println!("\\stats [json|prom] [prefix]   live metrics snapshot");
                 println!(
                     "\\stats delta [prefix]         counters since the previous \\stats delta"
@@ -315,6 +333,24 @@ fn main() {
                         remote = Some(c);
                     }
                     Err(e) => eprintln!("connect failed: {e}"),
+                }
+            }
+            "\\replica status" => {
+                // Remote: ask the connected server. Local: read the
+                // embedded engine's role and watermarks directly (an
+                // embedded node never has a pull loop, so no lag).
+                match &mut remote {
+                    Some(c) => match c.repl_status() {
+                        Ok(s) => print_repl_status(&s),
+                        Err(e) => eprintln!("error: {e}"),
+                    },
+                    None => print_repl_status(&ReplStatus {
+                        replica: mdm.engine().is_replica(),
+                        applied_lsn: mdm.engine().wal_next_lsn(),
+                        durable_lsn: mdm.engine().wal_durable_lsn(),
+                        lag_bytes: 0,
+                        replicas: 0,
+                    }),
                 }
             }
             "\\disconnect" => {

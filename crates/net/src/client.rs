@@ -38,6 +38,26 @@ impl Default for ClientConfig {
     }
 }
 
+/// A batch of encoded WAL records as `(lsn, payload)` pairs, as pulled
+/// by [`MdmClient::repl_pull`]. Mirrors `mdm_storage::WalBatch`.
+pub type WalBatch = Vec<(u64, Vec<u8>)>;
+
+/// A node's replication role and watermarks, as reported by
+/// [`MdmClient::repl_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplStatus {
+    /// `true` if the node is a replica (refuses writes).
+    pub replica: bool,
+    /// Next LSN the node would append (its applied watermark).
+    pub applied_lsn: u64,
+    /// The node's durable (fsynced) LSN watermark.
+    pub durable_lsn: u64,
+    /// On a replica: bytes of primary WAL not yet applied.
+    pub lag_bytes: u64,
+    /// On a primary: replicas that pulled recently.
+    pub replicas: u32,
+}
+
 /// A blocking connection to an [`MdmServer`](crate::server::MdmServer).
 pub struct MdmClient {
     addr: String,
@@ -340,6 +360,49 @@ impl MdmClient {
     pub fn trace_fetch(&mut self, slow: bool, n: u32) -> Result<(String, String)> {
         match self.request(Message::TraceFetch { slow, n })? {
             Message::TraceDump { text, chrome_json } => Ok((text, chrome_json)),
+            other => Err(NetError::UnexpectedResponse(other.type_name())),
+        }
+    }
+
+    /// Pulls durable WAL records from `from_lsn` (at most ~`max_bytes`
+    /// of record payload): `(records, primary durable LSN)`. Requires a
+    /// v3 session.
+    pub fn repl_pull(
+        &mut self,
+        replica_id: u64,
+        from_lsn: u64,
+        max_bytes: u32,
+    ) -> Result<(WalBatch, u64)> {
+        match self.request(Message::ReplPull {
+            replica_id,
+            from_lsn,
+            max_bytes,
+        })? {
+            Message::ReplBatch {
+                records,
+                durable_lsn,
+            } => Ok((records, durable_lsn)),
+            other => Err(NetError::UnexpectedResponse(other.type_name())),
+        }
+    }
+
+    /// Fetches the node's replication role and watermarks. Requires a
+    /// v3 session.
+    pub fn repl_status(&mut self) -> Result<ReplStatus> {
+        match self.request(Message::ReplStatus)? {
+            Message::ReplStatusInfo {
+                role,
+                applied_lsn,
+                durable_lsn,
+                lag_bytes,
+                replicas,
+            } => Ok(ReplStatus {
+                replica: role == 1,
+                applied_lsn,
+                durable_lsn,
+                lag_bytes,
+                replicas,
+            }),
             other => Err(NetError::UnexpectedResponse(other.type_name())),
         }
     }

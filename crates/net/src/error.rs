@@ -96,6 +96,8 @@ pub enum ErrorCode {
     Internal = 7,
     /// The server is shutting down and not accepting new requests.
     ShuttingDown = 8,
+    /// The node is a replica: writes must go to the primary.
+    ReadOnly = 9,
 }
 
 impl ErrorCode {
@@ -110,6 +112,7 @@ impl ErrorCode {
             6 => ErrorCode::BadScoreData,
             7 => ErrorCode::Internal,
             8 => ErrorCode::ShuttingDown,
+            9 => ErrorCode::ReadOnly,
             _ => return None,
         })
     }
@@ -125,6 +128,7 @@ impl ErrorCode {
             ErrorCode::BadScoreData => "bad_score_data",
             ErrorCode::Internal => "internal",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::ReadOnly => "read_only",
         }
     }
 }

@@ -32,7 +32,7 @@ pub mod scorecodec;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientConfig, MdmClient};
+pub use client::{ClientConfig, MdmClient, ReplStatus, WalBatch};
 pub use error::{DecodeError, ErrorCode, NetError, Result};
 pub use message::{Message, StatsFormat, TraceOp};
 pub use metrics::NetMetrics;

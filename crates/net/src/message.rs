@@ -123,6 +123,19 @@ pub enum Message {
         /// At most this many statements, hottest first.
         limit: u32,
     },
+    /// A replica pulling WAL records from the primary; the server
+    /// answers with [`Message::ReplBatch`]. Requires protocol ≥ 3.
+    ReplPull {
+        /// Stable identity of the pulling replica (for lag tracking).
+        replica_id: u64,
+        /// First LSN the replica wants (its current append position).
+        from_lsn: u64,
+        /// Soft cap on the batch's total record bytes.
+        max_bytes: u32,
+    },
+    /// Requests the node's replication role and watermarks; the server
+    /// answers with [`Message::ReplStatusInfo`]. Requires protocol ≥ 3.
+    ReplStatus,
 
     // ---- responses (128–143, 255) ----
     /// Session accepted.
@@ -192,6 +205,30 @@ pub enum Message {
         /// One row per fingerprint, hottest first.
         table: Table,
     },
+    /// A contiguous run of WAL records answering [`Message::ReplPull`].
+    /// Record payloads are opaque to the wire layer: the storage crate's
+    /// own frame encoding, re-decoded by the replica before applying.
+    ReplBatch {
+        /// `(lsn, encoded record)` pairs, LSNs dense and ascending.
+        records: Vec<(u64, Vec<u8>)>,
+        /// The primary's durable watermark: records up to (exclusive)
+        /// this LSN are fsynced and safe to replicate.
+        durable_lsn: u64,
+    },
+    /// Replication role and watermarks answering [`Message::ReplStatus`].
+    ReplStatusInfo {
+        /// `0` = primary, `1` = replica.
+        role: u8,
+        /// Next LSN the node would append (its applied watermark).
+        applied_lsn: u64,
+        /// The node's durable (fsynced) LSN watermark.
+        durable_lsn: u64,
+        /// On a replica: bytes of primary WAL not yet applied, as of
+        /// the last pull. `0` on a primary.
+        lag_bytes: u64,
+        /// On a primary: replicas that pulled recently. `0` on a replica.
+        replicas: u32,
+    },
     /// A typed error.
     Error {
         /// Error class.
@@ -215,6 +252,8 @@ const T_TRACE_CONTROL: u16 = 10;
 const T_TRACE_FETCH: u16 = 11;
 const T_EXPLAIN: u16 = 12;
 const T_TOP: u16 = 13;
+const T_REPL_PULL: u16 = 14;
+const T_REPL_STATUS: u16 = 15;
 const T_HELLO_ACK: u16 = 128;
 const T_PONG: u16 = 129;
 const T_ROWS: u16 = 130;
@@ -227,6 +266,8 @@ const T_METRICS_SNAP: u16 = 136;
 const T_TRACE_DUMP: u16 = 137;
 const T_PLAN: u16 = 138;
 const T_TOP_STATS: u16 = 139;
+const T_REPL_BATCH: u16 = 140;
+const T_REPL_STATUS_INFO: u16 = 141;
 const T_ERROR: u16 = 255;
 
 impl Message {
@@ -246,6 +287,8 @@ impl Message {
             Message::TraceFetch { .. } => T_TRACE_FETCH,
             Message::Explain { .. } => T_EXPLAIN,
             Message::Top { .. } => T_TOP,
+            Message::ReplPull { .. } => T_REPL_PULL,
+            Message::ReplStatus => T_REPL_STATUS,
             Message::HelloAck { .. } => T_HELLO_ACK,
             Message::Pong => T_PONG,
             Message::Rows { .. } => T_ROWS,
@@ -258,6 +301,8 @@ impl Message {
             Message::TraceDump { .. } => T_TRACE_DUMP,
             Message::Plan { .. } => T_PLAN,
             Message::TopStats { .. } => T_TOP_STATS,
+            Message::ReplBatch { .. } => T_REPL_BATCH,
+            Message::ReplStatusInfo { .. } => T_REPL_STATUS_INFO,
             Message::Error { .. } => T_ERROR,
         }
     }
@@ -278,6 +323,8 @@ impl Message {
             Message::TraceFetch { .. } => "trace_fetch",
             Message::Explain { .. } => "explain",
             Message::Top { .. } => "top",
+            Message::ReplPull { .. } => "repl_pull",
+            Message::ReplStatus => "repl_status",
             Message::HelloAck { .. } => "hello_ack",
             Message::Pong => "pong",
             Message::Rows { .. } => "rows",
@@ -290,6 +337,8 @@ impl Message {
             Message::TraceDump { .. } => "trace_dump",
             Message::Plan { .. } => "plan",
             Message::TopStats { .. } => "top_stats",
+            Message::ReplBatch { .. } => "repl_batch",
+            Message::ReplStatusInfo { .. } => "repl_status_info",
             Message::Error { .. } => "error",
         }
     }
@@ -307,7 +356,40 @@ impl Message {
                     out.extend_from_slice(&max_version.to_le_bytes());
                 }
             }
-            Message::Ping | Message::Pong | Message::ListScores => {}
+            Message::Ping | Message::Pong | Message::ListScores | Message::ReplStatus => {}
+            Message::ReplPull {
+                replica_id,
+                from_lsn,
+                max_bytes,
+            } => {
+                out.extend_from_slice(&replica_id.to_le_bytes());
+                out.extend_from_slice(&from_lsn.to_le_bytes());
+                out.extend_from_slice(&max_bytes.to_le_bytes());
+            }
+            Message::ReplBatch {
+                records,
+                durable_lsn,
+            } => {
+                put_len(&mut out, records.len());
+                for (lsn, bytes) in records {
+                    out.extend_from_slice(&lsn.to_le_bytes());
+                    crate::wire::put_bytes(&mut out, bytes);
+                }
+                out.extend_from_slice(&durable_lsn.to_le_bytes());
+            }
+            Message::ReplStatusInfo {
+                role,
+                applied_lsn,
+                durable_lsn,
+                lag_bytes,
+                replicas,
+            } => {
+                out.push(*role);
+                out.extend_from_slice(&applied_lsn.to_le_bytes());
+                out.extend_from_slice(&durable_lsn.to_le_bytes());
+                out.extend_from_slice(&lag_bytes.to_le_bytes());
+                out.extend_from_slice(&replicas.to_le_bytes());
+            }
             Message::MetricsSnapshot { format, prefix } => {
                 // The default request is byte-identical to the v1
                 // (empty-payload) message, so old servers still answer.
@@ -457,6 +539,12 @@ impl Message {
             },
             T_EXPLAIN => Message::Explain { text: c.string()? },
             T_TOP => Message::Top { limit: c.u32()? },
+            T_REPL_PULL => Message::ReplPull {
+                replica_id: c.u64()?,
+                from_lsn: c.u64()?,
+                max_bytes: c.u32()?,
+            },
+            T_REPL_STATUS => Message::ReplStatus,
             T_HELLO_ACK => {
                 let server = c.string()?;
                 let version = if c.remaining() > 0 { c.u16()? } else { 1 };
@@ -493,6 +581,25 @@ impl Message {
             T_METRICS_SNAP => Message::Metrics { body: c.string()? },
             T_TOP_STATS => Message::TopStats {
                 table: decode_table(&mut c)?,
+            },
+            T_REPL_BATCH => {
+                let n = c.len(12)?;
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let lsn = c.u64()?;
+                    records.push((lsn, c.bytes()?));
+                }
+                Message::ReplBatch {
+                    records,
+                    durable_lsn: c.u64()?,
+                }
+            }
+            T_REPL_STATUS_INFO => Message::ReplStatusInfo {
+                role: c.u8()?,
+                applied_lsn: c.u64()?,
+                durable_lsn: c.u64()?,
+                lag_bytes: c.u64()?,
+                replicas: c.u32()?,
             },
             T_TRACE_DUMP => Message::TraceDump {
                 text: c.string()?,
@@ -795,9 +902,34 @@ mod tests {
                     ]],
                 },
             },
+            Message::ReplPull {
+                replica_id: 7,
+                from_lsn: 42,
+                max_bytes: 1 << 20,
+            },
+            Message::ReplStatus,
+            Message::ReplBatch {
+                records: vec![(42, vec![1, 2, 3]), (43, vec![]), (44, vec![0xff; 9])],
+                durable_lsn: 45,
+            },
+            Message::ReplBatch {
+                records: vec![],
+                durable_lsn: 0,
+            },
+            Message::ReplStatusInfo {
+                role: 1,
+                applied_lsn: 99,
+                durable_lsn: 99,
+                lag_bytes: 4096,
+                replicas: 0,
+            },
             Message::Error {
                 code: ErrorCode::NotFound,
                 message: "no such score: @9".into(),
+            },
+            Message::Error {
+                code: ErrorCode::ReadOnly,
+                message: "replica is read-only".into(),
             },
         ];
         for m in &messages {

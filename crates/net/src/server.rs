@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -62,6 +62,22 @@ impl Default for ServerConfig {
     }
 }
 
+/// A replica that pulled within this window counts as connected.
+const REPLICA_WINDOW: Duration = Duration::from_secs(10);
+
+/// Replication-role state, shared across sessions. Lives outside the
+/// `mdm` lock so status queries and role flips never wait on writers.
+struct ReplState {
+    /// `true` = this node is a replica: writes are refused with a typed
+    /// `ReadOnly` error and shutdown skips the (write-path) save.
+    read_only: AtomicBool,
+    /// On a replica: bytes of primary WAL not yet applied, maintained
+    /// by the pull loop via [`MdmServer::set_repl_lag_bytes`].
+    lag_bytes: AtomicU64,
+    /// On a primary: replica id → instant of its last `ReplPull`.
+    pullers: Mutex<HashMap<u64, Instant>>,
+}
+
 struct SessionHandle {
     /// A clone of the session's stream, used to force-close it.
     stream: TcpStream,
@@ -76,6 +92,7 @@ struct Shared {
     /// control and span recording never serialize behind writers.
     tracer: Tracer,
     config: ServerConfig,
+    repl: ReplState,
     shutting_down: AtomicBool,
     sessions: Mutex<HashMap<u64, SessionHandle>>,
 }
@@ -106,6 +123,11 @@ impl MdmServer {
             metrics,
             tracer,
             config,
+            repl: ReplState {
+                read_only: AtomicBool::new(false),
+                lag_bytes: AtomicU64::new(0),
+                pullers: Mutex::new(HashMap::new()),
+            },
             shutting_down: AtomicBool::new(false),
             sessions: Mutex::new(HashMap::new()),
         });
@@ -138,6 +160,49 @@ impl MdmServer {
     /// and trace inspection without a wire round-trip.
     pub fn tracer(&self) -> &Tracer {
         &self.shared.tracer
+    }
+
+    /// Flips the node's replication role. Read-only (`true`) refuses
+    /// `Execute` and `StoreScore` with a typed `ReadOnly` error and
+    /// makes shutdown skip the write-path save; reads are unaffected.
+    pub fn set_read_only(&self, read_only: bool) {
+        self.shared
+            .repl
+            .read_only
+            .store(read_only, Ordering::SeqCst);
+    }
+
+    /// Whether the node currently refuses writes.
+    pub fn is_read_only(&self) -> bool {
+        self.shared.repl.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Publishes the replica's current lag (bytes of primary WAL not
+    /// yet applied), surfaced by `ReplStatus`. Called by the pull loop.
+    pub fn set_repl_lag_bytes(&self, bytes: u64) {
+        self.shared.repl.lag_bytes.store(bytes, Ordering::SeqCst);
+    }
+
+    /// Replicas that pulled within the freshness window.
+    pub fn connected_replicas(&self) -> usize {
+        let mut pullers = self.shared.repl.pullers.lock().expect("pullers lock");
+        pullers.retain(|_, at| at.elapsed() < REPLICA_WINDOW);
+        pullers.len()
+    }
+
+    /// Runs `f` with the manager under the shared (read) half of the
+    /// lock, concurrent with reader sessions. The replica pull loop
+    /// applies WAL batches through this (the engine's replication entry
+    /// points take `&self`).
+    pub fn with_manager<R>(&self, f: impl FnOnce(&MusicDataManager) -> R) -> R {
+        f(&self.shared.mdm.read().expect("mdm lock"))
+    }
+
+    /// Runs `f` with the manager under the exclusive (write) half of
+    /// the lock, serialized against every session. Used for replica
+    /// catch-up points that rebuild in-memory state.
+    pub fn with_manager_mut<R>(&self, f: impl FnOnce(&mut MusicDataManager) -> R) -> R {
+        f(&mut self.shared.mdm.write().expect("mdm lock"))
     }
 
     /// Gracefully shuts down: stops accepting, lets in-flight requests
@@ -188,9 +253,14 @@ impl MdmServer {
 
         let shared = Arc::try_unwrap(self.shared)
             .map_err(|_| NetError::UnexpectedResponse("server threads still hold state"))?;
+        let read_only = shared.repl.read_only.load(Ordering::SeqCst);
         let mut mdm = shared.mdm.into_inner().expect("mdm lock");
-        mdm.save()
-            .map_err(|e| NetError::Io(std::io::Error::other(e.to_string())))?;
+        // A replica's durable state is owned by the replication stream;
+        // saving would append local records into the primary's LSN space.
+        if !read_only {
+            mdm.save()
+                .map_err(|e| NetError::Io(std::io::Error::other(e.to_string())))?;
+        }
         Ok(mdm)
     }
 }
@@ -421,6 +491,17 @@ fn handle_request(shared: &Shared, request: Message) -> Message {
                 Err(e) => core_error_response(&e),
             }
         }
+        // On a replica the write path is refused up front with a typed
+        // error — never a panic or a silent drop — so clients know to
+        // redirect to the primary.
+        Message::Execute { .. } | Message::StoreScore { .. }
+            if shared.repl.read_only.load(Ordering::SeqCst) =>
+        {
+            Message::Error {
+                code: ErrorCode::ReadOnly,
+                message: "this node is a replica; writes must go to the primary".into(),
+            }
+        }
         Message::Execute { text } => {
             let mut mdm = shared.mdm.write().expect("mdm lock");
             match mdm.execute(&text) {
@@ -433,6 +514,70 @@ fn handle_request(shared: &Shared, request: Message) -> Message {
             match mdm.store_score(&score) {
                 Ok(id) => Message::ScoreStored { id },
                 Err(e) => core_error_response(&e),
+            }
+        }
+        // Replication: a replica pulling durable WAL records. Served
+        // under the read half — streaming never blocks writers, and the
+        // engine caps the batch at its durable watermark.
+        Message::ReplPull {
+            replica_id,
+            from_lsn,
+            max_bytes,
+        } => {
+            let mdm = shared.mdm.read().expect("mdm lock");
+            // A pulled-from node must retain every frame its replicas
+            // have not fetched yet, including history rotated away
+            // before they attached: archive mode keeps rotated frames
+            // in segments and seeds the log with a full snapshot on
+            // first enablement. Sticky and idempotent, so the cost is
+            // one branch per pull. Fails only while a transaction is
+            // active; the replica simply retries.
+            let pull = mdm
+                .engine()
+                .enable_wal_archive()
+                .and_then(|()| mdm.engine().wal_read_from(from_lsn, max_bytes as usize));
+            match pull {
+                Ok((records, durable_lsn)) => {
+                    shared
+                        .repl
+                        .pullers
+                        .lock()
+                        .expect("pullers lock")
+                        .insert(replica_id, Instant::now());
+                    Message::ReplBatch {
+                        records,
+                        durable_lsn,
+                    }
+                }
+                Err(e) => Message::Error {
+                    code: ErrorCode::Storage,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Message::ReplStatus => {
+            let read_only = shared.repl.read_only.load(Ordering::SeqCst);
+            let (applied_lsn, durable_lsn) = {
+                let mdm = shared.mdm.read().expect("mdm lock");
+                (mdm.engine().wal_next_lsn(), mdm.engine().wal_durable_lsn())
+            };
+            let replicas = if read_only {
+                0
+            } else {
+                let mut pullers = shared.repl.pullers.lock().expect("pullers lock");
+                pullers.retain(|_, at| at.elapsed() < REPLICA_WINDOW);
+                pullers.len() as u32
+            };
+            Message::ReplStatusInfo {
+                role: read_only as u8,
+                applied_lsn,
+                durable_lsn,
+                lag_bytes: if read_only {
+                    shared.repl.lag_bytes.load(Ordering::SeqCst)
+                } else {
+                    0
+                },
+                replicas,
             }
         }
         Message::LoadScore { id } => {

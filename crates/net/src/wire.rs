@@ -38,8 +38,9 @@ use crate::error::{DecodeError, NetError, Result};
 pub const MAGIC: [u8; 4] = *b"MDMN";
 
 /// Highest protocol version spoken by this build: v2 adds the
-/// trace-context frame extension, negotiated at Hello.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// trace-context frame extension, v3 adds the replication messages
+/// (ReplPull/ReplStatus and their responses), negotiated at Hello.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Oldest protocol version this build still accepts.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;

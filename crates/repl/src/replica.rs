@@ -1,0 +1,412 @@
+//! The replica node: a full MDM server whose write-ahead log is fed by
+//! a pull loop streaming from a primary, instead of by local
+//! transactions.
+//!
+//! The replica serves the normal read path — `query_shared` over the
+//! wire, metrics, score retrieval — while refusing every write with a
+//! typed `ReadOnly` error. Freshness comes from two mechanisms layered
+//! on the same stream:
+//!
+//! * **Checkpoint folds** (tier 1, exact): the primary guarantees no
+//!   transaction spans a [`WalRecord::Checkpoint`] marker, so when the
+//!   stream reaches one the replica folds its local log into the data
+//!   pages through the recovery machinery, rotates the log, and rebuilds
+//!   its in-memory database from storage.
+//! * **Live statement application** (tier 2, best effort): between
+//!   markers, the replica watches the stream for inserts into the
+//!   primary's statement journal and re-executes committed statements
+//!   against its in-memory database, so reads see recent writes without
+//!   waiting for the next checkpoint. Any drift is discarded by the next
+//!   fold's reload.
+//!
+//! Promotion is [`ReplicaNode::promote`]: refused while the replica has
+//! not applied everything the primary acknowledged as durable, otherwise
+//! the local log is folded, the role flips, and the LSN space simply
+//! continues — the old primary can later re-seed as a replica of the new
+//! one.
+
+use crate::error::{ReplError, Result};
+use crate::metrics::ReplMetrics;
+use mdm_core::mdm::JOURNAL_TABLE;
+use mdm_core::MusicDataManager;
+use mdm_net::{ClientConfig, MdmClient, MdmServer, ServerConfig};
+use mdm_storage::catalog::Catalog;
+use mdm_storage::{StorageEngine, TableId, TxnId, WalRecord};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`ReplicaNode`].
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Address of the primary's MDM server.
+    pub primary_addr: String,
+    /// Identifies this replica in the primary's puller table.
+    pub replica_id: u64,
+    /// Idle delay between pulls when the stream is drained.
+    pub poll_interval: Duration,
+    /// Rough per-pull byte budget.
+    pub max_batch_bytes: u32,
+    /// Client knobs for the connection to the primary.
+    pub client: ClientConfig,
+    /// Server knobs for the replica's own listener.
+    pub server: ServerConfig,
+}
+
+impl ReplicaConfig {
+    /// A config pulling from `primary_addr` with default knobs.
+    pub fn new(primary_addr: &str) -> ReplicaConfig {
+        ReplicaConfig {
+            primary_addr: primary_addr.to_string(),
+            replica_id: 1,
+            poll_interval: Duration::from_millis(20),
+            max_batch_bytes: 1 << 20,
+            client: ClientConfig {
+                client_name: "mdm-replica".into(),
+                ..ClientConfig::default()
+            },
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+/// State shared between the node handle and its pull thread.
+struct PullState {
+    /// Ask the pull thread to exit.
+    stop: AtomicBool,
+    /// Highest primary durable watermark observed on any pull.
+    primary_durable: AtomicU64,
+    /// The replica's applied watermark after the last batch.
+    applied: AtomicU64,
+    /// Last pull-loop error, for status surfacing.
+    last_error: Mutex<Option<String>>,
+}
+
+/// Folds the replica engine's streamed log into its pages and flips it
+/// back to primary. The engine-level half of promotion, shared with the
+/// pair torture harness (which promotes bare engines, no server).
+pub fn promote_engine(engine: &StorageEngine) -> Result<()> {
+    engine.replica_refresh()?;
+    engine.set_replica(false)?;
+    Ok(())
+}
+
+/// A running replica: an [`MdmServer`] serving reads plus the pull
+/// thread feeding its WAL from the primary.
+pub struct ReplicaNode {
+    /// `Some` until [`ReplicaNode::shutdown`] takes it.
+    server: Option<Arc<MdmServer>>,
+    engine: StorageEngine,
+    state: Arc<PullState>,
+    metrics: ReplMetrics,
+    puller: Option<JoinHandle<()>>,
+}
+
+impl ReplicaNode {
+    /// Opens (or creates) the database in `dir` as a replica, starts its
+    /// read-only server on `listen`, and spawns the pull loop against
+    /// `cfg.primary_addr`. The replica role is persisted in the data
+    /// directory, so a restarted node comes back as a replica and
+    /// resumes the stream from its local watermark.
+    pub fn start(dir: &Path, listen: &str, cfg: ReplicaConfig) -> Result<ReplicaNode> {
+        let mut mdm = MusicDataManager::open(dir)?;
+        mdm.set_replica(true)?;
+        let engine = mdm.engine().clone();
+        let metrics = ReplMetrics::register(&mdm.metrics_registry());
+        let server = Arc::new(MdmServer::start(mdm, listen, cfg.server.clone())?);
+        server.set_read_only(true);
+        let state = Arc::new(PullState {
+            stop: AtomicBool::new(false),
+            primary_durable: AtomicU64::new(0),
+            applied: AtomicU64::new(engine.wal_next_lsn()),
+            last_error: Mutex::new(None),
+        });
+        let puller = {
+            let server = Arc::clone(&server);
+            let engine = engine.clone();
+            let state = Arc::clone(&state);
+            let metrics = metrics.clone();
+            std::thread::Builder::new()
+                .name("mdm-repl-pull".into())
+                .spawn(move || pull_loop(&server, &engine, &state, &metrics, &cfg))
+                .map_err(ReplError::Io)?
+        };
+        Ok(ReplicaNode {
+            server: Some(server),
+            engine,
+            state,
+            metrics,
+            puller: Some(puller),
+        })
+    }
+
+    /// The replica server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server().local_addr()
+    }
+
+    /// The replica's server (status, manager access).
+    pub fn server(&self) -> &MdmServer {
+        self.server.as_deref().expect("replica server taken")
+    }
+
+    /// The replica's applied watermark. Published by the pull loop only
+    /// after a batch has landed fully — log, pages, AND the live
+    /// in-memory database — so a reader that observes `applied_lsn() >=
+    /// x` sees every statement at or below `x` in its queries.
+    pub fn applied_lsn(&self) -> u64 {
+        self.state.applied.load(Ordering::Acquire)
+    }
+
+    /// Highest primary durable watermark observed so far.
+    pub fn primary_durable_lsn(&self) -> u64 {
+        self.state.primary_durable.load(Ordering::Acquire)
+    }
+
+    /// The last pull-loop error, if any (cleared by a successful pull).
+    pub fn last_error(&self) -> Option<String> {
+        self.state
+            .last_error
+            .lock()
+            .expect("repl error lock")
+            .clone()
+    }
+
+    /// Blocks until the replica has applied at least `lsn`, or the
+    /// deadline passes. Returns whether it caught up.
+    pub fn wait_for_lsn(&self, lsn: u64, deadline: Duration) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if self.applied_lsn() >= lsn {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.applied_lsn() >= lsn
+    }
+
+    /// Controlled failover: promotes this replica to primary.
+    ///
+    /// Refused with [`ReplError::Stale`] — leaving the node replicating,
+    /// untouched — unless the replica has applied everything the primary
+    /// ever acknowledged as durable; promoting a stale replica would
+    /// silently drop acknowledged commits. On success the pull loop
+    /// stops, the streamed log is folded into the pages, the in-memory
+    /// database is rebuilt from them, and the node starts accepting
+    /// writes. The LSN space continues where the stream left off.
+    pub fn promote(&mut self) -> Result<()> {
+        let applied = self.engine.wal_next_lsn();
+        let required = self.state.primary_durable.load(Ordering::Acquire);
+        if applied < required {
+            return Err(ReplError::Stale { applied, required });
+        }
+        self.stop_puller();
+        self.engine.replica_refresh()?;
+        self.server().with_manager_mut(|m| -> Result<()> {
+            m.reload_from_storage()?;
+            m.set_replica(false)?;
+            Ok(())
+        })?;
+        self.server().set_read_only(false);
+        self.metrics.promotes.inc();
+        Ok(())
+    }
+
+    /// Stops the pull loop and shuts the server down gracefully,
+    /// returning the manager (still a replica unless promoted).
+    pub fn shutdown(mut self) -> Result<MusicDataManager> {
+        self.stop_puller();
+        let server = self.server.take().expect("replica server taken");
+        let server = Arc::try_unwrap(server)
+            .map_err(|_| ReplError::Protocol("replica server still shared at shutdown".into()))?;
+        Ok(server.shutdown()?)
+    }
+
+    fn stop_puller(&mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.puller.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReplicaNode {
+    fn drop(&mut self) {
+        self.stop_puller();
+    }
+}
+
+/// The pull loop: stream, split at checkpoint markers, fold, re-apply
+/// journaled statements, publish lag.
+fn pull_loop(
+    server: &MdmServer,
+    engine: &StorageEngine,
+    state: &PullState,
+    metrics: &ReplMetrics,
+    cfg: &ReplicaConfig,
+) {
+    let mut client: Option<MdmClient> = None;
+    // Tracks the primary's statement-journal table across catalog
+    // snapshots, plus journal rows buffered per open transaction.
+    let mut journal_table: Option<TableId> = engine.table_id(JOURNAL_TABLE).ok();
+    let mut pending: HashMap<TxnId, Vec<String>> = HashMap::new();
+    // Bytes per record from the last non-empty batch, for lag estimates.
+    let mut avg_record_bytes: u64 = 64;
+    while !state.stop.load(Ordering::SeqCst) {
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => match MdmClient::connect(&cfg.primary_addr, cfg.client.clone()) {
+                Ok(c) => client.insert(c),
+                Err(e) => {
+                    record_error(state, metrics, &format!("connect: {e}"));
+                    idle(state, cfg.poll_interval);
+                    continue;
+                }
+            },
+        };
+        let from = engine.wal_next_lsn();
+        let (batch, durable) = match c.repl_pull(cfg.replica_id, from, cfg.max_batch_bytes) {
+            Ok(r) => r,
+            Err(e) => {
+                record_error(state, metrics, &format!("pull: {e}"));
+                client = None;
+                idle(state, cfg.poll_interval);
+                continue;
+            }
+        };
+        state.primary_durable.store(durable, Ordering::Release);
+        if batch.is_empty() {
+            publish_lag(server, state, metrics, avg_record_bytes);
+            idle(state, cfg.poll_interval);
+            continue;
+        }
+        let bytes: usize = batch.iter().map(|(_, p)| p.len() + 12).sum();
+        avg_record_bytes = (bytes as u64 / batch.len() as u64).max(1);
+        match apply_batch(
+            server,
+            engine,
+            metrics,
+            &mut journal_table,
+            &mut pending,
+            &batch,
+        ) {
+            Ok(()) => {
+                *state.last_error.lock().expect("repl error lock") = None;
+                state
+                    .applied
+                    .store(engine.wal_next_lsn(), Ordering::Release);
+                metrics.applied_lsn.set(engine.wal_next_lsn() as i64);
+                publish_lag(server, state, metrics, avg_record_bytes);
+            }
+            Err(e) => {
+                // The local watermark did not move, so the next pull
+                // retries the same span.
+                record_error(state, metrics, &format!("apply: {e}"));
+            }
+        }
+        // One pull per interval, drained or not: the pair
+        // `max_batch_bytes` / `poll_interval` bounds both the pull rate
+        // and the catch-up throughput.
+        idle(state, cfg.poll_interval);
+    }
+}
+
+/// Applies one pulled batch: appends spans to the local log, folding and
+/// rotating at every checkpoint marker, and re-executes statements whose
+/// commits arrived after the last fold point.
+fn apply_batch(
+    server: &MdmServer,
+    engine: &StorageEngine,
+    metrics: &ReplMetrics,
+    journal_table: &mut Option<TableId>,
+    pending: &mut HashMap<TxnId, Vec<String>>,
+    batch: &[(u64, Vec<u8>)],
+) -> Result<()> {
+    let mut start = 0usize;
+    // Statements committed since the last checkpoint in this batch; a
+    // fold's reload already covers everything before it.
+    let mut ready: Vec<String> = Vec::new();
+    for (i, (lsn, payload)) in batch.iter().enumerate() {
+        let rec = WalRecord::decode(payload)
+            .ok_or_else(|| ReplError::Protocol(format!("undecodable record at lsn {lsn}")))?;
+        match &rec {
+            WalRecord::CatalogSnapshot { bytes } => {
+                if let Ok(cat) = Catalog::from_bytes(bytes) {
+                    *journal_table = cat.tables.get(JOURNAL_TABLE).map(|m| m.id);
+                }
+            }
+            WalRecord::Insert {
+                txn, table, body, ..
+            } if Some(*table) == *journal_table => {
+                // Journal row: seq (u64 LE) ++ statement text.
+                if let Ok(text) = std::str::from_utf8(body.get(8..).unwrap_or(b"")) {
+                    if !text.is_empty() {
+                        pending.entry(*txn).or_default().push(text.to_string());
+                    }
+                }
+            }
+            WalRecord::Commit { txn } => {
+                if let Some(texts) = pending.remove(txn) {
+                    ready.extend(texts);
+                }
+            }
+            WalRecord::Abort { txn } => {
+                pending.remove(txn);
+            }
+            WalRecord::Checkpoint => {
+                engine.replica_apply(&batch[start..=i])?;
+                start = i + 1;
+                engine.replica_checkpoint()?;
+                server.with_manager_mut(|m| m.reload_from_storage())?;
+                metrics.checkpoints.inc();
+                // The reload reflects everything folded; drop statements
+                // it already covers. (No transaction spans a marker, so
+                // `pending` is empty here on a well-formed stream.)
+                ready.clear();
+                pending.clear();
+                *journal_table = engine.table_id(JOURNAL_TABLE).ok();
+            }
+            _ => {}
+        }
+    }
+    if start < batch.len() {
+        engine.replica_apply(&batch[start..])?;
+    }
+    if !ready.is_empty() {
+        server.with_manager_mut(|m| {
+            for text in &ready {
+                if m.apply_replicated_statement(text) {
+                    metrics.statements.inc();
+                }
+            }
+        });
+    }
+    metrics.batches.inc();
+    metrics.records.add(batch.len() as u64);
+    Ok(())
+}
+
+fn publish_lag(server: &MdmServer, state: &PullState, metrics: &ReplMetrics, avg: u64) {
+    let applied = state.applied.load(Ordering::Acquire);
+    let durable = state.primary_durable.load(Ordering::Acquire);
+    let lag = durable.saturating_sub(applied).saturating_mul(avg);
+    server.set_repl_lag_bytes(lag);
+    metrics.lag_bytes.set(lag.min(i64::MAX as u64) as i64);
+}
+
+fn record_error(state: &PullState, metrics: &ReplMetrics, msg: &str) {
+    *state.last_error.lock().expect("repl error lock") = Some(msg.to_string());
+    metrics.errors.inc();
+}
+
+/// Sleeps `interval` in small slices so a stop request is honored fast.
+fn idle(state: &PullState, interval: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < interval && !state.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}

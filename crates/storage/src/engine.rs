@@ -101,6 +101,7 @@ pub struct Txn {
     id: TxnId,
     undo: Vec<UndoOp>,
     finished: bool,
+    began: bool,
     inner: Arc<Inner>,
 }
 
@@ -117,7 +118,7 @@ impl Drop for Txn {
             // Abort-on-drop. Errors are swallowed: drop has nowhere to
             // report them, and recovery re-establishes consistency from
             // the log on the next open if rollback could not complete.
-            let _ = self.inner.rollback(self.id, &mut self.undo);
+            let _ = self.inner.rollback(self.id, &mut self.undo, self.began);
             self.inner.locks.release_all(self.id);
         }
     }
@@ -254,6 +255,16 @@ struct Inner {
     next_txn: AtomicU64,
     dir: PathBuf,
     metrics: EngineMetrics,
+    /// Replica mode: the log is fed by [`StorageEngine::replica_apply`]
+    /// from a primary's stream rather than by local transactions, so the
+    /// engine must never append records of its own (they would collide
+    /// with the primary's LSN numbering). Eviction writes through
+    /// unprotected, the shutdown checkpoint is skipped, and
+    /// [`StorageEngine::checkpoint`] folds without logging images.
+    replica: AtomicBool,
+    /// Highest LSN known durable (flushed and fsynced, or rotated into
+    /// the archive). Replication streams records strictly below this.
+    durable_lsn: AtomicU64,
 }
 
 impl Inner {
@@ -299,6 +310,13 @@ impl Inner {
     /// gives it a sequence past the frame's page-LSN, so the one sync
     /// covers both the write-ahead rule and torn-write protection.
     fn eviction_barrier(&self, page: PageId, bytes: &[u8]) -> Result<()> {
+        if self.replica.load(Ordering::Acquire) {
+            // A replica must not append to its log (the LSNs belong to
+            // the primary's stream), so eviction writes through without
+            // an image. A torn write here loses only the replica's local
+            // copy; re-seeding from the primary's archive repairs it.
+            return Ok(());
+        }
         self.metrics.wal_eviction_syncs.inc();
         let _sp = trace::span("storage.flush_barrier");
         trace::annotate("page", page);
@@ -349,14 +367,17 @@ impl Inner {
             // and later committers are never stalled behind the disk.
             let flushed = {
                 let mut w = self.wal.lock().unwrap();
-                w.wal.flush_to_os().map(|backend| (w.seq, backend))
+                w.wal
+                    .flush_to_os()
+                    .map(|backend| (w.seq, w.wal.flushed_lsn(), backend))
             };
-            let res = flushed.and_then(|(upto, backend)| {
+            let res = flushed.and_then(|(upto, lsn, backend)| {
                 let _fsync_sp = trace::span("storage.fsync");
                 let timer = self.metrics.wal_fsync_micros.time();
                 backend.sync()?;
                 timer.stop();
                 self.metrics.wal_fsyncs.inc();
+                self.durable_lsn.fetch_max(lsn, Ordering::AcqRel);
                 Ok(upto)
             });
             st = self.commit.lock().unwrap();
@@ -395,11 +416,12 @@ impl Inner {
     /// Truncates the log (checkpoint). Everything previously appended is
     /// now moot, so it is marked synced.
     fn truncate_wal(&self) -> Result<()> {
-        let seq = {
+        let (seq, lsn) = {
             let mut w = self.wal.lock().unwrap();
             w.wal.truncate()?;
-            w.seq
+            (w.seq, w.wal.next_lsn())
         };
+        self.durable_lsn.fetch_max(lsn, Ordering::AcqRel);
         let mut st = self.commit.lock().unwrap();
         st.synced = st.synced.max(seq);
         Ok(())
@@ -451,8 +473,10 @@ impl Inner {
     }
 
     /// Rolls a transaction's effects back in place and logs the abort.
-    /// Shared by [`StorageEngine::abort`] and [`Txn`]'s drop.
-    fn rollback(&self, id: TxnId, undo: &mut Vec<UndoOp>) -> Result<()> {
+    /// Shared by [`StorageEngine::abort`] and [`Txn`]'s drop. A
+    /// transaction that never logged a `Begin` logs no `Abort` either:
+    /// read-only work must leave the WAL untouched.
+    fn rollback(&self, id: TxnId, undo: &mut Vec<UndoOp>, began: bool) -> Result<()> {
         if !self.active.lock().unwrap().remove(&id) {
             return Err(StorageError::TxnNotActive(id));
         }
@@ -484,12 +508,18 @@ impl Inner {
                 }
             }
         }
-        self.log(&WalRecord::Abort { txn: id })?;
+        if began {
+            self.log(&WalRecord::Abort { txn: id })?;
+        }
         self.metrics.txn_aborts.inc();
         self.metrics.txn_active.add(-1);
         Ok(())
     }
 }
+
+/// A batch of encoded WAL records as `(lsn, payload)` pairs — the unit
+/// the replication stream ships.
+pub type WalBatch = Vec<(u64, Vec<u8>)>;
 
 /// The transactional storage engine. Cloneable handle; clones share state.
 #[derive(Clone)]
@@ -531,6 +561,11 @@ impl StorageEngine {
         vfs: &dyn Vfs,
     ) -> Result<StorageEngine> {
         let pool = BufferPool::open_with(dir, pool_pages, vfs)?;
+        // A sticky marker makes replica mode survive restarts: a
+        // reopened replica must NOT rotate its log (the rotation would
+        // append a local checkpoint marker, stealing an LSN the
+        // primary's stream has already assigned to a different record).
+        let replica_marker = dir.join("replica").exists();
         let (records, _) = Wal::replay(dir)?;
         // A crash can tear an in-place catalog rewrite, leaving the
         // page-0 chain unreadable — but every such rewrite is preceded
@@ -544,13 +579,28 @@ impl StorageEngine {
         };
         let (outcome, recovered) = recovery::recover(&pool, &records, disk_catalog)?;
         let mut wal = Wal::open_with(dir, vfs)?;
-        let needs_rebuild = outcome.indexes_reset;
-        if !records.is_empty() {
+        // The rebuild obligation must survive restarts: recovery (or a
+        // replica fold) persists freshly reset — empty — trees, and the
+        // log that proved the reset may be truncated before the owning
+        // layer rebuilds. The marker file carries the debt across opens.
+        let needs_rebuild = outcome.indexes_reset || dir.join("indexes.rebuild").exists();
+        if needs_rebuild {
+            Self::write_rebuild_marker(dir, true)?;
+        }
+        if !records.is_empty() && !replica_marker {
             // Make the recovered state the new base and empty the log.
+            // The checkpoint marker tells a replication reader that the
+            // stream is checkpoint-consistent at the rotation boundary.
+            // A replica keeps its log as-is: the fold above was
+            // idempotent, the stream resumes at next-LSN, and the log
+            // rotates at the next replicated checkpoint marker.
             catalog::save(&pool, &recovered)?;
             pool.flush_all()?;
+            wal.append(&WalRecord::Checkpoint)?;
+            wal.sync()?;
             wal.truncate()?;
         }
+        let durable_lsn = wal.next_lsn();
         let locks = LockManager::new();
         let metrics = EngineMetrics::register(registry, &pool, &locks);
         let inner = Arc::new(Inner {
@@ -575,6 +625,8 @@ impl StorageEngine {
             next_txn: AtomicU64::new(1),
             dir: dir.to_path_buf(),
             metrics,
+            replica: AtomicBool::new(replica_marker),
+            durable_lsn: AtomicU64::new(durable_lsn),
         });
         // Eviction flush barrier: a `Weak` breaks the cycle (`Inner` owns
         // the pool, the pool's barrier reaches back into `Inner`). An
@@ -615,35 +667,66 @@ impl StorageEngine {
         self.inner
             .indexes_need_rebuild
             .store(false, Ordering::Release);
+        let _ = Self::write_rebuild_marker(&self.inner.dir, false);
+    }
+
+    /// Creates or removes the durable `indexes.rebuild` marker. Direct
+    /// filesystem I/O, like the `replica` role marker: bookkeeping that
+    /// must not shift the fault-injection boundary census.
+    fn write_rebuild_marker(dir: &Path, on: bool) -> Result<()> {
+        let marker = dir.join("indexes.rebuild");
+        if on {
+            std::fs::File::create(&marker)?.sync_all()?;
+        } else if marker.exists() {
+            std::fs::remove_file(&marker)?;
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
     // Transactions
     // ------------------------------------------------------------------
 
-    /// Starts a transaction.
+    /// Starts a transaction. The `Begin` record is logged lazily at the
+    /// transaction's first write: read-only transactions must leave the
+    /// WAL untouched, both to keep it lean and because a replica's local
+    /// LSN must track the primary's stream exactly — a locally logged
+    /// record would desynchronise the replication cursor.
     pub fn begin(&self) -> Result<Txn> {
         let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
         self.inner.active.lock().unwrap().insert(id);
-        self.inner.log(&WalRecord::Begin { txn: id })?;
         self.inner.metrics.txn_begins.inc();
         self.inner.metrics.txn_active.add(1);
         Ok(Txn {
             id,
             undo: Vec::new(),
             finished: false,
+            began: false,
             inner: Arc::clone(&self.inner),
         })
     }
 
+    /// Logs the deferred `Begin` before a transaction's first write
+    /// record. Must run under no page latch the logged write also needs.
+    fn begin_write(&self, txn: &mut Txn) -> Result<()> {
+        if !txn.began {
+            self.inner.log(&WalRecord::Begin { txn: txn.id })?;
+            txn.began = true;
+        }
+        Ok(())
+    }
+
     /// Commits: makes the log durable (group commit), releases locks.
+    /// A transaction that never wrote logs nothing and syncs nothing.
     pub fn commit(&self, mut txn: Txn) -> Result<()> {
         if !self.inner.active.lock().unwrap().remove(&txn.id) {
             txn.finished = true; // nothing left for drop to roll back
             return Err(StorageError::TxnNotActive(txn.id));
         }
-        let seq = self.inner.log(&WalRecord::Commit { txn: txn.id })?;
-        self.inner.sync_to(seq)?;
+        if txn.began {
+            let seq = self.inner.log(&WalRecord::Commit { txn: txn.id })?;
+            self.inner.sync_to(seq)?;
+        }
         txn.finished = true;
         self.inner.locks.release_all(txn.id);
         self.inner.metrics.txn_commits.inc();
@@ -653,7 +736,7 @@ impl StorageEngine {
 
     /// Aborts: rolls back the transaction's effects, releases locks.
     pub fn abort(&self, mut txn: Txn) -> Result<()> {
-        let res = self.inner.rollback(txn.id, &mut txn.undo);
+        let res = self.inner.rollback(txn.id, &mut txn.undo, txn.began);
         txn.finished = true;
         self.inner.locks.release_all(txn.id);
         res
@@ -791,6 +874,7 @@ impl StorageEngine {
             body: body.to_vec(),
         });
         pages.push(rid.page);
+        self.begin_write(txn)?;
         self.inner.log_published(&recs, &pages)?;
         drop(h);
         txn.undo.push(UndoOp::Insert { rid });
@@ -817,6 +901,7 @@ impl StorageEngine {
             slot: rid.slot,
         })?;
         if HeapFile::update(&self.inner.pool, rid, body)? {
+            self.begin_write(txn)?;
             self.inner.log_published(
                 &[WalRecord::Update {
                     txn: txn.id,
@@ -832,6 +917,7 @@ impl StorageEngine {
         }
         // Did not fit: move the record.
         HeapFile::delete(&self.inner.pool, rid)?;
+        self.begin_write(txn)?;
         self.inner.log_published(
             &[WalRecord::Delete {
                 txn: txn.id,
@@ -874,6 +960,7 @@ impl StorageEngine {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
         let old = HeapFile::delete(&self.inner.pool, rid)?;
+        self.begin_write(txn)?;
         self.inner.log_published(
             &[WalRecord::Delete {
                 txn: txn.id,
@@ -920,6 +1007,7 @@ impl StorageEngine {
         if !bt.insert(&self.inner.pool, key, rid.to_u64())? {
             return Ok(());
         }
+        self.begin_write(txn)?;
         self.inner.log(&WalRecord::IndexInsert {
             txn: txn.id,
             table,
@@ -953,6 +1041,7 @@ impl StorageEngine {
         if !bt.delete(&self.inner.pool, key, rid.to_u64())? {
             return Ok(());
         }
+        self.begin_write(txn)?;
         self.inner.log(&WalRecord::IndexDelete {
             txn: txn.id,
             table,
@@ -1056,6 +1145,14 @@ impl StorageEngine {
     /// New transactions are held off (on the active-set latch) for the
     /// duration.
     pub fn checkpoint(&self) -> Result<()> {
+        if self.inner.replica.load(Ordering::Acquire) {
+            // A replica's log holds the primary's stream; a local
+            // checkpoint would append its own records into that LSN
+            // space. Replicas fold via `replica_checkpoint` instead.
+            return Err(StorageError::Replication(
+                "replica engines checkpoint via replica_checkpoint".into(),
+            ));
+        }
         let active = self.inner.active.lock().unwrap();
         if !active.is_empty() {
             return Err(StorageError::Corrupt(
@@ -1073,8 +1170,218 @@ impl StorageEngine {
         self.inner
             .pool
             .flush_all_with(&|batch| self.inner.log_page_images(batch))?;
+        // Mark the rotation boundary so replication readers know the
+        // stream up to here is checkpoint-consistent (no open txns).
+        let seq = self.inner.log(&WalRecord::Checkpoint)?;
+        self.inner.sync_to(seq)?;
         self.inner.truncate_wal()?;
         drop(active);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Replication
+    // ------------------------------------------------------------------
+
+    /// LSN the next locally appended (or replicated) record will get.
+    pub fn wal_next_lsn(&self) -> u64 {
+        self.inner.wal.lock().unwrap().wal.next_lsn()
+    }
+
+    /// Highest LSN known durable: safe to stream to replicas.
+    pub fn wal_durable_lsn(&self) -> u64 {
+        self.inner.durable_lsn.load(Ordering::Acquire)
+    }
+
+    /// Turns on WAL archive mode: log rotation copies outgoing frames
+    /// into `<dir>/wal-archive/` segments instead of discarding them, so
+    /// the full history stays replayable (replica bootstrap, point-in-
+    /// time restore). On first enablement the engine seeds the archive
+    /// with a catalog snapshot and a full image of every page — history
+    /// rotated away *before* archiving exists only in the data pages —
+    /// then checkpoints, rotating the snapshot into the first segment.
+    /// Requires no active transactions. Idempotent; sticky across opens.
+    pub fn enable_wal_archive(&self) -> Result<()> {
+        let newly = self.inner.wal.lock().unwrap().wal.enable_archive()?;
+        if !newly {
+            return Ok(());
+        }
+        {
+            let cat = self.inner.catalog.read().unwrap();
+            self.inner.log(&WalRecord::CatalogSnapshot {
+                bytes: cat.to_bytes(),
+            })?;
+        }
+        for page in 0..self.inner.pool.num_pages() {
+            let bytes = self.inner.pool.with_page(page, |b| b.to_vec())?;
+            self.inner.log(&WalRecord::PageImage { page, bytes })?;
+        }
+        self.checkpoint()
+    }
+
+    /// Reads encoded records at and above `from_lsn`, up to roughly
+    /// `max_bytes`, never past the durable watermark. Returns the batch
+    /// (LSN, payload) and the durable watermark itself, which doubles as
+    /// the lag reference for the replica. Holds the log latch so a
+    /// concurrent rotation cannot swap files mid-read.
+    pub fn wal_read_from(&self, from_lsn: u64, max_bytes: usize) -> Result<(WalBatch, u64)> {
+        let durable = self.wal_durable_lsn();
+        let w = self.inner.wal.lock().unwrap();
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        for (lsn, rec) in w.wal.read_from(from_lsn)? {
+            if lsn >= durable {
+                break;
+            }
+            let mut payload = Vec::with_capacity(64);
+            rec.encode(&mut payload);
+            total += payload.len() + 12;
+            out.push((lsn, payload));
+            if total >= max_bytes {
+                break;
+            }
+        }
+        Ok((out, durable))
+    }
+
+    /// Switches the engine in or out of replica mode. In replica mode
+    /// local transactions must not run; the log is fed exclusively by
+    /// [`StorageEngine::replica_apply`]. Promotion flips this back off,
+    /// after which the engine appends from where the stream left off —
+    /// the LSN space continues seamlessly.
+    ///
+    /// The role is persisted as a `replica` marker file so a restarted
+    /// replica reopens as one: the ordinary open path would otherwise
+    /// rotate the log, appending a local checkpoint marker into an LSN
+    /// slot the primary's stream has already assigned. (Losing the
+    /// *removal* on a crashed promotion errs the safe way — the node
+    /// comes back read-only.)
+    pub fn set_replica(&self, on: bool) -> Result<()> {
+        let marker = self.inner.dir.join("replica");
+        if on {
+            std::fs::File::create(&marker)?.sync_all()?;
+        } else if marker.exists() {
+            std::fs::remove_file(&marker)?;
+        }
+        self.inner.replica.store(on, Ordering::Release);
+        Ok(())
+    }
+
+    /// True when the engine is in replica mode.
+    pub fn is_replica(&self) -> bool {
+        self.inner.replica.load(Ordering::Acquire)
+    }
+
+    /// Appends a batch of replicated records (LSN, encoded payload) to
+    /// the local log verbatim and syncs it. Records below the local
+    /// next-LSN are duplicates (crash-window overlap) and are skipped; a
+    /// gap is an error except on a virgin log, which re-bases to the
+    /// batch start (a primary whose history begins at an archive
+    /// snapshot streams from that snapshot's LSN, not 0). Returns the
+    /// new next-LSN (= applied watermark).
+    pub fn replica_apply(&self, batch: &[(u64, Vec<u8>)]) -> Result<u64> {
+        if !self.is_replica() {
+            return Err(StorageError::Replication(
+                "replica_apply on a non-replica engine".into(),
+            ));
+        }
+        let mut w = self.inner.wal.lock().unwrap();
+        for (lsn, payload) in batch {
+            let next = w.wal.next_lsn();
+            if *lsn < next {
+                continue;
+            }
+            if *lsn > next {
+                if next == 0 {
+                    w.wal.reset_base(*lsn)?;
+                } else {
+                    return Err(StorageError::Replication(format!(
+                        "gap in replication stream: have {next}, got {lsn}"
+                    )));
+                }
+            }
+            let rec = WalRecord::decode(payload).ok_or_else(|| {
+                StorageError::Replication(format!("undecodable record at lsn {lsn}"))
+            })?;
+            w.append(&rec)?;
+        }
+        let seq = w.seq;
+        w.wal.sync()?;
+        let applied = w.wal.next_lsn();
+        drop(w);
+        self.inner.durable_lsn.fetch_max(applied, Ordering::AcqRel);
+        let mut st = self.inner.commit.lock().unwrap();
+        st.synced = st.synced.max(seq);
+        drop(st);
+        Ok(applied)
+    }
+
+    /// Folds the local log into the data pages through the recovery
+    /// machinery (idempotent: positional redo, wholesale page images,
+    /// index reset-and-replay) and installs the resulting catalog.
+    /// Incomplete transactions in the log tail are undone in the pages —
+    /// exactly crash semantics — but their records remain in the log, so
+    /// a later fold (after their Commit arrives) re-applies them.
+    pub fn replica_refresh(&self) -> Result<()> {
+        if !self.is_replica() {
+            return Err(StorageError::Replication(
+                "replica_refresh on a non-replica engine".into(),
+            ));
+        }
+        self.fold_log()
+    }
+
+    /// As [`StorageEngine::replica_refresh`], then flushes the pages and
+    /// rotates the local log (into the replica's own archive when
+    /// enabled), bounding its growth. Only legal when the stream is
+    /// positioned exactly at a checkpoint marker: the primary guarantees
+    /// no transaction spans a marker, so rotation cannot discard records
+    /// a committed transaction still needs.
+    pub fn replica_checkpoint(&self) -> Result<()> {
+        if !self.is_replica() {
+            return Err(StorageError::Replication(
+                "replica_checkpoint on a non-replica engine".into(),
+            ));
+        }
+        let (records, _) = Wal::replay(&self.inner.dir)?;
+        if records.is_empty() {
+            return Ok(());
+        }
+        if !matches!(records.last(), Some(WalRecord::Checkpoint)) {
+            return Err(StorageError::Replication(
+                "replica checkpoint requires the stream to sit at a checkpoint marker".into(),
+            ));
+        }
+        self.fold_records(&records)?;
+        {
+            let cat = self.inner.catalog.read().unwrap();
+            catalog::save(&self.inner.pool, &cat)?;
+        }
+        // Plain flush: a replica logs no page images (see
+        // `eviction_barrier`); a tear here is repaired by re-seeding.
+        self.inner.pool.flush_all()?;
+        self.inner.truncate_wal()
+    }
+
+    fn fold_log(&self) -> Result<()> {
+        let (records, _) = Wal::replay(&self.inner.dir)?;
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.fold_records(&records)
+    }
+
+    fn fold_records(&self, records: &[WalRecord]) -> Result<()> {
+        let base = self.inner.catalog.read().unwrap().clone();
+        let (outcome, recovered) = recovery::recover(&self.inner.pool, records, Some(base))?;
+        *self.inner.catalog.write().unwrap() = recovered;
+        self.inner.heaps.write().unwrap().clear();
+        if outcome.indexes_reset {
+            self.inner
+                .indexes_need_rebuild
+                .store(true, Ordering::Release);
+            Self::write_rebuild_marker(&self.inner.dir, true)?;
+        }
         Ok(())
     }
 
@@ -1124,6 +1431,14 @@ impl Drop for Inner {
             // recovery needs. Leave every file exactly as it is.
             return;
         }
+        if self.replica.load(Ordering::Acquire) {
+            // A replica's log is the primary's stream: the shutdown
+            // checkpoint would fold and discard records the next fold
+            // still needs, and would append local records into the
+            // stream's LSN space. Sync what arrived and stop.
+            let _ = unpoison(self.wal.lock()).wal.sync();
+            return;
+        }
         let active_empty = unpoison(self.active.get_mut()).is_empty();
         let _ = unpoison(self.wal.lock()).wal.sync();
         if !active_empty {
@@ -1153,7 +1468,16 @@ impl Drop for Inner {
             })
         });
         if flushed.is_ok() {
-            let _ = unpoison(self.wal.lock()).wal.truncate();
+            let mut w = unpoison(self.wal.lock());
+            // Mark the rotation boundary for replication readers, as the
+            // live checkpoint path does.
+            let marked = w.append(&WalRecord::Checkpoint).and_then(|_| {
+                w.wal.sync()?;
+                Ok(0)
+            });
+            if marked.is_ok() {
+                let _ = w.wal.truncate();
+            }
         }
     }
 }

@@ -36,6 +36,9 @@ pub enum StorageError {
     WalPoisoned,
     /// The database files were corrupt.
     Corrupt(String),
+    /// A replication stream violated its contract (gap, stale batch,
+    /// or an apply attempted on a node in the wrong role).
+    Replication(String),
 }
 
 impl fmt::Display for StorageError {
@@ -61,6 +64,7 @@ impl fmt::Display for StorageError {
                 "write-ahead log poisoned by an earlier failed fsync; reopen to recover"
             ),
             StorageError::Corrupt(m) => write!(f, "database corrupt: {m}"),
+            StorageError::Replication(m) => write!(f, "replication error: {m}"),
         }
     }
 }

@@ -55,12 +55,14 @@ pub mod wal;
 pub use backend::{FileBackend, FileVfs, StorageBackend, Vfs};
 pub use btree::{decode_i64, encode_i64, BTree};
 pub use buffer::BufferPool;
-pub use engine::{StorageEngine, Txn, DEFAULT_POOL_PAGES};
+pub use engine::{StorageEngine, Txn, WalBatch, DEFAULT_POOL_PAGES};
 pub use error::{Result, StorageError};
 pub use fault::{At, FaultController, FaultKind, FaultPlan, FaultVfs};
 pub use heap::HeapFile;
 pub use lock::{LockManager, LockMode};
 pub use page::{PageId, Rid, PAGE_SIZE};
 pub use recovery::RecoveryOutcome;
-pub use torture::{crash_point_sweep, TortureConfig, TortureReport};
-pub use wal::{TableId, TxnId, Wal, WalRecord};
+pub use torture::{
+    crash_point_sweep, run_workload_with, verify_reopen, Ledger, TortureConfig, TortureReport,
+};
+pub use wal::{TableId, TxnId, Wal, WalRangeIter, WalRecord};

@@ -153,9 +153,14 @@ struct Effects {
     removed: Vec<(String, String)>,
 }
 
-/// The oracle the workload maintains while driving the engine.
-#[derive(Debug, Default)]
-struct Ledger {
+/// The oracle the workload maintains while driving the engine. Public
+/// (with opaque internals) so harnesses outside this crate — the
+/// replication pair sweep, point-in-time-restore checks — can drive
+/// [`run_workload_with`] and hand the resulting oracle to
+/// [`verify_reopen`]. `Clone` lets them snapshot the oracle mid-run and
+/// verify a restore against the state as of that moment.
+#[derive(Debug, Default, Clone)]
+pub struct Ledger {
     /// Tables whose `create_table` returned `Ok` (hence durably
     /// snapshotted — `create_table` syncs the catalog).
     tables: Vec<String>,
@@ -210,6 +215,20 @@ fn body_for(round: usize, i: usize) -> String {
 /// post-crash recovery must (and must not) surface. Returns early once
 /// the injected crash makes commits impossible.
 fn run_workload(engine: &StorageEngine, rounds: usize, ledger: &mut Ledger) {
+    run_workload_with(engine, rounds, ledger, &mut |_, _| {});
+}
+
+/// As the private workload driver, invoking `hook(round, ledger)` after
+/// every settled round (committed or aborted). External harnesses hang
+/// replication pulls or oracle snapshots on the hook; it must not touch
+/// the engine in ways that add counted I/O if boundary determinism
+/// across runs matters (reads are not counted).
+pub fn run_workload_with(
+    engine: &StorageEngine,
+    rounds: usize,
+    ledger: &mut Ledger,
+    hook: &mut dyn FnMut(usize, &Ledger),
+) {
     let mut ids: Vec<TableId> = Vec::new();
     for name in TABLES {
         match engine.create_table(name) {
@@ -351,6 +370,7 @@ fn run_workload(engine: &StorageEngine, rounds: usize, ledger: &mut Ledger) {
             // Aborted (deliberately or by the crash): must be invisible
             // after recovery either way, so the ledger records nothing.
             let _ = engine.abort(txn);
+            hook(r, ledger);
             continue;
         }
         match engine.commit(txn) {
@@ -374,6 +394,7 @@ fn run_workload(engine: &StorageEngine, rounds: usize, ledger: &mut Ledger) {
                 return;
             }
         }
+        hook(r, ledger);
     }
 }
 
@@ -383,8 +404,11 @@ fn run_workload(engine: &StorageEngine, rounds: usize, ledger: &mut Ledger) {
 
 /// Reopens `dir` with the plain file VFS and checks every invariant the
 /// ledger implies. Returns the reopen (recovery) latency in µs, or
-/// `None` if the reopen itself failed.
-fn verify_reopen(
+/// `None` if the reopen itself failed. Public so external harnesses
+/// (the replication pair sweep, restore verification) can point the
+/// same oracle at a different directory — a promoted replica, a
+/// point-in-time restore destination.
+pub fn verify_reopen(
     dir: &Path,
     pool_pages: usize,
     ledger: &Ledger,
