@@ -22,7 +22,9 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use mdm_lang::{PlanExplain, QuelMetrics, Session, StmtResult, Table};
 use mdm_model::{persist, Database, EntityId, Value};
 use mdm_notation::{Score, TimeSignature, Voice};
-use mdm_obs::{Counter, Registry, Snapshot, StatementStore, Tracer};
+use mdm_obs::{
+    Counter, HealthReport, Monitor, MonitorConfig, Registry, Snapshot, StatementStore, Tracer,
+};
 use mdm_storage::StorageEngine;
 
 use crate::cmn_schema;
@@ -32,7 +34,7 @@ use crate::score_store;
 /// The wire protocol version the MDM stack speaks, surfaced as the
 /// `protocol` label on `mdm_build_info`. `mdm-net` owns the wire
 /// constant; a test over there asserts the two stay equal.
-pub const WIRE_PROTOCOL_VERSION: u16 = 3;
+pub const WIRE_PROTOCOL_VERSION: u16 = 4;
 
 /// Engine table holding the statement journal: the QUEL text of every
 /// successful `execute` since the last [`MusicDataManager::save`], each
@@ -113,6 +115,12 @@ pub struct MusicDataManager {
     /// Per-fingerprint statement statistics, shared with every session
     /// this MDM hands out and persisted through [`save`](Self::save).
     stmt_store: Arc<StatementStore>,
+    /// The continuous-monitoring subsystem: time-series recorder and
+    /// health rules over [`registry`](Self::metrics_registry). Opened
+    /// passive (on-demand sampling, no thread); servers call
+    /// [`Monitor::enable_sampling`] through
+    /// [`monitor`](Self::monitor) to start the background sampler.
+    monitor: Arc<Monitor>,
     /// Next statement-journal sequence number (max persisted + 1).
     journal_seq: u64,
     /// Replica mode: the durable state is owned by a replication
@@ -162,7 +170,7 @@ impl MusicDataManager {
                 "build metadata carried as labels; the value is always 1",
                 &[
                     ("version", env!("CARGO_PKG_VERSION")),
-                    ("protocol", "3"), // = WIRE_PROTOCOL_VERSION (labels are &str)
+                    ("protocol", "4"), // = WIRE_PROTOCOL_VERSION (labels are &str)
                 ],
             )
             .set(1);
@@ -188,6 +196,13 @@ impl MusicDataManager {
         let journal_seq = replay_journal(&engine, &mut session, &mut db)?;
         session.set_statement_store(Arc::clone(&stmt_store));
         session.set_lock_registry(registry.clone());
+        // The monitor opens passive — no background thread until a
+        // server enables sampling — but carries the default health
+        // rules (and process gauges) from the first moment, so
+        // `$alerts` and `\health` are meaningful even embedded.
+        let monitor = Monitor::start(registry.clone(), MonitorConfig::disabled());
+        monitor.seed_default_rules();
+        session.set_monitor(Arc::clone(&monitor));
         // A replica marker in the data dir survives restarts: the
         // engine opened in replica mode, and the MDM must match.
         let replica = engine.is_replica();
@@ -200,6 +215,7 @@ impl MusicDataManager {
             requests,
             tracer,
             stmt_store,
+            monitor,
             journal_seq,
             replica,
         })
@@ -234,6 +250,19 @@ impl MusicDataManager {
     /// storage engine, QUEL pipeline, and request counters together.
     pub fn metrics_snapshot(&self) -> Snapshot {
         self.registry.snapshot()
+    }
+
+    /// The continuous-monitoring subsystem: the time-series recorder
+    /// and health rules engine over this MDM's registry. Passive until
+    /// a caller enables sampling.
+    pub fn monitor(&self) -> Arc<Monitor> {
+        Arc::clone(&self.monitor)
+    }
+
+    /// The rules engine's current verdict — what `/healthz` and the
+    /// wire `Health` request serve.
+    pub fn health(&self) -> HealthReport {
+        self.monitor.health()
     }
 
     /// The registry all MDM layers report into (shares state with the
@@ -294,6 +323,7 @@ impl MusicDataManager {
         let journal_seq = replay_journal(&self.engine, &mut session, &mut db)?;
         session.set_statement_store(Arc::clone(&self.stmt_store));
         session.set_lock_registry(self.registry.clone());
+        session.set_monitor(Arc::clone(&self.monitor));
         self.db = db;
         self.session = session;
         self.journal_seq = journal_seq;
@@ -380,6 +410,7 @@ impl MusicDataManager {
         let mut session = Session::with_metrics(Arc::clone(&self.quel));
         session.set_statement_store(Arc::clone(&self.stmt_store));
         session.set_lock_registry(self.registry.clone());
+        session.set_monitor(Arc::clone(&self.monitor));
         session
     }
 
@@ -965,6 +996,57 @@ mod tests {
             )
             .unwrap();
         assert_eq!(t.rows, vec![vec![Value::Integer(1)]]);
+        drop(mdm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The monitoring subsystem through the full MDM stack: the default
+    /// rules are seeded at open, `$metrics`/`$alerts` answer on the
+    /// shared read path, process gauges register, and a tripped rule
+    /// flips [`MusicDataManager::health`].
+    #[test]
+    fn monitor_and_health_through_the_stack() {
+        let dir = tmpdir("monitor");
+        let mut mdm = MusicDataManager::open(&dir).unwrap();
+        mdm.execute("append to PERSON (name = \"Bach\")").unwrap();
+        assert!(!mdm.monitor().is_running(), "embedded opens stay passive");
+        let h = mdm.health();
+        assert!(h.healthy);
+        assert!(
+            h.alerts.iter().any(|a| a.rule == "wal_poisoned"),
+            "default rules seeded at open: {:?}",
+            h.alerts.iter().map(|a| a.rule.clone()).collect::<Vec<_>>()
+        );
+        // $metrics sees the whole registry, process gauges included.
+        let t = mdm
+            .query_shared(
+                "range of m is $metrics\n\
+                 retrieve (m.name, m.value) where m.name = \"mdm_process_threads\"",
+            )
+            .unwrap();
+        assert_eq!(t.len(), 1, "{t}");
+        if cfg!(target_os = "linux") {
+            assert!(
+                matches!(t.rows[0][1], Value::Float(v) if v >= 1.0),
+                "thread count read from /proc/self: {t}"
+            );
+        }
+        // $alerts is queryable and initially all-ok.
+        let t = mdm
+            .query_shared("range of a is $alerts retrieve (a.rule) where a.state = \"firing\"")
+            .unwrap();
+        assert!(t.is_empty(), "{t}");
+        // Poisoning the WAL gauge trips the seeded critical rule on the
+        // next sample.
+        mdm.metrics_registry()
+            .gauge(
+                "mdm_wal_poisoned",
+                "1 if a failed WAL fsync has poisoned the commit path (reopen to recover)",
+            )
+            .set(1);
+        mdm.monitor().sample_now();
+        let h = mdm.health();
+        assert!(!h.healthy, "wal_poisoned fires: {:?}", h.alerts);
         drop(mdm);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -27,7 +27,7 @@ use std::time::Instant;
 use mdm_model::encode::encode_value;
 use mdm_model::{Database, EntityId, RelTypeId, TypeId, Value};
 use mdm_obs::{
-    trace, Counter, Histogram, MetricValue, PathMix, Registry, StatementStore,
+    trace, Counter, Histogram, MetricValue, Monitor, PathMix, Registry, Severity, StatementStore,
     LATENCY_MICROS_BOUNDS,
 };
 
@@ -123,6 +123,11 @@ pub enum VirtualEntity {
     Indexes,
     /// Lock and transaction counters from the attached registry.
     Locks,
+    /// Current value, last-window rate, and latency quantiles of every
+    /// metric series, from the attached monitor.
+    Metrics,
+    /// Health-rule states from the attached monitor's alert engine.
+    Alerts,
 }
 
 impl VirtualEntity {
@@ -133,6 +138,8 @@ impl VirtualEntity {
             VirtualEntity::Tables => "$tables",
             VirtualEntity::Indexes => "$indexes",
             VirtualEntity::Locks => "$locks",
+            VirtualEntity::Metrics => "$metrics",
+            VirtualEntity::Alerts => "$alerts",
         }
     }
 
@@ -143,6 +150,8 @@ impl VirtualEntity {
             "$tables" => VirtualEntity::Tables,
             "$indexes" => VirtualEntity::Indexes,
             "$locks" => VirtualEntity::Locks,
+            "$metrics" => VirtualEntity::Metrics,
+            "$alerts" => VirtualEntity::Alerts,
             _ => return None,
         })
     }
@@ -315,6 +324,7 @@ pub struct Session {
     metrics: Option<Arc<QuelMetrics>>,
     stmt_store: Option<Arc<StatementStore>>,
     lock_registry: Option<Registry>,
+    monitor: Option<Arc<Monitor>>,
     accum: Arc<StmtAccum>,
 }
 
@@ -351,6 +361,12 @@ impl Session {
     /// lock and transaction counters from.
     pub fn set_lock_registry(&mut self, registry: Registry) {
         self.lock_registry = Some(registry);
+    }
+
+    /// Attaches the monitor that `$metrics` and `$alerts` retrieves read
+    /// their time-series points and alert states from.
+    pub fn set_monitor(&mut self, monitor: Arc<Monitor>) {
+        self.monitor = Some(monitor);
     }
 
     /// Lexes and parses a program, timing each phase when instrumented
@@ -767,6 +783,60 @@ impl Session {
                 }
                 VirtTable {
                     columns: vec!["name".into(), "value".into()],
+                    rows,
+                }
+            }
+            VirtualEntity::Metrics => {
+                let columns = ["name", "value", "rate", "p50", "p99"];
+                let mut rows = Vec::new();
+                if let Some(monitor) = &self.monitor {
+                    for (name, p) in monitor.latest() {
+                        rows.push(vec![
+                            Value::String(name),
+                            Value::Float(p.value),
+                            Value::Float(p.rate),
+                            Value::Float(p.p50),
+                            Value::Float(p.p99),
+                        ]);
+                    }
+                }
+                VirtTable {
+                    columns: columns.iter().map(|c| c.to_string()).collect(),
+                    rows,
+                }
+            }
+            VirtualEntity::Alerts => {
+                let columns = [
+                    "rule",
+                    "metric",
+                    "state",
+                    "severity",
+                    "value",
+                    "threshold",
+                    "since_micros",
+                ];
+                let mut rows = Vec::new();
+                if let Some(monitor) = &self.monitor {
+                    for a in monitor.health().alerts {
+                        rows.push(vec![
+                            Value::String(a.rule),
+                            Value::String(a.metric),
+                            Value::String(a.state.as_str().to_string()),
+                            Value::String(
+                                match a.severity {
+                                    Severity::Warning => "warning",
+                                    Severity::Critical => "critical",
+                                }
+                                .to_string(),
+                            ),
+                            Value::Float(a.value),
+                            Value::Float(a.threshold),
+                            int(a.since_micros),
+                        ]);
+                    }
+                }
+                VirtTable {
+                    columns: columns.iter().map(|c| c.to_string()).collect(),
                     rows,
                 }
             }
@@ -1645,7 +1715,7 @@ fn resolve_target(db: &Database, name: &str) -> Result<RangeTarget> {
     if name.starts_with('$') {
         return Err(LangError::Analyze(format!(
             "unknown system entity {name} \
-             (expected $statements, $tables, $indexes, or $locks)"
+             (expected $statements, $tables, $indexes, $locks, $metrics, or $alerts)"
         )));
     }
     if let Ok(t) = db.schema().entity_type_id(name) {

@@ -276,3 +276,77 @@ fn explain_prefers_the_more_selective_index() {
     assert_eq!(ex.vars[0].stats, "live=20 distinct=10 est=2");
     assert_eq!(ex.vars[0].estimated, 1, "both probes still intersect");
 }
+
+#[test]
+fn metrics_reads_the_attached_monitor() {
+    let mut s = Session::new();
+    let mut db = person_db(&mut s);
+    // Without a monitor the entity exists but is empty.
+    let t = rows(
+        s.execute(&mut db, "range of m is $metrics retrieve (m.name, m.value)")
+            .unwrap(),
+    );
+    assert!(t.is_empty(), "no monitor attached:\n{t}");
+
+    let registry = Registry::new();
+    registry.counter("mdm_demo_total", "demo").add(7);
+    let monitor = mdm_obs::Monitor::start(registry, mdm_obs::MonitorConfig::disabled());
+    s.set_monitor(Arc::clone(&monitor));
+    let t = rows(
+        s.execute(
+            &mut db,
+            "range of m is $metrics\n\
+             retrieve (m.name, m.value, m.rate) where m.name = \"mdm_demo_total\"",
+        )
+        .unwrap(),
+    );
+    assert_eq!(t.len(), 1, "{t}");
+    assert_eq!(t.rows[0][1], Value::Float(7.0));
+}
+
+#[test]
+fn alerts_reads_the_monitors_rule_states() {
+    let mut s = Session::new();
+    let mut db = person_db(&mut s);
+    let registry = Registry::new();
+    let lag = registry.gauge("mdm_repl_lag_bytes", "lag");
+    let monitor = mdm_obs::Monitor::start(registry, mdm_obs::MonitorConfig::disabled());
+    monitor.add_rule(mdm_obs::Rule::above(
+        "lag_high",
+        "mdm_repl_lag_bytes",
+        100.0,
+        1,
+    ));
+    s.set_monitor(Arc::clone(&monitor));
+    lag.set(10);
+    monitor.sample_now();
+    let t = rows(
+        s.execute(
+            &mut db,
+            "range of a is $alerts retrieve (a.rule, a.state, a.severity)",
+        )
+        .unwrap(),
+    );
+    assert_eq!(
+        t.rows,
+        vec![vec![
+            Value::String("lag_high".into()),
+            Value::String("ok".into()),
+            Value::String("critical".into()),
+        ]]
+    );
+    lag.set(500);
+    monitor.sample_now();
+    let t = rows(
+        s.execute(
+            &mut db,
+            "range of a is $alerts retrieve (a.rule) where a.state = \"firing\"",
+        )
+        .unwrap(),
+    );
+    assert_eq!(t.len(), 1, "{t}");
+    // Virtual targets stay read-only.
+    assert!(s
+        .execute(&mut db, "delete a where a.rule = \"lag_high\"")
+        .is_err());
+}

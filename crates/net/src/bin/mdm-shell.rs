@@ -26,6 +26,11 @@
 //! \stats delta [prefix]
 //!                     counters since the previous \stats delta — the
 //!                     first call captures the baseline
+//! \health             the alert rules engine's verdict: healthy flag
+//!                     plus one line per rule (remote when connected)
+//! \watch METRIC [interval_ms] [ticks]
+//!                     follow one metric live: value and rate per tick
+//!                     (default 1000 ms, 10 ticks), local or remote
 //! \top [n]            hottest statements by total time, from the
 //!                     statement store (remote server's when connected)
 //! \plan QUERY         EXPLAIN a read-only query: access paths chosen
@@ -36,11 +41,14 @@
 //! \trace export FILE  write Chrome trace-event JSON (chrome://tracing)
 //! ```
 //!
-//! With `--serve <addr> <dir>` the shell becomes the server: it serves
-//! the database at `<dir>` on `<addr>` until EOF or a `quit` line on
-//! stdin, then drains connections and saves.
+//! With `--serve <addr> <dir> [--http-port <port>]` the shell becomes
+//! the server: it serves the database at `<dir>` on `<addr>` until EOF
+//! or a `quit` line on stdin, then drains connections and saves. With
+//! `--http-port` it also serves the HTTP observability endpoint
+//! (`/metrics`, `/healthz`, `/statusz`, `/tracez`) on that port.
 
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 use mdm_core::MusicDataManager;
 use mdm_lang::StmtResult;
@@ -91,6 +99,108 @@ fn print_stats(snap: &Snapshot) {
             }
         }
     }
+}
+
+/// Renders a health report JSON (the same document `/healthz` serves)
+/// as a healthy flag plus one line per alert rule. Both the local
+/// monitor and the remote server produce this format, so `\health`
+/// reads identically either way.
+fn print_health_json(body: &str) {
+    let Ok(doc) = mdm_obs::json::parse(body) else {
+        // Unparsable is a server bug; still show what arrived.
+        println!("{body}");
+        return;
+    };
+    let healthy = doc
+        .get("healthy")
+        .and_then(|v| v.as_bool())
+        .unwrap_or(false);
+    println!("healthy      {healthy}");
+    let Some(alerts) = doc.get("alerts").and_then(|v| v.as_array()) else {
+        return;
+    };
+    for a in alerts {
+        let s = |k: &str| a.get(k).and_then(|v| v.as_str()).unwrap_or("?");
+        let n = |k: &str| a.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        println!(
+            "{:<7} {:<8} {:<24} {} = {:.2} (threshold {} {:.2})",
+            s("state"),
+            s("severity"),
+            s("rule"),
+            s("metric"),
+            n("value"),
+            s("cmp"),
+            n("threshold"),
+        );
+    }
+}
+
+/// One scalar per series for `\watch`: counters and gauges read
+/// directly, histograms read as their observation count.
+fn watch_scalar(v: &MetricValue) -> f64 {
+    match v {
+        MetricValue::Counter(c) => *c as f64,
+        MetricValue::Gauge(g) => *g as f64,
+        MetricValue::Histogram(h) => h.count as f64,
+    }
+}
+
+/// `\watch METRIC [interval_ms] [ticks]`: polls snapshots and prints
+/// the metric's value and per-second rate each tick. Snapshot-based, so
+/// the same loop works on the embedded registry and over `\connect`.
+fn run_watch_command(
+    args: &[&str],
+    remote: &mut Option<MdmClient>,
+    mdm: &MusicDataManager,
+) -> Result<(), String> {
+    const USAGE: &str = "usage: \\watch METRIC [interval_ms] [ticks]";
+    let (metric, rest) = args.split_first().ok_or(USAGE)?;
+    let interval_ms: u64 = match rest.first() {
+        Some(s) => s.parse().map_err(|_| USAGE.to_string())?,
+        None => 1000,
+    };
+    let ticks: u32 = match rest.get(1) {
+        Some(s) => s.parse().map_err(|_| USAGE.to_string())?,
+        None => 10,
+    };
+    if rest.len() > 2 {
+        return Err(USAGE.into());
+    }
+    let mut prev: Option<f64> = None;
+    for tick in 0..ticks {
+        let snap = match remote {
+            Some(c) => {
+                let body = c.metrics_json().map_err(|e| e.to_string())?;
+                Snapshot::from_json(&body).ok_or("server sent an unparsable snapshot")?
+            }
+            None => mdm.metrics_snapshot(),
+        };
+        // Sum across label sets, so a labelled family watches as one
+        // series (matching the rules engine's family semantics).
+        let mut found = false;
+        let mut value = 0.0;
+        for e in &snap.entries {
+            if e.name == *metric {
+                found = true;
+                value += watch_scalar(&e.value);
+            }
+        }
+        if !found {
+            return Err(format!("no metric named '{metric}'"));
+        }
+        match prev {
+            None => println!("{metric} = {value}"),
+            Some(p) => {
+                let rate = (value - p) / (interval_ms.max(1) as f64 / 1000.0);
+                println!("{metric} = {value}  ({rate:+.2}/s)");
+            }
+        }
+        prev = Some(value);
+        if tick + 1 < ticks {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+    }
+    Ok(())
 }
 
 /// `\trace on|off|last [n]|slow [threshold_us]|export <file>` against
@@ -189,8 +299,9 @@ fn print_results(results: Vec<StmtResult>) {
     }
 }
 
-/// `--serve <addr> <dir>`: serve until EOF or a `quit` line.
-fn serve(addr: &str, dir: &std::path::Path) -> i32 {
+/// `--serve <addr> <dir> [--http-port <port>]`: serve until EOF or a
+/// `quit` line.
+fn serve(addr: &str, dir: &std::path::Path, http_port: Option<u16>) -> i32 {
     let mdm = match MusicDataManager::open(dir) {
         Ok(m) => m,
         Err(e) => {
@@ -198,7 +309,15 @@ fn serve(addr: &str, dir: &std::path::Path) -> i32 {
             return 1;
         }
     };
-    let server = match MdmServer::start(mdm, addr, ServerConfig::default()) {
+    let config = ServerConfig {
+        // The endpoint binds the same interface as the QUEL listener.
+        http_addr: http_port.map(|port| {
+            let host = addr.rsplit_once(':').map(|(h, _)| h).unwrap_or("127.0.0.1");
+            format!("{host}:{port}")
+        }),
+        ..ServerConfig::default()
+    };
+    let server = match MdmServer::start(mdm, addr, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot serve on {addr}: {e}");
@@ -206,6 +325,9 @@ fn serve(addr: &str, dir: &std::path::Path) -> i32 {
         }
     };
     println!("serving {} on {}", dir.display(), server.local_addr());
+    if let Some(http) = server.http_addr() {
+        println!("observability endpoint on http://{http} (/metrics /healthz /statusz /tracez)");
+    }
     println!("type 'quit' (or close stdin) to shut down");
     std::io::stdout().flush().ok();
 
@@ -239,10 +361,24 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--serve") {
         let (Some(addr), Some(dir)) = (args.get(1), args.get(2)) else {
-            eprintln!("usage: mdm-shell --serve <addr> <dir>");
+            eprintln!("usage: mdm-shell --serve <addr> <dir> [--http-port <port>]");
             std::process::exit(2);
         };
-        std::process::exit(serve(addr, std::path::Path::new(dir)));
+        let http_port = match (args.get(3).map(String::as_str), args.get(4)) {
+            (None, _) => None,
+            (Some("--http-port"), Some(p)) => match p.parse::<u16>() {
+                Ok(port) => Some(port),
+                Err(_) => {
+                    eprintln!("--http-port wants a port number, got '{p}'");
+                    std::process::exit(2);
+                }
+            },
+            _ => {
+                eprintln!("usage: mdm-shell --serve <addr> <dir> [--http-port <port>]");
+                std::process::exit(2);
+            }
+        };
+        std::process::exit(serve(addr, std::path::Path::new(dir), http_port));
     }
 
     let dir = args
@@ -307,6 +443,8 @@ fn main() {
                 println!(
                     "\\stats delta [prefix]         counters since the previous \\stats delta"
                 );
+                println!("\\health              alert rules verdict (healthy flag + rule states)");
+                println!("\\watch METRIC [interval_ms] [ticks]   follow one metric live");
                 println!("\\top [n]             hottest statements by total time");
                 println!("\\plan QUERY          EXPLAIN a read-only query (access paths + rows)");
                 println!("\\trace on|off|last [n]|slow [t_us]|export <file>   request tracing");
@@ -465,6 +603,22 @@ fn main() {
                             Some(StatsFormat::Prom) => print!("{}", snap.to_prometheus()),
                         }
                     }
+                }
+            }
+            "\\health" => {
+                let body = match &mut remote {
+                    Some(c) => c.health().map(|(_, json)| json).map_err(|e| e.to_string()),
+                    None => Ok(mdm.health().to_json()),
+                };
+                match body {
+                    Ok(b) => print_health_json(&b),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+            cmd if cmd == "\\watch" || cmd.starts_with("\\watch ") => {
+                let args: Vec<&str> = cmd["\\watch".len()..].split_whitespace().collect();
+                if let Err(e) = run_watch_command(&args, &mut remote, &mdm) {
+                    eprintln!("{e}");
                 }
             }
             cmd if cmd == "\\top" || cmd.starts_with("\\top ") => {

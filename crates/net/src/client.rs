@@ -365,14 +365,16 @@ impl MdmClient {
     }
 
     /// Pulls durable WAL records from `from_lsn` (at most ~`max_bytes`
-    /// of record payload): `(records, primary durable LSN)`. Requires a
-    /// v3 session.
+    /// of record payload): `(records, primary durable LSN, primary send
+    /// stamp)`. The stamp is the primary's monotonic clock in
+    /// microseconds (`0` from a pre-v4 primary); replicas derive
+    /// `mdm_repl_lag_seconds` from it. Requires a v3 session.
     pub fn repl_pull(
         &mut self,
         replica_id: u64,
         from_lsn: u64,
         max_bytes: u32,
-    ) -> Result<(WalBatch, u64)> {
+    ) -> Result<(WalBatch, u64, u64)> {
         match self.request(Message::ReplPull {
             replica_id,
             from_lsn,
@@ -381,7 +383,17 @@ impl MdmClient {
             Message::ReplBatch {
                 records,
                 durable_lsn,
-            } => Ok((records, durable_lsn)),
+                sent_micros,
+            } => Ok((records, durable_lsn, sent_micros)),
+            other => Err(NetError::UnexpectedResponse(other.type_name())),
+        }
+    }
+
+    /// Fetches the node's health verdict from its alert rules engine:
+    /// `(healthy, full report JSON)`. Requires a v4 session.
+    pub fn health(&mut self) -> Result<(bool, String)> {
+        match self.request(Message::Health)? {
+            Message::HealthInfo { healthy, json } => Ok((healthy, json)),
             other => Err(NetError::UnexpectedResponse(other.type_name())),
         }
     }

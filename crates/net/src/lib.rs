@@ -16,6 +16,9 @@
 //!   panic isolation, and graceful draining shutdown.
 //! * [`client`] — [`MdmClient`]: blocking client with connect
 //!   retry/backoff, request timeouts, and auto-reconnect.
+//! * [`http`] — [`HttpServer`]: a hand-rolled HTTP/1.1 observability
+//!   endpoint (`/metrics`, `/healthz`, `/statusz`, `/tracez`) for
+//!   scrapers and load-balancer probes.
 //! * [`metrics`] — the `mdm_net_*` families, registered into the same
 //!   `mdm-obs` registry as the storage and query layers.
 //!
@@ -26,6 +29,7 @@
 
 pub mod client;
 pub mod error;
+pub mod http;
 pub mod message;
 pub mod metrics;
 pub mod scorecodec;
@@ -34,6 +38,7 @@ pub mod wire;
 
 pub use client::{ClientConfig, MdmClient, ReplStatus, WalBatch};
 pub use error::{DecodeError, ErrorCode, NetError, Result};
+pub use http::{HttpServer, HttpState};
 pub use message::{Message, StatsFormat, TraceOp};
 pub use metrics::NetMetrics;
 pub use server::{MdmServer, ServerConfig};

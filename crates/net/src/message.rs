@@ -1,6 +1,6 @@
 //! Typed protocol messages and their payload encodings.
 //!
-//! Requests occupy tags 1–15, responses 128–143, and the error response
+//! Requests occupy tags 1–16, responses 128–143, and the error response
 //! is 255, so a stray request tag can never be confused with a response.
 //! Every message decodes with [`Message::decode`]; unknown tags and
 //! malformed payloads yield typed [`DecodeError`]s, never panics.
@@ -136,6 +136,10 @@ pub enum Message {
     /// Requests the node's replication role and watermarks; the server
     /// answers with [`Message::ReplStatusInfo`]. Requires protocol ≥ 3.
     ReplStatus,
+    /// Requests the node's health verdict from its alert rules engine;
+    /// the server answers with [`Message::HealthInfo`]. Requires
+    /// protocol ≥ 4.
+    Health,
 
     // ---- responses (128–143, 255) ----
     /// Session accepted.
@@ -214,6 +218,13 @@ pub enum Message {
         /// The primary's durable watermark: records up to (exclusive)
         /// this LSN are fsynced and safe to replicate.
         durable_lsn: u64,
+        /// The primary's monotonic clock (microseconds since its
+        /// process start) when it sent the batch; the replica derives
+        /// `mdm_repl_lag_seconds` from stamps of the same clock, so no
+        /// cross-machine clock agreement is needed. `0` = unstamped
+        /// (pre-v4 primary); encoded only when non-zero, keeping the
+        /// v3 byte layout for unstamped batches.
+        sent_micros: u64,
     },
     /// Replication role and watermarks answering [`Message::ReplStatus`].
     ReplStatusInfo {
@@ -228,6 +239,14 @@ pub enum Message {
         lag_bytes: u64,
         /// On a primary: replicas that pulled recently. `0` on a replica.
         replicas: u32,
+    },
+    /// The node's health verdict answering [`Message::Health`].
+    HealthInfo {
+        /// False iff a critical alert rule is firing (`/healthz` 503).
+        healthy: bool,
+        /// The full health report as JSON (alert states, values,
+        /// thresholds) — the same document `/healthz` serves.
+        json: String,
     },
     /// A typed error.
     Error {
@@ -254,6 +273,7 @@ const T_EXPLAIN: u16 = 12;
 const T_TOP: u16 = 13;
 const T_REPL_PULL: u16 = 14;
 const T_REPL_STATUS: u16 = 15;
+const T_HEALTH: u16 = 16;
 const T_HELLO_ACK: u16 = 128;
 const T_PONG: u16 = 129;
 const T_ROWS: u16 = 130;
@@ -268,6 +288,7 @@ const T_PLAN: u16 = 138;
 const T_TOP_STATS: u16 = 139;
 const T_REPL_BATCH: u16 = 140;
 const T_REPL_STATUS_INFO: u16 = 141;
+const T_HEALTH_INFO: u16 = 142;
 const T_ERROR: u16 = 255;
 
 impl Message {
@@ -289,6 +310,7 @@ impl Message {
             Message::Top { .. } => T_TOP,
             Message::ReplPull { .. } => T_REPL_PULL,
             Message::ReplStatus => T_REPL_STATUS,
+            Message::Health => T_HEALTH,
             Message::HelloAck { .. } => T_HELLO_ACK,
             Message::Pong => T_PONG,
             Message::Rows { .. } => T_ROWS,
@@ -303,6 +325,7 @@ impl Message {
             Message::TopStats { .. } => T_TOP_STATS,
             Message::ReplBatch { .. } => T_REPL_BATCH,
             Message::ReplStatusInfo { .. } => T_REPL_STATUS_INFO,
+            Message::HealthInfo { .. } => T_HEALTH_INFO,
             Message::Error { .. } => T_ERROR,
         }
     }
@@ -325,6 +348,7 @@ impl Message {
             Message::Top { .. } => "top",
             Message::ReplPull { .. } => "repl_pull",
             Message::ReplStatus => "repl_status",
+            Message::Health => "health",
             Message::HelloAck { .. } => "hello_ack",
             Message::Pong => "pong",
             Message::Rows { .. } => "rows",
@@ -339,6 +363,7 @@ impl Message {
             Message::TopStats { .. } => "top_stats",
             Message::ReplBatch { .. } => "repl_batch",
             Message::ReplStatusInfo { .. } => "repl_status_info",
+            Message::HealthInfo { .. } => "health_info",
             Message::Error { .. } => "error",
         }
     }
@@ -356,7 +381,11 @@ impl Message {
                     out.extend_from_slice(&max_version.to_le_bytes());
                 }
             }
-            Message::Ping | Message::Pong | Message::ListScores | Message::ReplStatus => {}
+            Message::Ping
+            | Message::Pong
+            | Message::ListScores
+            | Message::ReplStatus
+            | Message::Health => {}
             Message::ReplPull {
                 replica_id,
                 from_lsn,
@@ -369,6 +398,7 @@ impl Message {
             Message::ReplBatch {
                 records,
                 durable_lsn,
+                sent_micros,
             } => {
                 put_len(&mut out, records.len());
                 for (lsn, bytes) in records {
@@ -376,6 +406,11 @@ impl Message {
                     crate::wire::put_bytes(&mut out, bytes);
                 }
                 out.extend_from_slice(&durable_lsn.to_le_bytes());
+                // Trailing optional (v4): unstamped batches keep the v3
+                // byte layout, so v3 replicas still decode them.
+                if *sent_micros != 0 {
+                    out.extend_from_slice(&sent_micros.to_le_bytes());
+                }
             }
             Message::ReplStatusInfo {
                 role,
@@ -389,6 +424,10 @@ impl Message {
                 out.extend_from_slice(&durable_lsn.to_le_bytes());
                 out.extend_from_slice(&lag_bytes.to_le_bytes());
                 out.extend_from_slice(&replicas.to_le_bytes());
+            }
+            Message::HealthInfo { healthy, json } => {
+                out.push(*healthy as u8);
+                put_str(&mut out, json);
             }
             Message::MetricsSnapshot { format, prefix } => {
                 // The default request is byte-identical to the v1
@@ -545,6 +584,7 @@ impl Message {
                 max_bytes: c.u32()?,
             },
             T_REPL_STATUS => Message::ReplStatus,
+            T_HEALTH => Message::Health,
             T_HELLO_ACK => {
                 let server = c.string()?;
                 let version = if c.remaining() > 0 { c.u16()? } else { 1 };
@@ -592,6 +632,7 @@ impl Message {
                 Message::ReplBatch {
                     records,
                     durable_lsn: c.u64()?,
+                    sent_micros: if c.remaining() > 0 { c.u64()? } else { 0 },
                 }
             }
             T_REPL_STATUS_INFO => Message::ReplStatusInfo {
@@ -600,6 +641,10 @@ impl Message {
                 durable_lsn: c.u64()?,
                 lag_bytes: c.u64()?,
                 replicas: c.u32()?,
+            },
+            T_HEALTH_INFO => Message::HealthInfo {
+                healthy: c.bool()?,
+                json: c.string()?,
             },
             T_TRACE_DUMP => Message::TraceDump {
                 text: c.string()?,
@@ -908,13 +953,16 @@ mod tests {
                 max_bytes: 1 << 20,
             },
             Message::ReplStatus,
+            Message::Health,
             Message::ReplBatch {
                 records: vec![(42, vec![1, 2, 3]), (43, vec![]), (44, vec![0xff; 9])],
                 durable_lsn: 45,
+                sent_micros: 1_700_000,
             },
             Message::ReplBatch {
                 records: vec![],
                 durable_lsn: 0,
+                sent_micros: 0,
             },
             Message::ReplStatusInfo {
                 role: 1,
@@ -922,6 +970,10 @@ mod tests {
                 durable_lsn: 99,
                 lag_bytes: 4096,
                 replicas: 0,
+            },
+            Message::HealthInfo {
+                healthy: false,
+                json: "{\"healthy\":false,\"firing\":1,\"alerts\":[]}".into(),
             },
             Message::Error {
                 code: ErrorCode::NotFound,
@@ -935,6 +987,25 @@ mod tests {
         for m in &messages {
             assert_eq!(&roundtrip(m), m);
         }
+    }
+
+    #[test]
+    fn v3_repl_batch_without_stamp_decodes_as_unstamped() {
+        // A v3 primary's batch payload ends at durable_lsn.
+        let mut payload = Vec::new();
+        put_len(&mut payload, 1);
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        crate::wire::put_bytes(&mut payload, &[1, 2]);
+        payload.extend_from_slice(&8u64.to_le_bytes());
+        let expected = Message::ReplBatch {
+            records: vec![(7, vec![1, 2])],
+            durable_lsn: 8,
+            sent_micros: 0,
+        };
+        assert_eq!(Message::decode(T_REPL_BATCH, &payload).unwrap(), expected);
+        // And an unstamped v4 batch re-encodes to the identical v3
+        // bytes, so v3 replicas' strict decoders still accept it.
+        assert_eq!(expected.encode_payload(), payload);
     }
 
     #[test]

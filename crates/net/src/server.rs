@@ -28,6 +28,7 @@ use mdm_core::{CoreError, MusicDataManager};
 use mdm_obs::{chrome_trace_json, trace, Tracer};
 
 use crate::error::{ErrorCode, NetError, Result};
+use crate::http::{HttpServer, HttpState};
 use crate::message::{Message, StatsFormat, TraceOp};
 use crate::metrics::NetMetrics;
 use crate::wire::{self, HEADER_LEN};
@@ -48,6 +49,14 @@ pub struct ServerConfig {
     pub drain_timeout: Duration,
     /// Name sent in `HelloAck`.
     pub server_name: String,
+    /// Address for the HTTP observability endpoint (`/metrics`,
+    /// `/healthz`, `/statusz`, `/tracez`); `None` serves none. Use
+    /// port 0 to let the OS pick (see [`MdmServer::http_addr`]).
+    pub http_addr: Option<String>,
+    /// Interval of the monitor's background sampler. The server
+    /// enables continuous sampling at start so alert rules and
+    /// `/healthz` track the node without a client asking.
+    pub sample_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +67,8 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             drain_timeout: Duration::from_secs(5),
             server_name: format!("mdm-net/{}", wire::PROTOCOL_VERSION),
+            http_addr: None,
+            sample_interval: Duration::from_secs(1),
         }
     }
 }
@@ -104,6 +115,7 @@ pub struct MdmServer {
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
     session_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    http: Option<HttpServer>,
 }
 
 impl MdmServer {
@@ -118,6 +130,11 @@ impl MdmServer {
         let local_addr = listener.local_addr()?;
         let metrics = NetMetrics::register(&mdm.metrics_registry());
         let tracer = mdm.tracer().clone();
+        let registry = mdm.metrics_registry();
+        let monitor = mdm.monitor();
+        // A serving node monitors itself continuously: rules evaluate
+        // every interval whether or not anyone is scraping.
+        monitor.enable_sampling(config.sample_interval);
         let shared = Arc::new(Shared {
             mdm: RwLock::new(mdm),
             metrics,
@@ -138,17 +155,39 @@ impl MdmServer {
             .name("mdm-accept".into())
             .spawn(move || accept_loop(listener, accept_shared, accept_threads))
             .map_err(NetError::Io)?;
+        let http = match &shared.config.http_addr {
+            Some(addr) => {
+                let status_shared = Arc::clone(&shared);
+                Some(HttpServer::start(
+                    addr.as_str(),
+                    HttpState {
+                        registry,
+                        monitor,
+                        tracer: shared.tracer.clone(),
+                        status_json: Arc::new(move || status_json(&status_shared)),
+                    },
+                )?)
+            }
+            None => None,
+        };
         Ok(MdmServer {
             shared,
             local_addr,
             accept_thread: Some(accept_thread),
             session_threads,
+            http,
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The HTTP observability endpoint's bound address, when one was
+    /// configured (useful with port 0).
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http.as_ref().map(HttpServer::local_addr)
     }
 
     /// Number of currently open sessions.
@@ -210,6 +249,11 @@ impl MdmServer {
     /// every thread, saves the database, and returns the manager.
     pub fn shutdown(mut self) -> Result<MusicDataManager> {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // The HTTP endpoint's status closure holds a clone of the shared
+        // state: stop it first so the `Arc::try_unwrap` below succeeds.
+        if let Some(http) = self.http.take() {
+            http.shutdown();
+        }
         // Unblock the (otherwise indefinitely blocking) accept call.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(t) = self.accept_thread.take() {
@@ -547,12 +591,30 @@ fn handle_request(shared: &Shared, request: Message) -> Message {
                     Message::ReplBatch {
                         records,
                         durable_lsn,
+                        // Primary-monotonic send stamp (µs since this
+                        // node's monitor epoch); replicas difference
+                        // stamps of the same clock for lag-in-seconds,
+                        // so wall clocks never need to agree. `max(1)`
+                        // keeps a stamp taken at the epoch itself from
+                        // reading as "unstamped pre-v4 primary".
+                        sent_micros: mdm.monitor().uptime_micros().max(1),
                     }
                 }
                 Err(e) => Message::Error {
                     code: ErrorCode::Storage,
                     message: e.to_string(),
                 },
+            }
+        }
+        // Health is served under the read half: the rules engine has its
+        // own interior locking, so the verdict never waits on writers
+        // longer than the registry read does.
+        Message::Health => {
+            let mdm = shared.mdm.read().expect("mdm lock");
+            let report = mdm.health();
+            Message::HealthInfo {
+                healthy: report.healthy,
+                json: report.to_json(),
             }
         }
         Message::ReplStatus => {
@@ -653,6 +715,56 @@ fn handle_request(shared: &Shared, request: Message) -> Message {
             message: format!("'{}' is not a request", other.type_name()),
         },
     }
+}
+
+/// The `/statusz` document: build identity, role, watermarks, and the
+/// embedded health report, assembled without the write lock.
+fn status_json(shared: &Shared) -> String {
+    let read_only = shared.repl.read_only.load(Ordering::SeqCst);
+    let (applied_lsn, durable_lsn, health, uptime_micros) = {
+        let mdm = shared.mdm.read().expect("mdm lock");
+        let monitor = mdm.monitor();
+        (
+            mdm.engine().wal_next_lsn(),
+            mdm.engine().wal_durable_lsn(),
+            mdm.health().to_json(),
+            monitor.uptime_micros(),
+        )
+    };
+    let replicas = {
+        let mut pullers = shared.repl.pullers.lock().expect("pullers lock");
+        pullers.retain(|_, at| at.elapsed() < REPLICA_WINDOW);
+        pullers.len()
+    };
+    let connections = shared.sessions.lock().expect("sessions lock").len();
+    let server_name: String = shared
+        .config
+        .server_name
+        .chars()
+        .filter(|c| *c != '"' && *c != '\\' && !c.is_control())
+        .collect();
+    format!(
+        concat!(
+            "{{\"server\": \"{}\", \"protocol\": {}, \"role\": \"{}\", ",
+            "\"uptime_seconds\": {:.3}, \"connections\": {}, \"replicas\": {}, ",
+            "\"applied_lsn\": {}, \"durable_lsn\": {}, \"lag_bytes\": {}, ",
+            "\"health\": {}}}"
+        ),
+        server_name,
+        wire::PROTOCOL_VERSION,
+        if read_only { "replica" } else { "primary" },
+        uptime_micros as f64 / 1_000_000.0,
+        connections,
+        replicas,
+        applied_lsn,
+        durable_lsn,
+        if read_only {
+            shared.repl.lag_bytes.load(Ordering::SeqCst)
+        } else {
+            0
+        },
+        health,
+    )
 }
 
 /// Maps a core failure to its wire error class; "score not found" is

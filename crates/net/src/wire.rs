@@ -39,8 +39,10 @@ pub const MAGIC: [u8; 4] = *b"MDMN";
 
 /// Highest protocol version spoken by this build: v2 adds the
 /// trace-context frame extension, v3 adds the replication messages
-/// (ReplPull/ReplStatus and their responses), negotiated at Hello.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// (ReplPull/ReplStatus and their responses), v4 adds the Health
+/// request/response and the ReplBatch send-time stamp, negotiated at
+/// Hello.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Oldest protocol version this build still accepts.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;

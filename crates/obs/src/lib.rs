@@ -14,6 +14,13 @@
 //! * [`json`] — a minimal JSON parser used by tests and by the bench
 //!   smoke-mode validator; the exporters in [`registry`] emit JSON this
 //!   parser round-trips.
+//! * [`monitor`] — the continuous-monitoring subsystem: a [`Monitor`]
+//!   whose background sampler records every metric into bounded
+//!   time-series [`Ring`]s (value, rate, histogram quantiles) and a
+//!   declarative health [`Rule`] engine with pending→firing hysteresis
+//!   backing `/healthz`.
+//! * [`process`] — [`ProcessGauges`], `mdm_process_*` gauges (RSS,
+//!   open fds, threads) read from `/proc/self`; zeros off-Linux.
 //! * [`stats`] — the [`StatementStore`], a bounded LRU of
 //!   per-fingerprint statement statistics (pg_stat_statements for QUEL)
 //!   with a binary image for checkpoint persistence.
@@ -39,6 +46,8 @@
 pub mod events;
 pub mod json;
 pub mod metrics;
+pub mod monitor;
+pub mod process;
 pub mod registry;
 pub mod stats;
 pub mod trace;
@@ -47,6 +56,11 @@ pub use events::{Event, EventLog};
 pub use metrics::{
     Counter, Gauge, Histogram, SpanTimer, LATENCY_MICROS_BOUNDS, SMALL_COUNT_BOUNDS,
 };
+pub use monitor::{
+    AlertSnap, AlertState, Cmp, HealthReport, Monitor, MonitorConfig, Ring, Rule, RuleInput,
+    SamplePoint, Severity,
+};
+pub use process::ProcessGauges;
 pub use registry::{HistogramSnap, MetricSnap, MetricValue, Registry, Snapshot};
 pub use stats::{PathMix, StatementStats, StatementStore, DEFAULT_STATEMENT_CAPACITY};
 pub use trace::{chrome_trace_json, SpanRecord, Trace, TraceContext, Tracer, DEFAULT_SAMPLE_EVERY};

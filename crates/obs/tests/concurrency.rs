@@ -213,3 +213,33 @@ fn json_export_round_trips() {
     assert_eq!(buckets[2].get("le").unwrap().as_str(), Some("+Inf"));
     assert_eq!(buckets[2].get("count").unwrap().as_u64(), Some(3));
 }
+
+/// Byte-exact golden for a labelled histogram family: the Prometheus
+/// convention requires *cumulative* `le` buckets ending in `+Inf`, then
+/// `_sum` and `_count` series — exactly one HELP/TYPE header per family.
+#[test]
+fn prometheus_histogram_golden_text() {
+    let registry = Registry::new();
+    let h = registry.histogram_labeled(
+        "mdm_req_micros",
+        "request latency",
+        &[10, 100, 1_000],
+        &[("op", "query")],
+    );
+    h.observe(5); // le=10
+    h.observe(7); // le=10
+    h.observe(50); // le=100
+    h.observe(20_000); // +Inf overflow
+    let text = registry.snapshot().to_prometheus();
+    let expected = concat!(
+        "# HELP mdm_req_micros request latency\n",
+        "# TYPE mdm_req_micros histogram\n",
+        "mdm_req_micros_bucket{op=\"query\",le=\"10\"} 2\n",
+        "mdm_req_micros_bucket{op=\"query\",le=\"100\"} 3\n",
+        "mdm_req_micros_bucket{op=\"query\",le=\"1000\"} 3\n",
+        "mdm_req_micros_bucket{op=\"query\",le=\"+Inf\"} 4\n",
+        "mdm_req_micros_sum{op=\"query\"} 20062\n",
+        "mdm_req_micros_count{op=\"query\"} 4\n",
+    );
+    assert_eq!(text, expected);
+}

@@ -12,6 +12,10 @@ pub struct ReplMetrics {
     pub applied_lsn: Arc<Gauge>,
     /// Estimated bytes of primary WAL not yet applied locally.
     pub lag_bytes: Arc<Gauge>,
+    /// Whole seconds of primary history not yet applied locally,
+    /// differenced from the primary's own batch send stamps (one
+    /// clock, so primary/replica wall time never needs to agree).
+    pub lag_seconds: Arc<Gauge>,
     /// Pull batches applied.
     pub batches: Arc<Counter>,
     /// WAL records applied through the stream.
@@ -37,6 +41,10 @@ impl ReplMetrics {
             lag_bytes: registry.gauge(
                 "mdm_repl_lag_bytes",
                 "estimated bytes of primary WAL not yet applied locally",
+            ),
+            lag_seconds: registry.gauge(
+                "mdm_repl_lag_seconds",
+                "seconds of primary history not yet applied locally, from primary-clock send stamps",
             ),
             batches: registry.counter("mdm_repl_batches_total", "pull batches applied"),
             records: registry.counter(

@@ -53,8 +53,15 @@ pub struct ReplicaConfig {
     pub max_batch_bytes: u32,
     /// Client knobs for the connection to the primary.
     pub client: ClientConfig,
-    /// Server knobs for the replica's own listener.
+    /// Server knobs for the replica's own listener (including the
+    /// optional HTTP observability endpoint).
     pub server: ServerConfig,
+    /// `repl_lag_bytes_high` alert threshold (critical after three
+    /// breaching samples).
+    pub lag_alert_bytes: u64,
+    /// `repl_lag_seconds_high` alert threshold (critical after three
+    /// breaching samples).
+    pub lag_alert_seconds: f64,
 }
 
 impl ReplicaConfig {
@@ -70,6 +77,8 @@ impl ReplicaConfig {
                 ..ClientConfig::default()
             },
             server: ServerConfig::default(),
+            lag_alert_bytes: 8 << 20,
+            lag_alert_seconds: 10.0,
         }
     }
 }
@@ -78,10 +87,20 @@ impl ReplicaConfig {
 struct PullState {
     /// Ask the pull thread to exit.
     stop: AtomicBool,
+    /// Hold the replica behind: keep pulling (so watermarks and send
+    /// stamps stay fresh and lag is *measured*) but apply nothing.
+    /// Operational/test hook for exercising the lag alerts.
+    apply_paused: AtomicBool,
     /// Highest primary durable watermark observed on any pull.
     primary_durable: AtomicU64,
     /// The replica's applied watermark after the last batch.
     applied: AtomicU64,
+    /// Primary send stamp (its monotonic µs) of the newest pull
+    /// response; `0` until a v4 primary answers.
+    last_stamp: AtomicU64,
+    /// Primary send stamp as of which the replica's applied state was
+    /// last current — `lag_seconds = last_stamp - applied_stamp`.
+    applied_stamp: AtomicU64,
     /// Last pull-loop error, for status surfacing.
     last_error: Mutex<Option<String>>,
 }
@@ -117,12 +136,20 @@ impl ReplicaNode {
         mdm.set_replica(true)?;
         let engine = mdm.engine().clone();
         let metrics = ReplMetrics::register(&mdm.metrics_registry());
+        // Lag rules on top of the engine defaults: a replica that falls
+        // behind its thresholds goes critical (`/healthz` 503), so a
+        // load balancer stops routing reads to stale data.
+        mdm.monitor()
+            .seed_replica_rules(cfg.lag_alert_bytes as f64, cfg.lag_alert_seconds);
         let server = Arc::new(MdmServer::start(mdm, listen, cfg.server.clone())?);
         server.set_read_only(true);
         let state = Arc::new(PullState {
             stop: AtomicBool::new(false),
+            apply_paused: AtomicBool::new(false),
             primary_durable: AtomicU64::new(0),
             applied: AtomicU64::new(engine.wal_next_lsn()),
+            last_stamp: AtomicU64::new(0),
+            applied_stamp: AtomicU64::new(0),
             last_error: Mutex::new(None),
         });
         let puller = {
@@ -165,6 +192,15 @@ impl ReplicaNode {
     /// Highest primary durable watermark observed so far.
     pub fn primary_durable_lsn(&self) -> u64 {
         self.state.primary_durable.load(Ordering::Acquire)
+    }
+
+    /// Holds the replica behind (`true`) or resumes it (`false`): the
+    /// pull loop keeps pulling — watermarks, send stamps, and the lag
+    /// gauges stay live — but applies nothing while paused, so the lag
+    /// alerts measure a genuinely stale node. Fault-injection hook for
+    /// health-check drills; a paused replica catches up on resume.
+    pub fn set_apply_paused(&self, paused: bool) {
+        self.state.apply_paused.store(paused, Ordering::SeqCst);
     }
 
     /// The last pull-loop error, if any (cleared by a successful pull).
@@ -269,7 +305,7 @@ fn pull_loop(
             },
         };
         let from = engine.wal_next_lsn();
-        let (batch, durable) = match c.repl_pull(cfg.replica_id, from, cfg.max_batch_bytes) {
+        let (batch, durable, stamp) = match c.repl_pull(cfg.replica_id, from, cfg.max_batch_bytes) {
             Ok(r) => r,
             Err(e) => {
                 record_error(state, metrics, &format!("pull: {e}"));
@@ -279,7 +315,28 @@ fn pull_loop(
             }
         };
         state.primary_durable.store(durable, Ordering::Release);
+        if stamp != 0 {
+            state.last_stamp.store(stamp, Ordering::Release);
+            // First stamped contact: lag-in-seconds measures from the
+            // moment we attached, not from the primary's boot.
+            let _ =
+                state
+                    .applied_stamp
+                    .compare_exchange(0, stamp, Ordering::AcqRel, Ordering::Acquire);
+        }
+        if state.apply_paused.load(Ordering::SeqCst) {
+            // Held behind on purpose: watermarks and stamps above stay
+            // fresh, the local log does not move, so both lag gauges
+            // grow with the primary's write load.
+            publish_lag(server, state, metrics, avg_record_bytes);
+            idle(state, cfg.poll_interval);
+            continue;
+        }
         if batch.is_empty() {
+            if stamp != 0 && engine.wal_next_lsn() >= durable {
+                // Drained: our applied state is current as of this pull.
+                state.applied_stamp.store(stamp, Ordering::Release);
+            }
             publish_lag(server, state, metrics, avg_record_bytes);
             idle(state, cfg.poll_interval);
             continue;
@@ -300,6 +357,11 @@ fn pull_loop(
                     .applied
                     .store(engine.wal_next_lsn(), Ordering::Release);
                 metrics.applied_lsn.set(engine.wal_next_lsn() as i64);
+                if stamp != 0 && engine.wal_next_lsn() >= durable {
+                    // Caught up to everything this pull knew about: our
+                    // applied state is current as of its send stamp.
+                    state.applied_stamp.store(stamp, Ordering::Release);
+                }
                 publish_lag(server, state, metrics, avg_record_bytes);
             }
             Err(e) => {
@@ -396,6 +458,17 @@ fn publish_lag(server: &MdmServer, state: &PullState, metrics: &ReplMetrics, avg
     let lag = durable.saturating_sub(applied).saturating_mul(avg);
     server.set_repl_lag_bytes(lag);
     metrics.lag_bytes.set(lag.min(i64::MAX as u64) as i64);
+    // Seconds of lag, from primary-clock stamps alone: how far behind
+    // "now on the primary" the applied state is. Zero while caught up
+    // or while the primary predates the stamp (v3).
+    let last = state.last_stamp.load(Ordering::Acquire);
+    let base = state.applied_stamp.load(Ordering::Acquire);
+    let lag_secs = if durable <= applied || last == 0 || base == 0 {
+        0
+    } else {
+        (last.saturating_sub(base) as f64 / 1_000_000.0).round() as i64
+    };
+    metrics.lag_seconds.set(lag_secs);
 }
 
 fn record_error(state: &PullState, metrics: &ReplMetrics, msg: &str) {
