@@ -36,6 +36,12 @@ const MAX_REQUEST_BYTES: usize = 8 * 1024;
 /// Per-connection socket read/write timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// How often the (nonblocking) accept loop re-checks the stop flag when
+/// no connection is pending. Polling bounds shutdown latency without
+/// relying on a self-connect, which fails outright on binds the process
+/// cannot dial back (wildcard or firewalled interfaces).
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
 /// Traces shown by `/tracez` per section (recent, slow).
 const TRACEZ_LIMIT: usize = 16;
 
@@ -67,6 +73,7 @@ impl HttpServer {
     /// OS pick (see [`HttpServer::local_addr`]).
     pub fn start<A: ToSocketAddrs>(addr: A, state: HttpState) -> Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let handlers = Arc::new(Mutex::new(Vec::new()));
@@ -95,9 +102,11 @@ impl HttpServer {
     /// Stops accepting, joins every handler thread, and releases the
     /// state (including the embedder's status closure).
     pub fn shutdown(mut self) {
+        // The accept loop polls a nonblocking listener, so the flag
+        // alone stops it within one poll interval — no self-connect
+        // that could fail (and leave the join hanging) on addresses the
+        // process cannot dial back.
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the (otherwise indefinitely blocking) accept call.
-        let _ = TcpStream::connect(self.local_addr);
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
@@ -114,14 +123,21 @@ fn accept_loop(
     stop: &Arc<AtomicBool>,
     handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
-    for conn in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match conn {
-            Ok(s) => s,
-            Err(_) => continue,
+    while !stop.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            // Nothing pending (or a transient accept failure): sleep a
+            // beat and re-check the stop flag.
+            Err(_) => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
         };
+        // The listener is nonblocking only so this loop can poll the
+        // stop flag; handlers do blocking I/O under IO_TIMEOUT.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
         let state = Arc::clone(state);
         let spawned = std::thread::Builder::new()
             .name("mdm-http-conn".into())

@@ -407,6 +407,10 @@ fn serve_session(shared: &Shared, mut stream: TcpStream, busy: Arc<AtomicBool>) 
     let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let _ = stream.set_nodelay(true);
+    // Protocol version this session settled on at Hello. Until (or
+    // without) a handshake the peer's capabilities are unknown, so the
+    // session is treated as v1 and gets no post-v1 optional fields.
+    let mut negotiated_version: u16 = 1;
 
     while !shared.shutting_down.load(Ordering::SeqCst) {
         let (header, payload) = match wire::read_frame(&mut stream) {
@@ -463,7 +467,9 @@ fn serve_session(shared: &Shared, mut stream: TcpStream, busy: Arc<AtomicBool>) 
                     // A panicking handler must not take down the session
                     // (or poison the whole server): isolate it per
                     // request.
-                    match catch_unwind(AssertUnwindSafe(|| handle_request(shared, request))) {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        handle_request(shared, request, &mut negotiated_version)
+                    })) {
                         Ok(resp) => resp,
                         Err(_) => Message::Error {
                             code: ErrorCode::Internal,
@@ -499,7 +505,7 @@ fn serve_session(shared: &Shared, mut stream: TcpStream, busy: Arc<AtomicBool>) 
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn handle_request(shared: &Shared, request: Message) -> Message {
+fn handle_request(shared: &Shared, request: Message, negotiated_version: &mut u16) -> Message {
     if shared.shutting_down.load(Ordering::SeqCst) {
         return Message::Error {
             code: ErrorCode::ShuttingDown,
@@ -510,13 +516,18 @@ fn handle_request(shared: &Shared, request: Message) -> Message {
         Message::Hello {
             client: _,
             max_version,
-        } => Message::HelloAck {
-            server: shared.config.server_name.clone(),
+        } => {
             // A v1 client omitted the field (decoded as 1) and gets the
             // byte-identical v1 ack back; a v2 client negotiates down
-            // to the newest version both sides speak.
-            version: max_version.clamp(1, wire::PROTOCOL_VERSION),
-        },
+            // to the newest version both sides speak. The session
+            // remembers the outcome so later responses never carry
+            // optional fields the peer's decoder would reject.
+            *negotiated_version = max_version.clamp(1, wire::PROTOCOL_VERSION);
+            Message::HelloAck {
+                server: shared.config.server_name.clone(),
+                version: *negotiated_version,
+            }
+        }
         Message::Ping => Message::Pong,
         // Read path: `query_shared(&self)` under the read half of the
         // lock — reader clients run concurrently.
@@ -596,8 +607,14 @@ fn handle_request(shared: &Shared, request: Message) -> Message {
                         // stamps of the same clock for lag-in-seconds,
                         // so wall clocks never need to agree. `max(1)`
                         // keeps a stamp taken at the epoch itself from
-                        // reading as "unstamped pre-v4 primary".
-                        sent_micros: mdm.monitor().uptime_micros().max(1),
+                        // reading as "unstamped pre-v4 primary". A
+                        // pre-v4 session gets the stamp-free (v3 byte
+                        // layout) batch its decoder expects.
+                        sent_micros: if *negotiated_version >= wire::REPL_STAMP_MIN_VERSION {
+                            mdm.monitor().uptime_micros().max(1)
+                        } else {
+                            0
+                        },
                     }
                 }
                 Err(e) => Message::Error {

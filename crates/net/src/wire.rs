@@ -47,6 +47,12 @@ pub const PROTOCOL_VERSION: u16 = 4;
 /// Oldest protocol version this build still accepts.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
+/// First protocol version whose `ReplBatch` carries the trailing
+/// send-time stamp. A session that negotiated anything older must get
+/// the stamp-free (v3 byte layout) batch, or its decoder rejects the
+/// trailing bytes.
+pub const REPL_STAMP_MIN_VERSION: u16 = 4;
+
 /// Size of the v2 trace-context extension (trace id + parent span id).
 pub const TRACE_EXT_LEN: usize = 24;
 

@@ -369,6 +369,10 @@ struct Shared {
     /// apart from `cfg` so [`Monitor::enable_sampling`] can turn a
     /// passive monitor into a sampling one after open.
     interval_micros: AtomicU64,
+    /// Bumped whenever `interval_micros` changes, so a sampler parked
+    /// on the condvar can tell a reconfiguration wakeup from a spurious
+    /// one and re-arm its wait with the new interval.
+    interval_gen: AtomicU64,
     epoch: Instant,
     state: Mutex<MonitorState>,
     stop: Mutex<bool>,
@@ -413,6 +417,7 @@ impl Monitor {
             registry,
             cfg: config,
             interval_micros: AtomicU64::new(interval_micros),
+            interval_gen: AtomicU64::new(0),
             epoch: Instant::now(),
             state: Mutex::new(MonitorState {
                 series: BTreeMap::new(),
@@ -463,8 +468,13 @@ impl Monitor {
         self.shared
             .interval_micros
             .store(interval.as_micros() as u64, Ordering::SeqCst);
+        self.shared.interval_gen.fetch_add(1, Ordering::SeqCst);
         self.spawn_sampler();
-        // Wake the sampler so a shorter interval takes effect now.
+        // Wake a sampler already parked on the old interval; the bumped
+        // generation makes it re-arm with the new one immediately. The
+        // notify happens under the wait's mutex so it cannot land in the
+        // window between the sampler's predicate check and its sleep.
+        let _guard = self.shared.stop.lock().unwrap();
         self.shared.cv.notify_all();
     }
 
@@ -666,17 +676,25 @@ fn sampler_loop(shared: Arc<Shared>) {
     loop {
         let interval =
             Duration::from_micros(shared.interval_micros.load(Ordering::SeqCst).max(1_000));
-        {
+        let gen = shared.interval_gen.load(Ordering::SeqCst);
+        let timed_out = {
             let stop = shared.stop.lock().unwrap();
-            let (stop, _) = shared
+            let (stop, wait) = shared
                 .cv
-                .wait_timeout_while(stop, interval, |s| !*s)
+                .wait_timeout_while(stop, interval, |s| {
+                    !*s && shared.interval_gen.load(Ordering::SeqCst) == gen
+                })
                 .unwrap();
             if *stop {
                 break;
             }
+            wait.timed_out()
+        };
+        // A reconfiguration wakeup (generation bumped) skips the sample
+        // and re-arms with the freshly stored interval.
+        if timed_out {
+            sample(&shared);
         }
-        sample(&shared);
     }
     shared.running.store(false, Ordering::SeqCst);
 }
@@ -1029,6 +1047,33 @@ mod tests {
         assert!(m.samples_taken() >= 2);
         m.stop();
         assert!(!m.is_running());
+    }
+
+    #[test]
+    fn enable_sampling_shortens_a_running_interval_immediately() {
+        let r = Registry::new();
+        let m = Monitor::start(
+            r.clone(),
+            MonitorConfig {
+                interval: Duration::from_secs(3600),
+                ring_capacity: 16,
+            },
+        );
+        assert!(m.is_running());
+        // Let the sampler park on the hour-long wait, then shorten it:
+        // the wakeup must re-arm the wait, not be treated as spurious.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(m.samples_taken(), 0);
+        m.enable_sampling(Duration::from_millis(2));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while m.samples_taken() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            m.samples_taken() >= 2,
+            "shorter interval took effect without waiting out the old one"
+        );
+        m.stop();
     }
 
     #[test]

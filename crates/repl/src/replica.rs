@@ -315,15 +315,7 @@ fn pull_loop(
             }
         };
         state.primary_durable.store(durable, Ordering::Release);
-        if stamp != 0 {
-            state.last_stamp.store(stamp, Ordering::Release);
-            // First stamped contact: lag-in-seconds measures from the
-            // moment we attached, not from the primary's boot.
-            let _ =
-                state
-                    .applied_stamp
-                    .compare_exchange(0, stamp, Ordering::AcqRel, Ordering::Acquire);
-        }
+        note_stamp(state, stamp);
         if state.apply_paused.load(Ordering::SeqCst) {
             // Held behind on purpose: watermarks and stamps above stay
             // fresh, the local log does not move, so both lag gauges
@@ -452,6 +444,26 @@ fn apply_batch(
     Ok(())
 }
 
+/// Records the primary's send stamp from one pull response (0 = a
+/// pre-v4 primary sent no stamp).
+fn note_stamp(state: &PullState, stamp: u64) {
+    if stamp == 0 {
+        return;
+    }
+    state.last_stamp.store(stamp, Ordering::Release);
+    let base = state.applied_stamp.load(Ordering::Acquire);
+    if base == 0 || stamp < base {
+        // First stamped contact: lag-in-seconds measures from the
+        // moment we attached, not from the primary's boot. A stamp
+        // *below* the base means the primary restarted and its
+        // monotonic clock rebased — re-anchor to the new epoch so lag
+        // resumes growing from there instead of reading 0 (via
+        // saturating_sub) for as long as the replica stays behind;
+        // lag_bytes covers the pre-restart gap meanwhile.
+        state.applied_stamp.store(stamp, Ordering::Release);
+    }
+}
+
 fn publish_lag(server: &MdmServer, state: &PullState, metrics: &ReplMetrics, avg: u64) {
     let applied = state.applied.load(Ordering::Acquire);
     let durable = state.primary_durable.load(Ordering::Acquire);
@@ -481,5 +493,46 @@ fn idle(state: &PullState, interval: Duration) {
     let start = Instant::now();
     while start.elapsed() < interval && !state.stop.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_state() -> PullState {
+        PullState {
+            stop: AtomicBool::new(false),
+            apply_paused: AtomicBool::new(false),
+            primary_durable: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            last_stamp: AtomicU64::new(0),
+            applied_stamp: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+        }
+    }
+
+    #[test]
+    fn note_stamp_anchors_rebases_and_ignores_unstamped() {
+        let state = fresh_state();
+        // Unstamped (pre-v4 primary): nothing recorded.
+        note_stamp(&state, 0);
+        assert_eq!(state.last_stamp.load(Ordering::Acquire), 0);
+        assert_eq!(state.applied_stamp.load(Ordering::Acquire), 0);
+        // First stamped contact anchors the applied base.
+        note_stamp(&state, 1_000_000);
+        assert_eq!(state.applied_stamp.load(Ordering::Acquire), 1_000_000);
+        // Later stamps advance last_stamp but leave the base to the
+        // catch-up path.
+        state.applied_stamp.store(5_000_000, Ordering::Release);
+        note_stamp(&state, 9_000_000);
+        assert_eq!(state.last_stamp.load(Ordering::Acquire), 9_000_000);
+        assert_eq!(state.applied_stamp.load(Ordering::Acquire), 5_000_000);
+        // A primary restart rebases its monotonic clock to near zero;
+        // the base must follow so lag does not silently read 0 while
+        // the replica is behind.
+        note_stamp(&state, 300);
+        assert_eq!(state.last_stamp.load(Ordering::Acquire), 300);
+        assert_eq!(state.applied_stamp.load(Ordering::Acquire), 300);
     }
 }
