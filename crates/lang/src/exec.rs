@@ -763,7 +763,14 @@ impl Session {
                 let mut rows = Vec::new();
                 if let Some(reg) = &self.lock_registry {
                     for m in reg.snapshot().entries {
-                        if !(m.name.starts_with("mdm_lock_") || m.name.starts_with("mdm_txn_")) {
+                        // MVCC gauges ride along so `$locks` shows the
+                        // snapshot-read side of the concurrency story
+                        // (open snapshots, live versions) next to the
+                        // lock counts they keep at zero.
+                        if !(m.name.starts_with("mdm_lock_")
+                            || m.name.starts_with("mdm_txn_")
+                            || m.name.starts_with("mdm_mvcc_"))
+                        {
                             continue;
                         }
                         let value = match m.value {

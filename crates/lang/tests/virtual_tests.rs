@@ -174,6 +174,9 @@ fn locks_reads_the_attached_registry() {
     registry
         .counter("mdm_http_requests_total", "not a lock counter")
         .add(9);
+    registry
+        .gauge("mdm_mvcc_snapshots_open", "open snapshots")
+        .set(2);
     s.set_lock_registry(registry);
     let t = rows(
         s.execute(&mut db, "range of l is $locks retrieve (l.name, l.value)")
@@ -181,11 +184,17 @@ fn locks_reads_the_attached_registry() {
     );
     assert_eq!(
         t.rows,
-        vec![vec![
-            Value::String("mdm_lock_waits_total".into()),
-            Value::Integer(7),
-        ]],
-        "only mdm_lock_/mdm_txn_ metrics appear"
+        vec![
+            vec![
+                Value::String("mdm_lock_waits_total".into()),
+                Value::Integer(7),
+            ],
+            vec![
+                Value::String("mdm_mvcc_snapshots_open".into()),
+                Value::Integer(2),
+            ],
+        ],
+        "only mdm_lock_/mdm_txn_/mdm_mvcc_ metrics appear"
     );
 }
 

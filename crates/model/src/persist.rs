@@ -144,15 +144,16 @@ pub fn save(db: &Database, engine: &StorageEngine) -> Result<()> {
 }
 
 /// Reads a database previously written with [`save`]. Returns an empty
-/// database if none was saved.
+/// database if none was saved. The whole load runs against one MVCC
+/// snapshot: it takes no locks, never aborts, and sees a single
+/// consistent commit point even while writers are active.
 pub fn load(engine: &StorageEngine) -> Result<Database> {
     let Ok(schema_t) = engine.table_id(SCHEMA_TABLE) else {
         return Ok(Database::new());
     };
-    let mut txn = engine.begin()?;
-    let schema_rows = engine.scan(&mut txn, schema_t)?;
+    let snap = engine.snapshot();
+    let schema_rows = snap.scan(schema_t)?;
     let Some((_, schema_bytes)) = schema_rows.first() else {
-        engine.commit(txn)?;
         return Ok(Database::new());
     };
     let schema = encode::decode_schema(schema_bytes)?;
@@ -161,7 +162,7 @@ pub fn load(engine: &StorageEngine) -> Result<Database> {
     // Entities.
     for (ty_idx, ty) in schema.entity_types().iter().enumerate() {
         let table = engine.table_id(&entity_table(&ty.name))?;
-        for (_, rec) in engine.scan(&mut txn, table)? {
+        for (_, rec) in snap.scan(table)? {
             let mut r = Reader::new(&rec);
             let id = r.u64()?;
             let nattrs = r.u32()? as usize;
@@ -182,7 +183,7 @@ pub fn load(engine: &StorageEngine) -> Result<Database> {
     // Orderings: gather, sort by (ordering, parent, seq), replay appends.
     let ord_table = engine.table_id(ORDERINGS_TABLE)?;
     let mut rows: Vec<(u32, EntityId, u32, EntityId)> = Vec::new();
-    for (_, rec) in engine.scan(&mut txn, ord_table)? {
+    for (_, rec) in snap.scan(ord_table)? {
         let mut r = Reader::new(&rec);
         rows.push((r.u32()?, r.u64()?, r.u32()?, r.u64()?));
     }
@@ -194,7 +195,7 @@ pub fn load(engine: &StorageEngine) -> Result<Database> {
 
     // Relationships.
     let rel_table = engine.table_id(RELS_TABLE)?;
-    for (_, rec) in engine.scan(&mut txn, rel_table)? {
+    for (_, rec) in snap.scan(rel_table)? {
         let mut r = Reader::new(&rec);
         let rid = r.u32()?;
         let n = r.u32()? as usize;
@@ -210,7 +211,7 @@ pub fn load(engine: &StorageEngine) -> Result<Database> {
     // existed). Re-defining rebuilds the in-memory attribute indexes.
     let mut index_defs: Vec<(String, String, String)> = Vec::new();
     if let Ok(idx_t) = engine.table_id(INDEXES_TABLE) {
-        for (_, rec) in engine.scan(&mut txn, idx_t)? {
+        for (_, rec) in snap.scan(idx_t)? {
             let mut r = Reader::new(&rec);
             let mut field = || match encode::decode_value(&mut r) {
                 Ok(Value::String(s)) => Ok(s),
@@ -224,7 +225,7 @@ pub fn load(engine: &StorageEngine) -> Result<Database> {
         }
     }
 
-    engine.commit(txn)?;
+    drop(snap);
     let mut db = Database::from_parts(schema, store);
     for (name, ty_name, attr) in index_defs {
         db.define_index(&name, &ty_name, &attr)?;

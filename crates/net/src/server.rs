@@ -9,6 +9,12 @@
 //! beyond [`ServerConfig::max_connections`] with a typed `Busy` error
 //! frame rather than letting them queue unanswered.
 //!
+//! Below the RwLock, each `query_shared` call pins an engine MVCC
+//! snapshot: storage-level reads resolve through tuple visibility, take
+//! no read locks, and can never lose wait-die to a writer — the read
+//! path never aborts, so clients never see a spurious deadlock error on
+//! a retrieve.
+//!
 //! Robustness: per-connection read timeouts double as idle reaping,
 //! handler panics are caught per request and reported as `Internal`
 //! errors (the session, and every other session, lives on), and
@@ -530,7 +536,8 @@ fn handle_request(shared: &Shared, request: Message, negotiated_version: &mut u1
         }
         Message::Ping => Message::Pong,
         // Read path: `query_shared(&self)` under the read half of the
-        // lock — reader clients run concurrently.
+        // lock — reader clients run concurrently, each pinned to an
+        // MVCC snapshot below, never holding storage read locks.
         Message::Query { text } => {
             let mdm = shared.mdm.read().expect("mdm lock");
             match mdm.query_shared(&text) {

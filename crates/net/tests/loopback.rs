@@ -48,6 +48,43 @@ fn handshake_ping_and_query() {
     drop(mdm);
 }
 
+/// Wire queries ride the MVCC snapshot read path: each `Query` pins a
+/// storage snapshot (the counter advances) and holds zero read locks.
+#[test]
+fn wire_queries_pin_mvcc_snapshots() {
+    let server = start_server("mvcc", ServerConfig::default());
+    let mut c = client(&server);
+
+    c.execute("define entity GADGET (name = string)\nappend to GADGET (name = \"theremin\")")
+        .expect("execute");
+    let mdm = {
+        for _ in 0..3 {
+            let table = c
+                .query("range of g is GADGET\nretrieve (g.name)")
+                .expect("query");
+            assert_eq!(table.rows.len(), 1);
+        }
+        server.shutdown().expect("shutdown")
+    };
+
+    let snap = mdm.metrics_snapshot();
+    assert!(
+        snap.counter("mdm_mvcc_snapshots_total").unwrap_or(0) >= 3,
+        "each wire Query should open a read snapshot"
+    );
+    assert_eq!(
+        snap.gauge("mdm_mvcc_snapshots_open").unwrap_or(-1),
+        0,
+        "snapshots close when their query finishes"
+    );
+    assert_eq!(
+        snap.gauge("mdm_lock_held_shared").unwrap_or(-1),
+        0,
+        "no read locks outlive the queries"
+    );
+    drop(mdm);
+}
+
 #[test]
 fn explain_over_the_wire_reports_access_paths() {
     let server = start_server("explain", ServerConfig::default());

@@ -4,8 +4,12 @@
 //!
 //! The replica serves the normal read path — `query_shared` over the
 //! wire, metrics, score retrieval — while refusing every write with a
-//! typed `ReadOnly` error. Freshness comes from two mechanisms layered
-//! on the same stream:
+//! typed `ReadOnly` error. Replica reads are pure MVCC snapshot
+//! readers: they pin a storage snapshot, resolve visibility through
+//! tuple stamps, take no read locks, and never abort — even while the
+//! pull loop applies the primary's WAL underneath them (folds exclude
+//! snapshots via the engine's fold gate rather than any reader lock).
+//! Freshness comes from two mechanisms layered on the same stream:
 //!
 //! * **Checkpoint folds** (tier 1, exact): the primary guarantees no
 //!   transaction spans a [`WalRecord::Checkpoint`] marker, so when the
@@ -396,8 +400,10 @@ fn apply_batch(
             WalRecord::Insert {
                 txn, table, body, ..
             } if Some(*table) == *journal_table => {
-                // Journal row: seq (u64 LE) ++ statement text.
-                if let Ok(text) = std::str::from_utf8(body.get(8..).unwrap_or(b"")) {
+                // Journal row behind the engine's MVCC stamp:
+                // xmin (u64 LE) ++ seq (u64 LE) ++ statement text.
+                let row = mdm_storage::user_body(body);
+                if let Ok(text) = std::str::from_utf8(row.get(8..).unwrap_or(b"")) {
                     if !text.is_empty() {
                         pending.entry(*txn).or_default().push(text.to_string());
                     }

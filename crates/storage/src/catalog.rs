@@ -37,6 +37,13 @@ pub struct Catalog {
     pub tables: BTreeMap<String, TableMeta>,
     /// Next table id to assign.
     pub next_table_id: TableId,
+    /// Transaction-id floor: every id strictly below this was settled
+    /// before the catalog was saved. Reopening restarts the allocator at
+    /// (at least) this value so tuple stamps from earlier incarnations
+    /// can never collide with a new transaction's id. Absent in catalogs
+    /// written before MVCC; those decode as floor 0 and the WAL scan at
+    /// open supplies the real bound.
+    pub txn_floor: u64,
 }
 
 impl Catalog {
@@ -64,6 +71,7 @@ impl Catalog {
             }
         }
         out.extend_from_slice(&self.next_table_id.to_le_bytes());
+        out.extend_from_slice(&self.txn_floor.to_le_bytes());
         out
     }
 
@@ -118,9 +126,18 @@ impl Catalog {
             );
         }
         let next_table_id = c.u32()?;
+        // Older catalogs end here; the floor field is read only when the
+        // encoder wrote one (tolerant decode keeps mixed-version
+        // replication pairs working).
+        let txn_floor = if c.pos + 8 <= c.buf.len() {
+            c.u64()?
+        } else {
+            0
+        };
         Ok(Catalog {
             tables,
             next_table_id,
+            txn_floor,
         })
     }
 }
@@ -225,8 +242,19 @@ mod tests {
 
     #[test]
     fn bytes_roundtrip() {
-        let c = sample();
+        let mut c = sample();
+        c.txn_floor = 12345;
         assert_eq!(Catalog::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+
+    #[test]
+    fn legacy_catalog_without_floor_decodes() {
+        let c = sample();
+        let mut bytes = c.to_bytes();
+        bytes.truncate(bytes.len() - 8); // strip the floor field
+        let decoded = Catalog::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded.tables, c.tables);
+        assert_eq!(decoded.txn_floor, 0);
     }
 
     #[test]

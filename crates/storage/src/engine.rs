@@ -3,8 +3,11 @@
 //! [`StorageEngine`] combines the buffer pool, heap files, B+tree indexes,
 //! the write-ahead log, the lock manager, and the catalog into a single
 //! transactional record store. Concurrency control is table-level strict
-//! two-phase locking with wait-die deadlock avoidance; durability is
-//! undo/redo logical logging with checkpoint truncation.
+//! two-phase locking with wait-die deadlock avoidance *among writers*;
+//! read-only transactions run as [`ReadSnapshot`]s against MVCC tuple
+//! versions (see [`crate::mvcc`]) without taking locks and without ever
+//! aborting. Durability is undo/redo logical logging with checkpoint
+//! truncation.
 //!
 //! # Latching
 //!
@@ -26,7 +29,12 @@
 //! The latch acquisition order is fixed to keep the engine deadlock-free:
 //!
 //! > `active` → `catalog` → heap directory → per-table heap →
-//! > pool shard → `WAL` → commit state
+//! > pool shard → `WAL` → commit state → MVCC tracker
+//!
+//! The MVCC latch is self-contained (it is never held across another
+//! latch acquisition), so placing it last is trivially safe; commit
+//! registration takes it after group commit returns, and the DML paths
+//! take it before touching the page they are about to overwrite.
 //!
 //! A latch may only be taken while holding latches that appear *earlier*
 //! in this order. Pool-shard latches sit before the WAL because dirty
@@ -85,6 +93,7 @@ use crate::catalog::{self, Catalog, IndexMeta, TableMeta};
 use crate::error::{Result, StorageError};
 use crate::heap::HeapFile;
 use crate::lock::{LockManager, LockMode};
+use crate::mvcc::{self, Epoch, MvccState};
 use crate::page::{PageId, Rid};
 use crate::recovery::{self, RecoveryOutcome};
 use crate::wal::{TableId, TxnId, Wal, WalRecord};
@@ -252,7 +261,11 @@ struct Inner {
     indexes_need_rebuild: AtomicBool,
     recovery: RecoveryOutcome,
     locks: LockManager,
-    next_txn: AtomicU64,
+    /// Shared with the MVCC tracker so the frozen floor can advance to
+    /// "next id" without racing an allocation.
+    next_txn: Arc<AtomicU64>,
+    /// Tuple version stamps, version chains, snapshot visibility.
+    mvcc: MvccState,
     dir: PathBuf,
     metrics: EngineMetrics,
     /// Replica mode: the log is fed by [`StorageEngine::replica_apply`]
@@ -463,11 +476,16 @@ impl Inner {
     }
 
     /// Persists and logs the catalog after DDL. Callers hold the catalog
-    /// write latch, which serializes catalog page writes.
+    /// write latch, which serializes catalog page writes. The saved copy
+    /// carries the current transaction-id floor, so any open that
+    /// restores this catalog restarts the allocator above every id whose
+    /// stamps may survive in the pages.
     fn snapshot_catalog(&self, catalog: &Catalog) -> Result<()> {
-        catalog::save(&self.pool, catalog)?;
+        let mut floored = catalog.clone();
+        floored.txn_floor = self.next_txn.load(Ordering::Acquire);
+        catalog::save(&self.pool, &floored)?;
         let seq = self.log(&WalRecord::CatalogSnapshot {
-            bytes: catalog.to_bytes(),
+            bytes: floored.to_bytes(),
         })?;
         self.sync_to(seq)
     }
@@ -508,6 +526,15 @@ impl Inner {
                 }
             }
         }
+        // The pages hold no trace of the transaction any more; retract
+        // its chained versions and tombstone the id so captured-but-
+        // unresolved stamps stay invisible. A transaction that never
+        // wrote (`began` false) left no stamps and is simply forgotten.
+        if began {
+            self.mvcc.rollback(id);
+        } else {
+            self.mvcc.forget(id);
+        }
         if began {
             self.log(&WalRecord::Abort { txn: id })?;
         }
@@ -520,6 +547,156 @@ impl Inner {
 /// A batch of encoded WAL records as `(lsn, payload)` pairs — the unit
 /// the replication stream ships.
 pub type WalBatch = Vec<(u64, Vec<u8>)>;
+
+/// A lock-free read-only transaction over a stable snapshot of the
+/// database. Obtain via [`StorageEngine::snapshot`]; the view is fixed
+/// at the commit epoch current when it opened. Reads resolve tuple
+/// visibility through the MVCC tracker instead of acquiring read locks,
+/// so a snapshot never blocks a writer, is never blocked by one, and
+/// can never abort under wait-die. Dropping the snapshot releases its
+/// pin on retained tuple versions (advancing the GC horizon).
+pub struct ReadSnapshot {
+    inner: Arc<Inner>,
+    epoch: Epoch,
+}
+
+impl ReadSnapshot {
+    /// The commit epoch this snapshot observes: exactly the
+    /// transactions registered at or before it are visible.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Reads the version of a record visible to this snapshot, or
+    /// `None` if the rid holds no visible row at the snapshot's epoch.
+    pub fn get(&self, table: TableId, rid: Rid) -> Result<Option<Vec<u8>>> {
+        let stored = HeapFile::get(&self.inner.pool, rid)?;
+        Ok(self
+            .inner
+            .mvcc
+            .resolve(table, rid.to_u64(), stored.as_deref(), self.epoch))
+    }
+
+    /// Scans every record of a table visible to this snapshot. Takes no
+    /// lock: current page tuples resolve through the visibility check,
+    /// and rows a concurrent (or later-committed) writer has deleted or
+    /// moved are recovered from their version chains.
+    pub fn scan(&self, table: TableId) -> Result<Vec<(Rid, Vec<u8>)>> {
+        let heap = self.inner.heap_handle(table)?;
+        let h = heap.lock().unwrap().clone();
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for (rid, stored) in h.scan_all(&self.inner.pool)? {
+            seen.insert(rid.to_u64());
+            if let Some(body) =
+                self.inner
+                    .mvcc
+                    .resolve(table, rid.to_u64(), Some(&stored), self.epoch)
+            {
+                out.push((rid, body));
+            }
+        }
+        // Rids the page walk no longer surfaces (deleted, or their page
+        // unlinked) can still hold versions this snapshot sees.
+        for rid64 in self.inner.mvcc.chained_rids(table) {
+            if seen.insert(rid64) {
+                let rid = Rid::from_u64(rid64);
+                let stored = HeapFile::get(&self.inner.pool, rid)?;
+                if let Some(body) =
+                    self.inner
+                        .mvcc
+                        .resolve(table, rid64, stored.as_deref(), self.epoch)
+                {
+                    out.push((rid, body));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Looks up `key` in a secondary index, filtered to rids visible to
+    /// this snapshot. The B+tree itself is unversioned (writers mutate
+    /// it in place under their exclusive lock), so the probe unions the
+    /// tree's hits with every chained rid of the table before applying
+    /// the visibility check — a conservative superset: the caller
+    /// re-qualifies each row against the key, exactly as it already must
+    /// for the scan plan, which keeps the two plans' results identical.
+    pub fn index_lookup(&self, table: TableId, index: &str, key: &[u8]) -> Result<Vec<Rid>> {
+        let bt = self.inner.index_tree(table, index)?;
+        let mut rids = bt.lookup(&self.inner.pool, key)?;
+        for extra in self.inner.mvcc.chained_rids(table) {
+            if !rids.contains(&extra) {
+                rids.push(extra);
+            }
+        }
+        let mut out = Vec::new();
+        for rid64 in rids {
+            let rid = Rid::from_u64(rid64);
+            let stored = HeapFile::get(&self.inner.pool, rid)?;
+            if self
+                .inner
+                .mvcc
+                .resolve(table, rid64, stored.as_deref(), self.epoch)
+                .is_some()
+            {
+                out.push(rid);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Range scan over an index, filtered to visible rids; bounds are
+    /// inclusive, `None` = unbounded. As with [`ReadSnapshot::index_lookup`],
+    /// entries a concurrent writer removed from the tree are recovered
+    /// via [`ReadSnapshot::chain_candidates`]; callers that need exact
+    /// range semantics under concurrency re-qualify those rows.
+    pub fn index_range(
+        &self,
+        table: TableId,
+        index: &str,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Rid)>> {
+        let bt = self.inner.index_tree(table, index)?;
+        let mut entries = Vec::new();
+        bt.range(&self.inner.pool, lo, hi, |k, v| {
+            entries.push((k.to_vec(), v));
+        })?;
+        let mut out = Vec::new();
+        for (key, rid64) in entries {
+            let rid = Rid::from_u64(rid64);
+            let stored = HeapFile::get(&self.inner.pool, rid)?;
+            if self
+                .inner
+                .mvcc
+                .resolve(table, rid64, stored.as_deref(), self.epoch)
+                .is_some()
+            {
+                out.push((key, rid));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rids of `table` holding chained versions: the rows an index probe
+    /// may miss because a concurrent writer already unhooked their tree
+    /// entries. Visible ones are exactly the extras
+    /// [`ReadSnapshot::index_lookup`] unions in.
+    pub fn chain_candidates(&self, table: TableId) -> Vec<Rid> {
+        self.inner
+            .mvcc
+            .chained_rids(table)
+            .into_iter()
+            .map(Rid::from_u64)
+            .collect()
+    }
+}
+
+impl Drop for ReadSnapshot {
+    fn drop(&mut self) {
+        self.inner.mvcc.close_snapshot(self.epoch);
+    }
+}
 
 /// The transactional storage engine. Cloneable handle; clones share state.
 #[derive(Clone)]
@@ -577,7 +754,19 @@ impl StorageEngine {
             Err(_) if !records.is_empty() => None,
             Err(e) => return Err(e),
         };
-        let (outcome, recovered) = recovery::recover(&pool, &records, disk_catalog)?;
+        let (outcome, mut recovered) = recovery::recover(&pool, &records, disk_catalog)?;
+        // Restart the transaction-id allocator above every id whose
+        // stamps can survive in the pages: the floor the last catalog
+        // save recorded, and anything the replayed log mentions (the
+        // catalog on disk may predate the log tail). Stamps below the
+        // floor resolve as frozen — visible to every snapshot — which is
+        // exactly right: recovery leaves only committed data in place.
+        let logged_txns = records.iter().filter_map(WalRecord::txn).max();
+        let txn_floor = recovered
+            .txn_floor
+            .max(logged_txns.map_or(0, |t| t + 1))
+            .max(1);
+        recovered.txn_floor = txn_floor;
         let mut wal = Wal::open_with(dir, vfs)?;
         // The rebuild obligation must survive restarts: recovery (or a
         // replica fold) persists freshly reset — empty — trees, and the
@@ -603,6 +792,8 @@ impl StorageEngine {
         let durable_lsn = wal.next_lsn();
         let locks = LockManager::new();
         let metrics = EngineMetrics::register(registry, &pool, &locks);
+        let next_txn = Arc::new(AtomicU64::new(txn_floor));
+        let mvcc = MvccState::register(registry, Arc::clone(&next_txn));
         let inner = Arc::new(Inner {
             pool,
             wal: Mutex::new(WalInner {
@@ -622,7 +813,8 @@ impl StorageEngine {
             indexes_need_rebuild: AtomicBool::new(needs_rebuild),
             recovery: outcome,
             locks,
-            next_txn: AtomicU64::new(1),
+            next_txn,
+            mvcc,
             dir: dir.to_path_buf(),
             metrics,
             replica: AtomicBool::new(replica_marker),
@@ -693,7 +885,10 @@ impl StorageEngine {
     /// LSN must track the primary's stream exactly — a locally logged
     /// record would desynchronise the replication cursor.
     pub fn begin(&self) -> Result<Txn> {
-        let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
+        // The id is allocated by the MVCC tracker (one critical section
+        // with its in-flight registration) so the frozen floor can never
+        // advance past an id that is about to stamp tuples.
+        let id = self.inner.mvcc.begin_txn();
         self.inner.active.lock().unwrap().insert(id);
         self.inner.metrics.txn_begins.inc();
         self.inner.metrics.txn_active.add(1);
@@ -716,16 +911,35 @@ impl StorageEngine {
         Ok(())
     }
 
-    /// Commits: makes the log durable (group commit), releases locks.
-    /// A transaction that never wrote logs nothing and syncs nothing.
+    /// Commits: makes the log durable (group commit), registers the
+    /// commit epoch with the MVCC tracker, releases locks. A transaction
+    /// that never wrote logs nothing and syncs nothing.
     pub fn commit(&self, mut txn: Txn) -> Result<()> {
         if !self.inner.active.lock().unwrap().remove(&txn.id) {
             txn.finished = true; // nothing left for drop to roll back
             return Err(StorageError::TxnNotActive(txn.id));
         }
         if txn.began {
-            let seq = self.inner.log(&WalRecord::Commit { txn: txn.id })?;
-            self.inner.sync_to(seq)?;
+            let synced = self
+                .inner
+                .log(&WalRecord::Commit { txn: txn.id })
+                .and_then(|seq| self.inner.sync_to(seq));
+            if let Err(e) = synced {
+                // Unknown outcome: the commit record may or may not have
+                // persisted, so recovery at the next open is the only
+                // authority. The id stays registered in flight forever —
+                // its stamps remain invisible to every snapshot — and
+                // nothing is rolled back (the drop below finds the id
+                // already out of the active set and leaves the pages
+                // alone, exactly as recovery semantics require).
+                self.inner.mvcc.abandon(txn.id);
+                return Err(e);
+            }
+            // Durable: register the commit epoch before releasing locks,
+            // so the epoch order is a serialization order.
+            self.inner.mvcc.commit(txn.id);
+        } else {
+            self.inner.mvcc.forget(txn.id);
         }
         txn.finished = true;
         self.inner.locks.release_all(txn.id);
@@ -850,13 +1064,17 @@ impl StorageEngine {
     // DML
     // ------------------------------------------------------------------
 
-    /// Inserts a record, returning its rid.
+    /// Inserts a record, returning its rid. The stored tuple is the body
+    /// prefixed with the transaction's xmin stamp; the stamp travels
+    /// through the WAL, undo, replication, and recovery as part of the
+    /// record body and is stripped again on every read.
     pub fn insert(&self, txn: &mut Txn, table: TableId, body: &[u8]) -> Result<Rid> {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
+        let stored = mvcc::stamp(txn.id, body);
         let heap = self.inner.heap_handle(table)?;
         let mut h = heap.lock().unwrap();
-        let (rid, link) = h.insert(&self.inner.pool, body)?;
+        let (rid, link) = h.insert(&self.inner.pool, &stored)?;
         let mut recs = Vec::with_capacity(2);
         let mut pages = Vec::with_capacity(2);
         if let Some((from_page, new_page)) = link {
@@ -871,7 +1089,7 @@ impl StorageEngine {
             txn: txn.id,
             table,
             rid,
-            body: body.to_vec(),
+            body: stored,
         });
         pages.push(rid.page);
         self.begin_write(txn)?;
@@ -885,7 +1103,7 @@ impl StorageEngine {
     pub fn get(&self, txn: &mut Txn, table: TableId, rid: Rid) -> Result<Option<Vec<u8>>> {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Shared)?;
-        HeapFile::get(&self.inner.pool, rid)
+        Ok(HeapFile::get(&self.inner.pool, rid)?.map(|b| mvcc::user_body(&b).to_vec()))
     }
 
     /// Updates a record in place. If the new body no longer fits in the
@@ -900,7 +1118,14 @@ impl StorageEngine {
             page: rid.page,
             slot: rid.slot,
         })?;
-        if HeapFile::update(&self.inner.pool, rid, body)? {
+        // Chain the superseded version *before* the page changes, so no
+        // snapshot ever observes a window where the old version is gone
+        // from both the page and the chain.
+        self.inner
+            .mvcc
+            .remember_old(txn.id, table, rid.to_u64(), &old);
+        let stored = mvcc::stamp(txn.id, body);
+        if HeapFile::update(&self.inner.pool, rid, &stored)? {
             self.begin_write(txn)?;
             self.inner.log_published(
                 &[WalRecord::Update {
@@ -908,7 +1133,7 @@ impl StorageEngine {
                     table,
                     rid,
                     old: old.clone(),
-                    new: body.to_vec(),
+                    new: stored,
                 }],
                 &[rid.page],
             )?;
@@ -931,7 +1156,7 @@ impl StorageEngine {
             rid,
             old: old.clone(),
         });
-        let (new_rid, link) = h.insert(&self.inner.pool, body)?;
+        let (new_rid, link) = h.insert(&self.inner.pool, &stored)?;
         let mut recs = Vec::with_capacity(2);
         let mut pages = Vec::with_capacity(2);
         if let Some((from_page, new_page)) = link {
@@ -946,7 +1171,7 @@ impl StorageEngine {
             txn: txn.id,
             table,
             rid: new_rid,
-            body: body.to_vec(),
+            body: stored,
         });
         pages.push(new_rid.page);
         self.inner.log_published(&recs, &pages)?;
@@ -959,6 +1184,16 @@ impl StorageEngine {
     pub fn delete(&self, txn: &mut Txn, table: TableId, rid: Rid) -> Result<Vec<u8>> {
         self.check_active(txn)?;
         self.inner.locks.lock(txn.id, table, LockMode::Exclusive)?;
+        // Pre-read and chain the doomed version before the slot empties:
+        // a snapshot scanning between the page delete and a later chain
+        // push would otherwise see the row in neither place.
+        let doomed = HeapFile::get(&self.inner.pool, rid)?.ok_or(StorageError::RecordNotFound {
+            page: rid.page,
+            slot: rid.slot,
+        })?;
+        self.inner
+            .mvcc
+            .remember_old(txn.id, table, rid.to_u64(), &doomed);
         let old = HeapFile::delete(&self.inner.pool, rid)?;
         self.begin_write(txn)?;
         self.inner.log_published(
@@ -974,7 +1209,7 @@ impl StorageEngine {
             rid,
             old: old.clone(),
         });
-        Ok(old)
+        Ok(mvcc::user_body(&old).to_vec())
     }
 
     /// Scans every record of a table (shared lock).
@@ -983,7 +1218,27 @@ impl StorageEngine {
         self.inner.locks.lock(txn.id, table, LockMode::Shared)?;
         let heap = self.inner.heap_handle(table)?;
         let h = heap.lock().unwrap().clone();
-        h.scan_all(&self.inner.pool)
+        Ok(h.scan_all(&self.inner.pool)?
+            .into_iter()
+            .map(|(rid, stored)| (rid, mvcc::user_body(&stored).to_vec()))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot reads
+    // ------------------------------------------------------------------
+
+    /// Opens a lock-free read-only transaction: a [`ReadSnapshot`] fixed
+    /// at the current commit epoch. It takes no lock-manager locks, can
+    /// never deadlock or wait-die, and sees exactly the transactions
+    /// that committed before it opened — writers proceed underneath it,
+    /// their old tuple versions retained until the snapshot drops.
+    pub fn snapshot(&self) -> ReadSnapshot {
+        let epoch = self.inner.mvcc.open_snapshot();
+        ReadSnapshot {
+            inner: Arc::clone(&self.inner),
+            epoch,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1161,7 +1416,10 @@ impl StorageEngine {
         }
         self.inner.sync_all()?;
         {
-            let cat = self.inner.catalog.read().unwrap();
+            // No transaction is active, so every allocated id is settled
+            // and the persisted floor can jump straight to the allocator.
+            let mut cat = self.inner.catalog.read().unwrap().clone();
+            cat.txn_floor = self.inner.next_txn.load(Ordering::Acquire);
             catalog::save(&self.inner.pool, &cat)?;
         }
         // Image every dirty page into the log (one batch, one sync)
@@ -1207,7 +1465,8 @@ impl StorageEngine {
             return Ok(());
         }
         {
-            let cat = self.inner.catalog.read().unwrap();
+            let mut cat = self.inner.catalog.read().unwrap().clone();
+            cat.txn_floor = self.inner.next_txn.load(Ordering::Acquire);
             self.inner.log(&WalRecord::CatalogSnapshot {
                 bytes: cat.to_bytes(),
             })?;
@@ -1303,6 +1562,12 @@ impl StorageEngine {
             let rec = WalRecord::decode(payload).ok_or_else(|| {
                 StorageError::Replication(format!("undecodable record at lsn {lsn}"))
             })?;
+            // Track the primary's id space: promotion must allocate
+            // above every replicated transaction, and the frozen floor
+            // (bumped at each fold) must cover every replicated stamp.
+            if let Some(t) = rec.txn() {
+                self.inner.next_txn.fetch_max(t + 1, Ordering::AcqRel);
+            }
             w.append(&rec)?;
         }
         let seq = w.seq;
@@ -1354,7 +1619,8 @@ impl StorageEngine {
         }
         self.fold_records(&records)?;
         {
-            let cat = self.inner.catalog.read().unwrap();
+            let mut cat = self.inner.catalog.read().unwrap().clone();
+            cat.txn_floor = self.inner.next_txn.load(Ordering::Acquire);
             catalog::save(&self.inner.pool, &cat)?;
         }
         // Plain flush: a replica logs no page images (see
@@ -1372,6 +1638,17 @@ impl StorageEngine {
     }
 
     fn fold_records(&self, records: &[WalRecord]) -> Result<()> {
+        // The fold rewrites pages through the recovery machinery, whose
+        // intermediate states (losers applied, not yet undone) no
+        // snapshot may observe: the gate drains open snapshots, blocks
+        // new ones, and on exit freezes every replicated stamp.
+        self.inner.mvcc.enter_fold();
+        let res = self.fold_records_gated(records);
+        self.inner.mvcc.exit_fold();
+        res
+    }
+
+    fn fold_records_gated(&self, records: &[WalRecord]) -> Result<()> {
         let base = self.inner.catalog.read().unwrap().clone();
         let (outcome, recovered) = recovery::recover(&self.inner.pool, records, Some(base))?;
         *self.inner.catalog.write().unwrap() = recovered;
@@ -1452,7 +1729,10 @@ impl Drop for Inner {
         // mid-drop) so a crash tearing one of its writes stays
         // recoverable.
         let saved = {
-            let cat = unpoison(self.catalog.read());
+            let mut cat = unpoison(self.catalog.read()).clone();
+            // No transaction is in flight, so the persisted floor can
+            // jump to the allocator: every surviving stamp freezes.
+            cat.txn_floor = self.next_txn.load(Ordering::Acquire);
             catalog::save(&self.pool, &cat)
         };
         let flushed = saved.and_then(|_| {

@@ -17,6 +17,8 @@
 //!   fault injection (scripted failpoints, simulated crashes).
 //! * [`torture`] — the crash-point exploration harness built on them.
 //! * [`lock`] — table-level strict 2PL with wait-die deadlock avoidance.
+//! * [`mvcc`] — tuple version stamps, version chains, and snapshot
+//!   visibility: lock-free read-only transactions via [`ReadSnapshot`].
 //! * [`catalog`] — the persistent system catalog.
 //! * [`engine`] — [`StorageEngine`], the transactional facade.
 //!
@@ -47,6 +49,7 @@ pub mod error;
 pub mod fault;
 pub mod heap;
 pub mod lock;
+pub mod mvcc;
 pub mod page;
 pub mod recovery;
 pub mod torture;
@@ -55,11 +58,12 @@ pub mod wal;
 pub use backend::{FileBackend, FileVfs, StorageBackend, Vfs};
 pub use btree::{decode_i64, encode_i64, BTree};
 pub use buffer::BufferPool;
-pub use engine::{StorageEngine, Txn, WalBatch, DEFAULT_POOL_PAGES};
+pub use engine::{ReadSnapshot, StorageEngine, Txn, WalBatch, DEFAULT_POOL_PAGES};
 pub use error::{Result, StorageError};
 pub use fault::{At, FaultController, FaultKind, FaultPlan, FaultVfs};
 pub use heap::HeapFile;
 pub use lock::{LockManager, LockMode};
+pub use mvcc::{user_body, STAMP_LEN};
 pub use page::{PageId, Rid, PAGE_SIZE};
 pub use recovery::RecoveryOutcome;
 pub use torture::{

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use mdm_obs::{trace, Counter};
+use mdm_obs::{trace, Counter, Gauge};
 
 use crate::error::{Result, StorageError};
 use crate::wal::{TableId, TxnId};
@@ -72,6 +72,13 @@ struct Shared {
     wakeup: Condvar,
     waits: Arc<Counter>,
     deadlocks: Arc<Counter>,
+    /// Shared locks held right now, across all transactions and tables.
+    /// Snapshot reads bypass the lock manager entirely, so under a pure
+    /// snapshot-read workload this stays at zero — `$locks` exposes it
+    /// as proof that the read path is lock-free.
+    held_shared: Arc<Gauge>,
+    /// Exclusive locks held right now.
+    held_exclusive: Arc<Gauge>,
 }
 
 /// The lock manager. Cloneable handle; all clones share state.
@@ -95,6 +102,8 @@ impl LockManager {
                 wakeup: Condvar::new(),
                 waits: Counter::new(),
                 deadlocks: Counter::new(),
+                held_shared: Gauge::new(),
+                held_exclusive: Gauge::new(),
             }),
         }
     }
@@ -112,6 +121,18 @@ impl LockManager {
             "lock requests aborted by the wait-die deadlock policy",
             &[],
             Arc::clone(&self.shared.deadlocks),
+        );
+        registry.register_gauge_handle(
+            "mdm_lock_held_shared",
+            "shared (read) locks held now — zero under pure snapshot reads",
+            &[],
+            Arc::clone(&self.shared.held_shared),
+        );
+        registry.register_gauge_handle(
+            "mdm_lock_held_exclusive",
+            "exclusive (write) locks held now",
+            &[],
+            Arc::clone(&self.shared.held_exclusive),
         );
     }
 
@@ -139,7 +160,17 @@ impl LockManager {
                 break Ok(());
             }
             if state.compatible(txn, mode) {
-                state.holders.insert(txn, mode);
+                let prev = state.holders.insert(txn, mode);
+                match (prev, mode) {
+                    (None, LockMode::Shared) => self.shared.held_shared.add(1),
+                    (None, LockMode::Exclusive) => self.shared.held_exclusive.add(1),
+                    (Some(LockMode::Shared), LockMode::Exclusive) => {
+                        // Upgrade: the S becomes an X.
+                        self.shared.held_shared.add(-1);
+                        self.shared.held_exclusive.add(1);
+                    }
+                    _ => {}
+                }
                 break Ok(());
             }
             if state.must_die(txn, mode) {
@@ -172,7 +203,11 @@ impl LockManager {
     pub fn release_all(&self, txn: TxnId) {
         let mut tables = self.shared.tables.lock().unwrap();
         tables.retain(|_, state| {
-            state.holders.remove(&txn);
+            match state.holders.remove(&txn) {
+                Some(LockMode::Shared) => self.shared.held_shared.add(-1),
+                Some(LockMode::Exclusive) => self.shared.held_exclusive.add(-1),
+                None => {}
+            }
             !state.holders.is_empty()
         });
         drop(tables);
@@ -307,6 +342,28 @@ mod tests {
         lm.release_all(2);
         lm.lock(1, 10, LockMode::Exclusive).unwrap();
         assert_eq!(lm.held_by(1), vec![(10, LockMode::Exclusive)]);
+    }
+
+    #[test]
+    fn held_gauges_track_acquire_upgrade_and_release() {
+        let lm = LockManager::new();
+        let reg = mdm_obs::Registry::new();
+        lm.register_metrics(&reg);
+        lm.lock(1, 10, LockMode::Shared).unwrap();
+        lm.lock(2, 10, LockMode::Shared).unwrap();
+        lm.lock(1, 11, LockMode::Exclusive).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("mdm_lock_held_shared"), Some(2));
+        assert_eq!(snap.gauge("mdm_lock_held_exclusive"), Some(1));
+        lm.release_all(2);
+        lm.lock(1, 10, LockMode::Exclusive).unwrap(); // upgrade S→X
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("mdm_lock_held_shared"), Some(0));
+        assert_eq!(snap.gauge("mdm_lock_held_exclusive"), Some(2));
+        lm.release_all(1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("mdm_lock_held_shared"), Some(0));
+        assert_eq!(snap.gauge("mdm_lock_held_exclusive"), Some(0));
     }
 
     #[test]

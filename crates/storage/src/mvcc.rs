@@ -1,0 +1,632 @@
+//! Multi-version concurrency control: tuple stamps, version chains, and
+//! snapshot visibility.
+//!
+//! Every heap tuple the engine writes is prefixed with an 8-byte
+//! little-endian *xmin* — the id of the transaction that created that
+//! tuple version. The stamp travels transparently through the WAL, undo
+//! images, recovery replay, replication, and archive page images: it is
+//! part of the record body at every layer below the engine's DML facade,
+//! which strips it again before handing bytes back to callers.
+//!
+//! A read-only [`crate::engine::ReadSnapshot`] fixes a *commit epoch* at
+//! open and resolves every tuple through [`MvccState::resolve`]:
+//!
+//! - a tuple whose xmin committed at or before the snapshot's epoch is
+//!   visible;
+//! - a tuple whose xmin is still in flight, aborted, or committed after
+//!   the epoch is not — the reader walks the rid's in-memory *version
+//!   chain* (old bodies pushed aside by updates and deletes) newest-first
+//!   and takes the first version whose creator is visible and whose
+//!   expiry (the overwriting transaction's commit epoch) lies after the
+//!   snapshot.
+//!
+//! Epochs are allocated by a counter incremented under the MVCC latch at
+//! commit *registration* — after the commit record is durable, before
+//! locks release — not from the raw WAL sequence: group-commit followers
+//! finish out of order, and two committers syncing the same fsync batch
+//! must still register in a serial order that visibility can compare.
+//!
+//! # Garbage collection
+//!
+//! The *GC horizon* is the oldest open snapshot's epoch (or the current
+//! epoch when none is open). A chain version whose expiry epoch is at or
+//! below the horizon is invisible to every present and future snapshot
+//! and is reclaimed; commit registrations at or below the horizon are
+//! likewise pruned, after which their stamps resolve through the
+//! *frozen* rule: any xmin below [`MvccState::frozen_floor`] — or any
+//! xmin the tracker has simply never heard of, such as replicated or
+//! pre-MVCC data — is visible to everyone. Aborted-transaction
+//! tombstones are kept while any snapshot is open (a reader may have
+//! captured page bytes the rollback has since restored) and dropped only
+//! once no capture can be in flight.
+//!
+//! # Latching
+//!
+//! The MVCC latch is self-contained: it is taken *last* in the engine's
+//! latch order and never held across any other latch acquisition. The
+//! fold gate (used by replica folds, whose page rewrites would otherwise
+//! race open snapshots) waits on the same latch's condvar.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use mdm_obs::{Counter, Gauge, Registry};
+
+use crate::wal::{TableId, TxnId};
+
+/// A commit-ordered epoch: position in the serial order of commit
+/// registrations. Snapshots compare against it; it is never persisted.
+pub type Epoch = u64;
+
+/// Length of the xmin stamp prefixed to every stored tuple body.
+pub const STAMP_LEN: usize = 8;
+
+/// Prefixes `body` with the creating transaction's stamp.
+pub fn stamp(txn: TxnId, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(STAMP_LEN + body.len());
+    out.extend_from_slice(&txn.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Splits a stored tuple into `(xmin, user body)`. Bodies shorter than a
+/// stamp (none are written by this engine, but torn or legacy data could
+/// present one) read as frozen — xmin 0, visible to everyone.
+pub fn split(stored: &[u8]) -> (TxnId, &[u8]) {
+    match stored.get(..STAMP_LEN) {
+        Some(prefix) => (
+            TxnId::from_le_bytes(prefix.try_into().unwrap()),
+            &stored[STAMP_LEN..],
+        ),
+        None => (0, stored),
+    }
+}
+
+/// The user-visible body of a stored tuple (the stamp stripped). Layers
+/// that parse raw WAL record bodies — the replication statement decoder,
+/// for one — go through this instead of hard-coding the offset.
+pub fn user_body(stored: &[u8]) -> &[u8] {
+    split(stored).1
+}
+
+/// When a chain version stops being current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expire {
+    /// The overwriting/deleting transaction is still in flight; if it
+    /// aborts, the version is retracted rather than ever expiring.
+    Pending(TxnId),
+    /// The overwrite committed at this epoch: the version is current for
+    /// snapshots strictly below it.
+    Committed(Epoch),
+}
+
+/// One superseded tuple version, kept until no snapshot can see it.
+#[derive(Debug, Clone)]
+struct Version {
+    xmin: TxnId,
+    expire: Expire,
+    /// The stored body *without* its stamp (xmin carries it).
+    body: Vec<u8>,
+}
+
+#[derive(Default)]
+struct MvccInner {
+    /// The commit-registration counter; also the epoch a new snapshot
+    /// fixes.
+    epoch: Epoch,
+    /// Commit epochs of transactions not yet pruned below the horizon.
+    committed: HashMap<TxnId, Epoch>,
+    /// Writers in flight (or abandoned by a failed commit sync), with
+    /// the `(table, rid)` pairs whose old versions they pushed aside.
+    in_flight: HashMap<TxnId, Vec<(TableId, u64)>>,
+    /// Aborted-transaction tombstones, kept while snapshots are open so
+    /// captured-then-rolled-back stamps resolve invisible.
+    aborted: HashSet<TxnId>,
+    /// Open snapshots: epoch → refcount.
+    snapshots: BTreeMap<Epoch, usize>,
+    /// Version chains by `(table, rid)`, oldest first.
+    chains: HashMap<(TableId, u64), Vec<Version>>,
+    /// A replica fold is rewriting pages; snapshot opens wait.
+    folding: bool,
+}
+
+impl MvccInner {
+    /// The visibility rule for a creating transaction id at a snapshot
+    /// epoch. `frozen_floor` is the engine-wide floor below which every
+    /// id is known committed-and-pruned.
+    fn xmin_visible(&self, xmin: TxnId, epoch: Epoch, frozen_floor: TxnId) -> bool {
+        if xmin < frozen_floor {
+            return true;
+        }
+        if let Some(&e) = self.committed.get(&xmin) {
+            return e <= epoch;
+        }
+        if self.aborted.contains(&xmin) || self.in_flight.contains_key(&xmin) {
+            return false;
+        }
+        // Unknown to the tracker: replicated, pre-MVCC, or pruned below
+        // the horizon — in every case committed before any open snapshot.
+        true
+    }
+
+    /// The oldest epoch any open snapshot observes (the GC horizon).
+    fn horizon(&self) -> Epoch {
+        self.snapshots.keys().next().copied().unwrap_or(self.epoch)
+    }
+}
+
+/// Engine-wide MVCC state: the tracker every stamp resolves through.
+pub(crate) struct MvccState {
+    inner: Mutex<MvccInner>,
+    /// Wakes fold-gate waiters (snapshot opens during a fold, folds
+    /// waiting for snapshots to drain).
+    gate: Condvar,
+    /// Shared with the engine's transaction-id allocator so the floor
+    /// can advance to "next id" without racing an allocation.
+    next_txn: Arc<AtomicU64>,
+    /// Ids strictly below this are committed-and-pruned: visible to
+    /// every snapshot without taking the latch.
+    frozen_floor: AtomicU64,
+    /// Number of chain versions alive; zero lets readers skip the chain
+    /// walk entirely.
+    live: AtomicU64,
+    snapshots_total: Arc<Counter>,
+    snapshots_open: Arc<Gauge>,
+    versions_live: Arc<Gauge>,
+    versions_reclaimed: Arc<Counter>,
+    commit_epoch: Arc<Gauge>,
+}
+
+impl MvccState {
+    pub(crate) fn register(registry: &Registry, next_txn: Arc<AtomicU64>) -> MvccState {
+        MvccState {
+            inner: Mutex::new(MvccInner::default()),
+            gate: Condvar::new(),
+            frozen_floor: AtomicU64::new(next_txn.load(Ordering::Acquire)),
+            next_txn,
+            live: AtomicU64::new(0),
+            snapshots_total: registry.counter(
+                "mdm_mvcc_snapshots_total",
+                "read snapshots opened (lock-free read-only transactions)",
+            ),
+            snapshots_open: registry.gauge("mdm_mvcc_snapshots_open", "read snapshots open now"),
+            versions_live: registry.gauge(
+                "mdm_mvcc_versions_live",
+                "superseded tuple versions retained for open snapshots",
+            ),
+            versions_reclaimed: registry.counter(
+                "mdm_mvcc_versions_reclaimed_total",
+                "tuple versions reclaimed once no snapshot could see them",
+            ),
+            commit_epoch: registry.gauge(
+                "mdm_mvcc_commit_epoch",
+                "commit-ordered epoch of the latest registered commit",
+            ),
+        }
+    }
+
+    /// Allocates a transaction id and registers it in flight — one
+    /// critical section, so the frozen floor never advances past an id
+    /// that is about to start writing.
+    pub(crate) fn begin_txn(&self) -> TxnId {
+        let mut g = self.inner.lock().unwrap();
+        let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        g.in_flight.insert(id, Vec::new());
+        id
+    }
+
+    /// Records the pre-image a writer is about to overwrite or delete.
+    /// Must run *before* the page changes, so no reader window exists in
+    /// which the old version is gone from both page and chain. The
+    /// writer's own intermediate versions are not chained: a snapshot
+    /// either sees all of a transaction or none of it.
+    pub(crate) fn remember_old(&self, txn: TxnId, table: TableId, rid: u64, stored_old: &[u8]) {
+        let (xmin, body) = split(stored_old);
+        if xmin == txn {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        g.chains.entry((table, rid)).or_default().push(Version {
+            xmin,
+            expire: Expire::Pending(txn),
+            body: body.to_vec(),
+        });
+        if let Some(touched) = g.in_flight.get_mut(&txn) {
+            touched.push((table, rid));
+        }
+        self.live.fetch_add(1, Ordering::Relaxed);
+        self.versions_live.add(1);
+    }
+
+    /// Registers a commit, assigning the next epoch and finalizing the
+    /// expiry of every version this writer pushed aside. Runs after the
+    /// commit record is durable and before locks release, so the epoch
+    /// order is a serialization order.
+    pub(crate) fn commit(&self, txn: TxnId) {
+        let mut g = self.inner.lock().unwrap();
+        g.epoch += 1;
+        let epoch = g.epoch;
+        self.commit_epoch.set(epoch as i64);
+        if let Some(touched) = g.in_flight.remove(&txn) {
+            for key in touched {
+                if let Some(chain) = g.chains.get_mut(&key) {
+                    for v in chain.iter_mut() {
+                        if v.expire == Expire::Pending(txn) {
+                            v.expire = Expire::Committed(epoch);
+                        }
+                    }
+                }
+            }
+        }
+        g.committed.insert(txn, epoch);
+        self.gc_locked(&mut g);
+    }
+
+    /// Abandons a transaction whose commit record may or may not have
+    /// persisted (a failed commit sync): it stays registered in flight
+    /// forever, so its stamps stay invisible — mirroring the recovery
+    /// question the next open will settle from the log.
+    pub(crate) fn abandon(&self, _txn: TxnId) {
+        // Intentionally nothing: the id remains in `in_flight`.
+    }
+
+    /// Retracts an aborted writer's chained versions (the heap undo has
+    /// restored the pages, so the chained copies are redundant) and
+    /// leaves a tombstone while any snapshot is open: a reader may have
+    /// captured page bytes stamped with this id before the undo ran.
+    pub(crate) fn rollback(&self, txn: TxnId) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(touched) = g.in_flight.remove(&txn) {
+            for key in touched {
+                if let Some(chain) = g.chains.get_mut(&key) {
+                    let before = chain.len();
+                    chain.retain(|v| v.expire != Expire::Pending(txn));
+                    let removed = (before - chain.len()) as u64;
+                    if removed > 0 {
+                        self.live.fetch_sub(removed, Ordering::Relaxed);
+                        self.versions_live.add(-(removed as i64));
+                    }
+                    if chain.is_empty() {
+                        g.chains.remove(&key);
+                    }
+                }
+            }
+            g.aborted.insert(txn);
+            self.gc_locked(&mut g);
+        }
+    }
+
+    /// Drops a transaction that provably wrote nothing (no stamp with
+    /// its id exists anywhere): read-only 2PL transactions on commit or
+    /// abort. No tombstone is needed, so the floor advances freely.
+    pub(crate) fn forget(&self, txn: TxnId) {
+        let mut g = self.inner.lock().unwrap();
+        g.in_flight.remove(&txn);
+        self.gc_locked(&mut g);
+    }
+
+    /// Opens a snapshot at the current epoch, waiting out any replica
+    /// fold in progress.
+    pub(crate) fn open_snapshot(&self) -> Epoch {
+        let mut g = self.inner.lock().unwrap();
+        while g.folding {
+            g = self.gate.wait(g).unwrap();
+        }
+        let epoch = g.epoch;
+        *g.snapshots.entry(epoch).or_insert(0) += 1;
+        self.snapshots_total.inc();
+        self.snapshots_open.add(1);
+        epoch
+    }
+
+    /// Closes a snapshot, advancing the GC horizon.
+    pub(crate) fn close_snapshot(&self, epoch: Epoch) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(count) = g.snapshots.get_mut(&epoch) {
+            *count -= 1;
+            if *count == 0 {
+                g.snapshots.remove(&epoch);
+            }
+        }
+        self.snapshots_open.add(-1);
+        self.gc_locked(&mut g);
+        drop(g);
+        self.gate.notify_all();
+    }
+
+    /// Blocks until no snapshot is open, then closes the gate so none
+    /// can open: a replica fold is about to rewrite pages through the
+    /// recovery machinery, whose intermediate states (losers applied,
+    /// not yet undone) no snapshot may observe.
+    pub(crate) fn enter_fold(&self) {
+        let mut g = self.inner.lock().unwrap();
+        while g.folding || !g.snapshots.is_empty() {
+            g = self.gate.wait(g).unwrap();
+        }
+        g.folding = true;
+    }
+
+    /// Reopens the gate after a fold. The rebuilt pages hold exactly the
+    /// stream's committed data, so every stamp on them freezes: the
+    /// floor jumps to the allocator and all tracking resets.
+    pub(crate) fn exit_fold(&self) {
+        let mut g = self.inner.lock().unwrap();
+        debug_assert!(g.folding);
+        let dropped = self.live.swap(0, Ordering::Relaxed);
+        if dropped > 0 {
+            self.versions_live.add(-(dropped as i64));
+        }
+        g.chains.clear();
+        g.committed.clear();
+        g.aborted.clear();
+        g.in_flight.clear();
+        g.folding = false;
+        self.frozen_floor
+            .fetch_max(self.next_txn.load(Ordering::Acquire), Ordering::AcqRel);
+        drop(g);
+        self.gate.notify_all();
+    }
+
+    /// The engine-wide floor: every transaction id strictly below it is
+    /// committed and visible to all snapshots.
+    pub(crate) fn frozen_floor(&self) -> TxnId {
+        self.frozen_floor.load(Ordering::Acquire)
+    }
+
+    /// True when a stored tuple needs no latch to resolve: its creator
+    /// is frozen and no chain version exists anywhere.
+    pub(crate) fn plainly_visible(&self, stored: &[u8]) -> bool {
+        self.live.load(Ordering::Acquire) == 0 && split(stored).0 < self.frozen_floor()
+    }
+
+    /// Resolves the tuple state of `(table, rid)` at `epoch`:
+    /// `stored` is the page's current bytes for the rid (or `None` for
+    /// an empty slot), captured at any point after the snapshot opened.
+    /// Returns the visible user body, or `None` if the rid holds no
+    /// visible row at that epoch.
+    pub(crate) fn resolve(
+        &self,
+        table: TableId,
+        rid: u64,
+        stored: Option<&[u8]>,
+        epoch: Epoch,
+    ) -> Option<Vec<u8>> {
+        if let Some(bytes) = stored {
+            if self.plainly_visible(bytes) {
+                return Some(user_body(bytes).to_vec());
+            }
+        } else if self.live.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let frozen = self.frozen_floor();
+        let g = self.inner.lock().unwrap();
+        // The page's current tuple: any modification committed at or
+        // before `epoch` happened before the capture (page latches order
+        // it), so a visible xmin means these bytes *are* the version the
+        // snapshot should see — no expiry check applies to the head.
+        if let Some(bytes) = stored {
+            let (xmin, body) = split(bytes);
+            if g.xmin_visible(xmin, epoch, frozen) {
+                return Some(body.to_vec());
+            }
+        }
+        let chain = g.chains.get(&(table, rid))?;
+        for v in chain.iter().rev() {
+            if g.xmin_visible(v.xmin, epoch, frozen) {
+                return match v.expire {
+                    Expire::Committed(e) if e <= epoch => None,
+                    _ => Some(v.body.clone()),
+                };
+            }
+        }
+        None
+    }
+
+    /// The rids of `table` that have chain versions — candidates a page
+    /// scan no longer surfaces (deleted or moved rows still visible to
+    /// an open snapshot).
+    pub(crate) fn chained_rids(&self, table: TableId) -> Vec<u64> {
+        if self.live.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let g = self.inner.lock().unwrap();
+        g.chains
+            .keys()
+            .filter(|(t, _)| *t == table)
+            .map(|&(_, rid)| rid)
+            .collect()
+    }
+
+    /// Reclaims everything no present or future snapshot can see, then
+    /// advances the frozen floor. Runs under the latch at commit,
+    /// rollback, and snapshot close.
+    fn gc_locked(&self, g: &mut MvccInner) {
+        let horizon = g.horizon();
+        let mut reclaimed: u64 = 0;
+        g.chains.retain(|_, chain| {
+            chain.retain(|v| match v.expire {
+                Expire::Committed(e) => {
+                    let dead = e <= horizon;
+                    if dead {
+                        reclaimed += 1;
+                    }
+                    !dead
+                }
+                Expire::Pending(_) => true,
+            });
+            !chain.is_empty()
+        });
+        if reclaimed > 0 {
+            self.live.fetch_sub(reclaimed, Ordering::Relaxed);
+            self.versions_live.add(-(reclaimed as i64));
+            self.versions_reclaimed.add(reclaimed);
+        }
+        // Commit registrations at or below the horizon are visible to
+        // every snapshot; drop them and let the frozen/unknown rule
+        // answer for their stamps.
+        g.committed.retain(|_, &mut e| e > horizon);
+        // Aborted tombstones can only go once no capture is in flight.
+        if g.snapshots.is_empty() {
+            g.aborted.clear();
+        }
+        let floor = g
+            .in_flight
+            .keys()
+            .chain(g.committed.keys())
+            .chain(g.aborted.iter())
+            .min()
+            .copied()
+            .unwrap_or_else(|| self.next_txn.load(Ordering::Acquire));
+        self.frozen_floor.fetch_max(floor, Ordering::AcqRel);
+    }
+
+    /// Point-in-time counters for tests: (open snapshots, live chain
+    /// versions, tracked in-flight writers).
+    #[cfg(test)]
+    fn stats(&self) -> (usize, u64, usize) {
+        let g = self.inner.lock().unwrap();
+        let open = g.snapshots.values().sum();
+        (open, self.live.load(Ordering::Relaxed), g.in_flight.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> MvccState {
+        MvccState::register(&Registry::new(), Arc::new(AtomicU64::new(1)))
+    }
+
+    #[test]
+    fn stamp_roundtrip_and_short_bodies() {
+        let stored = stamp(42, b"hello");
+        assert_eq!(split(&stored), (42, &b"hello"[..]));
+        assert_eq!(user_body(&stored), b"hello");
+        // Sub-stamp bodies read as frozen rather than panicking.
+        assert_eq!(split(b"abc"), (0, &b"abc"[..]));
+    }
+
+    #[test]
+    fn uncommitted_writes_invisible_then_visible() {
+        let s = state();
+        let t = s.begin_txn();
+        let stored = stamp(t, b"row");
+        let snap = s.open_snapshot();
+        assert_eq!(s.resolve(1, 7, Some(&stored), snap), None);
+        s.commit(t);
+        // The old snapshot still cannot see it; a new one can.
+        assert_eq!(s.resolve(1, 7, Some(&stored), snap), None);
+        let snap2 = s.open_snapshot();
+        assert_eq!(s.resolve(1, 7, Some(&stored), snap2), Some(b"row".to_vec()));
+        s.close_snapshot(snap);
+        s.close_snapshot(snap2);
+    }
+
+    #[test]
+    fn update_chains_old_version_for_old_snapshot() {
+        let s = state();
+        let t1 = s.begin_txn();
+        s.commit(t1); // epoch 1: v1 exists
+        let snap = s.open_snapshot();
+        let t2 = s.begin_txn();
+        s.remember_old(t2, 1, 7, &stamp(t1, b"v1"));
+        let page = stamp(t2, b"v2"); // page now holds t2's tuple
+        assert_eq!(s.resolve(1, 7, Some(&page), snap), Some(b"v1".to_vec()));
+        s.commit(t2);
+        assert_eq!(s.resolve(1, 7, Some(&page), snap), Some(b"v1".to_vec()));
+        let snap2 = s.open_snapshot();
+        assert_eq!(s.resolve(1, 7, Some(&page), snap2), Some(b"v2".to_vec()));
+        s.close_snapshot(snap2);
+        s.close_snapshot(snap);
+    }
+
+    #[test]
+    fn delete_resolves_to_none_after_commit_epoch() {
+        let s = state();
+        let t1 = s.begin_txn();
+        s.commit(t1);
+        let before = s.open_snapshot();
+        let t2 = s.begin_txn();
+        s.remember_old(t2, 1, 7, &stamp(t1, b"v1"));
+        // Page slot now empty (deleted).
+        assert_eq!(s.resolve(1, 7, None, before), Some(b"v1".to_vec()));
+        s.commit(t2);
+        let after = s.open_snapshot();
+        assert_eq!(s.resolve(1, 7, None, after), None);
+        assert_eq!(s.resolve(1, 7, None, before), Some(b"v1".to_vec()));
+        s.close_snapshot(before);
+        s.close_snapshot(after);
+    }
+
+    #[test]
+    fn aborted_stamps_stay_invisible_while_captured() {
+        let s = state();
+        let snap = s.open_snapshot();
+        let t = s.begin_txn();
+        let captured = stamp(t, b"ghost");
+        s.rollback(t);
+        // The reader captured page bytes before the undo restored them;
+        // the tombstone keeps them invisible.
+        assert_eq!(s.resolve(1, 7, Some(&captured), snap), None);
+        s.close_snapshot(snap);
+    }
+
+    #[test]
+    fn gc_waits_for_oldest_snapshot() {
+        let s = state();
+        let t1 = s.begin_txn();
+        s.commit(t1);
+        let old = s.open_snapshot();
+        let t2 = s.begin_txn();
+        s.remember_old(t2, 1, 7, &stamp(t1, b"v1"));
+        s.commit(t2);
+        assert_eq!(s.stats().1, 1, "version held for the open snapshot");
+        s.close_snapshot(old);
+        assert_eq!(s.stats().1, 0, "version reclaimed once unobservable");
+    }
+
+    #[test]
+    fn frozen_floor_advances_past_settled_txns() {
+        let s = state();
+        let t1 = s.begin_txn();
+        let t2 = s.begin_txn();
+        s.commit(t2);
+        // t1 still in flight: the floor cannot pass it.
+        assert!(s.frozen_floor() <= t1);
+        s.commit(t1);
+        assert!(s.frozen_floor() > t2, "floor passes settled ids");
+        let stored = stamp(t1, b"x");
+        assert!(s.plainly_visible(&stored));
+    }
+
+    #[test]
+    fn abandoned_commit_stays_invisible_forever() {
+        let s = state();
+        let t = s.begin_txn();
+        s.abandon(t);
+        let snap = s.open_snapshot();
+        assert_eq!(s.resolve(1, 7, Some(&stamp(t, b"x")), snap), None);
+        assert!(s.frozen_floor() <= t, "floor pinned by the unknown outcome");
+        s.close_snapshot(snap);
+    }
+
+    #[test]
+    fn fold_gate_excludes_snapshots() {
+        let s = Arc::new(state());
+        let t = s.begin_txn();
+        s.commit(t);
+        s.enter_fold();
+        let s2 = Arc::clone(&s);
+        let reader = std::thread::spawn(move || {
+            let snap = s2.open_snapshot();
+            s2.close_snapshot(snap);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!reader.is_finished(), "snapshot open waits out the fold");
+        s.exit_fold();
+        reader.join().unwrap();
+        assert_eq!(s.stats().2, 0, "fold reset in-flight tracking");
+    }
+}

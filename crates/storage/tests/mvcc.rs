@@ -1,0 +1,446 @@
+//! MVCC snapshot-read oracle suite.
+//!
+//! Proves the versioned heap gives read-only transactions a stable,
+//! lock-free view: a property test replays arbitrary interleavings of
+//! committed and aborted writers against a `BTreeMap` oracle and checks
+//! a snapshot opened at every settle point, a GC test pins that
+//! reclamation never frees a version a live snapshot can still see,
+//! and a regression test pins that writers keep wait-die 2PL among
+//! themselves while snapshot scans hold zero locks.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mdm_storage::{StorageEngine, StorageError};
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn tmpdir(name: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("mdm-mvcc-{}-{}-{}", std::process::id(), name, seq));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn encode_i64(v: i64) -> [u8; 8] {
+    // Big-endian keeps byte order == numeric order for non-negatives.
+    (v as u64).to_be_bytes()
+}
+
+/// One step of the generated two-lane writer program. Each lane owns
+/// one table (table-level exclusive locks forbid two concurrently open
+/// writers on the same table), so the interleaving exercises epochs and
+/// in-flight visibility rather than the lock manager.
+#[derive(Debug, Clone)]
+enum Action {
+    Insert,
+    Mutate,
+    Remove,
+    Commit,
+    Abort,
+}
+
+fn action_strategy() -> impl Strategy<Value = (usize, Action, u16)> {
+    (
+        0usize..2,
+        prop_oneof![
+            3 => Just(Action::Insert),
+            2 => Just(Action::Mutate),
+            1 => Just(Action::Remove),
+            2 => Just(Action::Commit),
+            1 => Just(Action::Abort),
+        ],
+        any::<u16>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interleave two writer lanes (each a sequence of begin/write/
+    /// commit-or-abort transactions on its own table), open a snapshot
+    /// at every commit and abort point, hold every snapshot open until
+    /// the end, and then check each against the serial-replay oracle:
+    /// a snapshot must show exactly the rows committed before it
+    /// opened — never an in-flight write, never an aborted one, and
+    /// never a later commit.
+    #[test]
+    fn snapshots_match_the_serial_replay_oracle(
+        program in proptest::collection::vec(action_strategy(), 1..48)
+    ) {
+        let dir = tmpdir("oracle");
+        let eng = StorageEngine::open_with_capacity(&dir, 64).unwrap();
+        let tables = [
+            eng.create_table("lane0").unwrap(),
+            eng.create_table("lane1").unwrap(),
+        ];
+
+        // Oracle: committed rows per lane, keyed by rid. `views` holds
+        // each lane's would-be state if its open transaction commits.
+        let mut oracle: [BTreeMap<u64, String>; 2] = [BTreeMap::new(), BTreeMap::new()];
+        let mut open: [Option<(mdm_storage::Txn, BTreeMap<u64, String>)>; 2] = [None, None];
+        let mut snaps: Vec<(mdm_storage::ReadSnapshot, [BTreeMap<u64, String>; 2])> = Vec::new();
+        let mut next_val = 0u32;
+
+        for (lane, action, pick) in program {
+            let table = tables[lane];
+            match action {
+                Action::Insert => {
+                    let (txn, view) = match open[lane].as_mut() {
+                        Some(entry) => entry,
+                        None => {
+                            open[lane] = Some((eng.begin().unwrap(), oracle[lane].clone()));
+                            open[lane].as_mut().unwrap()
+                        }
+                    };
+                    next_val += 1;
+                    let body = format!("v{next_val}");
+                    let rid = eng.insert(txn, table, body.as_bytes()).unwrap();
+                    view.insert(rid.to_u64(), body);
+                }
+                Action::Mutate | Action::Remove => {
+                    let Some((txn, view)) = open[lane].as_mut() else { continue };
+                    if view.is_empty() {
+                        continue;
+                    }
+                    let keys: Vec<u64> = view.keys().copied().collect();
+                    let rid64 = keys[pick as usize % keys.len()];
+                    let rid = mdm_storage::Rid::from_u64(rid64);
+                    if matches!(action, Action::Mutate) {
+                        next_val += 1;
+                        let body = format!("v{next_val}");
+                        let new = eng.update(txn, table, rid, body.as_bytes()).unwrap();
+                        view.remove(&rid64);
+                        view.insert(new.to_u64(), body);
+                    } else {
+                        eng.delete(txn, table, rid).unwrap();
+                        view.remove(&rid64);
+                    }
+                }
+                Action::Commit => {
+                    let Some((txn, view)) = open[lane].take() else { continue };
+                    eng.commit(txn).unwrap();
+                    oracle[lane] = view;
+                    snaps.push((eng.snapshot(), oracle.clone()));
+                }
+                Action::Abort => {
+                    let Some((txn, _view)) = open[lane].take() else { continue };
+                    eng.abort(txn).unwrap();
+                    snaps.push((eng.snapshot(), oracle.clone()));
+                }
+            }
+        }
+        // Settle anything still open as an abort; its writes must stay
+        // invisible to every snapshot.
+        for entry in open.into_iter().flatten() {
+            eng.abort(entry.0).unwrap();
+        }
+        snaps.push((eng.snapshot(), oracle.clone()));
+
+        // Every held snapshot still reproduces its commit-point state,
+        // even though later writers have since rewritten the tables.
+        for (idx, (snap, expected)) in snaps.iter().enumerate() {
+            for lane in 0..2 {
+                let got: BTreeMap<u64, String> = snap
+                    .scan(tables[lane])
+                    .unwrap()
+                    .into_iter()
+                    .map(|(rid, body)| (rid.to_u64(), String::from_utf8(body).unwrap()))
+                    .collect();
+                prop_assert_eq!(
+                    &got,
+                    &expected[lane],
+                    "snapshot {} lane {} diverged from oracle",
+                    idx,
+                    lane
+                );
+                // Point reads agree with the scan.
+                for (rid64, val) in &expected[lane] {
+                    let body = snap
+                        .get(tables[lane], mdm_storage::Rid::from_u64(*rid64))
+                        .unwrap();
+                    prop_assert_eq!(body.as_deref(), Some(val.as_bytes()));
+                }
+            }
+        }
+        drop(snaps);
+        drop(eng);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Version GC must never free a version a live snapshot can still see:
+/// a snapshot opened before fifty rewrites still reads the original
+/// row afterwards, and only once it closes does the version count drop
+/// and the reclaimed counter advance.
+#[test]
+fn gc_never_frees_versions_a_snapshot_can_see() {
+    let dir = tmpdir("gc");
+    let eng = StorageEngine::open_with_capacity(&dir, 64).unwrap();
+    let t = eng.create_table("t").unwrap();
+
+    let mut txn = eng.begin().unwrap();
+    let rid = eng.insert(&mut txn, t, b"original").unwrap();
+    eng.commit(txn).unwrap();
+
+    let pinned = eng.snapshot();
+    for i in 0..50 {
+        let mut txn = eng.begin().unwrap();
+        eng.update(&mut txn, t, rid, format!("rewrite {i}").as_bytes())
+            .unwrap();
+        eng.commit(txn).unwrap();
+    }
+
+    let snap = eng.metrics_snapshot();
+    let live = snap.gauge("mdm_mvcc_versions_live").unwrap_or(0);
+    assert!(
+        live >= 1,
+        "pinned snapshot must hold at least one old version live, saw {live}"
+    );
+    // The pinned snapshot still sees the pre-rewrite world.
+    assert_eq!(
+        pinned.get(t, rid).unwrap().as_deref(),
+        Some(&b"original"[..])
+    );
+    // A fresh snapshot sees the newest commit.
+    assert_eq!(
+        eng.snapshot().get(t, rid).unwrap().as_deref(),
+        Some(&b"rewrite 49"[..])
+    );
+
+    drop(pinned);
+    // GC runs at settle points; one more commit sweeps the horizon
+    // forward now that no snapshot pins the old versions.
+    let mut txn = eng.begin().unwrap();
+    eng.update(&mut txn, t, rid, b"final").unwrap();
+    eng.commit(txn).unwrap();
+
+    let snap = eng.metrics_snapshot();
+    let reclaimed = snap
+        .counter("mdm_mvcc_versions_reclaimed_total")
+        .unwrap_or(0);
+    assert!(
+        reclaimed >= 50,
+        "expected ≥50 reclaimed versions, saw {reclaimed}"
+    );
+    assert_eq!(
+        eng.snapshot().get(t, rid).unwrap().as_deref(),
+        Some(&b"final"[..])
+    );
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Writers keep wait-die two-phase locking among themselves, and a
+/// concurrent snapshot scan holds zero read locks while they fight:
+/// the younger writer dies on the older writer's exclusive lock, the
+/// snapshot neither blocks nor aborts, and the shared-lock gauge stays
+/// at zero throughout the scan.
+#[test]
+fn writers_wait_die_while_snapshot_reads_hold_no_locks() {
+    let dir = tmpdir("waitdie");
+    let eng = StorageEngine::open_with_capacity(&dir, 64).unwrap();
+    let t = eng.create_table("t").unwrap();
+
+    let mut seed = eng.begin().unwrap();
+    let rid = eng.insert(&mut seed, t, b"committed").unwrap();
+    eng.commit(seed).unwrap();
+
+    // Older writer takes the table's exclusive lock and sits on it.
+    let mut older = eng.begin().unwrap();
+    eng.update(&mut older, t, rid, b"older in flight").unwrap();
+
+    // Younger writer must die, not wait: wait-die only lets the older
+    // transaction block.
+    let mut younger = eng.begin().unwrap();
+    match eng.update(&mut younger, t, rid, b"younger") {
+        Err(StorageError::Deadlock) => {}
+        other => panic!("younger writer should die under wait-die, got {other:?}"),
+    }
+    eng.abort(younger).unwrap();
+
+    // A long snapshot scan runs against the same table while the
+    // exclusive lock is held — it cannot block, cannot abort, and
+    // takes no shared lock the gauge could count.
+    let snap = eng.snapshot();
+    let rows = snap.scan(t).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(
+        rows[0].1, b"committed",
+        "snapshot leaked an in-flight write"
+    );
+
+    let m = eng.metrics_snapshot();
+    assert_eq!(
+        m.gauge("mdm_lock_held_shared").unwrap_or(0),
+        0,
+        "snapshot reads must not hold shared locks"
+    );
+    assert!(
+        m.gauge("mdm_lock_held_exclusive").unwrap_or(0) >= 1,
+        "older writer's exclusive lock should still be held"
+    );
+
+    eng.commit(older).unwrap();
+    // The pre-commit snapshot stays stable; a new one sees the commit.
+    assert_eq!(
+        snap.get(t, rid).unwrap().as_deref(),
+        Some(&b"committed"[..])
+    );
+    assert_eq!(
+        eng.snapshot().get(t, rid).unwrap().as_deref(),
+        Some(&b"older in flight"[..])
+    );
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The transaction-id floor persists across restarts — including crash
+/// restarts — so recycled ids can never make old stamps lie about
+/// visibility.
+#[test]
+fn txn_ids_never_recycle_across_reopen() {
+    let dir = tmpdir("floor");
+    let mut last_id = 0;
+
+    // Crash reopen: the floor comes from the WAL's highest logged txn.
+    {
+        let eng = StorageEngine::open_with_capacity(&dir, 64).unwrap();
+        let t = eng.create_table("t").unwrap();
+        let mut txn = eng.begin().unwrap();
+        last_id = last_id.max(txn.id());
+        eng.insert(&mut txn, t, b"before crash").unwrap();
+        eng.commit(txn).unwrap();
+        std::mem::forget(eng);
+    }
+    {
+        let eng = StorageEngine::open_with_capacity(&dir, 64).unwrap();
+        let txn = eng.begin().unwrap();
+        assert!(
+            txn.id() > last_id,
+            "txn id {} recycled after crash reopen (floor ≤ {last_id})",
+            txn.id()
+        );
+        last_id = txn.id();
+        eng.abort(txn).unwrap();
+        // Clean shutdown persists the floor in the catalog even though
+        // this generation logged no writes.
+    }
+
+    // Clean reopen: the floor comes from the catalog, not the WAL.
+    let eng = StorageEngine::open_with_capacity(&dir, 64).unwrap();
+    let t = eng.table_id("t").unwrap();
+    let mut txn = eng.begin().unwrap();
+    assert!(
+        txn.id() > last_id,
+        "txn id {} recycled after clean reopen (floor ≤ {last_id})",
+        txn.id()
+    );
+    // Old stamps stay visible, new writes resolve normally.
+    let rows = eng.scan(&mut txn, t).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].1, b"before crash");
+    eng.insert(&mut txn, t, b"after reopen").unwrap();
+    eng.commit(txn).unwrap();
+    let snap = eng.snapshot();
+    let mut bodies: Vec<Vec<u8>> = snap
+        .scan(t)
+        .unwrap()
+        .into_iter()
+        .map(|(_, body)| body)
+        .collect();
+    bodies.sort();
+    assert_eq!(
+        bodies,
+        vec![b"after reopen".to_vec(), b"before crash".to_vec()]
+    );
+    drop(snap);
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Indexed probes and full scans agree under a snapshot: the index
+/// plan's candidates, re-qualified against the key, return exactly the
+/// rows the scan plan finds — with an in-flight writer's entries
+/// filtered out by the same visibility rule.
+#[test]
+fn snapshot_index_probe_matches_scan_plan() {
+    let dir = tmpdir("idxparity");
+    let eng = StorageEngine::open_with_capacity(&dir, 64).unwrap();
+    let t = eng.create_table("t").unwrap();
+    eng.create_index(t, "by_key").unwrap();
+
+    let mut txn = eng.begin().unwrap();
+    for i in 0i64..12 {
+        let body = format!("k={}|row{i}", i % 3);
+        let rid = eng.insert(&mut txn, t, body.as_bytes()).unwrap();
+        eng.index_insert(&mut txn, t, "by_key", &encode_i64(i % 3), rid)
+            .unwrap();
+    }
+    eng.commit(txn).unwrap();
+
+    // An in-flight writer adds more k=1 rows; no snapshot may see them.
+    let mut wild = eng.begin().unwrap();
+    for i in 12i64..16 {
+        let body = format!("k=1|row{i}");
+        let rid = eng.insert(&mut wild, t, body.as_bytes()).unwrap();
+        eng.index_insert(&mut wild, t, "by_key", &encode_i64(1), rid)
+            .unwrap();
+    }
+
+    let snap = eng.snapshot();
+    for key in 0i64..3 {
+        // Index plan: candidate rids, re-qualified against the key the
+        // same way the scan plan qualifies rows.
+        let mut via_index: Vec<String> = Vec::new();
+        for rid in snap.index_lookup(t, "by_key", &encode_i64(key)).unwrap() {
+            if let Some(body) = snap.get(t, rid).unwrap() {
+                let text = String::from_utf8(body).unwrap();
+                if text.starts_with(&format!("k={key}|")) {
+                    via_index.push(text);
+                }
+            }
+        }
+        via_index.sort();
+        // Scan plan: qualify every visible row.
+        let mut via_scan: Vec<String> = snap
+            .scan(t)
+            .unwrap()
+            .into_iter()
+            .map(|(_, body)| String::from_utf8(body).unwrap())
+            .filter(|text| text.starts_with(&format!("k={key}|")))
+            .collect();
+        via_scan.sort();
+        assert_eq!(via_index, via_scan, "plans diverged for key {key}");
+        assert_eq!(via_scan.len(), 4, "key {key} should have exactly 4 rows");
+        assert!(
+            via_scan.iter().all(|r| !r.contains("row12")),
+            "in-flight write leaked through the index plan"
+        );
+    }
+
+    // After the writer commits, the old snapshot is unchanged and a
+    // fresh one sees the new entries through both plans.
+    eng.commit(wild).unwrap();
+    assert_eq!(
+        snap.index_lookup(t, "by_key", &encode_i64(1))
+            .unwrap()
+            .len(),
+        4,
+        "pre-commit snapshot grew new index entries"
+    );
+    let fresh = eng.snapshot();
+    let hits = fresh.index_lookup(t, "by_key", &encode_i64(1)).unwrap();
+    let qualified = hits
+        .iter()
+        .filter_map(|rid| fresh.get(t, *rid).unwrap())
+        .filter(|body| body.starts_with(b"k=1|"))
+        .count();
+    assert_eq!(qualified, 8);
+    drop(snap);
+    drop(fresh);
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+}

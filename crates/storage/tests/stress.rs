@@ -1,20 +1,33 @@
 //! Multi-threaded stress: eight clients run mixed insert/update/scan
-//! workloads against one engine, the process "crashes" (the engine is
-//! leaked so no clean-shutdown checkpoint runs), and recovery must
+//! workloads against one engine while lock-free snapshot readers
+//! continuously scan a ledger table, the process "crashes" (the engine
+//! is leaked so no clean-shutdown checkpoint runs), and recovery must
 //! reconstruct exactly the committed state — fifty rounds in a row.
+//! Every snapshot scan must see an internally consistent ledger (the
+//! balances sum to the opening total; no torn view of a two-row
+//! transfer), and the reader path must record zero wait-die aborts.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use mdm_storage::{StorageEngine, StorageError};
 
 const THREADS: usize = 8;
 const TXNS_PER_THREAD: usize = 6;
 const ITERATIONS: usize = 50;
+const ACCOUNTS: usize = 8;
+const OPENING: i64 = 1000;
+const READERS: usize = 4;
 
 fn tmpdir(name: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("mdm-stress-{}-{}", std::process::id(), name));
     std::fs::remove_dir_all(&d).ok();
     d
+}
+
+fn balance(body: &[u8]) -> i64 {
+    let text = std::str::from_utf8(body).unwrap();
+    text.split_once('=').unwrap().1.parse().unwrap()
 }
 
 #[test]
@@ -38,12 +51,28 @@ fn eight_clients_crash_recover_fifty_rounds() {
                 .map(|i| eng.create_table(&format!("t{i}")).unwrap())
                 .collect();
 
+            // A ledger the snapshot readers watch: transfers move money
+            // between accounts two rows at a time, so the total is
+            // invariant in every consistent view.
+            let ledger = eng.create_table("ledger").unwrap();
+            let mut seed = eng.begin().unwrap();
+            for k in 0..ACCOUNTS {
+                eng.insert(&mut seed, ledger, format!("a{k}={OPENING}").as_bytes())
+                    .unwrap();
+            }
+            eng.commit(seed).unwrap();
+
+            let stop = AtomicBool::new(false);
+            let reader_aborts = AtomicU64::new(0);
+            let reader_scans = AtomicU64::new(0);
+
             std::thread::scope(|s| {
+                let mut writers = Vec::new();
                 for i in 0..THREADS {
                     let eng = eng.clone();
                     let table = tables[i];
                     let srid = shared_rids[i];
-                    s.spawn(move || {
+                    writers.push(s.spawn(move || {
                         for j in 0..TXNS_PER_THREAD {
                             // Private table: insert, rewrite, read back,
                             // scan-check — one committed txn per loop.
@@ -78,15 +107,110 @@ fn eight_clients_crash_recover_fifty_rounds() {
                                     Err(e) => panic!("unexpected error: {e:?}"),
                                 }
                             }
+
+                            // Ledger: move money between two accounts in
+                            // one transaction — a multi-row write the
+                            // snapshot readers must never see half of.
+                            let (src, dst) = ((i + j) % ACCOUNTS, (i + j + 1) % ACCOUNTS);
+                            let amount = 1 + ((i * 3 + j) % 7) as i64;
+                            loop {
+                                let mut txn = eng.begin().unwrap();
+                                let step = (|| {
+                                    let rows = eng.scan(&mut txn, ledger)?;
+                                    let mut from = None;
+                                    let mut to = None;
+                                    for (rid, body) in rows {
+                                        let text = String::from_utf8(body).unwrap();
+                                        let name = text.split_once('=').unwrap().0.to_string();
+                                        let bal = balance(text.as_bytes());
+                                        if name == format!("a{src}") {
+                                            from = Some((rid, bal));
+                                        } else if name == format!("a{dst}") {
+                                            to = Some((rid, bal));
+                                        }
+                                    }
+                                    let (frid, fbal) = from.unwrap();
+                                    let (trid, tbal) = to.unwrap();
+                                    let debit = format!("a{src}={}", fbal - amount);
+                                    eng.update(&mut txn, ledger, frid, debit.as_bytes())?;
+                                    let credit = format!("a{dst}={}", tbal + amount);
+                                    eng.update(&mut txn, ledger, trid, credit.as_bytes())?;
+                                    Ok::<(), StorageError>(())
+                                })();
+                                match step {
+                                    Ok(()) => {
+                                        eng.commit(txn).unwrap();
+                                        break;
+                                    }
+                                    Err(StorageError::Deadlock) => {
+                                        eng.abort(txn).unwrap();
+                                        // Let the older holder run before
+                                        // retrying with a younger id.
+                                        std::thread::yield_now();
+                                    }
+                                    Err(e) => panic!("unexpected error: {e:?}"),
+                                }
+                            }
                         }
                         // An aborted transaction whose effects must stay
                         // invisible after recovery.
                         let mut txn = eng.begin().unwrap();
                         eng.insert(&mut txn, table, b"ghost").unwrap();
                         eng.abort(txn).unwrap();
+                    }));
+                }
+
+                // Lock-free snapshot readers: scan the ledger over and
+                // over while the writers transfer. Consistency check:
+                // every view sums to the opening total. The snapshot
+                // path takes no locks, so it can never lose wait-die.
+                for _ in 0..READERS {
+                    let eng = eng.clone();
+                    let (stop, aborts, scans) = (&stop, &reader_aborts, &reader_scans);
+                    s.spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            // Brief pause so spinning readers don't starve
+                            // the writers on small machines.
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                            let snap = eng.snapshot();
+                            match snap.scan(ledger) {
+                                Ok(rows) => {
+                                    assert_eq!(
+                                        rows.len(),
+                                        ACCOUNTS,
+                                        "snapshot saw a partial ledger"
+                                    );
+                                    let sum: i64 = rows.iter().map(|(_, body)| balance(body)).sum();
+                                    assert_eq!(
+                                        sum,
+                                        ACCOUNTS as i64 * OPENING,
+                                        "torn view of a multi-row transfer"
+                                    );
+                                    scans.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    aborts.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
                     });
                 }
+
+                for w in writers {
+                    w.join().unwrap();
+                }
+                stop.store(true, Ordering::Relaxed);
             });
+
+            assert_eq!(
+                reader_aborts.load(Ordering::Relaxed),
+                0,
+                "snapshot readers must never abort"
+            );
+            assert!(
+                reader_scans.load(Ordering::Relaxed) > 0,
+                "readers never completed a scan"
+            );
 
             // Leave one transaction in flight at the crash; recovery (or
             // the lost unsynced log tail) must erase it either way.
@@ -126,6 +250,32 @@ fn eight_clients_crash_recover_fifty_rounds() {
             .collect();
         expected.sort();
         assert_eq!(shared_rows, expected, "round {round}, shared table");
+
+        // The recovered ledger must still sum to the opening total, and
+        // a lock-free snapshot must agree with the locked scan exactly.
+        let ledger = eng.table_id("ledger").unwrap();
+        let mut locked: Vec<String> = eng
+            .scan(&mut txn, ledger)
+            .unwrap()
+            .into_iter()
+            .map(|(_, body)| String::from_utf8(body).unwrap())
+            .collect();
+        locked.sort();
+        let sum: i64 = locked.iter().map(|row| balance(row.as_bytes())).sum();
+        assert_eq!(sum, ACCOUNTS as i64 * OPENING, "round {round}, ledger sum");
+        let snap = eng.snapshot();
+        let mut via_snapshot: Vec<String> = snap
+            .scan(ledger)
+            .unwrap()
+            .into_iter()
+            .map(|(_, body)| String::from_utf8(body).unwrap())
+            .collect();
+        via_snapshot.sort();
+        assert_eq!(
+            via_snapshot, locked,
+            "round {round}, snapshot vs locked scan"
+        );
+        drop(snap);
         eng.commit(txn).unwrap();
         drop(eng);
         std::fs::remove_dir_all(&dir).ok();
